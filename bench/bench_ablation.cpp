@@ -1,0 +1,135 @@
+// Ablation — which parts of Hit-Scheduler pay?  (DESIGN.md §5)
+//
+// Compares the full scheduler against: greedy assignment instead of stable
+// matching, shortest-path policies instead of Algorithm 1 routing, neither,
+// and the random floor — on shuffle cost and job completion time.
+#include <iostream>
+
+#include "core/local_search.h"
+#include "core/taa.h"
+#include "harness.h"
+
+int main() {
+  using namespace hit;
+  using namespace hit::bench;
+
+  print_header("Ablation: stable matching and policy optimization");
+
+  auto testbed = make_testbed_tree();
+
+  mr::WorkloadConfig wconfig;
+  wconfig.num_jobs = 10;
+  wconfig.max_maps_per_job = 16;
+  wconfig.max_reduces_per_job = 6;
+  wconfig.block_size_gb = 2.0;
+
+  sim::SimConfig sconfig;
+  sconfig.bandwidth_scale = 0.035;
+
+  core::HitConfig full;
+  core::HitConfig greedy = full;
+  greedy.use_stable_matching = false;
+  core::HitConfig no_policy = full;
+  no_policy.optimize_policies = false;
+
+  core::HitScheduler hit_full(full);
+  core::HitScheduler hit_greedy(greedy);
+  core::HitScheduler hit_no_policy(no_policy);
+  sched::RandomScheduler random_sched;
+  sched::CapacityScheduler capacity;
+
+  struct Row {
+    const char* label;
+    sched::Scheduler* scheduler;
+  };
+  const std::vector<Row> rows = {
+      {"Hit (matching + policy opt)", &hit_full},
+      {"Hit, greedy assignment", &hit_greedy},
+      {"Hit, shortest-path policies", &hit_no_policy},
+      {"Capacity (neither)", &capacity},
+      {"Random floor", &random_sched},
+  };
+
+  stats::Table table({"variant", "shuffle cost (GB*T)", "mean JCT", "avg route hops"});
+  for (const Row& row : rows) {
+    stats::RunningSummary cost, jct, hops;
+    for (int r = 0; r < 3; ++r) {
+      const sim::SimResult result =
+          run_replica(*testbed, *row.scheduler, wconfig, sconfig, 2100 + r);
+      cost.add(result.total_shuffle_cost);
+      stats::RunningSummary j;
+      for (double v : result.job_completion_times()) j.add(v);
+      jct.add(j.mean());
+      hops.add(result.average_route_hops());
+    }
+    table.add_row({row.label, stats::Table::num(cost.mean(), 1),
+                   stats::Table::num(jct.mean()), stats::Table::num(hops.mean())});
+  }
+  std::cout << table.render();
+
+  // Placement vs flow scheduling (related work [5][6]): SRPT at the links
+  // cannot recover what topology-blind placement lost — "the source or
+  // destination of each flow is independently decided by the task scheduler
+  // and not necessarily optimal" (§8).
+  std::cout << "\n-- placement vs network flow scheduling --\n";
+  stats::Table net_table({"placement + sharing", "mean JCT", "avg flow time"});
+  struct NetRow {
+    const char* label;
+    sched::Scheduler* scheduler;
+    net::SharingPolicy sharing;
+  };
+  const std::vector<NetRow> net_rows = {
+      {"Capacity + fair sharing", &capacity, net::SharingPolicy::MaxMinFair},
+      {"Capacity + SRPT", &capacity, net::SharingPolicy::Srpt},
+      {"Hit + fair sharing", &hit_full, net::SharingPolicy::MaxMinFair},
+      {"Hit + SRPT", &hit_full, net::SharingPolicy::Srpt},
+  };
+  for (const NetRow& row : net_rows) {
+    sim::SimConfig nconfig = sconfig;
+    nconfig.sharing = row.sharing;
+    stats::RunningSummary jct, flow_time;
+    for (int r = 0; r < 3; ++r) {
+      const sim::SimResult result =
+          run_replica(*testbed, *row.scheduler, wconfig, nconfig, 2100 + r);
+      stats::RunningSummary j;
+      for (double v : result.job_completion_times()) j.add(v);
+      jct.add(j.mean());
+      flow_time.add(result.average_flow_duration());
+    }
+    net_table.add_row({row.label, stats::Table::num(jct.mean()),
+                       stats::Table::num(flow_time.mean())});
+  }
+  std::cout << net_table.render();
+
+  // How much does the O(M x N) stable matching leave on the table?  Refine
+  // Hit's placement with local search on oracle-sized instances and report
+  // the residual gap (small workloads: the refinement re-routes every flow
+  // per candidate move, so it is exact but expensive).
+  std::cout << "\n-- matching quality gap (Hit vs Hit + local search) --\n";
+  stats::Table gap_table({"workload", "Hit cost (GB*T)", "refined cost (GB*T)",
+                          "gap closed", "moves"});
+  core::CostConfig pure;
+  pure.congestion_weight = 0.0;
+  core::LocalSearchConfig ls_config;
+  ls_config.cost = pure;
+  const core::LocalSearchSolver refiner(ls_config);
+  for (std::size_t jobs : {1u, 2u, 3u}) {
+    mr::WorkloadConfig small;
+    small.num_jobs = jobs;
+    small.max_maps_per_job = 5;
+    small.max_reduces_per_job = 2;
+    small.block_size_gb = 4.0;
+    auto exp = make_static_experiment(*testbed, small, 2500 + jobs);
+    Rng rng(2500 + jobs);
+    const sched::Assignment seed = hit_full.schedule(exp->problem, rng);
+    const double hit_cost = core::taa_objective(exp->problem, seed, pure);
+    const auto refined = refiner.refine(exp->problem, seed);
+    gap_table.add_row(
+        {std::to_string(jobs) + " job(s)", stats::Table::num(hit_cost, 1),
+         stats::Table::num(refined.cost, 1),
+         stats::Table::pct(hit_cost > 0 ? (hit_cost - refined.cost) / hit_cost : 0),
+         std::to_string(refined.moves)});
+  }
+  std::cout << gap_table.render();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Figure 8 — (a) shuffle-cost reduction by workload class, (b) shuffle cost
+// under four network architectures.
+//
+// Paper results: (a) for shuffle-heavy workloads Hit cuts shuffle cost by
+// up to 38% (PNA: 21%); light/medium classes gain less because they move
+// little shuffle data.  (b) across Tree / Fat-Tree / BCube / VL2, Hit beats
+// PNA by ~19% and Capacity by ~32%; the Tree carries the least absolute
+// cost for map-and-reduce traffic.
+#include <iostream>
+
+#include "core/taa.h"
+#include "harness.h"
+
+namespace {
+
+using namespace hit;
+using namespace hit::bench;
+
+/// Mean traffic cost (GB·T) of a scheduler over seeded replicas of one
+/// static problem family.  `include_remote_map` adds the remote map-input
+/// cost, so the per-class percentages reflect *total* communication — the
+/// quantity whose shuffle share Figure 1 characterizes.
+double mean_cost(const Testbed& testbed, sched::Scheduler& scheduler,
+                 const mr::WorkloadConfig& wconfig, int replicas,
+                 std::uint64_t seed0, bool include_remote_map = false) {
+  core::CostConfig pure;
+  pure.congestion_weight = 0.0;
+  stats::RunningSummary cost;
+  for (int r = 0; r < replicas; ++r) {
+    auto exp = make_static_experiment(testbed, wconfig, seed0 + r);
+    Rng rng(seed0 + r);
+    const sched::Assignment a = scheduler.schedule(exp->problem, rng);
+    double total = core::taa_objective(exp->problem, a, pure);
+    if (include_remote_map) {
+      const core::CostModel model(testbed.topology, pure);
+      total += model.remote_map_cost(exp->problem, a);
+    }
+    cost.add(total);
+  }
+  return cost.mean();
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 8(a): shuffle-cost reduction by workload class");
+
+  {
+    auto testbed = make_testbed_tree();
+    Lineup lineup;
+    stats::Table table({"class", "Capacity (GB*T)", "PNA (GB*T)", "Hit (GB*T)",
+                        "PNA reduction", "Hit reduction"});
+    for (mr::JobClass cls : {mr::JobClass::ShuffleHeavy, mr::JobClass::ShuffleMedium,
+                             mr::JobClass::ShuffleLight}) {
+      mr::WorkloadConfig wconfig;
+      wconfig.num_jobs = 8;
+      wconfig.max_maps_per_job = 10;
+      wconfig.max_reduces_per_job = 4;
+      wconfig.block_size_gb = 2.0;
+      wconfig.only_class = cls;
+
+      const double cap = mean_cost(*testbed, lineup.capacity, wconfig, 3, 300);
+      const double pna = mean_cost(*testbed, lineup.pna, wconfig, 3, 300);
+      const double hit = mean_cost(*testbed, lineup.hit, wconfig, 3, 300);
+      table.add_row({std::string(mr::job_class_name(cls)), stats::Table::num(cap, 1),
+                     stats::Table::num(pna, 1), stats::Table::num(hit, 1),
+                     stats::Table::pct(improvement(cap, pna)),
+                     stats::Table::pct(improvement(cap, hit))});
+    }
+    std::cout << table.render();
+    std::cout << "Paper: shuffle-heavy reductions 38% (Hit) / 21% (PNA); smaller "
+                 "for medium and light.\n\n";
+  }
+
+  print_header("Figure 8(b): shuffle cost under four network architectures");
+  {
+    struct Arch {
+      const char* name;
+      std::unique_ptr<Testbed> testbed;
+    };
+    std::vector<Arch> archs;
+    archs.push_back({"Tree", make_testbed_tree()});
+    archs.push_back({"Fat-Tree",
+                     std::make_unique<Testbed>(
+                         topo::make_fat_tree(topo::FatTreeConfig{6, 16.0, 32.0}),
+                         kServerCapacity)});
+    archs.push_back({"BCube",
+                     std::make_unique<Testbed>(
+                         topo::make_bcube(topo::BCubeConfig{4, 2, 16.0, 32.0}),
+                         kServerCapacity)});
+    archs.push_back({"VL2",
+                     std::make_unique<Testbed>(
+                         topo::make_vl2(topo::Vl2Config{4, 8, 16, 4, 16.0, 32.0}),
+                         kServerCapacity)});
+
+    // 6 jobs keep the task count inside the smallest architecture
+    // (Fat-Tree k=6: 54 servers, 108 container slots).
+    mr::WorkloadConfig wconfig;
+    wconfig.num_jobs = 6;
+    wconfig.max_maps_per_job = 10;
+    wconfig.max_reduces_per_job = 4;
+    wconfig.block_size_gb = 2.0;
+    wconfig.only_class = mr::JobClass::ShuffleHeavy;
+
+    Lineup lineup;
+    stats::Table table({"architecture", "Capacity (GB*T)", "PNA (GB*T)", "Hit (GB*T)",
+                        "Hit vs PNA", "Hit vs Capacity"});
+    stats::RunningSummary vs_pna, vs_cap;
+    for (const Arch& arch : archs) {
+      const double cap = mean_cost(*arch.testbed, lineup.capacity, wconfig, 2, 600);
+      const double pna = mean_cost(*arch.testbed, lineup.pna, wconfig, 2, 600);
+      const double hit = mean_cost(*arch.testbed, lineup.hit, wconfig, 2, 600);
+      vs_pna.add(improvement(pna, hit));
+      vs_cap.add(improvement(cap, hit));
+      table.add_row({arch.name, stats::Table::num(cap, 1), stats::Table::num(pna, 1),
+                     stats::Table::num(hit, 1),
+                     stats::Table::pct(improvement(pna, hit)),
+                     stats::Table::pct(improvement(cap, hit))});
+    }
+    std::cout << table.render();
+    std::cout << "mean Hit advantage: vs PNA " << stats::Table::pct(vs_pna.mean())
+              << " (paper ~19%), vs Capacity " << stats::Table::pct(vs_cap.mean())
+              << " (paper ~32%).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 9 — sensitivity to network bandwidth (512-node simulation).
+//
+// Paper result: shuffle-throughput improvement of Hit and PNA over Capacity
+// grows as links get scarcer; at 0.1 Mbps Hit gains ~48% while PNA trails,
+// and the gap narrows as bandwidth becomes plentiful.
+#include <iostream>
+
+#include "harness.h"
+
+int main() {
+  using namespace hit;
+  using namespace hit::bench;
+
+  print_header("Figure 9: throughput improvement vs bandwidth (512 nodes)");
+
+  auto testbed = make_large_tree();
+
+  mr::WorkloadConfig wconfig;
+  wconfig.num_jobs = 6;
+  wconfig.max_maps_per_job = 12;
+  wconfig.max_reduces_per_job = 4;
+  wconfig.block_size_gb = 2.0;
+
+  Lineup lineup;
+  stats::Table table({"bandwidth (Mbps)", "Hit improvement", "PNA improvement"});
+
+  // The paper sweeps absolute link bandwidth from 0.1 to 60 Mbps; our links
+  // are 16 rate units, so the scale maps Mbps onto the same dynamic range.
+  for (double mbps : {0.1, 0.5, 1.0, 5.0, 15.0, 30.0, 60.0}) {
+    sim::SimConfig sconfig;
+    sconfig.bandwidth_scale = mbps / 16.0;
+    sconfig.local_disk_bandwidth = 1.0;  // local shuffles still pay disk time
+
+    // Job-level throughput (shuffled bytes over the workload makespan): the
+    // map phase is bandwidth-independent, so gains saturate realistically
+    // instead of exploding when links starve.
+    auto throughput = [&](sched::Scheduler& s, int r) {
+      const sim::SimResult result = run_replica(*testbed, s, wconfig, sconfig, 1200 + r);
+      return result.makespan > 0.0 ? result.total_shuffle_gb / result.makespan : 0.0;
+    };
+    stats::RunningSummary hit_gain, pna_gain;
+    for (int r = 0; r < 2; ++r) {
+      const double cap = throughput(lineup.capacity, r);
+      const double pna = throughput(lineup.pna, r);
+      const double hit = throughput(lineup.hit, r);
+      if (cap > 0.0) {
+        hit_gain.add((hit - cap) / cap);
+        pna_gain.add((pna - cap) / cap);
+      }
+    }
+    table.add_row({stats::Table::num(mbps, 1), stats::Table::pct(hit_gain.mean()),
+                   stats::Table::pct(pna_gain.mean())});
+  }
+  std::cout << table.render();
+  std::cout << "\nPaper: Hit's gain reaches ~48% at 0.1 Mbps and shrinks with "
+               "bandwidth; PNA trails Hit throughout because it assumes static "
+               "costs and single-path routing.\n";
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Microbenchmarks (google-benchmark): scheduler-side decision latency.
+//
+// Not a paper figure — these bound the online overhead of the pluggable
+// module: preference construction (Alg. 1), stable matching (Alg. 2,
+// O(M x N)), single-flow optimal routing, Yen's k-shortest-paths and the
+// max-min fair allocator the simulator re-solves per event.
+#include <benchmark/benchmark.h>
+
+#include "core/local_search.h"
+#include "core/mkp.h"
+#include "core/policy_optimizer.h"
+#include "core/stable_matching.h"
+#include "sim/packet.h"
+#include "harness.h"
+#include "network/bandwidth.h"
+
+namespace {
+
+using namespace hit;
+using namespace hit::bench;
+
+mr::WorkloadConfig workload_for(std::size_t jobs) {
+  mr::WorkloadConfig wconfig;
+  wconfig.num_jobs = jobs;
+  wconfig.max_maps_per_job = 10;
+  wconfig.max_reduces_per_job = 4;
+  wconfig.block_size_gb = 2.0;
+  return wconfig;
+}
+
+void BM_BuildPreferences(benchmark::State& state) {
+  auto testbed = make_testbed_tree();
+  auto exp = make_static_experiment(*testbed,
+                                    workload_for(static_cast<std::size_t>(state.range(0))),
+                                    11);
+  const core::PolicyOptimizer optimizer(testbed->topology);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.build_preferences(exp->problem));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildPreferences)->Arg(2)->Arg(4)->Arg(8)->Complexity();
+
+void BM_StableMatching(benchmark::State& state) {
+  auto testbed = make_testbed_tree();
+  auto exp = make_static_experiment(*testbed,
+                                    workload_for(static_cast<std::size_t>(state.range(0))),
+                                    12);
+  const core::PolicyOptimizer optimizer(testbed->topology);
+  const core::PreferenceMatrix prefs = optimizer.build_preferences(exp->problem);
+  const core::StableMatcher matcher;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.match(exp->problem, prefs));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StableMatching)->Arg(2)->Arg(4)->Arg(8)->Complexity();
+
+void BM_OptimalRoute(benchmark::State& state) {
+  auto testbed = make_large_tree();
+  const core::PolicyOptimizer optimizer(testbed->topology);
+  net::LoadTracker load(testbed->topology);
+  const NodeId src[] = {testbed->cluster.servers().front().node};
+  const NodeId dst[] = {testbed->cluster.servers().back().node};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optimizer.optimal_route(src, dst, FlowId{0}, 1.0, 1.0, load));
+  }
+}
+BENCHMARK(BM_OptimalRoute);
+
+void BM_KShortestPaths(benchmark::State& state) {
+  auto testbed = make_testbed_tree();
+  const NodeId a = testbed->cluster.servers().front().node;
+  const NodeId b = testbed->cluster.servers().back().node;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        testbed->topology.k_shortest_paths(a, b, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_KShortestPaths)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_MaxMinFair(benchmark::State& state) {
+  auto testbed = make_testbed_tree();
+  const auto servers = testbed->cluster.servers();
+  std::vector<net::FlowDemand> demands;
+  Rng rng(5);
+  for (int i = 0; i < state.range(0); ++i) {
+    const auto a = rng.uniform_index(servers.size());
+    auto b = rng.uniform_index(servers.size());
+    if (b == a) b = (b + 1) % servers.size();
+    demands.push_back(net::FlowDemand{
+        FlowId{static_cast<FlowId::value_type>(i)},
+        testbed->topology.shortest_path(servers[a].node, servers[b].node), 0.0});
+  }
+  const net::MaxMinFairAllocator allocator(testbed->topology);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocator.allocate(demands));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MaxMinFair)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_LocalSearchRefine(benchmark::State& state) {
+  auto testbed = make_testbed_tree();
+  auto exp = make_static_experiment(*testbed, workload_for(2), 13);
+  core::HitScheduler hit;
+  Rng rng(13);
+  const sched::Assignment seed = hit.schedule(exp->problem, rng);
+  core::LocalSearchConfig config;
+  config.max_evaluations = 200;
+  const core::LocalSearchSolver solver(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.refine(exp->problem, seed));
+  }
+}
+BENCHMARK(BM_LocalSearchRefine);
+
+void BM_MkpExact(benchmark::State& state) {
+  core::MkpInstance instance;
+  Rng rng(14);
+  for (int i = 0; i < state.range(0); ++i) {
+    instance.profit.push_back(rng.uniform(1, 10));
+    instance.weight.push_back(rng.uniform(1, 5));
+  }
+  instance.capacity = {10, 10, 10};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_mkp_exact(instance));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MkpExact)->Arg(4)->Arg(8)->Arg(10)->Complexity();
+
+void BM_PacketSim(benchmark::State& state) {
+  auto testbed = make_testbed_tree();
+  const auto servers = testbed->cluster.servers();
+  std::vector<sim::PacketFlowSpec> specs;
+  Rng rng(15);
+  for (int i = 0; i < state.range(0); ++i) {
+    const auto a = rng.uniform_index(servers.size());
+    auto b = rng.uniform_index(servers.size());
+    if (b == a) b = (b + 1) % servers.size();
+    specs.push_back(sim::PacketFlowSpec{
+        FlowId(static_cast<FlowId::value_type>(i)),
+        testbed->topology.shortest_path(servers[a].node, servers[b].node),
+        0.032, 0.0});
+  }
+  const sim::PacketSimulator sim(testbed->topology);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(specs));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PacketSim)->Arg(8)->Arg(32)->Arg(64)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

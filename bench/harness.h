@@ -1,0 +1,139 @@
+// Shared experiment plumbing for the paper-figure benchmark harnesses.
+//
+// Every bench binary reproduces one table/figure: it builds the relevant
+// testbed, runs the scheduler lineup over seeded replicas, and prints the
+// same rows/series the paper reports.  Numbers are expected to match the
+// paper in *shape* (ordering, rough factors, crossovers), not absolutely —
+// see EXPERIMENTS.md.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/hit_scheduler.h"
+#include "mapreduce/workload.h"
+#include "sched/capacity_scheduler.h"
+#include "sched/delay_scheduler.h"
+#include "sched/pna_scheduler.h"
+#include "sched/random_scheduler.h"
+#include "sim/engine.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "topology/builders.h"
+#include "util/rng.h"
+
+namespace hit::bench {
+
+/// Topology + cluster pair; the cluster holds a pointer into the topology,
+/// so the pair is allocated once and never moved.
+struct Testbed {
+  topo::Topology topology;
+  cluster::Cluster cluster;
+
+  Testbed(topo::Topology t, cluster::Resource per_server)
+      : topology(std::move(t)), cluster(topology, per_server) {}
+  Testbed(const Testbed&) = delete;
+};
+
+/// Two-slot servers, as in the paper's case study configuration.
+inline constexpr cluster::Resource kServerCapacity{2.0, 8.0};
+
+/// The paper's testbed-scale network: 64 hosts in a three-level tree
+/// (hop diversity 1 / 3 / 5 like the Mininet depth-3 setup).
+inline std::unique_ptr<Testbed> make_testbed_tree() {
+  topo::TreeConfig config;
+  config.depth = 3;
+  config.fanout = 4;
+  config.redundancy = 2;
+  config.hosts_per_access = 4;
+  return std::make_unique<Testbed>(topo::make_tree(config), kServerCapacity);
+}
+
+/// Figure 9's large-scale simulation: 512 hosts.
+inline std::unique_ptr<Testbed> make_large_tree() {
+  topo::TreeConfig config;
+  config.depth = 3;
+  config.fanout = 8;
+  config.redundancy = 2;
+  config.hosts_per_access = 8;
+  return std::make_unique<Testbed>(topo::make_tree(config), kServerCapacity);
+}
+
+/// The scheduler lineup of the evaluation section.
+struct Lineup {
+  sched::CapacityScheduler capacity;
+  sched::PnaScheduler pna;
+  core::HitScheduler hit;
+
+  [[nodiscard]] std::vector<sched::Scheduler*> all() {
+    return {&capacity, &pna, &hit};
+  }
+};
+
+/// One replica: generate jobs with `seed`, run `scheduler`, return metrics.
+/// Identical seeds produce identical jobs/HDFS layouts across schedulers.
+inline sim::SimResult run_replica(const Testbed& testbed, sched::Scheduler& scheduler,
+                                  const mr::WorkloadConfig& wconfig,
+                                  const sim::SimConfig& sconfig, std::uint64_t seed) {
+  Rng rng(seed);
+  mr::IdAllocator ids;
+  const mr::WorkloadGenerator generator(wconfig);
+  const std::vector<mr::Job> jobs = generator.generate(ids, rng);
+  const sim::ClusterSimulator simulator(testbed.cluster, sconfig);
+  return simulator.run(scheduler, jobs, ids, rng);
+}
+
+/// A one-shot (single-wave) scheduling problem built from a generated
+/// workload — used by the static analyses (Figure 7's D-ITG-style
+/// measurement, Figure 8's cost comparisons) where no time dynamics are
+/// needed.  Owns everything the Problem points at.
+struct StaticExperiment {
+  std::vector<mr::Job> jobs;
+  std::unique_ptr<mr::BlockPlacement> blocks;
+  sched::Problem problem;
+};
+
+inline std::unique_ptr<StaticExperiment> make_static_experiment(
+    const Testbed& testbed, const mr::WorkloadConfig& wconfig, std::uint64_t seed) {
+  auto exp = std::make_unique<StaticExperiment>();
+  Rng rng(seed);
+  mr::IdAllocator ids;
+  const mr::WorkloadGenerator generator(wconfig);
+  exp->jobs = generator.generate(ids, rng);
+  Rng hdfs_rng = rng.fork(0x48444653);
+  exp->blocks = std::make_unique<mr::BlockPlacement>(testbed.cluster, exp->jobs,
+                                                     hdfs_rng);
+  exp->problem.topology = &testbed.topology;
+  exp->problem.cluster = &testbed.cluster;
+  exp->problem.blocks = exp->blocks.get();
+  for (const mr::Job& job : exp->jobs) {
+    for (const mr::Task& t : job.maps) {
+      exp->problem.tasks.push_back(
+          sched::TaskRef{t.id, t.job, t.kind, cluster::kDefaultContainerDemand,
+                         t.input_gb});
+    }
+    for (const mr::Task& t : job.reduces) {
+      exp->problem.tasks.push_back(
+          sched::TaskRef{t.id, t.job, t.kind, cluster::kDefaultContainerDemand,
+                         t.input_gb});
+    }
+  }
+  exp->problem.flows = mr::build_shuffle_flows(exp->jobs, ids);
+  return exp;
+}
+
+/// Percentage improvement of `value` over `baseline` (positive = better
+/// when lower-is-better).
+inline double improvement(double baseline, double value) {
+  return baseline > 0.0 ? (baseline - value) / baseline : 0.0;
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "==== " << title << " ====\n";
+}
+
+}  // namespace hit::bench

@@ -1,0 +1,89 @@
+// The paper's §2.3 case study, interactively: a 5-node cluster (one master,
+// four slaves behind two access switches), one shuffle-heavy job (34 GB) and
+// one shuffle-light job (10 GB), maps pinned to S1 as observed in the
+// paper's logs.  Shows the shuffle-delay cost of every possible reduce
+// placement, then lets Hit-Scheduler pick.
+//
+//   $ ./examples/case_study
+#include <iostream>
+
+#include "core/brute_force.h"
+#include "core/hit_scheduler.h"
+#include "core/taa.h"
+#include "stats/table.h"
+#include "topology/builders.h"
+
+int main() {
+  using namespace hit;
+
+  const topo::Topology topology = topo::make_case_study_tree();
+  const cluster::Cluster cluster(topology, cluster::Resource{2.0, 8.0});
+
+  std::cout << "Cluster: " << cluster.size() << " slaves, "
+            << topology.switches().size() << " switches.\n"
+            << "Switch distances: S1<->S2 = 1, S1<->S4 = 3 (GB*T metric).\n\n";
+
+  // Maps M1 (job 1) and M2 (job 2) already run on S1.
+  const TaskId m1(100), m2(101), r1(0), r2(1);
+  sched::Problem problem;
+  problem.topology = &topology;
+  problem.cluster = &cluster;
+  problem.fixed[m1] = ServerId(0);
+  problem.fixed[m2] = ServerId(0);
+  problem.base_usage.assign(cluster.size(), cluster::Resource{});
+  problem.base_usage[0] = cluster::kDefaultContainerDemand * 2.0;
+  problem.tasks = {sched::TaskRef{r1, JobId(0), cluster::TaskKind::Reduce,
+                                  cluster::kDefaultContainerDemand, 34.0},
+                   sched::TaskRef{r2, JobId(1), cluster::TaskKind::Reduce,
+                                  cluster::kDefaultContainerDemand, 10.0}};
+  problem.flows = {net::Flow{FlowId(0), JobId(0), m1, r1, 34.0, 34.0},
+                   net::Flow{FlowId(1), JobId(1), m2, r2, 10.0, 10.0}};
+
+  core::CostConfig pure;
+  pure.congestion_weight = 0.0;
+
+  // Enumerate every feasible reduce placement.
+  std::cout << "All feasible placements (R1 carries 34 GB, R2 carries 10 GB):\n";
+  stats::Table table({"R1 host", "R2 host", "cost (GB*T)", "note"});
+  for (const auto& s_r1 : cluster.servers()) {
+    for (const auto& s_r2 : cluster.servers()) {
+      sched::Assignment a;
+      a.placement[r1] = s_r1.id;
+      a.placement[r2] = s_r2.id;
+      sched::UsageLedger ledger(problem);
+      try {
+        ledger.place(s_r1.id, cluster::kDefaultContainerDemand);
+        ledger.place(s_r2.id, cluster::kDefaultContainerDemand);
+      } catch (const std::logic_error&) {
+        continue;  // over capacity (e.g. anything on the full S1)
+      }
+      sched::attach_shortest_policies(problem, a);
+      const double cost = core::taa_objective(problem, a, pure);
+      std::string note;
+      if (s_r1.hostname == "S4" && s_r2.hostname == "S2") note = "paper: observed";
+      if (s_r1.hostname == "S2" && s_r2.hostname == "S4") note = "paper: proposed";
+      table.add_row({s_r1.hostname, s_r2.hostname, stats::Table::num(cost, 0), note});
+    }
+  }
+  std::cout << table.render() << "\n";
+
+  core::HitScheduler hit;
+  Rng rng(1);
+  const sched::Assignment a = hit.schedule(problem, rng);
+  const double hit_cost = core::taa_objective(problem, a, pure);
+  std::cout << "Hit-Scheduler places R1 on "
+            << cluster.server(a.placement.at(r1)).hostname << ", R2 on "
+            << cluster.server(a.placement.at(r2)).hostname << " -> "
+            << stats::Table::num(hit_cost, 0) << " GB*T\n";
+
+  const core::BruteForceSolver oracle(pure);
+  if (const auto best = oracle.solve(problem)) {
+    std::cout << "Brute-force optimum: " << stats::Table::num(best->cost, 0)
+              << " GB*T";
+    std::cout << (best->cost == hit_cost ? "  (Hit is optimal here)\n" : "\n");
+  }
+  std::cout << "\nPaper narrative: observed placement costs 112, proposed 64 "
+               "(~42% better); the true optimum co-locates both reduces next "
+               "to the maps' access switch.\n";
+  return 0;
+}

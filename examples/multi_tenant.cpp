@@ -1,0 +1,77 @@
+// Multi-tenant cloud scenario — the setting that motivates the paper: many
+// MapReduce jobs of mixed shuffle intensity sharing one hierarchical
+// network, with bandwidth that changes as tenants come and go.
+//
+// Sweeps tenant pressure (number of concurrent jobs) and reports how each
+// scheduler's job completion time and shuffle traffic degrade.
+//
+//   $ ./examples/multi_tenant [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/hit_scheduler.h"
+#include "mapreduce/workload.h"
+#include "sched/capacity_scheduler.h"
+#include "sched/pna_scheduler.h"
+#include "sim/engine.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "topology/builders.h"
+
+int main(int argc, char** argv) {
+  using namespace hit;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  // 64 hosts, three-level tree, two container slots each.
+  topo::TreeConfig tree;
+  tree.depth = 3;
+  tree.fanout = 4;
+  tree.redundancy = 2;
+  tree.hosts_per_access = 4;
+  const topo::Topology topology = topo::make_tree(tree);
+  const cluster::Cluster cluster(topology, cluster::Resource{2.0, 8.0});
+
+  sched::CapacityScheduler capacity;
+  sched::PnaScheduler pna;
+  core::HitScheduler hit;
+
+  std::cout << "Multi-tenant sweep on " << cluster.size()
+            << " hosts (constrained network):\n\n";
+
+  stats::Table table({"tenants", "scheduler", "mean JCT", "p95 JCT",
+                      "shuffle cost (GB*T)", "avg flow time"});
+  for (std::size_t tenants : {4u, 8u, 12u}) {
+    mr::WorkloadConfig wconfig;
+    wconfig.num_jobs = tenants;
+    wconfig.max_maps_per_job = 12;
+    wconfig.max_reduces_per_job = 4;
+    wconfig.block_size_gb = 2.0;
+    const mr::WorkloadGenerator generator(wconfig);
+
+    sim::SimConfig sconfig;
+    sconfig.bandwidth_scale = 0.05;  // shared-tenant congestion
+
+    for (sched::Scheduler* s :
+         {static_cast<sched::Scheduler*>(&capacity),
+          static_cast<sched::Scheduler*>(&pna),
+          static_cast<sched::Scheduler*>(&hit)}) {
+      Rng rng(seed);
+      mr::IdAllocator ids;
+      const auto jobs = generator.generate(ids, rng);
+      const sim::ClusterSimulator sim(cluster, sconfig);
+      const sim::SimResult result = sim.run(*s, jobs, ids, rng);
+
+      const auto jcts = result.job_completion_times();
+      table.add_row({std::to_string(tenants), std::string(s->name()),
+                     stats::Table::num(stats::mean_of(jcts)),
+                     stats::Table::num(stats::percentile(jcts, 95.0)),
+                     stats::Table::num(result.total_shuffle_cost, 1),
+                     stats::Table::num(result.average_flow_duration())});
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\nAs tenant pressure grows, the topology-aware scheduler's "
+               "advantage widens: it keeps heavy shuffles inside racks and "
+               "routes around saturated switches.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "cluster/cluster.h"
+
+namespace hit::cluster {
+
+Cluster::Cluster(const topo::Topology& topology, Resource per_server_capacity)
+    : Cluster(topology, std::vector<Resource>(topology.servers().size(),
+                                              per_server_capacity)) {}
+
+Cluster::Cluster(const topo::Topology& topology, std::vector<Resource> capacities)
+    : topology_(&topology) {
+  const auto hosts = topology.servers();
+  if (capacities.size() != hosts.size()) {
+    throw std::invalid_argument("Cluster: capacity list size != host count");
+  }
+  servers_.reserve(hosts.size());
+  node_to_server_.assign(topology.node_count(), ServerId{});
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    if (!capacities[i].non_negative()) {
+      throw std::invalid_argument("Cluster: negative capacity");
+    }
+    const ServerId id(static_cast<ServerId::value_type>(i));
+    servers_.push_back(Server{id, hosts[i], capacities[i], topology.info(hosts[i]).name});
+    node_to_server_[hosts[i].index()] = id;
+  }
+}
+
+const Server& Cluster::server(ServerId id) const {
+  if (!id.valid() || id.index() >= servers_.size()) {
+    throw std::out_of_range("Cluster: unknown server id");
+  }
+  return servers_[id.index()];
+}
+
+ServerId Cluster::server_at(NodeId node) const {
+  if (!node.valid() || node.index() >= node_to_server_.size() ||
+      !node_to_server_[node.index()].valid()) {
+    throw std::out_of_range("Cluster: node does not host a server");
+  }
+  return node_to_server_[node.index()];
+}
+
+Resource Cluster::total_capacity() const {
+  Resource total;
+  for (const Server& s : servers_) total += s.capacity;
+  return total;
+}
+
+}  // namespace hit::cluster

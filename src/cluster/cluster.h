@@ -1,0 +1,53 @@
+// Compute-cluster view layered over a Topology: every host node becomes a
+// Server with a resource capacity q_j.  The Cluster is immutable once built;
+// dynamic allocation state lives in the ResourceManager.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/resources.h"
+#include "topology/topology.h"
+#include "util/ids.h"
+
+namespace hit::cluster {
+
+struct Server {
+  ServerId id;
+  NodeId node;           ///< position in the topology graph
+  Resource capacity;     ///< q_j
+  std::string hostname;
+};
+
+class Cluster {
+ public:
+  /// One Server per topology host, all with the same capacity.
+  Cluster(const topo::Topology& topology, Resource per_server_capacity);
+
+  /// Heterogeneous capacities: `capacities[i]` applies to the i-th host.
+  Cluster(const topo::Topology& topology, std::vector<Resource> capacities);
+
+  [[nodiscard]] const topo::Topology& topology() const noexcept { return *topology_; }
+  [[nodiscard]] std::span<const Server> servers() const noexcept { return servers_; }
+  [[nodiscard]] std::size_t size() const noexcept { return servers_.size(); }
+
+  [[nodiscard]] const Server& server(ServerId id) const;
+
+  /// Reverse lookup: which server sits on this topology node?
+  [[nodiscard]] ServerId server_at(NodeId node) const;
+
+  [[nodiscard]] NodeId node_of(ServerId id) const { return server(id).node; }
+
+  /// Total capacity across all servers.
+  [[nodiscard]] Resource total_capacity() const;
+
+ private:
+  const topo::Topology* topology_;
+  std::vector<Server> servers_;
+  std::vector<ServerId> node_to_server_;  // indexed by NodeId; invalid for switches
+};
+
+}  // namespace hit::cluster

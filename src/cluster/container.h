@@ -1,0 +1,22 @@
+// YARN-style containers: the unit of resource allocation.  Each container
+// hosts at most one Map or Reduce task (Eq. 3, constraints 2-3).
+#pragma once
+
+#include "cluster/resources.h"
+#include "util/ids.h"
+
+namespace hit::cluster {
+
+enum class TaskKind : std::uint8_t { Map, Reduce };
+
+struct Container {
+  ContainerId id;
+  Resource demand;     ///< r_i
+  ServerId host;       ///< A(c_i); invalid until granted
+  TaskId task;         ///< hosted task; invalid while idle
+  JobId job;
+  TaskKind kind = TaskKind::Map;
+  bool released = false;
+};
+
+}  // namespace hit::cluster

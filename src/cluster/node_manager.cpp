@@ -1,0 +1,49 @@
+#include "cluster/node_manager.h"
+
+#include <stdexcept>
+
+namespace hit::cluster {
+
+void NodeManager::launch(ContainerId id, double now) {
+  const Container& c = rm_->container(id);
+  if (c.host != server_) {
+    throw std::invalid_argument("NodeManager: container granted on another host");
+  }
+  if (c.released) throw std::invalid_argument("NodeManager: container already released");
+  if (!running_.insert(id).second) {
+    throw std::invalid_argument("NodeManager: container already running");
+  }
+  record_index_[id] = history_.size();
+  history_.push_back(Record{id, now, -1.0});
+}
+
+void NodeManager::complete(ContainerId id, double now) {
+  if (running_.erase(id) == 0) {
+    throw std::invalid_argument("NodeManager: completing a container that is not running");
+  }
+  history_[record_index_.at(id)].completed_at = now;
+}
+
+NodeManagerPool::NodeManagerPool(const ResourceManager& rm) {
+  nodes_.reserve(rm.cluster().size());
+  for (const Server& s : rm.cluster().servers()) {
+    nodes_.emplace_back(s.id, rm);
+  }
+}
+
+NodeManager& NodeManagerPool::at(ServerId server) {
+  if (!server.valid() || server.index() >= nodes_.size()) {
+    throw std::out_of_range("NodeManagerPool: unknown server");
+  }
+  return nodes_[server.index()];
+}
+
+const NodeManager& NodeManagerPool::at(ServerId server) const {
+  return const_cast<NodeManagerPool*>(this)->at(server);
+}
+
+void NodeManagerPool::launch(const ResourceManager& rm, ContainerId id, double now) {
+  at(rm.container(id).host).launch(id, now);
+}
+
+}  // namespace hit::cluster

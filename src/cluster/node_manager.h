@@ -1,0 +1,64 @@
+// Per-server NodeManager: the YARN agent that launches granted containers
+// and reports liveness.  In this reproduction it is a bookkeeping layer the
+// simulator drives; it exists so the control flow matches the paper's §6
+// (RM grants -> AM presents container to the NM managing the host).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/resource_manager.h"
+#include "util/ids.h"
+
+namespace hit::cluster {
+
+class NodeManager {
+ public:
+  NodeManager(ServerId server, const ResourceManager& rm)
+      : server_(server), rm_(&rm) {}
+
+  [[nodiscard]] ServerId server() const noexcept { return server_; }
+
+  /// Launch a granted container.  Throws if the container was granted on a
+  /// different host — the AM must present it to the right NodeManager.
+  void launch(ContainerId id, double now);
+
+  /// Mark a running container finished.
+  void complete(ContainerId id, double now);
+
+  [[nodiscard]] bool running(ContainerId id) const { return running_.count(id) > 0; }
+  [[nodiscard]] std::size_t running_count() const noexcept { return running_.size(); }
+
+  struct Record {
+    ContainerId container;
+    double launched_at = 0.0;
+    double completed_at = -1.0;  ///< -1 while running
+  };
+  [[nodiscard]] const std::vector<Record>& history() const noexcept { return history_; }
+
+ private:
+  ServerId server_;
+  const ResourceManager* rm_;
+  std::unordered_set<ContainerId> running_;
+  std::unordered_map<ContainerId, std::size_t> record_index_;
+  std::vector<Record> history_;
+};
+
+/// One NodeManager per cluster server.
+class NodeManagerPool {
+ public:
+  explicit NodeManagerPool(const ResourceManager& rm);
+
+  [[nodiscard]] NodeManager& at(ServerId server);
+  [[nodiscard]] const NodeManager& at(ServerId server) const;
+
+  /// Route a grant to the owning NodeManager and launch it.
+  void launch(const ResourceManager& rm, ContainerId id, double now);
+
+ private:
+  std::vector<NodeManager> nodes_;
+};
+
+}  // namespace hit::cluster

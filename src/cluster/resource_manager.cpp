@@ -1,0 +1,106 @@
+#include "cluster/resource_manager.h"
+
+#include <stdexcept>
+
+namespace hit::cluster {
+
+ResourceManager::ResourceManager(const Cluster& cluster)
+    : cluster_(&cluster), used_(cluster.size()) {}
+
+Resource ResourceManager::used(ServerId server) const {
+  if (!server.valid() || server.index() >= used_.size()) {
+    throw std::out_of_range("ResourceManager: unknown server");
+  }
+  return used_[server.index()];
+}
+
+Resource ResourceManager::available(ServerId server) const {
+  return cluster_->server(server).capacity - used(server);
+}
+
+bool ResourceManager::can_host(ServerId server, Resource demand) const {
+  return (used(server) + demand).fits_in(cluster_->server(server).capacity);
+}
+
+std::optional<ContainerId> ResourceManager::allocate(const ResourceRequest& request) {
+  if (!request.demand.non_negative()) {
+    throw std::invalid_argument("ResourceManager: negative demand");
+  }
+  ServerId host;
+  if (request.preferred_host.valid() && can_host(request.preferred_host, request.demand)) {
+    host = request.preferred_host;
+  } else if (!request.strict) {
+    for (const Server& s : cluster_->servers()) {
+      if (can_host(s.id, request.demand)) {
+        host = s.id;
+        break;
+      }
+    }
+  }
+  if (!host.valid()) return std::nullopt;
+
+  const ContainerId id(static_cast<ContainerId::value_type>(containers_.size()));
+  containers_.push_back(Container{id, request.demand, host, request.task,
+                                  request.job, request.kind, false});
+  used_[host.index()] += request.demand;
+  if (request.task.valid()) by_task_[request.task] = id;
+  return id;
+}
+
+void ResourceManager::release(ContainerId id) {
+  if (!id.valid() || id.index() >= containers_.size()) {
+    throw std::out_of_range("ResourceManager: unknown container");
+  }
+  Container& c = containers_[id.index()];
+  if (c.released) return;
+  c.released = true;
+  used_[c.host.index()] -= c.demand;
+  if (c.task.valid()) by_task_.erase(c.task);
+}
+
+const Container& ResourceManager::container(ContainerId id) const {
+  if (!id.valid() || id.index() >= containers_.size()) {
+    throw std::out_of_range("ResourceManager: unknown container");
+  }
+  return containers_[id.index()];
+}
+
+std::vector<ContainerId> ResourceManager::containers_on(ServerId server) const {
+  std::vector<ContainerId> out;
+  for (const Container& c : containers_) {
+    if (!c.released && c.host == server) out.push_back(c.id);
+  }
+  return out;
+}
+
+std::vector<ContainerId> ResourceManager::live_containers() const {
+  std::vector<ContainerId> out;
+  for (const Container& c : containers_) {
+    if (!c.released) out.push_back(c.id);
+  }
+  return out;
+}
+
+std::optional<ContainerId> ResourceManager::container_of(TaskId task) const {
+  const auto it = by_task_.find(task);
+  if (it == by_task_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResourceManager::audit() const {
+  std::vector<Resource> recomputed(used_.size());
+  for (const Container& c : containers_) {
+    if (!c.released) recomputed[c.host.index()] += c.demand;
+  }
+  for (std::size_t i = 0; i < used_.size(); ++i) {
+    if (!(recomputed[i] == used_[i])) {
+      throw std::logic_error("ResourceManager::audit: usage ledger mismatch");
+    }
+    const Resource cap = cluster_->servers()[i].capacity;
+    if (!used_[i].fits_in(cap)) {
+      throw std::logic_error("ResourceManager::audit: server over capacity");
+    }
+  }
+}
+
+}  // namespace hit::cluster

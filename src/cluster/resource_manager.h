@@ -1,0 +1,78 @@
+// YARN-like ResourceManager: tracks per-server allocation state and grants
+// containers against ResourceRequests.
+//
+// This reproduces the control flow of the paper's §6 implementation: an
+// ApplicationMaster submits a ResourceRequest (the Hit variant carries a
+// *preferred host*, mirroring Hit-ResourceRequest's resource-name field); the
+// RM answers with a Container granted on that host when it has room, or —
+// unless the request is strict — on the first server with capacity.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/container.h"
+#include "cluster/resources.h"
+#include "util/ids.h"
+
+namespace hit::cluster {
+
+struct ResourceRequest {
+  Resource demand = kDefaultContainerDemand;
+  TaskId task;
+  JobId job;
+  TaskKind kind = TaskKind::Map;
+  /// Preferred server; invalid means "anywhere" (plain ResourceRequest).
+  ServerId preferred_host;
+  /// When true, fail instead of falling back to another host
+  /// (Hit-Scheduler uses strict grants: the matching already decided).
+  bool strict = false;
+};
+
+class ResourceManager {
+ public:
+  explicit ResourceManager(const Cluster& cluster);
+
+  [[nodiscard]] const Cluster& cluster() const noexcept { return *cluster_; }
+
+  /// Resources currently allocated on a server: Σ_{c in A(s)} r_c.
+  [[nodiscard]] Resource used(ServerId server) const;
+  [[nodiscard]] Resource available(ServerId server) const;
+  [[nodiscard]] bool can_host(ServerId server, Resource demand) const;
+
+  /// Grant a container.  Placement preference order:
+  ///   1. preferred_host when set and it has room;
+  ///   2. (non-strict only) first server, in id order, with room.
+  /// Returns nullopt when nothing fits.
+  std::optional<ContainerId> allocate(const ResourceRequest& request);
+
+  /// Release a container's resources.  Idempotent on released containers.
+  void release(ContainerId id);
+
+  [[nodiscard]] const Container& container(ContainerId id) const;
+
+  /// A(s_j): live containers hosted by a server.
+  [[nodiscard]] std::vector<ContainerId> containers_on(ServerId server) const;
+
+  /// All live (granted, unreleased) containers.
+  [[nodiscard]] std::vector<ContainerId> live_containers() const;
+
+  /// Container hosting a given task, if any.
+  [[nodiscard]] std::optional<ContainerId> container_of(TaskId task) const;
+
+  /// Invariant check: per-server usage equals the sum over live containers
+  /// and never exceeds capacity.  Throws std::logic_error on violation.
+  void audit() const;
+
+ private:
+  const Cluster* cluster_;
+  std::vector<Container> containers_;
+  std::vector<Resource> used_;                      // per server
+  std::unordered_map<TaskId, ContainerId> by_task_;
+};
+
+}  // namespace hit::cluster

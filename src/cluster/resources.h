@@ -1,0 +1,48 @@
+// Multi-dimensional resource vectors (the paper's r_i / q_j in §3.1):
+// "physical resource requirements of c_i, such as memory size, CPU cycles".
+#pragma once
+
+#include <ostream>
+
+namespace hit::cluster {
+
+struct Resource {
+  double vcores = 0.0;  ///< CPU cores
+  double mem_gb = 0.0;  ///< memory, GiB
+
+  friend constexpr Resource operator+(Resource a, Resource b) {
+    return {a.vcores + b.vcores, a.mem_gb + b.mem_gb};
+  }
+  friend constexpr Resource operator-(Resource a, Resource b) {
+    return {a.vcores - b.vcores, a.mem_gb - b.mem_gb};
+  }
+  friend constexpr Resource operator*(Resource a, double k) {
+    return {a.vcores * k, a.mem_gb * k};
+  }
+  Resource& operator+=(Resource b) { return *this = *this + b; }
+  Resource& operator-=(Resource b) { return *this = *this - b; }
+
+  friend constexpr bool operator==(Resource a, Resource b) {
+    return a.vcores == b.vcores && a.mem_gb == b.mem_gb;
+  }
+
+  /// Component-wise "fits inside" — the capacity test Σ r_i <= q_j.
+  [[nodiscard]] constexpr bool fits_in(Resource capacity) const {
+    return vcores <= capacity.vcores && mem_gb <= capacity.mem_gb;
+  }
+
+  [[nodiscard]] constexpr bool non_negative() const {
+    return vcores >= 0.0 && mem_gb >= 0.0;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Resource r) {
+    return os << "<" << r.vcores << " vcores, " << r.mem_gb << " GiB>";
+  }
+};
+
+/// Default container demand used throughout the experiments: the paper's
+/// case study caps each server at two concurrent tasks, which a 2-slot
+/// server capacity with 1-slot containers reproduces.
+inline constexpr Resource kDefaultContainerDemand{1.0, 4.0};
+
+}  // namespace hit::cluster

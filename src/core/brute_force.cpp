@@ -1,0 +1,86 @@
+#include "core/brute_force.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/policy_optimizer.h"
+#include "network/load.h"
+
+namespace hit::core {
+
+std::optional<BruteForceResult> BruteForceSolver::solve(
+    const sched::Problem& problem, std::size_t max_states) const {
+  if (!problem.valid()) throw std::invalid_argument("BruteForceSolver: invalid problem");
+  const std::size_t servers = problem.cluster->size();
+  const std::size_t tasks = problem.tasks.size();
+  const double states = std::pow(static_cast<double>(servers),
+                                 static_cast<double>(tasks));
+  if (states > static_cast<double>(max_states)) {
+    throw std::invalid_argument("BruteForceSolver: instance too large");
+  }
+
+  const PolicyOptimizer optimizer(*problem.topology, config_);
+
+  std::optional<BruteForceResult> best;
+  std::vector<std::size_t> choice(tasks, 0);
+
+  auto evaluate = [&]() {
+    sched::Assignment assignment;
+    // Capacity check.
+    sched::UsageLedger ledger(problem);
+    for (std::size_t i = 0; i < tasks; ++i) {
+      const ServerId s(static_cast<ServerId::value_type>(choice[i]));
+      if (!ledger.can_host(s, problem.tasks[i].demand)) return;
+      ledger.place(s, problem.tasks[i].demand);
+      assignment.placement[problem.tasks[i].id] = s;
+    }
+    // Route flows greedily (largest first) on cheapest feasible paths.
+    net::LoadTracker load(*problem.topology);
+    const CostModel cost(*problem.topology, config_, &load);
+    std::vector<const net::Flow*> order;
+    for (const net::Flow& f : problem.flows) order.push_back(&f);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const net::Flow* a, const net::Flow* b) {
+                       return a->size_gb > b->size_gb;
+                     });
+    double total = 0.0;
+    for (const net::Flow* f : order) {
+      const ServerId src = assignment.host(problem, f->src_task);
+      const ServerId dst = assignment.host(problem, f->dst_task);
+      if (!src.valid() || !dst.valid()) continue;
+      if (src == dst) {
+        net::Policy p;
+        p.flow = f->id;
+        assignment.policies[f->id] = std::move(p);
+        continue;
+      }
+      const NodeId srcs[] = {problem.cluster->node_of(src)};
+      const NodeId dsts[] = {problem.cluster->node_of(dst)};
+      auto route = optimizer.optimal_route(srcs, dsts, f->id, f->rate,
+                                           cost.metric(*f), load);
+      if (!route) return;  // infeasible routing under this placement
+      total += route->cost;
+      load.assign(route->policy, f->rate);
+      assignment.policies[f->id] = std::move(route->policy);
+    }
+    if (!best || total < best->cost) {
+      best = BruteForceResult{std::move(assignment), total};
+    }
+  };
+
+  // Odometer enumeration of all placements.
+  for (;;) {
+    evaluate();
+    std::size_t pos = 0;
+    while (pos < tasks) {
+      if (++choice[pos] < servers) break;
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == tasks) break;
+  }
+  return best;
+}
+
+}  // namespace hit::core

@@ -1,0 +1,37 @@
+// Exact TAA solver by exhaustive enumeration — the test oracle.
+//
+// Enumerates every capacity-feasible task->server placement, routes each
+// flow on its cheapest feasible path, and returns the global minimum of the
+// Eq. (3) objective.  Exponential (servers^tasks); guarded to tiny
+// instances.  Used by property tests to certify that HitScheduler's stable
+// matching lands within a bounded factor of optimal (and exactly optimal on
+// the paper's case study).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/cost_model.h"
+#include "sched/scheduler.h"
+
+namespace hit::core {
+
+struct BruteForceResult {
+  sched::Assignment assignment;
+  double cost = 0.0;
+};
+
+class BruteForceSolver {
+ public:
+  explicit BruteForceSolver(CostConfig config = {}) : config_(config) {}
+
+  /// Throws std::invalid_argument when servers^tasks exceeds `max_states`
+  /// (default 2^20) — this solver exists for oracle-sized instances only.
+  [[nodiscard]] std::optional<BruteForceResult> solve(
+      const sched::Problem& problem, std::size_t max_states = (1u << 20)) const;
+
+ private:
+  CostConfig config_;
+};
+
+}  // namespace hit::core

@@ -1,0 +1,173 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hit::core {
+
+NetworkController::NetworkController(const topo::Topology& topology,
+                                     ControllerConfig config)
+    : topology_(&topology),
+      config_(config),
+      load_(topology),
+      optimizer_(topology, config.cost) {
+  if (config_.hot_threshold <= 0.0) {
+    throw std::invalid_argument("NetworkController: hot_threshold must be positive");
+  }
+}
+
+void NetworkController::install(const net::Flow& flow, net::Policy policy,
+                                NodeId src, NodeId dst) {
+  if (flows_.count(flow.id) > 0) {
+    throw std::invalid_argument("NetworkController: flow already installed");
+  }
+  if (!policy.satisfied(*topology_, src, dst)) {
+    throw std::invalid_argument("NetworkController: policy not satisfied");
+  }
+  load_.assign(policy, flow.rate);
+  flows_.emplace(flow.id, Entry{flow, std::move(policy), src, dst});
+}
+
+void NetworkController::remove(FlowId flow) {
+  const auto it = flows_.find(flow);
+  if (it == flows_.end()) {
+    throw std::out_of_range("NetworkController: unknown flow");
+  }
+  load_.remove(it->second.policy, it->second.flow.rate);
+  flows_.erase(it);
+}
+
+bool NetworkController::installed(FlowId flow) const { return flows_.count(flow) > 0; }
+
+const net::Policy& NetworkController::policy_of(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  if (it == flows_.end()) {
+    throw std::out_of_range("NetworkController: unknown flow");
+  }
+  return it->second.policy;
+}
+
+std::vector<NodeId> NetworkController::hot_switches() const {
+  std::vector<NodeId> hot;
+  for (NodeId w : topology_->switches()) {
+    if (load_.utilization(w) > config_.hot_threshold || draining_.count(w) > 0) {
+      hot.push_back(w);
+    }
+  }
+  return hot;
+}
+
+void NetworkController::drain(NodeId sw) {
+  if (!topology_->is_switch(sw)) {
+    throw std::invalid_argument("NetworkController::drain: not a switch");
+  }
+  if (draining_.count(sw) > 0) return;
+  const double absorbed = std::max(load_.residual(sw), 0.0);
+  net::Policy marker;
+  marker.list = {sw};
+  marker.type = {topology_->tier(sw)};
+  load_.assign(marker, absorbed);
+  draining_.emplace(sw, absorbed);
+}
+
+void NetworkController::undrain(NodeId sw) {
+  const auto it = draining_.find(sw);
+  if (it == draining_.end()) return;
+  net::Policy marker;
+  marker.list = {sw};
+  marker.type = {topology_->tier(sw)};
+  load_.remove(marker, it->second);
+  draining_.erase(it);
+}
+
+std::size_t NetworkController::rebalance() {
+  const CostModel cost(*topology_, config_.cost, &load_);
+  std::size_t rerouted = 0;
+
+  for (std::size_t round = 0; round < config_.max_rounds; ++round) {
+    const std::vector<NodeId> hot = hot_switches();
+    if (hot.empty()) break;
+
+    bool improved = false;
+    for (NodeId w : hot) {
+      // Flows crossing w, heaviest rate first.
+      std::vector<Entry*> crossing;
+      for (auto& [id, entry] : flows_) {
+        if (std::find(entry.policy.list.begin(), entry.policy.list.end(), w) !=
+            entry.policy.list.end()) {
+          crossing.push_back(&entry);
+        }
+      }
+      std::stable_sort(crossing.begin(), crossing.end(),
+                       [](const Entry* a, const Entry* b) {
+                         return a->flow.rate > b->flow.rate;
+                       });
+
+      const bool is_draining = draining_.count(w) > 0;
+      // Every reroute must avoid every draining switch, whichever hot
+      // switch triggered it.
+      std::vector<NodeId> banned;
+      for (const auto& [drained, absorbed] : draining_) banned.push_back(drained);
+      for (Entry* entry : crossing) {
+        // A draining switch stays a reroute target until empty; a merely hot
+        // one only until it cools below the threshold.
+        if (!is_draining && load_.utilization(w) <= config_.hot_threshold) {
+          break;
+        }
+        // Evaluate alternatives with this flow's own charge removed; a
+        // draining switch is banned outright, not merely priced up.
+        load_.remove(entry->policy, entry->flow.rate);
+        const double metric = cost.metric(entry->flow);
+        const double current = cost.policy_cost(entry->policy, metric);
+        const NodeId srcs[] = {entry->src};
+        const NodeId dsts[] = {entry->dst};
+        auto route = optimizer_.optimal_route(srcs, dsts, entry->flow.id,
+                                              entry->flow.rate, metric, load_,
+                                              /*allow_local=*/true, banned);
+        const bool accept =
+            route && route->policy.list != entry->policy.list &&
+            (is_draining || route->cost < current - 1e-12);
+        if (accept) {
+          entry->policy = std::move(route->policy);
+          ++rerouted;
+          improved = true;
+        }
+        load_.assign(entry->policy, entry->flow.rate);
+      }
+    }
+    if (!improved) break;
+  }
+  return rerouted;
+}
+
+double NetworkController::total_cost() const {
+  const CostModel cost(*topology_, config_.cost, &load_);
+  double total = 0.0;
+  for (const auto& [id, entry] : flows_) {
+    total += cost.policy_cost(entry.policy, cost.metric(entry.flow));
+  }
+  return total;
+}
+
+void NetworkController::audit() const {
+  net::LoadTracker expected(*topology_);
+  for (const auto& [id, entry] : flows_) {
+    if (!entry.policy.satisfied(*topology_, entry.src, entry.dst)) {
+      throw std::logic_error("NetworkController::audit: unsatisfied policy");
+    }
+    expected.assign(entry.policy, entry.flow.rate);
+  }
+  for (const auto& [sw, absorbed] : draining_) {
+    net::Policy marker;
+    marker.list = {sw};
+    marker.type = {topology_->tier(sw)};
+    expected.assign(marker, absorbed);
+  }
+  for (NodeId w : topology_->switches()) {
+    if (std::abs(expected.load(w) - load_.load(w)) > 1e-6) {
+      throw std::logic_error("NetworkController::audit: load ledger mismatch");
+    }
+  }
+}
+
+}  // namespace hit::core

@@ -1,0 +1,97 @@
+// Centralized network controller — the runtime half of the paper's joint
+// optimization.
+//
+// The paper's evaluation "implement[s] a centralized controller to collect
+// all the network information and perform the policy optimization" (§7.1)
+// over OpenFlow switches; related work (SIMPLE [25], FlowTags [10]) frames
+// the same role in SDN terms.  This class is that controller: it owns every
+// installed {flow, policy} pair, maintains the global per-switch load view,
+// and — when utilization crosses a hot threshold — re-optimizes the policies
+// of the flows crossing hot switches (the paper's Figure 2: move traffic off
+// the overloaded w1), using the same Eq. (4)/(5) machinery as scheduling-
+// time optimization.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/policy_optimizer.h"
+#include "network/flow.h"
+#include "network/load.h"
+#include "network/policy.h"
+#include "topology/topology.h"
+#include "util/ids.h"
+
+namespace hit::core {
+
+struct ControllerConfig {
+  CostConfig cost;
+  /// Switch utilization above which the controller tries to shed flows.
+  double hot_threshold = 0.9;
+  /// Per-rebalance bound on optimization sweeps.
+  std::size_t max_rounds = 4;
+};
+
+class NetworkController {
+ public:
+  explicit NetworkController(const topo::Topology& topology,
+                             ControllerConfig config = {});
+
+  /// Install a flow on a policy (must be satisfied for src/dst).  Charges
+  /// the flow's rate to every switch on the path.
+  void install(const net::Flow& flow, net::Policy policy, NodeId src, NodeId dst);
+
+  /// Remove an installed flow, releasing its load.  Throws on unknown ids.
+  void remove(FlowId flow);
+
+  [[nodiscard]] bool installed(FlowId flow) const;
+  [[nodiscard]] const net::Policy& policy_of(FlowId flow) const;
+  [[nodiscard]] std::size_t installed_count() const { return flows_.size(); }
+  [[nodiscard]] const net::LoadTracker& load() const noexcept { return load_; }
+
+  /// Switches whose utilization exceeds the hot threshold.
+  [[nodiscard]] std::vector<NodeId> hot_switches() const;
+
+  /// Mark a switch as draining (maintenance): its residual capacity is
+  /// absorbed so the optimizer treats it as unusable for new or rerouted
+  /// flows, and `rebalance()` treats it as hot regardless of threshold.
+  /// Idempotent; `undrain` restores it.
+  void drain(NodeId sw);
+  void undrain(NodeId sw);
+  [[nodiscard]] bool draining(NodeId sw) const { return draining_.count(sw) > 0; }
+
+  /// Re-optimize policies crossing hot switches: per hot switch, take its
+  /// flows in decreasing rate order, uncharge each, search the optimal
+  /// residual-capacity route for its (fixed) endpoints and re-install on
+  /// whichever policy is cheaper.  Repeats up to max_rounds sweeps or until
+  /// no switch is hot / nothing improves.  Returns the number of reroutes.
+  std::size_t rebalance();
+
+  /// Total shuffle cost of the installed policies under the current load.
+  [[nodiscard]] double total_cost() const;
+
+  /// Consistency check: every installed policy satisfied; the load ledger
+  /// equals the sum of installed rates.  Throws std::logic_error otherwise.
+  void audit() const;
+
+ private:
+  struct Entry {
+    net::Flow flow;
+    net::Policy policy;
+    NodeId src;
+    NodeId dst;
+  };
+
+  const topo::Topology* topology_;
+  ControllerConfig config_;
+  net::LoadTracker load_;
+  PolicyOptimizer optimizer_;
+  std::unordered_map<FlowId, Entry> flows_;
+  /// Draining switches and the synthetic load absorbing their headroom.
+  std::unordered_map<NodeId, double> draining_;
+};
+
+}  // namespace hit::core

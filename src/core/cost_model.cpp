@@ -1,0 +1,88 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hit::core {
+
+CostModel::CostModel(const topo::Topology& topology, CostConfig config,
+                     const net::LoadTracker* load)
+    : topology_(&topology), config_(config), load_(load) {
+  if (config_.unit_cost <= 0.0) {
+    throw std::invalid_argument("CostModel: unit_cost must be positive");
+  }
+  if (config_.congestion_weight < 0.0) {
+    throw std::invalid_argument("CostModel: congestion_weight must be >= 0");
+  }
+}
+
+double CostModel::switch_cost(NodeId w) const {
+  double util = 0.0;
+  if (load_ != nullptr && config_.congestion_weight > 0.0) {
+    util = load_->utilization(w);
+  }
+  return config_.unit_cost * (1.0 + config_.congestion_weight * util);
+}
+
+double CostModel::segment_cost(NodeId a, NodeId b, double metric) const {
+  double cost = 0.0;
+  if (topology_->is_switch(a)) cost += 0.5 * switch_cost(a);
+  if (topology_->is_switch(b)) cost += 0.5 * switch_cost(b);
+  return metric * cost;
+}
+
+double CostModel::policy_cost(const net::Policy& policy, double metric) const {
+  double sum = 0.0;
+  for (NodeId w : policy.list) sum += switch_cost(w);
+  return metric * sum;
+}
+
+double CostModel::substitution_utility(const net::Policy& policy, NodeId src,
+                                       NodeId dst, std::size_t i, NodeId w_hat,
+                                       double metric) const {
+  if (i >= policy.list.size()) {
+    throw std::out_of_range("substitution_utility: position out of range");
+  }
+  const NodeId prev = (i == 0) ? src : policy.list[i - 1];
+  const NodeId next = (i + 1 == policy.list.size()) ? dst : policy.list[i + 1];
+  const NodeId w = policy.list[i];
+  // Eq. (5)/(7): old in-cost + old out-cost - new in-cost - new out-cost.
+  return segment_cost(prev, w, metric) + segment_cost(w, next, metric) -
+         segment_cost(prev, w_hat, metric) - segment_cost(w_hat, next, metric);
+}
+
+double CostModel::assignment_cost(const sched::Problem& problem,
+                                  const sched::Assignment& assignment) const {
+  double total = 0.0;
+  for (const net::Flow& f : problem.flows) {
+    const ServerId src = assignment.host(problem, f.src_task);
+    const ServerId dst = assignment.host(problem, f.dst_task);
+    if (!src.valid() || !dst.valid() || src == dst) continue;
+    const auto it = assignment.policies.find(f.id);
+    if (it == assignment.policies.end()) continue;
+    total += policy_cost(it->second, metric(f));
+  }
+  return total;
+}
+
+double CostModel::remote_map_cost(const sched::Problem& problem,
+                                  const sched::Assignment& assignment) const {
+  if (problem.blocks == nullptr) return 0.0;
+  double total = 0.0;
+  for (const sched::TaskRef& t : problem.tasks) {
+    if (t.kind != cluster::TaskKind::Map) continue;
+    const ServerId host = assignment.host(problem, t.id);
+    if (!host.valid()) continue;
+    if (problem.blocks->local(t.id, host)) continue;
+    std::size_t nearest = SIZE_MAX;
+    for (ServerId r : problem.blocks->replicas(t.id)) {
+      nearest = std::min(nearest, sched::static_hops(problem, host, r));
+    }
+    if (nearest != SIZE_MAX) {
+      total += t.input_gb * config_.unit_cost * static_cast<double>(nearest);
+    }
+  }
+  return total;
+}
+
+}  // namespace hit::core

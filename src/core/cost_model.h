@@ -1,0 +1,85 @@
+// Shuffle traffic cost model — Eq. (1)/(2) of the paper.
+//
+// A flow's routing path decomposes into segments (src -> first access switch,
+// switch -> switch, last switch -> dst); the cost of all traffic between two
+// containers is the sum over segments of rate x unit cost (Eq. 2).  We charge
+// each segment half of each endpoint-switch's cost so a path with L switches
+// costs  metric x unit x Σ_w (1 + α·util(w)) — with α = 0 this is exactly the
+// case study's GB x switch-count metric (one traversed switch = 1 T of
+// delay), and Eq. (5)-(7) substitution utilities telescope to
+// switch_cost(w) - switch_cost(ŵ), making the separability of Eq. (6)/(11)
+// hold *exactly* (property-tested).
+//
+// α > 0 adds congestion sensitivity: a switch near its capacity costs more,
+// which is what lets policy optimization route around the overloaded w1 of
+// the paper's Figure 2.
+#pragma once
+
+#include <cstddef>
+
+#include "network/flow.h"
+#include "network/load.h"
+#include "network/policy.h"
+#include "sched/scheduler.h"
+#include "topology/topology.h"
+#include "util/ids.h"
+
+namespace hit::core {
+
+struct CostConfig {
+  double unit_cost = 1.0;          ///< c_s of Eq. (2)
+  double congestion_weight = 0.5;  ///< α; 0 = pure hop metric
+  /// Use flow *size* (GB·T, the case-study metric) as the traffic metric;
+  /// false uses the nominal rate (Eq. 2's f.rate form).
+  bool metric_is_size = true;
+};
+
+class CostModel {
+ public:
+  /// `load` may be null: congestion term treated as zero.
+  CostModel(const topo::Topology& topology, CostConfig config = {},
+            const net::LoadTracker* load = nullptr);
+
+  [[nodiscard]] const CostConfig& config() const noexcept { return config_; }
+  void set_load(const net::LoadTracker* load) noexcept { load_ = load; }
+
+  /// Traffic metric of a flow per the config.
+  [[nodiscard]] double metric(const net::Flow& flow) const {
+    return config_.metric_is_size ? flow.size_gb : flow.rate;
+  }
+
+  /// Per-switch charge: unit x (1 + α·util(w)).
+  [[nodiscard]] double switch_cost(NodeId w) const;
+
+  /// C_k(a, b): cost of moving `metric` across segment a->b (Eq. 2 term).
+  /// Each switch endpoint contributes half its switch_cost; servers are free.
+  [[nodiscard]] double segment_cost(NodeId a, NodeId b, double metric) const;
+
+  /// Full policy cost: Σ segments, == metric x Σ_w switch_cost(w).
+  /// Zero for empty policies (co-located endpoints).
+  [[nodiscard]] double policy_cost(const net::Policy& policy, double metric) const;
+
+  /// Eq. (5)/(7): utility of rescheduling position i of the policy to ŵ.
+  /// Positive utility = cost reduction.  `src`/`dst` are the endpoint server
+  /// nodes (needed when i is an end access switch, Eq. 7).
+  [[nodiscard]] double substitution_utility(const net::Policy& policy, NodeId src,
+                                            NodeId dst, std::size_t i, NodeId w_hat,
+                                            double metric) const;
+
+  /// Total shuffle cost of an assignment: Σ_{flows placed} policy cost.
+  /// Flows with an unplaced endpoint or no policy are skipped.
+  [[nodiscard]] double assignment_cost(const sched::Problem& problem,
+                                       const sched::Assignment& assignment) const;
+
+  /// Remote-map traffic cost: for every map task placed off-replica, split
+  /// size x switch hops to the nearest replica (needs problem.blocks).
+  [[nodiscard]] double remote_map_cost(const sched::Problem& problem,
+                                       const sched::Assignment& assignment) const;
+
+ private:
+  const topo::Topology* topology_;
+  CostConfig config_;
+  const net::LoadTracker* load_;
+};
+
+}  // namespace hit::core

@@ -1,0 +1,61 @@
+// Hit-Scheduler — the paper's contribution (§5.3, §6.3), as a pluggable
+// sched::Scheduler.
+//
+// Initial-wave scheduling (§5.3.1): both flow endpoints are open.  Runs
+// Algorithm 1 (PolicyOptimizer::build_preferences) to grade servers and
+// tasks, Algorithm 2 (StableMatcher) to resolve the two-sided preferences
+// into a placement, then routes every flow on its optimal residual-capacity
+// path (largest flows first) and applies Eq. (4)/(5) substitution passes.
+//
+// Subsequent-wave scheduling (§5.3.2): reduce endpoints are fixed by an
+// earlier wave; only map tasks are open.  Greedy O(n²): map tasks in
+// decreasing shuffle-output order each take the feasible server minimizing
+// the size-weighted switch-hop distance to their (fixed) reduce consumers.
+//
+// Ablation knobs mirror DESIGN.md §5: stable matching vs greedy assignment,
+// and policy optimization on/off.
+#pragma once
+
+#include "core/cost_model.h"
+#include "core/policy_optimizer.h"
+#include "core/stable_matching.h"
+#include "sched/scheduler.h"
+
+namespace hit::core {
+
+struct HitConfig {
+  CostConfig cost;
+  /// Fallback breadth when no residual-capacity route exists.
+  std::size_t route_choices = 4;
+  /// Ablation: false = grade-greedy assignment instead of Algorithm 2.
+  bool use_stable_matching = true;
+  /// Ablation: false = shortest-path policies, no Alg. 1 routing.
+  bool optimize_policies = true;
+};
+
+class HitScheduler final : public sched::Scheduler {
+ public:
+  explicit HitScheduler(HitConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const override { return "Hit"; }
+  [[nodiscard]] sched::Assignment schedule(const sched::Problem& problem,
+                                           Rng& rng) override;
+
+  [[nodiscard]] const HitConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] sched::Assignment initial_wave(const sched::Problem& problem) const;
+  [[nodiscard]] sched::Assignment subsequent_wave(const sched::Problem& problem) const;
+
+  /// Route all fully placed flows (largest first) on optimal residual paths,
+  /// falling back to the shortest route when everything is saturated.
+  void route_flows(const sched::Problem& problem, sched::Assignment& assignment) const;
+
+  /// True when §5.3.2 applies: every open task is a map and every flow's
+  /// destination is already fixed.
+  [[nodiscard]] static bool is_subsequent_wave(const sched::Problem& problem);
+
+  HitConfig config_;
+};
+
+}  // namespace hit::core

@@ -1,0 +1,144 @@
+#include "core/local_search.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/policy_optimizer.h"
+#include "network/load.h"
+
+namespace hit::core {
+
+std::optional<double> LocalSearchSolver::evaluate(const sched::Problem& problem,
+                                                  sched::Assignment& assignment) const {
+  const PolicyOptimizer optimizer(*problem.topology, config_.cost);
+  net::LoadTracker load = problem.ambient_load
+                              ? *problem.ambient_load
+                              : net::LoadTracker(*problem.topology);
+  const CostModel cost(*problem.topology, config_.cost, &load);
+
+  std::vector<const net::Flow*> order;
+  order.reserve(problem.flows.size());
+  for (const net::Flow& f : problem.flows) order.push_back(&f);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const net::Flow* a, const net::Flow* b) {
+                     return a->size_gb > b->size_gb;
+                   });
+
+  assignment.policies.clear();
+  double total = 0.0;
+  for (const net::Flow* f : order) {
+    const ServerId src = assignment.host(problem, f->src_task);
+    const ServerId dst = assignment.host(problem, f->dst_task);
+    if (!src.valid() || !dst.valid()) continue;
+    if (src == dst) {
+      net::Policy p;
+      p.flow = f->id;
+      assignment.policies[f->id] = std::move(p);
+      continue;
+    }
+    const NodeId srcs[] = {problem.cluster->node_of(src)};
+    const NodeId dsts[] = {problem.cluster->node_of(dst)};
+    auto route = optimizer.optimal_route(srcs, dsts, f->id, f->rate,
+                                         cost.metric(*f), load);
+    if (!route) return std::nullopt;  // no feasible routing for this placement
+    total += route->cost;
+    load.assign(route->policy, f->rate);
+    assignment.policies[f->id] = std::move(route->policy);
+  }
+  return total;
+}
+
+LocalSearchSolver::Result LocalSearchSolver::refine(
+    const sched::Problem& problem, const sched::Assignment& seed) const {
+  if (!problem.valid()) throw std::invalid_argument("LocalSearchSolver: invalid problem");
+  std::size_t evaluations = 0;
+
+  Result best;
+  best.assignment = seed;
+  const auto seed_cost = evaluate(problem, best.assignment);
+  if (!seed_cost) {
+    throw std::invalid_argument("LocalSearchSolver: seed assignment not routable");
+  }
+  best.cost = *seed_cost;
+
+  // Capacity ledger reflecting the current placement.
+  auto build_ledger = [&](const sched::Assignment& a) {
+    sched::UsageLedger ledger(problem);
+    for (const sched::TaskRef& t : problem.tasks) {
+      ledger.place(a.placement.at(t.id), t.demand);
+    }
+    return ledger;
+  };
+
+  for (std::size_t pass = 0; pass < config_.max_passes; ++pass) {
+    bool improved = false;
+
+    // Relocations (first-improvement per task; ledger rebuilt per task so
+    // accepted moves are immediately reflected).
+    for (const sched::TaskRef& task : problem.tasks) {
+      const ServerId from = best.assignment.placement.at(task.id);
+      sched::UsageLedger ledger = build_ledger(best.assignment);
+      ledger.remove(from, task.demand);
+      for (const cluster::Server& s : problem.cluster->servers()) {
+        if (s.id == from || !ledger.can_host(s.id, task.demand)) continue;
+        if (++evaluations > config_.max_evaluations) return best;
+        sched::Assignment candidate = best.assignment;
+        candidate.placement[task.id] = s.id;
+        const auto cost = evaluate(problem, candidate);
+        if (cost && *cost < best.cost - 1e-9) {
+          best.assignment = std::move(candidate);
+          best.cost = *cost;
+          ++best.moves;
+          improved = true;
+          break;  // next task; ledger for this one is stale anyway
+        }
+      }
+    }
+
+    // Swaps.
+    if (config_.enable_swaps) {
+      for (std::size_t i = 0; i < problem.tasks.size() && !improved; ++i) {
+        for (std::size_t j = i + 1; j < problem.tasks.size(); ++j) {
+          const TaskId a = problem.tasks[i].id;
+          const TaskId b = problem.tasks[j].id;
+          const ServerId sa = best.assignment.placement.at(a);
+          const ServerId sb = best.assignment.placement.at(b);
+          if (sa == sb) continue;
+          // Uniform-demand swap is always capacity-safe; otherwise check.
+          if (!(problem.tasks[i].demand == problem.tasks[j].demand)) {
+            sched::UsageLedger ledger = build_ledger(best.assignment);
+            ledger.remove(sa, problem.tasks[i].demand);
+            ledger.remove(sb, problem.tasks[j].demand);
+            if (!ledger.can_host(sa, problem.tasks[j].demand) ||
+                !ledger.can_host(sb, problem.tasks[i].demand)) {
+              continue;
+            }
+          }
+          if (++evaluations > config_.max_evaluations) return best;
+          sched::Assignment candidate = best.assignment;
+          candidate.placement[a] = sb;
+          candidate.placement[b] = sa;
+          const auto cost = evaluate(problem, candidate);
+          if (cost && *cost < best.cost - 1e-9) {
+            best.assignment = std::move(candidate);
+            best.cost = *cost;
+            ++best.moves;
+            improved = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+sched::Assignment HitLocalSearchScheduler::schedule(const sched::Problem& problem,
+                                                    Rng& rng) {
+  const sched::Assignment seed = hit_.schedule(problem, rng);
+  return search_.refine(problem, seed).assignment;
+}
+
+}  // namespace hit::core

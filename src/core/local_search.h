@@ -1,0 +1,74 @@
+// Local-search refinement over a seed assignment — a quality reference
+// between the stable-matching heuristic and the brute-force oracle.
+//
+// The TAA objective is NP-Hard (§4), so on instances beyond the oracle's
+// reach the best certified reference is hill climbing over placement moves:
+//   * relocate one task to another capacity-feasible server,
+//   * swap the servers of two tasks,
+// accepting a move when the re-routed total cost strictly drops.  Every
+// evaluation routes all flows optimally (largest first) under switch
+// residual capacity, so the search optimizes the same joint objective as
+// Hit-Scheduler itself.
+//
+// Also available as a Scheduler (seeded by Hit) for ablation benches: the
+// gap between Hit and Hit+local-search measures how much the O(M x N)
+// matching leaves on the table.
+#pragma once
+
+#include <optional>
+
+#include "core/cost_model.h"
+#include "core/hit_scheduler.h"
+#include "sched/scheduler.h"
+
+namespace hit::core {
+
+struct LocalSearchConfig {
+  CostConfig cost;
+  std::size_t max_passes = 8;  ///< full move sweeps before giving up
+  bool enable_swaps = true;
+  /// Hard budget on candidate evaluations (each one re-routes every flow);
+  /// bounds worst-case latency on large problems.
+  std::size_t max_evaluations = 5000;
+};
+
+class LocalSearchSolver {
+ public:
+  explicit LocalSearchSolver(LocalSearchConfig config = {}) : config_(config) {}
+
+  struct Result {
+    sched::Assignment assignment;
+    double cost = 0.0;
+    std::size_t moves = 0;  ///< accepted relocations + swaps
+  };
+
+  /// Improve `seed` (which must be a complete, feasible placement for the
+  /// problem) until a full sweep finds no improving move.
+  [[nodiscard]] Result refine(const sched::Problem& problem,
+                              const sched::Assignment& seed) const;
+
+ private:
+  /// Route all flows and return total cost; nullopt when some flow cannot
+  /// be routed feasibly (treated as an invalid move).
+  [[nodiscard]] std::optional<double> evaluate(const sched::Problem& problem,
+                                               sched::Assignment& assignment) const;
+
+  LocalSearchConfig config_;
+};
+
+/// Scheduler adapter: Hit-Scheduler's answer refined by local search.
+class HitLocalSearchScheduler final : public sched::Scheduler {
+ public:
+  explicit HitLocalSearchScheduler(HitConfig hit = {}, LocalSearchConfig search = {})
+      : hit_(hit), search_(search) {}
+
+  [[nodiscard]] std::string_view name() const override { return "Hit+LocalSearch"; }
+  [[nodiscard]] sched::Assignment schedule(const sched::Problem& problem,
+                                           Rng& rng) override;
+
+ private:
+  HitScheduler hit_;
+  LocalSearchSolver search_;
+};
+
+}  // namespace hit::core

@@ -1,0 +1,193 @@
+#include "core/mkp.h"
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hit::core {
+namespace {
+
+void check_instance(const MkpInstance& instance) {
+  if (instance.profit.size() != instance.weight.size()) {
+    throw std::invalid_argument("MKP: profit/weight size mismatch");
+  }
+  for (double p : instance.profit) {
+    if (p < 0.0) throw std::invalid_argument("MKP: negative profit");
+  }
+  for (double w : instance.weight) {
+    if (w <= 0.0) throw std::invalid_argument("MKP: weights must be positive");
+  }
+  for (double c : instance.capacity) {
+    if (c <= 0.0) throw std::invalid_argument("MKP: capacities must be positive");
+  }
+}
+
+}  // namespace
+
+bool mkp_feasible(const MkpInstance& instance, const MkpSolution& solution) {
+  if (solution.assignment.size() != instance.items()) return false;
+  std::vector<double> used(instance.knapsacks(), 0.0);
+  for (std::size_t j = 0; j < instance.items(); ++j) {
+    const std::size_t k = solution.assignment[j];
+    if (k == SIZE_MAX) continue;
+    if (k >= instance.knapsacks()) return false;
+    used[k] += instance.weight[j];
+  }
+  for (std::size_t k = 0; k < instance.knapsacks(); ++k) {
+    if (used[k] > instance.capacity[k] + 1e-9) return false;
+  }
+  return true;
+}
+
+MkpSolution solve_mkp_exact(const MkpInstance& instance, std::size_t max_states) {
+  check_instance(instance);
+  const std::size_t n = instance.items();
+  const std::size_t m = instance.knapsacks();
+  const double states =
+      std::pow(static_cast<double>(m + 1), static_cast<double>(n));
+  if (states > static_cast<double>(max_states)) {
+    throw std::invalid_argument("solve_mkp_exact: instance too large");
+  }
+
+  // Depth-first with a simple optimistic bound (sum of remaining profits).
+  std::vector<double> suffix_profit(n + 1, 0.0);
+  for (std::size_t j = n; j-- > 0;) {
+    suffix_profit[j] = suffix_profit[j + 1] + instance.profit[j];
+  }
+
+  MkpSolution best;
+  best.assignment.assign(n, SIZE_MAX);
+  std::vector<std::size_t> current(n, SIZE_MAX);
+  std::vector<double> used(m, 0.0);
+
+  std::function<void(std::size_t, double)> dfs = [&](std::size_t j, double profit) {
+    if (profit + suffix_profit[j] <= best.total_profit) return;  // bound
+    if (j == n) {
+      best.total_profit = profit;
+      best.assignment = current;
+      return;
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      if (used[k] + instance.weight[j] > instance.capacity[k] + 1e-12) continue;
+      used[k] += instance.weight[j];
+      current[j] = k;
+      dfs(j + 1, profit + instance.profit[j]);
+      current[j] = SIZE_MAX;
+      used[k] -= instance.weight[j];
+    }
+    dfs(j + 1, profit);  // leave item out
+  };
+  // Seed: empty solution has profit 0; force exploration.
+  best.total_profit = -1.0;
+  dfs(0, 0.0);
+  best.total_profit = std::max(best.total_profit, 0.0);
+  return best;
+}
+
+MkpSolution solve_mkp_greedy(const MkpInstance& instance) {
+  check_instance(instance);
+  const std::size_t n = instance.items();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return instance.profit[a] / instance.weight[a] >
+           instance.profit[b] / instance.weight[b];
+  });
+
+  MkpSolution solution;
+  solution.assignment.assign(n, SIZE_MAX);
+  std::vector<double> used(instance.knapsacks(), 0.0);
+  for (std::size_t j : order) {
+    for (std::size_t k = 0; k < instance.knapsacks(); ++k) {
+      if (used[k] + instance.weight[j] <= instance.capacity[k] + 1e-12) {
+        used[k] += instance.weight[j];
+        solution.assignment[j] = k;
+        solution.total_profit += instance.profit[j];
+        break;
+      }
+    }
+  }
+  return solution;
+}
+
+std::unique_ptr<MkpReduction> reduce_mkp_to_taa(const MkpInstance& instance) {
+  check_instance(instance);
+  auto r = std::make_unique<MkpReduction>();
+  topo::Topology& t = r->topology;
+
+  // Access switches generous enough never to bind (the reduction's only
+  // constraint is the intermediate switch capacity).
+  double total_weight = 0.0;
+  for (double w : instance.weight) total_weight += w;
+  const double big = std::max(total_weight * 2.0, 1.0);
+
+  const NodeId acc1 = t.add_switch(topo::Tier::Access, big, "acc-s1");
+  const NodeId acc2 = t.add_switch(topo::Tier::Access, big, "acc-s2");
+  for (std::size_t k = 0; k < instance.knapsacks(); ++k) {
+    const NodeId w = t.add_switch(topo::Tier::Aggregation, instance.capacity[k],
+                                  "knapsack-" + std::to_string(k));
+    r->knapsack_switches.push_back(w);
+    t.add_link(acc1, w, big);
+    t.add_link(acc2, w, big);
+  }
+  const NodeId s1 = t.add_server("s1");
+  const NodeId s2 = t.add_server("s2");
+  t.add_link(s1, acc1, big);
+  t.add_link(s2, acc2, big);
+  t.validate();
+
+  // Cluster: each server holds all its containers (n tasks each).
+  const auto slots = static_cast<double>(std::max<std::size_t>(instance.items(), 1));
+  r->cluster = std::make_unique<cluster::Cluster>(
+      t, cluster::Resource{slots, slots * 4.0});
+
+  sched::Problem& p = r->problem;
+  p.topology = &t;
+  p.cluster = r->cluster.get();
+  const ServerId host1 = r->cluster->server_at(s1);
+  const ServerId host2 = r->cluster->server_at(s2);
+  p.base_usage.assign(2, cluster::Resource{});
+
+  // n map tasks on s1, n reduce tasks on s2, all fixed (the reduction's
+  // "reasonable solution"); only the flow routing remains to optimize.
+  for (std::size_t j = 0; j < instance.items(); ++j) {
+    const TaskId map(static_cast<TaskId::value_type>(2 * j));
+    const TaskId reduce(static_cast<TaskId::value_type>(2 * j + 1));
+    p.fixed[map] = host1;
+    p.fixed[reduce] = host2;
+    net::Flow f;
+    f.id = FlowId(static_cast<FlowId::value_type>(j));
+    f.job = JobId(0);
+    f.src_task = map;
+    f.dst_task = reduce;
+    f.size_gb = instance.weight[j];
+    f.rate = instance.weight[j];  // item weight consumes knapsack capacity
+    p.flows.push_back(f);
+  }
+  return r;
+}
+
+MkpSolution taa_solution_to_mkp(const MkpReduction& reduction,
+                                const MkpInstance& instance,
+                                const sched::Assignment& assignment) {
+  MkpSolution solution;
+  solution.assignment.assign(instance.items(), SIZE_MAX);
+  for (std::size_t j = 0; j < instance.items(); ++j) {
+    const auto it = assignment.policies.find(
+        FlowId(static_cast<FlowId::value_type>(j)));
+    if (it == assignment.policies.end()) continue;
+    for (NodeId w : it->second.list) {
+      for (std::size_t k = 0; k < reduction.knapsack_switches.size(); ++k) {
+        if (reduction.knapsack_switches[k] == w) {
+          solution.assignment[j] = k;
+          solution.total_profit += instance.profit[j];
+        }
+      }
+    }
+  }
+  return solution;
+}
+
+}  // namespace hit::core

@@ -1,0 +1,85 @@
+// Multiple Knapsack Problem (MKP) — the §4 NP-hardness machinery, executable.
+//
+// The paper proves TAA NP-Hard by reducing MKP to a special TAA case: two
+// servers' worth of containers host n map/reduce pairs whose flows each pick
+// one intermediate switch; flows are items, switches are knapsacks, profit is
+// the negative shuffle cost.  This module implements
+//   * an exact branch-and-bound MKP solver (oracle-sized instances),
+//   * a greedy approximation,
+//   * the reduction itself: build the special TAA instance from an MKP
+//     instance and map solutions back —
+// so the equivalence the proof sketches is checked by tests instead of
+// trusted on paper.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "sched/scheduler.h"
+#include "topology/topology.h"
+
+namespace hit::core {
+
+struct MkpInstance {
+  std::vector<double> profit;    ///< p_j per item
+  std::vector<double> weight;    ///< w_j per item
+  std::vector<double> capacity;  ///< c_i per knapsack
+
+  [[nodiscard]] std::size_t items() const { return profit.size(); }
+  [[nodiscard]] std::size_t knapsacks() const { return capacity.size(); }
+};
+
+struct MkpSolution {
+  /// assignment[j] = knapsack of item j, or SIZE_MAX when left out.
+  std::vector<std::size_t> assignment;
+  double total_profit = 0.0;
+};
+
+/// Exact branch-and-bound.  Throws std::invalid_argument on malformed
+/// instances or when knapsacks^items exceeds `max_states`.
+[[nodiscard]] MkpSolution solve_mkp_exact(const MkpInstance& instance,
+                                          std::size_t max_states = (1u << 22));
+
+/// Greedy by profit density (profit/weight), first knapsack that fits.
+[[nodiscard]] MkpSolution solve_mkp_greedy(const MkpInstance& instance);
+
+/// Feasibility check: every assigned item fits, no knapsack over capacity.
+[[nodiscard]] bool mkp_feasible(const MkpInstance& instance,
+                                const MkpSolution& solution);
+
+// ---------------------------------------------------------------------------
+// The §4 reduction: MKP -> special-case TAA.
+// ---------------------------------------------------------------------------
+
+/// The constructed TAA instance.  Topology: two servers behind dedicated
+/// access switches, connected through `knapsacks` parallel aggregation
+/// switches; switch i's capacity is the knapsack capacity.  Maps live on
+/// s1, reduces on s2 (fixed), and flow j (weight w_j as its rate) must pick
+/// one aggregation switch — an item choosing its knapsack.
+struct MkpReduction {
+  topo::Topology topology;
+  std::unique_ptr<cluster::Cluster> cluster;
+  sched::Problem problem;
+  /// aggregation switch node per knapsack index.
+  std::vector<NodeId> knapsack_switches;
+
+  MkpReduction() : topology(topo::Family::Custom) {}
+  MkpReduction(const MkpReduction&) = delete;
+};
+
+/// Build the reduction instance.  Item profits must equal -cost of routing
+/// the flow (uniform in this special case), so maximizing profit equals
+/// minimizing shuffle cost; the builder normalizes accordingly.
+[[nodiscard]] std::unique_ptr<MkpReduction> reduce_mkp_to_taa(
+    const MkpInstance& instance);
+
+/// Interpret a TAA policy assignment of the reduction instance as an MKP
+/// solution (flow j's aggregation switch = knapsack of item j).
+[[nodiscard]] MkpSolution taa_solution_to_mkp(const MkpReduction& reduction,
+                                              const MkpInstance& instance,
+                                              const sched::Assignment& assignment);
+
+}  // namespace hit::core

@@ -1,0 +1,306 @@
+#include "core/policy_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace hit::core {
+
+PolicyOptimizer::PolicyOptimizer(const topo::Topology& topology, CostConfig config)
+    : topology_(&topology), config_(config) {}
+
+std::optional<PolicyOptimizer::Route> PolicyOptimizer::optimal_route(
+    std::span<const NodeId> src_candidates, std::span<const NodeId> dst_candidates,
+    FlowId flow, double rate, double metric, const net::LoadTracker& load,
+    bool allow_local, std::span<const NodeId> banned) const {
+  if (src_candidates.empty() || dst_candidates.empty()) return std::nullopt;
+
+  // Network-only mode: a node present in both sets would otherwise be
+  // "reached" at distance zero (it is a Dijkstra source), degenerating into
+  // the local placement the caller explicitly ruled out.  Disjoin the sets:
+  // drop the overlap from the destination side, falling back to the source
+  // side (and finally to an arbitrary split) so neither set empties.
+  std::vector<NodeId> src_filtered, dst_filtered;
+  if (!allow_local) {
+    auto in = [](std::span<const NodeId> set, NodeId n) {
+      return std::find(set.begin(), set.end(), n) != set.end();
+    };
+    for (NodeId n : dst_candidates) {
+      if (!in(src_candidates, n)) dst_filtered.push_back(n);
+    }
+    if (!dst_filtered.empty()) {
+      dst_candidates = dst_filtered;
+    } else {
+      for (NodeId n : src_candidates) {
+        if (!in(dst_candidates, n)) src_filtered.push_back(n);
+      }
+      if (!src_filtered.empty()) {
+        src_candidates = src_filtered;
+      } else {
+        // Identical sets: split deterministically.
+        if (src_candidates.size() < 2) return std::nullopt;
+        src_filtered.assign(src_candidates.begin(), src_candidates.begin() + 1);
+        dst_filtered.assign(src_candidates.begin() + 1, src_candidates.end());
+        src_candidates = src_filtered;
+        dst_candidates = dst_filtered;
+      }
+    }
+  }
+
+  // Local placement: a server in both candidate sets carries the flow for
+  // free (map output read from local disk).
+  if (allow_local) {
+    NodeId common;
+    for (NodeId s : src_candidates) {
+      if (std::find(dst_candidates.begin(), dst_candidates.end(), s) !=
+              dst_candidates.end() &&
+          (!common.valid() || s < common)) {
+        common = s;
+      }
+    }
+    if (common.valid()) {
+      Route r;
+      r.src = r.dst = common;
+      r.policy.flow = flow;
+      r.cost = 0.0;
+      return r;
+    }
+  }
+
+  const CostModel cost(*topology_, config_, &load);
+  const std::size_t n = topology_->node_count();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<NodeId> parent(n);
+
+  // Multi-source Dijkstra; entering switch w costs metric * switch_cost(w),
+  // entering a server costs 0 (BCube relays are free hops, matching the
+  // paper's switch-count delay model).  Infeasible switches are banned.
+  using Item = std::pair<double, NodeId::value_type>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (NodeId s : src_candidates) {
+    if (dist[s.index()] > 0.0) {
+      dist[s.index()] = 0.0;
+      heap.emplace(0.0, s.value());
+    }
+  }
+  while (!heap.empty()) {
+    const auto [d, uv] = heap.top();
+    heap.pop();
+    const NodeId u(uv);
+    if (d > dist[u.index()]) continue;
+    for (const topo::Edge& e : topology_->graph().neighbors(u)) {
+      const NodeId v = e.to;
+      if (std::find(banned.begin(), banned.end(), v) != banned.end()) continue;
+      double step = 0.0;
+      if (topology_->is_switch(v)) {
+        if (!load.feasible_switch(v, rate)) continue;
+        step = metric * cost.switch_cost(v);
+      }
+      const double nd = d + step;
+      if (nd < dist[v.index()] - 1e-15) {
+        dist[v.index()] = nd;
+        parent[v.index()] = u;
+        heap.emplace(nd, v.value());
+      }
+    }
+  }
+
+  // Best destination candidate (ties by node id — candidates are scanned in
+  // order and strict improvement is required).
+  NodeId best;
+  double best_cost = kInf;
+  for (NodeId t : dst_candidates) {
+    if (dist[t.index()] < best_cost) {
+      best_cost = dist[t.index()];
+      best = t;
+    }
+  }
+  if (!best.valid()) return std::nullopt;
+
+  // Sources keep an invalid parent (they are never strictly improved), so
+  // reconstruction terminates there even when every step costs zero.
+  topo::Path path{best};
+  for (NodeId v = best; parent[v.index()].valid(); v = parent[v.index()]) {
+    path.push_back(parent[v.index()]);
+  }
+  std::reverse(path.begin(), path.end());
+
+  Route r;
+  r.src = path.front();
+  r.dst = best;
+  r.policy = net::policy_from_path(*topology_, path, flow);
+  r.cost = best_cost;
+  return r;
+}
+
+PreferenceMatrix PolicyOptimizer::build_preferences(const sched::Problem& problem) const {
+  if (!problem.valid()) throw std::invalid_argument("build_preferences: invalid problem");
+
+  std::vector<TaskId> task_ids;
+  task_ids.reserve(problem.tasks.size());
+  std::unordered_map<TaskId, const sched::TaskRef*> task_of;
+  for (const sched::TaskRef& t : problem.tasks) {
+    task_ids.push_back(t.id);
+    task_of.emplace(t.id, &t);
+  }
+  PreferenceMatrix prefs(problem.cluster->size(), task_ids);
+
+  // Tentative state driving the sequential per-flow optimization: Eq. (8)
+  // capacity ledger, provisional task placements, and the switch load the
+  // already-routed flows impose.  The stable matcher re-resolves the actual
+  // placement afterwards; this pass only produces the grades.
+  sched::UsageLedger ledger(problem);
+  std::unordered_map<TaskId, ServerId> tentative;
+  net::LoadTracker load =
+      problem.ambient_load ? *problem.ambient_load : net::LoadTracker(*topology_);
+  const CostModel cost_model(*topology_, config_, &load);
+
+  // Cached static switch-hop columns for the proximity grading below.
+  std::unordered_map<ServerId, std::vector<std::size_t>> hop_columns;
+  auto hops_from = [&](ServerId s) -> const std::vector<std::size_t>& {
+    auto it = hop_columns.find(s);
+    if (it == hop_columns.end()) {
+      it = hop_columns
+               .emplace(s, topology_->switch_hop_distances(problem.cluster->node_of(s)))
+               .first;
+    }
+    return it->second;
+  };
+
+  // Grade a task's whole column: the anchor server (where this flow wants
+  // the task) gets the full metric, and every other server gets the metric
+  // discounted by its switch-hop distance to the anchor — so the matcher
+  // sees "this rack, or as close to it as possible", not a single spike.
+  auto grade = [&](TaskId task, ServerId anchor, double metric) {
+    if (task_of.find(task) == task_of.end()) return;  // fixed tasks: no column
+    const auto& hops = hops_from(anchor);
+    for (const cluster::Server& s : problem.cluster->servers()) {
+      const std::size_t h = hops[s.node.index()];
+      if (h == static_cast<std::size_t>(-1)) continue;
+      prefs.add(s.id, task, metric / (1.0 + static_cast<double>(h)));
+    }
+  };
+
+  // Where a task currently lives: fixed by an earlier wave, or tentatively
+  // placed by an earlier (heavier) flow of this pass.
+  auto host_of = [&](TaskId task) -> ServerId {
+    const ServerId fixed = problem.fixed_host(task);
+    if (fixed.valid()) return fixed;
+    const auto it = tentative.find(task);
+    return it == tentative.end() ? ServerId{} : it->second;
+  };
+  auto reserve = [&](TaskId task, ServerId server) {
+    ledger.place(server, task_of.at(task)->demand);
+    tentative.emplace(task, server);
+  };
+
+  // Heaviest flows first: they grab the cheap routes and dominate grading.
+  std::vector<const net::Flow*> order;
+  order.reserve(problem.flows.size());
+  for (const net::Flow& f : problem.flows) order.push_back(&f);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const net::Flow* a, const net::Flow* b) {
+                     return a->size_gb > b->size_gb;
+                   });
+
+  for (const net::Flow* f : order) {
+    const bool src_known = task_of.count(f->src_task) > 0 ||
+                           problem.fixed_host(f->src_task).valid();
+    const bool dst_known = task_of.count(f->dst_task) > 0 ||
+                           problem.fixed_host(f->dst_task).valid();
+    if (!src_known || !dst_known) continue;  // endpoint outside this problem
+
+    ServerId src_host = host_of(f->src_task);
+    ServerId dst_host = host_of(f->dst_task);
+    const double metric = cost_model.metric(*f);
+
+    // Co-location first: shuffling through local disk is free (Eq. 2's cost
+    // is zero when no switch is traversed).
+    if (!src_host.valid() || !dst_host.valid()) {
+      ServerId colo;
+      if (src_host.valid()) {
+        if (ledger.can_host(src_host, task_of.at(f->dst_task)->demand)) colo = src_host;
+      } else if (dst_host.valid()) {
+        if (ledger.can_host(dst_host, task_of.at(f->src_task)->demand)) colo = dst_host;
+      } else {
+        const cluster::Resource both =
+            task_of.at(f->src_task)->demand + task_of.at(f->dst_task)->demand;
+        for (const cluster::Server& s : problem.cluster->servers()) {
+          if (ledger.can_host(s.id, both)) {
+            colo = s.id;
+            break;
+          }
+        }
+      }
+      if (colo.valid()) {
+        if (!src_host.valid()) reserve(f->src_task, colo);
+        if (!dst_host.valid()) reserve(f->dst_task, colo);
+        grade(f->src_task, colo, metric);
+        grade(f->dst_task, colo, metric);
+        continue;
+      }
+    }
+
+    // Network route over the Figure 5 layered candidate graph.
+    auto nodes_for = [&](TaskId task, ServerId known) {
+      std::vector<NodeId> nodes;
+      if (known.valid()) {
+        nodes.push_back(problem.cluster->node_of(known));
+      } else {
+        for (ServerId s : ledger.candidates(task_of.at(task)->demand)) {
+          nodes.push_back(problem.cluster->node_of(s));
+        }
+      }
+      return nodes;
+    };
+    const std::vector<NodeId> src_cands = nodes_for(f->src_task, src_host);
+    const std::vector<NodeId> dst_cands = nodes_for(f->dst_task, dst_host);
+    if (src_cands.empty() || dst_cands.empty()) continue;  // wave overfull
+
+    auto route = optimal_route(src_cands, dst_cands, f->id, f->rate, metric, load,
+                               /*allow_local=*/false);
+    if (!route) continue;  // saturated everywhere: no information
+
+    const ServerId src_pick = problem.cluster->server_at(route->src);
+    const ServerId dst_pick = problem.cluster->server_at(route->dst);
+    if (!src_host.valid()) reserve(f->src_task, src_pick);
+    if (!dst_host.valid()) reserve(f->dst_task, dst_pick);
+    grade(f->src_task, src_pick, metric);
+    grade(f->dst_task, dst_pick, metric);
+    load.assign(route->policy, f->rate);
+  }
+  return prefs;
+}
+
+double PolicyOptimizer::improve_policy(net::Policy& policy, NodeId src, NodeId dst,
+                                       double rate, double metric,
+                                       const net::LoadTracker& load) const {
+  const CostModel cost(*topology_, config_, &load);
+  double gained = 0.0;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i < policy.list.size(); ++i) {
+      double best_utility = 1e-12;
+      NodeId best;
+      for (NodeId w_hat : load.candidates(src, dst, policy, i, rate)) {
+        const double u = cost.substitution_utility(policy, src, dst, i, w_hat, metric);
+        if (u > best_utility || (u == best_utility && best.valid() && w_hat < best)) {
+          best_utility = u;
+          best = w_hat;
+        }
+      }
+      if (best.valid()) {
+        policy.list[i] = best;  // same tier by construction; type[] unchanged
+        gained += best_utility;
+        improved = true;
+      }
+    }
+  }
+  return gained;
+}
+
+}  // namespace hit::core

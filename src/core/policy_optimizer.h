@@ -1,0 +1,76 @@
+// Policy Optimization — Algorithm 1 of the paper.
+//
+// For each shuffle flow, find the optimal routing path through the layered
+// candidate graph of Figure 5: the flow may originate on any server able to
+// host its map task, traverse only switches with residual capacity >= the
+// flow's rate (the Eq. 4 candidate filter), and terminate on any server able
+// to host its reduce task.  Path cost is the congestion-aware switch cost of
+// core::CostModel, so the returned route maximizes Eq. (5)'s utility over
+// all single- and multi-switch reschedulings simultaneously (the
+// separability of Eq. (6) makes per-switch local optimization equivalent to
+// the global min-cost path).
+//
+// Alg. 1 lines 11-13: every optimal route grades its endpoint servers in the
+// M x N preference matrix; the grade increment is the flow's traffic metric
+// so heavy flows dominate the ranking ("grades are based on the utility
+// function").
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/cost_model.h"
+#include "core/preference_matrix.h"
+#include "network/load.h"
+#include "network/policy.h"
+#include "sched/scheduler.h"
+#include "topology/topology.h"
+#include "util/ids.h"
+
+namespace hit::core {
+
+class PolicyOptimizer {
+ public:
+  explicit PolicyOptimizer(const topo::Topology& topology, CostConfig config = {});
+
+  struct Route {
+    NodeId src;          ///< chosen source server node
+    NodeId dst;          ///< chosen destination server node
+    net::Policy policy;  ///< switch list of the optimal path (empty if src==dst)
+    double cost = 0.0;
+  };
+
+  /// Min-cost capacity-feasible route from any node of `src_candidates` to
+  /// any node of `dst_candidates`.  Switches whose residual capacity (under
+  /// `load`) is below `rate` are unusable.  Deterministic.  Returns nullopt
+  /// when no feasible route exists (e.g. all paths saturated).
+  /// With `allow_local` a server present in both candidate sets is returned
+  /// as a zero-cost local placement; callers that must validate co-location
+  /// capacity themselves pass false.
+  /// `banned` nodes are unusable regardless of capacity (e.g. draining
+  /// switches during maintenance).
+  [[nodiscard]] std::optional<Route> optimal_route(
+      std::span<const NodeId> src_candidates, std::span<const NodeId> dst_candidates,
+      FlowId flow, double rate, double metric, const net::LoadTracker& load,
+      bool allow_local = true, std::span<const NodeId> banned = {}) const;
+
+  /// Algorithm 1: route every flow of the problem (largest traffic first,
+  /// charging chosen routes to a local load ledger so later flows see the
+  /// congestion) and accumulate endpoint grades into the preference matrix.
+  [[nodiscard]] PreferenceMatrix build_preferences(const sched::Problem& problem) const;
+
+  /// Local improvement via Eq. (4)/(5): repeatedly apply the best
+  /// positive-utility single-switch substitution until none remains.  The
+  /// policy's own load must NOT be charged to `load` while improving.
+  /// Returns the total utility gained.
+  double improve_policy(net::Policy& policy, NodeId src, NodeId dst, double rate,
+                        double metric, const net::LoadTracker& load) const;
+
+  [[nodiscard]] const CostConfig& cost_config() const noexcept { return config_; }
+
+ private:
+  const topo::Topology* topology_;
+  CostConfig config_;
+};
+
+}  // namespace hit::core

@@ -1,0 +1,69 @@
+#include "core/preference_matrix.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hit::core {
+
+PreferenceMatrix::PreferenceMatrix(std::size_t num_servers, std::vector<TaskId> tasks)
+    : num_servers_(num_servers), tasks_(std::move(tasks)) {
+  if (num_servers_ == 0) {
+    throw std::invalid_argument("PreferenceMatrix: need at least one server");
+  }
+  column_of_.reserve(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!column_of_.emplace(tasks_[i], i).second) {
+      throw std::invalid_argument("PreferenceMatrix: duplicate task");
+    }
+  }
+  grades_.assign(num_servers_ * tasks_.size(), 0.0);
+}
+
+std::size_t PreferenceMatrix::column(TaskId task) const {
+  const auto it = column_of_.find(task);
+  if (it == column_of_.end()) {
+    throw std::out_of_range("PreferenceMatrix: unknown task");
+  }
+  return it->second;
+}
+
+double PreferenceMatrix::grade(ServerId server, TaskId task) const {
+  if (!server.valid() || server.index() >= num_servers_) {
+    throw std::out_of_range("PreferenceMatrix: unknown server");
+  }
+  return grades_[server.index() * tasks_.size() + column(task)];
+}
+
+void PreferenceMatrix::add(ServerId server, TaskId task, double weight) {
+  if (!server.valid() || server.index() >= num_servers_) {
+    throw std::out_of_range("PreferenceMatrix: unknown server");
+  }
+  grades_[server.index() * tasks_.size() + column(task)] += weight;
+}
+
+std::vector<ServerId> PreferenceMatrix::ranked_servers(TaskId task) const {
+  const std::size_t col = column(task);
+  std::vector<ServerId> order(num_servers_);
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    order[s] = ServerId(static_cast<ServerId::value_type>(s));
+  }
+  std::stable_sort(order.begin(), order.end(), [&](ServerId a, ServerId b) {
+    return grades_[a.index() * tasks_.size() + col] >
+           grades_[b.index() * tasks_.size() + col];
+  });
+  return order;
+}
+
+std::vector<TaskId> PreferenceMatrix::ranked_tasks(ServerId server) const {
+  if (!server.valid() || server.index() >= num_servers_) {
+    throw std::out_of_range("PreferenceMatrix: unknown server");
+  }
+  std::vector<TaskId> order = tasks_;
+  const double* row = grades_.data() + server.index() * tasks_.size();
+  std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    return row[column_of_.at(a)] > row[column_of_.at(b)];
+  });
+  return order;
+}
+
+}  // namespace hit::core

@@ -1,0 +1,43 @@
+// The M x N preference matrix of §5.2: P(s, c) grades how well server s
+// suits the container/task c, accumulated by the Policy Optimization
+// Algorithm (Alg. 1 lines 11-13).  Servers rank tasks by reading their row;
+// tasks rank servers by reading their column — both sides of the stable
+// matching draw from the same utility-derived grades.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace hit::core {
+
+class PreferenceMatrix {
+ public:
+  PreferenceMatrix(std::size_t num_servers, std::vector<TaskId> tasks);
+
+  [[nodiscard]] std::size_t num_servers() const noexcept { return num_servers_; }
+  [[nodiscard]] const std::vector<TaskId>& tasks() const noexcept { return tasks_; }
+
+  [[nodiscard]] double grade(ServerId server, TaskId task) const;
+  void add(ServerId server, TaskId task, double weight);
+
+  /// Servers ordered by descending grade for `task` (ties by server id) —
+  /// the task-side ranked list l of §5.2.2.
+  [[nodiscard]] std::vector<ServerId> ranked_servers(TaskId task) const;
+
+  /// Tasks ordered by descending grade on `server` (ties by task id) —
+  /// the server-side ranking Alg. 2 evicts against.
+  [[nodiscard]] std::vector<TaskId> ranked_tasks(ServerId server) const;
+
+ private:
+  [[nodiscard]] std::size_t column(TaskId task) const;
+
+  std::size_t num_servers_;
+  std::vector<TaskId> tasks_;
+  std::unordered_map<TaskId, std::size_t> column_of_;
+  std::vector<double> grades_;  // row-major: server x task
+};
+
+}  // namespace hit::core

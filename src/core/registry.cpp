@@ -1,0 +1,91 @@
+#include "core/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/hit_scheduler.h"
+#include "core/local_search.h"
+#include "sched/capacity_scheduler.h"
+#include "sched/delay_scheduler.h"
+#include "sched/fair_scheduler.h"
+#include "sched/pna_scheduler.h"
+#include "sched/random_scheduler.h"
+
+namespace hit::core {
+
+using sched::CapacityScheduler;
+using sched::DelayScheduler;
+using sched::FairScheduler;
+using sched::PnaScheduler;
+using sched::RandomScheduler;
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+  static SchedulerRegistry registry = [] {
+    SchedulerRegistry r;
+    r.register_factory("capacity",
+                       [] { return std::make_unique<CapacityScheduler>(); });
+    r.register_factory("capacity-ecmp",
+                       [] { return std::make_unique<CapacityScheduler>(true); });
+    r.register_factory("fair", [] { return std::make_unique<FairScheduler>(); });
+    r.register_factory("pna", [] { return std::make_unique<PnaScheduler>(); });
+    r.register_factory("delay", [] { return std::make_unique<DelayScheduler>(); });
+    r.register_factory("random", [] { return std::make_unique<RandomScheduler>(); });
+    r.register_factory("hit", [] { return std::make_unique<HitScheduler>(); });
+    r.register_factory("hit-greedy", [] {
+      HitConfig config;
+      config.use_stable_matching = false;
+      return std::make_unique<HitScheduler>(config);
+    });
+    r.register_factory("hit-no-policy-opt", [] {
+      HitConfig config;
+      config.optimize_policies = false;
+      return std::make_unique<HitScheduler>(config);
+    });
+    r.register_factory("hit-ls",
+                       [] { return std::make_unique<HitLocalSearchScheduler>(); });
+    return r;
+  }();
+  return registry;
+}
+
+void SchedulerRegistry::register_factory(std::string name, SchedulerFactory factory) {
+  if (name.empty()) throw std::invalid_argument("registry: empty scheduler name");
+  if (!factory) throw std::invalid_argument("registry: null factory");
+  for (auto& [existing, f] : factories_) {
+    if (existing == name) {
+      f = std::move(factory);
+      return;
+    }
+  }
+  factories_.emplace_back(std::move(name), std::move(factory));
+}
+
+std::unique_ptr<Scheduler> SchedulerRegistry::create(std::string_view name) const {
+  for (const auto& [existing, factory] : factories_) {
+    if (existing == name) return factory();
+  }
+  std::string known;
+  for (const std::string& n : names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("unknown scheduler '" + std::string(name) +
+                              "' (known: " + known + ")");
+}
+
+bool SchedulerRegistry::contains(std::string_view name) const {
+  for (const auto& [existing, factory] : factories_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hit::core

@@ -1,0 +1,42 @@
+// Scheduler registry: name -> factory.  One place that knows every
+// scheduler, used by the CLI and by sweep harnesses; extend by registering
+// at startup (no central edit needed for out-of-tree schedulers).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace hit::core {
+
+using sched::Scheduler;
+using SchedulerFactory = std::function<std::unique_ptr<sched::Scheduler>()>;
+
+class SchedulerRegistry {
+ public:
+  /// The process-wide registry, pre-populated with every built-in scheduler
+  /// (capacity, capacity-ecmp, fair, pna, delay, random, hit, hit-greedy,
+  /// hit-ls).
+  static SchedulerRegistry& instance();
+
+  /// Register (or replace) a factory under `name`.
+  void register_factory(std::string name, SchedulerFactory factory);
+
+  /// Instantiate by name; throws std::invalid_argument listing the known
+  /// names when `name` is unknown.
+  [[nodiscard]] std::unique_ptr<Scheduler> create(std::string_view name) const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::pair<std::string, SchedulerFactory>> factories_;
+};
+
+}  // namespace hit::core

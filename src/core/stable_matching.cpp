@@ -1,0 +1,196 @@
+#include "core/stable_matching.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace hit::core {
+
+namespace {
+
+/// Server-proposing (hospitals-proposing) variant: servers offer their free
+/// capacity to tasks in decreasing grade order; a task trades up whenever a
+/// server it prefers proposes.  Produces the server-optimal stable matching.
+std::unordered_map<TaskId, ServerId> match_servers_proposing(
+    const sched::Problem& problem, const PreferenceMatrix& prefs) {
+  std::unordered_map<TaskId, const sched::TaskRef*> ref_of;
+  for (const sched::TaskRef& t : problem.tasks) ref_of.emplace(t.id, &t);
+
+  sched::UsageLedger ledger(problem);
+  std::unordered_map<TaskId, ServerId> matching;
+
+  // Per-server proposal cursor over its ranked task list.
+  std::vector<std::vector<TaskId>> ranked(problem.cluster->size());
+  std::vector<std::size_t> cursor(problem.cluster->size(), 0);
+  std::deque<ServerId> open;
+  for (const cluster::Server& s : problem.cluster->servers()) {
+    ranked[s.id.index()] = prefs.ranked_tasks(s.id);
+    open.push_back(s.id);
+  }
+
+  while (!open.empty()) {
+    const ServerId s = open.front();
+    open.pop_front();
+    auto& idx = cursor[s.index()];
+    const auto& list = ranked[s.index()];
+    while (idx < list.size()) {
+      const TaskId t = list[idx];
+      const sched::TaskRef& task = *ref_of.at(t);
+      // A full server stops proposing; it re-enters the queue when jilted.
+      if (!ledger.can_host(s, task.demand)) break;
+      ++idx;
+      const auto current = matching.find(t);
+      if (current == matching.end()) {
+        ledger.place(s, task.demand);
+        matching[t] = s;
+      } else if (prefs.grade(s, t) > prefs.grade(current->second, t)) {
+        // Task trades up; the jilted server regains capacity and may have
+        // proposals it previously could not afford.
+        const ServerId old = current->second;
+        ledger.remove(old, task.demand);
+        ledger.place(s, task.demand);
+        matching[t] = s;
+        if (cursor[old.index()] < ranked[old.index()].size()) {
+          open.push_back(old);
+        }
+      }
+      // Rejected proposals just advance the cursor.
+    }
+  }
+
+  if (matching.size() != problem.tasks.size()) {
+    throw std::runtime_error(
+        "StableMatcher: servers-proposing left tasks unmatched (capacity)");
+  }
+  return matching;
+}
+
+}  // namespace
+
+std::unordered_map<TaskId, ServerId> StableMatcher::match(
+    const sched::Problem& problem, const PreferenceMatrix& prefs,
+    Proposer proposer) const {
+  if (!problem.valid()) throw std::invalid_argument("StableMatcher: invalid problem");
+  if (proposer == Proposer::Servers) {
+    return match_servers_proposing(problem, prefs);
+  }
+
+  const std::size_t n_tasks = problem.tasks.size();
+  std::unordered_map<TaskId, const sched::TaskRef*> ref_of;
+  for (const sched::TaskRef& t : problem.tasks) ref_of.emplace(t.id, &t);
+
+  // Per-task proposal state: ranked server list + next index to try.
+  std::unordered_map<TaskId, std::vector<ServerId>> pref_list;
+  std::unordered_map<TaskId, std::size_t> next_choice;
+  std::unordered_map<TaskId, std::unordered_set<ServerId>> blacklist;
+  for (const sched::TaskRef& t : problem.tasks) {
+    pref_list.emplace(t.id, prefs.ranked_servers(t.id));
+    next_choice.emplace(t.id, 0);
+    blacklist.emplace(t.id, std::unordered_set<ServerId>{});
+  }
+
+  // Server state: accepted containers + usage + rejected-top grade.
+  sched::UsageLedger ledger(problem);
+  std::vector<std::vector<TaskId>> accepted(problem.cluster->size());
+  std::vector<double> rejected_top(problem.cluster->size(),
+                                   -std::numeric_limits<double>::infinity());
+
+  std::unordered_map<TaskId, ServerId> matching;
+  std::deque<TaskId> free_tasks;
+  for (const sched::TaskRef& t : problem.tasks) free_tasks.push_back(t.id);
+
+  while (!free_tasks.empty()) {
+    const TaskId c = free_tasks.front();
+    free_tasks.pop_front();
+
+    // Advance to the best not-yet-tried, non-blacklisted server whose
+    // rejected-top does not already dominate this container's grade.
+    ServerId s;
+    auto& idx = next_choice.at(c);
+    const auto& list = pref_list.at(c);
+    while (idx < list.size()) {
+      const ServerId cand = list[idx];
+      ++idx;
+      if (blacklist.at(c).count(cand) > 0) continue;
+      if (prefs.grade(cand, c) <= rejected_top[cand.index()]) continue;
+      s = cand;
+      break;
+    }
+    if (!s.valid()) {
+      throw std::runtime_error("StableMatcher: task rejected by every server");
+    }
+
+    // Tentatively accept, then shed least-preferred containers until the
+    // server fits (Alg. 2 lines 8-13).  The proposer itself may be shed.
+    accepted[s.index()].push_back(c);
+    matching[c] = s;
+    auto usage_violated = [&]() {
+      cluster::Resource sum = ledger.used(s);
+      for (TaskId t : accepted[s.index()]) sum += ref_of.at(t)->demand;
+      return !sum.fits_in(problem.cluster->server(s).capacity);
+    };
+    while (usage_violated()) {
+      auto& acc = accepted[s.index()];
+      auto worst = std::min_element(acc.begin(), acc.end(), [&](TaskId a, TaskId b) {
+        const double ga = prefs.grade(s, a);
+        const double gb = prefs.grade(s, b);
+        return ga != gb ? ga < gb : a > b;  // lowest grade, newest id first
+      });
+      const TaskId evicted = *worst;
+      acc.erase(worst);
+      matching.erase(evicted);
+      blacklist.at(evicted).insert(s);
+      free_tasks.push_back(evicted);
+      // rejected-top: containers the server grades no higher than the one it
+      // just rejected will never displace anything here — blacklist s for
+      // them (lines 14-16), implemented as a grade threshold.
+      rejected_top[s.index()] =
+          std::max(rejected_top[s.index()], prefs.grade(s, evicted));
+    }
+  }
+
+  if (matching.size() != n_tasks) {
+    throw std::logic_error("StableMatcher: incomplete matching");
+  }
+  return matching;
+}
+
+bool StableMatcher::is_stable(const sched::Problem& problem,
+                              const PreferenceMatrix& prefs,
+                              const std::unordered_map<TaskId, ServerId>& matching) {
+  std::unordered_map<TaskId, const sched::TaskRef*> ref_of;
+  for (const sched::TaskRef& t : problem.tasks) ref_of.emplace(t.id, &t);
+
+  // Per-server usage under the matching.
+  sched::UsageLedger ledger(problem);
+  std::vector<std::vector<TaskId>> hosted(problem.cluster->size());
+  for (const auto& [task, server] : matching) {
+    ledger.place(server, ref_of.at(task)->demand);
+    hosted[server.index()].push_back(task);
+  }
+
+  for (const auto& [task, server] : matching) {
+    const double own = prefs.grade(server, task);
+    for (const cluster::Server& s : problem.cluster->servers()) {
+      if (s.id == server) continue;
+      const double there = prefs.grade(s.id, task);
+      if (there <= own) continue;  // task does not prefer s
+      // Server side: spare room, or strictly-worse containers whose eviction
+      // frees enough capacity.
+      if (ledger.can_host(s.id, ref_of.at(task)->demand)) return false;
+      cluster::Resource freed;
+      for (TaskId other : hosted[s.id.index()]) {
+        if (prefs.grade(s.id, other) < there) freed += ref_of.at(other)->demand;
+      }
+      cluster::Resource hypothetical =
+          ledger.used(s.id) - freed + ref_of.at(task)->demand;
+      if (hypothetical.fits_in(problem.cluster->server(s.id).capacity)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hit::core

@@ -1,0 +1,46 @@
+// Tasks Assignment — Algorithm 2: modified many-to-one Gale-Shapley.
+//
+// Containers (each hosting one task) propose to servers in decreasing order
+// of preference-matrix grade; a server over capacity sequentially rejects its
+// least-preferred accepted containers (Alg. 2 lines 8-13).  Every rejection
+// updates the server's `rejected-top` threshold: containers the server
+// grades no higher than the rejected one move that server to their blacklist
+// (lines 14-16), pruning hopeless proposals.  The output matching is stable
+// — no (container, server) blocking pair — which §5.2.3 proves by
+// contradiction and tests/core/stable_matching_test.cpp checks directly.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/preference_matrix.h"
+#include "sched/scheduler.h"
+#include "util/ids.h"
+
+namespace hit::core {
+
+class StableMatcher {
+ public:
+  /// Which side proposes.  The paper's Algorithm 2 is container-proposing;
+  /// the server-proposing dual (hospitals-proposing in the
+  /// hospitals/residents formulation) yields the server-optimal stable
+  /// matching instead — exposed for the classic proposer-optimality
+  /// property tests and as an ablation knob.
+  enum class Proposer { Containers, Servers };
+
+  /// Match every problem task to a server.  Capacity = server capacity minus
+  /// base usage.  Throws std::runtime_error when some task is rejected by
+  /// every server (aggregate capacity insufficient).
+  [[nodiscard]] std::unordered_map<TaskId, ServerId> match(
+      const sched::Problem& problem, const PreferenceMatrix& prefs,
+      Proposer proposer = Proposer::Containers) const;
+
+  /// Blocking-pair test on a finished matching: (c, s) blocks when c strictly
+  /// prefers s to its assigned server AND s either has spare capacity for c
+  /// or accepts c after evicting strictly-worse containers.  Returns true
+  /// when NO blocking pair exists.
+  [[nodiscard]] static bool is_stable(
+      const sched::Problem& problem, const PreferenceMatrix& prefs,
+      const std::unordered_map<TaskId, ServerId>& matching);
+};
+
+}  // namespace hit::core

@@ -1,0 +1,93 @@
+#include "core/taa.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "network/load.h"
+
+namespace hit::core {
+namespace {
+
+/// Charge every placed flow's rate to its policy switches.
+net::LoadTracker build_load(const sched::Problem& problem,
+                            const sched::Assignment& assignment) {
+  net::LoadTracker load(*problem.topology);
+  for (const net::Flow& f : problem.flows) {
+    const ServerId src = assignment.host(problem, f.src_task);
+    const ServerId dst = assignment.host(problem, f.dst_task);
+    if (!src.valid() || !dst.valid() || src == dst) continue;
+    const auto it = assignment.policies.find(f.id);
+    if (it == assignment.policies.end()) continue;
+    load.assign(it->second, f.rate);
+  }
+  return load;
+}
+
+}  // namespace
+
+std::vector<std::string> taa_violations(const sched::Problem& problem,
+                                        const sched::Assignment& assignment) {
+  std::vector<std::string> violations;
+
+  // (1) every task placed on a known server; (2)/(3) no task placed twice.
+  std::unordered_set<TaskId> seen;
+  for (const sched::TaskRef& t : problem.tasks) {
+    const auto it = assignment.placement.find(t.id);
+    if (it == assignment.placement.end() || !it->second.valid()) {
+      violations.push_back("unplaced task " + std::to_string(t.id.value()));
+      continue;
+    }
+    if (it->second.index() >= problem.cluster->size()) {
+      violations.push_back("task placed on unknown server");
+      continue;
+    }
+    if (!seen.insert(t.id).second) {
+      violations.push_back("task placed more than once");
+    }
+  }
+
+  // (4) server capacity.
+  try {
+    sched::UsageLedger ledger(problem);
+    for (const sched::TaskRef& t : problem.tasks) {
+      const auto it = assignment.placement.find(t.id);
+      if (it == assignment.placement.end() || !it->second.valid()) continue;
+      ledger.place(it->second, t.demand);
+    }
+  } catch (const std::logic_error&) {
+    violations.push_back("server capacity exceeded (Σ r_i > q_j)");
+  }
+
+  // (5) switch capacity under the policies' rates.
+  const net::LoadTracker load = build_load(problem, assignment);
+  for (NodeId w : load.overloaded()) {
+    violations.push_back("switch over capacity: " + problem.topology->info(w).name);
+  }
+
+  // (6) policy satisfaction for every placed, non-local flow.
+  for (const net::Flow& f : problem.flows) {
+    const ServerId src = assignment.host(problem, f.src_task);
+    const ServerId dst = assignment.host(problem, f.dst_task);
+    if (!src.valid() || !dst.valid() || src == dst) continue;
+    const auto it = assignment.policies.find(f.id);
+    if (it == assignment.policies.end()) {
+      violations.push_back("flow without policy: " + std::to_string(f.id.value()));
+      continue;
+    }
+    if (!it->second.satisfied(*problem.topology, problem.cluster->node_of(src),
+                              problem.cluster->node_of(dst))) {
+      violations.push_back("unsatisfied policy for flow " +
+                           std::to_string(f.id.value()));
+    }
+  }
+  return violations;
+}
+
+double taa_objective(const sched::Problem& problem,
+                     const sched::Assignment& assignment, CostConfig config) {
+  const net::LoadTracker load = build_load(problem, assignment);
+  const CostModel cost(*problem.topology, config, &load);
+  return cost.assignment_cost(problem, assignment);
+}
+
+}  // namespace hit::core

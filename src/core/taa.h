@@ -1,0 +1,35 @@
+// Topology-Aware Assignment (TAA) — the optimization problem of Eq. (3).
+//
+// This header provides the *verifier* side of the formulation: given a
+// Problem and a candidate Assignment, check each of the six constraints and
+// compute the objective.  The solvers live next door (HitScheduler for the
+// synergistic heuristic, BruteForceSolver for the exact oracle); this module
+// is what tests and benches use to certify their outputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "sched/scheduler.h"
+
+namespace hit::core {
+
+/// Human-readable descriptions of every violated Eq. (3) constraint; empty
+/// means the assignment is TAA-feasible.  Checks:
+///   1. every container deployed on exactly one server (A(c) != 0),
+///   2./3. one task per container (no duplicate placements),
+///   4. server capacity  Σ r_i <= q_j,
+///   5. switch capacity  Σ_{p in A(w)} f.rate <= w.capacity,
+///   6. every flow's policy satisfied (typed, ordered, connected).
+[[nodiscard]] std::vector<std::string> taa_violations(
+    const sched::Problem& problem, const sched::Assignment& assignment);
+
+/// The TAA objective: total shuffle traffic cost Σ C(c_i, c_j) under the
+/// given cost configuration (congestion term from the assignment's own
+/// policy loads).
+[[nodiscard]] double taa_objective(const sched::Problem& problem,
+                                   const sched::Assignment& assignment,
+                                   CostConfig config = {});
+
+}  // namespace hit::core

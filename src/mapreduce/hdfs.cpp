@@ -1,0 +1,52 @@
+#include "mapreduce/hdfs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hit::mr {
+
+BlockPlacement::BlockPlacement(const cluster::Cluster& cluster,
+                               const std::vector<Job>& jobs, Rng& rng,
+                               std::size_t replication) {
+  const std::size_t n = cluster.size();
+  if (n == 0) throw std::invalid_argument("BlockPlacement: empty cluster");
+  replication = std::min(replication, n);
+  if (replication == 0) throw std::invalid_argument("BlockPlacement: replication >= 1");
+
+  std::vector<ServerId> pool;
+  pool.reserve(n);
+  for (const auto& s : cluster.servers()) pool.push_back(s.id);
+
+  for (const Job& job : jobs) {
+    for (const Task& map : job.maps) {
+      // Partial Fisher-Yates: pick `replication` distinct servers.
+      std::vector<ServerId> picks = pool;
+      for (std::size_t i = 0; i < replication; ++i) {
+        const std::size_t j = i + rng.uniform_index(picks.size() - i);
+        std::swap(picks[i], picks[j]);
+      }
+      picks.resize(replication);
+      std::sort(picks.begin(), picks.end());
+      replicas_.emplace(map.id, std::move(picks));
+    }
+  }
+}
+
+const std::vector<ServerId>& BlockPlacement::replicas(TaskId map_task) const {
+  const auto it = replicas_.find(map_task);
+  if (it == replicas_.end()) {
+    throw std::out_of_range("BlockPlacement: task has no placed split");
+  }
+  return it->second;
+}
+
+bool BlockPlacement::local(TaskId map_task, ServerId server) const {
+  const auto& r = replicas(map_task);
+  return std::binary_search(r.begin(), r.end(), server);
+}
+
+double BlockPlacement::remote_map_gb(const Task& map_task, ServerId server) const {
+  return local(map_task.id, server) ? 0.0 : map_task.input_gb;
+}
+
+}  // namespace hit::mr

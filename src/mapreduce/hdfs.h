@@ -1,0 +1,39 @@
+// HDFS-like block placement: which servers hold replicas of each map task's
+// input split.  Drives map locality (a map scheduled off-replica pays remote
+// map traffic) — the remote-map side of Figure 1's traffic breakdown, and the
+// signal the DelayScheduler baseline optimizes for.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "mapreduce/job.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace hit::mr {
+
+class BlockPlacement {
+ public:
+  /// Place every map split of every job with `replication` random distinct
+  /// replica servers (HDFS default 3, clamped to cluster size).
+  BlockPlacement(const cluster::Cluster& cluster, const std::vector<Job>& jobs,
+                 Rng& rng, std::size_t replication = 3);
+
+  /// Replica servers of one map task's split.
+  [[nodiscard]] const std::vector<ServerId>& replicas(TaskId map_task) const;
+
+  /// True when the task's split has a replica on `server` (map is node-local).
+  [[nodiscard]] bool local(TaskId map_task, ServerId server) const;
+
+  /// Remote map traffic charged when the task runs on `server`: the split
+  /// size when non-local, 0 otherwise.
+  [[nodiscard]] double remote_map_gb(const Task& map_task, ServerId server) const;
+
+ private:
+  std::unordered_map<TaskId, std::vector<ServerId>> replicas_;
+};
+
+}  // namespace hit::mr

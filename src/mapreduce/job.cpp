@@ -1,0 +1,14 @@
+#include "mapreduce/job.h"
+
+namespace hit::mr {
+
+std::string_view job_class_name(JobClass cls) {
+  switch (cls) {
+    case JobClass::ShuffleHeavy: return "shuffle-heavy";
+    case JobClass::ShuffleMedium: return "shuffle-medium";
+    case JobClass::ShuffleLight: return "shuffle-light";
+  }
+  return "?";
+}
+
+}  // namespace hit::mr

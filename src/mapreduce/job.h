@@ -1,0 +1,64 @@
+// MapReduce job and task model.
+//
+// A Job is a set of Map tasks and Reduce tasks plus the shuffle relation
+// between them; every (map, reduce) pair with a non-empty partition forms one
+// shuffle traffic flow (§5.3: "each map and reduce pair form a shuffle
+// traffic flow").  Jobs are classified shuffle-heavy / -medium / -light by
+// their shuffle-to-input ratio, matching Table 1's workload taxonomy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/container.h"
+#include "util/ids.h"
+
+namespace hit::mr {
+
+enum class JobClass : std::uint8_t { ShuffleHeavy, ShuffleMedium, ShuffleLight };
+
+[[nodiscard]] std::string_view job_class_name(JobClass cls);
+
+struct Task {
+  TaskId id;
+  JobId job;
+  cluster::TaskKind kind = cluster::TaskKind::Map;
+  std::size_t index = 0;        ///< position within the job's map or reduce list
+  double input_gb = 0.0;        ///< map: split size; reduce: total fetched bytes
+  double compute_seconds = 0.0; ///< pure CPU time, excluding I/O waits
+};
+
+struct Job {
+  JobId id;
+  std::string benchmark;  ///< e.g. "terasort"
+  JobClass cls = JobClass::ShuffleLight;
+  double input_gb = 0.0;
+  double shuffle_gb = 0.0;  ///< total intermediate bytes (Σ flow sizes)
+  std::vector<Task> maps;
+  std::vector<Task> reduces;
+
+  [[nodiscard]] std::size_t task_count() const { return maps.size() + reduces.size(); }
+  [[nodiscard]] double shuffle_selectivity() const {
+    return input_gb > 0.0 ? shuffle_gb / input_gb : 0.0;
+  }
+};
+
+/// Monotonic id source shared by one experiment so jobs, tasks and flows are
+/// globally unique across the generated workload.
+class IdAllocator {
+ public:
+  [[nodiscard]] JobId next_job() { return JobId(job_++); }
+  [[nodiscard]] TaskId next_task() { return TaskId(task_++); }
+  [[nodiscard]] FlowId next_flow() { return FlowId(flow_++); }
+  [[nodiscard]] PolicyId next_policy() { return PolicyId(policy_++); }
+
+ private:
+  JobId::value_type job_ = 0;
+  TaskId::value_type task_ = 0;
+  FlowId::value_type flow_ = 0;
+  PolicyId::value_type policy_ = 0;
+};
+
+}  // namespace hit::mr

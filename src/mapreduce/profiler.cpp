@@ -1,0 +1,61 @@
+#include "mapreduce/profiler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hit::mr {
+
+void ShuffleProfiler::observe(std::string_view benchmark, double input_gb,
+                              double shuffle_gb, double shuffle_seconds) {
+  if (benchmark.empty()) throw std::invalid_argument("observe: empty benchmark name");
+  if (input_gb <= 0.0) throw std::invalid_argument("observe: input must be positive");
+  if (shuffle_gb < 0.0) throw std::invalid_argument("observe: negative shuffle volume");
+
+  Totals& t = totals_[std::string(benchmark)];
+  t.input_gb += input_gb;
+  t.shuffle_gb += shuffle_gb;
+  if (shuffle_seconds > 0.0) {
+    t.timed_shuffle_gb += shuffle_gb;
+    t.shuffle_seconds += shuffle_seconds;
+  }
+  ++t.samples;
+}
+
+std::optional<ShuffleProfiler::Estimate> ShuffleProfiler::estimate(
+    std::string_view benchmark) const {
+  const auto it = totals_.find(std::string(benchmark));
+  if (it == totals_.end()) return std::nullopt;
+  const Totals& t = it->second;
+  Estimate e;
+  e.shuffle_selectivity = t.input_gb > 0.0 ? t.shuffle_gb / t.input_gb : 0.0;
+  e.shuffle_rate =
+      t.shuffle_seconds > 0.0 ? t.timed_shuffle_gb / t.shuffle_seconds : 0.0;
+  e.samples = t.samples;
+  return e;
+}
+
+double ShuffleProfiler::selectivity_or(std::string_view benchmark,
+                                       double fallback) const {
+  const auto e = estimate(benchmark);
+  return e ? e->shuffle_selectivity : fallback;
+}
+
+double ShuffleProfiler::predict_shuffle_gb(std::string_view benchmark,
+                                           double input_gb) const {
+  const auto e = estimate(benchmark);
+  if (!e) {
+    throw std::out_of_range("predict_shuffle_gb: benchmark never observed: " +
+                            std::string(benchmark));
+  }
+  return e->shuffle_selectivity * input_gb;
+}
+
+std::vector<std::string> ShuffleProfiler::profiled_benchmarks() const {
+  std::vector<std::string> names;
+  names.reserve(totals_.size());
+  for (const auto& [name, totals] : totals_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace hit::mr

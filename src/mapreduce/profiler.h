@@ -1,0 +1,65 @@
+// Offline application profiling — §6: "In the offline phase, we profile the
+// shuffle data rate for each application and capture the topology
+// architecture configuration in the cluster."
+//
+// The profiler ingests per-job observations (input size, measured shuffle
+// volume, shuffle duration) from previous runs and produces per-benchmark
+// estimates of shuffle selectivity and sustained shuffle rate — exactly the
+// quantities Hit-Scheduler's flow model consumes (f.size, f.rate) before a
+// job has run.  Ratio estimators keep the estimates unbiased for the
+// proportional model shuffle = selectivity x input.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hit::mr {
+
+class ShuffleProfiler {
+ public:
+  struct Estimate {
+    double shuffle_selectivity = 0.0;  ///< intermediate bytes per input byte
+    double shuffle_rate = 0.0;         ///< GB per second while shuffling (0 if unknown)
+    std::size_t samples = 0;
+  };
+
+  /// Record one finished job.  `shuffle_seconds` <= 0 means "duration not
+  /// measured" (selectivity-only observation).
+  void observe(std::string_view benchmark, double input_gb, double shuffle_gb,
+               double shuffle_seconds = 0.0);
+
+  /// Estimate for a benchmark; nullopt before any observation.
+  [[nodiscard]] std::optional<Estimate> estimate(std::string_view benchmark) const;
+
+  /// Selectivity with a fallback for unprofiled benchmarks.
+  [[nodiscard]] double selectivity_or(std::string_view benchmark,
+                                      double fallback) const;
+
+  /// Predicted shuffle volume of an incoming job.  Throws when the
+  /// benchmark was never observed.
+  [[nodiscard]] double predict_shuffle_gb(std::string_view benchmark,
+                                          double input_gb) const;
+
+  [[nodiscard]] std::size_t benchmarks_profiled() const { return totals_.size(); }
+
+  /// Names seen so far, sorted (stable reporting).
+  [[nodiscard]] std::vector<std::string> profiled_benchmarks() const;
+
+  void clear() { totals_.clear(); }
+
+ private:
+  struct Totals {
+    double input_gb = 0.0;
+    double shuffle_gb = 0.0;
+    double timed_shuffle_gb = 0.0;  ///< shuffle bytes from timed observations
+    double shuffle_seconds = 0.0;
+    std::size_t samples = 0;
+  };
+  std::unordered_map<std::string, Totals> totals_;
+};
+
+}  // namespace hit::mr

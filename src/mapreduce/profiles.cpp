@@ -1,0 +1,40 @@
+#include "mapreduce/profiles.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace hit::mr {
+namespace {
+
+// name, class, mix%, shuffle selectivity, map s/GB, reduce s/GB, input GB.
+constexpr std::array<BenchmarkProfile, 11> kProfiles{{
+    // Shuffle-heavy (Table 1): terasort 5%, index 10%, join 10%,
+    // sequence-count 10%, adjacency 5%.
+    {"terasort", JobClass::ShuffleHeavy, 5.0, 1.00, 6.0, 8.0, 30.0},
+    {"index", JobClass::ShuffleHeavy, 10.0, 0.90, 8.0, 9.0, 24.0},
+    {"join", JobClass::ShuffleHeavy, 10.0, 0.95, 7.0, 10.0, 24.0},
+    {"sequence-count", JobClass::ShuffleHeavy, 10.0, 0.85, 9.0, 9.0, 20.0},
+    {"adjacency", JobClass::ShuffleHeavy, 5.0, 0.80, 8.0, 9.0, 20.0},
+    // Shuffle-medium: inverted-index 10%, term-vector 10%.
+    {"inverted-index", JobClass::ShuffleMedium, 10.0, 0.45, 9.0, 7.0, 20.0},
+    {"term-vector", JobClass::ShuffleMedium, 10.0, 0.40, 10.0, 7.0, 20.0},
+    // Shuffle-light: grep 15%, wordcount 10%, classification 5%,
+    // histogram 10%.
+    {"grep", JobClass::ShuffleLight, 15.0, 0.02, 5.0, 3.0, 16.0},
+    {"wordcount", JobClass::ShuffleLight, 10.0, 0.10, 7.0, 4.0, 16.0},
+    {"classification", JobClass::ShuffleLight, 5.0, 0.05, 9.0, 4.0, 16.0},
+    {"histogram", JobClass::ShuffleLight, 10.0, 0.05, 6.0, 3.0, 16.0},
+}};
+
+}  // namespace
+
+std::span<const BenchmarkProfile> puma_profiles() { return kProfiles; }
+
+const BenchmarkProfile& profile(std::string_view name) {
+  for (const auto& p : kProfiles) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("profile: unknown benchmark '" + std::string(name) + "'");
+}
+
+}  // namespace hit::mr

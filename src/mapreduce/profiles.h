@@ -1,0 +1,34 @@
+// PUMA benchmark profiles — the statistical stand-in for running the Purdue
+// MapReduce Benchmarks Suite on a real cluster.
+//
+// Table 1 of the paper fixes the workload mix; per-benchmark shuffle
+// selectivities follow the PUMA characterization (shuffle-heavy benchmarks
+// move ~their whole input through the shuffle; shuffle-light ones almost
+// nothing).  The scheduler only ever observes task counts, split sizes and
+// flow sizes/rates, all of which these profiles determine.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "mapreduce/job.h"
+
+namespace hit::mr {
+
+struct BenchmarkProfile {
+  std::string_view name;
+  JobClass cls;
+  double mix_percent;          ///< Table 1 share of the workload
+  double shuffle_selectivity;  ///< intermediate bytes per input byte
+  double map_sec_per_gb;       ///< map compute cost
+  double reduce_sec_per_gb;    ///< reduce compute cost (per shuffled GB)
+  double typical_input_gb;     ///< median input size; sampled lognormally
+};
+
+/// The 11 benchmarks of Table 1.  Percentages sum to 100.
+[[nodiscard]] std::span<const BenchmarkProfile> puma_profiles();
+
+/// Lookup by name; throws std::invalid_argument for unknown benchmarks.
+[[nodiscard]] const BenchmarkProfile& profile(std::string_view name);
+
+}  // namespace hit::mr

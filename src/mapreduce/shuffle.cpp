@@ -1,0 +1,54 @@
+#include "mapreduce/shuffle.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hit::mr {
+
+net::FlowSet build_shuffle_flows(const Job& job, IdAllocator& ids,
+                                 const ShuffleConfig& config) {
+  if (config.rate_window <= 0.0) {
+    throw std::invalid_argument("build_shuffle_flows: rate_window must be positive");
+  }
+  net::FlowSet flows;
+  if (job.maps.empty() || job.reduces.empty() || job.shuffle_gb <= 0.0) return flows;
+
+  // Per-reduce partition weights (normalized).
+  const std::size_t r = job.reduces.size();
+  std::vector<double> weight(r, 1.0);
+  if (config.partition_skew > 0.0) {
+    for (std::size_t i = 0; i < r; ++i) {
+      weight[i] = 1.0 / std::pow(static_cast<double>(i + 1), config.partition_skew);
+    }
+  }
+  double wsum = 0.0;
+  for (double w : weight) wsum += w;
+
+  const double per_map_gb = job.shuffle_gb / static_cast<double>(job.maps.size());
+  flows.reserve(job.maps.size() * r);
+  for (const Task& m : job.maps) {
+    for (std::size_t i = 0; i < r; ++i) {
+      net::Flow f;
+      f.id = ids.next_flow();
+      f.job = job.id;
+      f.src_task = m.id;
+      f.dst_task = job.reduces[i].id;
+      f.size_gb = per_map_gb * weight[i] / wsum;
+      f.rate = f.size_gb / config.rate_window;
+      flows.push_back(f);
+    }
+  }
+  return flows;
+}
+
+net::FlowSet build_shuffle_flows(const std::vector<Job>& jobs, IdAllocator& ids,
+                                 const ShuffleConfig& config) {
+  net::FlowSet all;
+  for (const Job& job : jobs) {
+    net::FlowSet flows = build_shuffle_flows(job, ids, config);
+    all.insert(all.end(), flows.begin(), flows.end());
+  }
+  return all;
+}
+
+}  // namespace hit::mr

@@ -1,0 +1,32 @@
+// Shuffle-flow construction: expand a job's all-map-to-all-reduce shuffle
+// into individual flows (§5.3: every map/reduce pair is one flow).  Partition
+// sizes are uniform by default or Zipf-skewed (stragglers / hot keys).
+#pragma once
+
+#include <vector>
+
+#include "mapreduce/job.h"
+#include "network/flow.h"
+#include "util/rng.h"
+
+namespace hit::mr {
+
+struct ShuffleConfig {
+  double partition_skew = 0.0;  ///< Zipf exponent; 0 = uniform partitions
+  /// Nominal rate per flow = size / rate_window: a flow of S GB demands
+  /// S / window rate units of switch capacity while active.
+  double rate_window = 1.0;
+};
+
+/// Flows for one job.  With skew s > 0, reduce partition weights follow
+/// 1/rank^s (deterministically assigned to reduce indices) so flow sizes
+/// still sum to the job's shuffle_gb.
+[[nodiscard]] net::FlowSet build_shuffle_flows(const Job& job, IdAllocator& ids,
+                                               const ShuffleConfig& config = {});
+
+/// Flows for a whole workload, concatenated.
+[[nodiscard]] net::FlowSet build_shuffle_flows(const std::vector<Job>& jobs,
+                                               IdAllocator& ids,
+                                               const ShuffleConfig& config = {});
+
+}  // namespace hit::mr

@@ -1,0 +1,125 @@
+#include "mapreduce/trace.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "mapreduce/profiles.h"
+
+namespace hit::mr {
+namespace {
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("trace line " + std::to_string(line_no) + ": " + what);
+}
+
+double parse_positive(const std::string& text, std::size_t line_no,
+                      const char* what, bool allow_zero) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    fail(line_no, std::string("bad ") + what + " '" + text + "'");
+  }
+  if (used != text.size()) fail(line_no, std::string("trailing junk in ") + what);
+  if (value < 0.0 || (!allow_zero && value == 0.0)) {
+    fail(line_no, std::string(what) + " must be positive");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::vector<TraceEntry> load_trace(std::istream& in) {
+  std::vector<TraceEntry> entries;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  double last_arrival = 0.0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (!header_seen) {
+      if (line.rfind("benchmark,", 0) != 0) {
+        fail(line_no, "missing 'benchmark,input_gb[,arrival_s]' header");
+      }
+      header_seen = true;
+      continue;
+    }
+    const auto fields = split_csv(line);
+    if (fields.size() < 2 || fields.size() > 3) {
+      fail(line_no, "expected 2 or 3 fields");
+    }
+    TraceEntry entry;
+    entry.benchmark = fields[0];
+    try {
+      (void)profile(entry.benchmark);  // validates the name
+    } catch (const std::invalid_argument&) {
+      fail(line_no, "unknown benchmark '" + entry.benchmark + "'");
+    }
+    entry.input_gb = parse_positive(fields[1], line_no, "input_gb", false);
+    if (fields.size() == 3) {
+      entry.arrival_s = parse_positive(fields[2], line_no, "arrival_s", true);
+      if (entry.arrival_s < last_arrival) {
+        fail(line_no, "arrivals must be non-decreasing");
+      }
+      last_arrival = entry.arrival_s;
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (!header_seen && !entries.empty()) {
+    throw std::invalid_argument("trace: missing header");
+  }
+  return entries;
+}
+
+void save_trace(std::ostream& out, const std::vector<TraceEntry>& entries) {
+  out << "benchmark,input_gb,arrival_s\n";
+  char buf[64];
+  for (const TraceEntry& e : entries) {
+    std::snprintf(buf, sizeof buf, "%.6g,%.6g", e.input_gb, e.arrival_s);
+    out << e.benchmark << ',' << buf << '\n';
+  }
+}
+
+std::vector<Job> jobs_from_trace(const std::vector<TraceEntry>& entries,
+                                 const WorkloadGenerator& generator,
+                                 IdAllocator& ids) {
+  std::vector<Job> jobs;
+  jobs.reserve(entries.size());
+  for (const TraceEntry& e : entries) {
+    jobs.push_back(generator.make_job(profile(e.benchmark), e.input_gb, ids));
+  }
+  return jobs;
+}
+
+std::vector<TraceEntry> trace_from_jobs(const std::vector<Job>& jobs,
+                                        const std::vector<double>& arrivals) {
+  if (!arrivals.empty() && arrivals.size() != jobs.size()) {
+    throw std::invalid_argument("trace_from_jobs: arrivals size mismatch");
+  }
+  std::vector<TraceEntry> entries;
+  entries.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    TraceEntry e;
+    e.benchmark = jobs[i].benchmark;
+    e.input_gb = jobs[i].input_gb;
+    e.arrival_s = arrivals.empty() ? 0.0 : arrivals[i];
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace hit::mr

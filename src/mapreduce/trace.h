@@ -1,0 +1,47 @@
+// Workload trace I/O: serialize generated workloads to a simple CSV trace
+// and load traces back — so experiments can be pinned to an exact job
+// sequence (or to externally produced traces) instead of a generator seed.
+//
+// Trace format (header required):
+//   benchmark,input_gb[,arrival_s]
+//   terasort,30.5
+//   grep,16.0,12.25
+//
+// Unknown benchmark names are rejected at load time (the profile table is
+// the schema for compute/shuffle characteristics).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mapreduce/job.h"
+#include "mapreduce/workload.h"
+
+namespace hit::mr {
+
+struct TraceEntry {
+  std::string benchmark;
+  double input_gb = 0.0;
+  double arrival_s = 0.0;  ///< optional; 0 when the trace has no arrivals
+};
+
+/// Parse a trace stream.  Throws std::invalid_argument with a line number on
+/// malformed rows or unknown benchmarks.
+[[nodiscard]] std::vector<TraceEntry> load_trace(std::istream& in);
+
+/// Write entries in the canonical format (always includes arrivals).
+void save_trace(std::ostream& out, const std::vector<TraceEntry>& entries);
+
+/// Materialize jobs from trace entries using the generator's task-shaping
+/// rules (block size, reduce ratio, caps).
+[[nodiscard]] std::vector<Job> jobs_from_trace(const std::vector<TraceEntry>& entries,
+                                               const WorkloadGenerator& generator,
+                                               IdAllocator& ids);
+
+/// Round-trip helper: turn generated jobs (plus optional arrivals) back
+/// into trace entries.
+[[nodiscard]] std::vector<TraceEntry> trace_from_jobs(
+    const std::vector<Job>& jobs, const std::vector<double>& arrivals = {});
+
+}  // namespace hit::mr

@@ -1,0 +1,99 @@
+#include "mapreduce/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hit::mr {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config) : config_(config) {
+  if (config_.block_size_gb <= 0.0) {
+    throw std::invalid_argument("WorkloadGenerator: block_size_gb must be positive");
+  }
+  if (config_.reduce_ratio <= 0.0) {
+    throw std::invalid_argument("WorkloadGenerator: reduce_ratio must be positive");
+  }
+  if (config_.max_maps_per_job == 0 || config_.max_reduces_per_job == 0) {
+    throw std::invalid_argument("WorkloadGenerator: task caps must be >= 1");
+  }
+}
+
+Job WorkloadGenerator::make_job(const BenchmarkProfile& profile, double input_gb,
+                                IdAllocator& ids) const {
+  if (input_gb <= 0.0) throw std::invalid_argument("make_job: input must be positive");
+
+  Job job;
+  job.id = ids.next_job();
+  job.benchmark = std::string(profile.name);
+  job.cls = profile.cls;
+  job.input_gb = input_gb;
+  job.shuffle_gb = input_gb * profile.shuffle_selectivity;
+
+  const auto num_maps = std::min<std::size_t>(
+      config_.max_maps_per_job,
+      static_cast<std::size_t>(std::ceil(input_gb / config_.block_size_gb)));
+  const auto num_reduces = std::min<std::size_t>(
+      config_.max_reduces_per_job,
+      std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::llround(static_cast<double>(num_maps) * config_.reduce_ratio))));
+
+  const double split_gb = input_gb / static_cast<double>(num_maps);
+  const double fetch_gb = job.shuffle_gb / static_cast<double>(num_reduces);
+
+  job.maps.reserve(num_maps);
+  for (std::size_t i = 0; i < num_maps; ++i) {
+    Task t;
+    t.id = ids.next_task();
+    t.job = job.id;
+    t.kind = cluster::TaskKind::Map;
+    t.index = i;
+    t.input_gb = split_gb;
+    t.compute_seconds = split_gb * profile.map_sec_per_gb;
+    job.maps.push_back(t);
+  }
+  job.reduces.reserve(num_reduces);
+  for (std::size_t i = 0; i < num_reduces; ++i) {
+    Task t;
+    t.id = ids.next_task();
+    t.job = job.id;
+    t.kind = cluster::TaskKind::Reduce;
+    t.index = i;
+    t.input_gb = fetch_gb;
+    t.compute_seconds = fetch_gb * profile.reduce_sec_per_gb;
+    job.reduces.push_back(t);
+  }
+  return job;
+}
+
+Job WorkloadGenerator::make_job(std::string_view benchmark, IdAllocator& ids) const {
+  const BenchmarkProfile& p = profile(benchmark);
+  const double input = config_.fixed_input_gb.value_or(p.typical_input_gb);
+  return make_job(p, input, ids);
+}
+
+std::vector<Job> WorkloadGenerator::generate(IdAllocator& ids, Rng& rng) const {
+  // Weight table restricted to the selected class (if any).
+  std::vector<const BenchmarkProfile*> pool;
+  std::vector<double> weights;
+  for (const BenchmarkProfile& p : puma_profiles()) {
+    if (config_.only_class && p.cls != *config_.only_class) continue;
+    pool.push_back(&p);
+    weights.push_back(p.mix_percent);
+  }
+  if (pool.empty()) throw std::logic_error("WorkloadGenerator: empty profile pool");
+
+  std::vector<Job> jobs;
+  jobs.reserve(config_.num_jobs);
+  for (std::size_t j = 0; j < config_.num_jobs; ++j) {
+    const BenchmarkProfile& p = *pool[rng.weighted_index(weights)];
+    const double input =
+        config_.fixed_input_gb.value_or(
+            std::max(config_.block_size_gb,
+                     rng.lognormal_median(p.typical_input_gb, config_.input_sigma)));
+    jobs.push_back(make_job(p, input, ids));
+  }
+  return jobs;
+}
+
+}  // namespace hit::mr

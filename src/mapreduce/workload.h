@@ -1,0 +1,49 @@
+// Workload generation: sample jobs from Table 1's benchmark mix and expand
+// each into Map/Reduce tasks with realistic split sizes and compute costs.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "mapreduce/job.h"
+#include "mapreduce/profiles.h"
+#include "util/rng.h"
+
+namespace hit::mr {
+
+struct WorkloadConfig {
+  std::size_t num_jobs = 10;
+  double block_size_gb = 1.0;      ///< HDFS split size; one map task per split
+  double reduce_ratio = 0.5;       ///< reduces per map (>= 1 reduce per job)
+  std::size_t max_maps_per_job = 64;
+  std::size_t max_reduces_per_job = 32;
+  double input_sigma = 0.25;       ///< lognormal spread around typical input
+  double partition_skew = 0.0;     ///< Zipf exponent across reduce partitions
+  /// Restrict sampling to one class (Figure 8a runs one job per class).
+  std::optional<JobClass> only_class;
+  /// Uniform input override (the case study runs two jobs with equal input).
+  std::optional<double> fixed_input_gb;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config = {});
+
+  /// Sample `config.num_jobs` jobs from the Table 1 mix.
+  [[nodiscard]] std::vector<Job> generate(IdAllocator& ids, Rng& rng) const;
+
+  /// Materialize one job from a specific benchmark profile.
+  [[nodiscard]] Job make_job(const BenchmarkProfile& profile, double input_gb,
+                             IdAllocator& ids) const;
+
+  /// Convenience: named benchmark with its typical input.
+  [[nodiscard]] Job make_job(std::string_view benchmark, IdAllocator& ids) const;
+
+  [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
+
+ private:
+  WorkloadConfig config_;
+};
+
+}  // namespace hit::mr

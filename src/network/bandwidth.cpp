@@ -1,0 +1,207 @@
+#include "network/bandwidth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace hit::net {
+namespace {
+
+/// Resource key: switches are (node, node); links are the sorted node pair.
+using ResourceKey = std::uint64_t;
+
+ResourceKey switch_key(NodeId w) {
+  return (static_cast<std::uint64_t>(w.value()) << 32) | w.value();
+}
+
+ResourceKey link_key(NodeId a, NodeId b) {
+  auto lo = std::min(a.value(), b.value());
+  auto hi = std::max(a.value(), b.value());
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+struct Resource {
+  double capacity = 0.0;
+  std::vector<std::size_t> flows;  // indices into demands
+};
+
+}  // namespace
+
+MaxMinFairAllocator::MaxMinFairAllocator(const topo::Topology& topology,
+                                         double bandwidth_scale)
+    : topology_(&topology), scale_(bandwidth_scale) {
+  if (bandwidth_scale <= 0.0) {
+    throw std::invalid_argument("MaxMinFairAllocator: scale must be positive");
+  }
+}
+
+std::vector<double> MaxMinFairAllocator::allocate(
+    const std::vector<FlowDemand>& demands) const {
+  std::vector<double> rates(demands.size(), 0.0);
+  if (demands.empty()) return rates;
+
+  // Collect the resources each flow crosses.
+  std::unordered_map<ResourceKey, Resource> resources;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const topo::Path& path = demands[i].path;
+    if (path.size() < 2) {
+      throw std::invalid_argument("MaxMinFairAllocator: path needs >= 2 nodes");
+    }
+    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+      const auto bw = topology_->graph().bandwidth(path[j], path[j + 1]);
+      if (!bw) throw std::invalid_argument("MaxMinFairAllocator: path uses missing link");
+      Resource& link = resources[link_key(path[j], path[j + 1])];
+      link.capacity = *bw * scale_;
+      link.flows.push_back(i);
+    }
+    for (NodeId n : path) {
+      if (!topology_->is_switch(n)) continue;
+      Resource& sw = resources[switch_key(n)];
+      sw.capacity = topology_->switch_capacity(n) * scale_;
+      sw.flows.push_back(i);
+    }
+  }
+
+  // Progressive filling: all unfrozen flows grow at the same level t; when a
+  // resource saturates (or a flow hits its rate cap), freeze and continue.
+  std::vector<char> frozen(demands.size(), 0);
+  std::size_t remaining = demands.size();
+  double level = 0.0;
+
+  while (remaining > 0) {
+    double next = std::numeric_limits<double>::infinity();
+    // Resource saturation levels.
+    for (const auto& [key, res] : resources) {
+      double frozen_sum = 0.0;
+      std::size_t unfrozen = 0;
+      for (std::size_t i : res.flows) {
+        if (frozen[i]) {
+          frozen_sum += rates[i];
+        } else {
+          ++unfrozen;
+        }
+      }
+      if (unfrozen == 0) continue;
+      const double t = (res.capacity - frozen_sum) / static_cast<double>(unfrozen);
+      next = std::min(next, std::max(t, 0.0));
+    }
+    // Per-flow caps.
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      if (!frozen[i] && demands[i].rate_cap > 0.0) {
+        next = std::min(next, demands[i].rate_cap);
+      }
+    }
+    if (!std::isfinite(next)) {
+      // No binding constraint: unbounded flows; freeze at an arbitrary large
+      // level so callers do not divide by zero.
+      next = std::max(level, 1e9);
+    }
+    level = std::max(level, next);
+
+    // Freeze flows on saturated resources / at their caps.
+    bool froze_any = false;
+    for (const auto& [key, res] : resources) {
+      double frozen_sum = 0.0;
+      std::size_t unfrozen = 0;
+      for (std::size_t i : res.flows) {
+        if (frozen[i]) frozen_sum += rates[i];
+        else ++unfrozen;
+      }
+      if (unfrozen == 0) continue;
+      if (frozen_sum + static_cast<double>(unfrozen) * level >= res.capacity - 1e-9) {
+        for (std::size_t i : res.flows) {
+          if (!frozen[i]) {
+            rates[i] = level;
+            frozen[i] = 1;
+            --remaining;
+            froze_any = true;
+          }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      if (!frozen[i] && demands[i].rate_cap > 0.0 && level >= demands[i].rate_cap - 1e-12) {
+        rates[i] = demands[i].rate_cap;
+        frozen[i] = 1;
+        --remaining;
+        froze_any = true;
+      }
+    }
+    if (!froze_any) {
+      // Defensive: numeric stall — freeze everything at the current level.
+      for (std::size_t i = 0; i < demands.size(); ++i) {
+        if (!frozen[i]) {
+          rates[i] = level;
+          frozen[i] = 1;
+          --remaining;
+        }
+      }
+    }
+  }
+  return rates;
+}
+
+std::vector<double> srpt_allocate(const topo::Topology& topology,
+                                  const std::vector<FlowDemand>& demands,
+                                  const std::vector<double>& remaining,
+                                  double bandwidth_scale) {
+  if (bandwidth_scale <= 0.0) {
+    throw std::invalid_argument("srpt_allocate: scale must be positive");
+  }
+  if (remaining.size() != demands.size()) {
+    throw std::invalid_argument("srpt_allocate: remaining size mismatch");
+  }
+
+  // Residual capacity ledgers (same resource keying as max-min).
+  std::unordered_map<ResourceKey, double> residual;
+  for (const FlowDemand& d : demands) {
+    if (d.path.size() < 2) {
+      throw std::invalid_argument("srpt_allocate: path needs >= 2 nodes");
+    }
+    for (std::size_t j = 0; j + 1 < d.path.size(); ++j) {
+      const auto bw = topology.graph().bandwidth(d.path[j], d.path[j + 1]);
+      if (!bw) throw std::invalid_argument("srpt_allocate: path uses missing link");
+      residual[link_key(d.path[j], d.path[j + 1])] = *bw * bandwidth_scale;
+    }
+    for (NodeId n : d.path) {
+      if (topology.is_switch(n)) {
+        residual[switch_key(n)] = topology.switch_capacity(n) * bandwidth_scale;
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(demands.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (remaining[a] != remaining[b]) return remaining[a] < remaining[b];
+    return demands[a].flow < demands[b].flow;
+  });
+
+  std::vector<double> rates(demands.size(), 0.0);
+  for (std::size_t i : order) {
+    const topo::Path& path = demands[i].path;
+    double rate = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+      rate = std::min(rate, residual.at(link_key(path[j], path[j + 1])));
+    }
+    for (NodeId n : path) {
+      if (topology.is_switch(n)) rate = std::min(rate, residual.at(switch_key(n)));
+    }
+    if (demands[i].rate_cap > 0.0) rate = std::min(rate, demands[i].rate_cap);
+    rate = std::max(rate, 0.0);
+    rates[i] = rate;
+    if (rate > 0.0) {
+      for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+        residual.at(link_key(path[j], path[j + 1])) -= rate;
+      }
+      for (NodeId n : path) {
+        if (topology.is_switch(n)) residual.at(switch_key(n)) -= rate;
+      }
+    }
+  }
+  return rates;
+}
+
+}  // namespace hit::net

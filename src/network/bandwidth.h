@@ -1,0 +1,68 @@
+// Max-min fair bandwidth allocation (progressive filling).
+//
+// The flow-level substitute for the paper's Mininet/D-ITG packet measurements:
+// given concurrent flows and the capacitated resources they cross (physical
+// links and switch processing capacity), compute the fair per-flow rate.
+// The discrete-event simulator re-runs this whenever the active flow set
+// changes, which reproduces the bandwidth dynamics that motivate the paper
+// ("the bandwidth on the routing path is not static but dynamic").
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/topology.h"
+#include "util/ids.h"
+
+namespace hit::topo {
+class Topology;
+}
+
+namespace hit::net {
+
+/// One flow's demand on the network: the node path it follows and an upper
+/// bound on how fast it can go (0 or negative => unbounded).
+struct FlowDemand {
+  FlowId flow;
+  topo::Path path;
+  double rate_cap = 0.0;
+};
+
+/// How concurrent flows share the network.
+///   MaxMinFair — TCP-like progressive filling (default; the paper's
+///                dynamic-bandwidth premise).
+///   Srpt       — shortest-remaining-processing-time-first: the network
+///                scheduling discipline of related work [5][6] (flows
+///                ordered by remaining bytes; each greedily takes the
+///                residual capacity of its path, later flows get leftovers).
+enum class SharingPolicy { MaxMinFair, Srpt };
+
+class MaxMinFairAllocator {
+ public:
+  /// `bandwidth_scale` multiplies every link capacity — the knob behind the
+  /// paper's Figure 9 bandwidth sensitivity sweep.
+  explicit MaxMinFairAllocator(const topo::Topology& topology,
+                               double bandwidth_scale = 1.0);
+
+  /// Compute the max-min fair rate of every demand.  Resources considered:
+  /// each undirected link (capacity = bandwidth * scale) and each switch
+  /// (its processing capacity).  Returns rates aligned with `demands`.
+  [[nodiscard]] std::vector<double> allocate(const std::vector<FlowDemand>& demands) const;
+
+ private:
+  const topo::Topology* topology_;
+  double scale_;
+};
+
+/// SRPT rate assignment: demands are processed in increasing order of
+/// `remaining[i]` (ties by FlowId); each flow receives the minimum residual
+/// capacity along its path (links and switch capacities, scaled), which is
+/// then subtracted.  Starved flows get rate 0 until earlier flows finish.
+/// `remaining` aligns with `demands`.
+[[nodiscard]] std::vector<double> srpt_allocate(const topo::Topology& topology,
+                                                const std::vector<FlowDemand>& demands,
+                                                const std::vector<double>& remaining,
+                                                double bandwidth_scale = 1.0);
+
+}  // namespace hit::net

@@ -1,0 +1,33 @@
+// Shuffle traffic flows (§3.1): each flow carries one map task's output
+// partition to one reduce task: f = {size, src, dst, rate}.
+//
+// In the paper flows connect *containers*; containers and tasks are 1:1
+// (Eq. 3 constraints 2-3), so we key flows by task ids — the scheduler's
+// placement decision then fixes the hosting servers.
+#pragma once
+
+#include <vector>
+
+#include "util/ids.h"
+
+namespace hit::net {
+
+struct Flow {
+  FlowId id;
+  JobId job;
+  TaskId src_task;   ///< map task producing the partition
+  TaskId dst_task;   ///< reduce task consuming it
+  double size_gb = 0.0;
+  double rate = 0.0;  ///< nominal shuffle data rate (f_i.rate), rate units
+};
+
+using FlowSet = std::vector<Flow>;
+
+/// Total bytes moved by a flow set.
+[[nodiscard]] inline double total_size_gb(const FlowSet& flows) {
+  double sum = 0.0;
+  for (const Flow& f : flows) sum += f.size_gb;
+  return sum;
+}
+
+}  // namespace hit::net

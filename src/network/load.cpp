@@ -1,0 +1,75 @@
+#include "network/load.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hit::net {
+
+LoadTracker::LoadTracker(const topo::Topology& topology)
+    : topology_(&topology), load_(topology.node_count(), 0.0) {}
+
+void LoadTracker::assign(const Policy& policy, double rate) {
+  if (rate < 0.0) throw std::invalid_argument("LoadTracker: negative rate");
+  for (NodeId w : policy.list) load_[w.index()] += rate;
+}
+
+void LoadTracker::remove(const Policy& policy, double rate) {
+  if (rate < 0.0) throw std::invalid_argument("LoadTracker: negative rate");
+  for (NodeId w : policy.list) {
+    load_[w.index()] -= rate;
+    if (load_[w.index()] < -1e-9) {
+      throw std::logic_error("LoadTracker: negative load after removal");
+    }
+    load_[w.index()] = std::max(load_[w.index()], 0.0);
+  }
+}
+
+double LoadTracker::load(NodeId sw) const {
+  if (!sw.valid() || sw.index() >= load_.size()) {
+    throw std::out_of_range("LoadTracker: unknown node");
+  }
+  return load_[sw.index()];
+}
+
+double LoadTracker::residual(NodeId sw) const {
+  return topology_->switch_capacity(sw) - load(sw);
+}
+
+bool LoadTracker::feasible_switch(NodeId sw, double rate) const {
+  return residual(sw) + 1e-12 >= rate;
+}
+
+bool LoadTracker::feasible(const Policy& policy, double rate) const {
+  return std::all_of(policy.list.begin(), policy.list.end(),
+                     [&](NodeId w) { return feasible_switch(w, rate); });
+}
+
+std::vector<NodeId> LoadTracker::candidates(NodeId src, NodeId dst,
+                                            const Policy& policy, std::size_t i,
+                                            double rate) const {
+  std::vector<NodeId> structural =
+      topology_->substitution_candidates(src, dst, policy.list, i);
+  std::vector<NodeId> out;
+  out.reserve(structural.size());
+  for (NodeId w : structural) {
+    if (feasible_switch(w, rate)) out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<NodeId> LoadTracker::overloaded() const {
+  std::vector<NodeId> out;
+  for (NodeId w : topology_->switches()) {
+    if (load_[w.index()] > topology_->switch_capacity(w) + 1e-9) out.push_back(w);
+  }
+  return out;
+}
+
+double LoadTracker::utilization(NodeId sw) const {
+  const double cap = topology_->switch_capacity(sw);
+  return cap > 0.0 ? load(sw) / cap : 0.0;
+}
+
+void LoadTracker::reset() { std::fill(load_.begin(), load_.end(), 0.0); }
+
+}  // namespace hit::net

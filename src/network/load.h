@@ -1,0 +1,54 @@
+// Dynamic per-switch load ledger: Σ_{p in A(w)} f_p.rate, the left side of
+// the switch-capacity constraint in Eq. (3).  Layered over the (static)
+// Topology; the policy optimizer consults it to filter Eq. (4)'s candidate
+// set down to switches with sufficient residual capacity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "network/policy.h"
+#include "topology/topology.h"
+#include "util/ids.h"
+
+namespace hit::net {
+
+class LoadTracker {
+ public:
+  explicit LoadTracker(const topo::Topology& topology);
+
+  /// Charge `rate` to every switch on the policy's list.
+  void assign(const Policy& policy, double rate);
+
+  /// Remove a previously assigned charge.
+  void remove(const Policy& policy, double rate);
+
+  [[nodiscard]] double load(NodeId sw) const;
+  [[nodiscard]] double residual(NodeId sw) const;
+
+  /// Would assigning `rate` along `policy` keep every switch within
+  /// capacity?
+  [[nodiscard]] bool feasible(const Policy& policy, double rate) const;
+  [[nodiscard]] bool feasible_switch(NodeId sw, double rate) const;
+
+  /// Eq. (4): same-tier, physically valid substitutes for position i of the
+  /// policy's switch list that also have residual capacity >= rate.
+  [[nodiscard]] std::vector<NodeId> candidates(NodeId src, NodeId dst,
+                                               const Policy& policy,
+                                               std::size_t i, double rate) const;
+
+  /// Switches currently above capacity (should stay empty when schedulers
+  /// behave; failure-injection tests exercise the non-empty case).
+  [[nodiscard]] std::vector<NodeId> overloaded() const;
+
+  /// Utilization in [0, ...]: load / capacity.
+  [[nodiscard]] double utilization(NodeId sw) const;
+
+  void reset();
+
+ private:
+  const topo::Topology* topology_;
+  std::vector<double> load_;  // indexed by NodeId
+};
+
+}  // namespace hit::net

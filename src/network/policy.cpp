@@ -1,0 +1,71 @@
+#include "network/policy.h"
+
+#include <stdexcept>
+
+namespace hit::net {
+namespace {
+
+/// Find a relay server adjacent to both switches (server-centric hop),
+/// or an invalid id when none exists.
+NodeId find_relay(const topo::Topology& topology, NodeId a, NodeId b) {
+  for (const topo::Edge& e : topology.graph().neighbors(a)) {
+    if (topology.is_server(e.to) && topology.graph().adjacent(e.to, b)) {
+      return e.to;
+    }
+  }
+  return NodeId{};
+}
+
+}  // namespace
+
+bool Policy::satisfied(const topo::Topology& topology, NodeId src, NodeId dst) const {
+  if (list.empty() || list.size() != type.size()) return false;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (!topology.is_switch(list[i])) return false;
+    if (topology.tier(list[i]) != type[i]) return false;
+  }
+  if (!topology.graph().adjacent(src, list.front())) return false;
+  if (!topology.graph().adjacent(list.back(), dst)) return false;
+  for (std::size_t i = 0; i + 1 < list.size(); ++i) {
+    if (topology.graph().adjacent(list[i], list[i + 1])) continue;
+    if (!find_relay(topology, list[i], list[i + 1]).valid()) return false;
+  }
+  return true;
+}
+
+topo::Path Policy::realize(const topo::Topology& topology, NodeId src, NodeId dst) const {
+  if (!satisfied(topology, src, dst)) {
+    throw std::invalid_argument("Policy::realize: policy not satisfied for endpoints");
+  }
+  topo::Path path{src};
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (i > 0 && !topology.graph().adjacent(list[i - 1], list[i])) {
+      path.push_back(find_relay(topology, list[i - 1], list[i]));
+    }
+    path.push_back(list[i]);
+  }
+  path.push_back(dst);
+  return path;
+}
+
+std::string Policy::to_string(const topo::Topology& topology) const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (i) out += " -> ";
+    out += topology.info(list[i]).name;
+  }
+  out += "]";
+  return out;
+}
+
+Policy policy_from_path(const topo::Topology& topology, const topo::Path& path,
+                        FlowId flow, PolicyId id) {
+  Policy policy;
+  policy.id = id;
+  policy.flow = flow;
+  policy.list = topology.switch_list(path);
+  policy.type = topology.tier_signature(policy.list);
+  return policy;
+}
+
+}  // namespace hit::net

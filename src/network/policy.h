@@ -1,0 +1,46 @@
+// Traffic policies (§3.1): the ordered, typed switch list a flow must
+// traverse.  A policy p has {list, len, type}; it is *satisfied* iff every
+// allocated switch matches the required type in order and consecutive
+// elements are physically connected (flows cannot teleport).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+#include "util/ids.h"
+
+namespace hit::net {
+
+struct Policy {
+  PolicyId id;
+  FlowId flow;
+  std::vector<NodeId> list;          ///< p.list — switches, ingress to egress
+  std::vector<topo::Tier> type;      ///< p.type — required tier per position
+
+  [[nodiscard]] std::size_t len() const noexcept { return list.size(); }
+
+  /// Paper's satisfaction predicate plus physical realizability:
+  ///  * |list| == |type| and every switch's tier matches its slot,
+  ///  * src server attaches to list[0], dst server to list[len-1],
+  ///  * consecutive switches are adjacent (directly, or through a relay
+  ///    server in server-centric topologies like BCube).
+  [[nodiscard]] bool satisfied(const topo::Topology& topology, NodeId src,
+                               NodeId dst) const;
+
+  /// Full node path src -> switches -> dst, inserting relay servers where
+  /// consecutive switches are only server-connected (BCube).  Throws
+  /// std::invalid_argument when the policy is not realizable.
+  [[nodiscard]] topo::Path realize(const topo::Topology& topology, NodeId src,
+                                   NodeId dst) const;
+
+  [[nodiscard]] std::string to_string(const topo::Topology& topology) const;
+};
+
+/// Build a policy whose list/type mirror the switches of a concrete path.
+[[nodiscard]] Policy policy_from_path(const topo::Topology& topology,
+                                      const topo::Path& path, FlowId flow,
+                                      PolicyId id = PolicyId{});
+
+}  // namespace hit::net

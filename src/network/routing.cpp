@@ -1,0 +1,48 @@
+#include "network/routing.h"
+
+#include <stdexcept>
+
+namespace hit::net {
+
+Policy shortest_policy(const topo::Topology& topology, NodeId src, NodeId dst,
+                       FlowId flow) {
+  const topo::Path path = topology.shortest_path(src, dst);
+  if (path.empty()) throw std::invalid_argument("shortest_policy: unreachable endpoints");
+  return policy_from_path(topology, path, flow);
+}
+
+Policy random_policy(const topo::Topology& topology, NodeId src, NodeId dst,
+                     FlowId flow, std::size_t k, Rng& rng) {
+  const auto paths = topology.k_shortest_paths(src, dst, k);
+  if (paths.empty()) throw std::invalid_argument("random_policy: unreachable endpoints");
+  const std::size_t pick = rng.uniform_index(paths.size());
+  return policy_from_path(topology, paths[pick], flow);
+}
+
+Policy ecmp_policy(const topo::Topology& topology, NodeId src, NodeId dst,
+                   FlowId flow, std::size_t k) {
+  const auto paths = topology.k_shortest_paths(src, dst, k);
+  if (paths.empty()) throw std::invalid_argument("ecmp_policy: unreachable endpoints");
+  // Keep only minimum-length routes, then hash the flow id (SplitMix64
+  // finalizer) to pick one deterministically.
+  std::size_t equal = 1;
+  while (equal < paths.size() && paths[equal].size() == paths[0].size()) ++equal;
+  std::uint64_t h = flow.value() + 0x9E3779B97F4A7C15ull;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return policy_from_path(topology, paths[h % equal], flow);
+}
+
+std::optional<Policy> feasible_policy(const topo::Topology& topology,
+                                      const LoadTracker& load, NodeId src,
+                                      NodeId dst, FlowId flow, double rate,
+                                      std::size_t k) {
+  for (const topo::Path& path : topology.k_shortest_paths(src, dst, k)) {
+    Policy policy = policy_from_path(topology, path, flow);
+    if (load.feasible(policy, rate)) return policy;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hit::net

@@ -1,0 +1,47 @@
+// Route selection helpers: default (shortest-path) policies, random initial
+// policies (§5.1.1: "the flow f_k is assigned with required switches based on
+// a random policy p_k"), and capacity-aware selection among the k shortest
+// routes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "network/load.h"
+#include "network/policy.h"
+#include "topology/topology.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace hit::net {
+
+/// Shortest-path policy between two server nodes.  Deterministic.
+[[nodiscard]] Policy shortest_policy(const topo::Topology& topology, NodeId src,
+                                     NodeId dst, FlowId flow);
+
+/// Random choice among the `k` shortest routes — the paper's random initial
+/// policy before optimization.
+[[nodiscard]] Policy random_policy(const topo::Topology& topology, NodeId src,
+                                   NodeId dst, FlowId flow, std::size_t k, Rng& rng);
+
+/// Shortest route whose every switch can still absorb `rate` on top of the
+/// tracked load; searches the k shortest routes in order.  Returns nullopt
+/// when none fits (caller may then accept the overloaded shortest route).
+[[nodiscard]] std::optional<Policy> feasible_policy(const topo::Topology& topology,
+                                                    const LoadTracker& load,
+                                                    NodeId src, NodeId dst,
+                                                    FlowId flow, double rate,
+                                                    std::size_t k);
+
+/// Number of switch hops a policy traverses (the paper's delay unit).
+[[nodiscard]] inline std::size_t policy_hops(const Policy& policy) {
+  return policy.len();
+}
+
+/// ECMP-style routing: deterministic hash of the flow id picks one of the
+/// equal-length shortest routes — the load spreading commodity data-center
+/// fabrics apply when no controller optimizes policies.
+[[nodiscard]] Policy ecmp_policy(const topo::Topology& topology, NodeId src,
+                                 NodeId dst, FlowId flow, std::size_t k = 8);
+
+}  // namespace hit::net

@@ -1,0 +1,80 @@
+#include "network/traffic_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace hit::net {
+
+double TrafficReport::average_route_length() const {
+  if (flows.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& m : flows) sum += static_cast<double>(m.route_hops);
+  return sum / static_cast<double>(flows.size());
+}
+
+double TrafficReport::average_delay_us() const {
+  if (flows.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& m : flows) sum += m.mean_delay_us;
+  return sum / static_cast<double>(flows.size());
+}
+
+TrafficGenerator::TrafficGenerator(const topo::Topology& topology,
+                                   TrafficGenConfig config)
+    : topology_(&topology), config_(config) {
+  if (config_.packets_per_flow == 0) {
+    throw std::invalid_argument("TrafficGenerator: packets_per_flow must be > 0");
+  }
+}
+
+FlowMeasurement TrafficGenerator::measure(const Flow& flow, const Policy& policy,
+                                          NodeId src, NodeId dst,
+                                          const LoadTracker& load, Rng& rng) const {
+  if (!policy.satisfied(*topology_, src, dst)) {
+    throw std::invalid_argument("TrafficGenerator: unsatisfied policy");
+  }
+  const std::size_t hops = policy.len();
+  double max_util = 0.0;
+  for (NodeId w : policy.list) {
+    max_util = std::max(max_util, load.utilization(w));
+  }
+  const double congestion = std::min(1.0 + config_.queueing_weight * max_util,
+                                     config_.max_queueing_factor);
+  const double base_us =
+      config_.per_switch_latency_us * static_cast<double>(hops) * congestion;
+
+  std::vector<double> samples;
+  samples.reserve(config_.packets_per_flow);
+  for (std::size_t p = 0; p < config_.packets_per_flow; ++p) {
+    samples.push_back(rng.lognormal_median(base_us, config_.jitter_sigma));
+  }
+  FlowMeasurement m;
+  m.flow = flow.id;
+  m.route_hops = hops;
+  m.mean_delay_us = stats::mean_of(samples);
+  m.p99_delay_us = stats::percentile(samples, 99.0);
+  m.bytes_gb = flow.size_gb;
+  return m;
+}
+
+TrafficReport TrafficGenerator::measure_all(const FlowSet& flows,
+                                            const std::vector<Policy>& policies,
+                                            const std::vector<NodeId>& src_nodes,
+                                            const std::vector<NodeId>& dst_nodes,
+                                            const LoadTracker& load, Rng& rng) const {
+  if (flows.size() != policies.size() || flows.size() != src_nodes.size() ||
+      flows.size() != dst_nodes.size()) {
+    throw std::invalid_argument("TrafficGenerator: input size mismatch");
+  }
+  TrafficReport report;
+  report.flows.reserve(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    report.flows.push_back(
+        measure(flows[i], policies[i], src_nodes[i], dst_nodes[i], load, rng));
+  }
+  return report;
+}
+
+}  // namespace hit::net

@@ -1,0 +1,74 @@
+#include "sched/capacity_scheduler.h"
+
+#include <stdexcept>
+
+#include "network/routing.h"
+
+namespace hit::sched {
+
+Assignment CapacityScheduler::schedule(const Problem& problem, Rng& rng) {
+  (void)rng;  // deterministic baseline
+  if (!problem.valid()) throw std::invalid_argument("CapacityScheduler: invalid problem");
+
+  Assignment assignment;
+  UsageLedger ledger(problem);
+
+  // Most-available server first (vcores, then memory, then id) — the
+  // load-balancing behaviour that maximizes cluster concurrency.
+  auto most_available = [&ledger](auto&& servers, cluster::Resource demand) {
+    ServerId best;
+    cluster::Resource best_avail;
+    for (ServerId id : servers) {
+      if (!ledger.can_host(id, demand)) continue;
+      const cluster::Resource avail = ledger.available(id);
+      const bool better = !best.valid() || avail.vcores > best_avail.vcores ||
+                          (avail.vcores == best_avail.vcores &&
+                           avail.mem_gb > best_avail.mem_gb);
+      if (better) {
+        best = id;
+        best_avail = avail;
+      }
+    }
+    return best;
+  };
+  std::vector<ServerId> all_servers;
+  for (const cluster::Server& s : problem.cluster->servers()) {
+    all_servers.push_back(s.id);
+  }
+
+  for (const TaskRef& task : problem.tasks) {
+    ServerId best;
+    // Stock Hadoop map locality: try the split's replica holders first.
+    if (task.kind == cluster::TaskKind::Map && problem.blocks != nullptr) {
+      best = most_available(problem.blocks->replicas(task.id), task.demand);
+    }
+    if (!best.valid()) best = most_available(all_servers, task.demand);
+    if (!best.valid()) {
+      throw std::runtime_error("CapacityScheduler: no server can host task");
+    }
+    ledger.place(best, task.demand);
+    assignment.placement[task.id] = best;
+  }
+
+  if (use_ecmp_) {
+    for (const net::Flow& f : problem.flows) {
+      const ServerId src = assignment.host(problem, f.src_task);
+      const ServerId dst = assignment.host(problem, f.dst_task);
+      if (!src.valid() || !dst.valid()) continue;
+      if (src == dst) {
+        net::Policy p;
+        p.flow = f.id;
+        assignment.policies[f.id] = std::move(p);
+        continue;
+      }
+      assignment.policies[f.id] =
+          net::ecmp_policy(*problem.topology, problem.cluster->node_of(src),
+                           problem.cluster->node_of(dst), f.id);
+    }
+  } else {
+    attach_shortest_policies(problem, assignment);
+  }
+  return assignment;
+}
+
+}  // namespace hit::sched

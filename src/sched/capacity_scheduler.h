@@ -1,0 +1,32 @@
+// Capacity Scheduler baseline — Hadoop YARN's default in the paper's
+// evaluation.  Topology-unaware for the *shuffle*: tasks are spread across
+// servers to maximize concurrency ("occupy the entire cluster or as much as
+// possible", §2.1), i.e. each task goes to the server with the most
+// available resources.  Map tasks keep stock Hadoop's HDFS locality: when
+// replica information is available, a map prefers the most-available server
+// holding its split (YARN's node-locality delay in steady state).  Flows get
+// plain shortest-path policies because the stock scheduler never touches
+// routing.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace hit::sched {
+
+class CapacityScheduler final : public Scheduler {
+ public:
+  /// With `use_ecmp`, flows ride hash-spread equal-cost shortest routes
+  /// (commodity fabric behaviour) instead of the single lexicographic
+  /// shortest path.  Placement is unchanged either way.
+  explicit CapacityScheduler(bool use_ecmp = false) : use_ecmp_(use_ecmp) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return use_ecmp_ ? "Capacity+ECMP" : "Capacity";
+  }
+  [[nodiscard]] Assignment schedule(const Problem& problem, Rng& rng) override;
+
+ private:
+  bool use_ecmp_;
+};
+
+}  // namespace hit::sched

@@ -1,0 +1,72 @@
+#include "sched/delay_scheduler.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace hit::sched {
+namespace {
+
+/// Least-loaded server (by used vcores, then id) among those able to host.
+ServerId least_loaded(const UsageLedger& ledger,
+                      const std::vector<ServerId>& candidates) {
+  ServerId best;
+  double best_used = std::numeric_limits<double>::infinity();
+  for (ServerId s : candidates) {
+    const double used = ledger.used(s).vcores;
+    if (used < best_used) {
+      best_used = used;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Assignment DelayScheduler::schedule(const Problem& problem, Rng& rng) {
+  (void)rng;
+  if (!problem.valid()) throw std::invalid_argument("DelayScheduler: invalid problem");
+
+  Assignment assignment;
+  UsageLedger ledger(problem);
+  HopMatrix hop_matrix(problem);
+
+  for (const TaskRef& task : problem.tasks) {
+    ServerId pick;
+    if (task.kind == cluster::TaskKind::Map && problem.blocks != nullptr) {
+      // Node-local first.
+      std::vector<ServerId> local;
+      for (ServerId r : problem.blocks->replicas(task.id)) {
+        if (ledger.can_host(r, task.demand)) local.push_back(r);
+      }
+      pick = least_loaded(ledger, local);
+      if (!pick.valid()) {
+        // Rack-local: any server sharing an access switch with a replica.
+        std::vector<ServerId> rack;
+        for (const cluster::Server& s : problem.cluster->servers()) {
+          if (!ledger.can_host(s.id, task.demand)) continue;
+          for (ServerId r : problem.blocks->replicas(task.id)) {
+            if (hop_matrix.hops(s.id, r) <= 1) {
+              rack.push_back(s.id);
+              break;
+            }
+          }
+        }
+        pick = least_loaded(ledger, rack);
+      }
+    }
+    if (!pick.valid()) {
+      pick = least_loaded(ledger, ledger.candidates(task.demand));
+    }
+    if (!pick.valid()) {
+      throw std::runtime_error("DelayScheduler: no server can host task");
+    }
+    ledger.place(pick, task.demand);
+    assignment.placement[task.id] = pick;
+  }
+
+  attach_shortest_policies(problem, assignment);
+  return assignment;
+}
+
+}  // namespace hit::sched

@@ -1,0 +1,19 @@
+// Delay-scheduling-style locality baseline (Zaharia et al., EuroSys'10):
+// map tasks wait for a slot on a server holding their input replica; we model
+// the steady state — a map lands on the least-loaded replica holder with
+// room, falling back to rack- then cluster-level placement.  Reduce tasks are
+// placed capacity-style.  Shuffle-unaware by design: it optimizes the remote
+// map traffic the paper shows is the *minor* traffic component (Figure 1).
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace hit::sched {
+
+class DelayScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Delay"; }
+  [[nodiscard]] Assignment schedule(const Problem& problem, Rng& rng) override;
+};
+
+}  // namespace hit::sched

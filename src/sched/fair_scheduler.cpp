@@ -1,0 +1,81 @@
+#include "sched/fair_scheduler.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace hit::sched {
+
+Assignment FairScheduler::schedule(const Problem& problem, Rng& rng) {
+  (void)rng;
+  if (!problem.valid()) throw std::invalid_argument("FairScheduler: invalid problem");
+
+  Assignment assignment;
+  UsageLedger ledger(problem);
+
+  // Per-job FIFO of pending tasks, in submission order.
+  std::map<JobId, std::deque<const TaskRef*>> pending;
+  for (const TaskRef& t : problem.tasks) pending[t.job].push_back(&t);
+
+  std::map<JobId, std::size_t> placed;
+  for (const auto& [job, queue] : pending) placed[job] = 0;
+
+  auto most_available = [&](auto&& servers, cluster::Resource demand) {
+    ServerId best;
+    cluster::Resource best_avail;
+    for (ServerId id : servers) {
+      if (!ledger.can_host(id, demand)) continue;
+      const cluster::Resource avail = ledger.available(id);
+      const bool better = !best.valid() || avail.vcores > best_avail.vcores ||
+                          (avail.vcores == best_avail.vcores &&
+                           avail.mem_gb > best_avail.mem_gb);
+      if (better) {
+        best = id;
+        best_avail = avail;
+      }
+    }
+    return best;
+  };
+  std::vector<ServerId> all_servers;
+  for (const cluster::Server& s : problem.cluster->servers()) {
+    all_servers.push_back(s.id);
+  }
+
+  std::size_t remaining = problem.tasks.size();
+  while (remaining > 0) {
+    // The job furthest below its fair share places next (ties by job id).
+    JobId next;
+    std::size_t fewest = SIZE_MAX;
+    for (const auto& [job, queue] : pending) {
+      if (queue.empty()) continue;
+      if (placed[job] < fewest) {
+        fewest = placed[job];
+        next = job;
+      }
+    }
+    if (!next.valid()) break;  // defensive; remaining would be 0
+
+    const TaskRef* task = pending[next].front();
+    pending[next].pop_front();
+    ++placed[next];
+    --remaining;
+
+    ServerId best;
+    if (task->kind == cluster::TaskKind::Map && problem.blocks != nullptr) {
+      best = most_available(problem.blocks->replicas(task->id), task->demand);
+    }
+    if (!best.valid()) best = most_available(all_servers, task->demand);
+    if (!best.valid()) {
+      throw std::runtime_error("FairScheduler: no server can host task");
+    }
+    ledger.place(best, task->demand);
+    assignment.placement[task->id] = best;
+  }
+
+  attach_shortest_policies(problem, assignment);
+  return assignment;
+}
+
+}  // namespace hit::sched

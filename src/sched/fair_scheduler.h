@@ -1,0 +1,21 @@
+// Fair Scheduler baseline — Hadoop's other stock scheduler.
+//
+// Allocates slots round-robin across *jobs* (max-min fairness over job slot
+// shares) instead of by queue capacity: at every step the job with the
+// fewest placed tasks places its next task on the most-available server
+// (with stock HDFS map locality).  Like Capacity, it is shuffle- and
+// topology-unaware — included to show Hit's advantage is not an artifact of
+// one particular baseline's placement pattern.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace hit::sched {
+
+class FairScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Fair"; }
+  [[nodiscard]] Assignment schedule(const Problem& problem, Rng& rng) override;
+};
+
+}  // namespace hit::sched

@@ -1,0 +1,110 @@
+#include "sched/pna_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace hit::sched {
+
+Assignment PnaScheduler::schedule(const Problem& problem, Rng& rng) {
+  if (!problem.valid()) throw std::invalid_argument("PnaScheduler: invalid problem");
+
+  Assignment assignment;
+  UsageLedger ledger(problem);
+  HopMatrix hop_matrix(problem);
+
+  // Flows indexed by participating task for quick peer lookup.
+  std::unordered_map<TaskId, std::vector<const net::Flow*>> flows_of;
+  for (const net::Flow& f : problem.flows) {
+    flows_of[f.src_task].push_back(&f);
+    flows_of[f.dst_task].push_back(&f);
+  }
+
+  // Maps first (their replica locations are known up front), then reduces —
+  // so a reduce's placement distribution sees every map peer already placed,
+  // matching the information order of Shen et al.'s scheme.
+  std::vector<const TaskRef*> order;
+  order.reserve(problem.tasks.size());
+  for (const TaskRef& t : problem.tasks) {
+    if (t.kind == cluster::TaskKind::Map) order.push_back(&t);
+  }
+  for (const TaskRef& t : problem.tasks) {
+    if (t.kind == cluster::TaskKind::Reduce) order.push_back(&t);
+  }
+
+  // Hosts of already-placed tasks per job: the *expected* position of a
+  // task's unplaced shuffle peers is approximated by the job's placed-task
+  // centroid, which is what makes the expected-transmission-cost objective
+  // cluster each job's tasks instead of degenerating to random placement.
+  std::unordered_map<JobId, std::vector<ServerId>> job_hosts;
+
+  for (const TaskRef* task_ptr : order) {
+    const TaskRef& task = *task_ptr;
+    const std::vector<ServerId> candidates = ledger.candidates(task.demand);
+    if (candidates.empty()) {
+      throw std::runtime_error("PnaScheduler: no server can host task");
+    }
+
+    // Expected transmission cost per candidate: Σ size * static_hops for
+    // placed peers, plus the job-centroid estimate for unplaced ones.  Maps
+    // with replica info also count remote-map transfer to the nearest
+    // replica.
+    const std::vector<ServerId>* anchors = nullptr;
+    if (const auto jh = job_hosts.find(task.job);
+        jh != job_hosts.end() && !jh->second.empty()) {
+      anchors = &jh->second;
+    }
+    std::vector<double> costs(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const ServerId s = candidates[i];
+      double cost = 0.0;
+      const auto it = flows_of.find(task.id);
+      if (it != flows_of.end()) {
+        for (const net::Flow* f : it->second) {
+          const TaskId peer = (f->src_task == task.id) ? f->dst_task : f->src_task;
+          const ServerId peer_host = assignment.host(problem, peer);
+          if (peer_host.valid()) {
+            cost += f->size_gb * static_cast<double>(hop_matrix.hops(s, peer_host));
+          } else if (anchors != nullptr) {
+            double mean_hops = 0.0;
+            for (ServerId a : *anchors) {
+              mean_hops += static_cast<double>(hop_matrix.hops(s, a));
+            }
+            mean_hops /= static_cast<double>(anchors->size());
+            cost += f->size_gb * mean_hops;
+          }
+        }
+      }
+      if (task.kind == cluster::TaskKind::Map && problem.blocks != nullptr) {
+        std::size_t nearest = SIZE_MAX;
+        for (ServerId r : problem.blocks->replicas(task.id)) {
+          nearest = std::min(nearest, hop_matrix.hops(s, r));
+        }
+        if (nearest != SIZE_MAX) {
+          cost += task.input_gb * static_cast<double>(nearest);
+        }
+      }
+      costs[i] = cost;
+    }
+    // Placement probability decays with cost relative to the cheapest
+    // candidate: weight = ((1 + min) / (1 + cost))^beta.
+    const double min_cost = *std::min_element(costs.begin(), costs.end());
+    std::vector<double> weights(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      weights[i] = std::pow((1.0 + min_cost) / (1.0 + costs[i]), beta_);
+    }
+
+    const ServerId pick = candidates[rng.weighted_index(weights)];
+    ledger.place(pick, task.demand);
+    assignment.placement[task.id] = pick;
+    job_hosts[task.job].push_back(pick);
+  }
+
+  // Single fixed shortest path per flow — PNA assumes static routing.
+  attach_shortest_policies(problem, assignment);
+  return assignment;
+}
+
+}  // namespace hit::sched

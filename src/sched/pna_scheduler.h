@@ -1,0 +1,33 @@
+// Probabilistic Network-Aware scheduler — the paper's stronger baseline
+// (Shen, Sarker, Yu, Deng: "Probabilistic network-aware task placement for
+// MapReduce scheduling", IEEE CLUSTER 2016).
+//
+// Faithful to the paper's critique of it (§7.3/§7.4): the scheduler knows the
+// *static* topology — transmission cost between two servers is the fixed
+// switch-hop count of the single shortest route — but assumes that cost never
+// changes with load, uses one fixed path per flow, and ignores residual
+// bandwidth.  Placement is probabilistic: a task lands on candidate server s
+// with probability proportional to 1 / (1 + cost(s)), where cost(s) sums
+// size-weighted static distances to the already-placed peers of the task's
+// flows.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace hit::sched {
+
+class PnaScheduler final : public Scheduler {
+ public:
+  /// `beta` sharpens the placement distribution: weight = (1+cost)^-beta.
+  explicit PnaScheduler(double beta = 12.0) : beta_(beta) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "Probabilistic Network-Aware";
+  }
+  [[nodiscard]] Assignment schedule(const Problem& problem, Rng& rng) override;
+
+ private:
+  double beta_;
+};
+
+}  // namespace hit::sched

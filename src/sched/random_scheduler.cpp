@@ -1,0 +1,42 @@
+#include "sched/random_scheduler.h"
+
+#include <stdexcept>
+
+#include "network/routing.h"
+
+namespace hit::sched {
+
+Assignment RandomScheduler::schedule(const Problem& problem, Rng& rng) {
+  if (!problem.valid()) throw std::invalid_argument("RandomScheduler: invalid problem");
+
+  Assignment assignment;
+  UsageLedger ledger(problem);
+
+  for (const TaskRef& task : problem.tasks) {
+    const std::vector<ServerId> candidates = ledger.candidates(task.demand);
+    if (candidates.empty()) {
+      throw std::runtime_error("RandomScheduler: no server can host task");
+    }
+    const ServerId pick = candidates[rng.uniform_index(candidates.size())];
+    ledger.place(pick, task.demand);
+    assignment.placement[task.id] = pick;
+  }
+
+  for (const net::Flow& f : problem.flows) {
+    const ServerId src = assignment.host(problem, f.src_task);
+    const ServerId dst = assignment.host(problem, f.dst_task);
+    if (!src.valid() || !dst.valid()) continue;
+    if (src == dst) {
+      net::Policy p;
+      p.flow = f.id;
+      assignment.policies[f.id] = std::move(p);
+      continue;
+    }
+    assignment.policies[f.id] = net::random_policy(
+        *problem.topology, problem.cluster->node_of(src),
+        problem.cluster->node_of(dst), f.id, route_choices_, rng);
+  }
+  return assignment;
+}
+
+}  // namespace hit::sched

@@ -1,0 +1,23 @@
+// Uniform random placement — the paper's §5.3.1 starting point ("we assume
+// that they are randomly assigned in the beginning") and the ablation floor.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace hit::sched {
+
+class RandomScheduler final : public Scheduler {
+ public:
+  /// Routes are drawn uniformly from the `route_choices` shortest paths,
+  /// mirroring the random initial policies of §5.1.1.
+  explicit RandomScheduler(std::size_t route_choices = 4)
+      : route_choices_(route_choices) {}
+
+  [[nodiscard]] std::string_view name() const override { return "Random"; }
+  [[nodiscard]] Assignment schedule(const Problem& problem, Rng& rng) override;
+
+ private:
+  std::size_t route_choices_;
+};
+
+}  // namespace hit::sched

@@ -1,0 +1,122 @@
+#include "sched/scheduler.h"
+
+#include <stdexcept>
+
+#include "network/routing.h"
+
+namespace hit::sched {
+
+UsageLedger::UsageLedger(const Problem& problem) : cluster_(problem.cluster) {
+  if (!problem.valid()) throw std::invalid_argument("UsageLedger: invalid problem");
+  used_.assign(cluster_->size(), cluster::Resource{});
+  for (std::size_t i = 0; i < problem.base_usage.size(); ++i) {
+    if (i >= used_.size()) throw std::invalid_argument("UsageLedger: base_usage too long");
+    used_[i] = problem.base_usage[i];
+  }
+}
+
+bool UsageLedger::can_host(ServerId server, cluster::Resource demand) const {
+  return (used(server) + demand).fits_in(cluster_->server(server).capacity);
+}
+
+void UsageLedger::place(ServerId server, cluster::Resource demand) {
+  if (!can_host(server, demand)) {
+    throw std::logic_error("UsageLedger: placement exceeds server capacity");
+  }
+  used_[server.index()] += demand;
+}
+
+void UsageLedger::remove(ServerId server, cluster::Resource demand) {
+  used_[server.index()] -= demand;
+  if (!used_[server.index()].non_negative()) {
+    throw std::logic_error("UsageLedger: negative usage after removal");
+  }
+}
+
+cluster::Resource UsageLedger::used(ServerId server) const {
+  if (!server.valid() || server.index() >= used_.size()) {
+    throw std::out_of_range("UsageLedger: unknown server");
+  }
+  return used_[server.index()];
+}
+
+cluster::Resource UsageLedger::available(ServerId server) const {
+  return cluster_->server(server).capacity - used(server);
+}
+
+std::vector<ServerId> UsageLedger::candidates(cluster::Resource demand) const {
+  std::vector<ServerId> out;
+  for (const cluster::Server& s : cluster_->servers()) {
+    if (can_host(s.id, demand)) out.push_back(s.id);
+  }
+  return out;
+}
+
+void validate_assignment(const Problem& problem, const Assignment& assignment) {
+  // Every task placed, on a real server.
+  for (const TaskRef& t : problem.tasks) {
+    const auto it = assignment.placement.find(t.id);
+    if (it == assignment.placement.end() || !it->second.valid()) {
+      throw std::logic_error("validate_assignment: unplaced task");
+    }
+    (void)problem.cluster->server(it->second);
+  }
+  // Capacity: base usage plus this round's placements fits everywhere.
+  UsageLedger ledger(problem);
+  for (const TaskRef& t : problem.tasks) {
+    ledger.place(assignment.placement.at(t.id), t.demand);  // throws on overflow
+  }
+  // Policies satisfied for every fully placed flow.
+  for (const net::Flow& f : problem.flows) {
+    const ServerId src = assignment.host(problem, f.src_task);
+    const ServerId dst = assignment.host(problem, f.dst_task);
+    if (!src.valid() || !dst.valid()) continue;
+    const auto it = assignment.policies.find(f.id);
+    if (it == assignment.policies.end()) {
+      throw std::logic_error("validate_assignment: flow without policy");
+    }
+    if (src == dst) continue;  // co-located endpoints shuffle via local disk
+    if (!it->second.satisfied(*problem.topology, problem.cluster->node_of(src),
+                              problem.cluster->node_of(dst))) {
+      throw std::logic_error("validate_assignment: unsatisfied policy");
+    }
+  }
+}
+
+void attach_shortest_policies(const Problem& problem, Assignment& assignment) {
+  for (const net::Flow& f : problem.flows) {
+    const ServerId src = assignment.host(problem, f.src_task);
+    const ServerId dst = assignment.host(problem, f.dst_task);
+    if (!src.valid() || !dst.valid()) continue;
+    if (src == dst) {
+      // Local shuffle: empty policy placeholder keeps the flow accounted.
+      net::Policy p;
+      p.flow = f.id;
+      assignment.policies[f.id] = std::move(p);
+      continue;
+    }
+    assignment.policies[f.id] =
+        net::shortest_policy(*problem.topology, problem.cluster->node_of(src),
+                             problem.cluster->node_of(dst), f.id);
+  }
+}
+
+std::size_t HopMatrix::hops(ServerId from, ServerId to) {
+  auto it = columns_.find(to);
+  if (it == columns_.end()) {
+    it = columns_
+             .emplace(to, problem_->topology->switch_hop_distances(
+                              problem_->cluster->node_of(to)))
+             .first;
+  }
+  return it->second[problem_->cluster->node_of(from).index()];
+}
+
+std::size_t static_hops(const Problem& problem, ServerId a, ServerId b) {
+  if (a == b) return 0;
+  const topo::Path path = problem.topology->shortest_path(
+      problem.cluster->node_of(a), problem.cluster->node_of(b));
+  return problem.topology->switch_hops(path);
+}
+
+}  // namespace hit::sched

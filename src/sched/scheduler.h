@@ -1,0 +1,135 @@
+// Scheduler interface: the contract every placement strategy implements.
+//
+// A Problem bundles what the paper's schedulers see at decision time: the
+// hierarchical topology, the cluster's servers (with any pre-existing
+// allocations), the tasks of the current wave, and the shuffle flows those
+// tasks participate in — including flows whose other endpoint was fixed by an
+// earlier wave (§5.3.2 subsequent-wave scheduling).
+//
+// An Assignment is a full answer: a hosting server for every task and a
+// traffic policy for every flow whose endpoints are both placed.
+#pragma once
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/container.h"
+#include "mapreduce/hdfs.h"
+#include "network/flow.h"
+#include "network/load.h"
+#include "network/policy.h"
+#include "topology/topology.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace hit::sched {
+
+struct TaskRef {
+  TaskId id;
+  JobId job;
+  cluster::TaskKind kind = cluster::TaskKind::Map;
+  cluster::Resource demand = cluster::kDefaultContainerDemand;
+  double input_gb = 0.0;  ///< map split size (locality-aware baselines use it)
+};
+
+struct Problem {
+  const topo::Topology* topology = nullptr;
+  const cluster::Cluster* cluster = nullptr;
+  std::vector<TaskRef> tasks;  ///< tasks to place in this round
+  net::FlowSet flows;          ///< shuffle flows touching those tasks
+  /// Tasks already placed (earlier waves, co-tenant jobs); flows may
+  /// reference them as a fixed src or dst.
+  std::unordered_map<TaskId, ServerId> fixed;
+  /// Per-server resources consumed by the fixed tasks / other tenants,
+  /// indexed by ServerId.  Empty means all-free.
+  std::vector<cluster::Resource> base_usage;
+  /// Optional HDFS replica map (delay scheduling, remote-map accounting).
+  const mr::BlockPlacement* blocks = nullptr;
+  /// Optional ambient switch load from co-tenant flows already in flight
+  /// (online scheduling); congestion-aware schedulers start their ledgers
+  /// from it instead of an idle network.
+  const net::LoadTracker* ambient_load = nullptr;
+
+  [[nodiscard]] bool valid() const { return topology != nullptr && cluster != nullptr; }
+
+  /// Where a task lives: checks `fixed`; invalid id when unknown.
+  [[nodiscard]] ServerId fixed_host(TaskId task) const {
+    const auto it = fixed.find(task);
+    return it == fixed.end() ? ServerId{} : it->second;
+  }
+};
+
+struct Assignment {
+  std::unordered_map<TaskId, ServerId> placement;
+  std::unordered_map<FlowId, net::Policy> policies;
+
+  /// Hosting server for a task, consulting this assignment then the
+  /// problem's fixed placements.  Invalid id when still unplaced.
+  [[nodiscard]] ServerId host(const Problem& problem, TaskId task) const {
+    const auto it = placement.find(task);
+    if (it != placement.end()) return it->second;
+    return problem.fixed_host(task);
+  }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Produce a complete Assignment.  Implementations must respect server
+  /// capacity (base_usage + placed demands <= capacity per server) and place
+  /// every task in `problem.tasks`; throws std::runtime_error when the
+  /// problem is infeasible.
+  [[nodiscard]] virtual Assignment schedule(const Problem& problem, Rng& rng) = 0;
+};
+
+/// Mutable per-server usage ledger shared by scheduler implementations.
+class UsageLedger {
+ public:
+  explicit UsageLedger(const Problem& problem);
+
+  [[nodiscard]] bool can_host(ServerId server, cluster::Resource demand) const;
+  void place(ServerId server, cluster::Resource demand);
+  void remove(ServerId server, cluster::Resource demand);
+  [[nodiscard]] cluster::Resource used(ServerId server) const;
+  [[nodiscard]] cluster::Resource available(ServerId server) const;
+
+  /// Servers able to host `demand`, in id order — Eq. (8)'s candidate set.
+  [[nodiscard]] std::vector<ServerId> candidates(cluster::Resource demand) const;
+
+ private:
+  const cluster::Cluster* cluster_;
+  std::vector<cluster::Resource> used_;
+};
+
+/// Throws std::logic_error unless `assignment` places every task, respects
+/// capacity, and provides a satisfied policy for every fully placed flow.
+void validate_assignment(const Problem& problem, const Assignment& assignment);
+
+/// Fill `assignment.policies` with shortest-path policies for every flow
+/// whose two endpoints are placed (skips flows with a missing endpoint).
+void attach_shortest_policies(const Problem& problem, Assignment& assignment);
+
+/// Switch-hop distance between two servers along the static shortest route —
+/// the "static network cost" the PNA baseline assumes.
+[[nodiscard]] std::size_t static_hops(const Problem& problem, ServerId a, ServerId b);
+
+/// Lazy all-nodes switch-hop distance columns, one BFS per queried target
+/// server, cached.  Lets schedulers evaluate hop costs over many candidate
+/// servers in O(1) per lookup instead of one BFS per pair.
+class HopMatrix {
+ public:
+  explicit HopMatrix(const Problem& problem) : problem_(&problem) {}
+
+  /// Switch hops from server `from` to server `to`.
+  [[nodiscard]] std::size_t hops(ServerId from, ServerId to);
+
+ private:
+  const Problem* problem_;
+  std::unordered_map<ServerId, std::vector<std::size_t>> columns_;
+};
+
+}  // namespace hit::sched

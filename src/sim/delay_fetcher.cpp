@@ -1,0 +1,44 @@
+#include "sim/delay_fetcher.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hit::sim {
+
+DelayFetcher::DelayFetcher(const cluster::Cluster& cluster, double bandwidth_scale,
+                           double local_disk_bandwidth)
+    : cluster_(&cluster), scale_(bandwidth_scale), disk_bw_(local_disk_bandwidth) {
+  if (scale_ <= 0.0) throw std::invalid_argument("DelayFetcher: scale must be positive");
+  if (disk_bw_ < 0.0) throw std::invalid_argument("DelayFetcher: negative disk bandwidth");
+}
+
+double DelayFetcher::path_bandwidth(ServerId src, ServerId dst) const {
+  const topo::Topology& topology = cluster_->topology();
+  const topo::Path path =
+      topology.shortest_path(cluster_->node_of(src), cluster_->node_of(dst));
+  if (path.size() < 2) {
+    throw std::invalid_argument("DelayFetcher: no route between servers");
+  }
+  double bottleneck = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    bottleneck = std::min(bottleneck, *topology.graph().bandwidth(path[i], path[i + 1]));
+  }
+  return bottleneck * scale_;
+}
+
+double DelayFetcher::fetch_seconds(double size_gb, ServerId src, ServerId dst) const {
+  if (size_gb < 0.0) throw std::invalid_argument("DelayFetcher: negative size");
+  if (size_gb == 0.0) return 0.0;
+  if (src == dst) {
+    return disk_bw_ > 0.0 ? size_gb / disk_bw_ : 0.0;
+  }
+  const topo::Topology& topology = cluster_->topology();
+  const topo::Path path =
+      topology.shortest_path(cluster_->node_of(src), cluster_->node_of(dst));
+  const double hops = static_cast<double>(topology.switch_hops(path));
+  // Delay = C(s_i, s_j) / B_ij with C = size x switch hops.
+  return size_gb * std::max(hops, 1.0) / path_bandwidth(src, dst);
+}
+
+}  // namespace hit::sim

@@ -1,0 +1,38 @@
+// DelayFetcher (§6.1): the fetch-delay model the paper injects into Hadoop's
+// Fetcher.  The delay of moving data between servers s_i and s_j is
+//
+//     Delay = C(s_i, s_j) / B_ij
+//
+// where C is the shuffle cost (bytes x switch hops) and B_ij the bottleneck
+// bandwidth on the route.  Used for remote map-input reads; shuffle flows go
+// through the richer max-min fluid model instead (they contend with each
+// other).
+#pragma once
+
+#include "cluster/cluster.h"
+#include "topology/topology.h"
+#include "util/ids.h"
+
+namespace hit::sim {
+
+class DelayFetcher {
+ public:
+  /// `bandwidth_scale` multiplies link bandwidths (Figure 9's sweep knob);
+  /// `local_disk_bandwidth` serves node-local reads (0 = instantaneous).
+  DelayFetcher(const cluster::Cluster& cluster, double bandwidth_scale = 1.0,
+               double local_disk_bandwidth = 0.0);
+
+  /// Seconds to fetch `size_gb` from `src` to `dst` along the shortest
+  /// route.  Same-server fetches use the local disk model.
+  [[nodiscard]] double fetch_seconds(double size_gb, ServerId src, ServerId dst) const;
+
+  /// Bottleneck link bandwidth (scaled) on the shortest route.
+  [[nodiscard]] double path_bandwidth(ServerId src, ServerId dst) const;
+
+ private:
+  const cluster::Cluster* cluster_;
+  double scale_;
+  double disk_bw_;
+};
+
+}  // namespace hit::sim

@@ -1,0 +1,380 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "network/routing.h"
+
+namespace hit::sim {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// How many containers of `demand` fit into `capacity`.
+std::size_t slot_count(cluster::Resource capacity, cluster::Resource demand) {
+  double slots = std::numeric_limits<double>::infinity();
+  if (demand.vcores > 0.0) slots = std::min(slots, std::floor(capacity.vcores / demand.vcores));
+  if (demand.mem_gb > 0.0) slots = std::min(slots, std::floor(capacity.mem_gb / demand.mem_gb));
+  if (!std::isfinite(slots)) {
+    throw std::invalid_argument("slot_count: container demand must be non-zero");
+  }
+  return static_cast<std::size_t>(std::max(slots, 0.0));
+}
+
+sched::TaskRef make_ref(const mr::Task& task, cluster::Resource demand) {
+  sched::TaskRef r;
+  r.id = task.id;
+  r.job = task.job;
+  r.kind = task.kind;
+  r.demand = demand;
+  r.input_gb = task.input_gb;
+  return r;
+}
+
+}  // namespace
+
+ClusterSimulator::ClusterSimulator(const cluster::Cluster& cluster, SimConfig config)
+    : cluster_(&cluster), config_(config) {
+  if (config_.bandwidth_scale <= 0.0) {
+    throw std::invalid_argument("ClusterSimulator: bandwidth_scale must be positive");
+  }
+}
+
+SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
+                                const std::vector<mr::Job>& jobs,
+                                mr::IdAllocator& ids, Rng& rng) const {
+  const topo::Topology& topology = cluster_->topology();
+
+  // ---- 1. HDFS splits and shuffle flows -----------------------------------
+  Rng hdfs_rng = rng.fork(0x48444653);  // "HDFS"
+  const mr::BlockPlacement blocks(*cluster_, jobs, hdfs_rng, config_.hdfs_replication);
+  const net::FlowSet flows = mr::build_shuffle_flows(jobs, ids, config_.shuffle);
+
+  std::unordered_map<TaskId, const mr::Task*> task_of;
+  std::unordered_map<TaskId, const mr::Job*> job_of_task;
+  for (const mr::Job& job : jobs) {
+    for (const mr::Task& t : job.maps) {
+      task_of.emplace(t.id, &t);
+      job_of_task.emplace(t.id, &job);
+    }
+    for (const mr::Task& t : job.reduces) {
+      task_of.emplace(t.id, &t);
+      job_of_task.emplace(t.id, &job);
+    }
+  }
+  std::unordered_map<TaskId, std::vector<const net::Flow*>> flows_by_src;
+  std::unordered_map<TaskId, std::vector<const net::Flow*>> flows_by_dst;
+  for (const net::Flow& f : flows) {
+    flows_by_src[f.src_task].push_back(&f);
+    flows_by_dst[f.dst_task].push_back(&f);
+  }
+
+  // ---- 2. Wave decomposition ----------------------------------------------
+  std::size_t total_slots = 0;
+  for (const cluster::Server& s : cluster_->servers()) {
+    total_slots += slot_count(s.capacity, config_.container_demand);
+  }
+  std::vector<const mr::Task*> all_reduces;
+  std::vector<const mr::Task*> all_maps;
+  for (const mr::Job& job : jobs) {
+    for (const mr::Task& t : job.reduces) all_reduces.push_back(&t);
+    for (const mr::Task& t : job.maps) all_maps.push_back(&t);
+  }
+  if (all_reduces.size() >= total_slots && !all_maps.empty()) {
+    throw std::runtime_error("ClusterSimulator: reduces leave no map slots");
+  }
+  if (all_reduces.size() + all_maps.size() == 0) return SimResult{};
+
+  const std::size_t map_slots = total_slots - all_reduces.size();
+  std::vector<std::vector<const mr::Task*>> waves;
+  for (std::size_t i = 0; i < all_maps.size(); i += map_slots) {
+    waves.emplace_back(all_maps.begin() + static_cast<std::ptrdiff_t>(i),
+                       all_maps.begin() + static_cast<std::ptrdiff_t>(
+                                              std::min(i + map_slots, all_maps.size())));
+  }
+  if (waves.size() > config_.max_waves) {
+    throw std::runtime_error("ClusterSimulator: wave budget exceeded");
+  }
+
+  // ---- 3. Scheduling, wave by wave ----------------------------------------
+  std::unordered_map<TaskId, ServerId> placement;
+  std::unordered_map<FlowId, net::Policy> policies;
+
+  {
+    // Initial wave (§5.3.1): reduces + first map wave, all endpoints open.
+    sched::Problem p;
+    p.topology = &topology;
+    p.cluster = cluster_;
+    p.blocks = &blocks;
+    for (const mr::Task* t : all_reduces) p.tasks.push_back(make_ref(*t, config_.container_demand));
+    if (!waves.empty()) {
+      for (const mr::Task* t : waves[0]) p.tasks.push_back(make_ref(*t, config_.container_demand));
+    }
+    p.flows = flows;
+    Rng wave_rng = rng.fork(1);
+    sched::Assignment a = scheduler.schedule(p, wave_rng);
+    sched::validate_assignment(p, a);
+    placement.insert(a.placement.begin(), a.placement.end());
+    for (auto& [id, pol] : a.policies) policies.insert_or_assign(id, std::move(pol));
+  }
+
+  // Reduce containers persist; map containers free between waves.
+  std::vector<cluster::Resource> reduce_usage(cluster_->size());
+  for (const mr::Task* t : all_reduces) {
+    reduce_usage[placement.at(t->id).index()] += config_.container_demand;
+  }
+
+  for (std::size_t k = 1; k < waves.size(); ++k) {
+    sched::Problem p;
+    p.topology = &topology;
+    p.cluster = cluster_;
+    p.blocks = &blocks;
+    p.base_usage = reduce_usage;
+    p.fixed = placement;
+    for (const mr::Task* t : waves[k]) p.tasks.push_back(make_ref(*t, config_.container_demand));
+    for (const mr::Task* t : waves[k]) {
+      const auto it = flows_by_src.find(t->id);
+      if (it == flows_by_src.end()) continue;
+      for (const net::Flow* f : it->second) p.flows.push_back(*f);
+    }
+    Rng wave_rng = rng.fork(k + 1);
+    sched::Assignment a = scheduler.schedule(p, wave_rng);
+    sched::validate_assignment(p, a);
+    placement.insert(a.placement.begin(), a.placement.end());
+    for (auto& [id, pol] : a.policies) policies.insert_or_assign(id, std::move(pol));
+  }
+
+  // ---- 4. Map phase timeline ----------------------------------------------
+  SimResult result;
+  const DelayFetcher fetcher(*cluster_, config_.map_fetch_bandwidth_scale,
+                             config_.local_disk_bandwidth);
+  std::unordered_map<TaskId, double> map_finish;
+  std::unordered_map<JobId, double> remote_map_gb;
+  double wave_start = 0.0;
+  for (const auto& wave : waves) {
+    // First pass: raw durations (fetch + jittered compute).
+    std::vector<double> durations(wave.size());
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      const mr::Task* t = wave[i];
+      const ServerId host = placement.at(t->id);
+      double fetch = 0.0;
+      if (blocks.local(t->id, host)) {
+        fetch = fetcher.fetch_seconds(t->input_gb, host, host);
+      } else {
+        fetch = std::numeric_limits<double>::infinity();
+        for (ServerId r : blocks.replicas(t->id)) {
+          fetch = std::min(fetch, fetcher.fetch_seconds(t->input_gb, r, host));
+        }
+        remote_map_gb[t->job] += t->input_gb;
+      }
+      double jitter = 1.0;
+      if (config_.map_time_jitter_sigma > 0.0) {
+        Rng jitter_rng = rng.fork(0x4A495454ull ^ t->id.value());
+        jitter = jitter_rng.lognormal_median(1.0, config_.map_time_jitter_sigma);
+      }
+      durations[i] = fetch + t->compute_seconds * jitter;
+    }
+
+    // LATE-style speculation: once the wave median has elapsed, any map on
+    // track to exceed threshold x median gets a backup copy assumed to run
+    // at median speed; the task completes at the earlier attempt.
+    if (config_.speculation_threshold > 1.0 && wave.size() >= 2) {
+      std::vector<double> sorted = durations;
+      std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                       sorted.end());
+      const double median = sorted[sorted.size() / 2];
+      for (double& d : durations) {
+        if (d > config_.speculation_threshold * median) {
+          const double backup_finish = median /*detect*/ + median /*re-run*/;
+          if (backup_finish < d) {
+            d = backup_finish;
+            ++result.speculative_copies;
+          }
+        }
+      }
+    }
+
+    double wave_end = wave_start;
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      const mr::Task* t = wave[i];
+      const double finish = wave_start + durations[i];
+      map_finish[t->id] = finish;
+      wave_end = std::max(wave_end, finish);
+      result.tasks.push_back(TaskTiming{t->id, t->job, cluster::TaskKind::Map,
+                                        wave_start, finish});
+    }
+    wave_start = wave_end;
+  }
+
+  // ---- 5. Shuffle phase: fluid max-min simulation --------------------------
+  struct SimFlow {
+    const net::Flow* flow = nullptr;
+    double release = 0.0;
+    double remaining = 0.0;
+    topo::Path path;
+    std::size_t hops = 0;
+    bool local = false;
+    double finish = 0.0;
+  };
+  std::vector<SimFlow> sim_flows;
+  sim_flows.reserve(flows.size());
+  for (const net::Flow& f : flows) {
+    SimFlow sf;
+    sf.flow = &f;
+    sf.release = map_finish.count(f.src_task) ? map_finish.at(f.src_task) : 0.0;
+    sf.remaining = f.size_gb;
+    const ServerId src = placement.at(f.src_task);
+    const ServerId dst = placement.at(f.dst_task);
+    if (src == dst || f.size_gb <= 0.0) {
+      // Node-local shuffle: no network, but the partition still moves
+      // through the local disk when a disk model is configured.
+      sf.local = true;
+      sf.finish = sf.release + (config_.local_disk_bandwidth > 0.0
+                                    ? f.size_gb / config_.local_disk_bandwidth
+                                    : 0.0);
+    } else {
+      const NodeId src_node = cluster_->node_of(src);
+      const NodeId dst_node = cluster_->node_of(dst);
+      const auto it = policies.find(f.id);
+      net::Policy policy = (it != policies.end() && !it->second.list.empty())
+                               ? it->second
+                               : net::shortest_policy(topology, src_node, dst_node, f.id);
+      sf.path = policy.realize(topology, src_node, dst_node);
+      sf.hops = policy.len();
+    }
+    sim_flows.push_back(std::move(sf));
+  }
+
+  std::vector<std::size_t> pending;  // indices, sorted by (release, id)
+  for (std::size_t i = 0; i < sim_flows.size(); ++i) {
+    if (!sim_flows[i].local) pending.push_back(i);
+  }
+  std::stable_sort(pending.begin(), pending.end(), [&](std::size_t a, std::size_t b) {
+    return sim_flows[a].release < sim_flows[b].release;
+  });
+
+  const net::MaxMinFairAllocator allocator(topology, config_.bandwidth_scale);
+  std::vector<std::size_t> active;
+  std::size_t next_pending = 0;
+  double now = 0.0;
+  while (next_pending < pending.size() || !active.empty()) {
+    if (active.empty()) {
+      now = std::max(now, sim_flows[pending[next_pending]].release);
+    }
+    while (next_pending < pending.size() &&
+           sim_flows[pending[next_pending]].release <= now + kEps) {
+      active.push_back(pending[next_pending++]);
+    }
+
+    std::vector<net::FlowDemand> demands;
+    demands.reserve(active.size());
+    for (std::size_t i : active) {
+      demands.push_back(net::FlowDemand{sim_flows[i].flow->id, sim_flows[i].path, 0.0});
+    }
+    std::vector<double> rates;
+    if (config_.sharing == net::SharingPolicy::Srpt) {
+      std::vector<double> remaining;
+      remaining.reserve(active.size());
+      for (std::size_t i : active) remaining.push_back(sim_flows[i].remaining);
+      rates = net::srpt_allocate(topology, demands, remaining,
+                                 config_.bandwidth_scale);
+    } else {
+      rates = allocator.allocate(demands);
+    }
+
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      if (rates[j] > kEps) {
+        dt = std::min(dt, sim_flows[active[j]].remaining / rates[j]);
+      }
+    }
+    if (next_pending < pending.size()) {
+      dt = std::min(dt, sim_flows[pending[next_pending]].release - now);
+    }
+    if (!std::isfinite(dt)) {
+      throw std::runtime_error("ClusterSimulator: shuffle stalled (zero rates)");
+    }
+    dt = std::max(dt, 0.0);
+
+    now += dt;
+    std::vector<std::size_t> still_active;
+    still_active.reserve(active.size());
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      SimFlow& sf = sim_flows[active[j]];
+      sf.remaining -= rates[j] * dt;
+      if (sf.remaining <= kEps) {
+        sf.finish = now;
+      } else {
+        still_active.push_back(active[j]);
+      }
+    }
+    active = std::move(still_active);
+  }
+
+  // ---- 6. Reduce phase and aggregation ------------------------------------
+  std::unordered_map<JobId, double> jct;
+  std::unordered_map<JobId, double> job_cost;
+  for (const mr::Job& job : jobs) {
+    double job_finish = 0.0;
+    for (const mr::Task& t : job.maps) {
+      job_finish = std::max(job_finish, map_finish.at(t.id));
+    }
+    for (const mr::Task& t : job.reduces) {
+      double first_input = std::numeric_limits<double>::infinity();
+      double last_input = 0.0;
+      const auto it = flows_by_dst.find(t.id);
+      if (it != flows_by_dst.end()) {
+        for (const net::Flow* f : it->second) {
+          // Index of the flow within sim_flows mirrors its index in `flows`.
+          const SimFlow& sf = sim_flows[static_cast<std::size_t>(f - flows.data())];
+          first_input = std::min(first_input, sf.release);
+          last_input = std::max(last_input, sf.finish);
+        }
+      }
+      if (!std::isfinite(first_input)) first_input = 0.0;
+      const double finish = last_input + t.compute_seconds;
+      result.tasks.push_back(
+          TaskTiming{t.id, t.job, cluster::TaskKind::Reduce, first_input, finish});
+      job_finish = std::max(job_finish, finish);
+    }
+    jct[job.id] = job_finish;
+  }
+
+  for (const SimFlow& sf : sim_flows) {
+    FlowTiming ft;
+    ft.id = sf.flow->id;
+    ft.job = sf.flow->job;
+    ft.release = sf.release;
+    ft.finish = sf.finish;
+    ft.size_gb = sf.flow->size_gb;
+    ft.route_hops = sf.hops;
+    ft.local = sf.local;
+    result.flows.push_back(ft);
+
+    const double cost = sf.flow->size_gb * static_cast<double>(sf.hops);
+    job_cost[sf.flow->job] += cost;
+    result.total_shuffle_cost += cost;
+    result.total_shuffle_gb += sf.flow->size_gb;
+    result.shuffle_finish_time = std::max(result.shuffle_finish_time, sf.finish);
+  }
+
+  for (const mr::Job& job : jobs) {
+    JobResult jr;
+    jr.id = job.id;
+    jr.benchmark = job.benchmark;
+    jr.cls = job.cls;
+    jr.completion_time = jct.at(job.id);
+    jr.shuffle_gb = job.shuffle_gb;
+    jr.remote_map_gb = remote_map_gb.count(job.id) ? remote_map_gb.at(job.id) : 0.0;
+    jr.shuffle_cost = job_cost.count(job.id) ? job_cost.at(job.id) : 0.0;
+    result.total_remote_map_gb += jr.remote_map_gb;
+    result.jobs.push_back(jr);
+    result.makespan = std::max(result.makespan, jr.completion_time);
+  }
+  return result;
+}
+
+}  // namespace hit::sim

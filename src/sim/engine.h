@@ -1,0 +1,84 @@
+// ClusterSimulator: end-to-end MapReduce execution over a hierarchical
+// network — the testbed substitute.
+//
+// Pipeline per run:
+//   1. HDFS block placement for every map split (mr::BlockPlacement).
+//   2. Wave decomposition (§5.3): all reduce tasks hold containers for the
+//      job's lifetime; map tasks fill the remaining slots in waves.  Wave 1
+//      is an initial-wave scheduling problem (both flow endpoints open);
+//      later waves fix the reduce hosts, triggering the subsequent-wave path
+//      of wave-aware schedulers.
+//   3. Map phase: map duration = compute + remote input fetch (DelayFetcher,
+//      nearest replica).  Waves run back-to-back.
+//   4. Shuffle phase: fluid flow-level simulation.  A flow releases when its
+//      map finishes and transfers at the max-min fair rate of its *policy
+//      route*; rates re-solve at every release/completion event, so
+//      bandwidth is dynamic exactly as the paper argues it must be.
+//   5. Reduce phase: a reduce computes after its last input byte lands;
+//      job completion = last reduce finish.
+//
+// Determinism: given the same topology, jobs, scheduler and seed, the result
+// is bit-identical.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/resource_manager.h"
+#include "core/cost_model.h"
+#include "mapreduce/hdfs.h"
+#include "mapreduce/job.h"
+#include "mapreduce/shuffle.h"
+#include "network/bandwidth.h"
+#include "sched/scheduler.h"
+#include "sim/delay_fetcher.h"
+#include "sim/metrics.h"
+#include "util/rng.h"
+
+namespace hit::sim {
+
+struct SimConfig {
+  double bandwidth_scale = 1.0;       ///< shuffle-path throttle (Figure 9 knob)
+  /// Map-input reads use this separate scale (default unthrottled): the
+  /// paper's DelayFetcher injects delay into the *shuffle* fetch path while
+  /// HDFS reads run at native cluster speed.
+  double map_fetch_bandwidth_scale = 1.0;
+  double local_disk_bandwidth = 0.0;  ///< 0 = local reads are free
+  /// Straggler model: per-map lognormal multiplier on compute time
+  /// (sigma; 0 = deterministic).  Jitter is a pure function of (seed, task
+  /// id), so scheduler comparisons at one seed face identical stragglers.
+  double map_time_jitter_sigma = 0.0;
+  /// Speculative execution (LATE-style, Zaharia et al. OSDI'08): a map
+  /// whose duration exceeds `speculation_threshold` x the wave median gets
+  /// a backup copy launched once the median has elapsed; the task finishes
+  /// at the earlier of the two attempts.  Off when threshold <= 1.
+  double speculation_threshold = 0.0;
+  std::size_t hdfs_replication = 3;
+  /// How concurrent shuffle flows share bandwidth (max-min fair by default;
+  /// SRPT models the flow-scheduling systems of related work [5][6]).
+  net::SharingPolicy sharing = net::SharingPolicy::MaxMinFair;
+  cluster::Resource container_demand = cluster::kDefaultContainerDemand;
+  mr::ShuffleConfig shuffle;
+  /// Hard cap on map waves (safety against degenerate configs).
+  std::size_t max_waves = 64;
+};
+
+class ClusterSimulator {
+ public:
+  ClusterSimulator(const cluster::Cluster& cluster, SimConfig config = {});
+
+  /// Simulate `jobs` under `scheduler`.  `ids` must be the allocator that
+  /// created the jobs (flows continue its id space).  Throws
+  /// std::runtime_error when reduces alone exceed cluster capacity.
+  [[nodiscard]] SimResult run(sched::Scheduler& scheduler,
+                              const std::vector<mr::Job>& jobs,
+                              mr::IdAllocator& ids, Rng& rng) const;
+
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+ private:
+  const cluster::Cluster* cluster_;
+  SimConfig config_;
+};
+
+}  // namespace hit::sim

@@ -1,0 +1,34 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hit::sim {
+
+void EventQueue::schedule(double when, Callback fn) {
+  if (when < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
+  heap_.push(Item{when, seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle instead (std::function copy is cheap enough
+  // for simulation granularity).
+  Item item = heap_.top();
+  heap_.pop();
+  now_ = item.when;
+  item.fn();
+  return true;
+}
+
+void EventQueue::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (step()) {
+    if (++executed > max_events) {
+      throw std::runtime_error("EventQueue: event budget exhausted (runaway?)");
+    }
+  }
+}
+
+}  // namespace hit::sim

@@ -1,0 +1,52 @@
+// Deterministic discrete-event queue.  Events at equal timestamps fire in
+// scheduling order (FIFO sequence numbers), so simulations replay
+// identically across runs and platforms.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hit::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `when` (must be >= now()).
+  void schedule(double when, Callback fn);
+
+  /// Schedule `fn` `delay` time units from now.
+  void schedule_in(double delay, Callback fn) { schedule(now_ + delay, std::move(fn)); }
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Pop and run the earliest event; returns false when empty.
+  bool step();
+
+  /// Run to exhaustion; throws std::runtime_error past `max_events`
+  /// (runaway-loop guard).
+  void run(std::size_t max_events = 100'000'000);
+
+ private:
+  struct Item {
+    double when;
+    std::size_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  double now_ = 0.0;
+  std::size_t seq_ = 0;
+};
+
+}  // namespace hit::sim

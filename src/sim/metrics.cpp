@@ -1,0 +1,46 @@
+#include "sim/metrics.h"
+
+namespace hit::sim {
+
+std::vector<double> SimResult::job_completion_times() const {
+  std::vector<double> out;
+  out.reserve(jobs.size());
+  for (const JobResult& j : jobs) out.push_back(j.completion_time);
+  return out;
+}
+
+std::vector<double> SimResult::task_durations(cluster::TaskKind kind) const {
+  std::vector<double> out;
+  for (const TaskTiming& t : tasks) {
+    if (t.kind == kind) out.push_back(t.duration());
+  }
+  return out;
+}
+
+double SimResult::average_route_hops() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const FlowTiming& f : flows) {
+    if (f.local) continue;
+    sum += static_cast<double>(f.route_hops);
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double SimResult::average_flow_duration() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const FlowTiming& f : flows) {
+    if (f.local) continue;
+    sum += f.duration();
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double SimResult::shuffle_throughput() const {
+  return shuffle_finish_time > 0.0 ? total_shuffle_gb / shuffle_finish_time : 0.0;
+}
+
+}  // namespace hit::sim

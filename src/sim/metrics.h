@@ -1,0 +1,68 @@
+// Simulation result records — the raw material behind every figure the
+// benchmark harnesses reproduce (JCT/map/reduce CDFs, route lengths, shuffle
+// delays, traffic costs, throughput).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/container.h"
+#include "mapreduce/job.h"
+#include "util/ids.h"
+
+namespace hit::sim {
+
+struct TaskTiming {
+  TaskId id;
+  JobId job;
+  cluster::TaskKind kind = cluster::TaskKind::Map;
+  double start = 0.0;   ///< map: wave launch; reduce: first input available
+  double finish = 0.0;
+
+  [[nodiscard]] double duration() const { return finish - start; }
+};
+
+struct FlowTiming {
+  FlowId id;
+  JobId job;
+  double release = 0.0;  ///< src map finished; flow becomes transferable
+  double finish = 0.0;   ///< last byte delivered
+  double size_gb = 0.0;
+  std::size_t route_hops = 0;  ///< switches traversed (0 = node-local)
+  bool local = false;
+
+  [[nodiscard]] double duration() const { return finish - release; }
+};
+
+struct JobResult {
+  JobId id;
+  std::string benchmark;
+  mr::JobClass cls = mr::JobClass::ShuffleLight;
+  double completion_time = 0.0;
+  double shuffle_gb = 0.0;
+  double remote_map_gb = 0.0;
+  double shuffle_cost = 0.0;  ///< Σ size x switch hops (GB·T)
+};
+
+struct SimResult {
+  std::vector<JobResult> jobs;
+  std::vector<TaskTiming> tasks;
+  std::vector<FlowTiming> flows;
+  double makespan = 0.0;
+  double total_shuffle_cost = 0.0;   ///< GB·T, static hop metric
+  double total_shuffle_gb = 0.0;
+  double total_remote_map_gb = 0.0;
+  double shuffle_finish_time = 0.0;  ///< when the last shuffle byte landed
+  std::size_t speculative_copies = 0;  ///< backup map attempts launched
+
+  [[nodiscard]] std::vector<double> job_completion_times() const;
+  [[nodiscard]] std::vector<double> task_durations(cluster::TaskKind kind) const;
+  /// Mean switch-hop route length over non-local flows.
+  [[nodiscard]] double average_route_hops() const;
+  /// Mean transfer duration over non-local flows.
+  [[nodiscard]] double average_flow_duration() const;
+  /// Aggregate shuffle throughput: bytes over time-to-last-byte.
+  [[nodiscard]] double shuffle_throughput() const;
+};
+
+}  // namespace hit::sim

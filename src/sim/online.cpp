@@ -1,0 +1,397 @@
+#include "sim/online.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "network/bandwidth.h"
+#include "network/load.h"
+#include "network/routing.h"
+#include "sim/delay_fetcher.h"
+
+namespace hit::sim {
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct JobFlow {
+  const net::Flow* flow = nullptr;
+  std::size_t job = 0;      // index into the jobs vector
+  double release = kInf;    // src map finish (set at schedule time)
+  double remaining = 0.0;
+  topo::Path path;          // empty for local flows
+  net::Policy policy;
+  std::size_t hops = 0;
+  bool local = false;
+  double finish = -1.0;
+  bool released = false;
+  bool done = false;
+};
+
+struct RunningJob {
+  bool scheduled = false;
+  bool finished = false;
+  double arrival = 0.0;
+  double scheduled_at = 0.0;
+  double map_finish_max = 0.0;
+  std::size_t flows_remaining = 0;
+  double shuffle_cost = 0.0;
+  std::unordered_map<TaskId, ServerId> placement;
+  std::unordered_map<TaskId, double> reduce_last_input;
+};
+
+/// Min-heap of (time, payload).
+using TimedEvent = std::pair<double, std::size_t>;
+using MinHeap = std::priority_queue<TimedEvent, std::vector<TimedEvent>,
+                                    std::greater<TimedEvent>>;
+
+}  // namespace
+
+std::vector<double> OnlineResult::completion_times() const {
+  std::vector<double> out;
+  out.reserve(jobs.size());
+  for (const auto& j : jobs) out.push_back(j.completion_time());
+  return out;
+}
+
+std::vector<double> OnlineResult::queueing_delays() const {
+  std::vector<double> out;
+  out.reserve(jobs.size());
+  for (const auto& j : jobs) out.push_back(j.queueing_delay());
+  return out;
+}
+
+double OnlineResult::average_flow_duration() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const FlowTiming& f : flows) {
+    if (f.local) continue;
+    sum += f.duration();
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+OnlineSimulator::OnlineSimulator(const cluster::Cluster& cluster, OnlineConfig config)
+    : cluster_(&cluster), config_(config) {
+  if (config_.arrival_rate <= 0.0) {
+    throw std::invalid_argument("OnlineSimulator: arrival_rate must be positive");
+  }
+}
+
+OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
+                                  const std::vector<mr::Job>& jobs,
+                                  mr::IdAllocator& ids, Rng& rng) const {
+  const topo::Topology& topology = cluster_->topology();
+  OnlineResult result;
+  if (jobs.empty()) return result;
+
+  // Static inputs: HDFS layout, per-job flows, arrival times.
+  Rng hdfs_rng = rng.fork(0x48444653);
+  const mr::BlockPlacement blocks(*cluster_, jobs, hdfs_rng, config_.sim.hdfs_replication);
+
+  std::vector<net::FlowSet> job_flow_sets;
+  job_flow_sets.reserve(jobs.size());
+  for (const mr::Job& job : jobs) {
+    job_flow_sets.push_back(mr::build_shuffle_flows(job, ids, config_.sim.shuffle));
+  }
+
+  Rng arrival_rng = rng.fork(0x41525256);
+  std::vector<double> arrivals(jobs.size());
+  double clock = 0.0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    clock += arrival_rng.exponential(config_.arrival_rate);
+    arrivals[j] = clock;
+  }
+
+  // Feasibility: every job must fit an empty cluster.
+  cluster::Resource total_capacity = cluster_->total_capacity();
+  for (const mr::Job& job : jobs) {
+    const cluster::Resource need =
+        config_.sim.container_demand * static_cast<double>(job.task_count());
+    if (!need.fits_in(total_capacity)) {
+      throw std::runtime_error("OnlineSimulator: job larger than the cluster");
+    }
+  }
+
+  // Mutable state.
+  std::vector<JobFlow> flows;  // all jobs' flows, flattened
+  std::vector<std::size_t> flow_base(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    flow_base[j] = flows.size();
+    for (const net::Flow& f : job_flow_sets[j]) {
+      JobFlow jf;
+      jf.flow = &f;
+      jf.job = j;
+      jf.remaining = f.size_gb;
+      flows.push_back(std::move(jf));
+    }
+  }
+
+  std::vector<RunningJob> state(jobs.size());
+  std::vector<cluster::Resource> usage(cluster_->size());
+  net::LoadTracker load(topology);
+  const DelayFetcher fetcher(*cluster_, config_.sim.map_fetch_bandwidth_scale,
+                             config_.sim.local_disk_bandwidth);
+  const net::MaxMinFairAllocator allocator(topology, config_.sim.bandwidth_scale);
+
+  std::deque<std::size_t> waiting;
+  MinHeap releases;      // (time, flow index)
+  MinHeap local_done;    // (time, flow index)
+  MinHeap job_finishes;  // (time, job index)
+  std::vector<std::size_t> active;  // network flows in the fluid pool
+  double now = 0.0;
+  std::size_t next_arrival = 0;
+  std::size_t jobs_finished = 0;
+
+  auto try_schedule = [&](std::size_t j) -> bool {
+    const mr::Job& job = jobs[j];
+    sched::Problem problem;
+    problem.topology = &topology;
+    problem.cluster = cluster_;
+    problem.blocks = &blocks;
+    problem.base_usage = usage;
+    problem.ambient_load = &load;
+    for (const mr::Task& t : job.maps) {
+      problem.tasks.push_back(sched::TaskRef{t.id, job.id, t.kind,
+                                             config_.sim.container_demand, t.input_gb});
+    }
+    for (const mr::Task& t : job.reduces) {
+      problem.tasks.push_back(sched::TaskRef{t.id, job.id, t.kind,
+                                             config_.sim.container_demand, t.input_gb});
+    }
+    problem.flows = job_flow_sets[j];
+
+    Rng wave_rng = rng.fork(1000 + j);
+    sched::Assignment assignment;
+    try {
+      assignment = scheduler.schedule(problem, wave_rng);
+    } catch (const std::runtime_error&) {
+      return false;  // does not fit right now
+    }
+    sched::validate_assignment(problem, assignment);
+
+    RunningJob& run = state[j];
+    run.scheduled = true;
+    run.scheduled_at = now;
+    run.placement = assignment.placement;
+    for (const sched::TaskRef& t : problem.tasks) {
+      usage[assignment.placement.at(t.id).index()] += t.demand;
+    }
+
+    // Map finishes drive flow releases.
+    run.flows_remaining = job_flow_sets[j].size();
+    std::unordered_map<TaskId, double> map_finish;
+    for (const mr::Task& t : job.maps) {
+      const ServerId host = assignment.placement.at(t.id);
+      double fetch;
+      if (blocks.local(t.id, host)) {
+        fetch = fetcher.fetch_seconds(t.input_gb, host, host);
+      } else {
+        fetch = kInf;
+        for (ServerId r : blocks.replicas(t.id)) {
+          fetch = std::min(fetch, fetcher.fetch_seconds(t.input_gb, r, host));
+        }
+      }
+      double jitter = 1.0;
+      if (config_.sim.map_time_jitter_sigma > 0.0) {
+        Rng jitter_rng = rng.fork(0x4A495454ull ^ t.id.value());
+        jitter = jitter_rng.lognormal_median(1.0, config_.sim.map_time_jitter_sigma);
+      }
+      const double finish = now + fetch + t.compute_seconds * jitter;
+      map_finish[t.id] = finish;
+      run.map_finish_max = std::max(run.map_finish_max, finish);
+    }
+
+    for (std::size_t k = 0; k < job_flow_sets[j].size(); ++k) {
+      const std::size_t idx = flow_base[j] + k;
+      JobFlow& jf = flows[idx];
+      jf.release = map_finish.at(jf.flow->src_task);
+      const ServerId src = assignment.placement.at(jf.flow->src_task);
+      const ServerId dst = assignment.placement.at(jf.flow->dst_task);
+      if (src == dst || jf.flow->size_gb <= 0.0) {
+        jf.local = true;
+        const double disk = config_.sim.local_disk_bandwidth > 0.0
+                                ? jf.flow->size_gb / config_.sim.local_disk_bandwidth
+                                : 0.0;
+        local_done.emplace(jf.release + disk, idx);
+      } else {
+        const NodeId src_node = cluster_->node_of(src);
+        const NodeId dst_node = cluster_->node_of(dst);
+        const auto it = assignment.policies.find(jf.flow->id);
+        jf.policy = (it != assignment.policies.end() && !it->second.list.empty())
+                        ? it->second
+                        : net::shortest_policy(topology, src_node, dst_node,
+                                               jf.flow->id);
+        jf.path = jf.policy.realize(topology, src_node, dst_node);
+        jf.hops = jf.policy.len();
+        load.assign(jf.policy, jf.flow->rate);
+        run.shuffle_cost +=
+            jf.flow->size_gb * static_cast<double>(jf.hops);
+        releases.emplace(jf.release, idx);
+      }
+    }
+    if (run.flows_remaining == 0) {
+      double compute = 0.0;
+      for (const mr::Task& t : job.reduces) {
+        compute = std::max(compute, t.compute_seconds);
+      }
+      job_finishes.emplace(std::max(run.map_finish_max, now) + compute, j);
+    }
+    return true;
+  };
+
+  auto complete_flow = [&](std::size_t idx, double at) {
+    JobFlow& jf = flows[idx];
+    jf.done = true;
+    jf.finish = at;
+    RunningJob& run = state[jf.job];
+    double& last = run.reduce_last_input[jf.flow->dst_task];
+    last = std::max(last, at);
+    if (!jf.local) load.remove(jf.policy, jf.flow->rate);
+    if (--run.flows_remaining == 0) {
+      // All inputs delivered: every reduce finishes after its own last
+      // input plus compute; the job after the slowest reduce.
+      double finish = run.map_finish_max;
+      for (const mr::Task& t : jobs[jf.job].reduces) {
+        const auto it = run.reduce_last_input.find(t.id);
+        const double input_done =
+            it != run.reduce_last_input.end() ? it->second : run.map_finish_max;
+        finish = std::max(finish, input_done + t.compute_seconds);
+      }
+      job_finishes.emplace(std::max(finish, at), jf.job);
+    }
+  };
+
+  // ---- main event loop ------------------------------------------------
+  while (jobs_finished < jobs.size()) {
+    // Current fair rates for the fluid pool.
+    std::vector<net::FlowDemand> demands;
+    demands.reserve(active.size());
+    for (std::size_t idx : active) {
+      demands.push_back(net::FlowDemand{flows[idx].flow->id, flows[idx].path, 0.0});
+    }
+    const std::vector<double> rates =
+        active.empty() ? std::vector<double>{} : allocator.allocate(demands);
+
+    double completion_at = kInf;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (rates[i] > kEps) {
+        completion_at = std::min(completion_at, now + flows[active[i]].remaining / rates[i]);
+      }
+    }
+    const double arrival_at =
+        next_arrival < jobs.size() ? arrivals[next_arrival] : kInf;
+    const double release_at = releases.empty() ? kInf : releases.top().first;
+    const double local_at = local_done.empty() ? kInf : local_done.top().first;
+    const double finish_at = job_finishes.empty() ? kInf : job_finishes.top().first;
+
+    const double next_time =
+        std::min({completion_at, arrival_at, release_at, local_at, finish_at});
+    if (!std::isfinite(next_time)) {
+      throw std::runtime_error("OnlineSimulator: stalled (no runnable event)");
+    }
+    const double dt = next_time - now;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      flows[active[i]].remaining -= rates[i] * dt;
+    }
+    now = next_time;
+
+    // 1. Network flow completions.
+    std::vector<std::size_t> still_active;
+    still_active.reserve(active.size());
+    for (std::size_t idx : active) {
+      if (flows[idx].remaining <= kEps) {
+        complete_flow(idx, now);
+      } else {
+        still_active.push_back(idx);
+      }
+    }
+    active = std::move(still_active);
+
+    // 2. Local flow completions.
+    while (!local_done.empty() && local_done.top().first <= now + kEps) {
+      const std::size_t idx = local_done.top().second;
+      local_done.pop();
+      complete_flow(idx, now);
+    }
+
+    // 3. Flow releases into the fluid pool.
+    while (!releases.empty() && releases.top().first <= now + kEps) {
+      const std::size_t idx = releases.top().second;
+      releases.pop();
+      flows[idx].released = true;
+      active.push_back(idx);
+    }
+
+    // 4. Job finishes: free containers, record, drain the FIFO queue.
+    bool freed = false;
+    while (!job_finishes.empty() && job_finishes.top().first <= now + kEps) {
+      const std::size_t j = job_finishes.top().second;
+      job_finishes.pop();
+      RunningJob& run = state[j];
+      if (run.finished) continue;
+      run.finished = true;
+      ++jobs_finished;
+      freed = true;
+      const cluster::Resource each = config_.sim.container_demand;
+      for (const auto& [task, server] : run.placement) {
+        usage[server.index()] -= each;
+      }
+      OnlineJobRecord record;
+      record.id = jobs[j].id;
+      record.benchmark = jobs[j].benchmark;
+      record.cls = jobs[j].cls;
+      record.arrival = arrivals[j];
+      record.scheduled = run.scheduled_at;
+      record.finish = now;
+      record.shuffle_gb = jobs[j].shuffle_gb;
+      record.shuffle_cost = run.shuffle_cost;
+      result.jobs.push_back(record);
+      result.makespan = std::max(result.makespan, now);
+      result.total_shuffle_cost += run.shuffle_cost;
+      result.total_shuffle_gb += jobs[j].shuffle_gb;
+    }
+
+    // 5. Arrivals.
+    while (next_arrival < jobs.size() && arrivals[next_arrival] <= now + kEps) {
+      waiting.push_back(next_arrival++);
+    }
+
+    // 6. FIFO admission: schedule from the head while jobs fit.
+    if (freed || !waiting.empty()) {
+      while (!waiting.empty()) {
+        if (!try_schedule(waiting.front())) break;  // head-of-line blocks
+        waiting.pop_front();
+      }
+    }
+    if (config_.max_queue_wait > 0.0 && !waiting.empty() &&
+        now - arrivals[waiting.front()] > config_.max_queue_wait) {
+      throw std::runtime_error("OnlineSimulator: queue wait limit exceeded (overload)");
+    }
+  }
+
+  for (const JobFlow& jf : flows) {
+    FlowTiming ft;
+    ft.id = jf.flow->id;
+    ft.job = jf.flow->job;
+    ft.release = jf.release;
+    ft.finish = jf.finish;
+    ft.size_gb = jf.flow->size_gb;
+    ft.route_hops = jf.hops;
+    ft.local = jf.local;
+    result.flows.push_back(ft);
+  }
+  std::sort(result.jobs.begin(), result.jobs.end(),
+            [](const OnlineJobRecord& a, const OnlineJobRecord& b) {
+              return a.arrival < b.arrival;
+            });
+  return result;
+}
+
+}  // namespace hit::sim

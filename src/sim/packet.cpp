@@ -1,0 +1,135 @@
+#include "sim/packet.h"
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sim/event_queue.h"
+#include "stats/summary.h"
+
+namespace hit::sim {
+namespace {
+
+/// Directed-link key.
+std::uint64_t link_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
+}
+
+struct LinkState {
+  double bandwidth = 0.0;
+  double free_at = 0.0;  ///< when the transmitter finishes its current queue
+};
+
+struct Packet {
+  std::size_t flow = 0;   // index into specs
+  std::size_t hop = 0;    // index into the path (current node)
+  double injected_at = 0.0;
+};
+
+}  // namespace
+
+PacketSimulator::PacketSimulator(const topo::Topology& topology,
+                                 PacketSimConfig config)
+    : topology_(&topology), config_(config) {
+  if (config_.packet_size_gb <= 0.0) {
+    throw std::invalid_argument("PacketSimulator: packet size must be positive");
+  }
+  if (config_.queue_capacity == 0) {
+    throw std::invalid_argument("PacketSimulator: queue capacity must be >= 1");
+  }
+}
+
+std::vector<PacketFlowStats> PacketSimulator::run(
+    const std::vector<PacketFlowSpec>& flows) const {
+  // Validate paths and set up per-link state.
+  std::unordered_map<std::uint64_t, LinkState> links;
+  for (const PacketFlowSpec& f : flows) {
+    if (f.path.size() < 2) {
+      throw std::invalid_argument("PacketSimulator: path needs >= 2 nodes");
+    }
+    for (std::size_t i = 0; i + 1 < f.path.size(); ++i) {
+      const auto bw = topology_->graph().bandwidth(f.path[i], f.path[i + 1]);
+      if (!bw) throw std::invalid_argument("PacketSimulator: path uses missing link");
+      links[link_key(f.path[i], f.path[i + 1])].bandwidth = *bw;
+    }
+  }
+
+  std::vector<PacketFlowStats> stats(flows.size());
+  std::vector<std::vector<double>> delays(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    stats[i].id = flows[i].id;
+  }
+
+  EventQueue queue;
+
+  // Forward one packet from its current hop; schedules the next arrival or
+  // records delivery.  Drop-tail: if the egress backlog exceeds the queue
+  // capacity, the packet is dropped at this hop.
+  std::function<void(Packet)> forward = [&](Packet p) {
+    const PacketFlowSpec& spec = flows[p.flow];
+    if (p.hop + 1 == spec.path.size()) {
+      ++stats[p.flow].delivered;
+      const double delay = queue.now() - p.injected_at;
+      delays[p.flow].push_back(delay);
+      stats[p.flow].completion_s = std::max(stats[p.flow].completion_s, queue.now());
+      return;
+    }
+    const NodeId from = spec.path[p.hop];
+    const NodeId to = spec.path[p.hop + 1];
+    LinkState& link = links.at(link_key(from, to));
+    const double serialization = config_.packet_size_gb / link.bandwidth;
+    const double now = queue.now();
+    const double start = std::max(now, link.free_at);
+    const double backlog_packets = (start - now) / serialization;
+    if (backlog_packets > static_cast<double>(config_.queue_capacity)) {
+      ++stats[p.flow].dropped;
+      return;
+    }
+    link.free_at = start + serialization;
+    double arrival = start + serialization + config_.link_latency_s;
+    if (topology_->is_switch(to)) arrival += config_.switch_latency_s;
+    queue.schedule(arrival, [&, p]() mutable {
+      ++p.hop;
+      forward(p);
+    });
+  };
+
+  // Inject each flow's packets, paced by its first (access) link: source
+  // NICs cannot send faster than their own line rate.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const PacketFlowSpec& f = flows[i];
+    auto packets = static_cast<std::size_t>(
+        std::ceil(f.size_gb / config_.packet_size_gb));
+    packets = std::min(std::max<std::size_t>(packets, 1),
+                       config_.max_packets_per_flow);
+    stats[i].sent = packets;
+    const double first_bw =
+        links.at(link_key(f.path[0], f.path[1])).bandwidth;
+    const double pacing = config_.packet_size_gb / first_bw;
+    for (std::size_t k = 0; k < packets; ++k) {
+      const double inject = f.start_s + static_cast<double>(k) * pacing;
+      queue.schedule(inject, [&, i, inject] {
+        forward(Packet{i, 0, inject});
+      });
+    }
+  }
+
+  queue.run();
+
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (!delays[i].empty()) {
+      stats[i].mean_delay_s = stats::mean_of(delays[i]);
+      stats[i].p99_delay_s = stats::percentile(delays[i], 99.0);
+      const double span = stats[i].completion_s - flows[i].start_s;
+      if (span > 0.0) {
+        stats[i].throughput_gbps =
+            static_cast<double>(stats[i].delivered) * config_.packet_size_gb / span;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace hit::sim

@@ -1,0 +1,75 @@
+// Packet-level network simulator — the fidelity tier of the paper's actual
+// measurement stack (Mininet switches + D-ITG probes), used to cross-check
+// the flow-level (fluid) model.
+//
+// Store-and-forward model: every directed link is a FIFO with serialization
+// time packet_size / bandwidth and a bounded egress queue (drop-tail); every
+// switch adds a fixed processing latency.  Sources pace packets at their
+// access-link rate.  The simulator reports per-flow packet delays, drops,
+// completion times and achieved throughput — the quantities Figure 7 plots.
+//
+// Scope: this is a *measurement* tool, not the scheduling substrate; the
+// schedulers and the DES engine stay on the fluid model (the paper's own
+// argument: the controller only needs flow-level state).  Tests validate
+// the two models against each other (per-switch latency, bottleneck
+// sharing, hop scaling).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/topology.h"
+#include "util/ids.h"
+
+namespace hit::sim {
+
+struct PacketSimConfig {
+  double packet_size_gb = 0.001;       ///< ~1 MB packets
+  double switch_latency_s = 29e-6;     ///< per traversed switch (D-ITG calib.)
+  double link_latency_s = 1e-6;        ///< propagation per link
+  /// Per egress link, in packets.  The deep default makes queues model
+  /// lossless backpressure (TCP-like); configure small queues to study
+  /// drop-tail loss explicitly.
+  std::size_t queue_capacity = 4096;
+  std::size_t max_packets_per_flow = 4096;  ///< safety cap on injected packets
+};
+
+struct PacketFlowSpec {
+  FlowId id;
+  topo::Path path;      ///< full node route, endpoints included
+  double size_gb = 0.0;
+  double start_s = 0.0;
+};
+
+struct PacketFlowStats {
+  FlowId id;
+  std::size_t sent = 0;
+  std::size_t delivered = 0;
+  std::size_t dropped = 0;
+  double mean_delay_s = 0.0;   ///< injection -> delivery, delivered packets
+  double p99_delay_s = 0.0;
+  double completion_s = 0.0;   ///< last delivery (absolute time)
+  double throughput_gbps = 0.0;  ///< delivered bytes / (completion - start)
+
+  [[nodiscard]] double loss_rate() const {
+    return sent ? static_cast<double>(dropped) / static_cast<double>(sent) : 0.0;
+  }
+};
+
+class PacketSimulator {
+ public:
+  explicit PacketSimulator(const topo::Topology& topology,
+                           PacketSimConfig config = {});
+
+  /// Simulate all flows to completion.  Results align with `flows` order.
+  [[nodiscard]] std::vector<PacketFlowStats> run(
+      const std::vector<PacketFlowSpec>& flows) const;
+
+  [[nodiscard]] const PacketSimConfig& config() const noexcept { return config_; }
+
+ private:
+  const topo::Topology* topology_;
+  PacketSimConfig config_;
+};
+
+}  // namespace hit::sim

@@ -1,0 +1,97 @@
+#include "stats/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hit::stats {
+namespace {
+
+std::string cell_to_string(const Cell& cell, bool json) {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    return json ? "\"" + JsonLinesWriter::escape(*s) + "\""
+                : CsvWriter::escape(*s);
+  }
+  if (const auto* d = std::get_if<double>(&cell)) {
+    if (!std::isfinite(*d)) return json ? "null" : "";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", *d);
+    return buf;
+  }
+  return std::to_string(std::get<std::int64_t>(cell));
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> columns)
+    : out_(&out), width_(columns.size()) {
+  if (columns.empty()) throw std::invalid_argument("CsvWriter: no columns");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << escape(columns[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<Cell>& cells) {
+  if (cells.size() != width_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << cell_to_string(cells[i], /*json=*/false);
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void JsonLinesWriter::record(
+    const std::vector<std::pair<std::string, Cell>>& fields) {
+  *out_ << '{';
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) *out_ << ',';
+    first = false;
+    *out_ << '"' << escape(key) << "\":" << cell_to_string(value, /*json=*/true);
+  }
+  *out_ << "}\n";
+  ++records_;
+}
+
+std::string JsonLinesWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace hit::stats

@@ -1,0 +1,57 @@
+// Machine-readable experiment output: CSV and JSON-lines writers.
+//
+// The bench harnesses print human tables; these helpers emit the same data
+// for plotting pipelines (gnuplot/pandas).  Escaping follows RFC 4180 for
+// CSV; JSON output is restricted to the flat string/number records the
+// result structs need.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace hit::stats {
+
+/// One heterogeneous record cell.
+using Cell = std::variant<std::string, double, std::int64_t>;
+
+class CsvWriter {
+ public:
+  /// Writes the header immediately.
+  CsvWriter(std::ostream& out, std::vector<std::string> columns);
+
+  /// Append one row; must match the header width.
+  void row(const std::vector<Cell>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  /// RFC 4180 field escaping (quotes fields containing , " or newline).
+  [[nodiscard]] static std::string escape(std::string_view field);
+
+ private:
+  std::ostream* out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+class JsonLinesWriter {
+ public:
+  explicit JsonLinesWriter(std::ostream& out) : out_(&out) {}
+
+  /// Emit one flat JSON object per line: {"k": v, ...}.
+  void record(const std::vector<std::pair<std::string, Cell>>& fields);
+
+  [[nodiscard]] std::size_t records_written() const noexcept { return records_; }
+
+  /// Minimal JSON string escaping (quotes, backslash, control chars).
+  [[nodiscard]] static std::string escape(std::string_view text);
+
+ private:
+  std::ostream* out_;
+  std::size_t records_ = 0;
+};
+
+}  // namespace hit::stats

@@ -1,0 +1,48 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hit::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / span * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+double Histogram::fraction(std::size_t bin) const {
+  return total_ == 0 ? 0.0 : static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::string out;
+  const std::size_t peak = *std::max_element(counts_.begin(), counts_.end());
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * width / peak;
+    std::snprintf(line, sizeof line, "[%8.2f, %8.2f) %6zu |", bin_lo(b), bin_hi(b), counts_[b]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hit::stats

@@ -1,0 +1,36 @@
+// Fixed-bin histogram for distribution reporting (route lengths, delays).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hit::stats {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); values outside clamp to the edge bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Fraction of samples in the bin (0 when empty).
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// Render an ASCII bar chart, one line per bin — used by example programs.
+  [[nodiscard]] std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hit::stats

@@ -1,0 +1,104 @@
+#include "stats/plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace hit::stats {
+
+AsciiChart::AsciiChart(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  if (width_ < 8 || height_ < 4) {
+    throw std::invalid_argument("AsciiChart: grid too small");
+  }
+}
+
+void AsciiChart::add_series(std::string label,
+                            std::vector<std::pair<double, double>> points,
+                            char marker) {
+  if (points.empty()) throw std::invalid_argument("AsciiChart: empty series");
+  series_.push_back(Series{std::move(label), std::move(points), marker});
+}
+
+std::string AsciiChart::render() const {
+  if (series_.empty()) return "(empty chart)\n";
+
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -y_min;
+  for (const Series& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  auto col_of = [&](double x) {
+    const double f = (x - x_min) / (x_max - x_min);
+    return std::min(width_ - 1,
+                    static_cast<std::size_t>(f * static_cast<double>(width_ - 1) + 0.5));
+  };
+  auto row_of = [&](double y) {
+    const double f = (y - y_min) / (y_max - y_min);
+    const auto from_bottom =
+        static_cast<std::size_t>(f * static_cast<double>(height_ - 1) + 0.5);
+    return height_ - 1 - std::min(from_bottom, height_ - 1);
+  };
+
+  for (const Series& s : series_) {
+    // Connect consecutive points with simple interpolation along x.
+    for (std::size_t i = 0; i + 1 < s.points.size(); ++i) {
+      const auto [x0, y0] = s.points[i];
+      const auto [x1, y1] = s.points[i + 1];
+      const std::size_t c0 = col_of(x0);
+      const std::size_t c1 = col_of(x1);
+      for (std::size_t c = std::min(c0, c1); c <= std::max(c0, c1); ++c) {
+        const double t = (c1 == c0) ? 0.0
+                                    : (static_cast<double>(c) - static_cast<double>(c0)) /
+                                          (static_cast<double>(c1) - static_cast<double>(c0));
+        const double y = y0 + t * (y1 - y0);
+        grid[row_of(y)][c] = s.marker;
+      }
+    }
+    if (s.points.size() == 1) {
+      grid[row_of(s.points[0].second)][col_of(s.points[0].first)] = s.marker;
+    }
+  }
+
+  char buf[64];
+  std::string out;
+  std::snprintf(buf, sizeof buf, "%10.3g +", y_max);
+  out += buf;
+  out += std::string(width_, '-');
+  out += "+\n";
+  for (std::size_t r = 0; r < height_; ++r) {
+    out += "           |";
+    out += grid[r];
+    out += "|\n";
+  }
+  std::snprintf(buf, sizeof buf, "%10.3g +", y_min);
+  out += buf;
+  out += std::string(width_, '-');
+  out += "+\n";
+  std::snprintf(buf, sizeof buf, "%12.4g", x_min);
+  out += buf;
+  out += std::string(width_ > 20 ? width_ - 10 : 2, ' ');
+  std::snprintf(buf, sizeof buf, "%.4g\n", x_max);
+  out += buf;
+  for (const Series& s : series_) {
+    out += "  ";
+    out += s.marker;
+    out += " = " + s.label + "\n";
+  }
+  return out;
+}
+
+}  // namespace hit::stats

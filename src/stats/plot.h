@@ -1,0 +1,36 @@
+// Terminal line charts — render the CDF curves the paper plots (Figure 6)
+// directly in bench output, so the *shape* comparison does not require an
+// external plotting step.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hit::stats {
+
+class AsciiChart {
+ public:
+  /// Plot area size in characters (excluding axes/labels).
+  AsciiChart(std::size_t width = 60, std::size_t height = 16);
+
+  /// Add one series of (x, y) points; `marker` draws it on the grid.
+  void add_series(std::string label, std::vector<std::pair<double, double>> points,
+                  char marker);
+
+  /// Render grid, y-axis bounds, x-axis bounds and a legend.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Series {
+    std::string label;
+    std::vector<std::pair<double, double>> points;
+    char marker;
+  };
+
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace hit::stats

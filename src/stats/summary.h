@@ -1,0 +1,66 @@
+// Descriptive statistics over experiment samples: running moments,
+// percentiles, and empirical CDFs.  These back every number the benchmark
+// harnesses print (means, medians, CDF series for Figure 6, etc.).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hit::stats {
+
+/// Single-pass running mean/variance (Welford) plus min/max.
+class RunningSummary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  /// Merge another summary into this one (parallel reduction).
+  void merge(const RunningSummary& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated percentile of a sample set, p in [0, 100].
+/// Copies and sorts; intended for end-of-experiment reporting.
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+/// Arithmetic mean of a sample vector (0 for empty).
+[[nodiscard]] double mean_of(const std::vector<double>& samples);
+
+/// Empirical CDF evaluated at fixed probability steps; the (x, F(x)) series
+/// is what Figure 6's CDF plots report.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  /// F(x) = fraction of samples <= x.
+  [[nodiscard]] double at(double x) const;
+
+  /// Inverse CDF: smallest sample s with F(s) >= q, q in (0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const noexcept { return sorted_; }
+
+  /// Sample the curve at `points` evenly spaced quantiles, returning
+  /// (value, cumulative_probability) pairs — one plottable series.
+  [[nodiscard]] std::vector<std::pair<double, double>> series(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace hit::stats

@@ -1,0 +1,29 @@
+// Aligned text tables — the output format of every benchmark harness.
+// Keeps figure/table reproduction output readable and diffable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hit::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Add a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);  ///< 0.28 -> "28.0%"
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hit::stats

@@ -1,0 +1,61 @@
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "topology/builders.h"
+
+namespace hit::topo {
+namespace {
+
+std::size_t pow_sz(std::size_t base, std::size_t exp) {
+  std::size_t r = 1;
+  for (std::size_t i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+}  // namespace
+
+Topology make_bcube(const BCubeConfig& config) {
+  const std::size_t n = config.n;
+  const std::size_t k = config.k;
+  if (n < 2) throw std::invalid_argument("make_bcube: n must be >= 2");
+
+  Topology topo(Family::BCube);
+
+  const std::size_t num_servers = pow_sz(n, k + 1);
+  std::vector<NodeId> servers;
+  servers.reserve(num_servers);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    servers.push_back(topo.add_server("host-" + std::to_string(s)));
+  }
+
+  // Level-l switch with index x connects the n servers whose base-n address
+  // equals x once digit l is removed.  BCube is server-centric: servers
+  // relay traffic between levels, so multi-level paths alternate
+  // switch/server hops.
+  const std::size_t switches_per_level = pow_sz(n, k);
+  for (std::size_t level = 0; level <= k; ++level) {
+    Tier tier = Tier::Access;
+    if (k > 0 && level == k) tier = Tier::Core;
+    else if (level > 0) tier = Tier::Aggregation;
+    const double capacity =
+        config.switch_capacity * static_cast<double>(pow_sz(2, level));
+    const std::size_t low_stride = pow_sz(n, level);
+    for (std::size_t x = 0; x < switches_per_level; ++x) {
+      const NodeId sw = topo.add_switch(
+          tier, capacity, "sw-L" + std::to_string(level) + "-" + std::to_string(x));
+      // Re-insert digit l: server address = high * n^(l+1) + d * n^l + low.
+      const std::size_t low = x % low_stride;
+      const std::size_t high = x / low_stride;
+      for (std::size_t d = 0; d < n; ++d) {
+        const std::size_t addr = high * low_stride * n + d * low_stride + low;
+        topo.add_link(servers[addr], sw, config.link_bandwidth);
+      }
+    }
+  }
+
+  topo.validate();
+  return topo;
+}
+
+}  // namespace hit::topo

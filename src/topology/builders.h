@@ -1,0 +1,85 @@
+// Builders for the four data-center network families the paper evaluates
+// (§7.1, §7.3): canonical multi-tier Tree, Fat-Tree [20], VL2 [12] and
+// BCube [13].  Each builder returns a validated Topology with typed,
+// capacity-limited switches — the substrate for policy optimization.
+//
+// All builders share two knobs:
+//   * link_bandwidth      — per-link capacity (rate units)
+//   * switch_capacity     — per-switch processing capacity (Eq. 3, 5th
+//                           constraint); scaled up per tier so upper tiers
+//                           can carry aggregated traffic.
+#pragma once
+
+#include <cstddef>
+
+#include "topology/topology.h"
+
+namespace hit::topo {
+
+/// Canonical multi-tier tree (paper's testbed: depth 3, fanout 8 => 64 hosts,
+/// 10 switches with core redundancy 2).
+///
+/// `depth` counts switch levels (>= 2): level 0 is the core position, the
+/// last level holds access switches.  Each position of a non-access level is
+/// instantiated `redundancy` times; parallel switches of one position all
+/// connect to all switches of the parent position, giving the policy
+/// optimizer the alternate routes of the paper's Figure 2.
+struct TreeConfig {
+  std::size_t depth = 3;           ///< switch levels including access
+  std::size_t fanout = 8;          ///< children positions per position
+  std::size_t redundancy = 2;      ///< parallel switches per non-access position
+  std::size_t hosts_per_access = 8;
+  double link_bandwidth = 16.0;    ///< paper testbed: 16 GbE ports
+  double switch_capacity = 32.0;   ///< access tier; doubled per tier above
+  /// Uplink (switch-to-switch) bandwidth multiplier.  1.0 = non-blocking
+  /// relative to host links; < 1.0 models the oversubscribed trees real
+  /// data centers run (e.g. 0.25 = 4:1 oversubscription).
+  double uplink_bandwidth_factor = 1.0;
+};
+
+[[nodiscard]] Topology make_tree(const TreeConfig& config);
+
+/// k-ary Fat-Tree: (k/2)^2 core switches, k pods of k/2 aggregation + k/2
+/// edge switches, (k/2)^2 servers per pod.  k must be even and >= 2.
+struct FatTreeConfig {
+  std::size_t k = 4;
+  double link_bandwidth = 16.0;
+  double switch_capacity = 32.0;
+};
+
+[[nodiscard]] Topology make_fat_tree(const FatTreeConfig& config);
+
+/// VL2-style Clos: `num_intermediate` core switches fully meshed with
+/// `num_aggregation` aggregation switches; each ToR (access) dual-homed to
+/// two aggregation switches; `servers_per_tor` hosts per ToR.
+struct Vl2Config {
+  std::size_t num_intermediate = 2;
+  std::size_t num_aggregation = 4;
+  std::size_t num_tor = 8;
+  std::size_t servers_per_tor = 8;
+  double link_bandwidth = 16.0;
+  double switch_capacity = 32.0;
+};
+
+[[nodiscard]] Topology make_vl2(const Vl2Config& config);
+
+/// BCube(n, k): server-centric recursive topology with n^(k+1) servers and
+/// (k+1) levels of n^k switches; a server connects to one switch per level.
+/// Level 0 switches are access tier; the top level maps to core (k >= 1) and
+/// intermediate levels to aggregation.
+struct BCubeConfig {
+  std::size_t n = 4;
+  std::size_t k = 1;
+  double link_bandwidth = 16.0;
+  double switch_capacity = 32.0;
+};
+
+[[nodiscard]] Topology make_bcube(const BCubeConfig& config);
+
+/// The 5-node case-study cluster of the paper's §2.3 / Figure 3: four slave
+/// servers S1..S4 in a two-level tree (two access switches under one root),
+/// so that e.g. delay(S1, S2-under-other-access) spans 3 switches.
+[[nodiscard]] Topology make_case_study_tree(double link_bandwidth = 16.0,
+                                            double switch_capacity = 64.0);
+
+}  // namespace hit::topo

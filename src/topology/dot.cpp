@@ -1,0 +1,83 @@
+#include "topology/dot.h"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace hit::topo {
+namespace {
+
+const char* tier_shape(Tier tier) {
+  switch (tier) {
+    case Tier::Core: return "doubleoctagon";
+    case Tier::Aggregation: return "octagon";
+    case Tier::Access: return "box";
+    case Tier::Host: return "ellipse";
+  }
+  return "ellipse";
+}
+
+const char* tier_color(Tier tier) {
+  switch (tier) {
+    case Tier::Core: return "#b07aa1";
+    case Tier::Aggregation: return "#4e79a7";
+    case Tier::Access: return "#59a14f";
+    case Tier::Host: return "#bab0ac";
+  }
+  return "black";
+}
+
+std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+std::string to_dot(const Topology& topology, DotOptions options) {
+  std::set<std::pair<NodeId, NodeId>> highlighted;
+  for (const Path& path : options.highlighted_paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      highlighted.insert(ordered(path[i], path[i + 1]));
+    }
+  }
+
+  std::ostringstream out;
+  out << "graph \"" << options.graph_name << "\" {\n"
+      << "  layout=dot;\n  rankdir=TB;\n  node [style=filled];\n";
+
+  for (NodeId w : topology.switches()) {
+    const NodeInfo& info = topology.info(w);
+    out << "  n" << w.value() << " [label=\"" << info.name << "\\ncap "
+        << info.capacity << "\", shape=" << tier_shape(info.tier)
+        << ", fillcolor=\"" << tier_color(info.tier) << "\"];\n";
+  }
+  if (options.include_servers) {
+    for (NodeId s : topology.servers()) {
+      out << "  n" << s.value() << " [label=\"" << topology.info(s).name
+          << "\", shape=" << tier_shape(Tier::Host) << ", fillcolor=\""
+          << tier_color(Tier::Host) << "\"];\n";
+    }
+  }
+
+  std::set<std::pair<NodeId, NodeId>> emitted;
+  for (NodeId n(0); n.index() < topology.node_count();
+       n = NodeId(n.value() + 1)) {
+    if (!options.include_servers && topology.is_server(n)) continue;
+    for (const Edge& e : topology.graph().neighbors(n)) {
+      if (!options.include_servers && topology.is_server(e.to)) continue;
+      const auto key = ordered(n, e.to);
+      if (!emitted.insert(key).second) continue;
+      out << "  n" << key.first.value() << " -- n" << key.second.value();
+      if (highlighted.count(key) > 0) {
+        out << " [color=red, penwidth=3]";
+      } else {
+        out << " [color=\"#888888\"]";
+      }
+      out << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace hit::topo

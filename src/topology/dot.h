@@ -1,0 +1,24 @@
+// Graphviz DOT export for topologies — debugging and documentation aid.
+// Switch tiers get distinct shapes/colors; optional flow-route highlighting
+// renders a policy's path in red (`dot -Tsvg topo.dot > topo.svg`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace hit::topo {
+
+struct DotOptions {
+  bool include_servers = true;
+  /// Node paths (e.g. realized policies) to highlight; each path's edges
+  /// are drawn bold red.
+  std::vector<Path> highlighted_paths;
+  std::string graph_name = "topology";
+};
+
+/// Render the topology as an undirected Graphviz graph.
+[[nodiscard]] std::string to_dot(const Topology& topology, DotOptions options = {});
+
+}  // namespace hit::topo

@@ -1,0 +1,63 @@
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "topology/builders.h"
+
+namespace hit::topo {
+
+Topology make_fat_tree(const FatTreeConfig& config) {
+  const std::size_t k = config.k;
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("make_fat_tree: k must be even and >= 2");
+  }
+  const std::size_t half = k / 2;
+
+  Topology topo(Family::FatTree);
+
+  // Core switches, arranged as a half x half grid; core (i, j) serves the
+  // i-th aggregation switch of every pod.
+  std::vector<std::vector<NodeId>> core(half, std::vector<NodeId>(half));
+  for (std::size_t i = 0; i < half; ++i) {
+    for (std::size_t j = 0; j < half; ++j) {
+      core[i][j] = topo.add_switch(Tier::Core, config.switch_capacity * 4,
+                                   "core-" + std::to_string(i) + "-" + std::to_string(j));
+    }
+  }
+
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    std::vector<NodeId> agg(half);
+    std::vector<NodeId> edge(half);
+    for (std::size_t i = 0; i < half; ++i) {
+      agg[i] = topo.add_switch(Tier::Aggregation, config.switch_capacity * 2,
+                               "agg-" + std::to_string(pod) + "-" + std::to_string(i));
+      edge[i] = topo.add_switch(Tier::Access, config.switch_capacity,
+                                "edge-" + std::to_string(pod) + "-" + std::to_string(i));
+    }
+    // Full bipartite mesh between a pod's aggregation and edge layers.
+    for (std::size_t i = 0; i < half; ++i) {
+      for (std::size_t j = 0; j < half; ++j) {
+        topo.add_link(agg[i], edge[j], config.link_bandwidth);
+      }
+    }
+    // Aggregation uplinks: agg i reaches core row i.
+    for (std::size_t i = 0; i < half; ++i) {
+      for (std::size_t j = 0; j < half; ++j) {
+        topo.add_link(agg[i], core[i][j], config.link_bandwidth);
+      }
+    }
+    // half hosts per edge switch: k^3/4 servers in total.
+    for (std::size_t i = 0; i < half; ++i) {
+      for (std::size_t h = 0; h < half; ++h) {
+        const NodeId server = topo.add_server("host-" + std::to_string(pod) + "-" +
+                                              std::to_string(i) + "-" + std::to_string(h));
+        topo.add_link(server, edge[i], config.link_bandwidth);
+      }
+    }
+  }
+
+  topo.validate();
+  return topo;
+}
+
+}  // namespace hit::topo

@@ -1,0 +1,203 @@
+#include "topology/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace hit::topo {
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return NodeId(static_cast<NodeId::value_type>(adjacency_.size() - 1));
+}
+
+void Graph::check_node(NodeId n) const {
+  if (!n.valid() || n.index() >= adjacency_.size()) {
+    throw std::out_of_range("Graph: unknown node id");
+  }
+}
+
+void Graph::add_edge(NodeId a, NodeId b, double bandwidth) {
+  check_node(a);
+  check_node(b);
+  if (a == b) throw std::invalid_argument("Graph: self-loop not allowed");
+  if (bandwidth <= 0.0) throw std::invalid_argument("Graph: bandwidth must be positive");
+  if (adjacent(a, b)) throw std::invalid_argument("Graph: duplicate edge");
+  auto insert_sorted = [](std::vector<Edge>& list, Edge e) {
+    list.insert(std::upper_bound(list.begin(), list.end(), e), e);
+  };
+  insert_sorted(adjacency_[a.index()], Edge{b, bandwidth});
+  insert_sorted(adjacency_[b.index()], Edge{a, bandwidth});
+  ++edge_count_;
+}
+
+const std::vector<Edge>& Graph::neighbors(NodeId n) const {
+  check_node(n);
+  return adjacency_[n.index()];
+}
+
+bool Graph::adjacent(NodeId a, NodeId b) const { return bandwidth(a, b).has_value(); }
+
+std::optional<double> Graph::bandwidth(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  const auto& list = adjacency_[a.index()];
+  const auto it = std::lower_bound(list.begin(), list.end(), Edge{b, 0.0});
+  if (it != list.end() && it->to == b) return it->bandwidth;
+  return std::nullopt;
+}
+
+Path Graph::shortest_path(NodeId src, NodeId dst) const {
+  return masked_shortest_path(src, dst, {}, {});
+}
+
+Path Graph::masked_shortest_path(
+    NodeId src, NodeId dst, const std::vector<char>& banned_nodes,
+    const std::vector<std::pair<NodeId, NodeId>>& banned_first_edges) const {
+  check_node(src);
+  check_node(dst);
+  auto banned = [&](NodeId n) {
+    return n.index() < banned_nodes.size() && banned_nodes[n.index()];
+  };
+  if (banned(src) || banned(dst)) return {};
+  if (src == dst) return {src};
+
+  // BFS visiting sorted neighbors gives the lexicographically smallest
+  // minimum-hop path (parents are fixed on first discovery).
+  std::vector<NodeId> parent(adjacency_.size());
+  std::vector<char> seen(adjacency_.size(), 0);
+  seen[src.index()] = 1;
+  std::deque<NodeId> frontier{src};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const Edge& e : adjacency_[u.index()]) {
+      if (seen[e.to.index()] || banned(e.to)) continue;
+      if (u == src) {
+        const auto is_banned_edge =
+            std::find(banned_first_edges.begin(), banned_first_edges.end(),
+                      std::make_pair(u, e.to)) != banned_first_edges.end();
+        if (is_banned_edge) continue;
+      }
+      seen[e.to.index()] = 1;
+      parent[e.to.index()] = u;
+      if (e.to == dst) {
+        Path path{dst};
+        for (NodeId n = dst; n != src; n = parent[n.index()]) {
+          path.push_back(parent[n.index()]);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(e.to);
+    }
+  }
+  return {};
+}
+
+std::optional<std::size_t> Graph::distance(NodeId src, NodeId dst) const {
+  const Path p = shortest_path(src, dst);
+  if (p.empty()) return std::nullopt;
+  return p.size() - 1;
+}
+
+std::vector<Path> Graph::k_shortest_paths(NodeId src, NodeId dst, std::size_t k) const {
+  std::vector<Path> result;
+  if (k == 0) return result;
+  Path first = shortest_path(src, dst);
+  if (first.empty()) return result;
+  result.push_back(std::move(first));
+
+  // Yen's algorithm.  Candidates ordered by (length, lexicographic node ids).
+  auto path_less = [](const Path& a, const Path& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+  };
+  std::set<Path, decltype(path_less)> candidates(path_less);
+
+  while (result.size() < k) {
+    const Path& last = result.back();
+    // Spur from every node of the previous path except the terminal one.
+    for (std::size_t i = 0; i + 1 < last.size(); ++i) {
+      const NodeId spur = last[i];
+      const Path root(last.begin(), last.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+
+      std::vector<std::pair<NodeId, NodeId>> banned_first_edges;
+      for (const Path& p : result) {
+        if (p.size() > i + 1 &&
+            std::equal(root.begin(), root.end(), p.begin())) {
+          banned_first_edges.emplace_back(spur, p[i + 1]);
+        }
+      }
+      std::vector<char> banned_nodes(adjacency_.size(), 0);
+      for (std::size_t j = 0; j < i; ++j) banned_nodes[root[j].index()] = 1;
+
+      const Path spur_path =
+          masked_shortest_path(spur, dst, banned_nodes, banned_first_edges);
+      if (spur_path.empty()) continue;
+
+      Path total(root.begin(), root.end() - 1);
+      total.insert(total.end(), spur_path.begin(), spur_path.end());
+      if (std::find(result.begin(), result.end(), total) == result.end()) {
+        candidates.insert(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+std::vector<std::size_t> Graph::weighted_distances(
+    NodeId src, const std::vector<std::size_t>& node_weight) const {
+  check_node(src);
+  if (node_weight.size() != adjacency_.size()) {
+    throw std::invalid_argument("weighted_distances: weight vector size mismatch");
+  }
+  constexpr std::size_t kInf = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> dist(adjacency_.size(), kInf);
+  dist[src.index()] = 0;
+  std::deque<NodeId> dq{src};
+  while (!dq.empty()) {
+    const NodeId u = dq.front();
+    dq.pop_front();
+    for (const Edge& e : adjacency_[u.index()]) {
+      const std::size_t w = node_weight[e.to.index()];
+      const std::size_t nd = dist[u.index()] + w;
+      if (nd < dist[e.to.index()]) {
+        dist[e.to.index()] = nd;
+        if (w == 0) {
+          dq.push_front(e.to);
+        } else {
+          dq.push_back(e.to);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<char> seen(adjacency_.size(), 0);
+  std::deque<NodeId> frontier{NodeId(0)};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const Edge& e : adjacency_[u.index()]) {
+      if (!seen[e.to.index()]) {
+        seen[e.to.index()] = 1;
+        ++visited;
+        frontier.push_back(e.to);
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+}  // namespace hit::topo

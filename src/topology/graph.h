@@ -1,0 +1,84 @@
+// Undirected graph core used by every topology.
+//
+// Nodes are dense NodeId handles; edges carry a bandwidth attribute (used by
+// the flow-level simulator for max-min fair sharing).  All traversals are
+// deterministic: adjacency lists are kept sorted by neighbor id so BFS and
+// Yen's algorithm break ties identically across runs and platforms.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace hit::topo {
+
+struct Edge {
+  NodeId to;
+  double bandwidth = 0.0;  ///< link capacity in rate units (e.g. Gbit/s)
+
+  friend bool operator<(const Edge& a, const Edge& b) { return a.to < b.to; }
+};
+
+/// A path is the full node sequence, endpoints included.
+using Path = std::vector<NodeId>;
+
+class Graph {
+ public:
+  /// Append a node; returns its id (ids are dense, 0..n-1).
+  NodeId add_node();
+
+  /// Add an undirected edge.  Throws if either endpoint is unknown, if the
+  /// edge already exists, or if bandwidth is not positive.
+  void add_edge(NodeId a, NodeId b, double bandwidth);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Sorted-by-id neighbor list.
+  [[nodiscard]] const std::vector<Edge>& neighbors(NodeId n) const;
+
+  [[nodiscard]] bool adjacent(NodeId a, NodeId b) const;
+
+  /// Bandwidth of edge (a, b); nullopt when not adjacent.
+  [[nodiscard]] std::optional<double> bandwidth(NodeId a, NodeId b) const;
+
+  /// BFS shortest path by hop count; empty when unreachable (or src==dst,
+  /// which yields the single-node path).  Deterministic tie-break: the
+  /// lexicographically smallest among minimum-hop paths.
+  [[nodiscard]] Path shortest_path(NodeId src, NodeId dst) const;
+
+  /// Hop distance (#edges) or nullopt when unreachable.
+  [[nodiscard]] std::optional<std::size_t> distance(NodeId src, NodeId dst) const;
+
+  /// Yen's algorithm: up to k loop-free shortest paths, ordered by (length,
+  /// lexicographic).  Deterministic.
+  [[nodiscard]] std::vector<Path> k_shortest_paths(NodeId src, NodeId dst,
+                                                   std::size_t k) const;
+
+  /// True when every node can reach every other (ignores empty graph).
+  [[nodiscard]] bool connected() const;
+
+  /// Single-source weighted distances where entering node v costs
+  /// `node_weight[v]` (0/1 weights solved with deque BFS).  Unreachable
+  /// nodes get SIZE_MAX.  Used to compute switch-hop distances: weight 1 on
+  /// switches, 0 on servers.
+  [[nodiscard]] std::vector<std::size_t> weighted_distances(
+      NodeId src, const std::vector<std::size_t>& node_weight) const;
+
+ private:
+  void check_node(NodeId n) const;
+
+  /// BFS shortest path on the graph with some nodes/edges masked out.
+  /// `banned_nodes[i]` true => node i unusable; `banned_edges` lists directed
+  /// (from,to) pairs that must not be taken as the *first* step from `src`.
+  [[nodiscard]] Path masked_shortest_path(
+      NodeId src, NodeId dst, const std::vector<char>& banned_nodes,
+      const std::vector<std::pair<NodeId, NodeId>>& banned_first_edges) const;
+
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace hit::topo

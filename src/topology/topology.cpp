@@ -1,0 +1,128 @@
+#include "topology/topology.h"
+
+#include <stdexcept>
+
+namespace hit::topo {
+
+std::string_view tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::Host: return "host";
+    case Tier::Access: return "access";
+    case Tier::Aggregation: return "aggregation";
+    case Tier::Core: return "core";
+  }
+  return "?";
+}
+
+std::string_view family_name(Family family) {
+  switch (family) {
+    case Family::Tree: return "Tree";
+    case Family::FatTree: return "Fat-Tree";
+    case Family::Vl2: return "VL2";
+    case Family::BCube: return "BCube";
+    case Family::Custom: return "Custom";
+  }
+  return "?";
+}
+
+NodeId Topology::add_server(std::string name) {
+  const NodeId id = graph_.add_node();
+  info_.push_back(NodeInfo{Tier::Host, 0.0, std::move(name)});
+  servers_.push_back(id);
+  return id;
+}
+
+NodeId Topology::add_switch(Tier tier, double capacity, std::string name) {
+  if (tier == Tier::Host) throw std::invalid_argument("add_switch: tier must not be Host");
+  if (capacity <= 0.0) throw std::invalid_argument("add_switch: capacity must be positive");
+  const NodeId id = graph_.add_node();
+  info_.push_back(NodeInfo{tier, capacity, std::move(name)});
+  switches_.push_back(id);
+  return id;
+}
+
+void Topology::add_link(NodeId a, NodeId b, double bandwidth) {
+  graph_.add_edge(a, b, bandwidth);
+}
+
+const NodeInfo& Topology::info(NodeId n) const {
+  if (!n.valid() || n.index() >= info_.size()) {
+    throw std::out_of_range("Topology: unknown node id");
+  }
+  return info_[n.index()];
+}
+
+std::size_t Topology::switch_hops(const Path& path) const {
+  std::size_t hops = 0;
+  for (NodeId n : path) {
+    if (is_switch(n)) ++hops;
+  }
+  return hops;
+}
+
+std::vector<NodeId> Topology::switch_list(const Path& path) const {
+  std::vector<NodeId> out;
+  out.reserve(path.size());
+  for (NodeId n : path) {
+    if (is_switch(n)) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<Tier> Topology::tier_signature(const std::vector<NodeId>& switches) const {
+  std::vector<Tier> out;
+  out.reserve(switches.size());
+  for (NodeId w : switches) out.push_back(tier(w));
+  return out;
+}
+
+std::vector<NodeId> Topology::substitution_candidates(
+    NodeId src, NodeId dst, const std::vector<NodeId>& switches,
+    std::size_t i) const {
+  if (i >= switches.size()) {
+    throw std::out_of_range("substitution_candidates: index out of range");
+  }
+  const NodeId current = switches[i];
+  const NodeId prev = (i == 0) ? src : switches[i - 1];
+  const NodeId next = (i + 1 == switches.size()) ? dst : switches[i + 1];
+  const Tier wanted = tier(current);
+
+  std::vector<NodeId> out;
+  // Scan the (smaller) neighbor list of `prev` for same-tier switches also
+  // adjacent to `next`.
+  for (const Edge& e : graph_.neighbors(prev)) {
+    const NodeId cand = e.to;
+    if (cand == current || !is_switch(cand) || tier(cand) != wanted) continue;
+    if (cand == next || !graph_.adjacent(cand, next)) continue;
+    out.push_back(cand);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Topology::switch_hop_distances(NodeId src) const {
+  std::vector<std::size_t> weight(node_count(), 0);
+  for (NodeId w : switches_) weight[w.index()] = 1;
+  return graph_.weighted_distances(src, weight);
+}
+
+void Topology::validate() const {
+  if (servers_.empty()) throw std::logic_error("Topology: no servers");
+  if (switches_.empty()) throw std::logic_error("Topology: no switches");
+  if (!graph_.connected()) throw std::logic_error("Topology: graph is not connected");
+  for (NodeId s : servers_) {
+    if (graph_.neighbors(s).empty()) {
+      throw std::logic_error("Topology: isolated server " + info(s).name);
+    }
+    // In switch-centric families, servers attach only to access switches.
+    if (family_ != Family::BCube && family_ != Family::Custom) {
+      for (const Edge& e : graph_.neighbors(s)) {
+        if (tier(e.to) != Tier::Access) {
+          throw std::logic_error("Topology: server " + info(s).name +
+                                 " linked to non-access node " + info(e.to).name);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hit::topo

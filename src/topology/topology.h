@@ -1,0 +1,111 @@
+// Data-center topology: a graph whose nodes are servers and typed switches.
+//
+// This is the substrate for the paper's §2.2/§3 model: switches carry a
+// {capacity, type} pair (type == tier: access / aggregation / core), servers
+// host containers, and shuffle flows traverse switch paths whose *type
+// sequence* is constrained by the traffic policy (Eq. 3, last constraint).
+//
+// The paper's Eq. (4) candidate set — alternate switches of the same type
+// that can replace position i on a flow's path — is exposed here as
+// `substitution_candidates`; residual-capacity filtering is layered on top by
+// net::LoadTracker, since load is dynamic while the topology is static.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topology/graph.h"
+#include "util/ids.h"
+
+namespace hit::topo {
+
+enum class Tier : std::uint8_t { Host = 0, Access = 1, Aggregation = 2, Core = 3 };
+
+[[nodiscard]] std::string_view tier_name(Tier tier);
+
+struct NodeInfo {
+  Tier tier = Tier::Host;
+  double capacity = 0.0;  ///< switch processing capacity (rate units); 0 for hosts
+  std::string name;
+};
+
+/// Named topology families implemented by the builders.
+enum class Family { Tree, FatTree, Vl2, BCube, Custom };
+
+[[nodiscard]] std::string_view family_name(Family family);
+
+class Topology {
+ public:
+  explicit Topology(Family family = Family::Custom) : family_(family) {}
+
+  NodeId add_server(std::string name);
+  NodeId add_switch(Tier tier, double capacity, std::string name);
+
+  /// Undirected physical link.
+  void add_link(NodeId a, NodeId b, double bandwidth);
+
+  [[nodiscard]] Family family() const noexcept { return family_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return info_.size(); }
+  [[nodiscard]] std::span<const NodeId> servers() const noexcept { return servers_; }
+  [[nodiscard]] std::span<const NodeId> switches() const noexcept { return switches_; }
+
+  [[nodiscard]] const NodeInfo& info(NodeId n) const;
+  [[nodiscard]] bool is_server(NodeId n) const { return info(n).tier == Tier::Host; }
+  [[nodiscard]] bool is_switch(NodeId n) const { return !is_server(n); }
+  [[nodiscard]] Tier tier(NodeId n) const { return info(n).tier; }
+  [[nodiscard]] double switch_capacity(NodeId n) const { return info(n).capacity; }
+
+  // --- Path queries -------------------------------------------------------
+
+  /// Minimum-hop path (node sequence, endpoints included); deterministic.
+  [[nodiscard]] Path shortest_path(NodeId a, NodeId b) const {
+    return graph_.shortest_path(a, b);
+  }
+
+  /// Up to k shortest loop-free paths (Yen).
+  [[nodiscard]] std::vector<Path> k_shortest_paths(NodeId a, NodeId b,
+                                                   std::size_t k) const {
+    return graph_.k_shortest_paths(a, b, k);
+  }
+
+  /// Number of *switches* on the path (the paper's delay unit: one switch
+  /// traversed = 1 T of delay; case-study cost is GB * switch count).
+  [[nodiscard]] std::size_t switch_hops(const Path& path) const;
+
+  /// Switch subsequence of a server-to-server path.
+  [[nodiscard]] std::vector<NodeId> switch_list(const Path& path) const;
+
+  /// Tier signature of a switch list.
+  [[nodiscard]] std::vector<Tier> tier_signature(const std::vector<NodeId>& switches) const;
+
+  /// Eq. (4) structural part: switches ŵ (ŵ != switches[i]) with the same
+  /// tier as switches[i] that are physically adjacent to both neighbors of
+  /// position i (the neighbor being a server endpoint for end positions).
+  /// `src`/`dst` are the servers terminating the flow.
+  [[nodiscard]] std::vector<NodeId> substitution_candidates(
+      NodeId src, NodeId dst, const std::vector<NodeId>& switches,
+      std::size_t i) const;
+
+  /// Switch-hop distance from `src` to every node: the number of switches a
+  /// minimum-switch route traverses (servers are free hops, so BCube relay
+  /// servers do not inflate the count).  SIZE_MAX for unreachable nodes.
+  [[nodiscard]] std::vector<std::size_t> switch_hop_distances(NodeId src) const;
+
+  /// Sanity checks used by tests and builders: ids consistent, servers only
+  /// link to access-tier switches (except server-centric families), graph
+  /// connected.  Throws std::logic_error describing the first violation.
+  void validate() const;
+
+ private:
+  Family family_;
+  Graph graph_;
+  std::vector<NodeInfo> info_;
+  std::vector<NodeId> servers_;
+  std::vector<NodeId> switches_;
+};
+
+}  // namespace hit::topo

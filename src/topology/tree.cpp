@@ -1,0 +1,106 @@
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "topology/builders.h"
+
+namespace hit::topo {
+namespace {
+
+std::size_t pow_sz(std::size_t base, std::size_t exp) {
+  std::size_t r = 1;
+  for (std::size_t i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+Tier tree_tier(std::size_t level, std::size_t depth) {
+  if (level == 0) return Tier::Core;
+  if (level + 1 == depth) return Tier::Access;
+  return Tier::Aggregation;
+}
+
+}  // namespace
+
+Topology make_tree(const TreeConfig& config) {
+  if (config.depth < 2) throw std::invalid_argument("make_tree: depth must be >= 2");
+  if (config.fanout == 0) throw std::invalid_argument("make_tree: fanout must be >= 1");
+  if (config.redundancy == 0) throw std::invalid_argument("make_tree: redundancy must be >= 1");
+  if (config.hosts_per_access == 0) {
+    throw std::invalid_argument("make_tree: hosts_per_access must be >= 1");
+  }
+
+  Topology topo(Family::Tree);
+
+  // switches[level][position][replica]
+  std::vector<std::vector<std::vector<NodeId>>> switches(config.depth);
+  for (std::size_t level = 0; level < config.depth; ++level) {
+    const std::size_t positions = pow_sz(config.fanout, level);
+    const Tier tier = tree_tier(level, config.depth);
+    const std::size_t replicas = (tier == Tier::Access) ? 1 : config.redundancy;
+    // Upper tiers aggregate more flows; scale their processing capacity.
+    const double capacity =
+        config.switch_capacity *
+        static_cast<double>(pow_sz(2, config.depth - 1 - level));
+    switches[level].resize(positions);
+    for (std::size_t p = 0; p < positions; ++p) {
+      for (std::size_t r = 0; r < replicas; ++r) {
+        const std::string name = std::string(tier_name(tier)) + "-L" +
+                                 std::to_string(level) + "-P" + std::to_string(p) +
+                                 "-R" + std::to_string(r);
+        switches[level][p].push_back(topo.add_switch(tier, capacity, name));
+      }
+    }
+  }
+
+  // Wire each position to every replica of its parent position.  Uplinks
+  // carry the oversubscription factor.
+  if (config.uplink_bandwidth_factor <= 0.0) {
+    throw std::invalid_argument("make_tree: uplink factor must be positive");
+  }
+  const double uplink_bw = config.link_bandwidth * config.uplink_bandwidth_factor;
+  for (std::size_t level = 1; level < config.depth; ++level) {
+    for (std::size_t p = 0; p < switches[level].size(); ++p) {
+      const std::size_t parent = p / config.fanout;
+      for (NodeId child : switches[level][p]) {
+        for (NodeId up : switches[level - 1][parent]) {
+          topo.add_link(child, up, uplink_bw);
+        }
+      }
+    }
+  }
+
+  // Hosts hang off access switches.
+  const auto& access = switches[config.depth - 1];
+  for (std::size_t p = 0; p < access.size(); ++p) {
+    for (std::size_t h = 0; h < config.hosts_per_access; ++h) {
+      const NodeId server =
+          topo.add_server("host-" + std::to_string(p) + "-" + std::to_string(h));
+      topo.add_link(server, access[p][0], config.link_bandwidth);
+    }
+  }
+
+  topo.validate();
+  return topo;
+}
+
+Topology make_case_study_tree(double link_bandwidth, double switch_capacity) {
+  // Figure 3's cluster: root switch over two access switches, two slaves
+  // each.  Switch distance S1<->S2 is 1 (shared access switch) and
+  // S1<->S4 is 3 (access, root, access) — the pair of distances that makes
+  // the paper's shuffle-cost arithmetic (112 GB*T -> 64 GB*T) exact.
+  Topology topo(Family::Tree);
+  const NodeId root = topo.add_switch(Tier::Core, switch_capacity * 2, "root");
+  const NodeId left = topo.add_switch(Tier::Access, switch_capacity, "access-left");
+  const NodeId right = topo.add_switch(Tier::Access, switch_capacity, "access-right");
+  topo.add_link(left, root, link_bandwidth);
+  topo.add_link(right, root, link_bandwidth);
+  for (int i = 1; i <= 4; ++i) {
+    const NodeId server = topo.add_server("S" + std::to_string(i));
+    topo.add_link(server, i <= 2 ? left : right, link_bandwidth);
+  }
+  topo.validate();
+  return topo;
+}
+
+}  // namespace hit::topo

@@ -1,0 +1,56 @@
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "topology/builders.h"
+
+namespace hit::topo {
+
+Topology make_vl2(const Vl2Config& config) {
+  if (config.num_intermediate == 0 || config.num_aggregation < 2 ||
+      config.num_tor == 0 || config.servers_per_tor == 0) {
+    throw std::invalid_argument("make_vl2: all counts must be positive (>=2 aggregation)");
+  }
+
+  Topology topo(Family::Vl2);
+
+  std::vector<NodeId> intermediate;
+  intermediate.reserve(config.num_intermediate);
+  for (std::size_t i = 0; i < config.num_intermediate; ++i) {
+    intermediate.push_back(topo.add_switch(Tier::Core, config.switch_capacity * 4,
+                                           "int-" + std::to_string(i)));
+  }
+
+  std::vector<NodeId> aggregation;
+  aggregation.reserve(config.num_aggregation);
+  for (std::size_t i = 0; i < config.num_aggregation; ++i) {
+    const NodeId agg = topo.add_switch(Tier::Aggregation, config.switch_capacity * 2,
+                                       "agg-" + std::to_string(i));
+    aggregation.push_back(agg);
+    // VL2's defining property: full mesh between aggregation and
+    // intermediate layers (Clos), giving uniform capacity between ToRs.
+    for (NodeId core : intermediate) {
+      topo.add_link(agg, core, config.link_bandwidth);
+    }
+  }
+
+  for (std::size_t t = 0; t < config.num_tor; ++t) {
+    const NodeId tor =
+        topo.add_switch(Tier::Access, config.switch_capacity, "tor-" + std::to_string(t));
+    // Each ToR is dual-homed to two aggregation switches.
+    const std::size_t a0 = (2 * t) % config.num_aggregation;
+    const std::size_t a1 = (2 * t + 1) % config.num_aggregation;
+    topo.add_link(tor, aggregation[a0], config.link_bandwidth);
+    if (a1 != a0) topo.add_link(tor, aggregation[a1], config.link_bandwidth);
+    for (std::size_t h = 0; h < config.servers_per_tor; ++h) {
+      const NodeId server =
+          topo.add_server("host-" + std::to_string(t) + "-" + std::to_string(h));
+      topo.add_link(server, tor, config.link_bandwidth);
+    }
+  }
+
+  topo.validate();
+  return topo;
+}
+
+}  // namespace hit::topo

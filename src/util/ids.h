@@ -1,0 +1,82 @@
+// Strong, zero-cost identifier types shared across all HitSched modules.
+//
+// Every entity in the system (servers, switches, containers, tasks, jobs,
+// flows, policies) is referred to by a small integer handle into the owning
+// registry.  Using distinct wrapper types instead of bare integers prevents
+// the classic bug class of passing a container id where a server id is
+// expected (C++ Core Guidelines P.1 / I.4: express ideas directly in code,
+// make interfaces precisely and strongly typed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace hit {
+
+/// CRTP-free strongly typed id.  `Tag` is a phantom type; two ids with
+/// different tags do not compare or convert.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+
+  /// Sentinel: "no entity".  Default-constructed ids are invalid.
+  static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+  constexpr Id() noexcept : value_(kInvalid) {}
+  constexpr explicit Id(value_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+  [[nodiscard]] constexpr std::size_t index() const noexcept {
+    return static_cast<std::size_t>(value_);
+  }
+
+  friend constexpr bool operator==(Id a, Id b) noexcept { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) noexcept { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) noexcept { return a.value_ < b.value_; }
+  friend constexpr bool operator>(Id a, Id b) noexcept { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) noexcept { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(Id a, Id b) noexcept { return a.value_ >= b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value_;
+  }
+
+ private:
+  value_type value_;
+};
+
+// Tag types.  Declaration-only; never instantiated.
+struct NodeTag;       ///< any vertex in a topology graph (server or switch)
+struct ServerTag;     ///< physical server (compute host)
+struct SwitchTag;     ///< network switch
+struct ContainerTag;  ///< YARN-style resource container
+struct TaskTag;       ///< Map or Reduce task
+struct JobTag;        ///< MapReduce job
+struct FlowTag;       ///< shuffle traffic flow
+struct PolicyTag;     ///< network traffic policy
+
+using NodeId = Id<NodeTag>;
+using ServerId = Id<ServerTag>;
+using SwitchId = Id<SwitchTag>;
+using ContainerId = Id<ContainerTag>;
+using TaskId = Id<TaskTag>;
+using JobId = Id<JobTag>;
+using FlowId = Id<FlowTag>;
+using PolicyId = Id<PolicyTag>;
+
+}  // namespace hit
+
+namespace std {
+template <typename Tag>
+struct hash<hit::Id<Tag>> {
+  size_t operator()(hit::Id<Tag> id) const noexcept {
+    return std::hash<typename hit::Id<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,78 @@
+// Minimal leveled logging.
+//
+// HitSched libraries never print to stdout on their own; benchmark harnesses
+// and examples own stdout for result tables.  Diagnostics go through this
+// logger to stderr and are silenced by default below `Level::Warn`.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace hit::log {
+
+enum class Level : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global log threshold; messages below it are dropped.
+inline Level& threshold() {
+  static Level level = Level::Warn;
+  return level;
+}
+
+inline void set_level(Level level) { threshold() = level; }
+
+inline std::string_view name(Level level) {
+  switch (level) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO ";
+    case Level::Warn: return "WARN ";
+    case Level::Error: return "ERROR";
+    default: return "OFF  ";
+  }
+}
+
+namespace detail {
+inline std::mutex& mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace detail
+
+/// RAII line builder: `Log(Level::Info) << "x=" << x;` emits one line.
+class Log {
+ public:
+  explicit Log(Level level, std::string_view tag = {}) : level_(level) {
+    enabled_ = level >= threshold();
+    if (enabled_ && !tag.empty()) stream_ << "[" << tag << "] ";
+  }
+
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  ~Log() {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(detail::mutex());
+    std::cerr << name(level_) << " " << stream_.str() << '\n';
+  }
+
+  template <typename T>
+  Log& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace hit::log
+
+#define HIT_LOG_TRACE() ::hit::log::Log(::hit::log::Level::Trace)
+#define HIT_LOG_DEBUG() ::hit::log::Log(::hit::log::Level::Debug)
+#define HIT_LOG_INFO() ::hit::log::Log(::hit::log::Level::Info)
+#define HIT_LOG_WARN() ::hit::log::Log(::hit::log::Level::Warn)
+#define HIT_LOG_ERROR() ::hit::log::Log(::hit::log::Level::Error)

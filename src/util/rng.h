@@ -1,0 +1,100 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in HitSched (workload sampling, probabilistic
+// scheduling, failure injection, simulation jitter) draws from an explicitly
+// seeded `Rng`.  Reproducibility is a hard requirement: the same seed must
+// produce bit-identical experiment output across runs, which is what lets the
+// benchmark harnesses regenerate the paper's figures deterministically.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace hit {
+
+/// Thin wrapper over std::mt19937_64 with convenience draws.
+/// Not thread-safe; use one Rng per thread (see Rng::fork).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Derive an independent child stream.  Uses SplitMix64 on (seed, salt) so
+  /// forks are stable regardless of how much the parent has been consumed.
+  [[nodiscard]] Rng fork(std::uint64_t salt) const {
+    std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ull * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return Rng(z ^ (z >> 31));
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n).
+  [[nodiscard]] std::size_t uniform_index(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("uniform_index: empty range");
+    return static_cast<std::size_t>(
+        std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_));
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Log-normal draw with the given *linear-space* median and sigma.
+  [[nodiscard]] double lognormal_median(double median, double sigma) {
+    return std::lognormal_distribution<double>(std::log(median), sigma)(engine_);
+  }
+
+  [[nodiscard]] double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Draw an index from an explicit (unnormalized) weight vector.
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights) {
+    if (weights.empty()) throw std::invalid_argument("weighted_index: empty weights");
+    return std::discrete_distribution<std::size_t>(weights.begin(), weights.end())(engine_);
+  }
+
+  /// Zipf-like draw over [0, n) with exponent s (s = 0 -> uniform).
+  /// Used to model skewed shuffle partitions.
+  [[nodiscard]] std::size_t zipf(std::size_t n, double s) {
+    if (n == 0) throw std::invalid_argument("zipf: empty range");
+    std::vector<double> w(n);
+    for (std::size_t i = 0; i < n; ++i) w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    return weighted_index(w);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace hit

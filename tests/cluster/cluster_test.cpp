@@ -1,0 +1,60 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.h"
+
+namespace hit::cluster {
+namespace {
+
+TEST(Cluster, OneServerPerHost) {
+  const topo::Topology t = topo::make_case_study_tree();
+  const Cluster c(t, Resource{2.0, 8.0});
+  EXPECT_EQ(c.size(), 4u);
+  for (const Server& s : c.servers()) {
+    EXPECT_EQ(s.capacity, (Resource{2.0, 8.0}));
+    EXPECT_TRUE(t.is_server(s.node));
+    EXPECT_FALSE(s.hostname.empty());
+  }
+}
+
+TEST(Cluster, HeterogeneousCapacities) {
+  const topo::Topology t = topo::make_case_study_tree();
+  std::vector<Resource> caps{{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  const Cluster c(t, caps);
+  EXPECT_EQ(c.server(ServerId(2)).capacity, (Resource{3, 3}));
+  EXPECT_EQ(c.total_capacity(), (Resource{10, 10}));
+}
+
+TEST(Cluster, CapacityListSizeMustMatch) {
+  const topo::Topology t = topo::make_case_study_tree();
+  EXPECT_THROW(Cluster(t, std::vector<Resource>{{1, 1}}), std::invalid_argument);
+}
+
+TEST(Cluster, RejectsNegativeCapacity) {
+  const topo::Topology t = topo::make_case_study_tree();
+  std::vector<Resource> caps(4, Resource{1, 1});
+  caps[2] = Resource{-1, 1};
+  EXPECT_THROW(Cluster(t, caps), std::invalid_argument);
+}
+
+TEST(Cluster, NodeServerRoundTrip) {
+  const topo::Topology t = topo::make_case_study_tree();
+  const Cluster c(t, Resource{2, 8});
+  for (const Server& s : c.servers()) {
+    EXPECT_EQ(c.server_at(s.node), s.id);
+    EXPECT_EQ(c.node_of(s.id), s.node);
+  }
+}
+
+TEST(Cluster, LookupErrors) {
+  const topo::Topology t = topo::make_case_study_tree();
+  const Cluster c(t, Resource{2, 8});
+  EXPECT_THROW((void)c.server(ServerId(99)), std::out_of_range);
+  EXPECT_THROW((void)c.server(ServerId{}), std::out_of_range);
+  // Switches host no servers.
+  EXPECT_THROW((void)c.server_at(t.switches()[0]), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace hit::cluster

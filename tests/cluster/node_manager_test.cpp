@@ -1,0 +1,73 @@
+#include "cluster/node_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.h"
+
+namespace hit::cluster {
+namespace {
+
+class NodeManagerTest : public ::testing::Test {
+ protected:
+  topo::Topology topology_ = topo::make_case_study_tree();
+  Cluster cluster_{topology_, Resource{2.0, 8.0}};
+  ResourceManager rm_{cluster_};
+
+  ContainerId grant(ServerId host) {
+    ResourceRequest r;
+    r.task = TaskId(next_task_++);
+    r.preferred_host = host;
+    r.strict = true;
+    const auto c = rm_.allocate(r);
+    EXPECT_TRUE(c.has_value());
+    return *c;
+  }
+
+  unsigned next_task_ = 0;
+};
+
+TEST_F(NodeManagerTest, LaunchAndComplete) {
+  NodeManagerPool pool(rm_);
+  const ContainerId c = grant(ServerId(0));
+  pool.launch(rm_, c, 1.0);
+  NodeManager& nm = pool.at(ServerId(0));
+  EXPECT_TRUE(nm.running(c));
+  EXPECT_EQ(nm.running_count(), 1u);
+  nm.complete(c, 5.0);
+  EXPECT_FALSE(nm.running(c));
+  ASSERT_EQ(nm.history().size(), 1u);
+  EXPECT_EQ(nm.history()[0].launched_at, 1.0);
+  EXPECT_EQ(nm.history()[0].completed_at, 5.0);
+}
+
+TEST_F(NodeManagerTest, RejectsWrongHost) {
+  NodeManagerPool pool(rm_);
+  const ContainerId c = grant(ServerId(0));
+  EXPECT_THROW(pool.at(ServerId(1)).launch(c, 0.0), std::invalid_argument);
+}
+
+TEST_F(NodeManagerTest, RejectsDoubleLaunchAndStrayComplete) {
+  NodeManagerPool pool(rm_);
+  const ContainerId c = grant(ServerId(0));
+  pool.launch(rm_, c, 0.0);
+  EXPECT_THROW(pool.at(ServerId(0)).launch(c, 1.0), std::invalid_argument);
+  EXPECT_THROW(pool.at(ServerId(1)).complete(c, 1.0), std::invalid_argument);
+}
+
+TEST_F(NodeManagerTest, RejectsReleasedContainer) {
+  NodeManagerPool pool(rm_);
+  const ContainerId c = grant(ServerId(0));
+  rm_.release(c);
+  EXPECT_THROW(pool.launch(rm_, c, 0.0), std::invalid_argument);
+}
+
+TEST_F(NodeManagerTest, PoolCoversAllServers) {
+  NodeManagerPool pool(rm_);
+  for (const Server& s : cluster_.servers()) {
+    EXPECT_EQ(pool.at(s.id).server(), s.id);
+  }
+  EXPECT_THROW((void)pool.at(ServerId(99)), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace hit::cluster

@@ -1,0 +1,121 @@
+#include "cluster/resource_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.h"
+
+namespace hit::cluster {
+namespace {
+
+class ResourceManagerTest : public ::testing::Test {
+ protected:
+  topo::Topology topology_ = topo::make_case_study_tree();
+  Cluster cluster_{topology_, Resource{2.0, 8.0}};
+  ResourceManager rm_{cluster_};
+
+  ResourceRequest request(TaskId task, ServerId preferred = ServerId{},
+                          bool strict = false) {
+    ResourceRequest r;
+    r.task = task;
+    r.job = JobId(0);
+    r.preferred_host = preferred;
+    r.strict = strict;
+    return r;
+  }
+};
+
+TEST_F(ResourceManagerTest, GrantsOnPreferredHost) {
+  const ServerId s2(1);
+  const auto c = rm_.allocate(request(TaskId(1), s2));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(rm_.container(*c).host, s2);
+  EXPECT_EQ(rm_.used(s2), kDefaultContainerDemand);
+}
+
+TEST_F(ResourceManagerTest, FallsBackWhenPreferredFull) {
+  const ServerId s1(0);
+  ASSERT_TRUE(rm_.allocate(request(TaskId(1), s1)).has_value());
+  ASSERT_TRUE(rm_.allocate(request(TaskId(2), s1)).has_value());
+  const auto c = rm_.allocate(request(TaskId(3), s1));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NE(rm_.container(*c).host, s1);  // fell back
+}
+
+TEST_F(ResourceManagerTest, StrictRequestFailsWhenPreferredFull) {
+  const ServerId s1(0);
+  ASSERT_TRUE(rm_.allocate(request(TaskId(1), s1)).has_value());
+  ASSERT_TRUE(rm_.allocate(request(TaskId(2), s1)).has_value());
+  EXPECT_FALSE(rm_.allocate(request(TaskId(3), s1, /*strict=*/true)).has_value());
+}
+
+TEST_F(ResourceManagerTest, AnywhereRequestUsesFirstFit) {
+  const auto c = rm_.allocate(request(TaskId(1)));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(rm_.container(*c).host, ServerId(0));
+}
+
+TEST_F(ResourceManagerTest, ExhaustsCluster) {
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(rm_.allocate(request(TaskId(static_cast<unsigned>(i)))).has_value());
+  }
+  EXPECT_FALSE(rm_.allocate(request(TaskId(99))).has_value());
+}
+
+TEST_F(ResourceManagerTest, ReleaseFreesResources) {
+  const auto c = rm_.allocate(request(TaskId(1), ServerId(0)));
+  ASSERT_TRUE(c.has_value());
+  rm_.release(*c);
+  EXPECT_EQ(rm_.used(ServerId(0)), (Resource{0, 0}));
+  rm_.release(*c);  // idempotent
+  EXPECT_EQ(rm_.used(ServerId(0)), (Resource{0, 0}));
+  EXPECT_TRUE(rm_.container(*c).released);
+}
+
+TEST_F(ResourceManagerTest, ContainersOnAndLiveTracking) {
+  const auto c1 = rm_.allocate(request(TaskId(1), ServerId(0)));
+  const auto c2 = rm_.allocate(request(TaskId(2), ServerId(0)));
+  const auto c3 = rm_.allocate(request(TaskId(3), ServerId(1)));
+  ASSERT_TRUE(c1 && c2 && c3);
+  EXPECT_EQ(rm_.containers_on(ServerId(0)).size(), 2u);
+  EXPECT_EQ(rm_.live_containers().size(), 3u);
+  rm_.release(*c2);
+  EXPECT_EQ(rm_.containers_on(ServerId(0)).size(), 1u);
+  EXPECT_EQ(rm_.live_containers().size(), 2u);
+}
+
+TEST_F(ResourceManagerTest, ContainerOfTask) {
+  EXPECT_EQ(rm_.container_of(TaskId(1)), std::nullopt);
+  const auto c = rm_.allocate(request(TaskId(1)));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(rm_.container_of(TaskId(1)), *c);
+  rm_.release(*c);
+  EXPECT_EQ(rm_.container_of(TaskId(1)), std::nullopt);
+}
+
+TEST_F(ResourceManagerTest, AvailableAndCanHost) {
+  EXPECT_TRUE(rm_.can_host(ServerId(0), Resource{2.0, 8.0}));
+  ASSERT_TRUE(rm_.allocate(request(TaskId(1), ServerId(0))).has_value());
+  EXPECT_EQ(rm_.available(ServerId(0)), (Resource{1.0, 4.0}));
+  EXPECT_FALSE(rm_.can_host(ServerId(0), Resource{2.0, 8.0}));
+  EXPECT_TRUE(rm_.can_host(ServerId(0), kDefaultContainerDemand));
+}
+
+TEST_F(ResourceManagerTest, AuditPassesThroughLifecycle) {
+  EXPECT_NO_THROW(rm_.audit());
+  const auto c = rm_.allocate(request(TaskId(1)));
+  EXPECT_NO_THROW(rm_.audit());
+  rm_.release(*c);
+  EXPECT_NO_THROW(rm_.audit());
+}
+
+TEST_F(ResourceManagerTest, ErrorsOnBadIds) {
+  EXPECT_THROW((void)rm_.used(ServerId(99)), std::out_of_range);
+  EXPECT_THROW((void)rm_.container(ContainerId(5)), std::out_of_range);
+  EXPECT_THROW(rm_.release(ContainerId(5)), std::out_of_range);
+  ResourceRequest bad;
+  bad.demand = Resource{-1.0, 0.0};
+  EXPECT_THROW((void)rm_.allocate(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::cluster

@@ -1,0 +1,55 @@
+#include "cluster/resources.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hit::cluster {
+namespace {
+
+TEST(Resource, Arithmetic) {
+  const Resource a{2.0, 8.0};
+  const Resource b{1.0, 4.0};
+  EXPECT_EQ(a + b, (Resource{3.0, 12.0}));
+  EXPECT_EQ(a - b, (Resource{1.0, 4.0}));
+  EXPECT_EQ(b * 3.0, (Resource{3.0, 12.0}));
+}
+
+TEST(Resource, CompoundAssignment) {
+  Resource r{1.0, 2.0};
+  r += Resource{1.0, 1.0};
+  EXPECT_EQ(r, (Resource{2.0, 3.0}));
+  r -= Resource{0.5, 1.0};
+  EXPECT_EQ(r, (Resource{1.5, 2.0}));
+}
+
+TEST(Resource, FitsInIsComponentwise) {
+  const Resource cap{2.0, 8.0};
+  EXPECT_TRUE((Resource{2.0, 8.0}).fits_in(cap));
+  EXPECT_TRUE((Resource{1.0, 1.0}).fits_in(cap));
+  EXPECT_FALSE((Resource{2.1, 1.0}).fits_in(cap));  // cpu over
+  EXPECT_FALSE((Resource{1.0, 8.5}).fits_in(cap));  // mem over
+}
+
+TEST(Resource, NonNegative) {
+  EXPECT_TRUE((Resource{0.0, 0.0}).non_negative());
+  EXPECT_TRUE((Resource{1.0, 1.0}).non_negative());
+  EXPECT_FALSE((Resource{-0.1, 1.0}).non_negative());
+  EXPECT_FALSE((Resource{1.0, -0.1}).non_negative());
+}
+
+TEST(Resource, StreamOutput) {
+  std::ostringstream os;
+  os << Resource{1.0, 4.0};
+  EXPECT_EQ(os.str(), "<1 vcores, 4 GiB>");
+}
+
+TEST(Resource, DefaultContainerFitsTwiceInCaseStudyServer) {
+  // The case study caps servers at two concurrent tasks.
+  const Resource server{2.0, 8.0};
+  EXPECT_TRUE((kDefaultContainerDemand * 2.0).fits_in(server));
+  EXPECT_FALSE((kDefaultContainerDemand * 3.0).fits_in(server));
+}
+
+}  // namespace
+}  // namespace hit::cluster

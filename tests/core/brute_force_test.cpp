@@ -1,0 +1,112 @@
+#include "core/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hit_scheduler.h"
+#include "core/taa.h"
+#include "sched/random_scheduler.h"
+#include "test_helpers.h"
+
+namespace hit::core {
+namespace {
+
+CostConfig pure() {
+  CostConfig c;
+  c.congestion_weight = 0.0;
+  return c;
+}
+
+TEST(BruteForce, FindsCaseStudyOptimum) {
+  auto world = test::tiny_tree_world();
+  // M1, M2 fixed on S1; reduces open; flows 34 GB and 10 GB (the §2.3 setup).
+  sched::Problem problem;
+  problem.topology = &world->topology;
+  problem.cluster = &world->cluster;
+  problem.fixed[TaskId(100)] = ServerId(0);
+  problem.fixed[TaskId(101)] = ServerId(0);
+  problem.base_usage.assign(4, cluster::Resource{});
+  problem.base_usage[0] = cluster::kDefaultContainerDemand * 2.0;
+  problem.tasks = {
+      sched::TaskRef{TaskId(0), JobId(0), cluster::TaskKind::Reduce,
+                     cluster::kDefaultContainerDemand, 34.0},
+      sched::TaskRef{TaskId(1), JobId(1), cluster::TaskKind::Reduce,
+                     cluster::kDefaultContainerDemand, 10.0}};
+  problem.flows = {net::Flow{FlowId(0), JobId(0), TaskId(100), TaskId(0), 34.0, 34.0},
+                   net::Flow{FlowId(1), JobId(1), TaskId(101), TaskId(1), 10.0, 10.0}};
+
+  const BruteForceSolver solver(pure());
+  const auto result = solver.solve(problem);
+  ASSERT_TRUE(result.has_value());
+  // Optimal: both reduces on S2 behind S1's access switch = 44 GB*T, better
+  // than the paper's hand-improved 64.
+  EXPECT_DOUBLE_EQ(result->cost, 44.0);
+  EXPECT_EQ(result->assignment.placement.at(TaskId(0)), ServerId(1));
+  EXPECT_EQ(result->assignment.placement.at(TaskId(1)), ServerId(1));
+  EXPECT_TRUE(taa_violations(problem, result->assignment).empty());
+}
+
+TEST(BruteForce, RefusesHugeInstances) {
+  auto world = test::small_tree_world();                // 8 servers
+  test::ProblemFixture fixture(*world, 3, 4, 4, 4.0);  // 24 tasks: 8^24 states
+  const BruteForceSolver solver;
+  EXPECT_THROW((void)solver.solve(fixture.problem), std::invalid_argument);
+}
+
+TEST(BruteForce, RespectsCapacity) {
+  auto world = test::tiny_tree_world();
+  test::ProblemFixture fixture(*world, 1, 2, 2, 4.0);
+  // Block server 0 entirely.
+  fixture.problem.base_usage.assign(4, cluster::Resource{});
+  fixture.problem.base_usage[0] = cluster::Resource{2.0, 8.0};
+  const BruteForceSolver solver(pure());
+  const auto result = solver.solve(fixture.problem);
+  ASSERT_TRUE(result.has_value());
+  for (const auto& [task, server] : result->assignment.placement) {
+    EXPECT_NE(server, ServerId(0));
+  }
+}
+
+// Property sweep: Hit's heuristic lands within a constant factor of the
+// exact optimum on oracle-sized instances (and never below it).
+class OracleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OracleSweep, HitWithinFactorOfOptimal) {
+  auto world = test::tiny_tree_world();
+  test::ProblemFixture fixture(*world, 1, 3, 2, 6.0 + GetParam());
+
+  const BruteForceSolver solver(pure());
+  const auto optimal = solver.solve(fixture.problem);
+  ASSERT_TRUE(optimal.has_value());
+
+  HitScheduler hit;
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto heuristic = hit.schedule(fixture.problem, rng);
+  const double hit_cost = taa_objective(fixture.problem, heuristic, pure());
+
+  EXPECT_GE(hit_cost, optimal->cost - 1e-9);  // oracle really is a lower bound
+  EXPECT_LE(hit_cost, std::max(optimal->cost * 2.0, optimal->cost + 8.0))
+      << "Hit strayed too far from optimal";
+}
+
+TEST_P(OracleSweep, HitBeatsRandomOnAverageInstance) {
+  auto world = test::tiny_tree_world();
+  test::ProblemFixture fixture(*world, 1, 3, 2, 10.0 + GetParam());
+
+  HitScheduler hit;
+  sched::RandomScheduler random_sched;
+  Rng rng_hit(1);
+  const double hit_cost =
+      taa_objective(fixture.problem, hit.schedule(fixture.problem, rng_hit), pure());
+  double random_total = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    Rng rng(static_cast<std::uint64_t>(100 + i));
+    random_total += taa_objective(fixture.problem,
+                                  random_sched.schedule(fixture.problem, rng), pure());
+  }
+  EXPECT_LE(hit_cost, random_total / 10.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OracleSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace hit::core

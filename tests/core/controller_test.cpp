@@ -1,0 +1,124 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "network/routing.h"
+#include "topology/builders.h"
+
+namespace hit::core {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  // Depth-2 tree, 4 access positions x 1 host, 2 core replicas (32-capacity
+  // access switches, 64-capacity cores).  One server per access switch keeps
+  // distinct flows' access legs disjoint, so only the cores are shared.
+  topo::TreeConfig tree_{2, 4, 2, 1, 16.0, 32.0};
+  topo::Topology topo_ = topo::make_tree(tree_);
+  NetworkController controller_{topo_, make_config()};
+
+  static ControllerConfig make_config() {
+    ControllerConfig c;
+    c.hot_threshold = 0.5;
+    return c;
+  }
+
+  net::Flow flow(unsigned id, double rate) {
+    net::Flow f;
+    f.id = FlowId(id);
+    f.size_gb = rate;
+    f.rate = rate;
+    return f;
+  }
+
+  NodeId server(std::size_t i) { return topo_.servers()[i]; }
+};
+
+TEST_F(ControllerTest, InstallChargesLoad) {
+  const net::Policy p = net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  controller_.install(flow(1, 10.0), p, server(0), server(2));
+  EXPECT_EQ(controller_.installed_count(), 1u);
+  EXPECT_TRUE(controller_.installed(FlowId(1)));
+  for (NodeId w : p.list) {
+    EXPECT_DOUBLE_EQ(controller_.load().load(w), 10.0);
+  }
+  EXPECT_NO_THROW(controller_.audit());
+}
+
+TEST_F(ControllerTest, RemoveReleasesLoad) {
+  const net::Policy p = net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  controller_.install(flow(1, 10.0), p, server(0), server(2));
+  controller_.remove(FlowId(1));
+  EXPECT_EQ(controller_.installed_count(), 0u);
+  for (NodeId w : p.list) {
+    EXPECT_DOUBLE_EQ(controller_.load().load(w), 0.0);
+  }
+  EXPECT_THROW(controller_.remove(FlowId(1)), std::out_of_range);
+}
+
+TEST_F(ControllerTest, RejectsBadInstalls) {
+  const net::Policy p = net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  controller_.install(flow(1, 1.0), p, server(0), server(2));
+  EXPECT_THROW(controller_.install(flow(1, 1.0), p, server(0), server(2)),
+               std::invalid_argument);  // duplicate
+  EXPECT_THROW(controller_.install(flow(2, 1.0), p, server(2), server(0)),
+               std::invalid_argument);  // endpoints do not match policy
+}
+
+TEST_F(ControllerTest, DetectsHotSwitches) {
+  const net::Policy p = net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  // Access capacity 32, threshold 0.5 -> 17 units makes it hot.
+  controller_.install(flow(1, 17.0), p, server(0), server(2));
+  const auto hot = controller_.hot_switches();
+  EXPECT_EQ(hot.size(), 2u);  // both access switches (core capacity 64)
+}
+
+TEST_F(ControllerTest, RebalanceMovesFlowsOffHotCore) {
+  // Two flows through the same core: 40 units on a 64-capacity core is hot
+  // at threshold 0.5; one flow should migrate to the idle twin core.
+  const net::Policy p = net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  const NodeId core = p.list[1];
+  controller_.install(flow(1, 17.0), p, server(0), server(2));
+  const net::Policy q = net::shortest_policy(topo_, server(1), server(3), FlowId(2));
+  controller_.install(flow(2, 17.0), q, server(1), server(3));
+
+  if (q.list[1] != core) GTEST_SKIP() << "flows did not share a core";
+  ASSERT_DOUBLE_EQ(controller_.load().load(core), 34.0);  // hot: > 0.5 * 64
+
+  const double before = controller_.total_cost();
+  const std::size_t rerouted = controller_.rebalance();
+  EXPECT_GE(rerouted, 1u);
+  EXPECT_LE(controller_.load().load(core), 17.0 + 1e-9);
+  EXPECT_LE(controller_.total_cost(), before + 1e-9);
+  EXPECT_NO_THROW(controller_.audit());
+}
+
+TEST_F(ControllerTest, RebalanceNoopWhenCool) {
+  const net::Policy p = net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  controller_.install(flow(1, 1.0), p, server(0), server(2));
+  EXPECT_EQ(controller_.rebalance(), 0u);
+}
+
+TEST_F(ControllerTest, RebalanceCannotHelpSinglePathTopology) {
+  // Case-study tree has no alternate routes: rebalance must not thrash.
+  const topo::Topology single = topo::make_case_study_tree();
+  ControllerConfig config;
+  config.hot_threshold = 0.1;
+  NetworkController controller(single, config);
+  const NodeId a = single.servers()[0];
+  const NodeId b = single.servers()[3];
+  const net::Policy p = net::shortest_policy(single, a, b, FlowId(1));
+  controller.install(flow(1, 30.0), p, a, b);
+  EXPECT_EQ(controller.rebalance(), 0u);
+  EXPECT_EQ(controller.policy_of(FlowId(1)).list, p.list);
+}
+
+TEST_F(ControllerTest, AuditCatchesTampering) {
+  EXPECT_NO_THROW(controller_.audit());
+  EXPECT_THROW((void)controller_.policy_of(FlowId(9)), std::out_of_range);
+  EXPECT_THROW((void)NetworkController(topo_, ControllerConfig{{}, 0.0, 4}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::core

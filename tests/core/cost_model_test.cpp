@@ -1,0 +1,179 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "network/routing.h"
+#include "test_helpers.h"
+
+namespace hit::core {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  topo::Topology topo_ = topo::make_case_study_tree();
+  NodeId s1_ = topo_.servers()[0];
+  NodeId s2_ = topo_.servers()[1];
+  NodeId s4_ = topo_.servers()[3];
+
+  CostConfig pure() {
+    CostConfig c;
+    c.congestion_weight = 0.0;
+    return c;
+  }
+};
+
+TEST_F(CostModelTest, PolicyCostIsMetricTimesHops) {
+  const CostModel cost(topo_, pure());
+  const net::Policy near = net::shortest_policy(topo_, s1_, s2_, FlowId(0));
+  const net::Policy far = net::shortest_policy(topo_, s1_, s4_, FlowId(1));
+  EXPECT_DOUBLE_EQ(cost.policy_cost(near, 34.0), 34.0);   // 1 switch
+  EXPECT_DOUBLE_EQ(cost.policy_cost(far, 34.0), 102.0);   // 3 switches
+  EXPECT_DOUBLE_EQ(cost.policy_cost(net::Policy{}, 34.0), 0.0);
+}
+
+TEST_F(CostModelTest, CaseStudyArithmetic) {
+  // The paper's §2.3 numbers: 34 GB over 3 hops + 10 GB over 1 hop = 112;
+  // swapped placement = 34*1 + 10*3 = 64.
+  const CostModel cost(topo_, pure());
+  const net::Policy far = net::shortest_policy(topo_, s1_, s4_, FlowId(0));
+  const net::Policy near = net::shortest_policy(topo_, s1_, s2_, FlowId(1));
+  EXPECT_DOUBLE_EQ(cost.policy_cost(far, 34.0) + cost.policy_cost(near, 10.0), 112.0);
+  EXPECT_DOUBLE_EQ(cost.policy_cost(near, 34.0) + cost.policy_cost(far, 10.0), 64.0);
+}
+
+TEST_F(CostModelTest, SegmentCostsSumToPolicyCost) {
+  const CostModel cost(topo_, pure());
+  const net::Policy far = net::shortest_policy(topo_, s1_, s4_, FlowId(0));
+  // Eq. (2): src->w0, w0->w1, w1->w2, w2->dst.
+  double sum = cost.segment_cost(s1_, far.list[0], 5.0);
+  for (std::size_t i = 0; i + 1 < far.list.size(); ++i) {
+    sum += cost.segment_cost(far.list[i], far.list[i + 1], 5.0);
+  }
+  sum += cost.segment_cost(far.list.back(), s4_, 5.0);
+  EXPECT_DOUBLE_EQ(sum, cost.policy_cost(far, 5.0));
+}
+
+TEST_F(CostModelTest, CongestionRaisesSwitchCost) {
+  net::LoadTracker load(topo_);
+  CostConfig config;
+  config.congestion_weight = 1.0;
+  const CostModel cost(topo_, config, &load);
+  const NodeId root = topo_.switches()[0];
+  const double idle = cost.switch_cost(root);
+  net::Policy root_only;
+  root_only.list = {root};
+  root_only.type = {topo::Tier::Core};
+  load.assign(root_only, 64.0);  // 50% of the 128 root capacity
+  EXPECT_DOUBLE_EQ(cost.switch_cost(root), idle * 1.5);
+}
+
+TEST_F(CostModelTest, SubstitutionUtilityEq5) {
+  // Redundant-core tree: swapping the core for its idle twin under
+  // congestion yields exactly the switch-cost difference.
+  topo::TreeConfig tc{2, 2, 2, 1, 16.0, 32.0};
+  const topo::Topology t = topo::make_tree(tc);
+  net::LoadTracker load(t);
+  CostConfig config;
+  config.congestion_weight = 1.0;
+  const CostModel cost(t, config, &load);
+
+  const NodeId a = t.servers()[0];
+  const NodeId b = t.servers()[1];
+  net::Policy p = net::shortest_policy(t, a, b, FlowId(0));
+  ASSERT_EQ(p.len(), 3u);
+  const NodeId core = p.list[1];
+  const auto cands = load.candidates(a, b, p, 1, 1.0);
+  ASSERT_EQ(cands.size(), 1u);
+  const NodeId twin = cands[0];
+
+  // Load the current core only.
+  net::Policy core_only;
+  core_only.list = {core};
+  core_only.type = {topo::Tier::Core};
+  load.assign(core_only, 32.0);  // 50% of 64
+
+  const double metric = 7.0;
+  const double utility = cost.substitution_utility(p, a, b, 1, twin, metric);
+  EXPECT_NEAR(utility, metric * (cost.switch_cost(core) - cost.switch_cost(twin)),
+              1e-12);
+  EXPECT_GT(utility, 0.0);
+}
+
+TEST_F(CostModelTest, SeparabilityEq6MultiSwitch) {
+  // Utility of rescheduling two switches equals the sum of the single-switch
+  // utilities (Eq. 6), for any loads.
+  topo::TreeConfig tc{3, 2, 2, 2, 16.0, 32.0};
+  const topo::Topology t = topo::make_tree(tc);
+  net::LoadTracker load(t);
+  CostConfig config;
+  config.congestion_weight = 0.7;
+  const CostModel cost(t, config, &load);
+
+  const NodeId a = t.servers()[0];
+  const NodeId b = t.servers()[7];  // cross-core: access agg core agg access
+  net::Policy p = net::shortest_policy(t, a, b, FlowId(0));
+  ASSERT_EQ(p.len(), 5u);
+
+  // Load a couple of switches asymmetrically.
+  net::Policy charged;
+  charged.list = {p.list[1], p.list[2]};
+  charged.type = {t.tier(p.list[1]), t.tier(p.list[2])};
+  load.assign(charged, 20.0);
+
+  const auto agg_cands = load.candidates(a, b, p, 1, 1.0);
+  const auto core_cands = load.candidates(a, b, p, 2, 1.0);
+  ASSERT_FALSE(agg_cands.empty());
+  ASSERT_FALSE(core_cands.empty());
+  const double metric = 3.0;
+
+  const double u1 = cost.substitution_utility(p, a, b, 1, agg_cands[0], metric);
+  const double u2 = cost.substitution_utility(p, a, b, 2, core_cands[0], metric);
+
+  // Apply both and compare total policy cost difference.
+  net::Policy q = p;
+  q.list[1] = agg_cands[0];
+  q.list[2] = core_cands[0];
+  const double joint = cost.policy_cost(p, metric) - cost.policy_cost(q, metric);
+  EXPECT_NEAR(joint, u1 + u2, 1e-9);
+}
+
+TEST_F(CostModelTest, EndSwitchUtilityEq7UsesEndpoints) {
+  topo::TreeConfig tc{2, 2, 2, 2, 16.0, 32.0};
+  const topo::Topology t = topo::make_tree(tc);
+  net::LoadTracker load(t);
+  const CostModel cost(t, CostConfig{}, &load);
+  const NodeId a = t.servers()[0];
+  const NodeId b = t.servers()[2];
+  net::Policy p = net::shortest_policy(t, a, b, FlowId(0));
+  // Position 0 is the end access switch; utility formula must not throw and
+  // must be zero for substituting a switch with identical cost.
+  EXPECT_THROW(
+      (void)cost.substitution_utility(p, a, b, p.len(), p.list[0], 1.0),
+      std::out_of_range);
+  EXPECT_DOUBLE_EQ(cost.substitution_utility(p, a, b, 0, p.list[0], 1.0), 0.0);
+}
+
+TEST_F(CostModelTest, MetricSelection) {
+  CostConfig by_size = pure();
+  CostConfig by_rate = pure();
+  by_rate.metric_is_size = false;
+  const CostModel size_model(topo_, by_size);
+  const CostModel rate_model(topo_, by_rate);
+  net::Flow f;
+  f.size_gb = 8.0;
+  f.rate = 2.0;
+  EXPECT_DOUBLE_EQ(size_model.metric(f), 8.0);
+  EXPECT_DOUBLE_EQ(rate_model.metric(f), 2.0);
+}
+
+TEST_F(CostModelTest, ConfigValidation) {
+  CostConfig bad;
+  bad.unit_cost = 0.0;
+  EXPECT_THROW((void)CostModel(topo_, bad), std::invalid_argument);
+  bad = CostConfig{};
+  bad.congestion_weight = -1.0;
+  EXPECT_THROW((void)CostModel(topo_, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::core

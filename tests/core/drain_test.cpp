@@ -1,0 +1,92 @@
+// Controller maintenance drains: a drained switch must end up carrying no
+// reroutable flows, regardless of relative congestion.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "network/routing.h"
+#include "topology/builders.h"
+#include "util/rng.h"
+
+namespace hit::core {
+namespace {
+
+class DrainTest : public ::testing::Test {
+ protected:
+  // 2 redundant cores, 4 access positions, 1 host each.
+  topo::TreeConfig tree_{2, 4, 2, 1, 16.0, 32.0};
+  topo::Topology topo_ = topo::make_tree(tree_);
+  NetworkController controller_{topo_, ControllerConfig{}};
+
+  net::Flow flow(unsigned id, double rate) {
+    net::Flow f;
+    f.id = FlowId(id);
+    f.size_gb = rate;
+    f.rate = rate;
+    return f;
+  }
+
+  NodeId first_core() {
+    for (NodeId w : topo_.switches()) {
+      if (topo_.tier(w) == topo::Tier::Core) return w;
+    }
+    return NodeId{};
+  }
+};
+
+TEST_F(DrainTest, DrainEmptiesTheSwitch) {
+  const auto servers = topo_.servers();
+  // Several cross-rack flows; shortest routing piles onto the first core.
+  for (unsigned i = 0; i < 6; ++i) {
+    const NodeId a = servers[i % servers.size()];
+    const NodeId b = servers[(i + 2) % servers.size()];
+    controller_.install(flow(i, 2.0), net::shortest_policy(topo_, a, b, FlowId(i)),
+                        a, b);
+  }
+  const NodeId core = first_core();
+  ASSERT_GT(controller_.load().load(core), 0.0);
+
+  controller_.drain(core);
+  EXPECT_TRUE(controller_.draining(core));
+  (void)controller_.rebalance();
+  controller_.audit();
+
+  for (unsigned i = 0; i < 6; ++i) {
+    const auto& list = controller_.policy_of(FlowId(i)).list;
+    EXPECT_EQ(std::count(list.begin(), list.end(), core), 0) << "flow " << i;
+  }
+}
+
+TEST_F(DrainTest, DrainIsIdempotentAndReversible) {
+  const NodeId core = first_core();
+  const double before = controller_.load().load(core);
+  controller_.drain(core);
+  controller_.drain(core);  // idempotent
+  EXPECT_DOUBLE_EQ(controller_.load().residual(core), 0.0);
+  controller_.undrain(core);
+  EXPECT_FALSE(controller_.draining(core));
+  EXPECT_DOUBLE_EQ(controller_.load().load(core), before);
+  controller_.undrain(core);  // idempotent
+  controller_.audit();
+}
+
+TEST_F(DrainTest, DrainRejectsServers) {
+  EXPECT_THROW(controller_.drain(topo_.servers()[0]), std::invalid_argument);
+}
+
+TEST_F(DrainTest, NewRoutesAvoidDrainedSwitch) {
+  const NodeId core = first_core();
+  controller_.drain(core);
+  // Residual is zero, so capacity-aware routing cannot use it.
+  const auto servers = topo_.servers();
+  PolicyOptimizer optimizer(topo_);
+  const NodeId srcs[] = {servers[0]};
+  const NodeId dsts[] = {servers[2]};
+  const auto route = optimizer.optimal_route(srcs, dsts, FlowId(99), 1.0, 1.0,
+                                             controller_.load());
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(std::count(route->policy.list.begin(), route->policy.list.end(), core),
+            0);
+}
+
+}  // namespace
+}  // namespace hit::core

@@ -1,0 +1,114 @@
+#include "core/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/brute_force.h"
+#include "core/taa.h"
+#include "sched/capacity_scheduler.h"
+#include "sched/random_scheduler.h"
+#include "test_helpers.h"
+
+namespace hit::core {
+namespace {
+
+LocalSearchConfig pure_config() {
+  LocalSearchConfig c;
+  c.cost.congestion_weight = 0.0;
+  return c;
+}
+
+TEST(LocalSearch, NeverWorsensSeed) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 3, 2, 8.0);
+  sched::RandomScheduler random_sched;
+  Rng rng(1);
+  const sched::Assignment seed = random_sched.schedule(fixture.problem, rng);
+  CostConfig pure;
+  pure.congestion_weight = 0.0;
+  const double seed_cost = taa_objective(fixture.problem, seed, pure);
+
+  const LocalSearchSolver solver(pure_config());
+  const auto result = solver.refine(fixture.problem, seed);
+  EXPECT_LE(result.cost, seed_cost + 1e-9);
+  EXPECT_NO_THROW(sched::validate_assignment(fixture.problem, result.assignment));
+}
+
+TEST(LocalSearch, ImprovesBadSeedSubstantially) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 1, 3, 2, 10.0);
+  // Pathological seed: tasks spread maximally (capacity-style placement of a
+  // shuffle-heavy job across racks).
+  sched::CapacityScheduler capacity;
+  Rng rng(2);
+  const sched::Assignment seed = capacity.schedule(fixture.problem, rng);
+  CostConfig pure;
+  pure.congestion_weight = 0.0;
+  const double seed_cost = taa_objective(fixture.problem, seed, pure);
+
+  const LocalSearchSolver solver(pure_config());
+  const auto result = solver.refine(fixture.problem, seed);
+  EXPECT_LT(result.cost, seed_cost * 0.8);
+  EXPECT_GT(result.moves, 0u);
+}
+
+TEST(LocalSearch, ReachesOracleOnTinyInstances) {
+  auto world = test::tiny_tree_world();
+  test::ProblemFixture fixture(*world, 1, 2, 2, 6.0);
+
+  const BruteForceSolver oracle(pure_config().cost);
+  const auto optimal = oracle.solve(fixture.problem);
+  ASSERT_TRUE(optimal.has_value());
+
+  // Hill climbing stalls in local optima; random restarts (standard
+  // practice) close the gap on this 4-server instance.
+  sched::RandomScheduler random_sched;
+  const LocalSearchSolver solver(pure_config());
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint64_t seed_id = 0; seed_id < 4; ++seed_id) {
+    Rng rng(seed_id);
+    const sched::Assignment seed = random_sched.schedule(fixture.problem, rng);
+    best = std::min(best, solver.refine(fixture.problem, seed).cost);
+  }
+  EXPECT_LE(best, optimal->cost * 1.5 + 1e-9);
+  EXPECT_GE(best, optimal->cost - 1e-9);
+}
+
+TEST(LocalSearch, HitSeedLeavesLittleOnTheTable) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 3, 2, 8.0);
+  HitScheduler hit;
+  Rng rng(4);
+  const sched::Assignment seed = hit.schedule(fixture.problem, rng);
+  CostConfig pure;
+  pure.congestion_weight = 0.0;
+  const double hit_cost = taa_objective(fixture.problem, seed, pure);
+
+  const LocalSearchSolver solver(pure_config());
+  const auto result = solver.refine(fixture.problem, seed);
+  EXPECT_LE(result.cost, hit_cost + 1e-9);
+  // Stable matching should already be within ~30% of its local optimum.
+  EXPECT_GE(result.cost, hit_cost * 0.7 - 1e-9);
+}
+
+TEST(LocalSearchScheduler, ActsAsScheduler) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 1, 3, 2, 6.0);
+  HitLocalSearchScheduler scheduler;
+  Rng rng(5);
+  const sched::Assignment a = scheduler.schedule(fixture.problem, rng);
+  EXPECT_NO_THROW(sched::validate_assignment(fixture.problem, a));
+  EXPECT_EQ(scheduler.name(), "Hit+LocalSearch");
+}
+
+TEST(LocalSearch, RejectsIncompleteSeed) {
+  auto world = test::tiny_tree_world();
+  test::ProblemFixture fixture(*world, 1, 1, 1, 4.0);
+  const LocalSearchSolver solver(pure_config());
+  sched::Assignment empty;
+  EXPECT_THROW((void)solver.refine(fixture.problem, empty), std::exception);
+}
+
+}  // namespace
+}  // namespace hit::core

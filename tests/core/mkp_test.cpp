@@ -1,0 +1,122 @@
+// MKP solvers + the §4 reduction, executed.
+#include "core/mkp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hit_scheduler.h"
+#include "util/rng.h"
+
+namespace hit::core {
+namespace {
+
+TEST(Mkp, ExactSolvesKnownInstance) {
+  // Two knapsacks of capacity 10; items (profit, weight):
+  // (60,5) (50,4) (40,6) (30,3).  Optimum packs everything except... check:
+  // total weight 18 <= 20, and {5,4} + {6,3} fits -> profit 180.
+  MkpInstance instance;
+  instance.profit = {60, 50, 40, 30};
+  instance.weight = {5, 4, 6, 3};
+  instance.capacity = {10, 10};
+  const MkpSolution solution = solve_mkp_exact(instance);
+  EXPECT_DOUBLE_EQ(solution.total_profit, 180.0);
+  EXPECT_TRUE(mkp_feasible(instance, solution));
+}
+
+TEST(Mkp, ExactLeavesItemsOutWhenForced) {
+  MkpInstance instance;
+  instance.profit = {10, 10, 1};
+  instance.weight = {6, 6, 6};
+  instance.capacity = {6, 6};  // only two items fit
+  const MkpSolution solution = solve_mkp_exact(instance);
+  EXPECT_DOUBLE_EQ(solution.total_profit, 20.0);
+  EXPECT_EQ(solution.assignment[2], SIZE_MAX);
+}
+
+TEST(Mkp, GreedyIsFeasibleAndBoundedByExact) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    MkpInstance instance;
+    const std::size_t n = 2 + rng.uniform_index(5);
+    for (std::size_t j = 0; j < n; ++j) {
+      instance.profit.push_back(rng.uniform(1.0, 20.0));
+      instance.weight.push_back(rng.uniform(1.0, 8.0));
+    }
+    instance.capacity = {rng.uniform(5.0, 15.0), rng.uniform(5.0, 15.0)};
+
+    const MkpSolution greedy = solve_mkp_greedy(instance);
+    const MkpSolution exact = solve_mkp_exact(instance);
+    EXPECT_TRUE(mkp_feasible(instance, greedy));
+    EXPECT_TRUE(mkp_feasible(instance, exact));
+    EXPECT_LE(greedy.total_profit, exact.total_profit + 1e-9);
+  }
+}
+
+TEST(Mkp, Validation) {
+  MkpInstance bad;
+  bad.profit = {1.0};
+  bad.weight = {1.0, 2.0};
+  bad.capacity = {5.0};
+  EXPECT_THROW((void)solve_mkp_exact(bad), std::invalid_argument);
+  bad.weight = {0.0};
+  EXPECT_THROW((void)solve_mkp_greedy(bad), std::invalid_argument);
+
+  MkpInstance huge;
+  for (int i = 0; i < 30; ++i) {
+    huge.profit.push_back(1);
+    huge.weight.push_back(1);
+  }
+  huge.capacity = {5, 5, 5};
+  EXPECT_THROW((void)solve_mkp_exact(huge), std::invalid_argument);
+}
+
+TEST(MkpReductionTest, BuildsThePaperTopology) {
+  MkpInstance instance;
+  instance.profit = {3, 2};
+  instance.weight = {4, 5};
+  instance.capacity = {6, 6, 6};
+  const auto reduction = reduce_mkp_to_taa(instance);
+  EXPECT_EQ(reduction->knapsack_switches.size(), 3u);
+  EXPECT_EQ(reduction->topology.servers().size(), 2u);
+  EXPECT_EQ(reduction->topology.switches().size(), 5u);  // 2 access + 3 knapsack
+  EXPECT_EQ(reduction->problem.flows.size(), 2u);
+  // Every flow's only routes run through exactly one knapsack switch.
+  const NodeId s1 = reduction->topology.servers()[0];
+  const NodeId s2 = reduction->topology.servers()[1];
+  for (const auto& path : reduction->topology.k_shortest_paths(s1, s2, 10)) {
+    EXPECT_EQ(reduction->topology.switch_hops(path), 3u);
+  }
+}
+
+TEST(MkpReductionTest, HitRoutingYieldsFeasiblePacking) {
+  // All items fit across knapsacks: Hit's capacity-aware routing must find a
+  // feasible item->knapsack packing worth the full profit.
+  MkpInstance instance;
+  instance.profit = {5, 4, 3, 2};
+  instance.weight = {4, 4, 3, 3};
+  instance.capacity = {8, 7};
+
+  const auto reduction = reduce_mkp_to_taa(instance);
+  HitScheduler hit;
+  Rng rng(2);
+  const sched::Assignment a = hit.schedule(reduction->problem, rng);
+
+  const MkpSolution mapped = taa_solution_to_mkp(*reduction, instance, a);
+  EXPECT_TRUE(mkp_feasible(instance, mapped));
+  const MkpSolution exact = solve_mkp_exact(instance);
+  EXPECT_DOUBLE_EQ(mapped.total_profit, exact.total_profit);  // all packed
+}
+
+TEST(MkpReductionTest, SwitchCapacitiesMirrorKnapsacks) {
+  MkpInstance instance;
+  instance.profit = {1, 1};
+  instance.weight = {2, 3};
+  instance.capacity = {4.5, 9.25};
+  const auto reduction = reduce_mkp_to_taa(instance);
+  EXPECT_DOUBLE_EQ(
+      reduction->topology.switch_capacity(reduction->knapsack_switches[0]), 4.5);
+  EXPECT_DOUBLE_EQ(
+      reduction->topology.switch_capacity(reduction->knapsack_switches[1]), 9.25);
+}
+
+}  // namespace
+}  // namespace hit::core

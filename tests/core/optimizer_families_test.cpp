@@ -1,0 +1,118 @@
+// PolicyOptimizer behaviour across all four network families: congestion
+// avoidance, feasibility filtering and Eq. (5) utility identities must hold
+// on every substrate, not just the tree.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/policy_optimizer.h"
+#include "network/routing.h"
+#include "topology/builders.h"
+#include "util/rng.h"
+
+namespace hit::core {
+namespace {
+
+struct FamilyCase {
+  std::string name;
+  std::function<topo::Topology()> build;
+};
+
+class OptimizerFamilies : public ::testing::TestWithParam<FamilyCase> {
+ protected:
+  static std::pair<NodeId, NodeId> far_pair(const topo::Topology& t) {
+    return {t.servers().front(), t.servers().back()};
+  }
+};
+
+TEST_P(OptimizerFamilies, OptimalRouteIsShortestWhenIdle) {
+  const topo::Topology t = GetParam().build();
+  const auto [a, b] = far_pair(t);
+  net::LoadTracker load(t);
+  const PolicyOptimizer optimizer(t);
+  const NodeId srcs[] = {a};
+  const NodeId dsts[] = {b};
+  const auto route = optimizer.optimal_route(srcs, dsts, FlowId(0), 1.0, 1.0, load);
+  ASSERT_TRUE(route.has_value());
+  const net::Policy shortest = net::shortest_policy(t, a, b, FlowId(0));
+  EXPECT_EQ(route->policy.len(), shortest.len());
+  EXPECT_TRUE(route->policy.satisfied(t, a, b));
+}
+
+TEST_P(OptimizerFamilies, RoutesAroundSaturation) {
+  const topo::Topology t = GetParam().build();
+  const auto [a, b] = far_pair(t);
+  net::LoadTracker load(t);
+  const PolicyOptimizer optimizer(t);
+
+  // Saturate every switch of the shortest route except the end access
+  // switches (which may be unavoidable).
+  const net::Policy shortest = net::shortest_policy(t, a, b, FlowId(0));
+  for (std::size_t i = 1; i + 1 < shortest.list.size(); ++i) {
+    net::Policy one;
+    one.list = {shortest.list[i]};
+    one.type = {t.tier(shortest.list[i])};
+    load.assign(one, t.switch_capacity(shortest.list[i]));
+  }
+
+  const NodeId srcs[] = {a};
+  const NodeId dsts[] = {b};
+  const auto route = optimizer.optimal_route(srcs, dsts, FlowId(1), 1.0, 1.0, load);
+  if (!route) GTEST_SKIP() << "family has no alternate route for this pair";
+  for (std::size_t i = 1; i + 1 < shortest.list.size(); ++i) {
+    EXPECT_EQ(std::count(route->policy.list.begin(), route->policy.list.end(),
+                         shortest.list[i]),
+              0)
+        << "route still uses saturated " << t.info(shortest.list[i]).name;
+  }
+  EXPECT_TRUE(route->policy.satisfied(t, a, b));
+}
+
+TEST_P(OptimizerFamilies, SubstitutionUtilityMatchesCostDelta) {
+  // Eq. (5) identity under random loads: utility of swapping position i
+  // equals the policy-cost difference, on whatever family.
+  const topo::Topology t = GetParam().build();
+  const auto [a, b] = far_pair(t);
+  net::LoadTracker load(t);
+  Rng rng(7);
+  // Random background load on every switch (within capacity).
+  for (NodeId w : t.switches()) {
+    net::Policy one;
+    one.list = {w};
+    one.type = {t.tier(w)};
+    load.assign(one, rng.uniform(0.0, t.switch_capacity(w) * 0.5));
+  }
+
+  CostConfig config;
+  config.congestion_weight = 0.9;
+  const CostModel cost(t, config, &load);
+  net::Policy p = net::shortest_policy(t, a, b, FlowId(0));
+
+  bool found = false;
+  for (std::size_t i = 0; i < p.list.size() && !found; ++i) {
+    for (NodeId w_hat : load.candidates(a, b, p, i, 0.0)) {
+      const double utility = cost.substitution_utility(p, a, b, i, w_hat, 3.0);
+      net::Policy q = p;
+      q.list[i] = w_hat;
+      const double delta = cost.policy_cost(p, 3.0) - cost.policy_cost(q, 3.0);
+      EXPECT_NEAR(utility, delta, 1e-9);
+      found = true;
+      break;
+    }
+  }
+  if (!found) GTEST_SKIP() << "no substitution candidates on this pair";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, OptimizerFamilies,
+    ::testing::Values(
+        FamilyCase{"Tree",
+                   [] { return topo::make_tree(topo::TreeConfig{3, 2, 2, 2}); }},
+        FamilyCase{"FatTree", [] { return topo::make_fat_tree(topo::FatTreeConfig{4}); }},
+        FamilyCase{"Vl2",
+                   [] { return topo::make_vl2(topo::Vl2Config{3, 4, 6, 2}); }},
+        FamilyCase{"BCube", [] { return topo::make_bcube(topo::BCubeConfig{4, 1}); }}),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace hit::core

@@ -1,0 +1,184 @@
+#include "core/policy_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "network/routing.h"
+#include "test_helpers.h"
+
+namespace hit::core {
+namespace {
+
+class PolicyOptimizerTest : public ::testing::Test {
+ protected:
+  // Depth-2 tree with 3 core replicas, 2 access positions x 2 hosts.
+  topo::TreeConfig config_{2, 2, 3, 2, 16.0, 32.0};
+  topo::Topology topo_ = topo::make_tree(config_);
+  PolicyOptimizer optimizer_{topo_};
+  net::LoadTracker load_{topo_};
+
+  NodeId server(std::size_t i) { return topo_.servers()[i]; }
+};
+
+TEST_F(PolicyOptimizerTest, FindsShortestRouteWhenIdle) {
+  const NodeId srcs[] = {server(0)};
+  const NodeId dsts[] = {server(2)};
+  const auto route = optimizer_.optimal_route(srcs, dsts, FlowId(0), 1.0, 1.0, load_);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->policy.len(), 3u);
+  EXPECT_TRUE(route->policy.satisfied(topo_, server(0), server(2)));
+  EXPECT_GT(route->cost, 0.0);
+}
+
+TEST_F(PolicyOptimizerTest, PrefersLocalWhenAllowed) {
+  const NodeId both[] = {server(0), server(1)};
+  const auto route = optimizer_.optimal_route(both, both, FlowId(0), 1.0, 1.0, load_);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->src, route->dst);
+  EXPECT_EQ(route->cost, 0.0);
+  EXPECT_EQ(route->policy.len(), 0u);
+
+  const auto network = optimizer_.optimal_route(both, both, FlowId(0), 1.0, 1.0,
+                                                load_, /*allow_local=*/false);
+  ASSERT_TRUE(network.has_value());
+  EXPECT_NE(network->src, network->dst);
+  EXPECT_GE(network->policy.len(), 1u);
+}
+
+TEST_F(PolicyOptimizerTest, RoutesAroundSaturatedCore) {
+  const net::Policy shortest = net::shortest_policy(topo_, server(0), server(2), FlowId(0));
+  const NodeId hot_core = shortest.list[1];
+  net::Policy core_only;
+  core_only.list = {hot_core};
+  core_only.type = {topo::Tier::Core};
+  load_.assign(core_only, topo_.switch_capacity(hot_core));
+
+  const NodeId srcs[] = {server(0)};
+  const NodeId dsts[] = {server(2)};
+  const auto route = optimizer_.optimal_route(srcs, dsts, FlowId(1), 1.0, 1.0, load_);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->policy.len(), 3u);  // same length via a twin core
+  EXPECT_NE(route->policy.list[1], hot_core);
+}
+
+TEST_F(PolicyOptimizerTest, NulloptWhenEverythingSaturated) {
+  for (NodeId w : topo_.switches()) {
+    net::Policy p;
+    p.list = {w};
+    p.type = {topo_.tier(w)};
+    load_.assign(p, topo_.switch_capacity(w));
+  }
+  const NodeId srcs[] = {server(0)};
+  const NodeId dsts[] = {server(2)};
+  EXPECT_FALSE(
+      optimizer_.optimal_route(srcs, dsts, FlowId(0), 1.0, 1.0, load_).has_value());
+  EXPECT_FALSE(optimizer_
+                   .optimal_route(std::span<const NodeId>{}, dsts, FlowId(0), 1.0,
+                                  1.0, load_)
+                   .has_value());
+}
+
+TEST_F(PolicyOptimizerTest, CongestionSteersTowardIdleCore) {
+  // Half-load the shortest route's core: with congestion-aware costs the
+  // optimizer should pick an idle twin even though lengths tie.
+  const net::Policy shortest = net::shortest_policy(topo_, server(0), server(2), FlowId(0));
+  const NodeId hot_core = shortest.list[1];
+  net::Policy core_only;
+  core_only.list = {hot_core};
+  core_only.type = {topo::Tier::Core};
+  load_.assign(core_only, topo_.switch_capacity(hot_core) / 2.0);
+
+  const NodeId srcs[] = {server(0)};
+  const NodeId dsts[] = {server(2)};
+  const auto route = optimizer_.optimal_route(srcs, dsts, FlowId(1), 1.0, 1.0, load_);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_NE(route->policy.list[1], hot_core);
+}
+
+TEST_F(PolicyOptimizerTest, ImprovePolicyGainsOnCongestedSwitch) {
+  net::Policy p = net::shortest_policy(topo_, server(0), server(2), FlowId(0));
+  const NodeId core = p.list[1];
+  net::Policy core_only;
+  core_only.list = {core};
+  core_only.type = {topo::Tier::Core};
+  load_.assign(core_only, 30.0);
+
+  const double gained =
+      optimizer_.improve_policy(p, server(0), server(2), 1.0, 5.0, load_);
+  EXPECT_GT(gained, 0.0);
+  EXPECT_NE(p.list[1], core);
+  EXPECT_TRUE(p.satisfied(topo_, server(0), server(2)));
+  // Second pass: nothing left to gain.
+  EXPECT_DOUBLE_EQ(
+      optimizer_.improve_policy(p, server(0), server(2), 1.0, 5.0, load_), 0.0);
+}
+
+TEST_F(PolicyOptimizerTest, DeterministicTieBreak) {
+  const NodeId srcs[] = {server(0)};
+  const NodeId dsts[] = {server(2)};
+  const auto r1 = optimizer_.optimal_route(srcs, dsts, FlowId(0), 1.0, 1.0, load_);
+  const auto r2 = optimizer_.optimal_route(srcs, dsts, FlowId(0), 1.0, 1.0, load_);
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(r1->policy.list, r2->policy.list);
+}
+
+TEST_F(PolicyOptimizerTest, ZeroMetricStillRoutes) {
+  const NodeId srcs[] = {server(0)};
+  const NodeId dsts[] = {server(2)};
+  const auto route = optimizer_.optimal_route(srcs, dsts, FlowId(0), 1.0, 0.0, load_);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_TRUE(route->policy.satisfied(topo_, server(0), server(2)));
+  EXPECT_DOUBLE_EQ(route->cost, 0.0);
+}
+
+// --- build_preferences -----------------------------------------------------
+
+TEST(BuildPreferences, GradesFavorCoLocation) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 1, 1, 1, 8.0);  // one map, one reduce
+  const PolicyOptimizer optimizer(world->topology);
+  const auto prefs = optimizer.build_preferences(fixture.problem);
+  const TaskId map = fixture.problem.tasks[0].id;
+  const TaskId reduce = fixture.problem.tasks[1].id;
+  // Both tasks' top-ranked server must coincide (they co-locate).
+  EXPECT_EQ(prefs.ranked_servers(map)[0], prefs.ranked_servers(reduce)[0]);
+}
+
+TEST(BuildPreferences, GradesDecayWithDistance) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 1, 1, 1, 8.0);
+  const PolicyOptimizer optimizer(world->topology);
+  const auto prefs = optimizer.build_preferences(fixture.problem);
+  const TaskId map = fixture.problem.tasks[0].id;
+  const ServerId anchor = prefs.ranked_servers(map)[0];
+  sched::HopMatrix hops(fixture.problem);
+  for (const auto& s : world->cluster.servers()) {
+    if (s.id == anchor) continue;
+    EXPECT_LT(prefs.grade(s.id, map), prefs.grade(anchor, map));
+    // Grade is monotone in hop distance from the anchor.
+  }
+}
+
+TEST(BuildPreferences, FixedEndpointsAnchorGrading) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 1, 1, 1, 8.0);
+  // Fix the map on server 5; only the reduce remains open.
+  const TaskId map = fixture.problem.tasks[0].id;
+  const TaskId reduce = fixture.problem.tasks[1].id;
+  fixture.problem.fixed[map] = ServerId(5);
+  fixture.problem.base_usage.assign(world->cluster.size(), cluster::Resource{});
+  fixture.problem.base_usage[5] = cluster::kDefaultContainerDemand;
+  fixture.problem.tasks.erase(fixture.problem.tasks.begin());
+
+  const PolicyOptimizer optimizer(world->topology);
+  const auto prefs = optimizer.build_preferences(fixture.problem);
+  EXPECT_EQ(prefs.ranked_servers(reduce)[0], ServerId(5));  // co-locate
+}
+
+TEST(BuildPreferences, InvalidProblemThrows) {
+  const PolicyOptimizer optimizer(topo::make_case_study_tree());
+  sched::Problem empty;
+  EXPECT_THROW((void)optimizer.build_preferences(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::core

@@ -1,0 +1,61 @@
+#include "core/preference_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace hit::core {
+namespace {
+
+TEST(PreferenceMatrix, StartsAtZero) {
+  PreferenceMatrix m(3, {TaskId(10), TaskId(11)});
+  EXPECT_EQ(m.num_servers(), 3u);
+  EXPECT_EQ(m.tasks().size(), 2u);
+  EXPECT_DOUBLE_EQ(m.grade(ServerId(0), TaskId(10)), 0.0);
+}
+
+TEST(PreferenceMatrix, AccumulatesGrades) {
+  PreferenceMatrix m(2, {TaskId(1)});
+  m.add(ServerId(0), TaskId(1), 3.0);
+  m.add(ServerId(0), TaskId(1), 2.0);
+  EXPECT_DOUBLE_EQ(m.grade(ServerId(0), TaskId(1)), 5.0);
+  EXPECT_DOUBLE_EQ(m.grade(ServerId(1), TaskId(1)), 0.0);
+}
+
+TEST(PreferenceMatrix, RankedServersDescendingWithIdTieBreak) {
+  PreferenceMatrix m(4, {TaskId(1)});
+  m.add(ServerId(2), TaskId(1), 5.0);
+  m.add(ServerId(0), TaskId(1), 1.0);
+  m.add(ServerId(3), TaskId(1), 1.0);  // tie with server 0
+  const auto ranked = m.ranked_servers(TaskId(1));
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0], ServerId(2));
+  EXPECT_EQ(ranked[1], ServerId(0));  // tie broken by id
+  EXPECT_EQ(ranked[2], ServerId(3));
+  EXPECT_EQ(ranked[3], ServerId(1));
+}
+
+TEST(PreferenceMatrix, RankedTasksDescending) {
+  PreferenceMatrix m(1, {TaskId(1), TaskId(2), TaskId(3)});
+  m.add(ServerId(0), TaskId(2), 9.0);
+  m.add(ServerId(0), TaskId(3), 4.0);
+  const auto ranked = m.ranked_tasks(ServerId(0));
+  EXPECT_EQ(ranked[0], TaskId(2));
+  EXPECT_EQ(ranked[1], TaskId(3));
+  EXPECT_EQ(ranked[2], TaskId(1));
+}
+
+TEST(PreferenceMatrix, ErrorsOnUnknownIds) {
+  PreferenceMatrix m(2, {TaskId(1)});
+  EXPECT_THROW((void)m.grade(ServerId(5), TaskId(1)), std::out_of_range);
+  EXPECT_THROW((void)m.grade(ServerId(0), TaskId(9)), std::out_of_range);
+  EXPECT_THROW(m.add(ServerId(5), TaskId(1), 1.0), std::out_of_range);
+  EXPECT_THROW((void)m.ranked_servers(TaskId(9)), std::out_of_range);
+  EXPECT_THROW((void)m.ranked_tasks(ServerId(5)), std::out_of_range);
+}
+
+TEST(PreferenceMatrix, RejectsDuplicatesAndEmpty) {
+  EXPECT_THROW(PreferenceMatrix(0, {TaskId(1)}), std::invalid_argument);
+  EXPECT_THROW(PreferenceMatrix(2, {TaskId(1), TaskId(1)}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::core

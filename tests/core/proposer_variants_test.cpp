@@ -1,0 +1,81 @@
+// Classic Gale-Shapley theory on the two proposer variants: both sides'
+// algorithms produce stable matchings, and the proposing side gets its
+// optimal stable outcome (containers weakly prefer the container-proposing
+// result; servers the server-proposing one).
+#include <gtest/gtest.h>
+
+#include "core/stable_matching.h"
+#include "test_helpers.h"
+
+namespace hit::core {
+namespace {
+
+PreferenceMatrix random_prefs(const sched::Problem& problem, Rng& rng) {
+  std::vector<TaskId> ids;
+  for (const auto& t : problem.tasks) ids.push_back(t.id);
+  PreferenceMatrix prefs(problem.cluster->size(), ids);
+  for (const auto& t : problem.tasks) {
+    for (const auto& s : problem.cluster->servers()) {
+      prefs.add(s.id, t.id, rng.uniform(0.0, 100.0));
+    }
+  }
+  return prefs;
+}
+
+class ProposerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProposerSweep, BothVariantsProduceStableMatchings) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 3, 2, 4.0);
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto prefs = random_prefs(fixture.problem, rng);
+  const StableMatcher matcher;
+
+  const auto by_containers =
+      matcher.match(fixture.problem, prefs, StableMatcher::Proposer::Containers);
+  const auto by_servers =
+      matcher.match(fixture.problem, prefs, StableMatcher::Proposer::Servers);
+
+  EXPECT_EQ(by_containers.size(), fixture.problem.tasks.size());
+  EXPECT_EQ(by_servers.size(), fixture.problem.tasks.size());
+  EXPECT_TRUE(StableMatcher::is_stable(fixture.problem, prefs, by_containers));
+  EXPECT_TRUE(StableMatcher::is_stable(fixture.problem, prefs, by_servers));
+}
+
+TEST_P(ProposerSweep, ContainerProposingIsContainerOptimal) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 3, 2, 4.0);
+  Rng rng(static_cast<std::uint64_t>(100 + GetParam()));
+  const auto prefs = random_prefs(fixture.problem, rng);
+  const StableMatcher matcher;
+
+  const auto by_containers =
+      matcher.match(fixture.problem, prefs, StableMatcher::Proposer::Containers);
+  const auto by_servers =
+      matcher.match(fixture.problem, prefs, StableMatcher::Proposer::Servers);
+
+  // Every container weakly prefers its container-proposing match.
+  for (const auto& t : fixture.problem.tasks) {
+    const double own = prefs.grade(by_containers.at(t.id), t.id);
+    const double dual = prefs.grade(by_servers.at(t.id), t.id);
+    EXPECT_GE(own, dual - 1e-12) << "task " << t.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProposerSweep, ::testing::Range(0, 15));
+
+TEST(ProposerVariants, ServersProposingRespectsCapacity) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 4, 2, 4.0);
+  Rng rng(7);
+  const auto prefs = random_prefs(fixture.problem, rng);
+  const auto matching = StableMatcher().match(fixture.problem, prefs,
+                                              StableMatcher::Proposer::Servers);
+  sched::UsageLedger ledger(fixture.problem);
+  for (const auto& t : fixture.problem.tasks) {
+    EXPECT_NO_THROW(ledger.place(matching.at(t.id), t.demand));
+  }
+}
+
+}  // namespace
+}  // namespace hit::core

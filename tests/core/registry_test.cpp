@@ -1,0 +1,66 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/capacity_scheduler.h"
+#include "sched/random_scheduler.h"
+#include "test_helpers.h"
+
+namespace hit::core {
+namespace {
+
+TEST(Registry, BuiltinsPresent) {
+  auto& registry = SchedulerRegistry::instance();
+  for (const char* name :
+       {"capacity", "capacity-ecmp", "fair", "pna", "delay", "random", "hit",
+        "hit-greedy", "hit-no-policy-opt", "hit-ls"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_NE(registry.create(name), nullptr) << name;
+  }
+}
+
+TEST(Registry, NamesSorted) {
+  const auto names = SchedulerRegistry::instance().names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_GE(names.size(), 10u);
+}
+
+TEST(Registry, UnknownNameListsKnown) {
+  try {
+    (void)SchedulerRegistry::instance().create("bogus");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("hit"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(Registry, CreatedSchedulersWork) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 1, 3, 2, 6.0);
+  auto scheduler = SchedulerRegistry::instance().create("hit");
+  Rng rng(1);
+  const sched::Assignment a = scheduler->schedule(fixture.problem, rng);
+  EXPECT_NO_THROW(sched::validate_assignment(fixture.problem, a));
+}
+
+TEST(Registry, CustomRegistrationAndReplacement) {
+  SchedulerRegistry registry;  // fresh, empty
+  EXPECT_FALSE(registry.contains("mine"));
+  int builds = 0;
+  registry.register_factory("mine", [&builds] {
+    ++builds;
+    return std::make_unique<sched::RandomScheduler>();
+  });
+  EXPECT_TRUE(registry.contains("mine"));
+  (void)registry.create("mine");
+  EXPECT_EQ(builds, 1);
+  // Replacement swaps the factory in place.
+  registry.register_factory("mine",
+                            [] { return std::make_unique<sched::CapacityScheduler>(); });
+  EXPECT_EQ(registry.create("mine")->name(), "Capacity");
+  EXPECT_THROW(registry.register_factory("", nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::core

@@ -1,0 +1,149 @@
+// Algorithm 2 properties: completeness, capacity, and — the paper's §5.2.3
+// theorem — stability (no blocking pairs), checked directly over seeded
+// random preference matrices (parameterized sweep).
+#include "core/stable_matching.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_optimizer.h"
+#include "test_helpers.h"
+
+namespace hit::core {
+namespace {
+
+PreferenceMatrix random_prefs(const sched::Problem& problem, Rng& rng) {
+  std::vector<TaskId> ids;
+  for (const auto& t : problem.tasks) ids.push_back(t.id);
+  PreferenceMatrix prefs(problem.cluster->size(), ids);
+  for (const auto& t : problem.tasks) {
+    for (const auto& s : problem.cluster->servers()) {
+      prefs.add(s.id, t.id, rng.uniform(0.0, 100.0));
+    }
+  }
+  return prefs;
+}
+
+TEST(StableMatcher, MatchesEveryTask) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 4, 2, 4.0);
+  Rng rng(1);
+  const auto prefs = random_prefs(fixture.problem, rng);
+  const auto matching = StableMatcher().match(fixture.problem, prefs);
+  EXPECT_EQ(matching.size(), fixture.problem.tasks.size());
+}
+
+TEST(StableMatcher, RespectsCapacity) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 4, 2, 4.0);
+  Rng rng(2);
+  const auto prefs = random_prefs(fixture.problem, rng);
+  const auto matching = StableMatcher().match(fixture.problem, prefs);
+  sched::UsageLedger ledger(fixture.problem);
+  for (const auto& t : fixture.problem.tasks) {
+    EXPECT_NO_THROW(ledger.place(matching.at(t.id), t.demand));
+  }
+}
+
+TEST(StableMatcher, RespectsBaseUsage) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 1, 4, 2, 4.0);
+  // Server 0 completely busy: nothing may land there.
+  fixture.problem.base_usage.assign(world->cluster.size(), cluster::Resource{});
+  fixture.problem.base_usage[0] = cluster::Resource{2.0, 8.0};
+  Rng rng(3);
+  const auto prefs = random_prefs(fixture.problem, rng);
+  const auto matching = StableMatcher().match(fixture.problem, prefs);
+  for (const auto& [task, server] : matching) {
+    EXPECT_NE(server, ServerId(0));
+  }
+}
+
+TEST(StableMatcher, ThrowsWhenInfeasible) {
+  auto world = test::tiny_tree_world();  // 8 slots
+  test::ProblemFixture fixture(*world, 3, 2, 2, 4.0);  // 12 tasks
+  Rng rng(4);
+  const auto prefs = random_prefs(fixture.problem, rng);
+  EXPECT_THROW((void)StableMatcher().match(fixture.problem, prefs),
+               std::runtime_error);
+}
+
+TEST(StableMatcher, EveryoneGetsTopChoiceWhenNoConflict) {
+  auto world = test::small_tree_world();  // 8 servers
+  test::ProblemFixture fixture(*world, 1, 4, 4, 4.0);  // 8 tasks
+  std::vector<TaskId> ids;
+  for (const auto& t : fixture.problem.tasks) ids.push_back(t.id);
+  PreferenceMatrix prefs(world->cluster.size(), ids);
+  // Task i strongly prefers server i; grades elsewhere zero.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    prefs.add(ServerId(static_cast<ServerId::value_type>(i)), ids[i], 10.0);
+  }
+  const auto matching = StableMatcher().match(fixture.problem, prefs);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(matching.at(ids[i]), ServerId(static_cast<ServerId::value_type>(i)));
+  }
+}
+
+TEST(StableMatcher, EvictsLowerGradedOnConflict) {
+  auto world = test::tiny_tree_world();
+  test::ProblemFixture fixture(*world, 1, 2, 1, 4.0);  // 3 tasks, 4 servers x2
+  std::vector<TaskId> ids;
+  for (const auto& t : fixture.problem.tasks) ids.push_back(t.id);
+  ASSERT_EQ(ids.size(), 3u);
+  PreferenceMatrix prefs(world->cluster.size(), ids);
+  // All three want server 0 (2 slots); server 0 grades task 2 lowest, and
+  // task 2's second choice is server 1.
+  prefs.add(ServerId(0), ids[0], 30.0);
+  prefs.add(ServerId(0), ids[1], 20.0);
+  prefs.add(ServerId(0), ids[2], 10.0);
+  prefs.add(ServerId(1), ids[2], 5.0);
+  const auto matching = StableMatcher().match(fixture.problem, prefs);
+  EXPECT_EQ(matching.at(ids[0]), ServerId(0));
+  EXPECT_EQ(matching.at(ids[1]), ServerId(0));
+  EXPECT_EQ(matching.at(ids[2]), ServerId(1));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: stability over random instances (§5.2.3 theorem).
+// ---------------------------------------------------------------------------
+
+class StabilitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StabilitySweep, NoBlockingPairs) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 3, 2, 4.0);  // 10 tasks, 16 slots
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto prefs = random_prefs(fixture.problem, rng);
+  const auto matching = StableMatcher().match(fixture.problem, prefs);
+  EXPECT_TRUE(StableMatcher::is_stable(fixture.problem, prefs, matching))
+      << "blocking pair under seed " << GetParam();
+}
+
+TEST_P(StabilitySweep, AlgorithmOnePreferencesAreStableToo) {
+  // Same property, but with the real preference matrices Algorithm 1 emits.
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 3, 2, 8.0);
+  const PolicyOptimizer optimizer(world->topology);
+  const auto prefs = optimizer.build_preferences(fixture.problem);
+  const auto matching = StableMatcher().match(fixture.problem, prefs);
+  EXPECT_TRUE(StableMatcher::is_stable(fixture.problem, prefs, matching));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StabilitySweep, ::testing::Range(0, 25));
+
+TEST(StableMatcher, IsStableDetectsViolation) {
+  auto world = test::tiny_tree_world();
+  test::ProblemFixture fixture(*world, 1, 1, 1, 4.0);  // 2 tasks
+  std::vector<TaskId> ids;
+  for (const auto& t : fixture.problem.tasks) ids.push_back(t.id);
+  PreferenceMatrix prefs(world->cluster.size(), ids);
+  prefs.add(ServerId(0), ids[0], 10.0);
+  prefs.add(ServerId(0), ids[1], 10.0);
+  // Hand-build a matching that ignores both tasks' clear preference for the
+  // (empty) server 0.
+  std::unordered_map<TaskId, ServerId> bad{{ids[0], ServerId(1)},
+                                           {ids[1], ServerId(2)}};
+  EXPECT_FALSE(StableMatcher::is_stable(fixture.problem, prefs, bad));
+}
+
+}  // namespace
+}  // namespace hit::core

@@ -1,0 +1,118 @@
+// Eq. (3) constraint verification + objective.
+#include "core/taa.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hit_scheduler.h"
+#include "sched/capacity_scheduler.h"
+#include "test_helpers.h"
+
+namespace hit::core {
+namespace {
+
+class TaaTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::tiny_tree_world();
+  test::ProblemFixture fixture_{*world_, 1, 2, 2, 8.0};
+
+  sched::Assignment spread() {
+    sched::Assignment a;
+    std::size_t i = 0;
+    for (const auto& t : fixture_.problem.tasks) {
+      a.placement[t.id] = ServerId(static_cast<ServerId::value_type>(i++ % 4));
+    }
+    sched::attach_shortest_policies(fixture_.problem, a);
+    return a;
+  }
+};
+
+TEST_F(TaaTest, FeasibleAssignmentHasNoViolations) {
+  EXPECT_TRUE(taa_violations(fixture_.problem, spread()).empty());
+}
+
+TEST_F(TaaTest, DetectsUnplacedTask) {
+  sched::Assignment a = spread();
+  a.placement.erase(fixture_.problem.tasks[0].id);
+  const auto v = taa_violations(fixture_.problem, a);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("unplaced"), std::string::npos);
+}
+
+TEST_F(TaaTest, DetectsServerOverCapacity) {
+  sched::Assignment a;
+  for (const auto& t : fixture_.problem.tasks) {
+    a.placement[t.id] = ServerId(0);
+  }
+  sched::attach_shortest_policies(fixture_.problem, a);
+  bool found = false;
+  for (const auto& v : taa_violations(fixture_.problem, a)) {
+    if (v.find("server capacity") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TaaTest, DetectsSwitchOverCapacity) {
+  // Inflate flow rates so the access switches overflow.
+  for (auto& f : fixture_.problem.flows) f.rate = 100.0;
+  bool found = false;
+  for (const auto& v : taa_violations(fixture_.problem, spread())) {
+    if (v.find("switch over capacity") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TaaTest, DetectsMissingPolicy) {
+  sched::Assignment a = spread();
+  a.policies.clear();
+  bool found = false;
+  for (const auto& v : taa_violations(fixture_.problem, a)) {
+    if (v.find("without policy") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TaaTest, DetectsUnsatisfiedPolicy) {
+  sched::Assignment a = spread();
+  // Corrupt one cross-rack policy's first switch type.
+  for (auto& [id, policy] : a.policies) {
+    if (!policy.type.empty()) {
+      policy.type[0] = topo::Tier::Core;
+      break;
+    }
+  }
+  bool found = false;
+  for (const auto& v : taa_violations(fixture_.problem, a)) {
+    if (v.find("unsatisfied policy") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TaaTest, ObjectiveMatchesHandComputation) {
+  // Place everything by hand: maps on S1, reduces on S2 (near) and S4 (far).
+  const auto& tasks = fixture_.problem.tasks;
+  sched::Assignment a;
+  a.placement[tasks[0].id] = ServerId(0);  // map 1
+  a.placement[tasks[1].id] = ServerId(0);  // map 2
+  a.placement[tasks[2].id] = ServerId(1);  // reduce near: 1 hop
+  a.placement[tasks[3].id] = ServerId(3);  // reduce far: 3 hops
+  sched::attach_shortest_policies(fixture_.problem, a);
+  CostConfig pure;
+  pure.congestion_weight = 0.0;
+  // 8 GB shuffle, 2x2 flows of 2 GB: per map, 2 GB to each reduce.
+  // cost = 2 maps * (2 GB * 1 hop + 2 GB * 3 hops) = 16 GB*T.
+  EXPECT_DOUBLE_EQ(taa_objective(fixture_.problem, a, pure), 16.0);
+}
+
+TEST_F(TaaTest, SchedulersPassTaaChecks) {
+  sched::CapacityScheduler capacity;
+  HitScheduler hit;
+  for (sched::Scheduler* s : {static_cast<sched::Scheduler*>(&capacity),
+                              static_cast<sched::Scheduler*>(&hit)}) {
+    Rng rng(7);
+    const auto a = s->schedule(fixture_.problem, rng);
+    EXPECT_TRUE(taa_violations(fixture_.problem, a).empty()) << s->name();
+  }
+}
+
+}  // namespace
+}  // namespace hit::core

@@ -1,0 +1,61 @@
+// Whole-pipeline determinism: identical seeds must reproduce every metric
+// bit-for-bit — the property that makes the benchmark harnesses regenerate
+// the paper's figures stably.
+#include <gtest/gtest.h>
+
+#include "core/hit_scheduler.h"
+#include "mapreduce/workload.h"
+#include "sched/pna_scheduler.h"
+#include "sim/engine.h"
+#include "test_helpers.h"
+
+namespace hit {
+namespace {
+
+sim::SimResult pipeline(const test::World& world, sched::Scheduler& scheduler,
+                        std::uint64_t seed) {
+  mr::WorkloadConfig wconfig;
+  wconfig.num_jobs = 5;
+  wconfig.max_maps_per_job = 5;
+  wconfig.max_reduces_per_job = 2;
+  const mr::WorkloadGenerator generator(wconfig);
+  Rng rng(seed);
+  mr::IdAllocator ids;
+  const auto jobs = generator.generate(ids, rng);
+  const sim::ClusterSimulator sim(world.cluster);
+  return sim.run(scheduler, jobs, ids, rng);
+}
+
+TEST(Determinism, HitPipelineBitIdentical) {
+  auto world = test::small_tree_world();
+  core::HitScheduler hit;
+  const auto a = pipeline(*world, hit, 42);
+  const auto b = pipeline(*world, hit, 42);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].start, b.tasks[i].start);
+    EXPECT_DOUBLE_EQ(a.tasks[i].finish, b.tasks[i].finish);
+  }
+  EXPECT_DOUBLE_EQ(a.total_shuffle_cost, b.total_shuffle_cost);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(Determinism, StochasticSchedulerStillSeedStable) {
+  auto world = test::small_tree_world();
+  sched::PnaScheduler pna;
+  const auto a = pipeline(*world, pna, 7);
+  const auto b = pipeline(*world, pna, 7);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_shuffle_cost, b.total_shuffle_cost);
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  auto world = test::small_tree_world();
+  core::HitScheduler hit;
+  const auto a = pipeline(*world, hit, 1);
+  const auto b = pipeline(*world, hit, 2);
+  EXPECT_NE(a.makespan, b.makespan);  // different workloads entirely
+}
+
+}  // namespace
+}  // namespace hit

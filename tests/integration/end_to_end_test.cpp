@@ -1,0 +1,85 @@
+// Full-pipeline integration: workload generation -> scheduling -> simulation
+// across scheduler x topology combinations, checking the paper's qualitative
+// claims hold on every substrate.
+#include <gtest/gtest.h>
+
+#include "core/hit_scheduler.h"
+#include "core/taa.h"
+#include "mapreduce/workload.h"
+#include "sched/capacity_scheduler.h"
+#include "sched/pna_scheduler.h"
+#include "sim/engine.h"
+#include "test_helpers.h"
+
+namespace hit {
+namespace {
+
+struct TopoCase {
+  std::string name;
+  std::function<topo::Topology()> build;
+};
+
+class EndToEnd : public ::testing::TestWithParam<TopoCase> {
+ protected:
+  sim::SimResult run(sched::Scheduler& scheduler, const test::World& world,
+                     std::uint64_t seed) {
+    mr::WorkloadConfig wconfig;
+    wconfig.num_jobs = 4;
+    wconfig.max_maps_per_job = 6;
+    wconfig.max_reduces_per_job = 2;
+    wconfig.block_size_gb = 2.0;
+    const mr::WorkloadGenerator generator(wconfig);
+    Rng rng(seed);
+    mr::IdAllocator ids;
+    const auto jobs = generator.generate(ids, rng);
+    sim::SimConfig sconfig;
+    sconfig.bandwidth_scale = 0.1;
+    const sim::ClusterSimulator sim(world.cluster, sconfig);
+    return sim.run(scheduler, jobs, ids, rng);
+  }
+};
+
+TEST_P(EndToEnd, AllSchedulersCompleteAllJobs) {
+  auto world = std::make_unique<test::World>(GetParam().build(),
+                                             cluster::Resource{2.0, 8.0});
+  sched::CapacityScheduler capacity;
+  sched::PnaScheduler pna;
+  core::HitScheduler hit;
+  for (sched::Scheduler* s :
+       {static_cast<sched::Scheduler*>(&capacity),
+        static_cast<sched::Scheduler*>(&pna),
+        static_cast<sched::Scheduler*>(&hit)}) {
+    const sim::SimResult result = run(*s, *world, 11);
+    EXPECT_EQ(result.jobs.size(), 4u) << s->name();
+    for (const auto& j : result.jobs) {
+      EXPECT_GT(j.completion_time, 0.0) << s->name();
+    }
+  }
+}
+
+TEST_P(EndToEnd, HitNeverCostsMoreThanCapacity) {
+  auto world = std::make_unique<test::World>(GetParam().build(),
+                                             cluster::Resource{2.0, 8.0});
+  sched::CapacityScheduler capacity;
+  core::HitScheduler hit;
+  double cap_total = 0.0, hit_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    cap_total += run(capacity, *world, seed).total_shuffle_cost;
+    hit_total += run(hit, *world, seed).total_shuffle_cost;
+  }
+  EXPECT_LE(hit_total, cap_total * 1.02);  // allow noise, expect a clear win
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, EndToEnd,
+    ::testing::Values(
+        TopoCase{"Tree",
+                 [] { return topo::make_tree(topo::TreeConfig{3, 2, 2, 2}); }},
+        TopoCase{"FatTree", [] { return topo::make_fat_tree(topo::FatTreeConfig{4}); }},
+        TopoCase{"Vl2",
+                 [] { return topo::make_vl2(topo::Vl2Config{2, 4, 4, 4}); }},
+        TopoCase{"BCube", [] { return topo::make_bcube(topo::BCubeConfig{4, 1}); }}),
+    [](const ::testing::TestParamInfo<TopoCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace hit

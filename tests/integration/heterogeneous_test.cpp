@@ -1,0 +1,120 @@
+// Heterogeneous clusters: mixed server capacities (big-memory nodes, small
+// edge nodes).  Every scheduler must respect per-server limits, and Hit's
+// matching must exploit the larger servers for co-location.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/hit_scheduler.h"
+#include "core/taa.h"
+#include "sched/capacity_scheduler.h"
+#include "sched/fair_scheduler.h"
+#include "test_helpers.h"
+#include "topology/builders.h"
+
+namespace hit {
+namespace {
+
+/// 8-host tree where two hosts are 4-slot "fat" servers and two are 1-slot.
+struct HeterogeneousWorld {
+  topo::Topology topology;
+  cluster::Cluster cluster;
+
+  static std::vector<cluster::Resource> capacities() {
+    std::vector<cluster::Resource> caps(8, cluster::Resource{2.0, 8.0});
+    caps[0] = cluster::Resource{4.0, 16.0};  // fat
+    caps[1] = cluster::Resource{4.0, 16.0};  // fat
+    caps[6] = cluster::Resource{1.0, 4.0};   // thin
+    caps[7] = cluster::Resource{1.0, 4.0};   // thin
+    return caps;
+  }
+
+  HeterogeneousWorld()
+      : topology(topo::make_tree(topo::TreeConfig{3, 2, 2, 2})),
+        cluster(topology, capacities()) {}
+};
+
+TEST(Heterogeneous, CapacitiesRespectedByAllSchedulers) {
+  HeterogeneousWorld world;
+  // Total slots: 4 + 4 + 4x2 + 1 + 1 = 18; the fixture needs exactly 18.
+  auto base = test::small_tree_world();
+  test::ProblemFixture fixture(*base, 3, 4, 2, 6.0);
+  sched::Problem problem = fixture.problem;
+  problem.topology = &world.topology;
+  problem.cluster = &world.cluster;
+
+  sched::CapacityScheduler capacity;
+  sched::FairScheduler fair;
+  core::HitScheduler hit;
+  for (sched::Scheduler* s : {static_cast<sched::Scheduler*>(&capacity),
+                              static_cast<sched::Scheduler*>(&fair),
+                              static_cast<sched::Scheduler*>(&hit)}) {
+    Rng rng(1);
+    const sched::Assignment a = s->schedule(problem, rng);
+    EXPECT_NO_THROW(sched::validate_assignment(problem, a)) << s->name();
+    // Thin servers carry at most one container.
+    std::map<ServerId, int> count;
+    for (const auto& [task, server] : a.placement) ++count[server];
+    EXPECT_LE(count[ServerId(6)], 1) << s->name();
+    EXPECT_LE(count[ServerId(7)], 1) << s->name();
+    EXPECT_LE(count[ServerId(0)], 4) << s->name();
+  }
+}
+
+TEST(Heterogeneous, HitPacksHeavyJobOntoFatServers) {
+  HeterogeneousWorld world;
+  // One shuffle-heavy job with 4 tasks: a fat server pair under one access
+  // switch can hold everything near itself.
+  sched::Problem problem;
+  problem.topology = &world.topology;
+  problem.cluster = &world.cluster;
+  for (unsigned i = 0; i < 2; ++i) {
+    problem.tasks.push_back(sched::TaskRef{TaskId(i), JobId(0),
+                                           cluster::TaskKind::Map,
+                                           cluster::kDefaultContainerDemand, 2.0});
+  }
+  for (unsigned i = 2; i < 4; ++i) {
+    problem.tasks.push_back(sched::TaskRef{TaskId(i), JobId(0),
+                                           cluster::TaskKind::Reduce,
+                                           cluster::kDefaultContainerDemand, 2.0});
+  }
+  unsigned fid = 0;
+  for (unsigned m = 0; m < 2; ++m) {
+    for (unsigned r = 2; r < 4; ++r) {
+      problem.flows.push_back(
+          net::Flow{FlowId(fid++), JobId(0), TaskId(m), TaskId(r), 5.0, 5.0});
+    }
+  }
+
+  core::HitScheduler hit;
+  Rng rng(2);
+  const sched::Assignment a = hit.schedule(problem, rng);
+  core::CostConfig pure;
+  pure.congestion_weight = 0.0;
+  // All four tasks fit on the two fat servers (same access switch): total
+  // cost <= 4 flows x 5 GB x 1 hop = 20, and co-location usually beats that.
+  EXPECT_LE(core::taa_objective(problem, a, pure), 20.0 + 1e-9);
+}
+
+TEST(Heterogeneous, ZeroAndFullServersCoexist) {
+  HeterogeneousWorld world;
+  sched::Problem problem;
+  problem.topology = &world.topology;
+  problem.cluster = &world.cluster;
+  problem.base_usage.assign(8, cluster::Resource{});
+  problem.base_usage[0] = cluster::Resource{4.0, 16.0};  // fat server full
+  for (unsigned i = 0; i < 6; ++i) {
+    problem.tasks.push_back(sched::TaskRef{TaskId(i), JobId(0),
+                                           cluster::TaskKind::Map,
+                                           cluster::kDefaultContainerDemand, 1.0});
+  }
+  core::HitScheduler hit;
+  Rng rng(3);
+  const sched::Assignment a = hit.schedule(problem, rng);
+  for (const auto& [task, server] : a.placement) {
+    EXPECT_NE(server, ServerId(0));
+  }
+}
+
+}  // namespace
+}  // namespace hit

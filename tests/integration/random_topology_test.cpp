@@ -1,0 +1,72 @@
+// Fuzz-lite sweep: random multi-tier topologies (random depth, fanout,
+// redundancy, host counts) x random workloads.  Invariants that must hold on
+// every instance:
+//   * Hit produces a TAA-feasible assignment (all six Eq. 3 constraints),
+//   * every routed policy is satisfied and loop-free,
+//   * Hit's static shuffle cost never exceeds Capacity's by more than noise.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/hit_scheduler.h"
+#include "core/taa.h"
+#include "sched/capacity_scheduler.h"
+#include "test_helpers.h"
+#include "topology/builders.h"
+
+namespace hit {
+namespace {
+
+class RandomTopologySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTopologySweep, InvariantsHold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+
+  topo::TreeConfig config;
+  config.depth = 2 + rng.uniform_index(2);        // 2..3
+  config.fanout = 2 + rng.uniform_index(3);       // 2..4
+  config.redundancy = 1 + rng.uniform_index(3);   // 1..3
+  config.hosts_per_access = 1 + rng.uniform_index(3);
+  const auto world = std::make_unique<test::World>(topo::make_tree(config),
+                                                   cluster::Resource{2.0, 8.0});
+
+  // Random workload that always fits: total tasks <= half the slots.
+  const std::size_t slots = world->cluster.size() * 2;
+  const std::size_t jobs = 1 + rng.uniform_index(2);
+  const std::size_t budget = std::max<std::size_t>(slots / (2 * jobs), 2);
+  const std::size_t maps = 1 + rng.uniform_index(budget);
+  const std::size_t reduces = std::max<std::size_t>(1, budget - maps);
+  test::ProblemFixture fixture(*world, jobs, maps, reduces,
+                               rng.uniform(2.0, 12.0));
+
+  core::HitScheduler hit;
+  sched::CapacityScheduler capacity;
+  Rng sched_rng(1);
+  const sched::Assignment a = hit.schedule(fixture.problem, sched_rng);
+
+  // TAA feasibility.
+  const auto violations = core::taa_violations(fixture.problem, a);
+  EXPECT_TRUE(violations.empty())
+      << "depth=" << config.depth << " fanout=" << config.fanout
+      << " redundancy=" << config.redundancy << ": " << violations.front();
+
+  // Policies loop-free.
+  for (const auto& [flow, policy] : a.policies) {
+    std::set<NodeId> seen(policy.list.begin(), policy.list.end());
+    EXPECT_EQ(seen.size(), policy.list.size());
+  }
+
+  // Cost sanity vs the topology-unaware baseline.
+  core::CostConfig pure;
+  pure.congestion_weight = 0.0;
+  Rng cap_rng(2);
+  const double hit_cost = core::taa_objective(fixture.problem, a, pure);
+  const double cap_cost = core::taa_objective(
+      fixture.problem, capacity.schedule(fixture.problem, cap_rng), pure);
+  EXPECT_LE(hit_cost, cap_cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopologySweep, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace hit

@@ -1,0 +1,90 @@
+#include "mapreduce/hdfs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "test_helpers.h"
+
+namespace hit::mr {
+namespace {
+
+class HdfsTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();  // 8 servers
+
+  std::vector<Job> jobs(std::size_t maps) {
+    WorkloadConfig config;
+    config.max_maps_per_job = maps;
+    WorkloadGenerator gen(config);
+    const Job job = gen.make_job(profile("terasort"), static_cast<double>(maps), ids_);
+    return {job};
+  }
+
+  IdAllocator ids_;
+};
+
+TEST_F(HdfsTest, ThreeDistinctReplicasPerSplit) {
+  Rng rng(1);
+  const auto js = jobs(16);
+  const BlockPlacement blocks(world_->cluster, js, rng, 3);
+  for (const Task& t : js[0].maps) {
+    const auto& r = blocks.replicas(t.id);
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(r.begin(), r.end()));
+    EXPECT_NE(r[0], r[1]);
+    EXPECT_NE(r[1], r[2]);
+  }
+}
+
+TEST_F(HdfsTest, ReplicationClampedToClusterSize) {
+  Rng rng(2);
+  const auto js = jobs(4);
+  const BlockPlacement blocks(world_->cluster, js, rng, 100);
+  EXPECT_EQ(blocks.replicas(js[0].maps[0].id).size(), 8u);
+}
+
+TEST_F(HdfsTest, LocalityChecks) {
+  Rng rng(3);
+  const auto js = jobs(8);
+  const BlockPlacement blocks(world_->cluster, js, rng, 3);
+  const Task& t = js[0].maps[0];
+  const auto& replicas = blocks.replicas(t.id);
+  for (const cluster::Server& s : world_->cluster.servers()) {
+    const bool is_replica =
+        std::binary_search(replicas.begin(), replicas.end(), s.id);
+    EXPECT_EQ(blocks.local(t.id, s.id), is_replica);
+    EXPECT_DOUBLE_EQ(blocks.remote_map_gb(t, s.id), is_replica ? 0.0 : t.input_gb);
+  }
+}
+
+TEST_F(HdfsTest, UnknownTaskThrows) {
+  Rng rng(4);
+  const BlockPlacement blocks(world_->cluster, jobs(2), rng, 3);
+  EXPECT_THROW((void)blocks.replicas(TaskId(9999)), std::out_of_range);
+}
+
+TEST_F(HdfsTest, DeterministicPerSeed) {
+  const auto js = jobs(8);
+  Rng rng1(5), rng2(5);
+  const BlockPlacement a(world_->cluster, js, rng1, 3);
+  const BlockPlacement b(world_->cluster, js, rng2, 3);
+  for (const Task& t : js[0].maps) {
+    EXPECT_EQ(a.replicas(t.id), b.replicas(t.id));
+  }
+}
+
+TEST_F(HdfsTest, SpreadAcrossCluster) {
+  Rng rng(6);
+  const auto js = jobs(32);
+  const BlockPlacement blocks(world_->cluster, js, rng, 3);
+  std::set<ServerId> used;
+  for (const Task& t : js[0].maps) {
+    for (ServerId s : blocks.replicas(t.id)) used.insert(s);
+  }
+  EXPECT_EQ(used.size(), 8u);  // 96 replica slots over 8 servers: all touched
+}
+
+}  // namespace
+}  // namespace hit::mr

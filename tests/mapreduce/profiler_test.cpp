@@ -1,0 +1,93 @@
+#include "mapreduce/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/workload.h"
+#include "util/rng.h"
+
+namespace hit::mr {
+namespace {
+
+TEST(Profiler, EmptyHasNoEstimates) {
+  ShuffleProfiler profiler;
+  EXPECT_EQ(profiler.benchmarks_profiled(), 0u);
+  EXPECT_EQ(profiler.estimate("terasort"), std::nullopt);
+  EXPECT_DOUBLE_EQ(profiler.selectivity_or("terasort", 0.5), 0.5);
+  EXPECT_THROW((void)profiler.predict_shuffle_gb("terasort", 10.0), std::out_of_range);
+}
+
+TEST(Profiler, SingleObservation) {
+  ShuffleProfiler profiler;
+  profiler.observe("terasort", 10.0, 10.0, 5.0);
+  const auto e = profiler.estimate("terasort");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->shuffle_selectivity, 1.0);
+  EXPECT_DOUBLE_EQ(e->shuffle_rate, 2.0);  // 10 GB / 5 s
+  EXPECT_EQ(e->samples, 1u);
+}
+
+TEST(Profiler, RatioEstimatorPoolsObservations) {
+  ShuffleProfiler profiler;
+  profiler.observe("wordcount", 10.0, 1.0);
+  profiler.observe("wordcount", 30.0, 3.0);
+  const auto e = profiler.estimate("wordcount");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->shuffle_selectivity, 0.1);
+  EXPECT_DOUBLE_EQ(e->shuffle_rate, 0.0);  // never timed
+  EXPECT_EQ(e->samples, 2u);
+}
+
+TEST(Profiler, PredictionScalesWithInput) {
+  ShuffleProfiler profiler;
+  profiler.observe("join", 20.0, 19.0);
+  EXPECT_DOUBLE_EQ(profiler.predict_shuffle_gb("join", 40.0), 38.0);
+}
+
+TEST(Profiler, RecoversTrueSelectivitiesFromGeneratedJobs) {
+  // Feed the profiler jobs from the workload generator; the estimates must
+  // converge to the profile selectivities exactly (the generator is
+  // proportional by construction).
+  ShuffleProfiler profiler;
+  WorkloadConfig config;
+  config.num_jobs = 300;
+  const WorkloadGenerator gen(config);
+  IdAllocator ids;
+  Rng rng(1);
+  for (const Job& job : gen.generate(ids, rng)) {
+    profiler.observe(job.benchmark, job.input_gb, job.shuffle_gb);
+  }
+  for (const BenchmarkProfile& p : puma_profiles()) {
+    const auto e = profiler.estimate(p.name);
+    ASSERT_TRUE(e.has_value()) << p.name;
+    EXPECT_NEAR(e->shuffle_selectivity, p.shuffle_selectivity, 1e-9) << p.name;
+  }
+  EXPECT_EQ(profiler.benchmarks_profiled(), puma_profiles().size());
+  EXPECT_EQ(profiler.profiled_benchmarks().size(), puma_profiles().size());
+}
+
+TEST(Profiler, TimedAndUntimedObservationsMix) {
+  ShuffleProfiler profiler;
+  profiler.observe("index", 10.0, 9.0, 3.0);  // timed: 3 GB/s
+  profiler.observe("index", 10.0, 9.0);       // untimed
+  const auto e = profiler.estimate("index");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->shuffle_selectivity, 0.9);
+  EXPECT_DOUBLE_EQ(e->shuffle_rate, 3.0);  // only the timed bytes count
+}
+
+TEST(Profiler, ClearResets) {
+  ShuffleProfiler profiler;
+  profiler.observe("grep", 10.0, 0.2);
+  profiler.clear();
+  EXPECT_EQ(profiler.benchmarks_profiled(), 0u);
+}
+
+TEST(Profiler, RejectsBadObservations) {
+  ShuffleProfiler profiler;
+  EXPECT_THROW(profiler.observe("", 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(profiler.observe("x", 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(profiler.observe("x", 1.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::mr

@@ -1,0 +1,81 @@
+#include "mapreduce/profiles.h"
+
+#include <gtest/gtest.h>
+
+namespace hit::mr {
+namespace {
+
+TEST(Profiles, ElevenBenchmarks) {
+  EXPECT_EQ(puma_profiles().size(), 11u);
+}
+
+TEST(Profiles, MixSumsToHundred) {
+  double sum = 0.0;
+  for (const auto& p : puma_profiles()) sum += p.mix_percent;
+  EXPECT_DOUBLE_EQ(sum, 100.0);
+}
+
+TEST(Profiles, ClassSharesMatchTable1) {
+  double heavy = 0.0, medium = 0.0, light = 0.0;
+  for (const auto& p : puma_profiles()) {
+    switch (p.cls) {
+      case JobClass::ShuffleHeavy: heavy += p.mix_percent; break;
+      case JobClass::ShuffleMedium: medium += p.mix_percent; break;
+      case JobClass::ShuffleLight: light += p.mix_percent; break;
+    }
+  }
+  EXPECT_DOUBLE_EQ(heavy, 40.0);
+  EXPECT_DOUBLE_EQ(medium, 20.0);
+  EXPECT_DOUBLE_EQ(light, 40.0);
+}
+
+TEST(Profiles, SelectivityOrderedByClass) {
+  for (const auto& p : puma_profiles()) {
+    switch (p.cls) {
+      case JobClass::ShuffleHeavy:
+        EXPECT_GE(p.shuffle_selectivity, 0.7) << p.name;
+        break;
+      case JobClass::ShuffleMedium:
+        EXPECT_GE(p.shuffle_selectivity, 0.3) << p.name;
+        EXPECT_LT(p.shuffle_selectivity, 0.7) << p.name;
+        break;
+      case JobClass::ShuffleLight:
+        EXPECT_LT(p.shuffle_selectivity, 0.3) << p.name;
+        break;
+    }
+  }
+}
+
+TEST(Profiles, AllFieldsPositive) {
+  for (const auto& p : puma_profiles()) {
+    EXPECT_GT(p.mix_percent, 0.0) << p.name;
+    EXPECT_GT(p.shuffle_selectivity, 0.0) << p.name;
+    EXPECT_GT(p.map_sec_per_gb, 0.0) << p.name;
+    EXPECT_GT(p.reduce_sec_per_gb, 0.0) << p.name;
+    EXPECT_GT(p.typical_input_gb, 0.0) << p.name;
+  }
+}
+
+TEST(Profiles, LookupByName) {
+  EXPECT_EQ(profile("terasort").shuffle_selectivity, 1.0);
+  EXPECT_EQ(profile("grep").cls, JobClass::ShuffleLight);
+  EXPECT_THROW((void)profile("no-such-benchmark"), std::invalid_argument);
+}
+
+TEST(Profiles, Table1Entries) {
+  // The exact benchmark names and shares of Table 1.
+  EXPECT_DOUBLE_EQ(profile("terasort").mix_percent, 5.0);
+  EXPECT_DOUBLE_EQ(profile("index").mix_percent, 10.0);
+  EXPECT_DOUBLE_EQ(profile("join").mix_percent, 10.0);
+  EXPECT_DOUBLE_EQ(profile("sequence-count").mix_percent, 10.0);
+  EXPECT_DOUBLE_EQ(profile("adjacency").mix_percent, 5.0);
+  EXPECT_DOUBLE_EQ(profile("inverted-index").mix_percent, 10.0);
+  EXPECT_DOUBLE_EQ(profile("term-vector").mix_percent, 10.0);
+  EXPECT_DOUBLE_EQ(profile("grep").mix_percent, 15.0);
+  EXPECT_DOUBLE_EQ(profile("wordcount").mix_percent, 10.0);
+  EXPECT_DOUBLE_EQ(profile("classification").mix_percent, 5.0);
+  EXPECT_DOUBLE_EQ(profile("histogram").mix_percent, 10.0);
+}
+
+}  // namespace
+}  // namespace hit::mr

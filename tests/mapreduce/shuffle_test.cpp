@@ -1,0 +1,101 @@
+#include "mapreduce/shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mapreduce/workload.h"
+
+namespace hit::mr {
+namespace {
+
+Job make(std::size_t maps, std::size_t reduces, double shuffle_gb,
+         IdAllocator& ids) {
+  WorkloadConfig config;
+  config.max_maps_per_job = maps;
+  config.max_reduces_per_job = reduces;
+  config.block_size_gb = 1.0;
+  config.reduce_ratio = static_cast<double>(reduces) / static_cast<double>(maps);
+  WorkloadGenerator gen(config);
+  return gen.make_job(profile("terasort"), shuffle_gb, ids);  // selectivity 1
+}
+
+TEST(Shuffle, AllPairsPresent) {
+  IdAllocator ids;
+  const Job job = make(4, 2, 4.0, ids);
+  const auto flows = build_shuffle_flows(job, ids);
+  EXPECT_EQ(flows.size(), 8u);
+  std::set<std::pair<TaskId, TaskId>> pairs;
+  for (const auto& f : flows) {
+    pairs.emplace(f.src_task, f.dst_task);
+    EXPECT_EQ(f.job, job.id);
+  }
+  EXPECT_EQ(pairs.size(), 8u);
+}
+
+TEST(Shuffle, SizesSumToJobShuffle) {
+  IdAllocator ids;
+  const Job job = make(5, 3, 10.0, ids);
+  const auto flows = build_shuffle_flows(job, ids);
+  EXPECT_NEAR(net::total_size_gb(flows), job.shuffle_gb, 1e-9);
+}
+
+TEST(Shuffle, UniformPartitionsEqualSizes) {
+  IdAllocator ids;
+  const Job job = make(4, 4, 8.0, ids);
+  const auto flows = build_shuffle_flows(job, ids);
+  for (const auto& f : flows) {
+    EXPECT_NEAR(f.size_gb, 8.0 / 16.0, 1e-9);
+  }
+}
+
+TEST(Shuffle, SkewConcentratesOnFirstPartition) {
+  IdAllocator ids;
+  const Job job = make(2, 4, 8.0, ids);
+  ShuffleConfig config;
+  config.partition_skew = 1.5;
+  const auto flows = build_shuffle_flows(job, ids, config);
+  // Flows to reduce 0 strictly bigger than flows to reduce 3.
+  double first = 0.0, last = 0.0;
+  for (const auto& f : flows) {
+    if (f.dst_task == job.reduces[0].id) first += f.size_gb;
+    if (f.dst_task == job.reduces[3].id) last += f.size_gb;
+  }
+  EXPECT_GT(first, 2.0 * last);
+  EXPECT_NEAR(net::total_size_gb(flows), 8.0, 1e-9);
+}
+
+TEST(Shuffle, RateFollowsWindow) {
+  IdAllocator ids;
+  const Job job = make(2, 2, 4.0, ids);
+  ShuffleConfig config;
+  config.rate_window = 2.0;
+  const auto flows = build_shuffle_flows(job, ids, config);
+  for (const auto& f : flows) {
+    EXPECT_NEAR(f.rate, f.size_gb / 2.0, 1e-12);
+  }
+  ShuffleConfig bad;
+  bad.rate_window = 0.0;
+  EXPECT_THROW((void)build_shuffle_flows(job, ids, bad), std::invalid_argument);
+}
+
+TEST(Shuffle, EmptyForNoShuffleJob) {
+  IdAllocator ids;
+  Job job;
+  job.id = ids.next_job();
+  job.shuffle_gb = 0.0;
+  EXPECT_TRUE(build_shuffle_flows(job, ids).empty());
+}
+
+TEST(Shuffle, MultiJobConcatenatesWithUniqueIds) {
+  IdAllocator ids;
+  const Job j1 = make(2, 2, 2.0, ids);
+  const Job j2 = make(3, 2, 3.0, ids);
+  const auto flows = build_shuffle_flows(std::vector<Job>{j1, j2}, ids);
+  EXPECT_EQ(flows.size(), 4u + 6u);
+  std::set<FlowId> seen;
+  for (const auto& f : flows) EXPECT_TRUE(seen.insert(f.id).second);
+}
+
+}  // namespace
+}  // namespace hit::mr

@@ -1,0 +1,112 @@
+#include "mapreduce/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace hit::mr {
+namespace {
+
+TEST(Trace, LoadBasic) {
+  std::istringstream in(
+      "benchmark,input_gb,arrival_s\n"
+      "terasort,30.5,0\n"
+      "grep,16,12.25\n");
+  const auto entries = load_trace(in);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].benchmark, "terasort");
+  EXPECT_DOUBLE_EQ(entries[0].input_gb, 30.5);
+  EXPECT_DOUBLE_EQ(entries[1].arrival_s, 12.25);
+}
+
+TEST(Trace, ArrivalColumnOptional) {
+  std::istringstream in(
+      "benchmark,input_gb\n"
+      "wordcount,8\n");
+  const auto entries = load_trace(in);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(entries[0].arrival_s, 0.0);
+}
+
+TEST(Trace, CommentsAndBlankLinesSkipped) {
+  std::istringstream in(
+      "# produced by hitsim\n"
+      "benchmark,input_gb,arrival_s\n"
+      "\n"
+      "join,10,0\n");
+  EXPECT_EQ(load_trace(in).size(), 1u);
+}
+
+TEST(Trace, RejectsMalformedInput) {
+  {
+    std::istringstream in("join,10\n");  // no header
+    EXPECT_THROW((void)load_trace(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("benchmark,input_gb\nnot-a-benchmark,10\n");
+    EXPECT_THROW((void)load_trace(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("benchmark,input_gb\njoin,zero\n");
+    EXPECT_THROW((void)load_trace(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("benchmark,input_gb\njoin,-4\n");
+    EXPECT_THROW((void)load_trace(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("benchmark,input_gb,arrival_s\njoin,4,9\njoin,4,5\n");
+    EXPECT_THROW((void)load_trace(in), std::invalid_argument);  // arrivals decrease
+  }
+  {
+    std::istringstream in("benchmark,input_gb\njoin,4,5,6,7\n");
+    EXPECT_THROW((void)load_trace(in), std::invalid_argument);  // too many fields
+  }
+}
+
+TEST(Trace, RoundTripThroughSaveAndLoad) {
+  WorkloadConfig config;
+  config.num_jobs = 6;
+  const WorkloadGenerator gen(config);
+  IdAllocator ids;
+  Rng rng(3);
+  const auto jobs = gen.generate(ids, rng);
+  const auto entries = trace_from_jobs(jobs);
+
+  std::stringstream buffer;
+  save_trace(buffer, entries);
+  const auto reloaded = load_trace(buffer);
+  ASSERT_EQ(reloaded.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(reloaded[i].benchmark, entries[i].benchmark);
+    EXPECT_NEAR(reloaded[i].input_gb, entries[i].input_gb, 1e-4);
+  }
+
+  // Jobs rebuilt from the trace match the originals structurally.
+  IdAllocator ids2;
+  const auto rebuilt = jobs_from_trace(reloaded, gen, ids2);
+  ASSERT_EQ(rebuilt.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(rebuilt[i].benchmark, jobs[i].benchmark);
+    EXPECT_EQ(rebuilt[i].maps.size(), jobs[i].maps.size());
+    EXPECT_EQ(rebuilt[i].reduces.size(), jobs[i].reduces.size());
+    EXPECT_NEAR(rebuilt[i].shuffle_gb, jobs[i].shuffle_gb, 1e-3);
+  }
+}
+
+TEST(Trace, TraceFromJobsWithArrivals) {
+  WorkloadConfig config;
+  config.num_jobs = 2;
+  const WorkloadGenerator gen(config);
+  IdAllocator ids;
+  Rng rng(4);
+  const auto jobs = gen.generate(ids, rng);
+  const auto entries = trace_from_jobs(jobs, {1.0, 2.5});
+  EXPECT_DOUBLE_EQ(entries[1].arrival_s, 2.5);
+  EXPECT_THROW((void)trace_from_jobs(jobs, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::mr

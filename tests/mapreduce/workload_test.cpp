@@ -1,0 +1,155 @@
+#include "mapreduce/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace hit::mr {
+namespace {
+
+TEST(Workload, MakeJobBasics) {
+  WorkloadGenerator gen;
+  IdAllocator ids;
+  const Job job = gen.make_job(profile("terasort"), 10.0, ids);
+  EXPECT_EQ(job.benchmark, "terasort");
+  EXPECT_EQ(job.cls, JobClass::ShuffleHeavy);
+  EXPECT_DOUBLE_EQ(job.input_gb, 10.0);
+  EXPECT_DOUBLE_EQ(job.shuffle_gb, 10.0);  // selectivity 1.0
+  EXPECT_EQ(job.maps.size(), 10u);         // 1 GB blocks
+  EXPECT_EQ(job.reduces.size(), 5u);       // reduce_ratio 0.5
+  EXPECT_DOUBLE_EQ(job.shuffle_selectivity(), 1.0);
+}
+
+TEST(Workload, TaskFieldsConsistent) {
+  WorkloadGenerator gen;
+  IdAllocator ids;
+  const Job job = gen.make_job(profile("wordcount"), 8.0, ids);
+  double map_input = 0.0;
+  for (const Task& t : job.maps) {
+    EXPECT_EQ(t.job, job.id);
+    EXPECT_EQ(t.kind, cluster::TaskKind::Map);
+    EXPECT_GT(t.compute_seconds, 0.0);
+    map_input += t.input_gb;
+  }
+  EXPECT_NEAR(map_input, 8.0, 1e-9);
+  double reduce_input = 0.0;
+  for (const Task& t : job.reduces) {
+    EXPECT_EQ(t.kind, cluster::TaskKind::Reduce);
+    reduce_input += t.input_gb;
+  }
+  EXPECT_NEAR(reduce_input, job.shuffle_gb, 1e-9);
+}
+
+TEST(Workload, TaskIdsGloballyUnique) {
+  WorkloadConfig config;
+  config.num_jobs = 20;
+  WorkloadGenerator gen(config);
+  IdAllocator ids;
+  Rng rng(1);
+  const auto jobs = gen.generate(ids, rng);
+  std::set<TaskId> seen;
+  for (const Job& j : jobs) {
+    for (const Task& t : j.maps) EXPECT_TRUE(seen.insert(t.id).second);
+    for (const Task& t : j.reduces) EXPECT_TRUE(seen.insert(t.id).second);
+  }
+}
+
+TEST(Workload, CapsRespected) {
+  WorkloadConfig config;
+  config.max_maps_per_job = 4;
+  config.max_reduces_per_job = 2;
+  WorkloadGenerator gen(config);
+  IdAllocator ids;
+  const Job job = gen.make_job(profile("terasort"), 100.0, ids);
+  EXPECT_EQ(job.maps.size(), 4u);
+  EXPECT_EQ(job.reduces.size(), 2u);
+}
+
+TEST(Workload, AtLeastOneReduce) {
+  WorkloadConfig config;
+  config.reduce_ratio = 0.01;
+  WorkloadGenerator gen(config);
+  IdAllocator ids;
+  const Job job = gen.make_job(profile("grep"), 2.0, ids);
+  EXPECT_GE(job.reduces.size(), 1u);
+}
+
+TEST(Workload, OnlyClassFilter) {
+  WorkloadConfig config;
+  config.num_jobs = 50;
+  config.only_class = JobClass::ShuffleHeavy;
+  WorkloadGenerator gen(config);
+  IdAllocator ids;
+  Rng rng(2);
+  for (const Job& j : gen.generate(ids, rng)) {
+    EXPECT_EQ(j.cls, JobClass::ShuffleHeavy);
+  }
+}
+
+TEST(Workload, FixedInputOverride) {
+  WorkloadConfig config;
+  config.num_jobs = 10;
+  config.fixed_input_gb = 6.0;
+  WorkloadGenerator gen(config);
+  IdAllocator ids;
+  Rng rng(3);
+  for (const Job& j : gen.generate(ids, rng)) {
+    EXPECT_DOUBLE_EQ(j.input_gb, 6.0);
+  }
+}
+
+TEST(Workload, GenerateIsDeterministicPerSeed) {
+  WorkloadConfig config;
+  config.num_jobs = 10;
+  WorkloadGenerator gen(config);
+  IdAllocator ids1, ids2;
+  Rng rng1(7), rng2(7);
+  const auto a = gen.generate(ids1, rng1);
+  const auto b = gen.generate(ids2, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].benchmark, b[i].benchmark);
+    EXPECT_DOUBLE_EQ(a[i].input_gb, b[i].input_gb);
+    EXPECT_EQ(a[i].maps.size(), b[i].maps.size());
+  }
+}
+
+TEST(Workload, MixConvergesToTable1) {
+  WorkloadConfig config;
+  config.num_jobs = 4000;
+  WorkloadGenerator gen(config);
+  IdAllocator ids;
+  Rng rng(4);
+  std::map<std::string, int> counts;
+  for (const Job& j : gen.generate(ids, rng)) ++counts[j.benchmark];
+  for (const BenchmarkProfile& p : puma_profiles()) {
+    const double realized = 100.0 * counts[std::string(p.name)] / 4000.0;
+    EXPECT_NEAR(realized, p.mix_percent, 2.5) << p.name;
+  }
+}
+
+TEST(Workload, ConfigValidation) {
+  WorkloadConfig bad;
+  bad.block_size_gb = 0.0;
+  EXPECT_THROW(WorkloadGenerator{bad}, std::invalid_argument);
+  bad = WorkloadConfig{};
+  bad.reduce_ratio = 0.0;
+  EXPECT_THROW(WorkloadGenerator{bad}, std::invalid_argument);
+  bad = WorkloadConfig{};
+  bad.max_maps_per_job = 0;
+  EXPECT_THROW(WorkloadGenerator{bad}, std::invalid_argument);
+  WorkloadGenerator gen;
+  IdAllocator ids;
+  EXPECT_THROW((void)gen.make_job(profile("grep"), 0.0, ids), std::invalid_argument);
+}
+
+TEST(Workload, JobClassNames) {
+  EXPECT_EQ(job_class_name(JobClass::ShuffleHeavy), "shuffle-heavy");
+  EXPECT_EQ(job_class_name(JobClass::ShuffleMedium), "shuffle-medium");
+  EXPECT_EQ(job_class_name(JobClass::ShuffleLight), "shuffle-light");
+}
+
+}  // namespace
+}  // namespace hit::mr

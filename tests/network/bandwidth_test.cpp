@@ -1,0 +1,138 @@
+#include "network/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "topology/builders.h"
+
+namespace hit::net {
+namespace {
+
+class BandwidthTest : public ::testing::Test {
+ protected:
+  // Case study tree: every link 16.0; access capacity 64, root 128.
+  topo::Topology topo_ = topo::make_case_study_tree();
+  MaxMinFairAllocator alloc_{topo_};
+
+  FlowDemand demand(std::size_t src, std::size_t dst, double cap = 0.0) {
+    const auto servers = topo_.servers();
+    return FlowDemand{FlowId(static_cast<FlowId::value_type>(next_id_++)),
+                      topo_.shortest_path(servers[src], servers[dst]), cap};
+  }
+
+  unsigned next_id_ = 0;
+};
+
+TEST_F(BandwidthTest, SingleFlowGetsBottleneckLink) {
+  const auto rates = alloc_.allocate({demand(0, 3)});
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 16.0);  // limited by its server link
+}
+
+TEST_F(BandwidthTest, TwoFlowsShareServerLink) {
+  // Both flows originate at server 0: its single 16.0 link splits evenly.
+  const auto rates = alloc_.allocate({demand(0, 1), demand(0, 3)});
+  EXPECT_DOUBLE_EQ(rates[0], 8.0);
+  EXPECT_DOUBLE_EQ(rates[1], 8.0);
+}
+
+TEST_F(BandwidthTest, DisjointFlowsDoNotInterfere) {
+  const auto rates = alloc_.allocate({demand(0, 1), demand(2, 3)});
+  EXPECT_DOUBLE_EQ(rates[0], 16.0);
+  EXPECT_DOUBLE_EQ(rates[1], 16.0);
+}
+
+TEST_F(BandwidthTest, RateCapRespected) {
+  const auto rates = alloc_.allocate({demand(0, 3, 2.5)});
+  EXPECT_DOUBLE_EQ(rates[0], 2.5);
+}
+
+TEST_F(BandwidthTest, CapFreesBandwidthForOthers) {
+  // Two flows share server 0's link; one is capped at 4, the other takes 12.
+  const auto rates = alloc_.allocate({demand(0, 1, 4.0), demand(0, 3)});
+  EXPECT_DOUBLE_EQ(rates[0], 4.0);
+  EXPECT_DOUBLE_EQ(rates[1], 12.0);
+}
+
+TEST_F(BandwidthTest, MaxMinPropertyNoFlowStarves) {
+  std::vector<FlowDemand> demands;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i != j) demands.push_back(demand(i, j));
+    }
+  }
+  const auto rates = alloc_.allocate(demands);
+  for (double r : rates) {
+    EXPECT_GT(r, 0.0);
+  }
+}
+
+TEST_F(BandwidthTest, NoResourceOverCommitted) {
+  std::vector<FlowDemand> demands;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i != j) demands.push_back(demand(i, j));
+    }
+  }
+  const auto rates = alloc_.allocate(demands);
+  // Check each link's aggregate rate against its capacity.
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const topo::Path& p = demands[i].path;
+    for (std::size_t e = 0; e + 1 < p.size(); ++e) {
+      double total = 0.0;
+      for (std::size_t j = 0; j < demands.size(); ++j) {
+        const topo::Path& q = demands[j].path;
+        for (std::size_t f = 0; f + 1 < q.size(); ++f) {
+          const bool same = (q[f] == p[e] && q[f + 1] == p[e + 1]) ||
+                            (q[f] == p[e + 1] && q[f + 1] == p[e]);
+          if (same) total += rates[j];
+        }
+      }
+      EXPECT_LE(total, 16.0 + 1e-6);
+    }
+  }
+}
+
+TEST_F(BandwidthTest, ScaleMultipliesCapacity) {
+  const MaxMinFairAllocator half(topo_, 0.5);
+  const auto rates = half.allocate({demand(0, 3)});
+  EXPECT_DOUBLE_EQ(rates[0], 8.0);
+}
+
+TEST_F(BandwidthTest, SwitchCapacityBinds) {
+  // 4 flows through the same access switch pair exceed link fan-in before
+  // switch capacity (64) binds; scale switch capacity down instead.
+  topo::Topology tiny(topo::Family::Custom);
+  const NodeId w = tiny.add_switch(topo::Tier::Access, 3.0, "w");
+  const NodeId a = tiny.add_server("a");
+  const NodeId b = tiny.add_server("b");
+  tiny.add_link(a, w, 16.0);
+  tiny.add_link(b, w, 16.0);
+  const MaxMinFairAllocator alloc(tiny);
+  const auto rates =
+      alloc.allocate({FlowDemand{FlowId(0), tiny.shortest_path(a, b), 0.0}});
+  EXPECT_DOUBLE_EQ(rates[0], 3.0);  // switch processing capacity binds
+}
+
+TEST_F(BandwidthTest, ErrorsOnBadInput) {
+  EXPECT_THROW((void)MaxMinFairAllocator(topo_, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)alloc_.allocate({FlowDemand{FlowId(0), {}, 0.0}}),
+               std::invalid_argument);
+  // Path with a missing link.
+  const auto servers = topo_.servers();
+  EXPECT_THROW((void)alloc_.allocate({FlowDemand{
+                   FlowId(0), topo::Path{servers[0], servers[1]}, 0.0}}),
+               std::invalid_argument);
+  EXPECT_TRUE(alloc_.allocate({}).empty());
+}
+
+TEST_F(BandwidthTest, DeterministicAcrossCalls) {
+  std::vector<FlowDemand> demands{demand(0, 1), demand(0, 2), demand(1, 3)};
+  const auto r1 = alloc_.allocate(demands);
+  const auto r2 = alloc_.allocate(demands);
+  EXPECT_EQ(r1, r2);
+}
+
+}  // namespace
+}  // namespace hit::net

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "network/routing.h"
+#include "topology/builders.h"
+
+namespace hit::net {
+namespace {
+
+class EcmpTest : public ::testing::Test {
+ protected:
+  // 4 parallel cores: 4-way ECMP between cross-rack pairs.
+  topo::TreeConfig config_{2, 2, 4, 2, 16.0, 32.0};
+  topo::Topology topo_ = topo::make_tree(config_);
+  NodeId a_ = topo_.servers()[0];
+  NodeId b_ = topo_.servers()[2];
+};
+
+TEST_F(EcmpTest, AlwaysShortestLength) {
+  for (unsigned f = 0; f < 64; ++f) {
+    const Policy p = ecmp_policy(topo_, a_, b_, FlowId(f));
+    EXPECT_EQ(p.len(), 3u);
+    EXPECT_TRUE(p.satisfied(topo_, a_, b_));
+  }
+}
+
+TEST_F(EcmpTest, HashSpreadsAcrossEqualPaths) {
+  std::map<std::vector<NodeId>, int> counts;
+  for (unsigned f = 0; f < 256; ++f) {
+    ++counts[ecmp_policy(topo_, a_, b_, FlowId(f)).list];
+  }
+  EXPECT_EQ(counts.size(), 4u);  // all four cores used
+  for (const auto& [route, n] : counts) {
+    EXPECT_GT(n, 256 / 8);  // roughly balanced
+  }
+}
+
+TEST_F(EcmpTest, DeterministicPerFlowId) {
+  const Policy p1 = ecmp_policy(topo_, a_, b_, FlowId(9));
+  const Policy p2 = ecmp_policy(topo_, a_, b_, FlowId(9));
+  EXPECT_EQ(p1.list, p2.list);
+}
+
+TEST_F(EcmpTest, SinglePathTopologyDegenerates) {
+  const topo::Topology single = topo::make_case_study_tree();
+  const Policy p = ecmp_policy(single, single.servers()[0], single.servers()[3],
+                               FlowId(5));
+  EXPECT_EQ(p.len(), 3u);
+}
+
+TEST(TreeOversubscription, UplinksScaledDown) {
+  topo::TreeConfig config{2, 2, 1, 2, 16.0, 32.0};
+  config.uplink_bandwidth_factor = 0.25;
+  const topo::Topology t = topo::make_tree(config);
+  // Host link stays 16; access->core uplink is 4.
+  const NodeId host = t.servers()[0];
+  const NodeId access = t.graph().neighbors(host)[0].to;
+  EXPECT_DOUBLE_EQ(*t.graph().bandwidth(host, access), 16.0);
+  for (const topo::Edge& e : t.graph().neighbors(access)) {
+    if (t.is_switch(e.to)) {
+      EXPECT_DOUBLE_EQ(e.bandwidth, 4.0);
+    }
+  }
+  config.uplink_bandwidth_factor = 0.0;
+  EXPECT_THROW((void)topo::make_tree(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::net

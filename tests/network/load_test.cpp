@@ -1,0 +1,96 @@
+#include "network/load.h"
+
+#include <gtest/gtest.h>
+
+#include "network/routing.h"
+#include "topology/builders.h"
+
+namespace hit::net {
+namespace {
+
+class LoadTest : public ::testing::Test {
+ protected:
+  // Case-study tree: access switches capacity 64, root 128.
+  topo::Topology topo_ = topo::make_case_study_tree();
+  LoadTracker load_{topo_};
+  NodeId s1_ = topo_.servers()[0];
+  NodeId s4_ = topo_.servers()[3];
+  Policy cross_ = shortest_policy(topo_, s1_, s4_, FlowId(0));
+};
+
+TEST_F(LoadTest, AssignAndRemove) {
+  load_.assign(cross_, 10.0);
+  for (NodeId w : cross_.list) {
+    EXPECT_DOUBLE_EQ(load_.load(w), 10.0);
+  }
+  load_.remove(cross_, 10.0);
+  for (NodeId w : cross_.list) {
+    EXPECT_DOUBLE_EQ(load_.load(w), 0.0);
+  }
+}
+
+TEST_F(LoadTest, ResidualAndUtilization) {
+  load_.assign(cross_, 16.0);
+  const NodeId access = cross_.list[0];
+  EXPECT_DOUBLE_EQ(load_.residual(access), 64.0 - 16.0);
+  EXPECT_DOUBLE_EQ(load_.utilization(access), 0.25);
+}
+
+TEST_F(LoadTest, FeasibilityThresholds) {
+  EXPECT_TRUE(load_.feasible(cross_, 64.0));
+  EXPECT_FALSE(load_.feasible(cross_, 64.1));
+  load_.assign(cross_, 60.0);
+  EXPECT_TRUE(load_.feasible_switch(cross_.list[0], 4.0));
+  EXPECT_FALSE(load_.feasible_switch(cross_.list[0], 5.0));
+}
+
+TEST_F(LoadTest, OverloadedDetection) {
+  EXPECT_TRUE(load_.overloaded().empty());
+  load_.assign(cross_, 65.0);  // access switches hold 64
+  const auto over = load_.overloaded();
+  ASSERT_EQ(over.size(), 2u);  // both access switches; root holds 128
+  for (NodeId w : over) {
+    EXPECT_EQ(topo_.tier(w), topo::Tier::Access);
+  }
+}
+
+TEST_F(LoadTest, NegativeAndUnderflowErrors) {
+  EXPECT_THROW(load_.assign(cross_, -1.0), std::invalid_argument);
+  load_.assign(cross_, 5.0);
+  EXPECT_THROW(load_.remove(cross_, 10.0), std::logic_error);
+}
+
+TEST_F(LoadTest, ResetClears) {
+  load_.assign(cross_, 30.0);
+  load_.reset();
+  for (NodeId w : topo_.switches()) {
+    EXPECT_DOUBLE_EQ(load_.load(w), 0.0);
+  }
+}
+
+TEST_F(LoadTest, CandidatesFilterByResidual) {
+  // Redundant-core tree so substitution candidates exist.
+  topo::TreeConfig config;
+  config.depth = 2;
+  config.fanout = 2;
+  config.redundancy = 2;
+  config.hosts_per_access = 1;
+  const topo::Topology t = topo::make_tree(config);
+  LoadTracker load(t);
+  const NodeId a = t.servers()[0];
+  const NodeId b = t.servers()[1];
+  const Policy p = shortest_policy(t, a, b, FlowId(0));
+  ASSERT_EQ(p.len(), 3u);
+
+  auto cands = load.candidates(a, b, p, 1, 1.0);
+  ASSERT_EQ(cands.size(), 1u);  // the twin core
+
+  // Saturate the twin: it drops out.
+  Policy twin = p;
+  twin.list[1] = cands[0];
+  load.assign(twin, t.switch_capacity(cands[0]));
+  EXPECT_TRUE(load.candidates(a, b, p, 1, 1.0).empty());
+}
+
+}  // namespace
+}  // namespace hit::net

@@ -1,0 +1,86 @@
+#include "network/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.h"
+
+namespace hit::net {
+namespace {
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  topo::Topology topo_ = topo::make_case_study_tree();
+  NodeId s1_ = topo_.servers()[0];
+  NodeId s2_ = topo_.servers()[1];
+  NodeId s4_ = topo_.servers()[3];
+};
+
+TEST_F(PolicyTest, FromPathMirrorsSwitches) {
+  const topo::Path path = topo_.shortest_path(s1_, s4_);
+  const Policy p = policy_from_path(topo_, path, FlowId(1));
+  EXPECT_EQ(p.flow, FlowId(1));
+  ASSERT_EQ(p.len(), 3u);
+  EXPECT_EQ(p.type[0], topo::Tier::Access);
+  EXPECT_EQ(p.type[1], topo::Tier::Core);
+  EXPECT_EQ(p.type[2], topo::Tier::Access);
+}
+
+TEST_F(PolicyTest, SatisfiedForMatchingEndpoints) {
+  const Policy p =
+      policy_from_path(topo_, topo_.shortest_path(s1_, s4_), FlowId(1));
+  EXPECT_TRUE(p.satisfied(topo_, s1_, s4_));
+  // Same access pair also works in reverse direction for symmetric paths.
+  EXPECT_FALSE(p.satisfied(topo_, s4_, s2_));  // s4 not attached to list[0]
+}
+
+TEST_F(PolicyTest, UnsatisfiedWhenTypeWrong) {
+  Policy p = policy_from_path(topo_, topo_.shortest_path(s1_, s4_), FlowId(1));
+  p.type[1] = topo::Tier::Aggregation;  // actual switch is Core
+  EXPECT_FALSE(p.satisfied(topo_, s1_, s4_));
+}
+
+TEST_F(PolicyTest, UnsatisfiedWhenDisconnected) {
+  Policy p = policy_from_path(topo_, topo_.shortest_path(s1_, s4_), FlowId(1));
+  // Replace the middle (core) switch with the other access switch id but
+  // keep the type list: type check fails first; also test wrong order.
+  std::swap(p.list[0], p.list[2]);
+  EXPECT_FALSE(p.satisfied(topo_, s1_, s4_));
+}
+
+TEST_F(PolicyTest, EmptyPolicyNeverSatisfied) {
+  Policy p;
+  EXPECT_FALSE(p.satisfied(topo_, s1_, s4_));
+}
+
+TEST_F(PolicyTest, RealizeReconstructsFullPath) {
+  const topo::Path path = topo_.shortest_path(s1_, s4_);
+  const Policy p = policy_from_path(topo_, path, FlowId(1));
+  EXPECT_EQ(p.realize(topo_, s1_, s4_), path);
+  EXPECT_THROW((void)p.realize(topo_, s4_, s2_), std::invalid_argument);
+}
+
+TEST_F(PolicyTest, RealizeInsertsBCubeRelays) {
+  const topo::Topology bcube = topo::make_bcube(topo::BCubeConfig{4, 1});
+  const NodeId a = bcube.servers()[0];
+  const NodeId b = bcube.servers()[5];  // differs in both digits
+  const topo::Path path = bcube.shortest_path(a, b);
+  const Policy p = policy_from_path(bcube, path, FlowId(2));
+  ASSERT_EQ(p.len(), 2u);
+  EXPECT_TRUE(p.satisfied(bcube, a, b));
+  const topo::Path realized = p.realize(bcube, a, b);
+  EXPECT_EQ(realized.front(), a);
+  EXPECT_EQ(realized.back(), b);
+  EXPECT_EQ(realized.size(), 5u);  // a, sw, relay, sw, b
+}
+
+TEST_F(PolicyTest, ToStringNamesSwitches) {
+  const Policy p =
+      policy_from_path(topo_, topo_.shortest_path(s1_, s4_), FlowId(1));
+  const std::string s = p.to_string(topo_);
+  EXPECT_NE(s.find("access-left"), std::string::npos);
+  EXPECT_NE(s.find("root"), std::string::npos);
+  EXPECT_NE(s.find("access-right"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hit::net

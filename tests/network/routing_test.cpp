@@ -1,0 +1,87 @@
+#include "network/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/builders.h"
+
+namespace hit::net {
+namespace {
+
+class RoutingTest : public ::testing::Test {
+ protected:
+  topo::TreeConfig config_{2, 2, 3, 2, 16.0, 32.0};  // 3 core replicas
+  topo::Topology topo_ = topo::make_tree(config_);
+  NodeId a_ = topo_.servers()[0];
+  NodeId b_ = topo_.servers()[2];  // other access switch
+};
+
+TEST_F(RoutingTest, ShortestPolicyIsMinimal) {
+  const Policy p = shortest_policy(topo_, a_, b_, FlowId(1));
+  EXPECT_EQ(p.len(), 3u);
+  EXPECT_TRUE(p.satisfied(topo_, a_, b_));
+}
+
+TEST_F(RoutingTest, ShortestPolicyDeterministic) {
+  const Policy p1 = shortest_policy(topo_, a_, b_, FlowId(1));
+  const Policy p2 = shortest_policy(topo_, a_, b_, FlowId(1));
+  EXPECT_EQ(p1.list, p2.list);
+}
+
+TEST_F(RoutingTest, RandomPolicyAlwaysSatisfied) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Policy p = random_policy(topo_, a_, b_, FlowId(1), 4, rng);
+    EXPECT_TRUE(p.satisfied(topo_, a_, b_));
+  }
+}
+
+TEST_F(RoutingTest, RandomPolicyExploresAlternates) {
+  Rng rng(2);
+  std::set<std::vector<NodeId>> seen;
+  for (int i = 0; i < 60; ++i) {
+    seen.insert(random_policy(topo_, a_, b_, FlowId(1), 3, rng).list);
+  }
+  EXPECT_GE(seen.size(), 2u);  // three core replicas to choose from
+}
+
+TEST_F(RoutingTest, FeasiblePolicySkipsSaturatedRoutes) {
+  LoadTracker load(topo_);
+  const Policy shortest = shortest_policy(topo_, a_, b_, FlowId(1));
+  // Saturate only the core of the shortest route (a single-switch charge;
+  // charging the whole path would saturate the access switches that every
+  // alternate route shares).
+  Policy core_only;
+  core_only.list = {shortest.list[1]};
+  core_only.type = {topo::Tier::Core};
+  load.assign(core_only, topo_.switch_capacity(shortest.list[1]));
+
+  const auto alt = feasible_policy(topo_, load, a_, b_, FlowId(2), 1.0, 8);
+  ASSERT_TRUE(alt.has_value());
+  EXPECT_TRUE(alt->satisfied(topo_, a_, b_));
+  EXPECT_NE(alt->list[1], shortest.list[1]);
+}
+
+TEST_F(RoutingTest, FeasiblePolicyNulloptWhenAllSaturated) {
+  LoadTracker load(topo_);
+  // Saturate every core replica: all a-b routes cross some core.
+  for (NodeId w : topo_.switches()) {
+    if (topo_.tier(w) == topo::Tier::Core) {
+      Policy p;
+      p.list = {w};
+      p.type = {topo::Tier::Core};
+      load.assign(p, topo_.switch_capacity(w));
+    }
+  }
+  EXPECT_FALSE(feasible_policy(topo_, load, a_, b_, FlowId(2), 1.0, 8).has_value());
+}
+
+TEST_F(RoutingTest, SameEndpointYieldsEmptyPolicy) {
+  // Co-located endpoints shuffle through local disk: no switches traversed.
+  const Policy p = shortest_policy(topo_, a_, a_, FlowId(1));
+  EXPECT_EQ(p.len(), 0u);
+}
+
+}  // namespace
+}  // namespace hit::net

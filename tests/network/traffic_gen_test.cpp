@@ -1,0 +1,102 @@
+#include "network/traffic_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "network/routing.h"
+#include "topology/builders.h"
+
+namespace hit::net {
+namespace {
+
+class TrafficGenTest : public ::testing::Test {
+ protected:
+  topo::Topology topo_ = topo::make_case_study_tree();
+  LoadTracker load_{topo_};
+  NodeId s1_ = topo_.servers()[0];
+  NodeId s2_ = topo_.servers()[1];
+  NodeId s4_ = topo_.servers()[3];
+
+  Flow flow(double size = 1.0) {
+    Flow f;
+    f.id = FlowId(0);
+    f.size_gb = size;
+    f.rate = size;
+    return f;
+  }
+};
+
+TEST_F(TrafficGenTest, DelayScalesWithHops) {
+  const TrafficGenerator gen(topo_);
+  Rng rng(1);
+  const Policy near = shortest_policy(topo_, s1_, s2_, FlowId(0));
+  const Policy far = shortest_policy(topo_, s1_, s4_, FlowId(0));
+  const auto m_near = gen.measure(flow(), near, s1_, s2_, load_, rng);
+  const auto m_far = gen.measure(flow(), far, s1_, s4_, load_, rng);
+  EXPECT_EQ(m_near.route_hops, 1u);
+  EXPECT_EQ(m_far.route_hops, 3u);
+  // Idle network: ~29 us per switch.
+  EXPECT_NEAR(m_near.mean_delay_us, 29.0, 3.0);
+  EXPECT_NEAR(m_far.mean_delay_us, 87.0, 8.0);
+}
+
+TEST_F(TrafficGenTest, CongestionInflatesDelay) {
+  const TrafficGenerator gen(topo_);
+  const Policy far = shortest_policy(topo_, s1_, s4_, FlowId(0));
+  Rng rng1(2), rng2(2);
+  const auto idle = gen.measure(flow(), far, s1_, s4_, load_, rng1);
+  load_.assign(far, 48.0);  // 75% utilization on the access switches
+  const auto busy = gen.measure(flow(), far, s1_, s4_, load_, rng2);
+  EXPECT_GT(busy.mean_delay_us, idle.mean_delay_us * 1.3);
+}
+
+TEST_F(TrafficGenTest, P99AboveMean) {
+  const TrafficGenerator gen(topo_);
+  Rng rng(3);
+  const Policy far = shortest_policy(topo_, s1_, s4_, FlowId(0));
+  const auto m = gen.measure(flow(), far, s1_, s4_, load_, rng);
+  EXPECT_GE(m.p99_delay_us, m.mean_delay_us);
+}
+
+TEST_F(TrafficGenTest, RejectsUnsatisfiedPolicy) {
+  const TrafficGenerator gen(topo_);
+  Rng rng(4);
+  const Policy wrong = shortest_policy(topo_, s1_, s2_, FlowId(0));
+  EXPECT_THROW((void)gen.measure(flow(), wrong, s1_, s4_, load_, rng),
+               std::invalid_argument);
+}
+
+TEST_F(TrafficGenTest, ReportAverages) {
+  const TrafficGenerator gen(topo_);
+  Rng rng(5);
+  const Policy near = shortest_policy(topo_, s1_, s2_, FlowId(0));
+  const Policy far = shortest_policy(topo_, s1_, s4_, FlowId(1));
+  FlowSet flows{flow(), flow()};
+  flows[1].id = FlowId(1);
+  const auto report = gen.measure_all(flows, {near, far}, {s1_, s1_}, {s2_, s4_},
+                                      load_, rng);
+  EXPECT_DOUBLE_EQ(report.average_route_length(), 2.0);  // (1 + 3) / 2
+  EXPECT_GT(report.average_delay_us(), 29.0);
+  EXPECT_LT(report.average_delay_us(), 87.0 + 10.0);
+}
+
+TEST_F(TrafficGenTest, MeasureAllValidatesSizes) {
+  const TrafficGenerator gen(topo_);
+  Rng rng(6);
+  EXPECT_THROW((void)gen.measure_all({flow()}, {}, {}, {}, load_, rng),
+               std::invalid_argument);
+}
+
+TEST_F(TrafficGenTest, EmptyReportAveragesAreZero) {
+  TrafficReport report;
+  EXPECT_EQ(report.average_route_length(), 0.0);
+  EXPECT_EQ(report.average_delay_us(), 0.0);
+}
+
+TEST_F(TrafficGenTest, ConfigValidation) {
+  TrafficGenConfig config;
+  config.packets_per_flow = 0;
+  EXPECT_THROW((void)TrafficGenerator(topo_, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::net

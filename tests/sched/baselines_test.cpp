@@ -1,0 +1,128 @@
+// Behavioural tests for the individual baseline schedulers.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mapreduce/hdfs.h"
+#include "sched/capacity_scheduler.h"
+#include "sched/delay_scheduler.h"
+#include "sched/pna_scheduler.h"
+#include "sched/random_scheduler.h"
+#include "test_helpers.h"
+
+namespace hit::sched {
+namespace {
+
+TEST(CapacityScheduler, SpreadsForConcurrency) {
+  auto world = test::small_tree_world();  // 8 servers x 2 slots
+  test::ProblemFixture fixture(*world, 1, 6, 2, 4.0);  // 8 tasks
+  CapacityScheduler scheduler;
+  Rng rng(1);
+  const Assignment a = scheduler.schedule(fixture.problem, rng);
+  std::map<ServerId, int> per_server;
+  for (const auto& [task, server] : a.placement) ++per_server[server];
+  // Most-available-first puts one task per server before doubling up.
+  EXPECT_EQ(per_server.size(), 8u);
+  for (const auto& [server, n] : per_server) EXPECT_EQ(n, 1);
+}
+
+TEST(CapacityScheduler, IgnoresTopology) {
+  // Placement is a pure function of task order and capacities: shuffling the
+  // flow sizes must not change it.
+  auto world = test::small_tree_world();
+  test::ProblemFixture f1(*world, 2, 2, 2, 1.0);
+  test::ProblemFixture f2(*world, 2, 2, 2, 99.0);
+  CapacityScheduler scheduler;
+  Rng rng(2);
+  EXPECT_EQ(scheduler.schedule(f1.problem, rng).placement,
+            scheduler.schedule(f2.problem, rng).placement);
+}
+
+TEST(RandomScheduler, DifferentSeedsDifferentPlacements) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 3, 2, 4.0);
+  RandomScheduler scheduler;
+  Rng rng1(1), rng2(2);
+  const auto a = scheduler.schedule(fixture.problem, rng1).placement;
+  const auto b = scheduler.schedule(fixture.problem, rng2).placement;
+  EXPECT_NE(a, b);
+}
+
+TEST(DelayScheduler, MapsLandOnReplicas) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 1, 4, 2, 4.0);
+  Rng hdfs_rng(3);
+  const mr::BlockPlacement blocks(world->cluster, fixture.jobs, hdfs_rng, 3);
+  fixture.problem.blocks = &blocks;
+
+  DelayScheduler scheduler;
+  Rng rng(4);
+  const Assignment a = scheduler.schedule(fixture.problem, rng);
+  for (const TaskRef& t : fixture.problem.tasks) {
+    if (t.kind != cluster::TaskKind::Map) continue;
+    EXPECT_TRUE(blocks.local(t.id, a.placement.at(t.id)))
+        << "map not node-local on an idle cluster";
+  }
+}
+
+TEST(DelayScheduler, FallsBackWithoutBlocks) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 1, 4, 2, 4.0);
+  DelayScheduler scheduler;
+  Rng rng(5);
+  EXPECT_NO_THROW(validate_assignment(fixture.problem,
+                                      scheduler.schedule(fixture.problem, rng)));
+}
+
+TEST(PnaScheduler, ReducesGravitateTowardPlacedMaps) {
+  // All maps fixed on one rack: reduces should land close.
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 1, 2, 2, 16.0);
+  std::vector<TaskRef> open;
+  fixture.problem.base_usage.assign(world->cluster.size(), cluster::Resource{});
+  for (const TaskRef& t : fixture.problem.tasks) {
+    if (t.kind == cluster::TaskKind::Map) {
+      const ServerId host(t.id.value() % 2 == 0 ? 0u : 1u);  // same access switch
+      fixture.problem.fixed[t.id] = host;
+      fixture.problem.base_usage[host.index()] += t.demand;
+    } else {
+      open.push_back(t);
+    }
+  }
+  fixture.problem.tasks = open;
+
+  PnaScheduler scheduler;
+  HopMatrix hops(fixture.problem);
+  int near = 0, total = 0;
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const Assignment a = scheduler.schedule(fixture.problem, rng);
+    for (const auto& [task, server] : a.placement) {
+      ++total;
+      if (hops.hops(server, ServerId(0)) <= 1) ++near;
+    }
+  }
+  // Sharply better than the uniform baseline (2 of 8 servers are near:
+  // expect 25% under random placement).
+  EXPECT_GT(static_cast<double>(near) / total, 0.6);
+}
+
+TEST(PnaScheduler, UsesStaticSingleShortestPath) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 1, 2, 2, 4.0);
+  PnaScheduler scheduler;
+  Rng rng(6);
+  const Assignment a = scheduler.schedule(fixture.problem, rng);
+  for (const net::Flow& f : fixture.problem.flows) {
+    const ServerId src = a.host(fixture.problem, f.src_task);
+    const ServerId dst = a.host(fixture.problem, f.dst_task);
+    if (src == dst) continue;
+    const auto& policy = a.policies.at(f.id);
+    const topo::Path shortest = world->topology.shortest_path(
+        world->cluster.node_of(src), world->cluster.node_of(dst));
+    EXPECT_EQ(policy.list, world->topology.switch_list(shortest));
+  }
+}
+
+}  // namespace
+}  // namespace hit::sched

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/capacity_scheduler.h"
+#include "test_helpers.h"
+
+namespace hit::sched {
+namespace {
+
+TEST(CapacityEcmp, PoliciesValidAndPlacementUnchanged) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 4, 2, 8.0);
+  CapacityScheduler plain(false);
+  CapacityScheduler ecmp(true);
+  Rng rng1(1), rng2(1);
+  const Assignment a = plain.schedule(fixture.problem, rng1);
+  const Assignment b = ecmp.schedule(fixture.problem, rng2);
+  EXPECT_EQ(a.placement, b.placement);  // routing knob only
+  EXPECT_NO_THROW(validate_assignment(fixture.problem, b));
+  EXPECT_EQ(ecmp.name(), "Capacity+ECMP");
+}
+
+TEST(CapacityEcmp, SpreadsRoutesAcrossRedundantSwitches) {
+  // Redundancy-3 tree: ECMP should touch more distinct cores than the
+  // single-shortest-path baseline.
+  auto world = std::make_unique<test::World>(
+      topo::make_tree(topo::TreeConfig{2, 4, 3, 2}), cluster::Resource{2.0, 8.0});
+  test::ProblemFixture fixture(*world, 2, 5, 3, 12.0);
+  CapacityScheduler plain(false);
+  CapacityScheduler ecmp(true);
+  Rng rng1(2), rng2(2);
+
+  auto cores_used = [&](const Assignment& a) {
+    std::set<NodeId> cores;
+    for (const auto& [flow, policy] : a.policies) {
+      for (NodeId w : policy.list) {
+        if (world->topology.tier(w) == topo::Tier::Core) cores.insert(w);
+      }
+    }
+    return cores.size();
+  };
+
+  const std::size_t plain_cores = cores_used(plain.schedule(fixture.problem, rng1));
+  const std::size_t ecmp_cores = cores_used(ecmp.schedule(fixture.problem, rng2));
+  EXPECT_GT(ecmp_cores, plain_cores);
+  EXPECT_EQ(ecmp_cores, 3u);
+}
+
+TEST(CapacityEcmp, EcmpLengthsStayShortest) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 1, 4, 2, 8.0);
+  CapacityScheduler plain(false);
+  CapacityScheduler ecmp(true);
+  Rng rng1(3), rng2(3);
+  const Assignment a = plain.schedule(fixture.problem, rng1);
+  const Assignment b = ecmp.schedule(fixture.problem, rng2);
+  for (const auto& [flow, policy] : b.policies) {
+    EXPECT_EQ(policy.len(), a.policies.at(flow).len());
+  }
+}
+
+}  // namespace
+}  // namespace hit::sched

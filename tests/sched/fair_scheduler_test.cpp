@@ -1,0 +1,67 @@
+#include "sched/fair_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_helpers.h"
+
+namespace hit::sched {
+namespace {
+
+TEST(FairScheduler, ValidAssignment) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 3, 3, 1, 4.0);
+  FairScheduler scheduler;
+  Rng rng(1);
+  const Assignment a = scheduler.schedule(fixture.problem, rng);
+  EXPECT_NO_THROW(validate_assignment(fixture.problem, a));
+  EXPECT_EQ(scheduler.name(), "Fair");
+}
+
+TEST(FairScheduler, InterleavesJobs) {
+  // Two jobs, slots for only the first few tasks on the "best" servers:
+  // fair sharing places job B's first task before job A's third.
+  auto world = test::tiny_tree_world();  // 8 slots
+  test::ProblemFixture fixture(*world, 2, 3, 1, 4.0);  // 2 jobs x 4 tasks
+
+  FairScheduler scheduler;
+  Rng rng(2);
+  const Assignment a = scheduler.schedule(fixture.problem, rng);
+
+  // Count placed tasks per job: both jobs fully placed.
+  std::map<JobId, int> per_job;
+  for (const TaskRef& t : fixture.problem.tasks) {
+    ASSERT_TRUE(a.placement.count(t.id));
+    ++per_job[t.job];
+  }
+  EXPECT_EQ(per_job.size(), 2u);
+  for (const auto& [job, n] : per_job) EXPECT_EQ(n, 4);
+}
+
+TEST(FairScheduler, ThrowsWhenFull) {
+  auto world = test::tiny_tree_world();
+  test::ProblemFixture fixture(*world, 3, 3, 1, 4.0);  // 12 tasks > 8 slots
+  FairScheduler scheduler;
+  Rng rng(3);
+  EXPECT_THROW((void)scheduler.schedule(fixture.problem, rng), std::runtime_error);
+}
+
+TEST(FairScheduler, MapsPreferReplicas) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 1, 4, 1, 4.0);
+  Rng hdfs_rng(4);
+  const mr::BlockPlacement blocks(world->cluster, fixture.jobs, hdfs_rng, 3);
+  fixture.problem.blocks = &blocks;
+
+  FairScheduler scheduler;
+  Rng rng(5);
+  const Assignment a = scheduler.schedule(fixture.problem, rng);
+  for (const TaskRef& t : fixture.problem.tasks) {
+    if (t.kind != cluster::TaskKind::Map) continue;
+    EXPECT_TRUE(blocks.local(t.id, a.placement.at(t.id)));
+  }
+}
+
+}  // namespace
+}  // namespace hit::sched

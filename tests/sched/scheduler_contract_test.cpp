@@ -1,0 +1,142 @@
+// Contract tests every Scheduler implementation must satisfy, parameterized
+// over the full lineup (baselines + Hit).  These are the Eq. (3) feasibility
+// guarantees: every task placed, capacity respected, every placed flow gets
+// a satisfied policy — on multiple topology families, with fixed tasks and
+// non-trivial base usage.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "core/hit_scheduler.h"
+#include "sched/capacity_scheduler.h"
+#include "sched/delay_scheduler.h"
+#include "sched/fair_scheduler.h"
+#include "sched/pna_scheduler.h"
+#include "sched/random_scheduler.h"
+#include "test_helpers.h"
+
+namespace hit::sched {
+namespace {
+
+using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
+
+struct ContractCase {
+  std::string name;
+  SchedulerFactory make;
+};
+
+class SchedulerContract : public ::testing::TestWithParam<ContractCase> {};
+
+TEST_P(SchedulerContract, ProducesValidAssignmentOnTree) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 3, 2, 6.0);
+  auto scheduler = GetParam().make();
+  Rng rng(1);
+  const Assignment a = scheduler->schedule(fixture.problem, rng);
+  EXPECT_NO_THROW(validate_assignment(fixture.problem, a));
+}
+
+TEST_P(SchedulerContract, ProducesValidAssignmentOnBCube) {
+  auto world = std::make_unique<test::World>(
+      topo::make_bcube(topo::BCubeConfig{3, 1}), cluster::Resource{2.0, 8.0});
+  test::ProblemFixture fixture(*world, 2, 3, 2, 6.0);
+  auto scheduler = GetParam().make();
+  Rng rng(2);
+  const Assignment a = scheduler->schedule(fixture.problem, rng);
+  EXPECT_NO_THROW(validate_assignment(fixture.problem, a));
+}
+
+TEST_P(SchedulerContract, ProducesValidAssignmentOnVl2) {
+  auto world = std::make_unique<test::World>(
+      topo::make_vl2(topo::Vl2Config{2, 4, 4, 2}), cluster::Resource{2.0, 8.0});
+  test::ProblemFixture fixture(*world, 2, 2, 2, 4.0);
+  auto scheduler = GetParam().make();
+  Rng rng(3);
+  const Assignment a = scheduler->schedule(fixture.problem, rng);
+  EXPECT_NO_THROW(validate_assignment(fixture.problem, a));
+}
+
+TEST_P(SchedulerContract, RespectsBaseUsage) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 1, 3, 2, 4.0);
+  // Occupy one slot on every server: only one remains each.
+  fixture.problem.base_usage.assign(world->cluster.size(),
+                                    cluster::kDefaultContainerDemand);
+  auto scheduler = GetParam().make();
+  Rng rng(4);
+  const Assignment a = scheduler->schedule(fixture.problem, rng);
+  EXPECT_NO_THROW(validate_assignment(fixture.problem, a));
+}
+
+TEST_P(SchedulerContract, HandlesFixedPeers) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 1, 2, 2, 4.0);
+  // Fix the two map tasks on server 0 and only schedule the reduces.
+  std::vector<TaskRef> open;
+  fixture.problem.base_usage.assign(world->cluster.size(), cluster::Resource{});
+  for (const TaskRef& t : fixture.problem.tasks) {
+    if (t.kind == cluster::TaskKind::Map) {
+      fixture.problem.fixed[t.id] = ServerId(0);
+      fixture.problem.base_usage[0] += t.demand;
+    } else {
+      open.push_back(t);
+    }
+  }
+  fixture.problem.tasks = open;
+  auto scheduler = GetParam().make();
+  Rng rng(5);
+  const Assignment a = scheduler->schedule(fixture.problem, rng);
+  EXPECT_NO_THROW(validate_assignment(fixture.problem, a));
+  // Every flow touches a fixed map, so every flow must carry a policy.
+  for (const net::Flow& f : fixture.problem.flows) {
+    EXPECT_TRUE(a.policies.count(f.id)) << "flow " << f.id;
+  }
+}
+
+TEST_P(SchedulerContract, ThrowsWhenClusterFull) {
+  auto world = test::tiny_tree_world();  // 4 servers x 2 slots
+  test::ProblemFixture fixture(*world, 2, 4, 2, 4.0);  // 12 tasks > 8 slots
+  auto scheduler = GetParam().make();
+  Rng rng(6);
+  EXPECT_THROW((void)scheduler->schedule(fixture.problem, rng), std::runtime_error);
+}
+
+TEST_P(SchedulerContract, DeterministicForSameSeed) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 2, 2, 4.0);
+  auto scheduler = GetParam().make();
+  Rng rng1(7), rng2(7);
+  const Assignment a = scheduler->schedule(fixture.problem, rng1);
+  const Assignment b = scheduler->schedule(fixture.problem, rng2);
+  EXPECT_EQ(a.placement, b.placement);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, SchedulerContract,
+    ::testing::Values(
+        ContractCase{"Capacity",
+                     [] { return std::make_unique<CapacityScheduler>(); }},
+        ContractCase{"Pna", [] { return std::make_unique<PnaScheduler>(); }},
+        ContractCase{"Fair", [] { return std::make_unique<FairScheduler>(); }},
+        ContractCase{"Random", [] { return std::make_unique<RandomScheduler>(); }},
+        ContractCase{"Delay", [] { return std::make_unique<DelayScheduler>(); }},
+        ContractCase{"Hit", [] { return std::make_unique<core::HitScheduler>(); }},
+        ContractCase{"HitGreedy",
+                     [] {
+                       core::HitConfig config;
+                       config.use_stable_matching = false;
+                       return std::make_unique<core::HitScheduler>(config);
+                     }},
+        ContractCase{"HitNoPolicyOpt",
+                     [] {
+                       core::HitConfig config;
+                       config.optimize_policies = false;
+                       return std::make_unique<core::HitScheduler>(config);
+                     }}),
+    [](const ::testing::TestParamInfo<ContractCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace hit::sched

@@ -1,0 +1,103 @@
+// UsageLedger, validate_assignment, attach_shortest_policies, static_hops,
+// HopMatrix.
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+#include "test_helpers.h"
+
+namespace hit::sched {
+namespace {
+
+class HelpersTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::tiny_tree_world();
+  test::ProblemFixture fixture_{*world_, 1, 2, 2, 4.0};
+};
+
+TEST_F(HelpersTest, LedgerPlaceRemove) {
+  UsageLedger ledger(fixture_.problem);
+  const ServerId s(0);
+  EXPECT_TRUE(ledger.can_host(s, cluster::kDefaultContainerDemand));
+  ledger.place(s, cluster::kDefaultContainerDemand);
+  ledger.place(s, cluster::kDefaultContainerDemand);
+  EXPECT_FALSE(ledger.can_host(s, cluster::kDefaultContainerDemand));
+  EXPECT_THROW(ledger.place(s, cluster::kDefaultContainerDemand), std::logic_error);
+  ledger.remove(s, cluster::kDefaultContainerDemand);
+  EXPECT_TRUE(ledger.can_host(s, cluster::kDefaultContainerDemand));
+  EXPECT_THROW(ledger.remove(s, cluster::Resource{99.0, 99.0}), std::logic_error);
+}
+
+TEST_F(HelpersTest, LedgerHonorsBaseUsage) {
+  fixture_.problem.base_usage.assign(4, cluster::Resource{2.0, 8.0});  // all full
+  UsageLedger ledger(fixture_.problem);
+  EXPECT_TRUE(ledger.candidates(cluster::kDefaultContainerDemand).empty());
+}
+
+TEST_F(HelpersTest, LedgerCandidatesInIdOrder) {
+  UsageLedger ledger(fixture_.problem);
+  const auto cands = ledger.candidates(cluster::kDefaultContainerDemand);
+  ASSERT_EQ(cands.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(cands.begin(), cands.end()));
+}
+
+TEST_F(HelpersTest, ValidateCatchesUnplacedTask) {
+  Assignment empty;
+  EXPECT_THROW(validate_assignment(fixture_.problem, empty), std::logic_error);
+}
+
+TEST_F(HelpersTest, ValidateCatchesOverCapacity) {
+  Assignment a;
+  for (const TaskRef& t : fixture_.problem.tasks) {
+    a.placement[t.id] = ServerId(0);  // 4 tasks on a 2-slot server
+  }
+  attach_shortest_policies(fixture_.problem, a);
+  EXPECT_THROW(validate_assignment(fixture_.problem, a), std::logic_error);
+}
+
+TEST_F(HelpersTest, ValidateCatchesMissingPolicy) {
+  Assignment a;
+  std::size_t i = 0;
+  for (const TaskRef& t : fixture_.problem.tasks) {
+    a.placement[t.id] = ServerId(static_cast<ServerId::value_type>(i++ % 4));
+  }
+  EXPECT_THROW(validate_assignment(fixture_.problem, a), std::logic_error);
+}
+
+TEST_F(HelpersTest, AttachShortestCoversPlacedFlows) {
+  Assignment a;
+  std::size_t i = 0;
+  for (const TaskRef& t : fixture_.problem.tasks) {
+    a.placement[t.id] = ServerId(static_cast<ServerId::value_type>(i++ % 4));
+  }
+  attach_shortest_policies(fixture_.problem, a);
+  EXPECT_EQ(a.policies.size(), fixture_.problem.flows.size());
+  EXPECT_NO_THROW(validate_assignment(fixture_.problem, a));
+}
+
+TEST_F(HelpersTest, StaticHopsMatchesTopology) {
+  EXPECT_EQ(static_hops(fixture_.problem, ServerId(0), ServerId(0)), 0u);
+  EXPECT_EQ(static_hops(fixture_.problem, ServerId(0), ServerId(1)), 1u);
+  EXPECT_EQ(static_hops(fixture_.problem, ServerId(0), ServerId(3)), 3u);
+}
+
+TEST_F(HelpersTest, HopMatrixAgreesWithStaticHops) {
+  HopMatrix matrix(fixture_.problem);
+  for (unsigned a = 0; a < 4; ++a) {
+    for (unsigned b = 0; b < 4; ++b) {
+      EXPECT_EQ(matrix.hops(ServerId(a), ServerId(b)),
+                static_hops(fixture_.problem, ServerId(a), ServerId(b)));
+    }
+  }
+}
+
+TEST_F(HelpersTest, AssignmentHostFallsBackToFixed) {
+  fixture_.problem.fixed[TaskId(999)] = ServerId(2);
+  Assignment a;
+  a.placement[TaskId(1)] = ServerId(1);
+  EXPECT_EQ(a.host(fixture_.problem, TaskId(1)), ServerId(1));
+  EXPECT_EQ(a.host(fixture_.problem, TaskId(999)), ServerId(2));
+  EXPECT_FALSE(a.host(fixture_.problem, TaskId(12345)).valid());
+}
+
+}  // namespace
+}  // namespace hit::sched

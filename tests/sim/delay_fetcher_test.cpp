@@ -1,0 +1,53 @@
+#include "sim/delay_fetcher.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace hit::sim {
+namespace {
+
+class DelayFetcherTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::tiny_tree_world();  // links 16.0
+};
+
+TEST_F(DelayFetcherTest, FormulaMatchesPaper) {
+  // Delay = C(s_i, s_j) / B_ij = size x hops / bottleneck bandwidth.
+  const DelayFetcher f(world_->cluster);
+  EXPECT_DOUBLE_EQ(f.fetch_seconds(8.0, ServerId(0), ServerId(1)), 8.0 * 1 / 16.0);
+  EXPECT_DOUBLE_EQ(f.fetch_seconds(8.0, ServerId(0), ServerId(3)), 8.0 * 3 / 16.0);
+}
+
+TEST_F(DelayFetcherTest, LocalFetchFreeByDefault) {
+  const DelayFetcher f(world_->cluster);
+  EXPECT_DOUBLE_EQ(f.fetch_seconds(8.0, ServerId(0), ServerId(0)), 0.0);
+}
+
+TEST_F(DelayFetcherTest, LocalDiskModel) {
+  const DelayFetcher f(world_->cluster, 1.0, 4.0);
+  EXPECT_DOUBLE_EQ(f.fetch_seconds(8.0, ServerId(0), ServerId(0)), 2.0);
+}
+
+TEST_F(DelayFetcherTest, BandwidthScaleDividesThroughput) {
+  const DelayFetcher slow(world_->cluster, 0.5);
+  EXPECT_DOUBLE_EQ(slow.fetch_seconds(8.0, ServerId(0), ServerId(1)),
+                   8.0 * 1 / 8.0);
+  EXPECT_DOUBLE_EQ(slow.path_bandwidth(ServerId(0), ServerId(1)), 8.0);
+}
+
+TEST_F(DelayFetcherTest, ZeroSizeIsFree) {
+  const DelayFetcher f(world_->cluster);
+  EXPECT_DOUBLE_EQ(f.fetch_seconds(0.0, ServerId(0), ServerId(3)), 0.0);
+}
+
+TEST_F(DelayFetcherTest, Validation) {
+  EXPECT_THROW((void)DelayFetcher(world_->cluster, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)DelayFetcher(world_->cluster, 1.0, -1.0), std::invalid_argument);
+  const DelayFetcher f(world_->cluster);
+  EXPECT_THROW((void)f.fetch_seconds(-1.0, ServerId(0), ServerId(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::sim

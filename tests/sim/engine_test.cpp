@@ -1,0 +1,199 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hit_scheduler.h"
+#include "sched/capacity_scheduler.h"
+#include "sched/random_scheduler.h"
+#include "test_helpers.h"
+
+namespace hit::sim {
+namespace {
+
+std::vector<mr::Job> make_jobs(mr::IdAllocator& ids, std::size_t n,
+                               std::size_t maps, std::size_t reduces,
+                               double input_gb) {
+  mr::WorkloadConfig config;
+  config.max_maps_per_job = maps;
+  config.max_reduces_per_job = reduces;
+  config.block_size_gb = input_gb / static_cast<double>(maps);
+  config.reduce_ratio =
+      static_cast<double>(reduces) / static_cast<double>(maps);
+  const mr::WorkloadGenerator gen(config);
+  std::vector<mr::Job> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(gen.make_job(mr::profile("terasort"), input_gb, ids));
+  }
+  return jobs;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();  // 8x2 slots
+  sched::CapacityScheduler capacity_;
+};
+
+TEST_F(EngineTest, SingleJobCompletes) {
+  mr::IdAllocator ids;
+  const auto jobs = make_jobs(ids, 1, 4, 2, 8.0);
+  const ClusterSimulator sim(world_->cluster);
+  Rng rng(1);
+  const SimResult result = sim.run(capacity_, jobs, ids, rng);
+
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_GT(result.jobs[0].completion_time, 0.0);
+  EXPECT_EQ(result.tasks.size(), 6u);
+  EXPECT_EQ(result.flows.size(), 8u);
+  EXPECT_NEAR(result.total_shuffle_gb, 8.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.makespan, result.jobs[0].completion_time);
+}
+
+TEST_F(EngineTest, TimingsAreOrdered) {
+  mr::IdAllocator ids;
+  const auto jobs = make_jobs(ids, 2, 4, 2, 8.0);
+  const ClusterSimulator sim(world_->cluster);
+  Rng rng(2);
+  const SimResult result = sim.run(capacity_, jobs, ids, rng);
+
+  for (const TaskTiming& t : result.tasks) {
+    EXPECT_LE(t.start, t.finish);
+  }
+  for (const FlowTiming& f : result.flows) {
+    EXPECT_LE(f.release, f.finish + 1e-9);
+    EXPECT_GE(f.release, 0.0);
+  }
+}
+
+TEST_F(EngineTest, ReduceStartsAfterItsFlows) {
+  mr::IdAllocator ids;
+  const auto jobs = make_jobs(ids, 1, 4, 2, 8.0);
+  const ClusterSimulator sim(world_->cluster);
+  Rng rng(3);
+  const SimResult result = sim.run(capacity_, jobs, ids, rng);
+  double last_flow = 0.0;
+  for (const FlowTiming& f : result.flows) last_flow = std::max(last_flow, f.finish);
+  double last_reduce = 0.0;
+  for (const TaskTiming& t : result.tasks) {
+    if (t.kind == cluster::TaskKind::Reduce) {
+      EXPECT_GE(t.finish, t.start);
+      last_reduce = std::max(last_reduce, t.finish);
+    }
+  }
+  // The slowest reduce cannot finish before the last shuffle byte lands.
+  EXPECT_GE(last_reduce, last_flow - 1e-9);
+  EXPECT_DOUBLE_EQ(result.shuffle_finish_time, last_flow);
+}
+
+TEST_F(EngineTest, WaveDecompositionRunsMapsSerially) {
+  mr::IdAllocator ids;
+  // 8 servers x 2 slots = 16; 2 reduces leave 14 map slots; 20 maps => 2 waves.
+  const auto jobs = make_jobs(ids, 1, 20, 2, 20.0);
+  const ClusterSimulator sim(world_->cluster);
+  Rng rng(4);
+  const SimResult result = sim.run(capacity_, jobs, ids, rng);
+  // Some maps must start strictly after t=0 (second wave).
+  bool second_wave = false;
+  for (const TaskTiming& t : result.tasks) {
+    if (t.kind == cluster::TaskKind::Map && t.start > 0.0) second_wave = true;
+  }
+  EXPECT_TRUE(second_wave);
+}
+
+TEST_F(EngineTest, ThrowsWhenReducesExhaustSlots) {
+  mr::IdAllocator ids;
+  const auto jobs = make_jobs(ids, 8, 2, 2, 4.0);  // 16 reduces = all slots
+  const ClusterSimulator sim(world_->cluster);
+  Rng rng(5);
+  sched::CapacityScheduler scheduler;
+  EXPECT_THROW((void)sim.run(scheduler, jobs, ids, rng), std::runtime_error);
+}
+
+TEST_F(EngineTest, BandwidthScaleSlowsShuffle) {
+  mr::IdAllocator ids1, ids2;
+  const auto jobs1 = make_jobs(ids1, 2, 4, 2, 8.0);
+  const auto jobs2 = make_jobs(ids2, 2, 4, 2, 8.0);
+
+  SimConfig fast;
+  fast.bandwidth_scale = 1.0;
+  SimConfig slow;
+  slow.bandwidth_scale = 0.05;
+
+  Rng rng1(6), rng2(6);
+  const SimResult fast_result =
+      ClusterSimulator(world_->cluster, fast).run(capacity_, jobs1, ids1, rng1);
+  const SimResult slow_result =
+      ClusterSimulator(world_->cluster, slow).run(capacity_, jobs2, ids2, rng2);
+  EXPECT_GT(slow_result.makespan, fast_result.makespan);
+  EXPECT_GT(slow_result.average_flow_duration(),
+            fast_result.average_flow_duration());
+}
+
+TEST_F(EngineTest, DeterministicPerSeed) {
+  auto run_once = [&](std::uint64_t seed) {
+    mr::IdAllocator ids;
+    const auto jobs = make_jobs(ids, 2, 4, 2, 8.0);
+    const ClusterSimulator sim(world_->cluster);
+    Rng rng(seed);
+    return sim.run(capacity_, jobs, ids, rng);
+  };
+  const SimResult a = run_once(7);
+  const SimResult b = run_once(7);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_shuffle_cost, b.total_shuffle_cost);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].finish, b.flows[i].finish);
+  }
+}
+
+TEST_F(EngineTest, ConservationBytesAccounted) {
+  mr::IdAllocator ids;
+  const auto jobs = make_jobs(ids, 3, 4, 2, 6.0);
+  const ClusterSimulator sim(world_->cluster);
+  Rng rng(8);
+  const SimResult result = sim.run(capacity_, jobs, ids, rng);
+  double expected = 0.0;
+  for (const mr::Job& j : jobs) expected += j.shuffle_gb;
+  EXPECT_NEAR(result.total_shuffle_gb, expected, 1e-6);
+  double per_job = 0.0;
+  for (const JobResult& j : result.jobs) per_job += j.shuffle_gb;
+  EXPECT_NEAR(per_job, expected, 1e-6);
+}
+
+TEST_F(EngineTest, EmptyWorkload) {
+  mr::IdAllocator ids;
+  const ClusterSimulator sim(world_->cluster);
+  Rng rng(9);
+  const SimResult result = sim.run(capacity_, {}, ids, rng);
+  EXPECT_TRUE(result.jobs.empty());
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
+TEST_F(EngineTest, HitSchedulerRunsThroughWaves) {
+  mr::IdAllocator ids;
+  const auto jobs = make_jobs(ids, 2, 20, 2, 20.0);  // forces subsequent waves
+  const ClusterSimulator sim(world_->cluster);
+  core::HitScheduler hit;
+  Rng rng(10);
+  const SimResult result = sim.run(hit, jobs, ids, rng);
+  EXPECT_EQ(result.jobs.size(), 2u);
+  for (const JobResult& j : result.jobs) {
+    EXPECT_GT(j.completion_time, 0.0);
+  }
+}
+
+TEST_F(EngineTest, MetricsHelpers) {
+  mr::IdAllocator ids;
+  const auto jobs = make_jobs(ids, 2, 4, 2, 8.0);
+  const ClusterSimulator sim(world_->cluster);
+  Rng rng(11);
+  const SimResult result = sim.run(capacity_, jobs, ids, rng);
+  EXPECT_EQ(result.job_completion_times().size(), 2u);
+  EXPECT_EQ(result.task_durations(cluster::TaskKind::Map).size(), 8u);
+  EXPECT_EQ(result.task_durations(cluster::TaskKind::Reduce).size(), 4u);
+  EXPECT_GT(result.average_route_hops(), 0.0);
+  EXPECT_GT(result.shuffle_throughput(), 0.0);
+}
+
+}  // namespace
+}  // namespace hit::sim

@@ -1,0 +1,65 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hit::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, FifoAtEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule(1.0, [&] {
+    times.push_back(q.now());
+    q.schedule_in(0.5, [&] { times.push_back(q.now()); });
+  });
+  q.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule(2.0, [] {});
+  ASSERT_TRUE(q.step());
+  EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, StepOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, RunawayGuard) {
+  EventQueue q;
+  std::function<void()> loop = [&] { q.schedule_in(1.0, loop); };
+  q.schedule(0.0, loop);
+  EXPECT_THROW(q.run(100), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hit::sim

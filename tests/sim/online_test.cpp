@@ -1,0 +1,143 @@
+#include "sim/online.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hit_scheduler.h"
+#include "mapreduce/workload.h"
+#include "sched/capacity_scheduler.h"
+#include "test_helpers.h"
+
+namespace hit::sim {
+namespace {
+
+std::vector<mr::Job> sample_jobs(mr::IdAllocator& ids, std::size_t n,
+                                 std::uint64_t seed) {
+  mr::WorkloadConfig config;
+  config.num_jobs = n;
+  config.max_maps_per_job = 4;
+  config.max_reduces_per_job = 2;
+  config.block_size_gb = 4.0;
+  const mr::WorkloadGenerator gen(config);
+  Rng rng(seed);
+  return gen.generate(ids, rng);
+}
+
+class OnlineTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();  // 16 slots
+  sched::CapacityScheduler capacity_;
+};
+
+TEST_F(OnlineTest, AllJobsEventuallyFinish) {
+  mr::IdAllocator ids;
+  const auto jobs = sample_jobs(ids, 6, 1);
+  const OnlineSimulator sim(world_->cluster, OnlineConfig{0.05, {}, 0.0});
+  Rng rng(1);
+  const OnlineResult result = sim.run(capacity_, jobs, ids, rng);
+  ASSERT_EQ(result.jobs.size(), 6u);
+  for (const auto& j : result.jobs) {
+    EXPECT_GE(j.scheduled, j.arrival);
+    EXPECT_GT(j.finish, j.scheduled);
+  }
+}
+
+TEST_F(OnlineTest, ArrivalsAreOrdered) {
+  mr::IdAllocator ids;
+  const auto jobs = sample_jobs(ids, 5, 2);
+  const OnlineSimulator sim(world_->cluster, OnlineConfig{0.1, {}, 0.0});
+  Rng rng(2);
+  const OnlineResult result = sim.run(capacity_, jobs, ids, rng);
+  for (std::size_t i = 1; i < result.jobs.size(); ++i) {
+    EXPECT_GE(result.jobs[i].arrival, result.jobs[i - 1].arrival);
+  }
+}
+
+TEST_F(OnlineTest, HighArrivalRateCausesQueueing) {
+  mr::IdAllocator ids1, ids2;
+  const auto jobs1 = sample_jobs(ids1, 8, 3);
+  const auto jobs2 = sample_jobs(ids2, 8, 3);
+  Rng rng1(3), rng2(3);
+  // Nearly simultaneous arrivals vs widely spaced.
+  const OnlineResult burst =
+      OnlineSimulator(world_->cluster, OnlineConfig{100.0, {}, 0.0})
+          .run(capacity_, jobs1, ids1, rng1);
+  const OnlineResult sparse =
+      OnlineSimulator(world_->cluster, OnlineConfig{0.001, {}, 0.0})
+          .run(capacity_, jobs2, ids2, rng2);
+  double burst_wait = 0.0, sparse_wait = 0.0;
+  for (double w : burst.queueing_delays()) burst_wait += w;
+  for (double w : sparse.queueing_delays()) sparse_wait += w;
+  EXPECT_GT(burst_wait, sparse_wait);
+  EXPECT_NEAR(sparse_wait, 0.0, 1e-6);  // empty cluster on every arrival
+}
+
+TEST_F(OnlineTest, ContainersAreRecycled) {
+  // More total tasks than cluster slots, but arrivals spread out: only
+  // possible if finished jobs release their containers.
+  mr::IdAllocator ids;
+  const auto jobs = sample_jobs(ids, 10, 4);  // 10 x 6 tasks > 16 slots
+  const OnlineSimulator sim(world_->cluster, OnlineConfig{0.02, {}, 0.0});
+  Rng rng(4);
+  const OnlineResult result = sim.run(capacity_, jobs, ids, rng);
+  EXPECT_EQ(result.jobs.size(), 10u);
+}
+
+TEST_F(OnlineTest, JobLargerThanClusterThrows) {
+  mr::IdAllocator ids;
+  mr::WorkloadConfig config;
+  config.max_maps_per_job = 30;  // 30 maps + reduces > 16 slots
+  config.block_size_gb = 1.0;
+  const mr::WorkloadGenerator gen(config);
+  std::vector<mr::Job> jobs{gen.make_job(mr::profile("terasort"), 30.0, ids)};
+  const OnlineSimulator sim(world_->cluster, OnlineConfig{});
+  Rng rng(5);
+  EXPECT_THROW((void)sim.run(capacity_, jobs, ids, rng), std::runtime_error);
+}
+
+TEST_F(OnlineTest, DeterministicPerSeed) {
+  auto once = [&](std::uint64_t seed) {
+    mr::IdAllocator ids;
+    const auto jobs = sample_jobs(ids, 5, 6);
+    const OnlineSimulator sim(world_->cluster, OnlineConfig{0.05, {}, 0.0});
+    Rng rng(seed);
+    return sim.run(capacity_, jobs, ids, rng);
+  };
+  const OnlineResult a = once(9);
+  const OnlineResult b = once(9);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish, b.jobs[i].finish);
+  }
+}
+
+TEST_F(OnlineTest, HitSeesAmbientLoad) {
+  // Smoke: Hit schedules under co-tenant congestion without violating
+  // anything, and completes everything.
+  mr::IdAllocator ids;
+  const auto jobs = sample_jobs(ids, 8, 7);
+  OnlineConfig config;
+  config.arrival_rate = 0.2;
+  config.sim.bandwidth_scale = 0.1;
+  const OnlineSimulator sim(world_->cluster, config);
+  core::HitScheduler hit;
+  Rng rng(7);
+  const OnlineResult result = sim.run(hit, jobs, ids, rng);
+  EXPECT_EQ(result.jobs.size(), 8u);
+  EXPECT_GT(result.total_shuffle_gb, 0.0);
+}
+
+TEST_F(OnlineTest, InvalidConfigRejected) {
+  EXPECT_THROW((void)OnlineSimulator(world_->cluster, OnlineConfig{0.0, {}, 0.0}),
+               std::invalid_argument);
+}
+
+TEST_F(OnlineTest, EmptyWorkload) {
+  mr::IdAllocator ids;
+  const OnlineSimulator sim(world_->cluster, OnlineConfig{});
+  Rng rng(8);
+  const OnlineResult result = sim.run(capacity_, {}, ids, rng);
+  EXPECT_TRUE(result.jobs.empty());
+}
+
+}  // namespace
+}  // namespace hit::sim

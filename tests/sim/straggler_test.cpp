@@ -1,0 +1,90 @@
+// Straggler model: lognormal map-time jitter.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sched/capacity_scheduler.h"
+#include "sim/engine.h"
+#include "stats/summary.h"
+#include "test_helpers.h"
+
+namespace hit::sim {
+namespace {
+
+std::vector<mr::Job> jobs_for(mr::IdAllocator& ids) {
+  mr::WorkloadConfig config;
+  config.num_jobs = 3;
+  config.max_maps_per_job = 4;
+  config.max_reduces_per_job = 2;
+  config.block_size_gb = 4.0;
+  const mr::WorkloadGenerator gen(config);
+  Rng rng(1);
+  return gen.generate(ids, rng);
+}
+
+TEST(Straggler, ZeroSigmaIsDeterministicBaseline) {
+  auto world = test::small_tree_world();
+  sched::CapacityScheduler scheduler;
+  mr::IdAllocator ids1, ids2;
+  const auto j1 = jobs_for(ids1);
+  const auto j2 = jobs_for(ids2);
+  SimConfig plain;
+  SimConfig with_zero_jitter;
+  with_zero_jitter.map_time_jitter_sigma = 0.0;
+  Rng rng1(2), rng2(2);
+  const double a =
+      ClusterSimulator(world->cluster, plain).run(scheduler, j1, ids1, rng1).makespan;
+  const double b = ClusterSimulator(world->cluster, with_zero_jitter)
+                       .run(scheduler, j2, ids2, rng2)
+                       .makespan;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Straggler, JitterSpreadsMapDurations) {
+  auto world = test::small_tree_world();
+  sched::CapacityScheduler scheduler;
+
+  auto spread = [&](double sigma) {
+    mr::IdAllocator ids;
+    const auto jobs = jobs_for(ids);
+    SimConfig config;
+    config.map_time_jitter_sigma = sigma;
+    Rng rng(3);
+    const SimResult result =
+        ClusterSimulator(world->cluster, config).run(scheduler, jobs, ids, rng);
+    hit::stats::RunningSummary s;
+    for (double d : result.task_durations(cluster::TaskKind::Map)) s.add(d);
+    return s.stddev() / s.mean();  // coefficient of variation
+  };
+
+  EXPECT_GT(spread(0.5), spread(0.0) + 0.05);
+}
+
+TEST(Straggler, JitterIsSeedStableAndSchedulerIndependent) {
+  // The same (seed, task) pair must face the same straggler regardless of
+  // which scheduler runs — fairness of comparison.
+  auto world = test::small_tree_world();
+  SimConfig config;
+  config.map_time_jitter_sigma = 0.4;
+
+  auto run_with = [&](sched::Scheduler& s) {
+    mr::IdAllocator ids;
+    const auto jobs = jobs_for(ids);
+    Rng rng(4);
+    const SimResult result =
+        ClusterSimulator(world->cluster, config).run(s, jobs, ids, rng);
+    std::map<TaskId, double> durations;
+    for (const TaskTiming& t : result.tasks) {
+      if (t.kind == cluster::TaskKind::Map) durations[t.id] = t.duration();
+    }
+    return durations;
+  };
+
+  sched::CapacityScheduler capacity;
+  const auto a = run_with(capacity);
+  const auto b = run_with(capacity);
+  EXPECT_EQ(a, b);  // bit-identical across runs
+}
+
+}  // namespace
+}  // namespace hit::sim

@@ -1,0 +1,65 @@
+#include "stats/export.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+namespace hit::stats {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"name", "value", "count"});
+  csv.row({std::string("alpha"), 1.5, std::int64_t{3}});
+  EXPECT_EQ(out.str(), "name,value,count\nalpha,1.5,3\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(CsvWriter, EscapesSpecialFields) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, RowWidthEnforced) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  EXPECT_THROW(csv.row({std::string("only")}), std::invalid_argument);
+  EXPECT_THROW(CsvWriter(out, {}), std::invalid_argument);
+}
+
+TEST(CsvWriter, NonFiniteDoublesBlank) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"x"});
+  csv.row({std::numeric_limits<double>::infinity()});
+  EXPECT_EQ(out.str(), "x\n\n");
+}
+
+TEST(JsonLinesWriter, FlatRecords) {
+  std::ostringstream out;
+  JsonLinesWriter json(out);
+  json.record({{"scheduler", std::string("Hit")},
+               {"jct", 12.5},
+               {"jobs", std::int64_t{10}}});
+  EXPECT_EQ(out.str(), "{\"scheduler\":\"Hit\",\"jct\":12.5,\"jobs\":10}\n");
+  EXPECT_EQ(json.records_written(), 1u);
+}
+
+TEST(JsonLinesWriter, EscapesStrings) {
+  EXPECT_EQ(JsonLinesWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonLinesWriter::escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonLinesWriter::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonLinesWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonLinesWriter, NonFiniteDoublesNull) {
+  std::ostringstream out;
+  JsonLinesWriter json(out);
+  json.record({{"v", std::numeric_limits<double>::quiet_NaN()}});
+  EXPECT_EQ(out.str(), "{\"v\":null}\n");
+}
+
+}  // namespace
+}  // namespace hit::stats

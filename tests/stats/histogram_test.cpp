@@ -1,0 +1,63 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hit::stats {
+namespace {
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, Fractions) {
+  Histogram h(0.0, 4.0, 2);
+  EXPECT_EQ(h.fraction(0), 0.0);  // empty histogram
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  EXPECT_NEAR(h.fraction(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.fraction(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.1);
+  h.add(1.2);
+  const std::string art = h.ascii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::stats

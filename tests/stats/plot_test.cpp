@@ -1,0 +1,60 @@
+#include "stats/plot.h"
+
+#include <gtest/gtest.h>
+
+namespace hit::stats {
+namespace {
+
+TEST(AsciiChart, RendersSeriesMarkers) {
+  AsciiChart chart(30, 8);
+  chart.add_series("up", {{0.0, 0.0}, {1.0, 1.0}}, '*');
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("* = up"), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesCoexist) {
+  AsciiChart chart(30, 8);
+  chart.add_series("a", {{0.0, 0.0}, {1.0, 1.0}}, 'a');
+  chart.add_series("b", {{0.0, 1.0}, {1.0, 0.0}}, 'b');
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(AsciiChart, MonotoneCurveDescendsRows) {
+  // An increasing series must place its max marker above its min marker.
+  AsciiChart chart(20, 10);
+  chart.add_series("cdf", {{0.0, 0.0}, {0.5, 0.5}, {1.0, 1.0}}, '#');
+  const std::string out = chart.render();
+  const std::size_t first = out.find('#');
+  const std::size_t last = out.rfind('#');
+  // Row of first occurrence (top of output) corresponds to the HIGHEST y.
+  EXPECT_LT(first, last);
+}
+
+TEST(AsciiChart, AxisBoundsPrinted) {
+  AsciiChart chart(20, 6);
+  chart.add_series("s", {{2.0, 10.0}, {4.0, 30.0}}, 'x');
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("30"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+  EXPECT_NE(out.find("4"), std::string::npos);
+}
+
+TEST(AsciiChart, SinglePointAndDegenerateRanges) {
+  AsciiChart chart(20, 6);
+  chart.add_series("dot", {{1.0, 1.0}}, 'o');
+  EXPECT_NE(chart.render().find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, Validation) {
+  EXPECT_THROW(AsciiChart(2, 2), std::invalid_argument);
+  AsciiChart chart(20, 6);
+  EXPECT_THROW(chart.add_series("empty", {}, 'e'), std::invalid_argument);
+  EXPECT_EQ(AsciiChart(20, 6).render(), "(empty chart)\n");
+}
+
+}  // namespace
+}  // namespace hit::stats

@@ -1,0 +1,128 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hit::stats {
+namespace {
+
+TEST(RunningSummary, EmptyIsZero) {
+  RunningSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningSummary, SingleValue) {
+  RunningSummary s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningSummary, KnownMoments) {
+  RunningSummary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningSummary, MergeMatchesSequential) {
+  Rng rng(1);
+  RunningSummary all, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningSummary, MergeWithEmpty) {
+  RunningSummary a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, Basics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+}
+
+TEST(Percentile, SingleSampleAndErrors) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+  EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(MeanOf, EmptyAndNonEmpty) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 6.0}), 3.0);
+}
+
+TEST(Cdf, AtAndQuantile) {
+  const Cdf cdf({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+}
+
+TEST(Cdf, QuantileIsInverseOfAt) {
+  Rng rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(rng.uniform(0, 100));
+  const Cdf cdf(samples);
+  for (double q : {0.1, 0.3, 0.5, 0.8, 0.99}) {
+    EXPECT_GE(cdf.at(cdf.quantile(q)), q - 1e-12);
+  }
+}
+
+TEST(Cdf, SeriesIsMonotone) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 100; ++i) samples.push_back(rng.exponential(0.1));
+  const Cdf cdf(samples);
+  const auto series = cdf.series(20);
+  ASSERT_EQ(series.size(), 20u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].first, series[i - 1].first);
+    EXPECT_GT(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Cdf, EmptyBehaviour) {
+  const Cdf cdf(std::vector<double>{});
+  EXPECT_EQ(cdf.at(1.0), 0.0);
+  EXPECT_TRUE(cdf.series(5).empty());
+  EXPECT_THROW((void)cdf.quantile(0.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hit::stats

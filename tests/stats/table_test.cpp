@@ -1,0 +1,63 @@
+#include "stats/table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hit::stats {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha "), std::string::npos);
+  EXPECT_NE(out.find("| 22 "), std::string::npos);
+  // header + separator + 2 rows
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"x", "y"});
+  t.add_row({"longvalue", "1"});
+  const std::string out = t.render();
+  // Every line has the same length.
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, PctFormatting) {
+  EXPECT_EQ(Table::pct(0.28), "28.0%");
+  EXPECT_EQ(Table::pct(0.283, 0), "28%");
+  EXPECT_EQ(Table::pct(-0.05), "-5.0%");
+}
+
+}  // namespace
+}  // namespace hit::stats

@@ -1,0 +1,101 @@
+// Shared fixtures for the HitSched test suite: canned topologies, clusters
+// and scheduling problems small enough to reason about by hand (and to feed
+// the brute-force oracle).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "mapreduce/job.h"
+#include "mapreduce/shuffle.h"
+#include "mapreduce/workload.h"
+#include "network/flow.h"
+#include "sched/scheduler.h"
+#include "topology/builders.h"
+#include "util/rng.h"
+
+namespace hit::test {
+
+/// Topology + cluster that never move after construction (the cluster holds
+/// a pointer into the topology).
+struct World {
+  topo::Topology topology;
+  cluster::Cluster cluster;
+
+  World(topo::Topology t, cluster::Resource per_server)
+      : topology(std::move(t)), cluster(topology, per_server) {}
+  World(const World&) = delete;
+};
+
+inline std::unique_ptr<World> tiny_tree_world(
+    cluster::Resource per_server = cluster::Resource{2.0, 8.0}) {
+  return std::make_unique<World>(topo::make_case_study_tree(), per_server);
+}
+
+inline std::unique_ptr<World> small_tree_world(
+    cluster::Resource per_server = cluster::Resource{2.0, 8.0}) {
+  topo::TreeConfig config;
+  config.depth = 3;
+  config.fanout = 2;
+  config.redundancy = 2;
+  config.hosts_per_access = 2;
+  return std::make_unique<World>(topo::make_tree(config), per_server);
+}
+
+/// A hand-rolled two-job problem on the given world: each job has
+/// `maps` map tasks and `reduces` reduce tasks with an all-to-all shuffle of
+/// `shuffle_gb` per job.  Owns the jobs backing the Problem.
+struct ProblemFixture {
+  std::vector<mr::Job> jobs;
+  mr::IdAllocator ids;
+  sched::Problem problem;
+
+  ProblemFixture(const World& world, std::size_t num_jobs, std::size_t maps,
+                 std::size_t reduces, double shuffle_gb) {
+    problem.topology = &world.topology;
+    problem.cluster = &world.cluster;
+    for (std::size_t j = 0; j < num_jobs; ++j) {
+      mr::Job job;
+      job.id = ids.next_job();
+      job.benchmark = "synthetic";
+      job.cls = mr::JobClass::ShuffleHeavy;
+      job.input_gb = shuffle_gb;
+      job.shuffle_gb = shuffle_gb;
+      for (std::size_t m = 0; m < maps; ++m) {
+        mr::Task t;
+        t.id = ids.next_task();
+        t.job = job.id;
+        t.kind = cluster::TaskKind::Map;
+        t.index = m;
+        t.input_gb = shuffle_gb / static_cast<double>(maps);
+        t.compute_seconds = 1.0;
+        job.maps.push_back(t);
+      }
+      for (std::size_t r = 0; r < reduces; ++r) {
+        mr::Task t;
+        t.id = ids.next_task();
+        t.job = job.id;
+        t.kind = cluster::TaskKind::Reduce;
+        t.index = r;
+        t.input_gb = shuffle_gb / static_cast<double>(reduces);
+        t.compute_seconds = 1.0;
+        job.reduces.push_back(t);
+      }
+      jobs.push_back(std::move(job));
+    }
+    for (const mr::Job& job : jobs) {
+      for (const mr::Task& t : job.maps) {
+        problem.tasks.push_back(sched::TaskRef{
+            t.id, t.job, t.kind, cluster::kDefaultContainerDemand, t.input_gb});
+      }
+      for (const mr::Task& t : job.reduces) {
+        problem.tasks.push_back(sched::TaskRef{
+            t.id, t.job, t.kind, cluster::kDefaultContainerDemand, t.input_gb});
+      }
+    }
+    problem.flows = mr::build_shuffle_flows(jobs, ids);
+  }
+};
+
+}  // namespace hit::test

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "topology/builders.h"
+
+namespace hit::topo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Family-independent invariants, parameterized over all builders.
+// ---------------------------------------------------------------------------
+
+struct BuilderCase {
+  std::string name;
+  std::function<Topology()> build;
+  std::size_t expected_servers;
+  std::size_t expected_switches;
+};
+
+class BuilderInvariants : public ::testing::TestWithParam<BuilderCase> {};
+
+TEST_P(BuilderInvariants, CountsMatch) {
+  const Topology t = GetParam().build();
+  EXPECT_EQ(t.servers().size(), GetParam().expected_servers);
+  EXPECT_EQ(t.switches().size(), GetParam().expected_switches);
+}
+
+TEST_P(BuilderInvariants, ValidatesCleanly) {
+  EXPECT_NO_THROW(GetParam().build().validate());
+}
+
+TEST_P(BuilderInvariants, AllServerPairsRoutable) {
+  const Topology t = GetParam().build();
+  const auto servers = t.servers();
+  // Spot-check first/last/middle pairs instead of all O(n^2).
+  const NodeId a = servers.front();
+  const NodeId b = servers.back();
+  const NodeId c = servers[servers.size() / 2];
+  for (auto [x, y] : {std::pair{a, b}, {a, c}, {c, b}}) {
+    const Path p = t.shortest_path(x, y);
+    ASSERT_FALSE(p.empty());
+    EXPECT_GE(t.switch_hops(p), 1u);
+  }
+}
+
+TEST_P(BuilderInvariants, SwitchesHavePositiveCapacityAndNames) {
+  const Topology t = GetParam().build();
+  for (NodeId w : t.switches()) {
+    EXPECT_GT(t.switch_capacity(w), 0.0);
+    EXPECT_FALSE(t.info(w).name.empty());
+    EXPECT_NE(t.tier(w), Tier::Host);
+  }
+}
+
+TEST_P(BuilderInvariants, DeterministicConstruction) {
+  const Topology t1 = GetParam().build();
+  const Topology t2 = GetParam().build();
+  ASSERT_EQ(t1.node_count(), t2.node_count());
+  for (std::size_t i = 0; i < t1.node_count(); ++i) {
+    const NodeId n(static_cast<NodeId::value_type>(i));
+    EXPECT_EQ(t1.info(n).name, t2.info(n).name);
+    EXPECT_EQ(t1.info(n).tier, t2.info(n).tier);
+    EXPECT_EQ(t1.graph().neighbors(n).size(), t2.graph().neighbors(n).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, BuilderInvariants,
+    ::testing::Values(
+        // Paper's Mininet testbed shape: 64 hosts, 10 switches.
+        BuilderCase{"tree_testbed",
+                    [] {
+                      return make_tree(TreeConfig{2, 8, 2, 8, 16.0, 32.0});
+                    },
+                    64, 10},
+        BuilderCase{"tree_deep",
+                    [] {
+                      return make_tree(TreeConfig{3, 2, 2, 2, 16.0, 32.0});
+                    },
+                    8, 2 + 4 + 4},
+        // Fig. 9 scale: 512 hosts.
+        BuilderCase{"tree_large",
+                    [] {
+                      return make_tree(TreeConfig{3, 8, 2, 8, 16.0, 32.0});
+                    },
+                    512, 2 + 16 + 64},
+        BuilderCase{"fat_tree_k4",
+                    [] { return make_fat_tree(FatTreeConfig{4, 16.0, 32.0}); },
+                    16, 4 + 8 + 8},
+        BuilderCase{"fat_tree_k6",
+                    [] { return make_fat_tree(FatTreeConfig{6, 16.0, 32.0}); },
+                    54, 9 + 18 + 18},
+        BuilderCase{"vl2",
+                    [] { return make_vl2(Vl2Config{2, 4, 8, 4, 16.0, 32.0}); },
+                    32, 2 + 4 + 8},
+        BuilderCase{"bcube_n4_k1",
+                    [] { return make_bcube(BCubeConfig{4, 1, 16.0, 32.0}); },
+                    16, 8},
+        BuilderCase{"bcube_n4_k2",
+                    [] { return make_bcube(BCubeConfig{4, 2, 16.0, 32.0}); },
+                    64, 48},
+        BuilderCase{"case_study", [] { return make_case_study_tree(); }, 4, 3}),
+    [](const ::testing::TestParamInfo<BuilderCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Family-specific structure.
+// ---------------------------------------------------------------------------
+
+TEST(TreeBuilder, HopDiversityDepth3) {
+  const Topology t = make_tree(TreeConfig{3, 2, 1, 2, 16.0, 32.0});
+  const auto s = t.servers();
+  // Same access: 1 switch; same pod: 3; cross-core: 5.
+  EXPECT_EQ(t.switch_hops(t.shortest_path(s[0], s[1])), 1u);
+  EXPECT_EQ(t.switch_hops(t.shortest_path(s[0], s[2])), 3u);
+  EXPECT_EQ(t.switch_hops(t.shortest_path(s[0], s[7])), 5u);
+}
+
+TEST(TreeBuilder, RedundancyCreatesAlternateRoutes) {
+  const Topology t = make_tree(TreeConfig{2, 2, 3, 1, 16.0, 32.0});
+  const auto s = t.servers();
+  const auto paths = t.k_shortest_paths(s[0], s[1], 10);
+  // One route per core replica.
+  std::size_t shortest = 0;
+  for (const Path& p : paths) {
+    if (p.size() == paths[0].size()) ++shortest;
+  }
+  EXPECT_EQ(shortest, 3u);
+}
+
+TEST(TreeBuilder, UpperTiersHaveMoreCapacity) {
+  const Topology t = make_tree(TreeConfig{3, 2, 1, 2, 16.0, 32.0});
+  double core = 0.0, access = 0.0;
+  for (NodeId w : t.switches()) {
+    if (t.tier(w) == Tier::Core) core = t.switch_capacity(w);
+    if (t.tier(w) == Tier::Access) access = t.switch_capacity(w);
+  }
+  EXPECT_GT(core, access);
+}
+
+TEST(TreeBuilder, RejectsBadConfig) {
+  EXPECT_THROW((void)make_tree(TreeConfig{1, 2, 1, 1}), std::invalid_argument);
+  EXPECT_THROW((void)make_tree(TreeConfig{2, 0, 1, 1}), std::invalid_argument);
+  EXPECT_THROW((void)make_tree(TreeConfig{2, 2, 0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)make_tree(TreeConfig{2, 2, 1, 0}), std::invalid_argument);
+}
+
+TEST(FatTreeBuilder, StructureK4) {
+  const Topology t = make_fat_tree(FatTreeConfig{4, 16.0, 32.0});
+  std::size_t core = 0, agg = 0, edge = 0;
+  for (NodeId w : t.switches()) {
+    switch (t.tier(w)) {
+      case Tier::Core: ++core; break;
+      case Tier::Aggregation: ++agg; break;
+      case Tier::Access: ++edge; break;
+      default: FAIL();
+    }
+  }
+  EXPECT_EQ(core, 4u);
+  EXPECT_EQ(agg, 8u);
+  EXPECT_EQ(edge, 8u);
+  // Intra-pod pair: edge-agg-edge (3 switches).
+  const auto s = t.servers();
+  EXPECT_EQ(t.switch_hops(t.shortest_path(s[0], s[2])), 3u);
+}
+
+TEST(FatTreeBuilder, RejectsOddK) {
+  EXPECT_THROW((void)make_fat_tree(FatTreeConfig{3}), std::invalid_argument);
+  EXPECT_THROW((void)make_fat_tree(FatTreeConfig{0}), std::invalid_argument);
+}
+
+TEST(Vl2Builder, TorsAreDualHomed) {
+  const Topology t = make_vl2(Vl2Config{2, 4, 8, 2, 16.0, 32.0});
+  for (NodeId w : t.switches()) {
+    if (t.tier(w) != Tier::Access) continue;
+    std::size_t uplinks = 0;
+    for (const Edge& e : t.graph().neighbors(w)) {
+      if (t.tier(e.to) == Tier::Aggregation) ++uplinks;
+    }
+    EXPECT_EQ(uplinks, 2u);
+  }
+}
+
+TEST(Vl2Builder, AggregationFullyMeshedToCore) {
+  const Topology t = make_vl2(Vl2Config{3, 4, 4, 1, 16.0, 32.0});
+  for (NodeId w : t.switches()) {
+    if (t.tier(w) != Tier::Aggregation) continue;
+    std::size_t up = 0;
+    for (const Edge& e : t.graph().neighbors(w)) {
+      if (t.tier(e.to) == Tier::Core) ++up;
+    }
+    EXPECT_EQ(up, 3u);
+  }
+}
+
+TEST(Vl2Builder, RejectsBadConfig) {
+  EXPECT_THROW((void)make_vl2(Vl2Config{0, 4, 4, 1}), std::invalid_argument);
+  EXPECT_THROW((void)make_vl2(Vl2Config{2, 1, 4, 1}), std::invalid_argument);
+}
+
+TEST(BCubeBuilder, ServerDegreeIsLevels) {
+  const Topology t = make_bcube(BCubeConfig{4, 1, 16.0, 32.0});
+  for (NodeId s : t.servers()) {
+    EXPECT_EQ(t.graph().neighbors(s).size(), 2u);  // k+1 = 2 levels
+  }
+}
+
+TEST(BCubeBuilder, SwitchConnectsNServers) {
+  const Topology t = make_bcube(BCubeConfig{3, 1, 16.0, 32.0});
+  for (NodeId w : t.switches()) {
+    EXPECT_EQ(t.graph().neighbors(w).size(), 3u);
+  }
+}
+
+TEST(BCubeBuilder, OneSwitchBetweenLevelZeroNeighbors) {
+  const Topology t = make_bcube(BCubeConfig{4, 1, 16.0, 32.0});
+  const auto s = t.servers();
+  // Servers 0 and 1 share a level-0 switch: one switch on the path.
+  EXPECT_EQ(t.switch_hops(t.shortest_path(s[0], s[1])), 1u);
+  // Servers 0 and 5 (digits differ in both positions) need a relay server.
+  const Path p = t.shortest_path(s[0], s[5]);
+  EXPECT_EQ(t.switch_hops(p), 2u);
+  std::size_t relay_servers = 0;
+  for (NodeId n : p) {
+    if (t.is_server(n)) ++relay_servers;
+  }
+  EXPECT_EQ(relay_servers, 3u);  // endpoints + one relay
+}
+
+TEST(BCubeBuilder, RejectsTinyN) {
+  EXPECT_THROW((void)make_bcube(BCubeConfig{1, 1}), std::invalid_argument);
+}
+
+TEST(CaseStudyTree, MatchesPaperDistances) {
+  const Topology t = make_case_study_tree();
+  const auto s = t.servers();
+  ASSERT_EQ(s.size(), 4u);
+  // S1-S2 share the access switch (1), S1-S4 cross the root (3): the pair of
+  // distances that makes the paper's 112 -> 64 GB*T arithmetic exact.
+  EXPECT_EQ(t.switch_hops(t.shortest_path(s[0], s[1])), 1u);
+  EXPECT_EQ(t.switch_hops(t.shortest_path(s[0], s[3])), 3u);
+  EXPECT_EQ(t.switch_hops(t.shortest_path(s[2], s[3])), 1u);
+}
+
+}  // namespace
+}  // namespace hit::topo

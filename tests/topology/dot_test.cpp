@@ -1,0 +1,64 @@
+#include "topology/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.h"
+
+namespace hit::topo {
+namespace {
+
+TEST(Dot, ContainsAllNodesAndEdges) {
+  const Topology t = make_case_study_tree();
+  const std::string dot = to_dot(t);
+  EXPECT_NE(dot.find("graph \"topology\""), std::string::npos);
+  for (NodeId n(0); n.index() < t.node_count(); n = NodeId(n.value() + 1)) {
+    EXPECT_NE(dot.find("n" + std::to_string(n.value())), std::string::npos);
+  }
+  // 6 undirected edges for the case-study tree (2 switch links + 4 hosts).
+  std::size_t edges = 0;
+  for (std::size_t pos = dot.find(" -- "); pos != std::string::npos;
+       pos = dot.find(" -- ", pos + 1)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, t.graph().edge_count());
+}
+
+TEST(Dot, ServersOptional) {
+  const Topology t = make_case_study_tree();
+  DotOptions options;
+  options.include_servers = false;
+  const std::string dot = to_dot(t, options);
+  EXPECT_EQ(dot.find("\"S1\""), std::string::npos);
+  EXPECT_NE(dot.find("root"), std::string::npos);
+}
+
+TEST(Dot, HighlightsPaths) {
+  const Topology t = make_case_study_tree();
+  DotOptions options;
+  options.highlighted_paths = {t.shortest_path(t.servers()[0], t.servers()[3])};
+  const std::string dot = to_dot(t, options);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  // Exactly path-length-1 highlighted edges.
+  std::size_t reds = 0;
+  for (std::size_t pos = dot.find("color=red"); pos != std::string::npos;
+       pos = dot.find("color=red", pos + 1)) {
+    ++reds;
+  }
+  EXPECT_EQ(reds, options.highlighted_paths[0].size() - 1);
+}
+
+TEST(Dot, GraphNameConfigurable) {
+  const Topology t = make_case_study_tree();
+  DotOptions options;
+  options.graph_name = "my-dc";
+  EXPECT_NE(to_dot(t, options).find("graph \"my-dc\""), std::string::npos);
+}
+
+TEST(Dot, WorksOnEveryFamily) {
+  EXPECT_FALSE(to_dot(make_fat_tree(FatTreeConfig{4})).empty());
+  EXPECT_FALSE(to_dot(make_vl2(Vl2Config{2, 4, 4, 2})).empty());
+  EXPECT_FALSE(to_dot(make_bcube(BCubeConfig{3, 1})).empty());
+}
+
+}  // namespace
+}  // namespace hit::topo

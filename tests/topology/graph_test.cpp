@@ -1,0 +1,161 @@
+#include "topology/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hit::topo {
+namespace {
+
+/// 0-1-2-3 path plus a 1-4-2 detour.
+Graph diamond() {
+  Graph g;
+  for (int i = 0; i < 5; ++i) (void)g.add_node();
+  g.add_edge(NodeId(0), NodeId(1), 1.0);
+  g.add_edge(NodeId(1), NodeId(2), 1.0);
+  g.add_edge(NodeId(2), NodeId(3), 1.0);
+  g.add_edge(NodeId(1), NodeId(4), 1.0);
+  g.add_edge(NodeId(4), NodeId(2), 1.0);
+  return g;
+}
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  EXPECT_EQ(g.node_count(), 2u);
+  g.add_edge(a, b, 10.0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.adjacent(a, b));
+  EXPECT_TRUE(g.adjacent(b, a));
+  EXPECT_EQ(g.bandwidth(a, b), 10.0);
+}
+
+TEST(Graph, RejectsBadEdges) {
+  Graph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  EXPECT_THROW(g.add_edge(a, a, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, b, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, b, -2.0), std::invalid_argument);
+  g.add_edge(a, b, 1.0);
+  EXPECT_THROW(g.add_edge(a, b, 1.0), std::invalid_argument);  // duplicate
+  EXPECT_THROW(g.add_edge(a, NodeId(99), 1.0), std::out_of_range);
+}
+
+TEST(Graph, NeighborsSortedById) {
+  Graph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  const NodeId d = g.add_node();
+  g.add_edge(a, d, 1.0);
+  g.add_edge(a, b, 1.0);
+  g.add_edge(a, c, 1.0);
+  const auto& n = g.neighbors(a);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+}
+
+TEST(Graph, ShortestPathBasics) {
+  const Graph g = diamond();
+  const Path p = g.shortest_path(NodeId(0), NodeId(3));
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.front(), NodeId(0));
+  EXPECT_EQ(p.back(), NodeId(3));
+  EXPECT_EQ(p[1], NodeId(1));
+  EXPECT_EQ(p[2], NodeId(2));  // lexicographically smaller than the 4-detour
+}
+
+TEST(Graph, ShortestPathSelfAndUnreachable) {
+  Graph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  EXPECT_EQ(g.shortest_path(a, a), Path{a});
+  EXPECT_TRUE(g.shortest_path(a, b).empty());
+  EXPECT_EQ(g.distance(a, b), std::nullopt);
+  EXPECT_EQ(g.distance(a, a), 0u);
+}
+
+TEST(Graph, DistanceCountsEdges) {
+  const Graph g = diamond();
+  EXPECT_EQ(g.distance(NodeId(0), NodeId(3)), 3u);
+  EXPECT_EQ(g.distance(NodeId(1), NodeId(2)), 1u);
+}
+
+TEST(Graph, KShortestPathsFindsAlternates) {
+  const Graph g = diamond();
+  const auto paths = g.k_shortest_paths(NodeId(0), NodeId(3), 5);
+  ASSERT_EQ(paths.size(), 2u);  // only two loop-free routes exist
+  EXPECT_EQ(paths[0].size(), 4u);
+  EXPECT_EQ(paths[1].size(), 5u);  // via node 4
+  EXPECT_EQ(paths[1][2], NodeId(4));
+}
+
+TEST(Graph, KShortestPathsAreDistinctAndOrdered) {
+  // 2x3 grid: several equal-length routes.
+  Graph g;
+  for (int i = 0; i < 6; ++i) (void)g.add_node();
+  auto id = [](int r, int c) { return NodeId(static_cast<unsigned>(r * 3 + c)); };
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      if (c + 1 < 3) g.add_edge(id(r, c), id(r, c + 1), 1.0);
+      if (r + 1 < 2) g.add_edge(id(r, c), id(r + 1, c), 1.0);
+    }
+  }
+  const auto paths = g.k_shortest_paths(id(0, 0), id(1, 2), 10);
+  ASSERT_GE(paths.size(), 3u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].size(), paths[i - 1].size());  // ordered by length
+    EXPECT_NE(paths[i], paths[i - 1]);                // distinct
+  }
+  // All paths loop-free.
+  for (const Path& p : paths) {
+    Path sorted = p;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST(Graph, KShortestPathsEdgeCases) {
+  const Graph g = diamond();
+  EXPECT_TRUE(g.k_shortest_paths(NodeId(0), NodeId(3), 0).empty());
+  const auto one = g.k_shortest_paths(NodeId(0), NodeId(3), 1);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(Graph, Connectivity) {
+  Graph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  EXPECT_FALSE(g.connected());
+  g.add_edge(a, b, 1.0);
+  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(Graph{}.connected());
+}
+
+TEST(Graph, WeightedDistancesZeroOne) {
+  const Graph g = diamond();
+  // Charge 1 for entering nodes 1 and 2, 0 elsewhere.
+  std::vector<std::size_t> w(g.node_count(), 0);
+  w[1] = 1;
+  w[2] = 1;
+  const auto dist = g.weighted_distances(NodeId(0), w);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[4], 1u);  // 0-1(1)-4(0)
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], 2u);
+}
+
+TEST(Graph, WeightedDistancesUnreachable) {
+  Graph g;
+  (void)g.add_node();
+  (void)g.add_node();
+  const auto dist = g.weighted_distances(NodeId(0), {0, 0});
+  EXPECT_EQ(dist[1], static_cast<std::size_t>(-1));
+  EXPECT_THROW((void)g.weighted_distances(NodeId(0), {0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::topo

@@ -1,0 +1,124 @@
+#include "topology/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.h"
+
+namespace hit::topo {
+namespace {
+
+Topology mini() {
+  // Two access switches under a core, two servers each.
+  Topology t(Family::Custom);
+  const NodeId core = t.add_switch(Tier::Core, 100.0, "core");
+  const NodeId a1 = t.add_switch(Tier::Access, 50.0, "a1");
+  const NodeId a2 = t.add_switch(Tier::Access, 50.0, "a2");
+  t.add_link(a1, core, 10.0);
+  t.add_link(a2, core, 10.0);
+  for (int i = 0; i < 4; ++i) {
+    const NodeId s = t.add_server("s" + std::to_string(i));
+    t.add_link(s, i < 2 ? a1 : a2, 10.0);
+  }
+  return t;
+}
+
+TEST(Topology, NodeAccounting) {
+  const Topology t = mini();
+  EXPECT_EQ(t.node_count(), 7u);
+  EXPECT_EQ(t.servers().size(), 4u);
+  EXPECT_EQ(t.switches().size(), 3u);
+  EXPECT_TRUE(t.is_switch(t.switches()[0]));
+  EXPECT_TRUE(t.is_server(t.servers()[0]));
+  EXPECT_EQ(t.tier(t.servers()[0]), Tier::Host);
+}
+
+TEST(Topology, SwitchProperties) {
+  const Topology t = mini();
+  EXPECT_EQ(t.tier(NodeId(0)), Tier::Core);
+  EXPECT_EQ(t.switch_capacity(NodeId(0)), 100.0);
+  EXPECT_EQ(t.info(NodeId(1)).name, "a1");
+}
+
+TEST(Topology, RejectsInvalidConstruction) {
+  Topology t;
+  EXPECT_THROW((void)t.add_switch(Tier::Host, 10.0, "x"), std::invalid_argument);
+  EXPECT_THROW((void)t.add_switch(Tier::Core, 0.0, "x"), std::invalid_argument);
+  EXPECT_THROW((void)t.info(NodeId(5)), std::out_of_range);
+}
+
+TEST(Topology, SwitchHopsAndList) {
+  const Topology t = mini();
+  const auto servers = t.servers();
+  // s0 -> s1: shared access switch.
+  const Path near = t.shortest_path(servers[0], servers[1]);
+  EXPECT_EQ(t.switch_hops(near), 1u);
+  // s0 -> s2: access, core, access.
+  const Path far = t.shortest_path(servers[0], servers[2]);
+  EXPECT_EQ(t.switch_hops(far), 3u);
+  const auto switches = t.switch_list(far);
+  ASSERT_EQ(switches.size(), 3u);
+  const auto sig = t.tier_signature(switches);
+  EXPECT_EQ(sig, (std::vector<Tier>{Tier::Access, Tier::Core, Tier::Access}));
+}
+
+TEST(Topology, SwitchHopDistances) {
+  const Topology t = mini();
+  const auto servers = t.servers();
+  const auto dist = t.switch_hop_distances(servers[0]);
+  EXPECT_EQ(dist[servers[0].index()], 0u);
+  EXPECT_EQ(dist[servers[1].index()], 1u);
+  EXPECT_EQ(dist[servers[2].index()], 3u);
+  EXPECT_EQ(dist[servers[3].index()], 3u);
+}
+
+TEST(Topology, SubstitutionCandidatesRequireTierAndWiring) {
+  // Core redundancy 2: the core on a path can swap for its twin.
+  TreeConfig config;
+  config.depth = 2;
+  config.fanout = 2;
+  config.redundancy = 2;
+  config.hosts_per_access = 1;
+  const Topology t = make_tree(config);
+  const auto servers = t.servers();
+  const Path p = t.shortest_path(servers[0], servers[1]);
+  const auto switches = t.switch_list(p);
+  ASSERT_EQ(switches.size(), 3u);  // access, core, access
+  const auto cands = t.substitution_candidates(servers[0], servers[1], switches, 1);
+  ASSERT_EQ(cands.size(), 1u);  // the other core replica
+  EXPECT_EQ(t.tier(cands[0]), Tier::Core);
+  EXPECT_NE(cands[0], switches[1]);
+  // End access switches have no same-tier substitute wired to the server.
+  EXPECT_TRUE(t.substitution_candidates(servers[0], servers[1], switches, 0).empty());
+  EXPECT_THROW(
+      (void)t.substitution_candidates(servers[0], servers[1], switches, 3),
+      std::out_of_range);
+}
+
+TEST(Topology, ValidateAcceptsMiniAndRejectsBroken) {
+  EXPECT_NO_THROW(mini().validate());
+
+  Topology lonely(Family::Custom);
+  (void)lonely.add_server("s");
+  EXPECT_THROW(lonely.validate(), std::logic_error);  // no switches
+
+  Topology disconnected(Family::Custom);
+  const NodeId w1 = disconnected.add_switch(Tier::Access, 1.0, "w1");
+  const NodeId w2 = disconnected.add_switch(Tier::Access, 1.0, "w2");
+  const NodeId s1 = disconnected.add_server("s1");
+  const NodeId s2 = disconnected.add_server("s2");
+  disconnected.add_link(s1, w1, 1.0);
+  disconnected.add_link(s2, w2, 1.0);
+  EXPECT_THROW(disconnected.validate(), std::logic_error);
+}
+
+TEST(Topology, TierAndFamilyNames) {
+  EXPECT_EQ(tier_name(Tier::Access), "access");
+  EXPECT_EQ(tier_name(Tier::Aggregation), "aggregation");
+  EXPECT_EQ(tier_name(Tier::Core), "core");
+  EXPECT_EQ(tier_name(Tier::Host), "host");
+  EXPECT_EQ(family_name(Family::Tree), "Tree");
+  EXPECT_EQ(family_name(Family::BCube), "BCube");
+}
+
+}  // namespace
+}  // namespace hit::topo

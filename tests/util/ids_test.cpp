@@ -1,0 +1,54 @@
+#include "util/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace hit {
+namespace {
+
+TEST(Ids, DefaultConstructedIsInvalid) {
+  ServerId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), ServerId::kInvalid);
+}
+
+TEST(Ids, ExplicitValueIsValid) {
+  ServerId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+  EXPECT_EQ(id.index(), 7u);
+}
+
+TEST(Ids, EqualityAndOrdering) {
+  TaskId a(1), b(2), c(1);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LE(a, c);
+  EXPECT_GE(c, a);
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<ServerId, TaskId>);
+  static_assert(!std::is_same_v<FlowId, PolicyId>);
+}
+
+TEST(Ids, HashWorksInUnorderedContainers) {
+  std::unordered_set<JobId> set;
+  set.insert(JobId(1));
+  set.insert(JobId(2));
+  set.insert(JobId(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Ids, StreamOutput) {
+  std::ostringstream os;
+  os << FlowId(3) << " " << FlowId();
+  EXPECT_EQ(os.str(), "3 <invalid>");
+}
+
+}  // namespace
+}  // namespace hit

@@ -1,0 +1,68 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace hit::log {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = threshold(); }
+  void TearDown() override { set_level(saved_); }
+  Level saved_ = Level::Warn;
+
+  /// Capture stderr around `fn`.
+  template <typename F>
+  std::string capture(F&& fn) {
+    testing::internal::CaptureStderr();
+    fn();
+    return testing::internal::GetCapturedStderr();
+  }
+};
+
+TEST_F(LoggingTest, DefaultThresholdSuppressesInfo) {
+  set_level(Level::Warn);
+  const std::string out = capture([] { HIT_LOG_INFO() << "quiet"; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LoggingTest, WarnAndAboveEmit) {
+  set_level(Level::Warn);
+  const std::string out = capture([] {
+    HIT_LOG_WARN() << "w" << 1;
+    HIT_LOG_ERROR() << "e" << 2;
+  });
+  EXPECT_NE(out.find("WARN  w1"), std::string::npos);
+  EXPECT_NE(out.find("ERROR e2"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LoweringThresholdEnablesDebug) {
+  set_level(Level::Trace);
+  const std::string out = capture([] {
+    HIT_LOG_TRACE() << "t";
+    HIT_LOG_DEBUG() << "d";
+  });
+  EXPECT_NE(out.find("TRACE t"), std::string::npos);
+  EXPECT_NE(out.find("DEBUG d"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_level(Level::Off);
+  const std::string out = capture([] { HIT_LOG_ERROR() << "nope"; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LoggingTest, TagPrefixesLine) {
+  set_level(Level::Info);
+  const std::string out =
+      capture([] { Log(Level::Info, "sched") << "placed"; });
+  EXPECT_NE(out.find("[sched] placed"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_EQ(name(Level::Trace), "TRACE");
+  EXPECT_EQ(name(Level::Error), "ERROR");
+}
+
+}  // namespace
+}  // namespace hit::log

@@ -1,0 +1,133 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace hit {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsIndependentOfConsumption) {
+  Rng a(42);
+  Rng b(42);
+  (void)b.uniform(0, 1);  // consume from b only
+  EXPECT_EQ(a.fork(7).seed(), b.fork(7).seed());
+}
+
+TEST(Rng, ForkSaltsDiffer) {
+  Rng a(42);
+  EXPECT_NE(a.fork(1).seed(), a.fork(2).seed());
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.uniform_int(9, 9), 9);
+  EXPECT_THROW((void)rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_index(7), 7u);
+  }
+  EXPECT_THROW((void)rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformRealRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsZeros) {
+  Rng rng(7);
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+  EXPECT_THROW((void)rng.weighted_index({}), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(8);
+  const std::vector<double> weights{1.0, 3.0};
+  int hi = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.weighted_index(weights) == 1) ++hi;
+  }
+  EXPECT_NEAR(static_cast<double>(hi) / n, 0.75, 0.03);
+}
+
+TEST(Rng, ZipfSkewPrefersLowRanks) {
+  Rng rng(9);
+  int first = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.zipf(10, 1.5) == 0) ++first;
+  }
+  // Rank 0 share under s=1.5, n=10 is ~0.66 of the mass... at least dominant.
+  EXPECT_GT(first, n / 3);
+  EXPECT_THROW((void)rng.zipf(0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniformish) {
+  Rng rng(10);
+  std::vector<int> counts(4, 0);
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) ++counts[rng.zipf(4, 0.0)];
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.05);
+}
+
+TEST(Rng, LognormalMedianRoughlyCorrect) {
+  Rng rng(11);
+  std::vector<double> samples;
+  for (int i = 0; i < 4001; ++i) samples.push_back(rng.lognormal_median(10.0, 0.3));
+  std::nth_element(samples.begin(), samples.begin() + 2000, samples.end());
+  EXPECT_NEAR(samples[2000], 10.0, 0.5);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(12);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace hit

@@ -1,0 +1,279 @@
+// hitsim — command-line driver for the HitSched simulator.
+//
+// Runs a workload (generated from the Table 1 mix or loaded from a trace
+// file) on a chosen topology under a chosen scheduler, in batch or online
+// mode, and prints either a human summary or machine-readable CSV.
+//
+//   hitsim --topology tree --jobs 10 --scheduler hit --seed 42
+//   hitsim --topology vl2 --scheduler pna --mode online --arrival-rate 0.1
+//   hitsim --trace workload.csv --scheduler capacity --csv
+//   hitsim --help
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/registry.h"
+#include "mapreduce/trace.h"
+#include "mapreduce/workload.h"
+#include "sched/capacity_scheduler.h"
+#include "sched/delay_scheduler.h"
+#include "sched/fair_scheduler.h"
+#include "sched/pna_scheduler.h"
+#include "sched/random_scheduler.h"
+#include "sim/engine.h"
+#include "sim/online.h"
+#include "stats/export.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "topology/builders.h"
+#include "topology/dot.h"
+
+namespace {
+
+using namespace hit;
+
+struct Options {
+  std::string topology = "tree";
+  std::string scheduler = "hit";
+  std::string mode = "batch";
+  std::string trace_file;
+  std::string save_trace_file;
+  std::string dot_file;
+  std::size_t jobs = 10;
+  std::uint64_t seed = 42;
+  double bandwidth_scale = 0.05;
+  double arrival_rate = 0.05;
+  double jitter = 0.0;
+  bool csv = false;
+  bool help = false;
+};
+
+void print_usage() {
+  std::cout <<
+      "hitsim — hierarchical-topology-aware MapReduce scheduling simulator\n"
+      "\n"
+      "usage: hitsim [options]\n"
+      "  --topology NAME     tree | tree-large | fat-tree | vl2 | bcube  (default tree)\n"
+      "  --scheduler NAME    any registered scheduler (see list below)    (default hit)\n"
+      "  --mode MODE         batch | online                              (default batch)\n"
+      "  --jobs N            workload size                               (default 10)\n"
+      "  --seed N            RNG seed (deterministic runs)               (default 42)\n"
+      "  --bandwidth-scale X shuffle-path throttle                       (default 0.05)\n"
+      "  --arrival-rate X    online mode: Poisson jobs/second            (default 0.05)\n"
+      "  --jitter SIGMA      straggler lognormal sigma on map times      (default 0)\n"
+      "  --trace FILE        load workload from a trace instead of generating\n"
+      "  --save-trace FILE   write the generated workload as a trace\n"
+      "  --dot FILE          export the topology as Graphviz DOT\n"
+      "  --csv               per-job CSV on stdout instead of the summary table\n"
+      "  --help              this message\n";
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "hitsim: missing value for " << argv[i] << "\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      opt.help = true;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--topology") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.topology = value;
+    } else if (arg == "--scheduler") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.scheduler = value;
+    } else if (arg == "--mode") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.mode = value;
+    } else if (arg == "--trace") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.trace_file = value;
+    } else if (arg == "--save-trace") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.save_trace_file = value;
+    } else if (arg == "--dot") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.dot_file = value;
+    } else if (arg == "--jobs") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.jobs = std::stoul(value);
+    } else if (arg == "--seed") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.seed = std::stoull(value);
+    } else if (arg == "--bandwidth-scale") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.bandwidth_scale = std::stod(value);
+    } else if (arg == "--arrival-rate") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.arrival_rate = std::stod(value);
+    } else if (arg == "--jitter") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.jitter = std::stod(value);
+    } else {
+      std::cerr << "hitsim: unknown option '" << arg << "' (see --help)\n";
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+topo::Topology build_topology(const std::string& name) {
+  if (name == "tree") return topo::make_tree(topo::TreeConfig{3, 4, 2, 4});
+  if (name == "tree-large") return topo::make_tree(topo::TreeConfig{3, 8, 2, 8});
+  if (name == "fat-tree") return topo::make_fat_tree(topo::FatTreeConfig{6});
+  if (name == "vl2") return topo::make_vl2(topo::Vl2Config{4, 8, 16, 4});
+  if (name == "bcube") return topo::make_bcube(topo::BCubeConfig{4, 2});
+  throw std::invalid_argument("unknown topology '" + name + "'");
+}
+
+std::unique_ptr<sched::Scheduler> build_scheduler(const std::string& name) {
+  return core::SchedulerRegistry::instance().create(name);
+}
+
+int run(const Options& opt) {
+  const topo::Topology topology = build_topology(opt.topology);
+  const cluster::Cluster cluster(topology, cluster::Resource{2.0, 8.0});
+
+  mr::WorkloadConfig wconfig;
+  wconfig.num_jobs = opt.jobs;
+  wconfig.max_maps_per_job = 10;
+  wconfig.max_reduces_per_job = 4;
+  wconfig.block_size_gb = 2.0;
+  const mr::WorkloadGenerator generator(wconfig);
+
+  Rng rng(opt.seed);
+  mr::IdAllocator ids;
+  std::vector<mr::Job> jobs;
+  if (!opt.trace_file.empty()) {
+    std::ifstream in(opt.trace_file);
+    if (!in) {
+      std::cerr << "hitsim: cannot open trace '" << opt.trace_file << "'\n";
+      return 1;
+    }
+    jobs = mr::jobs_from_trace(mr::load_trace(in), generator, ids);
+  } else {
+    jobs = generator.generate(ids, rng);
+  }
+  if (!opt.save_trace_file.empty()) {
+    std::ofstream out(opt.save_trace_file);
+    if (!out) {
+      std::cerr << "hitsim: cannot write trace '" << opt.save_trace_file << "'\n";
+      return 1;
+    }
+    mr::save_trace(out, mr::trace_from_jobs(jobs));
+  }
+
+  if (!opt.dot_file.empty()) {
+    std::ofstream out(opt.dot_file);
+    if (!out) {
+      std::cerr << "hitsim: cannot write dot '" << opt.dot_file << "'\n";
+      return 1;
+    }
+    topo::DotOptions dot_options;
+    dot_options.graph_name = opt.topology;
+    out << topo::to_dot(topology, dot_options);
+  }
+
+  auto scheduler = build_scheduler(opt.scheduler);
+  sim::SimConfig sconfig;
+  sconfig.bandwidth_scale = opt.bandwidth_scale;
+  sconfig.map_time_jitter_sigma = opt.jitter;
+
+  if (!opt.csv) {
+    std::cout << "hitsim: " << jobs.size() << " jobs on " << cluster.size()
+              << " servers (" << topo::family_name(topology.family()) << "), "
+              << scheduler->name() << " scheduler, " << opt.mode << " mode, seed "
+              << opt.seed << "\n\n";
+  }
+
+  if (opt.mode == "batch") {
+    const sim::ClusterSimulator sim(cluster, sconfig);
+    const sim::SimResult result = sim.run(*scheduler, jobs, ids, rng);
+    if (opt.csv) {
+      stats::CsvWriter csv(std::cout, {"job", "benchmark", "class",
+                                       "completion_s", "shuffle_gb",
+                                       "shuffle_cost_gbt", "remote_map_gb"});
+      for (const sim::JobResult& j : result.jobs) {
+        csv.row({std::int64_t{j.id.value()}, j.benchmark,
+                 std::string(mr::job_class_name(j.cls)), j.completion_time,
+                 j.shuffle_gb, j.shuffle_cost, j.remote_map_gb});
+      }
+    } else {
+      stats::RunningSummary jct;
+      for (double v : result.job_completion_times()) jct.add(v);
+      stats::Table table({"metric", "value"});
+      table.add_row({"mean JCT (s)", stats::Table::num(jct.mean())});
+      table.add_row({"max JCT (s)", stats::Table::num(jct.max())});
+      table.add_row({"makespan (s)", stats::Table::num(result.makespan)});
+      table.add_row({"shuffle cost (GB*T)",
+                     stats::Table::num(result.total_shuffle_cost, 1)});
+      table.add_row({"avg route hops", stats::Table::num(result.average_route_hops())});
+      table.add_row({"remote map (GB)",
+                     stats::Table::num(result.total_remote_map_gb, 1)});
+      std::cout << table.render();
+    }
+  } else if (opt.mode == "online") {
+    sim::OnlineConfig oconfig;
+    oconfig.arrival_rate = opt.arrival_rate;
+    oconfig.sim = sconfig;
+    const sim::OnlineSimulator sim(cluster, oconfig);
+    const sim::OnlineResult result = sim.run(*scheduler, jobs, ids, rng);
+    if (opt.csv) {
+      stats::CsvWriter csv(std::cout, {"job", "benchmark", "arrival_s",
+                                       "queueing_s", "completion_s",
+                                       "shuffle_cost_gbt"});
+      for (const sim::OnlineJobRecord& j : result.jobs) {
+        csv.row({std::int64_t{j.id.value()}, j.benchmark, j.arrival,
+                 j.queueing_delay(), j.completion_time(), j.shuffle_cost});
+      }
+    } else {
+      stats::RunningSummary jct, wait;
+      for (double v : result.completion_times()) jct.add(v);
+      for (double v : result.queueing_delays()) wait.add(v);
+      stats::Table table({"metric", "value"});
+      table.add_row({"mean JCT (s)", stats::Table::num(jct.mean())});
+      table.add_row({"mean queueing (s)", stats::Table::num(wait.mean())});
+      table.add_row({"makespan (s)", stats::Table::num(result.makespan)});
+      table.add_row({"shuffle cost (GB*T)",
+                     stats::Table::num(result.total_shuffle_cost, 1)});
+      std::cout << table.render();
+    }
+  } else {
+    std::cerr << "hitsim: unknown mode '" << opt.mode << "'\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = parse(argc, argv);
+  if (!opt) return 2;
+  if (opt->help) {
+    print_usage();
+    std::cout << "\nregistered schedulers:";
+    for (const std::string& n : core::SchedulerRegistry::instance().names()) {
+      std::cout << " " << n;
+    }
+    std::cout << "\n";
+    return 0;
+  }
+  try {
+    return run(*opt);
+  } catch (const std::exception& e) {
+    std::cerr << "hitsim: " << e.what() << "\n";
+    return 1;
+  }
+}
