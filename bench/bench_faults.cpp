@@ -1,0 +1,114 @@
+// Extension experiment (not a paper figure): fault-tolerance degradation.
+//
+// The paper assumes a healthy fabric; this harness measures how gracefully
+// each scheduler's plans survive an unhealthy one.  Sweeps the element MTBF
+// from "never fails" down to "fails every few hundred seconds" (MTTR fixed),
+// replays the same generated FaultPlan against every scheduler, and reports
+// JCT / shuffle-cost degradation versus each scheduler's own zero-fault
+// baseline plus the recovery work done (maps re-executed, flows rerouted or
+// stalled).
+#include <iostream>
+#include <memory>
+
+#include "harness.h"
+#include "sim/faults.h"
+
+int main() {
+  using namespace hit;
+  using namespace hit::bench;
+
+  print_header("Fault-rate sweep (switch+server MTBF, MTTR = 120 s)");
+
+  mr::WorkloadConfig wconfig;
+  wconfig.num_jobs = 10;
+  wconfig.max_maps_per_job = 16;
+  wconfig.max_reduces_per_job = 6;
+  wconfig.block_size_gb = 2.0;
+
+  sim::SimConfig base_config;
+  base_config.bandwidth_scale = 0.1;
+
+  const auto testbed = make_testbed_tree();
+  Lineup lineup;
+  const std::vector<std::pair<std::string, sched::Scheduler*>> arms = {
+      {"Capacity", &lineup.capacity},
+      {"PNA", &lineup.pna},
+      {"Hit", &lineup.hit},
+  };
+  constexpr int kReplicas = 3;
+  constexpr std::uint64_t kSeedBase = 7100;
+
+  struct ArmResult {
+    double jct = 0.0;
+    double cost = 0.0;
+    double maps_reexec = 0.0;
+    double reroutes = 0.0;
+    double stalls = 0.0;
+  };
+  auto run_arm = [&](sched::Scheduler& s, const sim::SimConfig& sconfig) {
+    ArmResult out;
+    stats::RunningSummary jct;
+    for (int r = 0; r < kReplicas; ++r) {
+      const sim::SimResult result =
+          run_replica(*testbed, s, wconfig, sconfig, kSeedBase + r);
+      for (double v : result.job_completion_times()) jct.add(v);
+      out.cost += result.total_shuffle_cost / kReplicas;
+      out.maps_reexec +=
+          static_cast<double>(result.recovery.maps_reexecuted) / kReplicas;
+      out.reroutes +=
+          static_cast<double>(result.recovery.flows_rerouted) / kReplicas;
+      out.stalls +=
+          static_cast<double>(result.recovery.flows_stalled) / kReplicas;
+    }
+    out.jct = jct.mean();
+    return out;
+  };
+
+  // Zero-fault baselines, one per scheduler.
+  std::vector<ArmResult> baseline;
+  double horizon = 0.0;
+  for (const auto& [name, s] : arms) {
+    baseline.push_back(run_arm(*s, base_config));
+    horizon = std::max(horizon, baseline.back().jct);
+  }
+  horizon *= 4.0;  // cover the whole (slower) faulty runs
+
+  stats::Table table({"MTBF (s)", "scheduler", "JCT", "JCT degr.",
+                      "shuffle cost", "cost degr.", "maps re-run", "reroutes",
+                      "stalls"});
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    const ArmResult& b = baseline[a];
+    table.add_row({"inf", arms[a].first, stats::Table::num(b.jct), "-",
+                   stats::Table::num(b.cost), "-", "0", "0", "0"});
+  }
+  for (double mtbf : {2000.0, 1000.0, 500.0, 250.0}) {
+    sim::MtbfConfig mconfig;
+    mconfig.horizon = horizon;
+    mconfig.switch_mtbf = mtbf;
+    mconfig.switch_mttr = 120.0;
+    mconfig.server_mtbf = mtbf;
+    mconfig.server_mttr = 120.0;
+    sim::SimConfig sconfig = base_config;
+    sconfig.faults =
+        sim::FaultPlan::generate(testbed->topology, mconfig, /*seed=*/99);
+
+    for (std::size_t a = 0; a < arms.size(); ++a) {
+      const ArmResult r = run_arm(*arms[a].second, sconfig);
+      const ArmResult& b = baseline[a];
+      table.add_row({stats::Table::num(mtbf, 0), arms[a].first,
+                     stats::Table::num(r.jct),
+                     stats::Table::pct(-improvement(b.jct, r.jct)),
+                     stats::Table::num(r.cost),
+                     stats::Table::pct(-improvement(b.cost, r.cost)),
+                     stats::Table::num(r.maps_reexec, 1),
+                     stats::Table::num(r.reroutes, 1),
+                     stats::Table::num(r.stalls, 1)});
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\nAll arms replay the identical fault plan; the JCT gap under "
+               "faults shows whose placements leave slack for recovery.  "
+               "Rack-local plans (Hit) reroute less because fewer transfers "
+               "cross the failed aggregation tiers.\n";
+  return 0;
+}

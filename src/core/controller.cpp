@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/logging.h"
+
 namespace hit::core {
+namespace {
+
+constexpr std::string_view kTag = "controller";
+
+bool crosses(const net::Policy& policy, NodeId sw) {
+  return std::find(policy.list.begin(), policy.list.end(), sw) !=
+         policy.list.end();
+}
+
+}  // namespace
 
 NetworkController::NetworkController(const topo::Topology& topology,
                                      ControllerConfig config)
@@ -13,6 +25,14 @@ NetworkController::NetworkController(const topo::Topology& topology,
       optimizer_(topology, config.cost) {
   if (config_.hot_threshold <= 0.0) {
     throw std::invalid_argument("NetworkController: hot_threshold must be positive");
+  }
+  if (config_.max_reroute_attempts == 0) {
+    throw std::invalid_argument(
+        "NetworkController: max_reroute_attempts must be positive");
+  }
+  if (config_.reroute_backoff <= 0.0 || config_.reroute_backoff > 1.0) {
+    throw std::invalid_argument(
+        "NetworkController: reroute_backoff must be in (0, 1]");
   }
 }
 
@@ -24,16 +44,22 @@ void NetworkController::install(const net::Flow& flow, net::Policy policy,
   if (!policy.satisfied(*topology_, src, dst)) {
     throw std::invalid_argument("NetworkController: policy not satisfied");
   }
+  for (NodeId sw : policy.list) {
+    if (failed_.count(sw) > 0) {
+      throw PathUnavailable("NetworkController: policy crosses failed switch " +
+                            topology_->info(sw).name);
+    }
+  }
   load_.assign(policy, flow.rate);
-  flows_.emplace(flow.id, Entry{flow, std::move(policy), src, dst});
+  flows_.emplace(flow.id, Entry{flow, std::move(policy), src, dst, false, flow.rate});
 }
 
 void NetworkController::remove(FlowId flow) {
   const auto it = flows_.find(flow);
   if (it == flows_.end()) {
-    throw std::out_of_range("NetworkController: unknown flow");
+    throw UnknownFlow("NetworkController: unknown flow");
   }
-  load_.remove(it->second.policy, it->second.flow.rate);
+  if (!it->second.parked) load_.remove(it->second.policy, it->second.charged_rate);
   flows_.erase(it);
 }
 
@@ -42,7 +68,7 @@ bool NetworkController::installed(FlowId flow) const { return flows_.count(flow)
 const net::Policy& NetworkController::policy_of(FlowId flow) const {
   const auto it = flows_.find(flow);
   if (it == flows_.end()) {
-    throw std::out_of_range("NetworkController: unknown flow");
+    throw UnknownFlow("NetworkController: unknown flow");
   }
   return it->second.policy;
 }
@@ -59,7 +85,7 @@ std::vector<NodeId> NetworkController::hot_switches() const {
 
 void NetworkController::drain(NodeId sw) {
   if (!topology_->is_switch(sw)) {
-    throw std::invalid_argument("NetworkController::drain: not a switch");
+    throw NotASwitch("NetworkController::drain: not a switch");
   }
   if (draining_.count(sw) > 0) return;
   const double absorbed = std::max(load_.residual(sw), 0.0);
@@ -80,6 +106,126 @@ void NetworkController::undrain(NodeId sw) {
   draining_.erase(it);
 }
 
+std::vector<NodeId> NetworkController::banned_switches() const {
+  std::vector<NodeId> banned(failed_.begin(), failed_.end());
+  for (const auto& [sw, absorbed] : draining_) banned.push_back(sw);
+  std::sort(banned.begin(), banned.end());
+  return banned;
+}
+
+std::optional<NetworkController::RerouteResult>
+NetworkController::reroute_with_backoff(const Entry& entry) const {
+  const CostModel cost(*topology_, config_.cost, &load_);
+  const double metric = cost.metric(entry.flow);
+  const std::vector<NodeId> banned = banned_switches();
+  const NodeId srcs[] = {entry.src};
+  const NodeId dsts[] = {entry.dst};
+  double rate = entry.flow.rate;
+  for (std::size_t attempt = 0; attempt < config_.max_reroute_attempts;
+       ++attempt) {
+    auto route = optimizer_.optimal_route(srcs, dsts, entry.flow.id, rate,
+                                          metric, load_, /*allow_local=*/true,
+                                          banned);
+    if (route) {
+      if (attempt > 0) {
+        HIT_LOG_INFO(kTag) << "flow " << entry.flow.id << " admitted at "
+                           << rate << " after " << attempt << " backoffs";
+      }
+      return RerouteResult{std::move(*route), rate};
+    }
+    rate *= config_.reroute_backoff;  // throttle and retry
+  }
+  return std::nullopt;
+}
+
+std::size_t NetworkController::fail(NodeId sw) {
+  if (!topology_->is_switch(sw)) {
+    throw NotASwitch("NetworkController::fail: not a switch");
+  }
+  if (!failed_.insert(sw).second) return 0;  // idempotent
+  HIT_LOG_INFO(kTag) << "switch " << topology_->info(sw).name
+                     << " failed; evacuating flows";
+
+  // Crossing flows, heaviest first (mirrors rebalance ordering).
+  std::vector<Entry*> crossing;
+  for (auto& [id, entry] : flows_) {
+    if (!entry.parked && crosses(entry.policy, sw)) crossing.push_back(&entry);
+  }
+  std::stable_sort(crossing.begin(), crossing.end(),
+                   [](const Entry* a, const Entry* b) {
+                     if (a->flow.rate != b->flow.rate) {
+                       return a->flow.rate > b->flow.rate;
+                     }
+                     return a->flow.id < b->flow.id;
+                   });
+
+  std::size_t rerouted = 0;
+  for (Entry* entry : crossing) {
+    load_.remove(entry->policy, entry->charged_rate);
+    if (auto result = reroute_with_backoff(*entry)) {
+      entry->policy = std::move(result->route.policy);
+      entry->charged_rate = result->admitted_rate;
+      load_.assign(entry->policy, entry->charged_rate);
+      ++rerouted;
+      HIT_LOG_INFO(kTag) << "flow " << entry->flow.id << " rerouted off "
+                         << topology_->info(sw).name;
+    } else {
+      entry->parked = true;
+      entry->charged_rate = 0.0;
+      HIT_LOG_WARN(kTag) << "flow " << entry->flow.id
+                         << " parked: no alive route after "
+                         << config_.max_reroute_attempts << " attempts";
+    }
+  }
+  return rerouted;
+}
+
+std::size_t NetworkController::recover(NodeId sw) {
+  if (!topology_->is_switch(sw)) {
+    throw NotASwitch("NetworkController::recover: not a switch");
+  }
+  if (failed_.erase(sw) == 0) return 0;  // idempotent
+  HIT_LOG_INFO(kTag) << "switch " << topology_->info(sw).name
+                     << " recovered; re-admitting parked flows";
+
+  // Parked flows in id order (deterministic re-admission).
+  std::vector<Entry*> waiting;
+  for (auto& [id, entry] : flows_) {
+    if (entry.parked) waiting.push_back(&entry);
+  }
+  std::sort(waiting.begin(), waiting.end(), [](const Entry* a, const Entry* b) {
+    return a->flow.id < b->flow.id;
+  });
+
+  std::size_t restored = 0;
+  for (Entry* entry : waiting) {
+    if (auto result = reroute_with_backoff(*entry)) {
+      entry->policy = std::move(result->route.policy);
+      entry->parked = false;
+      entry->charged_rate = result->admitted_rate;
+      load_.assign(entry->policy, entry->charged_rate);
+      ++restored;
+      HIT_LOG_INFO(kTag) << "flow " << entry->flow.id << " re-admitted";
+    }
+  }
+  return restored;
+}
+
+std::size_t NetworkController::parked_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, entry] : flows_) n += entry.parked ? 1 : 0;
+  return n;
+}
+
+std::vector<FlowId> NetworkController::parked() const {
+  std::vector<FlowId> ids;
+  for (const auto& [id, entry] : flows_) {
+    if (entry.parked) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 std::size_t NetworkController::rebalance() {
   const CostModel cost(*topology_, config_.cost, &load_);
   std::size_t rerouted = 0;
@@ -93,8 +239,7 @@ std::size_t NetworkController::rebalance() {
       // Flows crossing w, heaviest rate first.
       std::vector<Entry*> crossing;
       for (auto& [id, entry] : flows_) {
-        if (std::find(entry.policy.list.begin(), entry.policy.list.end(), w) !=
-            entry.policy.list.end()) {
+        if (!entry.parked && crosses(entry.policy, w)) {
           crossing.push_back(&entry);
         }
       }
@@ -104,10 +249,9 @@ std::size_t NetworkController::rebalance() {
                        });
 
       const bool is_draining = draining_.count(w) > 0;
-      // Every reroute must avoid every draining switch, whichever hot
-      // switch triggered it.
-      std::vector<NodeId> banned;
-      for (const auto& [drained, absorbed] : draining_) banned.push_back(drained);
+      // Every reroute must avoid every draining and failed switch, whichever
+      // hot switch triggered it.
+      const std::vector<NodeId> banned = banned_switches();
       for (Entry* entry : crossing) {
         // A draining switch stays a reroute target until empty; a merely hot
         // one only until it cools below the threshold.
@@ -116,23 +260,25 @@ std::size_t NetworkController::rebalance() {
         }
         // Evaluate alternatives with this flow's own charge removed; a
         // draining switch is banned outright, not merely priced up.
-        load_.remove(entry->policy, entry->flow.rate);
+        load_.remove(entry->policy, entry->charged_rate);
         const double metric = cost.metric(entry->flow);
         const double current = cost.policy_cost(entry->policy, metric);
         const NodeId srcs[] = {entry->src};
         const NodeId dsts[] = {entry->dst};
         auto route = optimizer_.optimal_route(srcs, dsts, entry->flow.id,
-                                              entry->flow.rate, metric, load_,
+                                              entry->charged_rate, metric, load_,
                                               /*allow_local=*/true, banned);
         const bool accept =
             route && route->policy.list != entry->policy.list &&
             (is_draining || route->cost < current - 1e-12);
         if (accept) {
+          HIT_LOG_INFO(kTag) << "rebalance: flow " << entry->flow.id
+                             << " moved off " << topology_->info(w).name;
           entry->policy = std::move(route->policy);
           ++rerouted;
           improved = true;
         }
-        load_.assign(entry->policy, entry->flow.rate);
+        load_.assign(entry->policy, entry->charged_rate);
       }
     }
     if (!improved) break;
@@ -144,6 +290,7 @@ double NetworkController::total_cost() const {
   const CostModel cost(*topology_, config_.cost, &load_);
   double total = 0.0;
   for (const auto& [id, entry] : flows_) {
+    if (entry.parked) continue;
     total += cost.policy_cost(entry.policy, cost.metric(entry.flow));
   }
   return total;
@@ -152,10 +299,17 @@ double NetworkController::total_cost() const {
 void NetworkController::audit() const {
   net::LoadTracker expected(*topology_);
   for (const auto& [id, entry] : flows_) {
+    if (entry.parked) continue;  // parked flows carry no load, no route
     if (!entry.policy.satisfied(*topology_, entry.src, entry.dst)) {
       throw std::logic_error("NetworkController::audit: unsatisfied policy");
     }
-    expected.assign(entry.policy, entry.flow.rate);
+    for (NodeId sw : entry.policy.list) {
+      if (failed_.count(sw) > 0) {
+        throw std::logic_error(
+            "NetworkController::audit: active policy crosses failed switch");
+      }
+    }
+    expected.assign(entry.policy, entry.charged_rate);
   }
   for (const auto& [sw, absorbed] : draining_) {
     net::Policy marker;

@@ -15,9 +15,11 @@
 #include <cstddef>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/cost_model.h"
+#include "core/errors.h"
 #include "core/policy_optimizer.h"
 #include "network/flow.h"
 #include "network/load.h"
@@ -33,6 +35,11 @@ struct ControllerConfig {
   double hot_threshold = 0.9;
   /// Per-rebalance bound on optimization sweeps.
   std::size_t max_rounds = 4;
+  /// Bounded retry for fault reroutes: each attempt demands `reroute_backoff`
+  /// x the previous rate (modeling throttled re-admission), up to
+  /// `max_reroute_attempts` tries before the flow is parked.
+  std::size_t max_reroute_attempts = 3;
+  double reroute_backoff = 0.5;
 };
 
 class NetworkController {
@@ -41,10 +48,12 @@ class NetworkController {
                              ControllerConfig config = {});
 
   /// Install a flow on a policy (must be satisfied for src/dst).  Charges
-  /// the flow's rate to every switch on the path.
+  /// the flow's rate to every switch on the path.  Throws PathUnavailable
+  /// when the policy crosses a failed switch.
   void install(const net::Flow& flow, net::Policy policy, NodeId src, NodeId dst);
 
-  /// Remove an installed flow, releasing its load.  Throws on unknown ids.
+  /// Remove an installed flow, releasing its load.  Throws UnknownFlow on
+  /// unknown ids.
   void remove(FlowId flow);
 
   [[nodiscard]] bool installed(FlowId flow) const;
@@ -63,6 +72,24 @@ class NetworkController {
   void undrain(NodeId sw);
   [[nodiscard]] bool draining(NodeId sw) const { return draining_.count(sw) > 0; }
 
+  /// Unplanned failure: the switch is immediately unusable.  Every installed
+  /// flow crossing it is uncharged and rerouted onto the optimal alive route
+  /// with bounded retry-and-backoff (the demanded rate halves per attempt,
+  /// modeling throttled re-admission); flows with no alive route are
+  /// *parked* — they stay known but carry no load and no valid policy until
+  /// `recover` finds them a path.  Idempotent.  Returns reroutes performed.
+  std::size_t fail(NodeId sw);
+
+  /// Repair: the switch is usable again and parked flows re-install on their
+  /// optimal current route (same bounded retry).  Idempotent.  Returns the
+  /// number of flows brought back from parked.
+  std::size_t recover(NodeId sw);
+
+  [[nodiscard]] bool failed(NodeId sw) const { return failed_.count(sw) > 0; }
+  [[nodiscard]] std::size_t parked_count() const;
+  /// Parked flow ids in increasing order.
+  [[nodiscard]] std::vector<FlowId> parked() const;
+
   /// Re-optimize policies crossing hot switches: per hot switch, take its
   /// flows in decreasing rate order, uncharge each, search the optimal
   /// residual-capacity route for its (fixed) endpoints and re-install on
@@ -73,8 +100,9 @@ class NetworkController {
   /// Total shuffle cost of the installed policies under the current load.
   [[nodiscard]] double total_cost() const;
 
-  /// Consistency check: every installed policy satisfied; the load ledger
-  /// equals the sum of installed rates.  Throws std::logic_error otherwise.
+  /// Consistency check: every active policy satisfied and crossing no failed
+  /// switch; parked flows carry no load; the load ledger equals the sum of
+  /// active rates.  Throws std::logic_error otherwise.
   void audit() const;
 
  private:
@@ -83,7 +111,21 @@ class NetworkController {
     net::Policy policy;
     NodeId src;
     NodeId dst;
+    bool parked = false;        ///< uncharged, waiting for an alive route
+    double charged_rate = 0.0;  ///< rate the ledger carries (< flow.rate when
+                                ///< a fault reroute admitted it throttled)
   };
+
+  struct RerouteResult {
+    PolicyOptimizer::Route route;
+    double admitted_rate = 0.0;
+  };
+
+  /// Reroute `entry` (assumed uncharged) onto the optimal route avoiding
+  /// failed and draining switches, backing the demanded rate off per retry.
+  [[nodiscard]] std::optional<RerouteResult> reroute_with_backoff(
+      const Entry& entry) const;
+  [[nodiscard]] std::vector<NodeId> banned_switches() const;
 
   const topo::Topology* topology_;
   ControllerConfig config_;
@@ -92,6 +134,8 @@ class NetworkController {
   std::unordered_map<FlowId, Entry> flows_;
   /// Draining switches and the synthetic load absorbing their headroom.
   std::unordered_map<NodeId, double> draining_;
+  /// Failed (unplanned-down) switches.
+  std::unordered_set<NodeId> failed_;
 };
 
 }  // namespace hit::core

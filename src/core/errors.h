@@ -1,0 +1,32 @@
+// Typed runtime errors for the centralized controller.
+//
+// Callers operating the network at runtime (drain drills, fault handling,
+// flow churn) need to distinguish "no alive route exists" from "you passed a
+// bad id" — catching std::exception and string-matching is not an API.  Each
+// type derives from the std exception the pre-typed code threw, so existing
+// catch sites keep working.
+#pragma once
+
+#include <stdexcept>
+
+namespace hit::core {
+
+/// No alive, capacity-feasible route can carry the flow: an install targeted
+/// a failed switch, or every reroute alternative is down or saturated.
+struct PathUnavailable : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// The operation referenced a flow id the controller never installed (or
+/// already removed).
+struct UnknownFlow : std::out_of_range {
+  using std::out_of_range::out_of_range;
+};
+
+/// A switch-targeted operation (drain, fail, recover) was applied to a node
+/// that is not a switch.
+struct NotASwitch : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+}  // namespace hit::core

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <limits>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "network/routing.h"
 
@@ -89,84 +91,180 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
   if (all_reduces.size() + all_maps.size() == 0) return SimResult{};
 
   const std::size_t map_slots = total_slots - all_reduces.size();
-  std::vector<std::vector<const mr::Task*>> waves;
-  for (std::size_t i = 0; i < all_maps.size(); i += map_slots) {
-    waves.emplace_back(all_maps.begin() + static_cast<std::ptrdiff_t>(i),
-                       all_maps.begin() + static_cast<std::ptrdiff_t>(
-                                              std::min(i + map_slots, all_maps.size())));
-  }
-  if (waves.size() > config_.max_waves) {
+  if (!all_maps.empty() &&
+      (all_maps.size() + map_slots - 1) / map_slots > config_.max_waves) {
     throw std::runtime_error("ClusterSimulator: wave budget exceeded");
   }
 
-  // ---- 3. Scheduling, wave by wave ----------------------------------------
-  std::unordered_map<TaskId, ServerId> placement;
-  std::unordered_map<FlowId, net::Policy> policies;
-
-  {
-    // Initial wave (§5.3.1): reduces + first map wave, all endpoints open.
-    sched::Problem p;
-    p.topology = &topology;
-    p.cluster = cluster_;
-    p.blocks = &blocks;
-    for (const mr::Task* t : all_reduces) p.tasks.push_back(make_ref(*t, config_.container_demand));
-    if (!waves.empty()) {
-      for (const mr::Task* t : waves[0]) p.tasks.push_back(make_ref(*t, config_.container_demand));
-    }
-    p.flows = flows;
-    Rng wave_rng = rng.fork(1);
-    sched::Assignment a = scheduler.schedule(p, wave_rng);
-    sched::validate_assignment(p, a);
-    placement.insert(a.placement.begin(), a.placement.end());
-    for (auto& [id, pol] : a.policies) policies.insert_or_assign(id, std::move(pol));
-  }
-
-  // Reduce containers persist; map containers free between waves.
-  std::vector<cluster::Resource> reduce_usage(cluster_->size());
-  for (const mr::Task* t : all_reduces) {
-    reduce_usage[placement.at(t->id).index()] += config_.container_demand;
-  }
-
-  for (std::size_t k = 1; k < waves.size(); ++k) {
-    sched::Problem p;
-    p.topology = &topology;
-    p.cluster = cluster_;
-    p.blocks = &blocks;
-    p.base_usage = reduce_usage;
-    p.fixed = placement;
-    for (const mr::Task* t : waves[k]) p.tasks.push_back(make_ref(*t, config_.container_demand));
-    for (const mr::Task* t : waves[k]) {
-      const auto it = flows_by_src.find(t->id);
-      if (it == flows_by_src.end()) continue;
-      for (const net::Flow* f : it->second) p.flows.push_back(*f);
-    }
-    Rng wave_rng = rng.fork(k + 1);
-    sched::Assignment a = scheduler.schedule(p, wave_rng);
-    sched::validate_assignment(p, a);
-    placement.insert(a.placement.begin(), a.placement.end());
-    for (auto& [id, pol] : a.policies) policies.insert_or_assign(id, std::move(pol));
-  }
-
-  // ---- 4. Map phase timeline ----------------------------------------------
+  // ---- 3+4. Scheduling and map execution, wave by wave ---------------------
+  // Scheduling and timing interleave so that server faults observed in one
+  // wave shape the next wave's problem: dead servers are masked to full
+  // capacity, killed maps re-queue through the scheduler's subsequent-wave
+  // path, and reduce containers displaced by a dead host are re-placed the
+  // same way.  With an empty FaultPlan this reduces exactly to the static
+  // wave slicing (map_slots tasks per wave, back-to-back).
   SimResult result;
+  RecoveryStats& rec = result.recovery;
   const DelayFetcher fetcher(*cluster_, config_.map_fetch_bandwidth_scale,
                              config_.local_disk_bandwidth);
+  std::unordered_map<TaskId, ServerId> placement;
+  std::unordered_map<FlowId, net::Policy> policies;
   std::unordered_map<TaskId, double> map_finish;
   std::unordered_map<JobId, double> remote_map_gb;
+
+  // Split the plan: server events drive the map phase, switch/link events
+  // drive the shuffle phase.
+  std::vector<FaultEvent> server_events;
+  std::vector<FaultEvent> net_events;
+  for (const FaultEvent& ev : config_.faults.events()) {
+    (ev.target == FaultTarget::Server ? server_events : net_events).push_back(ev);
+  }
+
+  std::vector<char> server_dead(cluster_->size(), 0);
+  std::size_t next_sev = 0;
+  const auto apply_server_event = [&](const FaultEvent& ev) {
+    const ServerId s = cluster_->server_at(ev.node);
+    server_dead[s.index()] = ev.kind == FaultKind::Fail ? 1 : 0;
+  };
+
+  std::vector<cluster::Resource> reduce_usage(cluster_->size());
+  std::deque<const mr::Task*> todo(all_maps.begin(), all_maps.end());
+  std::vector<const mr::Task*> displaced;   // reduces whose host died
+  std::unordered_set<TaskId> killed;        // maps awaiting a recovery copy
   double wave_start = 0.0;
-  for (const auto& wave : waves) {
-    // First pass: raw durations (fetch + jittered compute).
-    std::vector<double> durations(wave.size());
-    for (std::size_t i = 0; i < wave.size(); ++i) {
-      const mr::Task* t = wave[i];
+  std::size_t wave_index = 0;
+  bool first = true;
+
+  while (first || !todo.empty() || !displaced.empty()) {
+    // Server events up to the wave boundary shape this wave's problem.
+    while (next_sev < server_events.size() &&
+           server_events[next_sev].time <= wave_start + kEps) {
+      apply_server_event(server_events[next_sev++]);
+    }
+
+    // Capacity under the current dead mask.
+    std::size_t alive_slots = 0;
+    for (const cluster::Server& s : cluster_->servers()) {
+      if (!server_dead[s.id.index()]) {
+        alive_slots += slot_count(s.capacity, config_.container_demand);
+      }
+    }
+    const std::size_t must_place = first ? all_reduces.size() : displaced.size();
+    const std::size_t held = first ? 0 : all_reduces.size() - displaced.size();
+    const std::size_t free_slots = alive_slots > held ? alive_slots - held : 0;
+    const bool fits = free_slots >= must_place;
+    const std::size_t map_count =
+        fits ? std::min(free_slots - must_place, todo.size()) : 0;
+    if (!fits || (map_count == 0 && must_place == 0)) {
+      // Nothing can launch now: wait for the next repair, or give up.
+      if (next_sev >= server_events.size()) {
+        throw std::runtime_error(
+            "ClusterSimulator: map slots exhausted by server failures");
+      }
+      wave_start = std::max(wave_start, server_events[next_sev].time);
+      continue;
+    }
+
+    std::vector<const mr::Task*> wave_maps(
+        todo.begin(), todo.begin() + static_cast<std::ptrdiff_t>(map_count));
+    todo.erase(todo.begin(), todo.begin() + static_cast<std::ptrdiff_t>(map_count));
+
+    if (wave_index >= config_.max_waves) {
+      throw std::runtime_error("ClusterSimulator: wave budget exceeded");
+    }
+    const bool any_dead =
+        std::find(server_dead.begin(), server_dead.end(), char{1}) !=
+        server_dead.end();
+    sched::Problem p;
+    p.topology = &topology;
+    p.cluster = cluster_;
+    p.blocks = &blocks;
+    if (first) {
+      // Initial wave (§5.3.1): reduces + first map wave, all endpoints open.
+      for (const mr::Task* t : all_reduces) {
+        p.tasks.push_back(make_ref(*t, config_.container_demand));
+      }
+      for (const mr::Task* t : wave_maps) {
+        p.tasks.push_back(make_ref(*t, config_.container_demand));
+      }
+      p.flows = flows;
+      if (any_dead) p.base_usage.resize(cluster_->size());
+    } else {
+      // Subsequent wave (§5.3.2): placed endpoints fixed; displaced reduces
+      // and re-queued maps ride the same path as fresh wave maps.
+      p.base_usage = reduce_usage;
+      p.fixed = placement;
+      for (const mr::Task* t : displaced) {
+        p.tasks.push_back(make_ref(*t, config_.container_demand));
+      }
+      for (const mr::Task* t : wave_maps) {
+        p.tasks.push_back(make_ref(*t, config_.container_demand));
+      }
+      std::unordered_set<FlowId> seen_flows;
+      const auto add_flows = [&](const std::vector<const net::Flow*>& fs) {
+        for (const net::Flow* f : fs) {
+          if (seen_flows.insert(f->id).second) p.flows.push_back(*f);
+        }
+      };
+      for (const mr::Task* t : wave_maps) {
+        const auto it = flows_by_src.find(t->id);
+        if (it != flows_by_src.end()) add_flows(it->second);
+      }
+      for (const mr::Task* t : displaced) {
+        const auto it = flows_by_dst.find(t->id);
+        if (it != flows_by_dst.end()) add_flows(it->second);
+      }
+    }
+    if (any_dead) {
+      // A dead server shows zero headroom, so no scheduler places on it.
+      for (const cluster::Server& s : cluster_->servers()) {
+        if (server_dead[s.id.index()]) p.base_usage[s.id.index()] = s.capacity;
+      }
+    }
+
+    Rng wave_rng = rng.fork(wave_index + 1);
+    sched::Assignment a = scheduler.schedule(p, wave_rng);
+    sched::validate_assignment(p, a);
+    for (const auto& [id, host] : a.placement) placement.insert_or_assign(id, host);
+    for (auto& [id, pol] : a.policies) policies.insert_or_assign(id, std::move(pol));
+    ++wave_index;
+
+    // Reduce containers persist; map containers free between waves.
+    if (first) {
+      for (const mr::Task* t : all_reduces) {
+        reduce_usage[placement.at(t->id).index()] += config_.container_demand;
+      }
+    } else if (!displaced.empty()) {
+      for (const mr::Task* t : displaced) {
+        reduce_usage[placement.at(t->id).index()] += config_.container_demand;
+      }
+      rec.reduces_relocated += displaced.size();
+      displaced.clear();
+    }
+    first = false;
+
+    // Raw durations: fetch (nearest *alive* replica) + jittered compute.
+    std::vector<double> durations(wave_maps.size());
+    for (std::size_t i = 0; i < wave_maps.size(); ++i) {
+      const mr::Task* t = wave_maps[i];
       const ServerId host = placement.at(t->id);
       double fetch = 0.0;
       if (blocks.local(t->id, host)) {
         fetch = fetcher.fetch_seconds(t->input_gb, host, host);
       } else {
         fetch = std::numeric_limits<double>::infinity();
+        bool replica_alive = false;
         for (ServerId r : blocks.replicas(t->id)) {
+          if (server_dead[r.index()]) continue;
+          replica_alive = true;
           fetch = std::min(fetch, fetcher.fetch_seconds(t->input_gb, r, host));
+        }
+        if (!replica_alive) {
+          // Every replica is down: HDFS re-replication serves a copy at the
+          // nearest original replica's cost.
+          for (ServerId r : blocks.replicas(t->id)) {
+            fetch = std::min(fetch, fetcher.fetch_seconds(t->input_gb, r, host));
+          }
         }
         remote_map_gb[t->job] += t->input_gb;
       }
@@ -181,7 +279,7 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     // LATE-style speculation: once the wave median has elapsed, any map on
     // track to exceed threshold x median gets a backup copy assumed to run
     // at median speed; the task completes at the earlier attempt.
-    if (config_.speculation_threshold > 1.0 && wave.size() >= 2) {
+    if (config_.speculation_threshold > 1.0 && wave_maps.size() >= 2) {
       std::vector<double> sorted = durations;
       std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
                        sorted.end());
@@ -197,15 +295,70 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
       }
     }
 
+    struct Attempt {
+      const mr::Task* task = nullptr;
+      ServerId host;
+      double finish = 0.0;
+      bool alive = true;
+    };
+    std::vector<Attempt> attempts;
+    attempts.reserve(wave_maps.size());
     double wave_end = wave_start;
-    for (std::size_t i = 0; i < wave.size(); ++i) {
-      const mr::Task* t = wave[i];
-      const double finish = wave_start + durations[i];
-      map_finish[t->id] = finish;
-      wave_end = std::max(wave_end, finish);
-      result.tasks.push_back(TaskTiming{t->id, t->job, cluster::TaskKind::Map,
-                                        wave_start, finish});
+    for (std::size_t i = 0; i < wave_maps.size(); ++i) {
+      attempts.push_back(Attempt{wave_maps[i], placement.at(wave_maps[i]->id),
+                                 wave_start + durations[i], true});
+      wave_end = std::max(wave_end, attempts.back().finish);
     }
+
+    // Server faults landing inside this wave kill the in-flight maps on the
+    // dead host (re-queued for the next wave) and displace its reduce
+    // containers.  Completed map output is durable.
+    std::vector<const mr::Task*> requeued;
+    while (next_sev < server_events.size() &&
+           server_events[next_sev].time <= wave_end + kEps) {
+      const FaultEvent ev = server_events[next_sev++];
+      const ServerId s = cluster_->server_at(ev.node);
+      const bool was_dead = server_dead[s.index()] != 0;
+      apply_server_event(ev);
+      if (ev.kind != FaultKind::Fail || was_dead) continue;
+      bool any_killed = false;
+      for (Attempt& at : attempts) {
+        if (at.alive && at.host == s && at.finish > ev.time + kEps) {
+          at.alive = false;
+          any_killed = true;
+          ++rec.maps_killed;
+          killed.insert(at.task->id);
+          placement.erase(at.task->id);
+          requeued.push_back(at.task);
+        }
+      }
+      for (const mr::Task* r : all_reduces) {
+        const auto it = placement.find(r->id);
+        if (it != placement.end() && it->second == s) {
+          displaced.push_back(r);
+          placement.erase(it);
+          reduce_usage[s.index()] -= config_.container_demand;
+        }
+      }
+      if (any_killed) {
+        // The wave ends when its last survivor does — or at the fault, if
+        // the fault outlived them all.
+        wave_end = ev.time;
+        for (const Attempt& at : attempts) {
+          if (at.alive) wave_end = std::max(wave_end, at.finish);
+        }
+      }
+    }
+
+    for (const Attempt& at : attempts) {
+      if (!at.alive) continue;  // only the final successful attempt is recorded
+      map_finish[at.task->id] = at.finish;
+      result.tasks.push_back(TaskTiming{at.task->id, at.task->job,
+                                        cluster::TaskKind::Map, wave_start,
+                                        at.finish});
+      if (killed.erase(at.task->id) > 0) ++rec.maps_reexecuted;
+    }
+    todo.insert(todo.begin(), requeued.begin(), requeued.end());
     wave_start = wave_end;
   }
 
@@ -214,10 +367,16 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     const net::Flow* flow = nullptr;
     double release = 0.0;
     double remaining = 0.0;
+    net::Policy policy;
     topo::Path path;
+    NodeId src;
+    NodeId dst;
     std::size_t hops = 0;
     bool local = false;
     double finish = 0.0;
+    std::size_t reroutes = 0;
+    double stall_since = 0.0;
+    double stall_seconds = 0.0;
   };
   std::vector<SimFlow> sim_flows;
   sim_flows.reserve(flows.size());
@@ -236,14 +395,15 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
                                     ? f.size_gb / config_.local_disk_bandwidth
                                     : 0.0);
     } else {
-      const NodeId src_node = cluster_->node_of(src);
-      const NodeId dst_node = cluster_->node_of(dst);
+      sf.src = cluster_->node_of(src);
+      sf.dst = cluster_->node_of(dst);
       const auto it = policies.find(f.id);
       net::Policy policy = (it != policies.end() && !it->second.list.empty())
                                ? it->second
-                               : net::shortest_policy(topology, src_node, dst_node, f.id);
-      sf.path = policy.realize(topology, src_node, dst_node);
+                               : net::shortest_policy(topology, sf.src, sf.dst, f.id);
+      sf.path = policy.realize(topology, sf.src, sf.dst);
       sf.hops = policy.len();
+      sf.policy = std::move(policy);
     }
     sim_flows.push_back(std::move(sf));
   }
@@ -257,17 +417,91 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
   });
 
   const net::MaxMinFairAllocator allocator(topology, config_.bandwidth_scale);
+  FaultState fstate(topology);
   std::vector<std::size_t> active;
+  std::vector<std::size_t> stalled;
+  std::size_t next_nev = 0;  // switch/link events, replayed as loop events
   std::size_t next_pending = 0;
   double now = 0.0;
-  while (next_pending < pending.size() || !active.empty()) {
+
+  const auto try_reroute = [&](SimFlow& sf) {
+    auto detour = reroute_policy(topology, fstate, sf.src, sf.dst, sf.flow->id);
+    if (!detour) return false;
+    sf.policy = std::move(detour->policy);
+    sf.path = std::move(detour->path);
+    sf.hops = sf.policy.len();
+    ++sf.reroutes;
+    ++rec.flows_rerouted;
+    return true;
+  };
+  const auto stall = [&](std::size_t i, double at) {
+    sim_flows[i].stall_since = at;
+    stalled.push_back(i);
+    ++rec.flows_stalled;
+  };
+  const auto apply_net_event = [&](const FaultEvent& ev) {
+    fstate.apply(ev);
+    if (ev.kind == FaultKind::Fail) {
+      // Crossing transfers detour onto an alive route or stall until repair.
+      std::vector<std::size_t> keep;
+      keep.reserve(active.size());
+      for (std::size_t i : active) {
+        SimFlow& sf = sim_flows[i];
+        if (fstate.path_up(sf.path) || try_reroute(sf)) {
+          keep.push_back(i);
+        } else {
+          stall(i, ev.time);
+        }
+      }
+      active = std::move(keep);
+    } else {
+      // Stalled transfers resume on their old route or a fresh detour.
+      std::vector<std::size_t> waiting;
+      waiting.reserve(stalled.size());
+      for (std::size_t i : stalled) {
+        SimFlow& sf = sim_flows[i];
+        if (fstate.path_up(sf.path) || try_reroute(sf)) {
+          sf.stall_seconds += ev.time - sf.stall_since;
+          rec.stall_seconds += ev.time - sf.stall_since;
+          active.push_back(i);
+        } else {
+          waiting.push_back(i);
+        }
+      }
+      stalled = std::move(waiting);
+    }
+  };
+
+  while (next_pending < pending.size() || !active.empty() || !stalled.empty()) {
     if (active.empty()) {
-      now = std::max(now, sim_flows[pending[next_pending]].release);
+      double next_time = std::numeric_limits<double>::infinity();
+      if (next_pending < pending.size()) {
+        next_time = sim_flows[pending[next_pending]].release;
+      }
+      if (next_nev < net_events.size()) {
+        next_time = std::min(next_time, net_events[next_nev].time);
+      }
+      if (!std::isfinite(next_time)) {
+        throw std::runtime_error(
+            "ClusterSimulator: shuffle flows stalled with no recovery event");
+      }
+      now = std::max(now, next_time);
+    }
+    while (next_nev < net_events.size() &&
+           net_events[next_nev].time <= now + kEps) {
+      apply_net_event(net_events[next_nev++]);
     }
     while (next_pending < pending.size() &&
            sim_flows[pending[next_pending]].release <= now + kEps) {
-      active.push_back(pending[next_pending++]);
+      const std::size_t i = pending[next_pending++];
+      SimFlow& sf = sim_flows[i];
+      if (!fstate.any_down() || fstate.path_up(sf.path) || try_reroute(sf)) {
+        active.push_back(i);
+      } else {
+        stall(i, now);
+      }
     }
+    if (active.empty()) continue;  // stalled-only: jump to the next event
 
     std::vector<net::FlowDemand> demands;
     demands.reserve(active.size());
@@ -293,6 +527,9 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     }
     if (next_pending < pending.size()) {
       dt = std::min(dt, sim_flows[pending[next_pending]].release - now);
+    }
+    if (next_nev < net_events.size()) {
+      dt = std::min(dt, net_events[next_nev].time - now);
     }
     if (!std::isfinite(dt)) {
       throw std::runtime_error("ClusterSimulator: shuffle stalled (zero rates)");
@@ -343,6 +580,7 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     jct[job.id] = job_finish;
   }
 
+  const bool faulty = !config_.faults.empty();
   for (const SimFlow& sf : sim_flows) {
     FlowTiming ft;
     ft.id = sf.flow->id;
@@ -350,8 +588,11 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     ft.release = sf.release;
     ft.finish = sf.finish;
     ft.size_gb = sf.flow->size_gb;
-    ft.route_hops = sf.hops;
+    ft.route_hops = sf.hops;  // route at completion (detours included)
     ft.local = sf.local;
+    ft.reroutes = sf.reroutes;
+    ft.stall_seconds = sf.stall_seconds;
+    if (faulty && !sf.local) ft.final_route = sf.policy.list;
     result.flows.push_back(ft);
 
     const double cost = sf.flow->size_gb * static_cast<double>(sf.hops);
@@ -374,6 +615,9 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     result.jobs.push_back(jr);
     result.makespan = std::max(result.makespan, jr.completion_time);
   }
+
+  // ---- 7. Fault accounting --------------------------------------------------
+  if (faulty) account_plan(config_.faults, result.makespan, rec);
   return result;
 }
 

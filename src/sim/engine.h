@@ -32,6 +32,7 @@
 #include "network/bandwidth.h"
 #include "sched/scheduler.h"
 #include "sim/delay_fetcher.h"
+#include "sim/faults.h"
 #include "sim/metrics.h"
 #include "util/rng.h"
 
@@ -61,6 +62,16 @@ struct SimConfig {
   mr::ShuffleConfig shuffle;
   /// Hard cap on map waves (safety against degenerate configs).
   std::size_t max_waves = 64;
+  /// Fault script replayed during the run (empty = fault-free, the default).
+  /// Server failures kill their in-flight maps (re-executed through the
+  /// scheduler's subsequent-wave path; reduce containers relocate the same
+  /// way); switch/link failures detour or stall the shuffle flows crossing
+  /// them until repair.  Map-phase simplifications: map-input fetch prefers
+  /// alive replicas (falls back to the nearest replica when all are down,
+  /// modeling HDFS re-replication), completed map output is durable, and
+  /// server faults after the map phase are counted but do not interrupt
+  /// transfers (the online simulator models full job restart).
+  FaultPlan faults;
 };
 
 class ClusterSimulator {

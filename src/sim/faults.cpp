@@ -1,0 +1,239 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace hit::sim {
+namespace {
+
+/// Stable per-element fork salt: the plan must not depend on generation
+/// order, so every element derives its own child stream.
+std::uint64_t salt(FaultTarget target, NodeId a, NodeId b = NodeId{}) {
+  return (static_cast<std::uint64_t>(target) << 56) ^
+         (static_cast<std::uint64_t>(a.value()) << 24) ^
+         static_cast<std::uint64_t>(b.valid() ? b.value() + 1 : 0);
+}
+
+std::pair<std::uint32_t, std::uint32_t> link_key(NodeId a, NodeId b) {
+  return std::minmax(a.value(), b.value());
+}
+
+}  // namespace
+
+std::string_view fault_target_name(FaultTarget target) {
+  switch (target) {
+    case FaultTarget::Switch: return "switch";
+    case FaultTarget::Server: return "server";
+    default: return "link";
+  }
+}
+
+void FaultPlan::insert(FaultEvent event) {
+  if (event.time < 0.0) {
+    throw std::invalid_argument("FaultPlan: event time must be non-negative");
+  }
+  // Keep sorted by time; equal times preserve insertion order.
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event.time,
+      [](double t, const FaultEvent& e) { return t < e.time; });
+  events_.insert(pos, event);
+}
+
+void FaultPlan::fail_switch(NodeId sw, double at, double repair_after) {
+  insert(FaultEvent{at, FaultKind::Fail, FaultTarget::Switch, sw, NodeId{}});
+  if (repair_after > 0.0) {
+    insert(FaultEvent{at + repair_after, FaultKind::Recover, FaultTarget::Switch,
+                      sw, NodeId{}});
+  }
+}
+
+void FaultPlan::fail_server(NodeId server_node, double at, double repair_after) {
+  insert(FaultEvent{at, FaultKind::Fail, FaultTarget::Server, server_node, NodeId{}});
+  if (repair_after > 0.0) {
+    insert(FaultEvent{at + repair_after, FaultKind::Recover, FaultTarget::Server,
+                      server_node, NodeId{}});
+  }
+}
+
+void FaultPlan::fail_link(NodeId a, NodeId b, double at, double repair_after) {
+  if (a == b) throw std::invalid_argument("FaultPlan: link endpoints must differ");
+  insert(FaultEvent{at, FaultKind::Fail, FaultTarget::Link, a, b});
+  if (repair_after > 0.0) {
+    insert(FaultEvent{at + repair_after, FaultKind::Recover, FaultTarget::Link, a, b});
+  }
+}
+
+FaultPlan FaultPlan::generate(const topo::Topology& topology,
+                              const MtbfConfig& config, std::uint64_t seed) {
+  if (config.horizon <= 0.0) {
+    throw std::invalid_argument("FaultPlan::generate: horizon must be positive");
+  }
+  FaultPlan plan;
+  const Rng base(seed);
+
+  // One renewal process per element: up for Exp(1/mtbf), down for
+  // Exp(1/mttr), repeating until the horizon.  mttr == 0 => the first
+  // failure is permanent.
+  auto renew = [&](FaultTarget target, NodeId a, NodeId b, double mtbf,
+                   double mttr) {
+    if (mtbf <= 0.0) return;
+    Rng rng = base.fork(salt(target, a, b));
+    double t = 0.0;
+    while (true) {
+      t += rng.exponential(1.0 / mtbf);
+      if (t >= config.horizon) break;
+      plan.insert(FaultEvent{t, FaultKind::Fail, target, a, b});
+      if (mttr <= 0.0) break;  // permanent
+      // Repairs complete even past the horizon: only *failures* are bounded,
+      // so a generated plan never strands an element down by accident.
+      t += rng.exponential(1.0 / mttr);
+      plan.insert(FaultEvent{t, FaultKind::Recover, target, a, b});
+      if (t >= config.horizon) break;
+    }
+  };
+
+  for (NodeId sw : topology.switches()) {
+    renew(FaultTarget::Switch, sw, NodeId{}, config.switch_mtbf,
+          config.switch_mttr);
+  }
+  for (NodeId server : topology.servers()) {
+    renew(FaultTarget::Server, server, NodeId{}, config.server_mtbf,
+          config.server_mttr);
+  }
+  if (config.link_mtbf > 0.0) {
+    for (std::uint32_t n = 0; n < topology.node_count(); ++n) {
+      const NodeId a{n};
+      for (const topo::Edge& e : topology.graph().neighbors(a)) {
+        if (e.to < a) continue;  // each undirected link once
+        renew(FaultTarget::Link, a, e.to, config.link_mtbf, config.link_mttr);
+      }
+    }
+  }
+  return plan;
+}
+
+FaultState::FaultState(const topo::Topology& topology)
+    : topology_(&topology), node_down_(topology.node_count(), 0) {}
+
+void FaultState::apply(const FaultEvent& event) {
+  if (event.target == FaultTarget::Link) {
+    if (event.kind == FaultKind::Fail) {
+      down_links_.insert(link_key(event.node, event.peer));
+    } else {
+      down_links_.erase(link_key(event.node, event.peer));
+    }
+    return;
+  }
+  if (event.node.index() >= node_down_.size()) {
+    throw std::invalid_argument("FaultState: event node outside topology");
+  }
+  char& down = node_down_[event.node.index()];
+  const char want = event.kind == FaultKind::Fail ? 1 : 0;
+  if (down == want) return;  // duplicate fail/recover: idempotent
+  down = want;
+  down_node_count_ += want ? 1 : -1;
+}
+
+bool FaultState::node_up(NodeId n) const {
+  return n.index() < node_down_.size() && node_down_[n.index()] == 0;
+}
+
+bool FaultState::link_up(NodeId a, NodeId b) const {
+  return down_links_.find(link_key(a, b)) == down_links_.end();
+}
+
+bool FaultState::path_up(const topo::Path& path) const {
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (!node_up(path[i])) return false;
+    if (i > 0 && !link_up(path[i - 1], path[i])) return false;
+  }
+  return true;
+}
+
+bool FaultState::policy_hits_fault(const net::Policy& policy) const {
+  for (NodeId sw : policy.list) {
+    if (!node_up(sw)) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> FaultState::down_nodes() const {
+  std::vector<NodeId> down;
+  for (std::size_t i = 0; i < node_down_.size(); ++i) {
+    if (node_down_[i]) down.push_back(NodeId(static_cast<std::uint32_t>(i)));
+  }
+  return down;
+}
+
+std::optional<Reroute> reroute_policy(const topo::Topology& topology,
+                                      const FaultState& state, NodeId src,
+                                      NodeId dst, FlowId flow) {
+  if (!state.node_up(src) || !state.node_up(dst)) return std::nullopt;
+  if (src == dst) {
+    return Reroute{net::policy_from_path(topology, {src}, flow), {src}};
+  }
+
+  // Plain BFS over id-sorted adjacency, skipping down nodes and links:
+  // deterministic minimum-hop detour.
+  const topo::Graph& graph = topology.graph();
+  std::vector<NodeId> parent(graph.node_count());
+  std::vector<char> seen(graph.node_count(), 0);
+  std::deque<NodeId> frontier{src};
+  seen[src.index()] = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    if (u == dst) break;
+    for (const topo::Edge& e : graph.neighbors(u)) {
+      if (seen[e.to.index()]) continue;
+      if (!state.node_up(e.to) || !state.link_up(u, e.to)) continue;
+      seen[e.to.index()] = 1;
+      parent[e.to.index()] = u;
+      frontier.push_back(e.to);
+    }
+  }
+  if (!seen[dst.index()]) return std::nullopt;
+
+  topo::Path path{dst};
+  for (NodeId u = dst; u != src; u = parent[u.index()]) {
+    path.push_back(parent[u.index()]);
+  }
+  std::reverse(path.begin(), path.end());
+  return Reroute{net::policy_from_path(topology, path, flow), path};
+}
+
+void account_plan(const FaultPlan& plan, double end, RecoveryStats& rec) {
+  std::map<std::tuple<int, std::uint32_t, std::uint32_t>, double> down_since;
+  for (const FaultEvent& ev : plan.events()) {
+    if (ev.time > end) break;
+    ++rec.faults_applied;
+    const auto key = std::make_tuple(
+        static_cast<int>(ev.target), ev.node.value(),
+        ev.peer.valid() ? ev.peer.value() : 0xFFFFFFFFu);
+    if (ev.kind == FaultKind::Fail) {
+      if (down_since.emplace(key, ev.time).second) {
+        switch (ev.target) {
+          case FaultTarget::Switch: ++rec.switches_failed; break;
+          case FaultTarget::Server: ++rec.servers_failed; break;
+          case FaultTarget::Link: ++rec.links_failed; break;
+        }
+      }
+    } else {
+      const auto it = down_since.find(key);
+      if (it != down_since.end()) {
+        rec.unavailable_seconds += ev.time - it->second;
+        down_since.erase(it);
+      }
+    }
+  }
+  for (const auto& [key, since] : down_since) {
+    if (end > since) rec.unavailable_seconds += end - since;
+  }
+}
+
+}  // namespace hit::sim

@@ -1,0 +1,139 @@
+// Runtime fault injection: switch, server, and link failures (and their
+// recoveries) as timestamped events.
+//
+// The paper's centralized controller exists because "the bandwidth available
+// for MapReduce applications becomes changeable over time" (§1); planned
+// maintenance (NetworkController::drain) is only half of that story.  A
+// FaultPlan scripts the unplanned half: deterministic fail/recover events
+// that both simulators (sim::ClusterSimulator, sim::OnlineSimulator) replay
+// mid-run — a server failure kills its in-flight maps, a switch or link
+// failure forces the shuffle flows crossing it onto alive detours or stalls
+// them until repair.
+//
+// Determinism: a plan is either scripted explicitly or generated from
+// (topology, MtbfConfig, seed).  Generation is a pure function of its
+// inputs — per-element Rng forks keyed by target kind and node id — so the
+// same seed yields the same plan regardless of call order, and a seeded
+// simulation with faults enabled stays bit-identical across runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "network/policy.h"
+#include "sim/metrics.h"
+#include "topology/topology.h"
+#include "util/ids.h"
+
+namespace hit::sim {
+
+enum class FaultTarget : std::uint8_t { Switch, Server, Link };
+enum class FaultKind : std::uint8_t { Fail, Recover };
+
+[[nodiscard]] std::string_view fault_target_name(FaultTarget target);
+
+struct FaultEvent {
+  double time = 0.0;
+  FaultKind kind = FaultKind::Fail;
+  FaultTarget target = FaultTarget::Switch;
+  NodeId node;  ///< the failed switch / server node; link endpoint a
+  NodeId peer;  ///< link endpoint b; invalid for switch/server events
+};
+
+/// MTBF/MTTR generator knobs.  A class with mtbf == 0 never fails; mttr == 0
+/// makes failures permanent (no recover event is emitted).
+struct MtbfConfig {
+  double horizon = 0.0;  ///< generate events in (0, horizon)
+  double switch_mtbf = 0.0;
+  double switch_mttr = 0.0;
+  double server_mtbf = 0.0;
+  double server_mttr = 0.0;
+  double link_mtbf = 0.0;
+  double link_mttr = 0.0;
+};
+
+/// An ordered script of fault events.  Events are kept sorted by time;
+/// equal-time events preserve insertion order (scripted plans) or the
+/// deterministic generation order (switches, then servers, then links, each
+/// in id order).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Scripted single faults.  `repair_after` <= 0 means permanent.
+  /// Throws std::invalid_argument on negative times.
+  void fail_switch(NodeId sw, double at, double repair_after = 0.0);
+  void fail_server(NodeId server_node, double at, double repair_after = 0.0);
+  void fail_link(NodeId a, NodeId b, double at, double repair_after = 0.0);
+
+  /// Stochastic plan: alternate Exp(1/mtbf) up-times and Exp(1/mttr)
+  /// down-times per element.  Failures are generated inside (0, horizon);
+  /// each failure's repair is always emitted (possibly past the horizon)
+  /// unless mttr == 0, which makes failures permanent.  Pure function of
+  /// the inputs.
+  [[nodiscard]] static FaultPlan generate(const topo::Topology& topology,
+                                          const MtbfConfig& config,
+                                          std::uint64_t seed);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  void insert(FaultEvent event);
+
+  std::vector<FaultEvent> events_;
+};
+
+/// Replay-time view of which elements are up.  Simulators apply events in
+/// order and query liveness when releasing or rerouting flows.
+class FaultState {
+ public:
+  explicit FaultState(const topo::Topology& topology);
+
+  void apply(const FaultEvent& event);
+
+  [[nodiscard]] bool node_up(NodeId n) const;
+  [[nodiscard]] bool link_up(NodeId a, NodeId b) const;
+  /// Every node and every traversed link of the path is up.
+  [[nodiscard]] bool path_up(const topo::Path& path) const;
+  /// Any switch of the policy's list is down.
+  [[nodiscard]] bool policy_hits_fault(const net::Policy& policy) const;
+
+  [[nodiscard]] std::vector<NodeId> down_nodes() const;
+  [[nodiscard]] bool any_down() const {
+    return down_node_count_ > 0 || !down_links_.empty();
+  }
+
+ private:
+  const topo::Topology* topology_;
+  std::vector<char> node_down_;  // indexed by NodeId
+  std::size_t down_node_count_ = 0;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> down_links_;  // a < b
+};
+
+/// A reroute answer: the policy (switch list) plus the exact node path the
+/// BFS found, so callers never re-realize through a down relay server.
+struct Reroute {
+  net::Policy policy;
+  topo::Path path;
+};
+
+/// Minimum-hop route from server `src` to server `dst` avoiding every down
+/// node and link.  Deterministic (BFS over id-sorted adjacency).  Returns
+/// nullopt when the failure set disconnects the pair.
+[[nodiscard]] std::optional<Reroute> reroute_policy(
+    const topo::Topology& topology, const FaultState& state, NodeId src,
+    NodeId dst, FlowId flow);
+
+/// Fold the plan prefix inside [0, end] into `rec`: events replayed
+/// (`faults_applied`), failure episodes per element class, and total element
+/// downtime clipped to the run (`unavailable_seconds`).
+void account_plan(const FaultPlan& plan, double end, RecoveryStats& rec);
+
+}  // namespace hit::sim

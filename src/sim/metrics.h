@@ -30,8 +30,29 @@ struct FlowTiming {
   double size_gb = 0.0;
   std::size_t route_hops = 0;  ///< switches traversed (0 = node-local)
   bool local = false;
+  std::size_t reroutes = 0;       ///< times a fault forced this flow to move
+  double stall_seconds = 0.0;     ///< time spent with no alive route
+  std::vector<NodeId> final_route;  ///< switch list at completion (fault runs)
 
   [[nodiscard]] double duration() const { return finish - release; }
+};
+
+/// Fault-and-recovery accounting for a run (all zero when no FaultPlan is
+/// configured).  Degradation studies (bench_faults) plot these against JCT
+/// and shuffle cost.
+struct RecoveryStats {
+  std::size_t faults_applied = 0;  ///< fail+recover events replayed
+  std::size_t switches_failed = 0;
+  std::size_t servers_failed = 0;
+  std::size_t links_failed = 0;
+  std::size_t maps_killed = 0;       ///< in-flight maps lost to server faults
+  std::size_t maps_reexecuted = 0;   ///< recovery copies run to completion
+  std::size_t reduces_relocated = 0; ///< reduce containers moved off dead servers
+  std::size_t jobs_restarted = 0;    ///< online: jobs whose reduce host died
+  std::size_t flows_rerouted = 0;    ///< mid-transfer detours taken
+  std::size_t flows_stalled = 0;     ///< stall episodes (no alive route)
+  double stall_seconds = 0.0;        ///< total flow-time spent stalled
+  double unavailable_seconds = 0.0;  ///< Σ element downtime inside the run
 };
 
 struct JobResult {
@@ -54,6 +75,7 @@ struct SimResult {
   double total_remote_map_gb = 0.0;
   double shuffle_finish_time = 0.0;  ///< when the last shuffle byte landed
   std::size_t speculative_copies = 0;  ///< backup map attempts launched
+  RecoveryStats recovery;              ///< fault/recovery accounting
 
   [[nodiscard]] std::vector<double> job_completion_times() const;
   [[nodiscard]] std::vector<double> task_durations(cluster::TaskKind kind) const;

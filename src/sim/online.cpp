@@ -7,11 +7,13 @@
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "network/bandwidth.h"
 #include "network/load.h"
 #include "network/routing.h"
 #include "sim/delay_fetcher.h"
+#include "sim/faults.h"
 
 namespace hit::sim {
 namespace {
@@ -26,11 +28,19 @@ struct JobFlow {
   double remaining = 0.0;
   topo::Path path;          // empty for local flows
   net::Policy policy;
+  NodeId src_node;
+  NodeId dst_node;
   std::size_t hops = 0;
   bool local = false;
   double finish = -1.0;
+  double local_done_at = kInf;
   bool released = false;
   bool done = false;
+  bool charged = false;     // rate currently on the load ledger
+  bool stalled = false;     // no alive route; parked until repair
+  double stall_since = 0.0;
+  double stall_seconds = 0.0;
+  std::size_t reroutes = 0;
 };
 
 struct RunningJob {
@@ -39,9 +49,11 @@ struct RunningJob {
   double arrival = 0.0;
   double scheduled_at = 0.0;
   double map_finish_max = 0.0;
+  double expected_finish = kInf;  // guards stale job_finishes heap entries
   std::size_t flows_remaining = 0;
   double shuffle_cost = 0.0;
   std::unordered_map<TaskId, ServerId> placement;
+  std::unordered_map<TaskId, double> map_finish;
   std::unordered_map<TaskId, double> reduce_last_input;
 };
 
@@ -89,6 +101,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
                                   mr::IdAllocator& ids, Rng& rng) const {
   const topo::Topology& topology = cluster_->topology();
   OnlineResult result;
+  RecoveryStats& rec = result.recovery;
   if (jobs.empty()) return result;
 
   // Static inputs: HDFS layout, per-job flows, arrival times.
@@ -144,10 +157,49 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
   MinHeap releases;      // (time, flow index)
   MinHeap local_done;    // (time, flow index)
   MinHeap job_finishes;  // (time, job index)
-  std::vector<std::size_t> active;  // network flows in the fluid pool
+  std::vector<std::size_t> active;         // network flows in the fluid pool
+  std::vector<std::size_t> stalled_flows;  // parked: released, no alive route
   double now = 0.0;
   std::size_t next_arrival = 0;
   std::size_t jobs_finished = 0;
+
+  // Fault machinery.  Faults and their consequences are first-class loop
+  // events; with an empty plan every branch below is dead and the run is
+  // bit-identical to the fault-free simulator.
+  const std::vector<FaultEvent>& fault_events = config_.sim.faults.events();
+  std::size_t next_fev = 0;
+  std::vector<char> server_dead(cluster_->size(), 0);
+  FaultState fstate(topology);  // switch/link liveness
+  std::vector<double> queued_since = arrivals;  // restart re-stamps the wait
+  std::size_t reschedule_seq = 0;               // rng stream per map re-placement
+
+  const auto map_duration = [&](const mr::Task& t, ServerId host) -> double {
+    double fetch;
+    if (blocks.local(t.id, host)) {
+      fetch = fetcher.fetch_seconds(t.input_gb, host, host);
+    } else {
+      fetch = kInf;
+      bool replica_alive = false;
+      for (ServerId r : blocks.replicas(t.id)) {
+        if (server_dead[r.index()]) continue;
+        replica_alive = true;
+        fetch = std::min(fetch, fetcher.fetch_seconds(t.input_gb, r, host));
+      }
+      if (!replica_alive) {
+        // Every replica is down: HDFS re-replication serves a copy at the
+        // nearest original replica's cost.
+        for (ServerId r : blocks.replicas(t.id)) {
+          fetch = std::min(fetch, fetcher.fetch_seconds(t.input_gb, r, host));
+        }
+      }
+    }
+    double jitter = 1.0;
+    if (config_.sim.map_time_jitter_sigma > 0.0) {
+      Rng jitter_rng = rng.fork(0x4A495454ull ^ t.id.value());
+      jitter = jitter_rng.lognormal_median(1.0, config_.sim.map_time_jitter_sigma);
+    }
+    return fetch + t.compute_seconds * jitter;
+  };
 
   auto try_schedule = [&](std::size_t j) -> bool {
     const mr::Job& job = jobs[j];
@@ -157,6 +209,10 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     problem.blocks = &blocks;
     problem.base_usage = usage;
     problem.ambient_load = &load;
+    // Dead servers offer no headroom.
+    for (const cluster::Server& s : cluster_->servers()) {
+      if (server_dead[s.id.index()]) problem.base_usage[s.id.index()] = s.capacity;
+    }
     for (const mr::Task& t : job.maps) {
       problem.tasks.push_back(sched::TaskRef{t.id, job.id, t.kind,
                                              config_.sim.container_demand, t.input_gb});
@@ -186,32 +242,17 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
 
     // Map finishes drive flow releases.
     run.flows_remaining = job_flow_sets[j].size();
-    std::unordered_map<TaskId, double> map_finish;
     for (const mr::Task& t : job.maps) {
       const ServerId host = assignment.placement.at(t.id);
-      double fetch;
-      if (blocks.local(t.id, host)) {
-        fetch = fetcher.fetch_seconds(t.input_gb, host, host);
-      } else {
-        fetch = kInf;
-        for (ServerId r : blocks.replicas(t.id)) {
-          fetch = std::min(fetch, fetcher.fetch_seconds(t.input_gb, r, host));
-        }
-      }
-      double jitter = 1.0;
-      if (config_.sim.map_time_jitter_sigma > 0.0) {
-        Rng jitter_rng = rng.fork(0x4A495454ull ^ t.id.value());
-        jitter = jitter_rng.lognormal_median(1.0, config_.sim.map_time_jitter_sigma);
-      }
-      const double finish = now + fetch + t.compute_seconds * jitter;
-      map_finish[t.id] = finish;
+      const double finish = now + map_duration(t, host);
+      run.map_finish[t.id] = finish;
       run.map_finish_max = std::max(run.map_finish_max, finish);
     }
 
     for (std::size_t k = 0; k < job_flow_sets[j].size(); ++k) {
       const std::size_t idx = flow_base[j] + k;
       JobFlow& jf = flows[idx];
-      jf.release = map_finish.at(jf.flow->src_task);
+      jf.release = run.map_finish.at(jf.flow->src_task);
       const ServerId src = assignment.placement.at(jf.flow->src_task);
       const ServerId dst = assignment.placement.at(jf.flow->dst_task);
       if (src == dst || jf.flow->size_gb <= 0.0) {
@@ -219,18 +260,34 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
         const double disk = config_.sim.local_disk_bandwidth > 0.0
                                 ? jf.flow->size_gb / config_.sim.local_disk_bandwidth
                                 : 0.0;
-        local_done.emplace(jf.release + disk, idx);
+        jf.local_done_at = jf.release + disk;
+        local_done.emplace(jf.local_done_at, idx);
       } else {
-        const NodeId src_node = cluster_->node_of(src);
-        const NodeId dst_node = cluster_->node_of(dst);
+        jf.src_node = cluster_->node_of(src);
+        jf.dst_node = cluster_->node_of(dst);
         const auto it = assignment.policies.find(jf.flow->id);
         jf.policy = (it != assignment.policies.end() && !it->second.list.empty())
                         ? it->second
-                        : net::shortest_policy(topology, src_node, dst_node,
+                        : net::shortest_policy(topology, jf.src_node, jf.dst_node,
                                                jf.flow->id);
-        jf.path = jf.policy.realize(topology, src_node, dst_node);
+        jf.path = jf.policy.realize(topology, jf.src_node, jf.dst_node);
         jf.hops = jf.policy.len();
-        load.assign(jf.policy, jf.flow->rate);
+        if (fstate.any_down() && !fstate.path_up(jf.path)) {
+          // Scheduled onto a dead route: detour now if one exists (otherwise
+          // the flow parks at release time).
+          if (auto detour = reroute_policy(topology, fstate, jf.src_node,
+                                           jf.dst_node, jf.flow->id)) {
+            jf.policy = std::move(detour->policy);
+            jf.path = std::move(detour->path);
+            jf.hops = jf.policy.len();
+            ++jf.reroutes;
+            ++rec.flows_rerouted;
+          }
+        }
+        if (!fstate.any_down() || fstate.path_up(jf.path)) {
+          load.assign(jf.policy, jf.flow->rate);
+          jf.charged = true;
+        }
         run.shuffle_cost +=
             jf.flow->size_gb * static_cast<double>(jf.hops);
         releases.emplace(jf.release, idx);
@@ -241,7 +298,8 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       for (const mr::Task& t : job.reduces) {
         compute = std::max(compute, t.compute_seconds);
       }
-      job_finishes.emplace(std::max(run.map_finish_max, now) + compute, j);
+      run.expected_finish = std::max(run.map_finish_max, now) + compute;
+      job_finishes.emplace(run.expected_finish, j);
     }
     return true;
   };
@@ -253,7 +311,10 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     RunningJob& run = state[jf.job];
     double& last = run.reduce_last_input[jf.flow->dst_task];
     last = std::max(last, at);
-    if (!jf.local) load.remove(jf.policy, jf.flow->rate);
+    if (jf.charged) {
+      load.remove(jf.policy, jf.flow->rate);
+      jf.charged = false;
+    }
     if (--run.flows_remaining == 0) {
       // All inputs delivered: every reduce finishes after its own last
       // input plus compute; the job after the slowest reduce.
@@ -264,7 +325,267 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
             it != run.reduce_last_input.end() ? it->second : run.map_finish_max;
         finish = std::max(finish, input_done + t.compute_seconds);
       }
-      job_finishes.emplace(std::max(finish, at), jf.job);
+      run.expected_finish = std::max(finish, at);
+      job_finishes.emplace(run.expected_finish, jf.job);
+    }
+  };
+
+  // Detour `jf` onto an alive route, moving its charge and cost with it.
+  const auto try_reroute_flow = [&](JobFlow& jf) -> bool {
+    auto detour =
+        reroute_policy(topology, fstate, jf.src_node, jf.dst_node, jf.flow->id);
+    if (!detour) return false;
+    if (jf.charged) load.remove(jf.policy, jf.flow->rate);
+    state[jf.job].shuffle_cost +=
+        jf.flow->size_gb * (static_cast<double>(detour->policy.len()) -
+                            static_cast<double>(jf.hops));
+    jf.policy = std::move(detour->policy);
+    jf.path = std::move(detour->path);
+    jf.hops = jf.policy.len();
+    load.assign(jf.policy, jf.flow->rate);
+    jf.charged = true;
+    ++jf.reroutes;
+    ++rec.flows_rerouted;
+    return true;
+  };
+
+  const auto park_flow = [&](std::size_t idx) {
+    JobFlow& jf = flows[idx];
+    if (jf.charged) {
+      load.remove(jf.policy, jf.flow->rate);
+      jf.charged = false;
+    }
+    jf.stalled = true;
+    jf.stall_since = now;
+    stalled_flows.push_back(idx);
+    ++rec.flows_stalled;
+  };
+
+  // A dead reduce host loses the job's partial state: release everything and
+  // re-queue the job at the head of the line (arrival unchanged).
+  const auto restart_job = [&](std::size_t j) {
+    RunningJob& run = state[j];
+    for (const auto& [task, server] : run.placement) {
+      usage[server.index()] -= config_.sim.container_demand;
+    }
+    const std::size_t begin = flow_base[j];
+    const std::size_t end = begin + job_flow_sets[j].size();
+    for (std::size_t k = begin; k < end; ++k) {
+      JobFlow& jf = flows[k];
+      if (jf.charged) {
+        load.remove(jf.policy, jf.flow->rate);
+        jf.charged = false;
+      }
+      jf.release = kInf;
+      jf.remaining = jf.flow->size_gb;
+      jf.path.clear();
+      jf.policy = net::Policy{};
+      jf.hops = 0;
+      jf.local = false;
+      jf.finish = -1.0;
+      jf.local_done_at = kInf;
+      jf.released = false;
+      jf.done = false;
+      jf.stalled = false;
+      jf.stall_since = 0.0;
+    }
+    const auto is_mine = [&](std::size_t idx) { return flows[idx].job == j; };
+    active.erase(std::remove_if(active.begin(), active.end(), is_mine),
+                 active.end());
+    stalled_flows.erase(
+        std::remove_if(stalled_flows.begin(), stalled_flows.end(), is_mine),
+        stalled_flows.end());
+    state[j] = RunningJob{};
+    queued_since[j] = now;
+    waiting.push_front(j);
+    ++rec.jobs_restarted;
+  };
+
+  // Kill the in-flight maps on a dead server and re-place them through the
+  // scheduler's subsequent-wave path (the rest of the job stays fixed).
+  // Returns false when no capacity exists right now.
+  const auto reschedule_maps =
+      [&](std::size_t j, const std::vector<const mr::Task*>& dead_maps) -> bool {
+    RunningJob& run = state[j];
+    std::unordered_set<TaskId> killed_srcs;
+    for (const mr::Task* t : dead_maps) {
+      usage[run.placement.at(t->id).index()] -= config_.sim.container_demand;
+      run.placement.erase(t->id);
+      run.map_finish.erase(t->id);
+      killed_srcs.insert(t->id);
+      ++rec.maps_killed;
+    }
+    const std::size_t begin = flow_base[j];
+    const std::size_t end = begin + job_flow_sets[j].size();
+    for (std::size_t k = begin; k < end; ++k) {
+      JobFlow& jf = flows[k];
+      if (killed_srcs.count(jf.flow->src_task) == 0) continue;
+      // Not yet released (its map was in flight); pull the stale route.
+      if (jf.charged) {
+        load.remove(jf.policy, jf.flow->rate);
+        jf.charged = false;
+      }
+      if (!jf.local) {
+        run.shuffle_cost -= jf.flow->size_gb * static_cast<double>(jf.hops);
+      }
+      jf.local = false;
+      jf.local_done_at = kInf;
+      jf.release = kInf;
+      jf.hops = 0;
+    }
+
+    sched::Problem problem;
+    problem.topology = &topology;
+    problem.cluster = cluster_;
+    problem.blocks = &blocks;
+    problem.base_usage = usage;
+    problem.ambient_load = &load;
+    problem.fixed = run.placement;
+    for (const cluster::Server& s : cluster_->servers()) {
+      if (server_dead[s.id.index()]) problem.base_usage[s.id.index()] = s.capacity;
+    }
+    for (const mr::Task* t : dead_maps) {
+      problem.tasks.push_back(sched::TaskRef{t->id, jobs[j].id, t->kind,
+                                             config_.sim.container_demand,
+                                             t->input_gb});
+    }
+    for (const net::Flow& f : job_flow_sets[j]) {
+      if (killed_srcs.count(f.src_task) > 0) problem.flows.push_back(f);
+    }
+
+    Rng wave_rng = rng.fork(500000 + reschedule_seq++);
+    sched::Assignment assignment;
+    try {
+      assignment = scheduler.schedule(problem, wave_rng);
+    } catch (const std::runtime_error&) {
+      return false;
+    }
+    sched::validate_assignment(problem, assignment);
+
+    for (const mr::Task* t : dead_maps) {
+      const ServerId host = assignment.placement.at(t->id);
+      run.placement.insert_or_assign(t->id, host);
+      usage[host.index()] += config_.sim.container_demand;
+      const double finish = now + map_duration(*t, host);
+      run.map_finish[t->id] = finish;
+      run.map_finish_max = std::max(run.map_finish_max, finish);
+      ++rec.maps_reexecuted;
+    }
+    for (std::size_t k = begin; k < end; ++k) {
+      JobFlow& jf = flows[k];
+      if (killed_srcs.count(jf.flow->src_task) == 0) continue;
+      jf.release = run.map_finish.at(jf.flow->src_task);
+      jf.remaining = jf.flow->size_gb;
+      const ServerId src = run.placement.at(jf.flow->src_task);
+      const ServerId dst = run.placement.at(jf.flow->dst_task);
+      if (src == dst || jf.flow->size_gb <= 0.0) {
+        jf.local = true;
+        const double disk = config_.sim.local_disk_bandwidth > 0.0
+                                ? jf.flow->size_gb / config_.sim.local_disk_bandwidth
+                                : 0.0;
+        jf.local_done_at = jf.release + disk;
+        local_done.emplace(jf.local_done_at, k);
+      } else {
+        jf.src_node = cluster_->node_of(src);
+        jf.dst_node = cluster_->node_of(dst);
+        const auto it = assignment.policies.find(jf.flow->id);
+        jf.policy = (it != assignment.policies.end() && !it->second.list.empty())
+                        ? it->second
+                        : net::shortest_policy(topology, jf.src_node, jf.dst_node,
+                                               jf.flow->id);
+        jf.path = jf.policy.realize(topology, jf.src_node, jf.dst_node);
+        jf.hops = jf.policy.len();
+        if (fstate.any_down() && !fstate.path_up(jf.path)) {
+          if (auto detour = reroute_policy(topology, fstate, jf.src_node,
+                                           jf.dst_node, jf.flow->id)) {
+            jf.policy = std::move(detour->policy);
+            jf.path = std::move(detour->path);
+            jf.hops = jf.policy.len();
+            ++jf.reroutes;
+            ++rec.flows_rerouted;
+          }
+        }
+        if (!fstate.any_down() || fstate.path_up(jf.path)) {
+          load.assign(jf.policy, jf.flow->rate);
+          jf.charged = true;
+        }
+        run.shuffle_cost += jf.flow->size_gb * static_cast<double>(jf.hops);
+        releases.emplace(jf.release, k);
+      }
+    }
+    return true;
+  };
+
+  const auto handle_server_fail = [&](NodeId node) {
+    const ServerId s = cluster_->server_at(node);
+    if (server_dead[s.index()]) return;  // duplicate fail
+    server_dead[s.index()] = 1;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      RunningJob& run = state[j];
+      if (!run.scheduled || run.finished) continue;
+      bool reduce_dead = false;
+      for (const mr::Task& t : jobs[j].reduces) {
+        const auto it = run.placement.find(t.id);
+        if (it != run.placement.end() && it->second == s) {
+          reduce_dead = true;
+          break;
+        }
+      }
+      if (reduce_dead) {
+        restart_job(j);
+        continue;
+      }
+      std::vector<const mr::Task*> dead_maps;
+      for (const mr::Task& t : jobs[j].maps) {
+        const auto it = run.placement.find(t.id);
+        if (it == run.placement.end() || it->second != s) continue;
+        const auto fit = run.map_finish.find(t.id);
+        if (fit != run.map_finish.end() && fit->second > now + kEps) {
+          dead_maps.push_back(&t);
+        }
+      }
+      if (dead_maps.empty()) continue;  // completed output is durable
+      if (!reschedule_maps(j, dead_maps)) restart_job(j);
+    }
+  };
+
+  const auto handle_net_event = [&](const FaultEvent& ev) {
+    fstate.apply(ev);
+    if (ev.kind == FaultKind::Fail) {
+      // Crossing transfers detour onto an alive route or park until repair.
+      std::vector<std::size_t> keep;
+      keep.reserve(active.size());
+      for (std::size_t idx : active) {
+        JobFlow& jf = flows[idx];
+        if (fstate.path_up(jf.path) || try_reroute_flow(jf)) {
+          keep.push_back(idx);
+        } else {
+          park_flow(idx);
+        }
+      }
+      active = std::move(keep);
+    } else {
+      // Parked transfers resume on their old route or a fresh detour.
+      std::vector<std::size_t> still_parked;
+      still_parked.reserve(stalled_flows.size());
+      for (std::size_t idx : stalled_flows) {
+        JobFlow& jf = flows[idx];
+        bool alive = fstate.path_up(jf.path);
+        if (alive && !jf.charged) {
+          load.assign(jf.policy, jf.flow->rate);
+          jf.charged = true;
+        }
+        if (!alive) alive = try_reroute_flow(jf);
+        if (alive) {
+          jf.stalled = false;
+          jf.stall_seconds += now - jf.stall_since;
+          rec.stall_seconds += now - jf.stall_since;
+          active.push_back(idx);
+        } else {
+          still_parked.push_back(idx);
+        }
+      }
+      stalled_flows = std::move(still_parked);
     }
   };
 
@@ -290,9 +611,11 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     const double release_at = releases.empty() ? kInf : releases.top().first;
     const double local_at = local_done.empty() ? kInf : local_done.top().first;
     const double finish_at = job_finishes.empty() ? kInf : job_finishes.top().first;
+    const double fault_at =
+        next_fev < fault_events.size() ? fault_events[next_fev].time : kInf;
 
-    const double next_time =
-        std::min({completion_at, arrival_at, release_at, local_at, finish_at});
+    const double next_time = std::min(
+        {completion_at, arrival_at, release_at, local_at, finish_at, fault_at});
     if (!std::isfinite(next_time)) {
       throw std::runtime_error("OnlineSimulator: stalled (no runnable event)");
     }
@@ -316,26 +639,62 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
 
     // 2. Local flow completions.
     while (!local_done.empty() && local_done.top().first <= now + kEps) {
-      const std::size_t idx = local_done.top().second;
+      const auto [t, idx] = local_done.top();
       local_done.pop();
+      const JobFlow& jf = flows[idx];
+      if (!jf.local || jf.done || std::abs(jf.local_done_at - t) > kEps) {
+        continue;  // stale entry from before a kill or restart
+      }
       complete_flow(idx, now);
     }
 
-    // 3. Flow releases into the fluid pool.
-    while (!releases.empty() && releases.top().first <= now + kEps) {
-      const std::size_t idx = releases.top().second;
-      releases.pop();
-      flows[idx].released = true;
-      active.push_back(idx);
+    // 3. Fault events (and their kills, detours, and restarts).
+    while (next_fev < fault_events.size() &&
+           fault_events[next_fev].time <= now + kEps) {
+      const FaultEvent& ev = fault_events[next_fev++];
+      if (ev.target == FaultTarget::Server) {
+        if (ev.kind == FaultKind::Fail) {
+          handle_server_fail(ev.node);
+        } else {
+          server_dead[cluster_->server_at(ev.node).index()] = 0;
+        }
+      } else {
+        handle_net_event(ev);
+      }
     }
 
-    // 4. Job finishes: free containers, record, drain the FIFO queue.
+    // 4. Flow releases into the fluid pool.
+    while (!releases.empty() && releases.top().first <= now + kEps) {
+      const auto [t, idx] = releases.top();
+      releases.pop();
+      JobFlow& jf = flows[idx];
+      if (jf.released || jf.done || jf.local || std::abs(jf.release - t) > kEps) {
+        continue;  // stale entry from before a kill or restart
+      }
+      jf.released = true;
+      if (!fstate.any_down() || fstate.path_up(jf.path)) {
+        if (!jf.charged) {
+          load.assign(jf.policy, jf.flow->rate);
+          jf.charged = true;
+        }
+        active.push_back(idx);
+      } else if (try_reroute_flow(jf)) {
+        active.push_back(idx);
+      } else {
+        park_flow(idx);
+      }
+    }
+
+    // 5. Job finishes: free containers, record, drain the FIFO queue.
     bool freed = false;
     while (!job_finishes.empty() && job_finishes.top().first <= now + kEps) {
-      const std::size_t j = job_finishes.top().second;
+      const auto [t, j] = job_finishes.top();
       job_finishes.pop();
       RunningJob& run = state[j];
-      if (run.finished) continue;
+      if (run.finished || !run.scheduled || run.flows_remaining != 0 ||
+          std::abs(t - run.expected_finish) > kEps) {
+        continue;  // stale entry (already finished, or job restarted)
+      }
       run.finished = true;
       ++jobs_finished;
       freed = true;
@@ -358,12 +717,12 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       result.total_shuffle_gb += jobs[j].shuffle_gb;
     }
 
-    // 5. Arrivals.
+    // 6. Arrivals.
     while (next_arrival < jobs.size() && arrivals[next_arrival] <= now + kEps) {
       waiting.push_back(next_arrival++);
     }
 
-    // 6. FIFO admission: schedule from the head while jobs fit.
+    // 7. FIFO admission: schedule from the head while jobs fit.
     if (freed || !waiting.empty()) {
       while (!waiting.empty()) {
         if (!try_schedule(waiting.front())) break;  // head-of-line blocks
@@ -371,11 +730,12 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       }
     }
     if (config_.max_queue_wait > 0.0 && !waiting.empty() &&
-        now - arrivals[waiting.front()] > config_.max_queue_wait) {
+        now - queued_since[waiting.front()] > config_.max_queue_wait) {
       throw std::runtime_error("OnlineSimulator: queue wait limit exceeded (overload)");
     }
   }
 
+  const bool faulty = !config_.sim.faults.empty();
   for (const JobFlow& jf : flows) {
     FlowTiming ft;
     ft.id = jf.flow->id;
@@ -385,12 +745,16 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     ft.size_gb = jf.flow->size_gb;
     ft.route_hops = jf.hops;
     ft.local = jf.local;
+    ft.reroutes = jf.reroutes;
+    ft.stall_seconds = jf.stall_seconds;
+    if (faulty && !jf.local) ft.final_route = jf.policy.list;
     result.flows.push_back(ft);
   }
   std::sort(result.jobs.begin(), result.jobs.end(),
             [](const OnlineJobRecord& a, const OnlineJobRecord& b) {
               return a.arrival < b.arrival;
             });
+  if (faulty) account_plan(config_.sim.faults, result.makespan, rec);
   return result;
 }
 

@@ -26,7 +26,12 @@ namespace hit::sim {
 struct OnlineConfig {
   /// Poisson arrival rate (jobs per simulated second).
   double arrival_rate = 0.05;
-  SimConfig sim;  ///< bandwidth scale, shuffle config, replication, ...
+  /// Bandwidth scale, shuffle config, replication, ... — including
+  /// `sim.faults`: here a server failure kills that host's in-flight maps
+  /// (re-placed through the subsequent-wave scheduling path) and *restarts*
+  /// any job whose reduce container it held (back to the head of the queue);
+  /// switch/link failures detour or stall crossing transfers until repair.
+  SimConfig sim;
   /// Abort if any job waits longer than this in the queue (0 = unlimited) —
   /// guards against overload configurations that never drain.
   double max_queue_wait = 0.0;
@@ -52,6 +57,7 @@ struct OnlineResult {
   double makespan = 0.0;
   double total_shuffle_cost = 0.0;
   double total_shuffle_gb = 0.0;
+  RecoveryStats recovery;  ///< fault/recovery accounting (zero when fault-free)
 
   [[nodiscard]] std::vector<double> completion_times() const;
   [[nodiscard]] std::vector<double> queueing_delays() const;

@@ -71,8 +71,11 @@ class Log {
 
 }  // namespace hit::log
 
-#define HIT_LOG_TRACE() ::hit::log::Log(::hit::log::Level::Trace)
-#define HIT_LOG_DEBUG() ::hit::log::Log(::hit::log::Level::Debug)
-#define HIT_LOG_INFO() ::hit::log::Log(::hit::log::Level::Info)
-#define HIT_LOG_WARN() ::hit::log::Log(::hit::log::Level::Warn)
-#define HIT_LOG_ERROR() ::hit::log::Log(::hit::log::Level::Error)
+// Each macro accepts an optional tag: HIT_LOG_INFO() or
+// HIT_LOG_INFO("controller").  The tag reaches log::Log's tag parameter and
+// prefixes the line as "[tag] ", making subsystem output greppable.
+#define HIT_LOG_TRACE(...) ::hit::log::Log(::hit::log::Level::Trace __VA_OPT__(, __VA_ARGS__))
+#define HIT_LOG_DEBUG(...) ::hit::log::Log(::hit::log::Level::Debug __VA_OPT__(, __VA_ARGS__))
+#define HIT_LOG_INFO(...) ::hit::log::Log(::hit::log::Level::Info __VA_OPT__(, __VA_ARGS__))
+#define HIT_LOG_WARN(...) ::hit::log::Log(::hit::log::Level::Warn __VA_OPT__(, __VA_ARGS__))
+#define HIT_LOG_ERROR(...) ::hit::log::Log(::hit::log::Level::Error __VA_OPT__(, __VA_ARGS__))

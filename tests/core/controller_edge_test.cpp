@@ -1,0 +1,195 @@
+// Typed-error and edge-case coverage for NetworkController: the unplanned
+// fail/recover path, parked-flow lifecycle, drain idempotency under hot
+// pressure, and rebalance termination when no alternative helps.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "core/errors.h"
+#include "network/routing.h"
+#include "topology/builders.h"
+
+namespace hit::core {
+namespace {
+
+class ControllerEdgeTest : public ::testing::Test {
+ protected:
+  // Same shape as controller_test: 4 single-host access positions, 2 cores.
+  topo::TreeConfig tree_{2, 4, 2, 1, 16.0, 32.0};
+  topo::Topology topo_ = topo::make_tree(tree_);
+  NetworkController controller_{topo_, make_config()};
+
+  static ControllerConfig make_config() {
+    ControllerConfig c;
+    c.hot_threshold = 0.5;
+    return c;
+  }
+
+  net::Flow flow(unsigned id, double rate) {
+    net::Flow f;
+    f.id = FlowId(id);
+    f.size_gb = rate;
+    f.rate = rate;
+    return f;
+  }
+
+  NodeId server(std::size_t i) { return topo_.servers()[i]; }
+
+  /// The core switch that is not `core` (the fixture tree has exactly two).
+  NodeId twin_core(NodeId core) {
+    for (NodeId sw : topo_.switches()) {
+      if (topo_.tier(sw) == topo::Tier::Core && sw != core) return sw;
+    }
+    return core;
+  }
+
+  net::Policy install(unsigned id, double rate, std::size_t src, std::size_t dst) {
+    const net::Policy p =
+        net::shortest_policy(topo_, server(src), server(dst), FlowId(id));
+    controller_.install(flow(id, rate), p, server(src), server(dst));
+    return p;
+  }
+};
+
+TEST_F(ControllerEdgeTest, UnknownFlowIsTyped) {
+  EXPECT_THROW(controller_.remove(FlowId(404)), UnknownFlow);
+  EXPECT_THROW((void)controller_.policy_of(FlowId(404)), UnknownFlow);
+  // UnknownFlow derives from out_of_range: pre-fault callers still catch it.
+  EXPECT_THROW(controller_.remove(FlowId(404)), std::out_of_range);
+}
+
+TEST_F(ControllerEdgeTest, FailRejectsNonSwitchesAndIsIdempotent) {
+  EXPECT_THROW(controller_.fail(server(0)), NotASwitch);
+  EXPECT_THROW(controller_.recover(server(0)), NotASwitch);
+  EXPECT_THROW(controller_.fail(server(0)), std::invalid_argument);  // base
+
+  const NodeId sw = topo_.switches()[0];
+  controller_.fail(sw);
+  EXPECT_TRUE(controller_.failed(sw));
+  EXPECT_EQ(controller_.fail(sw), 0u);  // duplicate fail: no-op
+  EXPECT_GE(controller_.recover(sw), 0u);
+  EXPECT_FALSE(controller_.failed(sw));
+  EXPECT_EQ(controller_.recover(sw), 0u);  // duplicate recover: no-op
+}
+
+TEST_F(ControllerEdgeTest, InstallOntoFailedPathIsRejectedTyped) {
+  const net::Policy p =
+      net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  controller_.fail(p.list[1]);
+  EXPECT_THROW(controller_.install(flow(1, 1.0), p, server(0), server(2)),
+               PathUnavailable);
+  EXPECT_EQ(controller_.installed_count(), 0u);
+  EXPECT_NO_THROW(controller_.audit());
+}
+
+TEST_F(ControllerEdgeTest, FailReroutesCrossingFlowsOffTheSwitch) {
+  const net::Policy p = install(1, 4.0, 0, 2);
+  ASSERT_EQ(p.list.size(), 3u);
+  const NodeId core = p.list[1];
+
+  EXPECT_EQ(controller_.fail(core), 1u);
+  const net::Policy& after = controller_.policy_of(FlowId(1));
+  for (NodeId sw : after.list) EXPECT_NE(sw, core);
+  EXPECT_EQ(controller_.parked_count(), 0u);
+  EXPECT_NO_THROW(controller_.audit());
+}
+
+TEST_F(ControllerEdgeTest, ParkedFlowLifecycle) {
+  const net::Policy p = install(1, 4.0, 0, 2);
+  const NodeId access = p.list[0];  // the src access switch: no detour exists
+
+  controller_.fail(access);
+  ASSERT_EQ(controller_.parked_count(), 1u);
+  EXPECT_EQ(controller_.parked().front(), FlowId(1));
+  EXPECT_TRUE(controller_.installed(FlowId(1)));  // known, just not routed
+  // Parked flows carry no load anywhere.
+  for (NodeId w : topo_.switches()) {
+    EXPECT_DOUBLE_EQ(controller_.load().load(w), 0.0);
+  }
+  EXPECT_NO_THROW(controller_.audit());
+
+  EXPECT_EQ(controller_.recover(access), 1u);
+  EXPECT_EQ(controller_.parked_count(), 0u);
+  EXPECT_TRUE(controller_.policy_of(FlowId(1)).satisfied(topo_, server(0),
+                                                         server(2)));
+  EXPECT_NO_THROW(controller_.audit());
+
+  // Removing a parked flow must not corrupt the ledger either.
+  controller_.fail(access);
+  ASSERT_EQ(controller_.parked_count(), 1u);
+  controller_.remove(FlowId(1));
+  EXPECT_EQ(controller_.installed_count(), 0u);
+  EXPECT_NO_THROW(controller_.audit());
+}
+
+TEST_F(ControllerEdgeTest, BackoffAdmitsThrottledWhenCapacityIsTight) {
+  // Saturate the twin core so a full-rate reroute cannot fit, but half rate
+  // can: the backed-off re-admission should succeed at a throttled rate.
+  const net::Policy p = install(1, 20.0, 0, 2);
+  ASSERT_EQ(p.list.size(), 3u);
+  const NodeId core = p.list[1];
+
+  // Pin a second flow onto the twin core (both cores connect every access
+  // switch, so the swapped policy stays satisfied).
+  net::Policy q = net::shortest_policy(topo_, server(1), server(3), FlowId(2));
+  q.list[1] = twin_core(core);
+  controller_.install(flow(2, 56.0), q, server(1), server(3));  // cores hold 64
+
+  // Now core (p's) fails; the only alternative core has 8 residual units.
+  // 20 -> 10 -> 5 backs off into the gap on the third attempt.
+  EXPECT_EQ(controller_.fail(core), 1u);
+  EXPECT_EQ(controller_.parked_count(), 0u);
+  EXPECT_NO_THROW(controller_.audit());
+  EXPECT_LE(controller_.load().load(q.list[1]), 64.0 + 1e-9);
+}
+
+TEST_F(ControllerEdgeTest, DrainIsIdempotentUnderHotPressure) {
+  const net::Policy p = install(1, 17.0, 0, 2);  // access hot at 0.5 x 32
+  const NodeId access = p.list[0];
+  ASSERT_GT(controller_.hot_switches().size(), 0u);
+
+  controller_.drain(access);
+  const double absorbed_once = controller_.load().load(access);
+  controller_.drain(access);  // idempotent: no double absorption
+  EXPECT_DOUBLE_EQ(controller_.load().load(access), absorbed_once);
+  EXPECT_TRUE(controller_.draining(access));
+  EXPECT_NO_THROW(controller_.audit());
+
+  controller_.undrain(access);
+  controller_.undrain(access);  // idempotent
+  EXPECT_FALSE(controller_.draining(access));
+  EXPECT_DOUBLE_EQ(controller_.load().load(access), 17.0);
+  EXPECT_NO_THROW(controller_.audit());
+
+  EXPECT_THROW(controller_.drain(server(0)), NotASwitch);
+}
+
+TEST_F(ControllerEdgeTest, RebalanceTerminatesWhenAllAlternativesSaturated) {
+  // Both cores hot (35 > 0.5 x 64) and neither can absorb the other's flow
+  // (residual 29 < 35): rebalance must terminate without thrashing and
+  // leave the ledger intact.
+  const net::Policy p = install(1, 35.0, 0, 2);
+  net::Policy q = net::shortest_policy(topo_, server(1), server(3), FlowId(2));
+  q.list[1] = twin_core(p.list[1]);
+  controller_.install(flow(2, 35.0), q, server(1), server(3));
+  ASSERT_GE(controller_.hot_switches().size(), 2u);  // at least both cores
+
+  const double cost_before = controller_.total_cost();
+  const std::size_t moved = controller_.rebalance();
+  EXPECT_LE(controller_.total_cost(), cost_before + 1e-9);
+  EXPECT_NO_THROW(controller_.audit());
+  (void)moved;  // moves are allowed, oscillation is not: audit + cost bound
+}
+
+TEST_F(ControllerEdgeTest, ConfigValidation) {
+  ControllerConfig c;
+  c.max_reroute_attempts = 0;
+  EXPECT_THROW((void)NetworkController(topo_, c), std::invalid_argument);
+  c = ControllerConfig{};
+  c.reroute_backoff = 0.0;
+  EXPECT_THROW((void)NetworkController(topo_, c), std::invalid_argument);
+  c.reroute_backoff = 1.5;
+  EXPECT_THROW((void)NetworkController(topo_, c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::core

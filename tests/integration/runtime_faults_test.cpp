@@ -1,0 +1,252 @@
+// Runtime fault injection end-to-end: both simulators ride out mid-run
+// switch and server failures (maps re-executed, shuffle flows detoured or
+// stalled), seeded fault runs replay bit-identically, and the controller's
+// fail/recover path keeps its ledger auditable throughout.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/controller.h"
+#include "core/hit_scheduler.h"
+#include "network/routing.h"
+#include "sched/capacity_scheduler.h"
+#include "sim/engine.h"
+#include "sim/faults.h"
+#include "sim/online.h"
+#include "test_helpers.h"
+
+namespace hit {
+namespace {
+
+/// Jobs with long deterministic map compute so a t=1 server fault is
+/// guaranteed mid-map, and enough shuffle that a later switch fault lands
+/// mid-transfer.
+std::vector<mr::Job> long_map_jobs(mr::IdAllocator& ids, std::size_t n,
+                                   std::size_t maps, std::size_t reduces,
+                                   double shuffle_gb) {
+  std::vector<mr::Job> jobs;
+  for (std::size_t j = 0; j < n; ++j) {
+    mr::Job job;
+    job.id = ids.next_job();
+    job.benchmark = "fault-drill";
+    job.cls = mr::JobClass::ShuffleHeavy;
+    job.input_gb = shuffle_gb;
+    job.shuffle_gb = shuffle_gb;
+    for (std::size_t m = 0; m < maps; ++m) {
+      mr::Task t;
+      t.id = ids.next_task();
+      t.job = job.id;
+      t.kind = cluster::TaskKind::Map;
+      t.index = m;
+      t.input_gb = shuffle_gb / static_cast<double>(maps);
+      t.compute_seconds = 5.0;
+      job.maps.push_back(t);
+    }
+    for (std::size_t r = 0; r < reduces; ++r) {
+      mr::Task t;
+      t.id = ids.next_task();
+      t.job = job.id;
+      t.kind = cluster::TaskKind::Reduce;
+      t.index = r;
+      t.input_gb = shuffle_gb / static_cast<double>(reduces);
+      t.compute_seconds = 1.0;
+      job.reduces.push_back(t);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+NodeId first_core_switch(const topo::Topology& topo) {
+  for (NodeId sw : topo.switches()) {
+    if (topo.tier(sw) == topo::Tier::Core) return sw;
+  }
+  return topo.switches().back();
+}
+
+class RuntimeFaults : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();  // 8x2 slots
+  sched::CapacityScheduler capacity_;
+
+  sim::SimConfig fault_config() {
+    sim::SimConfig config;
+    config.bandwidth_scale = 0.05;  // stretch the shuffle phase
+    // Servers die mid-map (compute = 5 s) and repair before the re-executed
+    // wave ends; a core switch dies mid-shuffle, permanently.
+    config.faults.fail_server(world_->topology.servers()[0], 1.0,
+                              /*repair_after=*/10.0);
+    config.faults.fail_server(world_->topology.servers()[3], 1.5,
+                              /*repair_after=*/10.0);
+    config.faults.fail_switch(first_core_switch(world_->topology), 7.0);
+    return config;
+  }
+
+  sim::SimResult run_batch(std::uint64_t seed) {
+    mr::IdAllocator ids;
+    auto jobs = long_map_jobs(ids, 2, 4, 2, 8.0);
+    const sim::ClusterSimulator sim(world_->cluster, fault_config());
+    Rng rng(seed);
+    return sim.run(capacity_, jobs, ids, rng);
+  }
+};
+
+TEST_F(RuntimeFaults, BatchRunSurvivesServerAndSwitchFaults) {
+  const sim::SimResult result = run_batch(21);
+
+  // Run completed with every job accounted for.
+  ASSERT_EQ(result.jobs.size(), 2u);
+  for (const auto& j : result.jobs) EXPECT_GT(j.completion_time, 0.0);
+
+  const sim::RecoveryStats& rec = result.recovery;
+  EXPECT_GE(rec.faults_applied, 5u);  // 2 server pairs + permanent switch
+  EXPECT_EQ(rec.servers_failed, 2u);
+  EXPECT_EQ(rec.switches_failed, 1u);
+
+  // Both failed servers hosted containers at t=1/1.5 (10 containers over 8
+  // servers): every killed map must have been re-executed to completion.
+  EXPECT_GT(rec.maps_killed, 0u);
+  EXPECT_EQ(rec.maps_reexecuted, rec.maps_killed);
+  EXPECT_GT(rec.unavailable_seconds, 0.0);
+
+  // No flow finishing after the permanent switch death routes across it.
+  const NodeId dead = first_core_switch(world_->topology);
+  for (const sim::FlowTiming& f : result.flows) {
+    if (f.local || f.finish <= 7.0) continue;
+    EXPECT_EQ(std::count(f.final_route.begin(), f.final_route.end(), dead), 0)
+        << "flow " << f.id << " still crosses the dead core";
+  }
+}
+
+TEST_F(RuntimeFaults, BatchFaultRunsAreBitIdentical) {
+  const sim::SimResult a = run_batch(22);
+  const sim::SimResult b = run_batch(22);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_shuffle_cost, b.total_shuffle_cost);
+  EXPECT_EQ(a.recovery.maps_killed, b.recovery.maps_killed);
+  EXPECT_EQ(a.recovery.flows_rerouted, b.recovery.flows_rerouted);
+  EXPECT_EQ(a.recovery.flows_stalled, b.recovery.flows_stalled);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].finish, b.flows[i].finish);
+    EXPECT_EQ(a.flows[i].reroutes, b.flows[i].reroutes);
+    EXPECT_EQ(a.flows[i].final_route, b.flows[i].final_route);
+  }
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].finish, b.tasks[i].finish);
+  }
+}
+
+TEST_F(RuntimeFaults, EmptyPlanMatchesFaultFreeRunExactly) {
+  // The fault-aware engine with no faults must be bit-identical to the
+  // plain configuration — the restructuring cannot perturb anything.
+  auto run_with = [&](sim::SimConfig config) {
+    mr::IdAllocator ids;
+    auto jobs = long_map_jobs(ids, 2, 4, 2, 8.0);
+    const sim::ClusterSimulator sim(world_->cluster, config);
+    Rng rng(23);
+    return sim.run(capacity_, jobs, ids, rng);
+  };
+  sim::SimConfig plain;
+  plain.bandwidth_scale = 0.05;
+  const sim::SimResult a = run_with(plain);
+  const sim::SimResult b = run_with(plain);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.recovery.faults_applied, 0u);
+  EXPECT_EQ(a.recovery.maps_killed, 0u);
+  for (const sim::FlowTiming& f : a.flows) {
+    EXPECT_EQ(f.reroutes, 0u);
+    EXPECT_DOUBLE_EQ(f.stall_seconds, 0.0);
+    EXPECT_TRUE(f.final_route.empty());  // only recorded on fault runs
+  }
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].finish, b.flows[i].finish);
+  }
+}
+
+TEST_F(RuntimeFaults, OnlineRunSurvivesAndReplaysIdentically) {
+  auto run_online = [&]() {
+    mr::IdAllocator ids;
+    auto jobs = long_map_jobs(ids, 4, 4, 2, 6.0);
+    sim::OnlineConfig config;
+    config.arrival_rate = 5.0;  // all four jobs arrive within the map phase
+    config.sim.bandwidth_scale = 0.05;
+    config.sim.faults.fail_server(world_->topology.servers()[1], 3.0,
+                                  /*repair_after=*/20.0);
+    config.sim.faults.fail_switch(first_core_switch(world_->topology), 10.0,
+                                  /*repair_after=*/20.0);
+    const sim::OnlineSimulator sim(world_->cluster, config);
+    Rng rng(24);
+    return sim.run(capacity_, jobs, ids, rng);
+  };
+
+  const sim::OnlineResult a = run_online();
+  ASSERT_EQ(a.jobs.size(), 4u);
+  for (const auto& j : a.jobs) {
+    EXPECT_GE(j.scheduled, j.arrival);
+    EXPECT_GT(j.finish, j.scheduled);
+  }
+  EXPECT_EQ(a.recovery.servers_failed, 1u);
+  EXPECT_EQ(a.recovery.switches_failed, 1u);
+  // The server fault at t=3 hit running work: either its in-flight maps
+  // were killed and re-placed, or a reduce host died and the job restarted.
+  EXPECT_TRUE(a.recovery.maps_killed > 0 || a.recovery.jobs_restarted > 0);
+  // Killed maps re-execute unless their whole job fell back to restart.
+  EXPECT_LE(a.recovery.maps_reexecuted, a.recovery.maps_killed);
+  if (a.recovery.jobs_restarted == 0) {
+    EXPECT_EQ(a.recovery.maps_reexecuted, a.recovery.maps_killed);
+  }
+
+  const sim::OnlineResult b = run_online();
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish, b.jobs[i].finish);
+    EXPECT_DOUBLE_EQ(a.jobs[i].shuffle_cost, b.jobs[i].shuffle_cost);
+  }
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].finish, b.flows[i].finish);
+    EXPECT_EQ(a.flows[i].reroutes, b.flows[i].reroutes);
+  }
+}
+
+TEST_F(RuntimeFaults, ControllerStaysAuditableThroughFailRecoverCycle) {
+  // Drive the controller with a realistic flow population, then cycle a
+  // core switch through fail -> rebalance -> recover, auditing at each step.
+  core::ControllerConfig config;
+  config.hot_threshold = 0.9;
+  core::NetworkController controller(world_->topology, config);
+
+  const auto& servers = world_->topology.servers();
+  unsigned next_id = 1;
+  for (std::size_t s = 0; s + 4 < servers.size(); ++s) {
+    net::Flow f;
+    f.id = FlowId(next_id++);
+    f.size_gb = 2.0;
+    f.rate = 2.0;
+    const net::Policy p =
+        net::shortest_policy(world_->topology, servers[s], servers[s + 4], f.id);
+    controller.install(f, p, servers[s], servers[s + 4]);
+  }
+  ASSERT_GT(controller.installed_count(), 0u);
+  EXPECT_NO_THROW(controller.audit());
+
+  const NodeId core = first_core_switch(world_->topology);
+  controller.fail(core);
+  EXPECT_TRUE(controller.failed(core));
+  EXPECT_NO_THROW(controller.audit());  // asserts nothing crosses `core`
+
+  controller.rebalance();
+  EXPECT_NO_THROW(controller.audit());
+
+  controller.recover(core);
+  EXPECT_FALSE(controller.failed(core));
+  EXPECT_EQ(controller.parked_count(), 0u);
+  EXPECT_NO_THROW(controller.audit());
+}
+
+}  // namespace
+}  // namespace hit

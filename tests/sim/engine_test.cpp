@@ -108,6 +108,20 @@ TEST_F(EngineTest, ThrowsWhenReducesExhaustSlots) {
   EXPECT_THROW((void)sim.run(scheduler, jobs, ids, rng), std::runtime_error);
 }
 
+TEST_F(EngineTest, ReducesExceedingCapacityReportTheCause) {
+  mr::IdAllocator ids;
+  const auto jobs = make_jobs(ids, 8, 2, 2, 4.0);  // 16 reduces = all slots
+  const ClusterSimulator sim(world_->cluster);
+  Rng rng(5);
+  try {
+    (void)sim.run(capacity_, jobs, ids, rng);
+    FAIL() << "expected capacity abort";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("reduces leave no map slots"),
+              std::string::npos);
+  }
+}
+
 TEST_F(EngineTest, BandwidthScaleSlowsShuffle) {
   mr::IdAllocator ids1, ids2;
   const auto jobs1 = make_jobs(ids1, 2, 4, 2, 8.0);

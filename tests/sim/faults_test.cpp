@@ -1,0 +1,210 @@
+#include "sim/faults.h"
+
+#include <gtest/gtest.h>
+
+#include "network/routing.h"
+#include "topology/builders.h"
+
+namespace hit::sim {
+namespace {
+
+class FaultsTest : public ::testing::Test {
+ protected:
+  // Depth-2 tree, 4 access positions x 1 host, 2 core replicas: every
+  // server pair has a two-core choice, so single-switch faults always
+  // leave a detour.
+  topo::TreeConfig tree_{2, 4, 2, 1};
+  topo::Topology topo_ = topo::make_tree(tree_);
+
+  NodeId server(std::size_t i) { return topo_.servers()[i]; }
+};
+
+TEST_F(FaultsTest, ScriptedPlanStaysSorted) {
+  FaultPlan plan;
+  plan.fail_switch(topo_.switches()[0], 30.0, 5.0);
+  plan.fail_server(server(0), 10.0);
+  plan.fail_link(server(0), topo_.switches()[0], 20.0, 100.0);
+  ASSERT_EQ(plan.size(), 5u);
+  for (std::size_t i = 1; i < plan.events().size(); ++i) {
+    EXPECT_LE(plan.events()[i - 1].time, plan.events()[i].time);
+  }
+  EXPECT_EQ(plan.events()[0].target, FaultTarget::Server);
+  EXPECT_EQ(plan.events()[1].target, FaultTarget::Link);
+  EXPECT_EQ(plan.events()[2].target, FaultTarget::Switch);
+}
+
+TEST_F(FaultsTest, ScriptedPlanValidatesInputs) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.fail_switch(topo_.switches()[0], -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(plan.fail_link(server(0), server(0), 1.0),
+               std::invalid_argument);
+}
+
+TEST_F(FaultsTest, GenerateIsAPureFunctionOfSeed) {
+  MtbfConfig config;
+  config.horizon = 500.0;
+  config.switch_mtbf = 100.0;
+  config.switch_mttr = 20.0;
+  config.server_mtbf = 150.0;
+  config.server_mttr = 10.0;
+  config.link_mtbf = 200.0;
+  config.link_mttr = 30.0;
+
+  const FaultPlan a = FaultPlan::generate(topo_, config, 42);
+  const FaultPlan b = FaultPlan::generate(topo_, config, 42);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_GT(a.size(), 0u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events()[i].time, b.events()[i].time);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].target, b.events()[i].target);
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+  }
+
+  const FaultPlan c = FaultPlan::generate(topo_, config, 43);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a.events()[i].time != c.events()[i].time;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(FaultsTest, GenerateRepairsEveryFailureWhenMttrPositive) {
+  MtbfConfig config;
+  config.horizon = 300.0;
+  config.switch_mtbf = 50.0;
+  config.switch_mttr = 25.0;
+  const FaultPlan plan = FaultPlan::generate(topo_, config, 7);
+  ASSERT_GT(plan.size(), 0u);
+  std::size_t fails = 0;
+  std::size_t recovers = 0;
+  for (const FaultEvent& ev : plan.events()) {
+    EXPECT_EQ(ev.target, FaultTarget::Switch);
+    (ev.kind == FaultKind::Fail ? fails : recovers) += 1;
+    EXPECT_LT(ev.kind == FaultKind::Fail ? ev.time : 0.0, config.horizon);
+  }
+  EXPECT_EQ(fails, recovers);  // repairs complete even past the horizon
+}
+
+TEST_F(FaultsTest, ZeroMttrMakesFailuresPermanent) {
+  MtbfConfig config;
+  config.horizon = 400.0;
+  config.server_mtbf = 50.0;
+  config.server_mttr = 0.0;
+  const FaultPlan plan = FaultPlan::generate(topo_, config, 7);
+  ASSERT_GT(plan.size(), 0u);
+  std::size_t per_server = 0;
+  for (const FaultEvent& ev : plan.events()) {
+    EXPECT_EQ(ev.kind, FaultKind::Fail);
+    if (ev.node == server(0)) ++per_server;
+  }
+  EXPECT_LE(per_server, 1u);  // one permanent failure per element at most
+}
+
+TEST_F(FaultsTest, GenerateValidatesHorizonAndSkipsZeroMtbf) {
+  MtbfConfig config;
+  EXPECT_THROW(FaultPlan::generate(topo_, config, 1), std::invalid_argument);
+  config.horizon = 100.0;  // all mtbf zero: nothing fails
+  EXPECT_TRUE(FaultPlan::generate(topo_, config, 1).empty());
+}
+
+TEST_F(FaultsTest, FaultStateTracksNodesAndLinks) {
+  FaultState state(topo_);
+  EXPECT_FALSE(state.any_down());
+
+  const NodeId sw = topo_.switches()[0];
+  state.apply(FaultEvent{1.0, FaultKind::Fail, FaultTarget::Switch, sw, NodeId{}});
+  EXPECT_FALSE(state.node_up(sw));
+  EXPECT_TRUE(state.any_down());
+  EXPECT_EQ(state.down_nodes().size(), 1u);
+
+  // Duplicate fail then single recover: idempotent bookkeeping.
+  state.apply(FaultEvent{2.0, FaultKind::Fail, FaultTarget::Switch, sw, NodeId{}});
+  state.apply(FaultEvent{3.0, FaultKind::Recover, FaultTarget::Switch, sw, NodeId{}});
+  EXPECT_TRUE(state.node_up(sw));
+  EXPECT_FALSE(state.any_down());
+
+  state.apply(FaultEvent{4.0, FaultKind::Fail, FaultTarget::Link, server(0), sw});
+  EXPECT_FALSE(state.link_up(server(0), sw));
+  EXPECT_FALSE(state.link_up(sw, server(0)));  // undirected
+  EXPECT_TRUE(state.any_down());
+  state.apply(FaultEvent{5.0, FaultKind::Recover, FaultTarget::Link, sw, server(0)});
+  EXPECT_TRUE(state.link_up(server(0), sw));
+}
+
+TEST_F(FaultsTest, PathUpChecksNodesAndTraversedLinks) {
+  const net::Policy p =
+      net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  const topo::Path path = p.realize(topo_, server(0), server(2));
+  FaultState state(topo_);
+  EXPECT_TRUE(state.path_up(path));
+  EXPECT_FALSE(state.policy_hits_fault(p));
+
+  state.apply(
+      FaultEvent{1.0, FaultKind::Fail, FaultTarget::Switch, p.list[0], NodeId{}});
+  EXPECT_FALSE(state.path_up(path));
+  EXPECT_TRUE(state.policy_hits_fault(p));
+  state.apply(FaultEvent{2.0, FaultKind::Recover, FaultTarget::Switch, p.list[0],
+                         NodeId{}});
+
+  state.apply(FaultEvent{3.0, FaultKind::Fail, FaultTarget::Link, path[0], path[1]});
+  EXPECT_FALSE(state.path_up(path));
+  EXPECT_FALSE(state.policy_hits_fault(p));  // every switch is still up
+}
+
+TEST_F(FaultsTest, ReroutePolicyDetoursAroundFailedCore) {
+  const net::Policy p =
+      net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  ASSERT_EQ(p.list.size(), 3u);  // access, core, access
+  const NodeId core = p.list[1];
+
+  FaultState state(topo_);
+  state.apply(FaultEvent{1.0, FaultKind::Fail, FaultTarget::Switch, core, NodeId{}});
+  const auto detour = reroute_policy(topo_, state, server(0), server(2), FlowId(1));
+  ASSERT_TRUE(detour.has_value());
+  EXPECT_TRUE(state.path_up(detour->path));
+  for (NodeId sw : detour->policy.list) EXPECT_NE(sw, core);
+  EXPECT_EQ(detour->path.front(), server(0));
+  EXPECT_EQ(detour->path.back(), server(2));
+}
+
+TEST_F(FaultsTest, ReroutePolicyReportsDisconnection) {
+  FaultState state(topo_);
+  // Kill every core: cross-rack pairs are disconnected.
+  const net::Policy p =
+      net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  for (NodeId sw : topo_.switches()) {
+    if (sw != p.list[0] && sw != p.list[2]) {
+      state.apply(FaultEvent{1.0, FaultKind::Fail, FaultTarget::Switch, sw, NodeId{}});
+    }
+  }
+  EXPECT_FALSE(
+      reroute_policy(topo_, state, server(0), server(2), FlowId(1)).has_value());
+
+  // A down endpoint is never routable.
+  FaultState down_src(topo_);
+  down_src.apply(
+      FaultEvent{1.0, FaultKind::Fail, FaultTarget::Server, server(0), NodeId{}});
+  EXPECT_FALSE(
+      reroute_policy(topo_, down_src, server(0), server(2), FlowId(1)).has_value());
+}
+
+TEST_F(FaultsTest, AccountPlanFoldsEpisodesAndDowntime) {
+  FaultPlan plan;
+  plan.fail_switch(topo_.switches()[0], 10.0, 5.0);   // down [10, 15]
+  plan.fail_server(server(0), 20.0);                  // permanent from 20
+  plan.fail_link(server(1), topo_.switches()[0], 90.0, 50.0);  // repair at 140
+
+  RecoveryStats rec;
+  account_plan(plan, /*end=*/100.0, rec);
+  EXPECT_EQ(rec.faults_applied, 4u);  // the link repair lands past the run
+  EXPECT_EQ(rec.switches_failed, 1u);
+  EXPECT_EQ(rec.servers_failed, 1u);
+  EXPECT_EQ(rec.links_failed, 1u);
+  // 5 (switch) + 80 (server, clipped) + 10 (link, clipped).
+  EXPECT_DOUBLE_EQ(rec.unavailable_seconds, 95.0);
+}
+
+}  // namespace
+}  // namespace hit::sim

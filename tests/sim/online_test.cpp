@@ -126,6 +126,47 @@ TEST_F(OnlineTest, HitSeesAmbientLoad) {
   EXPECT_GT(result.total_shuffle_gb, 0.0);
 }
 
+TEST_F(OnlineTest, MaxQueueWaitAbortsOverloadedRuns) {
+  // A burst of jobs on a cluster that can run ~2 at a time: the queue tail
+  // waits far longer than one job's runtime.  A tight limit must abort with
+  // the documented overload error; a generous one must let the run drain.
+  auto run_with_limit = [&](double limit) {
+    mr::IdAllocator ids;
+    const auto jobs = sample_jobs(ids, 10, 11);
+    OnlineConfig config;
+    config.arrival_rate = 100.0;  // near-simultaneous arrivals
+    config.max_queue_wait = limit;
+    const OnlineSimulator sim(world_->cluster, config);
+    Rng rng(11);
+    return sim.run(capacity_, jobs, ids, rng);
+  };
+
+  try {
+    (void)run_with_limit(1.0);
+    FAIL() << "expected overload abort";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("queue wait limit exceeded"),
+              std::string::npos);
+  }
+
+  const OnlineResult ok = run_with_limit(1e6);
+  EXPECT_EQ(ok.jobs.size(), 10u);
+  double max_wait = 0.0;
+  for (double w : ok.queueing_delays()) max_wait = std::max(max_wait, w);
+  EXPECT_GT(max_wait, 1.0);  // the tight limit above was genuinely binding
+}
+
+TEST_F(OnlineTest, ZeroMaxQueueWaitMeansUnlimited) {
+  mr::IdAllocator ids;
+  const auto jobs = sample_jobs(ids, 8, 12);
+  OnlineConfig config;
+  config.arrival_rate = 100.0;
+  config.max_queue_wait = 0.0;  // documented: 0 disables the guard
+  const OnlineSimulator sim(world_->cluster, config);
+  Rng rng(12);
+  EXPECT_EQ(sim.run(capacity_, jobs, ids, rng).jobs.size(), 8u);
+}
+
 TEST_F(OnlineTest, InvalidConfigRejected) {
   EXPECT_THROW((void)OnlineSimulator(world_->cluster, OnlineConfig{0.0, {}, 0.0}),
                std::invalid_argument);

@@ -59,6 +59,26 @@ TEST_F(LoggingTest, TagPrefixesLine) {
   EXPECT_NE(out.find("[sched] placed"), std::string::npos);
 }
 
+TEST_F(LoggingTest, MacrosAcceptOptionalTag) {
+  set_level(Level::Info);
+  const std::string tagged =
+      capture([] { HIT_LOG_INFO("controller") << "rerouted"; });
+  EXPECT_NE(tagged.find("INFO"), std::string::npos);
+  EXPECT_NE(tagged.find("[controller] rerouted"), std::string::npos);
+
+  // Bare form keeps working: no tag, no brackets.
+  const std::string bare = capture([] { HIT_LOG_WARN() << "plain"; });
+  EXPECT_NE(bare.find("WARN  plain"), std::string::npos);
+  EXPECT_EQ(bare.find('['), std::string::npos);
+}
+
+TEST_F(LoggingTest, TaggedMacrosRespectThreshold) {
+  set_level(Level::Error);
+  const std::string out =
+      capture([] { HIT_LOG_INFO("controller") << "suppressed"; });
+  EXPECT_TRUE(out.empty());
+}
+
 TEST_F(LoggingTest, LevelNames) {
   EXPECT_EQ(name(Level::Trace), "TRACE");
   EXPECT_EQ(name(Level::Error), "ERROR");
