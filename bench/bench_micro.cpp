@@ -155,4 +155,18 @@ BENCHMARK(BM_PacketSim)->Arg(8)->Arg(32)->Arg(64)->Complexity();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus the run manifest as google-benchmark context keys
+// (they land in the console header and the --benchmark_format=json output)
+// and an optional HIT_BENCH_METRICS metrics dump at exit.
+int main(int argc, char** argv) {
+  bench::RunManifest& manifest = bench::BenchObserver::instance().manifest();
+  manifest.bench = "bench_micro";
+  benchmark::AddCustomContext("bench", manifest.bench);
+  benchmark::AddCustomContext("build_type", manifest.build_type);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bench::BenchObserver::instance().dump_if_requested();
+  return 0;
+}

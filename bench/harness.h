@@ -7,15 +7,20 @@
 // see EXPERIMENTS.md.
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "core/hit_scheduler.h"
 #include "mapreduce/workload.h"
+#include "obs/context.h"
 #include "sched/capacity_scheduler.h"
 #include "sched/delay_scheduler.h"
 #include "sched/pna_scheduler.h"
@@ -26,7 +31,89 @@
 #include "topology/builders.h"
 #include "util/rng.h"
 
+#ifndef HITSCHED_BUILD_TYPE
+#define HITSCHED_BUILD_TYPE "unknown"
+#endif
+
 namespace hit::bench {
+
+/// Machine-readable description of one benchmark run: which binary, which
+/// scheduler, which workload/simulator knobs, which seed, and what build
+/// produced the numbers.  Stamped onto every metrics record the harness
+/// emits, so a result file is self-describing.
+struct RunManifest {
+  std::string bench;      ///< bench binary / experiment name
+  std::string scheduler;  ///< scheduler under test ("" until a replica runs)
+  std::uint64_t seed = 0;
+  std::string config;       ///< one-line workload/sim config summary
+  std::string build_type;   ///< CMAKE_BUILD_TYPE baked in at compile time
+
+  [[nodiscard]] std::vector<std::pair<std::string, stats::Cell>> stamp() const {
+    return {{"bench", bench},
+            {"scheduler", scheduler},
+            {"seed", static_cast<std::int64_t>(seed)},
+            {"config", config},
+            {"build_type", build_type}};
+  }
+};
+
+/// One-line config summary for the manifest.
+inline std::string describe_config(const mr::WorkloadConfig& wconfig,
+                                   const sim::SimConfig& sconfig) {
+  std::ostringstream out;
+  out << "jobs=" << wconfig.num_jobs << " bw=" << sconfig.bandwidth_scale
+      << " jitter=" << sconfig.map_time_jitter_sigma
+      << " repl=" << sconfig.hdfs_replication;
+  if (!sconfig.faults.empty()) out << " faults=" << sconfig.faults.events().size();
+  return out.str();
+}
+
+/// Process-wide observability for bench binaries.  Always collects metrics
+/// (near-zero cost); `manifest()` is mutable so harness helpers can note the
+/// scheduler/seed of the latest replica.  `dump()` writes the snapshot as
+/// JSON Lines stamped with the manifest — harness `main`s call it at exit
+/// when HIT_BENCH_METRICS names a file.
+class BenchObserver {
+ public:
+  static BenchObserver& instance() {
+    static BenchObserver obs;
+    return obs;
+  }
+
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+  [[nodiscard]] RunManifest& manifest() { return manifest_; }
+  [[nodiscard]] const obs::Context& context() const { return context_; }
+
+  /// Write the metrics snapshot to `path` (JSON Lines, manifest-stamped).
+  void dump(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench: cannot write metrics to '" << path << "'\n";
+      return;
+    }
+    const auto stamp = manifest_.stamp();
+    registry_.write_jsonl(out, stamp);
+  }
+
+  /// Honor HIT_BENCH_METRICS=<file> (no-op when unset).
+  void dump_if_requested() const {
+    if (const char* path = std::getenv("HIT_BENCH_METRICS")) {
+      if (*path != '\0') dump(path);
+    }
+  }
+
+ private:
+  BenchObserver() : context_(&registry_, nullptr, nullptr) {
+    manifest_.build_type = HITSCHED_BUILD_TYPE;
+  }
+  // Every bench binary honors HIT_BENCH_METRICS without touching its main:
+  // the singleton dumps on static destruction at process exit.
+  ~BenchObserver() { dump_if_requested(); }
+
+  obs::Registry registry_;
+  RunManifest manifest_;
+  obs::Context context_;
+};
 
 /// Topology + cluster pair; the cluster holds a pointer into the topology,
 /// so the pair is allocated once and never moved.
@@ -79,11 +166,17 @@ struct Lineup {
 inline sim::SimResult run_replica(const Testbed& testbed, sched::Scheduler& scheduler,
                                   const mr::WorkloadConfig& wconfig,
                                   const sim::SimConfig& sconfig, std::uint64_t seed) {
+  BenchObserver& obs = BenchObserver::instance();
+  obs.manifest().scheduler = std::string(scheduler.name());
+  obs.manifest().seed = seed;
+  obs.manifest().config = describe_config(wconfig, sconfig);
   Rng rng(seed);
   mr::IdAllocator ids;
   const mr::WorkloadGenerator generator(wconfig);
   const std::vector<mr::Job> jobs = generator.generate(ids, rng);
-  const sim::ClusterSimulator simulator(testbed.cluster, sconfig);
+  sim::SimConfig observed = sconfig;
+  if (observed.observer == nullptr) observed.observer = &obs.context();
+  const sim::ClusterSimulator simulator(testbed.cluster, observed);
   return simulator.run(scheduler, jobs, ids, rng);
 }
 
@@ -133,6 +226,10 @@ inline double improvement(double baseline, double value) {
 }
 
 inline void print_header(const std::string& title) {
+  // First header names the run in the manifest (bench mains that want a
+  // different name set manifest().bench themselves).
+  RunManifest& manifest = BenchObserver::instance().manifest();
+  if (manifest.bench.empty()) manifest.bench = title;
   std::cout << "==== " << title << " ====\n";
 }
 

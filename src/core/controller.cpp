@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/context.h"
 #include "util/logging.h"
 
 namespace hit::core {
@@ -50,6 +51,12 @@ void NetworkController::install(const net::Flow& flow, net::Policy policy,
                             topology_->info(sw).name);
     }
   }
+  const obs::Bind bind(observer_);
+  obs::count("controller.installs");
+  obs::host_instant("policy.install", "controller",
+                    {{"flow", static_cast<std::int64_t>(flow.id.value())},
+                     {"hops", static_cast<std::int64_t>(policy.list.size())},
+                     {"rate", flow.rate}});
   load_.assign(policy, flow.rate);
   flows_.emplace(flow.id, Entry{flow, std::move(policy), src, dst, false, flow.rate});
 }
@@ -59,6 +66,11 @@ void NetworkController::remove(FlowId flow) {
   if (it == flows_.end()) {
     throw UnknownFlow("NetworkController: unknown flow");
   }
+  const obs::Bind bind(observer_);
+  obs::count("controller.evictions");
+  obs::host_instant("policy.evict", "controller",
+                    {{"flow", static_cast<std::int64_t>(flow.value())},
+                     {"parked", static_cast<std::int64_t>(it->second.parked)}});
   if (!it->second.parked) load_.remove(it->second.policy, it->second.charged_rate);
   flows_.erase(it);
 }
@@ -143,6 +155,10 @@ std::size_t NetworkController::fail(NodeId sw) {
     throw NotASwitch("NetworkController::fail: not a switch");
   }
   if (!failed_.insert(sw).second) return 0;  // idempotent
+  const obs::Bind bind(observer_);
+  obs::count("controller.switch_failures");
+  obs::host_instant("switch.fail", "controller",
+                    {{"switch", topology_->info(sw).name}});
   HIT_LOG_INFO(kTag) << "switch " << topology_->info(sw).name
                      << " failed; evacuating flows";
 
@@ -167,11 +183,20 @@ std::size_t NetworkController::fail(NodeId sw) {
       entry->charged_rate = result->admitted_rate;
       load_.assign(entry->policy, entry->charged_rate);
       ++rerouted;
+      obs::count("controller.reroutes");
+      obs::host_instant(
+          "flow.reroute", "controller",
+          {{"flow", static_cast<std::int64_t>(entry->flow.id.value())},
+           {"rate", entry->charged_rate}});
       HIT_LOG_INFO(kTag) << "flow " << entry->flow.id << " rerouted off "
                          << topology_->info(sw).name;
     } else {
       entry->parked = true;
       entry->charged_rate = 0.0;
+      obs::count("controller.parked");
+      obs::host_instant(
+          "flow.park", "controller",
+          {{"flow", static_cast<std::int64_t>(entry->flow.id.value())}});
       HIT_LOG_WARN(kTag) << "flow " << entry->flow.id
                          << " parked: no alive route after "
                          << config_.max_reroute_attempts << " attempts";
@@ -185,6 +210,10 @@ std::size_t NetworkController::recover(NodeId sw) {
     throw NotASwitch("NetworkController::recover: not a switch");
   }
   if (failed_.erase(sw) == 0) return 0;  // idempotent
+  const obs::Bind bind(observer_);
+  obs::count("controller.switch_recoveries");
+  obs::host_instant("switch.recover", "controller",
+                    {{"switch", topology_->info(sw).name}});
   HIT_LOG_INFO(kTag) << "switch " << topology_->info(sw).name
                      << " recovered; re-admitting parked flows";
 
@@ -205,6 +234,11 @@ std::size_t NetworkController::recover(NodeId sw) {
       entry->charged_rate = result->admitted_rate;
       load_.assign(entry->policy, entry->charged_rate);
       ++restored;
+      obs::count("controller.readmissions");
+      obs::host_instant(
+          "flow.readmit", "controller",
+          {{"flow", static_cast<std::int64_t>(entry->flow.id.value())},
+           {"rate", entry->charged_rate}});
       HIT_LOG_INFO(kTag) << "flow " << entry->flow.id << " re-admitted";
     }
   }
@@ -227,6 +261,8 @@ std::vector<FlowId> NetworkController::parked() const {
 }
 
 std::size_t NetworkController::rebalance() {
+  const obs::Bind bind(observer_);
+  HIT_PROF_SCOPE("controller.rebalance");
   const CostModel cost(*topology_, config_.cost, &load_);
   std::size_t rerouted = 0;
 
@@ -274,6 +310,11 @@ std::size_t NetworkController::rebalance() {
         if (accept) {
           HIT_LOG_INFO(kTag) << "rebalance: flow " << entry->flow.id
                              << " moved off " << topology_->info(w).name;
+          obs::count("controller.rebalance_moves");
+          obs::host_instant(
+              "flow.rebalance", "controller",
+              {{"flow", static_cast<std::int64_t>(entry->flow.id.value())},
+               {"off", topology_->info(w).name}});
           entry->policy = std::move(route->policy);
           ++rerouted;
           improved = true;

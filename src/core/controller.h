@@ -21,6 +21,7 @@
 #include "core/cost_model.h"
 #include "core/errors.h"
 #include "core/policy_optimizer.h"
+#include "obs/context.h"
 #include "network/flow.h"
 #include "network/load.h"
 #include "network/policy.h"
@@ -105,6 +106,11 @@ class NetworkController {
   /// active rates.  Throws std::logic_error otherwise.
   void audit() const;
 
+  /// Attach an observability context: install/remove/fail/recover/rebalance
+  /// emit host-lane trace events and counters through it.  Pass nullptr
+  /// (default) to detach.
+  void set_observer(const obs::Context* ctx) noexcept { observer_ = ctx; }
+
  private:
   struct Entry {
     net::Flow flow;
@@ -129,6 +135,7 @@ class NetworkController {
 
   const topo::Topology* topology_;
   ControllerConfig config_;
+  const obs::Context* observer_ = nullptr;
   net::LoadTracker load_;
   PolicyOptimizer optimizer_;
   std::unordered_map<FlowId, Entry> flows_;

@@ -24,8 +24,14 @@ bool HitScheduler::is_subsequent_wave(const sched::Problem& problem) {
 sched::Assignment HitScheduler::schedule(const sched::Problem& problem, Rng& rng) {
   (void)rng;  // Hit-Scheduler is deterministic
   if (!problem.valid()) throw std::invalid_argument("HitScheduler: invalid problem");
-  return is_subsequent_wave(problem) ? subsequent_wave(problem)
-                                     : initial_wave(problem);
+  const obs::Bind bind(observer_);
+  HIT_PROF_SCOPE("core.hit_scheduler.schedule");
+  if (is_subsequent_wave(problem)) {
+    obs::count("core.hit_scheduler.subsequent_waves");
+    return subsequent_wave(problem);
+  }
+  obs::count("core.hit_scheduler.initial_waves");
+  return initial_wave(problem);
 }
 
 sched::Assignment HitScheduler::initial_wave(const sched::Problem& problem) const {
@@ -139,6 +145,7 @@ sched::Assignment HitScheduler::subsequent_wave(const sched::Problem& problem) c
 
 void HitScheduler::route_flows(const sched::Problem& problem,
                                sched::Assignment& assignment) const {
+  HIT_PROF_SCOPE("core.hit_scheduler.route_flows");
   if (!config_.optimize_policies) {
     sched::attach_shortest_policies(problem, assignment);
     return;
@@ -179,8 +186,10 @@ void HitScheduler::route_flows(const sched::Problem& problem,
     } else {
       // Network saturated: accept the shortest route and let the flow-level
       // simulator degrade its bandwidth (the paper's Figure 2(a) situation).
+      obs::count("core.hit_scheduler.shortest_path_fallbacks");
       policy = net::shortest_policy(*problem.topology, src_node, dst_node, f->id);
     }
+    obs::count("core.hit_scheduler.flows_routed");
     optimizer.improve_policy(policy, src_node, dst_node, f->rate, cost.metric(*f),
                              load);
     load.assign(policy, f->rate);

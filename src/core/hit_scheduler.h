@@ -19,6 +19,7 @@
 #include "core/cost_model.h"
 #include "core/policy_optimizer.h"
 #include "core/stable_matching.h"
+#include "obs/context.h"
 #include "sched/scheduler.h"
 
 namespace hit::core {
@@ -43,6 +44,11 @@ class HitScheduler final : public sched::Scheduler {
 
   [[nodiscard]] const HitConfig& config() const noexcept { return config_; }
 
+  /// Attach an observability context; `schedule()` binds it as the ambient
+  /// context so that Algorithm 1/2 phases profile and count through it.
+  /// Pass nullptr (default) to detach.
+  void set_observer(const obs::Context* ctx) noexcept { observer_ = ctx; }
+
  private:
   [[nodiscard]] sched::Assignment initial_wave(const sched::Problem& problem) const;
   [[nodiscard]] sched::Assignment subsequent_wave(const sched::Problem& problem) const;
@@ -56,6 +62,7 @@ class HitScheduler final : public sched::Scheduler {
   [[nodiscard]] static bool is_subsequent_wave(const sched::Problem& problem);
 
   HitConfig config_;
+  const obs::Context* observer_ = nullptr;
 };
 
 }  // namespace hit::core

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/context.h"
+
 namespace hit::core {
 
 PolicyOptimizer::PolicyOptimizer(const topo::Topology& topology, CostConfig config)
@@ -15,6 +17,7 @@ std::optional<PolicyOptimizer::Route> PolicyOptimizer::optimal_route(
     std::span<const NodeId> src_candidates, std::span<const NodeId> dst_candidates,
     FlowId flow, double rate, double metric, const net::LoadTracker& load,
     bool allow_local, std::span<const NodeId> banned) const {
+  HIT_PROF_SCOPE("core.policy_optimizer.optimal_route");
   if (src_candidates.empty() || dst_candidates.empty()) return std::nullopt;
 
   // Network-only mode: a node present in both sets would otherwise be
@@ -137,6 +140,7 @@ std::optional<PolicyOptimizer::Route> PolicyOptimizer::optimal_route(
 }
 
 PreferenceMatrix PolicyOptimizer::build_preferences(const sched::Problem& problem) const {
+  HIT_PROF_SCOPE("core.policy_optimizer.build_preferences");
   if (!problem.valid()) throw std::invalid_argument("build_preferences: invalid problem");
 
   std::vector<TaskId> task_ids;
@@ -278,6 +282,7 @@ PreferenceMatrix PolicyOptimizer::build_preferences(const sched::Problem& proble
 double PolicyOptimizer::improve_policy(net::Policy& policy, NodeId src, NodeId dst,
                                        double rate, double metric,
                                        const net::LoadTracker& load) const {
+  HIT_PROF_SCOPE("core.policy_optimizer.improve_policy");
   const CostModel cost(*topology_, config_, &load);
   double gained = 0.0;
   bool improved = true;

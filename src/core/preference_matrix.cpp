@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/context.h"
+
 namespace hit::core {
 
 PreferenceMatrix::PreferenceMatrix(std::size_t num_servers, std::vector<TaskId> tasks)
@@ -42,6 +44,7 @@ void PreferenceMatrix::add(ServerId server, TaskId task, double weight) {
 }
 
 std::vector<ServerId> PreferenceMatrix::ranked_servers(TaskId task) const {
+  HIT_PROF_SCOPE("core.preference_matrix.ranked_servers");
   const std::size_t col = column(task);
   std::vector<ServerId> order(num_servers_);
   for (std::size_t s = 0; s < num_servers_; ++s) {
@@ -55,6 +58,7 @@ std::vector<ServerId> PreferenceMatrix::ranked_servers(TaskId task) const {
 }
 
 std::vector<TaskId> PreferenceMatrix::ranked_tasks(ServerId server) const {
+  HIT_PROF_SCOPE("core.preference_matrix.ranked_tasks");
   if (!server.valid() || server.index() >= num_servers_) {
     throw std::out_of_range("PreferenceMatrix: unknown server");
   }

@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/context.h"
+
 namespace hit::core {
 
 namespace {
@@ -16,6 +18,9 @@ namespace {
 /// server it prefers proposes.  Produces the server-optimal stable matching.
 std::unordered_map<TaskId, ServerId> match_servers_proposing(
     const sched::Problem& problem, const PreferenceMatrix& prefs) {
+  HIT_PROF_SCOPE("core.stable_matching.match_servers_proposing");
+  std::uint64_t proposals = 0;
+  std::uint64_t trade_ups = 0;
   std::unordered_map<TaskId, const sched::TaskRef*> ref_of;
   for (const sched::TaskRef& t : problem.tasks) ref_of.emplace(t.id, &t);
 
@@ -42,6 +47,7 @@ std::unordered_map<TaskId, ServerId> match_servers_proposing(
       // A full server stops proposing; it re-enters the queue when jilted.
       if (!ledger.can_host(s, task.demand)) break;
       ++idx;
+      ++proposals;
       const auto current = matching.find(t);
       if (current == matching.end()) {
         ledger.place(s, task.demand);
@@ -50,6 +56,7 @@ std::unordered_map<TaskId, ServerId> match_servers_proposing(
         // Task trades up; the jilted server regains capacity and may have
         // proposals it previously could not afford.
         const ServerId old = current->second;
+        ++trade_ups;
         ledger.remove(old, task.demand);
         ledger.place(s, task.demand);
         matching[t] = s;
@@ -65,6 +72,8 @@ std::unordered_map<TaskId, ServerId> match_servers_proposing(
     throw std::runtime_error(
         "StableMatcher: servers-proposing left tasks unmatched (capacity)");
   }
+  obs::count("core.stable_matching.proposals", proposals);
+  obs::count("core.stable_matching.trade_ups", trade_ups);
   return matching;
 }
 
@@ -78,6 +87,9 @@ std::unordered_map<TaskId, ServerId> StableMatcher::match(
     return match_servers_proposing(problem, prefs);
   }
 
+  HIT_PROF_SCOPE("core.stable_matching.match");
+  std::uint64_t proposals = 0;
+  std::uint64_t evictions = 0;
   const std::size_t n_tasks = problem.tasks.size();
   std::unordered_map<TaskId, const sched::TaskRef*> ref_of;
   for (const sched::TaskRef& t : problem.tasks) ref_of.emplace(t.id, &t);
@@ -125,6 +137,7 @@ std::unordered_map<TaskId, ServerId> StableMatcher::match(
 
     // Tentatively accept, then shed least-preferred containers until the
     // server fits (Alg. 2 lines 8-13).  The proposer itself may be shed.
+    ++proposals;
     accepted[s.index()].push_back(c);
     matching[c] = s;
     auto usage_violated = [&]() {
@@ -140,6 +153,7 @@ std::unordered_map<TaskId, ServerId> StableMatcher::match(
         return ga != gb ? ga < gb : a > b;  // lowest grade, newest id first
       });
       const TaskId evicted = *worst;
+      ++evictions;
       acc.erase(worst);
       matching.erase(evicted);
       blacklist.at(evicted).insert(s);
@@ -155,6 +169,8 @@ std::unordered_map<TaskId, ServerId> StableMatcher::match(
   if (matching.size() != n_tasks) {
     throw std::logic_error("StableMatcher: incomplete matching");
   }
+  obs::count("core.stable_matching.proposals", proposals);
+  obs::count("core.stable_matching.evictions", evictions);
   return matching;
 }
 

@@ -1,0 +1,123 @@
+// obs::Context — the single handle the instrumented layers share.
+//
+// A Context bundles the three observability pillars (metrics Registry,
+// TraceWriter, Profiler), any of which may be absent.  The default-built
+// Context is the null object: `enabled()` is false and every helper below
+// degenerates to a pointer test, so instrumentation stays in the hot paths
+// unconditionally at near-zero disabled cost.
+//
+// Wiring pattern: owners (hitsim, bench harnesses, tests) build the pillars
+// and a Context over them, hand `&ctx` to HitScheduler / NetworkController /
+// the simulators, and those entry points install it as the *ambient*
+// thread-local via obs::Bind so that deep phases (preference matrix, stable
+// matching, route search) observe through HIT_PROF_SCOPE / obs::count
+// without any parameter plumbing.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace hit::obs {
+
+class Context {
+ public:
+  /// Null object: nothing attached, everything disabled.
+  constexpr Context() = default;
+  Context(Registry* metrics, TraceWriter* trace, Profiler* profiler)
+      : metrics_(metrics), trace_(trace), profiler_(profiler) {}
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return metrics_ || trace_ || profiler_;
+  }
+  [[nodiscard]] Registry* metrics() const noexcept { return metrics_; }
+  [[nodiscard]] TraceWriter* trace() const noexcept { return trace_; }
+  [[nodiscard]] Profiler* profiler() const noexcept { return profiler_; }
+
+ private:
+  Registry* metrics_ = nullptr;
+  TraceWriter* trace_ = nullptr;
+  Profiler* profiler_ = nullptr;
+};
+
+/// The shared disabled context (null object).
+inline const Context& null_context() {
+  static const Context ctx;
+  return ctx;
+}
+
+namespace detail {
+inline const Context*& tls_slot() {
+  thread_local const Context* slot = &null_context();
+  return slot;
+}
+}  // namespace detail
+
+/// The ambient context of this thread (never null; defaults to the null
+/// context).
+inline const Context& current() { return *detail::tls_slot(); }
+
+/// RAII: install `ctx` as the ambient context for this thread; restore the
+/// previous one on destruction.  A null pointer leaves the ambient context
+/// untouched, so pass-through wiring costs nothing.
+class Bind {
+ public:
+  explicit Bind(const Context* ctx) : prev_(detail::tls_slot()) {
+    if (ctx) detail::tls_slot() = ctx;
+  }
+  explicit Bind(const Context& ctx) : Bind(&ctx) {}
+  ~Bind() { detail::tls_slot() = prev_; }
+  Bind(const Bind&) = delete;
+  Bind& operator=(const Bind&) = delete;
+
+ private:
+  const Context* prev_;
+};
+
+// ---- ambient-context fast paths -----------------------------------------
+// Each is a thread-local read + null check when observability is off.
+
+inline void count(std::string_view name, std::uint64_t n = 1) {
+  if (Registry* r = current().metrics()) r->counter(name).add(n);
+}
+
+inline void gauge_set(std::string_view name, double v) {
+  if (Registry* r = current().metrics()) r->gauge(name).set(v);
+}
+
+inline void observe(std::string_view name, double v) {
+  if (Registry* r = current().metrics()) r->histogram(name).observe(v);
+}
+
+/// Instant event on the simulated-time lane (`sim_seconds` scaled to us).
+inline void sim_instant(std::string_view name, std::string_view cat,
+                        double sim_seconds, const TraceWriter::Args& args = {},
+                        int tid = 0) {
+  if (TraceWriter* t = current().trace()) {
+    t->instant(name, cat, sim_seconds * 1e6, args, TraceWriter::kSimPid, tid);
+  }
+}
+
+/// Span on the simulated-time lane.
+inline void sim_span(std::string_view name, std::string_view cat,
+                     double start_seconds, double end_seconds,
+                     const TraceWriter::Args& args = {}, int tid = 0) {
+  if (TraceWriter* t = current().trace()) {
+    t->complete(name, cat, start_seconds * 1e6,
+                (end_seconds - start_seconds) * 1e6, args,
+                TraceWriter::kSimPid, tid);
+  }
+}
+
+/// Instant event on the host wall-clock lane (controller operations).
+inline void host_instant(std::string_view name, std::string_view cat,
+                         const TraceWriter::Args& args = {}, int tid = 0) {
+  if (TraceWriter* t = current().trace()) {
+    t->instant(name, cat, t->now_us(), args, TraceWriter::kHostPid, tid);
+  }
+}
+
+}  // namespace hit::obs

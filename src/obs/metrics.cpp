@@ -1,0 +1,200 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hit::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: bounds must be non-empty");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be sorted");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, v);
+  detail::atomic_min(min_, v);
+  detail::atomic_max(max_, v);
+}
+
+double Histogram::min() const noexcept {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : std::numeric_limits<double>::quiet_NaN();
+}
+
+double Histogram::max() const noexcept {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : std::numeric_limits<double>::quiet_NaN();
+}
+
+std::vector<std::uint64_t> Histogram::cumulative() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    out[i] = running;
+  }
+  return out;
+}
+
+std::vector<double> Histogram::time_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 200.0; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 3.0);
+  }
+  return bounds;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  std::vector<double> b = bounds.empty()
+                              ? Histogram::time_bounds()
+                              : std::vector<double>(bounds.begin(), bounds.end());
+  return *histograms_
+              .emplace(std::string(name), std::make_unique<Histogram>(std::move(b)))
+              .first->second;
+}
+
+std::string Registry::tagged(
+    std::string_view name,
+    std::initializer_list<std::pair<std::string_view, std::string_view>> tags) {
+  std::string out(name);
+  if (tags.size() == 0) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : tags) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += '=';
+    out += v;
+  }
+  out += '}';
+  return out;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = "counter";
+    s.count = c->value();
+    s.value = static_cast<double>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = "gauge";
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = "histogram";
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.value = s.count > 0 ? s.sum / static_cast<double>(s.count)
+                          : std::numeric_limits<double>::quiet_NaN();
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Registry::write_jsonl(
+    std::ostream& out,
+    std::span<const std::pair<std::string, stats::Cell>> stamp) const {
+  stats::JsonLinesWriter json(out);
+  const auto record = [&](std::vector<std::pair<std::string, stats::Cell>> fields) {
+    std::vector<std::pair<std::string, stats::Cell>> all(stamp.begin(), stamp.end());
+    all.insert(all.end(), std::make_move_iterator(fields.begin()),
+               std::make_move_iterator(fields.end()));
+    json.record(all);
+  };
+  for (const MetricSample& s : snapshot()) {
+    if (s.kind == "histogram") {
+      record({{"metric", s.name},
+              {"kind", s.kind},
+              {"count", std::int64_t(s.count)},
+              {"sum", s.sum},
+              {"mean", s.value},
+              {"min", s.min},
+              {"max", s.max}});
+    } else {
+      record({{"metric", s.name}, {"kind", s.kind}, {"value", s.value}});
+    }
+  }
+  // Histogram buckets, Prometheus-style cumulative counts (le = +inf last,
+  // serialized as null by the writer's non-finite handling).
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, h] : histograms_) {
+    const std::vector<std::uint64_t> cum = h->cumulative();
+    for (std::size_t i = 0; i < cum.size(); ++i) {
+      const double le = i < h->bounds().size()
+                            ? h->bounds()[i]
+                            : std::numeric_limits<double>::infinity();
+      record({{"metric", name},
+              {"kind", std::string("histogram_bucket")},
+              {"le", le},
+              {"count", std::int64_t(cum[i])}});
+    }
+  }
+}
+
+void Registry::write_csv(std::ostream& out) const {
+  stats::CsvWriter csv(out, {"name", "kind", "value", "count", "sum", "min", "max"});
+  for (const MetricSample& s : snapshot()) {
+    csv.row({s.name, s.kind, s.value, std::int64_t(s.count), s.sum, s.min, s.max});
+  }
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace hit::obs

@@ -1,0 +1,165 @@
+// Metrics registry — pillar 1 of the hit::obs observability layer.
+//
+// Counters, gauges and fixed-bucket histograms, registered by name (with
+// optional `{key=value,...}` tags folded into the name).  Registration takes
+// a mutex once; after that every instrument is a handful of relaxed atomics,
+// so hot paths cache the reference and bump it lock-free.  Snapshots read
+// the same atomics without pausing writers and serialize through the
+// `stats::` writers (JSON Lines or CSV), which already map non-finite
+// doubles to null / empty cells.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <memory>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "stats/export.h"
+
+namespace hit::obs {
+
+namespace detail {
+/// Relaxed add for atomic<double> without relying on C++20 fetch_add
+/// support for floating point in every libstdc++.
+inline void atomic_add(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_min(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_max(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (queue depths, utilizations, clocks).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) noexcept { detail::atomic_add(value_, v); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], with
+/// an implicit overflow bucket.  Bounds are fixed at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double min() const noexcept;  ///< NaN when empty
+  [[nodiscard]] double max() const noexcept;  ///< NaN when empty
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Cumulative count of observations <= bounds[i]; the last entry (index
+  /// bounds().size()) is the total count.
+  [[nodiscard]] std::vector<std::uint64_t> cumulative() const;
+
+  /// Buckets for durations in seconds: 1us .. ~100s, x10 per decade with a
+  /// 1/3 split.
+  [[nodiscard]] static std::vector<double> time_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// One serialized metric (histograms flatten their buckets separately).
+struct MetricSample {
+  std::string name;
+  std::string kind;  ///< "counter" | "gauge" | "histogram"
+  double value = 0.0;          ///< counter/gauge value; histogram mean
+  std::uint64_t count = 0;     ///< histogram observation count
+  double sum = 0.0, min = 0.0, max = 0.0;  ///< histogram aggregates
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Look up or create.  Returned references stay valid for the registry's
+  /// lifetime; cache them outside hot loops.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` applies on first registration only (empty = time_bounds()).
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> bounds = {});
+
+  /// Fold tags into a registry key: `tagged("flows", {{"job","3"}})` ->
+  /// "flows{job=3}".  Tags are emitted in the given order.
+  [[nodiscard]] static std::string tagged(
+      std::string_view name,
+      std::initializer_list<std::pair<std::string_view, std::string_view>> tags);
+
+  /// Deterministic (name-sorted) point-in-time view.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// JSON Lines: one object per metric plus one per histogram bucket
+  /// (`kind:"histogram_bucket"`, cumulative `count` up to `le`).  `stamp`
+  /// fields are prepended to every record (bench run manifests).
+  void write_jsonl(
+      std::ostream& out,
+      std::span<const std::pair<std::string, stats::Cell>> stamp = {}) const;
+
+  /// CSV: name,kind,value,count,sum,min,max (histogram buckets omitted).
+  void write_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, not the instruments
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace hit::obs

@@ -1,0 +1,71 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/context.h"
+#include "stats/table.h"
+
+namespace hit::obs {
+
+void Profiler::record(std::string_view name, std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = scopes_.find(name);
+  if (it == scopes_.end()) it = scopes_.emplace(std::string(name), ScopeStats{}).first;
+  ScopeStats& s = it->second;
+  ++s.count;
+  s.total_ns += ns;
+  s.max_ns = std::max(s.max_ns, ns);
+}
+
+std::map<std::string, Profiler::ScopeStats> Profiler::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {scopes_.begin(), scopes_.end()};
+}
+
+void Profiler::write_table(std::ostream& out) const {
+  const auto scopes = snapshot();
+  std::vector<std::pair<std::string, ScopeStats>> rows(scopes.begin(), scopes.end());
+  std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+  stats::Table table({"scope", "calls", "total (ms)", "mean (us)", "max (us)"});
+  for (const auto& [name, s] : rows) {
+    const double mean_us =
+        s.count ? static_cast<double>(s.total_ns) / 1e3 / static_cast<double>(s.count)
+                : 0.0;
+    table.add_row({name, std::to_string(s.count),
+                   stats::Table::num(static_cast<double>(s.total_ns) / 1e6, 3),
+                   stats::Table::num(mean_us, 1),
+                   stats::Table::num(static_cast<double>(s.max_ns) / 1e3, 1)});
+  }
+  out << table.render();
+}
+
+std::size_t Profiler::scope_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scopes_.size();
+}
+
+ScopeTimer::ScopeTimer(const char* name) : ScopeTimer(current(), name) {}
+
+ScopeTimer::ScopeTimer(const Context& ctx, const char* name)
+    : ctx_(ctx.profiler() || ctx.trace() ? &ctx : nullptr), name_(name) {
+  if (ctx_) start_ = std::chrono::steady_clock::now();
+}
+
+ScopeTimer::~ScopeTimer() {
+  if (!ctx_) return;
+  const auto end = std::chrono::steady_clock::now();
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_).count());
+  if (Profiler* p = ctx_->profiler()) p->record(name_, ns);
+  if (TraceWriter* t = ctx_->trace()) {
+    const double end_us = t->now_us();
+    const double dur_us = static_cast<double>(ns) / 1e3;
+    t->complete(name_, "phase", end_us - dur_us, dur_us, {},
+                TraceWriter::kHostPid, 0);
+  }
+}
+
+}  // namespace hit::obs

@@ -1,0 +1,77 @@
+// Scoped phase profiling — pillar 3 of hit::obs.
+//
+//   void StableMatcher::match(...) {
+//     HIT_PROF_SCOPE("core.stable_matching.match");
+//     ...
+//   }
+//
+// The macro opens an RAII timer against the *ambient* obs::Context (the
+// thread-local installed by obs::Bind — see context.h), so deep call trees
+// need no plumbing.  When no context is bound (the default), the timer is a
+// thread-local read and a branch: cheap enough for every hot phase.  When
+// profiling is enabled, each scope accumulates {count, total, max} wall
+// time, and when tracing is enabled too, every scope emits a Chrome `ph:X`
+// span on the host-clock lane.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace hit::obs {
+
+class Context;
+
+class Profiler {
+ public:
+  struct ScopeStats {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+
+  void record(std::string_view name, std::uint64_t ns);
+
+  /// Name-sorted copy of the accumulated scopes.
+  [[nodiscard]] std::map<std::string, ScopeStats> snapshot() const;
+
+  /// Human table: scope, calls, total ms, mean us, max us (total-descending).
+  void write_table(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t scope_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ScopeStats, std::less<>> scopes_;
+};
+
+/// RAII scope timer.  The single-argument form (and HIT_PROF_SCOPE) binds to
+/// the ambient thread-local context; the two-argument form pins a context.
+/// `name` must outlive the scope (string literals).
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(const char* name);
+  ScopeTimer(const Context& ctx, const char* name);
+  ~ScopeTimer();
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  const Context* ctx_;  ///< nullptr when disabled: destructor is a no-op
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hit::obs
+
+#define HIT_OBS_CONCAT_INNER(a, b) a##b
+#define HIT_OBS_CONCAT(a, b) HIT_OBS_CONCAT_INNER(a, b)
+
+/// Time the enclosing scope under `name`; one arg (ambient context) or two
+/// (explicit context first).
+#define HIT_PROF_SCOPE(...) \
+  ::hit::obs::ScopeTimer HIT_OBS_CONCAT(hit_prof_scope_, __LINE__){__VA_ARGS__}

@@ -1,0 +1,161 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hit::obs {
+namespace {
+
+void append_json_value(std::string& out, const stats::Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    out += '"';
+    out += stats::JsonLinesWriter::escape(*s);
+    out += '"';
+    return;
+  }
+  if (const auto* d = std::get_if<double>(&cell)) {
+    if (!std::isfinite(*d)) {
+      out += "null";
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", *d);
+    out += buf;
+    return;
+  }
+  out += std::to_string(std::get<std::int64_t>(cell));
+}
+
+void append_kv(std::string& out, std::string_view key, const stats::Cell& cell) {
+  out += '"';
+  out += stats::JsonLinesWriter::escape(key);
+  out += "\":";
+  append_json_value(out, cell);
+}
+
+std::string ts_text(double ts_us) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", ts_us);
+  return buf;
+}
+
+/// Common body: name/cat/ph/ts[/dur]/pid/tid/args.  `scope` adds the
+/// instant-event scope field.
+std::string event_body(std::string_view name, std::string_view cat, char ph,
+                       double ts_us, const double* dur_us,
+                       const TraceWriter::Args& args, int pid, int tid,
+                       bool instant_scope) {
+  std::string body;
+  body.reserve(96);
+  append_kv(body, "name", std::string(name));
+  body += ',';
+  append_kv(body, "cat", std::string(cat));
+  body += ",\"ph\":\"";
+  body += ph;
+  body += "\",\"ts\":";
+  body += ts_text(ts_us);
+  if (dur_us) {
+    body += ",\"dur\":";
+    body += ts_text(*dur_us);
+  }
+  if (instant_scope) body += ",\"s\":\"t\"";
+  body += ",\"pid\":";
+  body += std::to_string(pid);
+  body += ",\"tid\":";
+  body += std::to_string(tid);
+  if (!args.empty()) {
+    body += ",\"args\":{";
+    bool first = true;
+    for (const auto& [k, v] : args) {
+      if (!first) body += ',';
+      first = false;
+      append_kv(body, k, v);
+    }
+    body += '}';
+  }
+  return body;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(std::ostream& out, std::ostream* events_out)
+    : out_(&out), jsonl_(events_out), epoch_(std::chrono::steady_clock::now()) {
+  *out_ << "[\n";
+}
+
+TraceWriter::~TraceWriter() { finish(); }
+
+void TraceWriter::emit(std::string_view body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  if (events_ > 0) *out_ << ",\n";
+  *out_ << '{' << body << '}';
+  if (jsonl_) *jsonl_ << '{' << body << "}\n";
+  ++events_;
+}
+
+void TraceWriter::complete(std::string_view name, std::string_view cat,
+                           double ts_us, double dur_us, const Args& args,
+                           int pid, int tid) {
+  emit(event_body(name, cat, 'X', ts_us, &dur_us, args, pid, tid, false));
+}
+
+void TraceWriter::instant(std::string_view name, std::string_view cat,
+                          double ts_us, const Args& args, int pid, int tid) {
+  emit(event_body(name, cat, 'i', ts_us, nullptr, args, pid, tid, true));
+}
+
+void TraceWriter::begin(std::string_view name, std::string_view cat,
+                        double ts_us, const Args& args, int pid, int tid) {
+  emit(event_body(name, cat, 'B', ts_us, nullptr, args, pid, tid, false));
+}
+
+void TraceWriter::end(double ts_us, int pid, int tid) {
+  emit(event_body("", "", 'E', ts_us, nullptr, {}, pid, tid, false));
+}
+
+void TraceWriter::name_process(int pid, std::string_view name) {
+  std::string body;
+  append_kv(body, "name", std::string("process_name"));
+  body += ",\"ph\":\"M\",\"pid\":";
+  body += std::to_string(pid);
+  body += ",\"tid\":0,\"args\":{";
+  append_kv(body, "name", std::string(name));
+  body += '}';
+  emit(body);
+}
+
+void TraceWriter::name_thread(int pid, int tid, std::string_view name) {
+  std::string body;
+  append_kv(body, "name", std::string("thread_name"));
+  body += ",\"ph\":\"M\",\"pid\":";
+  body += std::to_string(pid);
+  body += ",\"tid\":";
+  body += std::to_string(tid);
+  body += ",\"args\":{";
+  append_kv(body, "name", std::string(name));
+  body += '}';
+  emit(body);
+}
+
+double TraceWriter::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::size_t TraceWriter::events_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceWriter::finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  *out_ << "\n]\n";
+  out_->flush();
+  if (jsonl_) jsonl_->flush();
+}
+
+}  // namespace hit::obs

@@ -1,0 +1,76 @@
+// Structured decision tracing — pillar 2 of hit::obs.
+//
+// Emits Chrome trace-event JSON (the `[{"ph":"B"/"E"/"X"/"i",...}]` array
+// format that chrome://tracing and Perfetto load directly) and, optionally,
+// the same events as a flat JSON Lines stream for ad-hoc pipelines
+// (jq/pandas).  Two process lanes keep the clock domains honest: pid 1
+// carries *simulated* time (seconds scaled to trace microseconds), pid 2
+// carries host wall-clock time (profiling scopes, controller operations).
+// Thread-safe; events carry causal ids (job/task/flow) in `args`.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "stats/export.h"
+
+namespace hit::obs {
+
+class TraceWriter {
+ public:
+  /// Trace lanes.  kSimPid events timestamp in simulated microseconds;
+  /// kHostPid events in wall-clock microseconds since construction.
+  static constexpr int kSimPid = 1;
+  static constexpr int kHostPid = 2;
+
+  using Args = std::vector<std::pair<std::string, stats::Cell>>;
+
+  /// `out` receives the Chrome trace array; `events_out` (optional) the
+  /// JSONL mirror.  Both must outlive the writer.
+  explicit TraceWriter(std::ostream& out, std::ostream* events_out = nullptr);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Complete event (ph X): a [ts, ts+dur] span.
+  void complete(std::string_view name, std::string_view cat, double ts_us,
+                double dur_us, const Args& args = {}, int pid = kSimPid,
+                int tid = 0);
+  /// Instant event (ph i, scope "t").
+  void instant(std::string_view name, std::string_view cat, double ts_us,
+               const Args& args = {}, int pid = kSimPid, int tid = 0);
+  /// Begin/end pair (ph B / ph E) for nesting that is inconvenient as X.
+  void begin(std::string_view name, std::string_view cat, double ts_us,
+             const Args& args = {}, int pid = kSimPid, int tid = 0);
+  void end(double ts_us, int pid = kSimPid, int tid = 0);
+
+  /// Metadata (ph M): name a pid / tid lane in the viewer.
+  void name_process(int pid, std::string_view name);
+  void name_thread(int pid, int tid, std::string_view name);
+
+  /// Wall-clock microseconds since construction (kHostPid timestamps).
+  [[nodiscard]] double now_us() const;
+
+  [[nodiscard]] std::size_t events_written() const;
+
+  /// Write the closing bracket.  Idempotent; also run by the destructor.
+  void finish();
+
+ private:
+  void emit(std::string_view body);
+
+  mutable std::mutex mu_;
+  std::ostream* out_;
+  std::ostream* jsonl_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t events_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace hit::obs

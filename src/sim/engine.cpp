@@ -48,6 +48,9 @@ ClusterSimulator::ClusterSimulator(const cluster::Cluster& cluster, SimConfig co
 SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
                                 const std::vector<mr::Job>& jobs,
                                 mr::IdAllocator& ids, Rng& rng) const {
+  const obs::Bind bind(config_.observer);
+  HIT_PROF_SCOPE("sim.run");
+  obs::count("sim.runs");
   const topo::Topology& topology = cluster_->topology();
 
   // ---- 1. HDFS splits and shuffle flows -----------------------------------
@@ -125,6 +128,13 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
   const auto apply_server_event = [&](const FaultEvent& ev) {
     const ServerId s = cluster_->server_at(ev.node);
     server_dead[s.index()] = ev.kind == FaultKind::Fail ? 1 : 0;
+    obs::count(ev.kind == FaultKind::Fail ? "sim.faults.server_fail"
+                                          : "sim.faults.server_recover");
+    obs::sim_instant(ev.kind == FaultKind::Fail ? "fault.server.fail"
+                                                : "fault.server.recover",
+                     "sim.fault", ev.time,
+                     {{"server", static_cast<std::int64_t>(s.value())}},
+                     /*tid=*/3);
   };
 
   std::vector<cluster::Resource> reduce_usage(cluster_->size());
@@ -225,6 +235,17 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     Rng wave_rng = rng.fork(wave_index + 1);
     sched::Assignment a = scheduler.schedule(p, wave_rng);
     sched::validate_assignment(p, a);
+    obs::count("sim.waves");
+    obs::count("sim.tasks_placed", a.placement.size());
+    if (obs::current().trace() != nullptr) {
+      for (const auto& [id, host] : a.placement) {
+        obs::sim_instant("task.place", "sim.place", wave_start,
+                         {{"task", static_cast<std::int64_t>(id.value())},
+                          {"server", static_cast<std::int64_t>(host.value())},
+                          {"wave", static_cast<std::int64_t>(wave_index)}},
+                         /*tid=*/1);
+      }
+    }
     for (const auto& [id, host] : a.placement) placement.insert_or_assign(id, host);
     for (auto& [id, pol] : a.policies) policies.insert_or_assign(id, std::move(pol));
     ++wave_index;
@@ -350,14 +371,26 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
       }
     }
 
+    const bool tracing = obs::current().trace() != nullptr;
     for (const Attempt& at : attempts) {
       if (!at.alive) continue;  // only the final successful attempt is recorded
       map_finish[at.task->id] = at.finish;
+      obs::observe("sim.map_duration_s", at.finish - wave_start);
+      if (tracing) {
+        obs::sim_span("map", "sim.task", wave_start, at.finish,
+                      {{"task", static_cast<std::int64_t>(at.task->id.value())},
+                       {"server", static_cast<std::int64_t>(at.host.value())}},
+                      /*tid=*/1);
+      }
       result.tasks.push_back(TaskTiming{at.task->id, at.task->job,
                                         cluster::TaskKind::Map, wave_start,
                                         at.finish});
       if (killed.erase(at.task->id) > 0) ++rec.maps_reexecuted;
     }
+    obs::sim_span("wave", "sim.wave", wave_start, wave_end,
+                  {{"index", static_cast<std::int64_t>(wave_index - 1)},
+                   {"maps", static_cast<std::int64_t>(wave_maps.size())}},
+                  /*tid=*/0);
     todo.insert(todo.begin(), requeued.begin(), requeued.end());
     wave_start = wave_end;
   }
@@ -432,15 +465,26 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     sf.hops = sf.policy.len();
     ++sf.reroutes;
     ++rec.flows_rerouted;
+    obs::count("sim.flow_reroutes");
     return true;
   };
   const auto stall = [&](std::size_t i, double at) {
     sim_flows[i].stall_since = at;
     stalled.push_back(i);
     ++rec.flows_stalled;
+    obs::count("sim.flow_stalls");
+    obs::sim_instant(
+        "flow.stall", "sim.flow", at,
+        {{"flow", static_cast<std::int64_t>(sim_flows[i].flow->id.value())}},
+        /*tid=*/2);
   };
   const auto apply_net_event = [&](const FaultEvent& ev) {
     fstate.apply(ev);
+    obs::count(ev.kind == FaultKind::Fail ? "sim.faults.net_fail"
+                                          : "sim.faults.net_recover");
+    obs::sim_instant(ev.kind == FaultKind::Fail ? "fault.net.fail"
+                                                : "fault.net.recover",
+                     "sim.fault", ev.time, {}, /*tid=*/3);
     if (ev.kind == FaultKind::Fail) {
       // Crossing transfers detour onto an alive route or stall until repair.
       std::vector<std::size_t> keep;
@@ -463,6 +507,10 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
         if (fstate.path_up(sf.path) || try_reroute(sf)) {
           sf.stall_seconds += ev.time - sf.stall_since;
           rec.stall_seconds += ev.time - sf.stall_since;
+          obs::sim_instant(
+              "flow.resume", "sim.flow", ev.time,
+              {{"flow", static_cast<std::int64_t>(sf.flow->id.value())}},
+              /*tid=*/2);
           active.push_back(i);
         } else {
           waiting.push_back(i);
@@ -573,15 +621,32 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
       }
       if (!std::isfinite(first_input)) first_input = 0.0;
       const double finish = last_input + t.compute_seconds;
+      if (obs::current().trace() != nullptr) {
+        obs::sim_span("reduce", "sim.task", first_input, finish,
+                      {{"task", static_cast<std::int64_t>(t.id.value())}},
+                      /*tid=*/1);
+      }
       result.tasks.push_back(
           TaskTiming{t.id, t.job, cluster::TaskKind::Reduce, first_input, finish});
       job_finish = std::max(job_finish, finish);
     }
     jct[job.id] = job_finish;
+    obs::observe("sim.job_completion_s", job_finish);
   }
 
   const bool faulty = !config_.faults.empty();
+  const bool tracing = obs::current().trace() != nullptr;
   for (const SimFlow& sf : sim_flows) {
+    obs::observe("sim.flow_duration_s", sf.finish - sf.release);
+    if (tracing && !sf.local) {
+      obs::sim_span("flow", "sim.flow", sf.release, sf.finish,
+                    {{"flow", static_cast<std::int64_t>(sf.flow->id.value())},
+                     {"gb", sf.flow->size_gb},
+                     {"hops", static_cast<std::int64_t>(sf.hops)},
+                     {"reroutes", static_cast<std::int64_t>(sf.reroutes)},
+                     {"stall_s", sf.stall_seconds}},
+                    /*tid=*/2);
+    }
     FlowTiming ft;
     ft.id = sf.flow->id;
     ft.job = sf.flow->job;

@@ -30,6 +30,7 @@
 #include "mapreduce/job.h"
 #include "mapreduce/shuffle.h"
 #include "network/bandwidth.h"
+#include "obs/context.h"
 #include "sched/scheduler.h"
 #include "sim/delay_fetcher.h"
 #include "sim/faults.h"
@@ -72,6 +73,11 @@ struct SimConfig {
   /// server faults after the map phase are counted but do not interrupt
   /// transfers (the online simulator models full job restart).
   FaultPlan faults;
+  /// Observability context (null = disabled, the default).  `run()` binds it
+  /// as the thread's ambient context, so the scheduler's phases profile into
+  /// it too; wave boundaries, task placements, flow lifecycle and fault
+  /// events land on the simulated-time trace lane.
+  const obs::Context* observer = nullptr;
 };
 
 class ClusterSimulator {

@@ -12,6 +12,7 @@
 #include "network/bandwidth.h"
 #include "network/load.h"
 #include "network/routing.h"
+#include "obs/context.h"
 #include "sim/delay_fetcher.h"
 #include "sim/faults.h"
 
@@ -99,6 +100,9 @@ OnlineSimulator::OnlineSimulator(const cluster::Cluster& cluster, OnlineConfig c
 OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
                                   const std::vector<mr::Job>& jobs,
                                   mr::IdAllocator& ids, Rng& rng) const {
+  const obs::Bind bind(config_.sim.observer);
+  HIT_PROF_SCOPE("sim.online.run");
+  obs::count("online.runs");
   const topo::Topology& topology = cluster_->topology();
   OnlineResult result;
   RecoveryStats& rec = result.recovery;
@@ -235,6 +239,12 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     RunningJob& run = state[j];
     run.scheduled = true;
     run.scheduled_at = now;
+    obs::count("online.jobs_scheduled");
+    obs::observe("online.queueing_delay_s", now - queued_since[j]);
+    obs::sim_instant("job.schedule", "sim.job", now,
+                     {{"job", static_cast<std::int64_t>(jobs[j].id.value())},
+                      {"wait_s", now - queued_since[j]}},
+                     /*tid=*/0);
     run.placement = assignment.placement;
     for (const sched::TaskRef& t : problem.tasks) {
       usage[assignment.placement.at(t.id).index()] += t.demand;
@@ -346,6 +356,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     jf.charged = true;
     ++jf.reroutes;
     ++rec.flows_rerouted;
+    obs::count("online.flow_reroutes");
     return true;
   };
 
@@ -359,6 +370,10 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     jf.stall_since = now;
     stalled_flows.push_back(idx);
     ++rec.flows_stalled;
+    obs::count("online.flow_stalls");
+    obs::sim_instant("flow.stall", "sim.flow", now,
+                     {{"flow", static_cast<std::int64_t>(jf.flow->id.value())}},
+                     /*tid=*/2);
   };
 
   // A dead reduce host loses the job's partial state: release everything and
@@ -399,6 +414,10 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     queued_since[j] = now;
     waiting.push_front(j);
     ++rec.jobs_restarted;
+    obs::count("online.jobs_restarted");
+    obs::sim_instant("job.restart", "sim.job", now,
+                     {{"job", static_cast<std::int64_t>(jobs[j].id.value())}},
+                     /*tid=*/0);
   };
 
   // Kill the in-flight maps on a dead server and re-place them through the
@@ -652,6 +671,10 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     while (next_fev < fault_events.size() &&
            fault_events[next_fev].time <= now + kEps) {
       const FaultEvent& ev = fault_events[next_fev++];
+      obs::count(ev.kind == FaultKind::Fail ? "online.faults.fail"
+                                            : "online.faults.recover");
+      obs::sim_instant(ev.kind == FaultKind::Fail ? "fault.fail" : "fault.recover",
+                       "sim.fault", ev.time, {}, /*tid=*/3);
       if (ev.target == FaultTarget::Server) {
         if (ev.kind == FaultKind::Fail) {
           handle_server_fail(ev.node);
@@ -711,6 +734,15 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       record.finish = now;
       record.shuffle_gb = jobs[j].shuffle_gb;
       record.shuffle_cost = run.shuffle_cost;
+      obs::count("online.jobs_finished");
+      obs::observe("online.job_completion_s", record.completion_time());
+      if (obs::current().trace() != nullptr) {
+        obs::sim_span("job", "sim.job", record.arrival, record.finish,
+                      {{"job", static_cast<std::int64_t>(record.id.value())},
+                       {"benchmark", record.benchmark},
+                       {"wait_s", record.queueing_delay()}},
+                      /*tid=*/0);
+      }
       result.jobs.push_back(record);
       result.makespan = std::max(result.makespan, now);
       result.total_shuffle_cost += run.shuffle_cost;
@@ -736,7 +768,18 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
   }
 
   const bool faulty = !config_.sim.faults.empty();
+  const bool tracing = obs::current().trace() != nullptr;
   for (const JobFlow& jf : flows) {
+    if (!jf.local) obs::observe("online.flow_duration_s", jf.finish - jf.release);
+    if (tracing && !jf.local) {
+      obs::sim_span("flow", "sim.flow", jf.release, jf.finish,
+                    {{"flow", static_cast<std::int64_t>(jf.flow->id.value())},
+                     {"gb", jf.flow->size_gb},
+                     {"hops", static_cast<std::int64_t>(jf.hops)},
+                     {"reroutes", static_cast<std::int64_t>(jf.reroutes)},
+                     {"stall_s", jf.stall_seconds}},
+                    /*tid=*/2);
+    }
     FlowTiming ft;
     ft.id = jf.flow->id;
     ft.job = jf.flow->job;

@@ -3,20 +3,59 @@
 // HitSched libraries never print to stdout on their own; benchmark harnesses
 // and examples own stdout for result tables.  Diagnostics go through this
 // logger to stderr and are silenced by default below `Level::Warn`.
+//
+// The initial threshold honors the HIT_LOG_LEVEL environment variable
+// (trace / debug / info / warn / error / off, case-insensitive), read once at
+// first use; an unrecognized value warns on stderr and keeps the Warn
+// default.  `set_level` still overrides at runtime.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <sstream>
+#include <string>
 #include <string_view>
 
 namespace hit::log {
 
 enum class Level : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
 
-/// Global log threshold; messages below it are dropped.
+/// Parse a level name (case-insensitive).  Accepts the enum names plus the
+/// common aliases "warning" and "none"; anything else is nullopt.
+inline std::optional<Level> parse_level(std::string_view text) {
+  std::string lower(text);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "trace") return Level::Trace;
+  if (lower == "debug") return Level::Debug;
+  if (lower == "info") return Level::Info;
+  if (lower == "warn" || lower == "warning") return Level::Warn;
+  if (lower == "error") return Level::Error;
+  if (lower == "off" || lower == "none") return Level::Off;
+  return std::nullopt;
+}
+
+namespace detail {
+/// Threshold from HIT_LOG_LEVEL, or Warn.  A bad value warns once here —
+/// deliberately not through Log (which would recurse into threshold()).
+inline Level initial_level() {
+  const char* env = std::getenv("HIT_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return Level::Warn;
+  if (const auto parsed = parse_level(env)) return *parsed;
+  std::cerr << "WARN  [log] HIT_LOG_LEVEL=\"" << env
+            << "\" not recognized (want trace/debug/info/warn/error/off); "
+               "keeping warn\n";
+  return Level::Warn;
+}
+}  // namespace detail
+
+/// Global log threshold; messages below it are dropped.  Initialized once
+/// from HIT_LOG_LEVEL (see above).
 inline Level& threshold() {
-  static Level level = Level::Warn;
+  static Level level = detail::initial_level();
   return level;
 }
 

@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace hit::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(Histogram, BucketsObservations) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(5.0);    // <= 10
+  h.observe(50.0);   // <= 100
+  h.observe(500.0);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  const std::vector<std::uint64_t> cum = h.cumulative();
+  ASSERT_EQ(cum.size(), 4u);  // 3 bounds + total
+  EXPECT_EQ(cum[0], 1u);
+  EXPECT_EQ(cum[1], 2u);
+  EXPECT_EQ(cum[2], 3u);
+  EXPECT_EQ(cum[3], 4u);
+}
+
+TEST(Histogram, BoundaryValueLandsInLowerBucket) {
+  Histogram h({1.0, 2.0});
+  h.observe(1.0);  // exactly on a bound: counts as <= bound
+  EXPECT_EQ(h.cumulative()[0], 1u);
+}
+
+TEST(Histogram, EmptyMinMaxAreNan) {
+  Histogram h({1.0});
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Registry, LookupOrCreateReturnsStableRefs) {
+  Registry r;
+  Counter& a = r.counter("x");
+  Counter& b = r.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(r.counter("x").value(), 3u);
+  r.gauge("g").set(1.0);
+  r.histogram("h").observe(0.01);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(Registry, TaggedFoldsTagsIntoName) {
+  EXPECT_EQ(Registry::tagged("flows", {{"job", "3"}, {"kind", "map"}}),
+            "flows{job=3,kind=map}");
+  EXPECT_EQ(Registry::tagged("flows", {}), "flows");
+}
+
+TEST(Registry, SnapshotIsNameSorted) {
+  Registry r;
+  r.counter("zebra").add();
+  r.counter("apple").add(2);
+  r.gauge("mango").set(7.0);
+  const std::vector<MetricSample> snap = r.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "apple");
+  EXPECT_EQ(snap[1].name, "mango");
+  EXPECT_EQ(snap[2].name, "zebra");
+  EXPECT_DOUBLE_EQ(snap[0].value, 2.0);
+  EXPECT_EQ(snap[0].kind, "counter");
+  EXPECT_EQ(snap[1].kind, "gauge");
+}
+
+TEST(Registry, WriteJsonlRoundTripsAsJson) {
+  Registry r;
+  r.counter("runs").add(2);
+  r.histogram("latency", std::vector<double>{1.0, 10.0}).observe(0.5);
+  std::ostringstream out;
+  const std::vector<std::pair<std::string, stats::Cell>> stamp = {
+      {"bench", std::string("unit")}, {"seed", std::int64_t{7}}};
+  r.write_jsonl(out, stamp);
+
+  // Every line must be a flat JSON object carrying the stamp fields.
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t n = 0;
+  bool saw_bucket = false;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"bench\":\"unit\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"seed\":7"), std::string::npos) << line;
+    if (line.find("histogram_bucket") != std::string::npos) saw_bucket = true;
+  }
+  // 1 counter + 1 histogram aggregate + 2 bounds + overflow bucket.
+  EXPECT_EQ(n, 5u);
+  EXPECT_TRUE(saw_bucket);
+  // The overflow bucket serializes its +inf bound as null.
+  EXPECT_NE(out.str().find("\"le\":null"), std::string::npos);
+}
+
+TEST(Registry, WriteCsvHasHeaderAndRows) {
+  Registry r;
+  r.counter("a").add();
+  r.gauge("b").set(3.0);
+  std::ostringstream out;
+  r.write_csv(out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("name,kind,value,count,sum,min,max"), 0u);
+  EXPECT_NE(text.find("a,counter,1"), std::string::npos);
+  EXPECT_NE(text.find("b,gauge,3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hit::obs

@@ -1,0 +1,116 @@
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/context.h"
+
+namespace hit::obs {
+namespace {
+
+TEST(Profiler, RecordAccumulatesCountTotalMax) {
+  Profiler p;
+  p.record("phase.a", 100);
+  p.record("phase.a", 300);
+  p.record("phase.b", 50);
+  EXPECT_EQ(p.scope_count(), 2u);
+  const auto snap = p.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  const Profiler::ScopeStats& a = snap.at("phase.a");
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_EQ(a.total_ns, 400u);
+  EXPECT_EQ(a.max_ns, 300u);
+  EXPECT_EQ(snap.at("phase.b").count, 1u);
+}
+
+TEST(Profiler, WriteTableListsEveryScope) {
+  Profiler p;
+  p.record("core.match", 2'000'000);
+  p.record("sim.run", 5'000'000);
+  std::ostringstream out;
+  p.write_table(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("core.match"), std::string::npos);
+  EXPECT_NE(text.find("sim.run"), std::string::npos);
+  // Total-descending: the bigger scope prints first.
+  EXPECT_LT(text.find("sim.run"), text.find("core.match"));
+}
+
+TEST(ScopeTimer, ExplicitContextRecordsIntoProfiler) {
+  Profiler p;
+  const Context ctx(nullptr, nullptr, &p);
+  {
+    ScopeTimer timer(ctx, "explicit.scope");
+  }
+  const auto snap = p.snapshot();
+  ASSERT_EQ(snap.count("explicit.scope"), 1u);
+  EXPECT_EQ(snap.at("explicit.scope").count, 1u);
+}
+
+TEST(ScopeTimer, AmbientContextViaBind) {
+  Profiler p;
+  const Context ctx(nullptr, nullptr, &p);
+  {
+    const Bind bind(ctx);
+    HIT_PROF_SCOPE("ambient.scope");
+  }
+  EXPECT_EQ(p.snapshot().at("ambient.scope").count, 1u);
+}
+
+TEST(ScopeTimer, DisabledAmbientIsNoOp) {
+  // No Bind installed: the ambient context is the null object and the timer
+  // must not crash or record anywhere.
+  EXPECT_FALSE(current().enabled());
+  {
+    HIT_PROF_SCOPE("nothing.listens");
+  }
+  EXPECT_FALSE(current().enabled());
+}
+
+TEST(ScopeTimer, EmitsHostSpanWhenTracingToo) {
+  Profiler p;
+  std::ostringstream out;
+  TraceWriter trace(out);
+  const Context ctx(nullptr, &trace, &p);
+  {
+    ScopeTimer timer(ctx, "traced.scope");
+  }
+  trace.finish();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"name\":\"traced.scope\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"pid\":2"), std::string::npos);  // host lane
+}
+
+TEST(Bind, RestoresPreviousContextNested) {
+  Profiler pa, pb;
+  const Context outer(nullptr, nullptr, &pa);
+  const Context inner(nullptr, nullptr, &pb);
+  {
+    const Bind a(outer);
+    EXPECT_EQ(current().profiler(), &pa);
+    {
+      const Bind b(inner);
+      EXPECT_EQ(current().profiler(), &pb);
+    }
+    EXPECT_EQ(current().profiler(), &pa);
+  }
+  EXPECT_FALSE(current().enabled());
+}
+
+TEST(Bind, NullPointerPassesThrough) {
+  Profiler p;
+  const Context ctx(nullptr, nullptr, &p);
+  const Bind outer(ctx);
+  {
+    // Null binding (the disabled-owner wiring path) keeps the outer ambient
+    // context visible instead of masking it.
+    const Bind passthrough(static_cast<const Context*>(nullptr));
+    EXPECT_EQ(current().profiler(), &p);
+  }
+  EXPECT_EQ(current().profiler(), &p);
+}
+
+}  // namespace
+}  // namespace hit::obs

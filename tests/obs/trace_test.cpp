@@ -1,0 +1,168 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hit::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(TraceWriter, EmptyTraceIsAnEmptyArray) {
+  std::ostringstream out;
+  {
+    TraceWriter trace(out);
+    EXPECT_EQ(trace.events_written(), 0u);
+  }
+  EXPECT_EQ(out.str(), "[\n\n]\n");
+}
+
+TEST(TraceWriter, CompleteEventCarriesAllFields) {
+  std::ostringstream out;
+  TraceWriter trace(out);
+  trace.complete("map", "sim.task", 1500.0, 250.5,
+                 {{"task", std::int64_t{7}}, {"server", std::string("s3")}},
+                 TraceWriter::kSimPid, 1);
+  trace.finish();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"name\":\"map\""), std::string::npos);
+  EXPECT_NE(text.find("\"cat\":\"sim.task\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ts\":1500.000"), std::string::npos);
+  EXPECT_NE(text.find("\"dur\":250.500"), std::string::npos);
+  EXPECT_NE(text.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"args\":{\"task\":7,\"server\":\"s3\"}"),
+            std::string::npos);
+  EXPECT_EQ(trace.events_written(), 1u);
+}
+
+TEST(TraceWriter, InstantEventHasThreadScope) {
+  std::ostringstream out;
+  TraceWriter trace(out);
+  trace.instant("flow.stall", "sim.flow", 42.0);
+  trace.finish();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST(TraceWriter, BeginEndPairAndCommaSeparation) {
+  std::ostringstream out;
+  TraceWriter trace(out);
+  trace.begin("phase", "test", 0.0);
+  trace.end(10.0);
+  trace.finish();
+  EXPECT_EQ(trace.events_written(), 2u);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"E\""), std::string::npos);
+  // Events are comma-separated inside the array — exactly one separator.
+  EXPECT_NE(text.find("},\n{"), std::string::npos);
+}
+
+TEST(TraceWriter, MetadataNamesLanes) {
+  std::ostringstream out;
+  TraceWriter trace(out);
+  trace.name_process(TraceWriter::kSimPid, "simulated time");
+  trace.name_thread(TraceWriter::kSimPid, 2, "flows");
+  trace.finish();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(text.find("\"args\":{\"name\":\"simulated time\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"args\":{\"name\":\"flows\"}"), std::string::npos);
+}
+
+TEST(TraceWriter, WellFormedArrayShape) {
+  std::ostringstream out;
+  TraceWriter trace(out);
+  for (int i = 0; i < 5; ++i) {
+    trace.instant("tick", "test", static_cast<double>(i));
+  }
+  trace.finish();
+  const std::string text = out.str();
+  ASSERT_GE(text.size(), 4u);
+  EXPECT_EQ(text.substr(0, 2), "[\n");
+  EXPECT_EQ(text.substr(text.size() - 3), "\n]\n");
+  // Balanced braces — every event object opens and closes.
+  std::size_t opens = 0, closes = 0;
+  for (const char c : text) {
+    if (c == '{') ++opens;
+    if (c == '}') ++closes;
+  }
+  EXPECT_EQ(opens, closes);
+  // No trailing comma before the closing bracket (the classic malformed-JSON
+  // failure mode of streaming writers).
+  EXPECT_EQ(text.find(",\n]"), std::string::npos);
+}
+
+TEST(TraceWriter, FinishIsIdempotentAndDropsLateEvents) {
+  std::ostringstream out;
+  TraceWriter trace(out);
+  trace.instant("a", "test", 0.0);
+  trace.finish();
+  const std::string closed = out.str();
+  trace.finish();                       // second finish: no double bracket
+  trace.instant("late", "test", 1.0);   // after finish: dropped
+  EXPECT_EQ(out.str(), closed);
+  EXPECT_EQ(trace.events_written(), 1u);
+}
+
+TEST(TraceWriter, JsonlMirrorIsOneObjectPerLine) {
+  std::ostringstream out;
+  std::ostringstream events;
+  TraceWriter trace(out, &events);
+  trace.instant("a", "test", 0.0, {{"flow", std::int64_t{1}}});
+  trace.complete("b", "test", 0.0, 5.0);
+  trace.finish();
+  const std::vector<std::string> lines = lines_of(events.str());
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_NE(lines[0].find("\"name\":\"a\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"name\":\"b\""), std::string::npos);
+}
+
+TEST(TraceWriter, NonFiniteArgValuesSerializeAsNull) {
+  std::ostringstream out;
+  TraceWriter trace(out);
+  trace.instant("nan", "test", 0.0,
+                {{"bad", std::numeric_limits<double>::quiet_NaN()}});
+  trace.finish();
+  EXPECT_NE(out.str().find("\"bad\":null"), std::string::npos);
+}
+
+TEST(TraceWriter, EscapesQuotesInNamesAndArgs) {
+  std::ostringstream out;
+  TraceWriter trace(out);
+  trace.instant("say \"hi\"", "test", 0.0);
+  trace.finish();
+  EXPECT_NE(out.str().find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(TraceWriter, HostClockAdvances) {
+  std::ostringstream out;
+  const TraceWriter trace(out);
+  const double a = trace.now_us();
+  const double b = trace.now_us();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace hit::obs

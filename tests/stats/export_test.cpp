@@ -37,6 +37,16 @@ TEST(CsvWriter, NonFiniteDoublesBlank) {
   EXPECT_EQ(out.str(), "x\n\n");
 }
 
+TEST(CsvWriter, AllNonFiniteFlavorsBlank) {
+  // Regression: -inf and NaN must blank out like +inf, and a non-finite cell
+  // must not swallow its column separators.
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b", "c"});
+  csv.row({-std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::quiet_NaN(), 1.0});
+  EXPECT_EQ(out.str(), "a,b,c\n,,1\n");
+}
+
 TEST(JsonLinesWriter, FlatRecords) {
   std::ostringstream out;
   JsonLinesWriter json(out);
@@ -59,6 +69,17 @@ TEST(JsonLinesWriter, NonFiniteDoublesNull) {
   JsonLinesWriter json(out);
   json.record({{"v", std::numeric_limits<double>::quiet_NaN()}});
   EXPECT_EQ(out.str(), "{\"v\":null}\n");
+}
+
+TEST(JsonLinesWriter, InfinitiesAreNullNotBareTokens) {
+  // Regression: printf-style "%g" would emit `inf` / `-inf`, which is not
+  // JSON; both signs must serialize as null so every line stays parseable.
+  std::ostringstream out;
+  JsonLinesWriter json(out);
+  json.record({{"hi", std::numeric_limits<double>::infinity()},
+               {"lo", -std::numeric_limits<double>::infinity()},
+               {"ok", 2.0}});
+  EXPECT_EQ(out.str(), "{\"hi\":null,\"lo\":null,\"ok\":2}\n");
 }
 
 }  // namespace

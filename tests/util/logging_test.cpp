@@ -84,5 +84,63 @@ TEST_F(LoggingTest, LevelNames) {
   EXPECT_EQ(name(Level::Error), "ERROR");
 }
 
+TEST(ParseLevel, AcceptsCanonicalNamesCaseInsensitively) {
+  EXPECT_EQ(parse_level("trace"), Level::Trace);
+  EXPECT_EQ(parse_level("DEBUG"), Level::Debug);
+  EXPECT_EQ(parse_level("Info"), Level::Info);
+  EXPECT_EQ(parse_level("wArN"), Level::Warn);
+  EXPECT_EQ(parse_level("error"), Level::Error);
+  EXPECT_EQ(parse_level("OFF"), Level::Off);
+}
+
+TEST(ParseLevel, AcceptsAliases) {
+  EXPECT_EQ(parse_level("warning"), Level::Warn);
+  EXPECT_EQ(parse_level("none"), Level::Off);
+}
+
+TEST(ParseLevel, RejectsUnknownText) {
+  EXPECT_EQ(parse_level(""), std::nullopt);
+  EXPECT_EQ(parse_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_level("warn "), std::nullopt);  // no trimming: exact tokens
+  EXPECT_EQ(parse_level("2"), std::nullopt);
+}
+
+// detail::initial_level() re-reads HIT_LOG_LEVEL each call, so the env-var
+// behavior is testable even though threshold() latched its value at startup.
+class EnvLevelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("HIT_LOG_LEVEL"); }
+};
+
+TEST_F(EnvLevelTest, UnsetKeepsDefaultWarn) {
+  unsetenv("HIT_LOG_LEVEL");
+  EXPECT_EQ(detail::initial_level(), Level::Warn);
+}
+
+TEST_F(EnvLevelTest, ValidValueApplies) {
+  setenv("HIT_LOG_LEVEL", "debug", 1);
+  EXPECT_EQ(detail::initial_level(), Level::Debug);
+  setenv("HIT_LOG_LEVEL", "ERROR", 1);
+  EXPECT_EQ(detail::initial_level(), Level::Error);
+}
+
+TEST_F(EnvLevelTest, BadValueWarnsOnceAndKeepsDefault) {
+  setenv("HIT_LOG_LEVEL", "loudest", 1);
+  testing::internal::CaptureStderr();
+  const Level level = detail::initial_level();
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(level, Level::Warn);
+  EXPECT_NE(out.find("HIT_LOG_LEVEL"), std::string::npos);
+  EXPECT_NE(out.find("loudest"), std::string::npos);
+}
+
+TEST_F(EnvLevelTest, EmptyValueIsDefaultWithoutWarning) {
+  setenv("HIT_LOG_LEVEL", "", 1);
+  testing::internal::CaptureStderr();
+  const Level level = detail::initial_level();
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+  EXPECT_EQ(level, Level::Warn);
+}
+
 }  // namespace
 }  // namespace hit::log

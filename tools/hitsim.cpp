@@ -4,18 +4,25 @@
 // file) on a chosen topology under a chosen scheduler, in batch or online
 // mode, and prints either a human summary or machine-readable CSV.
 //
+// Observability: `--trace FILE` records the run as Chrome trace-event JSON
+// (load it in Perfetto / chrome://tracing), `--metrics FILE` dumps a metrics
+// snapshot as JSON Lines, `--profile` prints a phase-timing table to stderr.
+//
 //   hitsim --topology tree --jobs 10 --scheduler hit --seed 42
 //   hitsim --topology vl2 --scheduler pna --mode online --arrival-rate 0.1
-//   hitsim --trace workload.csv --scheduler capacity --csv
+//   hitsim --workload workload.csv --scheduler capacity --csv
+//   hitsim --trace run.json --metrics run-metrics.jsonl --profile
 //   hitsim --help
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "core/registry.h"
+#include "obs/context.h"
 #include "mapreduce/trace.h"
 #include "mapreduce/workload.h"
 #include "sched/capacity_scheduler.h"
@@ -39,14 +46,18 @@ struct Options {
   std::string topology = "tree";
   std::string scheduler = "hit";
   std::string mode = "batch";
-  std::string trace_file;
-  std::string save_trace_file;
+  std::string workload_file;
+  std::string save_workload_file;
   std::string dot_file;
+  std::string trace_file;         ///< Chrome trace-event JSON output
+  std::string trace_events_file;  ///< JSONL mirror of the trace events
+  std::string metrics_file;       ///< metrics snapshot (JSON Lines)
   std::size_t jobs = 10;
   std::uint64_t seed = 42;
   double bandwidth_scale = 0.05;
   double arrival_rate = 0.05;
   double jitter = 0.0;
+  bool profile = false;
   bool csv = false;
   bool help = false;
 };
@@ -64,10 +75,14 @@ void print_usage() {
       "  --bandwidth-scale X shuffle-path throttle                       (default 0.05)\n"
       "  --arrival-rate X    online mode: Poisson jobs/second            (default 0.05)\n"
       "  --jitter SIGMA      straggler lognormal sigma on map times      (default 0)\n"
-      "  --trace FILE        load workload from a trace instead of generating\n"
-      "  --save-trace FILE   write the generated workload as a trace\n"
+      "  --workload FILE     load workload from a trace instead of generating\n"
+      "  --save-workload FILE  write the generated workload as a trace\n"
       "  --dot FILE          export the topology as Graphviz DOT\n"
       "  --csv               per-job CSV on stdout instead of the summary table\n"
+      "  --trace FILE        record the run as Chrome trace-event JSON (Perfetto)\n"
+      "  --trace-events FILE mirror the trace events as JSON Lines\n"
+      "  --metrics FILE      dump a metrics snapshot as JSON Lines\n"
+      "  --profile           print a phase-timing table to stderr\n"
       "  --help              this message\n";
 }
 
@@ -96,12 +111,23 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (arg == "--mode") {
       if (!(value = need_value(i))) return std::nullopt;
       opt.mode = value;
+    } else if (arg == "--workload") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.workload_file = value;
+    } else if (arg == "--save-workload") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.save_workload_file = value;
     } else if (arg == "--trace") {
       if (!(value = need_value(i))) return std::nullopt;
       opt.trace_file = value;
-    } else if (arg == "--save-trace") {
+    } else if (arg == "--trace-events") {
       if (!(value = need_value(i))) return std::nullopt;
-      opt.save_trace_file = value;
+      opt.trace_events_file = value;
+    } else if (arg == "--metrics") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.metrics_file = value;
+    } else if (arg == "--profile") {
+      opt.profile = true;
     } else if (arg == "--dot") {
       if (!(value = need_value(i))) return std::nullopt;
       opt.dot_file = value;
@@ -155,20 +181,21 @@ int run(const Options& opt) {
   Rng rng(opt.seed);
   mr::IdAllocator ids;
   std::vector<mr::Job> jobs;
-  if (!opt.trace_file.empty()) {
-    std::ifstream in(opt.trace_file);
+  if (!opt.workload_file.empty()) {
+    std::ifstream in(opt.workload_file);
     if (!in) {
-      std::cerr << "hitsim: cannot open trace '" << opt.trace_file << "'\n";
+      std::cerr << "hitsim: cannot open workload '" << opt.workload_file << "'\n";
       return 1;
     }
     jobs = mr::jobs_from_trace(mr::load_trace(in), generator, ids);
   } else {
     jobs = generator.generate(ids, rng);
   }
-  if (!opt.save_trace_file.empty()) {
-    std::ofstream out(opt.save_trace_file);
+  if (!opt.save_workload_file.empty()) {
+    std::ofstream out(opt.save_workload_file);
     if (!out) {
-      std::cerr << "hitsim: cannot write trace '" << opt.save_trace_file << "'\n";
+      std::cerr << "hitsim: cannot write workload '" << opt.save_workload_file
+                << "'\n";
       return 1;
     }
     mr::save_trace(out, mr::trace_from_jobs(jobs));
@@ -185,10 +212,59 @@ int run(const Options& opt) {
     out << topo::to_dot(topology, dot_options);
   }
 
+  // Observability: build only the pillars asked for; a default Context is
+  // the null object, so the simulators run uninstrumented otherwise.
+  const bool want_trace = !opt.trace_file.empty() || !opt.trace_events_file.empty();
+  std::ofstream trace_out, events_out, metrics_out;
+  std::ostringstream trace_sink;  // --trace-events without --trace
+  obs::Registry registry;
+  obs::Profiler profiler;
+  std::unique_ptr<obs::TraceWriter> trace;
+  if (want_trace) {
+    std::ostream* chrome = &trace_sink;
+    if (!opt.trace_file.empty()) {
+      trace_out.open(opt.trace_file);
+      if (!trace_out) {
+        std::cerr << "hitsim: cannot write trace '" << opt.trace_file << "'\n";
+        return 1;
+      }
+      chrome = &trace_out;
+    }
+    std::ostream* events = nullptr;
+    if (!opt.trace_events_file.empty()) {
+      events_out.open(opt.trace_events_file);
+      if (!events_out) {
+        std::cerr << "hitsim: cannot write trace events '"
+                  << opt.trace_events_file << "'\n";
+        return 1;
+      }
+      events = &events_out;
+    }
+    trace = std::make_unique<obs::TraceWriter>(*chrome, events);
+    trace->name_process(obs::TraceWriter::kSimPid, "simulated time");
+    trace->name_thread(obs::TraceWriter::kSimPid, 0, "scheduler / waves / jobs");
+    trace->name_thread(obs::TraceWriter::kSimPid, 1, "tasks");
+    trace->name_thread(obs::TraceWriter::kSimPid, 2, "flows");
+    trace->name_thread(obs::TraceWriter::kSimPid, 3, "faults");
+    trace->name_process(obs::TraceWriter::kHostPid, "host wall clock");
+    trace->name_thread(obs::TraceWriter::kHostPid, 0, "phases");
+  }
+  if (!opt.metrics_file.empty()) {
+    metrics_out.open(opt.metrics_file);
+    if (!metrics_out) {
+      std::cerr << "hitsim: cannot write metrics '" << opt.metrics_file << "'\n";
+      return 1;
+    }
+  }
+  const obs::Context obs_ctx(
+      opt.metrics_file.empty() ? nullptr : &registry, trace.get(),
+      opt.profile ? &profiler : nullptr);
+
   auto scheduler = build_scheduler(opt.scheduler);
   sim::SimConfig sconfig;
   sconfig.bandwidth_scale = opt.bandwidth_scale;
   sconfig.map_time_jitter_sigma = opt.jitter;
+  if (obs_ctx.enabled()) sconfig.observer = &obs_ctx;
 
   if (!opt.csv) {
     std::cout << "hitsim: " << jobs.size() << " jobs on " << cluster.size()
@@ -253,6 +329,20 @@ int run(const Options& opt) {
     std::cerr << "hitsim: unknown mode '" << opt.mode << "'\n";
     return 1;
   }
+
+  if (trace) trace->finish();
+  if (metrics_out.is_open()) {
+    const std::vector<std::pair<std::string, stats::Cell>> stamp = {
+        {"tool", std::string("hitsim")},
+        {"scheduler", opt.scheduler},
+        {"topology", opt.topology},
+        {"mode", opt.mode},
+        {"jobs", static_cast<std::int64_t>(jobs.size())},
+        {"seed", static_cast<std::int64_t>(opt.seed)},
+    };
+    registry.write_jsonl(metrics_out, stamp);
+  }
+  if (opt.profile) profiler.write_table(std::cerr);
   return 0;
 }
 
