@@ -1,0 +1,36 @@
+// Work budgets for the degradation ladder (DESIGN.md §10).
+//
+// Joint optimization must never be allowed to take "as long as it takes"
+// under overload: each schedule() call hands the expensive stages a shared
+// WorkBudget, they charge their dominant unit of work against it (Dijkstra
+// node expansions, Gale-Shapley proposals), and whoever notices exhaustion
+// stops early so the ladder can serve a cheaper tier.  A default-constructed
+// budget is unlimited, which keeps every existing call site bit-identical.
+#pragma once
+
+#include <cstddef>
+
+namespace hit::core {
+
+struct WorkBudget {
+  std::size_t limit = 0;  ///< total work units allowed; 0 = unlimited
+  std::size_t used = 0;   ///< work units charged so far
+
+  constexpr WorkBudget() = default;
+  constexpr explicit WorkBudget(std::size_t limit) : limit(limit) {}
+
+  /// Charge `n` units.  Returns false once the budget is exhausted (the
+  /// charge still lands, so `used` records the true demand).
+  constexpr bool charge(std::size_t n = 1) {
+    used += n;
+    return limit == 0 || used <= limit;
+  }
+
+  [[nodiscard]] constexpr bool exhausted() const {
+    return limit != 0 && used > limit;
+  }
+
+  constexpr void reset() { used = 0; }
+};
+
+}  // namespace hit::core

@@ -1,0 +1,108 @@
+#include "core/circuit_breaker.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace hit::core {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::HalfOpen: return "half-open";
+    case BreakerState::Open: return "open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {
+  if (config_.enabled) {
+    if (config_.failure_threshold == 0) {
+      throw std::invalid_argument(
+          "CircuitBreaker: failure_threshold must be positive");
+    }
+    if (config_.close_successes == 0) {
+      throw std::invalid_argument(
+          "CircuitBreaker: close_successes must be positive");
+    }
+  }
+}
+
+void CircuitBreaker::trip() {
+  state_ = BreakerState::Open;
+  consecutive_failures_ = 0;
+  probe_successes_ = 0;
+  open_remaining_ = config_.open_span;
+  if (config_.seed != 0) {
+    // Deterministic per-trip jitter: same seed, same trip index, same span.
+    Rng jitter = Rng(config_.seed).fork(stats_.trips);
+    open_remaining_ += jitter.uniform_index(config_.open_span + 1);
+  }
+  ++stats_.trips;
+}
+
+bool CircuitBreaker::allow() {
+  if (!config_.enabled) return true;
+  switch (state_) {
+    case BreakerState::Closed:
+      return true;
+    case BreakerState::HalfOpen:
+      // One probe at a time in the synchronous call pattern: the caller
+      // records the outcome before asking again.
+      ++stats_.probes;
+      return true;
+    case BreakerState::Open:
+      if (open_remaining_ > 0) {
+        --open_remaining_;
+        ++stats_.short_circuits;
+        return false;
+      }
+      state_ = BreakerState::HalfOpen;
+      probe_successes_ = 0;
+      ++stats_.probes;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  if (!config_.enabled) return;
+  switch (state_) {
+    case BreakerState::Closed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::HalfOpen:
+      if (++probe_successes_ >= config_.close_successes) {
+        state_ = BreakerState::Closed;
+        consecutive_failures_ = 0;
+        probe_successes_ = 0;
+        ++stats_.closes;
+      }
+      break;
+    case BreakerState::Open:
+      break;  // stale outcome from before the trip; ignore
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  if (!config_.enabled) return;
+  switch (state_) {
+    case BreakerState::Closed:
+      if (++consecutive_failures_ >= config_.failure_threshold) trip();
+      break;
+    case BreakerState::HalfOpen:
+      trip();  // the probe failed: straight back to Open
+      break;
+    case BreakerState::Open:
+      break;
+  }
+}
+
+void CircuitBreaker::reset() {
+  state_ = BreakerState::Closed;
+  consecutive_failures_ = 0;
+  probe_successes_ = 0;
+  open_remaining_ = 0;
+}
+
+}  // namespace hit::core

@@ -1,0 +1,76 @@
+// Circuit breaker around the joint-optimization hot path (DESIGN.md §10).
+//
+// When policy optimization keeps failing — budget blowouts, infeasible
+// matchings, saturated route searches — retrying it on every call just burns
+// the work budget the cheap tiers need.  The breaker counts consecutive
+// failures; past a threshold it *opens* and the caller serves its fallback
+// tier immediately for a span of calls, then lets a half-open probe attempt
+// the real path again.  Enough consecutive probe successes close it.
+//
+// Everything is call-counted, never wall-clocked, so a seeded run replays
+// bit-identically.  The optional seed jitters each open span (deterministic
+// per trip) so co-located breakers do not probe in lockstep.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hit::core {
+
+enum class BreakerState : std::uint8_t { Closed, HalfOpen, Open };
+
+[[nodiscard]] const char* breaker_state_name(BreakerState state);
+
+struct BreakerConfig {
+  /// Disabled by default: allow() is always true and no state is kept, so
+  /// wrapping a call site costs nothing until an operator opts in.
+  bool enabled = false;
+  /// Consecutive failures that trip Closed -> Open.
+  std::size_t failure_threshold = 3;
+  /// Calls served by the fallback tier while Open before a half-open probe.
+  std::size_t open_span = 8;
+  /// Consecutive half-open probe successes that close the breaker.
+  std::size_t close_successes = 2;
+  /// Non-zero: jitter each trip's open span by fork(seed, trip) in
+  /// [0, open_span], deterministically.
+  std::uint64_t seed = 0;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig config = {});
+
+  /// May the protected path run right now?  False = serve the fallback
+  /// immediately.  Open-state calls count down toward the half-open probe.
+  [[nodiscard]] bool allow();
+
+  /// Outcome of an allowed call.  Failures trip or re-open; successes close.
+  void record_success();
+  void record_failure();
+
+  [[nodiscard]] BreakerState state() const noexcept { return state_; }
+  [[nodiscard]] const BreakerConfig& config() const noexcept { return config_; }
+
+  struct Stats {
+    std::size_t trips = 0;            ///< Closed/HalfOpen -> Open transitions
+    std::size_t probes = 0;           ///< half-open attempts admitted
+    std::size_t closes = 0;           ///< HalfOpen -> Closed transitions
+    std::size_t short_circuits = 0;   ///< calls denied while Open
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Back to Closed with all counters (but not Stats) cleared.
+  void reset();
+
+ private:
+  void trip();
+
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::Closed;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t probe_successes_ = 0;
+  std::size_t open_remaining_ = 0;  ///< fallback calls left before a probe
+  Stats stats_;
+};
+
+}  // namespace hit::core

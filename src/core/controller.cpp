@@ -23,7 +23,8 @@ NetworkController::NetworkController(const topo::Topology& topology,
     : topology_(&topology),
       config_(config),
       load_(topology),
-      optimizer_(topology, config.cost) {
+      optimizer_(topology, config.cost),
+      breaker_(config.breaker) {
   if (config_.hot_threshold <= 0.0) {
     throw std::invalid_argument("NetworkController: hot_threshold must be positive");
   }
@@ -263,6 +264,10 @@ std::vector<FlowId> NetworkController::parked() const {
 std::size_t NetworkController::rebalance() {
   const obs::Bind bind(observer_);
   HIT_PROF_SCOPE("controller.rebalance");
+  if (!breaker_.allow()) {
+    obs::count("controller.rebalance_short_circuits");
+    return 0;
+  }
   const CostModel cost(*topology_, config_.cost, &load_);
   std::size_t rerouted = 0;
 
@@ -324,7 +329,107 @@ std::size_t NetworkController::rebalance() {
     }
     if (!improved) break;
   }
+
+  // Breaker outcome: did the sweeps actually relieve the pressure?  A switch
+  // still over threshold (draining markers aside — those stay hot by design
+  // until empty) means the optimization is spinning without relief.
+  bool still_hot = false;
+  for (NodeId w : topology_->switches()) {
+    if (draining_.count(w) > 0) continue;
+    if (load_.utilization(w) > config_.hot_threshold) {
+      still_hot = true;
+      break;
+    }
+  }
+  if (still_hot) {
+    breaker_.record_failure();
+  } else {
+    breaker_.record_success();
+  }
   return rerouted;
+}
+
+std::size_t NetworkController::shed_pressure() {
+  const obs::Bind bind(observer_);
+  HIT_PROF_SCOPE("controller.shed_pressure");
+  std::size_t shed = 0;
+  for (;;) {
+    NodeId hottest;
+    double worst = config_.hot_threshold;
+    for (NodeId w : topology_->switches()) {
+      if (draining_.count(w) > 0) continue;
+      const double u = load_.utilization(w);
+      if (u > worst) {
+        worst = u;
+        hottest = w;
+      }
+    }
+    if (!hottest.valid()) break;
+
+    Entry* victim = nullptr;
+    for (auto& [id, entry] : flows_) {
+      if (entry.parked || !crosses(entry.policy, hottest)) continue;
+      if (victim == nullptr) {
+        victim = &entry;
+        continue;
+      }
+      const bool better =
+          entry.flow.priority != victim->flow.priority
+              ? entry.flow.priority < victim->flow.priority
+              : (entry.charged_rate != victim->charged_rate
+                     ? entry.charged_rate > victim->charged_rate
+                     : entry.flow.id < victim->flow.id);
+      if (better) victim = &entry;
+    }
+    if (victim == nullptr) break;  // pressure is ambient, not ours to shed
+
+    load_.remove(victim->policy, victim->charged_rate);
+    victim->parked = true;
+    victim->charged_rate = 0.0;
+    ++shed;
+    obs::count("controller.pressure_sheds");
+    obs::host_instant(
+        "flow.pressure_shed", "controller",
+        {{"flow", static_cast<std::int64_t>(victim->flow.id.value())},
+         {"priority", static_cast<std::int64_t>(victim->flow.priority)},
+         {"switch", topology_->info(hottest).name}});
+    HIT_LOG_INFO(kTag) << "flow " << victim->flow.id << " parked to cool "
+                       << topology_->info(hottest).name;
+  }
+  return shed;
+}
+
+std::size_t NetworkController::readmit_parked() {
+  const obs::Bind bind(observer_);
+  HIT_PROF_SCOPE("controller.readmit_parked");
+  std::vector<Entry*> waiting;
+  for (auto& [id, entry] : flows_) {
+    if (entry.parked) waiting.push_back(&entry);
+  }
+  std::sort(waiting.begin(), waiting.end(), [](const Entry* a, const Entry* b) {
+    if (a->flow.priority != b->flow.priority) {
+      return a->flow.priority > b->flow.priority;
+    }
+    return a->flow.id < b->flow.id;
+  });
+
+  std::size_t restored = 0;
+  for (Entry* entry : waiting) {
+    if (auto result = reroute_with_backoff(*entry)) {
+      entry->policy = std::move(result->route.policy);
+      entry->parked = false;
+      entry->charged_rate = result->admitted_rate;
+      load_.assign(entry->policy, entry->charged_rate);
+      ++restored;
+      obs::count("controller.readmissions");
+      obs::host_instant(
+          "flow.readmit", "controller",
+          {{"flow", static_cast<std::int64_t>(entry->flow.id.value())},
+           {"rate", entry->charged_rate}});
+      HIT_LOG_INFO(kTag) << "flow " << entry->flow.id << " re-admitted";
+    }
+  }
+  return restored;
 }
 
 double NetworkController::total_cost() const {

@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/circuit_breaker.h"
 #include "core/cost_model.h"
 #include "core/errors.h"
 #include "core/policy_optimizer.h"
@@ -41,6 +42,11 @@ struct ControllerConfig {
   /// `max_reroute_attempts` tries before the flow is parked.
   std::size_t max_reroute_attempts = 3;
   double reroute_backoff = 0.5;
+  /// Circuit breaker around rebalance(): consecutive sweeps that leave a
+  /// switch over the hot threshold open it, and while open rebalance returns
+  /// immediately (the fallback is simply the current policies).  Disabled by
+  /// default.
+  BreakerConfig breaker;
 };
 
 class NetworkController {
@@ -96,7 +102,28 @@ class NetworkController {
   /// residual-capacity route for its (fixed) endpoints and re-install on
   /// whichever policy is cheaper.  Repeats up to max_rounds sweeps or until
   /// no switch is hot / nothing improves.  Returns the number of reroutes.
+  /// With `config.breaker.enabled`, a sweep that leaves a switch over the
+  /// hot threshold counts as a failure; past the threshold the breaker opens
+  /// and subsequent calls return 0 immediately until a half-open probe
+  /// succeeds.
   std::size_t rebalance();
+
+  /// Overload relief: while any switch sits over the hot threshold
+  /// (draining markers excluded — that pressure is rebalance's job), park
+  /// the lowest-priority flow crossing the hottest switch (ties: heaviest
+  /// charged rate, then lowest id).  Parked flows stay installed but carry
+  /// no load until `readmit_parked` or `recover` finds them a route.
+  /// Returns the number of flows parked.
+  std::size_t shed_pressure();
+
+  /// Re-admit parked flows in decreasing priority order (ties: lowest id)
+  /// onto their optimal current route with the usual bounded backoff.
+  /// Returns the number restored.
+  std::size_t readmit_parked();
+
+  /// Rebalance breaker introspection (Closed and all-zero stats unless
+  /// `config.breaker.enabled`).
+  [[nodiscard]] const CircuitBreaker& breaker() const noexcept { return breaker_; }
 
   /// Total shuffle cost of the installed policies under the current load.
   [[nodiscard]] double total_cost() const;
@@ -138,6 +165,7 @@ class NetworkController {
   const obs::Context* observer_ = nullptr;
   net::LoadTracker load_;
   PolicyOptimizer optimizer_;
+  CircuitBreaker breaker_;
   std::unordered_map<FlowId, Entry> flows_;
   /// Draining switches and the synthetic load absorbing their headroom.
   std::unordered_map<NodeId, double> draining_;

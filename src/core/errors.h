@@ -29,4 +29,20 @@ struct NotASwitch : std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+/// The system is overloaded beyond its configured tolerance: the online
+/// queue-wait limit was exceeded on the strict admission path, or an operator
+/// asked for more than the cluster can admit.  Distinct from programming
+/// errors — callers catch this to retry with shedding enabled, to report
+/// partial results, or to raise capacity.
+struct OverloadError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// An optimization stage ran out of its work budget (node expansions,
+/// proposal rounds) before converging.  The degradation ladder catches this
+/// to serve a cheaper placement tier instead of stalling the scheduler.
+struct BudgetExhausted : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 }  // namespace hit::core

@@ -3,12 +3,23 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "network/routing.h"
 
 namespace hit::core {
+
+const char* ladder_tier_name(LadderTier tier) {
+  switch (tier) {
+    case LadderTier::Full: return "full";
+    case LadderTier::PreferenceOnly: return "preference-only";
+    case LadderTier::LocalityGreedy: return "locality-greedy";
+    case LadderTier::Random: return "random";
+  }
+  return "?";
+}
 
 bool HitScheduler::is_subsequent_wave(const sched::Problem& problem) {
   if (problem.tasks.empty()) return false;
@@ -22,7 +33,6 @@ bool HitScheduler::is_subsequent_wave(const sched::Problem& problem) {
 }
 
 sched::Assignment HitScheduler::schedule(const sched::Problem& problem, Rng& rng) {
-  (void)rng;  // Hit-Scheduler is deterministic
   if (!problem.valid()) throw std::invalid_argument("HitScheduler: invalid problem");
   const obs::Bind bind(observer_);
   HIT_PROF_SCOPE("core.hit_scheduler.schedule");
@@ -31,7 +41,211 @@ sched::Assignment HitScheduler::schedule(const sched::Problem& problem, Rng& rng
     return subsequent_wave(problem);
   }
   obs::count("core.hit_scheduler.initial_waves");
-  return initial_wave(problem);
+  if (!config_.ladder.enabled) {
+    (void)rng;  // the un-laddered Hit-Scheduler is deterministic
+    return initial_wave(problem);
+  }
+  return laddered_wave(problem, rng);
+}
+
+sched::Assignment HitScheduler::serve(LadderTier tier, sched::Assignment a) {
+  last_tier_ = tier;
+  ++ladder_stats_.served[static_cast<std::size_t>(tier)];
+  ladder_stats_.breaker = breaker_.stats();
+  obs::count(std::string("core.hit_scheduler.ladder.") + ladder_tier_name(tier));
+  return a;
+}
+
+sched::Assignment HitScheduler::laddered_wave(const sched::Problem& problem,
+                                              Rng& rng) {
+  HIT_PROF_SCOPE("core.hit_scheduler.laddered_wave");
+  LadderTier tier = LadderTier::Full;
+  if (!breaker_.allow()) {
+    // Open breaker: the expensive joint optimization has been blowing its
+    // budget — serve the cheap fallback immediately.
+    ++ladder_stats_.breaker_skips;
+    obs::count("core.hit_scheduler.ladder.breaker_skips");
+    tier = LadderTier::LocalityGreedy;
+  }
+
+  if (tier == LadderTier::Full) {
+    WorkBudget budget(config_.ladder.route_budget);
+    const PolicyOptimizer optimizer(*problem.topology, config_.cost);
+    const PreferenceMatrix prefs = optimizer.build_preferences(problem, &budget);
+    if (budget.exhausted()) {
+      // Alg. 1 grading ran out of node expansions: the matrix holds partial
+      // grades, good enough for grade-greedy but not for a fair Alg. 2 run.
+      ++ladder_stats_.budget_exhaustions;
+      breaker_.record_failure();
+      if (auto a = preference_only_wave(problem, prefs, {})) {
+        return serve(LadderTier::PreferenceOnly, std::move(*a));
+      }
+      tier = LadderTier::LocalityGreedy;
+    } else {
+      bool infeasible = false;
+      StableMatcher::MatchResult match;
+      try {
+        match = StableMatcher().match_budgeted(problem, prefs,
+                                               config_.ladder.proposal_budget);
+      } catch (const std::runtime_error&) {
+        // Aggregate capacity genuinely insufficient for Alg. 2's eviction
+        // dance; the greedy tiers may still pack the tasks.
+        infeasible = true;
+      }
+      if (!infeasible && match.complete) {
+        sched::Assignment assignment;
+        assignment.placement = std::move(match.placement);
+        route_flows(problem, assignment, &budget);
+        breaker_.record_success();
+        return serve(LadderTier::Full, std::move(assignment));
+      }
+      breaker_.record_failure();
+      if (!infeasible) {
+        // Proposal budget ran out: keep the capacity-feasible partial
+        // matching and complete it grade-greedily.
+        ++ladder_stats_.budget_exhaustions;
+        if (auto a = preference_only_wave(problem, prefs,
+                                          std::move(match.placement))) {
+          return serve(LadderTier::PreferenceOnly, std::move(*a));
+        }
+      }
+      tier = LadderTier::LocalityGreedy;
+    }
+  }
+
+  if (auto a = locality_greedy_wave(problem)) {
+    return serve(LadderTier::LocalityGreedy, std::move(*a));
+  }
+  return serve(LadderTier::Random, random_wave(problem, rng));
+}
+
+std::optional<sched::Assignment> HitScheduler::preference_only_wave(
+    const sched::Problem& problem, const PreferenceMatrix& prefs,
+    std::unordered_map<TaskId, ServerId> partial) const {
+  HIT_PROF_SCOPE("core.hit_scheduler.preference_only_wave");
+  sched::Assignment assignment;
+  sched::UsageLedger ledger(problem);
+  std::unordered_map<TaskId, const sched::TaskRef*> ref_of;
+  for (const sched::TaskRef& t : problem.tasks) ref_of.emplace(t.id, &t);
+  for (const auto& [task, server] : partial) {
+    ledger.place(server, ref_of.at(task)->demand);
+  }
+  assignment.placement = std::move(partial);
+
+  // Remaining tasks greedily take their top-graded feasible server,
+  // heaviest shuffle participants first (mirrors the ablation greedy).
+  std::unordered_map<TaskId, double> traffic;
+  for (const net::Flow& f : problem.flows) {
+    traffic[f.src_task] += f.size_gb;
+    traffic[f.dst_task] += f.size_gb;
+  }
+  std::vector<const sched::TaskRef*> order;
+  for (const sched::TaskRef& t : problem.tasks) {
+    if (assignment.placement.count(t.id) == 0) order.push_back(&t);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const sched::TaskRef* a, const sched::TaskRef* b) {
+                     return traffic[a->id] > traffic[b->id];
+                   });
+  for (const sched::TaskRef* t : order) {
+    ServerId pick;
+    for (ServerId s : prefs.ranked_servers(t->id)) {
+      if (ledger.can_host(s, t->demand)) {
+        pick = s;
+        break;
+      }
+    }
+    if (!pick.valid()) return std::nullopt;
+    ledger.place(pick, t->demand);
+    assignment.placement[t->id] = pick;
+  }
+  sched::attach_shortest_policies(problem, assignment);
+  return assignment;
+}
+
+std::optional<sched::Assignment> HitScheduler::locality_greedy_wave(
+    const sched::Problem& problem) const {
+  HIT_PROF_SCOPE("core.hit_scheduler.locality_greedy_wave");
+  sched::Assignment assignment;
+  sched::UsageLedger ledger(problem);
+
+  std::unordered_map<TaskId, double> traffic;
+  std::unordered_map<TaskId, std::vector<const net::Flow*>> flows_of;
+  for (const net::Flow& f : problem.flows) {
+    traffic[f.src_task] += f.size_gb;
+    traffic[f.dst_task] += f.size_gb;
+    flows_of[f.src_task].push_back(&f);
+    flows_of[f.dst_task].push_back(&f);
+  }
+  std::vector<const sched::TaskRef*> order;
+  for (const sched::TaskRef& t : problem.tasks) order.push_back(&t);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const sched::TaskRef* a, const sched::TaskRef* b) {
+                     return traffic[a->id] > traffic[b->id];
+                   });
+
+  std::unordered_map<ServerId, std::vector<std::size_t>> hops_to;
+  auto hop_column = [&](ServerId host) -> const std::vector<std::size_t>& {
+    auto it = hops_to.find(host);
+    if (it == hops_to.end()) {
+      it = hops_to
+               .emplace(host, problem.topology->switch_hop_distances(
+                                  problem.cluster->node_of(host)))
+               .first;
+    }
+    return it->second;
+  };
+
+  // Each task joins the feasible server closest (size-weighted switch hops)
+  // to its already-placed flow peers; unplaced peers contribute nothing, so
+  // the heaviest participant anchors its shuffle group.
+  for (const sched::TaskRef* t : order) {
+    ServerId best;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (const cluster::Server& s : problem.cluster->servers()) {
+      if (!ledger.can_host(s.id, t->demand)) continue;
+      double cost = 0.0;
+      if (const auto it = flows_of.find(t->id); it != flows_of.end()) {
+        for (const net::Flow* f : it->second) {
+          const TaskId peer = f->src_task == t->id ? f->dst_task : f->src_task;
+          const ServerId peer_host = assignment.host(problem, peer);
+          if (!peer_host.valid()) continue;
+          cost += f->size_gb *
+                  static_cast<double>(hop_column(peer_host)[s.node.index()]);
+        }
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = s.id;
+      }
+    }
+    if (!best.valid()) return std::nullopt;
+    ledger.place(best, t->demand);
+    assignment.placement[t->id] = best;
+  }
+  sched::attach_shortest_policies(problem, assignment);
+  return assignment;
+}
+
+sched::Assignment HitScheduler::random_wave(const sched::Problem& problem,
+                                            Rng& rng) const {
+  HIT_PROF_SCOPE("core.hit_scheduler.random_wave");
+  sched::Assignment assignment;
+  sched::UsageLedger ledger(problem);
+  for (const sched::TaskRef& t : problem.tasks) {
+    std::vector<ServerId> feasible;
+    for (const cluster::Server& s : problem.cluster->servers()) {
+      if (ledger.can_host(s.id, t.demand)) feasible.push_back(s.id);
+    }
+    if (feasible.empty()) {
+      throw std::runtime_error("HitScheduler: random tier infeasible");
+    }
+    const ServerId pick = feasible[rng.uniform_index(feasible.size())];
+    ledger.place(pick, t.demand);
+    assignment.placement[t.id] = pick;
+  }
+  sched::attach_shortest_policies(problem, assignment);
+  return assignment;
 }
 
 sched::Assignment HitScheduler::initial_wave(const sched::Problem& problem) const {
@@ -144,7 +358,8 @@ sched::Assignment HitScheduler::subsequent_wave(const sched::Problem& problem) c
 }
 
 void HitScheduler::route_flows(const sched::Problem& problem,
-                               sched::Assignment& assignment) const {
+                               sched::Assignment& assignment,
+                               WorkBudget* budget) const {
   HIT_PROF_SCOPE("core.hit_scheduler.route_flows");
   if (!config_.optimize_policies) {
     sched::attach_shortest_policies(problem, assignment);
@@ -179,19 +394,22 @@ void HitScheduler::route_flows(const sched::Problem& problem,
     const NodeId srcs[] = {src_node};
     const NodeId dsts[] = {dst_node};
     auto route = optimizer.optimal_route(srcs, dsts, f->id, f->rate,
-                                         cost.metric(*f), load);
+                                         cost.metric(*f), load,
+                                         /*allow_local=*/true, /*banned=*/{},
+                                         budget);
     net::Policy policy;
     if (route) {
       policy = std::move(route->policy);
     } else {
-      // Network saturated: accept the shortest route and let the flow-level
-      // simulator degrade its bandwidth (the paper's Figure 2(a) situation).
+      // Network saturated (or the route budget ran out): accept the shortest
+      // route and let the flow-level simulator degrade its bandwidth (the
+      // paper's Figure 2(a) situation).
       obs::count("core.hit_scheduler.shortest_path_fallbacks");
       policy = net::shortest_policy(*problem.topology, src_node, dst_node, f->id);
     }
     obs::count("core.hit_scheduler.flows_routed");
     optimizer.improve_policy(policy, src_node, dst_node, f->rate, cost.metric(*f),
-                             load);
+                             load, budget);
     load.assign(policy, f->rate);
     assignment.policies[f->id] = std::move(policy);
   }

@@ -16,6 +16,11 @@
 // and policy optimization on/off.
 #pragma once
 
+#include <array>
+#include <optional>
+
+#include "core/budget.h"
+#include "core/circuit_breaker.h"
 #include "core/cost_model.h"
 #include "core/policy_optimizer.h"
 #include "core/stable_matching.h"
@@ -23,6 +28,43 @@
 #include "sched/scheduler.h"
 
 namespace hit::core {
+
+/// Degradation ladder tiers, in decreasing quality / cost order.  Under
+/// overload the scheduler steps down the ladder instead of blowing its work
+/// budget: Full joint optimization (Alg. 1 + Alg. 2), preference-matrix-only
+/// grade-greedy placement, locality-greedy placement (PNA-style hop-distance
+/// packing, no preference matrix), and finally uniform-random feasible
+/// placement.
+enum class LadderTier : std::uint8_t {
+  Full = 0,
+  PreferenceOnly = 1,
+  LocalityGreedy = 2,
+  Random = 3,
+};
+inline constexpr std::size_t kLadderTiers = 4;
+[[nodiscard]] const char* ladder_tier_name(LadderTier tier);
+
+/// Overload-degradation knobs.  Disabled by default: with `enabled == false`
+/// the scheduler's output is bit-identical to the un-laddered path.
+struct LadderConfig {
+  bool enabled = false;
+  /// Dijkstra node-expansion budget per wave, shared between Algorithm 1
+  /// grading and flow routing (0 = unlimited).
+  std::size_t route_budget = 0;
+  /// Algorithm 2 proposal budget per wave (0 = unlimited).
+  std::size_t proposal_budget = 0;
+  /// Circuit breaker around the Full tier: consecutive budget blowouts open
+  /// it, and while open waves serve from LocalityGreedy immediately.
+  BreakerConfig breaker;
+};
+
+/// Cumulative account of which tier served each scheduled wave.
+struct LadderStats {
+  std::array<std::uint64_t, kLadderTiers> served{};  ///< waves per tier
+  std::uint64_t budget_exhaustions = 0;  ///< Full-tier budget blowouts
+  std::uint64_t breaker_skips = 0;       ///< waves short-circuited by the breaker
+  CircuitBreaker::Stats breaker;         ///< snapshot of breaker counters
+};
 
 struct HitConfig {
   CostConfig cost;
@@ -32,11 +74,14 @@ struct HitConfig {
   bool use_stable_matching = true;
   /// Ablation: false = shortest-path policies, no Alg. 1 routing.
   bool optimize_policies = true;
+  /// Overload degradation ladder (off by default; see LadderConfig).
+  LadderConfig ladder;
 };
 
 class HitScheduler final : public sched::Scheduler {
  public:
-  explicit HitScheduler(HitConfig config = {}) : config_(config) {}
+  explicit HitScheduler(HitConfig config = {})
+      : config_(config), breaker_(config_.ladder.breaker) {}
 
   [[nodiscard]] std::string_view name() const override { return "Hit"; }
   [[nodiscard]] sched::Assignment schedule(const sched::Problem& problem,
@@ -49,13 +94,54 @@ class HitScheduler final : public sched::Scheduler {
   /// Pass nullptr (default) to detach.
   void set_observer(const obs::Context* ctx) noexcept { observer_ = ctx; }
 
+  /// Cumulative ladder accounting (all zero unless the ladder is enabled).
+  [[nodiscard]] const LadderStats& ladder_stats() const noexcept {
+    return ladder_stats_;
+  }
+  /// Tier that served the most recent initial wave (Full until a laddered
+  /// wave has run).
+  [[nodiscard]] LadderTier last_tier() const noexcept { return last_tier_; }
+  [[nodiscard]] BreakerState breaker_state() const noexcept {
+    return breaker_.state();
+  }
+
  private:
   [[nodiscard]] sched::Assignment initial_wave(const sched::Problem& problem) const;
   [[nodiscard]] sched::Assignment subsequent_wave(const sched::Problem& problem) const;
 
+  /// Initial wave under the degradation ladder: try Full within the work
+  /// budgets, stepping down tiers on exhaustion; the circuit breaker skips
+  /// straight to LocalityGreedy while open.
+  [[nodiscard]] sched::Assignment laddered_wave(const sched::Problem& problem,
+                                                Rng& rng);
+
+  /// Grade-greedy placement from a (possibly partial) preference matrix,
+  /// completing `partial` for tasks it does not cover.  nullopt when some
+  /// task fits on no server.
+  [[nodiscard]] std::optional<sched::Assignment> preference_only_wave(
+      const sched::Problem& problem, const PreferenceMatrix& prefs,
+      std::unordered_map<TaskId, ServerId> partial) const;
+
+  /// Locality-greedy placement: heaviest shuffle participants first, each on
+  /// the feasible server minimizing size-weighted switch-hop distance to its
+  /// already-placed flow peers.  nullopt when some task fits nowhere.
+  [[nodiscard]] std::optional<sched::Assignment> locality_greedy_wave(
+      const sched::Problem& problem) const;
+
+  /// Last rung: uniform-random feasible placement.  Throws when genuinely
+  /// infeasible.
+  [[nodiscard]] sched::Assignment random_wave(const sched::Problem& problem,
+                                              Rng& rng) const;
+
+  /// Record a laddered wave's serving tier and return its assignment.
+  [[nodiscard]] sched::Assignment serve(LadderTier tier, sched::Assignment a);
+
   /// Route all fully placed flows (largest first) on optimal residual paths,
-  /// falling back to the shortest route when everything is saturated.
-  void route_flows(const sched::Problem& problem, sched::Assignment& assignment) const;
+  /// falling back to the shortest route when everything is saturated.  With
+  /// a `budget`, route searches abort on exhaustion and fall back the same
+  /// way.
+  void route_flows(const sched::Problem& problem, sched::Assignment& assignment,
+                   WorkBudget* budget = nullptr) const;
 
   /// True when §5.3.2 applies: every open task is a map and every flow's
   /// destination is already fixed.
@@ -63,6 +149,9 @@ class HitScheduler final : public sched::Scheduler {
 
   HitConfig config_;
   const obs::Context* observer_ = nullptr;
+  CircuitBreaker breaker_;
+  LadderStats ladder_stats_;
+  LadderTier last_tier_ = LadderTier::Full;
 };
 
 }  // namespace hit::core

@@ -16,7 +16,7 @@ PolicyOptimizer::PolicyOptimizer(const topo::Topology& topology, CostConfig conf
 std::optional<PolicyOptimizer::Route> PolicyOptimizer::optimal_route(
     std::span<const NodeId> src_candidates, std::span<const NodeId> dst_candidates,
     FlowId flow, double rate, double metric, const net::LoadTracker& load,
-    bool allow_local, std::span<const NodeId> banned) const {
+    bool allow_local, std::span<const NodeId> banned, WorkBudget* budget) const {
   HIT_PROF_SCOPE("core.policy_optimizer.optimal_route");
   if (src_candidates.empty() || dst_candidates.empty()) return std::nullopt;
 
@@ -94,6 +94,10 @@ std::optional<PolicyOptimizer::Route> PolicyOptimizer::optimal_route(
     heap.pop();
     const NodeId u(uv);
     if (d > dist[u.index()]) continue;
+    if (budget != nullptr && !budget->charge()) {
+      obs::count("core.policy_optimizer.budget_aborts");
+      return std::nullopt;  // out of budget, not out of routes
+    }
     for (const topo::Edge& e : topology_->graph().neighbors(u)) {
       const NodeId v = e.to;
       if (std::find(banned.begin(), banned.end(), v) != banned.end()) continue;
@@ -139,7 +143,8 @@ std::optional<PolicyOptimizer::Route> PolicyOptimizer::optimal_route(
   return r;
 }
 
-PreferenceMatrix PolicyOptimizer::build_preferences(const sched::Problem& problem) const {
+PreferenceMatrix PolicyOptimizer::build_preferences(const sched::Problem& problem,
+                                                    WorkBudget* budget) const {
   HIT_PROF_SCOPE("core.policy_optimizer.build_preferences");
   if (!problem.valid()) throw std::invalid_argument("build_preferences: invalid problem");
 
@@ -211,6 +216,7 @@ PreferenceMatrix PolicyOptimizer::build_preferences(const sched::Problem& proble
                    });
 
   for (const net::Flow* f : order) {
+    if (budget != nullptr && budget->exhausted()) break;  // partial grades stand
     const bool src_known = task_of.count(f->src_task) > 0 ||
                            problem.fixed_host(f->src_task).valid();
     const bool dst_known = task_of.count(f->dst_task) > 0 ||
@@ -265,8 +271,8 @@ PreferenceMatrix PolicyOptimizer::build_preferences(const sched::Problem& proble
     if (src_cands.empty() || dst_cands.empty()) continue;  // wave overfull
 
     auto route = optimal_route(src_cands, dst_cands, f->id, f->rate, metric, load,
-                               /*allow_local=*/false);
-    if (!route) continue;  // saturated everywhere: no information
+                               /*allow_local=*/false, /*banned=*/{}, budget);
+    if (!route) continue;  // saturated everywhere (or out of budget): no information
 
     const ServerId src_pick = problem.cluster->server_at(route->src);
     const ServerId dst_pick = problem.cluster->server_at(route->dst);
@@ -281,7 +287,8 @@ PreferenceMatrix PolicyOptimizer::build_preferences(const sched::Problem& proble
 
 double PolicyOptimizer::improve_policy(net::Policy& policy, NodeId src, NodeId dst,
                                        double rate, double metric,
-                                       const net::LoadTracker& load) const {
+                                       const net::LoadTracker& load,
+                                       WorkBudget* budget) const {
   HIT_PROF_SCOPE("core.policy_optimizer.improve_policy");
   const CostModel cost(*topology_, config_, &load);
   double gained = 0.0;
@@ -292,6 +299,7 @@ double PolicyOptimizer::improve_policy(net::Policy& policy, NodeId src, NodeId d
       double best_utility = 1e-12;
       NodeId best;
       for (NodeId w_hat : load.candidates(src, dst, policy, i, rate)) {
+        if (budget != nullptr && !budget->charge()) return gained;
         const double u = cost.substitution_utility(policy, src, dst, i, w_hat, metric);
         if (u > best_utility || (u == best_utility && best.valid() && w_hat < best)) {
           best_utility = u;

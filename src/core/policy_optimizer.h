@@ -19,6 +19,7 @@
 #include <optional>
 #include <span>
 
+#include "core/budget.h"
 #include "core/cost_model.h"
 #include "core/preference_matrix.h"
 #include "network/load.h"
@@ -49,22 +50,32 @@ class PolicyOptimizer {
   /// capacity themselves pass false.
   /// `banned` nodes are unusable regardless of capacity (e.g. draining
   /// switches during maintenance).
+  /// `budget` (optional) is charged one unit per Dijkstra node expansion;
+  /// once exhausted the search aborts and returns nullopt — callers on the
+  /// degradation ladder check `budget->exhausted()` to tell "saturated"
+  /// apart from "out of budget".
   [[nodiscard]] std::optional<Route> optimal_route(
       std::span<const NodeId> src_candidates, std::span<const NodeId> dst_candidates,
       FlowId flow, double rate, double metric, const net::LoadTracker& load,
-      bool allow_local = true, std::span<const NodeId> banned = {}) const;
+      bool allow_local = true, std::span<const NodeId> banned = {},
+      WorkBudget* budget = nullptr) const;
 
   /// Algorithm 1: route every flow of the problem (largest traffic first,
   /// charging chosen routes to a local load ledger so later flows see the
   /// congestion) and accumulate endpoint grades into the preference matrix.
-  [[nodiscard]] PreferenceMatrix build_preferences(const sched::Problem& problem) const;
+  /// With a `budget`, routing stops as soon as it exhausts and the matrix
+  /// holds the grades accumulated so far (a usable partial ranking).
+  [[nodiscard]] PreferenceMatrix build_preferences(
+      const sched::Problem& problem, WorkBudget* budget = nullptr) const;
 
   /// Local improvement via Eq. (4)/(5): repeatedly apply the best
   /// positive-utility single-switch substitution until none remains.  The
   /// policy's own load must NOT be charged to `load` while improving.
-  /// Returns the total utility gained.
+  /// Returns the total utility gained.  With a `budget`, one unit is charged
+  /// per candidate evaluation and improvement stops when it exhausts.
   double improve_policy(net::Policy& policy, NodeId src, NodeId dst, double rate,
-                        double metric, const net::LoadTracker& load) const;
+                        double metric, const net::LoadTracker& load,
+                        WorkBudget* budget = nullptr) const;
 
   [[nodiscard]] const CostConfig& cost_config() const noexcept { return config_; }
 

@@ -16,8 +16,11 @@ namespace {
 /// Server-proposing (hospitals-proposing) variant: servers offer their free
 /// capacity to tasks in decreasing grade order; a task trades up whenever a
 /// server it prefers proposes.  Produces the server-optimal stable matching.
-std::unordered_map<TaskId, ServerId> match_servers_proposing(
-    const sched::Problem& problem, const PreferenceMatrix& prefs) {
+/// `max_proposals` > 0 truncates the run once that many proposals have been
+/// processed (the partial matching is always capacity-feasible).
+StableMatcher::MatchResult match_servers_proposing(
+    const sched::Problem& problem, const PreferenceMatrix& prefs,
+    std::size_t max_proposals) {
   HIT_PROF_SCOPE("core.stable_matching.match_servers_proposing");
   std::uint64_t proposals = 0;
   std::uint64_t trade_ups = 0;
@@ -36,12 +39,17 @@ std::unordered_map<TaskId, ServerId> match_servers_proposing(
     open.push_back(s.id);
   }
 
-  while (!open.empty()) {
+  bool truncated = false;
+  while (!open.empty() && !truncated) {
     const ServerId s = open.front();
     open.pop_front();
     auto& idx = cursor[s.index()];
     const auto& list = ranked[s.index()];
     while (idx < list.size()) {
+      if (max_proposals != 0 && proposals >= max_proposals) {
+        truncated = true;
+        break;
+      }
       const TaskId t = list[idx];
       const sched::TaskRef& task = *ref_of.at(t);
       // A full server stops proposing; it re-enters the queue when jilted.
@@ -68,13 +76,14 @@ std::unordered_map<TaskId, ServerId> match_servers_proposing(
     }
   }
 
-  if (matching.size() != problem.tasks.size()) {
+  if (!truncated && matching.size() != problem.tasks.size()) {
     throw std::runtime_error(
         "StableMatcher: servers-proposing left tasks unmatched (capacity)");
   }
   obs::count("core.stable_matching.proposals", proposals);
   obs::count("core.stable_matching.trade_ups", trade_ups);
-  return matching;
+  const bool complete = matching.size() == problem.tasks.size();
+  return StableMatcher::MatchResult{std::move(matching), complete, proposals};
 }
 
 }  // namespace
@@ -82,9 +91,19 @@ std::unordered_map<TaskId, ServerId> match_servers_proposing(
 std::unordered_map<TaskId, ServerId> StableMatcher::match(
     const sched::Problem& problem, const PreferenceMatrix& prefs,
     Proposer proposer) const {
+  MatchResult result = match_budgeted(problem, prefs, /*max_proposals=*/0, proposer);
+  if (!result.complete) {
+    throw std::logic_error("StableMatcher: incomplete matching");
+  }
+  return std::move(result.placement);
+}
+
+StableMatcher::MatchResult StableMatcher::match_budgeted(
+    const sched::Problem& problem, const PreferenceMatrix& prefs,
+    std::size_t max_proposals, Proposer proposer) const {
   if (!problem.valid()) throw std::invalid_argument("StableMatcher: invalid problem");
   if (proposer == Proposer::Servers) {
-    return match_servers_proposing(problem, prefs);
+    return match_servers_proposing(problem, prefs, max_proposals);
   }
 
   HIT_PROF_SCOPE("core.stable_matching.match");
@@ -114,7 +133,12 @@ std::unordered_map<TaskId, ServerId> StableMatcher::match(
   std::deque<TaskId> free_tasks;
   for (const sched::TaskRef& t : problem.tasks) free_tasks.push_back(t.id);
 
+  bool truncated = false;
   while (!free_tasks.empty()) {
+    if (max_proposals != 0 && proposals >= max_proposals) {
+      truncated = true;
+      break;
+    }
     const TaskId c = free_tasks.front();
     free_tasks.pop_front();
 
@@ -166,12 +190,13 @@ std::unordered_map<TaskId, ServerId> StableMatcher::match(
     }
   }
 
-  if (matching.size() != n_tasks) {
+  if (!truncated && matching.size() != n_tasks) {
     throw std::logic_error("StableMatcher: incomplete matching");
   }
   obs::count("core.stable_matching.proposals", proposals);
   obs::count("core.stable_matching.evictions", evictions);
-  return matching;
+  const bool complete = matching.size() == n_tasks;
+  return MatchResult{std::move(matching), complete, proposals};
 }
 
 bool StableMatcher::is_stable(const sched::Problem& problem,

@@ -34,6 +34,25 @@ class StableMatcher {
       const sched::Problem& problem, const PreferenceMatrix& prefs,
       Proposer proposer = Proposer::Containers) const;
 
+  /// A (possibly truncated) matching: `placement` never violates server
+  /// capacity; `complete` is false when the proposal budget ran out with
+  /// tasks still free — those tasks are simply absent from `placement`.
+  struct MatchResult {
+    std::unordered_map<TaskId, ServerId> placement;
+    bool complete = true;
+    std::uint64_t proposals = 0;
+  };
+
+  /// `match` with a proposal-round work budget (0 = unlimited): once
+  /// `max_proposals` proposals have been processed, the algorithm stops and
+  /// returns the capacity-feasible partial matching built so far.  The
+  /// degradation ladder uses this to bound Algorithm 2 under overload.
+  /// Genuine infeasibility (a task rejected by every server) still throws.
+  [[nodiscard]] MatchResult match_budgeted(
+      const sched::Problem& problem, const PreferenceMatrix& prefs,
+      std::size_t max_proposals,
+      Proposer proposer = Proposer::Containers) const;
+
   /// Blocking-pair test on a finished matching: (c, s) blocks when c strictly
   /// prefers s to its assigned server AND s either has spare capacity for c
   /// or accepts c after evicting strictly-worse containers.  Returns true

@@ -11,4 +11,13 @@ std::string_view job_class_name(JobClass cls) {
   return "?";
 }
 
+std::string_view priority_name(Priority p) {
+  switch (p) {
+    case Priority::Low: return "low";
+    case Priority::Normal: return "normal";
+    case Priority::High: return "high";
+  }
+  return "?";
+}
+
 }  // namespace hit::mr

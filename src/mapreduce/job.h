@@ -30,10 +30,19 @@ struct Task {
   double compute_seconds = 0.0; ///< pure CPU time, excluding I/O waits
 };
 
+/// Admission-control priority classes.  Under overload the simulator and the
+/// network controller shed lower classes first; within a class, FIFO order
+/// still decides.  Every job defaults to Normal, so priority is inert until
+/// a workload opts in.
+enum class Priority : std::uint8_t { Low = 0, Normal = 1, High = 2 };
+
+[[nodiscard]] std::string_view priority_name(Priority p);
+
 struct Job {
   JobId id;
   std::string benchmark;  ///< e.g. "terasort"
   JobClass cls = JobClass::ShuffleLight;
+  Priority priority = Priority::Normal;  ///< shed order under overload
   double input_gb = 0.0;
   double shuffle_gb = 0.0;  ///< total intermediate bytes (Σ flow sizes)
   std::vector<Task> maps;

@@ -16,6 +16,11 @@ WorkloadGenerator::WorkloadGenerator(WorkloadConfig config) : config_(config) {
   if (config_.max_maps_per_job == 0 || config_.max_reduces_per_job == 0) {
     throw std::invalid_argument("WorkloadGenerator: task caps must be >= 1");
   }
+  if (config_.low_priority_fraction < 0.0 || config_.high_priority_fraction < 0.0 ||
+      config_.low_priority_fraction + config_.high_priority_fraction > 1.0) {
+    throw std::invalid_argument(
+        "WorkloadGenerator: priority fractions must be >= 0 and sum to <= 1");
+  }
 }
 
 Job WorkloadGenerator::make_job(const BenchmarkProfile& profile, double input_gb,
@@ -83,6 +88,12 @@ std::vector<Job> WorkloadGenerator::generate(IdAllocator& ids, Rng& rng) const {
   }
   if (pool.empty()) throw std::logic_error("WorkloadGenerator: empty profile pool");
 
+  // Priorities draw from a fork so the benchmark/input stream is identical
+  // whether or not a priority mix is configured.
+  const bool mixed = config_.low_priority_fraction > 0.0 ||
+                     config_.high_priority_fraction > 0.0;
+  Rng priority_rng = rng.fork(0x5052494Full);  // "PRIO"
+
   std::vector<Job> jobs;
   jobs.reserve(config_.num_jobs);
   for (std::size_t j = 0; j < config_.num_jobs; ++j) {
@@ -92,6 +103,14 @@ std::vector<Job> WorkloadGenerator::generate(IdAllocator& ids, Rng& rng) const {
             std::max(config_.block_size_gb,
                      rng.lognormal_median(p.typical_input_gb, config_.input_sigma)));
     jobs.push_back(make_job(p, input, ids));
+    if (mixed) {
+      const double u = priority_rng.uniform();
+      if (u < config_.low_priority_fraction) {
+        jobs.back().priority = Priority::Low;
+      } else if (u < config_.low_priority_fraction + config_.high_priority_fraction) {
+        jobs.back().priority = Priority::High;
+      }
+    }
   }
   return jobs;
 }

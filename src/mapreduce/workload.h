@@ -24,6 +24,13 @@ struct WorkloadConfig {
   std::optional<JobClass> only_class;
   /// Uniform input override (the case study runs two jobs with equal input).
   std::optional<double> fixed_input_gb;
+  /// Priority mix for admission-control studies: fraction of jobs drawn Low
+  /// and High (the rest stay Normal).  Both default to 0, so generation is
+  /// bit-identical to the pre-priority workload unless a study opts in; the
+  /// draw uses a forked rng stream, leaving the main stream untouched either
+  /// way.
+  double low_priority_fraction = 0.0;
+  double high_priority_fraction = 0.0;
 };
 
 class WorkloadGenerator {

@@ -19,6 +19,9 @@ struct Flow {
   TaskId dst_task;   ///< reduce task consuming it
   double size_gb = 0.0;
   double rate = 0.0;  ///< nominal shuffle data rate (f_i.rate), rate units
+  /// Inherited from the owning job: under switch-capacity pressure the
+  /// controller parks/sheds lower values first (0 = low, 1 = normal, 2 = high).
+  std::uint8_t priority = 1;
 };
 
 using FlowSet = std::vector<Flow>;

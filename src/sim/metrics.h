@@ -55,6 +55,20 @@ struct RecoveryStats {
   double unavailable_seconds = 0.0;  ///< Σ element downtime inside the run
 };
 
+/// Overload accounting for an online run (all zero when admission control is
+/// off or the offered load fits).  A run that sheds work completes with
+/// partial results instead of throwing; this block says what was given up.
+struct OverloadStats {
+  std::size_t jobs_shed = 0;        ///< total jobs abandoned unscheduled
+  std::size_t shed_on_arrival = 0;  ///< rejected at a full queue (reject-new)
+  std::size_t shed_for_room = 0;    ///< displaced to admit an arrival (drop-oldest)
+  std::size_t shed_deadline = 0;    ///< waited past the queue-wait deadline
+  std::size_t peak_queue_depth = 0; ///< max simultaneous waiting jobs
+  double shed_gb = 0.0;             ///< shuffle bytes never transferred
+
+  [[nodiscard]] bool any() const noexcept { return jobs_shed > 0; }
+};
+
 struct JobResult {
   JobId id;
   std::string benchmark;

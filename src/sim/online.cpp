@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/errors.h"
 #include "network/bandwidth.h"
 #include "network/load.h"
 #include "network/routing.h"
@@ -65,6 +66,25 @@ using MinHeap = std::priority_queue<TimedEvent, std::vector<TimedEvent>,
 
 }  // namespace
 
+const char* admission_policy_name(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::Unbounded: return "unbounded";
+    case AdmissionPolicy::RejectNew: return "reject-new";
+    case AdmissionPolicy::DropOldest: return "drop-oldest";
+    case AdmissionPolicy::DeadlineShed: return "deadline-shed";
+  }
+  return "?";
+}
+
+const char* shed_reason_name(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::QueueFull: return "queue-full";
+    case ShedReason::Displaced: return "displaced";
+    case ShedReason::Deadline: return "deadline";
+  }
+  return "?";
+}
+
 std::vector<double> OnlineResult::completion_times() const {
   std::vector<double> out;
   out.reserve(jobs.size());
@@ -94,6 +114,16 @@ OnlineSimulator::OnlineSimulator(const cluster::Cluster& cluster, OnlineConfig c
     : cluster_(&cluster), config_(config) {
   if (config_.arrival_rate <= 0.0) {
     throw std::invalid_argument("OnlineSimulator: arrival_rate must be positive");
+  }
+  const AdmissionPolicy p = config_.admission.policy;
+  if ((p == AdmissionPolicy::RejectNew || p == AdmissionPolicy::DropOldest) &&
+      config_.admission.max_queue == 0) {
+    throw std::invalid_argument(
+        "OnlineSimulator: bounded admission policies need max_queue > 0");
+  }
+  if (p == AdmissionPolicy::DeadlineShed && config_.max_queue_wait <= 0.0) {
+    throw std::invalid_argument(
+        "OnlineSimulator: deadline-shed needs max_queue_wait > 0");
   }
 }
 
@@ -166,6 +196,8 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
   double now = 0.0;
   std::size_t next_arrival = 0;
   std::size_t jobs_finished = 0;
+  std::size_t jobs_shed = 0;
+  std::vector<char> job_shed(jobs.size(), 0);
 
   // Fault machinery.  Faults and their consequences are first-class loop
   // events; with an empty plan every branch below is dead and the run is
@@ -176,6 +208,35 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
   FaultState fstate(topology);  // switch/link liveness
   std::vector<double> queued_since = arrivals;  // restart re-stamps the wait
   std::size_t reschedule_seq = 0;               // rng stream per map re-placement
+
+  // Abandon a waiting job under overload: it counts toward termination but
+  // never receives containers, and the run's OverloadStats say why.
+  const auto shed_job = [&](std::size_t j, ShedReason reason) {
+    job_shed[j] = 1;
+    ++jobs_shed;
+    OverloadStats& ov = result.overload;
+    ++ov.jobs_shed;
+    switch (reason) {
+      case ShedReason::QueueFull: ++ov.shed_on_arrival; break;
+      case ShedReason::Displaced: ++ov.shed_for_room; break;
+      case ShedReason::Deadline: ++ov.shed_deadline; break;
+    }
+    ov.shed_gb += jobs[j].shuffle_gb;
+    ShedJobRecord row;
+    row.id = jobs[j].id;
+    row.benchmark = jobs[j].benchmark;
+    row.priority = jobs[j].priority;
+    row.arrival = arrivals[j];
+    row.shed_at = now;
+    row.reason = reason;
+    result.shed.push_back(std::move(row));
+    obs::count("online.jobs_shed");
+    obs::observe("online.shed_wait_s", now - queued_since[j]);
+    obs::sim_instant("job.shed", "sim.job", now,
+                     {{"job", static_cast<std::int64_t>(jobs[j].id.value())},
+                      {"reason", std::string(shed_reason_name(reason))}},
+                     /*tid=*/0);
+  };
 
   const auto map_duration = [&](const mr::Task& t, ServerId host) -> double {
     double fetch;
@@ -609,7 +670,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
   };
 
   // ---- main event loop ------------------------------------------------
-  while (jobs_finished < jobs.size()) {
+  while (jobs_finished + jobs_shed < jobs.size()) {
     // Current fair rates for the fluid pool.
     std::vector<net::FlowDemand> demands;
     demands.reserve(active.size());
@@ -749,9 +810,42 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       result.total_shuffle_gb += jobs[j].shuffle_gb;
     }
 
-    // 6. Arrivals.
+    // 6. Arrivals, through admission control.  The queue cap binds only at
+    // arrival time; fault restarts re-enter at the head regardless (the job
+    // already held an admission).
     while (next_arrival < jobs.size() && arrivals[next_arrival] <= now + kEps) {
-      waiting.push_back(next_arrival++);
+      const std::size_t j = next_arrival++;
+      const AdmissionPolicy pol = config_.admission.policy;
+      if ((pol == AdmissionPolicy::RejectNew || pol == AdmissionPolicy::DropOldest) &&
+          waiting.size() >= config_.admission.max_queue) {
+        if (pol == AdmissionPolicy::RejectNew) {
+          shed_job(j, ShedReason::QueueFull);
+          continue;
+        }
+        // DropOldest: displace the lowest-priority waiting job, ties broken
+        // by longest current wait — unless everything waiting outranks the
+        // arrival, in which case the arrival itself is shed.
+        std::size_t victim_pos = 0;
+        for (std::size_t i = 1; i < waiting.size(); ++i) {
+          const mr::Job& cand = jobs[waiting[i]];
+          const mr::Job& best = jobs[waiting[victim_pos]];
+          if (cand.priority < best.priority ||
+              (cand.priority == best.priority &&
+               queued_since[waiting[i]] < queued_since[waiting[victim_pos]])) {
+            victim_pos = i;
+          }
+        }
+        if (jobs[waiting[victim_pos]].priority > jobs[j].priority) {
+          shed_job(j, ShedReason::QueueFull);
+          continue;
+        }
+        const std::size_t victim = waiting[victim_pos];
+        waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(victim_pos));
+        shed_job(victim, ShedReason::Displaced);
+      }
+      waiting.push_back(j);
+      result.overload.peak_queue_depth =
+          std::max(result.overload.peak_queue_depth, waiting.size());
     }
 
     // 7. FIFO admission: schedule from the head while jobs fit.
@@ -761,15 +855,32 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
         waiting.pop_front();
       }
     }
-    if (config_.max_queue_wait > 0.0 && !waiting.empty() &&
+    if (config_.admission.policy == AdmissionPolicy::DeadlineShed &&
+        !waiting.empty()) {
+      // Restarts can reorder waits (they re-enter at the head with a fresh
+      // stamp), so the deadline scan covers the whole queue.
+      std::deque<std::size_t> keep;
+      for (std::size_t j : waiting) {
+        if (now - queued_since[j] > config_.max_queue_wait) {
+          shed_job(j, ShedReason::Deadline);
+        } else {
+          keep.push_back(j);
+        }
+      }
+      waiting = std::move(keep);
+    }
+    if (config_.admission.policy == AdmissionPolicy::Unbounded &&
+        config_.max_queue_wait > 0.0 && !waiting.empty() &&
         now - queued_since[waiting.front()] > config_.max_queue_wait) {
-      throw std::runtime_error("OnlineSimulator: queue wait limit exceeded (overload)");
+      throw core::OverloadError(
+          "OnlineSimulator: queue wait limit exceeded (overload)");
     }
   }
 
   const bool faulty = !config_.sim.faults.empty();
   const bool tracing = obs::current().trace() != nullptr;
   for (const JobFlow& jf : flows) {
+    if (job_shed[jf.job]) continue;  // never released; nothing to record
     if (!jf.local) obs::observe("online.flow_duration_s", jf.finish - jf.release);
     if (tracing && !jf.local) {
       obs::sim_span("flow", "sim.flow", jf.release, jf.finish,

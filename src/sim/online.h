@@ -23,6 +23,35 @@
 
 namespace hit::sim {
 
+/// How the simulator reacts when offered load outruns the cluster.
+enum class AdmissionPolicy : std::uint8_t {
+  /// Default / legacy: unbounded FIFO queue.  With `max_queue_wait` set, an
+  /// over-long head-of-line wait throws core::OverloadError — the strict
+  /// path for configurations that must never shed.
+  Unbounded,
+  /// Queue capped at `max_queue`: an arrival that finds it full is shed
+  /// immediately (reject-new).
+  RejectNew,
+  /// Queue capped at `max_queue`: an arrival that finds it full displaces
+  /// the waiting job with the lowest priority (ties: longest current wait);
+  /// when every waiting job outranks the arrival, the arrival is shed
+  /// instead.
+  DropOldest,
+  /// Unbounded queue, but any job that has waited past `max_queue_wait` is
+  /// shed — the graceful counterpart of Unbounded's throw.
+  DeadlineShed,
+};
+
+[[nodiscard]] const char* admission_policy_name(AdmissionPolicy policy);
+
+/// Admission-control knobs.  The default (Unbounded, no cap) reproduces the
+/// legacy behavior bit-for-bit.
+struct AdmissionConfig {
+  AdmissionPolicy policy = AdmissionPolicy::Unbounded;
+  /// Waiting-queue capacity for RejectNew / DropOldest (must be > 0 there).
+  std::size_t max_queue = 0;
+};
+
 struct OnlineConfig {
   /// Poisson arrival rate (jobs per simulated second).
   double arrival_rate = 0.05;
@@ -32,9 +61,28 @@ struct OnlineConfig {
   /// any job whose reduce container it held (back to the head of the queue);
   /// switch/link failures detour or stall crossing transfers until repair.
   SimConfig sim;
-  /// Abort if any job waits longer than this in the queue (0 = unlimited) —
-  /// guards against overload configurations that never drain.
+  /// Queue-wait bound (0 = unlimited): Unbounded throws past it,
+  /// DeadlineShed sheds past it, other policies ignore it.
   double max_queue_wait = 0.0;
+  /// Overload admission control (defaults preserve the legacy strict path).
+  AdmissionConfig admission;
+};
+
+/// Why an admitted-but-unscheduled job was abandoned.
+enum class ShedReason : std::uint8_t { QueueFull, Displaced, Deadline };
+
+[[nodiscard]] const char* shed_reason_name(ShedReason reason);
+
+/// One job given up under overload (it never received containers).
+struct ShedJobRecord {
+  JobId id;
+  std::string benchmark;
+  mr::Priority priority = mr::Priority::Normal;
+  double arrival = 0.0;
+  double shed_at = 0.0;
+  ShedReason reason = ShedReason::QueueFull;
+
+  [[nodiscard]] double waited() const { return shed_at - arrival; }
 };
 
 struct OnlineJobRecord {
@@ -52,12 +100,14 @@ struct OnlineJobRecord {
 };
 
 struct OnlineResult {
-  std::vector<OnlineJobRecord> jobs;
-  std::vector<FlowTiming> flows;
+  std::vector<OnlineJobRecord> jobs;  ///< completed jobs only
+  std::vector<FlowTiming> flows;      ///< flows of completed jobs
   double makespan = 0.0;
   double total_shuffle_cost = 0.0;
   double total_shuffle_gb = 0.0;
   RecoveryStats recovery;  ///< fault/recovery accounting (zero when fault-free)
+  OverloadStats overload;  ///< admission-control accounting (zero when off)
+  std::vector<ShedJobRecord> shed;  ///< jobs abandoned under overload
 
   [[nodiscard]] std::vector<double> completion_times() const;
   [[nodiscard]] std::vector<double> queueing_delays() const;

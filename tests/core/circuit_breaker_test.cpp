@@ -1,0 +1,141 @@
+// Circuit breaker state machine: Closed -> Open on consecutive failures,
+// Open -> HalfOpen after the open span, HalfOpen -> Closed on probe
+// successes / straight back to Open on a probe failure.  Everything is
+// call-counted, so a fixed seed replays bit-identically.
+#include "core/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace hit::core {
+namespace {
+
+BreakerConfig small_breaker(std::uint64_t seed = 0) {
+  BreakerConfig config;
+  config.enabled = true;
+  config.failure_threshold = 2;
+  config.open_span = 3;
+  config.close_successes = 2;
+  config.seed = seed;
+  return config;
+}
+
+TEST(CircuitBreaker, DisabledAlwaysAllows) {
+  CircuitBreaker breaker;  // default config: disabled
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(breaker.allow());
+    breaker.record_failure();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  EXPECT_EQ(breaker.stats().trips, 0u);
+}
+
+TEST(CircuitBreaker, EnabledValidatesThresholds) {
+  BreakerConfig config = small_breaker();
+  config.failure_threshold = 0;
+  EXPECT_THROW(CircuitBreaker{config}, std::invalid_argument);
+  config = small_breaker();
+  config.close_successes = 0;
+  EXPECT_THROW(CircuitBreaker{config}, std::invalid_argument);
+}
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailures) {
+  CircuitBreaker breaker(small_breaker());
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);  // 1 < threshold
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_EQ(breaker.stats().trips, 1u);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureStreak) {
+  CircuitBreaker breaker(small_breaker());
+  breaker.record_failure();
+  breaker.record_success();  // streak broken
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+}
+
+TEST(CircuitBreaker, OpenServesFallbackThenProbes) {
+  CircuitBreaker breaker(small_breaker());
+  breaker.record_failure();
+  breaker.record_failure();
+  ASSERT_EQ(breaker.state(), BreakerState::Open);
+  // open_span = 3 short circuits, then a half-open probe is admitted.
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(breaker.allow());
+  EXPECT_EQ(breaker.stats().short_circuits, 3u);
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+  EXPECT_EQ(breaker.stats().probes, 1u);
+}
+
+TEST(CircuitBreaker, HalfOpenClosesAfterEnoughSuccesses) {
+  CircuitBreaker breaker(small_breaker());
+  breaker.record_failure();
+  breaker.record_failure();
+  for (int i = 0; i < 3; ++i) (void)breaker.allow();
+  ASSERT_TRUE(breaker.allow());  // probe 1
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);  // needs 2
+  ASSERT_TRUE(breaker.allow());  // probe 2
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  EXPECT_EQ(breaker.stats().closes, 1u);
+}
+
+TEST(CircuitBreaker, HalfOpenFailureReopens) {
+  CircuitBreaker breaker(small_breaker());
+  breaker.record_failure();
+  breaker.record_failure();
+  for (int i = 0; i < 3; ++i) (void)breaker.allow();
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_EQ(breaker.stats().trips, 2u);
+}
+
+TEST(CircuitBreaker, SeededJitterIsDeterministic) {
+  // Same seed -> identical allow() trace; the jitter never shrinks the span.
+  const auto trace = [](std::uint64_t seed) {
+    CircuitBreaker breaker(small_breaker(seed));
+    std::vector<bool> out;
+    for (int i = 0; i < 40; ++i) {
+      const bool ok = breaker.allow();
+      out.push_back(ok);
+      if (ok) breaker.record_failure();
+    }
+    return out;
+  };
+  EXPECT_EQ(trace(7), trace(7));
+  // Unjittered span is exact: after a trip, exactly 3 denials.
+  CircuitBreaker plain(small_breaker(0));
+  plain.record_failure();
+  plain.record_failure();
+  int denials = 0;
+  while (!plain.allow()) ++denials;
+  EXPECT_EQ(denials, 3);
+}
+
+TEST(CircuitBreaker, ResetClosesButKeepsStats) {
+  CircuitBreaker breaker(small_breaker());
+  breaker.record_failure();
+  breaker.record_failure();
+  ASSERT_EQ(breaker.state(), BreakerState::Open);
+  breaker.reset();
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.stats().trips, 1u);  // history survives
+}
+
+TEST(CircuitBreaker, StateNames) {
+  EXPECT_STREQ(breaker_state_name(BreakerState::Closed), "closed");
+  EXPECT_STREQ(breaker_state_name(BreakerState::HalfOpen), "half-open");
+  EXPECT_STREQ(breaker_state_name(BreakerState::Open), "open");
+}
+
+}  // namespace
+}  // namespace hit::core

@@ -1,0 +1,155 @@
+// Controller under sustained overload: shed_pressure parks low-priority
+// flows first (ties: heaviest, then lowest id), readmit_parked restores them
+// in priority order, and the rebalance circuit breaker opens after
+// consecutive sweeps that leave a switch hot, short-circuits while open, and
+// closes again once a probe sweep finds the network cool.
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "network/routing.h"
+#include "topology/builders.h"
+
+namespace hit::core {
+namespace {
+
+class ControllerOverloadTest : public ::testing::Test {
+ protected:
+  // Depth-2 tree, 4 access positions x 1 host, 2 cores (access capacity 32,
+  // core 64).  One server per access switch: flows out of server 0 all share
+  // its access leg, which is what we overload.
+  topo::TreeConfig tree_{2, 4, 2, 1, 16.0, 32.0};
+  topo::Topology topo_ = topo::make_tree(tree_);
+  NetworkController controller_{topo_, make_config()};
+
+  static ControllerConfig make_config() {
+    ControllerConfig c;
+    c.hot_threshold = 0.5;
+    return c;
+  }
+
+  net::Flow flow(unsigned id, double rate, std::uint8_t priority = 1) {
+    net::Flow f;
+    f.id = FlowId(id);
+    f.size_gb = rate;
+    f.rate = rate;
+    f.priority = priority;
+    return f;
+  }
+
+  NodeId server(std::size_t i) { return topo_.servers()[i]; }
+
+  void install(const net::Flow& f, std::size_t src, std::size_t dst) {
+    const net::Policy p =
+        net::shortest_policy(topo_, server(src), server(dst), f.id);
+    controller_.install(f, p, server(src), server(dst));
+  }
+};
+
+TEST_F(ControllerOverloadTest, ShedsLowestPriorityFirst) {
+  install(flow(1, 10.0, /*priority=*/2), 0, 1);  // high: must survive
+  install(flow(2, 10.0, /*priority=*/0), 0, 2);  // low: first victim
+  install(flow(3, 10.0, /*priority=*/1), 0, 3);  // normal: second victim
+  // Access switch of server 0 carries 30/32 > 0.5: hot.
+  ASSERT_FALSE(controller_.hot_switches().empty());
+
+  EXPECT_EQ(controller_.shed_pressure(), 2u);
+  EXPECT_TRUE(controller_.hot_switches().empty());
+  EXPECT_EQ(controller_.parked(), (std::vector<FlowId>{FlowId(2), FlowId(3)}));
+  EXPECT_TRUE(controller_.installed(FlowId(1)));
+  EXPECT_NO_THROW(controller_.audit());
+  // Idempotent once cool.
+  EXPECT_EQ(controller_.shed_pressure(), 0u);
+}
+
+TEST_F(ControllerOverloadTest, TiesBrokenByHeaviestCharge) {
+  install(flow(1, 20.0), 0, 1);  // same priority, heavier: parked first
+  install(flow(2, 12.0), 0, 2);
+  EXPECT_EQ(controller_.shed_pressure(), 1u);
+  EXPECT_EQ(controller_.parked(), std::vector<FlowId>{FlowId(1)});
+  EXPECT_NO_THROW(controller_.audit());
+}
+
+TEST_F(ControllerOverloadTest, NoopWhenCool) {
+  install(flow(1, 1.0), 0, 1);
+  EXPECT_EQ(controller_.shed_pressure(), 0u);
+  EXPECT_EQ(controller_.parked_count(), 0u);
+}
+
+TEST_F(ControllerOverloadTest, DrainingPressureIsNotShed) {
+  // Draining absorbs the switch's headroom (it reads as loaded), but that
+  // pressure belongs to rebalance/drain machinery, not overload shedding.
+  install(flow(1, 1.0), 0, 1);
+  controller_.drain(controller_.policy_of(FlowId(1)).list.front());
+  EXPECT_EQ(controller_.shed_pressure(), 0u);
+  EXPECT_TRUE(controller_.installed(FlowId(1)));
+}
+
+TEST_F(ControllerOverloadTest, ReadmitRestoresParkedFlows) {
+  install(flow(1, 10.0, /*priority=*/2), 0, 1);
+  install(flow(2, 10.0, /*priority=*/0), 0, 2);
+  install(flow(3, 10.0, /*priority=*/1), 0, 3);
+  ASSERT_EQ(controller_.shed_pressure(), 2u);
+
+  controller_.remove(FlowId(1));  // free the access leg
+  EXPECT_EQ(controller_.readmit_parked(), 2u);
+  EXPECT_EQ(controller_.parked_count(), 0u);
+  // Both re-admitted at their full rate on the (forced) access legs.
+  const NodeId access = controller_.policy_of(FlowId(2)).list.front();
+  EXPECT_DOUBLE_EQ(controller_.load().load(access), 20.0);
+  EXPECT_NO_THROW(controller_.audit());
+  EXPECT_EQ(controller_.readmit_parked(), 0u);  // nothing left to restore
+}
+
+TEST_F(ControllerOverloadTest, BreakerDisabledByDefault) {
+  EXPECT_EQ(controller_.breaker().state(), BreakerState::Closed);
+  EXPECT_EQ(controller_.breaker().stats().trips, 0u);
+}
+
+TEST(ControllerBreakerTest, RebalanceBreakerOpensShortCircuitsAndRecloses) {
+  // Single-path topology: rebalance can never cool a hot switch, so every
+  // sweep is a breaker failure.
+  const topo::Topology topo = topo::make_case_study_tree();
+  ControllerConfig config;
+  config.hot_threshold = 0.1;
+  config.breaker.enabled = true;
+  config.breaker.failure_threshold = 1;
+  config.breaker.open_span = 2;
+  config.breaker.close_successes = 1;
+  NetworkController controller(topo, config);
+
+  const NodeId a = topo.servers()[0];
+  const NodeId b = topo.servers()[3];
+  net::Flow f;
+  f.id = FlowId(1);
+  f.size_gb = 30.0;
+  f.rate = 30.0;
+  controller.install(f, net::shortest_policy(topo, a, b, f.id), a, b);
+
+  // Sweep 1 runs, cannot relieve the pressure, trips the breaker.
+  EXPECT_EQ(controller.rebalance(), 0u);
+  EXPECT_EQ(controller.breaker().state(), BreakerState::Open);
+  EXPECT_EQ(controller.breaker().stats().trips, 1u);
+
+  // While open: immediate short-circuits for open_span calls.
+  (void)controller.rebalance();
+  (void)controller.rebalance();
+  EXPECT_EQ(controller.breaker().stats().short_circuits, 2u);
+
+  // Next call is the half-open probe; still hot, so it re-opens.
+  (void)controller.rebalance();
+  EXPECT_EQ(controller.breaker().state(), BreakerState::Open);
+  EXPECT_EQ(controller.breaker().stats().trips, 2u);
+
+  // Remove the load; after the open span the probe sweep finds the network
+  // cool and the breaker closes again.
+  controller.remove(FlowId(1));
+  (void)controller.rebalance();
+  (void)controller.rebalance();
+  (void)controller.rebalance();  // probe: success
+  EXPECT_EQ(controller.breaker().state(), BreakerState::Closed);
+  EXPECT_EQ(controller.breaker().stats().closes, 1u);
+}
+
+}  // namespace
+}  // namespace hit::core

@@ -1,0 +1,128 @@
+// Property sweep for Algorithm 2: over a randomized seed sweep of preference
+// matrices (and both proposer variants), every finished matching is complete,
+// capacity-feasible, and stable — no (container, server) blocking pair.
+// Budget-capped runs additionally must stay capacity-feasible at any
+// truncation point and report `complete` honestly.
+#include <gtest/gtest.h>
+
+#include "core/stable_matching.h"
+#include "test_helpers.h"
+
+namespace hit::core {
+namespace {
+
+PreferenceMatrix random_prefs(const sched::Problem& problem, Rng& rng) {
+  std::vector<TaskId> ids;
+  for (const auto& t : problem.tasks) ids.push_back(t.id);
+  PreferenceMatrix prefs(problem.cluster->size(), ids);
+  for (const auto& t : problem.tasks) {
+    for (const auto& s : problem.cluster->servers()) {
+      prefs.add(s.id, t.id, rng.uniform(0.0, 100.0));
+    }
+  }
+  return prefs;
+}
+
+void expect_capacity_feasible(
+    const sched::Problem& problem,
+    const std::unordered_map<TaskId, ServerId>& matching) {
+  std::unordered_map<TaskId, const sched::TaskRef*> ref_of;
+  for (const sched::TaskRef& t : problem.tasks) ref_of.emplace(t.id, &t);
+  sched::UsageLedger ledger(problem);
+  for (const auto& [task, server] : matching) {
+    ASSERT_TRUE(ledger.can_host(server, ref_of.at(task)->demand))
+        << "capacity violated at server " << server.value();
+    ledger.place(server, ref_of.at(task)->demand);
+  }
+}
+
+class StableMatchingSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StableMatchingSweep, NoBlockingPairsEitherProposer) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 4, 2, 4.0);
+  Rng rng(GetParam());
+  const PreferenceMatrix prefs = random_prefs(fixture.problem, rng);
+  const StableMatcher matcher;
+  for (const auto proposer :
+       {StableMatcher::Proposer::Containers, StableMatcher::Proposer::Servers}) {
+    const auto matching = matcher.match(fixture.problem, prefs, proposer);
+    EXPECT_EQ(matching.size(), fixture.problem.tasks.size());
+    expect_capacity_feasible(fixture.problem, matching);
+    EXPECT_TRUE(StableMatcher::is_stable(fixture.problem, prefs, matching))
+        << "blocking pair under seed " << GetParam();
+  }
+}
+
+TEST_P(StableMatchingSweep, BudgetedRunsStayFeasibleAtEveryCap) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 4, 2, 4.0);
+  Rng rng(GetParam());
+  const PreferenceMatrix prefs = random_prefs(fixture.problem, rng);
+  const StableMatcher matcher;
+
+  // Unlimited run to learn how many proposals a full run needs.
+  const auto full = matcher.match_budgeted(fixture.problem, prefs, 0);
+  ASSERT_TRUE(full.complete);
+  ASSERT_GT(full.proposals, 0u);
+  EXPECT_TRUE(StableMatcher::is_stable(fixture.problem, prefs, full.placement));
+
+  // Truncate at a spread of caps: always capacity-feasible, proposals within
+  // the cap, and `complete` honest about coverage.
+  for (const std::uint64_t cap :
+       {std::uint64_t{1}, full.proposals / 2, full.proposals}) {
+    if (cap == 0) continue;
+    const auto result =
+        matcher.match_budgeted(fixture.problem, prefs, static_cast<std::size_t>(cap));
+    EXPECT_LE(result.proposals, cap);
+    expect_capacity_feasible(fixture.problem, result.placement);
+    EXPECT_EQ(result.complete,
+              result.placement.size() == fixture.problem.tasks.size());
+    EXPECT_LE(result.placement.size(), fixture.problem.tasks.size());
+  }
+
+  // A cap at the full run's own proposal count reproduces the full matching.
+  const auto exact = matcher.match_budgeted(
+      fixture.problem, prefs, static_cast<std::size_t>(full.proposals));
+  EXPECT_TRUE(exact.complete);
+  EXPECT_EQ(exact.placement, full.placement);
+}
+
+TEST_P(StableMatchingSweep, ServersProposingBudgetedFeasible) {
+  auto world = test::small_tree_world();
+  test::ProblemFixture fixture(*world, 2, 4, 2, 4.0);
+  Rng rng(GetParam() ^ 0x5EED);
+  const PreferenceMatrix prefs = random_prefs(fixture.problem, rng);
+  const StableMatcher matcher;
+  const auto full = matcher.match_budgeted(fixture.problem, prefs, 0,
+                                           StableMatcher::Proposer::Servers);
+  ASSERT_TRUE(full.complete);
+  for (const std::uint64_t cap : {std::uint64_t{2}, full.proposals / 2}) {
+    if (cap == 0) continue;
+    const auto result =
+        matcher.match_budgeted(fixture.problem, prefs,
+                               static_cast<std::size_t>(cap),
+                               StableMatcher::Proposer::Servers);
+    EXPECT_LE(result.proposals, cap);
+    expect_capacity_feasible(fixture.problem, result.placement);
+    EXPECT_EQ(result.complete,
+              result.placement.size() == fixture.problem.tasks.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, StableMatchingSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u, 144u, 233u));
+
+TEST(StableMatchingBudgeted, GenuineInfeasibilityStillThrows) {
+  auto world = test::tiny_tree_world();            // 8 slots
+  test::ProblemFixture fixture(*world, 3, 2, 2, 4.0);  // 12 tasks
+  Rng rng(4);
+  const PreferenceMatrix prefs = random_prefs(fixture.problem, rng);
+  // Even with a budget, running out of servers (not proposals) throws.
+  EXPECT_THROW((void)StableMatcher().match_budgeted(fixture.problem, prefs, 0),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hit::core

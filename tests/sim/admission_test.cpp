@@ -1,0 +1,270 @@
+// Admission control in the online simulator: overload runs that used to
+// abort now complete with shed accounting.  Covers every policy, the
+// priority-aware victim choice, determinism at a fixed seed, and the
+// validation of nonsensical configs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/errors.h"
+#include "mapreduce/workload.h"
+#include "sched/capacity_scheduler.h"
+#include "sim/online.h"
+#include "test_helpers.h"
+
+namespace hit::sim {
+namespace {
+
+// Jobs sized so only one runs at a time on the 16-slot small tree: 12 maps
+// + 2 reduces = 14 containers each.  A burst of them guarantees queueing.
+std::vector<mr::Job> big_jobs(mr::IdAllocator& ids, std::size_t n) {
+  mr::WorkloadConfig config;
+  config.max_maps_per_job = 12;
+  config.max_reduces_per_job = 2;
+  config.block_size_gb = 1.0;
+  const mr::WorkloadGenerator gen(config);
+  std::vector<mr::Job> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(gen.make_job(mr::profile("terasort"), 12.0, ids));
+  }
+  return jobs;
+}
+
+OnlineConfig burst_config(AdmissionPolicy policy, std::size_t max_queue = 0,
+                          double max_queue_wait = 0.0) {
+  OnlineConfig config;
+  config.arrival_rate = 100.0;  // near-simultaneous arrivals
+  config.admission.policy = policy;
+  config.admission.max_queue = max_queue;
+  config.max_queue_wait = max_queue_wait;
+  return config;
+}
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();  // 16 slots
+  sched::CapacityScheduler capacity_;
+
+  OnlineResult run(const OnlineConfig& config, std::size_t n_jobs,
+                   std::uint64_t seed = 3) {
+    mr::IdAllocator ids;
+    auto jobs = big_jobs(ids, n_jobs);
+    const OnlineSimulator sim(world_->cluster, config);
+    Rng rng(seed);
+    return sim.run(capacity_, jobs, ids, rng);
+  }
+};
+
+TEST_F(AdmissionTest, UnboundedStillThrowsTypedOverloadError) {
+  EXPECT_THROW((void)run(burst_config(AdmissionPolicy::Unbounded, 0,
+                                      /*max_queue_wait=*/1.0),
+                         6),
+               core::OverloadError);
+}
+
+TEST_F(AdmissionTest, RejectNewCompletesWithShedAccounting) {
+  const OnlineResult result =
+      run(burst_config(AdmissionPolicy::RejectNew, /*max_queue=*/1), 6);
+  EXPECT_TRUE(result.overload.any());
+  EXPECT_GT(result.overload.shed_on_arrival, 0u);
+  EXPECT_EQ(result.overload.shed_for_room, 0u);
+  EXPECT_EQ(result.overload.jobs_shed, result.shed.size());
+  EXPECT_EQ(result.jobs.size() + result.shed.size(), 6u);
+  EXPECT_GT(result.overload.shed_gb, 0.0);
+  EXPECT_GE(result.overload.peak_queue_depth, 1u);
+  for (const auto& record : result.shed) {
+    EXPECT_EQ(record.reason, ShedReason::QueueFull);
+    EXPECT_GE(record.shed_at, record.arrival);
+  }
+}
+
+TEST_F(AdmissionTest, DropOldestDisplacesLowestPriorityWaiter) {
+  mr::IdAllocator ids;
+  auto jobs = big_jobs(ids, 3);
+  // Job 0 occupies the cluster; job 1 (Low) waits; job 2 (Normal) arrives to
+  // a full one-slot queue and must displace the lower-priority waiter.
+  jobs[1].priority = mr::Priority::Low;
+  const OnlineSimulator sim(
+      world_->cluster,
+      burst_config(AdmissionPolicy::DropOldest, /*max_queue=*/1));
+  Rng rng(3);
+  const OnlineResult result = sim.run(capacity_, jobs, ids, rng);
+  ASSERT_EQ(result.shed.size(), 1u);
+  EXPECT_EQ(result.shed[0].id, jobs[1].id);
+  EXPECT_EQ(result.shed[0].priority, mr::Priority::Low);
+  EXPECT_EQ(result.shed[0].reason, ShedReason::Displaced);
+  EXPECT_EQ(result.overload.shed_for_room, 1u);
+  EXPECT_EQ(result.jobs.size(), 2u);
+}
+
+TEST_F(AdmissionTest, DropOldestShedsArrivalWhenOutranked) {
+  mr::IdAllocator ids;
+  auto jobs = big_jobs(ids, 3);
+  // The waiter is High, the newcomer Low: the newcomer sheds itself.
+  jobs[1].priority = mr::Priority::High;
+  jobs[2].priority = mr::Priority::Low;
+  const OnlineSimulator sim(
+      world_->cluster,
+      burst_config(AdmissionPolicy::DropOldest, /*max_queue=*/1));
+  Rng rng(3);
+  const OnlineResult result = sim.run(capacity_, jobs, ids, rng);
+  ASSERT_EQ(result.shed.size(), 1u);
+  EXPECT_EQ(result.shed[0].id, jobs[2].id);
+  EXPECT_EQ(result.shed[0].reason, ShedReason::QueueFull);
+  EXPECT_EQ(result.jobs.size(), 2u);
+}
+
+TEST_F(AdmissionTest, DeadlineShedCompletesWhereUnboundedAborts) {
+  const OnlineResult result = run(
+      burst_config(AdmissionPolicy::DeadlineShed, 0, /*max_queue_wait=*/1.0),
+      6);
+  EXPECT_GT(result.overload.shed_deadline, 0u);
+  EXPECT_EQ(result.jobs.size() + result.shed.size(), 6u);
+  for (const auto& record : result.shed) {
+    EXPECT_EQ(record.reason, ShedReason::Deadline);
+    EXPECT_GT(record.waited(), 1.0);
+  }
+  // Completed jobs' queueing delays stayed within reach of the deadline at
+  // grant time (they were never shed).
+  EXPECT_FALSE(result.jobs.empty());
+}
+
+TEST_F(AdmissionTest, ShedJobsContributeNoFlows) {
+  const OnlineResult result = run(
+      burst_config(AdmissionPolicy::DeadlineShed, 0, /*max_queue_wait=*/1.0),
+      6);
+  ASSERT_FALSE(result.shed.empty());
+  std::unordered_set<JobId> shed_ids;
+  for (const auto& record : result.shed) shed_ids.insert(record.id);
+  for (const auto& timing : result.flows) {
+    EXPECT_EQ(shed_ids.count(timing.job), 0u)
+        << "shed job leaked flow timings";
+  }
+}
+
+TEST_F(AdmissionTest, SheddingIsDeterministicPerSeed) {
+  const auto once = [&] {
+    return run(
+        burst_config(AdmissionPolicy::DeadlineShed, 0, /*max_queue_wait=*/1.0),
+        8, /*seed=*/17);
+  };
+  const OnlineResult a = once();
+  const OnlineResult b = once();
+  ASSERT_EQ(a.shed.size(), b.shed.size());
+  for (std::size_t i = 0; i < a.shed.size(); ++i) {
+    EXPECT_EQ(a.shed[i].id, b.shed[i].id);
+    EXPECT_EQ(a.shed[i].reason, b.shed[i].reason);
+    EXPECT_DOUBLE_EQ(a.shed[i].shed_at, b.shed[i].shed_at);
+  }
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish, b.jobs[i].finish);
+  }
+}
+
+TEST_F(AdmissionTest, DefaultConfigShedsNothing) {
+  // Spread-out arrivals under the default strict policy: zero OverloadStats.
+  OnlineConfig config;
+  config.arrival_rate = 0.01;
+  const OnlineResult result = run(config, 4);
+  EXPECT_FALSE(result.overload.any());
+  EXPECT_TRUE(result.shed.empty());
+  EXPECT_EQ(result.jobs.size(), 4u);
+}
+
+TEST_F(AdmissionTest, InvalidAdmissionConfigsRejected) {
+  // Bounded policies need a queue capacity.
+  EXPECT_THROW((void)OnlineSimulator(
+                   world_->cluster,
+                   burst_config(AdmissionPolicy::RejectNew, /*max_queue=*/0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)OnlineSimulator(
+                   world_->cluster,
+                   burst_config(AdmissionPolicy::DropOldest, /*max_queue=*/0)),
+               std::invalid_argument);
+  // DeadlineShed is meaningless without a wait bound.
+  EXPECT_THROW(
+      (void)OnlineSimulator(world_->cluster,
+                            burst_config(AdmissionPolicy::DeadlineShed, 0,
+                                         /*max_queue_wait=*/0.0)),
+      std::invalid_argument);
+}
+
+TEST_F(AdmissionTest, PolicyAndReasonNames) {
+  EXPECT_STREQ(admission_policy_name(AdmissionPolicy::Unbounded), "unbounded");
+  EXPECT_STREQ(admission_policy_name(AdmissionPolicy::RejectNew), "reject-new");
+  EXPECT_STREQ(admission_policy_name(AdmissionPolicy::DropOldest),
+               "drop-oldest");
+  EXPECT_STREQ(admission_policy_name(AdmissionPolicy::DeadlineShed),
+               "deadline-shed");
+  EXPECT_STREQ(shed_reason_name(ShedReason::QueueFull), "queue-full");
+  EXPECT_STREQ(shed_reason_name(ShedReason::Displaced), "displaced");
+  EXPECT_STREQ(shed_reason_name(ShedReason::Deadline), "deadline");
+}
+
+TEST(PriorityMixTest, WorkloadGeneratesConfiguredPriorityMix) {
+  mr::WorkloadConfig config;
+  config.num_jobs = 60;
+  config.low_priority_fraction = 0.3;
+  config.high_priority_fraction = 0.2;
+  const mr::WorkloadGenerator gen(config);
+  mr::IdAllocator ids;
+  Rng rng(5);
+  const auto jobs = gen.generate(ids, rng);
+  std::size_t low = 0, normal = 0, high = 0;
+  for (const auto& job : jobs) {
+    switch (job.priority) {
+      case mr::Priority::Low: ++low; break;
+      case mr::Priority::Normal: ++normal; break;
+      case mr::Priority::High: ++high; break;
+    }
+  }
+  EXPECT_GT(low, 0u);
+  EXPECT_GT(normal, 0u);
+  EXPECT_GT(high, 0u);
+  EXPECT_EQ(low + normal + high, jobs.size());
+}
+
+TEST(PriorityMixTest, DefaultMixIsAllNormalAndBitIdentical) {
+  // Fractions of zero must not consume randomness from the job stream: two
+  // generators differing only in the (defaulted) mix agree bit-for-bit.
+  const auto generate = [](double low, double high) {
+    mr::WorkloadConfig config;
+    config.num_jobs = 10;
+    config.low_priority_fraction = low;
+    config.high_priority_fraction = high;
+    const mr::WorkloadGenerator gen(config);
+    mr::IdAllocator ids;
+    Rng rng(9);
+    return gen.generate(ids, rng);
+  };
+  const auto plain = generate(0.0, 0.0);
+  const auto mixed = generate(0.5, 0.25);
+  ASSERT_EQ(plain.size(), mixed.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].priority, mr::Priority::Normal);
+    EXPECT_EQ(plain[i].shuffle_gb, mixed[i].shuffle_gb);
+    EXPECT_EQ(plain[i].maps.size(), mixed[i].maps.size());
+    EXPECT_EQ(plain[i].benchmark, mixed[i].benchmark);
+  }
+}
+
+TEST(PriorityMixTest, InvalidFractionsRejected) {
+  mr::WorkloadConfig config;
+  config.low_priority_fraction = 0.8;
+  config.high_priority_fraction = 0.4;  // sum > 1
+  EXPECT_THROW((void)mr::WorkloadGenerator(config), std::invalid_argument);
+  config.low_priority_fraction = -0.1;
+  config.high_priority_fraction = 0.0;
+  EXPECT_THROW((void)mr::WorkloadGenerator(config), std::invalid_argument);
+}
+
+TEST(PriorityNameTest, Names) {
+  EXPECT_EQ(mr::priority_name(mr::Priority::Low), "low");
+  EXPECT_EQ(mr::priority_name(mr::Priority::Normal), "normal");
+  EXPECT_EQ(mr::priority_name(mr::Priority::High), "high");
+}
+
+}  // namespace
+}  // namespace hit::sim

@@ -21,6 +21,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/hit_scheduler.h"
 #include "core/registry.h"
 #include "obs/context.h"
 #include "mapreduce/trace.h"
@@ -60,6 +61,17 @@ struct Options {
   bool profile = false;
   bool csv = false;
   bool help = false;
+  // Overload resilience (all default-off: absent flags reproduce the legacy
+  // strict-throw behavior bit-for-bit).
+  std::string admission = "unbounded";  ///< unbounded|reject-new|drop-oldest|deadline-shed
+  std::size_t max_queue = 0;            ///< queue cap for the bounded policies
+  double max_queue_wait = 0.0;          ///< strict abort / deadline-shed bound
+  double low_priority = 0.0;            ///< workload fraction drawn Low
+  double high_priority = 0.0;           ///< workload fraction drawn High
+  bool ladder = false;                  ///< hit scheduler degradation ladder
+  std::size_t route_budget = 0;         ///< ladder: Dijkstra expansions per wave
+  std::size_t proposal_budget = 0;      ///< ladder: Alg. 2 proposals per wave
+  bool breaker = false;                 ///< circuit breaker around the Full tier
 };
 
 void print_usage() {
@@ -83,6 +95,15 @@ void print_usage() {
       "  --trace-events FILE mirror the trace events as JSON Lines\n"
       "  --metrics FILE      dump a metrics snapshot as JSON Lines\n"
       "  --profile           print a phase-timing table to stderr\n"
+      "overload resilience (online mode / hit scheduler):\n"
+      "  --admission POLICY  unbounded | reject-new | drop-oldest | deadline-shed\n"
+      "  --max-queue N       waiting-queue cap for the bounded policies\n"
+      "  --max-queue-wait S  strict abort (unbounded) / shed deadline (deadline-shed)\n"
+      "  --priority-mix L,H  workload fractions drawn Low and High priority\n"
+      "  --ladder            enable the hit scheduler degradation ladder\n"
+      "  --route-budget N    ladder: Dijkstra node expansions per wave (0 = off)\n"
+      "  --proposal-budget N ladder: Algorithm 2 proposals per wave (0 = off)\n"
+      "  --breaker           circuit-break the Full tier after repeated blowouts\n"
       "  --help              this message\n";
 }
 
@@ -146,6 +167,35 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (arg == "--jitter") {
       if (!(value = need_value(i))) return std::nullopt;
       opt.jitter = std::stod(value);
+    } else if (arg == "--admission") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.admission = value;
+    } else if (arg == "--max-queue") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.max_queue = std::stoul(value);
+    } else if (arg == "--max-queue-wait") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.max_queue_wait = std::stod(value);
+    } else if (arg == "--priority-mix") {
+      if (!(value = need_value(i))) return std::nullopt;
+      const std::string mix = value;
+      const auto comma = mix.find(',');
+      if (comma == std::string::npos) {
+        std::cerr << "hitsim: --priority-mix wants LOW,HIGH fractions\n";
+        return std::nullopt;
+      }
+      opt.low_priority = std::stod(mix.substr(0, comma));
+      opt.high_priority = std::stod(mix.substr(comma + 1));
+    } else if (arg == "--ladder") {
+      opt.ladder = true;
+    } else if (arg == "--route-budget") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.route_budget = std::stoul(value);
+    } else if (arg == "--proposal-budget") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.proposal_budget = std::stoul(value);
+    } else if (arg == "--breaker") {
+      opt.breaker = true;
     } else {
       std::cerr << "hitsim: unknown option '" << arg << "' (see --help)\n";
       return std::nullopt;
@@ -167,6 +217,14 @@ std::unique_ptr<sched::Scheduler> build_scheduler(const std::string& name) {
   return core::SchedulerRegistry::instance().create(name);
 }
 
+std::optional<sim::AdmissionPolicy> parse_admission(const std::string& name) {
+  if (name == "unbounded") return sim::AdmissionPolicy::Unbounded;
+  if (name == "reject-new") return sim::AdmissionPolicy::RejectNew;
+  if (name == "drop-oldest") return sim::AdmissionPolicy::DropOldest;
+  if (name == "deadline-shed") return sim::AdmissionPolicy::DeadlineShed;
+  return std::nullopt;
+}
+
 int run(const Options& opt) {
   const topo::Topology topology = build_topology(opt.topology);
   const cluster::Cluster cluster(topology, cluster::Resource{2.0, 8.0});
@@ -176,6 +234,8 @@ int run(const Options& opt) {
   wconfig.max_maps_per_job = 10;
   wconfig.max_reduces_per_job = 4;
   wconfig.block_size_gb = 2.0;
+  wconfig.low_priority_fraction = opt.low_priority;
+  wconfig.high_priority_fraction = opt.high_priority;
   const mr::WorkloadGenerator generator(wconfig);
 
   Rng rng(opt.seed);
@@ -260,7 +320,29 @@ int run(const Options& opt) {
       opt.metrics_file.empty() ? nullptr : &registry, trace.get(),
       opt.profile ? &profiler : nullptr);
 
-  auto scheduler = build_scheduler(opt.scheduler);
+  // Ladder / breaker flags need a directly constructed HitScheduler (the
+  // registry hands out default configs); keep a typed handle for its stats.
+  std::unique_ptr<sched::Scheduler> scheduler;
+  const core::HitScheduler* hit = nullptr;
+  const bool want_ladder = opt.ladder || opt.breaker || opt.route_budget > 0 ||
+                           opt.proposal_budget > 0;
+  if (want_ladder) {
+    if (opt.scheduler != "hit") {
+      std::cerr << "hitsim: --ladder/--breaker/--*-budget need --scheduler hit\n";
+      return 1;
+    }
+    core::HitConfig hconfig;
+    hconfig.ladder.enabled = true;
+    hconfig.ladder.route_budget = opt.route_budget;
+    hconfig.ladder.proposal_budget = opt.proposal_budget;
+    hconfig.ladder.breaker.enabled = opt.breaker;
+    hconfig.ladder.breaker.seed = opt.breaker ? opt.seed : 0;
+    auto owned = std::make_unique<core::HitScheduler>(hconfig);
+    hit = owned.get();
+    scheduler = std::move(owned);
+  } else {
+    scheduler = build_scheduler(opt.scheduler);
+  }
   sim::SimConfig sconfig;
   sconfig.bandwidth_scale = opt.bandwidth_scale;
   sconfig.map_time_jitter_sigma = opt.jitter;
@@ -303,6 +385,14 @@ int run(const Options& opt) {
     sim::OnlineConfig oconfig;
     oconfig.arrival_rate = opt.arrival_rate;
     oconfig.sim = sconfig;
+    oconfig.max_queue_wait = opt.max_queue_wait;
+    const auto admission = parse_admission(opt.admission);
+    if (!admission) {
+      std::cerr << "hitsim: unknown admission policy '" << opt.admission << "'\n";
+      return 1;
+    }
+    oconfig.admission.policy = *admission;
+    oconfig.admission.max_queue = opt.max_queue;
     const sim::OnlineSimulator sim(cluster, oconfig);
     const sim::OnlineResult result = sim.run(*scheduler, jobs, ids, rng);
     if (opt.csv) {
@@ -312,6 +402,15 @@ int run(const Options& opt) {
       for (const sim::OnlineJobRecord& j : result.jobs) {
         csv.row({std::int64_t{j.id.value()}, j.benchmark, j.arrival,
                  j.queueing_delay(), j.completion_time(), j.shuffle_cost});
+      }
+      // Shed accounting goes to stderr so the per-job CSV stays parseable.
+      if (result.overload.any()) {
+        std::cerr << "hitsim: shed " << result.overload.jobs_shed << "/"
+                  << jobs.size() << " jobs ("
+                  << result.overload.shed_on_arrival << " queue-full, "
+                  << result.overload.shed_for_room << " displaced, "
+                  << result.overload.shed_deadline << " deadline; "
+                  << result.overload.shed_gb << " GB)\n";
       }
     } else {
       stats::RunningSummary jct, wait;
@@ -323,11 +422,39 @@ int run(const Options& opt) {
       table.add_row({"makespan (s)", stats::Table::num(result.makespan)});
       table.add_row({"shuffle cost (GB*T)",
                      stats::Table::num(result.total_shuffle_cost, 1)});
+      if (oconfig.admission.policy != sim::AdmissionPolicy::Unbounded ||
+          result.overload.any()) {
+        table.add_row({"jobs completed",
+                       stats::Table::num(static_cast<double>(result.jobs.size()), 0)});
+        table.add_row({"jobs shed",
+                       stats::Table::num(static_cast<double>(result.overload.jobs_shed), 0)});
+        table.add_row({"  on arrival",
+                       stats::Table::num(static_cast<double>(result.overload.shed_on_arrival), 0)});
+        table.add_row({"  displaced",
+                       stats::Table::num(static_cast<double>(result.overload.shed_for_room), 0)});
+        table.add_row({"  past deadline",
+                       stats::Table::num(static_cast<double>(result.overload.shed_deadline), 0)});
+        table.add_row({"peak queue depth",
+                       stats::Table::num(static_cast<double>(result.overload.peak_queue_depth), 0)});
+        table.add_row({"shed shuffle (GB)",
+                       stats::Table::num(result.overload.shed_gb, 1)});
+      }
       std::cout << table.render();
     }
   } else {
     std::cerr << "hitsim: unknown mode '" << opt.mode << "'\n";
     return 1;
+  }
+
+  if (hit != nullptr) {
+    const core::LadderStats& ls = hit->ladder_stats();
+    std::cerr << "hitsim: ladder waves full=" << ls.served[0]
+              << " preference-only=" << ls.served[1]
+              << " locality-greedy=" << ls.served[2]
+              << " random=" << ls.served[3]
+              << " (budget exhaustions " << ls.budget_exhaustions
+              << ", breaker trips " << ls.breaker.trips
+              << ", breaker skips " << ls.breaker_skips << ")\n";
   }
 
   if (trace) trace->finish();
