@@ -1,0 +1,129 @@
+#include "coflow/coflow.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace hit::coflow {
+
+const char* order_policy_name(OrderPolicy policy) {
+  switch (policy) {
+    case OrderPolicy::Fifo: return "fifo";
+    case OrderPolicy::Sebf: return "sebf";
+    case OrderPolicy::Priority: return "priority";
+  }
+  return "?";
+}
+
+std::optional<OrderPolicy> parse_order_policy(std::string_view name) {
+  if (name == "fifo") return OrderPolicy::Fifo;
+  if (name == "sebf") return OrderPolicy::Sebf;
+  if (name == "priority") return OrderPolicy::Priority;
+  return std::nullopt;
+}
+
+const char* coflow_state_name(CoflowState state) {
+  switch (state) {
+    case CoflowState::Pending: return "pending";
+    case CoflowState::Active: return "active";
+    case CoflowState::Done: return "done";
+  }
+  return "?";
+}
+
+CoflowId CoflowRegistry::open(JobId job, std::uint8_t priority, double deadline) {
+  Coflow c;
+  c.id = CoflowId(static_cast<CoflowId::value_type>(coflows_.size()));
+  c.job = job;
+  c.priority = priority;
+  c.deadline = deadline;
+  coflows_.push_back(std::move(c));
+  return coflows_.back().id;
+}
+
+void CoflowRegistry::add_flow(CoflowId coflow, FlowId flow, double size_gb) {
+  if (coflow.index() >= coflows_.size()) {
+    throw std::invalid_argument("CoflowRegistry::add_flow: unknown coflow");
+  }
+  if (!coflow_of_.emplace(flow, coflow).second) {
+    throw std::invalid_argument(
+        "CoflowRegistry::add_flow: flow already belongs to a coflow");
+  }
+  Coflow& c = coflows_[coflow.index()];
+  c.flows.push_back(flow);
+  c.total_gb += size_gb;
+  c.max_flow_gb = std::max(c.max_flow_gb, size_gb);
+}
+
+Coflow& CoflowRegistry::mutable_of_flow(FlowId flow) {
+  const auto it = coflow_of_.find(flow);
+  if (it == coflow_of_.end()) {
+    throw std::invalid_argument("CoflowRegistry: unregistered flow");
+  }
+  return coflows_[it->second.index()];
+}
+
+void CoflowRegistry::flow_released(FlowId flow, double now) {
+  Coflow& c = mutable_of_flow(flow);
+  c.released = std::min(c.released, now);
+  if (c.state == CoflowState::Pending) c.state = CoflowState::Active;
+}
+
+void CoflowRegistry::flow_finished(FlowId flow, double now) {
+  Coflow& c = mutable_of_flow(flow);
+  if (c.state == CoflowState::Done) {
+    throw std::logic_error("CoflowRegistry::flow_finished: coflow already done");
+  }
+  c.finished = std::max(c.finished, now);
+  if (++c.flows_done == c.flows.size()) c.state = CoflowState::Done;
+}
+
+void CoflowRegistry::reset(CoflowId coflow) {
+  if (coflow.index() >= coflows_.size()) {
+    throw std::invalid_argument("CoflowRegistry::reset: unknown coflow");
+  }
+  Coflow& c = coflows_[coflow.index()];
+  c.state = CoflowState::Pending;
+  c.released = std::numeric_limits<double>::infinity();
+  c.finished = 0.0;
+  c.flows_done = 0;
+}
+
+CoflowId CoflowRegistry::coflow_of(FlowId flow) const {
+  const auto it = coflow_of_.find(flow);
+  return it == coflow_of_.end() ? CoflowId{} : it->second;
+}
+
+const Coflow& CoflowRegistry::get(CoflowId id) const {
+  if (id.index() >= coflows_.size()) {
+    throw std::invalid_argument("CoflowRegistry::get: unknown coflow");
+  }
+  return coflows_[id.index()];
+}
+
+std::vector<CoflowId> CoflowRegistry::active() const {
+  std::vector<CoflowId> out;
+  for (const Coflow& c : coflows_) {
+    if (c.state == CoflowState::Active) out.push_back(c.id);
+  }
+  return out;
+}
+
+CoflowStats CoflowRegistry::stats() const {
+  CoflowStats s;
+  std::vector<double> ccts;
+  for (const Coflow& c : coflows_) {
+    if (c.state != CoflowState::Done) continue;
+    ccts.push_back(c.completion_time());
+  }
+  s.completed = ccts.size();
+  if (ccts.empty()) return s;
+  double sum = 0.0;
+  for (double v : ccts) sum += v;
+  s.avg_cct = sum / static_cast<double>(ccts.size());
+  s.p95_cct = stats::percentile(std::move(ccts), 95.0);
+  return s;
+}
+
+}  // namespace hit::coflow

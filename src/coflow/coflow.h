@@ -1,0 +1,127 @@
+// Coflow abstraction: the semantic unit of a MapReduce shuffle.
+//
+// Hit-Scheduler (§5) optimizes per-flow traffic cost, but a reduce wave
+// cannot start until its *slowest* flow finishes — the collection of shuffle
+// flows between one job's map wave and its reduce wave succeeds or fails
+// together.  Chowdhury et al. ("Near Optimal Coflow Scheduling in Networks")
+// show that ordering whole coflows (e.g. smallest-effective-bottleneck-first)
+// and allocating rates per coflow dramatically improves coflow completion
+// time (CCT) over per-flow fairness.  This module provides the Coflow record
+// and the CoflowRegistry lifecycle tracker the simulators drive; ordering
+// policies live in ordering.h and the MADD rate allocator in
+// rate_allocator.h.
+//
+// Everything here is OFF by default: with CoflowConfig::enabled == false the
+// simulators never construct a registry and per-flow max-min fair sharing is
+// bit-identical to the pre-coflow code.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace hit::coflow {
+
+/// Inter-coflow ordering discipline (see ordering.h for the semantics).
+enum class OrderPolicy : std::uint8_t { Fifo, Sebf, Priority };
+
+[[nodiscard]] const char* order_policy_name(OrderPolicy policy);
+[[nodiscard]] std::optional<OrderPolicy> parse_order_policy(std::string_view name);
+
+/// Coflow-scheduling knobs.  The default (disabled) reproduces per-flow
+/// max-min fair sharing bit-for-bit.
+struct CoflowConfig {
+  bool enabled = false;
+  OrderPolicy order = OrderPolicy::Sebf;
+};
+
+/// Lifecycle: Pending until the first flow is transferable, Active while any
+/// flow still moves bytes, Done when the last flow lands.
+enum class CoflowState : std::uint8_t { Pending, Active, Done };
+
+[[nodiscard]] const char* coflow_state_name(CoflowState state);
+
+/// One job wave's shuffle flows as a scheduling unit.
+struct Coflow {
+  CoflowId id;
+  JobId job;
+  /// Inherited from the owning job (0 = low, 1 = normal, 2 = high) — the
+  /// PriorityOrder key and the controller's shed order.
+  std::uint8_t priority = 1;
+  /// Optional completion deadline hook (simulated seconds; 0 = none).
+  /// Ordering policies may consult it; nothing enforces it.
+  double deadline = 0.0;
+  std::vector<FlowId> flows;
+  double total_gb = 0.0;     ///< Σ flow sizes (aggregate demand)
+  double max_flow_gb = 0.0;  ///< largest single flow (bottleneck lower bound)
+  CoflowState state = CoflowState::Pending;
+  double released = std::numeric_limits<double>::infinity();  ///< first flow transferable
+  double finished = 0.0;     ///< last flow landed (valid once Done)
+  std::size_t flows_done = 0;
+
+  [[nodiscard]] std::size_t width() const noexcept { return flows.size(); }
+  /// Coflow completion time: last byte landed minus first flow transferable.
+  [[nodiscard]] double completion_time() const noexcept {
+    return finished - released;
+  }
+};
+
+/// Aggregate CCT statistics over the completed coflows of a run.
+struct CoflowStats {
+  std::size_t completed = 0;
+  double avg_cct = 0.0;
+  double p95_cct = 0.0;
+};
+
+/// Tracks every coflow of a run and its pending → active → done lifecycle.
+/// Event times may arrive out of order (the batch simulator resolves local
+/// flows before the fluid loop starts); the registry keeps min/max stamps so
+/// the recorded release/finish are order-independent.
+class CoflowRegistry {
+ public:
+  /// Open an empty coflow for `job`.  One job wave = one coflow.
+  CoflowId open(JobId job, std::uint8_t priority, double deadline = 0.0);
+
+  /// Attach a flow to an open coflow.  A flow belongs to exactly one coflow;
+  /// re-registering throws std::invalid_argument.
+  void add_flow(CoflowId coflow, FlowId flow, double size_gb);
+
+  /// Lifecycle: `flow` became transferable at `now` (its map finished).
+  void flow_released(FlowId flow, double now);
+
+  /// Lifecycle: `flow` delivered its last byte at `now`.  When it is the
+  /// coflow's last outstanding flow the coflow transitions to Done.
+  void flow_finished(FlowId flow, double now);
+
+  /// Online-simulator restart: the job lost its reduce host and every flow
+  /// will re-release.  The coflow returns to Pending with stamps cleared.
+  void reset(CoflowId coflow);
+
+  [[nodiscard]] bool contains(FlowId flow) const {
+    return coflow_of_.count(flow) > 0;
+  }
+  /// Coflow owning `flow`; invalid id when the flow is unregistered.
+  [[nodiscard]] CoflowId coflow_of(FlowId flow) const;
+  [[nodiscard]] const Coflow& get(CoflowId id) const;
+  [[nodiscard]] const std::vector<Coflow>& all() const noexcept { return coflows_; }
+  [[nodiscard]] std::size_t size() const noexcept { return coflows_.size(); }
+
+  /// Coflows currently Active, in id order.
+  [[nodiscard]] std::vector<CoflowId> active() const;
+
+  /// Average / p95 completion time over Done coflows.
+  [[nodiscard]] CoflowStats stats() const;
+
+ private:
+  [[nodiscard]] Coflow& mutable_of_flow(FlowId flow);
+
+  std::vector<Coflow> coflows_;  // indexed by CoflowId
+  std::unordered_map<FlowId, CoflowId> coflow_of_;
+};
+
+}  // namespace hit::coflow

@@ -1,0 +1,67 @@
+#include "coflow/ordering.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hit::coflow {
+
+std::vector<CoflowId> FifoOrder::order(const CoflowRegistry& registry,
+                                       std::vector<CoflowId> active,
+                                       const GammaFn& /*gamma_of*/) const {
+  std::sort(active.begin(), active.end(), [&](CoflowId a, CoflowId b) {
+    const Coflow& ca = registry.get(a);
+    const Coflow& cb = registry.get(b);
+    if (ca.released != cb.released) return ca.released < cb.released;
+    return a < b;
+  });
+  return active;
+}
+
+std::vector<CoflowId> SebfOrder::order(const CoflowRegistry& registry,
+                                       std::vector<CoflowId> active,
+                                       const GammaFn& gamma_of) const {
+  if (!gamma_of) {
+    throw std::invalid_argument("SebfOrder: gamma function required");
+  }
+  // Evaluate Γ once per coflow before sorting — gamma_of may be expensive
+  // and comparators must see a consistent value.
+  std::vector<std::pair<double, CoflowId>> keyed;
+  keyed.reserve(active.size());
+  for (CoflowId id : active) keyed.emplace_back(gamma_of(id), id);
+  std::sort(keyed.begin(), keyed.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  });
+  std::vector<CoflowId> out;
+  out.reserve(keyed.size());
+  for (const auto& [gamma, id] : keyed) {
+    (void)gamma;
+    out.push_back(id);
+  }
+  (void)registry;
+  return out;
+}
+
+std::vector<CoflowId> PriorityOrder::order(const CoflowRegistry& registry,
+                                           std::vector<CoflowId> active,
+                                           const GammaFn& /*gamma_of*/) const {
+  std::sort(active.begin(), active.end(), [&](CoflowId a, CoflowId b) {
+    const Coflow& ca = registry.get(a);
+    const Coflow& cb = registry.get(b);
+    if (ca.priority != cb.priority) return ca.priority > cb.priority;
+    if (ca.released != cb.released) return ca.released < cb.released;
+    return a < b;
+  });
+  return active;
+}
+
+std::unique_ptr<CoflowScheduler> make_scheduler(OrderPolicy policy) {
+  switch (policy) {
+    case OrderPolicy::Fifo: return std::make_unique<FifoOrder>();
+    case OrderPolicy::Sebf: return std::make_unique<SebfOrder>();
+    case OrderPolicy::Priority: return std::make_unique<PriorityOrder>();
+  }
+  throw std::invalid_argument("make_scheduler: unknown order policy");
+}
+
+}  // namespace hit::coflow

@@ -1,0 +1,87 @@
+// Inter-coflow ordering policies.
+//
+// The scheduler's job is a single decision: given the currently active
+// coflows, which one is head-of-line?  Everything downstream (the MADD rate
+// allocator, the policy optimizer's residual-capacity pass, the controller's
+// shed order) consumes the resulting permutation.  Three disciplines:
+//
+//   FifoOrder     — order of first release (ties by coflow id).  The baseline
+//                   discipline of Hadoop's per-flow fair sharing viewed at
+//                   coflow granularity.
+//   SebfOrder     — smallest-effective-bottleneck-first (Varys): order by
+//                   Γ_c, the minimum time coflow c needs to finish if handed
+//                   all residual capacity along its installed policy paths.
+//                   Shortest-job-first at coflow granularity; near-optimal
+//                   for average CCT.
+//   PriorityOrder — job priority first (high before normal before low), FIFO
+//                   within a class.  Matches the admission/shed ordering the
+//                   rest of the system already uses.
+//
+// All orderings break ties by CoflowId so the permutation is a pure function
+// of the inputs — determinism is a hard requirement of the simulators.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "coflow/coflow.h"
+
+namespace hit::coflow {
+
+/// Returns Γ_c for a coflow: its effective bottleneck completion time against
+/// current residual capacities.  Policies that do not consult residuals
+/// (FIFO, priority) never call it, so callers may pass a stub.
+using GammaFn = std::function<double(CoflowId)>;
+
+/// Strategy interface: permute `active` head-of-line first.
+class CoflowScheduler {
+ public:
+  virtual ~CoflowScheduler() = default;
+
+  [[nodiscard]] virtual OrderPolicy policy() const noexcept = 0;
+
+  /// Order `active` (ids into `registry`) head-of-line first.  Must be
+  /// deterministic: equal inputs produce equal permutations.
+  [[nodiscard]] virtual std::vector<CoflowId> order(
+      const CoflowRegistry& registry, std::vector<CoflowId> active,
+      const GammaFn& gamma_of) const = 0;
+};
+
+/// First-released first; ties by id.
+class FifoOrder final : public CoflowScheduler {
+ public:
+  [[nodiscard]] OrderPolicy policy() const noexcept override {
+    return OrderPolicy::Fifo;
+  }
+  [[nodiscard]] std::vector<CoflowId> order(const CoflowRegistry& registry,
+                                            std::vector<CoflowId> active,
+                                            const GammaFn& gamma_of) const override;
+};
+
+/// Smallest effective bottleneck (Γ_c) first; ties by id.
+class SebfOrder final : public CoflowScheduler {
+ public:
+  [[nodiscard]] OrderPolicy policy() const noexcept override {
+    return OrderPolicy::Sebf;
+  }
+  [[nodiscard]] std::vector<CoflowId> order(const CoflowRegistry& registry,
+                                            std::vector<CoflowId> active,
+                                            const GammaFn& gamma_of) const override;
+};
+
+/// Highest job priority first; FIFO inside a priority class; ties by id.
+class PriorityOrder final : public CoflowScheduler {
+ public:
+  [[nodiscard]] OrderPolicy policy() const noexcept override {
+    return OrderPolicy::Priority;
+  }
+  [[nodiscard]] std::vector<CoflowId> order(const CoflowRegistry& registry,
+                                            std::vector<CoflowId> active,
+                                            const GammaFn& gamma_of) const override;
+};
+
+/// Factory keyed by the config enum.
+[[nodiscard]] std::unique_ptr<CoflowScheduler> make_scheduler(OrderPolicy policy);
+
+}  // namespace hit::coflow

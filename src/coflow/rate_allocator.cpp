@@ -1,0 +1,102 @@
+#include "coflow/rate_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace hit::coflow {
+
+double effective_bottleneck(const net::ResidualLedger& ledger,
+                            const std::vector<net::FlowDemand>& demands,
+                            const std::vector<double>& remaining_gb,
+                            const std::vector<std::size_t>& members) {
+  // Aggregate the group's bytes per crossed resource, then take the max
+  // drain time.  Max over an unordered_map is order-independent, so the
+  // result is deterministic.
+  std::unordered_map<net::ResidualLedger::Key, double> bytes;
+  double total = 0.0;
+  for (std::size_t i : members) {
+    const double rem = remaining_gb[i];
+    if (rem <= 0.0) continue;
+    total += rem;
+    ledger.for_each_resource(demands[i].path,
+                             [&](net::ResidualLedger::Key key) { bytes[key] += rem; });
+  }
+  if (total <= 0.0) return 0.0;
+  double gamma = 0.0;
+  for (const auto& [key, load] : bytes) {
+    const double residual = ledger.residual(key);
+    if (residual <= 0.0) return std::numeric_limits<double>::infinity();
+    gamma = std::max(gamma, load / residual);
+  }
+  return gamma;
+}
+
+std::vector<double> madd_allocate(const topo::Topology& topology,
+                                  const std::vector<net::FlowDemand>& demands,
+                                  const std::vector<double>& remaining_gb,
+                                  const std::vector<std::vector<std::size_t>>& groups,
+                                  double bandwidth_scale) {
+  if (remaining_gb.size() != demands.size()) {
+    throw std::invalid_argument("madd_allocate: remaining size mismatch");
+  }
+  std::vector<char> grouped(demands.size(), 0);
+  for (const auto& members : groups) {
+    for (std::size_t i : members) {
+      if (i >= demands.size() || grouped[i]) {
+        throw std::invalid_argument("madd_allocate: groups must partition demands");
+      }
+      grouped[i] = 1;
+    }
+  }
+  for (char g : grouped) {
+    if (!g) throw std::invalid_argument("madd_allocate: demand missing from groups");
+  }
+
+  net::ResidualLedger ledger(topology, bandwidth_scale);
+  for (const net::FlowDemand& d : demands) ledger.add_path(d.path);
+
+  std::vector<double> rates(demands.size(), 0.0);
+
+  // Pass 1 — recursive MADD: each coflow in order gets rate_i = remaining_i
+  // / Γ_c against what earlier coflows left, so its flows finish together and
+  // its bottleneck resource drains exactly when the coflow does.
+  for (const auto& members : groups) {
+    const double gamma = effective_bottleneck(ledger, demands, remaining_gb, members);
+    if (gamma <= 0.0 || !std::isfinite(gamma)) continue;
+    for (std::size_t i : members) {
+      double r = remaining_gb[i] / gamma;
+      if (demands[i].rate_cap > 0.0) r = std::min(r, demands[i].rate_cap);
+      if (r <= 0.0) continue;
+      ledger.charge(demands[i].path, r);
+      rates[i] = r;
+    }
+  }
+
+  // Pass 2 — work-conserving backfill: hand each flow whatever its path
+  // still has, earlier coflows first (within a coflow: smallest remaining
+  // first, ties by FlowId).  Capacity Γ cannot convert into earlier coflow
+  // completion is still not left idle.
+  for (const auto& members : groups) {
+    std::vector<std::size_t> order = members;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (remaining_gb[a] != remaining_gb[b]) return remaining_gb[a] < remaining_gb[b];
+      return demands[a].flow < demands[b].flow;
+    });
+    for (std::size_t i : order) {
+      if (remaining_gb[i] <= 0.0) continue;
+      double extra = ledger.bottleneck(demands[i].path);
+      if (demands[i].rate_cap > 0.0) {
+        extra = std::min(extra, demands[i].rate_cap - rates[i]);
+      }
+      if (extra <= 1e-12) continue;
+      ledger.charge(demands[i].path, extra);
+      rates[i] += extra;
+    }
+  }
+  return rates;
+}
+
+}  // namespace hit::coflow

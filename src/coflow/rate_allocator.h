@@ -1,0 +1,52 @@
+// MADD-style per-coflow rate allocation (Varys: "Efficient Coflow Scheduling
+// with Varys", Chowdhury et al., SIGCOMM 2014).
+//
+// Given coflows in scheduling order, the head-of-line coflow's flows receive
+// the Minimum Allocation for Desired Duration: every flow of coflow c gets
+//
+//     rate_i = remaining_i / Γ_c
+//
+// where Γ_c = max over crossed resources r of (Σ coflow bytes crossing r /
+// residual capacity of r) — so all of c's flows finish together exactly when
+// the coflow's bottleneck drains, and no flow hogs bandwidth the coflow
+// cannot convert into earlier completion.  Whatever each resource has left
+// spills to the next coflow in order (recursive MADD); capacity no coflow's
+// Γ can use is backfilled greedily so the allocation stays work-conserving.
+//
+// Rates are recomputed from scratch at every simulator event, mirroring how
+// the existing max-min allocator is driven.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "network/bandwidth.h"
+#include "topology/topology.h"
+
+namespace hit::coflow {
+
+/// Γ_c for the demand subset `members` (indices into `demands`): the minimum
+/// time those flows need to finish against `ledger`'s residual capacities.
+/// Returns +inf when any crossed resource has zero residual, 0 when the
+/// subset has no remaining bytes.
+[[nodiscard]] double effective_bottleneck(const net::ResidualLedger& ledger,
+                                          const std::vector<net::FlowDemand>& demands,
+                                          const std::vector<double>& remaining_gb,
+                                          const std::vector<std::size_t>& members);
+
+/// MADD rate assignment.  `demands` / `remaining_gb` align index-for-index;
+/// `groups` lists each coflow's demand indices in scheduling order (head of
+/// line first; every index appears in exactly one group).  Each group is
+/// served MADD rates against the residual ledger left by earlier groups,
+/// then leftover capacity is backfilled greedily in group order (within a
+/// group: smallest remaining first, ties by FlowId) so the allocation is
+/// work-conserving.  Per-demand `rate_cap` is honored.  The returned rates
+/// align with `demands` and never exceed any link or switch capacity.
+[[nodiscard]] std::vector<double> madd_allocate(
+    const topo::Topology& topology,
+    const std::vector<net::FlowDemand>& demands,
+    const std::vector<double>& remaining_gb,
+    const std::vector<std::vector<std::size_t>>& groups,
+    double bandwidth_scale = 1.0);
+
+}  // namespace hit::coflow

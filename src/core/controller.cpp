@@ -383,18 +383,31 @@ std::size_t NetworkController::shed_pressure() {
     }
     if (victim == nullptr) break;  // pressure is ambient, not ours to shed
 
-    load_.remove(victim->policy, victim->charged_rate);
-    victim->parked = true;
-    victim->charged_rate = 0.0;
-    ++shed;
-    obs::count("controller.pressure_sheds");
-    obs::host_instant(
-        "flow.pressure_shed", "controller",
-        {{"flow", static_cast<std::int64_t>(victim->flow.id.value())},
-         {"priority", static_cast<std::int64_t>(victim->flow.priority)},
-         {"switch", topology_->info(hottest).name}});
-    HIT_LOG_INFO(kTag) << "flow " << victim->flow.id << " parked to cool "
-                       << topology_->info(hottest).name;
+    const auto park_one = [&](Entry& entry) {
+      load_.remove(entry.policy, entry.charged_rate);
+      entry.parked = true;
+      entry.charged_rate = 0.0;
+      ++shed;
+      obs::count("controller.pressure_sheds");
+      obs::host_instant(
+          "flow.pressure_shed", "controller",
+          {{"flow", static_cast<std::int64_t>(entry.flow.id.value())},
+           {"priority", static_cast<std::int64_t>(entry.flow.priority)},
+           {"switch", topology_->info(hottest).name}});
+      HIT_LOG_INFO(kTag) << "flow " << entry.flow.id << " parked to cool "
+                         << topology_->info(hottest).name;
+    };
+    if (config_.coflow_aware) {
+      // Whole-coflow shed: the victim's job loses every active flow, not
+      // just the one crossing the hot switch — its reduce wave cannot use
+      // the survivors anyway, and parking them cools the network faster.
+      const JobId job = victim->flow.job;
+      for (auto& [id, entry] : flows_) {
+        if (!entry.parked && entry.flow.job == job) park_one(entry);
+      }
+    } else {
+      park_one(*victim);
+    }
   }
   return shed;
 }
@@ -406,10 +419,27 @@ std::size_t NetworkController::readmit_parked() {
   for (auto& [id, entry] : flows_) {
     if (entry.parked) waiting.push_back(&entry);
   }
-  std::sort(waiting.begin(), waiting.end(), [](const Entry* a, const Entry* b) {
-    if (a->flow.priority != b->flow.priority) {
-      return a->flow.priority > b->flow.priority;
+  // A job's parked flows re-admit together: its reduce wave waits for the
+  // slowest flow, so interleaving jobs only delays everyone.  Jobs are
+  // ordered by (best waiting priority desc, earliest waiting flow id asc);
+  // flows inside a job by id.
+  struct JobRank {
+    std::uint8_t priority = 0;
+    FlowId first;
+  };
+  std::unordered_map<JobId, JobRank> rank;
+  for (const Entry* e : waiting) {
+    auto [it, fresh] = rank.emplace(e->flow.job, JobRank{e->flow.priority, e->flow.id});
+    if (!fresh) {
+      it->second.priority = std::max(it->second.priority, e->flow.priority);
+      it->second.first = std::min(it->second.first, e->flow.id);
     }
+  }
+  std::sort(waiting.begin(), waiting.end(), [&](const Entry* a, const Entry* b) {
+    const JobRank& ra = rank.at(a->flow.job);
+    const JobRank& rb = rank.at(b->flow.job);
+    if (ra.priority != rb.priority) return ra.priority > rb.priority;
+    if (ra.first != rb.first) return ra.first < rb.first;
     return a->flow.id < b->flow.id;
   });
 

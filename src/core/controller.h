@@ -47,6 +47,11 @@ struct ControllerConfig {
   /// immediately (the fallback is simply the current policies).  Disabled by
   /// default.
   BreakerConfig breaker;
+  /// Park whole coflows: when true, `shed_pressure` parks every active flow
+  /// of the victim's job (one job wave = one coflow) instead of a single
+  /// flow — a reduce wave gains nothing from the flows left behind, and
+  /// parking them too cools the network faster.  Off by default.
+  bool coflow_aware = false;
 };
 
 class NetworkController {

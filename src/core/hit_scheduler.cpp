@@ -379,6 +379,71 @@ void HitScheduler::route_flows(const sched::Problem& problem,
                      return a->size_gb > b->size_gb;
                    });
 
+  if (config_.coflow.enabled) {
+    // Coflow-ordered routing: permute whole coflows (a job's flow group),
+    // keeping the largest-first order inside each group, so the optimizer
+    // serves each coflow against the residual capacity earlier coflows left.
+    struct Group {
+      std::size_t seq = 0;        // first appearance in problem.flows
+      std::uint8_t priority = 1;
+      double gamma = 0.0;         // SEBF proxy: most loaded endpoint server
+      std::vector<const net::Flow*> flows;
+    };
+    std::unordered_map<JobId, std::size_t> group_of;
+    std::vector<Group> groups;
+    for (std::size_t i = 0; i < problem.flows.size(); ++i) {
+      const net::Flow& f = problem.flows[i];
+      const auto [it, fresh] = group_of.emplace(f.job, groups.size());
+      if (fresh) {
+        groups.push_back(Group{});
+        groups.back().seq = i;
+      }
+      groups[it->second].priority = f.priority;
+    }
+    for (const net::Flow* f : order) {
+      groups[group_of.at(f->job)].flows.push_back(f);
+    }
+    if (config_.coflow.order == coflow::OrderPolicy::Sebf) {
+      // Γ proxy per coflow: max over placed servers of shuffle bytes in +
+      // out (the Varys endpoint bottleneck; paths are not chosen yet).
+      for (Group& g : groups) {
+        std::unordered_map<ServerId, double> endpoint_gb;
+        for (const net::Flow* f : g.flows) {
+          const ServerId src = assignment.host(problem, f->src_task);
+          const ServerId dst = assignment.host(problem, f->dst_task);
+          if (!src.valid() || !dst.valid() || src == dst) continue;
+          endpoint_gb[src] += f->size_gb;
+          endpoint_gb[dst] += f->size_gb;
+        }
+        for (const auto& [server, gb] : endpoint_gb) {
+          g.gamma = std::max(g.gamma, gb);
+        }
+      }
+    }
+    std::vector<std::size_t> by(groups.size());
+    for (std::size_t i = 0; i < by.size(); ++i) by[i] = i;
+    std::sort(by.begin(), by.end(), [&](std::size_t a, std::size_t b) {
+      const Group& ga = groups[a];
+      const Group& gb = groups[b];
+      switch (config_.coflow.order) {
+        case coflow::OrderPolicy::Sebf:
+          if (ga.gamma != gb.gamma) return ga.gamma < gb.gamma;
+          break;
+        case coflow::OrderPolicy::Priority:
+          if (ga.priority != gb.priority) return ga.priority > gb.priority;
+          break;
+        case coflow::OrderPolicy::Fifo:
+          break;
+      }
+      return ga.seq < gb.seq;
+    });
+    order.clear();
+    for (std::size_t i : by) {
+      order.insert(order.end(), groups[i].flows.begin(), groups[i].flows.end());
+    }
+    obs::count("core.hit_scheduler.coflow_ordered_waves");
+  }
+
   for (const net::Flow* f : order) {
     const ServerId src = assignment.host(problem, f->src_task);
     const ServerId dst = assignment.host(problem, f->dst_task);

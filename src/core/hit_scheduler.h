@@ -19,6 +19,7 @@
 #include <array>
 #include <optional>
 
+#include "coflow/coflow.h"
 #include "core/budget.h"
 #include "core/circuit_breaker.h"
 #include "core/cost_model.h"
@@ -76,6 +77,13 @@ struct HitConfig {
   bool optimize_policies = true;
   /// Overload degradation ladder (off by default; see LadderConfig).
   LadderConfig ladder;
+  /// Coflow-ordered routing (off by default — routing order is bit-identical
+  /// to the per-flow largest-first pass).  When enabled, flows are routed
+  /// coflow by coflow in the configured order, so the policy optimizer
+  /// serves each coflow against the residual capacities the earlier coflows
+  /// left behind.  SEBF uses a schedule-time proxy for Γ: the most loaded
+  /// placed endpoint server (max over servers of shuffle bytes in + out).
+  coflow::CoflowConfig coflow;
 };
 
 class HitScheduler final : public sched::Scheduler {

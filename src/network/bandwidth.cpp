@@ -154,23 +154,8 @@ std::vector<double> srpt_allocate(const topo::Topology& topology,
     throw std::invalid_argument("srpt_allocate: remaining size mismatch");
   }
 
-  // Residual capacity ledgers (same resource keying as max-min).
-  std::unordered_map<ResourceKey, double> residual;
-  for (const FlowDemand& d : demands) {
-    if (d.path.size() < 2) {
-      throw std::invalid_argument("srpt_allocate: path needs >= 2 nodes");
-    }
-    for (std::size_t j = 0; j + 1 < d.path.size(); ++j) {
-      const auto bw = topology.graph().bandwidth(d.path[j], d.path[j + 1]);
-      if (!bw) throw std::invalid_argument("srpt_allocate: path uses missing link");
-      residual[link_key(d.path[j], d.path[j + 1])] = *bw * bandwidth_scale;
-    }
-    for (NodeId n : d.path) {
-      if (topology.is_switch(n)) {
-        residual[switch_key(n)] = topology.switch_capacity(n) * bandwidth_scale;
-      }
-    }
-  }
+  ResidualLedger ledger(topology, bandwidth_scale);
+  for (const FlowDemand& d : demands) ledger.add_path(d.path);
 
   std::vector<std::size_t> order(demands.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -181,27 +166,85 @@ std::vector<double> srpt_allocate(const topo::Topology& topology,
 
   std::vector<double> rates(demands.size(), 0.0);
   for (std::size_t i : order) {
-    const topo::Path& path = demands[i].path;
-    double rate = std::numeric_limits<double>::infinity();
-    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
-      rate = std::min(rate, residual.at(link_key(path[j], path[j + 1])));
-    }
-    for (NodeId n : path) {
-      if (topology.is_switch(n)) rate = std::min(rate, residual.at(switch_key(n)));
-    }
+    double rate = ledger.bottleneck(demands[i].path);
     if (demands[i].rate_cap > 0.0) rate = std::min(rate, demands[i].rate_cap);
     rate = std::max(rate, 0.0);
     rates[i] = rate;
-    if (rate > 0.0) {
-      for (std::size_t j = 0; j + 1 < path.size(); ++j) {
-        residual.at(link_key(path[j], path[j + 1])) -= rate;
-      }
-      for (NodeId n : path) {
-        if (topology.is_switch(n)) residual.at(switch_key(n)) -= rate;
-      }
-    }
+    if (rate > 0.0) ledger.charge(demands[i].path, rate);
   }
   return rates;
+}
+
+ResidualLedger::ResidualLedger(const topo::Topology& topology,
+                               double bandwidth_scale)
+    : topology_(&topology), scale_(bandwidth_scale) {
+  if (bandwidth_scale <= 0.0) {
+    throw std::invalid_argument("ResidualLedger: scale must be positive");
+  }
+}
+
+void ResidualLedger::add_path(const topo::Path& path) {
+  if (path.size() < 2) {
+    throw std::invalid_argument("ResidualLedger: path needs >= 2 nodes");
+  }
+  for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+    const auto bw = topology_->graph().bandwidth(path[j], path[j + 1]);
+    if (!bw) throw std::invalid_argument("ResidualLedger: path uses missing link");
+    residual_.emplace(link_key(path[j], path[j + 1]), *bw * scale_);
+  }
+  for (NodeId n : path) {
+    if (topology_->is_switch(n)) {
+      residual_.emplace(switch_key(n), topology_->switch_capacity(n) * scale_);
+    }
+  }
+}
+
+double ResidualLedger::bottleneck(const topo::Path& path) const {
+  double rate = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+    rate = std::min(rate, residual_.at(link_key(path[j], path[j + 1])));
+  }
+  for (NodeId n : path) {
+    if (topology_->is_switch(n)) rate = std::min(rate, residual_.at(switch_key(n)));
+  }
+  return rate;
+}
+
+void ResidualLedger::charge(const topo::Path& path, double rate) {
+  constexpr double kTolerance = 1e-9;
+  const auto take = [&](Key key) {
+    double& r = residual_.at(key);
+    r -= rate;
+    if (r < 0.0) {
+      if (r < -kTolerance) {
+        throw std::logic_error("ResidualLedger::charge: capacity exceeded");
+      }
+      r = 0.0;  // floating-point slack only
+    }
+  };
+  for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+    take(link_key(path[j], path[j + 1]));
+  }
+  for (NodeId n : path) {
+    if (topology_->is_switch(n)) take(switch_key(n));
+  }
+}
+
+void ResidualLedger::for_each_resource(const topo::Path& path,
+                                       const std::function<void(Key)>& fn) const {
+  // Simulator paths are simple (no repeated nodes), so links and switches
+  // each appear once.
+  for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+    fn(link_key(path[j], path[j + 1]));
+  }
+  for (NodeId n : path) {
+    if (topology_->is_switch(n)) fn(switch_key(n));
+  }
+}
+
+double ResidualLedger::residual(Key key) const {
+  const auto it = residual_.find(key);
+  return it == residual_.end() ? 0.0 : it->second;
 }
 
 }  // namespace hit::net

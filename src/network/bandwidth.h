@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -64,5 +66,48 @@ class MaxMinFairAllocator {
                                                 const std::vector<FlowDemand>& demands,
                                                 const std::vector<double>& remaining,
                                                 double bandwidth_scale = 1.0);
+
+/// Residual-capacity ledger over the capacitated resources a set of paths
+/// crosses: each undirected physical link (capacity = bandwidth x scale) and
+/// each switch (its processing capacity x scale).  Sequential allocators
+/// (SRPT, the coflow MADD allocator) register the paths they will serve,
+/// then repeatedly take `bottleneck()` and `charge()`; the ledger guarantees
+/// the running charges never exceed any resource's capacity.
+class ResidualLedger {
+ public:
+  /// Opaque resource key: switches are (node, node); links the sorted pair.
+  using Key = std::uint64_t;
+
+  explicit ResidualLedger(const topo::Topology& topology,
+                          double bandwidth_scale = 1.0);
+
+  /// Register every resource `path` crosses at its full capacity
+  /// (idempotent; re-registering does not reset accumulated charges).
+  /// Throws std::invalid_argument on paths shorter than 2 nodes or paths
+  /// using a missing link.
+  void add_path(const topo::Path& path);
+
+  /// Minimum residual capacity along `path` (resources must be registered).
+  [[nodiscard]] double bottleneck(const topo::Path& path) const;
+
+  /// Subtract `rate` from every resource along `path`.  Charging beyond a
+  /// resource's residual throws std::logic_error (tolerance 1e-9) — the
+  /// ledger is the feasibility guard, not just a counter.
+  void charge(const topo::Path& path, double rate);
+
+  /// Visit each distinct resource key along `path` exactly once.
+  void for_each_resource(const topo::Path& path,
+                         const std::function<void(Key)>& fn) const;
+
+  [[nodiscard]] double residual(Key key) const;
+  [[nodiscard]] std::size_t resource_count() const noexcept {
+    return residual_.size();
+  }
+
+ private:
+  const topo::Topology* topology_;
+  double scale_;
+  std::unordered_map<Key, double> residual_;
+};
 
 }  // namespace hit::net

@@ -4,10 +4,13 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "coflow/ordering.h"
+#include "coflow/rate_allocator.h"
 #include "network/routing.h"
 
 namespace hit::sim {
@@ -449,6 +452,28 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     return sim_flows[a].release < sim_flows[b].release;
   });
 
+  // Coflow lifecycle (only when enabled): one coflow per job; local flows
+  // resolve before the fluid loop and are stamped immediately.
+  coflow::CoflowRegistry registry;
+  std::unique_ptr<coflow::CoflowScheduler> coflow_order;
+  std::unordered_map<JobId, CoflowId> coflow_of_job;
+  if (config_.coflow.enabled) {
+    coflow_order = coflow::make_scheduler(config_.coflow.order);
+    for (const mr::Job& job : jobs) {
+      coflow_of_job.emplace(
+          job.id, registry.open(job.id, static_cast<std::uint8_t>(job.priority)));
+    }
+    for (const SimFlow& sf : sim_flows) {
+      registry.add_flow(coflow_of_job.at(sf.flow->job), sf.flow->id,
+                        sf.flow->size_gb);
+    }
+    for (const SimFlow& sf : sim_flows) {
+      if (!sf.local) continue;
+      registry.flow_released(sf.flow->id, sf.release);
+      registry.flow_finished(sf.flow->id, sf.finish);
+    }
+  }
+
   const net::MaxMinFairAllocator allocator(topology, config_.bandwidth_scale);
   FaultState fstate(topology);
   std::vector<std::size_t> active;
@@ -543,6 +568,7 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
            sim_flows[pending[next_pending]].release <= now + kEps) {
       const std::size_t i = pending[next_pending++];
       SimFlow& sf = sim_flows[i];
+      if (config_.coflow.enabled) registry.flow_released(sf.flow->id, sf.release);
       if (!fstate.any_down() || fstate.path_up(sf.path) || try_reroute(sf)) {
         active.push_back(i);
       } else {
@@ -557,7 +583,36 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
       demands.push_back(net::FlowDemand{sim_flows[i].flow->id, sim_flows[i].path, 0.0});
     }
     std::vector<double> rates;
-    if (config_.sharing == net::SharingPolicy::Srpt) {
+    if (config_.coflow.enabled) {
+      std::vector<double> remaining;
+      remaining.reserve(active.size());
+      for (std::size_t i : active) remaining.push_back(sim_flows[i].remaining);
+      // Group the active demands by coflow, permute per the configured
+      // discipline (Γ evaluated against the full residual ledger), then let
+      // MADD serve the coflows in that order.
+      std::vector<CoflowId> ids;
+      std::unordered_map<CoflowId, std::vector<std::size_t>> members;
+      for (std::size_t j = 0; j < active.size(); ++j) {
+        const CoflowId cid = registry.coflow_of(sim_flows[active[j]].flow->id);
+        auto [it, fresh] = members.emplace(cid, std::vector<std::size_t>{});
+        if (fresh) ids.push_back(cid);
+        it->second.push_back(j);
+      }
+      std::sort(ids.begin(), ids.end());
+      net::ResidualLedger ledger(topology, config_.bandwidth_scale);
+      for (const net::FlowDemand& d : demands) ledger.add_path(d.path);
+      const coflow::GammaFn gamma = [&](CoflowId cid) {
+        return coflow::effective_bottleneck(ledger, demands, remaining,
+                                            members.at(cid));
+      };
+      std::vector<std::vector<std::size_t>> groups;
+      groups.reserve(ids.size());
+      for (CoflowId cid : coflow_order->order(registry, std::move(ids), gamma)) {
+        groups.push_back(members.at(cid));
+      }
+      rates = coflow::madd_allocate(topology, demands, remaining, groups,
+                                    config_.bandwidth_scale);
+    } else if (config_.sharing == net::SharingPolicy::Srpt) {
       std::vector<double> remaining;
       remaining.reserve(active.size());
       for (std::size_t i : active) remaining.push_back(sim_flows[i].remaining);
@@ -592,6 +647,19 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
       sf.remaining -= rates[j] * dt;
       if (sf.remaining <= kEps) {
         sf.finish = now;
+        if (config_.coflow.enabled) {
+          registry.flow_finished(sf.flow->id, now);
+          const CoflowId cid = registry.coflow_of(sf.flow->id);
+          const coflow::Coflow& c = registry.get(cid);
+          if (c.state == coflow::CoflowState::Done) {
+            obs::observe("sim.coflow_cct_s", c.completion_time());
+            obs::sim_span("coflow", "sim.coflow", c.released, c.finished,
+                          {{"coflow", static_cast<std::int64_t>(cid.value())},
+                           {"job", static_cast<std::int64_t>(c.job.value())},
+                           {"flows", static_cast<std::int64_t>(c.width())}},
+                          /*tid=*/4);
+          }
+        }
       } else {
         still_active.push_back(active[j]);
       }
@@ -666,6 +734,7 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     result.total_shuffle_gb += sf.flow->size_gb;
     result.shuffle_finish_time = std::max(result.shuffle_finish_time, sf.finish);
   }
+  result.coflows = group_coflows(result.flows);
 
   for (const mr::Job& job : jobs) {
     JobResult jr;

@@ -25,6 +25,7 @@
 
 #include "cluster/cluster.h"
 #include "cluster/resource_manager.h"
+#include "coflow/coflow.h"
 #include "core/cost_model.h"
 #include "mapreduce/hdfs.h"
 #include "mapreduce/job.h"
@@ -59,6 +60,11 @@ struct SimConfig {
   /// How concurrent shuffle flows share bandwidth (max-min fair by default;
   /// SRPT models the flow-scheduling systems of related work [5][6]).
   net::SharingPolicy sharing = net::SharingPolicy::MaxMinFair;
+  /// Coflow scheduling (off by default — per-flow sharing is bit-identical
+  /// to the pre-coflow simulator).  When enabled, shuffle rates come from
+  /// the MADD allocator serving whole coflows in the configured order, and
+  /// `sharing` is ignored during the shuffle phase.
+  coflow::CoflowConfig coflow;
   cluster::Resource container_demand = cluster::kDefaultContainerDemand;
   mr::ShuffleConfig shuffle;
   /// Hard cap on map waves (safety against degenerate configs).

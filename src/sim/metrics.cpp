@@ -1,5 +1,11 @@
 #include "sim/metrics.h"
 
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "stats/summary.h"
+
 namespace hit::sim {
 
 std::vector<double> SimResult::job_completion_times() const {
@@ -41,6 +47,46 @@ double SimResult::average_flow_duration() const {
 
 double SimResult::shuffle_throughput() const {
   return shuffle_finish_time > 0.0 ? total_shuffle_gb / shuffle_finish_time : 0.0;
+}
+
+std::vector<double> SimResult::coflow_completion_times() const {
+  std::vector<double> out;
+  out.reserve(coflows.size());
+  for (const CoflowTiming& c : coflows) out.push_back(c.duration());
+  return out;
+}
+
+double SimResult::average_coflow_cct() const {
+  if (coflows.empty()) return 0.0;
+  double sum = 0.0;
+  for (const CoflowTiming& c : coflows) sum += c.duration();
+  return sum / static_cast<double>(coflows.size());
+}
+
+double SimResult::p95_coflow_cct() const {
+  if (coflows.empty()) return 0.0;
+  return stats::percentile(coflow_completion_times(), 95.0);
+}
+
+std::vector<CoflowTiming> group_coflows(const std::vector<FlowTiming>& flows) {
+  std::vector<CoflowTiming> out;
+  std::unordered_map<JobId, std::size_t> index_of;
+  for (const FlowTiming& f : flows) {
+    const auto [it, fresh] = index_of.emplace(f.job, out.size());
+    if (fresh) {
+      CoflowTiming c;
+      c.id = CoflowId(static_cast<CoflowId::value_type>(out.size()));
+      c.job = f.job;
+      c.release = std::numeric_limits<double>::infinity();
+      out.push_back(c);
+    }
+    CoflowTiming& c = out[it->second];
+    ++c.width;
+    c.total_gb += f.size_gb;
+    c.release = std::min(c.release, f.release);
+    c.finish = std::max(c.finish, f.finish);
+  }
+  return out;
 }
 
 }  // namespace hit::sim

@@ -37,6 +37,21 @@ struct FlowTiming {
   [[nodiscard]] double duration() const { return finish - release; }
 };
 
+/// One coflow's lifetime: the shuffle flows of one job wave viewed as a
+/// unit.  Recorded for every run (coflow scheduling on or off), so harnesses
+/// can compare CCT under per-flow fair sharing against coflow disciplines.
+struct CoflowTiming {
+  CoflowId id;
+  JobId job;
+  std::size_t width = 0;   ///< flows in the coflow
+  double total_gb = 0.0;
+  double release = 0.0;    ///< first flow transferable
+  double finish = 0.0;     ///< last flow's final byte landed
+
+  /// Coflow completion time (CCT).
+  [[nodiscard]] double duration() const { return finish - release; }
+};
+
 /// Fault-and-recovery accounting for a run (all zero when no FaultPlan is
 /// configured).  Degradation studies (bench_faults) plot these against JCT
 /// and shuffle cost.
@@ -90,6 +105,7 @@ struct SimResult {
   double shuffle_finish_time = 0.0;  ///< when the last shuffle byte landed
   std::size_t speculative_copies = 0;  ///< backup map attempts launched
   RecoveryStats recovery;              ///< fault/recovery accounting
+  std::vector<CoflowTiming> coflows;   ///< per-job-wave shuffle groups
 
   [[nodiscard]] std::vector<double> job_completion_times() const;
   [[nodiscard]] std::vector<double> task_durations(cluster::TaskKind kind) const;
@@ -99,6 +115,18 @@ struct SimResult {
   [[nodiscard]] double average_flow_duration() const;
   /// Aggregate shuffle throughput: bytes over time-to-last-byte.
   [[nodiscard]] double shuffle_throughput() const;
+  /// CCT sample per recorded coflow (empty when no coflow moved bytes).
+  [[nodiscard]] std::vector<double> coflow_completion_times() const;
+  /// Mean / p95 CCT over recorded coflows (0 when none).
+  [[nodiscard]] double average_coflow_cct() const;
+  [[nodiscard]] double p95_coflow_cct() const;
 };
+
+/// Group a run's flows into per-job coflows (release = first flow
+/// transferable, finish = last byte landed).  Both simulators call this at
+/// the end of every run; `flows` order decides the coflow ids (first
+/// appearance of the job), so the output is deterministic.
+[[nodiscard]] std::vector<CoflowTiming> group_coflows(
+    const std::vector<FlowTiming>& flows);
 
 }  // namespace hit::sim

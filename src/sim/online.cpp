@@ -4,11 +4,14 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "coflow/ordering.h"
+#include "coflow/rate_allocator.h"
 #include "core/errors.h"
 #include "network/bandwidth.h"
 #include "network/load.h"
@@ -16,6 +19,7 @@
 #include "obs/context.h"
 #include "sim/delay_fetcher.h"
 #include "sim/faults.h"
+#include "stats/summary.h"
 
 namespace hit::sim {
 namespace {
@@ -186,6 +190,22 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
   const DelayFetcher fetcher(*cluster_, config_.sim.map_fetch_bandwidth_scale,
                              config_.sim.local_disk_bandwidth);
   const net::MaxMinFairAllocator allocator(topology, config_.sim.bandwidth_scale);
+
+  // Coflow lifecycle (only when enabled): one coflow per job, reset when a
+  // fault restarts the job (every flow re-releases and re-finishes).
+  coflow::CoflowRegistry registry;
+  std::unique_ptr<coflow::CoflowScheduler> coflow_order;
+  std::vector<CoflowId> job_coflow(jobs.size());
+  if (config_.sim.coflow.enabled) {
+    coflow_order = coflow::make_scheduler(config_.sim.coflow.order);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      job_coflow[j] = registry.open(
+          jobs[j].id, static_cast<std::uint8_t>(jobs[j].priority));
+    }
+    for (const JobFlow& jf : flows) {
+      registry.add_flow(job_coflow[jf.job], jf.flow->id, jf.flow->size_gb);
+    }
+  }
 
   std::deque<std::size_t> waiting;
   MinHeap releases;      // (time, flow index)
@@ -379,6 +399,20 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     JobFlow& jf = flows[idx];
     jf.done = true;
     jf.finish = at;
+    if (config_.sim.coflow.enabled) {
+      // Local flows never enter the fluid pool, so stamp their release here.
+      if (jf.local) registry.flow_released(jf.flow->id, jf.release);
+      registry.flow_finished(jf.flow->id, at);
+      const coflow::Coflow& c = registry.get(job_coflow[jf.job]);
+      if (c.state == coflow::CoflowState::Done) {
+        obs::observe("online.coflow_cct_s", c.completion_time());
+        obs::sim_span("coflow", "sim.coflow", c.released, c.finished,
+                      {{"coflow", static_cast<std::int64_t>(c.id.value())},
+                       {"job", static_cast<std::int64_t>(c.job.value())},
+                       {"flows", static_cast<std::int64_t>(c.width())}},
+                      /*tid=*/4);
+      }
+    }
     RunningJob& run = state[jf.job];
     double& last = run.reduce_last_input[jf.flow->dst_task];
     last = std::max(last, at);
@@ -472,6 +506,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
         std::remove_if(stalled_flows.begin(), stalled_flows.end(), is_mine),
         stalled_flows.end());
     state[j] = RunningJob{};
+    if (config_.sim.coflow.enabled) registry.reset(job_coflow[j]);
     queued_since[j] = now;
     waiting.push_front(j);
     ++rec.jobs_restarted;
@@ -677,8 +712,38 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     for (std::size_t idx : active) {
       demands.push_back(net::FlowDemand{flows[idx].flow->id, flows[idx].path, 0.0});
     }
-    const std::vector<double> rates =
-        active.empty() ? std::vector<double>{} : allocator.allocate(demands);
+    std::vector<double> rates;
+    if (!active.empty() && config_.sim.coflow.enabled) {
+      // Group the pool by coflow, permute per the configured discipline, and
+      // let MADD serve whole coflows against the residual ledger.
+      std::vector<double> remaining;
+      remaining.reserve(active.size());
+      for (std::size_t idx : active) remaining.push_back(flows[idx].remaining);
+      std::vector<CoflowId> cids;
+      std::unordered_map<CoflowId, std::vector<std::size_t>> members;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const CoflowId cid = job_coflow[flows[active[i]].job];
+        auto [it, fresh] = members.emplace(cid, std::vector<std::size_t>{});
+        if (fresh) cids.push_back(cid);
+        it->second.push_back(i);
+      }
+      std::sort(cids.begin(), cids.end());
+      net::ResidualLedger ledger(topology, config_.sim.bandwidth_scale);
+      for (const net::FlowDemand& d : demands) ledger.add_path(d.path);
+      const coflow::GammaFn gamma = [&](CoflowId cid) {
+        return coflow::effective_bottleneck(ledger, demands, remaining,
+                                            members.at(cid));
+      };
+      std::vector<std::vector<std::size_t>> groups;
+      groups.reserve(cids.size());
+      for (CoflowId cid : coflow_order->order(registry, std::move(cids), gamma)) {
+        groups.push_back(members.at(cid));
+      }
+      rates = coflow::madd_allocate(topology, demands, remaining, groups,
+                                    config_.sim.bandwidth_scale);
+    } else if (!active.empty()) {
+      rates = allocator.allocate(demands);
+    }
 
     double completion_at = kInf;
     for (std::size_t i = 0; i < active.size(); ++i) {
@@ -756,6 +821,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
         continue;  // stale entry from before a kill or restart
       }
       jf.released = true;
+      if (config_.sim.coflow.enabled) registry.flow_released(jf.flow->id, jf.release);
       if (!fstate.any_down() || fstate.path_up(jf.path)) {
         if (!jf.charged) {
           load.assign(jf.policy, jf.flow->rate);
@@ -908,6 +974,18 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
             [](const OnlineJobRecord& a, const OnlineJobRecord& b) {
               return a.arrival < b.arrival;
             });
+  result.coflows = group_coflows(result.flows);
+  if (!result.coflows.empty()) {
+    std::vector<double> ccts;
+    ccts.reserve(result.coflows.size());
+    for (const CoflowTiming& c : result.coflows) ccts.push_back(c.duration());
+    double sum = 0.0;
+    for (double v : ccts) sum += v;
+    result.avg_coflow_cct = sum / static_cast<double>(ccts.size());
+    result.p95_coflow_cct = stats::percentile(std::move(ccts), 95.0);
+    obs::gauge_set("online.avg_coflow_cct_s", result.avg_coflow_cct);
+    obs::gauge_set("online.p95_coflow_cct_s", result.p95_coflow_cct);
+  }
   if (faulty) account_plan(config_.sim.faults, result.makespan, rec);
   return result;
 }

@@ -108,6 +108,12 @@ struct OnlineResult {
   RecoveryStats recovery;  ///< fault/recovery accounting (zero when fault-free)
   OverloadStats overload;  ///< admission-control accounting (zero when off)
   std::vector<ShedJobRecord> shed;  ///< jobs abandoned under overload
+  /// Per-job shuffle groups of the completed jobs, recorded whether or not
+  /// coflow scheduling is enabled (so CCT under per-flow fair sharing is
+  /// directly comparable to the coflow disciplines).
+  std::vector<CoflowTiming> coflows;
+  double avg_coflow_cct = 0.0;  ///< mean CCT over recorded coflows (0 = none)
+  double p95_coflow_cct = 0.0;  ///< 95th-percentile CCT (0 = none)
 
   [[nodiscard]] std::vector<double> completion_times() const;
   [[nodiscard]] std::vector<double> queueing_delays() const;

@@ -60,6 +60,7 @@ struct TaskTag;       ///< Map or Reduce task
 struct JobTag;        ///< MapReduce job
 struct FlowTag;       ///< shuffle traffic flow
 struct PolicyTag;     ///< network traffic policy
+struct CoflowTag;     ///< group of shuffle flows sharing a job wave
 
 using NodeId = Id<NodeTag>;
 using ServerId = Id<ServerTag>;
@@ -69,6 +70,7 @@ using TaskId = Id<TaskTag>;
 using JobId = Id<JobTag>;
 using FlowId = Id<FlowTag>;
 using PolicyId = Id<PolicyTag>;
+using CoflowId = Id<CoflowTag>;
 
 }  // namespace hit
 

@@ -1,0 +1,203 @@
+// End-to-end coflow scheduling through the simulators: CCT is recorded for
+// every run (fair sharing included), enabled runs are deterministic, and
+// every ordering discipline completes the workload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "coflow/coflow.h"
+#include "core/hit_scheduler.h"
+#include "sched/capacity_scheduler.h"
+#include "sim/engine.h"
+#include "sim/online.h"
+#include "test_helpers.h"
+
+namespace hit::sim {
+namespace {
+
+std::vector<mr::Job> make_jobs(mr::IdAllocator& ids, std::size_t n,
+                               double input_gb) {
+  mr::WorkloadConfig config;
+  config.max_maps_per_job = 4;
+  config.max_reduces_per_job = 2;
+  config.block_size_gb = input_gb / 4.0;
+  config.reduce_ratio = 0.5;
+  const mr::WorkloadGenerator gen(config);
+  std::vector<mr::Job> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(gen.make_job(mr::profile("terasort"), input_gb, ids));
+  }
+  return jobs;
+}
+
+class CoflowSimTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();
+  sched::CapacityScheduler capacity_;
+};
+
+TEST_F(CoflowSimTest, CoflowsRecordedEvenWhenDisabled) {
+  mr::IdAllocator ids;
+  const auto jobs = make_jobs(ids, 3, 8.0);
+  const ClusterSimulator sim(world_->cluster);  // default: coflow off
+  Rng rng(11);
+  const SimResult result = sim.run(capacity_, jobs, ids, rng);
+
+  // One coflow per job wave, grouped post-hoc from the flow timings.
+  ASSERT_EQ(result.coflows.size(), jobs.size());
+  for (const CoflowTiming& c : result.coflows) {
+    EXPECT_GT(c.width, 0u);
+    EXPECT_GT(c.total_gb, 0.0);
+    EXPECT_GE(c.duration(), 0.0);
+    double release = std::numeric_limits<double>::infinity();
+    double finish = 0.0;
+    for (const FlowTiming& f : result.flows) {
+      if (f.job != c.job) continue;
+      release = std::min(release, f.release);
+      finish = std::max(finish, f.finish);
+    }
+    EXPECT_DOUBLE_EQ(c.release, release);
+    EXPECT_DOUBLE_EQ(c.finish, finish);
+  }
+  EXPECT_GT(result.average_coflow_cct(), 0.0);
+  EXPECT_GE(result.p95_coflow_cct(), 0.0);
+}
+
+TEST_F(CoflowSimTest, GroupCoflowsIsDeterministicAndComplete) {
+  std::vector<FlowTiming> flows;
+  auto add = [&](unsigned id, unsigned job, double rel, double fin, double gb) {
+    FlowTiming f;
+    f.id = FlowId(id);
+    f.job = JobId(job);
+    f.release = rel;
+    f.finish = fin;
+    f.size_gb = gb;
+    flows.push_back(f);
+  };
+  add(1, 20, 4.0, 9.0, 1.0);
+  add(2, 10, 1.0, 3.0, 2.0);
+  add(3, 20, 2.0, 7.0, 3.0);
+
+  const auto coflows = group_coflows(flows);
+  ASSERT_EQ(coflows.size(), 2u);  // ids by first appearance in flow order
+  EXPECT_EQ(coflows[0].job, JobId(20));
+  EXPECT_EQ(coflows[0].width, 2u);
+  EXPECT_DOUBLE_EQ(coflows[0].release, 2.0);
+  EXPECT_DOUBLE_EQ(coflows[0].finish, 9.0);
+  EXPECT_DOUBLE_EQ(coflows[0].total_gb, 4.0);
+  EXPECT_EQ(coflows[1].job, JobId(10));
+  EXPECT_DOUBLE_EQ(coflows[1].duration(), 2.0);
+  EXPECT_TRUE(group_coflows({}).empty());
+}
+
+TEST_F(CoflowSimTest, EveryOrderCompletesTheWorkload) {
+  for (coflow::OrderPolicy order :
+       {coflow::OrderPolicy::Fifo, coflow::OrderPolicy::Sebf,
+        coflow::OrderPolicy::Priority}) {
+    mr::IdAllocator ids;
+    const auto jobs = make_jobs(ids, 3, 8.0);
+    SimConfig config;
+    config.coflow.enabled = true;
+    config.coflow.order = order;
+    const ClusterSimulator sim(world_->cluster, config);
+    Rng rng(12);
+    const SimResult result = sim.run(capacity_, jobs, ids, rng);
+
+    ASSERT_EQ(result.jobs.size(), jobs.size())
+        << coflow::order_policy_name(order);
+    for (const JobResult& j : result.jobs) EXPECT_GT(j.completion_time, 0.0);
+    EXPECT_EQ(result.coflows.size(), jobs.size());
+    for (const FlowTiming& f : result.flows) EXPECT_LE(f.release, f.finish + 1e-9);
+  }
+}
+
+TEST_F(CoflowSimTest, EnabledBatchRunIsDeterministic) {
+  auto run_once = [&] {
+    mr::IdAllocator ids;
+    const auto jobs = make_jobs(ids, 3, 8.0);
+    SimConfig config;
+    config.coflow.enabled = true;
+    config.coflow.order = coflow::OrderPolicy::Sebf;
+    const ClusterSimulator sim(world_->cluster, config);
+    Rng rng(13);
+    return sim.run(capacity_, jobs, ids, rng);
+  };
+  const SimResult a = run_once();
+  const SimResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].id, b.flows[i].id);
+    EXPECT_DOUBLE_EQ(a.flows[i].release, b.flows[i].release);
+    EXPECT_DOUBLE_EQ(a.flows[i].finish, b.flows[i].finish);
+  }
+  ASSERT_EQ(a.coflows.size(), b.coflows.size());
+  for (std::size_t i = 0; i < a.coflows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.coflows[i].release, b.coflows[i].release);
+    EXPECT_DOUBLE_EQ(a.coflows[i].finish, b.coflows[i].finish);
+  }
+}
+
+TEST_F(CoflowSimTest, HitSchedulerRoutesCoflowOrdered) {
+  // The scheduler-side integration: coflow-ordered policy optimization must
+  // produce a complete, valid run (the routing order changes, the set of
+  // routed flows must not).
+  mr::IdAllocator ids;
+  const auto jobs = make_jobs(ids, 2, 8.0);
+  core::HitConfig hconfig;
+  hconfig.coflow.enabled = true;
+  hconfig.coflow.order = coflow::OrderPolicy::Sebf;
+  core::HitScheduler hit(hconfig);
+  SimConfig config;
+  config.coflow = hconfig.coflow;
+  const ClusterSimulator sim(world_->cluster, config);
+  Rng rng(14);
+  const SimResult result = sim.run(hit, jobs, ids, rng);
+  ASSERT_EQ(result.jobs.size(), jobs.size());
+  for (const JobResult& j : result.jobs) EXPECT_GT(j.completion_time, 0.0);
+}
+
+TEST_F(CoflowSimTest, OnlineRunExportsCctStats) {
+  mr::IdAllocator ids;
+  const auto jobs = make_jobs(ids, 3, 8.0);
+  OnlineConfig config;
+  config.arrival_rate = 0.5;
+  config.sim.coflow.enabled = true;
+  config.sim.coflow.order = coflow::OrderPolicy::Sebf;
+  const OnlineSimulator sim(world_->cluster, config);
+  Rng rng(15);
+  const OnlineResult result = sim.run(capacity_, jobs, ids, rng);
+
+  ASSERT_EQ(result.jobs.size(), jobs.size());
+  ASSERT_FALSE(result.coflows.empty());
+  EXPECT_GT(result.avg_coflow_cct, 0.0);
+  EXPECT_GT(result.p95_coflow_cct, 0.0);
+  for (const CoflowTiming& c : result.coflows) EXPECT_GE(c.duration(), 0.0);
+}
+
+TEST_F(CoflowSimTest, OnlineEnabledRunIsDeterministic) {
+  auto run_once = [&] {
+    mr::IdAllocator ids;
+    const auto jobs = make_jobs(ids, 3, 8.0);
+    OnlineConfig config;
+    config.arrival_rate = 0.5;
+    config.sim.coflow.enabled = true;
+    config.sim.coflow.order = coflow::OrderPolicy::Fifo;
+    const OnlineSimulator sim(world_->cluster, config);
+    Rng rng(16);
+    return sim.run(capacity_, jobs, ids, rng);
+  };
+  const OnlineResult a = run_once();
+  const OnlineResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.avg_coflow_cct, b.avg_coflow_cct);
+  EXPECT_DOUBLE_EQ(a.p95_coflow_cct, b.p95_coflow_cct);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].finish, b.flows[i].finish);
+  }
+}
+
+}  // namespace
+}  // namespace hit::sim

@@ -1,0 +1,156 @@
+// CoflowRegistry lifecycle: pending -> active -> done driven by per-flow
+// release/finish events, with min/max stamping so out-of-order events (the
+// batch simulator resolves local flows before the fluid loop starts) record
+// the same CCT as in-order ones.
+#include "coflow/coflow.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hit::coflow {
+namespace {
+
+TEST(CoflowRegistryTest, OpenAggregatesFlowSizes) {
+  CoflowRegistry reg;
+  const CoflowId c = reg.open(JobId(7), /*priority=*/2, /*deadline=*/30.0);
+  reg.add_flow(c, FlowId(1), 4.0);
+  reg.add_flow(c, FlowId(2), 1.5);
+  reg.add_flow(c, FlowId(3), 2.5);
+
+  const Coflow& cf = reg.get(c);
+  EXPECT_EQ(cf.job, JobId(7));
+  EXPECT_EQ(cf.priority, 2);
+  EXPECT_DOUBLE_EQ(cf.deadline, 30.0);
+  EXPECT_EQ(cf.width(), 3u);
+  EXPECT_DOUBLE_EQ(cf.total_gb, 8.0);
+  EXPECT_DOUBLE_EQ(cf.max_flow_gb, 4.0);
+  EXPECT_EQ(cf.state, CoflowState::Pending);
+  EXPECT_TRUE(reg.contains(FlowId(2)));
+  EXPECT_EQ(reg.coflow_of(FlowId(2)), c);
+  EXPECT_FALSE(reg.coflow_of(FlowId(99)).valid());
+}
+
+TEST(CoflowRegistryTest, FlowBelongsToExactlyOneCoflow) {
+  CoflowRegistry reg;
+  const CoflowId a = reg.open(JobId(1), 1);
+  const CoflowId b = reg.open(JobId(2), 1);
+  reg.add_flow(a, FlowId(1), 1.0);
+  EXPECT_THROW(reg.add_flow(b, FlowId(1), 1.0), std::invalid_argument);
+  EXPECT_THROW(reg.add_flow(CoflowId(42), FlowId(2), 1.0), std::invalid_argument);
+}
+
+TEST(CoflowRegistryTest, LifecycleTransitions) {
+  CoflowRegistry reg;
+  const CoflowId c = reg.open(JobId(1), 1);
+  reg.add_flow(c, FlowId(1), 1.0);
+  reg.add_flow(c, FlowId(2), 2.0);
+  EXPECT_EQ(reg.get(c).state, CoflowState::Pending);
+  EXPECT_TRUE(reg.active().empty());
+
+  reg.flow_released(FlowId(1), 3.0);
+  EXPECT_EQ(reg.get(c).state, CoflowState::Active);
+  EXPECT_EQ(reg.active(), std::vector<CoflowId>{c});
+
+  reg.flow_finished(FlowId(1), 5.0);
+  EXPECT_EQ(reg.get(c).state, CoflowState::Active);  // one flow outstanding
+  reg.flow_released(FlowId(2), 4.0);
+  reg.flow_finished(FlowId(2), 9.0);
+  EXPECT_EQ(reg.get(c).state, CoflowState::Done);
+  // CCT = last byte landed - first flow transferable.
+  EXPECT_DOUBLE_EQ(reg.get(c).completion_time(), 6.0);
+  EXPECT_TRUE(reg.active().empty());
+}
+
+TEST(CoflowRegistryTest, OutOfOrderStampsRecordMinReleaseMaxFinish) {
+  CoflowRegistry reg;
+  const CoflowId c = reg.open(JobId(1), 1);
+  reg.add_flow(c, FlowId(1), 1.0);
+  reg.add_flow(c, FlowId(2), 1.0);
+  // The simulator stamps local flows (released == finished) before the fluid
+  // loop releases the rest: later calls may carry earlier times.
+  reg.flow_released(FlowId(2), 8.0);
+  reg.flow_released(FlowId(1), 2.0);
+  reg.flow_finished(FlowId(1), 2.0);
+  reg.flow_finished(FlowId(2), 6.0);
+  EXPECT_DOUBLE_EQ(reg.get(c).released, 2.0);
+  EXPECT_DOUBLE_EQ(reg.get(c).finished, 6.0);
+  EXPECT_EQ(reg.get(c).state, CoflowState::Done);
+}
+
+TEST(CoflowRegistryTest, FinishPastDoneThrows) {
+  CoflowRegistry reg;
+  const CoflowId c = reg.open(JobId(1), 1);
+  reg.add_flow(c, FlowId(1), 1.0);
+  reg.flow_released(FlowId(1), 0.0);
+  reg.flow_finished(FlowId(1), 1.0);
+  EXPECT_THROW(reg.flow_finished(FlowId(1), 2.0), std::logic_error);
+  EXPECT_THROW(reg.flow_released(FlowId(9), 0.0), std::invalid_argument);
+  EXPECT_THROW((void)reg.get(CoflowId(5)), std::invalid_argument);
+}
+
+TEST(CoflowRegistryTest, ResetReturnsToPendingForRestart) {
+  CoflowRegistry reg;
+  const CoflowId c = reg.open(JobId(1), 1);
+  reg.add_flow(c, FlowId(1), 1.0);
+  reg.flow_released(FlowId(1), 1.0);
+  reg.flow_finished(FlowId(1), 2.0);
+  ASSERT_EQ(reg.get(c).state, CoflowState::Done);
+
+  // Online-simulator restart: the job re-releases every flow.
+  reg.reset(c);
+  EXPECT_EQ(reg.get(c).state, CoflowState::Pending);
+  EXPECT_EQ(reg.get(c).flows_done, 0u);
+  reg.flow_released(FlowId(1), 10.0);
+  reg.flow_finished(FlowId(1), 14.0);
+  EXPECT_EQ(reg.get(c).state, CoflowState::Done);
+  EXPECT_DOUBLE_EQ(reg.get(c).completion_time(), 4.0);
+}
+
+TEST(CoflowRegistryTest, ActiveListsInIdOrder) {
+  CoflowRegistry reg;
+  const CoflowId a = reg.open(JobId(1), 1);
+  const CoflowId b = reg.open(JobId(2), 1);
+  const CoflowId c = reg.open(JobId(3), 1);
+  reg.add_flow(a, FlowId(1), 1.0);
+  reg.add_flow(b, FlowId(2), 1.0);
+  reg.add_flow(c, FlowId(3), 1.0);
+  // Activate out of id order; `active()` is id-sorted regardless.
+  reg.flow_released(FlowId(3), 1.0);
+  reg.flow_released(FlowId(1), 2.0);
+  reg.flow_released(FlowId(2), 3.0);
+  EXPECT_EQ(reg.active(), (std::vector<CoflowId>{a, b, c}));
+}
+
+TEST(CoflowRegistryTest, StatsOverDoneCoflows) {
+  CoflowRegistry reg;
+  EXPECT_EQ(reg.stats().completed, 0u);
+  for (unsigned i = 0; i < 3; ++i) {
+    const CoflowId c = reg.open(JobId(i), 1);
+    reg.add_flow(c, FlowId(i), 1.0);
+    reg.flow_released(FlowId(i), 0.0);
+    reg.flow_finished(FlowId(i), static_cast<double>(i + 1));  // CCTs 1, 2, 3
+  }
+  const CoflowId open = reg.open(JobId(9), 1);  // never releases: excluded
+  reg.add_flow(open, FlowId(9), 1.0);
+
+  const CoflowStats s = reg.stats();
+  EXPECT_EQ(s.completed, 3u);
+  EXPECT_DOUBLE_EQ(s.avg_cct, 2.0);
+  // stats::percentile interpolates: rank 0.95*(3-1) = 1.9 between 2 and 3.
+  EXPECT_DOUBLE_EQ(s.p95_cct, 2.9);
+}
+
+TEST(CoflowConfigTest, PolicyNamesRoundTrip) {
+  for (OrderPolicy p :
+       {OrderPolicy::Fifo, OrderPolicy::Sebf, OrderPolicy::Priority}) {
+    const auto parsed = parse_order_policy(order_policy_name(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(parse_order_policy("varys").has_value());
+  EXPECT_FALSE(CoflowConfig{}.enabled);  // off by default
+}
+
+}  // namespace
+}  // namespace hit::coflow

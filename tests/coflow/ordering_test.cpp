@@ -1,0 +1,143 @@
+// Inter-coflow ordering policies: FIFO by release, SEBF by effective
+// bottleneck, priority by job class — all deterministic with id tie-breaks.
+#include "coflow/ordering.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "coflow/rate_allocator.h"
+#include "network/bandwidth.h"
+#include "topology/builders.h"
+
+namespace hit::coflow {
+namespace {
+
+/// Registry with three single-flow coflows released at t = 2, 0, 1 and
+/// priorities low, normal, high respectively.
+class OrderingTest : public ::testing::Test {
+ protected:
+  OrderingTest() {
+    a_ = reg_.open(JobId(1), /*priority=*/0);
+    b_ = reg_.open(JobId(2), /*priority=*/1);
+    c_ = reg_.open(JobId(3), /*priority=*/2);
+    reg_.add_flow(a_, FlowId(1), 4.0);
+    reg_.add_flow(b_, FlowId(2), 2.0);
+    reg_.add_flow(c_, FlowId(3), 1.0);
+    reg_.flow_released(FlowId(1), 2.0);
+    reg_.flow_released(FlowId(2), 0.0);
+    reg_.flow_released(FlowId(3), 1.0);
+  }
+
+  CoflowRegistry reg_;
+  CoflowId a_, b_, c_;
+  GammaFn no_gamma_;  // FIFO / priority never consult Γ
+};
+
+TEST_F(OrderingTest, FifoOrdersByFirstRelease) {
+  FifoOrder fifo;
+  EXPECT_EQ(fifo.policy(), OrderPolicy::Fifo);
+  EXPECT_EQ(fifo.order(reg_, {a_, b_, c_}, no_gamma_),
+            (std::vector<CoflowId>{b_, c_, a_}));
+}
+
+TEST_F(OrderingTest, FifoBreaksTiesById) {
+  CoflowRegistry reg;
+  const CoflowId x = reg.open(JobId(1), 1);
+  const CoflowId y = reg.open(JobId(2), 1);
+  reg.add_flow(x, FlowId(1), 1.0);
+  reg.add_flow(y, FlowId(2), 1.0);
+  reg.flow_released(FlowId(1), 5.0);
+  reg.flow_released(FlowId(2), 5.0);
+  FifoOrder fifo;
+  EXPECT_EQ(fifo.order(reg, {y, x}, GammaFn{}),
+            (std::vector<CoflowId>{x, y}));
+}
+
+TEST_F(OrderingTest, SebfOrdersByGammaAscending) {
+  SebfOrder sebf;
+  EXPECT_EQ(sebf.policy(), OrderPolicy::Sebf);
+  // Hand-rolled Γ: c_ drains fastest, a_ slowest.
+  const GammaFn gamma = [&](CoflowId id) {
+    if (id == a_) return 9.0;
+    if (id == b_) return 4.0;
+    return 1.0;
+  };
+  EXPECT_EQ(sebf.order(reg_, {a_, b_, c_}, gamma),
+            (std::vector<CoflowId>{c_, b_, a_}));
+}
+
+TEST_F(OrderingTest, SebfBreaksGammaTiesById) {
+  SebfOrder sebf;
+  const GammaFn equal = [](CoflowId) { return 3.0; };
+  EXPECT_EQ(sebf.order(reg_, {c_, a_, b_}, equal),
+            (std::vector<CoflowId>{a_, b_, c_}));
+}
+
+TEST_F(OrderingTest, SebfRequiresGammaFunction) {
+  SebfOrder sebf;
+  EXPECT_THROW((void)sebf.order(reg_, {a_}, no_gamma_), std::invalid_argument);
+}
+
+TEST_F(OrderingTest, PriorityOrdersHighFirstFifoWithin) {
+  PriorityOrder prio;
+  EXPECT_EQ(prio.policy(), OrderPolicy::Priority);
+  EXPECT_EQ(prio.order(reg_, {a_, b_, c_}, no_gamma_),
+            (std::vector<CoflowId>{c_, b_, a_}));
+
+  // Same priority class: FIFO inside it.
+  CoflowRegistry reg;
+  const CoflowId x = reg.open(JobId(1), 1);
+  const CoflowId y = reg.open(JobId(2), 1);
+  reg.add_flow(x, FlowId(1), 1.0);
+  reg.add_flow(y, FlowId(2), 1.0);
+  reg.flow_released(FlowId(1), 7.0);
+  reg.flow_released(FlowId(2), 3.0);
+  EXPECT_EQ(prio.order(reg, {x, y}, GammaFn{}),
+            (std::vector<CoflowId>{y, x}));
+}
+
+TEST_F(OrderingTest, FactoryProducesEachPolicy) {
+  for (OrderPolicy p :
+       {OrderPolicy::Fifo, OrderPolicy::Sebf, OrderPolicy::Priority}) {
+    const auto scheduler = make_scheduler(p);
+    ASSERT_NE(scheduler, nullptr);
+    EXPECT_EQ(scheduler->policy(), p);
+  }
+}
+
+TEST_F(OrderingTest, SebfWithLedgerGammaPrefersSmallBottleneck) {
+  // End-to-end SEBF against real residual capacities: two coflows out of the
+  // same server link (capacity 16); the 2 GB one drains 4x faster than the
+  // 8 GB one and must go head-of-line.
+  const topo::Topology topo = topo::make_case_study_tree();
+  const auto servers = topo.servers();
+
+  CoflowRegistry reg;
+  const CoflowId big = reg.open(JobId(1), 1);
+  const CoflowId small = reg.open(JobId(2), 1);
+  reg.add_flow(big, FlowId(1), 8.0);
+  reg.add_flow(small, FlowId(2), 2.0);
+  reg.flow_released(FlowId(1), 0.0);
+  reg.flow_released(FlowId(2), 0.0);
+
+  const std::vector<net::FlowDemand> demands{
+      {FlowId(1), topo.shortest_path(servers[0], servers[1]), 0.0},
+      {FlowId(2), topo.shortest_path(servers[0], servers[2]), 0.0},
+  };
+  const std::vector<double> remaining{8.0, 2.0};
+  net::ResidualLedger ledger(topo);
+  for (const net::FlowDemand& d : demands) ledger.add_path(d.path);
+  const GammaFn gamma = [&](CoflowId id) {
+    const std::vector<std::size_t> members{id == big ? std::size_t{0}
+                                                     : std::size_t{1}};
+    return effective_bottleneck(ledger, demands, remaining, members);
+  };
+
+  SebfOrder sebf;
+  EXPECT_EQ(sebf.order(reg, {big, small}, gamma),
+            (std::vector<CoflowId>{small, big}));
+}
+
+}  // namespace
+}  // namespace hit::coflow

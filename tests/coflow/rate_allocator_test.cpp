@@ -1,0 +1,179 @@
+// MADD rate allocation: the head-of-line coflow's flows finish together at
+// the minimum rates that drain its bottleneck, residuals spill to later
+// coflows, leftovers are backfilled, and no resource is ever over-committed.
+#include "coflow/rate_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "topology/builders.h"
+
+namespace hit::coflow {
+namespace {
+
+/// No link or switch along any demand's path may carry more than its
+/// (scaled) capacity — the feasibility invariant of every allocation.
+void expect_feasible(const topo::Topology& topo,
+                     const std::vector<net::FlowDemand>& demands,
+                     const std::vector<double>& rates, double scale = 1.0) {
+  std::map<std::pair<NodeId, NodeId>, double> link_load;
+  std::map<NodeId, double> switch_load;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const topo::Path& p = demands[i].path;
+    for (std::size_t e = 0; e + 1 < p.size(); ++e) {
+      link_load[std::minmax(p[e], p[e + 1])] += rates[i];
+    }
+    for (NodeId n : p) {
+      if (topo.is_switch(n)) switch_load[n] += rates[i];
+    }
+  }
+  for (const auto& [link, load] : link_load) {
+    const auto cap = topo.graph().bandwidth(link.first, link.second);
+    ASSERT_TRUE(cap.has_value());
+    EXPECT_LE(load, *cap * scale + 1e-9);
+  }
+  for (const auto& [sw, load] : switch_load) {
+    EXPECT_LE(load, topo.switch_capacity(sw) * scale + 1e-9);
+  }
+}
+
+class MaddTest : public ::testing::Test {
+ protected:
+  // Case study tree: every link 16.0; access capacity 64, root 128.
+  topo::Topology topo_ = topo::make_case_study_tree();
+
+  net::FlowDemand demand(std::size_t src, std::size_t dst, double cap = 0.0) {
+    const auto servers = topo_.servers();
+    return net::FlowDemand{FlowId(next_id_++),
+                           topo_.shortest_path(servers[src], servers[dst]), cap};
+  }
+
+  unsigned next_id_ = 0;
+};
+
+TEST_F(MaddTest, SingleFlowDrainsItsBottleneck) {
+  const std::vector<net::FlowDemand> demands{demand(0, 3)};
+  const auto rates = madd_allocate(topo_, demands, {4.0}, {{0}});
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 16.0);  // its server link
+  expect_feasible(topo_, demands, rates);
+}
+
+TEST_F(MaddTest, CoflowFlowsFinishTogether) {
+  // Both flows leave server 0 (shared 16.0 link): Γ = (6+2)/16 = 0.5, so the
+  // 6 GB flow gets 12 and the 2 GB flow 4 — both drain in exactly Γ.
+  const std::vector<net::FlowDemand> demands{demand(0, 1), demand(0, 2)};
+  const std::vector<double> remaining{6.0, 2.0};
+  const auto rates = madd_allocate(topo_, demands, remaining, {{0, 1}});
+  EXPECT_DOUBLE_EQ(rates[0], 12.0);
+  EXPECT_DOUBLE_EQ(rates[1], 4.0);
+  EXPECT_DOUBLE_EQ(remaining[0] / rates[0], remaining[1] / rates[1]);
+  expect_feasible(topo_, demands, rates);
+}
+
+TEST_F(MaddTest, HeadOfLineCoflowStarvesContendersOnItsBottleneck) {
+  // Two coflows out of the same server link: the head of line takes all 16;
+  // the second sees zero residual (Γ = inf) and waits.
+  const std::vector<net::FlowDemand> demands{demand(0, 1), demand(0, 2)};
+  const auto rates = madd_allocate(topo_, demands, {8.0, 8.0}, {{0}, {1}});
+  EXPECT_DOUBLE_EQ(rates[0], 16.0);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+  expect_feasible(topo_, demands, rates);
+}
+
+TEST_F(MaddTest, ResidualSpillsToLaterCoflows) {
+  // The head coflow is rate-capped at 4: the 12 units it cannot use on the
+  // shared server link serve the second coflow in the same round.
+  const std::vector<net::FlowDemand> demands{demand(0, 1, /*cap=*/4.0),
+                                             demand(0, 2)};
+  const auto rates = madd_allocate(topo_, demands, {8.0, 6.0}, {{0}, {1}});
+  EXPECT_DOUBLE_EQ(rates[0], 4.0);
+  EXPECT_DOUBLE_EQ(rates[1], 12.0);
+  expect_feasible(topo_, demands, rates);
+}
+
+TEST_F(MaddTest, BackfillKeepsAllocationWorkConserving) {
+  // One coflow, disjoint paths: Γ is set by the 8 GB flow, which would leave
+  // the 2 GB flow at 4.0 — but its own link is otherwise idle, so backfill
+  // tops it up to the full 16.
+  const std::vector<net::FlowDemand> demands{demand(0, 1), demand(2, 3)};
+  const auto rates = madd_allocate(topo_, demands, {8.0, 2.0}, {{0, 1}});
+  EXPECT_DOUBLE_EQ(rates[0], 16.0);
+  EXPECT_DOUBLE_EQ(rates[1], 16.0);
+  expect_feasible(topo_, demands, rates);
+}
+
+TEST_F(MaddTest, BandwidthScaleMultipliesEverything) {
+  const std::vector<net::FlowDemand> demands{demand(0, 3)};
+  const auto rates = madd_allocate(topo_, demands, {4.0}, {{0}}, 0.5);
+  EXPECT_DOUBLE_EQ(rates[0], 8.0);
+  expect_feasible(topo_, demands, rates, 0.5);
+}
+
+TEST_F(MaddTest, ZeroRemainingFlowsGetNoRate) {
+  const std::vector<net::FlowDemand> demands{demand(0, 1), demand(0, 2)};
+  const auto rates = madd_allocate(topo_, demands, {0.0, 4.0}, {{0, 1}});
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rates[1], 16.0);
+}
+
+TEST_F(MaddTest, GroupsMustPartitionDemands) {
+  const std::vector<net::FlowDemand> demands{demand(0, 1), demand(0, 2)};
+  const std::vector<double> remaining{1.0, 1.0};
+  // Missing, duplicated, and out-of-range indices all reject.
+  EXPECT_THROW((void)madd_allocate(topo_, demands, remaining, {{0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)madd_allocate(topo_, demands, remaining, {{0, 0}, {1}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)madd_allocate(topo_, demands, remaining, {{0, 1, 2}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)madd_allocate(topo_, demands, {1.0}, {{0, 1}}),
+               std::invalid_argument);
+  EXPECT_TRUE(madd_allocate(topo_, {}, {}, {}).empty());
+}
+
+TEST_F(MaddTest, EffectiveBottleneckAggregatesSharedResources) {
+  const std::vector<net::FlowDemand> demands{demand(0, 1), demand(0, 2)};
+  const std::vector<double> remaining{6.0, 2.0};
+  net::ResidualLedger ledger(topo_);
+  for (const auto& d : demands) ledger.add_path(d.path);
+  // Both flows cross server 0's 16.0 link: Γ = 8/16.
+  EXPECT_DOUBLE_EQ(effective_bottleneck(ledger, demands, remaining, {0, 1}), 0.5);
+  // Empty bytes → 0; saturated resource → +inf.
+  EXPECT_DOUBLE_EQ(effective_bottleneck(ledger, demands, {0.0, 0.0}, {0, 1}), 0.0);
+  ledger.charge(demands[0].path, 16.0);
+  EXPECT_TRUE(std::isinf(effective_bottleneck(ledger, demands, remaining, {0})));
+}
+
+TEST_F(MaddTest, ManyCoflowsNeverOverCommitAnyResource) {
+  // All-to-all shuffle over every server, split into three coflows with
+  // mixed remaining sizes: the feasibility invariant must hold throughout.
+  const std::size_t n = topo_.servers().size();
+  std::vector<net::FlowDemand> demands;
+  std::vector<double> remaining;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      demands.push_back(demand(i, j));
+      remaining.push_back(0.5 + static_cast<double>((3 * i + 5 * j) % 7));
+    }
+  }
+  std::vector<std::vector<std::size_t>> groups(3);
+  for (std::size_t i = 0; i < demands.size(); ++i) groups[i % 3].push_back(i);
+
+  const auto rates = madd_allocate(topo_, demands, remaining, groups);
+  expect_feasible(topo_, demands, rates);
+  // Head-of-line coflow: every member with bytes left makes progress.
+  for (std::size_t i : groups[0]) {
+    if (remaining[i] > 0.0) EXPECT_GT(rates[i], 0.0);
+  }
+  // Deterministic across calls.
+  EXPECT_EQ(rates, madd_allocate(topo_, demands, remaining, groups));
+}
+
+}  // namespace
+}  // namespace hit::coflow

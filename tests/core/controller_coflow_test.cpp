@@ -1,0 +1,132 @@
+// Coflow-aware overload control: shed_pressure can park a victim's whole job
+// wave, and readmit_parked restores parked flows job-by-job so one wave's
+// flows come back together instead of interleaved with other jobs'.
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "network/routing.h"
+#include "topology/builders.h"
+
+namespace hit::core {
+namespace {
+
+class ControllerCoflowTest : public ::testing::Test {
+ protected:
+  // Depth-2 tree, 4 access positions x 1 host, 2 cores (access capacity 32):
+  // flows out of server 0 all share its access switch.
+  topo::TreeConfig tree_{2, 4, 2, 1, 16.0, 32.0};
+  topo::Topology topo_ = topo::make_tree(tree_);
+
+  static net::Flow flow(unsigned id, unsigned job, double rate,
+                        std::uint8_t priority = 1) {
+    net::Flow f;
+    f.id = FlowId(id);
+    f.job = JobId(job);
+    f.size_gb = rate;
+    f.rate = rate;
+    f.priority = priority;
+    return f;
+  }
+
+  void install(NetworkController& controller, const net::Flow& f,
+               std::size_t src, std::size_t dst) {
+    const NodeId a = topo_.servers()[src];
+    const NodeId b = topo_.servers()[dst];
+    controller.install(f, net::shortest_policy(topo_, a, b, f.id), a, b);
+  }
+};
+
+TEST_F(ControllerCoflowTest, CoflowAwareShedParksTheWholeJobWave) {
+  ControllerConfig config;
+  config.hot_threshold = 0.5;
+  config.coflow_aware = true;
+  NetworkController controller(topo_, config);
+
+  install(controller, flow(1, /*job=*/1, 6.0), 0, 1);
+  install(controller, flow(2, /*job=*/2, 6.0, /*priority=*/2), 0, 2);
+  install(controller, flow(3, /*job=*/1, 6.0), 0, 3);
+  // Access switch of server 0 carries 18/32 > 0.5: hot.  The victim is flow
+  // 1 (lowest priority, lowest id); coflow-aware shedding takes its whole
+  // job — flow 3 gains the wave nothing by staying.
+  EXPECT_EQ(controller.shed_pressure(), 2u);
+  EXPECT_EQ(controller.parked(), (std::vector<FlowId>{FlowId(1), FlowId(3)}));
+  EXPECT_TRUE(controller.installed(FlowId(2)));
+  EXPECT_NO_THROW(controller.audit());
+}
+
+TEST_F(ControllerCoflowTest, DefaultShedStillParksSingleFlows) {
+  ControllerConfig config;
+  config.hot_threshold = 0.5;
+  NetworkController controller(topo_, config);
+
+  install(controller, flow(1, /*job=*/1, 6.0), 0, 1);
+  install(controller, flow(2, /*job=*/2, 6.0, /*priority=*/2), 0, 2);
+  install(controller, flow(3, /*job=*/1, 6.0), 0, 3);
+  // 18/32 hot; parking flow 1 alone already cools the switch to 12/32.
+  EXPECT_EQ(controller.shed_pressure(), 1u);
+  EXPECT_EQ(controller.parked(), std::vector<FlowId>{FlowId(1)});
+  EXPECT_NO_THROW(controller.audit());
+}
+
+TEST_F(ControllerCoflowTest, ReadmitKeepsJobWavesTogether) {
+  // Regression: parked flows of the same job must be readmitted
+  // contiguously, not interleaved with other jobs' flows — a wave that gets
+  // half its flows back is no further along than one that got none.
+  ControllerConfig config;
+  config.hot_threshold = 0.5;
+  config.max_reroute_attempts = 1;  // no backoff: readmit is all-or-nothing
+  NetworkController controller(topo_, config);
+
+  install(controller, flow(1, /*job=*/1, 6.0), 0, 1);
+  install(controller, flow(2, /*job=*/2, 6.0), 0, 2);
+  install(controller, flow(3, /*job=*/1, 6.0), 0, 3);
+  install(controller, flow(4, /*job=*/3, 14.0, /*priority=*/2), 0, 2);
+  // 32/32 hot; sheds flows 1, 2, 3 (equal priority and rate, id order)
+  // until the survivor leaves 14/32.
+  ASSERT_EQ(controller.shed_pressure(), 3u);
+  ASSERT_EQ(controller.parked(),
+            (std::vector<FlowId>{FlowId(1), FlowId(2), FlowId(3)}));
+
+  // New load arrives while they wait: only 13 units of headroom remain —
+  // room for two of the three parked flows.
+  install(controller, flow(5, /*job=*/4, 5.0, /*priority=*/2), 0, 3);
+
+  // Job 1 ranks first (its earliest waiting flow is id 1), so BOTH its
+  // flows readmit and job 2's flow waits — not flow 1 + flow 2.
+  EXPECT_EQ(controller.readmit_parked(), 2u);
+  EXPECT_EQ(controller.parked(), std::vector<FlowId>{FlowId(2)});
+  EXPECT_TRUE(controller.installed(FlowId(1)));
+  EXPECT_TRUE(controller.installed(FlowId(3)));
+  EXPECT_NO_THROW(controller.audit());
+}
+
+TEST_F(ControllerCoflowTest, ReadmitStillServesHigherPriorityJobsFirst) {
+  // Priority outranks job grouping: the low-priority job waits even though
+  // its flow id falls between the normal job's pair.
+  ControllerConfig config;
+  config.hot_threshold = 0.5;
+  config.max_reroute_attempts = 1;
+  NetworkController controller(topo_, config);
+
+  install(controller, flow(1, /*job=*/1, 6.0), 0, 1);
+  install(controller, flow(2, /*job=*/2, 6.0, /*priority=*/0), 0, 2);
+  install(controller, flow(3, /*job=*/1, 6.0), 0, 3);
+  install(controller, flow(4, /*job=*/3, 14.0, /*priority=*/2), 0, 2);
+  // 32/32 hot: the low-priority flow 2 sheds first, then 1 and 3.
+  ASSERT_EQ(controller.shed_pressure(), 3u);
+  ASSERT_EQ(controller.parked(),
+            (std::vector<FlowId>{FlowId(1), FlowId(2), FlowId(3)}));
+
+  install(controller, flow(5, /*job=*/4, 5.0, /*priority=*/2), 0, 3);
+  // 13 units of headroom: job 1 (normal) outranks job 2 (low) regardless of
+  // flow-id order, so its pair readmits and the low-priority flow waits.
+  EXPECT_EQ(controller.readmit_parked(), 2u);
+  EXPECT_EQ(controller.parked(), std::vector<FlowId>{FlowId(2)});
+  EXPECT_TRUE(controller.installed(FlowId(1)));
+  EXPECT_TRUE(controller.installed(FlowId(3)));
+  EXPECT_NO_THROW(controller.audit());
+}
+
+}  // namespace
+}  // namespace hit::core

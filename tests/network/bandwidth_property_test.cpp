@@ -1,0 +1,167 @@
+// Residual-capacity accounting under churn (property test): as flows start,
+// finish and reroute in arbitrary interleavings, every allocator built on
+// the ResidualLedger must keep the aggregate rate on every link and switch
+// within its capacity, and the ledger itself must reject over-charges.
+#include "network/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "topology/builders.h"
+#include "util/rng.h"
+
+namespace hit::net {
+namespace {
+
+/// Independent feasibility check straight off the topology: no link or
+/// switch on any path carries more than its (scaled) capacity.
+void expect_within_capacity(const topo::Topology& topo,
+                            const std::vector<FlowDemand>& demands,
+                            const std::vector<double>& rates,
+                            double scale = 1.0) {
+  ASSERT_EQ(demands.size(), rates.size());
+  std::map<std::pair<NodeId, NodeId>, double> link_load;
+  std::map<NodeId, double> switch_load;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const topo::Path& p = demands[i].path;
+    for (std::size_t e = 0; e + 1 < p.size(); ++e) {
+      link_load[std::minmax(p[e], p[e + 1])] += rates[i];
+    }
+    for (NodeId n : p) {
+      if (topo.is_switch(n)) switch_load[n] += rates[i];
+    }
+  }
+  for (const auto& [link, load] : link_load) {
+    const auto cap = topo.graph().bandwidth(link.first, link.second);
+    ASSERT_TRUE(cap.has_value());
+    EXPECT_LE(load, *cap * scale + 1e-6);
+  }
+  for (const auto& [sw, load] : switch_load) {
+    EXPECT_LE(load, topo.switch_capacity(sw) * scale + 1e-6);
+  }
+}
+
+class LedgerChurnTest : public ::testing::Test {
+ protected:
+  topo::Topology topo_ = topo::make_case_study_tree();
+
+  FlowDemand demand(std::size_t src, std::size_t dst, unsigned id) {
+    const auto servers = topo_.servers();
+    return FlowDemand{FlowId(id),
+                      topo_.shortest_path(servers[src], servers[dst]), 0.0};
+  }
+};
+
+TEST_F(LedgerChurnTest, AddPathIsIdempotentAndKeepsCharges) {
+  ResidualLedger ledger(topo_);
+  const FlowDemand d = demand(0, 3, 1);
+  ledger.add_path(d.path);
+  const std::size_t resources = ledger.resource_count();
+  ledger.charge(d.path, 10.0);
+  // Re-registering the same path must not reset the accumulated charge.
+  ledger.add_path(d.path);
+  EXPECT_EQ(ledger.resource_count(), resources);
+  EXPECT_DOUBLE_EQ(ledger.bottleneck(d.path), 6.0);
+}
+
+TEST_F(LedgerChurnTest, ChargeBeyondResidualThrows) {
+  ResidualLedger ledger(topo_);
+  const FlowDemand d = demand(0, 3, 1);
+  ledger.add_path(d.path);
+  ledger.charge(d.path, 16.0);  // exactly the server-link capacity
+  EXPECT_DOUBLE_EQ(ledger.bottleneck(d.path), 0.0);
+  // Floating-point slack within tolerance clamps to zero ...
+  EXPECT_NO_THROW(ledger.charge(d.path, 1e-12));
+  EXPECT_DOUBLE_EQ(ledger.bottleneck(d.path), 0.0);
+  // ... but a real over-charge is a hard error.
+  EXPECT_THROW(ledger.charge(d.path, 0.001), std::logic_error);
+}
+
+TEST_F(LedgerChurnTest, RejectsDegeneratePaths) {
+  ResidualLedger ledger(topo_);
+  EXPECT_THROW(ledger.add_path({}), std::invalid_argument);
+  EXPECT_THROW(ledger.add_path({topo_.servers()[0]}), std::invalid_argument);
+  // Path over a missing link.
+  EXPECT_THROW(ledger.add_path({topo_.servers()[0], topo_.servers()[1]}),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(ledger.residual(0), 0.0);  // unknown key reads as empty
+}
+
+TEST_F(LedgerChurnTest, SrptUnderChurnNeverOverCommits) {
+  // Flows start, finish and reroute in a seeded random interleaving; after
+  // every step the SRPT allocation must stay within all capacities.
+  Rng rng(0xC0F10);
+  std::vector<FlowDemand> active;
+  std::vector<double> remaining;
+  unsigned next_id = 0;
+  const std::size_t servers = topo_.servers().size();
+
+  for (int step = 0; step < 200; ++step) {
+    const std::uint64_t action = rng.uniform_index(3);
+    if (action == 0 || active.empty()) {  // start
+      const auto src = static_cast<std::size_t>(rng.uniform_index(servers));
+      auto dst = static_cast<std::size_t>(rng.uniform_index(servers));
+      if (dst == src) dst = (dst + 1) % servers;
+      active.push_back(demand(src, dst, next_id++));
+      remaining.push_back(0.5 + static_cast<double>(rng.uniform_index(16)));
+    } else if (action == 1) {  // finish
+      const auto victim = static_cast<std::size_t>(rng.uniform_index(active.size()));
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(victim));
+      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else {  // reroute: same flow id, new endpoints
+      const auto victim = static_cast<std::size_t>(rng.uniform_index(active.size()));
+      const auto src = static_cast<std::size_t>(rng.uniform_index(servers));
+      auto dst = static_cast<std::size_t>(rng.uniform_index(servers));
+      if (dst == src) dst = (dst + 1) % servers;
+      active[victim].path =
+          topo_.shortest_path(topo_.servers()[src], topo_.servers()[dst]);
+    }
+    const auto rates = srpt_allocate(topo_, active, remaining);
+    expect_within_capacity(topo_, active, rates);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(LedgerChurnTest, SrptUnderChurnAtReducedScale) {
+  Rng rng(0xC0F11);
+  std::vector<FlowDemand> active;
+  std::vector<double> remaining;
+  const std::size_t servers = topo_.servers().size();
+  for (unsigned id = 0; id < 12; ++id) {
+    const auto src = static_cast<std::size_t>(rng.uniform_index(servers));
+    auto dst = static_cast<std::size_t>(rng.uniform_index(servers));
+    if (dst == src) dst = (dst + 1) % servers;
+    active.push_back(demand(src, dst, id));
+    remaining.push_back(1.0 + static_cast<double>(id % 5));
+  }
+  for (double scale : {0.05, 0.5, 2.0}) {
+    const auto rates = srpt_allocate(topo_, active, remaining, scale);
+    expect_within_capacity(topo_, active, rates, scale);
+  }
+}
+
+TEST_F(LedgerChurnTest, SequentialChargesMatchBottleneckExactly) {
+  // Greedy take-the-bottleneck loops (SRPT's shape) drive a resource to
+  // exactly zero without tripping the over-charge guard.
+  ResidualLedger ledger(topo_);
+  std::vector<FlowDemand> demands;
+  for (unsigned i = 0; i < 4; ++i) demands.push_back(demand(0, 1 + i % 3, i));
+  for (const FlowDemand& d : demands) ledger.add_path(d.path);
+  double total = 0.0;
+  for (const FlowDemand& d : demands) {
+    const double take = ledger.bottleneck(d.path);
+    if (take <= 0.0) continue;
+    ledger.charge(d.path, take);
+    total += take;
+  }
+  EXPECT_DOUBLE_EQ(total, 16.0);  // server 0's uplink, fully drained
+  EXPECT_DOUBLE_EQ(ledger.bottleneck(demands[0].path), 0.0);
+}
+
+}  // namespace
+}  // namespace hit::net

@@ -21,6 +21,7 @@
 #include <sstream>
 #include <string>
 
+#include "coflow/coflow.h"
 #include "core/hit_scheduler.h"
 #include "core/registry.h"
 #include "obs/context.h"
@@ -72,6 +73,7 @@ struct Options {
   std::size_t route_budget = 0;         ///< ladder: Dijkstra expansions per wave
   std::size_t proposal_budget = 0;      ///< ladder: Alg. 2 proposals per wave
   bool breaker = false;                 ///< circuit breaker around the Full tier
+  std::string coflow;                   ///< coflow order: fifo|sebf|priority ("" = off)
 };
 
 void print_usage() {
@@ -104,6 +106,9 @@ void print_usage() {
       "  --route-budget N    ladder: Dijkstra node expansions per wave (0 = off)\n"
       "  --proposal-budget N ladder: Algorithm 2 proposals per wave (0 = off)\n"
       "  --breaker           circuit-break the Full tier after repeated blowouts\n"
+      "coflow scheduling:\n"
+      "  --coflow POLICY     fifo | sebf | priority — schedule whole shuffles\n"
+      "                      (MADD rates per coflow; default off = per-flow fair)\n"
       "  --help              this message\n";
 }
 
@@ -196,6 +201,9 @@ std::optional<Options> parse(int argc, char** argv) {
       opt.proposal_budget = std::stoul(value);
     } else if (arg == "--breaker") {
       opt.breaker = true;
+    } else if (arg == "--coflow") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.coflow = value;
     } else {
       std::cerr << "hitsim: unknown option '" << arg << "' (see --help)\n";
       return std::nullopt;
@@ -306,6 +314,7 @@ int run(const Options& opt) {
     trace->name_thread(obs::TraceWriter::kSimPid, 1, "tasks");
     trace->name_thread(obs::TraceWriter::kSimPid, 2, "flows");
     trace->name_thread(obs::TraceWriter::kSimPid, 3, "faults");
+    trace->name_thread(obs::TraceWriter::kSimPid, 4, "coflows");
     trace->name_process(obs::TraceWriter::kHostPid, "host wall clock");
     trace->name_thread(obs::TraceWriter::kHostPid, 0, "phases");
   }
@@ -320,23 +329,38 @@ int run(const Options& opt) {
       opt.metrics_file.empty() ? nullptr : &registry, trace.get(),
       opt.profile ? &profiler : nullptr);
 
-  // Ladder / breaker flags need a directly constructed HitScheduler (the
-  // registry hands out default configs); keep a typed handle for its stats.
+  // Coflow flag: parsed once, drives both the simulator (MADD rates) and —
+  // for the hit scheduler — coflow-ordered policy optimization.
+  coflow::CoflowConfig cf_config;
+  if (!opt.coflow.empty()) {
+    const auto order = coflow::parse_order_policy(opt.coflow);
+    if (!order) {
+      std::cerr << "hitsim: unknown coflow policy '" << opt.coflow
+                << "' (fifo | sebf | priority)\n";
+      return 1;
+    }
+    cf_config.enabled = true;
+    cf_config.order = *order;
+  }
+
+  // Ladder / breaker / coflow flags need a directly constructed HitScheduler
+  // (the registry hands out default configs); keep a typed handle for stats.
   std::unique_ptr<sched::Scheduler> scheduler;
   const core::HitScheduler* hit = nullptr;
   const bool want_ladder = opt.ladder || opt.breaker || opt.route_budget > 0 ||
                            opt.proposal_budget > 0;
-  if (want_ladder) {
-    if (opt.scheduler != "hit") {
-      std::cerr << "hitsim: --ladder/--breaker/--*-budget need --scheduler hit\n";
-      return 1;
-    }
+  if (want_ladder && opt.scheduler != "hit") {
+    std::cerr << "hitsim: --ladder/--breaker/--*-budget need --scheduler hit\n";
+    return 1;
+  }
+  if ((want_ladder || cf_config.enabled) && opt.scheduler == "hit") {
     core::HitConfig hconfig;
-    hconfig.ladder.enabled = true;
+    hconfig.ladder.enabled = want_ladder;
     hconfig.ladder.route_budget = opt.route_budget;
     hconfig.ladder.proposal_budget = opt.proposal_budget;
     hconfig.ladder.breaker.enabled = opt.breaker;
     hconfig.ladder.breaker.seed = opt.breaker ? opt.seed : 0;
+    hconfig.coflow = cf_config;
     auto owned = std::make_unique<core::HitScheduler>(hconfig);
     hit = owned.get();
     scheduler = std::move(owned);
@@ -346,6 +370,7 @@ int run(const Options& opt) {
   sim::SimConfig sconfig;
   sconfig.bandwidth_scale = opt.bandwidth_scale;
   sconfig.map_time_jitter_sigma = opt.jitter;
+  sconfig.coflow = cf_config;
   if (obs_ctx.enabled()) sconfig.observer = &obs_ctx;
 
   if (!opt.csv) {
@@ -379,6 +404,10 @@ int run(const Options& opt) {
       table.add_row({"avg route hops", stats::Table::num(result.average_route_hops())});
       table.add_row({"remote map (GB)",
                      stats::Table::num(result.total_remote_map_gb, 1)});
+      if (!result.coflows.empty()) {
+        table.add_row({"mean CCT (s)", stats::Table::num(result.average_coflow_cct())});
+        table.add_row({"p95 CCT (s)", stats::Table::num(result.p95_coflow_cct())});
+      }
       std::cout << table.render();
     }
   } else if (opt.mode == "online") {
@@ -422,6 +451,10 @@ int run(const Options& opt) {
       table.add_row({"makespan (s)", stats::Table::num(result.makespan)});
       table.add_row({"shuffle cost (GB*T)",
                      stats::Table::num(result.total_shuffle_cost, 1)});
+      if (!result.coflows.empty()) {
+        table.add_row({"mean CCT (s)", stats::Table::num(result.avg_coflow_cct)});
+        table.add_row({"p95 CCT (s)", stats::Table::num(result.p95_coflow_cct)});
+      }
       if (oconfig.admission.policy != sim::AdmissionPolicy::Unbounded ||
           result.overload.any()) {
         table.add_row({"jobs completed",
@@ -446,7 +479,7 @@ int run(const Options& opt) {
     return 1;
   }
 
-  if (hit != nullptr) {
+  if (hit != nullptr && want_ladder) {
     const core::LadderStats& ls = hit->ladder_stats();
     std::cerr << "hitsim: ladder waves full=" << ls.served[0]
               << " preference-only=" << ls.served[1]
