@@ -1,0 +1,218 @@
+// Gray-failure resilience (extension experiment, not a paper figure).
+//
+// Degrades a handful of access switches to a fraction of their nominal
+// capacity mid-run — the classic "gray failure": every health check passes,
+// the element routes packets, but crossing flows crawl — and compares three
+// online arms on the 4:1 oversubscribed tree:
+//
+//   clean       no degradations, health monitor on (false-positive control)
+//   degraded    degradations, monitor only (detection without reaction)
+//   quarantine  degradations + quarantine: suspect switches are cost-
+//               penalized in placement/policy optimization and probed back
+//
+// The run fails (exit 1) unless the monitor detects >= 90% of the injected
+// degradations, flags nothing on the clean arm, and quarantine lands a
+// lower total shuffle cost than detection-only on the degraded network.
+//
+//   bench_gray            full sweep (3 replicas)
+//   bench_gray --smoke    CI mode: 1 replica, same output shape
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "sim/online.h"
+#include "stats/export.h"
+
+int main(int argc, char** argv) {
+  using namespace hit;
+  using namespace hit::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::cerr << "bench_gray: unknown option '" << argv[i]
+                << "' (only --smoke)\n";
+      return 2;
+    }
+  }
+
+  print_header(smoke ? "Gray failures: quarantine on a 4:1 tree (smoke)"
+                     : "Gray failures: quarantine on a 4:1 tree");
+
+  mr::WorkloadConfig wconfig;
+  wconfig.num_jobs = smoke ? 12 : 12;
+  wconfig.max_maps_per_job = 10;
+  wconfig.max_reduces_per_job = 4;
+  wconfig.block_size_gb = 2.0;
+
+  topo::TreeConfig tree;
+  tree.depth = 3;
+  tree.fanout = 4;
+  tree.redundancy = 2;
+  tree.hosts_per_access = 4;
+  tree.uplink_bandwidth_factor = 0.25;
+  const auto testbed =
+      std::make_unique<Testbed>(topo::make_tree(tree), kServerCapacity);
+
+  // The injected gray failures: a quarter of the racks lose 95% of their
+  // access-switch capacity for most of the run.  Access switches have no
+  // redundant twin, so only placement (not rerouting) can escape.  One rack
+  // per aggregation group, so every agg switch still carries healthy racks
+  // and the monitor's max-fold can clear it.
+  std::vector<NodeId> access;
+  for (NodeId sw : testbed->topology.switches()) {
+    if (testbed->topology.tier(sw) == topo::Tier::Access) access.push_back(sw);
+  }
+  std::vector<NodeId> degraded_switches;
+  for (std::size_t i = 0; i < access.size(); i += tree.fanout) {
+    degraded_switches.push_back(access[i]);
+  }
+  // Onset early: the point is that most jobs are *placed* while the rack is
+  // crawling, so the quarantine arm's placement penalty has arrivals to steer.
+  // The factor must undercut the rack's uplink bandwidth (2 x 4 GbE vs 32
+  // units of switch capacity) or the fault never binds and nothing observable
+  // happens — the definitional hazard of a gray failure.
+  const double kFactor = 0.05;
+  const double kOnset = 5.0;
+  const double kDuration = 4000.0;
+
+  struct Arm {
+    const char* name;
+    bool degraded;
+    bool quarantine;
+  };
+  const Arm arms[] = {
+      {"clean", false, false},
+      {"degraded", true, false},
+      {"quarantine", true, true},
+  };
+
+  const int replicas = smoke ? 1 : 3;
+  obs::Registry& reg = BenchObserver::instance().registry();
+
+  stats::Table table({"arm", "mean JCT (s)", "shuffle cost (GB*T)",
+                      "detected", "false pos", "mean TTD (s)", "quarantines",
+                      "quarantine (s)"});
+  std::ostringstream csv_buffer;
+  stats::CsvWriter csv(csv_buffer,
+                       {"arm", "mean_jct_s", "shuffle_cost_gbt", "degradations",
+                        "detections", "false_positives", "quarantines"});
+
+  double degraded_cost = 0.0, quarantine_cost = 0.0;
+  std::size_t clean_flags = 0, clean_quarantines = 0;
+  std::size_t injected = 0, detected = 0;
+  for (const Arm& arm : arms) {
+    core::HitScheduler scheduler;
+    stats::RunningSummary jct;
+    double cost = 0.0, ttd = 0.0, quarantine_s = 0.0;
+    sim::GrayStats total;
+    for (int r = 0; r < replicas; ++r) {
+      const std::uint64_t seed = 7300 + static_cast<std::uint64_t>(r);
+      Rng rng(seed);
+      mr::IdAllocator ids;
+      const mr::WorkloadGenerator generator(wconfig);
+      const auto jobs = generator.generate(ids, rng);
+
+      sim::OnlineConfig oconfig;
+      // Enough arrival pressure that jobs overlap: a crawling rack then holds
+      // its containers long enough to fragment later placements, which is the
+      // congestion quarantine is meant to dodge.
+      oconfig.arrival_rate = 0.1;
+      oconfig.sim.bandwidth_scale = 0.1;
+      oconfig.sim.gray.monitor = true;
+      oconfig.sim.gray.quarantine = arm.quarantine;
+      // A longer probe streak damps quarantine churn: healthy-but-slow links
+      // adjacent to a crawling switch otherwise cycle through reinstate and
+      // re-flag, and every cycle re-runs the soft-reroute pass.
+      oconfig.sim.gray.probe_successes = 4;
+      // Soft penalty: 2x is enough to tip marginal placements off a crawling
+      // rack; heavier factors evict whole jobs and trade away more map
+      // locality than the congestion they dodge is worth.
+      oconfig.sim.gray.penalty = 2.0;
+      if (arm.degraded) {
+        for (NodeId sw : degraded_switches) {
+          oconfig.sim.faults.degrade_switch(sw, kFactor, kOnset, kDuration);
+        }
+      }
+      BenchObserver::instance().manifest().scheduler =
+          std::string(scheduler.name());
+      BenchObserver::instance().manifest().seed = seed;
+      const sim::OnlineSimulator sim(testbed->cluster, oconfig);
+      const sim::OnlineResult result = sim.run(scheduler, jobs, ids, rng);
+
+      for (double v : result.completion_times()) jct.add(v);
+      cost += result.total_shuffle_cost;
+      const sim::GrayStats& g = result.gray;
+      total.degradations += g.degradations;
+      total.detections += g.detections;
+      total.false_positives += g.false_positives;
+      total.quarantines += g.quarantines;
+      ttd += g.mean_time_to_detect;
+      quarantine_s += g.quarantine_seconds;
+    }
+    const double mean_ttd =
+        total.detections > 0 ? ttd / static_cast<double>(replicas) : 0.0;
+    table.add_row({arm.name, stats::Table::num(jct.mean()),
+                   stats::Table::num(cost, 1),
+                   stats::Table::num(static_cast<double>(total.detections), 0),
+                   stats::Table::num(static_cast<double>(total.false_positives), 0),
+                   stats::Table::num(mean_ttd, 1),
+                   stats::Table::num(static_cast<double>(total.quarantines), 0),
+                   stats::Table::num(quarantine_s, 1)});
+    csv.row({std::string(arm.name), jct.mean(), cost,
+             static_cast<std::int64_t>(total.degradations),
+             static_cast<std::int64_t>(total.detections),
+             static_cast<std::int64_t>(total.false_positives),
+             static_cast<std::int64_t>(total.quarantines)});
+    reg.gauge(obs::Registry::tagged("bench.gray.shuffle_cost_gbt",
+                                    {{"arm", arm.name}}))
+        .set(cost);
+    reg.gauge(obs::Registry::tagged("bench.gray.detections",
+                                    {{"arm", arm.name}}))
+        .set(static_cast<double>(total.detections));
+
+    if (std::strcmp(arm.name, "clean") == 0) {
+      clean_flags = total.detections + total.false_positives;
+      clean_quarantines = total.quarantines;
+    } else if (std::strcmp(arm.name, "degraded") == 0) {
+      degraded_cost = cost;
+      injected = total.degradations;
+      detected = total.detections;
+    } else {
+      quarantine_cost = cost;
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\ncsv:\n" << csv_buffer.str();
+
+  bool ok = true;
+  if (clean_flags != 0 || clean_quarantines != 0) {
+    std::cerr << "bench_gray: FAIL — clean run flagged " << clean_flags
+              << " elements (" << clean_quarantines << " quarantined); "
+              << "expected zero false positives\n";
+    ok = false;
+  }
+  if (detected * 10 < injected * 9) {
+    std::cerr << "bench_gray: FAIL — detected " << detected << "/" << injected
+              << " injected degradations (< 90%)\n";
+    ok = false;
+  }
+  if (quarantine_cost >= degraded_cost) {
+    std::cerr << "bench_gray: FAIL — quarantine cost " << quarantine_cost
+              << " >= detection-only cost " << degraded_cost << "\n";
+    ok = false;
+  }
+  if (ok) {
+    std::cout << "\nQuarantine steers new placements off the crawling racks: "
+                 "the cost penalty on suspect access switches makes the joint "
+                 "optimizer pack jobs into healthy racks, so shuffles keep "
+                 "their locality instead of queueing behind a gray uplink.\n";
+  }
+  return ok ? 0 : 1;
+}

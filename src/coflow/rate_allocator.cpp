@@ -38,7 +38,8 @@ std::vector<double> madd_allocate(const topo::Topology& topology,
                                   const std::vector<net::FlowDemand>& demands,
                                   const std::vector<double>& remaining_gb,
                                   const std::vector<std::vector<std::size_t>>& groups,
-                                  double bandwidth_scale) {
+                                  double bandwidth_scale,
+                                  const net::CapacityMap* degrade) {
   if (remaining_gb.size() != demands.size()) {
     throw std::invalid_argument("madd_allocate: remaining size mismatch");
   }
@@ -55,7 +56,7 @@ std::vector<double> madd_allocate(const topo::Topology& topology,
     if (!g) throw std::invalid_argument("madd_allocate: demand missing from groups");
   }
 
-  net::ResidualLedger ledger(topology, bandwidth_scale);
+  net::ResidualLedger ledger(topology, bandwidth_scale, degrade);
   for (const net::FlowDemand& d : demands) ledger.add_path(d.path);
 
   std::vector<double> rates(demands.size(), 0.0);

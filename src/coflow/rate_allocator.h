@@ -40,13 +40,15 @@ namespace hit::coflow {
 /// served MADD rates against the residual ledger left by earlier groups,
 /// then leftover capacity is backfilled greedily in group order (within a
 /// group: smallest remaining first, ties by FlowId) so the allocation is
-/// work-conserving.  Per-demand `rate_cap` is honored.  The returned rates
+/// work-conserving.  Per-demand `rate_cap` is honored.  A non-null `degrade`
+/// map scales element capacities by their gray factors.  The returned rates
 /// align with `demands` and never exceed any link or switch capacity.
 [[nodiscard]] std::vector<double> madd_allocate(
     const topo::Topology& topology,
     const std::vector<net::FlowDemand>& demands,
     const std::vector<double>& remaining_gb,
     const std::vector<std::vector<std::size_t>>& groups,
-    double bandwidth_scale = 1.0);
+    double bandwidth_scale = 1.0,
+    const net::CapacityMap* degrade = nullptr);
 
 }  // namespace hit::coflow

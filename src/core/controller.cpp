@@ -36,6 +36,105 @@ NetworkController::NetworkController(const topo::Topology& topology,
     throw std::invalid_argument(
         "NetworkController: reroute_backoff must be in (0, 1]");
   }
+  if (config_.quarantine_penalty < 1.0) {
+    throw std::invalid_argument(
+        "NetworkController: quarantine_penalty must be >= 1");
+  }
+  if (config_.probe_successes == 0) {
+    throw std::invalid_argument(
+        "NetworkController: probe_successes must be positive");
+  }
+}
+
+void NetworkController::sync_quarantine_penalties() {
+  std::vector<NodeId> penalized;
+  penalized.reserve(quarantined_.size());
+  for (const auto& [sw, streak] : quarantined_) penalized.push_back(sw);
+  optimizer_.set_penalized(std::move(penalized), config_.quarantine_penalty);
+}
+
+std::size_t NetworkController::quarantine(NodeId sw) {
+  if (!topology_->is_switch(sw)) {
+    throw NotASwitch("NetworkController::quarantine: not a switch");
+  }
+  if (!quarantined_.emplace(sw, 0).second) return 0;  // idempotent
+  sync_quarantine_penalties();
+  const obs::Bind bind(observer_);
+  obs::count("controller.quarantines");
+  obs::host_instant("switch.quarantine", "controller",
+                    {{"switch", topology_->info(sw).name}});
+  HIT_LOG_INFO(kTag) << "switch " << topology_->info(sw).name
+                     << " quarantined; re-optimizing crossing flows";
+
+  // Soft evacuation: re-optimize each crossing flow under the penalty.  The
+  // switch is NOT banned — a flow stays if every detour is still costlier
+  // than the penalized route (e.g. the suspect is the only path).
+  std::vector<Entry*> crossing;
+  for (auto& [id, entry] : flows_) {
+    if (!entry.parked && crosses(entry.policy, sw)) crossing.push_back(&entry);
+  }
+  std::stable_sort(crossing.begin(), crossing.end(),
+                   [](const Entry* a, const Entry* b) {
+                     if (a->flow.rate != b->flow.rate) {
+                       return a->flow.rate > b->flow.rate;
+                     }
+                     return a->flow.id < b->flow.id;
+                   });
+
+  std::size_t moved = 0;
+  for (Entry* entry : crossing) {
+    load_.remove(entry->policy, entry->charged_rate);
+    if (auto result = reroute_with_backoff(*entry)) {
+      const bool changed = result->route.policy.list != entry->policy.list;
+      if (changed) {
+        entry->policy = std::move(result->route.policy);
+        entry->charged_rate = result->admitted_rate;
+        ++moved;
+        obs::count("controller.quarantine_moves");
+        obs::host_instant(
+            "flow.quarantine_move", "controller",
+            {{"flow", static_cast<std::int64_t>(entry->flow.id.value())}});
+        HIT_LOG_INFO(kTag) << "flow " << entry->flow.id << " moved off suspect "
+                           << topology_->info(sw).name;
+      }
+    }
+    load_.assign(entry->policy, entry->charged_rate);
+  }
+  return moved;
+}
+
+bool NetworkController::probe(NodeId sw, bool healthy) {
+  const auto it = quarantined_.find(sw);
+  if (it == quarantined_.end()) return false;
+  const obs::Bind bind(observer_);
+  obs::count("controller.probes");
+  obs::host_instant("switch.probe", "controller",
+                    {{"switch", topology_->info(sw).name},
+                     {"healthy", static_cast<std::int64_t>(healthy)}});
+  if (!healthy) {
+    it->second = 0;  // streak broken: stay quarantined
+    return false;
+  }
+  if (++it->second < config_.probe_successes) return false;
+  reinstate(sw);
+  return true;
+}
+
+void NetworkController::reinstate(NodeId sw) {
+  if (quarantined_.erase(sw) == 0) return;  // idempotent
+  sync_quarantine_penalties();
+  const obs::Bind bind(observer_);
+  obs::count("controller.reinstatements");
+  obs::host_instant("switch.reinstate", "controller",
+                    {{"switch", topology_->info(sw).name}});
+  HIT_LOG_INFO(kTag) << "switch " << topology_->info(sw).name << " reinstated";
+}
+
+std::vector<NodeId> NetworkController::quarantined_switches() const {
+  std::vector<NodeId> out;
+  out.reserve(quarantined_.size());
+  for (const auto& [sw, streak] : quarantined_) out.push_back(sw);
+  return out;  // std::map => already in id order
 }
 
 void NetworkController::install(const net::Flow& flow, net::Policy policy,

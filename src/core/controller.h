@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -47,6 +48,12 @@ struct ControllerConfig {
   /// immediately (the fallback is simply the current policies).  Disabled by
   /// default.
   BreakerConfig breaker;
+  /// Gray-failure quarantine: Dijkstra cost multiplier applied to suspect
+  /// switches (soft avoidance — they stay routable, unlike failed ones).
+  double quarantine_penalty = 4.0;
+  /// Consecutive healthy probe results required before a quarantined switch
+  /// is reinstated (the CircuitBreaker HalfOpen idea applied to elements).
+  std::size_t probe_successes = 2;
   /// Park whole coflows: when true, `shed_pressure` parks every active flow
   /// of the victim's job (one job wave = one coflow) instead of a single
   /// flow — a reduce wave gains nothing from the flows left behind, and
@@ -98,6 +105,29 @@ class NetworkController {
   std::size_t recover(NodeId sw);
 
   [[nodiscard]] bool failed(NodeId sw) const { return failed_.count(sw) > 0; }
+
+  /// Gray suspicion: the switch stays usable but every route through it is
+  /// priced up by `quarantine_penalty`, and installed flows crossing it are
+  /// re-optimized (they move off only when a cheaper clean route exists — a
+  /// soft evacuation, never a park).  Idempotent.  Returns flows moved.
+  std::size_t quarantine(NodeId sw);
+
+  /// One probe result against a quarantined switch.  `healthy` results count
+  /// toward `config.probe_successes` consecutive passes; a failed probe
+  /// resets the streak.  Returns true when the switch was reinstated by this
+  /// probe.  No-op (returns false) when the switch is not quarantined.
+  bool probe(NodeId sw, bool healthy);
+
+  /// Lift the quarantine immediately (probe() calls this on the final pass).
+  /// Idempotent.
+  void reinstate(NodeId sw);
+
+  [[nodiscard]] bool quarantined(NodeId sw) const {
+    return quarantined_.count(sw) > 0;
+  }
+  /// Quarantined switches in id order.
+  [[nodiscard]] std::vector<NodeId> quarantined_switches() const;
+
   [[nodiscard]] std::size_t parked_count() const;
   /// Parked flow ids in increasing order.
   [[nodiscard]] std::vector<FlowId> parked() const;
@@ -172,10 +202,14 @@ class NetworkController {
   PolicyOptimizer optimizer_;
   CircuitBreaker breaker_;
   std::unordered_map<FlowId, Entry> flows_;
+  void sync_quarantine_penalties();
+
   /// Draining switches and the synthetic load absorbing their headroom.
   std::unordered_map<NodeId, double> draining_;
   /// Failed (unplanned-down) switches.
   std::unordered_set<NodeId> failed_;
+  /// Quarantined switches -> consecutive healthy probe results so far.
+  std::map<NodeId, std::size_t> quarantined_;
 };
 
 }  // namespace hit::core

@@ -1,0 +1,108 @@
+#include "core/health_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hit::core {
+
+HealthMonitor::HealthMonitor(const topo::Topology& topology, HealthConfig config)
+    : topology_(&topology), config_(config) {
+  if (config_.ewma_alpha <= 0.0 || config_.ewma_alpha > 1.0) {
+    throw std::invalid_argument("HealthMonitor: ewma_alpha must be in (0, 1]");
+  }
+  if (config_.suspect_ratio <= 0.0 || config_.suspect_ratio >= 1.0) {
+    throw std::invalid_argument("HealthMonitor: suspect_ratio must be in (0, 1)");
+  }
+  if (config_.z_threshold < 0.0) {
+    throw std::invalid_argument("HealthMonitor: z_threshold must be >= 0");
+  }
+}
+
+void HealthMonitor::begin_sample() {
+  round_.clear();
+  in_round_ = true;
+}
+
+void HealthMonitor::note_path(const topo::Path& path, double ratio) {
+  if (!in_round_) {
+    throw std::logic_error("HealthMonitor: note_path outside begin/end_sample");
+  }
+  // Max-min fair sharing can push a flow *above* its nominal rate when the
+  // degraded element throttles a competitor, so clamp before folding.
+  ratio = std::clamp(ratio, 0.0, 1.0);
+  const auto fold = [&](Key key) {
+    const auto [it, inserted] = round_.emplace(key, ratio);
+    if (!inserted) it->second = std::max(it->second, ratio);
+  };
+  for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+    fold(net::CapacityMap::link_key(path[j], path[j + 1]));
+  }
+  for (NodeId n : path) {
+    if (topology_->is_switch(n)) fold(net::CapacityMap::switch_key(n));
+  }
+}
+
+std::vector<HealthMonitor::Key> HealthMonitor::end_sample() {
+  if (!in_round_) {
+    throw std::logic_error("HealthMonitor: end_sample without begin_sample");
+  }
+  in_round_ = false;
+
+  for (const auto& [key, ratio] : round_) {
+    Track& t = tracks_[key];
+    t.ewma = t.samples == 0
+                 ? ratio
+                 : config_.ewma_alpha * ratio + (1.0 - config_.ewma_alpha) * t.ewma;
+    ++t.samples;
+  }
+  round_.clear();
+
+  // Optional population z-test over every tracked element's score.
+  double mean = 0.0;
+  double stddev = 0.0;
+  if (config_.z_threshold > 0.0 && !tracks_.empty()) {
+    for (const auto& [key, t] : tracks_) mean += t.ewma;
+    mean /= static_cast<double>(tracks_.size());
+    double var = 0.0;
+    for (const auto& [key, t] : tracks_) {
+      var += (t.ewma - mean) * (t.ewma - mean);
+    }
+    stddev = std::sqrt(var / static_cast<double>(tracks_.size()));
+  }
+
+  std::vector<Key> newly;
+  for (auto& [key, t] : tracks_) {
+    if (t.suspect || t.samples < config_.min_samples) continue;
+    if (t.ewma >= config_.suspect_ratio) continue;
+    if (config_.z_threshold > 0.0 &&
+        t.ewma >= mean - config_.z_threshold * stddev) {
+      continue;
+    }
+    t.suspect = true;
+    newly.push_back(key);
+  }
+  return newly;  // std::map iteration => already sorted
+}
+
+double HealthMonitor::score(Key key) const {
+  const auto it = tracks_.find(key);
+  return it == tracks_.end() ? 1.0 : it->second.ewma;
+}
+
+bool HealthMonitor::is_suspect(Key key) const {
+  const auto it = tracks_.find(key);
+  return it != tracks_.end() && it->second.suspect;
+}
+
+std::vector<HealthMonitor::Key> HealthMonitor::suspects() const {
+  std::vector<Key> out;
+  for (const auto& [key, t] : tracks_) {
+    if (t.suspect) out.push_back(key);
+  }
+  return out;
+}
+
+void HealthMonitor::reset(Key key) { tracks_.erase(key); }
+
+}  // namespace hit::core

@@ -1,0 +1,94 @@
+// Gray-failure detection: per-element health scores from flow progress.
+//
+// Crash failures announce themselves (a down switch breaks routes); gray
+// failures do not — a switch silently running at 30% capacity still carries
+// traffic, just slowly.  The controller therefore watches *throughput versus
+// expectation*: each sampling round, every active flow reports the ratio of
+// its observed rate to the rate it would get on healthy hardware, and the
+// monitor folds those ratios into a per-switch / per-link EWMA score.
+//
+// Localization uses a max-fold: within one round an element keeps the BEST
+// ratio among flows crossing it.  A genuinely degraded element slows *every*
+// flow through it, so its max stays low; a healthy element on a path that is
+// slow for other reasons usually also carries at least one near-nominal flow,
+// so its max stays high.  Scores start optimistic (1.0) and an element is
+// flagged suspect once it has enough samples and its EWMA falls below the
+// configured ratio (optionally tightened by a population z-test).  Suspect
+// status is sticky — the quarantine/probe loop, not fresh samples, decides
+// when an element is trusted again (reset()).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "network/bandwidth.h"
+#include "topology/topology.h"
+#include "util/ids.h"
+
+namespace hit::core {
+
+struct HealthConfig {
+  double ewma_alpha = 0.2;     ///< weight of the newest sample
+  double suspect_ratio = 0.75; ///< flag when EWMA score drops below this
+  /// Optional population test: additionally require the score to sit more
+  /// than `z_threshold` standard deviations below the mean score of all
+  /// tracked elements.  0 disables the test (absolute threshold only).
+  double z_threshold = 0.0;
+  std::size_t min_samples = 4; ///< rounds observed before an element can flag
+};
+
+class HealthMonitor {
+ public:
+  /// Element key: same scheme as net::CapacityMap (switch = (node, node),
+  /// link = sorted node pair).
+  using Key = net::CapacityMap::Key;
+
+  HealthMonitor(const topo::Topology& topology, HealthConfig config);
+
+  /// One sampling round: begin_sample(), then note_path() once per active
+  /// flow, then end_sample().  `ratio` is observed_rate / nominal_rate for
+  /// the flow (clamped to [0, 1]); every switch and link on `path` keeps the
+  /// best ratio seen this round.
+  void begin_sample();
+  void note_path(const topo::Path& path, double ratio);
+  /// Fold the round into the EWMAs and return the keys that *newly* crossed
+  /// the suspect threshold (sorted; empty when nothing changed).
+  [[nodiscard]] std::vector<Key> end_sample();
+
+  /// Current EWMA score of an element (1.0 when never sampled).
+  [[nodiscard]] double score(Key key) const;
+  [[nodiscard]] bool is_suspect(Key key) const;
+  /// All currently-suspect keys, sorted.
+  [[nodiscard]] std::vector<Key> suspects() const;
+
+  /// Forget an element entirely (score, sample count, suspect flag) — called
+  /// when the quarantine loop reinstates it so stale history cannot re-flag
+  /// a repaired element.
+  void reset(Key key);
+
+  [[nodiscard]] static bool key_is_switch(Key key) noexcept {
+    return (key >> 32) == (key & 0xFFFFFFFFull);
+  }
+  [[nodiscard]] static NodeId key_node(Key key) noexcept {
+    return NodeId(static_cast<std::uint32_t>(key >> 32));
+  }
+  [[nodiscard]] static NodeId key_peer(Key key) noexcept {
+    return NodeId(static_cast<std::uint32_t>(key & 0xFFFFFFFFull));
+  }
+
+ private:
+  struct Track {
+    double ewma = 1.0;
+    std::size_t samples = 0;
+    bool suspect = false;
+  };
+
+  const topo::Topology* topology_;
+  HealthConfig config_;
+  std::map<Key, Track> tracks_;   // std::map: deterministic iteration
+  std::map<Key, double> round_;   // current round's per-element best ratio
+  bool in_round_ = false;
+};
+
+}  // namespace hit::core

@@ -70,7 +70,10 @@ sched::Assignment HitScheduler::laddered_wave(const sched::Problem& problem,
 
   if (tier == LadderTier::Full) {
     WorkBudget budget(config_.ladder.route_budget);
-    const PolicyOptimizer optimizer(*problem.topology, config_.cost);
+    PolicyOptimizer optimizer(*problem.topology, config_.cost);
+  if (!problem.penalized_switches.empty()) {
+    optimizer.set_penalized(problem.penalized_switches, problem.switch_penalty);
+  }
     const PreferenceMatrix prefs = optimizer.build_preferences(problem, &budget);
     if (budget.exhausted()) {
       // Alg. 1 grading ran out of node expansions: the matrix holds partial
@@ -254,7 +257,10 @@ sched::Assignment HitScheduler::initial_wave(const sched::Problem& problem) cons
   // Placement: Algorithm 1 grades, resolved by Algorithm 2 (default) or by
   // the grade-greedy ablation.  Routing is chosen independently below, so
   // the two contributions can be ablated orthogonally.
-  const PolicyOptimizer optimizer(*problem.topology, config_.cost);
+  PolicyOptimizer optimizer(*problem.topology, config_.cost);
+  if (!problem.penalized_switches.empty()) {
+    optimizer.set_penalized(problem.penalized_switches, problem.switch_penalty);
+  }
   const PreferenceMatrix prefs = optimizer.build_preferences(problem);
 
   if (config_.use_stable_matching) {
@@ -366,7 +372,10 @@ void HitScheduler::route_flows(const sched::Problem& problem,
     return;
   }
 
-  const PolicyOptimizer optimizer(*problem.topology, config_.cost);
+  PolicyOptimizer optimizer(*problem.topology, config_.cost);
+  if (!problem.penalized_switches.empty()) {
+    optimizer.set_penalized(problem.penalized_switches, problem.switch_penalty);
+  }
   net::LoadTracker load = problem.ambient_load ? *problem.ambient_load
                                                : net::LoadTracker(*problem.topology);
   const CostModel cost(*problem.topology, config_.cost, &load);

@@ -13,6 +13,27 @@ namespace hit::core {
 PolicyOptimizer::PolicyOptimizer(const topo::Topology& topology, CostConfig config)
     : topology_(&topology), config_(config) {}
 
+void PolicyOptimizer::set_penalized(std::vector<NodeId> switches, double factor) {
+  if (factor < 1.0) {
+    throw std::invalid_argument("PolicyOptimizer: penalty factor must be >= 1");
+  }
+  std::sort(switches.begin(), switches.end());
+  switches.erase(std::unique(switches.begin(), switches.end()), switches.end());
+  if (factor == 1.0) switches.clear();  // no-op penalty
+  penalized_ = std::move(switches);
+  penalty_factor_ = factor;
+}
+
+void PolicyOptimizer::clear_penalized() {
+  penalized_.clear();
+  penalty_factor_ = 1.0;
+}
+
+bool PolicyOptimizer::is_penalized(NodeId n) const {
+  return !penalized_.empty() &&
+         std::binary_search(penalized_.begin(), penalized_.end(), n);
+}
+
 std::optional<PolicyOptimizer::Route> PolicyOptimizer::optimal_route(
     std::span<const NodeId> src_candidates, std::span<const NodeId> dst_candidates,
     FlowId flow, double rate, double metric, const net::LoadTracker& load,
@@ -105,6 +126,7 @@ std::optional<PolicyOptimizer::Route> PolicyOptimizer::optimal_route(
       if (topology_->is_switch(v)) {
         if (!load.feasible_switch(v, rate)) continue;
         step = metric * cost.switch_cost(v);
+        if (is_penalized(v)) step *= penalty_factor_;
       }
       const double nd = d + step;
       if (nd < dist[v.index()] - 1e-15) {
@@ -300,6 +322,7 @@ double PolicyOptimizer::improve_policy(net::Policy& policy, NodeId src, NodeId d
       NodeId best;
       for (NodeId w_hat : load.candidates(src, dst, policy, i, rate)) {
         if (budget != nullptr && !budget->charge()) return gained;
+        if (is_penalized(w_hat)) continue;  // never improve onto a suspect
         const double u = cost.substitution_utility(policy, src, dst, i, w_hat, metric);
         if (u > best_utility || (u == best_utility && best.valid() && w_hat < best)) {
           best_utility = u;

@@ -77,11 +77,25 @@ class PolicyOptimizer {
                         double metric, const net::LoadTracker& load,
                         WorkBudget* budget = nullptr) const;
 
+  /// Quarantine support: the listed switches stay routable but every Dijkstra
+  /// step entering one costs `factor` x more, and improve_policy never
+  /// substitutes onto one — a soft avoidance, unlike `banned` which excludes.
+  /// `factor` must be >= 1; an empty list or factor == 1 disables the
+  /// penalty.  Replaces any previous penalty set.
+  void set_penalized(std::vector<NodeId> switches, double factor);
+  void clear_penalized();
+  [[nodiscard]] bool is_penalized(NodeId n) const;
+  [[nodiscard]] const std::vector<NodeId>& penalized() const noexcept {
+    return penalized_;
+  }
+
   [[nodiscard]] const CostConfig& cost_config() const noexcept { return config_; }
 
  private:
   const topo::Topology* topology_;
   CostConfig config_;
+  std::vector<NodeId> penalized_;  // sorted; empty => no penalty
+  double penalty_factor_ = 1.0;
 };
 
 }  // namespace hit::core

@@ -27,7 +27,24 @@ struct Resource {
   std::vector<std::size_t> flows;  // indices into demands
 };
 
+/// Gray scaling: a null or empty map leaves capacities bit-identical.
+double degraded(double capacity, const CapacityMap* degrade, CapacityMap::Key key) {
+  if (degrade == nullptr || degrade->empty()) return capacity;
+  return capacity * degrade->factor(key);
+}
+
 }  // namespace
+
+void CapacityMap::set(Key key, double factor) {
+  if (factor <= 0.0 || factor > 1.0) {
+    throw std::invalid_argument("CapacityMap: factor must be in (0, 1]");
+  }
+  if (factor == 1.0) {
+    factors_.erase(key);
+  } else {
+    factors_[key] = factor;
+  }
+}
 
 MaxMinFairAllocator::MaxMinFairAllocator(const topo::Topology& topology,
                                          double bandwidth_scale)
@@ -38,7 +55,7 @@ MaxMinFairAllocator::MaxMinFairAllocator(const topo::Topology& topology,
 }
 
 std::vector<double> MaxMinFairAllocator::allocate(
-    const std::vector<FlowDemand>& demands) const {
+    const std::vector<FlowDemand>& demands, const CapacityMap* degrade) const {
   std::vector<double> rates(demands.size(), 0.0);
   if (demands.empty()) return rates;
 
@@ -52,14 +69,16 @@ std::vector<double> MaxMinFairAllocator::allocate(
     for (std::size_t j = 0; j + 1 < path.size(); ++j) {
       const auto bw = topology_->graph().bandwidth(path[j], path[j + 1]);
       if (!bw) throw std::invalid_argument("MaxMinFairAllocator: path uses missing link");
-      Resource& link = resources[link_key(path[j], path[j + 1])];
-      link.capacity = *bw * scale_;
+      const ResourceKey key = link_key(path[j], path[j + 1]);
+      Resource& link = resources[key];
+      link.capacity = degraded(*bw * scale_, degrade, key);
       link.flows.push_back(i);
     }
     for (NodeId n : path) {
       if (!topology_->is_switch(n)) continue;
-      Resource& sw = resources[switch_key(n)];
-      sw.capacity = topology_->switch_capacity(n) * scale_;
+      const ResourceKey key = switch_key(n);
+      Resource& sw = resources[key];
+      sw.capacity = degraded(topology_->switch_capacity(n) * scale_, degrade, key);
       sw.flows.push_back(i);
     }
   }
@@ -146,7 +165,8 @@ std::vector<double> MaxMinFairAllocator::allocate(
 std::vector<double> srpt_allocate(const topo::Topology& topology,
                                   const std::vector<FlowDemand>& demands,
                                   const std::vector<double>& remaining,
-                                  double bandwidth_scale) {
+                                  double bandwidth_scale,
+                                  const CapacityMap* degrade) {
   if (bandwidth_scale <= 0.0) {
     throw std::invalid_argument("srpt_allocate: scale must be positive");
   }
@@ -154,7 +174,7 @@ std::vector<double> srpt_allocate(const topo::Topology& topology,
     throw std::invalid_argument("srpt_allocate: remaining size mismatch");
   }
 
-  ResidualLedger ledger(topology, bandwidth_scale);
+  ResidualLedger ledger(topology, bandwidth_scale, degrade);
   for (const FlowDemand& d : demands) ledger.add_path(d.path);
 
   std::vector<std::size_t> order(demands.size());
@@ -176,8 +196,8 @@ std::vector<double> srpt_allocate(const topo::Topology& topology,
 }
 
 ResidualLedger::ResidualLedger(const topo::Topology& topology,
-                               double bandwidth_scale)
-    : topology_(&topology), scale_(bandwidth_scale) {
+                               double bandwidth_scale, const CapacityMap* degrade)
+    : topology_(&topology), scale_(bandwidth_scale), degrade_(degrade) {
   if (bandwidth_scale <= 0.0) {
     throw std::invalid_argument("ResidualLedger: scale must be positive");
   }
@@ -190,11 +210,14 @@ void ResidualLedger::add_path(const topo::Path& path) {
   for (std::size_t j = 0; j + 1 < path.size(); ++j) {
     const auto bw = topology_->graph().bandwidth(path[j], path[j + 1]);
     if (!bw) throw std::invalid_argument("ResidualLedger: path uses missing link");
-    residual_.emplace(link_key(path[j], path[j + 1]), *bw * scale_);
+    const Key key = link_key(path[j], path[j + 1]);
+    residual_.emplace(key, degraded(*bw * scale_, degrade_, key));
   }
   for (NodeId n : path) {
     if (topology_->is_switch(n)) {
-      residual_.emplace(switch_key(n), topology_->switch_capacity(n) * scale_);
+      const Key key = switch_key(n);
+      residual_.emplace(key, degraded(topology_->switch_capacity(n) * scale_,
+                                      degrade_, key));
     }
   }
 }

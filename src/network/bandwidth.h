@@ -31,6 +31,52 @@ struct FlowDemand {
   double rate_cap = 0.0;
 };
 
+/// Effective-capacity multipliers for gray (degraded-but-alive) elements.
+/// A switch or link present in the map runs at `factor` x its nominal
+/// capacity; absent elements run at full speed.  The allocators below accept
+/// an optional CapacityMap so fair-share, SRPT and MADD all see the degraded
+/// rates without the topology itself changing.
+class CapacityMap {
+ public:
+  /// Same opaque key scheme as ResidualLedger: switches are (node, node),
+  /// links the sorted node pair.
+  using Key = std::uint64_t;
+
+  [[nodiscard]] static Key switch_key(NodeId w) noexcept {
+    return (static_cast<std::uint64_t>(w.value()) << 32) | w.value();
+  }
+  [[nodiscard]] static Key link_key(NodeId a, NodeId b) noexcept {
+    const auto lo = a.value() < b.value() ? a.value() : b.value();
+    const auto hi = a.value() < b.value() ? b.value() : a.value();
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
+  /// Set an element's factor.  Throws std::invalid_argument unless the
+  /// factor lies in (0, 1]; a factor of exactly 1 erases the entry.
+  void set_switch(NodeId w, double factor) { set(switch_key(w), factor); }
+  void set_link(NodeId a, NodeId b, double factor) { set(link_key(a, b), factor); }
+  void clear_switch(NodeId w) { factors_.erase(switch_key(w)); }
+  void clear_link(NodeId a, NodeId b) { factors_.erase(link_key(a, b)); }
+
+  [[nodiscard]] double switch_factor(NodeId w) const { return factor(switch_key(w)); }
+  [[nodiscard]] double link_factor(NodeId a, NodeId b) const {
+    return factor(link_key(a, b));
+  }
+  [[nodiscard]] double factor(Key key) const {
+    const auto it = factors_.find(key);
+    return it == factors_.end() ? 1.0 : it->second;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return factors_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return factors_.size(); }
+  void clear() noexcept { factors_.clear(); }
+
+ private:
+  void set(Key key, double factor);
+
+  std::unordered_map<Key, double> factors_;
+};
+
 /// How concurrent flows share the network.
 ///   MaxMinFair — TCP-like progressive filling (default; the paper's
 ///                dynamic-bandwidth premise).
@@ -49,8 +95,11 @@ class MaxMinFairAllocator {
 
   /// Compute the max-min fair rate of every demand.  Resources considered:
   /// each undirected link (capacity = bandwidth * scale) and each switch
-  /// (its processing capacity).  Returns rates aligned with `demands`.
-  [[nodiscard]] std::vector<double> allocate(const std::vector<FlowDemand>& demands) const;
+  /// (its processing capacity).  A non-null `degrade` map multiplies each
+  /// element's capacity by its gray factor.  Returns rates aligned with
+  /// `demands`.
+  [[nodiscard]] std::vector<double> allocate(const std::vector<FlowDemand>& demands,
+                                             const CapacityMap* degrade = nullptr) const;
 
  private:
   const topo::Topology* topology_;
@@ -61,11 +110,13 @@ class MaxMinFairAllocator {
 /// `remaining[i]` (ties by FlowId); each flow receives the minimum residual
 /// capacity along its path (links and switch capacities, scaled), which is
 /// then subtracted.  Starved flows get rate 0 until earlier flows finish.
-/// `remaining` aligns with `demands`.
+/// `remaining` aligns with `demands`; a non-null `degrade` map scales
+/// element capacities by their gray factors.
 [[nodiscard]] std::vector<double> srpt_allocate(const topo::Topology& topology,
                                                 const std::vector<FlowDemand>& demands,
                                                 const std::vector<double>& remaining,
-                                                double bandwidth_scale = 1.0);
+                                                double bandwidth_scale = 1.0,
+                                                const CapacityMap* degrade = nullptr);
 
 /// Residual-capacity ledger over the capacitated resources a set of paths
 /// crosses: each undirected physical link (capacity = bandwidth x scale) and
@@ -78,8 +129,11 @@ class ResidualLedger {
   /// Opaque resource key: switches are (node, node); links the sorted pair.
   using Key = std::uint64_t;
 
+  /// A non-null `degrade` map (kept by pointer; must outlive the ledger)
+  /// multiplies each registered element's capacity by its gray factor.
   explicit ResidualLedger(const topo::Topology& topology,
-                          double bandwidth_scale = 1.0);
+                          double bandwidth_scale = 1.0,
+                          const CapacityMap* degrade = nullptr);
 
   /// Register every resource `path` crosses at its full capacity
   /// (idempotent; re-registering does not reset accumulated charges).
@@ -107,6 +161,7 @@ class ResidualLedger {
  private:
   const topo::Topology* topology_;
   double scale_;
+  const CapacityMap* degrade_;
   std::unordered_map<Key, double> residual_;
 };
 

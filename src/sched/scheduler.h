@@ -51,6 +51,11 @@ struct Problem {
   /// (online scheduling); congestion-aware schedulers start their ledgers
   /// from it instead of an idle network.
   const net::LoadTracker* ambient_load = nullptr;
+  /// Quarantined (suspected-gray) switches: still routable, but congestion-
+  /// aware schedulers multiply their Dijkstra step cost by `switch_penalty`
+  /// so placements and routes drift away from them.  Empty => no penalty.
+  std::vector<NodeId> penalized_switches;
+  double switch_penalty = 1.0;
 
   [[nodiscard]] bool valid() const { return topology != nullptr && cluster != nullptr; }
 

@@ -5,6 +5,7 @@
 #include <deque>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
@@ -311,9 +312,12 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
       for (double& d : durations) {
         if (d > config_.speculation_threshold * median) {
           const double backup_finish = median /*detect*/ + median /*re-run*/;
+          ++result.speculative_copies;
           if (backup_finish < d) {
             d = backup_finish;
-            ++result.speculative_copies;
+            ++result.speculative_won;
+          } else {
+            ++result.speculative_lost;  // original outran the backup
           }
         }
       }
@@ -476,6 +480,8 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
 
   const net::MaxMinFairAllocator allocator(topology, config_.bandwidth_scale);
   FaultState fstate(topology);
+  std::optional<GrayRuntime> gray_rt;
+  if (config_.gray.enabled()) gray_rt.emplace(topology, config_.gray);
   std::vector<std::size_t> active;
   std::vector<std::size_t> stalled;
   std::size_t next_nev = 0;  // switch/link events, replayed as loop events
@@ -505,6 +511,18 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
   };
   const auto apply_net_event = [&](const FaultEvent& ev) {
     fstate.apply(ev);
+    if (ev.kind == FaultKind::Degrade || ev.kind == FaultKind::Restore) {
+      // Gray events change effective capacity only; routes stay up, so no
+      // detour/stall handling — the next rate re-solve sees the new factors.
+      if (gray_rt) gray_rt->on_event(ev);
+      obs::count(ev.kind == FaultKind::Degrade ? "sim.faults.net_degrade"
+                                               : "sim.faults.net_restore");
+      obs::sim_instant(ev.kind == FaultKind::Degrade ? "fault.net.degrade"
+                                                     : "fault.net.restore",
+                       "sim.fault", ev.time, {{"factor", ev.factor}},
+                       /*tid=*/3);
+      return;
+    }
     obs::count(ev.kind == FaultKind::Fail ? "sim.faults.net_fail"
                                           : "sim.faults.net_recover");
     obs::sim_instant(ev.kind == FaultKind::Fail ? "fault.net.fail"
@@ -577,49 +595,99 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     }
     if (active.empty()) continue;  // stalled-only: jump to the next event
 
-    std::vector<net::FlowDemand> demands;
-    demands.reserve(active.size());
-    for (std::size_t i : active) {
-      demands.push_back(net::FlowDemand{sim_flows[i].flow->id, sim_flows[i].path, 0.0});
-    }
-    std::vector<double> rates;
-    if (config_.coflow.enabled) {
-      std::vector<double> remaining;
-      remaining.reserve(active.size());
-      for (std::size_t i : active) remaining.push_back(sim_flows[i].remaining);
-      // Group the active demands by coflow, permute per the configured
-      // discipline (Γ evaluated against the full residual ledger), then let
-      // MADD serve the coflows in that order.
-      std::vector<CoflowId> ids;
-      std::unordered_map<CoflowId, std::vector<std::size_t>> members;
-      for (std::size_t j = 0; j < active.size(); ++j) {
-        const CoflowId cid = registry.coflow_of(sim_flows[active[j]].flow->id);
-        auto [it, fresh] = members.emplace(cid, std::vector<std::size_t>{});
-        if (fresh) ids.push_back(cid);
-        it->second.push_back(j);
+    const auto build_demands = [&] {
+      std::vector<net::FlowDemand> out;
+      out.reserve(active.size());
+      for (std::size_t i : active) {
+        out.push_back(net::FlowDemand{sim_flows[i].flow->id, sim_flows[i].path, 0.0});
       }
-      std::sort(ids.begin(), ids.end());
-      net::ResidualLedger ledger(topology, config_.bandwidth_scale);
-      for (const net::FlowDemand& d : demands) ledger.add_path(d.path);
-      const coflow::GammaFn gamma = [&](CoflowId cid) {
-        return coflow::effective_bottleneck(ledger, demands, remaining,
-                                            members.at(cid));
-      };
-      std::vector<std::vector<std::size_t>> groups;
-      groups.reserve(ids.size());
-      for (CoflowId cid : coflow_order->order(registry, std::move(ids), gamma)) {
-        groups.push_back(members.at(cid));
+      return out;
+    };
+    // Solve the sharing discipline's rates under `dmap` capacities; passing
+    // nullptr yields the healthy-hardware reference the monitor compares
+    // against (bit-identical to the pre-gray solver when nothing degrades).
+    const auto solve = [&](const std::vector<net::FlowDemand>& demands,
+                           const net::CapacityMap* dmap) {
+      std::vector<double> rates;
+      if (config_.coflow.enabled) {
+        std::vector<double> remaining;
+        remaining.reserve(active.size());
+        for (std::size_t i : active) remaining.push_back(sim_flows[i].remaining);
+        // Group the active demands by coflow, permute per the configured
+        // discipline (Γ evaluated against the full residual ledger), then let
+        // MADD serve the coflows in that order.
+        std::vector<CoflowId> ids;
+        std::unordered_map<CoflowId, std::vector<std::size_t>> members;
+        for (std::size_t j = 0; j < active.size(); ++j) {
+          const CoflowId cid = registry.coflow_of(sim_flows[active[j]].flow->id);
+          auto [it, fresh] = members.emplace(cid, std::vector<std::size_t>{});
+          if (fresh) ids.push_back(cid);
+          it->second.push_back(j);
+        }
+        std::sort(ids.begin(), ids.end());
+        net::ResidualLedger ledger(topology, config_.bandwidth_scale, dmap);
+        for (const net::FlowDemand& d : demands) ledger.add_path(d.path);
+        const coflow::GammaFn gamma = [&](CoflowId cid) {
+          return coflow::effective_bottleneck(ledger, demands, remaining,
+                                              members.at(cid));
+        };
+        std::vector<std::vector<std::size_t>> groups;
+        groups.reserve(ids.size());
+        for (CoflowId cid : coflow_order->order(registry, std::move(ids), gamma)) {
+          groups.push_back(members.at(cid));
+        }
+        rates = coflow::madd_allocate(topology, demands, remaining, groups,
+                                      config_.bandwidth_scale, dmap);
+      } else if (config_.sharing == net::SharingPolicy::Srpt) {
+        std::vector<double> remaining;
+        remaining.reserve(active.size());
+        for (std::size_t i : active) remaining.push_back(sim_flows[i].remaining);
+        rates = net::srpt_allocate(topology, demands, remaining,
+                                   config_.bandwidth_scale, dmap);
+      } else {
+        rates = allocator.allocate(demands, dmap);
       }
-      rates = coflow::madd_allocate(topology, demands, remaining, groups,
-                                    config_.bandwidth_scale);
-    } else if (config_.sharing == net::SharingPolicy::Srpt) {
-      std::vector<double> remaining;
-      remaining.reserve(active.size());
-      for (std::size_t i : active) remaining.push_back(sim_flows[i].remaining);
-      rates = net::srpt_allocate(topology, demands, remaining,
-                                 config_.bandwidth_scale);
-    } else {
-      rates = allocator.allocate(demands);
+      return rates;
+    };
+
+    std::vector<net::FlowDemand> demands = build_demands();
+    const net::CapacityMap* degrade =
+        fstate.any_degraded() ? &fstate.degrade() : nullptr;
+    std::vector<double> rates = solve(demands, degrade);
+
+    if (gray_rt) {
+      // Health sampling: observed vs healthy-reference rates per flow.  On a
+      // clean run the reference IS the observed vector, so every ratio is
+      // exactly 1.0 and no false suspicion can accumulate.
+      const std::vector<double> nominal =
+          degrade != nullptr ? solve(demands, nullptr) : rates;
+      const auto fresh = gray_rt->sample(now, demands, rates, nominal, fstate);
+      if (!fresh.empty()) {
+        // Soft evacuation of freshly quarantined elements: detour crossing
+        // transfers where an alternative exists; flows with no clean detour
+        // keep their (slow) route — quarantine never stalls.
+        FaultState avoid = fstate;
+        gray_rt->apply_quarantine_to(avoid);
+        bool moved = false;
+        for (std::size_t i : active) {
+          SimFlow& sf = sim_flows[i];
+          if (avoid.path_up(sf.path)) continue;
+          auto detour =
+              reroute_policy(topology, avoid, sf.src, sf.dst, sf.flow->id);
+          if (!detour) continue;
+          sf.policy = std::move(detour->policy);
+          sf.path = std::move(detour->path);
+          sf.hops = sf.policy.len();
+          ++sf.reroutes;
+          ++rec.flows_rerouted;
+          obs::count("sim.gray.reroutes");
+          moved = true;
+        }
+        if (moved) {
+          demands = build_demands();
+          rates = solve(demands, degrade);
+        }
+      }
     }
 
     double dt = std::numeric_limits<double>::infinity();
@@ -634,12 +702,16 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     if (next_nev < net_events.size()) {
       dt = std::min(dt, net_events[next_nev].time - now);
     }
+    if (gray_rt && gray_rt->any_quarantined()) {
+      dt = std::min(dt, gray_rt->next_probe_time() - now);
+    }
     if (!std::isfinite(dt)) {
       throw std::runtime_error("ClusterSimulator: shuffle stalled (zero rates)");
     }
     dt = std::max(dt, 0.0);
 
     now += dt;
+    if (gray_rt && gray_rt->any_quarantined()) gray_rt->run_probes(now, fstate);
     std::vector<std::size_t> still_active;
     still_active.reserve(active.size());
     for (std::size_t j = 0; j < active.size(); ++j) {
@@ -751,7 +823,11 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
   }
 
   // ---- 7. Fault accounting --------------------------------------------------
-  if (faulty) account_plan(config_.faults, result.makespan, rec);
+  if (faulty) {
+    account_plan(config_.faults, result.makespan, rec);
+    account_gray_plan(config_.faults, result.makespan, result.gray);
+  }
+  if (gray_rt) gray_rt->finish(result.makespan, result.gray);
   return result;
 }
 

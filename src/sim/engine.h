@@ -35,6 +35,7 @@
 #include "sched/scheduler.h"
 #include "sim/delay_fetcher.h"
 #include "sim/faults.h"
+#include "sim/gray.h"
 #include "sim/metrics.h"
 #include "util/rng.h"
 
@@ -79,6 +80,12 @@ struct SimConfig {
   /// server faults after the map phase are counted but do not interrupt
   /// transfers (the online simulator models full job restart).
   FaultPlan faults;
+  /// Gray-failure handling (all off by default): health-monitor sampling of
+  /// shuffle progress, detection stats against the plan's Degrade events,
+  /// and optionally quarantine (suspect elements are soft-avoided by
+  /// rerouting and probed before trust returns).  Degrade events in `faults`
+  /// scale effective capacities whether or not the monitor runs.
+  GrayConfig gray;
   /// Observability context (null = disabled, the default).  `run()` binds it
   /// as the thread's ambient context, so the scheduler's phases profile into
   /// it too; wave boundaries, task placements, flow lifecycle and fault

@@ -19,6 +19,14 @@ std::uint64_t salt(FaultTarget target, NodeId a, NodeId b = NodeId{}) {
          static_cast<std::uint64_t>(b.valid() ? b.value() + 1 : 0);
 }
 
+/// Gray streams must be independent of the crash streams above, so that
+/// enabling gray knobs leaves a plan's Fail/Recover events byte-identical.
+constexpr std::uint64_t kGraySalt = 0x4752415900000000ull;  // "GRAY"
+
+std::uint64_t gray_salt(FaultTarget target, NodeId a, NodeId b = NodeId{}) {
+  return salt(target, a, b) ^ kGraySalt;
+}
+
 std::pair<std::uint32_t, std::uint32_t> link_key(NodeId a, NodeId b) {
   return std::minmax(a.value(), b.value());
 }
@@ -30,6 +38,15 @@ std::string_view fault_target_name(FaultTarget target) {
     case FaultTarget::Switch: return "switch";
     case FaultTarget::Server: return "server";
     default: return "link";
+  }
+}
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Fail: return "fail";
+    case FaultKind::Recover: return "recover";
+    case FaultKind::Degrade: return "degrade";
+    default: return "restore";
   }
 }
 
@@ -65,6 +82,36 @@ void FaultPlan::fail_link(NodeId a, NodeId b, double at, double repair_after) {
   insert(FaultEvent{at, FaultKind::Fail, FaultTarget::Link, a, b});
   if (repair_after > 0.0) {
     insert(FaultEvent{at + repair_after, FaultKind::Recover, FaultTarget::Link, a, b});
+  }
+}
+
+namespace {
+void check_gray_factor(double factor) {
+  if (factor <= 0.0 || factor >= 1.0) {
+    throw std::invalid_argument("FaultPlan: gray factor must be in (0, 1)");
+  }
+}
+}  // namespace
+
+void FaultPlan::degrade_switch(NodeId sw, double factor, double at,
+                               double restore_after) {
+  check_gray_factor(factor);
+  insert(FaultEvent{at, FaultKind::Degrade, FaultTarget::Switch, sw, NodeId{},
+                    factor});
+  if (restore_after > 0.0) {
+    insert(FaultEvent{at + restore_after, FaultKind::Restore,
+                      FaultTarget::Switch, sw, NodeId{}});
+  }
+}
+
+void FaultPlan::degrade_link(NodeId a, NodeId b, double factor, double at,
+                             double restore_after) {
+  if (a == b) throw std::invalid_argument("FaultPlan: link endpoints must differ");
+  check_gray_factor(factor);
+  insert(FaultEvent{at, FaultKind::Degrade, FaultTarget::Link, a, b, factor});
+  if (restore_after > 0.0) {
+    insert(FaultEvent{at + restore_after, FaultKind::Restore, FaultTarget::Link,
+                      a, b});
   }
 }
 
@@ -114,6 +161,49 @@ FaultPlan FaultPlan::generate(const topo::Topology& topology,
       }
     }
   }
+
+  // Gray failures: an independent per-element renewal process on a disjoint
+  // salt, so enabling the gray knobs leaves the crash events byte-identical.
+  // The capacity factor is drawn per episode from [gray_factor_min,
+  // gray_factor_max]; mttr == 0 makes the degradation permanent.
+  if (config.gray_switch_mtbf > 0.0 || config.gray_link_mtbf > 0.0) {
+    if (config.gray_factor_min <= 0.0 || config.gray_factor_max >= 1.0 ||
+        config.gray_factor_min > config.gray_factor_max) {
+      throw std::invalid_argument(
+          "FaultPlan::generate: gray factors must satisfy 0 < min <= max < 1");
+    }
+  }
+  auto renew_gray = [&](FaultTarget target, NodeId a, NodeId b, double mtbf,
+                        double mttr) {
+    if (mtbf <= 0.0) return;
+    Rng rng = base.fork(gray_salt(target, a, b));
+    double t = 0.0;
+    while (true) {
+      t += rng.exponential(1.0 / mtbf);
+      if (t >= config.horizon) break;
+      const double factor =
+          rng.uniform(config.gray_factor_min, config.gray_factor_max);
+      plan.insert(FaultEvent{t, FaultKind::Degrade, target, a, b, factor});
+      if (mttr <= 0.0) break;  // permanent degradation
+      t += rng.exponential(1.0 / mttr);
+      plan.insert(FaultEvent{t, FaultKind::Restore, target, a, b});
+      if (t >= config.horizon) break;
+    }
+  };
+  for (NodeId sw : topology.switches()) {
+    renew_gray(FaultTarget::Switch, sw, NodeId{}, config.gray_switch_mtbf,
+               config.gray_switch_mttr);
+  }
+  if (config.gray_link_mtbf > 0.0) {
+    for (std::uint32_t n = 0; n < topology.node_count(); ++n) {
+      const NodeId a{n};
+      for (const topo::Edge& e : topology.graph().neighbors(a)) {
+        if (e.to < a) continue;
+        renew_gray(FaultTarget::Link, a, e.to, config.gray_link_mtbf,
+                   config.gray_link_mttr);
+      }
+    }
+  }
   return plan;
 }
 
@@ -121,6 +211,18 @@ FaultState::FaultState(const topo::Topology& topology)
     : topology_(&topology), node_down_(topology.node_count(), 0) {}
 
 void FaultState::apply(const FaultEvent& event) {
+  if (event.kind == FaultKind::Degrade || event.kind == FaultKind::Restore) {
+    // Gray events only touch the capacity map; up/down state is unaffected.
+    const double factor = event.kind == FaultKind::Degrade ? event.factor : 1.0;
+    if (event.target == FaultTarget::Link) {
+      degrade_.set_link(event.node, event.peer, factor);
+    } else if (event.target == FaultTarget::Switch) {
+      degrade_.set_switch(event.node, factor);
+    } else {
+      throw std::invalid_argument("FaultState: servers cannot gray-fail");
+    }
+    return;
+  }
   if (event.target == FaultTarget::Link) {
     if (event.kind == FaultKind::Fail) {
       down_links_.insert(link_key(event.node, event.peer));
@@ -211,6 +313,9 @@ void account_plan(const FaultPlan& plan, double end, RecoveryStats& rec) {
   std::map<std::tuple<int, std::uint32_t, std::uint32_t>, double> down_since;
   for (const FaultEvent& ev : plan.events()) {
     if (ev.time > end) break;
+    if (ev.kind == FaultKind::Degrade || ev.kind == FaultKind::Restore) {
+      continue;  // gray accounting lives in account_gray_plan
+    }
     ++rec.faults_applied;
     const auto key = std::make_tuple(
         static_cast<int>(ev.target), ev.node.value(),
@@ -233,6 +338,30 @@ void account_plan(const FaultPlan& plan, double end, RecoveryStats& rec) {
   }
   for (const auto& [key, since] : down_since) {
     if (end > since) rec.unavailable_seconds += end - since;
+  }
+}
+
+void account_gray_plan(const FaultPlan& plan, double end, GrayStats& gray) {
+  std::map<std::tuple<int, std::uint32_t, std::uint32_t>, double> degraded_since;
+  for (const FaultEvent& ev : plan.events()) {
+    if (ev.time > end) break;
+    if (ev.kind != FaultKind::Degrade && ev.kind != FaultKind::Restore) continue;
+    ++gray.gray_events;
+    const auto key = std::make_tuple(
+        static_cast<int>(ev.target), ev.node.value(),
+        ev.peer.valid() ? ev.peer.value() : 0xFFFFFFFFu);
+    if (ev.kind == FaultKind::Degrade) {
+      if (degraded_since.emplace(key, ev.time).second) ++gray.degradations;
+    } else {
+      const auto it = degraded_since.find(key);
+      if (it != degraded_since.end()) {
+        gray.degraded_seconds += ev.time - it->second;
+        degraded_since.erase(it);
+      }
+    }
+  }
+  for (const auto& [key, since] : degraded_since) {
+    if (end > since) gray.degraded_seconds += end - since;
   }
 }
 

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "network/bandwidth.h"
 #include "network/policy.h"
 #include "sim/metrics.h"
 #include "topology/topology.h"
@@ -31,9 +32,13 @@
 namespace hit::sim {
 
 enum class FaultTarget : std::uint8_t { Switch, Server, Link };
-enum class FaultKind : std::uint8_t { Fail, Recover };
+/// Fail/Recover are the binary crash model of PR 1.  Degrade/Restore are the
+/// gray-failure half: the element stays alive and routable but its effective
+/// capacity drops to `factor` x nominal until the matching Restore.
+enum class FaultKind : std::uint8_t { Fail, Recover, Degrade, Restore };
 
 [[nodiscard]] std::string_view fault_target_name(FaultTarget target);
+[[nodiscard]] std::string_view fault_kind_name(FaultKind kind);
 
 struct FaultEvent {
   double time = 0.0;
@@ -41,10 +46,15 @@ struct FaultEvent {
   FaultTarget target = FaultTarget::Switch;
   NodeId node;  ///< the failed switch / server node; link endpoint a
   NodeId peer;  ///< link endpoint b; invalid for switch/server events
+  double factor = 1.0;  ///< Degrade only: effective-capacity multiplier (0, 1)
 };
 
 /// MTBF/MTTR generator knobs.  A class with mtbf == 0 never fails; mttr == 0
-/// makes failures permanent (no recover event is emitted).
+/// makes failures permanent (no recover event is emitted).  The gray_* knobs
+/// drive an independent Degrade/Restore renewal process per switch and link
+/// (servers do not gray-fail: a slow server is the straggler model's job);
+/// each episode's capacity factor is drawn uniformly from
+/// [gray_factor_min, gray_factor_max].
 struct MtbfConfig {
   double horizon = 0.0;  ///< generate events in (0, horizon)
   double switch_mtbf = 0.0;
@@ -53,6 +63,12 @@ struct MtbfConfig {
   double server_mttr = 0.0;
   double link_mtbf = 0.0;
   double link_mttr = 0.0;
+  double gray_switch_mtbf = 0.0;
+  double gray_switch_mttr = 0.0;
+  double gray_link_mtbf = 0.0;
+  double gray_link_mttr = 0.0;
+  double gray_factor_min = 0.25;
+  double gray_factor_max = 0.5;
 };
 
 /// An ordered script of fault events.  Events are kept sorted by time;
@@ -68,6 +84,15 @@ class FaultPlan {
   void fail_switch(NodeId sw, double at, double repair_after = 0.0);
   void fail_server(NodeId server_node, double at, double repair_after = 0.0);
   void fail_link(NodeId a, NodeId b, double at, double repair_after = 0.0);
+
+  /// Scripted gray failures: the element keeps working at `factor` x its
+  /// nominal capacity from `at` until `restore_after` later (<= 0 means the
+  /// degradation is permanent).  Throws std::invalid_argument unless factor
+  /// is in (0, 1).
+  void degrade_switch(NodeId sw, double factor, double at,
+                      double restore_after = 0.0);
+  void degrade_link(NodeId a, NodeId b, double factor, double at,
+                    double restore_after = 0.0);
 
   /// Stochastic plan: alternate Exp(1/mtbf) up-times and Exp(1/mttr)
   /// down-times per element.  Failures are generated inside (0, horizon);
@@ -110,11 +135,27 @@ class FaultState {
     return down_node_count_ > 0 || !down_links_.empty();
   }
 
+  /// Gray view: current effective-capacity factors of degraded elements
+  /// (empty when nothing is degraded).  The map is stable for the life of
+  /// the FaultState, so allocators may hold a pointer to it.
+  [[nodiscard]] const net::CapacityMap& degrade() const noexcept {
+    return degrade_;
+  }
+  [[nodiscard]] bool any_degraded() const noexcept { return !degrade_.empty(); }
+  /// Effective factor of a switch / link (1.0 when healthy or unknown).
+  [[nodiscard]] double capacity_factor(NodeId n) const {
+    return degrade_.switch_factor(n);
+  }
+  [[nodiscard]] double link_capacity_factor(NodeId a, NodeId b) const {
+    return degrade_.link_factor(a, b);
+  }
+
  private:
   const topo::Topology* topology_;
   std::vector<char> node_down_;  // indexed by NodeId
   std::size_t down_node_count_ = 0;
   std::set<std::pair<std::uint32_t, std::uint32_t>> down_links_;  // a < b
+  net::CapacityMap degrade_;  // gray factors of degraded-but-alive elements
 };
 
 /// A reroute answer: the policy (switch list) plus the exact node path the
@@ -133,7 +174,14 @@ struct Reroute {
 
 /// Fold the plan prefix inside [0, end] into `rec`: events replayed
 /// (`faults_applied`), failure episodes per element class, and total element
-/// downtime clipped to the run (`unavailable_seconds`).
+/// downtime clipped to the run (`unavailable_seconds`).  Degrade/Restore
+/// events are gray accounting (account_gray_plan), not failures, and are
+/// skipped here.
 void account_plan(const FaultPlan& plan, double end, RecoveryStats& rec);
+
+/// Fold the plan's Degrade/Restore prefix inside [0, end] into `gray`:
+/// events replayed, distinct degradation episodes, and total degraded time
+/// clipped to the run (`degraded_seconds`).
+void account_gray_plan(const FaultPlan& plan, double end, GrayStats& gray);
 
 }  // namespace hit::sim

@@ -1,0 +1,174 @@
+#include "sim/gray.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/context.h"
+
+namespace hit::sim {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+GrayRuntime::Key event_key(const FaultEvent& event) {
+  return event.target == FaultTarget::Link
+             ? net::CapacityMap::link_key(event.node, event.peer)
+             : net::CapacityMap::switch_key(event.node);
+}
+
+}  // namespace
+
+GrayRuntime::GrayRuntime(const topo::Topology& topology, const GrayConfig& config)
+    : topology_(&topology), config_(config), monitor_(topology, config.health) {
+  if (config_.quarantine) config_.monitor = true;  // quarantine implies monitor
+  if (config_.probe_interval <= 0.0) {
+    throw std::invalid_argument("GrayRuntime: probe_interval must be positive");
+  }
+  if (config_.probe_successes == 0) {
+    throw std::invalid_argument("GrayRuntime: probe_successes must be positive");
+  }
+  if (config_.probe_ratio <= 0.0 || config_.probe_ratio > 1.0) {
+    throw std::invalid_argument("GrayRuntime: probe_ratio must be in (0, 1]");
+  }
+  if (config_.penalty < 1.0) {
+    throw std::invalid_argument("GrayRuntime: penalty must be >= 1");
+  }
+}
+
+void GrayRuntime::on_event(const FaultEvent& event) {
+  if (event.kind == FaultKind::Degrade) {
+    truth_onset_.emplace(event_key(event), event.time);
+  } else if (event.kind == FaultKind::Restore) {
+    truth_onset_.erase(event_key(event));
+  }
+}
+
+std::vector<GrayRuntime::Key> GrayRuntime::sample(
+    double now, const std::vector<net::FlowDemand>& demands,
+    const std::vector<double>& observed, const std::vector<double>& nominal,
+    const FaultState& truth) {
+  if (!config_.monitor) return {};
+  if (observed.size() != demands.size() || nominal.size() != demands.size()) {
+    throw std::invalid_argument("GrayRuntime::sample: size mismatch");
+  }
+  monitor_.begin_sample();
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const double ratio = nominal[i] > kEps ? observed[i] / nominal[i] : 1.0;
+    monitor_.note_path(demands[i].path, ratio);
+  }
+  std::vector<Key> quarantined_now;
+  for (Key key : monitor_.end_sample()) {
+    const bool real = truth.degrade().factor(key) < 1.0;
+    if (real) {
+      ++detections_;
+      const auto it = truth_onset_.find(key);
+      if (it != truth_onset_.end()) ttd_sum_ += now - it->second;
+      obs::count("sim.gray.detections");
+    } else {
+      ++false_positives_;
+      obs::count("sim.gray.false_positives");
+    }
+    obs::sim_instant("gray.suspect", "sim.gray", now,
+                     {{"key", static_cast<std::int64_t>(key)},
+                      {"real", static_cast<std::int64_t>(real)}},
+                     /*tid=*/3);
+    if (config_.quarantine &&
+        quarantined_
+            .emplace(key, Quarantine{now, 0, now + config_.probe_interval})
+            .second) {
+      ++quarantines_;
+      quarantined_now.push_back(key);
+      obs::count("sim.gray.quarantines");
+      obs::sim_instant("gray.quarantine", "sim.gray", now,
+                       {{"key", static_cast<std::int64_t>(key)}}, /*tid=*/3);
+    }
+  }
+  return quarantined_now;
+}
+
+double GrayRuntime::next_probe_time() const {
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& [key, q] : quarantined_) next = std::min(next, q.next_probe);
+  return next;
+}
+
+std::vector<GrayRuntime::Key> GrayRuntime::run_probes(double now,
+                                                      const FaultState& truth) {
+  std::vector<Key> reinstated;
+  for (auto it = quarantined_.begin(); it != quarantined_.end();) {
+    Quarantine& q = it->second;
+    if (q.next_probe > now + kEps) {
+      ++it;
+      continue;
+    }
+    ++probes_;
+    const bool healthy = truth.degrade().factor(it->first) >= config_.probe_ratio;
+    obs::count("sim.gray.probes");
+    obs::sim_instant("gray.probe", "sim.gray", now,
+                     {{"key", static_cast<std::int64_t>(it->first)},
+                      {"healthy", static_cast<std::int64_t>(healthy)}},
+                     /*tid=*/3);
+    if (healthy && ++q.successes >= config_.probe_successes) {
+      quarantine_seconds_ += now - q.since;
+      ++reinstatements_;
+      monitor_.reset(it->first);
+      reinstated.push_back(it->first);
+      obs::count("sim.gray.reinstatements");
+      obs::sim_instant("gray.reinstate", "sim.gray", now,
+                       {{"key", static_cast<std::int64_t>(it->first)}},
+                       /*tid=*/3);
+      it = quarantined_.erase(it);
+      continue;
+    }
+    if (!healthy) q.successes = 0;  // streak broken
+    q.next_probe = now + config_.probe_interval;
+    ++it;
+  }
+  return reinstated;
+}
+
+std::vector<NodeId> GrayRuntime::penalized_switches() const {
+  std::vector<NodeId> out;
+  for (const auto& [key, q] : quarantined_) {
+    // Placement penalties act on switches the optimizer can route around.
+    // A link flag localizes to the link alone — condemning both endpoints
+    // would price up a healthy aggregation switch for its neighbour's sins
+    // (every flow on an agg<->access uplink also crosses the access switch,
+    // so a degraded access drags all its uplinks below threshold).  Link
+    // suspects still divert crossing flows via apply_quarantine_to().
+    if (!core::HealthMonitor::key_is_switch(key)) continue;
+    out.push_back(core::HealthMonitor::key_node(key));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void GrayRuntime::apply_quarantine_to(FaultState& state) const {
+  for (const auto& [key, q] : quarantined_) {
+    const NodeId a = core::HealthMonitor::key_node(key);
+    const NodeId b = core::HealthMonitor::key_peer(key);
+    if (core::HealthMonitor::key_is_switch(key)) {
+      state.apply(FaultEvent{0.0, FaultKind::Fail, FaultTarget::Switch, a});
+    } else {
+      state.apply(FaultEvent{0.0, FaultKind::Fail, FaultTarget::Link, a, b});
+    }
+  }
+}
+
+void GrayRuntime::finish(double end, GrayStats& gray) const {
+  gray.detections += detections_;
+  gray.false_positives += false_positives_;
+  gray.mean_time_to_detect =
+      detections_ > 0 ? ttd_sum_ / static_cast<double>(detections_) : 0.0;
+  gray.quarantines += quarantines_;
+  gray.probes += probes_;
+  gray.reinstatements += reinstatements_;
+  gray.quarantine_seconds = quarantine_seconds_;
+  for (const auto& [key, q] : quarantined_) {
+    if (end > q.since) gray.quarantine_seconds += end - q.since;
+  }
+}
+
+}  // namespace hit::sim

@@ -1,0 +1,123 @@
+// Gray-failure runtime: the glue between the simulators' fluid loops, the
+// controller-side health monitor, and the quarantine/probe lifecycle.
+//
+// Both simulators drive the same loop: every time rates are re-solved, each
+// active flow's observed rate is compared against the rate the same
+// allocation would yield on healthy hardware (the nominal run), and the
+// ratios feed core::HealthMonitor.  Elements the monitor flags are checked
+// against the fault plan's ground truth (detection vs false positive, time
+// to detect) and — when quarantine is enabled — placed under a routing-cost
+// penalty and probed on a fixed schedule until `probe_successes` consecutive
+// probes find them healthy again (the CircuitBreaker HalfOpen idea applied
+// to network elements).
+//
+// Everything here is off by default and deterministic: sampling happens at
+// the fluid loop's existing event times, probes fire at quarantine_time +
+// k x probe_interval, and all bookkeeping iterates std::maps.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "core/health_monitor.h"
+#include "network/bandwidth.h"
+#include "sim/faults.h"
+#include "sim/metrics.h"
+#include "topology/topology.h"
+
+namespace hit::sim {
+
+struct GrayConfig {
+  /// Sample flow progress into the health monitor and record detections.
+  bool monitor = false;
+  /// Quarantine flagged elements (cost penalty + probe/reinstate loop).
+  /// Implies `monitor`.
+  bool quarantine = false;
+  core::HealthConfig health;
+  double probe_interval = 30.0;   ///< seconds between probes of a suspect
+  std::size_t probe_successes = 2; ///< consecutive passes before reinstating
+  /// A probe passes when the element's true capacity factor is at least
+  /// this (i.e. the degradation has lifted).
+  double probe_ratio = 0.95;
+  /// Dijkstra step-cost multiplier applied to quarantined switches.
+  double penalty = 4.0;
+
+  [[nodiscard]] bool enabled() const noexcept { return monitor || quarantine; }
+};
+
+/// Per-run gray-failure state machine shared by ClusterSimulator and
+/// OnlineSimulator.  Construct once per run; call on_event() for every
+/// Degrade/Restore the run replays, sample() at every rate re-solve, and
+/// run_probes() whenever simulated time passes next_probe_time().
+class GrayRuntime {
+ public:
+  using Key = core::HealthMonitor::Key;
+
+  GrayRuntime(const topo::Topology& topology, const GrayConfig& config);
+
+  /// Ground-truth bookkeeping (time-to-detect needs the degrade onset).
+  void on_event(const FaultEvent& event);
+
+  /// One sampling round over the active flows.  `observed` and `nominal`
+  /// align with `demands`; `truth` is the replay fault state (its degrade
+  /// map classifies fresh flags as detections or false positives).  Returns
+  /// the elements newly quarantined by this round (always empty when
+  /// quarantine is off).
+  std::vector<Key> sample(double now, const std::vector<net::FlowDemand>& demands,
+                          const std::vector<double>& observed,
+                          const std::vector<double>& nominal,
+                          const FaultState& truth);
+
+  /// Earliest pending probe (+inf when nothing is quarantined).
+  [[nodiscard]] double next_probe_time() const;
+
+  /// Execute every probe due at `now` against the run's ground truth.
+  /// Returns the elements reinstated (monitor history reset so stale scores
+  /// cannot instantly re-flag them).
+  std::vector<Key> run_probes(double now, const FaultState& truth);
+
+  [[nodiscard]] bool any_quarantined() const noexcept {
+    return !quarantined_.empty();
+  }
+  /// Switches to penalize in placement/routing: quarantined switches plus
+  /// the switch endpoints of quarantined links.  Sorted, unique.
+  [[nodiscard]] std::vector<NodeId> penalized_switches() const;
+  /// Soft-avoid view for BFS rerouting: marks every quarantined element as
+  /// down in `state` (callers copy the replay state first and keep their old
+  /// route when the avoidance disconnects the pair).
+  void apply_quarantine_to(FaultState& state) const;
+
+  /// Fold monitor/quarantine accounting into `gray` (detections, false
+  /// positives, mean time-to-detect, probe and quarantine totals; open
+  /// quarantines are clipped to `end`).  Ground-truth fields come from
+  /// account_gray_plan, not from here.
+  void finish(double end, GrayStats& gray) const;
+
+  [[nodiscard]] const core::HealthMonitor& monitor() const noexcept {
+    return monitor_;
+  }
+  [[nodiscard]] const GrayConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Quarantine {
+    double since = 0.0;
+    std::size_t successes = 0;
+    double next_probe = 0.0;
+  };
+
+  const topo::Topology* topology_;
+  GrayConfig config_;
+  core::HealthMonitor monitor_;
+  std::map<Key, double> truth_onset_;    ///< degraded key -> degrade time
+  std::map<Key, Quarantine> quarantined_;
+  std::size_t detections_ = 0;
+  std::size_t false_positives_ = 0;
+  double ttd_sum_ = 0.0;
+  std::size_t quarantines_ = 0;
+  std::size_t probes_ = 0;
+  std::size_t reinstatements_ = 0;
+  double quarantine_seconds_ = 0.0;
+};
+
+}  // namespace hit::sim

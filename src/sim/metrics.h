@@ -70,6 +70,30 @@ struct RecoveryStats {
   double unavailable_seconds = 0.0;  ///< Σ element downtime inside the run
 };
 
+/// Gray-failure accounting (all zero when no Degrade events fired and the
+/// health monitor is off).  Ground truth (degradations, degraded_seconds)
+/// comes from the fault plan via account_gray_plan; detection quality
+/// (detections, false_positives, time-to-detect) and quarantine activity come
+/// from the health monitor / quarantine loop, so a run can report "the
+/// monitor caught N of M injected degradations, wrongly flagged K healthy
+/// elements, and kept suspects quarantined for S seconds".
+struct GrayStats {
+  std::size_t gray_events = 0;        ///< degrade+restore events replayed
+  std::size_t degradations = 0;       ///< injected degradation episodes
+  double degraded_seconds = 0.0;      ///< Σ element degraded time in the run
+  std::size_t detections = 0;         ///< degraded elements flagged by monitor
+  std::size_t false_positives = 0;    ///< healthy elements flagged by monitor
+  double mean_time_to_detect = 0.0;   ///< mean degrade→flag latency (detected)
+  std::size_t quarantines = 0;        ///< elements placed under cost penalty
+  std::size_t probes = 0;             ///< probe attempts against suspects
+  std::size_t reinstatements = 0;     ///< suspects restored after probes pass
+  double quarantine_seconds = 0.0;    ///< Σ element time under quarantine
+
+  [[nodiscard]] bool any() const noexcept {
+    return gray_events > 0 || detections > 0 || false_positives > 0;
+  }
+};
+
 /// Overload accounting for an online run (all zero when admission control is
 /// off or the offered load fits).  A run that sheds work completes with
 /// partial results instead of throwing; this block says what was given up.
@@ -104,7 +128,10 @@ struct SimResult {
   double total_remote_map_gb = 0.0;
   double shuffle_finish_time = 0.0;  ///< when the last shuffle byte landed
   std::size_t speculative_copies = 0;  ///< backup map attempts launched
+  std::size_t speculative_won = 0;     ///< backups that beat the original
+  std::size_t speculative_lost = 0;    ///< backups the original outran
   RecoveryStats recovery;              ///< fault/recovery accounting
+  GrayStats gray;                      ///< gray-failure / quarantine accounting
   std::vector<CoflowTiming> coflows;   ///< per-job-wave shuffle groups
 
   [[nodiscard]] std::vector<double> job_completion_times() const;

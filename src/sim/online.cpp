@@ -5,6 +5,7 @@
 #include <deque>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
@@ -228,6 +229,15 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
   FaultState fstate(topology);  // switch/link liveness
   std::vector<double> queued_since = arrivals;  // restart re-stamps the wait
   std::size_t reschedule_seq = 0;               // rng stream per map re-placement
+  std::optional<GrayRuntime> gray_rt;           // health monitor + quarantine
+  if (config_.sim.gray.enabled()) gray_rt.emplace(topology, config_.sim.gray);
+  // Placement-time soft avoidance: schedulers price quarantined switches up.
+  const auto penalize_problem = [&](sched::Problem& problem) {
+    if (gray_rt && gray_rt->any_quarantined()) {
+      problem.penalized_switches = gray_rt->penalized_switches();
+      problem.switch_penalty = gray_rt->config().penalty;
+    }
+  };
 
   // Abandon a waiting job under overload: it counts toward termination but
   // never receives containers, and the run's OverloadStats say why.
@@ -307,6 +317,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
                                              config_.sim.container_demand, t.input_gb});
     }
     problem.flows = job_flow_sets[j];
+    penalize_problem(problem);
 
     Rng wave_rng = rng.fork(1000 + j);
     sched::Assignment assignment;
@@ -567,6 +578,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     for (const net::Flow& f : job_flow_sets[j]) {
       if (killed_srcs.count(f.src_task) > 0) problem.flows.push_back(f);
     }
+    penalize_problem(problem);
 
     Rng wave_rng = rng.fork(500000 + reschedule_seq++);
     sched::Assignment assignment;
@@ -666,6 +678,13 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
 
   const auto handle_net_event = [&](const FaultEvent& ev) {
     fstate.apply(ev);
+    if (ev.kind == FaultKind::Degrade || ev.kind == FaultKind::Restore) {
+      // Capacity changed but connectivity did not: routes stand as-is and
+      // rates pick up the new factors at the next re-solve; the health
+      // monitor (when enabled) has to infer the change from observed rates.
+      if (gray_rt) gray_rt->on_event(ev);
+      return;
+    }
     if (ev.kind == FaultKind::Fail) {
       // Crossing transfers detour onto an alive route or park until repair.
       std::vector<std::size_t> keep;
@@ -712,37 +731,91 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     for (std::size_t idx : active) {
       demands.push_back(net::FlowDemand{flows[idx].flow->id, flows[idx].path, 0.0});
     }
-    std::vector<double> rates;
-    if (!active.empty() && config_.sim.coflow.enabled) {
-      // Group the pool by coflow, permute per the configured discipline, and
-      // let MADD serve whole coflows against the residual ledger.
-      std::vector<double> remaining;
-      remaining.reserve(active.size());
-      for (std::size_t idx : active) remaining.push_back(flows[idx].remaining);
-      std::vector<CoflowId> cids;
-      std::unordered_map<CoflowId, std::vector<std::size_t>> members;
-      for (std::size_t i = 0; i < active.size(); ++i) {
-        const CoflowId cid = job_coflow[flows[active[i]].job];
-        auto [it, fresh] = members.emplace(cid, std::vector<std::size_t>{});
-        if (fresh) cids.push_back(cid);
-        it->second.push_back(i);
+    // Solve fair rates for the pool under an optional degrade map — invoked
+    // once with the true capacities and, when the health monitor runs on a
+    // degraded network, once more at full capacity as the healthy baseline.
+    const auto solve = [&](const net::CapacityMap* dmap) -> std::vector<double> {
+      if (active.empty()) return {};
+      if (config_.sim.coflow.enabled) {
+        // Group the pool by coflow, permute per the configured discipline,
+        // and let MADD serve whole coflows against the residual ledger.
+        std::vector<double> remaining;
+        remaining.reserve(active.size());
+        for (std::size_t idx : active) remaining.push_back(flows[idx].remaining);
+        std::vector<CoflowId> cids;
+        std::unordered_map<CoflowId, std::vector<std::size_t>> members;
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          const CoflowId cid = job_coflow[flows[active[i]].job];
+          auto [it, fresh] = members.emplace(cid, std::vector<std::size_t>{});
+          if (fresh) cids.push_back(cid);
+          it->second.push_back(i);
+        }
+        std::sort(cids.begin(), cids.end());
+        net::ResidualLedger ledger(topology, config_.sim.bandwidth_scale, dmap);
+        for (const net::FlowDemand& d : demands) ledger.add_path(d.path);
+        const coflow::GammaFn gamma = [&](CoflowId cid) {
+          return coflow::effective_bottleneck(ledger, demands, remaining,
+                                              members.at(cid));
+        };
+        std::vector<std::vector<std::size_t>> groups;
+        groups.reserve(cids.size());
+        for (CoflowId cid : coflow_order->order(registry, std::move(cids), gamma)) {
+          groups.push_back(members.at(cid));
+        }
+        return coflow::madd_allocate(topology, demands, remaining, groups,
+                                     config_.sim.bandwidth_scale, dmap);
       }
-      std::sort(cids.begin(), cids.end());
-      net::ResidualLedger ledger(topology, config_.sim.bandwidth_scale);
-      for (const net::FlowDemand& d : demands) ledger.add_path(d.path);
-      const coflow::GammaFn gamma = [&](CoflowId cid) {
-        return coflow::effective_bottleneck(ledger, demands, remaining,
-                                            members.at(cid));
-      };
-      std::vector<std::vector<std::size_t>> groups;
-      groups.reserve(cids.size());
-      for (CoflowId cid : coflow_order->order(registry, std::move(cids), gamma)) {
-        groups.push_back(members.at(cid));
+      return allocator.allocate(demands, dmap);
+    };
+    const net::CapacityMap* degrade =
+        fstate.any_degraded() ? &fstate.degrade() : nullptr;
+    std::vector<double> rates = solve(degrade);
+
+    if (gray_rt && !active.empty()) {
+      // Health sampling: each flow's observed rate vs what the identical
+      // allocation yields on healthy hardware.  On a clean network the
+      // baseline IS the observed vector, so ratios are exactly 1.0.
+      const std::vector<double> nominal =
+          degrade != nullptr ? solve(nullptr) : rates;
+      const std::vector<GrayRuntime::Key> fresh =
+          gray_rt->sample(now, demands, rates, nominal, fstate);
+      if (!fresh.empty()) {
+        // Soft-evacuate active flows off the newly quarantined elements:
+        // reroute as if they had failed, but keep the current route when no
+        // detour exists (quarantine penalizes, it never disconnects).
+        FaultState avoid = fstate;
+        gray_rt->apply_quarantine_to(avoid);
+        bool moved = false;
+        for (std::size_t idx : active) {
+          JobFlow& jf = flows[idx];
+          if (avoid.path_up(jf.path)) continue;
+          auto detour = reroute_policy(topology, avoid, jf.src_node,
+                                       jf.dst_node, jf.flow->id);
+          if (!detour) continue;
+          if (jf.charged) load.remove(jf.policy, jf.flow->rate);
+          state[jf.job].shuffle_cost +=
+              jf.flow->size_gb * (static_cast<double>(detour->policy.len()) -
+                                  static_cast<double>(jf.hops));
+          jf.policy = std::move(detour->policy);
+          jf.path = std::move(detour->path);
+          jf.hops = jf.policy.len();
+          load.assign(jf.policy, jf.flow->rate);
+          jf.charged = true;
+          ++jf.reroutes;
+          ++rec.flows_rerouted;
+          moved = true;
+          obs::count("online.gray.reroutes");
+        }
+        if (moved) {
+          // Routes changed under the allocation: re-solve before advancing.
+          demands.clear();
+          for (std::size_t idx : active) {
+            demands.push_back(
+                net::FlowDemand{flows[idx].flow->id, flows[idx].path, 0.0});
+          }
+          rates = solve(degrade);
+        }
       }
-      rates = coflow::madd_allocate(topology, demands, remaining, groups,
-                                    config_.sim.bandwidth_scale);
-    } else if (!active.empty()) {
-      rates = allocator.allocate(demands);
     }
 
     double completion_at = kInf;
@@ -758,12 +831,18 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     const double finish_at = job_finishes.empty() ? kInf : job_finishes.top().first;
     const double fault_at =
         next_fev < fault_events.size() ? fault_events[next_fev].time : kInf;
+    const double probe_at = (gray_rt && gray_rt->any_quarantined())
+                                ? gray_rt->next_probe_time()
+                                : kInf;
 
-    const double next_time = std::min(
+    // Probes bound the step but never rescue a stalled run: a probe that can
+    // never pass must not advance time forever with no runnable event left.
+    const double progress_at = std::min(
         {completion_at, arrival_at, release_at, local_at, finish_at, fault_at});
-    if (!std::isfinite(next_time)) {
+    if (!std::isfinite(progress_at)) {
       throw std::runtime_error("OnlineSimulator: stalled (no runnable event)");
     }
+    const double next_time = std::min(progress_at, probe_at);
     const double dt = next_time - now;
     for (std::size_t i = 0; i < active.size(); ++i) {
       flows[active[i]].remaining -= rates[i] * dt;
@@ -797,10 +876,25 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     while (next_fev < fault_events.size() &&
            fault_events[next_fev].time <= now + kEps) {
       const FaultEvent& ev = fault_events[next_fev++];
-      obs::count(ev.kind == FaultKind::Fail ? "online.faults.fail"
-                                            : "online.faults.recover");
-      obs::sim_instant(ev.kind == FaultKind::Fail ? "fault.fail" : "fault.recover",
-                       "sim.fault", ev.time, {}, /*tid=*/3);
+      switch (ev.kind) {
+        case FaultKind::Fail:
+          obs::count("online.faults.fail");
+          obs::sim_instant("fault.fail", "sim.fault", ev.time, {}, /*tid=*/3);
+          break;
+        case FaultKind::Recover:
+          obs::count("online.faults.recover");
+          obs::sim_instant("fault.recover", "sim.fault", ev.time, {}, /*tid=*/3);
+          break;
+        case FaultKind::Degrade:
+          obs::count("online.faults.degrade");
+          obs::sim_instant("fault.degrade", "sim.fault", ev.time,
+                           {{"factor", ev.factor}}, /*tid=*/3);
+          break;
+        case FaultKind::Restore:
+          obs::count("online.faults.restore");
+          obs::sim_instant("fault.restore", "sim.fault", ev.time, {}, /*tid=*/3);
+          break;
+      }
       if (ev.target == FaultTarget::Server) {
         if (ev.kind == FaultKind::Fail) {
           handle_server_fail(ev.node);
@@ -811,6 +905,9 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
         handle_net_event(ev);
       }
     }
+    // 3b. Quarantine probes: reinstate elements that repeatedly probe clean
+    // (future placements simply see a smaller penalized set).
+    if (gray_rt && gray_rt->any_quarantined()) gray_rt->run_probes(now, fstate);
 
     // 4. Flow releases into the fluid pool.
     while (!releases.empty() && releases.top().first <= now + kEps) {
@@ -986,7 +1083,11 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     obs::gauge_set("online.avg_coflow_cct_s", result.avg_coflow_cct);
     obs::gauge_set("online.p95_coflow_cct_s", result.p95_coflow_cct);
   }
-  if (faulty) account_plan(config_.sim.faults, result.makespan, rec);
+  if (faulty) {
+    account_plan(config_.sim.faults, result.makespan, rec);
+    account_gray_plan(config_.sim.faults, result.makespan, result.gray);
+  }
+  if (gray_rt) gray_rt->finish(result.makespan, result.gray);
   return result;
 }
 

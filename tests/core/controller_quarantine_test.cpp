@@ -1,0 +1,128 @@
+// Gray-failure quarantine lifecycle on the NetworkController: soft
+// evacuation of crossing flows, the probe streak, and reinstatement.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "network/routing.h"
+#include "topology/builders.h"
+
+namespace hit::core {
+namespace {
+
+bool crosses(const net::Policy& policy, NodeId sw) {
+  for (NodeId w : policy.list) {
+    if (w == sw) return true;
+  }
+  return false;
+}
+
+class ControllerQuarantineTest : public ::testing::Test {
+ protected:
+  // Depth-2 tree, 4 access positions x 1 host, 2 core replicas: every
+  // cross-rack flow has exactly two equal-hop routes, one per core, so a
+  // quarantined core always has a clean same-length detour.
+  topo::TreeConfig tree_{2, 4, 2, 1, 16.0, 32.0};
+  topo::Topology topo_ = topo::make_tree(tree_);
+  NetworkController controller_{topo_, {}};
+
+  net::Flow flow(unsigned id, double rate) {
+    net::Flow f;
+    f.id = FlowId(id);
+    f.size_gb = rate;
+    f.rate = rate;
+    return f;
+  }
+
+  NodeId server(std::size_t i) { return topo_.servers()[i]; }
+};
+
+TEST_F(ControllerQuarantineTest, SoftEvacuatesCrossingFlows) {
+  const net::Policy p =
+      net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  const NodeId core = p.list[1];
+  controller_.install(flow(1, 10.0), p, server(0), server(2));
+
+  EXPECT_EQ(controller_.quarantine(core), 1u);
+  EXPECT_TRUE(controller_.quarantined(core));
+  // The flow moved to the twin core and stays fully installed (no park).
+  EXPECT_FALSE(crosses(controller_.policy_of(FlowId(1)), core));
+  EXPECT_EQ(controller_.parked_count(), 0u);
+  EXPECT_DOUBLE_EQ(controller_.load().load(core), 0.0);
+  EXPECT_NO_THROW(controller_.audit());
+}
+
+TEST_F(ControllerQuarantineTest, QuarantineIsIdempotent) {
+  const NodeId core = topo_.switches()[0];
+  EXPECT_EQ(controller_.quarantine(core), 0u);  // nothing installed yet
+  EXPECT_EQ(controller_.quarantine(core), 0u);  // second call: no-op
+  EXPECT_EQ(controller_.quarantined_switches().size(), 1u);
+}
+
+TEST_F(ControllerQuarantineTest, RejectsNonSwitch) {
+  EXPECT_THROW(controller_.quarantine(server(0)), NotASwitch);
+}
+
+TEST_F(ControllerQuarantineTest, OnlyRouteStaysPutUnderQuarantine) {
+  // Case-study tree has a single route per pair: the suspect stays in use
+  // because every alternative is worse — soft avoidance, not exclusion.
+  const topo::Topology single = topo::make_case_study_tree();
+  NetworkController controller(single, {});
+  const NodeId a = single.servers()[0];
+  const NodeId b = single.servers()[3];
+  const net::Policy p = net::shortest_policy(single, a, b, FlowId(1));
+  const NodeId root = p.list[1];
+  controller.install(flow(1, 5.0), p, a, b);
+
+  EXPECT_EQ(controller.quarantine(root), 0u);
+  EXPECT_TRUE(crosses(controller.policy_of(FlowId(1)), root));
+  EXPECT_EQ(controller.parked_count(), 0u);
+  EXPECT_NO_THROW(controller.audit());
+}
+
+TEST_F(ControllerQuarantineTest, ProbeStreakGatesReinstatement) {
+  const NodeId core = topo_.switches()[0];
+  controller_.quarantine(core);
+
+  // Default config wants 2 consecutive healthy probes.
+  EXPECT_FALSE(controller_.probe(core, true));
+  EXPECT_FALSE(controller_.probe(core, false));  // streak broken
+  EXPECT_FALSE(controller_.probe(core, true));
+  EXPECT_TRUE(controller_.probe(core, true));    // 2nd in a row: reinstated
+  EXPECT_FALSE(controller_.quarantined(core));
+  // Probing a non-quarantined switch is a no-op.
+  EXPECT_FALSE(controller_.probe(core, true));
+}
+
+TEST_F(ControllerQuarantineTest, ReinstateLiftsPenaltyForNewRoutes) {
+  const net::Policy p =
+      net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  const NodeId core = p.list[1];
+  controller_.install(flow(1, 10.0), p, server(0), server(2));
+  controller_.quarantine(core);
+  ASSERT_FALSE(crosses(controller_.policy_of(FlowId(1)), core));
+
+  controller_.reinstate(core);
+  EXPECT_FALSE(controller_.quarantined(core));
+  controller_.reinstate(core);  // idempotent
+  EXPECT_TRUE(controller_.quarantined_switches().empty());
+
+  // With the penalty lifted and the twin core loaded, a fresh quarantine of
+  // the twin moves the flow straight back through the reinstated core.
+  const NodeId twin = controller_.policy_of(FlowId(1)).list[1];
+  EXPECT_EQ(controller_.quarantine(twin), 1u);
+  EXPECT_TRUE(crosses(controller_.policy_of(FlowId(1)), core));
+  EXPECT_NO_THROW(controller_.audit());
+}
+
+TEST_F(ControllerQuarantineTest, QuarantinedSwitchesSorted) {
+  const NodeId a = topo_.switches()[2];
+  const NodeId b = topo_.switches()[1];
+  controller_.quarantine(a);
+  controller_.quarantine(b);
+  const auto listed = controller_.quarantined_switches();
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_LT(listed[0], listed[1]);
+}
+
+}  // namespace
+}  // namespace hit::core

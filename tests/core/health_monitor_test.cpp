@@ -1,0 +1,152 @@
+// HealthMonitor: EWMA throughput-vs-expected scores with max-fold
+// localization (a degraded element slows every crossing flow; a healthy one
+// usually carries at least one near-nominal flow).
+#include "core/health_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace hit::core {
+namespace {
+
+using Key = HealthMonitor::Key;
+
+class HealthMonitorTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();
+
+  NodeId server(std::size_t i) { return world_->topology.servers()[i]; }
+  NodeId sw(std::size_t i) { return world_->topology.switches()[i]; }
+
+  HealthConfig fast_config() {
+    HealthConfig c;
+    c.ewma_alpha = 1.0;  // score == last sample: deterministic thresholds
+    c.suspect_ratio = 0.75;
+    c.min_samples = 4;
+    return c;
+  }
+
+  /// One round: the "slow" path reports `slow_ratio`, a disjoint healthy
+  /// path reports 1.0.
+  void round(HealthMonitor& monitor, double slow_ratio) {
+    monitor.begin_sample();
+    monitor.note_path({server(0), sw(0), server(1)}, slow_ratio);
+    monitor.note_path({server(2), sw(1), server(3)}, 1.0);
+    const auto newly = monitor.end_sample();
+    (void)newly;
+  }
+};
+
+TEST_F(HealthMonitorTest, ValidatesConfig) {
+  HealthConfig bad = fast_config();
+  bad.ewma_alpha = 0.0;
+  EXPECT_THROW(HealthMonitor(world_->topology, bad), std::invalid_argument);
+  bad = fast_config();
+  bad.suspect_ratio = 1.0;
+  EXPECT_THROW(HealthMonitor(world_->topology, bad), std::invalid_argument);
+  bad = fast_config();
+  bad.z_threshold = -1.0;
+  EXPECT_THROW(HealthMonitor(world_->topology, bad), std::invalid_argument);
+}
+
+TEST_F(HealthMonitorTest, CleanFlowsNeverFlag) {
+  HealthMonitor monitor(world_->topology, fast_config());
+  for (int i = 0; i < 20; ++i) round(monitor, 1.0);
+  EXPECT_TRUE(monitor.suspects().empty());
+  EXPECT_DOUBLE_EQ(monitor.score(net::CapacityMap::switch_key(sw(0))), 1.0);
+}
+
+TEST_F(HealthMonitorTest, UnknownElementScoresOptimistic) {
+  HealthMonitor monitor(world_->topology, fast_config());
+  EXPECT_DOUBLE_EQ(monitor.score(net::CapacityMap::switch_key(sw(3))), 1.0);
+  EXPECT_FALSE(monitor.is_suspect(net::CapacityMap::switch_key(sw(3))));
+}
+
+TEST_F(HealthMonitorTest, FlagsAfterMinSamplesOnly) {
+  HealthMonitor monitor(world_->topology, fast_config());
+  const Key slow_key = net::CapacityMap::switch_key(sw(0));
+  for (int i = 0; i < 3; ++i) {
+    round(monitor, 0.3);
+    EXPECT_FALSE(monitor.is_suspect(slow_key)) << "round " << i;
+  }
+  monitor.begin_sample();
+  monitor.note_path({server(0), sw(0), server(1)}, 0.3);
+  const auto newly = monitor.end_sample();
+  EXPECT_TRUE(monitor.is_suspect(slow_key));
+  // Newly-flagged keys cover the whole slow path (links + switch), sorted.
+  EXPECT_FALSE(newly.empty());
+  EXPECT_TRUE(std::is_sorted(newly.begin(), newly.end()));
+  EXPECT_NE(std::find(newly.begin(), newly.end(), slow_key), newly.end());
+  // The healthy path's switch stays clean.
+  EXPECT_FALSE(monitor.is_suspect(net::CapacityMap::switch_key(sw(1))));
+}
+
+TEST_F(HealthMonitorTest, MaxFoldShieldsSharedElements) {
+  HealthMonitor monitor(world_->topology, fast_config());
+  const Key shared = net::CapacityMap::switch_key(sw(0));
+  for (int i = 0; i < 10; ++i) {
+    monitor.begin_sample();
+    // Two flows through the same switch: one crawling, one at speed.  The
+    // switch keeps the best ratio, so it is not the culprit.
+    monitor.note_path({server(0), sw(0), server(1)}, 0.2);
+    monitor.note_path({server(2), sw(0), server(3)}, 1.0);
+    (void)monitor.end_sample();
+  }
+  EXPECT_FALSE(monitor.is_suspect(shared));
+  // The crawling flow's private links do flag.
+  EXPECT_TRUE(monitor.is_suspect(
+      net::CapacityMap::link_key(server(0), sw(0))));
+}
+
+TEST_F(HealthMonitorTest, SuspectIsStickyUntilReset) {
+  HealthMonitor monitor(world_->topology, fast_config());
+  const Key slow_key = net::CapacityMap::switch_key(sw(0));
+  for (int i = 0; i < 4; ++i) round(monitor, 0.3);
+  ASSERT_TRUE(monitor.is_suspect(slow_key));
+  // Recovery in the samples does not unflag — reinstatement is the
+  // quarantine loop's decision.
+  for (int i = 0; i < 8; ++i) round(monitor, 1.0);
+  EXPECT_TRUE(monitor.is_suspect(slow_key));
+  monitor.reset(slow_key);
+  EXPECT_FALSE(monitor.is_suspect(slow_key));
+  EXPECT_DOUBLE_EQ(monitor.score(slow_key), 1.0);
+  // After reset the element needs min_samples fresh rounds to flag again.
+  for (int i = 0; i < 3; ++i) round(monitor, 0.3);
+  EXPECT_FALSE(monitor.is_suspect(slow_key));
+  round(monitor, 0.3);
+  EXPECT_TRUE(monitor.is_suspect(slow_key));
+}
+
+TEST_F(HealthMonitorTest, ZTestRequiresOutlier) {
+  HealthConfig config = fast_config();
+  config.z_threshold = 1.0;
+  HealthMonitor monitor(world_->topology, config);
+  // Every tracked element is equally slow: below the absolute threshold but
+  // no outlier versus the population, so the z-test suppresses the flag.
+  for (int i = 0; i < 10; ++i) {
+    monitor.begin_sample();
+    monitor.note_path({server(0), sw(0), server(1)}, 0.5);
+    monitor.note_path({server(2), sw(1), server(3)}, 0.5);
+    (void)monitor.end_sample();
+  }
+  EXPECT_TRUE(monitor.suspects().empty());
+}
+
+TEST_F(HealthMonitorTest, KeyHelpersRoundTrip) {
+  const Key swk = net::CapacityMap::switch_key(sw(2));
+  EXPECT_TRUE(HealthMonitor::key_is_switch(swk));
+  EXPECT_EQ(HealthMonitor::key_node(swk), sw(2));
+  const Key lk = net::CapacityMap::link_key(server(0), sw(0));
+  EXPECT_FALSE(HealthMonitor::key_is_switch(lk));
+}
+
+TEST_F(HealthMonitorTest, SamplingOutsideRoundThrows) {
+  HealthMonitor monitor(world_->topology, fast_config());
+  EXPECT_THROW(monitor.note_path({server(0), sw(0), server(1)}, 1.0),
+               std::logic_error);
+  EXPECT_THROW((void)monitor.end_sample(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hit::core

@@ -1,0 +1,192 @@
+// Faults during coflow-scheduled shuffles: SEBF ordering + MADD rates stay
+// deterministic across replays and never over-commit the residual ledger,
+// including when a degrade map shrinks element capacities mid-run.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+
+#include "coflow/rate_allocator.h"
+#include "mapreduce/workload.h"
+#include "network/bandwidth.h"
+#include "sched/capacity_scheduler.h"
+#include "sim/engine.h"
+#include "test_helpers.h"
+#include "topology/builders.h"
+
+namespace hit::sim {
+namespace {
+
+/// Feasibility against *degraded* capacities: no link or switch may carry
+/// more than capacity x gray factor (x scale).
+void expect_feasible_degraded(const topo::Topology& topo,
+                              const std::vector<net::FlowDemand>& demands,
+                              const std::vector<double>& rates,
+                              const net::CapacityMap& degrade,
+                              double scale = 1.0) {
+  std::map<std::pair<NodeId, NodeId>, double> link_load;
+  std::map<NodeId, double> switch_load;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const topo::Path& p = demands[i].path;
+    for (std::size_t e = 0; e + 1 < p.size(); ++e) {
+      link_load[std::minmax(p[e], p[e + 1])] += rates[i];
+    }
+    for (NodeId n : p) {
+      if (topo.is_switch(n)) switch_load[n] += rates[i];
+    }
+  }
+  for (const auto& [link, load] : link_load) {
+    const auto cap = topo.graph().bandwidth(link.first, link.second);
+    ASSERT_TRUE(cap.has_value());
+    EXPECT_LE(load,
+              *cap * degrade.link_factor(link.first, link.second) * scale + 1e-9);
+  }
+  for (const auto& [sw, load] : switch_load) {
+    EXPECT_LE(load,
+              topo.switch_capacity(sw) * degrade.switch_factor(sw) * scale + 1e-9);
+  }
+}
+
+TEST(MaddDegrade, RatesRespectDegradedSwitchCapacity) {
+  const topo::Topology topo = topo::make_case_study_tree();
+  const auto servers = topo.servers();
+  // Cross-rack flow: host link 16, access 64, root 128.  Degrading the root
+  // to 5% (6.4) moves the bottleneck off the host link onto the gray switch.
+  const NodeId root = topo.switches()[0];
+  net::CapacityMap degrade;
+  degrade.set_switch(root, 0.05);
+
+  const std::vector<net::FlowDemand> demands{
+      net::FlowDemand{FlowId(1), topo.shortest_path(servers[0], servers[3]), 0.0}};
+  const auto rates =
+      coflow::madd_allocate(topo, demands, {4.0}, {{0}}, 1.0, &degrade);
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 128.0 * 0.05);
+  expect_feasible_degraded(topo, demands, rates, degrade);
+
+  // Same call without the map saturates the host link instead.
+  const auto healthy = coflow::madd_allocate(topo, demands, {4.0}, {{0}});
+  EXPECT_DOUBLE_EQ(healthy[0], 16.0);
+}
+
+TEST(MaddDegrade, MultiCoflowAllocationStaysFeasibleUnderDegrade) {
+  const topo::Topology topo = topo::make_case_study_tree();
+  const auto servers = topo.servers();
+  net::CapacityMap degrade;
+  degrade.set_switch(topo.switches()[0], 0.1);
+  degrade.set_link(servers[0], topo.switches()[1], 0.5);
+
+  std::vector<net::FlowDemand> demands;
+  unsigned id = 0;
+  for (std::size_t src = 0; src < 2; ++src) {
+    for (std::size_t dst = 2; dst < 4; ++dst) {
+      demands.push_back(net::FlowDemand{
+          FlowId(++id), topo.shortest_path(servers[src], servers[dst]), 0.0});
+    }
+  }
+  const std::vector<double> remaining{8.0, 6.0, 4.0, 2.0};
+  const std::vector<std::vector<std::size_t>> groups{{0, 1}, {2, 3}};
+  const auto rates =
+      coflow::madd_allocate(topo, demands, remaining, groups, 1.0, &degrade);
+  expect_feasible_degraded(topo, demands, rates, degrade);
+  // Work is still being served despite the degrade.
+  double total = 0.0;
+  for (double r : rates) total += r;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(MaddDegrade, LedgerRefusesOverCommitOfDegradedElements) {
+  const topo::Topology topo = topo::make_case_study_tree();
+  const auto servers = topo.servers();
+  const NodeId root = topo.switches()[0];
+  net::CapacityMap degrade;
+  degrade.set_switch(root, 0.25);  // 128 -> 32
+
+  net::ResidualLedger ledger(topo, 1.0, &degrade);
+  const topo::Path path = topo.shortest_path(servers[0], servers[3]);
+  ledger.add_path(path);
+  EXPECT_DOUBLE_EQ(ledger.bottleneck(path), 16.0);  // host link still binds
+  ledger.charge(path, 16.0);
+  EXPECT_THROW(ledger.charge(path, 1.0), std::logic_error);
+
+  // A harsher factor makes the switch itself the guard.
+  net::CapacityMap harsher;
+  harsher.set_switch(root, 0.05);  // 128 -> 6.4
+  net::ResidualLedger tight(topo, 1.0, &harsher);
+  tight.add_path(path);
+  EXPECT_DOUBLE_EQ(tight.bottleneck(path), 6.4);
+  EXPECT_THROW(tight.charge(path, 7.0), std::logic_error);
+}
+
+class CoflowFaultsTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();
+
+  SimResult run(const SimConfig& config, std::uint64_t seed) {
+    sched::CapacityScheduler scheduler;
+    mr::IdAllocator ids;
+    mr::WorkloadConfig wconfig;
+    wconfig.num_jobs = 4;
+    wconfig.max_maps_per_job = 6;
+    wconfig.max_reduces_per_job = 2;
+    wconfig.block_size_gb = 3.0;
+    const mr::WorkloadGenerator gen(wconfig);
+    Rng jobs_rng(seed);
+    const auto jobs = gen.generate(ids, jobs_rng);
+    Rng rng(seed + 100);
+    return ClusterSimulator(world_->cluster, config)
+        .run(scheduler, jobs, ids, rng);
+  }
+
+  SimConfig faulty_coflow_config() {
+    SimConfig config;
+    config.coflow.enabled = true;
+    config.coflow.order = coflow::OrderPolicy::Sebf;
+    // Mid-run chaos: one crash with repair, one gray degrade with restore.
+    const auto& switches = world_->topology.switches();
+    config.faults.fail_switch(switches[0], 8.0, 10.0);
+    config.faults.degrade_switch(switches[switches.size() - 1], 0.1, 4.0, 30.0);
+    return config;
+  }
+};
+
+TEST_F(CoflowFaultsTest, SebfMaddRunSurvivesMidRunFaults) {
+  const SimResult result = run(faulty_coflow_config(), 41);
+  ASSERT_EQ(result.jobs.size(), 4u);
+  for (const auto& j : result.jobs) {
+    EXPECT_GT(j.completion_time, 0.0);
+  }
+  EXPECT_GT(result.recovery.faults_applied, 0u);
+  EXPECT_EQ(result.gray.degradations, 1u);
+  EXPECT_FALSE(result.coflows.empty());
+  // The ledger would have thrown std::logic_error on any over-commit; a
+  // completed run IS the feasibility certificate for every solved round.
+}
+
+TEST_F(CoflowFaultsTest, SebfMaddFaultyRunIsDeterministic) {
+  const SimResult a = run(faulty_coflow_config(), 42);
+  const SimResult b = run(faulty_coflow_config(), 42);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_shuffle_cost, b.total_shuffle_cost);
+  EXPECT_DOUBLE_EQ(a.total_shuffle_gb, b.total_shuffle_gb);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].completion_time, b.jobs[i].completion_time);
+    EXPECT_DOUBLE_EQ(a.jobs[i].shuffle_cost, b.jobs[i].shuffle_cost);
+  }
+  ASSERT_EQ(a.coflows.size(), b.coflows.size());
+  for (std::size_t i = 0; i < a.coflows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.coflows[i].finish, b.coflows[i].finish);
+  }
+}
+
+TEST_F(CoflowFaultsTest, FifoOrderAlsoSurvivesFaults) {
+  SimConfig config = faulty_coflow_config();
+  config.coflow.order = coflow::OrderPolicy::Fifo;
+  const SimResult result = run(config, 43);
+  ASSERT_EQ(result.jobs.size(), 4u);
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace hit::sim

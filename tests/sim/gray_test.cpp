@@ -1,0 +1,233 @@
+// Gray-failure runtime end to end: degraded-capacity events through the
+// fluid loops, health-monitor detection, quarantine/probe lifecycle, and the
+// bit-identical-when-disabled guarantee.
+#include "sim/gray.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hit_scheduler.h"
+#include "mapreduce/workload.h"
+#include "sched/capacity_scheduler.h"
+#include "sim/engine.h"
+#include "sim/online.h"
+#include "test_helpers.h"
+
+namespace hit::sim {
+namespace {
+
+std::vector<mr::Job> sample_jobs(mr::IdAllocator& ids, std::size_t n,
+                                 std::uint64_t seed) {
+  mr::WorkloadConfig config;
+  config.num_jobs = n;
+  config.max_maps_per_job = 6;
+  config.max_reduces_per_job = 2;
+  config.block_size_gb = 3.0;
+  const mr::WorkloadGenerator gen(config);
+  Rng rng(seed);
+  return gen.generate(ids, rng);
+}
+
+class GrayRunTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();
+
+  NodeId access_switch() {
+    for (NodeId sw : world_->topology.switches()) {
+      if (world_->topology.tier(sw) == topo::Tier::Access) return sw;
+    }
+    throw std::logic_error("no access switch in test tree");
+  }
+
+  SimResult run_batch(const SimConfig& config, std::uint64_t seed) {
+    sched::CapacityScheduler scheduler;
+    mr::IdAllocator ids;
+    const auto jobs = sample_jobs(ids, 4, seed);
+    Rng rng(seed);
+    return ClusterSimulator(world_->cluster, config).run(scheduler, jobs, ids, rng);
+  }
+};
+
+TEST_F(GrayRunTest, OffByDefault) {
+  const SimConfig config;
+  EXPECT_FALSE(config.gray.enabled());
+  const SimResult result = run_batch(config, 11);
+  EXPECT_FALSE(result.gray.any());
+}
+
+TEST_F(GrayRunTest, MonitorOnCleanRunIsBitIdenticalAndSilent) {
+  SimConfig off;
+  SimConfig on;
+  on.gray.monitor = true;
+  const SimResult a = run_batch(off, 12);
+  const SimResult b = run_batch(on, 12);
+
+  // Zero false positives on healthy hardware: with an empty degrade map the
+  // nominal allocation IS the observed allocation, so every ratio is 1.
+  EXPECT_EQ(b.gray.detections, 0u);
+  EXPECT_EQ(b.gray.false_positives, 0u);
+  EXPECT_EQ(b.gray.quarantines, 0u);
+
+  // And the monitor is a pure observer: results match the disabled run.
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_shuffle_cost, b.total_shuffle_cost);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].completion_time, b.jobs[i].completion_time);
+  }
+}
+
+TEST_F(GrayRunTest, BatchMonitorDetectsScriptedDegrade) {
+  SimConfig config;
+  config.gray.monitor = true;
+  // Nearly dead but still "up": the definitional gray failure.
+  config.faults.degrade_switch(access_switch(), 0.05, 1.0, 10'000.0);
+  const SimResult result = run_batch(config, 13);
+
+  EXPECT_EQ(result.gray.degradations, 1u);
+  EXPECT_GT(result.gray.degraded_seconds, 0.0);
+  EXPECT_GE(result.gray.detections, 1u);
+  EXPECT_GT(result.gray.mean_time_to_detect, 0.0);
+  // Monitor without quarantine never quarantines.
+  EXPECT_EQ(result.gray.quarantines, 0u);
+  // The crawl is real: the run is slower than its healthy twin.
+  SimConfig clean;
+  EXPECT_GT(result.makespan, run_batch(clean, 13).makespan);
+}
+
+TEST_F(GrayRunTest, DegradeEventsAloneDoNotNeedTheMonitor) {
+  // Capacity scaling is part of the fluid solver, not the monitor: the
+  // degraded run slows down even with gray handling fully disabled.
+  SimConfig config;
+  config.faults.degrade_switch(access_switch(), 0.05, 1.0, 10'000.0);
+  const SimResult degraded = run_batch(config, 14);
+  EXPECT_EQ(degraded.gray.detections, 0u);  // nobody watched
+  EXPECT_EQ(degraded.gray.degradations, 1u);  // ground truth still accounted
+  SimConfig clean;
+  EXPECT_GT(degraded.makespan, run_batch(clean, 14).makespan);
+}
+
+TEST_F(GrayRunTest, BatchGrayRunIsDeterministic) {
+  SimConfig config;
+  config.gray.quarantine = true;
+  config.faults.degrade_switch(access_switch(), 0.05, 1.0, 60.0);
+  const SimResult a = run_batch(config, 15);
+  const SimResult b = run_batch(config, 15);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_shuffle_cost, b.total_shuffle_cost);
+  EXPECT_EQ(a.gray.detections, b.gray.detections);
+  EXPECT_EQ(a.gray.false_positives, b.gray.false_positives);
+  EXPECT_EQ(a.gray.quarantines, b.gray.quarantines);
+  EXPECT_EQ(a.gray.probes, b.gray.probes);
+  EXPECT_EQ(a.gray.reinstatements, b.gray.reinstatements);
+  EXPECT_DOUBLE_EQ(a.gray.quarantine_seconds, b.gray.quarantine_seconds);
+}
+
+class GrayOnlineTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();
+  core::HitScheduler scheduler_;
+
+  OnlineResult run_online(const OnlineConfig& config, std::uint64_t seed) {
+    mr::IdAllocator ids;
+    const auto jobs = sample_jobs(ids, 5, seed);
+    Rng rng(seed);
+    return OnlineSimulator(world_->cluster, config).run(scheduler_, jobs, ids, rng);
+  }
+
+  NodeId access_switch() {
+    for (NodeId sw : world_->topology.switches()) {
+      if (world_->topology.tier(sw) == topo::Tier::Access) return sw;
+    }
+    throw std::logic_error("no access switch in test tree");
+  }
+};
+
+TEST_F(GrayOnlineTest, MonitorOnCleanRunIsBitIdenticalAndSilent) {
+  OnlineConfig off;
+  off.arrival_rate = 0.05;
+  OnlineConfig on = off;
+  on.sim.gray.monitor = true;
+  const OnlineResult a = run_online(off, 21);
+  const OnlineResult b = run_online(on, 21);
+  EXPECT_FALSE(b.gray.any());
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_shuffle_cost, b.total_shuffle_cost);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish, b.jobs[i].finish);
+  }
+}
+
+TEST_F(GrayOnlineTest, QuarantineLifecycleReinstatesAfterRestore) {
+  OnlineConfig config;
+  // Burst arrivals: the cluster is busy from the start, so shuffle traffic
+  // crosses the crawling switch while it is still degraded.
+  config.arrival_rate = 2.0;
+  config.sim.gray.quarantine = true;
+  config.sim.gray.probe_interval = 5.0;
+  // Degrade early, restore mid-run: probes must eventually pass and lift
+  // the quarantine while the run is still going.
+  config.sim.faults.degrade_switch(access_switch(), 0.05, 2.0, 60.0);
+  const OnlineResult result = run_online(config, 22);
+
+  ASSERT_EQ(result.jobs.size(), 5u) << "every job still completes";
+  EXPECT_EQ(result.gray.degradations, 1u);
+  EXPECT_GE(result.gray.detections, 1u);
+  EXPECT_GE(result.gray.quarantines, 1u);
+  EXPECT_GT(result.gray.probes, 0u);
+  EXPECT_GE(result.gray.reinstatements, 1u);
+  EXPECT_GT(result.gray.quarantine_seconds, 0.0);
+}
+
+TEST_F(GrayOnlineTest, OnlineGrayRunIsDeterministic) {
+  OnlineConfig config;
+  config.arrival_rate = 0.05;
+  config.sim.gray.quarantine = true;
+  config.sim.faults.degrade_switch(access_switch(), 0.05, 2.0, 40.0);
+  const OnlineResult a = run_online(config, 23);
+  const OnlineResult b = run_online(config, 23);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_shuffle_cost, b.total_shuffle_cost);
+  EXPECT_EQ(a.gray.detections, b.gray.detections);
+  EXPECT_EQ(a.gray.false_positives, b.gray.false_positives);
+  EXPECT_EQ(a.gray.quarantines, b.gray.quarantines);
+  EXPECT_EQ(a.gray.probes, b.gray.probes);
+  EXPECT_EQ(a.gray.reinstatements, b.gray.reinstatements);
+}
+
+TEST_F(GrayOnlineTest, GrayRenewalStreamsLeaveCrashEventsUntouched) {
+  // Adding gray MTBF knobs must not perturb the crash schedule: the crash
+  // events of a crash-only plan reappear byte-for-byte in the mixed plan.
+  MtbfConfig crashes;
+  crashes.horizon = 400.0;
+  crashes.switch_mtbf = 120.0;
+  crashes.switch_mttr = 20.0;
+  MtbfConfig mixed = crashes;
+  mixed.gray_switch_mtbf = 90.0;
+  mixed.gray_switch_mttr = 30.0;
+
+  const FaultPlan a = FaultPlan::generate(world_->topology, crashes, 31);
+  const FaultPlan b = FaultPlan::generate(world_->topology, mixed, 31);
+  std::vector<FaultEvent> crash_only;
+  for (const FaultEvent& ev : b.events()) {
+    if (ev.kind == FaultKind::Fail || ev.kind == FaultKind::Recover) {
+      crash_only.push_back(ev);
+    }
+  }
+  ASSERT_EQ(crash_only.size(), a.size());
+  EXPECT_GT(b.size(), a.size()) << "gray stream generated no events";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(crash_only[i].time, a.events()[i].time);
+    EXPECT_EQ(crash_only[i].kind, a.events()[i].kind);
+    EXPECT_EQ(crash_only[i].node, a.events()[i].node);
+  }
+  for (const FaultEvent& ev : b.events()) {
+    if (ev.kind == FaultKind::Degrade) {
+      EXPECT_GT(ev.factor, 0.0);
+      EXPECT_LT(ev.factor, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hit::sim

@@ -52,6 +52,10 @@ TEST(Speculation, CutsStragglerTails) {
   const SimResult without = run(*world, 0.8, 0.0);
   const SimResult with = run(*world, 0.8, 1.5, &copies);
   EXPECT_GT(copies, 0u);
+  // Every launch resolves as either won (backup beat the original) or lost.
+  EXPECT_EQ(with.speculative_won + with.speculative_lost,
+            with.speculative_copies);
+  EXPECT_GT(with.speculative_won, 0u);
   EXPECT_LT(with.makespan, without.makespan);
   // Map-phase tail (max map duration) shrinks.
   double tail_without = 0.0, tail_with = 0.0;

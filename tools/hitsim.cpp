@@ -74,6 +74,17 @@ struct Options {
   std::size_t proposal_budget = 0;      ///< ladder: Alg. 2 proposals per wave
   bool breaker = false;                 ///< circuit breaker around the Full tier
   std::string coflow;                   ///< coflow order: fifo|sebf|priority ("" = off)
+  // Fault injection & gray-failure resilience (all default-off).
+  double fault_mtbf = 0.0;        ///< crash faults: per-element MTBF seconds
+  double fault_mttr = 120.0;      ///< crash repair mean seconds
+  double fault_horizon = 5000.0;  ///< generate fault events in (0, horizon)
+  double gray_mtbf = 0.0;         ///< gray degradations: switch/link MTBF seconds
+  double gray_mttr = 120.0;       ///< gray episode duration mean seconds
+  double gray_factor_min = 0.25;  ///< degraded-capacity factor range
+  double gray_factor_max = 0.5;
+  bool monitor = false;           ///< health-monitor sampling + detection stats
+  bool quarantine = false;        ///< quarantine/probe loop (implies --monitor)
+  double speculation = 0.0;       ///< speculative-map threshold (batch mode)
 };
 
 void print_usage() {
@@ -109,6 +120,16 @@ void print_usage() {
       "coflow scheduling:\n"
       "  --coflow POLICY     fifo | sebf | priority — schedule whole shuffles\n"
       "                      (MADD rates per coflow; default off = per-flow fair)\n"
+      "faults and gray failures:\n"
+      "  --faults MTBF       seeded crash faults: per-element MTBF seconds\n"
+      "  --fault-mttr S      crash repair mean                           (default 120)\n"
+      "  --fault-horizon S   generate fault events in (0, horizon)      (default 5000)\n"
+      "  --gray-mtbf MTBF    seeded gray degradations per switch/link\n"
+      "  --gray-mttr S       gray episode duration mean                  (default 120)\n"
+      "  --gray-factor A,B   degraded-capacity factor range           (default .25,.5)\n"
+      "  --monitor           health-monitor sampling + detection stats\n"
+      "  --quarantine        quarantine + probe/reinstate loop (implies --monitor)\n"
+      "  --speculation X     speculative map copies past X x wave median (batch)\n"
       "  --help              this message\n";
 }
 
@@ -204,6 +225,38 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (arg == "--coflow") {
       if (!(value = need_value(i))) return std::nullopt;
       opt.coflow = value;
+    } else if (arg == "--faults") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.fault_mtbf = std::stod(value);
+    } else if (arg == "--fault-mttr") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.fault_mttr = std::stod(value);
+    } else if (arg == "--fault-horizon") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.fault_horizon = std::stod(value);
+    } else if (arg == "--gray-mtbf") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.gray_mtbf = std::stod(value);
+    } else if (arg == "--gray-mttr") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.gray_mttr = std::stod(value);
+    } else if (arg == "--gray-factor") {
+      if (!(value = need_value(i))) return std::nullopt;
+      const std::string range = value;
+      const auto comma = range.find(',');
+      if (comma == std::string::npos) {
+        std::cerr << "hitsim: --gray-factor wants MIN,MAX in (0, 1)\n";
+        return std::nullopt;
+      }
+      opt.gray_factor_min = std::stod(range.substr(0, comma));
+      opt.gray_factor_max = std::stod(range.substr(comma + 1));
+    } else if (arg == "--monitor") {
+      opt.monitor = true;
+    } else if (arg == "--quarantine") {
+      opt.quarantine = true;
+    } else if (arg == "--speculation") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.speculation = std::stod(value);
     } else {
       std::cerr << "hitsim: unknown option '" << arg << "' (see --help)\n";
       return std::nullopt;
@@ -223,6 +276,24 @@ topo::Topology build_topology(const std::string& name) {
 
 std::unique_ptr<sched::Scheduler> build_scheduler(const std::string& name) {
   return core::SchedulerRegistry::instance().create(name);
+}
+
+// Gray-failure accounting rows shared by the batch and online summaries.
+void add_gray_rows(stats::Table& table, const sim::GrayStats& g) {
+  const auto count = [](std::size_t n) {
+    return stats::Table::num(static_cast<double>(n), 0);
+  };
+  table.add_row({"gray degradations", count(g.degradations)});
+  table.add_row({"degraded time (s)", stats::Table::num(g.degraded_seconds, 1)});
+  table.add_row({"gray detections", count(g.detections)});
+  table.add_row({"gray false positives", count(g.false_positives)});
+  table.add_row({"mean time-to-detect (s)",
+                 stats::Table::num(g.mean_time_to_detect, 1)});
+  table.add_row({"quarantines", count(g.quarantines)});
+  table.add_row({"probes", count(g.probes)});
+  table.add_row({"reinstatements", count(g.reinstatements)});
+  table.add_row({"quarantine time (s)",
+                 stats::Table::num(g.quarantine_seconds, 1)});
 }
 
 std::optional<sim::AdmissionPolicy> parse_admission(const std::string& name) {
@@ -371,6 +442,26 @@ int run(const Options& opt) {
   sconfig.bandwidth_scale = opt.bandwidth_scale;
   sconfig.map_time_jitter_sigma = opt.jitter;
   sconfig.coflow = cf_config;
+  sconfig.speculation_threshold = opt.speculation;
+  if (opt.fault_mtbf > 0.0 || opt.gray_mtbf > 0.0) {
+    sim::MtbfConfig mconfig;
+    mconfig.horizon = opt.fault_horizon;
+    mconfig.switch_mtbf = opt.fault_mtbf;
+    mconfig.switch_mttr = opt.fault_mttr;
+    mconfig.server_mtbf = opt.fault_mtbf;
+    mconfig.server_mttr = opt.fault_mttr;
+    mconfig.link_mtbf = opt.fault_mtbf;
+    mconfig.link_mttr = opt.fault_mttr;
+    mconfig.gray_switch_mtbf = opt.gray_mtbf;
+    mconfig.gray_switch_mttr = opt.gray_mttr;
+    mconfig.gray_link_mtbf = opt.gray_mtbf;
+    mconfig.gray_link_mttr = opt.gray_mttr;
+    mconfig.gray_factor_min = opt.gray_factor_min;
+    mconfig.gray_factor_max = opt.gray_factor_max;
+    sconfig.faults = sim::FaultPlan::generate(topology, mconfig, opt.seed);
+  }
+  sconfig.gray.monitor = opt.monitor;
+  sconfig.gray.quarantine = opt.quarantine;
   if (obs_ctx.enabled()) sconfig.observer = &obs_ctx;
 
   if (!opt.csv) {
@@ -408,6 +499,15 @@ int run(const Options& opt) {
         table.add_row({"mean CCT (s)", stats::Table::num(result.average_coflow_cct())});
         table.add_row({"p95 CCT (s)", stats::Table::num(result.p95_coflow_cct())});
       }
+      if (result.speculative_copies > 0) {
+        table.add_row({"speculative copies",
+                       stats::Table::num(static_cast<double>(result.speculative_copies), 0)});
+        table.add_row({"  won",
+                       stats::Table::num(static_cast<double>(result.speculative_won), 0)});
+        table.add_row({"  lost",
+                       stats::Table::num(static_cast<double>(result.speculative_lost), 0)});
+      }
+      if (result.gray.any()) add_gray_rows(table, result.gray);
       std::cout << table.render();
     }
   } else if (opt.mode == "online") {
@@ -472,6 +572,7 @@ int run(const Options& opt) {
         table.add_row({"shed shuffle (GB)",
                        stats::Table::num(result.overload.shed_gb, 1)});
       }
+      if (result.gray.any()) add_gray_rows(table, result.gray);
       std::cout << table.render();
     }
   } else {
