@@ -47,6 +47,7 @@ int main() {
 
   stats::Table table({"arrival rate (jobs/s)", "scheduler", "completed", "shed",
                       "shed rate", "p99 queueing (s)", "tiers f/p/g/r"});
+  JsonResults json("overload");
 
   for (double rate : {0.02, 0.2, 1.0}) {
     for (const bool use_hit : {false, true}) {
@@ -109,10 +110,19 @@ int main() {
                                  ? static_cast<double>(shed) / offered * 100.0
                                  : 0.0, 1) + "%",
            stats::Table::num(stats::percentile(waits, 99.0)), tier_cell});
+      json.add({{"rate", rate},
+                {"scheduler", std::string(use_hit ? "hit-laddered" : "capacity")},
+                {"completed", static_cast<std::int64_t>(completed)},
+                {"shed", static_cast<std::int64_t>(shed)},
+                {"shed_rate",
+                 offered > 0.0 ? static_cast<double>(shed) / offered : 0.0},
+                {"p99_wait_s", stats::percentile(waits, 99.0)},
+                {"ladder_tiers", tier_cell}});
     }
   }
 
   std::cout << table.render();
+  json.write();
   std::cout << "\nPast the service rate the deadline sheds the queue tail "
                "instead of letting waits grow without bound; shed rate and "
                "p99 queueing bound each other.\n";

@@ -1,0 +1,231 @@
+// Extension experiment (not a paper figure): multi-tenant adaptive admission.
+//
+// Sweeps the Poisson arrival rate across the capacity knee under an
+// adversarial tenant mix (tenant 0 floods, tenants 1-2 trickle) and compares
+// hand-tuned static drop-oldest queue caps against the AIMD controller with
+// per-tenant DRF caps.  Reports, per arm: completions, shed rate, p95
+// queueing, Jain's fairness index over weight-normalized completions, and —
+// for the aimd arm — the converged admission limit.
+//
+// The run is also a regression gate: the aimd arm must sit on the static
+// arms' shed-rate/wait trade-off frontier — no hand-tuned cap may beat it on
+// both metrics at once (within a small tolerance: aimd must shed no more
+// than the best static arm at comparable wait, and wait no longer than the
+// best static arm at comparable shed rate) — and under the adversarial mix
+// its Jain index must be at least the static arms' average.  Violations
+// exit nonzero.
+//
+// Writes BENCH_tenants.json (manifest-stamped rows; see harness.h) so future
+// PRs can diff the numbers.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "sched/admission/tenant.h"
+#include "sim/online.h"
+
+namespace {
+
+struct ArmResult {
+  std::string name;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  std::vector<double> waits;
+  std::vector<double> tenant_completed;  // weight-normalized, accumulated
+  double final_limit_sum = 0.0;
+  std::size_t runs = 0;
+
+  [[nodiscard]] double shed_rate() const {
+    const double offered = static_cast<double>(completed + shed);
+    return offered > 0.0 ? static_cast<double>(shed) / offered : 0.0;
+  }
+  [[nodiscard]] double p95_wait() const {
+    return hit::stats::percentile(waits, 95.0);
+  }
+  [[nodiscard]] double jain() const {
+    return hit::sched::admission::jain_index(tenant_completed);
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace hit;
+  using namespace hit::bench;
+  namespace adm = hit::sched::admission;
+
+  print_header("Multi-tenant admission: static caps vs AIMD + DRF");
+
+  // Same 8-host/16-slot testbed as the overload sweep: jobs of up to 14
+  // containers run nearly alone, so super-capacity rates genuinely overload.
+  topo::TreeConfig tree;
+  tree.depth = 2;
+  tree.fanout = 4;
+  tree.redundancy = 2;
+  tree.hosts_per_access = 2;
+  const Testbed testbed(topo::make_tree(tree), kServerCapacity);
+
+  // Adversarial mix: tenant 0 submits ~8x the jobs of each small tenant but
+  // is entitled to an equal share.
+  const std::vector<double> kMix = {8.0, 1.0, 1.0};
+  const std::vector<double> kEntitlements = {1.0, 1.0, 1.0};
+
+  mr::WorkloadConfig wconfig;
+  wconfig.num_jobs = 18;
+  wconfig.max_maps_per_job = 10;
+  wconfig.max_reduces_per_job = 4;
+  wconfig.block_size_gb = 2.0;
+  wconfig.num_tenants = kMix.size();
+  wconfig.tenant_weights = kMix;
+
+  // Arms: hand-tuned static drop-oldest caps vs the adaptive controller.
+  const std::vector<std::size_t> kStaticCaps = {2, 8, 32};
+  constexpr int kReplicas = 3;
+  constexpr double kSlack = 1.05;  // aimd may trail the best arm by 5%
+
+  const auto tenant_roster = [&] {
+    std::vector<adm::TenantSpec> roster;
+    for (std::size_t t = 0; t < kEntitlements.size(); ++t) {
+      roster.push_back({"tenant-" + std::to_string(t), kEntitlements[t]});
+    }
+    return roster;
+  };
+
+  stats::Table table({"arrival rate (jobs/s)", "arm", "completed", "shed",
+                      "shed rate", "p95 queueing (s)", "jain", "aimd limit"});
+  JsonResults json("tenants");
+  bool ok = true;
+
+  for (double rate : {0.02, 0.2, 1.0}) {
+    std::vector<ArmResult> arms;
+
+    const auto run_arm = [&](const std::string& name,
+                             const sim::AdmissionConfig& admission) {
+      ArmResult arm;
+      arm.name = name;
+      arm.tenant_completed.assign(kMix.size(), 0.0);
+      for (int r = 0; r < kReplicas; ++r) {
+        sched::CapacityScheduler capacity;
+        BenchObserver& obs = BenchObserver::instance();
+        obs.manifest().scheduler = std::string(capacity.name());
+        obs.manifest().seed = static_cast<std::uint64_t>(7100 + r);
+
+        Rng rng(7100 + r);
+        mr::IdAllocator ids;
+        const mr::WorkloadGenerator generator(wconfig);
+        const auto jobs = generator.generate(ids, rng);
+
+        sim::OnlineConfig oconfig;
+        oconfig.arrival_rate = rate;
+        oconfig.sim.bandwidth_scale = 0.05;
+        oconfig.sim.observer = &obs.context();
+        oconfig.admission = admission;
+        obs.manifest().config =
+            describe_config(wconfig, oconfig.sim) + " admission=" +
+            sim::admission_policy_name(admission.policy) + " arm=" + name;
+
+        const sim::OnlineSimulator sim(testbed.cluster, oconfig);
+        const sim::OnlineResult result = sim.run(capacity, jobs, ids, rng);
+
+        arm.completed += result.jobs.size();
+        arm.shed += result.overload.jobs_shed;
+        for (double w : result.queueing_delays()) arm.waits.push_back(w);
+        for (const adm::TenantStats& ts : result.tenants) {
+          arm.tenant_completed[ts.tenant] +=
+              static_cast<double>(ts.completed) / ts.weight;
+        }
+        arm.final_limit_sum += result.aimd.final_limit;
+        ++arm.runs;
+      }
+      arms.push_back(std::move(arm));
+    };
+
+    for (std::size_t cap : kStaticCaps) {
+      sim::AdmissionConfig admission;
+      admission.policy = sim::AdmissionPolicy::DropOldest;
+      admission.max_queue = cap;
+      admission.tenants = tenant_roster();  // accounting only: static cap
+      run_arm("static-" + std::to_string(cap), admission);
+    }
+    {
+      sim::AdmissionConfig admission;
+      admission.policy = sim::AdmissionPolicy::Aimd;
+      admission.tenants = tenant_roster();
+      admission.aimd.epoch_s = 30.0;
+      admission.aimd.start_limit = 8.0;
+      admission.aimd.wait_threshold_s = 240.0;
+      run_arm("aimd", admission);
+    }
+
+    const ArmResult& aimd = arms.back();
+
+    for (const ArmResult& arm : arms) {
+      const bool is_aimd = arm.name == "aimd";
+      table.add_row(
+          {stats::Table::num(rate, 2), arm.name, std::to_string(arm.completed),
+           std::to_string(arm.shed),
+           stats::Table::num(arm.shed_rate() * 100.0, 1) + "%",
+           stats::Table::num(arm.p95_wait()), stats::Table::num(arm.jain(), 3),
+           is_aimd ? stats::Table::num(arm.final_limit_sum /
+                                       static_cast<double>(arm.runs), 1)
+                   : "-"});
+      json.add({{"rate", rate},
+                {"arm", arm.name},
+                {"completed", static_cast<std::int64_t>(arm.completed)},
+                {"shed", static_cast<std::int64_t>(arm.shed)},
+                {"shed_rate", arm.shed_rate()},
+                {"p95_wait_s", arm.p95_wait()},
+                {"jain", arm.jain()},
+                {"aimd_final_limit",
+                 is_aimd ? arm.final_limit_sum / static_cast<double>(arm.runs)
+                         : 0.0}});
+    }
+
+    // Verdicts: the adaptive arm must sit on the static trade-off frontier.
+    // A giant cap never sheds a finite workload (it just queues it), so
+    // "best static shed rate" alone is vacuous — each metric is compared
+    // against the best static arm that is no worse on the *other* metric.
+    double frontier_shed = 1e300;  // best shed among arms at comparable wait
+    double frontier_p95 = 1e300;   // best wait among arms at comparable shed
+    double jain_sum = 0.0;
+    for (std::size_t i = 0; i + 1 < arms.size(); ++i) {
+      if (arms[i].p95_wait() <= aimd.p95_wait() * kSlack + 1e-9) {
+        frontier_shed = std::min(frontier_shed, arms[i].shed_rate());
+      }
+      if (arms[i].shed_rate() <= aimd.shed_rate() * kSlack + 1e-9) {
+        frontier_p95 = std::min(frontier_p95, arms[i].p95_wait());
+      }
+      jain_sum += arms[i].jain();
+    }
+    const double jain_mean = jain_sum / static_cast<double>(arms.size() - 1);
+    if (frontier_shed < 1e300 &&
+        aimd.shed_rate() > frontier_shed * kSlack + 1e-9) {
+      std::cerr << "VERDICT FAIL at rate " << rate << ": aimd shed rate "
+                << aimd.shed_rate() << " > best comparable-wait static "
+                << frontier_shed << "\n";
+      ok = false;
+    }
+    if (frontier_p95 < 1e300 && aimd.p95_wait() > frontier_p95 * kSlack + 1e-9) {
+      std::cerr << "VERDICT FAIL at rate " << rate << ": aimd p95 wait "
+                << aimd.p95_wait() << " > best comparable-shed static "
+                << frontier_p95 << "\n";
+      ok = false;
+    }
+    if (aimd.jain() + 1e-9 < jain_mean) {
+      std::cerr << "VERDICT FAIL at rate " << rate << ": aimd jain "
+                << aimd.jain() << " < static mean " << jain_mean << "\n";
+      ok = false;
+    }
+  }
+
+  std::cout << table.render();
+  if (!json.write()) ok = false;
+  std::cout << "\nThe AIMD controller learns the sustainable queue limit per "
+               "epoch and the DRF caps keep the flooding tenant from "
+               "starving the small ones; static caps must pick one point on "
+               "the shed-rate/wait trade-off for all tenants at once.\n";
+  std::cout << (ok ? "VERDICT PASS\n" : "VERDICT FAIL\n");
+  return ok ? 0 : 1;
+}

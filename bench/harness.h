@@ -7,6 +7,7 @@
 // see EXPERIMENTS.md.
 #pragma once
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -26,6 +27,7 @@
 #include "sched/pna_scheduler.h"
 #include "sched/random_scheduler.h"
 #include "sim/engine.h"
+#include "stats/export.h"
 #include "stats/summary.h"
 #include "stats/table.h"
 #include "topology/builders.h"
@@ -113,6 +115,74 @@ class BenchObserver {
   obs::Registry registry_;
   RunManifest manifest_;
   obs::Context context_;
+};
+
+/// Machine-readable bench results: one JSON document per bench binary — the
+/// manifest plus one object per result row — so successive PRs can diff the
+/// numbers.  Written as BENCH_<name>.json into the current directory, or
+/// into $HIT_BENCH_JSON_DIR when set.  Committed snapshots live in
+/// bench/results/.
+class JsonResults {
+ public:
+  using Row = std::vector<std::pair<std::string, stats::Cell>>;
+
+  explicit JsonResults(std::string name) : name_(std::move(name)) {}
+
+  void add(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Write BENCH_<name>.json; returns false (and complains on stderr) when
+  /// the file cannot be written.
+  bool write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("HIT_BENCH_JSON_DIR")) {
+      if (*env != '\0') dir = env;
+    }
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench: cannot write results to '" << path << "'\n";
+      return false;
+    }
+    out << "{\n  \"manifest\": "
+        << object(BenchObserver::instance().manifest().stamp())
+        << ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << (i == 0 ? "\n    " : ",\n    ") << object(rows_[i]);
+    }
+    out << "\n  ]\n}\n";
+    std::cout << "results: " << path << "\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string value(const stats::Cell& cell) {
+    struct Visitor {
+      std::string operator()(const std::string& s) const {
+        return "\"" + stats::JsonLinesWriter::escape(s) + "\"";
+      }
+      std::string operator()(double d) const {
+        if (!std::isfinite(d)) return "null";
+        std::ostringstream out;
+        out << d;
+        return out.str();
+      }
+      std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    };
+    return std::visit(Visitor{}, cell);
+  }
+
+  static std::string object(const Row& fields) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + stats::JsonLinesWriter::escape(fields[i].first) +
+             "\": " + value(fields[i].second);
+    }
+    return out + "}";
+  }
+
+  std::string name_;
+  std::vector<Row> rows_;
 };
 
 /// Topology + cluster pair; the cluster holds a pointer into the topology,

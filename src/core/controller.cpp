@@ -1,7 +1,9 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
+#include <string>
 
 #include "obs/context.h"
 #include "util/logging.h"
@@ -448,6 +450,45 @@ std::size_t NetworkController::rebalance() {
   return rerouted;
 }
 
+std::uint32_t NetworkController::pick_shed_tenant(NodeId hottest) const {
+  // Aggregate charged rate per tenant over every active flow (the DRF-style
+  // "usage"), noting which tenants can actually relieve this switch.
+  std::map<std::uint32_t, double> rate_of;
+  std::set<std::uint32_t> on_hot;
+  double total = 0.0;
+  for (const auto& [id, entry] : flows_) {
+    if (entry.parked) continue;
+    rate_of[entry.flow.tenant] += entry.charged_rate;
+    total += entry.charged_rate;
+    if (crosses(entry.policy, hottest)) on_hot.insert(entry.flow.tenant);
+  }
+  if (on_hot.empty() || total <= 0.0) return ~0u;
+
+  const auto weight_of = [&](std::uint32_t t) {
+    return t < config_.tenant_weights.size() ? config_.tenant_weights[t] : 1.0;
+  };
+  double weight_sum = 0.0;
+  for (const auto& [t, rate] : rate_of) weight_sum += weight_of(t);
+
+  std::uint32_t pick = ~0u;
+  double worst_overuse = -1.0;
+  for (std::uint32_t t : on_hot) {
+    const double entitlement = weight_of(t) / weight_sum;
+    const double rate = rate_of[t];
+    if (rate <= config_.tenant_floor * entitlement * total) continue;  // protected
+    const double overuse = rate / entitlement;
+    if (overuse > worst_overuse) {
+      worst_overuse = overuse;
+      pick = t;
+    }
+  }
+  if (pick != ~0u) {
+    obs::count("controller.tenant_sheds");
+    obs::count("controller.tenant_shed." + std::to_string(pick));
+  }
+  return pick;
+}
+
 std::size_t NetworkController::shed_pressure() {
   const obs::Bind bind(observer_);
   HIT_PROF_SCOPE("controller.shed_pressure");
@@ -465,9 +506,19 @@ std::size_t NetworkController::shed_pressure() {
     }
     if (!hottest.valid()) break;
 
+    // With tenant_aware_shed: restrict the victim scan to the tenant whose
+    // installed rate most exceeds its entitlement, skipping tenants already
+    // at their protected floor.  ~0u means "any tenant" (legacy order, also
+    // the fallback when every tenant with flows here sits at its floor).
+    std::uint32_t victim_tenant = ~0u;
+    if (config_.tenant_aware_shed) {
+      victim_tenant = pick_shed_tenant(hottest);
+    }
+
     Entry* victim = nullptr;
     for (auto& [id, entry] : flows_) {
       if (entry.parked || !crosses(entry.policy, hottest)) continue;
+      if (victim_tenant != ~0u && entry.flow.tenant != victim_tenant) continue;
       if (victim == nullptr) {
         victim = &entry;
         continue;

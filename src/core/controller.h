@@ -59,6 +59,16 @@ struct ControllerConfig {
   /// flow — a reduce wave gains nothing from the flows left behind, and
   /// parking them too cools the network faster.  Off by default.
   bool coflow_aware = false;
+  /// Tenant-aware overload shedding: `shed_pressure` first picks the *tenant*
+  /// whose aggregate charged rate most exceeds its entitlement (weight share
+  /// of `tenant_weights`; empty = uniform), then the legacy victim order
+  /// (lowest priority, heaviest, lowest id) among that tenant's flows on the
+  /// hottest switch.  Tenants at or below `tenant_floor` x entitlement of the
+  /// total installed rate are protected — never chosen while any tenant is
+  /// above its floor.  Off by default (legacy global victim order).
+  bool tenant_aware_shed = false;
+  std::vector<double> tenant_weights;
+  double tenant_floor = 0.0;
 };
 
 class NetworkController {
@@ -194,6 +204,11 @@ class NetworkController {
   [[nodiscard]] std::optional<RerouteResult> reroute_with_backoff(
       const Entry& entry) const;
   [[nodiscard]] std::vector<NodeId> banned_switches() const;
+
+  /// Tenant whose installed rate most exceeds its entitlement among tenants
+  /// with an active flow crossing `hottest`, skipping tenants at/below the
+  /// protected floor; ~0u when none qualifies (fall back to legacy order).
+  [[nodiscard]] std::uint32_t pick_shed_tenant(NodeId hottest) const;
 
   const topo::Topology* topology_;
   ControllerConfig config_;

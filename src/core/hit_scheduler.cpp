@@ -68,8 +68,34 @@ sched::Assignment HitScheduler::laddered_wave(const sched::Problem& problem,
     tier = LadderTier::LocalityGreedy;
   }
 
+  // Over-quota tenants under AIMD overload pressure get shrunken work
+  // budgets: their waves still get served, but the expensive joint
+  // optimization degrades sooner so in-quota tenants keep the full effort.
+  // Pressure 0 (or in-quota, or unlimited budgets) leaves the wave
+  // bit-identical to the unscaled ladder.
+  std::size_t route_budget = config_.ladder.route_budget;
+  std::size_t proposal_budget = config_.ladder.proposal_budget;
+  if (problem.over_quota && problem.overload_pressure > 0.0) {
+    const double scale =
+        1.0 - 0.75 * std::min(problem.overload_pressure, 1.0);
+    if (route_budget > 0) {
+      route_budget = std::max<std::size_t>(
+          1, static_cast<std::size_t>(static_cast<double>(route_budget) * scale));
+    }
+    if (proposal_budget > 0) {
+      proposal_budget = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 static_cast<double>(proposal_budget) * scale));
+    }
+    if (route_budget != config_.ladder.route_budget ||
+        proposal_budget != config_.ladder.proposal_budget) {
+      ++ladder_stats_.pressure_scaled_waves;
+      obs::count("core.hit_scheduler.ladder.pressure_scaled");
+    }
+  }
+
   if (tier == LadderTier::Full) {
-    WorkBudget budget(config_.ladder.route_budget);
+    WorkBudget budget(route_budget);
     PolicyOptimizer optimizer(*problem.topology, config_.cost);
   if (!problem.penalized_switches.empty()) {
     optimizer.set_penalized(problem.penalized_switches, problem.switch_penalty);
@@ -88,8 +114,7 @@ sched::Assignment HitScheduler::laddered_wave(const sched::Problem& problem,
       bool infeasible = false;
       StableMatcher::MatchResult match;
       try {
-        match = StableMatcher().match_budgeted(problem, prefs,
-                                               config_.ladder.proposal_budget);
+        match = StableMatcher().match_budgeted(problem, prefs, proposal_budget);
       } catch (const std::runtime_error&) {
         // Aggregate capacity genuinely insufficient for Alg. 2's eviction
         // dance; the greedy tiers may still pack the tasks.

@@ -64,6 +64,10 @@ struct LadderStats {
   std::array<std::uint64_t, kLadderTiers> served{};  ///< waves per tier
   std::uint64_t budget_exhaustions = 0;  ///< Full-tier budget blowouts
   std::uint64_t breaker_skips = 0;       ///< waves short-circuited by the breaker
+  /// Waves whose work budgets were shrunk because the wave belonged to an
+  /// over-quota tenant while the AIMD controller reported overload pressure
+  /// (Problem::overload_pressure / over_quota hints).
+  std::uint64_t pressure_scaled_waves = 0;
   CircuitBreaker::Stats breaker;         ///< snapshot of breaker counters
 };
 

@@ -43,6 +43,10 @@ struct Job {
   std::string benchmark;  ///< e.g. "terasort"
   JobClass cls = JobClass::ShuffleLight;
   Priority priority = Priority::Normal;  ///< shed order under overload
+  /// Owning tenant for multi-tenant admission (index into the run's tenant
+  /// registry; plain integer so mapreduce stays independent of sched).  0 is
+  /// the default tenant, so single-tenant studies are unchanged.
+  std::uint32_t tenant = 0;
   double input_gb = 0.0;
   double shuffle_gb = 0.0;  ///< total intermediate bytes (Σ flow sizes)
   std::vector<Task> maps;

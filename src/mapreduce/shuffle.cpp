@@ -36,6 +36,7 @@ net::FlowSet build_shuffle_flows(const Job& job, IdAllocator& ids,
       f.size_gb = per_map_gb * weight[i] / wsum;
       f.rate = f.size_gb / config.rate_window;
       f.priority = static_cast<std::uint8_t>(job.priority);
+      f.tenant = job.tenant;
       flows.push_back(f);
     }
   }

@@ -21,6 +21,17 @@ WorkloadGenerator::WorkloadGenerator(WorkloadConfig config) : config_(config) {
     throw std::invalid_argument(
         "WorkloadGenerator: priority fractions must be >= 0 and sum to <= 1");
   }
+  if (!config_.tenant_weights.empty() &&
+      config_.tenant_weights.size() != config_.num_tenants) {
+    throw std::invalid_argument(
+        "WorkloadGenerator: tenant_weights size must match num_tenants");
+  }
+  for (double w : config_.tenant_weights) {
+    if (w <= 0.0) {
+      throw std::invalid_argument(
+          "WorkloadGenerator: tenant_weights must be positive");
+    }
+  }
 }
 
 Job WorkloadGenerator::make_job(const BenchmarkProfile& profile, double input_gb,
@@ -94,6 +105,16 @@ std::vector<Job> WorkloadGenerator::generate(IdAllocator& ids, Rng& rng) const {
                      config_.high_priority_fraction > 0.0;
   Rng priority_rng = rng.fork(0x5052494Full);  // "PRIO"
 
+  // Tenant assignment likewise draws from its own fork: a multi-tenant run
+  // sees the exact same benchmarks, inputs and priorities as the
+  // single-tenant run, only labelled.
+  const bool tenanted = config_.num_tenants > 1;
+  Rng tenant_rng = rng.fork(0x54454E54ull);  // "TENT"
+  std::vector<double> tenant_weights = config_.tenant_weights;
+  if (tenanted && tenant_weights.empty()) {
+    tenant_weights.assign(config_.num_tenants, 1.0);
+  }
+
   std::vector<Job> jobs;
   jobs.reserve(config_.num_jobs);
   for (std::size_t j = 0; j < config_.num_jobs; ++j) {
@@ -110,6 +131,10 @@ std::vector<Job> WorkloadGenerator::generate(IdAllocator& ids, Rng& rng) const {
       } else if (u < config_.low_priority_fraction + config_.high_priority_fraction) {
         jobs.back().priority = Priority::High;
       }
+    }
+    if (tenanted) {
+      jobs.back().tenant =
+          static_cast<std::uint32_t>(tenant_rng.weighted_index(tenant_weights));
     }
   }
   return jobs;

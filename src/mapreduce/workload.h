@@ -31,6 +31,14 @@ struct WorkloadConfig {
   /// way.
   double low_priority_fraction = 0.0;
   double high_priority_fraction = 0.0;
+  /// Multi-tenant studies: number of tenants jobs are spread across (0 or 1
+  /// keeps every job on the default tenant 0 with generation bit-identical
+  /// to the single-tenant workload; the draw uses its own forked stream).
+  std::size_t num_tenants = 0;
+  /// Relative arrival weights per tenant (empty = uniform).  Size must match
+  /// num_tenants when set; an adversarial mix like {8,1,1} sends 80% of jobs
+  /// to tenant 0.
+  std::vector<double> tenant_weights;
 };
 
 class WorkloadGenerator {

@@ -22,6 +22,9 @@ struct Flow {
   /// Inherited from the owning job: under switch-capacity pressure the
   /// controller parks/sheds lower values first (0 = low, 1 = normal, 2 = high).
   std::uint8_t priority = 1;
+  /// Owning tenant, also inherited from the job; tenant-aware shedding picks
+  /// its victim flow from the most over-entitlement tenant first.
+  std::uint32_t tenant = 0;
 };
 
 using FlowSet = std::vector<Flow>;

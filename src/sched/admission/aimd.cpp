@@ -1,0 +1,86 @@
+#include "sched/admission/aimd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hit::sched::admission {
+
+AimdController::AimdController(AimdConfig config)
+    : config_(config), limit_(config.start_limit) {
+  if (!config_.valid()) {
+    throw std::invalid_argument("AimdController: invalid config");
+  }
+  stats_.final_limit = limit_;
+  stats_.min_limit_seen = limit_;
+  stats_.max_limit_seen = limit_;
+}
+
+void AimdController::feed(const AimdSample& sample) {
+  ++stats_.epochs;
+
+  const bool over_now = sample.sheds > 0 || sample.deadline_misses > 0 ||
+                        sample.max_queue_wait_s > config_.wait_threshold_s;
+  if (over_now) {
+    ++epochs_with_overload_;
+    epochs_wo_overload_ = 0;
+  } else {
+    ++epochs_wo_overload_;
+    epochs_with_overload_ = 0;
+  }
+  if (!overloaded_ && epochs_with_overload_ >= config_.overload_on) {
+    overloaded_ = true;
+  } else if (overloaded_ && epochs_wo_overload_ >= config_.overload_off) {
+    overloaded_ = false;
+  }
+
+  if (overloaded_) {
+    ++stats_.overloaded_epochs;
+    if (over_now) {
+      // Only cut on epochs that are actually bad; during the overload_off
+      // cool-down the limit holds steady instead of decaying further.
+      limit_ = std::max(config_.min_limit, limit_ * config_.down_factor);
+      ++stats_.cuts;
+    }
+  } else if (!over_now) {
+    // Probe upward only when the queue is actually exercising the limit;
+    // an idle system should not inflate the limit it will later have to
+    // walk back down from.
+    if (static_cast<double>(sample.queue_depth) + config_.up_step >= limit_) {
+      limit_ = std::min(config_.max_limit, limit_ + config_.up_step);
+      ++stats_.raises;
+    }
+  }
+
+  stats_.final_limit = limit_;
+  stats_.min_limit_seen = std::min(stats_.min_limit_seen, limit_);
+  stats_.max_limit_seen = std::max(stats_.max_limit_seen, limit_);
+}
+
+std::size_t AimdController::queue_limit() const {
+  return static_cast<std::size_t>(std::max(1.0, std::floor(limit_)));
+}
+
+double AimdController::pressure() const {
+  if (!overloaded_) return 0.0;
+  const double span = config_.start_limit - config_.min_limit;
+  if (span <= 0.0) return 1.0;
+  const double depth = (config_.start_limit - limit_) / span;
+  return std::clamp(depth, 0.0, 1.0);
+}
+
+std::size_t tenant_queue_cap(double limit, double entitlement) {
+  const double cap = std::floor(limit * entitlement);
+  return static_cast<std::size_t>(std::max(1.0, cap));
+}
+
+std::size_t tenant_queue_floor(double limit, double entitlement,
+                               double quota_floor) {
+  if (quota_floor <= 0.0) return 0;
+  const double cap =
+      static_cast<double>(tenant_queue_cap(limit, entitlement));
+  const double floor = std::ceil(cap * quota_floor);
+  return static_cast<std::size_t>(std::max(1.0, floor));
+}
+
+}  // namespace hit::sched::admission

@@ -1,0 +1,121 @@
+// AIMD congestion control for job admission (DESIGN.md §13).
+//
+// PR 3's admission policies bound the waiting queue with a *static* cap: too
+// low leaves capacity idle, too high lets waits grow until the deadline shed
+// bites, and the right value moves with the workload.  This module learns the
+// cap instead, with the sensor → controller → limiter split of userver's
+// congestion_control (SNIPPETS.md):
+//
+//   sensor      — the online simulator samples one AimdSample per epoch of
+//                 simulated time: head-of-line wait, queue depth, sheds and
+//                 deadline misses since the previous epoch.
+//   controller  — AimdController::feed folds the sample into an overload
+//                 state machine (consecutive-epoch hysteresis) and moves the
+//                 limit: additive increase while healthy, multiplicative
+//                 decrease while overloaded.
+//   limiter     — the simulator enforces the current limit per tenant
+//                 (weight-proportional caps with a protected floor) at every
+//                 arrival; see OnlineSimulator's AdmissionPolicy::Aimd path.
+//
+// Everything is epoch-counted simulated time — no wall clocks — so a seeded
+// run replays bit-identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hit::sched::admission {
+
+struct AimdConfig {
+  /// Sensor sampling period in simulated seconds.
+  double epoch_s = 30.0;
+  /// Queue limit the controller starts from (jobs waiting, all tenants).
+  double start_limit = 8.0;
+  /// Hard bounds the limit never leaves.
+  double min_limit = 1.0;
+  double max_limit = 1024.0;
+  /// Additive raise per healthy epoch (jobs).
+  double up_step = 1.0;
+  /// Multiplicative cut per overloaded epoch, in (0, 1).
+  double down_factor = 0.5;
+  /// Consecutive overloaded / healthy epochs before the overload state flips
+  /// (hysteresis so one noisy epoch does not whipsaw the limit).
+  std::size_t overload_on = 2;
+  std::size_t overload_off = 2;
+  /// Head-of-line wait that marks an epoch overloaded even with no sheds.
+  double wait_threshold_s = 120.0;
+  /// Fraction of a tenant's weight-proportional queue cap that is always
+  /// admissible, however hard the controller cuts — the per-tenant isolation
+  /// floor ("never below a configurable floor").
+  double quota_floor = 0.25;
+
+  [[nodiscard]] bool valid() const {
+    return epoch_s > 0.0 && start_limit >= min_limit && min_limit >= 1.0 &&
+           max_limit >= start_limit && up_step > 0.0 && down_factor > 0.0 &&
+           down_factor < 1.0 && wait_threshold_s > 0.0 && quota_floor >= 0.0 &&
+           quota_floor <= 1.0;
+  }
+};
+
+/// What the sensor saw during one epoch.
+struct AimdSample {
+  double max_queue_wait_s = 0.0;  ///< longest current wait among waiting jobs
+  std::size_t queue_depth = 0;    ///< waiting jobs at epoch end
+  std::size_t sheds = 0;          ///< jobs shed during the epoch (any reason)
+  std::size_t deadline_misses = 0;  ///< sheds specifically past max_queue_wait
+};
+
+/// Controller accounting (OnlineResult::aimd; all zero when admission!=aimd).
+struct AimdStats {
+  std::size_t epochs = 0;
+  std::size_t raises = 0;             ///< additive-increase steps taken
+  std::size_t cuts = 0;               ///< multiplicative-decrease steps taken
+  std::size_t overloaded_epochs = 0;  ///< epochs spent in the overloaded state
+  std::size_t limiter_sheds = 0;      ///< arrivals shed by the AIMD limiter
+  double final_limit = 0.0;
+  double min_limit_seen = 0.0;
+  double max_limit_seen = 0.0;
+
+  [[nodiscard]] bool any() const noexcept { return epochs > 0; }
+};
+
+class AimdController {
+ public:
+  explicit AimdController(AimdConfig config);
+
+  /// Fold one epoch's sensor sample into the limit.
+  void feed(const AimdSample& sample);
+
+  /// Current admission limit (fractional internally; the limiter floors it).
+  [[nodiscard]] double limit() const noexcept { return limit_; }
+  [[nodiscard]] std::size_t queue_limit() const;
+  [[nodiscard]] bool overloaded() const noexcept { return overloaded_; }
+
+  /// Degradation hint in [0, 1]: 0 while healthy, approaching 1 as the
+  /// controller cuts the limit toward its minimum.  The scheduler ladder
+  /// uses it to serve over-quota tenants from cheaper tiers under pressure.
+  [[nodiscard]] double pressure() const;
+
+  [[nodiscard]] const AimdConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const AimdStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] AimdStats& stats() noexcept { return stats_; }
+
+ private:
+  AimdConfig config_;
+  double limit_;
+  bool overloaded_ = false;
+  std::size_t epochs_with_overload_ = 0;
+  std::size_t epochs_wo_overload_ = 0;
+  AimdStats stats_;
+};
+
+/// Weight-proportional queue cap for one tenant under global limit `limit`:
+/// at least 1 so a lone-tenant queue never wedges shut.
+[[nodiscard]] std::size_t tenant_queue_cap(double limit, double entitlement);
+
+/// Protected floor for one tenant: the slice of its cap that stays
+/// admissible regardless of displacement pressure.
+[[nodiscard]] std::size_t tenant_queue_floor(double limit, double entitlement,
+                                             double quota_floor);
+
+}  // namespace hit::sched::admission

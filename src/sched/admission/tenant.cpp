@@ -1,0 +1,101 @@
+#include "sched/admission/tenant.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hit::sched::admission {
+
+const char* dominant_resource_name(DominantResource r) {
+  switch (r) {
+    case DominantResource::MapSlots: return "map-slots";
+    case DominantResource::ReduceSlots: return "reduce-slots";
+    case DominantResource::ShuffleBw: return "shuffle-bw";
+  }
+  return "?";
+}
+
+TenantRegistry::TenantRegistry(std::vector<TenantSpec> specs,
+                               ResourceVector capacity)
+    : specs_(std::move(specs)), capacity_(capacity) {
+  if (specs_.empty()) {
+    throw std::invalid_argument("TenantRegistry: need at least one tenant");
+  }
+  if (capacity_.map_slots <= 0.0 || capacity_.reduce_slots <= 0.0 ||
+      capacity_.shuffle_bw <= 0.0) {
+    throw std::invalid_argument("TenantRegistry: capacity must be positive");
+  }
+  for (const TenantSpec& s : specs_) {
+    if (s.weight <= 0.0) {
+      throw std::invalid_argument("TenantRegistry: weights must be positive");
+    }
+    weight_sum_ += s.weight;
+  }
+  mean_weight_ = weight_sum_ / static_cast<double>(specs_.size());
+  held_.resize(specs_.size());
+}
+
+std::vector<TenantSpec> TenantRegistry::uniform(std::size_t n) {
+  std::vector<TenantSpec> specs;
+  specs.reserve(std::max<std::size_t>(n, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(n, 1); ++i) {
+    specs.push_back(TenantSpec{"tenant-" + std::to_string(i), 1.0});
+  }
+  return specs;
+}
+
+double TenantRegistry::entitlement(TenantId t) const {
+  return specs_.at(t).weight / weight_sum_;
+}
+
+void TenantRegistry::acquire(TenantId t, const ResourceVector& delta) {
+  held_.at(t) += delta;
+}
+
+void TenantRegistry::release(TenantId t, const ResourceVector& delta) {
+  ResourceVector& h = held_.at(t);
+  h -= delta;
+  // Clamp rounding dust so long runs cannot drift negative.
+  h.map_slots = std::max(h.map_slots, 0.0);
+  h.reduce_slots = std::max(h.reduce_slots, 0.0);
+  h.shuffle_bw = std::max(h.shuffle_bw, 0.0);
+}
+
+DrfShare TenantRegistry::share(TenantId t) const {
+  const ResourceVector& h = held_.at(t);
+  DrfShare s;
+  s.map = h.map_slots / capacity_.map_slots;
+  s.reduce = h.reduce_slots / capacity_.reduce_slots;
+  s.bandwidth = h.shuffle_bw / capacity_.shuffle_bw;
+  s.resource = DominantResource::MapSlots;
+  double raw = s.map;
+  if (s.reduce > raw) {
+    raw = s.reduce;
+    s.resource = DominantResource::ReduceSlots;
+  }
+  if (s.bandwidth > raw) {
+    raw = s.bandwidth;
+    s.resource = DominantResource::ShuffleBw;
+  }
+  s.dominant = raw / (specs_.at(t).weight / mean_weight_);
+  return s;
+}
+
+double TenantRegistry::overuse(TenantId t) const {
+  // share().dominant is raw_share / (w/mean_w) = (raw_share / entitlement) / n,
+  // so scaling by the tenant count yields raw dominant share over entitlement:
+  // overuse == 1 exactly at the weighted fair portion.
+  return share(t).dominant * static_cast<double>(specs_.size());
+}
+
+double jain_index(const std::vector<double>& xs) {
+  double sum = 0.0;
+  double sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sq += x * x;
+  }
+  if (xs.empty() || sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sq);
+}
+
+}  // namespace hit::sched::admission

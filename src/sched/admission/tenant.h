@@ -1,0 +1,126 @@
+// Multi-tenant accounting for adaptive admission (DESIGN.md §13).
+//
+// Production clusters serve many tenants from one queue; under overload the
+// interesting question is not "how much do we shed" but "whose work do we
+// shed".  A TenantRegistry tracks, per tenant, the resources its running
+// jobs hold along the three dimensions that matter to a MapReduce cloud —
+// map slots, reduce slots, and shuffle bandwidth — and exposes
+// dominant-resource-fairness (DRF) shares over them: tenant t's dominant
+// share is its most-contended normalized resource, divided by its
+// entitlement weight.  The admission limiter and the tenant-aware shed paths
+// cut the tenant whose dominant share most exceeds its entitlement first,
+// and never below a configurable floor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hit::sched::admission {
+
+/// Tenants are dense small integers (index into the registry); 0 is the
+/// default tenant every job belongs to until a workload opts in.
+using TenantId = std::uint32_t;
+
+/// One tenant's identity and DRF entitlement.  Weights are relative: a
+/// weight-2 tenant is entitled to twice the dominant share of a weight-1
+/// tenant.  They need not sum to anything.
+struct TenantSpec {
+  std::string name;
+  double weight = 1.0;
+};
+
+/// A point in the three-dimensional resource space DRF runs over.
+struct ResourceVector {
+  double map_slots = 0.0;
+  double reduce_slots = 0.0;
+  double shuffle_bw = 0.0;  ///< aggregate nominal shuffle rate (rate units)
+
+  ResourceVector& operator+=(const ResourceVector& o) {
+    map_slots += o.map_slots;
+    reduce_slots += o.reduce_slots;
+    shuffle_bw += o.shuffle_bw;
+    return *this;
+  }
+  ResourceVector& operator-=(const ResourceVector& o) {
+    map_slots -= o.map_slots;
+    reduce_slots -= o.reduce_slots;
+    shuffle_bw -= o.shuffle_bw;
+    return *this;
+  }
+};
+
+enum class DominantResource : std::uint8_t { MapSlots, ReduceSlots, ShuffleBw };
+
+[[nodiscard]] const char* dominant_resource_name(DominantResource r);
+
+/// One tenant's DRF view: normalized per-resource shares (usage / cluster
+/// capacity) and the weight-adjusted dominant share the fairness decisions
+/// use.
+struct DrfShare {
+  double map = 0.0;
+  double reduce = 0.0;
+  double bandwidth = 0.0;
+  /// max(map, reduce, bandwidth) / (weight / mean weight).
+  double dominant = 0.0;
+  DominantResource resource = DominantResource::MapSlots;
+};
+
+/// Per-tenant outcome accounting for one online run (OnlineResult::tenants).
+struct TenantStats {
+  TenantId tenant = 0;
+  std::string name;
+  double weight = 1.0;
+  std::size_t submitted = 0;   ///< jobs that arrived for this tenant
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  double sum_wait_s = 0.0;     ///< Σ queueing delay of completed jobs
+  double max_wait_s = 0.0;
+  double completed_gb = 0.0;   ///< shuffle bytes of completed jobs
+  double shed_gb = 0.0;        ///< shuffle bytes never transferred
+  double peak_dominant_share = 0.0;  ///< max DRF dominant share held at once
+};
+
+/// Tracks what each tenant currently holds and answers DRF queries.
+class TenantRegistry {
+ public:
+  /// `capacity` components must be positive (they normalize the shares).
+  TenantRegistry(std::vector<TenantSpec> specs, ResourceVector capacity);
+
+  /// `n` equal-weight tenants named "tenant-0" .. "tenant-n-1".
+  [[nodiscard]] static std::vector<TenantSpec> uniform(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return specs_.size(); }
+  [[nodiscard]] const TenantSpec& spec(TenantId t) const { return specs_.at(t); }
+
+  /// Weight share of the total: weight_t / Σ weights.
+  [[nodiscard]] double entitlement(TenantId t) const;
+
+  void acquire(TenantId t, const ResourceVector& delta);
+  void release(TenantId t, const ResourceVector& delta);
+
+  [[nodiscard]] const ResourceVector& held(TenantId t) const {
+    return held_.at(t);
+  }
+  [[nodiscard]] DrfShare share(TenantId t) const;
+
+  /// Dominant share / entitlement — > 1 means the tenant holds more than its
+  /// weighted fair portion of its most-contended resource.
+  [[nodiscard]] double overuse(TenantId t) const;
+
+ private:
+  std::vector<TenantSpec> specs_;
+  std::vector<ResourceVector> held_;
+  ResourceVector capacity_;
+  double weight_sum_ = 0.0;
+  double mean_weight_ = 1.0;
+};
+
+/// Jain's fairness index over non-negative allocations: (Σx)² / (n·Σx²),
+/// in (0, 1]; 1 = perfectly even.  Zero-sum inputs return 1 (nothing served
+/// is, vacuously, evenly served).  Callers weight-normalize first when
+/// tenants are not equally entitled.
+[[nodiscard]] double jain_index(const std::vector<double>& xs);
+
+}  // namespace hit::sched::admission

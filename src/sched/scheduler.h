@@ -56,6 +56,15 @@ struct Problem {
   /// so placements and routes drift away from them.  Empty => no penalty.
   std::vector<NodeId> penalized_switches;
   double switch_penalty = 1.0;
+  /// Multi-tenant admission hints (all inert at their defaults).  `tenant`
+  /// identifies the job being placed; `overload_pressure` in [0, 1] is the
+  /// AIMD controller's degradation hint; `over_quota` marks the tenant as
+  /// holding more than its DRF entitlement.  HitScheduler shrinks its ladder
+  /// work budgets for over-quota tenants while pressure is non-zero, so
+  /// under overload the scarce routing effort goes to tenants within quota.
+  std::uint32_t tenant = 0;
+  double overload_pressure = 0.0;
+  bool over_quota = false;
 
   [[nodiscard]] bool valid() const { return topology != nullptr && cluster != nullptr; }
 

@@ -77,6 +77,7 @@ const char* admission_policy_name(AdmissionPolicy policy) {
     case AdmissionPolicy::RejectNew: return "reject-new";
     case AdmissionPolicy::DropOldest: return "drop-oldest";
     case AdmissionPolicy::DeadlineShed: return "deadline-shed";
+    case AdmissionPolicy::Aimd: return "aimd";
   }
   return "?";
 }
@@ -130,6 +131,9 @@ OnlineSimulator::OnlineSimulator(const cluster::Cluster& cluster, OnlineConfig c
     throw std::invalid_argument(
         "OnlineSimulator: deadline-shed needs max_queue_wait > 0");
   }
+  if (p == AdmissionPolicy::Aimd && !config_.admission.aimd.valid()) {
+    throw std::invalid_argument("OnlineSimulator: invalid AIMD config");
+  }
 }
 
 OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
@@ -169,6 +173,62 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     if (!need.fits_in(total_capacity)) {
       throw std::runtime_error("OnlineSimulator: job larger than the cluster");
     }
+  }
+
+  // ---- multi-tenant admission state -----------------------------------
+  // Tenancy switches on when tenants are configured or the policy is Aimd;
+  // every path below is guarded on `tenancy` so the default single-tenant
+  // run stays bit-identical to the pre-tenant simulator.
+  namespace adm = hit::sched::admission;
+  const bool aimd_on = config_.admission.policy == AdmissionPolicy::Aimd;
+  const bool tenancy = aimd_on || !config_.admission.tenants.empty();
+  std::optional<adm::TenantRegistry> tenant_reg;
+  std::optional<adm::AimdController> aimd;
+  std::vector<adm::TenantStats> tstats;
+  if (tenancy) {
+    std::uint32_t max_tenant = 0;
+    for (const mr::Job& job : jobs) max_tenant = std::max(max_tenant, job.tenant);
+    std::vector<adm::TenantSpec> specs = config_.admission.tenants;
+    if (specs.empty()) specs = adm::TenantRegistry::uniform(max_tenant + 1);
+    if (specs.size() <= max_tenant) {
+      throw std::invalid_argument(
+          "OnlineSimulator: tenant roster smaller than the workload's ids");
+    }
+    // DRF capacity proxy: container slots the whole cluster offers along the
+    // tighter demand dimension, counted separately for maps and reduces (the
+    // two compete for the same slots, but DRF normalizes per dimension), and
+    // the aggregate nominal shuffle rate the servers can inject.
+    const cluster::Resource demand = config_.sim.container_demand;
+    double slots = 0.0;
+    for (const cluster::Server& s : cluster_->servers()) {
+      double per = kInf;
+      if (demand.vcores > 0.0) per = std::min(per, s.capacity.vcores / demand.vcores);
+      if (demand.mem_gb > 0.0) per = std::min(per, s.capacity.mem_gb / demand.mem_gb);
+      if (std::isfinite(per)) slots += std::floor(per);
+    }
+    adm::ResourceVector capacity;
+    capacity.map_slots = std::max(slots, 1.0);
+    capacity.reduce_slots = std::max(slots, 1.0);
+    capacity.shuffle_bw = std::max(
+        static_cast<double>(cluster_->size()) * config_.sim.bandwidth_scale, 1.0);
+    tenant_reg.emplace(std::move(specs), capacity);
+    tstats.resize(tenant_reg->size());
+    for (std::uint32_t t = 0; t < tenant_reg->size(); ++t) {
+      tstats[t].tenant = t;
+      tstats[t].name = tenant_reg->spec(t).name;
+      tstats[t].weight = tenant_reg->spec(t).weight;
+    }
+  }
+  if (aimd_on) aimd.emplace(config_.admission.aimd);
+  double next_epoch = aimd_on ? config_.admission.aimd.epoch_s : kInf;
+  std::size_t epoch_sheds = 0;            // sensor: sheds since last epoch
+  std::size_t epoch_deadline_misses = 0;  // sensor: deadline sheds since then
+  // Per-job DRF holdings so release exactly mirrors acquire.
+  std::vector<adm::ResourceVector> job_held;
+  std::vector<char> job_holds;
+  if (tenancy) {
+    job_held.resize(jobs.size());
+    job_holds.assign(jobs.size(), 0);
   }
 
   // Mutable state.
@@ -266,6 +326,90 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
                      {{"job", static_cast<std::int64_t>(jobs[j].id.value())},
                       {"reason", std::string(shed_reason_name(reason))}},
                      /*tid=*/0);
+    if (tenancy) {
+      adm::TenantStats& ts = tstats[jobs[j].tenant];
+      ++ts.shed;
+      ts.shed_gb += jobs[j].shuffle_gb;
+      ++epoch_sheds;
+      if (reason == ShedReason::Deadline) ++epoch_deadline_misses;
+      obs::count("sim.admission.tenant_shed." +
+                 std::to_string(jobs[j].tenant));
+    }
+  };
+
+  // AIMD limiter: admit, displace for, or shed the arrival `j` under the
+  // current adaptive limit with per-tenant weight-proportional caps.
+  // Returns true when j may join the queue tail.
+  const auto aimd_admit = [&](std::size_t j) -> bool {
+    const std::uint32_t t = jobs[j].tenant;
+    const double limit = aimd->limit();
+    const double qf = config_.admission.aimd.quota_floor;
+    std::vector<std::size_t> waiting_of(tenant_reg->size(), 0);
+    for (std::size_t w : waiting) ++waiting_of[jobs[w].tenant];
+    const auto floor_of = [&](std::uint32_t v) {
+      return adm::tenant_queue_floor(limit, tenant_reg->entitlement(v), qf);
+    };
+    // Protected floor first: a tenant under its own floor always gets in, so
+    // however hard the controller cuts, no tenant is starved outright.
+    if (waiting_of[t] < floor_of(t) || waiting.size() < aimd->queue_limit()) {
+      return true;
+    }
+    // Queue at the limit: displace from the tenant most over its
+    // entitlement — primary key DRF dominant-share overuse of *running*
+    // resources, secondary per-tenant queue overuse, ties to the lowest
+    // tenant id — skipping tenants at or below their protected floor.
+    constexpr std::uint32_t kNone = ~std::uint32_t{0};
+    std::uint32_t vt = kNone;
+    double best_held = -1.0;
+    double best_queue = -1.0;
+    for (std::uint32_t v = 0; v < tenant_reg->size(); ++v) {
+      if (waiting_of[v] <= floor_of(v)) continue;  // protected (or empty)
+      const double held = tenant_reg->overuse(v);
+      const double cap = static_cast<double>(
+          adm::tenant_queue_cap(limit, tenant_reg->entitlement(v)));
+      const double queue = static_cast<double>(waiting_of[v]) / cap;
+      if (held > best_held + kEps ||
+          (held > best_held - kEps && queue > best_queue + kEps)) {
+        vt = v;
+        best_held = held;
+        best_queue = queue;
+      }
+    }
+    ++aimd->stats().limiter_sheds;
+    obs::count("sim.admission.limited");
+    if (vt == kNone) {
+      // Every tenant with queued work sits at its floor: the arrival takes
+      // the cut (its own tenant included — floors are inviolable).
+      shed_job(j, ShedReason::QueueFull);
+      return false;
+    }
+    // Victim inside the tenant: lowest priority first, oldest true arrival
+    // within the class (fault restarts do not rejuvenate a job here).
+    std::size_t victim_pos = waiting.size();
+    for (std::size_t i = 0; i < waiting.size(); ++i) {
+      if (jobs[waiting[i]].tenant != vt) continue;
+      if (victim_pos == waiting.size()) {
+        victim_pos = i;
+        continue;
+      }
+      const mr::Job& cand = jobs[waiting[i]];
+      const mr::Job& best = jobs[waiting[victim_pos]];
+      if (cand.priority < best.priority ||
+          (cand.priority == best.priority &&
+           arrivals[waiting[i]] < arrivals[waiting[victim_pos]])) {
+        victim_pos = i;
+      }
+    }
+    if (vt == t && jobs[waiting[victim_pos]].priority > jobs[j].priority) {
+      // Within one tenant, priority still rules: when everything this tenant
+      // has queued outranks the arrival, the arrival is the shed.
+      shed_job(j, ShedReason::QueueFull);
+      return false;
+    }
+    const std::size_t victim = waiting[victim_pos];
+    waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(victim_pos));
+    shed_job(victim, ShedReason::Displaced);
+    return true;
   };
 
   const auto map_duration = [&](const mr::Task& t, ServerId host) -> double {
@@ -318,6 +462,15 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     }
     problem.flows = job_flow_sets[j];
     penalize_problem(problem);
+    if (tenancy) {
+      problem.tenant = job.tenant;
+      if (aimd) {
+        // Ladder hint: over-quota tenants degrade first while the AIMD
+        // controller reports overload pressure.
+        problem.overload_pressure = aimd->pressure();
+        problem.over_quota = tenant_reg->overuse(job.tenant) > 1.0 + kEps;
+      }
+    }
 
     Rng wave_rng = rng.fork(1000 + j);
     sched::Assignment assignment;
@@ -340,6 +493,18 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     run.placement = assignment.placement;
     for (const sched::TaskRef& t : problem.tasks) {
       usage[assignment.placement.at(t.id).index()] += t.demand;
+    }
+    if (tenancy) {
+      adm::ResourceVector rv;
+      rv.map_slots = static_cast<double>(job.maps.size());
+      rv.reduce_slots = static_cast<double>(job.reduces.size());
+      for (const net::Flow& f : job_flow_sets[j]) rv.shuffle_bw += f.rate;
+      tenant_reg->acquire(job.tenant, rv);
+      job_held[j] = rv;
+      job_holds[j] = 1;
+      tstats[job.tenant].peak_dominant_share =
+          std::max(tstats[job.tenant].peak_dominant_share,
+                   tenant_reg->share(job.tenant).dominant);
     }
 
     // Map finishes drive flow releases.
@@ -518,6 +683,10 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
         stalled_flows.end());
     state[j] = RunningJob{};
     if (config_.sim.coflow.enabled) registry.reset(job_coflow[j]);
+    if (tenancy && job_holds[j]) {
+      tenant_reg->release(jobs[j].tenant, job_held[j]);
+      job_holds[j] = 0;
+    }
     queued_since[j] = now;
     waiting.push_front(j);
     ++rec.jobs_restarted;
@@ -835,14 +1004,15 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
                                 ? gray_rt->next_probe_time()
                                 : kInf;
 
-    // Probes bound the step but never rescue a stalled run: a probe that can
-    // never pass must not advance time forever with no runnable event left.
+    // Probes and AIMD epoch ticks bound the step but never rescue a stalled
+    // run: a tick that can fire forever must not advance time with no
+    // runnable event left.
     const double progress_at = std::min(
         {completion_at, arrival_at, release_at, local_at, finish_at, fault_at});
     if (!std::isfinite(progress_at)) {
       throw std::runtime_error("OnlineSimulator: stalled (no runnable event)");
     }
-    const double next_time = std::min(progress_at, probe_at);
+    const double next_time = std::min({progress_at, probe_at, next_epoch});
     const double dt = next_time - now;
     for (std::size_t i = 0; i < active.size(); ++i) {
       flows[active[i]].remaining -= rates[i] * dt;
@@ -971,6 +1141,49 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       result.makespan = std::max(result.makespan, now);
       result.total_shuffle_cost += run.shuffle_cost;
       result.total_shuffle_gb += jobs[j].shuffle_gb;
+      if (tenancy) {
+        if (job_holds[j]) {
+          tenant_reg->release(jobs[j].tenant, job_held[j]);
+          job_holds[j] = 0;
+        }
+        adm::TenantStats& ts = tstats[jobs[j].tenant];
+        ++ts.completed;
+        ts.sum_wait_s += record.queueing_delay();
+        ts.max_wait_s = std::max(ts.max_wait_s, record.queueing_delay());
+        ts.completed_gb += jobs[j].shuffle_gb;
+      }
+    }
+
+    // 5b. AIMD epoch tick: sample the sensor, feed the controller, publish
+    // the fresh limit — before arrivals so a same-instant arrival already
+    // sees it.
+    if (aimd && now + kEps >= next_epoch) {
+      while (next_epoch <= now + kEps) next_epoch += config_.admission.aimd.epoch_s;
+      adm::AimdSample sample;
+      sample.queue_depth = waiting.size();
+      for (std::size_t j : waiting) {
+        sample.max_queue_wait_s =
+            std::max(sample.max_queue_wait_s, now - queued_since[j]);
+      }
+      sample.sheds = epoch_sheds;
+      sample.deadline_misses = epoch_deadline_misses;
+      epoch_sheds = 0;
+      epoch_deadline_misses = 0;
+      const std::size_t raises_before = aimd->stats().raises;
+      const std::size_t cuts_before = aimd->stats().cuts;
+      aimd->feed(sample);
+      obs::count("sim.admission.epochs");
+      if (aimd->stats().raises > raises_before) obs::count("sim.admission.raises");
+      if (aimd->stats().cuts > cuts_before) obs::count("sim.admission.cuts");
+      obs::gauge_set("sim.admission.limit", aimd->limit());
+      obs::sim_instant(
+          "admission.epoch", "sim.admission", now,
+          {{"limit", aimd->limit()},
+           {"queue", static_cast<std::int64_t>(sample.queue_depth)},
+           {"max_wait_s", sample.max_queue_wait_s},
+           {"sheds", static_cast<std::int64_t>(sample.sheds)},
+           {"overloaded", aimd->overloaded() ? std::int64_t{1} : std::int64_t{0}}},
+          /*tid=*/5);
     }
 
     // 6. Arrivals, through admission control.  The queue cap binds only at
@@ -979,6 +1192,8 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     while (next_arrival < jobs.size() && arrivals[next_arrival] <= now + kEps) {
       const std::size_t j = next_arrival++;
       const AdmissionPolicy pol = config_.admission.policy;
+      if (tenancy) ++tstats[jobs[j].tenant].submitted;
+      if (pol == AdmissionPolicy::Aimd && !aimd_admit(j)) continue;
       if ((pol == AdmissionPolicy::RejectNew || pol == AdmissionPolicy::DropOldest) &&
           waiting.size() >= config_.admission.max_queue) {
         if (pol == AdmissionPolicy::RejectNew) {
@@ -986,15 +1201,17 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
           continue;
         }
         // DropOldest: displace the lowest-priority waiting job, ties broken
-        // by longest current wait — unless everything waiting outranks the
-        // arrival, in which case the arrival itself is shed.
+        // by oldest *true* arrival — NOT queued_since, which fault restarts
+        // re-stamp, so eviction order within a class would otherwise depend
+        // on restart history rather than age — unless everything waiting
+        // outranks the arrival, in which case the arrival itself is shed.
         std::size_t victim_pos = 0;
         for (std::size_t i = 1; i < waiting.size(); ++i) {
           const mr::Job& cand = jobs[waiting[i]];
           const mr::Job& best = jobs[waiting[victim_pos]];
           if (cand.priority < best.priority ||
               (cand.priority == best.priority &&
-               queued_since[waiting[i]] < queued_since[waiting[victim_pos]])) {
+               arrivals[waiting[i]] < arrivals[waiting[victim_pos]])) {
             victim_pos = i;
           }
         }
@@ -1018,10 +1235,13 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
         waiting.pop_front();
       }
     }
-    if (config_.admission.policy == AdmissionPolicy::DeadlineShed &&
+    if ((config_.admission.policy == AdmissionPolicy::DeadlineShed ||
+         (config_.admission.policy == AdmissionPolicy::Aimd &&
+          config_.max_queue_wait > 0.0)) &&
         !waiting.empty()) {
       // Restarts can reorder waits (they re-enter at the head with a fresh
-      // stamp), so the deadline scan covers the whole queue.
+      // stamp), so the deadline scan covers the whole queue.  Under Aimd the
+      // deadline is optional; its sheds feed the controller as misses.
       std::deque<std::size_t> keep;
       for (std::size_t j : waiting) {
         if (now - queued_since[j] > config_.max_queue_wait) {
@@ -1088,6 +1308,29 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     account_gray_plan(config_.sim.faults, result.makespan, result.gray);
   }
   if (gray_rt) gray_rt->finish(result.makespan, result.gray);
+  if (tenancy) {
+    // Weight-normalized served counts: a weight-2 tenant completing twice a
+    // weight-1 tenant's jobs is perfectly fair, so Jain runs on x_t =
+    // completed_t / weight_t.
+    std::vector<double> served;
+    served.reserve(tstats.size());
+    for (const adm::TenantStats& ts : tstats) {
+      served.push_back(static_cast<double>(ts.completed) / ts.weight);
+      obs::gauge_set("sim.admission.tenant." + std::to_string(ts.tenant) +
+                         ".completed",
+                     static_cast<double>(ts.completed));
+      obs::gauge_set(
+          "sim.admission.tenant." + std::to_string(ts.tenant) + ".shed",
+          static_cast<double>(ts.shed));
+    }
+    result.tenant_jain = adm::jain_index(served);
+    obs::gauge_set("sim.admission.jain_index", result.tenant_jain);
+    result.tenants = std::move(tstats);
+  }
+  if (aimd) {
+    result.aimd = aimd->stats();
+    obs::gauge_set("sim.admission.final_limit", result.aimd.final_limit);
+  }
   return result;
 }
 

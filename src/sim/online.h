@@ -16,6 +16,8 @@
 
 #include "cluster/cluster.h"
 #include "mapreduce/job.h"
+#include "sched/admission/aimd.h"
+#include "sched/admission/tenant.h"
 #include "sched/scheduler.h"
 #include "sim/engine.h"
 #include "sim/metrics.h"
@@ -40,6 +42,13 @@ enum class AdmissionPolicy : std::uint8_t {
   /// Unbounded queue, but any job that has waited past `max_queue_wait` is
   /// shed — the graceful counterpart of Unbounded's throw.
   DeadlineShed,
+  /// Adaptive cap: an AIMD controller (sched/admission/aimd.h) learns the
+  /// sustainable queue limit from per-epoch overload signals, and the limit
+  /// is enforced *per tenant* — weight-proportional caps with a protected
+  /// floor, displacing from the most over-entitlement tenant first.  With
+  /// `max_queue_wait > 0` the DeadlineShed scan also runs (its sheds feed
+  /// the controller as deadline misses).
+  Aimd,
 };
 
 [[nodiscard]] const char* admission_policy_name(AdmissionPolicy policy);
@@ -50,6 +59,13 @@ struct AdmissionConfig {
   AdmissionPolicy policy = AdmissionPolicy::Unbounded;
   /// Waiting-queue capacity for RejectNew / DropOldest (must be > 0 there).
   std::size_t max_queue = 0;
+  /// AIMD knobs (used only with AdmissionPolicy::Aimd).
+  sched::admission::AimdConfig aimd;
+  /// Tenant roster.  Empty = single default tenant (every `Job::tenant`
+  /// must then be 0); otherwise must cover the largest tenant id on any job.
+  /// Tenant accounting (TenantStats, DRF shares, Jain index) switches on
+  /// when this is non-empty or the policy is Aimd.
+  std::vector<sched::admission::TenantSpec> tenants;
 };
 
 struct OnlineConfig {
@@ -115,6 +131,14 @@ struct OnlineResult {
   std::vector<CoflowTiming> coflows;
   double avg_coflow_cct = 0.0;  ///< mean CCT over recorded coflows (0 = none)
   double p95_coflow_cct = 0.0;  ///< 95th-percentile CCT (0 = none)
+  /// Per-tenant accounting (empty unless tenants are configured or the
+  /// admission policy is Aimd).
+  std::vector<sched::admission::TenantStats> tenants;
+  /// AIMD controller accounting (all-zero unless the policy is Aimd).
+  sched::admission::AimdStats aimd;
+  /// Jain's fairness index over per-tenant weight-normalized completed-job
+  /// counts (0 until tenant accounting runs; 1 = perfectly weighted-fair).
+  double tenant_jain = 0.0;
 
   [[nodiscard]] std::vector<double> completion_times() const;
   [[nodiscard]] std::vector<double> queueing_delays() const;

@@ -151,5 +151,160 @@ TEST(ControllerBreakerTest, RebalanceBreakerOpensShortCircuitsAndRecloses) {
   EXPECT_EQ(controller.breaker().stats().closes, 1u);
 }
 
+TEST(ControllerBreakerTest, HalfOpenReprobeNeverLosesParkedFlows) {
+  // The parked population must survive a breaker that reopens while
+  // readmission is being retried: flows stay installed (parked + active
+  // always partitions installed_count) and are restored intact once the
+  // pressure clears.  Case-study tree: access capacity 64, single paths, so
+  // rebalance can never cool a hot switch and every sweep trips the breaker.
+  const topo::Topology topo = topo::make_case_study_tree();
+  ControllerConfig config;
+  config.hot_threshold = 0.1;
+  config.breaker.enabled = true;
+  config.breaker.failure_threshold = 1;
+  config.breaker.open_span = 2;
+  config.breaker.close_successes = 1;
+  NetworkController controller(topo, config);
+
+  const auto flow = [](unsigned id, double rate, std::uint8_t priority) {
+    net::Flow f;
+    f.id = FlowId(id);
+    f.size_gb = rate;
+    f.rate = rate;
+    f.priority = priority;
+    return f;
+  };
+  const auto install = [&](const net::Flow& f, std::size_t src,
+                           std::size_t dst) {
+    const NodeId s = topo.servers()[src];
+    const NodeId d = topo.servers()[dst];
+    controller.install(f, net::shortest_policy(topo, s, d, f.id), s, d);
+  };
+
+  install(flow(1, 10.0, /*priority=*/0), 0, 1);
+  install(flow(2, 10.0, /*priority=*/0), 0, 1);
+  install(flow(3, 5.0, /*priority=*/2), 0, 3);
+  ASSERT_EQ(controller.shed_pressure(), 2u);  // both low flows parked
+  ASSERT_EQ(controller.parked(), (std::vector<FlowId>{FlowId(1), FlowId(2)}));
+
+  // Saturate the shared access leg (63 of 64): even the backed-off rates of
+  // the parked flows (10 -> 5 -> 2.5) no longer fit, and the single-path
+  // rebalance failure opens the breaker.
+  install(flow(4, 58.0, /*priority=*/2), 0, 1);
+  EXPECT_EQ(controller.rebalance(), 0u);
+  ASSERT_EQ(controller.breaker().state(), BreakerState::Open);
+
+  // Readmission attempts while the breaker is open must fail cleanly.
+  EXPECT_EQ(controller.readmit_parked(), 0u);
+  EXPECT_EQ(controller.parked_count(), 2u);
+  EXPECT_EQ(controller.installed_count(), 4u);
+  EXPECT_NO_THROW(controller.audit());
+
+  // Ride out the open span, then the half-open probe reopens (still hot) —
+  // interleaved with another readmission attempt.  Nothing may be lost.
+  (void)controller.rebalance();
+  (void)controller.rebalance();  // short-circuits
+  (void)controller.rebalance();  // half-open probe: still hot, reopens
+  EXPECT_EQ(controller.breaker().state(), BreakerState::Open);
+  EXPECT_GE(controller.breaker().stats().trips, 2u);
+  EXPECT_EQ(controller.readmit_parked(), 0u);
+  EXPECT_EQ(controller.parked(), (std::vector<FlowId>{FlowId(1), FlowId(2)}));
+  EXPECT_EQ(controller.installed_count(), 4u);
+  EXPECT_NO_THROW(controller.audit());
+
+  // Pressure clears: both parked flows come back at full rate, none lost.
+  controller.remove(FlowId(4));
+  EXPECT_EQ(controller.readmit_parked(), 2u);
+  EXPECT_EQ(controller.parked_count(), 0u);
+  EXPECT_EQ(controller.installed_count(), 3u);
+  EXPECT_TRUE(controller.installed(FlowId(1)));
+  EXPECT_TRUE(controller.installed(FlowId(2)));
+  EXPECT_NO_THROW(controller.audit());
+}
+
+class TenantShedTest : public ::testing::Test {
+ protected:
+  topo::TreeConfig tree_{2, 4, 2, 1, 16.0, 32.0};  // access capacity 32
+  topo::Topology topo_ = topo::make_tree(tree_);
+
+  static ControllerConfig tenant_config(double floor) {
+    ControllerConfig c;
+    c.hot_threshold = 0.5;  // access hot above 16
+    c.tenant_aware_shed = true;
+    c.tenant_floor = floor;
+    return c;
+  }
+
+  net::Flow flow(unsigned id, double rate, std::uint8_t priority,
+                 std::uint32_t tenant) {
+    net::Flow f;
+    f.id = FlowId(id);
+    f.size_gb = rate;
+    f.rate = rate;
+    f.priority = priority;
+    f.tenant = tenant;
+    return f;
+  }
+
+  void install(NetworkController& c, const net::Flow& f, std::size_t src,
+               std::size_t dst) {
+    const net::Policy p = net::shortest_policy(topo_, topo_.servers()[src],
+                                               topo_.servers()[dst], f.id);
+    c.install(f, p, topo_.servers()[src], topo_.servers()[dst]);
+  }
+};
+
+TEST_F(TenantShedTest, OverQuotaTenantIsCutBeforeLowerPriorityFlows) {
+  // Tenant 1 holds 18 of 22 units (overuse 36x vs tenant 0's 8x under
+  // uniform entitlements): the victim comes from tenant 1 even though
+  // tenant 0's flow has strictly lower priority.
+  NetworkController controller(topo_, tenant_config(/*floor=*/0.0));
+  install(controller, flow(1, 4.0, /*priority=*/0, /*tenant=*/0), 0, 1);
+  install(controller, flow(2, 10.0, /*priority=*/1, /*tenant=*/1), 0, 2);
+  install(controller, flow(3, 8.0, /*priority=*/1, /*tenant=*/1), 0, 3);
+  EXPECT_EQ(controller.shed_pressure(), 1u);
+  EXPECT_EQ(controller.parked(), std::vector<FlowId>{FlowId(2)});
+  EXPECT_TRUE(controller.installed(FlowId(1)));
+  EXPECT_NO_THROW(controller.audit());
+}
+
+TEST_F(TenantShedTest, FloorProtectsSmallTenantsFromTheLegacyOrder) {
+  // Tenant 1 sits below its protected floor (2 <= 0.3 x 0.5 x 32), so the
+  // hog tenant is cut even though its flow outranks the small tenant's.
+  NetworkController controller(topo_, tenant_config(/*floor=*/0.3));
+  install(controller, flow(1, 30.0, /*priority=*/2, /*tenant=*/0), 0, 1);
+  install(controller, flow(2, 2.0, /*priority=*/0, /*tenant=*/1), 0, 2);
+  EXPECT_EQ(controller.shed_pressure(), 1u);
+  EXPECT_EQ(controller.parked(), std::vector<FlowId>{FlowId(1)});
+  EXPECT_TRUE(controller.installed(FlowId(2)));
+  EXPECT_NO_THROW(controller.audit());
+}
+
+TEST_F(TenantShedTest, AllTenantsAtFloorFallsBackToLegacyVictimOrder) {
+  // With floor = 1.0 every tenant is "protected" (rate <= entitlement x
+  // total always holds at two equal tenants), so the legacy order applies:
+  // the lowest-priority flow is parked regardless of tenant.
+  NetworkController controller(topo_, tenant_config(/*floor=*/1.0));
+  install(controller, flow(1, 10.0, /*priority=*/0, /*tenant=*/0), 0, 1);
+  install(controller, flow(2, 10.0, /*priority=*/1, /*tenant=*/1), 0, 2);
+  EXPECT_EQ(controller.shed_pressure(), 1u);
+  EXPECT_EQ(controller.parked(), std::vector<FlowId>{FlowId(1)});
+  EXPECT_NO_THROW(controller.audit());
+}
+
+TEST_F(TenantShedTest, WeightedEntitlementsShiftTheVictimTenant)  {
+  // Same usage, but tenant 0 carries weight 3: its entitlement triples, its
+  // overuse shrinks below tenant 1's, and the victim flips to tenant 1.
+  ControllerConfig config = tenant_config(/*floor=*/0.0);
+  config.tenant_weights = {3.0, 1.0};
+  NetworkController controller(topo_, config);
+  install(controller, flow(1, 12.0, /*priority=*/1, /*tenant=*/0), 0, 1);
+  install(controller, flow(2, 10.0, /*priority=*/1, /*tenant=*/1), 0, 2);
+  EXPECT_EQ(controller.shed_pressure(), 1u);
+  // t0: 12 / 0.75 = 16; t1: 10 / 0.25 = 40 -> tenant 1 is the victim.
+  EXPECT_EQ(controller.parked(), std::vector<FlowId>{FlowId(2)});
+  EXPECT_NO_THROW(controller.audit());
+}
+
 }  // namespace
 }  // namespace hit::core

@@ -1,0 +1,244 @@
+// Unit tests for the adaptive-admission subsystem: TenantRegistry DRF
+// accounting, Jain's index, the AIMD controller's overload state machine,
+// and the per-tenant queue cap/floor helpers.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sched/admission/aimd.h"
+#include "sched/admission/tenant.h"
+
+namespace hit::sched::admission {
+namespace {
+
+ResourceVector rv(double m, double r, double b) {
+  ResourceVector v;
+  v.map_slots = m;
+  v.reduce_slots = r;
+  v.shuffle_bw = b;
+  return v;
+}
+
+TEST(TenantRegistryTest, UniformSpecsAndEntitlements) {
+  TenantRegistry reg(TenantRegistry::uniform(4), rv(16, 16, 8));
+  EXPECT_EQ(reg.size(), 4u);
+  EXPECT_EQ(reg.spec(0).name, "tenant-0");
+  EXPECT_EQ(reg.spec(3).name, "tenant-3");
+  for (TenantId t = 0; t < 4; ++t) {
+    EXPECT_DOUBLE_EQ(reg.entitlement(t), 0.25);
+  }
+}
+
+TEST(TenantRegistryTest, WeightedEntitlements) {
+  TenantRegistry reg({{"gold", 2.0}, {"bronze", 1.0}, {"bronze2", 1.0}},
+                     rv(16, 16, 8));
+  EXPECT_DOUBLE_EQ(reg.entitlement(0), 0.5);
+  EXPECT_DOUBLE_EQ(reg.entitlement(1), 0.25);
+}
+
+TEST(TenantRegistryTest, DominantShareTracksMostContendedResource) {
+  TenantRegistry reg(TenantRegistry::uniform(2), rv(16, 8, 10));
+  reg.acquire(0, rv(4, 1, 1));  // map share 0.25, reduce 0.125, bw 0.1
+  DrfShare s = reg.share(0);
+  EXPECT_DOUBLE_EQ(s.map, 0.25);
+  EXPECT_EQ(s.resource, DominantResource::MapSlots);
+  EXPECT_DOUBLE_EQ(s.dominant, 0.25);  // equal weights: no adjustment
+
+  reg.acquire(0, rv(0, 0, 4));  // bw share now 0.5 and dominant
+  s = reg.share(0);
+  EXPECT_EQ(s.resource, DominantResource::ShuffleBw);
+  EXPECT_DOUBLE_EQ(s.dominant, 0.5);
+}
+
+TEST(TenantRegistryTest, OveruseIsOneAtTheWeightedFairPoint) {
+  // Two equal tenants on 16 map slots: 8 slots each is the fair split.
+  TenantRegistry reg(TenantRegistry::uniform(2), rv(16, 16, 8));
+  reg.acquire(0, rv(8, 0, 0));
+  EXPECT_NEAR(reg.overuse(0), 1.0, 1e-12);
+  reg.acquire(0, rv(8, 0, 0));  // all 16: twice the fair portion
+  EXPECT_NEAR(reg.overuse(0), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(reg.overuse(1), 0.0);
+}
+
+TEST(TenantRegistryTest, WeightScalesTheFairPoint) {
+  // gold is entitled to 2/3 of 12 reduce slots = 8.
+  TenantRegistry reg({{"gold", 2.0}, {"bronze", 1.0}}, rv(12, 12, 8));
+  reg.acquire(0, rv(0, 8, 0));
+  EXPECT_NEAR(reg.overuse(0), 1.0, 1e-12);
+  reg.acquire(1, rv(0, 4, 0));  // bronze's fair portion is 4
+  EXPECT_NEAR(reg.overuse(1), 1.0, 1e-12);
+}
+
+TEST(TenantRegistryTest, ReleaseClampsRoundingDust) {
+  TenantRegistry reg(TenantRegistry::uniform(1), rv(4, 4, 4));
+  reg.acquire(0, rv(1, 1, 1));
+  reg.release(0, rv(1.0000001, 1, 1));
+  EXPECT_GE(reg.held(0).map_slots, 0.0);
+  EXPECT_DOUBLE_EQ(reg.share(0).map, 0.0);
+}
+
+TEST(TenantRegistryTest, RejectsInvalidConstruction) {
+  EXPECT_THROW((void)TenantRegistry({}, rv(1, 1, 1)), std::invalid_argument);
+  EXPECT_THROW((void)TenantRegistry(TenantRegistry::uniform(1), rv(0, 1, 1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)TenantRegistry({{"t", 0.0}}, rv(1, 1, 1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)TenantRegistry({{"t", -2.0}}, rv(1, 1, 1)),
+               std::invalid_argument);
+}
+
+TEST(JainIndexTest, EvenAllocationsScoreOne) {
+  EXPECT_DOUBLE_EQ(jain_index({3.0, 3.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);  // vacuously fair
+}
+
+TEST(JainIndexTest, StarvationScoresOneOverN) {
+  EXPECT_NEAR(jain_index({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  const double mid = jain_index({4.0, 2.0, 1.0});
+  EXPECT_GT(mid, 1.0 / 3.0);
+  EXPECT_LT(mid, 1.0);
+}
+
+TEST(QueueCapTest, CapIsWeightProportionalAndAtLeastOne) {
+  EXPECT_EQ(tenant_queue_cap(8.0, 0.5), 4u);
+  EXPECT_EQ(tenant_queue_cap(8.0, 0.25), 2u);
+  EXPECT_EQ(tenant_queue_cap(1.0, 0.1), 1u);   // never wedges shut
+  EXPECT_EQ(tenant_queue_cap(10.0, 0.25), 2u);  // floors, not rounds
+}
+
+TEST(QueueCapTest, FloorIsASliceOfTheCap) {
+  EXPECT_EQ(tenant_queue_floor(8.0, 0.5, 0.25), 1u);
+  EXPECT_EQ(tenant_queue_floor(16.0, 0.5, 0.5), 4u);
+  EXPECT_EQ(tenant_queue_floor(8.0, 0.5, 0.0), 0u);  // floor disabled
+  EXPECT_GE(tenant_queue_floor(1.0, 0.01, 0.9), 1u);
+}
+
+AimdConfig fast_config() {
+  AimdConfig c;
+  c.epoch_s = 1.0;
+  c.start_limit = 8.0;
+  c.min_limit = 1.0;
+  c.max_limit = 32.0;
+  c.up_step = 1.0;
+  c.down_factor = 0.5;
+  c.overload_on = 2;
+  c.overload_off = 2;
+  c.wait_threshold_s = 10.0;
+  return c;
+}
+
+AimdSample healthy_busy(std::size_t depth) {
+  AimdSample s;
+  s.queue_depth = depth;
+  return s;
+}
+
+AimdSample overloaded_sample() {
+  AimdSample s;
+  s.sheds = 3;
+  s.queue_depth = 20;
+  return s;
+}
+
+TEST(AimdControllerTest, StartsAtStartLimit) {
+  AimdController c(fast_config());
+  EXPECT_DOUBLE_EQ(c.limit(), 8.0);
+  EXPECT_EQ(c.queue_limit(), 8u);
+  EXPECT_FALSE(c.overloaded());
+  EXPECT_DOUBLE_EQ(c.pressure(), 0.0);
+}
+
+TEST(AimdControllerTest, AdditiveIncreaseOnlyWhenTheQueueExercisesTheLimit) {
+  AimdController c(fast_config());
+  c.feed(healthy_busy(/*depth=*/8));  // at the limit: probe upward
+  EXPECT_DOUBLE_EQ(c.limit(), 9.0);
+  c.feed(healthy_busy(/*depth=*/0));  // idle: hold, do not inflate
+  EXPECT_DOUBLE_EQ(c.limit(), 9.0);
+  EXPECT_EQ(c.stats().raises, 1u);
+}
+
+TEST(AimdControllerTest, HysteresisBeforeTheFirstCut) {
+  AimdController c(fast_config());
+  c.feed(overloaded_sample());  // 1 bad epoch: not yet overloaded
+  EXPECT_FALSE(c.overloaded());
+  EXPECT_DOUBLE_EQ(c.limit(), 8.0);
+  c.feed(overloaded_sample());  // 2nd consecutive: flip + cut
+  EXPECT_TRUE(c.overloaded());
+  EXPECT_DOUBLE_EQ(c.limit(), 4.0);
+  EXPECT_EQ(c.stats().cuts, 1u);
+  EXPECT_GT(c.pressure(), 0.0);
+}
+
+TEST(AimdControllerTest, MultiplicativeDecreaseBottomsAtMinLimit) {
+  AimdController c(fast_config());
+  for (int i = 0; i < 10; ++i) c.feed(overloaded_sample());
+  EXPECT_DOUBLE_EQ(c.limit(), 1.0);
+  EXPECT_EQ(c.queue_limit(), 1u);
+  EXPECT_DOUBLE_EQ(c.pressure(), 1.0);
+  EXPECT_DOUBLE_EQ(c.stats().min_limit_seen, 1.0);
+}
+
+TEST(AimdControllerTest, RecoversAfterOverloadOffHealthyEpochs) {
+  AimdController c(fast_config());
+  for (int i = 0; i < 4; ++i) c.feed(overloaded_sample());
+  ASSERT_TRUE(c.overloaded());
+  const double cut_limit = c.limit();
+  c.feed(healthy_busy(5));  // cool-down epoch 1: still overloaded, no cut
+  EXPECT_TRUE(c.overloaded());
+  EXPECT_DOUBLE_EQ(c.limit(), cut_limit);
+  c.feed(healthy_busy(5));  // cool-down epoch 2: back to healthy
+  EXPECT_FALSE(c.overloaded());
+  c.feed(healthy_busy(static_cast<std::size_t>(c.limit())));
+  EXPECT_GT(c.limit(), cut_limit);  // additive probing resumed
+}
+
+TEST(AimdControllerTest, WaitThresholdAloneMarksOverload) {
+  AimdController c(fast_config());
+  AimdSample slow;
+  slow.max_queue_wait_s = 11.0;  // past wait_threshold_s, zero sheds
+  slow.queue_depth = 4;
+  c.feed(slow);
+  c.feed(slow);
+  EXPECT_TRUE(c.overloaded());
+  EXPECT_LT(c.limit(), 8.0);
+}
+
+TEST(AimdControllerTest, LimitNeverLeavesConfiguredBounds) {
+  AimdConfig cfg = fast_config();
+  cfg.max_limit = 10.0;
+  AimdController c(cfg);
+  for (int i = 0; i < 20; ++i) {
+    c.feed(healthy_busy(static_cast<std::size_t>(c.limit())));
+  }
+  EXPECT_DOUBLE_EQ(c.limit(), 10.0);
+  EXPECT_DOUBLE_EQ(c.stats().max_limit_seen, 10.0);
+  for (int i = 0; i < 20; ++i) c.feed(overloaded_sample());
+  EXPECT_DOUBLE_EQ(c.limit(), 1.0);
+  EXPECT_EQ(c.stats().epochs, 40u);
+  EXPECT_TRUE(c.stats().any());
+}
+
+TEST(AimdControllerTest, RejectsInvalidConfig) {
+  AimdConfig bad = fast_config();
+  bad.down_factor = 1.5;
+  EXPECT_THROW((void)AimdController(bad), std::invalid_argument);
+  bad = fast_config();
+  bad.min_limit = 0.0;
+  EXPECT_THROW((void)AimdController(bad), std::invalid_argument);
+  bad = fast_config();
+  bad.quota_floor = 2.0;
+  EXPECT_THROW((void)AimdController(bad), std::invalid_argument);
+}
+
+TEST(DominantResourceNameTest, Names) {
+  EXPECT_STREQ(dominant_resource_name(DominantResource::MapSlots), "map-slots");
+  EXPECT_STREQ(dominant_resource_name(DominantResource::ReduceSlots),
+               "reduce-slots");
+  EXPECT_STREQ(dominant_resource_name(DominantResource::ShuffleBw),
+               "shuffle-bw");
+}
+
+}  // namespace
+}  // namespace hit::sched::admission

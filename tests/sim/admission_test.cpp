@@ -115,6 +115,80 @@ TEST_F(AdmissionTest, DropOldestShedsArrivalWhenOutranked) {
   EXPECT_EQ(result.jobs.size(), 2u);
 }
 
+TEST_F(AdmissionTest, DropOldestPrefersLowestClassThenOldestAmongWaiters) {
+  mr::IdAllocator ids;
+  auto jobs = big_jobs(ids, 5);
+  // Job 0 runs; jobs 1 (Normal), 2 (Low), 3 (Low) wait in a three-slot
+  // queue.  Job 4 (Normal) arrives to a full queue: the victim must come
+  // from the lowest class and, within it, be the oldest arrival — job 2.
+  jobs[2].priority = mr::Priority::Low;
+  jobs[3].priority = mr::Priority::Low;
+  const OnlineSimulator sim(
+      world_->cluster,
+      burst_config(AdmissionPolicy::DropOldest, /*max_queue=*/3));
+  Rng rng(3);
+  const OnlineResult result = sim.run(capacity_, jobs, ids, rng);
+  ASSERT_EQ(result.shed.size(), 1u);
+  EXPECT_EQ(result.shed[0].id, jobs[2].id);
+  EXPECT_EQ(result.shed[0].priority, mr::Priority::Low);
+  EXPECT_EQ(result.shed[0].reason, ShedReason::Displaced);
+  EXPECT_EQ(result.jobs.size(), 4u);
+}
+
+TEST_F(AdmissionTest, DropOldestEvictionOrderSurvivesRestartRestamp) {
+  // Regression: the within-class tie-break must use the true arrival time,
+  // not queued_since, which a fault restart re-stamps.  Job 0 (the oldest)
+  // is knocked back into the queue by a reduce-server failure; when job 3
+  // then arrives to a full queue, job 0 must still be the eviction victim.
+  // With the old queued_since tie-break the restart made job 0 look newest
+  // and job 1 was evicted instead.
+  constexpr double kRate = 100.0;
+  constexpr std::uint64_t kSeed = 3;
+  // Replicate the simulator's arrival stream (fork is salt-based off the
+  // seed, so this matches bit-for-bit) to aim the fault between the third
+  // and fourth arrivals.
+  Rng probe(kSeed);
+  Rng arrival_rng = probe.fork(0x41525256);
+  std::vector<double> arrivals(4);
+  double clock = 0.0;
+  for (double& a : arrivals) {
+    clock += arrival_rng.exponential(kRate);
+    a = clock;
+  }
+  const double fault_at = (arrivals[2] + arrivals[3]) / 2.0;
+  ASSERT_GT(fault_at, arrivals[2]);
+  ASSERT_LT(fault_at, arrivals[3]);
+
+  // The scheduler's reduce placement is deterministic but opaque here, so
+  // scan server pairs until the fault hits a reduce host of job 0 (which
+  // restarts it).  Two servers fail so the 14-container jobs cannot be
+  // rescheduled into the remaining 12 slots before job 3 arrives.
+  const std::size_t n_servers = world_->topology.servers().size();
+  bool exercised = false;
+  for (std::size_t s = 0; s < n_servers; ++s) {
+    mr::IdAllocator ids;
+    auto jobs = big_jobs(ids, 4);
+    OnlineConfig config = burst_config(AdmissionPolicy::DropOldest,
+                                       /*max_queue=*/2);
+    config.sim.faults.fail_server(world_->topology.servers()[s], fault_at,
+                                  /*repair_after=*/50.0);
+    config.sim.faults.fail_server(
+        world_->topology.servers()[(s + 1) % n_servers], fault_at,
+        /*repair_after=*/50.0);
+    const OnlineSimulator sim(world_->cluster, config);
+    Rng rng(kSeed);
+    const OnlineResult result = sim.run(capacity_, jobs, ids, rng);
+    if (result.recovery.jobs_restarted == 0) continue;  // hit maps only
+    exercised = true;
+    ASSERT_EQ(result.shed.size(), 1u);
+    EXPECT_EQ(result.shed[0].id, jobs[0].id)
+        << "restart re-stamp changed the eviction victim";
+    EXPECT_EQ(result.shed[0].reason, ShedReason::Displaced);
+    break;
+  }
+  EXPECT_TRUE(exercised) << "no server pair restarted job 0";
+}
+
 TEST_F(AdmissionTest, DeadlineShedCompletesWhereUnboundedAborts) {
   const OnlineResult result = run(
       burst_config(AdmissionPolicy::DeadlineShed, 0, /*max_queue_wait=*/1.0),
@@ -198,6 +272,7 @@ TEST_F(AdmissionTest, PolicyAndReasonNames) {
                "drop-oldest");
   EXPECT_STREQ(admission_policy_name(AdmissionPolicy::DeadlineShed),
                "deadline-shed");
+  EXPECT_STREQ(admission_policy_name(AdmissionPolicy::Aimd), "aimd");
   EXPECT_STREQ(shed_reason_name(ShedReason::QueueFull), "queue-full");
   EXPECT_STREQ(shed_reason_name(ShedReason::Displaced), "displaced");
   EXPECT_STREQ(shed_reason_name(ShedReason::Deadline), "deadline");

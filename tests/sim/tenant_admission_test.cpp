@@ -1,0 +1,260 @@
+// Multi-tenant adaptive admission in the online simulator: workload tenant
+// labelling, AIMD-governed queue limits, per-tenant stats and isolation,
+// and the bit-identity discipline when every new knob is off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "mapreduce/workload.h"
+#include "sched/capacity_scheduler.h"
+#include "sim/online.h"
+#include "test_helpers.h"
+
+namespace hit::sim {
+namespace {
+
+namespace adm = hit::sched::admission;
+
+// One-at-a-time jobs on the 16-slot small tree (12 maps + 2 reduces = 14
+// containers), so a burst guarantees queueing and the AIMD sensor sees it.
+std::vector<mr::Job> big_jobs(mr::IdAllocator& ids, std::size_t n) {
+  mr::WorkloadConfig config;
+  config.max_maps_per_job = 12;
+  config.max_reduces_per_job = 2;
+  config.block_size_gb = 1.0;
+  const mr::WorkloadGenerator gen(config);
+  std::vector<mr::Job> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(gen.make_job(mr::profile("terasort"), 12.0, ids));
+  }
+  return jobs;
+}
+
+adm::AimdConfig fast_aimd() {
+  adm::AimdConfig c;
+  c.epoch_s = 50.0;
+  c.start_limit = 4.0;
+  c.min_limit = 1.0;
+  c.up_step = 1.0;
+  c.down_factor = 0.5;
+  c.overload_on = 1;
+  c.overload_off = 1;
+  c.wait_threshold_s = 200.0;
+  c.quota_floor = 0.25;
+  return c;
+}
+
+class TenantAdmissionTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();
+  sched::CapacityScheduler capacity_;
+
+  OnlineResult run(const OnlineConfig& config, std::vector<mr::Job> jobs,
+                   mr::IdAllocator& ids, std::uint64_t seed = 3) {
+    const OnlineSimulator sim(world_->cluster, config);
+    Rng rng(seed);
+    return sim.run(capacity_, jobs, ids, rng);
+  }
+};
+
+TEST(TenantWorkloadTest, TenantAssignmentFollowsTheConfiguredMix) {
+  mr::WorkloadConfig config;
+  config.num_jobs = 90;
+  config.num_tenants = 3;
+  config.tenant_weights = {8.0, 1.0, 1.0};  // adversarial: tenant 0 floods
+  const mr::WorkloadGenerator gen(config);
+  mr::IdAllocator ids;
+  Rng rng(5);
+  const auto jobs = gen.generate(ids, rng);
+  std::vector<std::size_t> per_tenant(3, 0);
+  for (const auto& job : jobs) {
+    ASSERT_LT(job.tenant, 3u);
+    ++per_tenant[job.tenant];
+  }
+  EXPECT_GT(per_tenant[0], per_tenant[1] + per_tenant[2]);
+  EXPECT_GT(per_tenant[1] + per_tenant[2], 0u);
+}
+
+TEST(TenantWorkloadTest, TenantLabellingIsBitIdenticalOtherwise) {
+  // num_tenants only labels jobs: benchmarks, inputs and priorities come out
+  // bit-identical to the single-tenant stream at the same seed.
+  const auto generate = [](std::size_t tenants) {
+    mr::WorkloadConfig config;
+    config.num_jobs = 20;
+    config.num_tenants = tenants;
+    const mr::WorkloadGenerator gen(config);
+    mr::IdAllocator ids;
+    Rng rng(9);
+    return gen.generate(ids, rng);
+  };
+  const auto plain = generate(0);
+  const auto tenanted = generate(4);
+  ASSERT_EQ(plain.size(), tenanted.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].tenant, 0u);
+    EXPECT_EQ(plain[i].benchmark, tenanted[i].benchmark);
+    EXPECT_EQ(plain[i].shuffle_gb, tenanted[i].shuffle_gb);
+    EXPECT_EQ(plain[i].maps.size(), tenanted[i].maps.size());
+    EXPECT_EQ(plain[i].priority, tenanted[i].priority);
+  }
+}
+
+TEST(TenantWorkloadTest, FlowsInheritTheJobTenant) {
+  mr::WorkloadConfig config;
+  config.num_jobs = 12;
+  config.num_tenants = 3;
+  const mr::WorkloadGenerator gen(config);
+  mr::IdAllocator ids;
+  Rng rng(7);
+  const auto jobs = gen.generate(ids, rng);
+  for (const auto& job : jobs) {
+    const auto flows = mr::build_shuffle_flows(job, ids);
+    for (const auto& f : flows) EXPECT_EQ(f.tenant, job.tenant);
+  }
+}
+
+TEST(TenantWorkloadTest, MismatchedWeightsRejected) {
+  mr::WorkloadConfig config;
+  config.num_tenants = 3;
+  config.tenant_weights = {1.0, 2.0};  // size != num_tenants
+  EXPECT_THROW((void)mr::WorkloadGenerator(config), std::invalid_argument);
+  config.tenant_weights = {1.0, 2.0, 0.0};  // non-positive
+  EXPECT_THROW((void)mr::WorkloadGenerator(config), std::invalid_argument);
+}
+
+TEST_F(TenantAdmissionTest, AimdRunCompletesWithControllerStats) {
+  mr::IdAllocator ids;
+  auto jobs = big_jobs(ids, 10);
+  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].tenant = i % 2;
+  OnlineConfig config;
+  config.arrival_rate = 0.05;  // sustained overload: service takes longer
+  config.admission.policy = AdmissionPolicy::Aimd;
+  config.admission.aimd = fast_aimd();
+  const OnlineResult result = run(config, std::move(jobs), ids);
+  EXPECT_EQ(result.jobs.size() + result.shed.size(), 10u);
+  EXPECT_GT(result.aimd.epochs, 0u);
+  EXPECT_GT(result.aimd.final_limit, 0.0);
+  ASSERT_EQ(result.tenants.size(), 2u);
+  std::size_t submitted = 0;
+  for (const auto& ts : result.tenants) {
+    submitted += ts.submitted;
+    EXPECT_EQ(ts.submitted, ts.completed + ts.shed +
+                                /*still waiting is impossible at end*/ 0u);
+  }
+  EXPECT_EQ(submitted, 10u);
+  EXPECT_GT(result.tenant_jain, 0.0);
+  EXPECT_LE(result.tenant_jain, 1.0 + 1e-12);
+}
+
+TEST_F(TenantAdmissionTest, AimdCutsTheLimitUnderABurst) {
+  mr::IdAllocator ids;
+  auto jobs = big_jobs(ids, 12);
+  OnlineConfig config;
+  config.arrival_rate = 100.0;  // near-simultaneous burst
+  config.max_queue_wait = 300.0;
+  config.admission.policy = AdmissionPolicy::Aimd;
+  config.admission.aimd = fast_aimd();
+  const OnlineResult result = run(config, std::move(jobs), ids);
+  // The burst overflows the start limit immediately, so the limiter sheds on
+  // arrival and the controller records overloaded epochs and cuts.
+  EXPECT_GT(result.aimd.limiter_sheds, 0u);
+  EXPECT_GT(result.overload.jobs_shed, 0u);
+  EXPECT_GT(result.aimd.cuts + result.aimd.overloaded_epochs, 0u);
+  EXPECT_LE(result.aimd.min_limit_seen, fast_aimd().start_limit);
+}
+
+TEST_F(TenantAdmissionTest, AdversarialTenantEatsTheSheds) {
+  // Tenant 0 submits 12 of 16 jobs; tenants 1 and 2 two each.  Under the
+  // per-tenant caps the flood is shed from tenant 0 while the small tenants'
+  // floors keep them served.
+  mr::IdAllocator ids;
+  auto jobs = big_jobs(ids, 16);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].tenant = i < 12 ? 0 : (i < 14 ? 1 : 2);
+  }
+  OnlineConfig config;
+  config.arrival_rate = 100.0;
+  config.admission.policy = AdmissionPolicy::Aimd;
+  config.admission.aimd = fast_aimd();
+  config.admission.tenants = adm::TenantRegistry::uniform(3);
+  const OnlineResult result = run(config, std::move(jobs), ids);
+  ASSERT_EQ(result.tenants.size(), 3u);
+  const auto& flood = result.tenants[0];
+  EXPECT_GT(flood.shed, 0u);
+  for (std::uint32_t t = 1; t < 3; ++t) {
+    EXPECT_GE(result.tenants[t].completed, 1u)
+        << "small tenant " << t << " starved";
+    EXPECT_LE(result.tenants[t].shed, flood.shed);
+  }
+}
+
+TEST_F(TenantAdmissionTest, AimdIsDeterministicPerSeed) {
+  const auto once = [&] {
+    mr::IdAllocator ids;
+    auto jobs = big_jobs(ids, 10);
+    for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].tenant = i % 3;
+    OnlineConfig config;
+    config.arrival_rate = 100.0;
+    config.admission.policy = AdmissionPolicy::Aimd;
+    config.admission.aimd = fast_aimd();
+    return run(config, std::move(jobs), ids, /*seed=*/17);
+  };
+  const OnlineResult a = once();
+  const OnlineResult b = once();
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  ASSERT_EQ(a.shed.size(), b.shed.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish, b.jobs[i].finish);
+  }
+  for (std::size_t i = 0; i < a.shed.size(); ++i) {
+    EXPECT_EQ(a.shed[i].id, b.shed[i].id);
+  }
+  EXPECT_EQ(a.aimd.epochs, b.aimd.epochs);
+  EXPECT_DOUBLE_EQ(a.aimd.final_limit, b.aimd.final_limit);
+  EXPECT_DOUBLE_EQ(a.tenant_jain, b.tenant_jain);
+}
+
+TEST_F(TenantAdmissionTest, DefaultPolicyLeavesTenantFieldsEmpty) {
+  // Without tenants or Aimd, the new result fields stay at their zero
+  // state — the bit-identity discipline's observable half.
+  mr::IdAllocator ids;
+  auto jobs = big_jobs(ids, 4);
+  OnlineConfig config;
+  config.arrival_rate = 0.01;
+  const OnlineResult result = run(config, std::move(jobs), ids);
+  EXPECT_TRUE(result.tenants.empty());
+  EXPECT_FALSE(result.aimd.any());
+  EXPECT_DOUBLE_EQ(result.tenant_jain, 0.0);
+  EXPECT_EQ(result.jobs.size(), 4u);
+}
+
+TEST_F(TenantAdmissionTest, TenantRosterSmallerThanIdsRejected) {
+  mr::IdAllocator ids;
+  auto jobs = big_jobs(ids, 3);
+  jobs[2].tenant = 5;
+  OnlineConfig config;
+  config.admission.policy = AdmissionPolicy::Aimd;
+  config.admission.aimd = fast_aimd();
+  config.admission.tenants = adm::TenantRegistry::uniform(2);
+  const OnlineSimulator sim(world_->cluster, config);
+  Rng rng(3);
+  EXPECT_THROW((void)sim.run(capacity_, jobs, ids, rng),
+               std::invalid_argument);
+}
+
+TEST_F(TenantAdmissionTest, InvalidAimdConfigRejected) {
+  OnlineConfig config;
+  config.admission.policy = AdmissionPolicy::Aimd;
+  config.admission.aimd.down_factor = 1.5;
+  EXPECT_THROW((void)OnlineSimulator(world_->cluster, config),
+               std::invalid_argument);
+}
+
+TEST_F(TenantAdmissionTest, AimdPolicyNameRegistered) {
+  EXPECT_STREQ(admission_policy_name(AdmissionPolicy::Aimd), "aimd");
+}
+
+}  // namespace
+}  // namespace hit::sim

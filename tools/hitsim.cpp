@@ -64,9 +64,14 @@ struct Options {
   bool help = false;
   // Overload resilience (all default-off: absent flags reproduce the legacy
   // strict-throw behavior bit-for-bit).
-  std::string admission = "unbounded";  ///< unbounded|reject-new|drop-oldest|deadline-shed
+  std::string admission = "unbounded";  ///< unbounded|reject-new|drop-oldest|deadline-shed|aimd
   std::size_t max_queue = 0;            ///< queue cap for the bounded policies
   double max_queue_wait = 0.0;          ///< strict abort / deadline-shed bound
+  // Multi-tenant adaptive admission (online mode; all default-off).
+  std::size_t tenants = 0;          ///< label generated jobs across N tenants
+  std::vector<double> tenant_mix;   ///< per-tenant weights (empty = uniform)
+  double aimd_epoch = 30.0;         ///< AIMD controller epoch seconds
+  double quota_floor = 0.25;        ///< protected slice of each tenant's cap
   double low_priority = 0.0;            ///< workload fraction drawn Low
   double high_priority = 0.0;           ///< workload fraction drawn High
   bool ladder = false;                  ///< hit scheduler degradation ladder
@@ -109,9 +114,14 @@ void print_usage() {
       "  --metrics FILE      dump a metrics snapshot as JSON Lines\n"
       "  --profile           print a phase-timing table to stderr\n"
       "overload resilience (online mode / hit scheduler):\n"
-      "  --admission POLICY  unbounded | reject-new | drop-oldest | deadline-shed\n"
+      "  --admission POLICY  unbounded | reject-new | drop-oldest | deadline-shed | aimd\n"
       "  --max-queue N       waiting-queue cap for the bounded policies\n"
       "  --max-queue-wait S  strict abort (unbounded) / shed deadline (deadline-shed)\n"
+      "multi-tenant adaptive admission (online mode):\n"
+      "  --tenants N         label generated jobs across N tenants\n"
+      "  --tenant-mix W,...  per-tenant arrival/entitlement weights (default uniform)\n"
+      "  --aimd-epoch S      AIMD controller epoch seconds            (default 30)\n"
+      "  --quota-floor F     protected slice of each tenant's queue cap (default 0.25)\n"
       "  --priority-mix L,H  workload fractions drawn Low and High priority\n"
       "  --ladder            enable the hit scheduler degradation ladder\n"
       "  --route-budget N    ladder: Dijkstra node expansions per wave (0 = off)\n"
@@ -212,6 +222,27 @@ std::optional<Options> parse(int argc, char** argv) {
       }
       opt.low_priority = std::stod(mix.substr(0, comma));
       opt.high_priority = std::stod(mix.substr(comma + 1));
+    } else if (arg == "--tenants") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.tenants = std::stoul(value);
+    } else if (arg == "--tenant-mix") {
+      if (!(value = need_value(i))) return std::nullopt;
+      std::stringstream mix(value);
+      std::string item;
+      opt.tenant_mix.clear();
+      while (std::getline(mix, item, ',')) {
+        opt.tenant_mix.push_back(std::stod(item));
+      }
+      if (opt.tenant_mix.empty()) {
+        std::cerr << "hitsim: --tenant-mix wants W1,W2,... weights\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--aimd-epoch") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.aimd_epoch = std::stod(value);
+    } else if (arg == "--quota-floor") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.quota_floor = std::stod(value);
     } else if (arg == "--ladder") {
       opt.ladder = true;
     } else if (arg == "--route-budget") {
@@ -301,6 +332,7 @@ std::optional<sim::AdmissionPolicy> parse_admission(const std::string& name) {
   if (name == "reject-new") return sim::AdmissionPolicy::RejectNew;
   if (name == "drop-oldest") return sim::AdmissionPolicy::DropOldest;
   if (name == "deadline-shed") return sim::AdmissionPolicy::DeadlineShed;
+  if (name == "aimd") return sim::AdmissionPolicy::Aimd;
   return std::nullopt;
 }
 
@@ -315,6 +347,13 @@ int run(const Options& opt) {
   wconfig.block_size_gb = 2.0;
   wconfig.low_priority_fraction = opt.low_priority;
   wconfig.high_priority_fraction = opt.high_priority;
+  if (!opt.tenant_mix.empty() && opt.tenants != 0 &&
+      opt.tenant_mix.size() != opt.tenants) {
+    std::cerr << "hitsim: --tenant-mix wants exactly --tenants weights\n";
+    return 1;
+  }
+  wconfig.num_tenants = opt.tenants;
+  wconfig.tenant_weights = opt.tenant_mix;
   const mr::WorkloadGenerator generator(wconfig);
 
   Rng rng(opt.seed);
@@ -386,6 +425,7 @@ int run(const Options& opt) {
     trace->name_thread(obs::TraceWriter::kSimPid, 2, "flows");
     trace->name_thread(obs::TraceWriter::kSimPid, 3, "faults");
     trace->name_thread(obs::TraceWriter::kSimPid, 4, "coflows");
+    trace->name_thread(obs::TraceWriter::kSimPid, 5, "admission");
     trace->name_process(obs::TraceWriter::kHostPid, "host wall clock");
     trace->name_thread(obs::TraceWriter::kHostPid, 0, "phases");
   }
@@ -522,6 +562,16 @@ int run(const Options& opt) {
     }
     oconfig.admission.policy = *admission;
     oconfig.admission.max_queue = opt.max_queue;
+    oconfig.admission.aimd.epoch_s = opt.aimd_epoch;
+    oconfig.admission.aimd.quota_floor = opt.quota_floor;
+    if (opt.tenants > 0) {
+      for (std::size_t t = 0; t < opt.tenants; ++t) {
+        sched::admission::TenantSpec spec;
+        spec.name = "tenant-" + std::to_string(t);
+        spec.weight = opt.tenant_mix.empty() ? 1.0 : opt.tenant_mix[t];
+        oconfig.admission.tenants.push_back(std::move(spec));
+      }
+    }
     const sim::OnlineSimulator sim(cluster, oconfig);
     const sim::OnlineResult result = sim.run(*scheduler, jobs, ids, rng);
     if (opt.csv) {
@@ -540,6 +590,14 @@ int run(const Options& opt) {
                   << result.overload.shed_for_room << " displaced, "
                   << result.overload.shed_deadline << " deadline; "
                   << result.overload.shed_gb << " GB)\n";
+      }
+      if (result.aimd.any()) {
+        std::cerr << "hitsim: aimd " << result.aimd.epochs << " epochs, limit "
+                  << result.aimd.final_limit << " (" << result.aimd.raises
+                  << " raises, " << result.aimd.cuts << " cuts)\n";
+      }
+      if (!result.tenants.empty()) {
+        std::cerr << "hitsim: tenant Jain index " << result.tenant_jain << "\n";
       }
     } else {
       stats::RunningSummary jct, wait;
@@ -571,6 +629,28 @@ int run(const Options& opt) {
                        stats::Table::num(static_cast<double>(result.overload.peak_queue_depth), 0)});
         table.add_row({"shed shuffle (GB)",
                        stats::Table::num(result.overload.shed_gb, 1)});
+      }
+      if (result.aimd.any()) {
+        table.add_row({"aimd epochs",
+                       stats::Table::num(static_cast<double>(result.aimd.epochs), 0)});
+        table.add_row({"  raises",
+                       stats::Table::num(static_cast<double>(result.aimd.raises), 0)});
+        table.add_row({"  cuts",
+                       stats::Table::num(static_cast<double>(result.aimd.cuts), 0)});
+        table.add_row({"  limiter sheds",
+                       stats::Table::num(static_cast<double>(result.aimd.limiter_sheds), 0)});
+        table.add_row({"  final limit",
+                       stats::Table::num(result.aimd.final_limit, 1)});
+      }
+      if (!result.tenants.empty()) {
+        for (const auto& ts : result.tenants) {
+          table.add_row({ts.name + " done/shed",
+                         stats::Table::num(static_cast<double>(ts.completed), 0) +
+                             "/" +
+                             stats::Table::num(static_cast<double>(ts.shed), 0)});
+        }
+        table.add_row({"tenant Jain index",
+                       stats::Table::num(result.tenant_jain, 3)});
       }
       if (result.gray.any()) add_gray_rows(table, result.gray);
       std::cout << table.render();
