@@ -6,10 +6,19 @@
 // max-min fair allocator the simulator re-solves per event.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
 #include "core/local_search.h"
 #include "core/mkp.h"
 #include "core/policy_optimizer.h"
 #include "core/stable_matching.h"
+#include "obs/context.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "sim/packet.h"
 #include "harness.h"
 #include "network/bandwidth.h"
@@ -153,6 +162,79 @@ void BM_PacketSim(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketSim)->Arg(8)->Arg(32)->Arg(64)->Complexity();
 
+// --- obs overhead mode -----------------------------------------------------
+//
+// `bench_micro --obs-overhead` skips google-benchmark and instead times the
+// obs fast paths directly: each ambient-context op (count / gauge_set /
+// observe / HIT_PROF_SCOPE) with no context bound (the shipping default — a
+// thread-local read plus a branch) versus with a live Registry + Profiler
+// bound.  Rows land in BENCH_obs_overhead.json so successive PRs can diff
+// the per-op cost; the committed snapshot lives in bench/results/.
+
+/// Median-of-5 ns/op for `iters` calls of `op`.  Medianing repeats filters
+/// scheduler noise without needing google-benchmark's adaptive machinery.
+template <typename Op>
+double time_op_ns(std::size_t iters, Op&& op) {
+  std::vector<double> runs;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) op();
+    const auto stop = std::chrono::steady_clock::now();
+    runs.push_back(
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count()) /
+        static_cast<double>(iters));
+  }
+  std::sort(runs.begin(), runs.end());
+  return runs[runs.size() / 2];
+}
+
+int run_obs_overhead() {
+  constexpr std::size_t kIters = 1'000'000;
+  struct OpCase {
+    const char* name;
+    void (*body)();
+  };
+  const OpCase cases[] = {
+      {"count", [] { obs::count("bench.counter"); }},
+      {"gauge_set", [] { obs::gauge_set("bench.gauge", 42.0); }},
+      {"observe", [] { obs::observe("bench.histogram", 0.5); }},
+      {"prof_scope", [] { HIT_PROF_SCOPE("bench.scope"); }},
+  };
+
+  JsonResults results("obs_overhead");
+  std::printf("%-12s %14s %14s %12s\n", "op", "off_ns_per_op", "on_ns_per_op",
+              "delta_ns");
+  for (const OpCase& c : cases) {
+    // Off: whatever ambient context the harness left (BenchObserver only
+    // binds one when HIT_BENCH_METRICS asks for it); force the null context
+    // so "off" is the shipping default.
+    double off_ns = 0.0;
+    {
+      const obs::Context null_ctx;
+      const obs::Bind bind(null_ctx);
+      off_ns = time_op_ns(kIters, c.body);
+    }
+    double on_ns = 0.0;
+    {
+      obs::Registry registry;
+      obs::Profiler profiler;
+      const obs::Context ctx(&registry, nullptr, &profiler);
+      const obs::Bind bind(ctx);
+      on_ns = time_op_ns(kIters, c.body);
+    }
+    const double delta = on_ns - off_ns;
+    std::printf("%-12s %14.2f %14.2f %12.2f\n", c.name, off_ns, on_ns, delta);
+    results.add({{"op", std::string(c.name)},
+                 {"iters", static_cast<std::int64_t>(kIters)},
+                 {"off_ns_per_op", off_ns},
+                 {"on_ns_per_op", on_ns},
+                 {"delta_ns_per_op", delta}});
+  }
+  return results.write() ? 0 : 1;
+}
+
 }  // namespace
 
 // BENCHMARK_MAIN(), plus the run manifest as google-benchmark context keys
@@ -161,6 +243,9 @@ BENCHMARK(BM_PacketSim)->Arg(8)->Arg(32)->Arg(64)->Complexity();
 int main(int argc, char** argv) {
   bench::RunManifest& manifest = bench::BenchObserver::instance().manifest();
   manifest.bench = "bench_micro";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--obs-overhead") return run_obs_overhead();
+  }
   benchmark::AddCustomContext("bench", manifest.bench);
   benchmark::AddCustomContext("build_type", manifest.build_type);
   benchmark::Initialize(&argc, argv);

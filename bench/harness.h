@@ -31,6 +31,7 @@
 #include "stats/summary.h"
 #include "stats/table.h"
 #include "topology/builders.h"
+#include "util/buildinfo.h"
 #include "util/rng.h"
 
 #ifndef HITSCHED_BUILD_TYPE
@@ -49,13 +50,17 @@ struct RunManifest {
   std::uint64_t seed = 0;
   std::string config;       ///< one-line workload/sim config summary
   std::string build_type;   ///< CMAKE_BUILD_TYPE baked in at compile time
+  std::string git_sha;      ///< commit the binary was built from
+  std::string host;         ///< machine that produced the numbers
 
   [[nodiscard]] std::vector<std::pair<std::string, stats::Cell>> stamp() const {
     return {{"bench", bench},
             {"scheduler", scheduler},
             {"seed", static_cast<std::int64_t>(seed)},
             {"config", config},
-            {"build_type", build_type}};
+            {"build_type", build_type},
+            {"git_sha", git_sha},
+            {"host", host}};
   }
 };
 
@@ -107,6 +112,8 @@ class BenchObserver {
  private:
   BenchObserver() : context_(&registry_, nullptr, nullptr) {
     manifest_.build_type = HITSCHED_BUILD_TYPE;
+    manifest_.git_sha = util::git_sha();
+    manifest_.host = util::hostname();
   }
   // Every bench binary honors HIT_BENCH_METRICS without touching its main:
   // the singleton dumps on static destruction at process exit.

@@ -1,0 +1,320 @@
+#include "campaign/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/export.h"
+
+namespace hit::campaign {
+namespace {
+
+// Shortest decimal form that round-trips the exact double.
+std::string format_number(double v) {
+  char buf[64];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) return buf;
+  }
+  return buf;
+}
+
+std::string quote(std::string_view s) {
+  return "\"" + stats::JsonLinesWriter::escape(s) + "\"";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("json offset " + std::to_string(pos_) + ": " +
+                                what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_keyword(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::String;
+      v.string = parse_string();
+      return v;
+    }
+    if (consume_keyword("true")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_keyword("false")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::Bool;
+      return v;
+    }
+    if (consume_keyword("null")) return JsonValue{};
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The writer only escapes control characters, so ASCII suffices.
+          if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    try {
+      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      pos_ = start;
+      fail("bad number");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue& require(const JsonValue& doc, std::string_view key) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) {
+    throw std::invalid_argument("campaign json: missing '" + std::string(key) +
+                                "'");
+  }
+  return *v;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+void write_campaign_json(std::ostream& out, const CampaignResult& result) {
+  out << "{\n";
+  out << "  \"campaign\": " << quote(result.name) << ",\n";
+  out << "  \"git_sha\": " << quote(result.git_sha) << ",\n";
+  out << "  \"host\": " << quote(result.host) << ",\n";
+  out << "  \"build_type\": " << quote(result.build_type) << ",\n";
+  out << "  \"axes\": [";
+  for (std::size_t i = 0; i < result.axis_names.size(); ++i) {
+    if (i) out << ", ";
+    out << quote(result.axis_names[i]);
+  }
+  out << "],\n";
+  out << "  \"cells\": [";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellResult& cell = result.cells[i];
+    out << (i ? ",\n    {\n" : "\n    {\n");
+    out << "      \"id\": " << quote(cell.id) << ",\n";
+    out << "      \"axes\": {";
+    for (std::size_t a = 0; a < cell.axes.size(); ++a) {
+      if (a) out << ", ";
+      out << quote(cell.axes[a].first) << ": " << quote(cell.axes[a].second);
+    }
+    out << "},\n";
+    out << "      \"ok\": " << (cell.ok ? "true" : "false");
+    if (!cell.ok) {
+      out << ",\n      \"error\": " << quote(cell.error);
+    }
+    out << ",\n      \"metrics\": {";
+    for (std::size_t k = 0; k < cell.metrics.size(); ++k) {
+      out << (k ? ",\n        " : "\n        ");
+      out << quote(cell.metrics[k].first) << ": "
+          << format_number(cell.metrics[k].second);
+    }
+    out << (cell.metrics.empty() ? "}" : "\n      }");
+    out << "\n    }";
+  }
+  out << (result.cells.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+}
+
+CampaignResult campaign_from_json(const JsonValue& doc) {
+  if (doc.kind != JsonValue::Kind::Object) {
+    throw std::invalid_argument("campaign json: document must be an object");
+  }
+  CampaignResult result;
+  result.name = require(doc, "campaign").string;
+  result.git_sha = require(doc, "git_sha").string;
+  result.host = require(doc, "host").string;
+  result.build_type = require(doc, "build_type").string;
+  for (const JsonValue& axis : require(doc, "axes").array) {
+    result.axis_names.push_back(axis.string);
+  }
+  for (const JsonValue& cell_doc : require(doc, "cells").array) {
+    CellResult cell;
+    cell.id = require(cell_doc, "id").string;
+    for (const auto& [k, v] : require(cell_doc, "axes").object) {
+      cell.axes.emplace_back(k, v.string);
+    }
+    cell.ok = require(cell_doc, "ok").boolean;
+    if (const JsonValue* error = cell_doc.find("error")) {
+      cell.error = error->string;
+    }
+    for (const auto& [k, v] : require(cell_doc, "metrics").object) {
+      if (v.kind != JsonValue::Kind::Number) {
+        throw std::invalid_argument("campaign json: metric '" + k +
+                                    "' is not a number");
+      }
+      cell.metrics.emplace_back(k, v.number);
+    }
+    result.cells.push_back(std::move(cell));
+  }
+  return result;
+}
+
+CampaignResult load_campaign_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read campaign json '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return campaign_from_json(parse_json(text.str()));
+}
+
+}  // namespace hit::campaign

@@ -1,0 +1,56 @@
+// Campaign result JSON: the BENCH_campaign_<name>.json document the runner
+// emits and the regression ledger reads back.
+//
+// The writer is deliberately timestamp-free and fully deterministic
+// (shortest round-trip number formatting, cells in grid order), so two runs
+// of the same spec on the same build produce byte-identical files — the
+// property the campaign-smoke CI job diffs for.
+//
+// The reader is a minimal recursive-descent JSON parser covering exactly
+// the subset the writer emits (objects, arrays, strings, finite numbers,
+// booleans, null) — enough to load committed baselines without growing a
+// dependency.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "campaign/runner.h"
+
+namespace hit::campaign {
+
+/// Parsed JSON value (tagged union, order-preserving objects).
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member with `key`, or nullptr.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parse a complete JSON document.  Throws std::invalid_argument (with a
+/// byte offset) on malformed input or trailing garbage.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Serialize a campaign result as pretty-printed JSON (2-space indent).
+void write_campaign_json(std::ostream& out, const CampaignResult& result);
+
+/// Rebuild a CampaignResult from a document written by write_campaign_json.
+/// Throws std::invalid_argument when required fields are missing.
+[[nodiscard]] CampaignResult campaign_from_json(const JsonValue& doc);
+
+/// Convenience: read + parse + rebuild from a file.  Throws
+/// std::runtime_error when the file cannot be read.
+[[nodiscard]] CampaignResult load_campaign_json(const std::string& path);
+
+}  // namespace hit::campaign

@@ -1,0 +1,166 @@
+#include "campaign/ledger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "stats/table.h"
+
+namespace hit::campaign {
+namespace {
+
+double tolerance_for(const CompareOptions& options, const std::string& metric) {
+  for (const auto& [name, tol] : options.tolerances) {
+    if (name == metric) return tol;
+  }
+  return options.default_tolerance;
+}
+
+bool within(double fresh, double baseline, double rel, double abs_floor) {
+  return std::fabs(fresh - baseline) <=
+         std::max(abs_floor, rel * std::fabs(baseline));
+}
+
+}  // namespace
+
+CompareOptions CompareOptions::from_spec(const CampaignSpec& spec) {
+  CompareOptions options;
+  options.default_tolerance = spec.default_tolerance;
+  options.tolerances = spec.tolerances;
+  options.metrics = spec.compare_metrics;
+  options.slos = spec.slos;
+  return options;
+}
+
+std::size_t CompareReport::metric_violations() const {
+  return static_cast<std::size_t>(
+      std::count_if(rows.begin(), rows.end(),
+                    [](const MetricRow& r) { return !r.pass; }));
+}
+
+std::size_t CompareReport::slo_violations() const {
+  return static_cast<std::size_t>(
+      std::count_if(slo_rows.begin(), slo_rows.end(),
+                    [](const SloRow& r) { return !r.pass; }));
+}
+
+CompareReport compare_campaigns(const CampaignResult& fresh,
+                                const CampaignResult& baseline,
+                                const CompareOptions& options) {
+  CompareReport report;
+  for (const CellResult& cell : fresh.cells) {
+    if (!cell.ok) {
+      report.structural.push_back("fresh cell '" + cell.id +
+                                  "' failed: " + cell.error);
+      continue;
+    }
+    const CellResult* base = baseline.cell(cell.id);
+    if (base == nullptr) {
+      report.structural.push_back("cell '" + cell.id +
+                                  "' missing from baseline");
+      continue;
+    }
+    if (!base->ok) {
+      report.structural.push_back("baseline cell '" + cell.id +
+                                  "' failed: " + base->error);
+      continue;
+    }
+    // Default regression surface: the simulator metrics.  `obs.` counters
+    // are diagnostics unless the spec lists them explicitly.
+    std::vector<std::string> metrics = options.metrics;
+    if (metrics.empty()) {
+      for (const auto& [name, value] : cell.metrics) {
+        (void)value;
+        if (name.rfind("obs.", 0) != 0) metrics.push_back(name);
+      }
+    }
+    for (const std::string& metric : metrics) {
+      const double* f = cell.metric(metric);
+      const double* b = base->metric(metric);
+      if (f == nullptr && b == nullptr) continue;  // absent on both sides
+      if (f == nullptr || b == nullptr) {
+        report.structural.push_back(
+            "cell '" + cell.id + "' metric '" + metric + "' missing from " +
+            (f == nullptr ? "fresh" : "baseline") + " run");
+        continue;
+      }
+      MetricRow row;
+      row.cell = cell.id;
+      row.metric = metric;
+      row.baseline = *b;
+      row.fresh = *f;
+      row.tolerance = tolerance_for(options, metric);
+      row.pass = within(*f, *b, row.tolerance, options.abs_floor);
+      report.rows.push_back(std::move(row));
+    }
+    for (const SloRule& rule : options.slos) {
+      SloRow row;
+      row.cell = cell.id;
+      row.metric = rule.metric;
+      row.bound = rule.bound;
+      row.leq = rule.leq;
+      const double* v = cell.metric(rule.metric);
+      if (v == nullptr) {
+        report.structural.push_back("cell '" + cell.id + "' has no metric '" +
+                                    rule.metric + "' for its SLO");
+        continue;
+      }
+      row.value = *v;
+      row.pass = rule.leq ? *v <= rule.bound : *v >= rule.bound;
+      report.slo_rows.push_back(std::move(row));
+    }
+  }
+  for (const CellResult& cell : baseline.cells) {
+    if (fresh.cell(cell.id) == nullptr) {
+      report.structural.push_back("baseline cell '" + cell.id +
+                                  "' missing from fresh run");
+    }
+  }
+  return report;
+}
+
+std::string render_report(const CompareReport& report, bool verbose) {
+  std::ostringstream out;
+  const auto rel = [](const MetricRow& r) {
+    return r.baseline == 0.0 ? 0.0 : (r.fresh - r.baseline) / r.baseline;
+  };
+  stats::Table table({"cell", "metric", "baseline", "fresh", "delta", "rel",
+                      "tol", "verdict"});
+  std::size_t shown = 0;
+  for (const MetricRow& r : report.rows) {
+    if (!verbose && r.pass) continue;
+    table.add_row({r.cell, r.metric, stats::Table::num(r.baseline),
+                   stats::Table::num(r.fresh), stats::Table::num(r.delta()),
+                   stats::Table::num(rel(r) * 100.0, 2) + "%",
+                   stats::Table::num(r.tolerance * 100.0, 1) + "%",
+                   r.pass ? "ok" : "FAIL"});
+    ++shown;
+  }
+  if (shown > 0) out << table.render() << "\n";
+
+  stats::Table slo_table({"cell", "slo", "value", "bound", "verdict"});
+  std::size_t slo_shown = 0;
+  for (const SloRow& r : report.slo_rows) {
+    if (!verbose && r.pass) continue;
+    slo_table.add_row({r.cell, r.metric + (r.leq ? " <= " : " >= ") +
+                                   stats::Table::num(r.bound),
+                       stats::Table::num(r.value), stats::Table::num(r.bound),
+                       r.pass ? "ok" : "FAIL"});
+    ++slo_shown;
+  }
+  if (slo_shown > 0) out << slo_table.render() << "\n";
+
+  for (const std::string& s : report.structural) {
+    out << "structural: " << s << "\n";
+  }
+
+  out << report.rows.size() << " metric comparisons ("
+      << report.metric_violations() << " out of tolerance), "
+      << report.slo_rows.size() << " SLO checks (" << report.slo_violations()
+      << " violated), " << report.structural.size()
+      << " structural mismatches\n";
+  out << (report.pass() ? "PASS" : "FAIL") << "\n";
+  return out.str();
+}
+
+}  // namespace hit::campaign

@@ -1,0 +1,80 @@
+// Cross-PR regression ledger: diff a freshly run campaign against a
+// committed baseline JSON and gate on per-metric noise tolerances and SLO
+// assertions.
+//
+// The comparison contract comes from the campaign spec itself: `tolerance
+// default` / `tolerance <metric>` set the relative noise budget, `compare =`
+// restricts the diffed metric set (default: every non-`obs.` metric the
+// fresh cell reports — the simulator outputs are the regression surface,
+// internal observability counters are diagnostics), and `slo <metric> <=
+// <bound>` asserts absolute limits on every fresh cell.
+//
+// A metric passes when |fresh - baseline| <= max(abs_floor, tol * |baseline|).
+// Structural mismatches (cells or metrics missing on either side, failed
+// cells) are violations too — a regression that makes a cell crash must not
+// read as "nothing to compare".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "campaign/spec.h"
+
+namespace hit::campaign {
+
+struct CompareOptions {
+  double default_tolerance = 0.05;  ///< relative
+  double abs_floor = 1e-9;          ///< absolute slack for near-zero baselines
+  std::vector<std::pair<std::string, double>> tolerances;  ///< per metric
+  std::vector<std::string> metrics;  ///< compared metric names ("" = default set)
+  std::vector<SloRule> slos;
+
+  /// Lift the ledger contract out of a parsed spec.
+  [[nodiscard]] static CompareOptions from_spec(const CampaignSpec& spec);
+};
+
+struct MetricRow {
+  std::string cell;
+  std::string metric;
+  double baseline = 0.0;
+  double fresh = 0.0;
+  double tolerance = 0.0;  ///< relative tolerance applied
+  bool pass = true;
+
+  [[nodiscard]] double delta() const noexcept { return fresh - baseline; }
+};
+
+struct SloRow {
+  std::string cell;
+  std::string metric;
+  double value = 0.0;
+  double bound = 0.0;
+  bool leq = true;
+  bool pass = true;
+};
+
+struct CompareReport {
+  std::vector<MetricRow> rows;      ///< every compared (cell, metric)
+  std::vector<SloRow> slo_rows;     ///< every evaluated SLO assertion
+  std::vector<std::string> structural;  ///< missing cells/metrics, failures
+
+  [[nodiscard]] std::size_t metric_violations() const;
+  [[nodiscard]] std::size_t slo_violations() const;
+  [[nodiscard]] bool pass() const {
+    return metric_violations() == 0 && slo_violations() == 0 &&
+           structural.empty();
+  }
+};
+
+/// Diff `fresh` against `baseline` under the spec's contract.
+[[nodiscard]] CompareReport compare_campaigns(const CampaignResult& fresh,
+                                              const CampaignResult& baseline,
+                                              const CompareOptions& options);
+
+/// Human verdict table.  `verbose` prints every row; otherwise only
+/// violations plus a summary line.  Ends with "PASS" or "FAIL".
+[[nodiscard]] std::string render_report(const CompareReport& report,
+                                        bool verbose = false);
+
+}  // namespace hit::campaign

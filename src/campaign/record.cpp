@@ -1,0 +1,181 @@
+#include "campaign/record.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hit::campaign {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("cell record line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// Shortest decimal form that round-trips the exact double (fault times come
+// from exponential draws, so full precision is what makes replay exact).
+std::string format_exact(double v) {
+  char buf[64];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) return buf;
+  }
+  return buf;
+}
+
+std::string node_str(NodeId n) {
+  return n.valid() ? std::to_string(n.value()) : std::string("-");
+}
+
+NodeId parse_node(const std::string& text, std::size_t line_no) {
+  if (text == "-") return NodeId{};
+  try {
+    return NodeId{static_cast<std::uint32_t>(std::stoul(text))};
+  } catch (const std::exception&) {
+    fail(line_no, "bad node id '" + text + "'");
+  }
+}
+
+sim::FaultKind parse_kind(const std::string& text, std::size_t line_no) {
+  if (text == "fail") return sim::FaultKind::Fail;
+  if (text == "recover") return sim::FaultKind::Recover;
+  if (text == "degrade") return sim::FaultKind::Degrade;
+  if (text == "restore") return sim::FaultKind::Restore;
+  fail(line_no, "bad fault kind '" + text + "'");
+}
+
+sim::FaultTarget parse_target(const std::string& text, std::size_t line_no) {
+  if (text == "switch") return sim::FaultTarget::Switch;
+  if (text == "server") return sim::FaultTarget::Server;
+  if (text == "link") return sim::FaultTarget::Link;
+  fail(line_no, "bad fault target '" + text + "'");
+}
+
+std::vector<std::string> split_commas(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+void save_record(std::ostream& out, const CellRecord& record) {
+  out << "# hitcamp cell record v1\n";
+  out << "[campaign]\n";
+  out << "name = " << record.campaign << "\n";
+  out << "cell = " << record.cell << "\n";
+  out << "[config]\n";
+  for (const auto& [key, value] : record.config.items()) {
+    out << key << " = " << value << "\n";
+  }
+  out << "[workload]\n";
+  mr::save_trace(out, record.workload);
+  out << "[faults]\n";
+  out << "time,kind,target,node,peer,factor\n";
+  for (const sim::FaultEvent& e : record.faults) {
+    out << format_exact(e.time) << ',' << sim::fault_kind_name(e.kind) << ','
+        << sim::fault_target_name(e.target) << ',' << node_str(e.node) << ','
+        << node_str(e.peer) << ',' << format_exact(e.factor) << '\n';
+  }
+}
+
+CellRecord load_record(std::istream& in) {
+  CellRecord record;
+  std::string line;
+  std::size_t line_no = 0;
+  std::string section;
+  std::ostringstream workload;  // re-parsed through load_trace at the end
+  bool faults_header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '[') {
+      const auto close = line.find(']');
+      if (close == std::string::npos) fail(line_no, "unterminated section header");
+      section = line.substr(1, close - 1);
+      if (section != "campaign" && section != "config" &&
+          section != "workload" && section != "faults") {
+        fail(line_no, "unknown section '" + section + "'");
+      }
+      continue;
+    }
+    if (line[0] == '#' && section != "workload") continue;
+    if (section == "campaign" || section == "config") {
+      const auto eq = line.find('=');
+      if (eq == std::string::npos) fail(line_no, "expected 'key = value'");
+      const std::string key = trim(line.substr(0, eq));
+      const std::string value = trim(line.substr(eq + 1));
+      if (section == "campaign") {
+        if (key == "name") record.campaign = value;
+        else if (key == "cell") record.cell = value;
+        else fail(line_no, "unknown campaign key '" + key + "'");
+      } else {
+        try {
+          record.config.set(key, value);
+        } catch (const std::invalid_argument& e) {
+          fail(line_no, e.what());
+        }
+      }
+    } else if (section == "workload") {
+      workload << line << '\n';
+    } else if (section == "faults") {
+      if (!faults_header_seen) {
+        if (line.rfind("time,", 0) != 0) fail(line_no, "missing faults header");
+        faults_header_seen = true;
+        continue;
+      }
+      const auto fields = split_commas(line);
+      if (fields.size() != 6) fail(line_no, "expected 6 fault fields");
+      sim::FaultEvent e;
+      try {
+        e.time = std::stod(fields[0]);
+        e.factor = std::stod(fields[5]);
+      } catch (const std::exception&) {
+        fail(line_no, "bad fault time/factor");
+      }
+      e.kind = parse_kind(fields[1], line_no);
+      e.target = parse_target(fields[2], line_no);
+      e.node = parse_node(fields[3], line_no);
+      e.peer = parse_node(fields[4], line_no);
+      record.faults.push_back(e);
+    } else {
+      fail(line_no, "content before any [section]");
+    }
+  }
+  const std::string workload_text = workload.str();
+  if (!workload_text.empty()) {
+    std::istringstream ws(workload_text);
+    record.workload = mr::load_trace(ws);
+  }
+  return record;
+}
+
+std::string record_filename(const std::string& cell_id) {
+  std::string name;
+  name.reserve(cell_id.size() + 5);
+  for (char c : cell_id) {
+    const bool safe = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '=' || c == '-';
+    if (c == '/') name += '+';
+    else name += safe ? c : '-';
+  }
+  name += ".cell";
+  return name;
+}
+
+}  // namespace hit::campaign

@@ -1,0 +1,56 @@
+// Cell records: everything needed to re-run one campaign cell exactly —
+// the resolved config, the materialized workload trace (with priority and
+// tenant labels), and the fault plan's event list.
+//
+// A record is the currency of what-if replay: `hitcamp run --record-dir`
+// writes one per cell, and `hitcamp whatif` loads it, re-runs the baseline
+// byte-identically, applies counterfactual config overrides, and diffs the
+// two runs.  The runner itself executes every cell *through* its record
+// (make_record then run_record), so "replay equals the original run" holds
+// by construction rather than by testing alone.
+//
+// Format (text, line oriented, sections in fixed order):
+//
+//   # hitcamp cell record v1
+//   [campaign]
+//   name = smoke
+//   cell = scheduler=hit/seed=1
+//   [config]
+//   mode = online
+//   ...every CellConfig key...
+//   [workload]
+//   benchmark,input_gb,arrival_s[,priority,tenant]
+//   ...
+//   [faults]
+//   time,kind,target,node,peer,factor
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.h"
+#include "mapreduce/trace.h"
+#include "sim/faults.h"
+
+namespace hit::campaign {
+
+struct CellRecord {
+  std::string campaign;  ///< campaign name (informational)
+  std::string cell;      ///< cell id within the campaign
+  CellConfig config;
+  std::vector<mr::TraceEntry> workload;
+  std::vector<sim::FaultEvent> faults;
+};
+
+/// Serialize / parse the record format above.  `load_record` throws
+/// std::invalid_argument with a line number on malformed input.
+void save_record(std::ostream& out, const CellRecord& record);
+[[nodiscard]] CellRecord load_record(std::istream& in);
+
+/// `cell id` -> filesystem-safe record filename ("<id>.cell" with every
+/// character outside [A-Za-z0-9._=-] mapped to '-', '/' to '+').
+[[nodiscard]] std::string record_filename(const std::string& cell_id);
+
+}  // namespace hit::campaign

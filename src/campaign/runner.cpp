@@ -1,0 +1,374 @@
+#include "campaign/runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "cluster/cluster.h"
+#include "coflow/coflow.h"
+#include "core/hit_scheduler.h"
+#include "core/registry.h"
+#include "mapreduce/workload.h"
+#include "obs/context.h"
+#include "sim/engine.h"
+#include "sim/online.h"
+#include "stats/summary.h"
+#include "topology/builders.h"
+#include "util/buildinfo.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace hit::campaign {
+namespace {
+
+std::pair<double, double> parse_pair(const std::string& text, const char* key) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument(std::string(key) + " wants 'A:B', got '" +
+                                text + "'");
+  }
+  try {
+    return {std::stod(text.substr(0, colon)), std::stod(text.substr(colon + 1))};
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string(key) + ": bad number in '" + text +
+                                "'");
+  }
+}
+
+std::vector<double> parse_weights(const std::string& text) {
+  std::vector<double> weights;
+  std::string item;
+  std::istringstream ss(text);
+  while (std::getline(ss, item, ':')) {
+    try {
+      weights.push_back(std::stod(item));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("tenant_mix: bad weight '" + item + "'");
+    }
+  }
+  return weights;
+}
+
+sim::AdmissionPolicy parse_admission(const std::string& name) {
+  if (name == "unbounded") return sim::AdmissionPolicy::Unbounded;
+  if (name == "reject-new") return sim::AdmissionPolicy::RejectNew;
+  if (name == "drop-oldest") return sim::AdmissionPolicy::DropOldest;
+  if (name == "deadline-shed") return sim::AdmissionPolicy::DeadlineShed;
+  if (name == "aimd") return sim::AdmissionPolicy::Aimd;
+  throw std::invalid_argument("unknown admission policy '" + name + "'");
+}
+
+mr::WorkloadConfig workload_config(const CellConfig& c) {
+  mr::WorkloadConfig wconfig;
+  wconfig.num_jobs = c.jobs;
+  wconfig.max_maps_per_job = 10;
+  wconfig.max_reduces_per_job = 4;
+  wconfig.block_size_gb = 2.0;
+  if (!c.priority_mix.empty()) {
+    const auto [low, high] = parse_pair(c.priority_mix, "priority_mix");
+    wconfig.low_priority_fraction = low;
+    wconfig.high_priority_fraction = high;
+  }
+  wconfig.num_tenants = c.tenants;
+  if (!c.tenant_mix.empty()) {
+    wconfig.tenant_weights = parse_weights(c.tenant_mix);
+    if (c.tenants != 0 && wconfig.tenant_weights.size() != c.tenants) {
+      throw std::invalid_argument("tenant_mix wants exactly 'tenants' weights");
+    }
+  }
+  return wconfig;
+}
+
+coflow::CoflowConfig coflow_config(const CellConfig& c) {
+  coflow::CoflowConfig config;
+  if (c.coflow.empty() || c.coflow == "off") return config;
+  const auto order = coflow::parse_order_policy(c.coflow);
+  if (!order) {
+    throw std::invalid_argument("unknown coflow policy '" + c.coflow + "'");
+  }
+  config.enabled = true;
+  config.order = *order;
+  return config;
+}
+
+std::unique_ptr<sched::Scheduler> build_scheduler(
+    const CellConfig& c, const coflow::CoflowConfig& cf) {
+  // Mirror hitsim: coflow-ordered policy optimization needs a directly
+  // constructed HitScheduler (the registry hands out default configs).
+  if (cf.enabled && c.scheduler == "hit") {
+    core::HitConfig hconfig;
+    hconfig.coflow = cf;
+    return std::make_unique<core::HitScheduler>(hconfig);
+  }
+  return core::SchedulerRegistry::instance().create(c.scheduler);
+}
+
+sim::SimConfig sim_config(const CellConfig& c, const coflow::CoflowConfig& cf,
+                          std::vector<sim::FaultEvent> faults) {
+  sim::SimConfig sconfig;
+  sconfig.bandwidth_scale = c.bandwidth_scale;
+  sconfig.map_time_jitter_sigma = c.jitter;
+  sconfig.speculation_threshold = c.speculation;
+  sconfig.coflow = cf;
+  sconfig.faults = sim::FaultPlan::scripted(std::move(faults));
+  sconfig.gray.monitor = c.monitor != 0 || c.quarantine != 0;
+  sconfig.gray.quarantine = c.quarantine != 0;
+  return sconfig;
+}
+
+using Metrics = std::vector<std::pair<std::string, double>>;
+
+void put(Metrics& m, const char* name, double value) {
+  if (std::isfinite(value)) m.emplace_back(name, value);
+}
+
+void put_count(Metrics& m, const char* name, std::size_t value) {
+  m.emplace_back(name, static_cast<double>(value));
+}
+
+void put_recovery(Metrics& m, const sim::RecoveryStats& r) {
+  put_count(m, "faults_applied", r.faults_applied);
+  put_count(m, "maps_killed", r.maps_killed);
+  put_count(m, "flows_rerouted", r.flows_rerouted);
+  put_count(m, "jobs_restarted", r.jobs_restarted);
+  put(m, "stall_s", r.stall_seconds);
+}
+
+void put_gray(Metrics& m, const sim::GrayStats& g) {
+  put_count(m, "gray_degradations", g.degradations);
+  put_count(m, "gray_detections", g.detections);
+  put_count(m, "gray_false_positives", g.false_positives);
+}
+
+// Registry snapshot -> `obs.`-prefixed metrics (histograms expand to
+// .mean/.p95).  snapshot() is name-sorted, so the order is deterministic.
+void put_registry(Metrics& m, const obs::Registry& registry) {
+  for (const obs::MetricSample& s : registry.snapshot()) {
+    const std::string base = "obs." + s.name;
+    if (s.kind == "histogram") {
+      if (s.count == 0) continue;
+      if (std::isfinite(s.value)) m.emplace_back(base + ".mean", s.value);
+      if (std::isfinite(s.p95)) m.emplace_back(base + ".p95", s.p95);
+    } else if (std::isfinite(s.value)) {
+      m.emplace_back(base, s.value);
+    }
+  }
+}
+
+Metrics batch_metrics(const sim::SimResult& result, const obs::Registry& reg) {
+  Metrics m;
+  const std::vector<double> jct = result.job_completion_times();
+  put_count(m, "jobs_completed", result.jobs.size());
+  put(m, "mean_jct_s", stats::mean_of(jct));
+  put(m, "p95_jct_s", stats::percentile(jct, 95.0));
+  put(m, "max_jct_s", jct.empty() ? 0.0 : *std::max_element(jct.begin(), jct.end()));
+  put(m, "makespan_s", result.makespan);
+  put(m, "shuffle_cost_gbt", result.total_shuffle_cost);
+  put(m, "shuffle_gb", result.total_shuffle_gb);
+  put(m, "remote_map_gb", result.total_remote_map_gb);
+  put(m, "avg_route_hops", result.average_route_hops());
+  put(m, "mean_cct_s", result.average_coflow_cct());
+  put(m, "p95_cct_s", result.p95_coflow_cct());
+  put_count(m, "speculative_copies", result.speculative_copies);
+  put_recovery(m, result.recovery);
+  put_gray(m, result.gray);
+  put_registry(m, reg);
+  return m;
+}
+
+Metrics online_metrics(const sim::OnlineResult& result,
+                       const obs::Registry& reg) {
+  Metrics m;
+  const std::vector<double> jct = result.completion_times();
+  const std::vector<double> wait = result.queueing_delays();
+  const std::size_t completed = result.jobs.size();
+  const std::size_t shed = result.overload.jobs_shed;
+  put_count(m, "jobs_completed", completed);
+  put_count(m, "jobs_shed", shed);
+  put(m, "shed_rate",
+      completed + shed == 0
+          ? 0.0
+          : static_cast<double>(shed) / static_cast<double>(completed + shed));
+  put_count(m, "peak_queue_depth", result.overload.peak_queue_depth);
+  put(m, "mean_jct_s", stats::mean_of(jct));
+  put(m, "p95_jct_s", stats::percentile(jct, 95.0));
+  put(m, "mean_queue_wait_s", stats::mean_of(wait));
+  put(m, "p95_queue_wait_s", stats::percentile(wait, 95.0));
+  put(m, "makespan_s", result.makespan);
+  put(m, "shuffle_cost_gbt", result.total_shuffle_cost);
+  put(m, "shuffle_gb", result.total_shuffle_gb);
+  put(m, "mean_cct_s", result.avg_coflow_cct);
+  put(m, "p95_cct_s", result.p95_coflow_cct);
+  put(m, "jain_index", result.tenant_jain);
+  put(m, "aimd_final_limit", result.aimd.final_limit);
+  put_recovery(m, result.recovery);
+  put_gray(m, result.gray);
+  put_registry(m, reg);
+  return m;
+}
+
+}  // namespace
+
+const double* CellResult::metric(const std::string& name) const {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+const CellResult* CampaignResult::cell(const std::string& id) const {
+  for (const CellResult& c : cells) {
+    if (c.id == id) return &c;
+  }
+  return nullptr;
+}
+
+topo::Topology build_topology(const std::string& name) {
+  if (name == "tree") return topo::make_tree(topo::TreeConfig{3, 4, 2, 4});
+  if (name == "tree-large") return topo::make_tree(topo::TreeConfig{3, 8, 2, 8});
+  if (name == "fat-tree") return topo::make_fat_tree(topo::FatTreeConfig{6});
+  if (name == "vl2") return topo::make_vl2(topo::Vl2Config{4, 8, 16, 4});
+  if (name == "bcube") return topo::make_bcube(topo::BCubeConfig{4, 2});
+  throw std::invalid_argument("unknown topology '" + name + "'");
+}
+
+std::vector<sim::FaultEvent> generate_fault_events(
+    const CellConfig& config, const topo::Topology& topology) {
+  if (config.faults <= 0.0 && config.gray_mtbf <= 0.0) return {};
+  sim::MtbfConfig mconfig;
+  mconfig.horizon = config.fault_horizon;
+  mconfig.switch_mtbf = config.faults;
+  mconfig.switch_mttr = config.fault_mttr;
+  mconfig.server_mtbf = config.faults;
+  mconfig.server_mttr = config.fault_mttr;
+  mconfig.link_mtbf = config.faults;
+  mconfig.link_mttr = config.fault_mttr;
+  mconfig.gray_switch_mtbf = config.gray_mtbf;
+  mconfig.gray_switch_mttr = config.gray_mttr;
+  mconfig.gray_link_mtbf = config.gray_mtbf;
+  mconfig.gray_link_mttr = config.gray_mttr;
+  const auto [gmin, gmax] = parse_pair(config.gray_factor, "gray_factor");
+  mconfig.gray_factor_min = gmin;
+  mconfig.gray_factor_max = gmax;
+  return sim::FaultPlan::generate(topology, mconfig, config.seed).events();
+}
+
+CellRecord make_record(const std::string& campaign_name, const Cell& cell) {
+  CellRecord record;
+  record.campaign = campaign_name;
+  record.cell = cell.id;
+  record.config = cell.config;
+  const topo::Topology topology = build_topology(cell.config.topology);
+  const mr::WorkloadGenerator generator(workload_config(cell.config));
+  mr::IdAllocator ids;
+  Rng wrng(cell.config.seed);
+  const std::vector<mr::Job> jobs = generator.generate(ids, wrng);
+  record.workload = mr::trace_from_jobs(jobs);
+  record.faults = generate_fault_events(cell.config, topology);
+  return record;
+}
+
+std::vector<std::pair<std::string, double>> run_record(
+    const CellRecord& record) {
+  const CellConfig& c = record.config;
+  if (c.mode != "batch" && c.mode != "online") {
+    throw std::invalid_argument("unknown mode '" + c.mode + "'");
+  }
+  const topo::Topology topology = build_topology(c.topology);
+  const cluster::Cluster cluster(topology, cluster::Resource{2.0, 8.0});
+  const mr::WorkloadGenerator generator(workload_config(c));
+  mr::IdAllocator ids;
+  const std::vector<mr::Job> jobs =
+      mr::jobs_from_trace(record.workload, generator, ids);
+  const coflow::CoflowConfig cf = coflow_config(c);
+  const std::unique_ptr<sched::Scheduler> scheduler = build_scheduler(c, cf);
+
+  obs::Registry registry;
+  const obs::Context obs_ctx(&registry, nullptr, nullptr);
+  sim::SimConfig sconfig = sim_config(c, cf, record.faults);
+  sconfig.observer = &obs_ctx;
+
+  Rng srng = Rng(c.seed).fork(kCellSalt);
+  if (c.mode == "batch") {
+    const sim::ClusterSimulator sim(cluster, sconfig);
+    const sim::SimResult result = sim.run(*scheduler, jobs, ids, srng);
+    return batch_metrics(result, registry);
+  }
+  sim::OnlineConfig oconfig;
+  oconfig.arrival_rate = c.arrival_rate;
+  oconfig.sim = sconfig;
+  oconfig.max_queue_wait = c.max_queue_wait;
+  oconfig.admission.policy = parse_admission(c.admission);
+  oconfig.admission.max_queue = c.max_queue;
+  oconfig.admission.aimd.epoch_s = c.aimd_epoch;
+  oconfig.admission.aimd.quota_floor = c.quota_floor;
+  const std::vector<double> weights =
+      c.tenant_mix.empty() ? std::vector<double>{} : parse_weights(c.tenant_mix);
+  for (std::size_t t = 0; t < c.tenants; ++t) {
+    sched::admission::TenantSpec spec;
+    spec.name = "tenant-" + std::to_string(t);
+    spec.weight = weights.empty() ? 1.0 : weights[t];
+    oconfig.admission.tenants.push_back(std::move(spec));
+  }
+  const sim::OnlineSimulator sim(cluster, oconfig);
+  const sim::OnlineResult result = sim.run(*scheduler, jobs, ids, srng);
+  return online_metrics(result, registry);
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const RunOptions& options) {
+  CampaignResult result;
+  result.name = spec.name;
+  result.git_sha = util::git_sha();
+  result.host = util::hostname();
+  result.build_type = util::build_type();
+  for (const auto& [axis, values] : spec.axes) {
+    (void)values;
+    result.axis_names.push_back(axis);
+  }
+  const std::vector<Cell> cells = expand(spec);
+  result.cells.resize(cells.size());
+
+  if (!options.record_dir.empty()) {
+    std::filesystem::create_directories(options.record_dir);
+  }
+
+  std::mutex progress_mu;
+  ThreadPool pool(options.threads);
+  pool.parallel_for(cells.size(), [&](std::size_t i) {
+    CellResult& out = result.cells[i];
+    out.id = cells[i].id;
+    out.axes = cells[i].axes;
+    try {
+      const CellRecord record = make_record(spec.name, cells[i]);
+      if (!options.record_dir.empty()) {
+        const std::filesystem::path path =
+            std::filesystem::path(options.record_dir) /
+            record_filename(record.cell);
+        std::ofstream rec_out(path);
+        if (!rec_out) {
+          throw std::runtime_error("cannot write record '" + path.string() +
+                                   "'");
+        }
+        save_record(rec_out, record);
+      }
+      out.metrics = run_record(record);
+    } catch (const std::exception& e) {
+      out.ok = false;
+      out.error = e.what();
+      out.metrics.clear();
+    }
+    if (options.on_cell) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      options.on_cell(out);
+    }
+  });
+  return result;
+}
+
+}  // namespace hit::campaign

@@ -1,0 +1,94 @@
+// Campaign execution: expand a spec into cells, run every cell on a thread
+// pool, and collect one flat metric map per cell.
+//
+// Determinism contract (the regression ledger and what-if replay both lean
+// on it):
+//   - every cell builds its own topology, cluster, scheduler, workload,
+//     obs::Registry and Rng — no shared mutable state between cells;
+//   - the workload is drawn from Rng(seed) and the simulation from
+//     Rng(seed).fork(kCellSalt), two independent streams, so a cell replayed
+//     from its recorded workload trace consumes exactly the same simulation
+//     stream as the original generate-path run;
+//   - cells land in grid order regardless of thread interleaving, so the
+//     campaign JSON is byte-identical across runs and across --threads
+//     settings.
+//
+// Every cell is executed *through* its CellRecord (make_record, then
+// run_record); the record a campaign writes is the run, not a description
+// of it.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/record.h"
+#include "campaign/spec.h"
+#include "topology/topology.h"
+
+namespace hit::campaign {
+
+/// Simulation-stream salt: cells fork their sim rng as
+/// Rng(seed).fork(kCellSalt), leaving Rng(seed) itself for the workload.
+inline constexpr std::uint64_t kCellSalt = 0x43454C4CULL;  // "CELL"
+
+struct CellResult {
+  std::string id;
+  std::vector<std::pair<std::string, std::string>> axes;
+  /// Simulator metrics in a fixed per-mode order, then `obs.`-prefixed
+  /// registry metrics in name order.  Non-finite values are omitted.
+  std::vector<std::pair<std::string, double>> metrics;
+  bool ok = true;
+  std::string error;  ///< exception text when !ok
+
+  [[nodiscard]] const double* metric(const std::string& name) const;
+};
+
+struct CampaignResult {
+  std::string name;
+  std::string git_sha;
+  std::string host;
+  std::string build_type;
+  std::vector<std::string> axis_names;
+  std::vector<CellResult> cells;  ///< grid order
+
+  [[nodiscard]] const CellResult* cell(const std::string& id) const;
+};
+
+struct RunOptions {
+  std::size_t threads = 0;  ///< worker threads (0 = hardware concurrency)
+  std::string record_dir;   ///< write one CellRecord per cell ("" = off)
+  /// Progress callback, invoked under an internal mutex as cells finish
+  /// (completion order, not grid order).
+  std::function<void(const CellResult&)> on_cell;
+};
+
+/// Topology presets shared with the hitsim CLI (tree, tree-large, fat-tree,
+/// vl2, bcube).  Throws std::invalid_argument on an unknown name.
+[[nodiscard]] topo::Topology build_topology(const std::string& name);
+
+/// Generate the cell's fault-plan events from its config (empty when both
+/// `faults` and `gray_mtbf` are 0).  Pure function of (config, topology).
+[[nodiscard]] std::vector<sim::FaultEvent> generate_fault_events(
+    const CellConfig& config, const topo::Topology& topology);
+
+/// Materialize one cell into a replayable record: resolved config, the
+/// generated workload trace (priority/tenant labels included), and the
+/// fault-plan events.
+[[nodiscard]] CellRecord make_record(const std::string& campaign_name,
+                                     const Cell& cell);
+
+/// Execute a record and return its metric map.  Throws on invalid config
+/// (unknown topology/scheduler/mode) or simulator errors (e.g. strict
+/// overload aborts).
+[[nodiscard]] std::vector<std::pair<std::string, double>> run_record(
+    const CellRecord& record);
+
+/// Run the whole campaign.  Cell failures are captured per cell (ok=false),
+/// not thrown, so one diverging configuration doesn't sink the sweep.
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
+                                          const RunOptions& options = {});
+
+}  // namespace hit::campaign

@@ -1,0 +1,275 @@
+#include "campaign/spec.h"
+
+#include <cstdio>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hit::campaign {
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("campaign spec line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+double parse_double(const std::string& text, std::size_t line_no,
+                    const std::string& what) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    fail(line_no, "bad " + what + " '" + text + "'");
+  }
+  if (used != text.size()) fail(line_no, "trailing junk in " + what);
+  return value;
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream ss(text);
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(std::move(item));
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& value, const char* key) {
+  std::size_t used = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(value, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  if (used != value.size()) {
+    throw std::invalid_argument(std::string("CellConfig: bad ") + key + " '" +
+                                value + "'");
+  }
+  return v;
+}
+
+double parse_d(const std::string& value, const char* key) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(value, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  if (used != value.size()) {
+    throw std::invalid_argument(std::string("CellConfig: bad ") + key + " '" +
+                                value + "'");
+  }
+  return v;
+}
+
+std::string format_d(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Shorten when a terse form round-trips exactly (keeps records readable).
+  char terse[64];
+  std::snprintf(terse, sizeof terse, "%.6g", v);
+  double back = 0.0;
+  std::sscanf(terse, "%lf", &back);
+  return back == v ? terse : buf;
+}
+
+}  // namespace
+
+void CellConfig::set(const std::string& key, const std::string& value) {
+  if (key == "mode") mode = value;
+  else if (key == "topology") topology = value;
+  else if (key == "scheduler") scheduler = value;
+  else if (key == "jobs") jobs = parse_u64(value, "jobs");
+  else if (key == "seed") seed = parse_u64(value, "seed");
+  else if (key == "bandwidth_scale") bandwidth_scale = parse_d(value, key.c_str());
+  else if (key == "arrival_rate") arrival_rate = parse_d(value, key.c_str());
+  else if (key == "jitter") jitter = parse_d(value, key.c_str());
+  else if (key == "speculation") speculation = parse_d(value, key.c_str());
+  else if (key == "coflow") coflow = value;
+  else if (key == "admission") admission = value;
+  else if (key == "max_queue") max_queue = parse_u64(value, "max_queue");
+  else if (key == "max_queue_wait") max_queue_wait = parse_d(value, key.c_str());
+  else if (key == "tenants") tenants = parse_u64(value, "tenants");
+  else if (key == "tenant_mix") tenant_mix = value;
+  else if (key == "priority_mix") priority_mix = value;
+  else if (key == "aimd_epoch") aimd_epoch = parse_d(value, key.c_str());
+  else if (key == "quota_floor") quota_floor = parse_d(value, key.c_str());
+  else if (key == "faults") faults = parse_d(value, key.c_str());
+  else if (key == "fault_mttr") fault_mttr = parse_d(value, key.c_str());
+  else if (key == "fault_horizon") fault_horizon = parse_d(value, key.c_str());
+  else if (key == "gray_mtbf") gray_mtbf = parse_d(value, key.c_str());
+  else if (key == "gray_mttr") gray_mttr = parse_d(value, key.c_str());
+  else if (key == "gray_factor") gray_factor = value;
+  else if (key == "monitor") monitor = parse_u64(value, "monitor");
+  else if (key == "quarantine") quarantine = parse_u64(value, "quarantine");
+  else {
+    throw std::invalid_argument("CellConfig: unknown key '" + key + "'");
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> CellConfig::items() const {
+  return {
+      {"mode", mode},
+      {"topology", topology},
+      {"scheduler", scheduler},
+      {"jobs", std::to_string(jobs)},
+      {"seed", std::to_string(seed)},
+      {"bandwidth_scale", format_d(bandwidth_scale)},
+      {"arrival_rate", format_d(arrival_rate)},
+      {"jitter", format_d(jitter)},
+      {"speculation", format_d(speculation)},
+      {"coflow", coflow},
+      {"admission", admission},
+      {"max_queue", std::to_string(max_queue)},
+      {"max_queue_wait", format_d(max_queue_wait)},
+      {"tenants", std::to_string(tenants)},
+      {"tenant_mix", tenant_mix},
+      {"priority_mix", priority_mix},
+      {"aimd_epoch", format_d(aimd_epoch)},
+      {"quota_floor", format_d(quota_floor)},
+      {"faults", format_d(faults)},
+      {"fault_mttr", format_d(fault_mttr)},
+      {"fault_horizon", format_d(fault_horizon)},
+      {"gray_mtbf", format_d(gray_mtbf)},
+      {"gray_mttr", format_d(gray_mttr)},
+      {"gray_factor", gray_factor},
+      {"monitor", std::to_string(monitor)},
+      {"quarantine", std::to_string(quarantine)},
+  };
+}
+
+CampaignSpec parse_spec(std::istream& in) {
+  CampaignSpec spec;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    // `slo METRIC <= BOUND` / `slo METRIC >= BOUND`
+    if (line.rfind("slo ", 0) == 0) {
+      const std::string body = trim(line.substr(4));
+      std::size_t op = body.find("<=");
+      bool leq = true;
+      if (op == std::string::npos) {
+        op = body.find(">=");
+        leq = false;
+      }
+      if (op == std::string::npos) fail(line_no, "slo wants METRIC <= BOUND or METRIC >= BOUND");
+      SloRule rule;
+      rule.metric = trim(body.substr(0, op));
+      rule.leq = leq;
+      rule.bound = parse_double(trim(body.substr(op + 2)), line_no, "slo bound");
+      if (rule.metric.empty()) fail(line_no, "slo wants a metric name");
+      spec.slos.push_back(std::move(rule));
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected 'key = value'");
+    std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) fail(line_no, "empty key");
+
+    if (key == "name") {
+      spec.name = value;
+    } else if (key.rfind("matrix ", 0) == 0) {
+      const std::string axis = trim(key.substr(7));
+      if (axis.empty()) fail(line_no, "matrix wants an axis key");
+      for (const auto& [existing, values] : spec.axes) {
+        (void)values;
+        if (existing == axis) fail(line_no, "duplicate matrix axis '" + axis + "'");
+      }
+      std::vector<std::string> values = split_list(value);
+      if (values.empty()) fail(line_no, "matrix axis '" + axis + "' has no values");
+      // Validate key and every value now, so typos fail at parse time.
+      for (const std::string& v : values) {
+        CellConfig probe = spec.base;
+        try {
+          probe.set(axis, v);
+        } catch (const std::invalid_argument& e) {
+          fail(line_no, e.what());
+        }
+      }
+      spec.axes.emplace_back(axis, std::move(values));
+    } else if (key.rfind("tolerance ", 0) == 0) {
+      const std::string metric = trim(key.substr(10));
+      if (metric.empty()) fail(line_no, "tolerance wants a metric name");
+      const double tol = parse_double(value, line_no, "tolerance");
+      if (tol < 0.0) fail(line_no, "tolerance must be non-negative");
+      if (metric == "default") {
+        spec.default_tolerance = tol;
+      } else {
+        spec.tolerances.emplace_back(metric, tol);
+      }
+    } else if (key == "compare") {
+      spec.compare_metrics = split_list(value);
+    } else {
+      try {
+        spec.base.set(key, value);
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+    }
+  }
+  if (spec.name.empty()) {
+    throw std::invalid_argument("campaign spec: missing 'name = ...'");
+  }
+  return spec;
+}
+
+std::vector<Cell> expand(const CampaignSpec& spec) {
+  if (spec.axes.empty()) {
+    Cell cell;
+    cell.id = "base";
+    cell.config = spec.base;
+    return {std::move(cell)};
+  }
+  std::size_t total = 1;
+  for (const auto& [axis, values] : spec.axes) {
+    (void)axis;
+    total *= values.size();
+  }
+  std::vector<Cell> cells;
+  cells.reserve(total);
+  std::vector<std::size_t> odometer(spec.axes.size(), 0);
+  for (std::size_t n = 0; n < total; ++n) {
+    Cell cell;
+    cell.config = spec.base;
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+      const auto& [axis, values] = spec.axes[a];
+      const std::string& v = values[odometer[a]];
+      cell.config.set(axis, v);
+      cell.axes.emplace_back(axis, v);
+      if (a) cell.id += '/';
+      cell.id += axis;
+      cell.id += '=';
+      cell.id += v;
+    }
+    cells.push_back(std::move(cell));
+    // Last axis spins fastest.
+    for (std::size_t a = spec.axes.size(); a-- > 0;) {
+      if (++odometer[a] < spec.axes[a].second.size()) break;
+      odometer[a] = 0;
+    }
+  }
+  return cells;
+}
+
+}  // namespace hit::campaign

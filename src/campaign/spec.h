@@ -1,0 +1,112 @@
+// Campaign specs: a declarative description of an experiment grid.
+//
+// One spec file names a campaign, fixes a base cell configuration, and
+// declares `matrix` axes whose cross product is the grid of cells the
+// runner executes.  The same file carries the regression-ledger contract:
+// per-metric noise tolerances and SLO assertions `hitcamp compare`
+// evaluates against a committed baseline.
+//
+// Grammar (line oriented, `#` starts a comment):
+//
+//   name = smoke
+//   mode = online                 # any CellConfig key = value
+//   jobs = 12
+//   matrix scheduler = hit, fair  # axis; values comma-separated
+//   matrix faults = 0, 900
+//   matrix seed = 1, 2, 3
+//   slo shed_rate <= 0.5          # asserted on every fresh cell
+//   tolerance default = 0.05      # relative noise budget for compare
+//   tolerance mean_jct_s = 0.02
+//   compare = mean_jct_s, p95_queue_wait_s   # restrict the diffed metrics
+//
+// Values that are themselves lists (tenant_mix, priority_mix, gray_factor)
+// use `:` as the inner separator since `,` separates matrix values.
+//
+// Axis order is declaration order; the expansion iterates the last axis
+// fastest, so cell order — and therefore the result JSON — is a pure
+// function of the spec.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hit::campaign {
+
+/// Everything one cell needs to rebuild its world: topology, workload,
+/// scheduler, simulator knobs.  Defaults mirror the hitsim CLI so a spec
+/// that sets nothing runs the same experiment as bare `hitsim`.
+struct CellConfig {
+  std::string mode = "batch";      ///< batch | online
+  std::string topology = "tree";   ///< tree|tree-large|fat-tree|vl2|bcube
+  std::string scheduler = "hit";   ///< any SchedulerRegistry name
+  std::uint64_t jobs = 10;
+  std::uint64_t seed = 42;
+  double bandwidth_scale = 0.05;
+  double arrival_rate = 0.05;      ///< online: Poisson jobs/second
+  double jitter = 0.0;             ///< straggler lognormal sigma
+  double speculation = 0.0;        ///< batch: speculative-map threshold
+  std::string coflow = "off";      ///< off | fifo | sebf | priority
+  std::string admission = "unbounded";  ///< online admission policy name
+  std::uint64_t max_queue = 0;
+  double max_queue_wait = 0.0;
+  std::uint64_t tenants = 0;
+  std::string tenant_mix;          ///< "8:1:1" weights ("" = uniform)
+  std::string priority_mix;        ///< "LOW:HIGH" fractions ("" = none)
+  double aimd_epoch = 30.0;
+  double quota_floor = 0.25;
+  double faults = 0.0;             ///< crash MTBF seconds per element (0 = off)
+  double fault_mttr = 120.0;
+  double fault_horizon = 5000.0;
+  double gray_mtbf = 0.0;          ///< gray degradation MTBF (0 = off)
+  double gray_mttr = 120.0;
+  std::string gray_factor = "0.25:0.5";  ///< degraded-capacity range MIN:MAX
+  std::uint64_t monitor = 0;       ///< health-monitor sampling (0/1)
+  std::uint64_t quarantine = 0;    ///< quarantine/probe loop (0/1)
+
+  /// Assign by key name (the spec / record / what-if override path).
+  /// Throws std::invalid_argument on an unknown key or unparsable value.
+  void set(const std::string& key, const std::string& value);
+
+  /// Every key with its current value, in a fixed canonical order — the
+  /// serialization the cell record writes and the what-if report prints.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> items() const;
+};
+
+/// One SLO assertion: `metric <= bound` (leq) or `metric >= bound`.
+struct SloRule {
+  std::string metric;
+  bool leq = true;
+  double bound = 0.0;
+};
+
+struct CampaignSpec {
+  std::string name;
+  CellConfig base;
+  /// Axes in declaration order; each value list is applied via
+  /// CellConfig::set, so axis keys are validated at parse time.
+  std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+  std::vector<SloRule> slos;
+  double default_tolerance = 0.05;  ///< relative; `tolerance default = x`
+  std::vector<std::pair<std::string, double>> tolerances;  ///< per metric
+  std::vector<std::string> compare_metrics;  ///< empty = all campaign metrics
+};
+
+/// Parse a spec stream.  Throws std::invalid_argument with a line number on
+/// syntax errors, unknown config keys, or a missing campaign name.
+[[nodiscard]] CampaignSpec parse_spec(std::istream& in);
+
+/// One expanded grid point.
+struct Cell {
+  std::string id;  ///< "axis=value/..." in axis declaration order
+  std::vector<std::pair<std::string, std::string>> axes;
+  CellConfig config;
+};
+
+/// Cross product of the spec's axes over its base config (a spec with no
+/// axes yields the single base cell with id "base").
+[[nodiscard]] std::vector<Cell> expand(const CampaignSpec& spec);
+
+}  // namespace hit::campaign

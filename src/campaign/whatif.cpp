@@ -1,0 +1,111 @@
+#include "campaign/whatif.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/table.h"
+
+namespace hit::campaign {
+namespace {
+
+bool is_fault_key(const std::string& key) {
+  return key == "faults" || key == "fault_mttr" || key == "fault_horizon" ||
+         key == "gray_mtbf" || key == "gray_mttr" || key == "gray_factor" ||
+         key == "seed";
+}
+
+}  // namespace
+
+WhatIfReport run_whatif(
+    const CellRecord& record,
+    const std::vector<std::pair<std::string, std::string>>& overrides) {
+  if (overrides.empty()) {
+    throw std::invalid_argument("whatif: no overrides (--set key=value)");
+  }
+  WhatIfReport report;
+  report.baseline = record;
+  report.variant = record;
+  report.overrides = overrides;
+  for (const auto& [key, value] : overrides) {
+    if (key == "topology") {
+      throw std::invalid_argument(
+          "whatif: cannot override 'topology' — the recorded workload and "
+          "fault node ids are topology-bound");
+    }
+    if (key == "jobs") {
+      throw std::invalid_argument(
+          "whatif: cannot override 'jobs' — the workload comes from the "
+          "recorded trace");
+    }
+    report.variant.config.set(key, value);
+    if (is_fault_key(key)) report.faults_regenerated = true;
+  }
+  if (report.faults_regenerated) {
+    report.variant.faults = generate_fault_events(
+        report.variant.config, build_topology(report.variant.config.topology));
+  }
+  report.baseline_metrics = run_record(report.baseline);
+  report.variant_metrics = run_record(report.variant);
+  return report;
+}
+
+std::string render_whatif(const WhatIfReport& report, bool verbose) {
+  std::ostringstream out;
+  out << "what-if: cell '" << report.baseline.cell << "' of campaign '"
+      << report.baseline.campaign << "'\n";
+  for (const auto& [key, value] : report.overrides) {
+    out << "  set " << key << " = " << value << "\n";
+  }
+  if (report.faults_regenerated) {
+    out << "  (fault plan regenerated from overridden config: "
+        << report.baseline.faults.size() << " -> "
+        << report.variant.faults.size() << " events)\n";
+  } else if (!report.baseline.faults.empty()) {
+    out << "  (recorded fault plan replayed verbatim: "
+        << report.baseline.faults.size() << " events)\n";
+  }
+  out << "\n";
+
+  // Union of metric names, baseline order first (both sides share the fixed
+  // simulator prefix; the obs tail can differ between policies).
+  std::vector<std::string> names;
+  for (const auto& [name, value] : report.baseline_metrics) {
+    (void)value;
+    names.push_back(name);
+  }
+  for (const auto& [name, value] : report.variant_metrics) {
+    (void)value;
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      names.push_back(name);
+    }
+  }
+
+  stats::Table table({"metric", "baseline", "what-if", "delta", "rel"});
+  const auto lookup = [](const std::vector<std::pair<std::string, double>>& m,
+                         const std::string& name) -> const double* {
+    for (const auto& [k, v] : m) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  };
+  for (const std::string& name : names) {
+    if (!verbose && name.rfind("obs.", 0) == 0) continue;
+    const double* b = lookup(report.baseline_metrics, name);
+    const double* v = lookup(report.variant_metrics, name);
+    const std::string bs = b ? stats::Table::num(*b) : "-";
+    const std::string vs = v ? stats::Table::num(*v) : "-";
+    std::string delta = "-";
+    std::string rel = "-";
+    if (b != nullptr && v != nullptr) {
+      delta = stats::Table::num(*v - *b);
+      rel = *b == 0.0 ? "-"
+                      : stats::Table::num((*v - *b) / *b * 100.0, 2) + "%";
+    }
+    table.add_row({name, bs, vs, delta, rel});
+  }
+  out << table.render();
+  return out.str();
+}
+
+}  // namespace hit::campaign

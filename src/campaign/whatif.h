@@ -1,0 +1,51 @@
+// What-if replay: re-run one recorded campaign cell under a counterfactual
+// configuration and report the paired metric diff.
+//
+// The baseline side replays the record exactly — same workload trace, same
+// fault events, same sim rng stream — so it is byte-identical to the cell's
+// original campaign run (the runner executes cells through their records).
+// The variant side applies `--set key=value` overrides to the recorded
+// config and re-runs against the *same workload*:
+//   - scheduler / admission / coflow / bandwidth / ... overrides reuse the
+//     recorded fault events verbatim, so the counterfactual faces the exact
+//     same failure history;
+//   - overriding any fault knob (faults, fault_mttr, fault_horizon,
+//     gray_mtbf, gray_mttr, gray_factor) or the seed regenerates the plan
+//     from the overridden config (FaultPlan::generate is a pure function,
+//     so this is itself deterministic);
+//   - overriding `topology` is refused: the recorded workload placement and
+//     fault node ids are topology-bound;
+//   - overriding `jobs` is refused: the workload comes from the recorded
+//     trace, not the generator.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/record.h"
+#include "campaign/runner.h"
+
+namespace hit::campaign {
+
+struct WhatIfReport {
+  CellRecord baseline;  ///< the record as loaded
+  CellRecord variant;   ///< overridden config (+ regenerated faults if any)
+  std::vector<std::pair<std::string, std::string>> overrides;
+  bool faults_regenerated = false;
+  std::vector<std::pair<std::string, double>> baseline_metrics;
+  std::vector<std::pair<std::string, double>> variant_metrics;
+};
+
+/// Replay `record` as-is and under `overrides`; throws std::invalid_argument
+/// on an empty override list, unknown keys, or refused overrides.
+[[nodiscard]] WhatIfReport run_whatif(
+    const CellRecord& record,
+    const std::vector<std::pair<std::string, std::string>>& overrides);
+
+/// Paired metric table (baseline vs what-if, absolute and relative delta).
+/// `obs.` metrics are included only with `verbose`.
+[[nodiscard]] std::string render_whatif(const WhatIfReport& report,
+                                        bool verbose = false);
+
+}  // namespace hit::campaign

@@ -59,8 +59,8 @@ std::vector<TraceEntry> load_trace(std::istream& in) {
       continue;
     }
     const auto fields = split_csv(line);
-    if (fields.size() < 2 || fields.size() > 3) {
-      fail(line_no, "expected 2 or 3 fields");
+    if (fields.size() < 2 || fields.size() > 5) {
+      fail(line_no, "expected 2 to 5 fields");
     }
     TraceEntry entry;
     entry.benchmark = fields[0];
@@ -70,12 +70,28 @@ std::vector<TraceEntry> load_trace(std::istream& in) {
       fail(line_no, "unknown benchmark '" + entry.benchmark + "'");
     }
     entry.input_gb = parse_positive(fields[1], line_no, "input_gb", false);
-    if (fields.size() == 3) {
+    if (fields.size() >= 3) {
       entry.arrival_s = parse_positive(fields[2], line_no, "arrival_s", true);
       if (entry.arrival_s < last_arrival) {
         fail(line_no, "arrivals must be non-decreasing");
       }
       last_arrival = entry.arrival_s;
+    }
+    if (fields.size() >= 4) {
+      const std::string& p = fields[3];
+      if (p == "low") {
+        entry.priority = Priority::Low;
+      } else if (p == "normal" || p.empty()) {
+        entry.priority = Priority::Normal;
+      } else if (p == "high") {
+        entry.priority = Priority::High;
+      } else {
+        fail(line_no, "bad priority '" + p + "' (low|normal|high)");
+      }
+    }
+    if (fields.size() == 5) {
+      entry.tenant = static_cast<std::uint32_t>(
+          parse_positive(fields[4], line_no, "tenant", true));
     }
     entries.push_back(std::move(entry));
   }
@@ -86,11 +102,35 @@ std::vector<TraceEntry> load_trace(std::istream& in) {
 }
 
 void save_trace(std::ostream& out, const std::vector<TraceEntry>& entries) {
-  out << "benchmark,input_gb,arrival_s\n";
-  char buf[64];
+  bool labelled = false;
   for (const TraceEntry& e : entries) {
-    std::snprintf(buf, sizeof buf, "%.6g,%.6g", e.input_gb, e.arrival_s);
-    out << e.benchmark << ',' << buf << '\n';
+    if (e.priority != Priority::Normal || e.tenant != 0) {
+      labelled = true;
+      break;
+    }
+  }
+  out << (labelled ? "benchmark,input_gb,arrival_s,priority,tenant\n"
+                   : "benchmark,input_gb,arrival_s\n");
+  // Shortest representation that parses back to the same double: a saved
+  // trace must replay the exact workload (campaign cell records rely on it),
+  // so truncating to 6 significant digits is not an option — but most values
+  // are short, and %.17g everywhere would bloat the common case.
+  char buf[64];
+  const auto exact = [&buf](double v) -> const char* {
+    for (int prec = 6; prec <= 17; ++prec) {
+      std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+      double back = 0.0;
+      if (std::sscanf(buf, "%lf", &back) == 1 && back == v) break;
+    }
+    return buf;
+  };
+  for (const TraceEntry& e : entries) {
+    out << e.benchmark << ',' << exact(e.input_gb);
+    out << ',' << exact(e.arrival_s);
+    if (labelled) {
+      out << ',' << priority_name(e.priority) << ',' << e.tenant;
+    }
+    out << '\n';
   }
 }
 
@@ -100,7 +140,10 @@ std::vector<Job> jobs_from_trace(const std::vector<TraceEntry>& entries,
   std::vector<Job> jobs;
   jobs.reserve(entries.size());
   for (const TraceEntry& e : entries) {
-    jobs.push_back(generator.make_job(profile(e.benchmark), e.input_gb, ids));
+    Job job = generator.make_job(profile(e.benchmark), e.input_gb, ids);
+    job.priority = e.priority;
+    job.tenant = e.tenant;
+    jobs.push_back(std::move(job));
   }
   return jobs;
 }
@@ -117,6 +160,8 @@ std::vector<TraceEntry> trace_from_jobs(const std::vector<Job>& jobs,
     e.benchmark = jobs[i].benchmark;
     e.input_gb = jobs[i].input_gb;
     e.arrival_s = arrivals.empty() ? 0.0 : arrivals[i];
+    e.priority = jobs[i].priority;
+    e.tenant = jobs[i].tenant;
     entries.push_back(std::move(e));
   }
   return entries;

@@ -3,9 +3,16 @@
 // sequence (or to externally produced traces) instead of a generator seed.
 //
 // Trace format (header required):
-//   benchmark,input_gb[,arrival_s]
+//   benchmark,input_gb[,arrival_s[,priority[,tenant]]]
 //   terasort,30.5
 //   grep,16.0,12.25
+//   wordcount,8.0,20.5,high,2
+//
+// The optional priority (low|normal|high) and tenant columns let a trace
+// round-trip the labels the generator draws from forked rng streams, so a
+// recorded workload replays with full fidelity (campaign what-if replay
+// depends on this).  save_trace only emits the extra columns when some
+// entry actually uses them, keeping legacy traces byte-identical.
 //
 // Unknown benchmark names are rejected at load time (the profile table is
 // the schema for compute/shuffle characteristics).
@@ -24,6 +31,8 @@ struct TraceEntry {
   std::string benchmark;
   double input_gb = 0.0;
   double arrival_s = 0.0;  ///< optional; 0 when the trace has no arrivals
+  Priority priority = Priority::Normal;  ///< optional admission class label
+  std::uint32_t tenant = 0;              ///< optional owning tenant
 };
 
 /// Parse a trace stream.  Throws std::invalid_argument with a line number on

@@ -51,6 +51,36 @@ std::vector<std::uint64_t> Histogram::cumulative() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("Histogram::quantile: q must be in [0, 1]");
+  }
+  const std::vector<std::uint64_t> cum = cumulative();
+  const std::uint64_t total = cum.back();
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  const double lo_obs = min();
+  const double hi_obs = max();
+  // Rank of the target observation (1-based), linearly placed in the bucket
+  // that first reaches it.
+  const double rank = q * static_cast<double>(total);
+  std::size_t idx = 0;
+  while (idx < cum.size() - 1 &&
+         static_cast<double>(cum[idx]) < rank) {
+    ++idx;
+  }
+  const std::uint64_t below = idx == 0 ? 0 : cum[idx - 1];
+  const std::uint64_t in_bucket = cum[idx] - below;
+  double lo = idx == 0 ? lo_obs : bounds_[idx - 1];
+  double hi = idx < bounds_.size() ? bounds_[idx] : hi_obs;
+  lo = std::max(lo, lo_obs);
+  hi = std::min(hi, hi_obs);
+  if (hi <= lo || in_bucket == 0) return std::min(std::max(lo, lo_obs), hi_obs);
+  const double frac =
+      (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+  const double v = lo + frac * (hi - lo);
+  return std::min(std::max(v, lo_obs), hi_obs);
+}
+
 std::vector<double> Histogram::time_bounds() {
   std::vector<double> bounds;
   for (double decade = 1e-6; decade < 200.0; decade *= 10.0) {
@@ -107,6 +137,45 @@ std::string Registry::tagged(
   return out;
 }
 
+std::vector<SampleDelta> diff_snapshots(const std::vector<MetricSample>& before,
+                                        const std::vector<MetricSample>& after) {
+  std::vector<SampleDelta> out;
+  out.reserve(std::max(before.size(), after.size()));
+  std::size_t i = 0, j = 0;
+  const auto from_before = [](const MetricSample& s) {
+    SampleDelta d;
+    d.name = s.name;
+    d.kind = s.kind;
+    d.before = s.value;
+    d.count_before = s.count;
+    d.in_before = true;
+    return d;
+  };
+  while (i < before.size() || j < after.size()) {
+    if (j == after.size() ||
+        (i < before.size() && before[i].name < after[j].name)) {
+      out.push_back(from_before(before[i++]));
+    } else if (i == before.size() || after[j].name < before[i].name) {
+      SampleDelta d;
+      d.name = after[j].name;
+      d.kind = after[j].kind;
+      d.after = after[j].value;
+      d.count_after = after[j].count;
+      d.in_after = true;
+      out.push_back(std::move(d));
+      ++j;
+    } else {
+      SampleDelta d = from_before(before[i++]);
+      d.after = after[j].value;
+      d.count_after = after[j].count;
+      d.in_after = true;
+      ++j;
+      out.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
 std::vector<MetricSample> Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricSample> out;
@@ -136,6 +205,8 @@ std::vector<MetricSample> Registry::snapshot() const {
     s.max = h->max();
     s.value = s.count > 0 ? s.sum / static_cast<double>(s.count)
                           : std::numeric_limits<double>::quiet_NaN();
+    s.p50 = h->quantile(0.5);
+    s.p95 = h->quantile(0.95);
     out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(),
@@ -163,7 +234,9 @@ void Registry::write_jsonl(
               {"sum", s.sum},
               {"mean", s.value},
               {"min", s.min},
-              {"max", s.max}});
+              {"max", s.max},
+              {"p50", s.p50},
+              {"p95", s.p95}});
     } else {
       record({{"metric", s.name}, {"kind", s.kind}, {"value", s.value}});
     }

@@ -98,6 +98,13 @@ class Histogram {
   /// bounds().size()) is the total count.
   [[nodiscard]] std::vector<std::uint64_t> cumulative() const;
 
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// bucket holding the target rank; clamped to the observed [min, max] so
+  /// the estimate never leaves the data range.  NaN when empty.  The
+  /// estimate is exact at the bucket edges and deterministic, which is what
+  /// the campaign ledger needs to diff p95s across runs.
+  [[nodiscard]] double quantile(double q) const;
+
   /// Buckets for durations in seconds: 1us .. ~100s, x10 per decade with a
   /// 1/3 split.
   [[nodiscard]] static std::vector<double> time_bounds();
@@ -118,7 +125,29 @@ struct MetricSample {
   double value = 0.0;          ///< counter/gauge value; histogram mean
   std::uint64_t count = 0;     ///< histogram observation count
   double sum = 0.0, min = 0.0, max = 0.0;  ///< histogram aggregates
+  double p50 = 0.0, p95 = 0.0;  ///< histogram quantile estimates (NaN-safe)
 };
+
+/// One metric's movement between two snapshots (see diff_snapshots).
+struct SampleDelta {
+  std::string name;
+  std::string kind;
+  double before = 0.0;  ///< value in the first snapshot (0 when absent)
+  double after = 0.0;   ///< value in the second snapshot (0 when absent)
+  std::uint64_t count_before = 0, count_after = 0;  ///< histogram/counter counts
+  bool in_before = false, in_after = false;
+
+  [[nodiscard]] double delta() const noexcept { return after - before; }
+};
+
+/// Merge-join two name-sorted snapshots (Registry::snapshot output) into
+/// per-metric deltas.  Metrics present in only one side appear with the
+/// other side zeroed and the matching in_* flag false.  The campaign
+/// what-if replay diffs a baseline cell's registry against its
+/// counterfactual this way.
+[[nodiscard]] std::vector<SampleDelta> diff_snapshots(
+    const std::vector<MetricSample>& before,
+    const std::vector<MetricSample>& after);
 
 class Registry {
  public:

@@ -115,6 +115,15 @@ void FaultPlan::degrade_link(NodeId a, NodeId b, double factor, double at,
   }
 }
 
+FaultPlan FaultPlan::scripted(std::vector<FaultEvent> events) {
+  FaultPlan plan;
+  for (FaultEvent& e : events) {
+    if (e.kind == FaultKind::Degrade) check_gray_factor(e.factor);
+    plan.insert(e);
+  }
+  return plan;
+}
+
 FaultPlan FaultPlan::generate(const topo::Topology& topology,
                               const MtbfConfig& config, std::uint64_t seed) {
   if (config.horizon <= 0.0) {

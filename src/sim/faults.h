@@ -103,6 +103,12 @@ class FaultPlan {
                                           const MtbfConfig& config,
                                           std::uint64_t seed);
 
+  /// Rebuild a plan from a recorded event list (campaign what-if replay).
+  /// Events are re-sorted by time with stable order; throws
+  /// std::invalid_argument on negative times or out-of-range Degrade
+  /// factors.
+  [[nodiscard]] static FaultPlan scripted(std::vector<FaultEvent> events);
+
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
     return events_;
   }

@@ -58,6 +58,37 @@ std::string CsvWriter::escape(std::string_view field) {
   return out;
 }
 
+std::vector<std::string> parse_csv_row(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  if (quoted) throw std::invalid_argument("parse_csv_row: unterminated quote");
+  fields.push_back(std::move(field));
+  return fields;
+}
+
 void JsonLinesWriter::record(
     const std::vector<std::pair<std::string, Cell>>& fields) {
   *out_ << '{';

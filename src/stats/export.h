@@ -37,6 +37,12 @@ class CsvWriter {
   std::size_t rows_ = 0;
 };
 
+/// Inverse of CsvWriter's row serialization: split one RFC 4180 line into
+/// unescaped fields (quoted fields may contain commas and doubled quotes).
+/// Throws std::invalid_argument on an unterminated quote.  The line must not
+/// include the trailing newline.
+[[nodiscard]] std::vector<std::string> parse_csv_row(std::string_view line);
+
 class JsonLinesWriter {
  public:
   explicit JsonLinesWriter(std::ostream& out) : out_(&out) {}

@@ -1,0 +1,28 @@
+#include "util/buildinfo.h"
+
+#include <unistd.h>
+
+#include <climits>
+
+#ifndef HITSCHED_GIT_SHA
+#define HITSCHED_GIT_SHA "unknown"
+#endif
+#ifndef HITSCHED_BUILD_TYPE
+#define HITSCHED_BUILD_TYPE "unknown"
+#endif
+
+namespace hit::util {
+
+const char* git_sha() { return HITSCHED_GIT_SHA; }
+
+const char* build_type() { return HITSCHED_BUILD_TYPE; }
+
+std::string hostname() {
+  char buf[HOST_NAME_MAX + 1] = {};
+  if (::gethostname(buf, sizeof buf - 1) != 0 || buf[0] == '\0') {
+    return "unknown";
+  }
+  return buf;
+}
+
+}  // namespace hit::util

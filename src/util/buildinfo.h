@@ -1,0 +1,21 @@
+// Provenance stamps for result files: which commit and which machine
+// produced the numbers.  Committed BENCH_*.json snapshots carry these so a
+// regression ledger can say exactly what it is comparing against.
+#pragma once
+
+#include <string>
+
+namespace hit::util {
+
+/// Short git revision the binaries were configured from ("unknown" outside a
+/// git checkout).  Captured at CMake configure time — reconfigure to
+/// refresh after committing.
+[[nodiscard]] const char* git_sha();
+
+/// CMAKE_BUILD_TYPE the library was compiled under ("unknown" when absent).
+[[nodiscard]] const char* build_type();
+
+/// Hostname of the running machine ("unknown" when the lookup fails).
+[[nodiscard]] std::string hostname();
+
+}  // namespace hit::util

@@ -1,0 +1,135 @@
+#include "campaign/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "campaign/spec.h"
+
+namespace hit::campaign {
+namespace {
+
+CellResult cell(std::string id,
+                std::vector<std::pair<std::string, double>> metrics) {
+  CellResult c;
+  c.id = std::move(id);
+  c.metrics = std::move(metrics);
+  return c;
+}
+
+CampaignResult campaign(std::vector<CellResult> cells) {
+  CampaignResult r;
+  r.name = "test";
+  r.cells = std::move(cells);
+  return r;
+}
+
+TEST(Ledger, IdenticalCampaignsPass) {
+  const CampaignResult a =
+      campaign({cell("c1", {{"mean_jct_s", 100.0}, {"obs.sim.events", 5.0}})});
+  const CompareReport report = compare_campaigns(a, a, {});
+  EXPECT_TRUE(report.pass());
+  // obs.* metrics are diagnostics, not regression surface, by default.
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].metric, "mean_jct_s");
+}
+
+TEST(Ledger, WithinToleranceIsPassBeyondIsFail) {
+  const CampaignResult baseline = campaign({cell("c1", {{"m", 100.0}})});
+  CompareOptions options;
+  options.default_tolerance = 0.05;
+  const CampaignResult close = campaign({cell("c1", {{"m", 104.9}})});
+  EXPECT_TRUE(compare_campaigns(close, baseline, options).pass());
+  const CampaignResult far = campaign({cell("c1", {{"m", 105.1}})});
+  const CompareReport report = compare_campaigns(far, baseline, options);
+  EXPECT_FALSE(report.pass());
+  EXPECT_EQ(report.metric_violations(), 1u);
+}
+
+TEST(Ledger, PerMetricToleranceOverridesDefault) {
+  const CampaignResult baseline =
+      campaign({cell("c1", {{"loose", 100.0}, {"tight", 100.0}})});
+  const CampaignResult fresh =
+      campaign({cell("c1", {{"loose", 108.0}, {"tight", 108.0}})});
+  CompareOptions options;
+  options.default_tolerance = 0.01;
+  options.tolerances = {{"loose", 0.10}};
+  const CompareReport report = compare_campaigns(fresh, baseline, options);
+  EXPECT_EQ(report.metric_violations(), 1u);
+  for (const MetricRow& row : report.rows) {
+    EXPECT_EQ(row.pass, row.metric == "loose") << row.metric;
+  }
+}
+
+TEST(Ledger, AbsFloorForgivesNearZeroBaselines) {
+  // 0 -> 1e-12 is noise, not a regression, under the absolute floor.
+  const CampaignResult baseline = campaign({cell("c1", {{"m", 0.0}})});
+  const CampaignResult fresh = campaign({cell("c1", {{"m", 1e-12}})});
+  CompareOptions options;
+  options.abs_floor = 1e-9;
+  EXPECT_TRUE(compare_campaigns(fresh, baseline, options).pass());
+  const CampaignResult big = campaign({cell("c1", {{"m", 1e-6}})});
+  EXPECT_FALSE(compare_campaigns(big, baseline, options).pass());
+}
+
+TEST(Ledger, MissingCellOrMetricIsStructural) {
+  const CampaignResult baseline =
+      campaign({cell("c1", {{"m", 1.0}}), cell("c2", {{"m", 1.0}})});
+  const CampaignResult fresh = campaign({cell("c1", {{"other", 1.0}})});
+  const CompareReport report = compare_campaigns(fresh, baseline, {});
+  EXPECT_FALSE(report.pass());
+  EXPECT_FALSE(report.structural.empty());
+}
+
+TEST(Ledger, FailedFreshCellIsStructural) {
+  CellResult failed = cell("c1", {});
+  failed.ok = false;
+  failed.error = "boom";
+  const CampaignResult baseline = campaign({cell("c1", {{"m", 1.0}})});
+  const CampaignResult fresh = campaign({failed});
+  const CompareReport report = compare_campaigns(fresh, baseline, {});
+  EXPECT_FALSE(report.pass());
+  ASSERT_FALSE(report.structural.empty());
+}
+
+TEST(Ledger, SlosAssertOnFreshCells) {
+  const CampaignResult r = campaign({cell("c1", {{"shed_rate", 0.6}})});
+  CompareOptions options;
+  options.slos = {{"shed_rate", /*leq=*/true, 0.5}};
+  const CompareReport report = compare_campaigns(r, r, options);
+  EXPECT_EQ(report.slo_violations(), 1u);
+  EXPECT_FALSE(report.pass());
+  // >= direction.
+  options.slos = {{"shed_rate", /*leq=*/false, 0.5}};
+  EXPECT_TRUE(compare_campaigns(r, r, options).pass());
+}
+
+TEST(Ledger, FromSpecLiftsTheContract) {
+  std::istringstream in(
+      "name = x\n"
+      "tolerance default = 0.2\n"
+      "tolerance m2 = 0.01\n"
+      "compare = m1, m2\n"
+      "slo m1 <= 3\n");
+  const CompareOptions options = CompareOptions::from_spec(parse_spec(in));
+  EXPECT_DOUBLE_EQ(options.default_tolerance, 0.2);
+  ASSERT_EQ(options.tolerances.size(), 1u);
+  EXPECT_EQ(options.tolerances[0].first, "m2");
+  EXPECT_EQ(options.metrics, (std::vector<std::string>{"m1", "m2"}));
+  ASSERT_EQ(options.slos.size(), 1u);
+  EXPECT_EQ(options.slos[0].metric, "m1");
+}
+
+TEST(Ledger, RenderReportEndsWithVerdict) {
+  const CampaignResult a = campaign({cell("c1", {{"m", 1.0}})});
+  const std::string pass_text = render_report(compare_campaigns(a, a, {}));
+  EXPECT_NE(pass_text.find("PASS"), std::string::npos);
+  const CampaignResult b = campaign({cell("c1", {{"m", 2.0}})});
+  const std::string fail_text =
+      render_report(compare_campaigns(b, a, {}), /*verbose=*/true);
+  EXPECT_NE(fail_text.find("FAIL"), std::string::npos);
+  EXPECT_NE(fail_text.find("c1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hit::campaign

@@ -1,0 +1,147 @@
+#include "campaign/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/json.h"
+#include "campaign/record.h"
+#include "campaign/spec.h"
+
+namespace hit::campaign {
+namespace {
+
+CampaignSpec small_spec() {
+  std::istringstream in(
+      "name = unit\n"
+      "mode = batch\n"
+      "jobs = 3\n"
+      "bandwidth_scale = 0.05\n"
+      "matrix scheduler = hit, fair\n"
+      "matrix seed = 1, 2\n");
+  return parse_spec(in);
+}
+
+std::string run_to_json(const CampaignSpec& spec, std::size_t threads) {
+  RunOptions options;
+  options.threads = threads;
+  const CampaignResult result = run_campaign(spec, options);
+  std::ostringstream out;
+  write_campaign_json(out, result);
+  return out.str();
+}
+
+TEST(Runner, CampaignJsonIsByteIdenticalAcrossRuns) {
+  const CampaignSpec spec = small_spec();
+  EXPECT_EQ(run_to_json(spec, 2), run_to_json(spec, 2));
+}
+
+TEST(Runner, CampaignJsonIsByteIdenticalAcrossThreadCounts) {
+  const CampaignSpec spec = small_spec();
+  const std::string one = run_to_json(spec, 1);
+  EXPECT_EQ(one, run_to_json(spec, 3));
+}
+
+TEST(Runner, CellsLandInGridOrderAndSucceed) {
+  const CampaignResult result = run_campaign(small_spec());
+  ASSERT_EQ(result.cells.size(), 4u);
+  EXPECT_EQ(result.cells[0].id, "scheduler=hit/seed=1");
+  EXPECT_EQ(result.cells[3].id, "scheduler=fair/seed=2");
+  for (const CellResult& cell : result.cells) {
+    EXPECT_TRUE(cell.ok) << cell.id << ": " << cell.error;
+    EXPECT_NE(cell.metric("mean_jct_s"), nullptr) << cell.id;
+    EXPECT_NE(cell.metric("jobs_completed"), nullptr) << cell.id;
+  }
+  EXPECT_EQ(result.cell("scheduler=fair/seed=1"), &result.cells[2]);
+  EXPECT_EQ(result.cell("nope"), nullptr);
+}
+
+TEST(Runner, RunRecordMatchesCampaignCellExactly) {
+  // The campaign executes every cell through its record, so a record built
+  // from the same cell must reproduce the campaign's numbers bit-for-bit.
+  const CampaignSpec spec = small_spec();
+  const CampaignResult result = run_campaign(spec);
+  const std::vector<Cell> cells = expand(spec);
+  const CellRecord record = make_record(spec.name, cells[1]);
+  EXPECT_EQ(run_record(record), result.cells[1].metrics);
+}
+
+TEST(Runner, RecordRoundTripsThroughSaveAndLoad) {
+  const std::vector<Cell> cells = expand(small_spec());
+  const CellRecord record = make_record("unit", cells[0]);
+  std::stringstream buffer;
+  save_record(buffer, record);
+  const CellRecord reloaded = load_record(buffer);
+  EXPECT_EQ(reloaded.campaign, record.campaign);
+  EXPECT_EQ(reloaded.cell, record.cell);
+  EXPECT_EQ(reloaded.config.items(), record.config.items());
+  ASSERT_EQ(reloaded.workload.size(), record.workload.size());
+  // The reloaded record replays to the same metrics.
+  EXPECT_EQ(run_record(reloaded), run_record(record));
+}
+
+TEST(Runner, FaultPlanIsDeterministicAndConfigDriven) {
+  CellConfig config;
+  config.set("faults", "500");
+  config.set("fault_horizon", "2000");
+  const topo::Topology topology = build_topology("tree");
+  const auto a = generate_fault_events(config, topology);
+  const auto b = generate_fault_events(config, topology);
+  EXPECT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+  }
+  config.set("faults", "0");
+  EXPECT_TRUE(generate_fault_events(config, topology).empty());
+}
+
+TEST(Runner, BadConfigIsCapturedPerCellNotThrown) {
+  std::istringstream in(
+      "name = broken\n"
+      "jobs = 2\n"
+      "matrix scheduler = hit, no-such-scheduler\n");
+  const CampaignResult result = run_campaign(parse_spec(in));
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_TRUE(result.cells[0].ok);
+  EXPECT_FALSE(result.cells[1].ok);
+  EXPECT_FALSE(result.cells[1].error.empty());
+}
+
+TEST(Runner, UnknownTopologyThrows) {
+  EXPECT_THROW((void)build_topology("moebius"), std::invalid_argument);
+}
+
+TEST(Json, CampaignResultRoundTripsThroughJson) {
+  const CampaignResult result = run_campaign(small_spec());
+  std::ostringstream out;
+  write_campaign_json(out, result);
+  const CampaignResult reloaded = campaign_from_json(parse_json(out.str()));
+  EXPECT_EQ(reloaded.name, result.name);
+  EXPECT_EQ(reloaded.axis_names, result.axis_names);
+  ASSERT_EQ(reloaded.cells.size(), result.cells.size());
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    EXPECT_EQ(reloaded.cells[i].id, result.cells[i].id);
+    EXPECT_EQ(reloaded.cells[i].axes, result.cells[i].axes);
+    EXPECT_EQ(reloaded.cells[i].ok, result.cells[i].ok);
+    EXPECT_EQ(reloaded.cells[i].metrics, result.cells[i].metrics);
+  }
+  // And the reloaded result serializes back to the same bytes.
+  std::ostringstream again;
+  write_campaign_json(again, reloaded);
+  EXPECT_EQ(again.str(), out.str());
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW((void)parse_json("{\"a\": }"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("[1, 2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{} trailing"), std::invalid_argument);
+  const JsonValue v = parse_json("{\"a\": [1, true, \"x\\n\"]}");
+  ASSERT_NE(v.find("a"), nullptr);
+  ASSERT_EQ(v.find("a")->array.size(), 3u);
+  EXPECT_EQ(v.find("a")->array[2].string, "x\n");
+}
+
+}  // namespace
+}  // namespace hit::campaign

@@ -1,0 +1,135 @@
+#include "campaign/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hit::campaign {
+namespace {
+
+CampaignSpec parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_spec(in);
+}
+
+TEST(Spec, ParsesBaseAxesTolerancesAndSlos) {
+  const CampaignSpec spec = parse(
+      "# comment\n"
+      "name = demo\n"
+      "mode = online\n"
+      "jobs = 7\n"
+      "bandwidth_scale = 0.1\n"
+      "tenant_mix = 3:1\n"
+      "matrix scheduler = hit, fair\n"
+      "matrix seed = 1, 2, 3\n"
+      "tolerance default = 0.1\n"
+      "tolerance mean_jct_s = 0.02\n"
+      "compare = mean_jct_s, makespan_s\n"
+      "slo shed_rate <= 0.5\n"
+      "slo jain_index >= 0.25\n");
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.base.mode, "online");
+  EXPECT_EQ(spec.base.jobs, 7u);
+  EXPECT_DOUBLE_EQ(spec.base.bandwidth_scale, 0.1);
+  EXPECT_EQ(spec.base.tenant_mix, "3:1");
+
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_EQ(spec.axes[0].first, "scheduler");
+  EXPECT_EQ(spec.axes[0].second,
+            (std::vector<std::string>{"hit", "fair"}));
+  EXPECT_EQ(spec.axes[1].first, "seed");
+
+  EXPECT_DOUBLE_EQ(spec.default_tolerance, 0.1);
+  ASSERT_EQ(spec.tolerances.size(), 1u);
+  EXPECT_EQ(spec.tolerances[0].first, "mean_jct_s");
+  EXPECT_DOUBLE_EQ(spec.tolerances[0].second, 0.02);
+
+  EXPECT_EQ(spec.compare_metrics,
+            (std::vector<std::string>{"mean_jct_s", "makespan_s"}));
+
+  ASSERT_EQ(spec.slos.size(), 2u);
+  EXPECT_EQ(spec.slos[0].metric, "shed_rate");
+  EXPECT_TRUE(spec.slos[0].leq);
+  EXPECT_DOUBLE_EQ(spec.slos[0].bound, 0.5);
+  EXPECT_EQ(spec.slos[1].metric, "jain_index");
+  EXPECT_FALSE(spec.slos[1].leq);
+}
+
+TEST(Spec, MissingNameThrows) {
+  EXPECT_THROW((void)parse("jobs = 3\n"), std::invalid_argument);
+}
+
+TEST(Spec, UnknownKeyThrowsWithLineNumber) {
+  try {
+    (void)parse("name = x\nno_such_knob = 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Spec, BadAxisValueRejectedAtParseTime) {
+  // Matrix values are probed through CellConfig::set while parsing, so a
+  // non-numeric seed fails before any simulation starts.
+  EXPECT_THROW((void)parse("name = x\nmatrix seed = 1, banana\n"),
+               std::invalid_argument);
+}
+
+TEST(Spec, DuplicateAxisThrows) {
+  EXPECT_THROW(
+      (void)parse("name = x\nmatrix seed = 1\nmatrix seed = 2\n"),
+      std::invalid_argument);
+}
+
+TEST(Spec, ExpandIsLastAxisFastestOdometerOrder) {
+  const CampaignSpec spec = parse(
+      "name = grid\n"
+      "matrix scheduler = hit, fair\n"
+      "matrix seed = 1, 2, 3\n");
+  const std::vector<Cell> cells = expand(spec);
+  ASSERT_EQ(cells.size(), 6u);
+  EXPECT_EQ(cells[0].id, "scheduler=hit/seed=1");
+  EXPECT_EQ(cells[1].id, "scheduler=hit/seed=2");
+  EXPECT_EQ(cells[2].id, "scheduler=hit/seed=3");
+  EXPECT_EQ(cells[3].id, "scheduler=fair/seed=1");
+  EXPECT_EQ(cells[5].id, "scheduler=fair/seed=3");
+  EXPECT_EQ(cells[3].config.scheduler, "fair");
+  EXPECT_EQ(cells[5].config.seed, 3u);
+  // Axis labels ride along for the result JSON.
+  ASSERT_EQ(cells[4].axes.size(), 2u);
+  EXPECT_EQ(cells[4].axes[0],
+            (std::pair<std::string, std::string>{"scheduler", "fair"}));
+  EXPECT_EQ(cells[4].axes[1],
+            (std::pair<std::string, std::string>{"seed", "2"}));
+}
+
+TEST(Spec, NoAxesYieldsSingleBaseCell) {
+  const CampaignSpec spec = parse("name = solo\njobs = 2\n");
+  const std::vector<Cell> cells = expand(spec);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].id, "base");
+  EXPECT_EQ(cells[0].config.jobs, 2u);
+}
+
+TEST(CellConfig, SetRejectsUnknownKeyAndBadValues) {
+  CellConfig config;
+  EXPECT_THROW(config.set("nope", "1"), std::invalid_argument);
+  EXPECT_THROW(config.set("jobs", "many"), std::invalid_argument);
+  EXPECT_THROW(config.set("bandwidth_scale", "fast"), std::invalid_argument);
+  config.set("scheduler", "fair");
+  EXPECT_EQ(config.scheduler, "fair");
+}
+
+TEST(CellConfig, ItemsRoundTripThroughSet) {
+  CellConfig config;
+  config.set("mode", "online");
+  config.set("seed", "9");
+  config.set("gray_factor", "0.1:0.9");
+  CellConfig rebuilt;
+  for (const auto& [key, value] : config.items()) rebuilt.set(key, value);
+  EXPECT_EQ(rebuilt.items(), config.items());
+}
+
+}  // namespace
+}  // namespace hit::campaign

@@ -1,0 +1,88 @@
+#include "campaign/whatif.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/runner.h"
+#include "campaign/spec.h"
+
+namespace hit::campaign {
+namespace {
+
+CellRecord recorded_cell(const std::string& extra = "") {
+  std::istringstream in(
+      "name = whatif\n"
+      "mode = batch\n"
+      "jobs = 3\n"
+      "bandwidth_scale = 0.05\n" +
+      extra);
+  const std::vector<Cell> cells = expand(parse_spec(in));
+  return make_record("whatif", cells[0]);
+}
+
+TEST(WhatIf, BaselineReplayEqualsOriginalRun) {
+  const CellRecord record = recorded_cell();
+  const WhatIfReport report = run_whatif(record, {{"scheduler", "fair"}});
+  // The baseline side replays the record exactly — same metrics the runner
+  // would report for this cell.
+  EXPECT_EQ(report.baseline_metrics, run_record(record));
+  EXPECT_EQ(report.variant.config.scheduler, "fair");
+  EXPECT_FALSE(report.faults_regenerated);
+  EXPECT_FALSE(report.variant_metrics.empty());
+}
+
+TEST(WhatIf, ReplayIsDeterministic) {
+  const CellRecord record = recorded_cell();
+  const WhatIfReport a = run_whatif(record, {{"scheduler", "fair"}});
+  const WhatIfReport b = run_whatif(record, {{"scheduler", "fair"}});
+  EXPECT_EQ(a.baseline_metrics, b.baseline_metrics);
+  EXPECT_EQ(a.variant_metrics, b.variant_metrics);
+}
+
+TEST(WhatIf, NonFaultOverrideKeepsRecordedFaultEvents) {
+  const CellRecord record =
+      recorded_cell("faults = 400\nfault_horizon = 2000\n");
+  ASSERT_FALSE(record.faults.empty());
+  const WhatIfReport report = run_whatif(record, {{"bandwidth_scale", "0.1"}});
+  EXPECT_FALSE(report.faults_regenerated);
+  ASSERT_EQ(report.variant.faults.size(), record.faults.size());
+  EXPECT_EQ(report.variant.faults[0].time, record.faults[0].time);
+}
+
+TEST(WhatIf, FaultKnobOverrideRegeneratesThePlan) {
+  const CellRecord record =
+      recorded_cell("faults = 400\nfault_horizon = 2000\n");
+  const WhatIfReport report = run_whatif(record, {{"faults", "800"}});
+  EXPECT_TRUE(report.faults_regenerated);
+  EXPECT_DOUBLE_EQ(report.variant.config.faults, 800.0);
+  // A doubled MTBF draws a different (sparser) plan.
+  EXPECT_NE(report.variant.faults.size(), record.faults.size());
+}
+
+TEST(WhatIf, EmptyOverridesAndRefusedKeysThrow) {
+  const CellRecord record = recorded_cell();
+  EXPECT_THROW((void)run_whatif(record, {}), std::invalid_argument);
+  EXPECT_THROW((void)run_whatif(record, {{"topology", "vl2"}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_whatif(record, {{"jobs", "5"}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_whatif(record, {{"warp_drive", "on"}}),
+               std::invalid_argument);
+}
+
+TEST(WhatIf, RenderListsOverridesAndPairedMetrics) {
+  const CellRecord record = recorded_cell();
+  const WhatIfReport report = run_whatif(record, {{"scheduler", "fair"}});
+  const std::string text = render_whatif(report);
+  EXPECT_NE(text.find("scheduler"), std::string::npos);
+  EXPECT_NE(text.find("mean_jct_s"), std::string::npos);
+  // obs.* diagnostics stay out of the table unless verbose.
+  EXPECT_EQ(text.find("obs."), std::string::npos);
+  const std::string verbose = render_whatif(report, /*verbose=*/true);
+  EXPECT_NE(verbose.find("obs."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hit::campaign

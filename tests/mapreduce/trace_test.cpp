@@ -96,6 +96,65 @@ TEST(Trace, RoundTripThroughSaveAndLoad) {
   }
 }
 
+TEST(Trace, LegacyUnlabelledTracesSaveByteIdentically) {
+  // A trace with no priority/tenant labels must round-trip to the exact
+  // two-or-three-column format older tools wrote — the optional columns only
+  // appear when some entry actually uses them.
+  TraceEntry a{"terasort", 30.5, 0.0, Priority::Normal, 0};
+  TraceEntry b{"grep", 16.0, 12.25, Priority::Normal, 0};
+  std::ostringstream out;
+  save_trace(out, {a, b});
+  EXPECT_EQ(out.str(),
+            "benchmark,input_gb,arrival_s\n"
+            "terasort,30.5,0\n"
+            "grep,16,12.25\n");
+}
+
+TEST(Trace, PriorityAndTenantColumnsRoundTrip) {
+  TraceEntry a{"terasort", 30.5, 0.0, Priority::High, 2};
+  TraceEntry b{"grep", 16.0, 12.25, Priority::Normal, 0};
+  TraceEntry c{"wordcount", 8.0, 20.0, Priority::Low, 1};
+  std::stringstream buffer;
+  save_trace(buffer, {a, b, c});
+  EXPECT_NE(buffer.str().find("priority,tenant"), std::string::npos);
+  const auto reloaded = load_trace(buffer);
+  ASSERT_EQ(reloaded.size(), 3u);
+  EXPECT_EQ(reloaded[0].priority, Priority::High);
+  EXPECT_EQ(reloaded[0].tenant, 2u);
+  EXPECT_EQ(reloaded[1].priority, Priority::Normal);
+  EXPECT_EQ(reloaded[1].tenant, 0u);
+  EXPECT_EQ(reloaded[2].priority, Priority::Low);
+  EXPECT_EQ(reloaded[2].tenant, 1u);
+}
+
+TEST(Trace, BadPriorityNameThrows) {
+  std::istringstream in(
+      "benchmark,input_gb,arrival_s,priority,tenant\n"
+      "grep,16,0,urgent,0\n");
+  EXPECT_THROW((void)load_trace(in), std::invalid_argument);
+}
+
+TEST(Trace, JobsFromTraceCarriesLabels) {
+  std::istringstream in(
+      "benchmark,input_gb,arrival_s,priority,tenant\n"
+      "terasort,30,0,high,3\n"
+      "grep,16,5,low,1\n");
+  const auto entries = load_trace(in);
+  WorkloadConfig config;
+  const WorkloadGenerator gen(config);
+  IdAllocator ids;
+  const auto jobs = jobs_from_trace(entries, gen, ids);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].priority, Priority::High);
+  EXPECT_EQ(jobs[0].tenant, 3u);
+  EXPECT_EQ(jobs[1].priority, Priority::Low);
+  EXPECT_EQ(jobs[1].tenant, 1u);
+  // And back out: trace_from_jobs keeps the labels.
+  const auto back = trace_from_jobs(jobs);
+  EXPECT_EQ(back[0].priority, Priority::High);
+  EXPECT_EQ(back[1].tenant, 1u);
+}
+
 TEST(Trace, TraceFromJobsWithArrivals) {
   WorkloadConfig config;
   config.num_jobs = 2;

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <sstream>
+
+#include "stats/export.h"
 
 namespace hit::obs {
 namespace {
@@ -132,6 +135,81 @@ TEST(Registry, WriteCsvHasHeaderAndRows) {
   EXPECT_EQ(text.find("name,kind,value,count,sum,min,max"), 0u);
   EXPECT_NE(text.find("a,counter,1"), std::string::npos);
   EXPECT_NE(text.find("b,gauge,3"), std::string::npos);
+}
+
+TEST(Registry, CsvRoundTripsTaggedNamesThroughParseCsvRow) {
+  // Tagged metric keys contain commas ("flows{tenant=0,class=high}"); the
+  // CSV export must quote them so a reader splits the row back into exactly
+  // seven fields with the name intact.
+  Registry r;
+  const std::string tagged =
+      Registry::tagged("flows", {{"tenant", "0"}, {"class", "high"}});
+  ASSERT_EQ(tagged, "flows{tenant=0,class=high}");
+  r.counter(tagged).add(7);
+  std::ostringstream out;
+  r.write_csv(out);
+
+  std::istringstream lines(out.str());
+  std::string header, row;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row));
+  const std::vector<std::string> fields = stats::parse_csv_row(row);
+  ASSERT_EQ(fields.size(), 7u);
+  EXPECT_EQ(fields[0], tagged);
+  EXPECT_EQ(fields[1], "counter");
+  EXPECT_EQ(fields[2], "7");
+}
+
+TEST(Histogram, QuantileInterpolatesAndClampsToObservedRange) {
+  Histogram h({1.0, 10.0, 100.0});
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));  // empty
+  for (double v : {2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0}) h.observe(v);
+  // All mass in (1, 10]; the estimate stays inside the observed [2, 9].
+  EXPECT_GE(h.quantile(0.0), 2.0);
+  EXPECT_LE(h.quantile(1.0), 9.0);
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LT(p50, 10.0);
+  EXPECT_LE(h.quantile(0.25), h.quantile(0.75));
+  // Deterministic: two identical histograms agree exactly.
+  Histogram h2({1.0, 10.0, 100.0});
+  for (double v : {2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0}) h2.observe(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), h2.quantile(0.95));
+}
+
+TEST(Registry, SnapshotCarriesHistogramQuantiles) {
+  Registry r;
+  auto& h = r.histogram("lat", std::array<double, 2>{1.0, 10.0});
+  h.observe(2.0);
+  h.observe(4.0);
+  h.observe(8.0);
+  const std::vector<MetricSample> snap = r.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].kind, "histogram");
+  EXPECT_DOUBLE_EQ(snap[0].p50, h.quantile(0.5));
+  EXPECT_DOUBLE_EQ(snap[0].p95, h.quantile(0.95));
+}
+
+TEST(DiffSnapshots, MergeJoinsByNameWithAbsentSidesZeroed) {
+  Registry before, after;
+  before.counter("shared").add(3);
+  before.gauge("gone").set(1.0);
+  after.counter("shared").add(10);
+  after.counter("new").add(2);
+  const std::vector<SampleDelta> deltas =
+      diff_snapshots(before.snapshot(), after.snapshot());
+  ASSERT_EQ(deltas.size(), 3u);  // name-sorted: gone, new, shared
+  EXPECT_EQ(deltas[0].name, "gone");
+  EXPECT_TRUE(deltas[0].in_before);
+  EXPECT_FALSE(deltas[0].in_after);
+  EXPECT_DOUBLE_EQ(deltas[0].delta(), -1.0);
+  EXPECT_EQ(deltas[1].name, "new");
+  EXPECT_FALSE(deltas[1].in_before);
+  EXPECT_DOUBLE_EQ(deltas[1].delta(), 2.0);
+  EXPECT_EQ(deltas[2].name, "shared");
+  EXPECT_DOUBLE_EQ(deltas[2].before, 3.0);
+  EXPECT_DOUBLE_EQ(deltas[2].after, 10.0);
+  EXPECT_DOUBLE_EQ(deltas[2].delta(), 7.0);
 }
 
 }  // namespace

@@ -4,6 +4,9 @@
 
 #include <limits>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace hit::stats {
 namespace {
@@ -69,6 +72,36 @@ TEST(JsonLinesWriter, NonFiniteDoublesNull) {
   JsonLinesWriter json(out);
   json.record({{"v", std::numeric_limits<double>::quiet_NaN()}});
   EXPECT_EQ(out.str(), "{\"v\":null}\n");
+}
+
+TEST(ParseCsvRow, SplitsPlainAndQuotedFields) {
+  EXPECT_EQ(parse_csv_row("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(parse_csv_row("\"x,y\",2"),
+            (std::vector<std::string>{"x,y", "2"}));
+  EXPECT_EQ(parse_csv_row("\"he said \"\"hi\"\"\",ok"),
+            (std::vector<std::string>{"he said \"hi\"", "ok"}));
+  EXPECT_EQ(parse_csv_row(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(parse_csv_row("a,,b"),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(parse_csv_row("a,"), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(ParseCsvRow, RoundTripsCsvWriterEscaping) {
+  for (const std::string& field :
+       {std::string("plain"), std::string("with,comma"),
+        std::string("with \"quotes\""), std::string("both,\"of\",them"),
+        std::string("")}) {
+    const auto fields = parse_csv_row(CsvWriter::escape(field) + "," +
+                                      CsvWriter::escape(field));
+    ASSERT_EQ(fields.size(), 2u) << field;
+    EXPECT_EQ(fields[0], field);
+    EXPECT_EQ(fields[1], field);
+  }
+}
+
+TEST(ParseCsvRow, UnterminatedQuoteThrows) {
+  EXPECT_THROW((void)parse_csv_row("\"open,1"), std::invalid_argument);
 }
 
 TEST(JsonLinesWriter, InfinitiesAreNullNotBareTokens) {

@@ -1,0 +1,224 @@
+// hitcamp — campaign runner, regression ledger, and what-if replay.
+//
+//   hitcamp run SPEC [--out-dir DIR] [--threads N] [--record-dir DIR]
+//                    [--dry-run] [--quiet]
+//       Expand the spec's matrix into cells, run them in parallel, and write
+//       BENCH_campaign_<name>.json (deterministic: byte-identical across
+//       runs and thread counts).
+//
+//   hitcamp compare FRESH.json BASELINE.json [--spec SPEC] [--verbose]
+//       Diff two campaign result files under the spec's tolerance / SLO
+//       contract (defaults: 5% relative tolerance, no SLOs).  Exit 1 on any
+//       violation — the CI regression gate.
+//
+//   hitcamp whatif RECORD.cell --set key=value [--set ...] [--verbose]
+//       Replay a recorded cell byte-identically, re-run it under the
+//       overridden config, and print the paired metric diff.
+//
+//   hitcamp expand SPEC
+//       List the cell ids a spec expands to (no simulation).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/json.h"
+#include "campaign/ledger.h"
+#include "campaign/record.h"
+#include "campaign/runner.h"
+#include "campaign/spec.h"
+#include "campaign/whatif.h"
+
+namespace {
+
+using namespace hit;
+
+void print_usage() {
+  std::cout <<
+      "hitcamp — experiment campaigns over the HitSched simulators\n"
+      "\n"
+      "usage:\n"
+      "  hitcamp run SPEC [options]         run a campaign\n"
+      "    --out-dir DIR     where BENCH_campaign_<name>.json goes (default .)\n"
+      "    --record-dir DIR  write one replayable .cell record per cell\n"
+      "    --threads N       worker threads (default: hardware)\n"
+      "    --dry-run         list cells without simulating\n"
+      "    --quiet           no per-cell progress lines\n"
+      "  hitcamp compare FRESH BASELINE [options]   regression ledger\n"
+      "    --spec SPEC       tolerance / SLO / compare contract (default: 5%)\n"
+      "    --verbose         print every comparison row, not just failures\n"
+      "  hitcamp whatif RECORD --set key=value [--set ...]   counterfactual\n"
+      "    --verbose         include obs.* metrics in the diff\n"
+      "  hitcamp expand SPEC              list the cells a spec expands to\n"
+      "  hitcamp --help\n";
+}
+
+campaign::CampaignSpec load_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open spec '" + path + "'");
+  return campaign::parse_spec(in);
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  std::string spec_path, out_dir = ".", record_dir;
+  std::size_t threads = 0;
+  bool dry_run = false, quiet = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::runtime_error("missing value for " + arg);
+      }
+      return args[++i];
+    };
+    if (arg == "--out-dir") out_dir = value();
+    else if (arg == "--record-dir") record_dir = value();
+    else if (arg == "--threads") threads = std::stoul(value());
+    else if (arg == "--dry-run") dry_run = true;
+    else if (arg == "--quiet") quiet = true;
+    else if (!arg.empty() && arg[0] == '-') {
+      throw std::runtime_error("unknown option '" + arg + "'");
+    } else if (spec_path.empty()) spec_path = arg;
+    else throw std::runtime_error("unexpected argument '" + arg + "'");
+  }
+  if (spec_path.empty()) throw std::runtime_error("run wants a SPEC file");
+
+  const campaign::CampaignSpec spec = load_spec(spec_path);
+  const std::vector<campaign::Cell> cells = campaign::expand(spec);
+  if (dry_run) {
+    std::cout << "campaign '" << spec.name << "': " << cells.size()
+              << " cells\n";
+    for (const campaign::Cell& cell : cells) std::cout << cell.id << "\n";
+    return 0;
+  }
+
+  campaign::RunOptions options;
+  options.threads = threads;
+  options.record_dir = record_dir;
+  std::size_t done = 0;
+  if (!quiet) {
+    options.on_cell = [&](const campaign::CellResult& cell) {
+      ++done;
+      std::cerr << "hitcamp: [" << done << "/" << cells.size() << "] "
+                << cell.id << (cell.ok ? "" : " FAILED: " + cell.error)
+                << "\n";
+    };
+  }
+  const campaign::CampaignResult result = campaign::run_campaign(spec, options);
+
+  std::filesystem::create_directories(out_dir);
+  const std::filesystem::path out_path =
+      std::filesystem::path(out_dir) / ("BENCH_campaign_" + spec.name + ".json");
+  std::ofstream out(out_path);
+  if (!out) {
+    throw std::runtime_error("cannot write '" + out_path.string() + "'");
+  }
+  campaign::write_campaign_json(out, result);
+
+  std::size_t failed = 0;
+  for (const campaign::CellResult& cell : result.cells) {
+    if (!cell.ok) ++failed;
+  }
+  std::cout << "hitcamp: campaign '" << spec.name << "' — "
+            << result.cells.size() << " cells (" << failed << " failed) -> "
+            << out_path.string() << "\n";
+  return failed == 0 ? 0 : 1;
+}
+
+int cmd_compare(const std::vector<std::string>& args) {
+  std::string fresh_path, baseline_path, spec_path;
+  bool verbose = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--spec") {
+      if (i + 1 >= args.size()) throw std::runtime_error("missing value for --spec");
+      spec_path = args[++i];
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw std::runtime_error("unknown option '" + arg + "'");
+    } else if (fresh_path.empty()) fresh_path = arg;
+    else if (baseline_path.empty()) baseline_path = arg;
+    else throw std::runtime_error("unexpected argument '" + arg + "'");
+  }
+  if (fresh_path.empty() || baseline_path.empty()) {
+    throw std::runtime_error("compare wants FRESH and BASELINE json files");
+  }
+  const campaign::CampaignResult fresh =
+      campaign::load_campaign_json(fresh_path);
+  const campaign::CampaignResult baseline =
+      campaign::load_campaign_json(baseline_path);
+  campaign::CompareOptions options;
+  if (!spec_path.empty()) {
+    options = campaign::CompareOptions::from_spec(load_spec(spec_path));
+  }
+  const campaign::CompareReport report =
+      campaign::compare_campaigns(fresh, baseline, options);
+  std::cout << campaign::render_report(report, verbose);
+  return report.pass() ? 0 : 1;
+}
+
+int cmd_whatif(const std::vector<std::string>& args) {
+  std::string record_path;
+  std::vector<std::pair<std::string, std::string>> overrides;
+  bool verbose = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--set") {
+      if (i + 1 >= args.size()) throw std::runtime_error("missing value for --set");
+      const std::string& kv = args[++i];
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) {
+        throw std::runtime_error("--set wants key=value, got '" + kv + "'");
+      }
+      overrides.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw std::runtime_error("unknown option '" + arg + "'");
+    } else if (record_path.empty()) record_path = arg;
+    else throw std::runtime_error("unexpected argument '" + arg + "'");
+  }
+  if (record_path.empty()) throw std::runtime_error("whatif wants a RECORD file");
+  std::ifstream in(record_path);
+  if (!in) throw std::runtime_error("cannot open record '" + record_path + "'");
+  const campaign::CellRecord record = campaign::load_record(in);
+  const campaign::WhatIfReport report = campaign::run_whatif(record, overrides);
+  std::cout << campaign::render_whatif(report, verbose);
+  return 0;
+}
+
+int cmd_expand(const std::vector<std::string>& args) {
+  if (args.size() != 1) throw std::runtime_error("expand wants a SPEC file");
+  const campaign::CampaignSpec spec = load_spec(args[0]);
+  for (const campaign::Cell& cell : campaign::expand(spec)) {
+    std::cout << cell.id << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::string(argv[1]) == "--help" ||
+      std::string(argv[1]) == "-h") {
+    print_usage();
+    return argc < 2 ? 2 : 0;
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "run") return cmd_run(args);
+    if (command == "compare") return cmd_compare(args);
+    if (command == "whatif") return cmd_whatif(args);
+    if (command == "expand") return cmd_expand(args);
+    std::cerr << "hitcamp: unknown command '" << command << "' (see --help)\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "hitcamp: " << e.what() << "\n";
+    return 1;
+  }
+}
