@@ -118,6 +118,8 @@ sim::SimConfig sim_config(const CellConfig& c, const coflow::CoflowConfig& cf,
   sconfig.faults = sim::FaultPlan::scripted(std::move(faults));
   sconfig.gray.monitor = c.monitor != 0 || c.quarantine != 0;
   sconfig.gray.quarantine = c.quarantine != 0;
+  sconfig.recovery.snapshot_every = c.snapshot_every;
+  sconfig.recovery.standby = c.standby != 0;
   return sconfig;
 }
 
@@ -143,6 +145,26 @@ void put_gray(Metrics& m, const sim::GrayStats& g) {
   put_count(m, "gray_degradations", g.degradations);
   put_count(m, "gray_detections", g.detections);
   put_count(m, "gray_false_positives", g.false_positives);
+}
+
+// Emitted only when the control plane saw action, so fault-free cells keep
+// their metric set (and committed baselines) unchanged.
+void put_control_plane(Metrics& m, const sim::ControlPlaneStats& c) {
+  if (!c.any()) return;
+  put_count(m, "ctrl_crashes", c.crashes);
+  put_count(m, "ctrl_restarts", c.restarts);
+  put(m, "ctrl_blackout_s", c.blackout_seconds);
+  put_count(m, "ctrl_launches_delayed", c.waves_delayed);
+  put_count(m, "ctrl_failstatic_flows", c.flows_failstatic);
+  put_count(m, "ctrl_blackout_stalls", c.flows_stalled_blackout);
+  put_count(m, "ctrl_reconcile_violations", c.reconcile_violations);
+  put_count(m, "ctrl_reconcile_repairs", c.reconcile_repairs);
+  // Divergences the restart failed to repair — the `slo ctrl_unreconciled
+  // <= 0` gate in the recovery/faults campaigns rides on this.
+  put_count(m, "ctrl_unreconciled", c.reconcile_violations - c.reconcile_repairs);
+  put_count(m, "ctrl_journal_records", c.journal_records);
+  put_count(m, "ctrl_journal_replayed", c.replayed_records);
+  put_count(m, "ctrl_snapshots", c.snapshots);
 }
 
 // Registry snapshot -> `obs.`-prefixed metrics (histograms expand to
@@ -177,6 +199,7 @@ Metrics batch_metrics(const sim::SimResult& result, const obs::Registry& reg) {
   put_count(m, "speculative_copies", result.speculative_copies);
   put_recovery(m, result.recovery);
   put_gray(m, result.gray);
+  put_control_plane(m, result.control);
   put_registry(m, reg);
   return m;
 }
@@ -208,6 +231,7 @@ Metrics online_metrics(const sim::OnlineResult& result,
   put(m, "aimd_final_limit", result.aimd.final_limit);
   put_recovery(m, result.recovery);
   put_gray(m, result.gray);
+  put_control_plane(m, result.control);
   put_registry(m, reg);
   return m;
 }
@@ -239,23 +263,33 @@ topo::Topology build_topology(const std::string& name) {
 
 std::vector<sim::FaultEvent> generate_fault_events(
     const CellConfig& config, const topo::Topology& topology) {
-  if (config.faults <= 0.0 && config.gray_mtbf <= 0.0) return {};
-  sim::MtbfConfig mconfig;
-  mconfig.horizon = config.fault_horizon;
-  mconfig.switch_mtbf = config.faults;
-  mconfig.switch_mttr = config.fault_mttr;
-  mconfig.server_mtbf = config.faults;
-  mconfig.server_mttr = config.fault_mttr;
-  mconfig.link_mtbf = config.faults;
-  mconfig.link_mttr = config.fault_mttr;
-  mconfig.gray_switch_mtbf = config.gray_mtbf;
-  mconfig.gray_switch_mttr = config.gray_mttr;
-  mconfig.gray_link_mtbf = config.gray_mtbf;
-  mconfig.gray_link_mttr = config.gray_mttr;
-  const auto [gmin, gmax] = parse_pair(config.gray_factor, "gray_factor");
-  mconfig.gray_factor_min = gmin;
-  mconfig.gray_factor_max = gmax;
-  return sim::FaultPlan::generate(topology, mconfig, config.seed).events();
+  if (config.faults <= 0.0 && config.gray_mtbf <= 0.0 &&
+      config.controller_crash <= 0.0) {
+    return {};
+  }
+  sim::FaultPlan plan;
+  if (config.faults > 0.0 || config.gray_mtbf > 0.0) {
+    sim::MtbfConfig mconfig;
+    mconfig.horizon = config.fault_horizon;
+    mconfig.switch_mtbf = config.faults;
+    mconfig.switch_mttr = config.fault_mttr;
+    mconfig.server_mtbf = config.faults;
+    mconfig.server_mttr = config.fault_mttr;
+    mconfig.link_mtbf = config.faults;
+    mconfig.link_mttr = config.fault_mttr;
+    mconfig.gray_switch_mtbf = config.gray_mtbf;
+    mconfig.gray_switch_mttr = config.gray_mttr;
+    mconfig.gray_link_mtbf = config.gray_mtbf;
+    mconfig.gray_link_mttr = config.gray_mttr;
+    const auto [gmin, gmax] = parse_pair(config.gray_factor, "gray_factor");
+    mconfig.gray_factor_min = gmin;
+    mconfig.gray_factor_max = gmax;
+    plan = sim::FaultPlan::generate(topology, mconfig, config.seed);
+  }
+  if (config.controller_crash > 0.0) {
+    plan.crash_controller(config.controller_crash, config.blackout);
+  }
+  return plan.events();
 }
 
 CellRecord make_record(const std::string& campaign_name, const Cell& cell) {

@@ -114,6 +114,10 @@ void CellConfig::set(const std::string& key, const std::string& value) {
   else if (key == "gray_factor") gray_factor = value;
   else if (key == "monitor") monitor = parse_u64(value, "monitor");
   else if (key == "quarantine") quarantine = parse_u64(value, "quarantine");
+  else if (key == "controller_crash") controller_crash = parse_d(value, key.c_str());
+  else if (key == "blackout") blackout = parse_d(value, key.c_str());
+  else if (key == "snapshot_every") snapshot_every = parse_d(value, key.c_str());
+  else if (key == "standby") standby = parse_u64(value, "standby");
   else {
     throw std::invalid_argument("CellConfig: unknown key '" + key + "'");
   }
@@ -147,6 +151,10 @@ std::vector<std::pair<std::string, std::string>> CellConfig::items() const {
       {"gray_factor", gray_factor},
       {"monitor", std::to_string(monitor)},
       {"quarantine", std::to_string(quarantine)},
+      {"controller_crash", format_d(controller_crash)},
+      {"blackout", format_d(blackout)},
+      {"snapshot_every", format_d(snapshot_every)},
+      {"standby", std::to_string(standby)},
   };
 }
 

@@ -65,6 +65,10 @@ struct CellConfig {
   std::string gray_factor = "0.25:0.5";  ///< degraded-capacity range MIN:MAX
   std::uint64_t monitor = 0;       ///< health-monitor sampling (0/1)
   std::uint64_t quarantine = 0;    ///< quarantine/probe loop (0/1)
+  double controller_crash = 0.0;   ///< scripted controller crash time (0 = off)
+  double blackout = 0.0;           ///< blackout length after the crash (0 = permanent)
+  double snapshot_every = 0.0;     ///< journal snapshot cadence (0 = off)
+  std::uint64_t standby = 0;       ///< warm-standby takeover (0/1)
 
   /// Assign by key name (the spec / record / what-if override path).
   /// Throws std::invalid_argument on an unknown key or unparsable value.

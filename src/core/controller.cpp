@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/recovery/journal.h"
+#include "core/recovery/snapshot.h"
 #include "obs/context.h"
 #include "util/logging.h"
 
@@ -18,7 +20,37 @@ bool crosses(const net::Policy& policy, NodeId sw) {
          policy.list.end();
 }
 
+recovery::JournalRecord flow_record(recovery::RecordKind kind, FlowId flow) {
+  recovery::JournalRecord r;
+  r.kind = kind;
+  r.flow.id = flow;
+  return r;
+}
+
+recovery::JournalRecord node_record(recovery::RecordKind kind, NodeId node,
+                                    double value = 0.0) {
+  recovery::JournalRecord r;
+  r.kind = kind;
+  r.node = node;
+  r.value = value;
+  return r;
+}
+
 }  // namespace
+
+const char* audit_violation_kind_name(AuditViolationKind kind) {
+  switch (kind) {
+    case AuditViolationKind::UnsatisfiedPolicy: return "unsatisfied-policy";
+    case AuditViolationKind::DeadPolicy: return "dead-policy";
+    case AuditViolationKind::ParkedCharged: return "parked-charged";
+    case AuditViolationKind::LoadMismatch: return "load-mismatch";
+  }
+  return "unknown";
+}
+
+void NetworkController::journal_record(recovery::JournalRecord record) const {
+  if (journal_) journal_->append(std::move(record));
+}
 
 NetworkController::NetworkController(const topo::Topology& topology,
                                      ControllerConfig config)
@@ -60,6 +92,7 @@ std::size_t NetworkController::quarantine(NodeId sw) {
     throw NotASwitch("NetworkController::quarantine: not a switch");
   }
   if (!quarantined_.emplace(sw, 0).second) return 0;  // idempotent
+  journal_record(node_record(recovery::RecordKind::Quarantine, sw));
   sync_quarantine_penalties();
   const obs::Bind bind(observer_);
   obs::count("controller.quarantines");
@@ -91,6 +124,14 @@ std::size_t NetworkController::quarantine(NodeId sw) {
       if (changed) {
         entry->policy = std::move(result->route.policy);
         entry->charged_rate = result->admitted_rate;
+        if (journal_) {
+          recovery::JournalRecord rec;
+          rec.kind = recovery::RecordKind::Reroute;
+          rec.flow.id = entry->flow.id;
+          rec.policy = entry->policy;
+          rec.value = entry->charged_rate;
+          journal_record(std::move(rec));
+        }
         ++moved;
         obs::count("controller.quarantine_moves");
         obs::host_instant(
@@ -108,6 +149,7 @@ std::size_t NetworkController::quarantine(NodeId sw) {
 bool NetworkController::probe(NodeId sw, bool healthy) {
   const auto it = quarantined_.find(sw);
   if (it == quarantined_.end()) return false;
+  journal_record(node_record(recovery::RecordKind::Probe, sw, healthy ? 1.0 : 0.0));
   const obs::Bind bind(observer_);
   obs::count("controller.probes");
   obs::host_instant("switch.probe", "controller",
@@ -124,6 +166,7 @@ bool NetworkController::probe(NodeId sw, bool healthy) {
 
 void NetworkController::reinstate(NodeId sw) {
   if (quarantined_.erase(sw) == 0) return;  // idempotent
+  journal_record(node_record(recovery::RecordKind::Reinstate, sw));
   sync_quarantine_penalties();
   const obs::Bind bind(observer_);
   obs::count("controller.reinstatements");
@@ -160,6 +203,16 @@ void NetworkController::install(const net::Flow& flow, net::Policy policy,
                      {"hops", static_cast<std::int64_t>(policy.list.size())},
                      {"rate", flow.rate}});
   load_.assign(policy, flow.rate);
+  if (journal_) {
+    recovery::JournalRecord rec;
+    rec.kind = recovery::RecordKind::Install;
+    rec.flow = flow;
+    rec.policy = policy;
+    rec.src = src;
+    rec.dst = dst;
+    rec.value = flow.rate;
+    journal_record(std::move(rec));
+  }
   flows_.emplace(flow.id, Entry{flow, std::move(policy), src, dst, false, flow.rate});
 }
 
@@ -174,6 +227,7 @@ void NetworkController::remove(FlowId flow) {
                     {{"flow", static_cast<std::int64_t>(flow.value())},
                      {"parked", static_cast<std::int64_t>(it->second.parked)}});
   if (!it->second.parked) load_.remove(it->second.policy, it->second.charged_rate);
+  journal_record(flow_record(recovery::RecordKind::Evict, flow));
   flows_.erase(it);
 }
 
@@ -208,6 +262,7 @@ void NetworkController::drain(NodeId sw) {
   marker.type = {topology_->tier(sw)};
   load_.assign(marker, absorbed);
   draining_.emplace(sw, absorbed);
+  journal_record(node_record(recovery::RecordKind::Drain, sw, absorbed));
 }
 
 void NetworkController::undrain(NodeId sw) {
@@ -218,6 +273,7 @@ void NetworkController::undrain(NodeId sw) {
   marker.type = {topology_->tier(sw)};
   load_.remove(marker, it->second);
   draining_.erase(it);
+  journal_record(node_record(recovery::RecordKind::Undrain, sw));
 }
 
 std::vector<NodeId> NetworkController::banned_switches() const {
@@ -257,6 +313,7 @@ std::size_t NetworkController::fail(NodeId sw) {
     throw NotASwitch("NetworkController::fail: not a switch");
   }
   if (!failed_.insert(sw).second) return 0;  // idempotent
+  journal_record(node_record(recovery::RecordKind::Fail, sw));
   const obs::Bind bind(observer_);
   obs::count("controller.switch_failures");
   obs::host_instant("switch.fail", "controller",
@@ -284,6 +341,14 @@ std::size_t NetworkController::fail(NodeId sw) {
       entry->policy = std::move(result->route.policy);
       entry->charged_rate = result->admitted_rate;
       load_.assign(entry->policy, entry->charged_rate);
+      if (journal_) {
+        recovery::JournalRecord rec;
+        rec.kind = recovery::RecordKind::Reroute;
+        rec.flow.id = entry->flow.id;
+        rec.policy = entry->policy;
+        rec.value = entry->charged_rate;
+        journal_record(std::move(rec));
+      }
       ++rerouted;
       obs::count("controller.reroutes");
       obs::host_instant(
@@ -295,6 +360,7 @@ std::size_t NetworkController::fail(NodeId sw) {
     } else {
       entry->parked = true;
       entry->charged_rate = 0.0;
+      journal_record(flow_record(recovery::RecordKind::Park, entry->flow.id));
       obs::count("controller.parked");
       obs::host_instant(
           "flow.park", "controller",
@@ -312,6 +378,7 @@ std::size_t NetworkController::recover(NodeId sw) {
     throw NotASwitch("NetworkController::recover: not a switch");
   }
   if (failed_.erase(sw) == 0) return 0;  // idempotent
+  journal_record(node_record(recovery::RecordKind::Recover, sw));
   const obs::Bind bind(observer_);
   obs::count("controller.switch_recoveries");
   obs::host_instant("switch.recover", "controller",
@@ -335,6 +402,14 @@ std::size_t NetworkController::recover(NodeId sw) {
       entry->parked = false;
       entry->charged_rate = result->admitted_rate;
       load_.assign(entry->policy, entry->charged_rate);
+      if (journal_) {
+        recovery::JournalRecord rec;
+        rec.kind = recovery::RecordKind::Readmit;
+        rec.flow.id = entry->flow.id;
+        rec.policy = entry->policy;
+        rec.value = entry->charged_rate;
+        journal_record(std::move(rec));
+      }
       ++restored;
       obs::count("controller.readmissions");
       obs::host_instant(
@@ -422,6 +497,14 @@ std::size_t NetworkController::rebalance() {
               {{"flow", static_cast<std::int64_t>(entry->flow.id.value())},
                {"off", topology_->info(w).name}});
           entry->policy = std::move(route->policy);
+          if (journal_) {
+            recovery::JournalRecord rec;
+            rec.kind = recovery::RecordKind::Reroute;
+            rec.flow.id = entry->flow.id;
+            rec.policy = entry->policy;
+            rec.value = entry->charged_rate;
+            journal_record(std::move(rec));
+          }
           ++rerouted;
           improved = true;
         }
@@ -537,6 +620,7 @@ std::size_t NetworkController::shed_pressure() {
       load_.remove(entry.policy, entry.charged_rate);
       entry.parked = true;
       entry.charged_rate = 0.0;
+      journal_record(flow_record(recovery::RecordKind::Park, entry.flow.id));
       ++shed;
       obs::count("controller.pressure_sheds");
       obs::host_instant(
@@ -600,6 +684,14 @@ std::size_t NetworkController::readmit_parked() {
       entry->parked = false;
       entry->charged_rate = result->admitted_rate;
       load_.assign(entry->policy, entry->charged_rate);
+      if (journal_) {
+        recovery::JournalRecord rec;
+        rec.kind = recovery::RecordKind::Readmit;
+        rec.flow.id = entry->flow.id;
+        rec.policy = entry->policy;
+        rec.value = entry->charged_rate;
+        journal_record(std::move(rec));
+      }
       ++restored;
       obs::count("controller.readmissions");
       obs::host_instant(
@@ -622,20 +714,38 @@ double NetworkController::total_cost() const {
   return total;
 }
 
-void NetworkController::audit() const {
+std::vector<AuditViolation> NetworkController::audit_violations() const {
+  std::vector<AuditViolation> violations;
   net::LoadTracker expected(*topology_);
-  for (const auto& [id, entry] : flows_) {
-    if (entry.parked) continue;  // parked flows carry no load, no route
-    if (!entry.policy.satisfied(*topology_, entry.src, entry.dst)) {
-      throw std::logic_error("NetworkController::audit: unsatisfied policy");
+  // Deterministic violation order: flows by id, then switches by id.
+  std::vector<const Entry*> entries;
+  entries.reserve(flows_.size());
+  for (const auto& [id, entry] : flows_) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(), [](const Entry* a, const Entry* b) {
+    return a->flow.id < b->flow.id;
+  });
+  for (const Entry* entry : entries) {
+    if (entry->parked) {
+      // Parked flows carry no route, but they must also carry no load: a
+      // nonzero charge here is a ledger leak the old boolean audit let pass.
+      if (entry->charged_rate != 0.0) {
+        violations.push_back({AuditViolationKind::ParkedCharged,
+                              entry->flow.id, NodeId{}, entry->charged_rate});
+      }
+      continue;
     }
-    for (NodeId sw : entry.policy.list) {
+    if (!entry->policy.satisfied(*topology_, entry->src, entry->dst)) {
+      violations.push_back(
+          {AuditViolationKind::UnsatisfiedPolicy, entry->flow.id, NodeId{}, 0.0});
+    }
+    for (NodeId sw : entry->policy.list) {
       if (failed_.count(sw) > 0) {
-        throw std::logic_error(
-            "NetworkController::audit: active policy crosses failed switch");
+        violations.push_back(
+            {AuditViolationKind::DeadPolicy, entry->flow.id, sw, 0.0});
+        break;
       }
     }
-    expected.assign(entry.policy, entry.charged_rate);
+    expected.assign(entry->policy, entry->charged_rate);
   }
   for (const auto& [sw, absorbed] : draining_) {
     net::Policy marker;
@@ -644,10 +754,92 @@ void NetworkController::audit() const {
     expected.assign(marker, absorbed);
   }
   for (NodeId w : topology_->switches()) {
-    if (std::abs(expected.load(w) - load_.load(w)) > 1e-6) {
-      throw std::logic_error("NetworkController::audit: load ledger mismatch");
+    const double delta = load_.load(w) - expected.load(w);
+    if (std::abs(delta) > 1e-6) {
+      violations.push_back({AuditViolationKind::LoadMismatch, FlowId{}, w, delta});
     }
   }
+  return violations;
+}
+
+void NetworkController::audit() const {
+  const std::vector<AuditViolation> violations = audit_violations();
+  if (violations.empty()) return;
+  const AuditViolation& first = violations.front();
+  std::string what = "NetworkController::audit: ";
+  what += audit_violation_kind_name(first.kind);
+  if (first.flow.valid()) {
+    what += " (flow " + std::to_string(first.flow.value()) + ")";
+  }
+  if (first.node.valid()) {
+    what += " (switch " + topology_->info(first.node).name + ")";
+  }
+  if (violations.size() > 1) {
+    what += " and " + std::to_string(violations.size() - 1) + " more";
+  }
+  throw std::logic_error(what);
+}
+
+std::vector<NodeId> NetworkController::failed_switches() const {
+  std::vector<NodeId> out(failed_.begin(), failed_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+recovery::ControllerState NetworkController::export_state() const {
+  recovery::ControllerState state;
+  state.flows.reserve(flows_.size());
+  for (const auto& [id, entry] : flows_) {
+    recovery::FlowEntryState e;
+    e.flow = entry.flow;
+    e.policy = entry.policy;
+    e.src = entry.src;
+    e.dst = entry.dst;
+    e.parked = entry.parked;
+    e.charged_rate = entry.charged_rate;
+    state.flows.push_back(std::move(e));
+  }
+  state.failed.assign(failed_.begin(), failed_.end());
+  state.draining.reserve(draining_.size());
+  for (const auto& [sw, absorbed] : draining_) {
+    state.draining.emplace_back(sw, absorbed);
+  }
+  state.quarantined.reserve(quarantined_.size());
+  for (const auto& [sw, streak] : quarantined_) {
+    state.quarantined.emplace_back(sw, static_cast<std::uint32_t>(streak));
+  }
+  state.canonicalize();
+  return state;
+}
+
+void NetworkController::restore_state(const recovery::ControllerState& state) {
+  flows_.clear();
+  failed_.clear();
+  draining_.clear();
+  quarantined_.clear();
+  load_ = net::LoadTracker(*topology_);
+
+  for (const recovery::FlowEntryState& e : state.flows) {
+    if (!e.parked) load_.assign(e.policy, e.charged_rate);
+    flows_.emplace(e.flow.id,
+                   Entry{e.flow, e.policy, e.src, e.dst, e.parked, e.charged_rate});
+  }
+  for (NodeId sw : state.failed) failed_.insert(sw);
+  for (const auto& [sw, absorbed] : state.draining) {
+    net::Policy marker;
+    marker.list = {sw};
+    marker.type = {topology_->tier(sw)};
+    load_.assign(marker, absorbed);
+    draining_.emplace(sw, absorbed);
+  }
+  for (const auto& [sw, streak] : state.quarantined) {
+    quarantined_.emplace(sw, static_cast<std::size_t>(streak));
+  }
+  sync_quarantine_penalties();
+  const obs::Bind bind(observer_);
+  obs::count("controller.restores");
+  obs::gauge_set("controller.restored_flows",
+                 static_cast<double>(state.flows.size()));
 }
 
 }  // namespace hit::core

@@ -32,6 +32,30 @@
 
 namespace hit::core {
 
+namespace recovery {
+class StateJournal;
+struct JournalRecord;
+struct ControllerState;
+}  // namespace recovery
+
+/// What audit_violations() can find (DESIGN.md §15: the reconciliation path
+/// reuses the same typed list after a crash-restart).
+enum class AuditViolationKind : std::uint8_t {
+  UnsatisfiedPolicy,  ///< active policy not satisfied for its endpoints
+  DeadPolicy,         ///< active policy crosses a failed switch
+  ParkedCharged,      ///< parked flow still carries load in the ledger
+  LoadMismatch,       ///< per-switch ledger != sum of active charged rates
+};
+
+[[nodiscard]] const char* audit_violation_kind_name(AuditViolationKind kind);
+
+struct AuditViolation {
+  AuditViolationKind kind = AuditViolationKind::UnsatisfiedPolicy;
+  FlowId flow;         ///< flow-scoped kinds; invalid for LoadMismatch
+  NodeId node;         ///< DeadPolicy / LoadMismatch switch; invalid otherwise
+  double delta = 0.0;  ///< LoadMismatch: ledger - expected; ParkedCharged: charge
+};
+
 struct ControllerConfig {
   CostConfig cost;
   /// Switch utilization above which the controller tries to shed flows.
@@ -115,6 +139,8 @@ class NetworkController {
   std::size_t recover(NodeId sw);
 
   [[nodiscard]] bool failed(NodeId sw) const { return failed_.count(sw) > 0; }
+  /// Failed switches in id order.
+  [[nodiscard]] std::vector<NodeId> failed_switches() const;
 
   /// Gray suspicion: the switch stays usable but every route through it is
   /// priced up by `quarantine_penalty`, and installed flows crossing it are
@@ -173,10 +199,34 @@ class NetworkController {
   /// Total shuffle cost of the installed policies under the current load.
   [[nodiscard]] double total_cost() const;
 
-  /// Consistency check: every active policy satisfied and crossing no failed
-  /// switch; parked flows carry no load; the load ledger equals the sum of
-  /// active rates.  Throws std::logic_error otherwise.
+  /// Consistency check as a typed list: every active policy satisfied and
+  /// crossing no failed switch; parked flows carry no charge (they are still
+  /// *checked* — a parked entry with a nonzero charged rate is a ledger leak,
+  /// not a pass); the load ledger equals the sum of active rates per switch.
+  /// Empty vector = consistent.  The crash-recovery reconciliation path
+  /// (core/recovery/recovery.h) folds this list into its ReconcileReport.
+  [[nodiscard]] std::vector<AuditViolation> audit_violations() const;
+
+  /// Throwing form of audit_violations(): std::logic_error naming the first
+  /// violation when the list is non-empty.
   void audit() const;
+
+  /// Attach a write-ahead journal: every state mutation (install, evict,
+  /// park, readmit, reroute, fail/recover, quarantine/probe/reinstate,
+  /// drain/undrain) appends one effect record after it succeeds.  Pass
+  /// nullptr (default) to detach.  `restore_state` never journals.
+  void set_journal(recovery::StateJournal* journal) noexcept {
+    journal_ = journal;
+  }
+
+  /// Full mutable state as canonical plain data (recovery snapshots).
+  [[nodiscard]] recovery::ControllerState export_state() const;
+
+  /// Replace this controller's state wholesale with `state` (crash recovery:
+  /// the state comes from snapshot + journal replay).  Rebuilds the load
+  /// ledger from the entries' charged rates and drain markers and re-applies
+  /// quarantine penalties.  Does not journal and does not touch the breaker.
+  void restore_state(const recovery::ControllerState& state);
 
   /// Attach an observability context: install/remove/fail/recover/rebalance
   /// emit host-lane trace events and counters through it.  Pass nullptr
@@ -210,9 +260,13 @@ class NetworkController {
   /// protected floor; ~0u when none qualifies (fall back to legacy order).
   [[nodiscard]] std::uint32_t pick_shed_tenant(NodeId hottest) const;
 
+  /// Append `record` to the attached journal, if any.
+  void journal_record(recovery::JournalRecord record) const;
+
   const topo::Topology* topology_;
   ControllerConfig config_;
   const obs::Context* observer_ = nullptr;
+  recovery::StateJournal* journal_ = nullptr;
   net::LoadTracker load_;
   PolicyOptimizer optimizer_;
   CircuitBreaker breaker_;

@@ -1,0 +1,158 @@
+#include "core/recovery/journal.h"
+
+#include <bit>
+#include <cstring>
+
+namespace hit::core::recovery {
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+std::uint8_t ByteReader::u8() {
+  if (pos_ >= bytes_.size()) {
+    throw std::runtime_error("recovery: truncated byte stream");
+  }
+  return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  if (remaining() < n) {
+    throw std::runtime_error("recovery: truncated byte stream");
+  }
+  std::string s(bytes_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+const char* record_kind_name(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::Install: return "install";
+    case RecordKind::Evict: return "evict";
+    case RecordKind::Park: return "park";
+    case RecordKind::Readmit: return "readmit";
+    case RecordKind::Reroute: return "reroute";
+    case RecordKind::Fail: return "fail";
+    case RecordKind::Recover: return "recover";
+    case RecordKind::Quarantine: return "quarantine";
+    case RecordKind::Probe: return "probe";
+    case RecordKind::Reinstate: return "reinstate";
+    case RecordKind::Drain: return "drain";
+    case RecordKind::Undrain: return "undrain";
+    case RecordKind::AimdLimit: return "aimd-limit";
+    case RecordKind::TenantQuota: return "tenant-quota";
+  }
+  return "unknown";
+}
+
+void encode_flow(ByteWriter& w, const net::Flow& f) {
+  w.id(f.id);
+  w.id(f.job);
+  w.id(f.src_task);
+  w.id(f.dst_task);
+  w.f64(f.size_gb);
+  w.f64(f.rate);
+  w.u8(f.priority);
+  w.u32(f.tenant);
+}
+
+net::Flow decode_flow(ByteReader& r) {
+  net::Flow f;
+  f.id = r.id<FlowTag>();
+  f.job = r.id<JobTag>();
+  f.src_task = r.id<TaskTag>();
+  f.dst_task = r.id<TaskTag>();
+  f.size_gb = r.f64();
+  f.rate = r.f64();
+  f.priority = r.u8();
+  f.tenant = r.u32();
+  return f;
+}
+
+void encode_policy(ByteWriter& w, const net::Policy& p) {
+  w.id(p.id);
+  w.id(p.flow);
+  w.u32(static_cast<std::uint32_t>(p.list.size()));
+  for (NodeId n : p.list) w.id(n);
+  w.u32(static_cast<std::uint32_t>(p.type.size()));
+  for (topo::Tier t : p.type) w.u8(static_cast<std::uint8_t>(t));
+}
+
+net::Policy decode_policy(ByteReader& r) {
+  net::Policy p;
+  p.id = r.id<PolicyTag>();
+  p.flow = r.id<FlowTag>();
+  const std::uint32_t nl = r.u32();
+  p.list.reserve(nl);
+  for (std::uint32_t i = 0; i < nl; ++i) p.list.push_back(r.id<NodeTag>());
+  const std::uint32_t nt = r.u32();
+  p.type.reserve(nt);
+  for (std::uint32_t i = 0; i < nt; ++i) {
+    p.type.push_back(static_cast<topo::Tier>(r.u8()));
+  }
+  return p;
+}
+
+void JournalRecord::encode(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  encode_flow(w, flow);
+  encode_policy(w, policy);
+  w.id(src);
+  w.id(dst);
+  w.id(node);
+  w.f64(value);
+  w.u32(tenant);
+}
+
+JournalRecord JournalRecord::decode(ByteReader& r) {
+  JournalRecord rec;
+  rec.kind = static_cast<RecordKind>(r.u8());
+  rec.flow = decode_flow(r);
+  rec.policy = decode_policy(r);
+  rec.src = r.id<NodeTag>();
+  rec.dst = r.id<NodeTag>();
+  rec.node = r.id<NodeTag>();
+  rec.value = r.f64();
+  rec.tenant = r.u32();
+  return rec;
+}
+
+void StateJournal::append(JournalRecord record) {
+  ByteWriter w;
+  record.encode(w);
+  body_bytes_ += w.bytes().size();
+  records_.push_back(std::move(record));
+}
+
+std::string StateJournal::encode() const {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.u32(static_cast<std::uint32_t>(records_.size()));
+  for (const JournalRecord& rec : records_) rec.encode(w);
+  return w.take();
+}
+
+StateJournal StateJournal::decode(std::string_view bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kMagic) {
+    throw std::runtime_error("recovery: bad journal magic");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kVersion) {
+    throw std::runtime_error("recovery: unsupported journal version " +
+                             std::to_string(version));
+  }
+  const std::uint32_t count = r.u32();
+  StateJournal journal;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    journal.append(JournalRecord::decode(r));
+  }
+  if (!r.done()) {
+    throw std::runtime_error("recovery: trailing bytes after journal");
+  }
+  return journal;
+}
+
+}  // namespace hit::core::recovery

@@ -1,0 +1,169 @@
+// Write-ahead journal for control-plane state (DESIGN.md §15).
+//
+// Every mutation the NetworkController applies to its policy tables — flow
+// installs and evictions, park/readmit transitions, reroutes, switch
+// fail/recover, quarantine/probe/reinstate, drain markers, and the admission
+// side's AIMD-limit / tenant-quota moves — is recorded as one typed,
+// append-only JournalRecord *after* the mutation succeeds.  Records carry the
+// *effect* (the exact policy list installed, the exact charged rate), never
+// the intent, so replay is a mechanical fold over plain data: no optimizer,
+// no backoff loop, no RNG runs again, and a replayed state is bit-identical
+// to the state the journal was written from.
+//
+// The encoding is byte-stable: fixed-width little-endian integers, doubles as
+// IEEE-754 bit patterns, length-prefixed sequences, a versioned header.  Two
+// encodes of equal journals are equal byte strings on every platform, which
+// is what lets tests and the warm standby compare states with memcmp.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "network/flow.h"
+#include "network/policy.h"
+#include "util/ids.h"
+
+namespace hit::core::recovery {
+
+// ---- byte-stable codec ----------------------------------------------------
+
+/// Appends little-endian fixed-width values to a byte string.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v);  ///< IEEE-754 bit pattern as u64
+  template <typename Tag>
+  void id(Id<Tag> v) {
+    u32(v.value());
+  }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+  [[nodiscard]] const std::string& bytes() const noexcept { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Reads back what a ByteWriter wrote; throws std::runtime_error on
+/// truncation so corrupt journals fail loudly instead of replaying garbage.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{u8()} << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{u8()} << (8 * i);
+    return v;
+  }
+  [[nodiscard]] double f64();
+  template <typename Tag>
+  [[nodiscard]] Id<Tag> id() {
+    return Id<Tag>{u32()};
+  }
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+// ---- journal records ------------------------------------------------------
+
+enum class RecordKind : std::uint8_t {
+  Install = 1,   ///< flow admitted: full flow + policy + endpoints
+  Evict = 2,     ///< flow removed from the controller
+  Park = 3,      ///< flow parked (uncharged, keeps last policy)
+  Readmit = 4,   ///< parked flow readmitted on `policy`, recharged
+  Reroute = 5,   ///< active flow moved to `policy` (charge follows)
+  Fail = 6,      ///< switch marked failed
+  Recover = 7,   ///< switch repaired
+  Quarantine = 8,   ///< switch soft-quarantined (penalty applied)
+  Probe = 9,        ///< healthy probe observed (streak +1)
+  Reinstate = 10,   ///< switch left quarantine
+  Drain = 11,       ///< drain marker placed (`value` = absorbed residual)
+  Undrain = 12,     ///< drain marker removed
+  AimdLimit = 13,   ///< admission AIMD limit moved to `value`
+  TenantQuota = 14, ///< tenant `tenant` quota weight set to `value`
+};
+
+[[nodiscard]] const char* record_kind_name(RecordKind kind);
+
+/// One journaled control-plane mutation.  Which fields are meaningful
+/// depends on `kind`; unused fields stay default (and encode as such, so the
+/// byte image is still canonical).
+struct JournalRecord {
+  RecordKind kind = RecordKind::Install;
+  net::Flow flow;          ///< Install: full flow; flow ops: id only
+  net::Policy policy;      ///< Install / Readmit / Reroute
+  NodeId src;              ///< Install: source server
+  NodeId dst;              ///< Install: destination server
+  NodeId node;             ///< switch ops
+  double value = 0.0;      ///< Drain absorbed / AimdLimit / TenantQuota
+  std::uint32_t tenant = 0;  ///< TenantQuota
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static JournalRecord decode(ByteReader& r);
+};
+
+// Shared policy codec (snapshots reuse it).
+void encode_policy(ByteWriter& w, const net::Policy& p);
+[[nodiscard]] net::Policy decode_policy(ByteReader& r);
+void encode_flow(ByteWriter& w, const net::Flow& f);
+[[nodiscard]] net::Flow decode_flow(ByteReader& r);
+
+/// Append-only, versioned record log.  `bytes()` tracks the encoded size
+/// incrementally so journal-size gauges are O(1).
+class StateJournal {
+ public:
+  static constexpr std::uint32_t kMagic = 0x4A544948;  // "HITJ" little-endian
+  static constexpr std::uint32_t kVersion = 1;
+
+  void append(JournalRecord record);
+
+  [[nodiscard]] const std::vector<JournalRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  /// Encoded size (12-byte header + records) without re-encoding.
+  [[nodiscard]] std::size_t bytes() const noexcept { return 12 + body_bytes_; }
+
+  void clear() {
+    records_.clear();
+    body_bytes_ = 0;
+  }
+
+  /// Canonical byte image: magic, version, record count, records in order.
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static StateJournal decode(std::string_view bytes);
+
+ private:
+  std::vector<JournalRecord> records_;
+  std::size_t body_bytes_ = 0;
+};
+
+}  // namespace hit::core::recovery

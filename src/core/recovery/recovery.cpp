@@ -1,0 +1,315 @@
+#include "core/recovery/recovery.h"
+
+#include <algorithm>
+
+#include "obs/context.h"
+
+namespace hit::core::recovery {
+namespace {
+
+FlowEntryState* find_flow(ControllerState& state, FlowId id) {
+  for (FlowEntryState& e : state.flows) {
+    if (e.flow.id == id) return &e;
+  }
+  return nullptr;
+}
+
+void erase_node(std::vector<NodeId>& nodes, NodeId node) {
+  nodes.erase(std::remove(nodes.begin(), nodes.end(), node), nodes.end());
+}
+
+template <typename V>
+V* find_pair(std::vector<std::pair<NodeId, V>>& pairs, NodeId node) {
+  for (auto& [n, v] : pairs) {
+    if (n == node) return &v;
+  }
+  return nullptr;
+}
+
+template <typename V>
+void erase_pair(std::vector<std::pair<NodeId, V>>& pairs, NodeId node) {
+  pairs.erase(std::remove_if(pairs.begin(), pairs.end(),
+                             [node](const auto& p) { return p.first == node; }),
+              pairs.end());
+}
+
+}  // namespace
+
+void replay(ControllerState& controller, AdmissionState& admission,
+            const JournalRecord& record) {
+  switch (record.kind) {
+    case RecordKind::Install: {
+      FlowEntryState e;
+      e.flow = record.flow;
+      e.policy = record.policy;
+      e.src = record.src;
+      e.dst = record.dst;
+      e.parked = false;
+      e.charged_rate = record.value;
+      controller.flows.push_back(std::move(e));
+      break;
+    }
+    case RecordKind::Evict: {
+      controller.flows.erase(
+          std::remove_if(controller.flows.begin(), controller.flows.end(),
+                         [&](const FlowEntryState& e) {
+                           return e.flow.id == record.flow.id;
+                         }),
+          controller.flows.end());
+      break;
+    }
+    case RecordKind::Park: {
+      if (FlowEntryState* e = find_flow(controller, record.flow.id)) {
+        e->parked = true;
+        e->charged_rate = 0.0;
+      }
+      break;
+    }
+    case RecordKind::Readmit: {
+      if (FlowEntryState* e = find_flow(controller, record.flow.id)) {
+        e->parked = false;
+        e->policy = record.policy;
+        e->charged_rate = record.value;
+      }
+      break;
+    }
+    case RecordKind::Reroute: {
+      if (FlowEntryState* e = find_flow(controller, record.flow.id)) {
+        e->policy = record.policy;
+        e->charged_rate = record.value;
+      }
+      break;
+    }
+    case RecordKind::Fail: {
+      if (std::find(controller.failed.begin(), controller.failed.end(),
+                    record.node) == controller.failed.end()) {
+        controller.failed.push_back(record.node);
+      }
+      break;
+    }
+    case RecordKind::Recover: {
+      erase_node(controller.failed, record.node);
+      break;
+    }
+    case RecordKind::Quarantine: {
+      if (find_pair(controller.quarantined, record.node) == nullptr) {
+        controller.quarantined.emplace_back(record.node, 0u);
+      }
+      break;
+    }
+    case RecordKind::Probe: {
+      if (std::uint32_t* streak = find_pair(controller.quarantined, record.node)) {
+        *streak = record.value > 0.0 ? *streak + 1 : 0u;
+      }
+      break;
+    }
+    case RecordKind::Reinstate: {
+      erase_pair(controller.quarantined, record.node);
+      break;
+    }
+    case RecordKind::Drain: {
+      if (find_pair(controller.draining, record.node) == nullptr) {
+        controller.draining.emplace_back(record.node, record.value);
+      }
+      break;
+    }
+    case RecordKind::Undrain: {
+      erase_pair(controller.draining, record.node);
+      break;
+    }
+    case RecordKind::AimdLimit: {
+      admission.has_aimd = true;
+      admission.aimd_limit = record.value;
+      break;
+    }
+    case RecordKind::TenantQuota: {
+      for (auto& [tenant, quota] : admission.tenant_quotas) {
+        if (tenant == record.tenant) {
+          quota = record.value;
+          return;
+        }
+      }
+      admission.tenant_quotas.emplace_back(record.tenant, record.value);
+      break;
+    }
+  }
+}
+
+RecoveryManager::RecoveryManager(RecoveryManagerConfig config)
+    : config_(config) {}
+
+void RecoveryManager::snapshot(const NetworkController& controller,
+                               double sim_time) {
+  snapshot_.sim_time = sim_time;
+  snapshot_.journal_position = journal_.size();
+  snapshot_.controller = controller.export_state();
+  snapshot_.admission = admission_;
+  std::sort(snapshot_.admission.tenant_quotas.begin(),
+            snapshot_.admission.tenant_quotas.end());
+  has_snapshot_ = true;
+  ++snapshots_;
+  obs::count("recovery.snapshots");
+  obs::gauge_set("recovery.snapshot_flows",
+                 static_cast<double>(snapshot_.controller.flows.size()));
+  obs::gauge_set("recovery.journal_records",
+                 static_cast<double>(journal_.size()));
+  obs::gauge_set("recovery.journal_bytes", static_cast<double>(journal_.bytes()));
+}
+
+bool RecoveryManager::maybe_snapshot(const NetworkController& controller,
+                                     double sim_time) {
+  if (config_.snapshot_every_records == 0) return false;
+  const std::size_t since =
+      journal_.size() - (has_snapshot_ ? snapshot_.journal_position : 0);
+  if (since < config_.snapshot_every_records) return false;
+  snapshot(controller, sim_time);
+  return true;
+}
+
+void RecoveryManager::note_aimd_limit(double limit) {
+  admission_.has_aimd = true;
+  admission_.aimd_limit = limit;
+  JournalRecord rec;
+  rec.kind = RecordKind::AimdLimit;
+  rec.value = limit;
+  journal_.append(std::move(rec));
+}
+
+void RecoveryManager::note_tenant_quota(std::uint32_t tenant, double quota) {
+  bool found = false;
+  for (auto& [t, q] : admission_.tenant_quotas) {
+    if (t == tenant) {
+      q = quota;
+      found = true;
+      break;
+    }
+  }
+  if (!found) admission_.tenant_quotas.emplace_back(tenant, quota);
+  JournalRecord rec;
+  rec.kind = RecordKind::TenantQuota;
+  rec.tenant = tenant;
+  rec.value = quota;
+  journal_.append(std::move(rec));
+}
+
+RebuiltState RecoveryManager::rebuild(std::size_t prefix) const {
+  RebuiltState out;
+  const std::size_t limit = std::min(prefix, journal_.size());
+  std::size_t start = 0;
+  if (has_snapshot_ && snapshot_.journal_position <= limit) {
+    out.controller = snapshot_.controller;
+    out.admission = snapshot_.admission;
+    out.from_snapshot = true;
+    start = static_cast<std::size_t>(snapshot_.journal_position);
+  }
+  for (std::size_t i = start; i < limit; ++i) {
+    replay(out.controller, out.admission, journal_.records()[i]);
+    ++out.replayed;
+  }
+  out.controller.canonicalize();
+  std::sort(out.admission.tenant_quotas.begin(),
+            out.admission.tenant_quotas.end());
+  return out;
+}
+
+RebuiltState RecoveryManager::recover(NetworkController& controller) const {
+  RebuiltState rebuilt = rebuild();
+  controller.restore_state(rebuilt.controller);
+  obs::count("recovery.recoveries");
+  obs::count("recovery.replayed_records", rebuilt.replayed);
+  obs::observe("recovery.replayed_per_recover",
+               static_cast<double>(rebuilt.replayed));
+  return rebuilt;
+}
+
+const char* divergence_kind_name(DivergenceKind kind) {
+  switch (kind) {
+    case DivergenceKind::MissedFailure: return "missed-failure";
+    case DivergenceKind::MissedRepair: return "missed-repair";
+    case DivergenceKind::StaleQuarantine: return "stale-quarantine";
+    case DivergenceKind::OrphanedParked: return "orphaned-parked";
+    case DivergenceKind::Unreconciled: return "unreconciled";
+  }
+  return "unknown";
+}
+
+ReconcileReport reconcile(NetworkController& controller, const LiveView& live) {
+  ReconcileReport report;
+
+  // 1. Failures the controller slept through: its restored state still
+  //    routes flows across switches that are down right now.  fail() both
+  //    records the failure and evacuates (reroute or park) every crossing
+  //    flow.
+  for (NodeId sw : live.failed_switches) {
+    if (controller.failed(sw)) continue;
+    const std::size_t rerouted = controller.fail(sw);
+    report.flows_rerouted += rerouted;
+    report.repairs += 1;
+    report.divergences.push_back(
+        {DivergenceKind::MissedFailure, sw, FlowId{}, true});
+  }
+
+  // 2. Repairs it slept through: switches it believes are down but are live
+  //    again.  recover() readmits any parked flows that were waiting on them.
+  for (NodeId sw : controller.failed_switches()) {
+    const bool live_failed =
+        std::find(live.failed_switches.begin(), live.failed_switches.end(),
+                  sw) != live.failed_switches.end();
+    if (live_failed) continue;
+    const std::size_t readmitted = controller.recover(sw);
+    report.flows_readmitted += readmitted;
+    report.repairs += 1;
+    report.divergences.push_back(
+        {DivergenceKind::MissedRepair, sw, FlowId{}, true});
+  }
+
+  // 3. Stale quarantine penalties: suspects verified healthy while the
+  //    controller was down keep paying the Dijkstra penalty until reinstated.
+  for (NodeId sw : controller.quarantined_switches()) {
+    const bool healthy =
+        std::find(live.healthy_switches.begin(), live.healthy_switches.end(),
+                  sw) != live.healthy_switches.end();
+    if (!healthy) continue;
+    controller.reinstate(sw);
+    report.reinstated += 1;
+    report.repairs += 1;
+    report.divergences.push_back(
+        {DivergenceKind::StaleQuarantine, sw, FlowId{}, true});
+  }
+
+  // 4. Orphaned parked flows: parked before (or during) the crash, with the
+  //    blocking condition now gone.  readmit_parked() restores every one
+  //    with an alive route; the rest stay parked (legitimately — no route).
+  const std::vector<FlowId> parked_before = controller.parked();
+  if (!parked_before.empty()) {
+    const std::size_t readmitted = controller.readmit_parked();
+    if (readmitted > 0) {
+      const std::vector<FlowId> parked_after = controller.parked();
+      for (FlowId f : parked_before) {
+        const bool still_parked =
+            std::find(parked_after.begin(), parked_after.end(), f) !=
+            parked_after.end();
+        if (still_parked) continue;
+        report.divergences.push_back(
+            {DivergenceKind::OrphanedParked, NodeId{}, f, true});
+      }
+      report.flows_readmitted += readmitted;
+      report.repairs += readmitted;
+    }
+  }
+
+  // 5. Whatever inconsistency survived the repairs is unreconciled — a clean
+  //    recovery ends with zero.
+  for (const AuditViolation& v : controller.audit_violations()) {
+    report.divergences.push_back(
+        {DivergenceKind::Unreconciled, v.node, v.flow, false});
+    report.unreconciled += 1;
+  }
+
+  obs::count("recovery.reconciles");
+  obs::count("recovery.reconcile_repairs", report.repairs);
+  obs::count("recovery.reconcile_unreconciled", report.unreconciled);
+  return report;
+}
+
+}  // namespace hit::core::recovery

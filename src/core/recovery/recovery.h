@@ -1,0 +1,148 @@
+// Crash recovery for the control plane (DESIGN.md §15).
+//
+// Ties the journal and snapshots together:
+//
+//   * replay()          — mechanical fold of one JournalRecord into a
+//                         ControllerState / AdmissionState (plain data, no
+//                         optimizer, no RNG: bit-identical by construction).
+//   * RecoveryManager   — owns the journal + the latest snapshot, cuts
+//                         snapshots on a record-count cadence, rebuilds the
+//                         state at any journal prefix, and restores a
+//                         NetworkController after a crash.
+//   * reconcile()       — after restore, compares the rebuilt state against
+//                         the *live* network view (ground-truth failed and
+//                         healthy elements the controller missed while it
+//                         was down) and repairs divergence: evacuates flows
+//                         routed by dead policies, readmits parked flows
+//                         orphaned by the crash, lifts stale quarantines.
+//                         Returns a typed ReconcileReport; `unreconciled`
+//                         counts audit violations that survived repair
+//                         (zero on a healthy recovery).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/recovery/journal.h"
+#include "core/recovery/snapshot.h"
+
+namespace hit::core::recovery {
+
+/// Fold one journal record into plain control-plane state.  Unknown flows /
+/// nodes are created or ignored exactly the way the live controller would
+/// have (records are effects, so a well-formed journal never references an
+/// entity it did not install first).
+void replay(ControllerState& controller, AdmissionState& admission,
+            const JournalRecord& record);
+
+/// Snapshot + journal-prefix rebuild result.
+struct RebuiltState {
+  ControllerState controller;
+  AdmissionState admission;
+  std::size_t replayed = 0;       ///< journal records folded after the snapshot
+  bool from_snapshot = false;     ///< started from a snapshot (vs. empty state)
+};
+
+struct RecoveryManagerConfig {
+  /// Cut a snapshot every N journal records (0 = only explicit snapshot()
+  /// calls; recovery then replays the whole journal).
+  std::size_t snapshot_every_records = 0;
+};
+
+class RecoveryManager {
+ public:
+  static constexpr std::size_t kFullJournal =
+      std::numeric_limits<std::size_t>::max();
+
+  explicit RecoveryManager(RecoveryManagerConfig config = {});
+
+  [[nodiscard]] StateJournal& journal() noexcept { return journal_; }
+  [[nodiscard]] const StateJournal& journal() const noexcept { return journal_; }
+
+  /// Wire the journal into `controller` (controller.set_journal).
+  void attach(NetworkController& controller) {
+    controller.set_journal(&journal_);
+  }
+
+  /// Cut a snapshot of `controller` (plus the admission aux state accumulated
+  /// from note_* calls) at the current journal position.
+  void snapshot(const NetworkController& controller, double sim_time = 0.0);
+
+  /// snapshot() iff `snapshot_every_records` have accumulated since the last
+  /// cut.  Call after batches of controller mutations.  Returns true when a
+  /// snapshot was cut.
+  bool maybe_snapshot(const NetworkController& controller, double sim_time = 0.0);
+
+  [[nodiscard]] bool has_snapshot() const noexcept { return has_snapshot_; }
+  [[nodiscard]] const Snapshot& last_snapshot() const { return snapshot_; }
+  [[nodiscard]] std::size_t snapshots_cut() const noexcept { return snapshots_; }
+
+  /// Journal the admission side's state changes (the online simulator calls
+  /// these when the AIMD controller moves its limit / quotas change).
+  void note_aimd_limit(double limit);
+  void note_tenant_quota(std::uint32_t tenant, double quota);
+
+  /// Rebuild control-plane state as of journal record `prefix` (kFullJournal
+  /// = everything).  Starts from the snapshot when it covers the prefix,
+  /// from the empty state otherwise — so any (snapshot, prefix) pair yields
+  /// the exact state the uncrashed controller had at that point.
+  [[nodiscard]] RebuiltState rebuild(std::size_t prefix = kFullJournal) const;
+
+  /// Crash-restart: rebuild from snapshot + full journal and load the result
+  /// into `controller` (restore_state).  Returns the rebuild outcome.
+  RebuiltState recover(NetworkController& controller) const;
+
+ private:
+  RecoveryManagerConfig config_;
+  StateJournal journal_;
+  Snapshot snapshot_;
+  bool has_snapshot_ = false;
+  std::size_t snapshots_ = 0;
+  AdmissionState admission_;  ///< running aux state mirrored by note_* calls
+};
+
+// ---- reconciliation -------------------------------------------------------
+
+enum class DivergenceKind : std::uint8_t {
+  MissedFailure,    ///< live-failed switch the restored state routes through
+  MissedRepair,     ///< switch repaired while the controller was down
+  StaleQuarantine,  ///< quarantined switch that is live-healthy
+  OrphanedParked,   ///< parked flow whose blocking condition is gone
+  Unreconciled,     ///< audit violation that survived every repair
+};
+
+[[nodiscard]] const char* divergence_kind_name(DivergenceKind kind);
+
+struct Divergence {
+  DivergenceKind kind = DivergenceKind::MissedFailure;
+  NodeId node;   ///< switch-scoped kinds
+  FlowId flow;   ///< flow-scoped kinds
+  bool repaired = false;
+};
+
+struct ReconcileReport {
+  std::vector<Divergence> divergences;
+  std::size_t flows_rerouted = 0;    ///< moved off newly-learned failures
+  std::size_t flows_readmitted = 0;  ///< orphaned parked flows brought back
+  std::size_t reinstated = 0;        ///< stale quarantines lifted
+  std::size_t repairs = 0;           ///< total repair actions applied
+  std::size_t unreconciled = 0;      ///< audit violations left at the end
+
+  [[nodiscard]] bool clean() const noexcept { return unreconciled == 0; }
+};
+
+/// Ground truth the restarted controller reconciles against.
+struct LiveView {
+  std::vector<NodeId> failed_switches;   ///< actually down right now
+  std::vector<NodeId> healthy_switches;  ///< verified healthy (clears quarantine)
+};
+
+/// Audit the restored controller against `live` and repair divergence.
+/// Mutates the controller (fail/recover/reinstate/readmit); every action is
+/// journaled through the controller's attached journal, so a post-reconcile
+/// crash recovers to the reconciled state.
+ReconcileReport reconcile(NetworkController& controller, const LiveView& live);
+
+}  // namespace hit::core::recovery

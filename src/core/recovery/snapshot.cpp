@@ -1,0 +1,145 @@
+#include "core/recovery/snapshot.h"
+
+#include <algorithm>
+
+namespace hit::core::recovery {
+
+void FlowEntryState::encode(ByteWriter& w) const {
+  encode_flow(w, flow);
+  encode_policy(w, policy);
+  w.id(src);
+  w.id(dst);
+  w.u8(parked ? 1 : 0);
+  w.f64(charged_rate);
+}
+
+FlowEntryState FlowEntryState::decode(ByteReader& r) {
+  FlowEntryState e;
+  e.flow = decode_flow(r);
+  e.policy = decode_policy(r);
+  e.src = r.id<NodeTag>();
+  e.dst = r.id<NodeTag>();
+  e.parked = r.u8() != 0;
+  e.charged_rate = r.f64();
+  return e;
+}
+
+void ControllerState::canonicalize() {
+  std::sort(flows.begin(), flows.end(),
+            [](const FlowEntryState& a, const FlowEntryState& b) {
+              return a.flow.id < b.flow.id;
+            });
+  std::sort(failed.begin(), failed.end());
+  std::sort(draining.begin(), draining.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(quarantined.begin(), quarantined.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+void ControllerState::encode(ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(flows.size()));
+  for (const FlowEntryState& e : flows) e.encode(w);
+  w.u32(static_cast<std::uint32_t>(failed.size()));
+  for (NodeId n : failed) w.id(n);
+  w.u32(static_cast<std::uint32_t>(draining.size()));
+  for (const auto& [node, absorbed] : draining) {
+    w.id(node);
+    w.f64(absorbed);
+  }
+  w.u32(static_cast<std::uint32_t>(quarantined.size()));
+  for (const auto& [node, streak] : quarantined) {
+    w.id(node);
+    w.u32(streak);
+  }
+}
+
+ControllerState ControllerState::decode(ByteReader& r) {
+  ControllerState s;
+  const std::uint32_t nf = r.u32();
+  s.flows.reserve(nf);
+  for (std::uint32_t i = 0; i < nf; ++i) {
+    s.flows.push_back(FlowEntryState::decode(r));
+  }
+  const std::uint32_t nd = r.u32();
+  s.failed.reserve(nd);
+  for (std::uint32_t i = 0; i < nd; ++i) s.failed.push_back(r.id<NodeTag>());
+  const std::uint32_t ndr = r.u32();
+  s.draining.reserve(ndr);
+  for (std::uint32_t i = 0; i < ndr; ++i) {
+    NodeId node = r.id<NodeTag>();
+    const double absorbed = r.f64();
+    s.draining.emplace_back(node, absorbed);
+  }
+  const std::uint32_t nq = r.u32();
+  s.quarantined.reserve(nq);
+  for (std::uint32_t i = 0; i < nq; ++i) {
+    NodeId node = r.id<NodeTag>();
+    const std::uint32_t streak = r.u32();
+    s.quarantined.emplace_back(node, streak);
+  }
+  return s;
+}
+
+std::string ControllerState::encode() const {
+  ByteWriter w;
+  encode(w);
+  return w.take();
+}
+
+void AdmissionState::encode(ByteWriter& w) const {
+  w.u8(has_aimd ? 1 : 0);
+  w.f64(aimd_limit);
+  w.u32(static_cast<std::uint32_t>(tenant_quotas.size()));
+  for (const auto& [tenant, quota] : tenant_quotas) {
+    w.u32(tenant);
+    w.f64(quota);
+  }
+}
+
+AdmissionState AdmissionState::decode(ByteReader& r) {
+  AdmissionState s;
+  s.has_aimd = r.u8() != 0;
+  s.aimd_limit = r.f64();
+  const std::uint32_t n = r.u32();
+  s.tenant_quotas.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t tenant = r.u32();
+    const double quota = r.f64();
+    s.tenant_quotas.emplace_back(tenant, quota);
+  }
+  return s;
+}
+
+std::string Snapshot::encode() const {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.f64(sim_time);
+  w.u64(journal_position);
+  controller.encode(w);
+  admission.encode(w);
+  return w.take();
+}
+
+Snapshot Snapshot::decode(std::string_view bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kMagic) {
+    throw std::runtime_error("recovery: bad snapshot magic");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kVersion) {
+    throw std::runtime_error("recovery: unsupported snapshot version " +
+                             std::to_string(version));
+  }
+  Snapshot snap;
+  snap.sim_time = r.f64();
+  snap.journal_position = r.u64();
+  snap.controller = ControllerState::decode(r);
+  snap.admission = AdmissionState::decode(r);
+  if (!r.done()) {
+    throw std::runtime_error("recovery: trailing bytes after snapshot");
+  }
+  return snap;
+}
+
+}  // namespace hit::core::recovery

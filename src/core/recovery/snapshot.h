@@ -1,0 +1,85 @@
+// Periodic control-plane snapshots (DESIGN.md §15).
+//
+// A Snapshot is a canonical, versioned serialization of everything the
+// control plane would need to resume after losing its process: the
+// NetworkController's flow/policy table (including parked entries and
+// charged rates), its failed/draining/quarantined switch sets, and the
+// admission side's AIMD limit + tenant quotas.  Snapshots remember the
+// journal position they were cut at, so recovery is
+//
+//   state = snapshot.controller;  for r in journal[snapshot.position..]:
+//     replay(state, r)
+//
+// ControllerState is *canonical*: every collection is sorted, so two states
+// describing the same control plane encode to the same bytes regardless of
+// hash-map iteration order.  That property is what the crash-at-every-prefix
+// property test (and the warm standby's takeover check) compares on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/recovery/journal.h"
+
+namespace hit::core::recovery {
+
+/// One flow's row in the controller table, as plain data.
+struct FlowEntryState {
+  net::Flow flow;
+  net::Policy policy;
+  NodeId src;
+  NodeId dst;
+  bool parked = false;
+  double charged_rate = 0.0;
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static FlowEntryState decode(ByteReader& r);
+};
+
+/// The NetworkController's full mutable state as canonical plain data.
+struct ControllerState {
+  std::vector<FlowEntryState> flows;  ///< sorted by flow id
+  std::vector<NodeId> failed;         ///< sorted
+  /// Drain markers: switch -> absorbed residual load, sorted by switch.
+  std::vector<std::pair<NodeId, double>> draining;
+  /// Quarantined switches -> consecutive healthy-probe streak, sorted.
+  std::vector<std::pair<NodeId, std::uint32_t>> quarantined;
+
+  /// Sort every collection into canonical order (idempotent).
+  void canonicalize();
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static ControllerState decode(ByteReader& r);
+  /// Canonical standalone byte image (canonicalized first by the caller).
+  [[nodiscard]] std::string encode() const;
+};
+
+/// Admission-control state journaled alongside the controller: the AIMD
+/// limit and any per-tenant quota-weight overrides.
+struct AdmissionState {
+  bool has_aimd = false;
+  double aimd_limit = 0.0;
+  std::vector<std::pair<std::uint32_t, double>> tenant_quotas;  ///< sorted
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static AdmissionState decode(ByteReader& r);
+};
+
+/// A versioned point-in-time image of the control plane.
+struct Snapshot {
+  static constexpr std::uint32_t kMagic = 0x53544948;  // "HITS" little-endian
+  static constexpr std::uint32_t kVersion = 1;
+
+  double sim_time = 0.0;            ///< simulated time the snapshot was cut
+  std::uint64_t journal_position = 0;  ///< records already folded in
+  ControllerState controller;
+  AdmissionState admission;
+
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static Snapshot decode(std::string_view bytes);
+};
+
+}  // namespace hit::core::recovery

@@ -1,0 +1,131 @@
+#include "sim/ctrlplane.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/context.h"
+
+namespace hit::sim {
+
+CtrlPlaneRuntime::CtrlPlaneRuntime(const CtrlPlaneConfig& config)
+    : config_(config) {}
+
+bool CtrlPlaneRuntime::plan_has_controller(const FaultPlan& plan) {
+  for (const FaultEvent& ev : plan.events()) {
+    if (ev.target == FaultTarget::Controller) return true;
+  }
+  return false;
+}
+
+std::vector<FaultEvent> CtrlPlaneRuntime::plan_events(
+    const FaultPlan& plan) const {
+  std::vector<FaultEvent> events = plan.events();
+  if (!config_.standby) return events;
+  // Warm standby caps every blackout at the takeover latency.  Walk the
+  // controller events in time order (the plan is sorted): clamp the restart
+  // matching each crash, and give a permanent crash a takeover restart.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double open_crash = -1.0;  // < 0: no blackout open
+  std::vector<FaultEvent> takeovers;
+  for (FaultEvent& ev : events) {
+    if (ev.target != FaultTarget::Controller) continue;
+    if (ev.kind == FaultKind::ControllerCrash) {
+      if (open_crash >= 0.0) {
+        // Back-to-back crash with no restart between: the earlier blackout
+        // was permanent — the standby has already taken over.
+        FaultEvent takeover;
+        takeover.time = std::min(open_crash + config_.standby_takeover_s,
+                                 ev.time);
+        takeover.kind = FaultKind::ControllerRestart;
+        takeover.target = FaultTarget::Controller;
+        takeovers.push_back(takeover);
+      }
+      open_crash = ev.time;
+    } else if (ev.kind == FaultKind::ControllerRestart) {
+      if (open_crash >= 0.0) {
+        ev.time = std::min(ev.time, open_crash + config_.standby_takeover_s);
+      }
+      open_crash = -1.0;
+    }
+  }
+  if (open_crash >= 0.0 && config_.standby_takeover_s < kInf) {
+    FaultEvent takeover;
+    takeover.time = open_crash + config_.standby_takeover_s;
+    takeover.kind = FaultKind::ControllerRestart;
+    takeover.target = FaultTarget::Controller;
+    takeovers.push_back(takeover);
+  }
+  events.insert(events.end(), takeovers.begin(), takeovers.end());
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  return events;
+}
+
+void CtrlPlaneRuntime::on_crash(double now, std::size_t active_flows) {
+  advance(now);  // snapshots cut up to the crash instant still count
+  if (down_) return;  // duplicate crash: the blackout is already open
+  down_ = true;
+  down_since_ = now;
+  ++stats_.crashes;
+  stats_.flows_failstatic += active_flows;
+  // Everything journaled since the last snapshot replays at restart.
+  stats_.replayed_records += stats_.journal_records - records_at_snapshot_;
+  obs::count("sim.ctrl.crashes");
+  obs::sim_instant("ctrl.crash", "sim.recovery", now,
+                   {{"failstatic", static_cast<std::int64_t>(active_flows)}},
+                   /*tid=*/6);
+}
+
+void CtrlPlaneRuntime::on_restart(double now) {
+  if (!down_) return;  // restart with no open blackout: nothing to do
+  down_ = false;
+  ++stats_.restarts;
+  stats_.blackout_seconds += now - down_since_;
+  obs::count("sim.ctrl.restarts");
+  obs::observe("sim.ctrl.blackout_s", now - down_since_);
+  obs::sim_span("ctrl.blackout", "sim.recovery", down_since_, now, {},
+                /*tid=*/6);
+  // The restarted controller snapshots as soon as it has reconciled, so the
+  // replay window re-anchors here.
+  records_at_snapshot_ = stats_.journal_records;
+  last_snapshot_ = now;
+  ++stats_.snapshots;
+  obs::count("sim.ctrl.snapshots");
+}
+
+void CtrlPlaneRuntime::advance(double now) {
+  if (config_.snapshot_every <= 0.0 || down_) return;
+  while (last_snapshot_ + config_.snapshot_every <= now) {
+    last_snapshot_ += config_.snapshot_every;
+    records_at_snapshot_ = stats_.journal_records;
+    ++stats_.snapshots;
+    obs::count("sim.ctrl.snapshots");
+  }
+}
+
+void CtrlPlaneRuntime::note_reconcile(std::size_t violations,
+                                      std::size_t repairs) {
+  stats_.reconcile_violations += violations;
+  stats_.reconcile_repairs += repairs;
+  obs::count("sim.ctrl.reconcile_violations", violations);
+  obs::count("sim.ctrl.reconcile_repairs", repairs);
+}
+
+void CtrlPlaneRuntime::finish(double end, ControlPlaneStats& out) {
+  if (down_) {
+    // Permanent crash: the blackout runs to the end of the simulation.
+    stats_.blackout_seconds += std::max(0.0, end - down_since_);
+  }
+  out = stats_;
+  if (stats_.any()) {
+    obs::gauge_set("sim.ctrl.blackout_seconds", out.blackout_seconds);
+    obs::gauge_set("sim.ctrl.journal_records",
+                   static_cast<double>(out.journal_records));
+    obs::gauge_set("sim.ctrl.waves_delayed",
+                   static_cast<double>(out.waves_delayed));
+  }
+}
+
+}  // namespace hit::sim

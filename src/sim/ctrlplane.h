@@ -1,0 +1,104 @@
+// Simulator-side control-plane model: blackout windows, warm standby, and
+// abstract journal/snapshot accounting (DESIGN.md §15).
+//
+// The simulators do not run a live NetworkController; what they model is the
+// *consequence* of losing one.  Between a ControllerCrash and the matching
+// ControllerRestart the data plane fails static: flows keep their
+// last-installed routes, a flow whose route dies stalls (no controller to
+// install a detour), new waves / job launches queue, and the health monitor
+// and admission epochs — controller residents — freeze.  The restart replays
+// the journal tail (records since the last snapshot) and reconciles: every
+// flow stalled during the blackout is a divergence; each one resumed on a
+// live route is a repair.
+//
+// The core-layer twin (core/recovery/) journals real controller state and
+// rebuilds it bit-identically; this runtime carries the same bookkeeping at
+// the fluid-simulation level so campaign metrics and bench_recovery agree on
+// what a blackout costs.
+//
+// Determinism: everything here is a pure fold over the fault-event prefix
+// and the knob struct.  With no controller events and snapshot_every == 0
+// the runtime is never constructed and both simulators are bit-identical to
+// their pre-recovery behavior.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/faults.h"
+#include "sim/metrics.h"
+
+namespace hit::sim {
+
+/// Control-plane recovery knobs.  Defaults keep the subsystem off.
+struct CtrlPlaneConfig {
+  /// Snapshot cadence in simulated seconds (0 = journal-only: every record
+  /// since time zero replays at restart).
+  double snapshot_every = 0.0;
+  /// Warm standby: a follower tails the journal and takes over a crashed
+  /// controller within `standby_takeover_s`, clamping every blackout — a
+  /// permanent crash (no scripted restart) becomes a takeover.
+  bool standby = false;
+  double standby_takeover_s = 30.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return snapshot_every > 0.0 || standby;
+  }
+};
+
+/// Replay-time control-plane state for one run.  Simulators feed it the
+/// controller fault events in time order and tick `note_*` on the control
+/// mutations a real controller would journal; it folds the result into
+/// ControlPlaneStats at the end of the run.
+class CtrlPlaneRuntime {
+ public:
+  explicit CtrlPlaneRuntime(const CtrlPlaneConfig& config);
+
+  /// Preprocess a plan for this config: with standby on, each
+  /// ControllerRestart is pulled forward to crash + standby_takeover_s and a
+  /// permanent crash gains a takeover restart.  Data-plane events are passed
+  /// through untouched; the result is re-sorted by time (stable).
+  [[nodiscard]] std::vector<FaultEvent> plan_events(const FaultPlan& plan) const;
+
+  /// Whether the plan carries any control-plane events (the cheap gate both
+  /// simulators use before constructing a runtime).
+  [[nodiscard]] static bool plan_has_controller(const FaultPlan& plan);
+
+  [[nodiscard]] bool down() const noexcept { return down_; }
+
+  /// Apply one controller event (ControllerCrash / ControllerRestart).
+  /// `active_flows` is the fail-static population: flows mid-transfer at the
+  /// crash that will ride out the blackout on their installed routes.
+  void on_crash(double now, std::size_t active_flows);
+  void on_restart(double now);
+
+  /// One control-plane mutation a live controller would journal (install,
+  /// reroute, park, readmit, wave dispatch, quarantine, epoch limit, ...).
+  void note_record(std::size_t n = 1) { stats_.journal_records += n; }
+  /// Advance the snapshot clock to `now`, cutting snapshots on the cadence.
+  /// A down controller cuts nothing; the backlog replays at restart.
+  void advance(double now);
+  void note_wave_delayed(std::size_t n = 1) { stats_.waves_delayed += n; }
+  void note_blackout_stall() { ++stats_.flows_stalled_blackout; }
+  /// Restart-time reconciliation outcome: `violations` divergences found
+  /// (stalled flows whose route state went stale), `repairs` of them fixed.
+  void note_reconcile(std::size_t violations, std::size_t repairs);
+
+  /// Fold the run's control-plane accounting into `out`, clipping a still-
+  /// open blackout to the run end.
+  void finish(double end, ControlPlaneStats& out);
+
+  [[nodiscard]] const CtrlPlaneConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  CtrlPlaneConfig config_;
+  ControlPlaneStats stats_;
+  bool down_ = false;
+  double down_since_ = 0.0;
+  double last_snapshot_ = 0.0;
+  std::size_t records_at_snapshot_ = 0;
+};
+
+}  // namespace hit::sim

@@ -120,11 +120,45 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
   std::unordered_map<JobId, double> remote_map_gb;
 
   // Split the plan: server events drive the map phase, switch/link events
-  // drive the shuffle phase.
+  // drive the shuffle phase, controller events bound the blackout windows
+  // both phases must respect (FaultState rejects them).
+  std::optional<CtrlPlaneRuntime> ctrl_rt;
+  const bool ctrl_on = CtrlPlaneRuntime::plan_has_controller(config_.faults) ||
+                       config_.recovery.enabled();
+  if (ctrl_on) ctrl_rt.emplace(config_.recovery);
+  const std::vector<FaultEvent> planned =
+      ctrl_on ? ctrl_rt->plan_events(config_.faults)
+              : std::vector<FaultEvent>{};
   std::vector<FaultEvent> server_events;
   std::vector<FaultEvent> net_events;
-  for (const FaultEvent& ev : config_.faults.events()) {
-    (ev.target == FaultTarget::Server ? server_events : net_events).push_back(ev);
+  std::vector<FaultEvent> ctrl_events;
+  for (const FaultEvent& ev : ctrl_on ? planned : config_.faults.events()) {
+    if (ev.target == FaultTarget::Controller) {
+      ctrl_events.push_back(ev);
+    } else if (ev.target == FaultTarget::Server) {
+      server_events.push_back(ev);
+    } else {
+      net_events.push_back(ev);
+    }
+  }
+  const auto ctrl_down = [&] { return ctrl_rt && ctrl_rt->down(); };
+
+  // Blackout intervals [crash, restart), for wave deferral in the map phase
+  // (the shuffle loop consumes ctrl_events itself, in time order).
+  std::vector<std::pair<double, double>> blackouts;
+  {
+    double open = -1.0;
+    for (const FaultEvent& ev : ctrl_events) {
+      if (ev.kind == FaultKind::ControllerCrash) {
+        if (open < 0.0) open = ev.time;
+      } else if (open >= 0.0) {
+        blackouts.emplace_back(open, ev.time);
+        open = -1.0;
+      }
+    }
+    if (open >= 0.0) {
+      blackouts.emplace_back(open, std::numeric_limits<double>::infinity());
+    }
   }
 
   std::vector<char> server_dead(cluster_->size(), 0);
@@ -150,6 +184,19 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
   bool first = true;
 
   while (first || !todo.empty() || !displaced.empty()) {
+    // A wave cannot dispatch while the controller is down: it queues until
+    // the restart reconciles (fail-static, DESIGN.md §15).
+    for (const auto& [crash, restart] : blackouts) {
+      if (wave_start >= crash - kEps && wave_start < restart - kEps) {
+        if (!std::isfinite(restart)) {
+          throw std::runtime_error(
+              "ClusterSimulator: controller crashed with map waves pending");
+        }
+        ctrl_rt->note_wave_delayed();
+        obs::count("sim.ctrl.waves_delayed");
+        wave_start = restart;
+      }
+    }
     // Server events up to the wave boundary shape this wave's problem.
     while (next_sev < server_events.size() &&
            server_events[next_sev].time <= wave_start + kEps) {
@@ -252,6 +299,11 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     }
     for (const auto& [id, host] : a.placement) placement.insert_or_assign(id, host);
     for (auto& [id, pol] : a.policies) policies.insert_or_assign(id, std::move(pol));
+    if (ctrl_rt) {
+      // One journal record per policy install plus the wave dispatch itself.
+      ctrl_rt->note_record(a.policies.size() + 1);
+      ctrl_rt->advance(wave_start);
+    }
     ++wave_index;
 
     // Reduce containers persist; map containers free between waves.
@@ -485,10 +537,12 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
   std::vector<std::size_t> active;
   std::vector<std::size_t> stalled;
   std::size_t next_nev = 0;  // switch/link events, replayed as loop events
+  std::size_t next_cev = 0;  // controller crash/restart events
   std::size_t next_pending = 0;
   double now = 0.0;
 
   const auto try_reroute = [&](SimFlow& sf) {
+    if (ctrl_down()) return false;  // no controller to install a detour
     auto detour = reroute_policy(topology, fstate, sf.src, sf.dst, sf.flow->id);
     if (!detour) return false;
     sf.policy = std::move(detour->policy);
@@ -497,6 +551,7 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     ++sf.reroutes;
     ++rec.flows_rerouted;
     obs::count("sim.flow_reroutes");
+    if (ctrl_rt) ctrl_rt->note_record();
     return true;
   };
   const auto stall = [&](std::size_t i, double at) {
@@ -504,6 +559,15 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     stalled.push_back(i);
     ++rec.flows_stalled;
     obs::count("sim.flow_stalls");
+    if (ctrl_rt) {
+      // A live controller journals the park; a down one cannot — that gap
+      // is precisely what the restart's reconcile has to repair.
+      if (ctrl_down()) {
+        ctrl_rt->note_blackout_stall();
+      } else {
+        ctrl_rt->note_record();
+      }
+    }
     obs::sim_instant(
         "flow.stall", "sim.flow", at,
         {{"flow", static_cast<std::int64_t>(sim_flows[i].flow->id.value())}},
@@ -542,7 +606,10 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
       }
       active = std::move(keep);
     } else {
-      // Stalled transfers resume on their old route or a fresh detour.
+      // Stalled transfers resume on their old route or a fresh detour —
+      // unless the controller is down: fail-static means resumes wait for
+      // the restart's reconcile (the hardware repair itself still counts).
+      if (ctrl_down()) return;
       std::vector<std::size_t> waiting;
       waiting.reserve(stalled.size());
       for (std::size_t i : stalled) {
@@ -562,6 +629,47 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
       stalled = std::move(waiting);
     }
   };
+  const auto apply_ctrl_event = [&](const FaultEvent& ev) {
+    if (ev.kind == FaultKind::ControllerCrash) {
+      obs::count("sim.faults.controller_crash");
+      obs::sim_instant("fault.ctrl.crash", "sim.fault", ev.time, {}, /*tid=*/3);
+      ctrl_rt->on_crash(ev.time, active.size());
+      return;
+    }
+    obs::count("sim.faults.controller_restart");
+    obs::sim_instant("fault.ctrl.restart", "sim.fault", ev.time, {}, /*tid=*/3);
+    ctrl_rt->on_restart(ev.time);
+    // Reconcile: every flow still stalled when the controller returns is a
+    // divergence between its journal-rebuilt state and the live network.
+    // Resuming it (old route back up, or a fresh detour) is a repair; so is
+    // acknowledging that the path is genuinely dead with no detour — the
+    // controller then knowingly keeps the flow stalled until the hardware
+    // heals, mirroring core reconcile where evacuate-to-parked counts as a
+    // repaired missed-failure.  Unreconciled would mean a divergence the
+    // restart could neither resume nor explain.
+    const std::size_t violations = stalled.size();
+    std::size_t repaired = 0;
+    std::vector<std::size_t> waiting;
+    waiting.reserve(stalled.size());
+    for (std::size_t i : stalled) {
+      SimFlow& sf = sim_flows[i];
+      if (fstate.path_up(sf.path) || try_reroute(sf)) {
+        sf.stall_seconds += ev.time - sf.stall_since;
+        rec.stall_seconds += ev.time - sf.stall_since;
+        ++repaired;
+        obs::sim_instant(
+            "flow.resume", "sim.flow", ev.time,
+            {{"flow", static_cast<std::int64_t>(sf.flow->id.value())}},
+            /*tid=*/2);
+        active.push_back(i);
+      } else {
+        waiting.push_back(i);
+        ++repaired;
+      }
+    }
+    stalled = std::move(waiting);
+    if (violations > 0) ctrl_rt->note_reconcile(violations, repaired);
+  };
 
   while (next_pending < pending.size() || !active.empty() || !stalled.empty()) {
     if (active.empty()) {
@@ -572,6 +680,9 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
       if (next_nev < net_events.size()) {
         next_time = std::min(next_time, net_events[next_nev].time);
       }
+      if (next_cev < ctrl_events.size()) {
+        next_time = std::min(next_time, ctrl_events[next_cev].time);
+      }
       if (!std::isfinite(next_time)) {
         throw std::runtime_error(
             "ClusterSimulator: shuffle flows stalled with no recovery event");
@@ -580,7 +691,16 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     }
     while (next_nev < net_events.size() &&
            net_events[next_nev].time <= now + kEps) {
+      // Controller events interleave with data-plane events in time order.
+      while (next_cev < ctrl_events.size() &&
+             ctrl_events[next_cev].time <= net_events[next_nev].time + kEps) {
+        apply_ctrl_event(ctrl_events[next_cev++]);
+      }
       apply_net_event(net_events[next_nev++]);
+    }
+    while (next_cev < ctrl_events.size() &&
+           ctrl_events[next_cev].time <= now + kEps) {
+      apply_ctrl_event(ctrl_events[next_cev++]);
     }
     while (next_pending < pending.size() &&
            sim_flows[pending[next_pending]].release <= now + kEps) {
@@ -655,7 +775,7 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
         fstate.any_degraded() ? &fstate.degrade() : nullptr;
     std::vector<double> rates = solve(demands, degrade);
 
-    if (gray_rt) {
+    if (gray_rt && !ctrl_down()) {
       // Health sampling: observed vs healthy-reference rates per flow.  On a
       // clean run the reference IS the observed vector, so every ratio is
       // exactly 1.0 and no false suspicion can accumulate.
@@ -702,7 +822,12 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     if (next_nev < net_events.size()) {
       dt = std::min(dt, net_events[next_nev].time - now);
     }
-    if (gray_rt && gray_rt->any_quarantined()) {
+    if (next_cev < ctrl_events.size()) {
+      dt = std::min(dt, ctrl_events[next_cev].time - now);
+    }
+    // Probes are a controller activity; a blackout freezes them (suspects
+    // stay quarantined until the restart reconciles).
+    if (gray_rt && gray_rt->any_quarantined() && !ctrl_down()) {
       dt = std::min(dt, gray_rt->next_probe_time() - now);
     }
     if (!std::isfinite(dt)) {
@@ -711,7 +836,10 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     dt = std::max(dt, 0.0);
 
     now += dt;
-    if (gray_rt && gray_rt->any_quarantined()) gray_rt->run_probes(now, fstate);
+    if (ctrl_rt) ctrl_rt->advance(now);
+    if (gray_rt && gray_rt->any_quarantined() && !ctrl_down()) {
+      gray_rt->run_probes(now, fstate);
+    }
     std::vector<std::size_t> still_active;
     still_active.reserve(active.size());
     for (std::size_t j = 0; j < active.size(); ++j) {
@@ -737,6 +865,12 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
       }
     }
     active = std::move(still_active);
+  }
+
+  // Controller events past the last transfer still count (a crash after the
+  // shuffle costs nothing, but the blackout window is part of the record).
+  while (next_cev < ctrl_events.size()) {
+    apply_ctrl_event(ctrl_events[next_cev++]);
   }
 
   // ---- 6. Reduce phase and aggregation ------------------------------------
@@ -828,6 +962,7 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     account_gray_plan(config_.faults, result.makespan, result.gray);
   }
   if (gray_rt) gray_rt->finish(result.makespan, result.gray);
+  if (ctrl_rt) ctrl_rt->finish(result.makespan, result.control);
   return result;
 }
 

@@ -33,6 +33,7 @@
 #include "network/bandwidth.h"
 #include "obs/context.h"
 #include "sched/scheduler.h"
+#include "sim/ctrlplane.h"
 #include "sim/delay_fetcher.h"
 #include "sim/faults.h"
 #include "sim/gray.h"
@@ -86,6 +87,12 @@ struct SimConfig {
   /// rerouting and probed before trust returns).  Degrade events in `faults`
   /// scale effective capacities whether or not the monitor runs.
   GrayConfig gray;
+  /// Control-plane recovery knobs (all off by default): snapshot cadence for
+  /// the journal model and warm-standby takeover.  ControllerCrash events in
+  /// `faults` open a blackout window whether or not these are set — during
+  /// it flows fail static (no reroutes, route-killed flows stall) and new
+  /// waves / job launches queue until the restart reconciles.
+  CtrlPlaneConfig recovery;
   /// Observability context (null = disabled, the default).  `run()` binds it
   /// as the thread's ambient context, so the scheduler's phases profile into
   /// it too; wave boundaries, task placements, flow lifecycle and fault

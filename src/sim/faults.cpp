@@ -37,6 +37,7 @@ std::string_view fault_target_name(FaultTarget target) {
   switch (target) {
     case FaultTarget::Switch: return "switch";
     case FaultTarget::Server: return "server";
+    case FaultTarget::Controller: return "controller";
     default: return "link";
   }
 }
@@ -46,6 +47,8 @@ std::string_view fault_kind_name(FaultKind kind) {
     case FaultKind::Fail: return "fail";
     case FaultKind::Recover: return "recover";
     case FaultKind::Degrade: return "degrade";
+    case FaultKind::ControllerCrash: return "controller-crash";
+    case FaultKind::ControllerRestart: return "controller-restart";
     default: return "restore";
   }
 }
@@ -115,6 +118,15 @@ void FaultPlan::degrade_link(NodeId a, NodeId b, double factor, double at,
   }
 }
 
+void FaultPlan::crash_controller(double at, double restart_after) {
+  insert(FaultEvent{at, FaultKind::ControllerCrash, FaultTarget::Controller,
+                    NodeId{}, NodeId{}});
+  if (restart_after > 0.0) {
+    insert(FaultEvent{at + restart_after, FaultKind::ControllerRestart,
+                      FaultTarget::Controller, NodeId{}, NodeId{}});
+  }
+}
+
 FaultPlan FaultPlan::scripted(std::vector<FaultEvent> events) {
   FaultPlan plan;
   for (FaultEvent& e : events) {
@@ -171,6 +183,25 @@ FaultPlan FaultPlan::generate(const topo::Topology& topology,
     }
   }
 
+  // Control-plane crashes: one renewal process for the (single) controller
+  // instance, on its own salt so enabling it leaves every data-plane stream
+  // byte-identical.
+  if (config.controller_mtbf > 0.0) {
+    Rng rng = base.fork(salt(FaultTarget::Controller, NodeId{}, NodeId{}));
+    double t = 0.0;
+    while (true) {
+      t += rng.exponential(1.0 / config.controller_mtbf);
+      if (t >= config.horizon) break;
+      plan.insert(FaultEvent{t, FaultKind::ControllerCrash,
+                             FaultTarget::Controller, NodeId{}, NodeId{}});
+      if (config.controller_mttr <= 0.0) break;  // permanent blackout
+      t += rng.exponential(1.0 / config.controller_mttr);
+      plan.insert(FaultEvent{t, FaultKind::ControllerRestart,
+                             FaultTarget::Controller, NodeId{}, NodeId{}});
+      if (t >= config.horizon) break;
+    }
+  }
+
   // Gray failures: an independent per-element renewal process on a disjoint
   // salt, so enabling the gray knobs leaves the crash events byte-identical.
   // The capacity factor is drawn per episode from [gray_factor_min,
@@ -220,6 +251,14 @@ FaultState::FaultState(const topo::Topology& topology)
     : topology_(&topology), node_down_(topology.node_count(), 0) {}
 
 void FaultState::apply(const FaultEvent& event) {
+  if (event.target == FaultTarget::Controller ||
+      event.kind == FaultKind::ControllerCrash ||
+      event.kind == FaultKind::ControllerRestart) {
+    // Control-plane events never touch data-plane liveness; the simulators
+    // must intercept them before FaultState dispatch.
+    throw std::invalid_argument(
+        "FaultState: controller events are not data-plane events");
+  }
   if (event.kind == FaultKind::Degrade || event.kind == FaultKind::Restore) {
     // Gray events only touch the capacity map; up/down state is unaffected.
     const double factor = event.kind == FaultKind::Degrade ? event.factor : 1.0;
@@ -325,6 +364,9 @@ void account_plan(const FaultPlan& plan, double end, RecoveryStats& rec) {
     if (ev.kind == FaultKind::Degrade || ev.kind == FaultKind::Restore) {
       continue;  // gray accounting lives in account_gray_plan
     }
+    if (ev.target == FaultTarget::Controller) {
+      continue;  // control-plane accounting lives in ControlPlaneStats
+    }
     ++rec.faults_applied;
     const auto key = std::make_tuple(
         static_cast<int>(ev.target), ev.node.value(),
@@ -335,6 +377,7 @@ void account_plan(const FaultPlan& plan, double end, RecoveryStats& rec) {
           case FaultTarget::Switch: ++rec.switches_failed; break;
           case FaultTarget::Server: ++rec.servers_failed; break;
           case FaultTarget::Link: ++rec.links_failed; break;
+          case FaultTarget::Controller: break;  // unreachable (skipped above)
         }
       }
     } else {

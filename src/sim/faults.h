@@ -31,11 +31,24 @@
 
 namespace hit::sim {
 
-enum class FaultTarget : std::uint8_t { Switch, Server, Link };
+/// Controller is the control plane itself — not a topology element.  Its
+/// events (ControllerCrash/ControllerRestart) are intercepted by the
+/// simulators before FaultState dispatch; FaultState::apply rejects them.
+enum class FaultTarget : std::uint8_t { Switch, Server, Link, Controller };
 /// Fail/Recover are the binary crash model of PR 1.  Degrade/Restore are the
 /// gray-failure half: the element stays alive and routable but its effective
 /// capacity drops to `factor` x nominal until the matching Restore.
-enum class FaultKind : std::uint8_t { Fail, Recover, Degrade, Restore };
+/// ControllerCrash/ControllerRestart bound a control-plane blackout window
+/// (DESIGN.md §15): the data plane fails static (flows keep last-installed
+/// routes, no reroutes), new waves queue, and the restart reconciles.
+enum class FaultKind : std::uint8_t {
+  Fail,
+  Recover,
+  Degrade,
+  Restore,
+  ControllerCrash,
+  ControllerRestart,
+};
 
 [[nodiscard]] std::string_view fault_target_name(FaultTarget target);
 [[nodiscard]] std::string_view fault_kind_name(FaultKind kind);
@@ -69,6 +82,11 @@ struct MtbfConfig {
   double gray_link_mttr = 0.0;
   double gray_factor_min = 0.25;
   double gray_factor_max = 0.5;
+  /// Control-plane crash renewal process (one controller instance).  The
+  /// blackout between crash and restart is Exp(1/controller_mttr); mttr == 0
+  /// makes the crash permanent (fail-static to the end of the run).
+  double controller_mtbf = 0.0;
+  double controller_mttr = 0.0;
 };
 
 /// An ordered script of fault events.  Events are kept sorted by time;
@@ -93,6 +111,11 @@ class FaultPlan {
                       double restore_after = 0.0);
   void degrade_link(NodeId a, NodeId b, double factor, double at,
                     double restore_after = 0.0);
+
+  /// Scripted control-plane crash: the controller blacks out at `at` and
+  /// restarts `restart_after` later (<= 0 means it never comes back — the
+  /// data plane fails static to the end of the run).
+  void crash_controller(double at, double restart_after = 0.0);
 
   /// Stochastic plan: alternate Exp(1/mtbf) up-times and Exp(1/mttr)
   /// down-times per element.  Failures are generated inside (0, horizon);

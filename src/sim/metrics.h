@@ -94,6 +94,31 @@ struct GrayStats {
   }
 };
 
+/// Control-plane crash accounting (DESIGN.md §15; all zero when the fault
+/// plan carries no ControllerCrash events).  During a blackout the data
+/// plane fails static: flows keep their last-installed routes (counted in
+/// `flows_failstatic`), flows whose route dies stall instead of detouring
+/// (`flows_stalled_blackout`), and new waves / job launches queue
+/// (`waves_delayed`).  The restart replays the journal tail and reconciles;
+/// `reconcile_repairs` counts the divergences repaired then.
+struct ControlPlaneStats {
+  std::size_t crashes = 0;            ///< ControllerCrash events replayed
+  std::size_t restarts = 0;           ///< ControllerRestart events replayed
+  double blackout_seconds = 0.0;      ///< Σ controller downtime inside the run
+  std::size_t waves_delayed = 0;      ///< wave/job launches deferred past a blackout
+  std::size_t flows_failstatic = 0;   ///< flows that rode out a blackout on old routes
+  std::size_t flows_stalled_blackout = 0;  ///< stalls that had to wait for restart
+  std::size_t reconcile_violations = 0;    ///< divergences found at restart
+  std::size_t reconcile_repairs = 0;       ///< divergences repaired at restart
+  std::size_t journal_records = 0;    ///< control-plane mutations journaled
+  std::size_t snapshots = 0;          ///< snapshots cut on the cadence
+  std::size_t replayed_records = 0;   ///< journal tail replayed across restarts
+
+  [[nodiscard]] bool any() const noexcept {
+    return crashes > 0 || restarts > 0 || journal_records > 0;
+  }
+};
+
 /// Overload accounting for an online run (all zero when admission control is
 /// off or the offered load fits).  A run that sheds work completes with
 /// partial results instead of throwing; this block says what was given up.
@@ -132,6 +157,7 @@ struct SimResult {
   std::size_t speculative_lost = 0;    ///< backups the original outran
   RecoveryStats recovery;              ///< fault/recovery accounting
   GrayStats gray;                      ///< gray-failure / quarantine accounting
+  ControlPlaneStats control;           ///< controller crash/blackout accounting
   std::vector<CoflowTiming> coflows;   ///< per-job-wave shuffle groups
 
   [[nodiscard]] std::vector<double> job_completion_times() const;

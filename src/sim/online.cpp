@@ -18,6 +18,7 @@
 #include "network/load.h"
 #include "network/routing.h"
 #include "obs/context.h"
+#include "sim/ctrlplane.h"
 #include "sim/delay_fetcher.h"
 #include "sim/faults.h"
 #include "stats/summary.h"
@@ -283,8 +284,22 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
   // Fault machinery.  Faults and their consequences are first-class loop
   // events; with an empty plan every branch below is dead and the run is
   // bit-identical to the fault-free simulator.
-  const std::vector<FaultEvent>& fault_events = config_.sim.faults.events();
+  std::optional<CtrlPlaneRuntime> ctrl_rt;  // control-plane blackout model
+  const bool ctrl_on =
+      CtrlPlaneRuntime::plan_has_controller(config_.sim.faults) ||
+      config_.sim.recovery.enabled();
+  if (ctrl_on) ctrl_rt.emplace(config_.sim.recovery);
+  const auto ctrl_down = [&] { return ctrl_rt && ctrl_rt->down(); };
+  // With standby on, the takeover clamps every blackout, so the event list
+  // the loop replays is the preprocessed one.
+  const std::vector<FaultEvent> standby_events =
+      ctrl_on ? ctrl_rt->plan_events(config_.sim.faults)
+              : std::vector<FaultEvent>{};
+  const std::vector<FaultEvent>& fault_events =
+      ctrl_on ? standby_events : config_.sim.faults.events();
   std::size_t next_fev = 0;
+  std::vector<char> job_deferred;  // queued launches already counted, per blackout
+  if (ctrl_on) job_deferred.assign(jobs.size(), 0);
   std::vector<char> server_dead(cluster_->size(), 0);
   FaultState fstate(topology);  // switch/link liveness
   std::vector<double> queued_since = arrivals;  // restart re-stamps the wait
@@ -485,6 +500,10 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     run.scheduled = true;
     run.scheduled_at = now;
     obs::count("online.jobs_scheduled");
+    if (ctrl_rt) {
+      // One journal record per policy install plus the launch itself.
+      ctrl_rt->note_record(assignment.policies.size() + 1);
+    }
     obs::observe("online.queueing_delay_s", now - queued_since[j]);
     obs::sim_instant("job.schedule", "sim.job", now,
                      {{"job", static_cast<std::int64_t>(jobs[j].id.value())},
@@ -612,7 +631,10 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
   };
 
   // Detour `jf` onto an alive route, moving its charge and cost with it.
+  // A blackout suppresses detours outright: fail-static means nobody is
+  // there to install one (DESIGN.md §15).
   const auto try_reroute_flow = [&](JobFlow& jf) -> bool {
+    if (ctrl_down()) return false;
     auto detour =
         reroute_policy(topology, fstate, jf.src_node, jf.dst_node, jf.flow->id);
     if (!detour) return false;
@@ -628,6 +650,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     ++jf.reroutes;
     ++rec.flows_rerouted;
     obs::count("online.flow_reroutes");
+    if (ctrl_rt) ctrl_rt->note_record();
     return true;
   };
 
@@ -642,6 +665,15 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     stalled_flows.push_back(idx);
     ++rec.flows_stalled;
     obs::count("online.flow_stalls");
+    if (ctrl_rt) {
+      // A live controller journals the park; a down one cannot — that gap
+      // is what the restart's reconcile has to repair.
+      if (ctrl_down()) {
+        ctrl_rt->note_blackout_stall();
+      } else {
+        ctrl_rt->note_record();
+      }
+    }
     obs::sim_instant("flow.stall", "sim.flow", now,
                      {{"flow", static_cast<std::int64_t>(jf.flow->id.value())}},
                      /*tid=*/2);
@@ -758,6 +790,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     }
     sched::validate_assignment(problem, assignment);
 
+    if (ctrl_rt) ctrl_rt->note_record(assignment.policies.size() + 1);
     for (const mr::Task* t : dead_maps) {
       const ServerId host = assignment.placement.at(t->id);
       run.placement.insert_or_assign(t->id, host);
@@ -841,7 +874,9 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
         }
       }
       if (dead_maps.empty()) continue;  // completed output is durable
-      if (!reschedule_maps(j, dead_maps)) restart_job(j);
+      // Re-placing maps is a scheduling action: with the controller down
+      // the job re-queues and waits for the restart like any other launch.
+      if (ctrl_down() || !reschedule_maps(j, dead_maps)) restart_job(j);
     }
   };
 
@@ -868,7 +903,10 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       }
       active = std::move(keep);
     } else {
-      // Parked transfers resume on their old route or a fresh detour.
+      // Parked transfers resume on their old route or a fresh detour —
+      // unless the controller is down: fail-static means resumes wait for
+      // the restart's reconcile (the hardware repair itself still counts).
+      if (ctrl_down()) return;
       std::vector<std::size_t> still_parked;
       still_parked.reserve(stalled_flows.size());
       for (std::size_t idx : stalled_flows) {
@@ -890,6 +928,46 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       }
       stalled_flows = std::move(still_parked);
     }
+  };
+
+  const auto handle_ctrl_event = [&](const FaultEvent& ev) {
+    if (ev.kind == FaultKind::ControllerCrash) {
+      ctrl_rt->on_crash(ev.time, active.size());
+      return;
+    }
+    ctrl_rt->on_restart(ev.time);
+    if (ctrl_on) std::fill(job_deferred.begin(), job_deferred.end(), 0);
+    // Reconcile: every flow still parked when the controller returns is a
+    // divergence between its journal-rebuilt state and the live network.
+    // Resuming it (old route back up, or a fresh detour) is a repair; so is
+    // acknowledging a genuinely dead path with no detour — the controller
+    // knowingly keeps the flow parked until the hardware heals (mirrors core
+    // reconcile, where evacuate-to-parked is a repaired missed-failure).
+    const std::size_t violations = stalled_flows.size();
+    std::size_t repaired = 0;
+    std::vector<std::size_t> still_parked;
+    still_parked.reserve(stalled_flows.size());
+    for (std::size_t idx : stalled_flows) {
+      JobFlow& jf = flows[idx];
+      bool alive = fstate.path_up(jf.path);
+      if (alive && !jf.charged) {
+        load.assign(jf.policy, jf.flow->rate);
+        jf.charged = true;
+      }
+      if (!alive) alive = try_reroute_flow(jf);
+      if (alive) {
+        jf.stalled = false;
+        jf.stall_seconds += ev.time - jf.stall_since;
+        rec.stall_seconds += ev.time - jf.stall_since;
+        ++repaired;
+        active.push_back(idx);
+      } else {
+        still_parked.push_back(idx);
+        ++repaired;
+      }
+    }
+    stalled_flows = std::move(still_parked);
+    if (violations > 0) ctrl_rt->note_reconcile(violations, repaired);
   };
 
   // ---- main event loop ------------------------------------------------
@@ -940,7 +1018,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
         fstate.any_degraded() ? &fstate.degrade() : nullptr;
     std::vector<double> rates = solve(degrade);
 
-    if (gray_rt && !active.empty()) {
+    if (gray_rt && !active.empty() && !ctrl_down()) {
       // Health sampling: each flow's observed rate vs what the identical
       // allocation yields on healthy hardware.  On a clean network the
       // baseline IS the observed vector, so ratios are exactly 1.0.
@@ -1000,9 +1078,10 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     const double finish_at = job_finishes.empty() ? kInf : job_finishes.top().first;
     const double fault_at =
         next_fev < fault_events.size() ? fault_events[next_fev].time : kInf;
-    const double probe_at = (gray_rt && gray_rt->any_quarantined())
-                                ? gray_rt->next_probe_time()
-                                : kInf;
+    const double probe_at =
+        (gray_rt && gray_rt->any_quarantined() && !ctrl_down())
+            ? gray_rt->next_probe_time()
+            : kInf;
 
     // Probes and AIMD epoch ticks bound the step but never rescue a stalled
     // run: a tick that can fire forever must not advance time with no
@@ -1018,6 +1097,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       flows[active[i]].remaining -= rates[i] * dt;
     }
     now = next_time;
+    if (ctrl_rt) ctrl_rt->advance(now);
 
     // 1. Network flow completions.
     std::vector<std::size_t> still_active;
@@ -1064,8 +1144,21 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
           obs::count("online.faults.restore");
           obs::sim_instant("fault.restore", "sim.fault", ev.time, {}, /*tid=*/3);
           break;
+        case FaultKind::ControllerCrash:
+          obs::count("online.faults.controller_crash");
+          obs::sim_instant("fault.ctrl.crash", "sim.fault", ev.time, {},
+                           /*tid=*/3);
+          break;
+        case FaultKind::ControllerRestart:
+          obs::count("online.faults.controller_restart");
+          obs::sim_instant("fault.ctrl.restart", "sim.fault", ev.time, {},
+                           /*tid=*/3);
+          break;
       }
-      if (ev.target == FaultTarget::Server) {
+      if (ev.target == FaultTarget::Controller) {
+        // Control-plane events never reach FaultState (it rejects them).
+        handle_ctrl_event(ev);
+      } else if (ev.target == FaultTarget::Server) {
         if (ev.kind == FaultKind::Fail) {
           handle_server_fail(ev.node);
         } else {
@@ -1076,8 +1169,11 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       }
     }
     // 3b. Quarantine probes: reinstate elements that repeatedly probe clean
-    // (future placements simply see a smaller penalized set).
-    if (gray_rt && gray_rt->any_quarantined()) gray_rt->run_probes(now, fstate);
+    // (future placements simply see a smaller penalized set).  Probes are a
+    // controller activity, so a blackout freezes them.
+    if (gray_rt && gray_rt->any_quarantined() && !ctrl_down()) {
+      gray_rt->run_probes(now, fstate);
+    }
 
     // 4. Flow releases into the fluid pool.
     while (!releases.empty() && releases.top().first <= now + kEps) {
@@ -1157,6 +1253,11 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     // 5b. AIMD epoch tick: sample the sensor, feed the controller, publish
     // the fresh limit — before arrivals so a same-instant arrival already
     // sees it.
+    if (aimd && now + kEps >= next_epoch && ctrl_down()) {
+      // Epochs the blackout swallows pass without a sample: the controller
+      // was not there to take one (the restart resumes on the next tick).
+      while (next_epoch <= now + kEps) next_epoch += config_.admission.aimd.epoch_s;
+    }
     if (aimd && now + kEps >= next_epoch) {
       while (next_epoch <= now + kEps) next_epoch += config_.admission.aimd.epoch_s;
       adm::AimdSample sample;
@@ -1193,6 +1294,14 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       const std::size_t j = next_arrival++;
       const AdmissionPolicy pol = config_.admission.policy;
       if (tenancy) ++tstats[jobs[j].tenant].submitted;
+      if (ctrl_down()) {
+        // Admission decisions are the controller's: during a blackout the
+        // arrival simply queues and waits for the restart (fail-static).
+        waiting.push_back(j);
+        result.overload.peak_queue_depth =
+            std::max(result.overload.peak_queue_depth, waiting.size());
+        continue;
+      }
       if (pol == AdmissionPolicy::Aimd && !aimd_admit(j)) continue;
       if ((pol == AdmissionPolicy::RejectNew || pol == AdmissionPolicy::DropOldest) &&
           waiting.size() >= config_.admission.max_queue) {
@@ -1228,8 +1337,17 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
           std::max(result.overload.peak_queue_depth, waiting.size());
     }
 
-    // 7. FIFO admission: schedule from the head while jobs fit.
-    if (freed || !waiting.empty()) {
+    // 7. FIFO admission: schedule from the head while jobs fit.  During a
+    // blackout nothing launches: the queue holds and each deferred job is
+    // counted once per blackout window.
+    if (ctrl_down()) {
+      for (std::size_t j : waiting) {
+        if (job_deferred[j]) continue;
+        job_deferred[j] = 1;
+        ctrl_rt->note_wave_delayed();
+        obs::count("online.ctrl.launches_delayed");
+      }
+    } else if (freed || !waiting.empty()) {
       while (!waiting.empty()) {
         if (!try_schedule(waiting.front())) break;  // head-of-line blocks
         waiting.pop_front();
@@ -1238,7 +1356,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     if ((config_.admission.policy == AdmissionPolicy::DeadlineShed ||
          (config_.admission.policy == AdmissionPolicy::Aimd &&
           config_.max_queue_wait > 0.0)) &&
-        !waiting.empty()) {
+        !waiting.empty() && !ctrl_down()) {
       // Restarts can reorder waits (they re-enter at the head with a fresh
       // stamp), so the deadline scan covers the whole queue.  Under Aimd the
       // deadline is optional; its sheds feed the controller as misses.
@@ -1253,7 +1371,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       waiting = std::move(keep);
     }
     if (config_.admission.policy == AdmissionPolicy::Unbounded &&
-        config_.max_queue_wait > 0.0 && !waiting.empty() &&
+        config_.max_queue_wait > 0.0 && !waiting.empty() && !ctrl_down() &&
         now - queued_since[waiting.front()] > config_.max_queue_wait) {
       throw core::OverloadError(
           "OnlineSimulator: queue wait limit exceeded (overload)");
@@ -1308,6 +1426,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     account_gray_plan(config_.sim.faults, result.makespan, result.gray);
   }
   if (gray_rt) gray_rt->finish(result.makespan, result.gray);
+  if (ctrl_rt) ctrl_rt->finish(result.makespan, result.control);
   if (tenancy) {
     // Weight-normalized served counts: a weight-2 tenant completing twice a
     // weight-1 tenant's jobs is perfectly fair, so Jain runs on x_t =

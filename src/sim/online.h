@@ -123,6 +123,7 @@ struct OnlineResult {
   double total_shuffle_gb = 0.0;
   RecoveryStats recovery;  ///< fault/recovery accounting (zero when fault-free)
   GrayStats gray;          ///< gray-failure / quarantine accounting
+  ControlPlaneStats control;  ///< controller crash/blackout accounting
   OverloadStats overload;  ///< admission-control accounting (zero when off)
   std::vector<ShedJobRecord> shed;  ///< jobs abandoned under overload
   /// Per-job shuffle groups of the completed jobs, recorded whether or not

@@ -1,0 +1,122 @@
+// Typed controller audit (DESIGN.md §15): audit_violations() returns one
+// entry per inconsistency, and in particular a *parked* flow that still
+// carries load in the ledger is a ParkedCharged violation — the silent pass
+// the old boolean audit allowed.
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "core/recovery/snapshot.h"
+#include "network/routing.h"
+#include "topology/builders.h"
+
+namespace hit::core {
+namespace {
+
+class ControllerAuditTest : public ::testing::Test {
+ protected:
+  topo::TreeConfig tree_{2, 4, 2, 1, 16.0, 32.0};
+  topo::Topology topo_ = topo::make_tree(tree_);
+  NetworkController controller_{topo_};
+
+  net::Flow flow(unsigned id, double rate) {
+    net::Flow f;
+    f.id = FlowId(id);
+    f.size_gb = rate;
+    f.rate = rate;
+    return f;
+  }
+
+  NodeId server(std::size_t i) { return topo_.servers()[i]; }
+
+  recovery::FlowEntryState entry(unsigned id, std::size_t from, std::size_t to,
+                                 double rate) {
+    recovery::FlowEntryState e;
+    e.flow = flow(id, rate);
+    e.policy = net::shortest_policy(topo_, server(from), server(to), FlowId(id));
+    e.src = server(from);
+    e.dst = server(to);
+    e.charged_rate = rate;
+    return e;
+  }
+};
+
+TEST_F(ControllerAuditTest, CleanControllerHasNoViolations) {
+  const net::Policy p =
+      net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  controller_.install(flow(1, 3.0), p, server(0), server(2));
+  EXPECT_TRUE(controller_.audit_violations().empty());
+  EXPECT_NO_THROW(controller_.audit());
+}
+
+TEST_F(ControllerAuditTest, ParkedFlowWithChargeIsAViolationNotAPass) {
+  // The live API never produces this (park always uncharges); a corrupt
+  // snapshot can.  The old boolean audit skipped parked entries entirely.
+  recovery::ControllerState state;
+  recovery::FlowEntryState leaked = entry(1, 0, 2, 2.5);
+  leaked.parked = true;  // parked but still carrying charged_rate = 2.5
+  state.flows.push_back(leaked);
+  state.canonicalize();
+  controller_.restore_state(state);
+
+  const auto violations = controller_.audit_violations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, AuditViolationKind::ParkedCharged);
+  EXPECT_EQ(violations[0].flow, FlowId(1));
+  EXPECT_DOUBLE_EQ(violations[0].delta, 2.5);
+  EXPECT_THROW(controller_.audit(), std::logic_error);
+  try {
+    controller_.audit();
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("parked-charged"), std::string::npos);
+  }
+}
+
+TEST_F(ControllerAuditTest, ActivePolicyAcrossFailedSwitchIsDeadPolicy) {
+  recovery::ControllerState state;
+  const recovery::FlowEntryState e = entry(1, 0, 2, 1.0);
+  const NodeId core = e.policy.list[1];
+  state.flows.push_back(e);
+  state.failed.push_back(core);  // failed *after* the policy was installed
+  state.canonicalize();
+  controller_.restore_state(state);
+
+  const auto violations = controller_.audit_violations();
+  bool saw_dead = false;
+  for (const AuditViolation& v : violations) {
+    if (v.kind == AuditViolationKind::DeadPolicy) {
+      saw_dead = true;
+      EXPECT_EQ(v.flow, FlowId(1));
+      EXPECT_EQ(v.node, core);
+    }
+  }
+  EXPECT_TRUE(saw_dead);
+}
+
+TEST_F(ControllerAuditTest, MismatchedEndpointsAreUnsatisfiedPolicy) {
+  recovery::ControllerState state;
+  recovery::FlowEntryState e = entry(1, 0, 2, 1.0);
+  e.dst = server(3);  // policy routes to server 2, entry claims server 3
+  state.flows.push_back(e);
+  state.canonicalize();
+  controller_.restore_state(state);
+
+  const auto violations = controller_.audit_violations();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, AuditViolationKind::UnsatisfiedPolicy);
+  EXPECT_EQ(violations[0].flow, FlowId(1));
+}
+
+TEST_F(ControllerAuditTest, ViolationKindNamesAreStable) {
+  EXPECT_STREQ(audit_violation_kind_name(AuditViolationKind::UnsatisfiedPolicy),
+               "unsatisfied-policy");
+  EXPECT_STREQ(audit_violation_kind_name(AuditViolationKind::DeadPolicy),
+               "dead-policy");
+  EXPECT_STREQ(audit_violation_kind_name(AuditViolationKind::ParkedCharged),
+               "parked-charged");
+  EXPECT_STREQ(audit_violation_kind_name(AuditViolationKind::LoadMismatch),
+               "load-mismatch");
+}
+
+}  // namespace
+}  // namespace hit::core

@@ -1,0 +1,237 @@
+#include "core/recovery/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "network/routing.h"
+#include "topology/builders.h"
+
+namespace hit::core::recovery {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  // Depth-2 tree, 4 access positions x 1 host, 2 core replicas: every
+  // cross-rack pair has a two-core choice, so a single core failure always
+  // leaves a detour while an access-switch failure strands its server.
+  topo::TreeConfig tree_{2, 4, 2, 1, 16.0, 32.0};
+  topo::Topology topo_ = topo::make_tree(tree_);
+
+  net::Flow flow(unsigned id, double rate) {
+    net::Flow f;
+    f.id = FlowId(id);
+    f.size_gb = rate;
+    f.rate = rate;
+    return f;
+  }
+
+  NodeId server(std::size_t i) { return topo_.servers()[i]; }
+
+  /// The access switch `s` hangs off: the sole first hop of its routes.
+  NodeId access_of(std::size_t s) {
+    return net::shortest_policy(topo_, server(s), server((s + 1) % 4),
+                                FlowId(999))
+        .list.front();
+  }
+
+  void install(NetworkController& c, unsigned id, std::size_t from,
+               std::size_t to, double rate = 1.0) {
+    const net::Policy p =
+        net::shortest_policy(topo_, server(from), server(to), FlowId(id));
+    c.install(flow(id, rate), p, server(from), server(to));
+  }
+};
+
+// ---- crash-at-every-prefix property ---------------------------------------
+
+// Drive a journaled controller through every mutation class, checkpointing
+// the live state after each step; rebuild() at each checkpoint must be
+// byte-identical to the state the uncrashed controller actually had —
+// whether the rebuild starts from the empty state or from a mid-sequence
+// snapshot.
+TEST_F(RecoveryTest, RebuildAtEveryPrefixMatchesLiveState) {
+  for (const std::size_t snapshot_every : {std::size_t{0}, std::size_t{3}}) {
+    RecoveryManagerConfig rconfig;
+    rconfig.snapshot_every_records = snapshot_every;
+    RecoveryManager manager(rconfig);
+    NetworkController controller(topo_);
+    manager.attach(controller);
+
+    // (journal position, canonical state bytes) after each operation.
+    std::vector<std::pair<std::size_t, std::string>> checkpoints;
+    const auto checkpoint = [&] {
+      checkpoints.emplace_back(manager.journal().size(),
+                               controller.export_state().encode());
+      manager.maybe_snapshot(controller);
+    };
+
+    checkpoint();  // empty prefix
+    install(controller, 1, 0, 2, 4.0);
+    checkpoint();
+    install(controller, 2, 1, 3, 2.0);
+    checkpoint();
+    install(controller, 3, 0, 3, 1.0);
+    checkpoint();
+    controller.drain(topo_.switches()[0]);
+    checkpoint();
+    controller.fail(access_of(0));  // strands flows 1 and 3 -> parked
+    checkpoint();
+    controller.quarantine(access_of(1));
+    checkpoint();
+    controller.probe(access_of(1), true);
+    checkpoint();
+    controller.recover(access_of(0));  // readmits the parked flows
+    checkpoint();
+    controller.probe(access_of(1), true);  // second pass -> reinstated
+    checkpoint();
+    controller.undrain(topo_.switches()[0]);
+    checkpoint();
+    controller.remove(FlowId(2));
+    checkpoint();
+    manager.note_aimd_limit(16.0);
+    manager.note_tenant_quota(1, 0.5);
+    checkpoint();
+
+    ASSERT_GT(manager.journal().size(), 10u);
+    if (snapshot_every > 0) {
+      ASSERT_GT(manager.snapshots_cut(), 0u);
+    }
+
+    for (const auto& [prefix, expected] : checkpoints) {
+      const RebuiltState rebuilt = manager.rebuild(prefix);
+      EXPECT_EQ(rebuilt.controller.encode(), expected)
+          << "prefix " << prefix << " snapshot_every " << snapshot_every;
+    }
+
+    // Full recovery into a fresh controller reproduces the final state and
+    // the admission aux state.
+    NetworkController restored(topo_);
+    const RebuiltState rebuilt = manager.recover(restored);
+    EXPECT_EQ(restored.export_state().encode(), checkpoints.back().second);
+    EXPECT_TRUE(rebuilt.admission.has_aimd);
+    EXPECT_DOUBLE_EQ(rebuilt.admission.aimd_limit, 16.0);
+    ASSERT_EQ(rebuilt.admission.tenant_quotas.size(), 1u);
+    EXPECT_EQ(rebuilt.admission.tenant_quotas[0].first, 1u);
+    // The restored controller passes its own audit.
+    EXPECT_TRUE(restored.audit_violations().empty());
+  }
+}
+
+// ---- reconcile regressions ------------------------------------------------
+
+// A flow parked because its access switch died; the switch was repaired
+// while the controller was down.  Reconcile must detect the missed repair,
+// readmit the orphan, and end clean.
+TEST_F(RecoveryTest, ReconcileReadmitsOrphanedParkedFlows) {
+  RecoveryManager manager;
+  NetworkController controller(topo_);
+  manager.attach(controller);
+  install(controller, 1, 0, 2, 4.0);
+  controller.fail(access_of(0));
+  ASSERT_EQ(controller.parked_count(), 1u);
+
+  // Crash: rebuild into a fresh controller.  The hardware healed meanwhile.
+  NetworkController restored(topo_);
+  manager.recover(restored);
+  ASSERT_EQ(restored.parked_count(), 1u);
+  ASSERT_TRUE(restored.failed(access_of(0)));
+
+  LiveView live;
+  live.healthy_switches.push_back(access_of(0));
+  const ReconcileReport report = reconcile(restored, live);
+
+  EXPECT_TRUE(report.clean());
+  EXPECT_GE(report.flows_readmitted, 1u);
+  EXPECT_EQ(restored.parked_count(), 0u);
+  EXPECT_FALSE(restored.failed(access_of(0)));
+  bool saw_missed_repair = false;
+  for (const Divergence& d : report.divergences) {
+    if (d.kind == DivergenceKind::MissedRepair && d.node == access_of(0)) {
+      saw_missed_repair = true;
+      EXPECT_TRUE(d.repaired);
+    }
+  }
+  EXPECT_TRUE(saw_missed_repair);
+  EXPECT_TRUE(restored.audit_violations().empty());
+}
+
+// A switch quarantined before the crash was verified healthy during the
+// blackout: the restored controller keeps paying the routing penalty until
+// reconcile reinstates it.
+TEST_F(RecoveryTest, ReconcileLiftsStaleQuarantine) {
+  RecoveryManager manager;
+  NetworkController controller(topo_);
+  manager.attach(controller);
+  install(controller, 1, 0, 2, 1.0);
+  controller.quarantine(access_of(1));
+  ASSERT_TRUE(controller.quarantined(access_of(1)));
+
+  NetworkController restored(topo_);
+  manager.recover(restored);
+  ASSERT_TRUE(restored.quarantined(access_of(1)));
+
+  LiveView live;
+  live.healthy_switches.push_back(access_of(1));
+  const ReconcileReport report = reconcile(restored, live);
+
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.reinstated, 1u);
+  EXPECT_FALSE(restored.quarantined(access_of(1)));
+  bool saw_stale = false;
+  for (const Divergence& d : report.divergences) {
+    saw_stale |= d.kind == DivergenceKind::StaleQuarantine && d.repaired;
+  }
+  EXPECT_TRUE(saw_stale);
+}
+
+// A core switch died *during* the blackout: the restored state still routes
+// a flow across it.  Reconcile must apply the missed failure and move the
+// flow to the twin core.
+TEST_F(RecoveryTest, ReconcileAppliesMissedFailures) {
+  RecoveryManager manager;
+  NetworkController controller(topo_);
+  manager.attach(controller);
+  install(controller, 1, 0, 2, 4.0);
+  const NodeId core = controller.policy_of(FlowId(1)).list[1];
+
+  NetworkController restored(topo_);
+  manager.recover(restored);
+
+  LiveView live;
+  live.failed_switches.push_back(core);
+  const ReconcileReport report = reconcile(restored, live);
+
+  EXPECT_TRUE(report.clean());
+  EXPECT_GE(report.flows_rerouted, 1u);
+  EXPECT_TRUE(restored.failed(core));
+  const net::Policy& after = restored.policy_of(FlowId(1));
+  for (NodeId sw : after.list) EXPECT_NE(sw, core);
+  EXPECT_TRUE(restored.audit_violations().empty());
+}
+
+// Reconciliation actions are themselves journaled: a second crash right
+// after reconcile recovers to the reconciled state.
+TEST_F(RecoveryTest, PostReconcileCrashRecoversReconciledState) {
+  RecoveryManager manager;
+  NetworkController controller(topo_);
+  manager.attach(controller);
+  install(controller, 1, 0, 2, 4.0);
+  controller.fail(access_of(0));
+
+  NetworkController restored(topo_);
+  manager.recover(restored);
+  manager.attach(restored);  // journal keeps extending across the restart
+  LiveView live;
+  live.healthy_switches.push_back(access_of(0));
+  reconcile(restored, live);
+  const std::string reconciled = restored.export_state().encode();
+
+  NetworkController second(topo_);
+  manager.recover(second);
+  EXPECT_EQ(second.export_state().encode(), reconciled);
+}
+
+}  // namespace
+}  // namespace hit::core::recovery

@@ -1,0 +1,297 @@
+// Controller-crash fault events end to end (DESIGN.md §15): blackout
+// fail-static semantics in both simulators, restart reconciliation, the
+// bit-identical-when-disabled guarantee, warm-standby clamping, and
+// crash-run determinism.
+#include "sim/ctrlplane.h"
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/workload.h"
+#include "sched/capacity_scheduler.h"
+#include "sim/engine.h"
+#include "sim/online.h"
+#include "test_helpers.h"
+
+namespace hit::sim {
+namespace {
+
+std::vector<mr::Job> sample_jobs(mr::IdAllocator& ids, std::size_t n,
+                                 std::uint64_t seed) {
+  mr::WorkloadConfig config;
+  config.num_jobs = n;
+  config.max_maps_per_job = 6;
+  config.max_reduces_per_job = 2;
+  config.block_size_gb = 3.0;
+  const mr::WorkloadGenerator gen(config);
+  Rng rng(seed);
+  return gen.generate(ids, rng);
+}
+
+void expect_control_equal(const ControlPlaneStats& a,
+                          const ControlPlaneStats& b) {
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_DOUBLE_EQ(a.blackout_seconds, b.blackout_seconds);
+  EXPECT_EQ(a.waves_delayed, b.waves_delayed);
+  EXPECT_EQ(a.flows_failstatic, b.flows_failstatic);
+  EXPECT_EQ(a.flows_stalled_blackout, b.flows_stalled_blackout);
+  EXPECT_EQ(a.reconcile_violations, b.reconcile_violations);
+  EXPECT_EQ(a.reconcile_repairs, b.reconcile_repairs);
+  EXPECT_EQ(a.journal_records, b.journal_records);
+  EXPECT_EQ(a.snapshots, b.snapshots);
+  EXPECT_EQ(a.replayed_records, b.replayed_records);
+}
+
+class ControllerCrashBatchTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();
+
+  SimResult run_batch(const SimConfig& config, std::uint64_t seed,
+                      std::size_t n = 4) {
+    sched::CapacityScheduler scheduler;
+    mr::IdAllocator ids;
+    const auto jobs = sample_jobs(ids, n, seed);
+    Rng rng(seed);
+    return ClusterSimulator(world_->cluster, config).run(scheduler, jobs, ids,
+                                                         rng);
+  }
+};
+
+TEST_F(ControllerCrashBatchTest, OffByDefault) {
+  const SimConfig config;
+  EXPECT_FALSE(config.recovery.enabled());
+  const SimResult result = run_batch(config, 21);
+  EXPECT_FALSE(result.control.any());
+}
+
+TEST_F(ControllerCrashBatchTest, RecoveryOnCleanRunIsBitIdentical) {
+  // The journal cadence is pure accounting: with no crash scripted, results
+  // must match the disabled run exactly (the OFF-by-default guarantee).
+  SimConfig off;
+  SimConfig on;
+  on.recovery.snapshot_every = 25.0;
+  const SimResult a = run_batch(off, 22);
+  const SimResult b = run_batch(on, 22);
+
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_shuffle_cost, b.total_shuffle_cost);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].completion_time, b.jobs[i].completion_time);
+  }
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].finish, b.flows[i].finish);
+  }
+  // ... while the journal side still accounted its records.
+  EXPECT_EQ(b.control.crashes, 0u);
+  EXPECT_GT(b.control.journal_records, 0u);
+  EXPECT_GT(b.control.snapshots, 0u);
+}
+
+TEST_F(ControllerCrashBatchTest, CrashBlacksOutAndRestartReconciles) {
+  SimConfig config;
+  config.faults.crash_controller(1.0, 30.0);
+  config.recovery.snapshot_every = 20.0;
+  const SimResult result = run_batch(config, 23);
+
+  EXPECT_EQ(result.control.crashes, 1u);
+  EXPECT_EQ(result.control.restarts, 1u);
+  EXPECT_GT(result.control.blackout_seconds, 0.0);
+  EXPECT_LE(result.control.blackout_seconds, 30.0 + 1e-9);
+  // Restart re-anchors the replay window at a (possibly implicit) snapshot.
+  EXPECT_GE(result.control.snapshots, 1u);
+  // Every divergence found at restart must be repaired.
+  EXPECT_EQ(result.control.reconcile_violations,
+            result.control.reconcile_repairs);
+  // The run still completes every job.
+  EXPECT_EQ(result.jobs.size(), 4u);
+}
+
+TEST_F(ControllerCrashBatchTest, CrashWithPendingWavesDefersLaunches) {
+  // Crash before the first reduce wave with a long blackout: map waves that
+  // would launch inside it are deferred past the restart, stretching the
+  // makespan by roughly the blackout.
+  SimConfig clean;
+  const SimResult base = run_batch(clean, 24, 6);
+
+  SimConfig config;
+  config.faults.crash_controller(1.0, base.makespan + 60.0);
+  const SimResult crashed = run_batch(config, 24, 6);
+
+  EXPECT_GT(crashed.control.waves_delayed + crashed.control.flows_failstatic +
+                crashed.control.flows_stalled_blackout,
+            0u);
+  EXPECT_GE(crashed.makespan, base.makespan);
+  EXPECT_EQ(crashed.jobs.size(), 6u);
+}
+
+TEST_F(ControllerCrashBatchTest, CrashRunsAreDeterministic) {
+  SimConfig config;
+  config.faults.crash_controller(2.0, 45.0);
+  config.recovery.snapshot_every = 10.0;
+  const SimResult a = run_batch(config, 25, 6);
+  const SimResult b = run_batch(config, 25, 6);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_shuffle_cost, b.total_shuffle_cost);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].release, b.flows[i].release);
+    EXPECT_DOUBLE_EQ(a.flows[i].finish, b.flows[i].finish);
+  }
+  expect_control_equal(a.control, b.control);
+}
+
+TEST_F(ControllerCrashBatchTest, WarmStandbyClampsTheBlackout) {
+  SimConfig full;
+  full.faults.crash_controller(2.0, 120.0);
+  const SimResult slow = run_batch(full, 26, 6);
+
+  SimConfig standby = full;
+  standby.recovery.standby = true;
+  standby.recovery.standby_takeover_s = 5.0;
+  const SimResult fast = run_batch(standby, 26, 6);
+
+  EXPECT_EQ(fast.control.crashes, 1u);
+  EXPECT_EQ(fast.control.restarts, 1u);
+  EXPECT_LE(fast.control.blackout_seconds, 5.0 + 1e-9);
+  EXPECT_LE(fast.control.blackout_seconds, slow.control.blackout_seconds);
+  EXPECT_LE(fast.makespan, slow.makespan + 1e-9);
+}
+
+TEST_F(ControllerCrashBatchTest, StandbyTakesOverPermanentCrashes) {
+  // A crash with no scripted restart fails static forever; warm standby
+  // inserts its own takeover so the run can finish.
+  SimConfig config;
+  config.faults.crash_controller(1.0);  // permanent
+  config.recovery.standby = true;
+  config.recovery.standby_takeover_s = 8.0;
+  const SimResult result = run_batch(config, 27, 6);
+  EXPECT_EQ(result.control.crashes, 1u);
+  EXPECT_EQ(result.control.restarts, 1u);
+  EXPECT_LE(result.control.blackout_seconds, 8.0 + 1e-9);
+  EXPECT_EQ(result.jobs.size(), 6u);
+}
+
+class ControllerCrashOnlineTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();
+
+  OnlineResult run_online(const OnlineConfig& config, std::uint64_t seed,
+                          std::size_t n = 6) {
+    sched::CapacityScheduler scheduler;
+    mr::IdAllocator ids;
+    const auto jobs = sample_jobs(ids, n, seed);
+    Rng rng(seed);
+    return OnlineSimulator(world_->cluster, config).run(scheduler, jobs, ids,
+                                                        rng);
+  }
+};
+
+TEST_F(ControllerCrashOnlineTest, RecoveryOnCleanRunIsBitIdentical) {
+  OnlineConfig off;
+  off.arrival_rate = 0.5;
+  OnlineConfig on = off;
+  on.sim.recovery.snapshot_every = 25.0;
+  const OnlineResult a = run_online(off, 31);
+  const OnlineResult b = run_online(on, 31);
+
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish, b.jobs[i].finish);
+    EXPECT_DOUBLE_EQ(a.jobs[i].scheduled, b.jobs[i].scheduled);
+  }
+  EXPECT_EQ(b.control.crashes, 0u);
+  EXPECT_GT(b.control.journal_records, 0u);
+}
+
+TEST_F(ControllerCrashOnlineTest, BlackoutQueuesArrivalsAndReconciles) {
+  OnlineConfig config;
+  config.arrival_rate = 0.5;
+  config.sim.faults.crash_controller(2.0, 60.0);
+  config.sim.recovery.snapshot_every = 20.0;
+  const OnlineResult result = run_online(config, 32, 8);
+
+  EXPECT_EQ(result.control.crashes, 1u);
+  EXPECT_EQ(result.control.restarts, 1u);
+  EXPECT_GT(result.control.blackout_seconds, 0.0);
+  // Arrivals inside the blackout cannot be scheduled until the restart.
+  EXPECT_GT(result.control.waves_delayed, 0u);
+  // Zero unreconciled: every stalled flow found at restart was resumed.
+  EXPECT_EQ(result.control.reconcile_violations,
+            result.control.reconcile_repairs);
+  // All jobs eventually complete (nothing is shed by a blackout).
+  EXPECT_EQ(result.jobs.size(), 8u);
+}
+
+TEST_F(ControllerCrashOnlineTest, CrashRunsAreDeterministic) {
+  OnlineConfig config;
+  config.arrival_rate = 0.5;
+  config.sim.faults.crash_controller(2.0, 60.0);
+  config.sim.recovery.snapshot_every = 20.0;
+  const OnlineResult a = run_online(config, 33, 8);
+  const OnlineResult b = run_online(config, 33, 8);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish, b.jobs[i].finish);
+  }
+  expect_control_equal(a.control, b.control);
+}
+
+TEST_F(ControllerCrashOnlineTest, StandbyClampsOnlineBlackout) {
+  OnlineConfig config;
+  config.arrival_rate = 0.5;
+  config.sim.faults.crash_controller(2.0, 120.0);
+  const OnlineResult slow = run_online(config, 34, 8);
+
+  OnlineConfig standby = config;
+  standby.sim.recovery.standby = true;
+  standby.sim.recovery.standby_takeover_s = 5.0;
+  const OnlineResult fast = run_online(standby, 34, 8);
+
+  EXPECT_LE(fast.control.blackout_seconds, 5.0 + 1e-9);
+  EXPECT_LE(fast.control.blackout_seconds, slow.control.blackout_seconds);
+}
+
+TEST(CtrlPlaneRuntimeTest, StandbyPlanClampsAndCoversPermanentCrashes) {
+  CtrlPlaneConfig config;
+  config.standby = true;
+  config.standby_takeover_s = 10.0;
+  const CtrlPlaneRuntime runtime(config);
+
+  FaultPlan plan;
+  plan.crash_controller(100.0, 300.0);  // restart at 400 -> clamp to 110
+  plan.crash_controller(500.0);         // permanent -> takeover at 510
+  const std::vector<FaultEvent> events = runtime.plan_events(plan);
+
+  std::vector<std::pair<double, FaultKind>> ctrl;
+  for (const FaultEvent& ev : events) {
+    if (ev.target == FaultTarget::Controller) ctrl.emplace_back(ev.time, ev.kind);
+  }
+  ASSERT_EQ(ctrl.size(), 4u);
+  EXPECT_DOUBLE_EQ(ctrl[0].first, 100.0);
+  EXPECT_EQ(ctrl[0].second, FaultKind::ControllerCrash);
+  EXPECT_DOUBLE_EQ(ctrl[1].first, 110.0);
+  EXPECT_EQ(ctrl[1].second, FaultKind::ControllerRestart);
+  EXPECT_DOUBLE_EQ(ctrl[2].first, 500.0);
+  EXPECT_EQ(ctrl[2].second, FaultKind::ControllerCrash);
+  EXPECT_DOUBLE_EQ(ctrl[3].first, 510.0);
+  EXPECT_EQ(ctrl[3].second, FaultKind::ControllerRestart);
+}
+
+TEST(CtrlPlaneRuntimeTest, FaultStateRejectsControllerEvents) {
+  // Controller events are intercepted by the simulators before FaultState
+  // dispatch; feeding one through is a programming error that must not pass
+  // silently.
+  const topo::Topology topo = topo::make_case_study_tree();
+  FaultState state(topo);
+  FaultEvent ev;
+  ev.target = FaultTarget::Controller;
+  ev.kind = FaultKind::ControllerCrash;
+  EXPECT_THROW(state.apply(ev), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::sim

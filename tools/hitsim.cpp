@@ -90,6 +90,12 @@ struct Options {
   bool monitor = false;           ///< health-monitor sampling + detection stats
   bool quarantine = false;        ///< quarantine/probe loop (implies --monitor)
   double speculation = 0.0;       ///< speculative-map threshold (batch mode)
+  // Control-plane crash recovery (all default-off).
+  double controller_crash = 0.0;  ///< scripted controller crash time (0 = off)
+  double blackout = 0.0;          ///< crash-to-restart window (0 = permanent)
+  double snapshot_every = 0.0;    ///< journal snapshot cadence, sim seconds
+  bool standby = false;           ///< warm standby clamps every blackout
+  double standby_takeover = 30.0; ///< standby journal-replay takeover seconds
 };
 
 void print_usage() {
@@ -140,6 +146,13 @@ void print_usage() {
       "  --monitor           health-monitor sampling + detection stats\n"
       "  --quarantine        quarantine + probe/reinstate loop (implies --monitor)\n"
       "  --speculation X     speculative map copies past X x wave median (batch)\n"
+      "control-plane crash recovery:\n"
+      "  --controller-crash T  crash the controller at simulated second T\n"
+      "  --blackout S        restart the controller S seconds after the crash\n"
+      "                      (0 = permanent; the data plane fails static)\n"
+      "  --snapshot-every S  journal snapshot cadence in simulated seconds\n"
+      "  --standby           warm standby: journal replay bounds every blackout\n"
+      "  --standby-takeover S  standby takeover latency         (default 30)\n"
       "  --help              this message\n";
 }
 
@@ -288,6 +301,20 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (arg == "--speculation") {
       if (!(value = need_value(i))) return std::nullopt;
       opt.speculation = std::stod(value);
+    } else if (arg == "--controller-crash") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.controller_crash = std::stod(value);
+    } else if (arg == "--blackout") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.blackout = std::stod(value);
+    } else if (arg == "--snapshot-every") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.snapshot_every = std::stod(value);
+    } else if (arg == "--standby") {
+      opt.standby = true;
+    } else if (arg == "--standby-takeover") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.standby_takeover = std::stod(value);
     } else {
       std::cerr << "hitsim: unknown option '" << arg << "' (see --help)\n";
       return std::nullopt;
@@ -325,6 +352,22 @@ void add_gray_rows(stats::Table& table, const sim::GrayStats& g) {
   table.add_row({"reinstatements", count(g.reinstatements)});
   table.add_row({"quarantine time (s)",
                  stats::Table::num(g.quarantine_seconds, 1)});
+}
+
+// Control-plane recovery rows shared by the batch and online summaries.
+void add_recovery_rows(stats::Table& table, const sim::ControlPlaneStats& c) {
+  const auto count = [](std::size_t n) {
+    return stats::Table::num(static_cast<double>(n), 0);
+  };
+  table.add_row({"controller crashes", count(c.crashes)});
+  table.add_row({"blackout time (s)", stats::Table::num(c.blackout_seconds, 1)});
+  table.add_row({"launches delayed", count(c.waves_delayed)});
+  table.add_row({"fail-static flows", count(c.flows_failstatic)});
+  table.add_row({"blackout stalls", count(c.flows_stalled_blackout)});
+  table.add_row({"reconcile repairs", count(c.reconcile_repairs)});
+  table.add_row({"journal records", count(c.journal_records)});
+  table.add_row({"journal replayed", count(c.replayed_records)});
+  table.add_row({"snapshots", count(c.snapshots)});
 }
 
 std::optional<sim::AdmissionPolicy> parse_admission(const std::string& name) {
@@ -426,6 +469,7 @@ int run(const Options& opt) {
     trace->name_thread(obs::TraceWriter::kSimPid, 3, "faults");
     trace->name_thread(obs::TraceWriter::kSimPid, 4, "coflows");
     trace->name_thread(obs::TraceWriter::kSimPid, 5, "admission");
+    trace->name_thread(obs::TraceWriter::kSimPid, 6, "recovery");
     trace->name_process(obs::TraceWriter::kHostPid, "host wall clock");
     trace->name_thread(obs::TraceWriter::kHostPid, 0, "phases");
   }
@@ -500,6 +544,12 @@ int run(const Options& opt) {
     mconfig.gray_factor_max = opt.gray_factor_max;
     sconfig.faults = sim::FaultPlan::generate(topology, mconfig, opt.seed);
   }
+  if (opt.controller_crash > 0.0) {
+    sconfig.faults.crash_controller(opt.controller_crash, opt.blackout);
+  }
+  sconfig.recovery.snapshot_every = opt.snapshot_every;
+  sconfig.recovery.standby = opt.standby;
+  sconfig.recovery.standby_takeover_s = opt.standby_takeover;
   sconfig.gray.monitor = opt.monitor;
   sconfig.gray.quarantine = opt.quarantine;
   if (obs_ctx.enabled()) sconfig.observer = &obs_ctx;
@@ -548,6 +598,7 @@ int run(const Options& opt) {
                        stats::Table::num(static_cast<double>(result.speculative_lost), 0)});
       }
       if (result.gray.any()) add_gray_rows(table, result.gray);
+      if (result.control.any()) add_recovery_rows(table, result.control);
       std::cout << table.render();
     }
   } else if (opt.mode == "online") {
@@ -653,6 +704,7 @@ int run(const Options& opt) {
                        stats::Table::num(result.tenant_jain, 3)});
       }
       if (result.gray.any()) add_gray_rows(table, result.gray);
+      if (result.control.any()) add_recovery_rows(table, result.control);
       std::cout << table.render();
     }
   } else {
