@@ -1,0 +1,182 @@
+// DAG workflow engine: critical-path coflow priority vs plain SEBF
+// (extension experiment, not a paper figure; DESIGN.md §16).
+//
+// Runs a mix of DAG workflows (aggregation trees, chains, diamonds) through
+// the online simulator on a 4:1 oversubscribed tree, under per-flow fair
+// sharing, SEBF, and OrderPolicy::CriticalPath.  With overlapping workflows
+// the inter-stage shuffles contend for the same uplinks; SEBF drains small
+// shuffles first regardless of whose DAG they unblock, while CriticalPath
+// lets the stage with the longest remaining chain cut the line.  The verdict
+// requires the CP order to beat SEBF on mean DAG makespan — the whole point
+// of coupling the workflow scheduler's criticality signal into the network
+// policy layer.
+//
+//   bench_workflow            full sweep (3 replicas)
+//   bench_workflow --smoke    CI mode: 1 replica, same output shape
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coflow/coflow.h"
+#include "harness.h"
+#include "sim/online.h"
+#include "stats/export.h"
+#include "workflow/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace hit;
+  using namespace hit::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::cerr << "bench_workflow: unknown option '" << argv[i]
+                << "' (only --smoke)\n";
+      return 2;
+    }
+  }
+
+  print_header(smoke
+                   ? "DAG workflows: CP coflow priority vs SEBF (smoke)"
+                   : "DAG workflows: CP coflow priority vs SEBF");
+
+  // The bench_coflow testbed: 4:1 oversubscribed uplinks so inter-coflow
+  // order decides who waits.
+  topo::TreeConfig tree;
+  tree.depth = 3;
+  tree.fanout = 4;
+  tree.redundancy = 2;
+  tree.hosts_per_access = 4;
+  tree.uplink_bandwidth_factor = 0.25;
+  const auto testbed =
+      std::make_unique<Testbed>(topo::make_tree(tree), kServerCapacity);
+
+  // A shape mix where criticality and shuffle size disagree: the chain's
+  // spine stages carry long remaining paths, the diamonds contribute many
+  // small concurrent shuffles SEBF happily serves first.
+  std::vector<workflow::Workflow> wfs;
+  wfs.push_back(workflow::make_tree(2, 3));
+  wfs.push_back(workflow::make_chain(5));
+  wfs.push_back(workflow::make_diamond(4));
+  if (!smoke) {
+    wfs.push_back(workflow::make_chain(4));
+    wfs.push_back(workflow::make_diamond(3));
+  }
+
+  mr::WorkloadConfig wconfig;  // stage jobs come from make_job, not generate()
+  const mr::WorkloadGenerator generator(wconfig);
+  workflow::SchedConfig wf_sched;  // no hedging: a pure ordering comparison
+
+  const int replicas = smoke ? 1 : 3;
+
+  struct Arm {
+    const char* name;
+    bool enabled;
+    coflow::OrderPolicy order;
+  };
+  const Arm arms[] = {
+      {"fair", false, coflow::OrderPolicy::Fifo},
+      {"sebf", true, coflow::OrderPolicy::Sebf},
+      {"cp", true, coflow::OrderPolicy::CriticalPath},
+  };
+
+  obs::Registry& reg = BenchObserver::instance().registry();
+  JsonResults json("workflow");
+
+  double fair_makespan = 0.0;
+  double sebf_makespan = 0.0;
+  double cp_makespan = 0.0;
+  stats::Table table({"order", "mean makespan (s)", "mean stage wait (s)",
+                      "mean CCT (s)", "stages done", "vs fair"});
+  std::ostringstream csv_buffer;
+  stats::CsvWriter csv(csv_buffer, {"order", "mean_makespan_s",
+                                    "mean_stage_wait_s", "mean_cct_s",
+                                    "stages_completed"});
+  for (const Arm& arm : arms) {
+    sim::SimConfig sconfig;
+    sconfig.bandwidth_scale = 0.1;
+    sconfig.coflow.enabled = arm.enabled;
+    sconfig.coflow.order = arm.order;
+
+    core::HitConfig hconfig;
+    hconfig.coflow = sconfig.coflow;
+    core::HitScheduler scheduler(hconfig);
+
+    stats::RunningSummary makespan, wait, cct;
+    std::size_t done = 0;
+    for (int r = 0; r < replicas; ++r) {
+      const std::uint64_t seed = 9100 + static_cast<std::uint64_t>(r);
+      BenchObserver::instance().manifest().scheduler =
+          std::string(scheduler.name());
+      BenchObserver::instance().manifest().seed = seed;
+      BenchObserver::instance().manifest().config =
+          describe_config(wconfig, sconfig);
+      Rng rng(seed);
+      mr::IdAllocator ids;
+      workflow::OnlinePlanBuild pb =
+          workflow::build_online_plan(wfs, wf_sched, generator, ids);
+      sim::OnlineConfig oconfig;
+      oconfig.sim = sconfig;
+      oconfig.sim.observer = &BenchObserver::instance().context();
+      oconfig.arrival_rate = 0.05;  // workflow groups; overlap is the point
+      oconfig.workflow = std::move(pb.plan);
+      const sim::OnlineSimulator simulator(testbed->cluster, oconfig);
+      const sim::OnlineResult result =
+          simulator.run(scheduler, pb.jobs, ids, rng);
+      const workflow::WorkflowStats ws =
+          workflow::compute_online_stats(result, wfs);
+      makespan.add(ws.makespan);
+      wait.add(ws.mean_stage_wait);
+      for (const sim::CoflowTiming& c : result.coflows) {
+        cct.add(c.finish - c.release);
+      }
+      done += ws.stages_completed;
+    }
+    if (std::strcmp(arm.name, "fair") == 0) fair_makespan = makespan.mean();
+    if (std::strcmp(arm.name, "sebf") == 0) sebf_makespan = makespan.mean();
+    if (std::strcmp(arm.name, "cp") == 0) cp_makespan = makespan.mean();
+    table.add_row({arm.name, stats::Table::num(makespan.mean()),
+                   stats::Table::num(wait.mean()),
+                   stats::Table::num(cct.mean()),
+                   stats::Table::num(static_cast<double>(done), 0),
+                   stats::Table::pct(improvement(fair_makespan,
+                                                 makespan.mean()))});
+    csv.row({std::string(arm.name), makespan.mean(), wait.mean(), cct.mean(),
+             static_cast<std::int64_t>(done)});
+    json.add({{"order", std::string(arm.name)},
+              {"mean_makespan_s", makespan.mean()},
+              {"mean_stage_wait_s", wait.mean()},
+              {"mean_cct_s", cct.mean()},
+              {"stages_completed", static_cast<std::int64_t>(done)}});
+    reg.gauge(obs::Registry::tagged("bench.workflow.mean_makespan_s",
+                                    {{"order", arm.name}}))
+        .set(makespan.mean());
+    reg.gauge(obs::Registry::tagged("bench.workflow.mean_stage_wait_s",
+                                    {{"order", arm.name}}))
+        .set(wait.mean());
+  }
+  std::cout << table.render();
+  std::cout << "\ncsv:\n" << csv_buffer.str();
+  json.write();
+
+  bool ok = true;
+  if (!(cp_makespan < sebf_makespan)) {
+    std::cerr << "VERDICT FAIL: cp mean makespan " << cp_makespan
+              << " does not beat sebf " << sebf_makespan << "\n";
+    ok = false;
+  }
+  std::cout << "\nSEBF picks the smallest effective bottleneck next, which "
+               "on a DAG workload keeps serving side-branch shuffles while "
+               "the spine stage everyone downstream waits on queues behind "
+               "them; ordering coflows by remaining critical path instead "
+               "finishes the stages that unlock the most follow-on work "
+               "first, so the DAG makespan drops even when per-coflow CCT "
+               "does not.\n";
+  std::cout << (ok ? "VERDICT PASS\n" : "VERDICT FAIL\n");
+  return ok ? 0 : 1;
+}

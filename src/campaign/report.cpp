@@ -1,0 +1,103 @@
+#include "campaign/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hit::campaign {
+
+namespace {
+
+std::string format_value(double v) {
+  char buf[48];
+  if (v == 0.0 || (std::isfinite(v) && std::abs(v) >= 1e-3 && std::abs(v) < 1e7)) {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string render_report(const CampaignResult& result,
+                          const std::vector<std::string>& metrics) {
+  // Column selection: explicit list, or every non-obs metric in order of
+  // first appearance across cells (so partial cells cannot hide columns).
+  std::vector<std::string> cols = metrics;
+  if (cols.empty()) {
+    for (const CellResult& cell : result.cells) {
+      for (const auto& [name, value] : cell.metrics) {
+        (void)value;
+        if (name.rfind("obs.", 0) == 0) continue;
+        if (std::find(cols.begin(), cols.end(), name) == cols.end()) {
+          cols.push_back(name);
+        }
+      }
+    }
+  }
+
+  // Pre-render every body cell, then size the columns to their content.
+  std::vector<std::vector<std::string>> rows;
+  std::size_t failed = 0;
+  for (const CellResult& cell : result.cells) {
+    std::vector<std::string> row;
+    row.push_back(cell.id);
+    if (!cell.ok) {
+      ++failed;
+      row.push_back("ERROR: " + cell.error);
+      rows.push_back(std::move(row));
+      continue;
+    }
+    for (const std::string& name : cols) {
+      const double* v = cell.metric(name);
+      row.push_back(v != nullptr ? format_value(*v) : "-");
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<std::size_t> width(cols.size() + 1, 0);
+  width[0] = std::string("cell").size();
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    width[c + 1] = cols[c].size();
+  }
+  for (const std::vector<std::string>& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  out << "campaign " << result.name;
+  if (!result.git_sha.empty()) out << " @ " << result.git_sha;
+  out << "\n";
+  const auto pad = [&](const std::string& text, std::size_t w) {
+    out << text;
+    for (std::size_t i = text.size(); i < w; ++i) out << ' ';
+  };
+  pad("cell", width[0]);
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    out << "  ";
+    pad(cols[c], width[c + 1]);
+  }
+  out << "\n";
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    if (c > 0) out << "  ";
+    out << std::string(width[c], '-');
+  }
+  out << "\n";
+  for (const std::vector<std::string>& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      // Error rows carry one wide cell; let it run past the column grid.
+      pad(row[c], c < width.size() && row.size() > 2 ? width[c] : 0);
+    }
+    out << "\n";
+  }
+  out << result.cells.size() - failed << "/" << result.cells.size()
+      << " cells ok\n";
+  return out.str();
+}
+
+}  // namespace hit::campaign

@@ -1,0 +1,22 @@
+// Minimal campaign reporting: render a metric table from a campaign result
+// (the JSON `hitcamp run` writes), one row per cell.  This is the
+// human-readable counterpart of the regression ledger — `hitcamp compare`
+// says pass/fail, `hitcamp report` says what the numbers were.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/runner.h"
+
+namespace hit::campaign {
+
+/// Render `result` as a fixed-width table: first column the cell id, one
+/// column per metric.  `metrics` selects and orders the columns; empty
+/// selects every non-obs.* metric in first-appearance order.  Failed cells
+/// render their error instead of numbers.  Ends with a one-line summary
+/// (cells ok/failed) so the output stands alone in a CI log.
+[[nodiscard]] std::string render_report(const CampaignResult& result,
+                                        const std::vector<std::string>& metrics = {});
+
+}  // namespace hit::campaign

@@ -22,6 +22,7 @@
 #include "util/buildinfo.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "workflow/runner.h"
 
 namespace hit::campaign {
 namespace {
@@ -52,6 +53,34 @@ std::vector<double> parse_weights(const std::string& text) {
     }
   }
   return weights;
+}
+
+/// Campaign workflow knobs -> runner config: cp_weights = "alpha:beta:gamma",
+/// hedge = duplicate budget per workflow (also the escalation budget, so one
+/// knob drives both criticality responses).
+workflow::SchedConfig workflow_sched_config(const CellConfig& c) {
+  workflow::SchedConfig cfg;
+  if (!c.cp_weights.empty()) {
+    const std::vector<double> w = parse_weights(c.cp_weights);
+    if (w.size() != 3) {
+      throw std::invalid_argument("cp_weights wants 'alpha:beta:gamma'");
+    }
+    cfg.weights.alpha = w[0];
+    cfg.weights.beta = w[1];
+    cfg.weights.gamma = w[2];
+  }
+  cfg.hedge_budget = c.hedge;
+  cfg.escalation_budget = c.hedge;
+  return cfg;
+}
+
+std::vector<workflow::Workflow> build_workflows(const CellConfig& c) {
+  std::vector<workflow::Workflow> wfs;
+  const std::size_t count = std::max<std::uint64_t>(c.workflows, 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    wfs.push_back(workflow::make_shape(c.workflow));
+  }
+  return wfs;
 }
 
 sim::AdmissionPolicy parse_admission(const std::string& name) {
@@ -236,6 +265,19 @@ Metrics online_metrics(const sim::OnlineResult& result,
   return m;
 }
 
+void put_workflow(Metrics& m, const workflow::WorkflowStats& w) {
+  put(m, "wf_makespan_s", w.makespan);
+  put(m, "wf_stretch", w.stretch);
+  put(m, "wf_stages_completed", static_cast<double>(w.stages_completed));
+  put(m, "wf_stages_shed", static_cast<double>(w.stages_shed));
+  put(m, "wf_hedges_launched", static_cast<double>(w.hedges_launched));
+  put(m, "wf_hedges_won", static_cast<double>(w.hedges_won));
+  put(m, "wf_hedges_lost", static_cast<double>(w.hedges_lost));
+  put(m, "wf_escalations", static_cast<double>(w.escalations));
+  put(m, "wf_restarts", static_cast<double>(w.restarts));
+  put(m, "wf_mean_stage_wait_s", w.mean_stage_wait);
+}
+
 }  // namespace
 
 const double* CellResult::metric(const std::string& name) const {
@@ -298,11 +340,15 @@ CellRecord make_record(const std::string& campaign_name, const Cell& cell) {
   record.cell = cell.id;
   record.config = cell.config;
   const topo::Topology topology = build_topology(cell.config.topology);
-  const mr::WorkloadGenerator generator(workload_config(cell.config));
-  mr::IdAllocator ids;
-  Rng wrng(cell.config.seed);
-  const std::vector<mr::Job> jobs = generator.generate(ids, wrng);
-  record.workload = mr::trace_from_jobs(jobs);
+  // Workflow cells carry no workload trace: their jobs are a pure function
+  // of the (shape, workflows, hedge) knobs and are rebuilt by run_record.
+  if (cell.config.workflow.empty()) {
+    const mr::WorkloadGenerator generator(workload_config(cell.config));
+    mr::IdAllocator ids;
+    Rng wrng(cell.config.seed);
+    const std::vector<mr::Job> jobs = generator.generate(ids, wrng);
+    record.workload = mr::trace_from_jobs(jobs);
+  }
   record.faults = generate_fault_events(cell.config, topology);
   return record;
 }
@@ -317,8 +363,12 @@ std::vector<std::pair<std::string, double>> run_record(
   const cluster::Cluster cluster(topology, cluster::Resource{2.0, 8.0});
   const mr::WorkloadGenerator generator(workload_config(c));
   mr::IdAllocator ids;
+  const bool wf_mode = !c.workflow.empty();
+  // Workflow cells rebuild their jobs from the (shape, workflows) config —
+  // pure functions of the cell — instead of the recorded trace.
   const std::vector<mr::Job> jobs =
-      mr::jobs_from_trace(record.workload, generator, ids);
+      wf_mode ? std::vector<mr::Job>{}
+              : mr::jobs_from_trace(record.workload, generator, ids);
   const coflow::CoflowConfig cf = coflow_config(c);
   const std::unique_ptr<sched::Scheduler> scheduler = build_scheduler(c, cf);
 
@@ -329,6 +379,14 @@ std::vector<std::pair<std::string, double>> run_record(
 
   Rng srng = Rng(c.seed).fork(kCellSalt);
   if (c.mode == "batch") {
+    if (wf_mode) {
+      const workflow::BatchWorkflowResult bw = workflow::run_workflows_batch(
+          cluster, sconfig, workflow_sched_config(c), build_workflows(c),
+          generator, ids, *scheduler, srng);
+      auto m = batch_metrics(bw.sim, registry);
+      put_workflow(m, bw.stats);
+      return m;
+    }
     const sim::ClusterSimulator sim(cluster, sconfig);
     const sim::SimResult result = sim.run(*scheduler, jobs, ids, srng);
     return batch_metrics(result, registry);
@@ -348,6 +406,19 @@ std::vector<std::pair<std::string, double>> run_record(
     spec.name = "tenant-" + std::to_string(t);
     spec.weight = weights.empty() ? 1.0 : weights[t];
     oconfig.admission.tenants.push_back(std::move(spec));
+  }
+  if (wf_mode) {
+    const std::vector<workflow::Workflow> wfs = build_workflows(c);
+    workflow::OnlinePlanBuild pb =
+        workflow::build_online_plan(wfs, workflow_sched_config(c), generator, ids);
+    oconfig.workflow = std::move(pb.plan);
+    const sim::OnlineSimulator sim(cluster, oconfig);
+    const sim::OnlineResult result = sim.run(*scheduler, pb.jobs, ids, srng);
+    auto m = online_metrics(result, registry);
+    workflow::WorkflowStats ws = workflow::compute_online_stats(result, wfs);
+    ws.escalations = pb.escalations;
+    put_workflow(m, ws);
+    return m;
   }
   const sim::OnlineSimulator sim(cluster, oconfig);
   const sim::OnlineResult result = sim.run(*scheduler, jobs, ids, srng);

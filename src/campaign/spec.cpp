@@ -118,6 +118,10 @@ void CellConfig::set(const std::string& key, const std::string& value) {
   else if (key == "blackout") blackout = parse_d(value, key.c_str());
   else if (key == "snapshot_every") snapshot_every = parse_d(value, key.c_str());
   else if (key == "standby") standby = parse_u64(value, "standby");
+  else if (key == "workflow") workflow = value;
+  else if (key == "workflows") workflows = parse_u64(value, "workflows");
+  else if (key == "hedge") hedge = parse_u64(value, "hedge");
+  else if (key == "cp_weights") cp_weights = value;
   else {
     throw std::invalid_argument("CellConfig: unknown key '" + key + "'");
   }
@@ -155,6 +159,10 @@ std::vector<std::pair<std::string, std::string>> CellConfig::items() const {
       {"blackout", format_d(blackout)},
       {"snapshot_every", format_d(snapshot_every)},
       {"standby", std::to_string(standby)},
+      {"workflow", workflow},
+      {"workflows", std::to_string(workflows)},
+      {"hedge", std::to_string(hedge)},
+      {"cp_weights", cp_weights},
   };
 }
 

@@ -69,6 +69,10 @@ struct CellConfig {
   double blackout = 0.0;           ///< blackout length after the crash (0 = permanent)
   double snapshot_every = 0.0;     ///< journal snapshot cadence (0 = off)
   std::uint64_t standby = 0;       ///< warm-standby takeover (0/1)
+  std::string workflow;            ///< DAG shape: "" = off | chain|tree|diamond
+  std::uint64_t workflows = 1;     ///< workflow instances when workflow != ""
+  std::uint64_t hedge = 0;         ///< hedged duplicate budget per workflow
+  std::string cp_weights;          ///< "alpha:beta:gamma" ("" = defaults)
 
   /// Assign by key name (the spec / record / what-if override path).
   /// Throws std::invalid_argument on an unknown key or unparsable value.

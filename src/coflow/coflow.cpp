@@ -12,6 +12,7 @@ const char* order_policy_name(OrderPolicy policy) {
     case OrderPolicy::Fifo: return "fifo";
     case OrderPolicy::Sebf: return "sebf";
     case OrderPolicy::Priority: return "priority";
+    case OrderPolicy::CriticalPath: return "cp";
   }
   return "?";
 }
@@ -20,6 +21,7 @@ std::optional<OrderPolicy> parse_order_policy(std::string_view name) {
   if (name == "fifo") return OrderPolicy::Fifo;
   if (name == "sebf") return OrderPolicy::Sebf;
   if (name == "priority") return OrderPolicy::Priority;
+  if (name == "cp" || name == "critical-path") return OrderPolicy::CriticalPath;
   return std::nullopt;
 }
 
@@ -32,12 +34,14 @@ const char* coflow_state_name(CoflowState state) {
   return "?";
 }
 
-CoflowId CoflowRegistry::open(JobId job, std::uint8_t priority, double deadline) {
+CoflowId CoflowRegistry::open(JobId job, std::uint8_t priority, double deadline,
+                              double cp) {
   Coflow c;
   c.id = CoflowId(static_cast<CoflowId::value_type>(coflows_.size()));
   c.job = job;
   c.priority = priority;
   c.deadline = deadline;
+  c.cp = cp;
   coflows_.push_back(std::move(c));
   return coflows_.back().id;
 }

@@ -28,7 +28,7 @@
 namespace hit::coflow {
 
 /// Inter-coflow ordering discipline (see ordering.h for the semantics).
-enum class OrderPolicy : std::uint8_t { Fifo, Sebf, Priority };
+enum class OrderPolicy : std::uint8_t { Fifo, Sebf, Priority, CriticalPath };
 
 [[nodiscard]] const char* order_policy_name(OrderPolicy policy);
 [[nodiscard]] std::optional<OrderPolicy> parse_order_policy(std::string_view name);
@@ -56,6 +56,11 @@ struct Coflow {
   /// Optional completion deadline hook (simulated seconds; 0 = none).
   /// Ordering policies may consult it; nothing enforces it.
   double deadline = 0.0;
+  /// Remaining-critical-path estimate of the owning workflow stage
+  /// (simulated seconds; 0 for standalone jobs).  CriticalPathOrder ranks
+  /// larger values first so a critical stage's shuffle outranks SEBF's
+  /// shortest-first among equally critical coflows.
+  double cp = 0.0;
   std::vector<FlowId> flows;
   double total_gb = 0.0;     ///< Σ flow sizes (aggregate demand)
   double max_flow_gb = 0.0;  ///< largest single flow (bottleneck lower bound)
@@ -84,8 +89,10 @@ struct CoflowStats {
 /// the recorded release/finish are order-independent.
 class CoflowRegistry {
  public:
-  /// Open an empty coflow for `job`.  One job wave = one coflow.
-  CoflowId open(JobId job, std::uint8_t priority, double deadline = 0.0);
+  /// Open an empty coflow for `job`.  One job wave = one coflow.  `cp` is
+  /// the stage's remaining-critical-path estimate (0 = standalone job).
+  CoflowId open(JobId job, std::uint8_t priority, double deadline = 0.0,
+                double cp = 0.0);
 
   /// Attach a flow to an open coflow.  A flow belongs to exactly one coflow;
   /// re-registering throws std::invalid_argument.

@@ -55,11 +55,39 @@ std::vector<CoflowId> PriorityOrder::order(const CoflowRegistry& registry,
   return active;
 }
 
+std::vector<CoflowId> CriticalPathOrder::order(const CoflowRegistry& registry,
+                                               std::vector<CoflowId> active,
+                                               const GammaFn& gamma_of) const {
+  if (!gamma_of) {
+    throw std::invalid_argument("CriticalPathOrder: gamma function required");
+  }
+  // Γ evaluated once per coflow, as in SebfOrder: the comparator must see a
+  // consistent value and gamma_of may be expensive.
+  std::vector<std::pair<double, CoflowId>> keyed;
+  keyed.reserve(active.size());
+  for (CoflowId id : active) keyed.emplace_back(gamma_of(id), id);
+  std::sort(keyed.begin(), keyed.end(), [&](const auto& a, const auto& b) {
+    const double cpa = registry.get(a.second).cp;
+    const double cpb = registry.get(b.second).cp;
+    if (cpa != cpb) return cpa > cpb;
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  });
+  std::vector<CoflowId> out;
+  out.reserve(keyed.size());
+  for (const auto& [gamma, id] : keyed) {
+    (void)gamma;
+    out.push_back(id);
+  }
+  return out;
+}
+
 std::unique_ptr<CoflowScheduler> make_scheduler(OrderPolicy policy) {
   switch (policy) {
     case OrderPolicy::Fifo: return std::make_unique<FifoOrder>();
     case OrderPolicy::Sebf: return std::make_unique<SebfOrder>();
     case OrderPolicy::Priority: return std::make_unique<PriorityOrder>();
+    case OrderPolicy::CriticalPath: return std::make_unique<CriticalPathOrder>();
   }
   throw std::invalid_argument("make_scheduler: unknown order policy");
 }

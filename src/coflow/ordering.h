@@ -16,6 +16,10 @@
 //   PriorityOrder — job priority first (high before normal before low), FIFO
 //                   within a class.  Matches the admission/shed ordering the
 //                   rest of the system already uses.
+//   CriticalPathOrder — largest remaining-critical-path first (workflow
+//                   stages feeding long downstream chains outrank leaf
+//                   stages); Γ_c ascending inside a criticality class, so
+//                   standalone jobs (cp == 0) degrade to plain SEBF.
 //
 // All orderings break ties by CoflowId so the permutation is a pure function
 // of the inputs — determinism is a hard requirement of the simulators.
@@ -75,6 +79,18 @@ class PriorityOrder final : public CoflowScheduler {
  public:
   [[nodiscard]] OrderPolicy policy() const noexcept override {
     return OrderPolicy::Priority;
+  }
+  [[nodiscard]] std::vector<CoflowId> order(const CoflowRegistry& registry,
+                                            std::vector<CoflowId> active,
+                                            const GammaFn& gamma_of) const override;
+};
+
+/// Largest remaining critical path first; Γ_c ascending (SEBF) inside a
+/// criticality class; ties by id.  Requires a gamma function like SebfOrder.
+class CriticalPathOrder final : public CoflowScheduler {
+ public:
+  [[nodiscard]] OrderPolicy policy() const noexcept override {
+    return OrderPolicy::CriticalPath;
   }
   [[nodiscard]] std::vector<CoflowId> order(const CoflowRegistry& registry,
                                             std::vector<CoflowId> active,

@@ -635,9 +635,17 @@ std::size_t NetworkController::shed_pressure() {
       // Whole-coflow shed: the victim's job loses every active flow, not
       // just the one crossing the hot switch — its reduce wave cannot use
       // the survivors anyway, and parking them cools the network faster.
+      // Workflow stages widen the unit: a DAG's downstream stages are gated
+      // on the victim stage regardless, so every flow of the victim's
+      // *workflow* parks with it instead of leaving siblings to heat other
+      // switches while the chain is stalled anyway.
       const JobId job = victim->flow.job;
+      const std::uint32_t wf = victim->flow.workflow;
       for (auto& [id, entry] : flows_) {
-        if (!entry.parked && entry.flow.job == job) park_one(entry);
+        if (entry.parked) continue;
+        const bool same_unit = wf != 0 ? entry.flow.workflow == wf
+                                       : entry.flow.job == job;
+        if (same_unit) park_one(entry);
       }
     } else {
       park_one(*victim);
@@ -654,24 +662,35 @@ std::size_t NetworkController::readmit_parked() {
     if (entry.parked) waiting.push_back(&entry);
   }
   // A job's parked flows re-admit together: its reduce wave waits for the
-  // slowest flow, so interleaving jobs only delays everyone.  Jobs are
-  // ordered by (best waiting priority desc, earliest waiting flow id asc);
-  // flows inside a job by id.
+  // slowest flow, so interleaving jobs only delays everyone.  Workflow
+  // stages group one level wider — every stage of a DAG re-admits as one
+  // unit, since downstream stages are gated on the upstream shuffle anyway.
+  // Units are ordered by (best waiting priority desc, earliest waiting flow
+  // id asc); flows inside a unit by id.  The unit key is a composite:
+  // workflow-tagged flows key on the workflow id, standalone flows on the
+  // JobId (the high bit keeps the two spaces apart).
   struct JobRank {
     std::uint8_t priority = 0;
     FlowId first;
   };
-  std::unordered_map<JobId, JobRank> rank;
+  const auto unit_of = [](const Entry* e) -> std::uint64_t {
+    if (e->flow.workflow != 0) {
+      return (std::uint64_t{1} << 63) | e->flow.workflow;
+    }
+    return e->flow.job.value();
+  };
+  std::unordered_map<std::uint64_t, JobRank> rank;
   for (const Entry* e : waiting) {
-    auto [it, fresh] = rank.emplace(e->flow.job, JobRank{e->flow.priority, e->flow.id});
+    auto [it, fresh] =
+        rank.emplace(unit_of(e), JobRank{e->flow.priority, e->flow.id});
     if (!fresh) {
       it->second.priority = std::max(it->second.priority, e->flow.priority);
       it->second.first = std::min(it->second.first, e->flow.id);
     }
   }
   std::sort(waiting.begin(), waiting.end(), [&](const Entry* a, const Entry* b) {
-    const JobRank& ra = rank.at(a->flow.job);
-    const JobRank& rb = rank.at(b->flow.job);
+    const JobRank& ra = rank.at(unit_of(a));
+    const JobRank& rb = rank.at(unit_of(b));
     if (ra.priority != rb.priority) return ra.priority > rb.priority;
     if (ra.first != rb.first) return ra.first < rb.first;
     return a->flow.id < b->flow.id;

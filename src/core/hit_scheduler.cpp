@@ -420,6 +420,7 @@ void HitScheduler::route_flows(const sched::Problem& problem,
     struct Group {
       std::size_t seq = 0;        // first appearance in problem.flows
       std::uint8_t priority = 1;
+      double cp = 0.0;            // remaining critical path (workflow stages)
       double gamma = 0.0;         // SEBF proxy: most loaded endpoint server
       std::vector<const net::Flow*> flows;
     };
@@ -433,11 +434,13 @@ void HitScheduler::route_flows(const sched::Problem& problem,
         groups.back().seq = i;
       }
       groups[it->second].priority = f.priority;
+      groups[it->second].cp = f.cp;
     }
     for (const net::Flow* f : order) {
       groups[group_of.at(f->job)].flows.push_back(f);
     }
-    if (config_.coflow.order == coflow::OrderPolicy::Sebf) {
+    if (config_.coflow.order == coflow::OrderPolicy::Sebf ||
+        config_.coflow.order == coflow::OrderPolicy::CriticalPath) {
       // Γ proxy per coflow: max over placed servers of shuffle bytes in +
       // out (the Varys endpoint bottleneck; paths are not chosen yet).
       for (Group& g : groups) {
@@ -465,6 +468,10 @@ void HitScheduler::route_flows(const sched::Problem& problem,
           break;
         case coflow::OrderPolicy::Priority:
           if (ga.priority != gb.priority) return ga.priority > gb.priority;
+          break;
+        case coflow::OrderPolicy::CriticalPath:
+          if (ga.cp != gb.cp) return ga.cp > gb.cp;
+          if (ga.gamma != gb.gamma) return ga.gamma < gb.gamma;
           break;
         case coflow::OrderPolicy::Fifo:
           break;

@@ -47,6 +47,16 @@ struct Job {
   /// registry; plain integer so mapreduce stays independent of sched).  0 is
   /// the default tenant, so single-tenant studies are unchanged.
   std::uint32_t tenant = 0;
+  /// DAG-workflow identity (src/workflow): 1-based workflow instance this job
+  /// materializes a stage of, and the stage index within it.  0/0 marks a
+  /// standalone job, keeping every pre-workflow path bit-identical.
+  std::uint32_t workflow = 0;
+  std::uint32_t stage = 0;
+  /// Remaining-critical-path estimate of the owning stage (simulated
+  /// seconds; 0 for standalone jobs).  Consumed by the coflow layer: with
+  /// OrderPolicy::CriticalPath the stage's shuffle coflow is ordered by this
+  /// value so a critical coflow outranks SEBF's shortest-first.
+  double critical_path = 0.0;
   double input_gb = 0.0;
   double shuffle_gb = 0.0;  ///< total intermediate bytes (Σ flow sizes)
   std::vector<Task> maps;

@@ -37,6 +37,9 @@ net::FlowSet build_shuffle_flows(const Job& job, IdAllocator& ids,
       f.rate = f.size_gb / config.rate_window;
       f.priority = static_cast<std::uint8_t>(job.priority);
       f.tenant = job.tenant;
+      f.workflow = job.workflow;
+      f.stage = job.stage;
+      f.cp = job.critical_path;
       flows.push_back(f);
     }
   }

@@ -25,6 +25,15 @@ struct Flow {
   /// Owning tenant, also inherited from the job; tenant-aware shedding picks
   /// its victim flow from the most over-entitlement tenant first.
   std::uint32_t tenant = 0;
+  /// Workflow identity inherited from the owning job (0 = standalone).  The
+  /// controller groups park/readmit decisions by workflow when set, and the
+  /// simulators stamp `stage` into FlowTiming::wave so chained stages never
+  /// merge into one coflow record.
+  std::uint32_t workflow = 0;
+  std::uint32_t stage = 0;
+  /// Remaining-critical-path estimate of the owning stage (0 = standalone);
+  /// OrderPolicy::CriticalPath routes larger values first at wave level.
+  double cp = 0.0;
 };
 
 using FlowSet = std::vector<Flow>;

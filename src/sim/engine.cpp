@@ -517,7 +517,8 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     coflow_order = coflow::make_scheduler(config_.coflow.order);
     for (const mr::Job& job : jobs) {
       coflow_of_job.emplace(
-          job.id, registry.open(job.id, static_cast<std::uint8_t>(job.priority)));
+          job.id, registry.open(job.id, static_cast<std::uint8_t>(job.priority),
+                                /*deadline=*/0.0, job.critical_path));
     }
     for (const SimFlow& sf : sim_flows) {
       registry.add_flow(coflow_of_job.at(sf.flow->job), sf.flow->id,
@@ -924,6 +925,7 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     FlowTiming ft;
     ft.id = sf.flow->id;
     ft.job = sf.flow->job;
+    ft.wave = sf.flow->stage;
     ft.release = sf.release;
     ft.finish = sf.finish;
     ft.size_gb = sf.flow->size_gb;

@@ -70,13 +70,19 @@ double SimResult::p95_coflow_cct() const {
 
 std::vector<CoflowTiming> group_coflows(const std::vector<FlowTiming>& flows) {
   std::vector<CoflowTiming> out;
-  std::unordered_map<JobId, std::size_t> index_of;
+  // (job, wave) composite key: distinct workflow stages of one job id stay
+  // distinct coflows.  Legacy flows all carry wave 0, so the grouping — and
+  // the emitted ids — are unchanged for pre-workflow runs.
+  std::unordered_map<std::uint64_t, std::size_t> index_of;
   for (const FlowTiming& f : flows) {
-    const auto [it, fresh] = index_of.emplace(f.job, out.size());
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(f.job.value()) << 32) | f.wave;
+    const auto [it, fresh] = index_of.emplace(key, out.size());
     if (fresh) {
       CoflowTiming c;
       c.id = CoflowId(static_cast<CoflowId::value_type>(out.size()));
       c.job = f.job;
+      c.wave = f.wave;
       c.release = std::numeric_limits<double>::infinity();
       out.push_back(c);
     }

@@ -25,6 +25,10 @@ struct TaskTiming {
 struct FlowTiming {
   FlowId id;
   JobId job;
+  /// Stage/wave identity within the owning job's workflow (0 for standalone
+  /// jobs).  group_coflows keys on (job, wave), so chained workflow stages
+  /// that share a JobId never merge into one coflow record.
+  std::uint32_t wave = 0;
   double release = 0.0;  ///< src map finished; flow becomes transferable
   double finish = 0.0;   ///< last byte delivered
   double size_gb = 0.0;
@@ -43,6 +47,7 @@ struct FlowTiming {
 struct CoflowTiming {
   CoflowId id;
   JobId job;
+  std::uint32_t wave = 0;  ///< stage/wave identity of the grouped flows
   std::size_t width = 0;   ///< flows in the coflow
   double total_gb = 0.0;
   double release = 0.0;    ///< first flow transferable
@@ -127,6 +132,7 @@ struct OverloadStats {
   std::size_t shed_on_arrival = 0;  ///< rejected at a full queue (reject-new)
   std::size_t shed_for_room = 0;    ///< displaced to admit an arrival (drop-oldest)
   std::size_t shed_deadline = 0;    ///< waited past the queue-wait deadline
+  std::size_t shed_parent = 0;      ///< workflow stages lost to a failed parent
   std::size_t peak_queue_depth = 0; ///< max simultaneous waiting jobs
   double shed_gb = 0.0;             ///< shuffle bytes never transferred
 
@@ -175,10 +181,14 @@ struct SimResult {
   [[nodiscard]] double p95_coflow_cct() const;
 };
 
-/// Group a run's flows into per-job coflows (release = first flow
+/// Group a run's flows into per-(job, wave) coflows (release = first flow
 /// transferable, finish = last byte landed).  Both simulators call this at
 /// the end of every run; `flows` order decides the coflow ids (first
-/// appearance of the job), so the output is deterministic.
+/// appearance of the (job, wave) pair), so the output is deterministic.
+/// Keying on the wave as well as the job keeps chained stages of one
+/// workflow — which re-use a JobId across re-executions or share one in
+/// merged results — from collapsing into a single CCT record; every
+/// pre-workflow flow carries wave 0, so legacy runs group exactly as before.
 [[nodiscard]] std::vector<CoflowTiming> group_coflows(
     const std::vector<FlowTiming>& flows);
 

@@ -88,6 +88,7 @@ const char* shed_reason_name(ShedReason reason) {
     case ShedReason::QueueFull: return "queue-full";
     case ShedReason::Displaced: return "displaced";
     case ShedReason::Deadline: return "deadline";
+    case ShedReason::Parent: return "parent-shed";
   }
   return "?";
 }
@@ -160,10 +161,54 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
 
   Rng arrival_rng = rng.fork(0x41525256);
   std::vector<double> arrivals(jobs.size());
-  double clock = 0.0;
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    clock += arrival_rng.exponential(config_.arrival_rate);
-    arrivals[j] = clock;
+  const WorkflowPlan& plan = config_.workflow;
+  const bool wf_on = plan.enabled();
+  if (!wf_on) {
+    double clock = 0.0;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      clock += arrival_rng.exponential(config_.arrival_rate);
+      arrivals[j] = clock;
+    }
+  }
+
+  // ---- DAG-workflow dependency gating ---------------------------------
+  // With a plan, arrivals are drawn per workflow *group* (one Poisson gap
+  // per workflow instance): every root stage of a group arrives at the
+  // group's instant, every child stage sits at +inf until all of its parent
+  // stages have a finished attempt, and `pending_arrivals` replaces the
+  // sequential arrivals walk.  Without a plan none of this state exists and
+  // the run is bit-identical to the legacy independent-arrival model.
+  struct StageState {
+    bool done = false;            // some attempt finished
+    double finish = 0.0;          // first attempt finish (stage completion)
+    std::size_t winner = 0;       // attempt index that completed the stage
+    std::size_t attempts_shed = 0;
+    bool failed = false;          // every attempt shed, descendants doomed
+  };
+  std::vector<StageState> stage_state;
+  std::vector<double> unlocked_at;       // per job: when the attempt got ready
+  std::vector<std::size_t> wf_restarts;  // per job: fault re-executions
+  MinHeap pending_arrivals;              // (time, job) — workflow mode only
+  if (wf_on) {
+    if (plan.job_tags.size() != jobs.size()) {
+      throw std::invalid_argument(
+          "OnlineSimulator: workflow plan does not match the jobs vector");
+    }
+    stage_state.resize(plan.stages.size());
+    wf_restarts.assign(jobs.size(), 0);
+    std::vector<double> group_arrival(plan.groups, 0.0);
+    double wf_clock = 0.0;
+    for (std::size_t g = 0; g < plan.groups; ++g) {
+      wf_clock += arrival_rng.exponential(config_.arrival_rate);
+      group_arrival[g] = wf_clock;
+    }
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const WorkflowPlan::JobTag& tag = plan.job_tags[j];
+      const bool root = plan.stages[tag.stage].parents.empty();
+      arrivals[j] = root ? group_arrival[tag.group] : kInf;
+      if (root) pending_arrivals.emplace(arrivals[j], j);
+    }
+    unlocked_at = arrivals;
   }
 
   // Feasibility: every job must fit an empty cluster.
@@ -262,7 +307,8 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     coflow_order = coflow::make_scheduler(config_.sim.coflow.order);
     for (std::size_t j = 0; j < jobs.size(); ++j) {
       job_coflow[j] = registry.open(
-          jobs[j].id, static_cast<std::uint8_t>(jobs[j].priority));
+          jobs[j].id, static_cast<std::uint8_t>(jobs[j].priority),
+          /*deadline=*/0.0, jobs[j].critical_path);
     }
     for (const JobFlow& jf : flows) {
       registry.add_flow(job_coflow[jf.job], jf.flow->id, jf.flow->size_gb);
@@ -314,9 +360,36 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     }
   };
 
+  // Workflow cascade worklist: descendants of a failed stage, queued by
+  // note_attempt_lost and drained by shed_job after the primary shed.
+  std::vector<std::size_t> wf_cascade;
+  // Record that attempt `j`'s stage lost one attempt; when the last attempt
+  // of a not-yet-done stage is gone the stage *fails* and every descendant
+  // stage's attempts are queued for a Parent-shed (they can never unlock).
+  const auto note_attempt_lost = [&](std::size_t j) {
+    if (!wf_on) return;
+    const WorkflowPlan::JobTag& tag = plan.job_tags[j];
+    StageState& ss = stage_state[tag.stage];
+    if (ss.done) return;  // stage already completed via another attempt
+    if (++ss.attempts_shed < plan.stages[tag.stage].attempts.size()) return;
+    std::vector<std::size_t> frontier{tag.stage};
+    while (!frontier.empty()) {
+      const std::size_t sidx = frontier.back();
+      frontier.pop_back();
+      if (stage_state[sidx].failed) continue;
+      stage_state[sidx].failed = true;
+      for (std::size_t c : plan.stages[sidx].children) {
+        frontier.push_back(c);
+        for (std::size_t job_idx : plan.stages[c].attempts) {
+          wf_cascade.push_back(job_idx);
+        }
+      }
+    }
+  };
+
   // Abandon a waiting job under overload: it counts toward termination but
   // never receives containers, and the run's OverloadStats say why.
-  const auto shed_job = [&](std::size_t j, ShedReason reason) {
+  const auto shed_job_impl = [&](std::size_t j, ShedReason reason) {
     job_shed[j] = 1;
     ++jobs_shed;
     OverloadStats& ov = result.overload;
@@ -325,6 +398,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       case ShedReason::QueueFull: ++ov.shed_on_arrival; break;
       case ShedReason::Displaced: ++ov.shed_for_room; break;
       case ShedReason::Deadline: ++ov.shed_deadline; break;
+      case ShedReason::Parent: ++ov.shed_parent; break;
     }
     ov.shed_gb += jobs[j].shuffle_gb;
     ShedJobRecord row;
@@ -349,6 +423,24 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       if (reason == ShedReason::Deadline) ++epoch_deadline_misses;
       obs::count("sim.admission.tenant_shed." +
                  std::to_string(jobs[j].tenant));
+    }
+    note_attempt_lost(j);
+  };
+
+  // Public shed entry: shed `j`, then drain any workflow cascade it caused.
+  // Cascade targets never arrived (their arrivals sit at +inf), so their
+  // timestamps are stamped to `now` first to keep the records finite.
+  const auto shed_job = [&](std::size_t j, ShedReason reason) {
+    shed_job_impl(j, reason);
+    while (!wf_cascade.empty()) {
+      const std::size_t jj = wf_cascade.back();
+      wf_cascade.pop_back();
+      if (job_shed[jj]) continue;
+      arrivals[jj] = now;
+      queued_since[jj] = now;
+      unlocked_at[jj] = now;
+      obs::count("online.workflow.parent_sheds");
+      shed_job_impl(jj, ShedReason::Parent);
     }
   };
 
@@ -722,6 +814,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     queued_since[j] = now;
     waiting.push_front(j);
     ++rec.jobs_restarted;
+    if (wf_on) ++wf_restarts[j];
     obs::count("online.jobs_restarted");
     obs::sim_instant("job.restart", "sim.job", now,
                      {{"job", static_cast<std::int64_t>(jobs[j].id.value())}},
@@ -1072,7 +1165,8 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       }
     }
     const double arrival_at =
-        next_arrival < jobs.size() ? arrivals[next_arrival] : kInf;
+        wf_on ? (pending_arrivals.empty() ? kInf : pending_arrivals.top().first)
+              : (next_arrival < jobs.size() ? arrivals[next_arrival] : kInf);
     const double release_at = releases.empty() ? kInf : releases.top().first;
     const double local_at = local_done.empty() ? kInf : local_done.top().first;
     const double finish_at = job_finishes.empty() ? kInf : job_finishes.top().first;
@@ -1248,6 +1342,43 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
         ts.max_wait_s = std::max(ts.max_wait_s, record.queueing_delay());
         ts.completed_gb += jobs[j].shuffle_gb;
       }
+      if (wf_on) {
+        // First attempt across the line completes the stage: note the winner
+        // and unlock every child stage whose parents are now all done (its
+        // attempts arrive — and face admission — at this instant).
+        const WorkflowPlan::JobTag& tag = plan.job_tags[j];
+        StageState& ss = stage_state[tag.stage];
+        if (!ss.done) {
+          ss.done = true;
+          ss.finish = now;
+          ss.winner = tag.attempt;
+          obs::count("online.workflow.stages_completed");
+          obs::sim_instant(
+              "workflow.stage_done", "sim.workflow", now,
+              {{"workflow", static_cast<std::int64_t>(jobs[j].workflow)},
+               {"stage", static_cast<std::int64_t>(jobs[j].stage)},
+               {"attempt", static_cast<std::int64_t>(tag.attempt)}},
+              /*tid=*/7);
+          for (std::size_t c : plan.stages[tag.stage].children) {
+            bool ready = true;
+            for (std::size_t pidx : plan.stages[c].parents) {
+              if (!stage_state[pidx].done) {
+                ready = false;
+                break;
+              }
+            }
+            if (!ready) continue;
+            for (std::size_t job_idx : plan.stages[c].attempts) {
+              if (job_shed[job_idx]) continue;
+              arrivals[job_idx] = now;
+              queued_since[job_idx] = now;
+              unlocked_at[job_idx] = now;
+              pending_arrivals.emplace(now, job_idx);
+              obs::count("online.workflow.stage_unlocks");
+            }
+          }
+        }
+      }
     }
 
     // 5b. AIMD epoch tick: sample the sensor, feed the controller, publish
@@ -1290,8 +1421,22 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     // 6. Arrivals, through admission control.  The queue cap binds only at
     // arrival time; fault restarts re-enter at the head regardless (the job
     // already held an admission).
-    while (next_arrival < jobs.size() && arrivals[next_arrival] <= now + kEps) {
-      const std::size_t j = next_arrival++;
+    const auto arrival_due = [&]() -> bool {
+      if (wf_on) {
+        return !pending_arrivals.empty() &&
+               pending_arrivals.top().first <= now + kEps;
+      }
+      return next_arrival < jobs.size() && arrivals[next_arrival] <= now + kEps;
+    };
+    while (arrival_due()) {
+      std::size_t j;
+      if (wf_on) {
+        j = pending_arrivals.top().second;
+        pending_arrivals.pop();
+        if (job_shed[j]) continue;  // cascade-shed before it could arrive
+      } else {
+        j = next_arrival++;
+      }
       const AdmissionPolicy pol = config_.admission.policy;
       if (tenancy) ++tstats[jobs[j].tenant].submitted;
       if (ctrl_down()) {
@@ -1395,6 +1540,7 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     FlowTiming ft;
     ft.id = jf.flow->id;
     ft.job = jf.flow->job;
+    ft.wave = jf.flow->stage;
     ft.release = jf.release;
     ft.finish = jf.finish;
     ft.size_gb = jf.flow->size_gb;
@@ -1449,6 +1595,35 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
   if (aimd) {
     result.aimd = aimd->stats();
     obs::gauge_set("sim.admission.final_limit", result.aimd.final_limit);
+  }
+  if (wf_on) {
+    result.workflow_jobs.reserve(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const WorkflowPlan::JobTag& tag = plan.job_tags[j];
+      const StageState& ss = stage_state[tag.stage];
+      WorkflowJobRecord wr;
+      wr.id = jobs[j].id;
+      wr.workflow = jobs[j].workflow;
+      wr.stage = jobs[j].stage;
+      wr.attempt = tag.attempt;
+      wr.cp = jobs[j].critical_path;
+      wr.unlocked = std::isfinite(unlocked_at[j]) ? unlocked_at[j] : -1.0;
+      wr.finish = state[j].finished ? state[j].expected_finish : 0.0;
+      wr.restarts = wf_restarts[j];
+      wr.shed = job_shed[j] != 0;
+      wr.stage_winner = ss.done && ss.winner == tag.attempt && !wr.shed;
+      result.workflow_jobs.push_back(std::move(wr));
+    }
+    std::size_t stages_done = 0;
+    std::size_t stages_failed = 0;
+    for (const StageState& ss : stage_state) {
+      if (ss.done) ++stages_done;
+      if (ss.failed) ++stages_failed;
+    }
+    obs::gauge_set("online.workflow.stages_done",
+                   static_cast<double>(stages_done));
+    obs::gauge_set("online.workflow.stages_failed",
+                   static_cast<double>(stages_failed));
   }
   return result;
 }

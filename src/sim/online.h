@@ -68,8 +68,40 @@ struct AdmissionConfig {
   std::vector<sched::admission::TenantSpec> tenants;
 };
 
+/// DAG-workflow dependency plan for an online run (built by
+/// workflow::build_online_plan; empty = every job is independent, the legacy
+/// arrival model, bit-identical to pre-workflow runs).
+///
+/// The jobs vector passed to OnlineSimulator::run materializes every stage
+/// *attempt* up front; the plan says which jobs form one stage (hedged
+/// duplicates), how stages depend on each other, and which workflow group
+/// each stage belongs to.  At run time the simulator draws one Poisson
+/// arrival per *group*, releases root stages then, and unlocks a child stage
+/// the instant all its parent stages have a finished attempt; a stage whose
+/// attempts are all shed cascades a Parent-shed to every descendant.
+struct WorkflowPlan {
+  struct JobTag {
+    std::size_t group = 0;  ///< workflow instance (index into group count)
+    std::size_t stage = 0;  ///< global stage index (into `stages`)
+    std::size_t attempt = 0;  ///< 0 = primary, >0 = hedged duplicate
+  };
+  struct StageInfo {
+    std::size_t group = 0;
+    std::uint32_t index = 0;  ///< stage index within its workflow
+    std::vector<std::size_t> parents;   ///< global stage indices
+    std::vector<std::size_t> children;  ///< global stage indices
+    std::vector<std::size_t> attempts;  ///< job indices (primary first)
+  };
+  std::vector<JobTag> job_tags;  ///< size == jobs.size() when enabled
+  std::vector<StageInfo> stages;
+  std::size_t groups = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return !job_tags.empty(); }
+};
+
 struct OnlineConfig {
-  /// Poisson arrival rate (jobs per simulated second).
+  /// Poisson arrival rate (jobs per simulated second).  With a workflow
+  /// plan, the rate spaces *workflow group* arrivals instead of job arrivals.
   double arrival_rate = 0.05;
   /// Bandwidth scale, shuffle config, replication, ... — including
   /// `sim.faults`: here a server failure kills that host's in-flight maps
@@ -82,10 +114,13 @@ struct OnlineConfig {
   double max_queue_wait = 0.0;
   /// Overload admission control (defaults preserve the legacy strict path).
   AdmissionConfig admission;
+  /// DAG-workflow dependency plan (empty = legacy independent arrivals).
+  WorkflowPlan workflow;
 };
 
-/// Why an admitted-but-unscheduled job was abandoned.
-enum class ShedReason : std::uint8_t { QueueFull, Displaced, Deadline };
+/// Why an admitted-but-unscheduled job was abandoned.  Parent marks a
+/// workflow stage cascade-shed because an upstream stage lost every attempt.
+enum class ShedReason : std::uint8_t { QueueFull, Displaced, Deadline, Parent };
 
 [[nodiscard]] const char* shed_reason_name(ShedReason reason);
 
@@ -115,6 +150,21 @@ struct OnlineJobRecord {
   [[nodiscard]] double completion_time() const { return finish - arrival; }
 };
 
+/// Per-attempt workflow accounting (one record per materialized stage
+/// attempt, in job-vector order; empty unless a WorkflowPlan ran).
+struct WorkflowJobRecord {
+  JobId id;
+  std::uint32_t workflow = 0;  ///< 1-based workflow instance id
+  std::uint32_t stage = 0;     ///< stage index within the workflow
+  std::size_t attempt = 0;     ///< 0 = primary, >0 = hedged duplicate
+  double cp = 0.0;             ///< remaining-critical-path estimate
+  double unlocked = 0.0;       ///< ready: group arrival / last parent finish
+  double finish = 0.0;         ///< attempt finish (0 when shed)
+  std::size_t restarts = 0;    ///< fault-driven re-executions of this attempt
+  bool shed = false;
+  bool stage_winner = false;   ///< this attempt completed the stage first
+};
+
 struct OnlineResult {
   std::vector<OnlineJobRecord> jobs;  ///< completed jobs only
   std::vector<FlowTiming> flows;      ///< flows of completed jobs
@@ -140,6 +190,8 @@ struct OnlineResult {
   /// Jain's fairness index over per-tenant weight-normalized completed-job
   /// counts (0 until tenant accounting runs; 1 = perfectly weighted-fair).
   double tenant_jain = 0.0;
+  /// Workflow stage-attempt accounting (empty unless a WorkflowPlan ran).
+  std::vector<WorkflowJobRecord> workflow_jobs;
 
   [[nodiscard]] std::vector<double> completion_times() const;
   [[nodiscard]] std::vector<double> queueing_delays() const;

@@ -1,0 +1,274 @@
+#include "workflow/dag.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mapreduce/profiles.h"
+
+namespace hit::workflow {
+
+void Workflow::validate() const {
+  if (stages.empty()) {
+    throw std::invalid_argument("Workflow: '" + name + "' has no stages");
+  }
+  std::unordered_set<std::string> names;
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const Stage& st = stages[s];
+    if (st.name.empty()) {
+      throw std::invalid_argument("Workflow: unnamed stage in '" + name + "'");
+    }
+    if (!names.insert(st.name).second) {
+      throw std::invalid_argument("Workflow: duplicate stage name '" +
+                                  st.name + "'");
+    }
+    if (st.input_gb <= 0.0) {
+      throw std::invalid_argument("Workflow: stage '" + st.name +
+                                  "' needs a positive input size");
+    }
+    (void)mr::profile(st.benchmark);  // throws on unknown benchmarks
+    std::unordered_set<std::uint32_t> seen;
+    for (std::uint32_t p : st.parents) {
+      if (p >= s) {
+        throw std::invalid_argument(
+            "Workflow: stage '" + st.name +
+            "' references a parent at or after itself (stages must be listed "
+            "in topological order)");
+      }
+      if (!seen.insert(p).second) {
+        throw std::invalid_argument("Workflow: stage '" + st.name +
+                                    "' lists a parent twice");
+      }
+    }
+  }
+}
+
+std::vector<std::vector<std::uint32_t>> Workflow::children() const {
+  std::vector<std::vector<std::uint32_t>> out(stages.size());
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    for (std::uint32_t p : stages[s].parents) {
+      out[p].push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Workflow::roots() const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    if (stages[s].parents.empty()) out.push_back(static_cast<std::uint32_t>(s));
+  }
+  return out;
+}
+
+double Workflow::edge_gb(std::uint32_t s) const {
+  const Stage& st = stages.at(s);
+  return st.input_gb * mr::profile(st.benchmark).shuffle_selectivity;
+}
+
+double stage_cost(const Stage& stage) {
+  const mr::BenchmarkProfile& p = mr::profile(stage.benchmark);
+  return stage.input_gb *
+         (p.map_sec_per_gb + p.shuffle_selectivity * p.reduce_sec_per_gb);
+}
+
+std::vector<double> remaining_critical_path(const Workflow& wf) {
+  const auto kids = wf.children();
+  std::vector<double> cp(wf.stages.size(), 0.0);
+  for (std::size_t i = wf.stages.size(); i-- > 0;) {
+    double tail = 0.0;
+    for (std::uint32_t c : kids[i]) tail = std::max(tail, cp[c]);
+    cp[i] = stage_cost(wf.stages[i]) + tail;
+  }
+  return cp;
+}
+
+double critical_path_length(const Workflow& wf) {
+  const std::vector<double> cp = remaining_critical_path(wf);
+  double best = 0.0;
+  for (std::uint32_t r : wf.roots()) best = std::max(best, cp[r]);
+  return best;
+}
+
+namespace {
+
+/// Child stages ingest their parents' shuffle output, never less than a
+/// block's worth so a stage always has at least one map.
+double fan_in_gb(const Workflow& wf, const std::vector<std::uint32_t>& parents) {
+  double gb = 0.0;
+  for (std::uint32_t p : parents) gb += wf.edge_gb(p);
+  return std::max(gb, 1.0);
+}
+
+}  // namespace
+
+Workflow make_chain(std::size_t stages, const GenConfig& cfg) {
+  if (stages == 0) {
+    throw std::invalid_argument("make_chain: need at least one stage");
+  }
+  Workflow wf;
+  wf.name = "chain" + std::to_string(stages);
+  for (std::size_t s = 0; s < stages; ++s) {
+    Stage st;
+    st.name = "s" + std::to_string(s);
+    st.benchmark = cfg.benchmark;
+    if (s == 0) {
+      st.input_gb = cfg.input_gb;
+    } else {
+      st.parents = {static_cast<std::uint32_t>(s - 1)};
+      st.input_gb = fan_in_gb(wf, st.parents);
+    }
+    wf.stages.push_back(std::move(st));
+  }
+  wf.validate();
+  return wf;
+}
+
+Workflow make_tree(std::size_t depth, std::size_t fanout, const GenConfig& cfg) {
+  if (depth == 0 || fanout < 2) {
+    throw std::invalid_argument("make_tree: need depth >= 1 and fanout >= 2");
+  }
+  Workflow wf;
+  wf.name = "tree" + std::to_string(depth) + "x" + std::to_string(fanout);
+  // Level 0 = leaves (fanout^depth of them); each next level aggregates
+  // `fanout` stages of the previous one until a single sink remains.
+  std::size_t width = 1;
+  for (std::size_t d = 0; d < depth; ++d) width *= fanout;
+  std::vector<std::uint32_t> prev;
+  for (std::size_t i = 0; i < width; ++i) {
+    Stage st;
+    st.name = "leaf" + std::to_string(i);
+    st.benchmark = cfg.benchmark;
+    st.input_gb = cfg.input_gb;
+    prev.push_back(static_cast<std::uint32_t>(wf.stages.size()));
+    wf.stages.push_back(std::move(st));
+  }
+  for (std::size_t level = 1; level <= depth; ++level) {
+    std::vector<std::uint32_t> next;
+    for (std::size_t i = 0; i < prev.size(); i += fanout) {
+      Stage st;
+      st.name = "agg" + std::to_string(level) + "_" + std::to_string(i / fanout);
+      st.benchmark = cfg.benchmark;
+      st.parents.assign(prev.begin() + static_cast<std::ptrdiff_t>(i),
+                        prev.begin() + static_cast<std::ptrdiff_t>(i + fanout));
+      st.input_gb = fan_in_gb(wf, st.parents);
+      next.push_back(static_cast<std::uint32_t>(wf.stages.size()));
+      wf.stages.push_back(std::move(st));
+    }
+    prev = std::move(next);
+  }
+  wf.validate();
+  return wf;
+}
+
+Workflow make_diamond(std::size_t width, const GenConfig& cfg) {
+  if (width == 0) {
+    throw std::invalid_argument("make_diamond: need at least one branch");
+  }
+  Workflow wf;
+  wf.name = "diamond" + std::to_string(width);
+  Stage src;
+  src.name = "source";
+  src.benchmark = cfg.benchmark;
+  src.input_gb = cfg.input_gb;
+  wf.stages.push_back(std::move(src));
+  std::vector<std::uint32_t> branches;
+  for (std::size_t i = 0; i < width; ++i) {
+    Stage st;
+    st.name = "branch" + std::to_string(i);
+    st.benchmark = cfg.benchmark;
+    st.parents = {0};
+    // The source broadcasts: every branch sees the full shuffle output.
+    st.input_gb = fan_in_gb(wf, st.parents);
+    branches.push_back(static_cast<std::uint32_t>(wf.stages.size()));
+    wf.stages.push_back(std::move(st));
+  }
+  Stage sink;
+  sink.name = "sink";
+  sink.benchmark = cfg.benchmark;
+  sink.parents = branches;
+  sink.input_gb = fan_in_gb(wf, sink.parents);
+  wf.stages.push_back(std::move(sink));
+  wf.validate();
+  return wf;
+}
+
+Workflow make_shape(std::string_view shape, const GenConfig& cfg) {
+  if (shape == "chain") return make_chain(4, cfg);
+  if (shape == "tree") return make_tree(2, 3, cfg);
+  if (shape == "diamond") return make_diamond(4, cfg);
+  throw std::invalid_argument("make_shape: unknown shape '" +
+                              std::string(shape) + "'");
+}
+
+Workflow parse_spec(std::string_view text) {
+  Workflow wf;
+  std::unordered_map<std::string, std::uint32_t> index_of;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t lineno = 0;
+  const auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("workflow spec line " + std::to_string(lineno) +
+                                ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank / comment-only
+    if (word == "workflow") {
+      if (!(ls >> wf.name)) fail("expected: workflow <name>");
+      continue;
+    }
+    if (word != "stage") fail("expected 'workflow' or 'stage', got '" + word + "'");
+    Stage st;
+    std::string deps;
+    if (!(ls >> st.name >> st.benchmark >> st.input_gb)) {
+      fail("expected: stage <name> <benchmark> <input_gb> [parents]");
+    }
+    if (ls >> deps) {
+      std::istringstream ds(deps);
+      std::string dep;
+      while (std::getline(ds, dep, ',')) {
+        const auto it = index_of.find(dep);
+        if (it == index_of.end()) fail("unknown parent stage '" + dep + "'");
+        st.parents.push_back(it->second);
+      }
+    }
+    if (!index_of.emplace(st.name, static_cast<std::uint32_t>(wf.stages.size()))
+             .second) {
+      fail("duplicate stage name '" + st.name + "'");
+    }
+    wf.stages.push_back(std::move(st));
+  }
+  if (wf.name.empty()) wf.name = "spec";
+  wf.validate();
+  return wf;
+}
+
+std::vector<mr::Job> materialize(const Workflow& wf, std::uint32_t instance,
+                                 const mr::WorkloadGenerator& gen,
+                                 mr::IdAllocator& ids) {
+  wf.validate();
+  if (instance == 0) {
+    throw std::invalid_argument("materialize: instance ids are 1-based");
+  }
+  const std::vector<double> cp = remaining_critical_path(wf);
+  std::vector<mr::Job> jobs;
+  jobs.reserve(wf.stages.size());
+  for (std::size_t s = 0; s < wf.stages.size(); ++s) {
+    const Stage& st = wf.stages[s];
+    mr::Job job = gen.make_job(mr::profile(st.benchmark), st.input_gb, ids);
+    job.workflow = instance;
+    job.stage = static_cast<std::uint32_t>(s);
+    job.critical_path = cp[s];
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace hit::workflow

@@ -1,0 +1,110 @@
+// DAG workload model (DESIGN.md §16): multi-stage jobs whose stages are
+// ordinary MapReduce jobs chained by data dependencies.
+//
+// A Workflow is a list of Stages; each stage names a benchmark profile
+// (Table 1), an input size, and the stages it consumes.  Edges carry the
+// producing stage's shuffle output (input_gb x shuffle_selectivity), which is
+// what a child's fan-in ingests.  The model stays deliberately analytic: the
+// per-stage cost estimate below prices a stage the way the Γ/SEBF machinery
+// prices a coflow — seconds of map + shuffle-weighted reduce work — and the
+// remaining-critical-path vector computed from it drives both the
+// WorkflowScheduler's stage ranking and OrderPolicy::CriticalPath's coflow
+// ordering, so compute and network agree on what "critical" means.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mapreduce/job.h"
+#include "mapreduce/workload.h"
+
+namespace hit::workflow {
+
+/// One node of the DAG: a MapReduce job template plus its dependencies.
+struct Stage {
+  std::string name;            ///< unique within the workflow
+  std::string benchmark;       ///< Table 1 profile (mr::profile)
+  double input_gb = 8.0;       ///< map input for this stage
+  std::vector<std::uint32_t> parents;  ///< stage indices this stage consumes
+};
+
+/// A named DAG of stages.  Stages must be topologically indexable: every
+/// parent index is smaller than the child's own index (validate() enforces
+/// this, which also rules out cycles by construction).
+struct Workflow {
+  std::string name;
+  std::vector<Stage> stages;
+
+  /// Throws std::invalid_argument on empty DAGs, out-of-range or forward
+  /// parent references, duplicate parents, or duplicate stage names.
+  void validate() const;
+
+  /// children[s] = stage indices that consume stage s (derived from parents).
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> children() const;
+
+  /// Stage indices with no parents (workflow entry points).
+  [[nodiscard]] std::vector<std::uint32_t> roots() const;
+
+  /// Data volume stage `s` hands each child: map input scaled by the
+  /// profile's shuffle selectivity (the bytes that actually cross the net).
+  [[nodiscard]] double edge_gb(std::uint32_t s) const;
+};
+
+/// Analytic serial cost of one stage in seconds: map seconds over the input
+/// plus reduce seconds over the shuffled fraction, per the stage's profile.
+[[nodiscard]] double stage_cost(const Stage& stage);
+
+/// Remaining critical path per stage: cost[s] plus the longest downstream
+/// chain, computed in reverse topological order.  cp[root-most stages] of the
+/// heaviest chain equals critical_path_length().
+[[nodiscard]] std::vector<double> remaining_critical_path(const Workflow& wf);
+
+/// Length of the longest root-to-leaf cost chain (the makespan lower bound an
+/// infinitely wide cluster could reach).
+[[nodiscard]] double critical_path_length(const Workflow& wf);
+
+/// Shape-generator knobs.  All generators are pure functions of their
+/// arguments — no RNG — so a (shape, config) pair is a stable workload name.
+struct GenConfig {
+  std::string benchmark = "terasort";  ///< profile for every stage
+  double input_gb = 8.0;                ///< leaf/source stage input
+};
+
+/// source -> s1 -> ... -> s(n-1): the n-stage pipeline.
+[[nodiscard]] Workflow make_chain(std::size_t stages, const GenConfig& cfg = {});
+
+/// Fan-in aggregation tree: fanout^depth leaves reduce level by level into a
+/// single sink (depth levels of internal nodes).  The classic multi-stage
+/// aggregation query; leaves carry cfg.input_gb, internal stages ingest their
+/// children's shuffle output.
+[[nodiscard]] Workflow make_tree(std::size_t depth, std::size_t fanout,
+                                 const GenConfig& cfg = {});
+
+/// 1 source -> `width` parallel branches -> 1 sink (map-side broadcast, then
+/// a barrier join).  The minimal DAG where critical-path and slack differ.
+[[nodiscard]] Workflow make_diamond(std::size_t width, const GenConfig& cfg = {});
+
+/// Build a named shape: "chain" (4 stages), "tree" (depth 2, fanout 3),
+/// "diamond" (width 4), each under `cfg`.  Throws on unknown names.
+[[nodiscard]] Workflow make_shape(std::string_view shape, const GenConfig& cfg = {});
+
+/// Parse the line-oriented spec format:
+///
+///   workflow <name>
+///   stage <name> <benchmark> <input_gb> [parent[,parent...]]
+///
+/// '#' starts a comment; blank lines are skipped; parents are earlier stage
+/// names.  Throws std::invalid_argument with a line number on any error.
+[[nodiscard]] Workflow parse_spec(std::string_view text);
+
+/// Materialize every stage of `wf` as an mr::Job tagged with the workflow
+/// instance id (1-based), its stage index, and its remaining critical path —
+/// the tags OrderPolicy::CriticalPath, the controller's workflow-unit
+/// shedding, and group_coflows' (job, wave) key all key on.
+[[nodiscard]] std::vector<mr::Job> materialize(
+    const Workflow& wf, std::uint32_t instance,
+    const mr::WorkloadGenerator& gen, mr::IdAllocator& ids);
+
+}  // namespace hit::workflow

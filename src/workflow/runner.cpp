@@ -1,0 +1,500 @@
+#include "workflow/runner.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mapreduce/profiles.h"
+#include "obs/context.h"
+
+namespace hit::workflow {
+
+namespace {
+
+/// Stable per-element key for fault-state folding (valid ids only; -1 marks
+/// "no peer" so switch/server events key apart from links).
+using ElemKey = std::tuple<int, long long, long long>;
+
+ElemKey elem_key(const sim::FaultEvent& e) {
+  const long long node =
+      e.node.valid() ? static_cast<long long>(e.node.value()) : -1;
+  const long long peer =
+      e.peer.valid() ? static_cast<long long>(e.peer.value()) : -1;
+  return {static_cast<int>(e.target), node, peer};
+}
+
+void merge_recovery(sim::RecoveryStats& into, const sim::RecoveryStats& r) {
+  into.faults_applied += r.faults_applied;
+  into.switches_failed += r.switches_failed;
+  into.servers_failed += r.servers_failed;
+  into.links_failed += r.links_failed;
+  into.maps_killed += r.maps_killed;
+  into.maps_reexecuted += r.maps_reexecuted;
+  into.reduces_relocated += r.reduces_relocated;
+  into.jobs_restarted += r.jobs_restarted;
+  into.flows_rerouted += r.flows_rerouted;
+  into.flows_stalled += r.flows_stalled;
+  into.stall_seconds += r.stall_seconds;
+  into.unavailable_seconds += r.unavailable_seconds;
+}
+
+void merge_gray(sim::GrayStats& into, const sim::GrayStats& g) {
+  // time-to-detect is re-averaged over the merged detection count.
+  const double ttd_sum = into.mean_time_to_detect *
+                             static_cast<double>(into.detections) +
+                         g.mean_time_to_detect * static_cast<double>(g.detections);
+  into.gray_events += g.gray_events;
+  into.degradations += g.degradations;
+  into.degraded_seconds += g.degraded_seconds;
+  into.detections += g.detections;
+  into.false_positives += g.false_positives;
+  into.mean_time_to_detect =
+      into.detections > 0 ? ttd_sum / static_cast<double>(into.detections) : 0.0;
+  into.quarantines += g.quarantines;
+  into.probes += g.probes;
+  into.reinstatements += g.reinstatements;
+  into.quarantine_seconds += g.quarantine_seconds;
+}
+
+void merge_control(sim::ControlPlaneStats& into, const sim::ControlPlaneStats& c) {
+  into.crashes += c.crashes;
+  into.restarts += c.restarts;
+  into.blackout_seconds += c.blackout_seconds;
+  into.waves_delayed += c.waves_delayed;
+  into.flows_failstatic += c.flows_failstatic;
+  into.flows_stalled_blackout += c.flows_stalled_blackout;
+  into.reconcile_violations += c.reconcile_violations;
+  into.reconcile_repairs += c.reconcile_repairs;
+  into.journal_records += c.journal_records;
+  into.snapshots += c.snapshots;
+  into.replayed_records += c.replayed_records;
+}
+
+/// Fold one round's SimResult into the merged timeline at offset `t0`.
+void merge_round(sim::SimResult& into, const sim::SimResult& r, double t0) {
+  into.jobs.insert(into.jobs.end(), r.jobs.begin(), r.jobs.end());
+  for (sim::TaskTiming t : r.tasks) {
+    t.start += t0;
+    t.finish += t0;
+    into.tasks.push_back(std::move(t));
+  }
+  for (sim::FlowTiming f : r.flows) {
+    f.release += t0;
+    f.finish += t0;
+    into.flows.push_back(std::move(f));
+  }
+  into.makespan = std::max(into.makespan, t0 + r.makespan);
+  into.total_shuffle_cost += r.total_shuffle_cost;
+  into.total_shuffle_gb += r.total_shuffle_gb;
+  into.total_remote_map_gb += r.total_remote_map_gb;
+  if (r.shuffle_finish_time > 0.0) {
+    into.shuffle_finish_time =
+        std::max(into.shuffle_finish_time, t0 + r.shuffle_finish_time);
+  }
+  into.speculative_copies += r.speculative_copies;
+  into.speculative_won += r.speculative_won;
+  into.speculative_lost += r.speculative_lost;
+  merge_recovery(into.recovery, r.recovery);
+  merge_gray(into.gray, r.gray);
+  merge_control(into.control, r.control);
+}
+
+}  // namespace
+
+sim::FaultPlan slice_plan(const sim::FaultPlan& plan, double t0) {
+  if (t0 <= 0.0) return plan;
+  // Fold pre-t0 state: the last Fail/Recover (resp. Degrade/Restore) per
+  // element decides whether the round opens inside an outage; controller
+  // crash/restart toggles fold the same way.
+  std::map<ElemKey, sim::FaultEvent> failed;     // active Fail at t0
+  std::map<ElemKey, sim::FaultEvent> degraded;   // active Degrade at t0
+  bool controller_down = false;
+  sim::FaultEvent controller_crash{};
+  std::vector<sim::FaultEvent> out;
+  for (const sim::FaultEvent& e : plan.events()) {
+    if (e.time >= t0) {
+      sim::FaultEvent shifted = e;
+      shifted.time = e.time - t0;
+      out.push_back(shifted);
+      continue;
+    }
+    switch (e.kind) {
+      case sim::FaultKind::Fail: failed[elem_key(e)] = e; break;
+      case sim::FaultKind::Recover: failed.erase(elem_key(e)); break;
+      case sim::FaultKind::Degrade: degraded[elem_key(e)] = e; break;
+      case sim::FaultKind::Restore: degraded.erase(elem_key(e)); break;
+      case sim::FaultKind::ControllerCrash:
+        controller_down = true;
+        controller_crash = e;
+        break;
+      case sim::FaultKind::ControllerRestart: controller_down = false; break;
+    }
+  }
+  std::vector<sim::FaultEvent> folded;
+  for (const auto& [key, e] : failed) {
+    sim::FaultEvent f = e;
+    f.time = 0.0;
+    folded.push_back(f);
+  }
+  for (const auto& [key, e] : degraded) {
+    sim::FaultEvent f = e;
+    f.time = 0.0;
+    folded.push_back(f);
+  }
+  if (controller_down) {
+    sim::FaultEvent f = controller_crash;
+    f.time = 0.0;
+    folded.push_back(f);
+  }
+  folded.insert(folded.end(), out.begin(), out.end());
+  return sim::FaultPlan::scripted(std::move(folded));
+}
+
+namespace {
+
+/// Per-stage runtime bookkeeping shared by the batch round loop.
+struct StageRt {
+  std::size_t workflow = 0;
+  std::uint32_t stage = 0;
+  mr::Job job;               ///< primary attempt (pre-built)
+  double rem_cp = 0.0;
+  double cp_total = 0.0;
+  bool launched = false;
+  bool done = false;
+  double ready_since = -1.0;  ///< < 0: not ready yet
+  double finish = 0.0;
+};
+
+}  // namespace
+
+BatchWorkflowResult run_workflows_batch(
+    const cluster::Cluster& cluster, const sim::SimConfig& sim_config,
+    const SchedConfig& sched_config, const std::vector<Workflow>& workflows,
+    const mr::WorkloadGenerator& gen, mr::IdAllocator& ids,
+    sched::Scheduler& scheduler, Rng& rng) {
+  if (workflows.empty()) {
+    throw std::invalid_argument("run_workflows_batch: no workflows");
+  }
+  // Stage spans (tid 7) are emitted between simulator rounds, so the
+  // observer must be bound here, not just inside ClusterSimulator::run.
+  const obs::Bind bind(sim_config.observer);
+  BatchWorkflowResult out;
+  out.stats.workflows = workflows.size();
+
+  std::vector<StageRt> stages;                  // global stage list
+  std::vector<std::vector<std::size_t>> globals(workflows.size());
+  for (std::size_t w = 0; w < workflows.size(); ++w) {
+    const Workflow& wf = workflows[w];
+    wf.validate();
+    const std::vector<double> cp = remaining_critical_path(wf);
+    const double cp_total = critical_path_length(wf);
+    out.stats.cp_lower_bound = std::max(out.stats.cp_lower_bound, cp_total);
+    std::vector<mr::Job> jobs =
+        materialize(wf, static_cast<std::uint32_t>(w) + 1, gen, ids);
+    // Budgeted priority escalation: the most critical spine stages first.
+    std::vector<std::size_t> by_cp(wf.stages.size());
+    for (std::size_t s = 0; s < by_cp.size(); ++s) by_cp[s] = s;
+    std::sort(by_cp.begin(), by_cp.end(), [&](std::size_t a, std::size_t b) {
+      if (cp[a] != cp[b]) return cp[a] > cp[b];
+      return a < b;
+    });
+    std::size_t escalated = 0;
+    for (std::size_t s : by_cp) {
+      if (escalated >= sched_config.escalation_budget) break;
+      if (cp_total <= 0.0 ||
+          cp[s] < sched_config.critical_threshold * cp_total) {
+        break;
+      }
+      jobs[s].priority = mr::Priority::High;
+      ++escalated;
+      ++out.stats.escalations;
+    }
+    for (std::size_t s = 0; s < wf.stages.size(); ++s) {
+      StageRt rt;
+      rt.workflow = w;
+      rt.stage = static_cast<std::uint32_t>(s);
+      rt.job = std::move(jobs[s]);
+      rt.rem_cp = cp[s];
+      rt.cp_total = cp_total;
+      if (wf.stages[s].parents.empty()) rt.ready_since = 0.0;
+      globals[w].push_back(stages.size());
+      stages.push_back(std::move(rt));
+    }
+  }
+  out.stats.stages_total = stages.size();
+
+  std::vector<std::size_t> hedge_left(workflows.size(),
+                                      sched_config.hedge_budget);
+  double round_start = 0.0;
+  double total_wait = 0.0;
+  std::size_t remaining = stages.size();
+  while (remaining > 0) {
+    // Ready set under the scoring policy.
+    std::vector<ReadyStage> ready;
+    std::vector<std::size_t> ready_ix;
+    for (std::size_t g = 0; g < stages.size(); ++g) {
+      const StageRt& rt = stages[g];
+      if (rt.launched || rt.ready_since < 0.0) continue;
+      ReadyStage rs;
+      rs.workflow = rt.workflow;
+      rs.stage = rt.stage;
+      rs.rem_cp = rt.rem_cp;
+      rs.cp_total = rt.cp_total;
+      rs.elapsed = round_start;
+      rs.ready_since = rt.ready_since;
+      ready.push_back(rs);
+      ready_ix.push_back(g);
+    }
+    if (ready.empty()) {
+      throw std::logic_error(
+          "run_workflows_batch: no ready stage (cycle past validate()?)");
+    }
+    const std::vector<std::size_t> order =
+        rank_stages(ready, sched_config.weights, round_start);
+    const std::size_t take =
+        std::min(std::max<std::size_t>(sched_config.max_parallel_stages, 1),
+                 order.size());
+
+    // One round: selected stages (plus hedged duplicates) as one batch run.
+    struct Launch {
+      std::size_t global = 0;
+      std::vector<JobId> attempts;  // primary first
+    };
+    std::vector<Launch> launches;
+    std::vector<mr::Job> round_jobs;
+    for (std::size_t k = 0; k < take; ++k) {
+      const std::size_t g = ready_ix[order[k]];
+      StageRt& rt = stages[g];
+      Launch l;
+      l.global = g;
+      l.attempts.push_back(rt.job.id);
+      round_jobs.push_back(rt.job);
+      if (hedge_left[rt.workflow] > 0 &&
+          is_critical(ready[order[k]], sched_config)) {
+        --hedge_left[rt.workflow];
+        const Stage& st = workflows[rt.workflow].stages[rt.stage];
+        mr::Job dup = gen.make_job(mr::profile(st.benchmark), st.input_gb, ids);
+        dup.workflow = rt.job.workflow;
+        dup.stage = rt.job.stage;
+        dup.critical_path = rt.job.critical_path;
+        dup.priority = rt.job.priority;
+        dup.tenant = rt.job.tenant;
+        l.attempts.push_back(dup.id);
+        round_jobs.push_back(std::move(dup));
+        ++out.stats.hedges_launched;
+        obs::count("workflow.hedges_launched");
+      }
+      rt.launched = true;
+      total_wait += round_start - rt.ready_since;
+      launches.push_back(std::move(l));
+    }
+    obs::count("workflow.rounds");
+    obs::count("workflow.stages_launched", static_cast<std::int64_t>(take));
+
+    sim::SimConfig round_config = sim_config;
+    round_config.faults = slice_plan(sim_config.faults, round_start);
+    const sim::ClusterSimulator csim(cluster, round_config);
+    const sim::SimResult r = csim.run(scheduler, round_jobs, ids, rng);
+    merge_round(out.sim, r, round_start);
+
+    std::unordered_map<JobId, double> completion;
+    for (const sim::JobResult& jr : r.jobs) {
+      completion[jr.id] = jr.completion_time;
+    }
+    for (const Launch& l : launches) {
+      StageRt& rt = stages[l.global];
+      double best = -1.0;
+      std::size_t winner = 0;
+      for (std::size_t a = 0; a < l.attempts.size(); ++a) {
+        const auto it = completion.find(l.attempts[a]);
+        if (it == completion.end()) continue;
+        if (best < 0.0 || it->second < best) {
+          best = it->second;
+          winner = a;
+        }
+      }
+      if (best < 0.0) {
+        throw std::logic_error("run_workflows_batch: stage produced no result");
+      }
+      rt.done = true;
+      rt.finish = round_start + best;
+      --remaining;
+      ++out.stats.stages_completed;
+      if (l.attempts.size() > 1) {
+        if (winner > 0) {
+          ++out.stats.hedges_won;
+        } else {
+          ++out.stats.hedges_lost;
+        }
+      }
+      if (obs::current().trace() != nullptr) {
+        obs::sim_span(
+            "workflow.stage", "sim.workflow", round_start, rt.finish,
+            {{"workflow", static_cast<std::int64_t>(rt.job.workflow)},
+             {"stage", static_cast<std::int64_t>(rt.stage)},
+             {"rem_cp", rt.rem_cp},
+             {"hedged", static_cast<std::int64_t>(l.attempts.size() > 1)}},
+            /*tid=*/7);
+      }
+    }
+
+    // Unlock children whose parents are all done; they accrue age from the
+    // latest parent finish, not from the round barrier.
+    for (const Launch& l : launches) {
+      const StageRt& parent = stages[l.global];
+      const Workflow& wf = workflows[parent.workflow];
+      const auto kids = wf.children();
+      for (std::uint32_t c : kids[parent.stage]) {
+        StageRt& child = stages[globals[parent.workflow][c]];
+        if (child.ready_since >= 0.0) continue;
+        bool all_done = true;
+        double last_parent = 0.0;
+        for (std::uint32_t p : wf.stages[c].parents) {
+          const StageRt& prt = stages[globals[parent.workflow][p]];
+          if (!prt.done) {
+            all_done = false;
+            break;
+          }
+          last_parent = std::max(last_parent, prt.finish);
+        }
+        if (all_done) child.ready_since = last_parent;
+      }
+    }
+    round_start += r.makespan;
+  }
+
+  out.sim.coflows = sim::group_coflows(out.sim.flows);
+  out.stats.makespan = out.sim.makespan;
+  out.stats.stretch = out.stats.cp_lower_bound > 0.0
+                          ? out.stats.makespan / out.stats.cp_lower_bound
+                          : 0.0;
+  out.stats.mean_stage_wait =
+      stages.empty() ? 0.0 : total_wait / static_cast<double>(stages.size());
+  obs::gauge_set("workflow.makespan_s", out.stats.makespan);
+  obs::gauge_set("workflow.stretch", out.stats.stretch);
+  return out;
+}
+
+OnlinePlanBuild build_online_plan(const std::vector<Workflow>& workflows,
+                                  const SchedConfig& sched_config,
+                                  const mr::WorkloadGenerator& gen,
+                                  mr::IdAllocator& ids) {
+  if (workflows.empty()) {
+    throw std::invalid_argument("build_online_plan: no workflows");
+  }
+  OnlinePlanBuild out;
+  out.plan.groups = workflows.size();
+  for (std::size_t g = 0; g < workflows.size(); ++g) {
+    const Workflow& wf = workflows[g];
+    wf.validate();
+    const std::vector<double> cp = remaining_critical_path(wf);
+    const double cp_total = critical_path_length(wf);
+    // Budgeted escalation / hedging, most critical spine stages first (the
+    // same rule the batch runner applies).
+    std::vector<std::size_t> by_cp(wf.stages.size());
+    for (std::size_t s = 0; s < by_cp.size(); ++s) by_cp[s] = s;
+    std::sort(by_cp.begin(), by_cp.end(), [&](std::size_t a, std::size_t b) {
+      if (cp[a] != cp[b]) return cp[a] > cp[b];
+      return a < b;
+    });
+    std::vector<char> escalate(wf.stages.size(), 0);
+    std::vector<char> hedge(wf.stages.size(), 0);
+    std::size_t esc_left = sched_config.escalation_budget;
+    std::size_t hedge_left = sched_config.hedge_budget;
+    for (std::size_t s : by_cp) {
+      if (cp_total <= 0.0 ||
+          cp[s] < sched_config.critical_threshold * cp_total) {
+        break;
+      }
+      if (esc_left > 0) {
+        escalate[s] = 1;
+        --esc_left;
+        ++out.escalations;
+      }
+      if (hedge_left > 0) {
+        hedge[s] = 1;
+        --hedge_left;
+        ++out.hedges;
+      }
+      if (esc_left == 0 && hedge_left == 0) break;
+    }
+
+    const std::size_t base = out.plan.stages.size();
+    for (std::size_t s = 0; s < wf.stages.size(); ++s) {
+      const Stage& st = wf.stages[s];
+      sim::WorkflowPlan::StageInfo info;
+      info.group = g;
+      info.index = static_cast<std::uint32_t>(s);
+      for (std::uint32_t p : st.parents) info.parents.push_back(base + p);
+      const std::size_t attempts = hedge[s] ? 2 : 1;
+      for (std::size_t a = 0; a < attempts; ++a) {
+        mr::Job job = gen.make_job(mr::profile(st.benchmark), st.input_gb, ids);
+        job.workflow = static_cast<std::uint32_t>(g) + 1;
+        job.stage = static_cast<std::uint32_t>(s);
+        job.critical_path = cp[s];
+        if (escalate[s]) job.priority = mr::Priority::High;
+        sim::WorkflowPlan::JobTag tag;
+        tag.group = g;
+        tag.stage = base + s;
+        tag.attempt = a;
+        info.attempts.push_back(out.jobs.size());
+        out.plan.job_tags.push_back(tag);
+        out.jobs.push_back(std::move(job));
+      }
+      out.plan.stages.push_back(std::move(info));
+    }
+    for (std::size_t s = 0; s < wf.stages.size(); ++s) {
+      for (std::uint32_t p : wf.stages[s].parents) {
+        out.plan.stages[base + p].children.push_back(base + s);
+      }
+    }
+  }
+  return out;
+}
+
+WorkflowStats compute_online_stats(const sim::OnlineResult& result,
+                                   const std::vector<Workflow>& workflows) {
+  WorkflowStats st;
+  st.workflows = workflows.size();
+  for (const Workflow& wf : workflows) {
+    st.cp_lower_bound = std::max(st.cp_lower_bound, critical_path_length(wf));
+  }
+  // First pass: which (workflow, stage) pairs completed.
+  std::unordered_set<std::uint64_t> completed;
+  const auto key = [](const sim::WorkflowJobRecord& r) {
+    return (static_cast<std::uint64_t>(r.workflow) << 32) | r.stage;
+  };
+  for (const sim::WorkflowJobRecord& r : result.workflow_jobs) {
+    if (r.stage_winner) completed.insert(key(r));
+  }
+  double wait_sum = 0.0;
+  for (const sim::WorkflowJobRecord& r : result.workflow_jobs) {
+    st.restarts += r.restarts;
+    if (r.attempt == 0) ++st.stages_total;
+    if (r.attempt > 0) {
+      ++st.hedges_launched;
+      if (r.stage_winner) {
+        ++st.hedges_won;
+      } else if (completed.count(key(r)) > 0) {
+        ++st.hedges_lost;
+      }
+    }
+    if (r.stage_winner) {
+      ++st.stages_completed;
+      wait_sum += r.finish - r.unlocked;
+    }
+  }
+  st.stages_shed = st.stages_total - st.stages_completed;
+  st.makespan = result.makespan;
+  st.stretch =
+      st.cp_lower_bound > 0.0 ? st.makespan / st.cp_lower_bound : 0.0;
+  st.mean_stage_wait = st.stages_completed > 0
+                           ? wait_sum / static_cast<double>(st.stages_completed)
+                           : 0.0;
+  return st;
+}
+
+}  // namespace hit::workflow

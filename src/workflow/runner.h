@@ -1,0 +1,93 @@
+// Workflow execution on top of the two simulators (DESIGN.md §16).
+//
+// Batch: run_workflows_batch drives ClusterSimulator round by round — each
+// round launches the highest-scoring ready stages (WorkflowScheduler order,
+// capped at SchedConfig::max_parallel_stages, hedged duplicates included),
+// the fault plan is sliced so round-local time lines up with plan time, and
+// per-round SimResults are time-shifted and merged into one.  Stages unlock
+// when every parent stage has finished; rounds are level-synchronized
+// barriers, so batch measures scheduling order and hedging, not pipelining.
+//
+// Online: build_online_plan materializes every stage *attempt* as an
+// mr::Job plus the sim::WorkflowPlan that tells OnlineSimulator which jobs
+// form a stage and how stages depend on each other.  There the unlocks are
+// event-driven (a child arrives the instant its last parent finishes), stage
+// shuffles are coflows whose priority is the stage's remaining critical
+// path, and faults/sheds cascade — the pipelined setting where
+// OrderPolicy::CriticalPath can beat plain SEBF on DAG makespan.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "mapreduce/workload.h"
+#include "sched/scheduler.h"
+#include "sim/engine.h"
+#include "sim/online.h"
+#include "util/rng.h"
+#include "workflow/dag.h"
+#include "workflow/sched.h"
+
+namespace hit::workflow {
+
+/// DAG-level accounting for a workflow run (batch or online).
+struct WorkflowStats {
+  std::size_t workflows = 0;
+  std::size_t stages_total = 0;      ///< distinct stages (attempts not counted)
+  std::size_t stages_completed = 0;
+  std::size_t stages_shed = 0;       ///< online: stages that lost every attempt
+  std::size_t escalations = 0;       ///< stages bumped to Priority::High
+  std::size_t hedges_launched = 0;   ///< duplicate attempts launched
+  std::size_t hedges_won = 0;        ///< duplicates that finished their stage first
+  std::size_t hedges_lost = 0;       ///< duplicates the primary outran
+  std::size_t restarts = 0;          ///< online: fault-driven attempt restarts
+  double makespan = 0.0;             ///< last stage finish
+  double cp_lower_bound = 0.0;       ///< max analytic critical-path length
+                                     ///< (serial stage seconds; intra-stage
+                                     ///< parallelism can run below it)
+  double stretch = 0.0;              ///< makespan normalized by cp_lower_bound
+  double mean_stage_wait = 0.0;      ///< mean ready->launch (batch) or
+                                     ///< ready->finish latency (online winners)
+};
+
+/// Merged multi-round batch result: `sim` aggregates every round's
+/// SimResult on one time axis; `stats` is the DAG view.
+struct BatchWorkflowResult {
+  sim::SimResult sim;
+  WorkflowStats stats;
+};
+
+/// Fault-plan tail from `t0` onward, re-based to time 0: events at or after
+/// t0 shift left by t0; fail/degrade/crash states already active at t0 fold
+/// into time-0 events so a round that starts mid-outage sees the outage.
+[[nodiscard]] sim::FaultPlan slice_plan(const sim::FaultPlan& plan, double t0);
+
+/// Execute `workflows` on the batch simulator (see file header).  Everything
+/// is deterministic in (inputs, rng): stage ranking breaks ties on indices
+/// and each round consumes the caller's rng sequentially.
+[[nodiscard]] BatchWorkflowResult run_workflows_batch(
+    const cluster::Cluster& cluster, const sim::SimConfig& sim_config,
+    const SchedConfig& sched_config, const std::vector<Workflow>& workflows,
+    const mr::WorkloadGenerator& gen, mr::IdAllocator& ids,
+    sched::Scheduler& scheduler, Rng& rng);
+
+/// Jobs + dependency plan for OnlineSimulator (one group per workflow
+/// instance, one job per stage attempt; hedged duplicates of critical stages
+/// within SchedConfig::hedge_budget, priority escalations within
+/// SchedConfig::escalation_budget).
+struct OnlinePlanBuild {
+  std::vector<mr::Job> jobs;
+  sim::WorkflowPlan plan;
+  std::size_t escalations = 0;
+  std::size_t hedges = 0;
+};
+
+[[nodiscard]] OnlinePlanBuild build_online_plan(
+    const std::vector<Workflow>& workflows, const SchedConfig& sched_config,
+    const mr::WorkloadGenerator& gen, mr::IdAllocator& ids);
+
+/// Distill the DAG view from an online run's per-attempt records.
+[[nodiscard]] WorkflowStats compute_online_stats(
+    const sim::OnlineResult& result, const std::vector<Workflow>& workflows);
+
+}  // namespace hit::workflow

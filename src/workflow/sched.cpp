@@ -1,0 +1,35 @@
+#include "workflow/sched.h"
+
+#include <algorithm>
+
+namespace hit::workflow {
+
+double stage_score(const ReadyStage& s, const CpWeights& w, double now) {
+  const double slack = std::max(0.0, s.elapsed + s.rem_cp - s.cp_total);
+  const double age = std::max(0.0, now - s.ready_since);
+  return w.alpha * s.rem_cp + w.beta * slack + w.gamma * age;
+}
+
+std::vector<std::size_t> rank_stages(const std::vector<ReadyStage>& ready,
+                                     const CpWeights& weights, double now) {
+  std::vector<std::size_t> order(ready.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> score(ready.size());
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    score[i] = stage_score(ready[i], weights, now);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    if (ready[a].workflow != ready[b].workflow) {
+      return ready[a].workflow < ready[b].workflow;
+    }
+    return ready[a].stage < ready[b].stage;
+  });
+  return order;
+}
+
+bool is_critical(const ReadyStage& s, const SchedConfig& cfg) {
+  return s.cp_total > 0.0 && s.rem_cp >= cfg.critical_threshold * s.cp_total;
+}
+
+}  // namespace hit::workflow

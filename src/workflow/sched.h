@@ -1,0 +1,75 @@
+// WorkflowScheduler: stage ranking, escalation, and hedging policy.
+//
+// Given the set of *ready* stages (all parents complete), the scheduler
+// scores each as
+//
+//   score = alpha * remaining_critical_path
+//         + beta  * slack
+//         + gamma * age
+//
+// where slack = max(0, elapsed + rem_cp - cp_total) is how far the stage's
+// workflow has already slipped past its ideal critical path (late workflows
+// jump the queue), and age = now - ready_since keeps starvation bounded when
+// alpha/beta would otherwise pin a wide workflow's leaves behind a deep
+// one's spine.  Highest score launches first.
+//
+// Two budgeted escalations ride on the same criticality signal:
+//   * priority escalation — a ready stage whose rem_cp is a large fraction
+//     of its workflow's total critical path is bumped to mr::Priority::High
+//     (the controller's shed/readmit order already respects priorities), at
+//     most `escalation_budget` times per workflow;
+//   * hedging — the same test launches a duplicate attempt of the stage
+//     (cascade-style: first finisher wins, the loser's work is discarded),
+//     at most `hedge_budget` times per workflow.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hit::workflow {
+
+/// Stage-score weights (alpha: criticality, beta: lateness, gamma: aging).
+struct CpWeights {
+  double alpha = 1.0;
+  double beta = 0.5;
+  double gamma = 0.1;
+};
+
+struct SchedConfig {
+  CpWeights weights;
+  /// A ready stage with rem_cp >= threshold * cp_total is escalation- and
+  /// hedge-eligible (it sits on the workflow's spine).
+  double critical_threshold = 0.5;
+  /// Priority escalations allowed per workflow (0 disables).
+  std::size_t escalation_budget = 0;
+  /// Duplicate (hedged) stage launches allowed per workflow (0 disables).
+  std::size_t hedge_budget = 0;
+  /// Batch runner: ready stages launched together per round (bounds the
+  /// cluster footprint of one round; deferred stages accrue age).
+  std::size_t max_parallel_stages = 4;
+};
+
+/// One ready stage as the scheduler sees it.
+struct ReadyStage {
+  std::size_t workflow = 0;     ///< workflow instance index
+  std::uint32_t stage = 0;      ///< stage index within the workflow
+  double rem_cp = 0.0;          ///< remaining critical path from this stage
+  double cp_total = 0.0;        ///< workflow's full critical path
+  double elapsed = 0.0;         ///< now - workflow start
+  double ready_since = 0.0;     ///< when the stage became ready
+};
+
+/// score() applied to one stage at time `now`.
+[[nodiscard]] double stage_score(const ReadyStage& s, const CpWeights& w,
+                                 double now);
+
+/// Rank `ready` best-first under `cfg.weights` at time `now`.  Ties break on
+/// (workflow, stage) so the order is a pure function of the inputs.
+[[nodiscard]] std::vector<std::size_t> rank_stages(
+    const std::vector<ReadyStage>& ready, const CpWeights& weights, double now);
+
+/// True when `s` clears the criticality bar for escalation / hedging.
+[[nodiscard]] bool is_critical(const ReadyStage& s, const SchedConfig& cfg);
+
+}  // namespace hit::workflow

@@ -1,0 +1,101 @@
+// `hitcamp report` minimal mode: render_report turns a campaign result into
+// a fixed-width metric table that stands alone in a CI log.
+#include "campaign/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hit::campaign {
+namespace {
+
+CampaignResult sample() {
+  CampaignResult result;
+  result.name = "demo";
+  result.git_sha = "abc1234";
+  CellResult a;
+  a.id = "scheduler=hit/seed=1";
+  a.metrics = {{"makespan_s", 123.456},
+               {"wf_stretch", 1.25},
+               {"obs.sim.flows", 42.0}};
+  CellResult b;
+  b.id = "scheduler=fair/seed=1";
+  b.metrics = {{"makespan_s", 150.0}, {"wf_stretch", 0.0001}};
+  result.cells = {a, b};
+  return result;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(RenderReport, DefaultColumnsSkipObsMetricsAndKeepOrder) {
+  const std::string text = render_report(sample());
+  EXPECT_NE(text.find("campaign demo @ abc1234"), std::string::npos);
+  EXPECT_NE(text.find("makespan_s"), std::string::npos);
+  EXPECT_NE(text.find("wf_stretch"), std::string::npos);
+  EXPECT_EQ(text.find("obs.sim.flows"), std::string::npos);
+  // Header orders columns by first appearance.
+  EXPECT_LT(text.find("makespan_s"), text.find("wf_stretch"));
+  EXPECT_NE(text.find("2/2 cells ok"), std::string::npos);
+}
+
+TEST(RenderReport, ExplicitMetricsSelectAndOrderColumns) {
+  const std::string text =
+      render_report(sample(), {"wf_stretch", "makespan_s"});
+  EXPECT_LT(text.find("wf_stretch"), text.find("makespan_s"));
+  // A metric a cell lacks renders as "-", not a crash: ask for one that
+  // exists nowhere.
+  const std::string missing = render_report(sample(), {"no_such_metric"});
+  EXPECT_NE(missing.find("no_such_metric"), std::string::npos);
+  EXPECT_NE(missing.find(" -"), std::string::npos);
+}
+
+TEST(RenderReport, ColumnsAlignAcrossRows) {
+  const std::string text =
+      render_report(sample(), {"makespan_s", "wf_stretch"});
+  const std::vector<std::string> lines = lines_of(text);
+  // line 0 banner, 1 header, 2 rule, 3-4 rows, 5 summary.
+  ASSERT_GE(lines.size(), 6u);
+  const std::size_t col = lines[1].find("makespan_s");
+  ASSERT_NE(col, std::string::npos);
+  // Both value cells start in the metric's column (ids are padded).
+  EXPECT_EQ(lines[3].find("123.5"), col);
+  EXPECT_EQ(lines[4].find("150"), col);
+  // The rule under the header starts at column zero and is dashes-only.
+  EXPECT_EQ(lines[2].find('-'), 0u);
+}
+
+TEST(RenderReport, SmallValuesUseScientificNotation) {
+  const std::string text = render_report(sample(), {"wf_stretch"});
+  EXPECT_NE(text.find("1.000e-04"), std::string::npos);
+}
+
+TEST(RenderReport, ErrorRowsRenderTheCellError) {
+  CampaignResult result = sample();
+  CellResult bad;
+  bad.id = "scheduler=hit/seed=2";
+  bad.ok = false;
+  bad.error = "job does not fit the cluster";
+  result.cells.push_back(bad);
+  const std::string text = render_report(result);
+  EXPECT_NE(text.find("ERROR: job does not fit the cluster"),
+            std::string::npos);
+  EXPECT_NE(text.find("2/3 cells ok"), std::string::npos);
+}
+
+TEST(RenderReport, EmptyCampaignStillSummarizes) {
+  CampaignResult result;
+  result.name = "empty";
+  const std::string text = render_report(result);
+  EXPECT_NE(text.find("campaign empty"), std::string::npos);
+  EXPECT_NE(text.find("0/0 cells ok"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hit::campaign

@@ -1,0 +1,134 @@
+// Workflow-unit overload control: when flows carry a workflow tag, the
+// coflow-aware shed parks the whole workflow (across its stage jobs) and
+// readmit_parked restores a workflow's parked flows as one unit — downstream
+// stages are gated on the victim stage either way.
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "network/routing.h"
+#include "topology/builders.h"
+
+namespace hit::core {
+namespace {
+
+class ControllerWorkflowTest : public ::testing::Test {
+ protected:
+  // Depth-2 tree, 4 access positions x 1 host, 2 cores (access capacity 32):
+  // flows out of server 0 all share its access switch.
+  topo::TreeConfig tree_{2, 4, 2, 1, 16.0, 32.0};
+  topo::Topology topo_ = topo::make_tree(tree_);
+
+  static net::Flow flow(unsigned id, unsigned job, unsigned workflow,
+                        double rate, std::uint8_t priority = 1) {
+    net::Flow f;
+    f.id = FlowId(id);
+    f.job = JobId(job);
+    f.workflow = workflow;
+    f.size_gb = rate;
+    f.rate = rate;
+    f.priority = priority;
+    return f;
+  }
+
+  void install(NetworkController& controller, const net::Flow& f,
+               std::size_t src, std::size_t dst) {
+    const NodeId a = topo_.servers()[src];
+    const NodeId b = topo_.servers()[dst];
+    controller.install(f, net::shortest_policy(topo_, a, b, f.id), a, b);
+  }
+};
+
+TEST_F(ControllerWorkflowTest, ShedParksEveryStageJobOfTheWorkflow) {
+  ControllerConfig config;
+  config.hot_threshold = 0.5;
+  config.coflow_aware = true;
+  NetworkController controller(topo_, config);
+
+  // Stages of workflow 1 run under distinct JobIds — job grouping alone
+  // would leave flow 3 behind.
+  install(controller, flow(1, /*job=*/1, /*workflow=*/1, 6.0), 0, 1);
+  install(controller, flow(2, /*job=*/2, /*workflow=*/0, 6.0, 2), 0, 2);
+  install(controller, flow(3, /*job=*/3, /*workflow=*/1, 6.0), 0, 3);
+  // Access switch of server 0 carries 18/32 > 0.5: hot.  The victim is
+  // flow 1; the park unit is its whole workflow, not just job 1.
+  EXPECT_EQ(controller.shed_pressure(), 2u);
+  EXPECT_EQ(controller.parked(), (std::vector<FlowId>{FlowId(1), FlowId(3)}));
+  EXPECT_TRUE(controller.installed(FlowId(2)));
+  EXPECT_NO_THROW(controller.audit());
+}
+
+TEST_F(ControllerWorkflowTest, UntaggedVictimStillParksPerJob) {
+  ControllerConfig config;
+  config.hot_threshold = 0.5;
+  config.coflow_aware = true;
+  NetworkController controller(topo_, config);
+
+  // The victim (flow 1) is standalone; the workflow-tagged flows of job 2
+  // and job 3 must not ride along.
+  install(controller, flow(1, /*job=*/1, /*workflow=*/0, 12.0), 0, 1);
+  install(controller, flow(2, /*job=*/2, /*workflow=*/4, 3.0, 2), 0, 2);
+  install(controller, flow(3, /*job=*/3, /*workflow=*/4, 3.0, 2), 0, 3);
+  EXPECT_EQ(controller.shed_pressure(), 1u);
+  EXPECT_EQ(controller.parked(), std::vector<FlowId>{FlowId(1)});
+  EXPECT_TRUE(controller.installed(FlowId(2)));
+  EXPECT_TRUE(controller.installed(FlowId(3)));
+  EXPECT_NO_THROW(controller.audit());
+}
+
+TEST_F(ControllerWorkflowTest, ReadmitRestoresTheWorkflowAsOneUnit) {
+  // Parked flows of workflow 7 span two stage jobs; they must come back
+  // contiguously ahead of the standalone job even though the standalone
+  // flow id falls between them.
+  ControllerConfig config;
+  config.hot_threshold = 0.5;
+  config.coflow_aware = true;
+  config.max_reroute_attempts = 1;  // no backoff: readmit is all-or-nothing
+  NetworkController controller(topo_, config);
+
+  install(controller, flow(1, /*job=*/1, /*workflow=*/7, 6.0), 0, 1);
+  install(controller, flow(2, /*job=*/2, /*workflow=*/0, 6.0), 0, 2);
+  install(controller, flow(3, /*job=*/3, /*workflow=*/7, 6.0), 0, 3);
+  install(controller, flow(4, /*job=*/4, /*workflow=*/0, 14.0, 2), 0, 2);
+  // 32/32 hot: flows 1 and 3 park as workflow 7, flow 2 as job 2.
+  ASSERT_EQ(controller.shed_pressure(), 3u);
+  ASSERT_EQ(controller.parked(),
+            (std::vector<FlowId>{FlowId(1), FlowId(2), FlowId(3)}));
+
+  // 13 units of headroom: room for two of the three parked flows.  The
+  // workflow unit ranks first (earliest waiting flow id 1), so BOTH its
+  // stage flows readmit and the standalone job waits.
+  install(controller, flow(5, /*job=*/5, /*workflow=*/0, 5.0, 2), 0, 3);
+  EXPECT_EQ(controller.readmit_parked(), 2u);
+  EXPECT_EQ(controller.parked(), std::vector<FlowId>{FlowId(2)});
+  EXPECT_TRUE(controller.installed(FlowId(1)));
+  EXPECT_TRUE(controller.installed(FlowId(3)));
+  EXPECT_NO_THROW(controller.audit());
+}
+
+TEST_F(ControllerWorkflowTest, WorkflowAndJobUnitSpacesNeverCollide) {
+  // A workflow tagged 5 and a standalone job whose JobId is also 5 are
+  // distinct readmit units — the composite key keeps the id spaces apart.
+  ControllerConfig config;
+  config.hot_threshold = 0.5;
+  config.coflow_aware = true;
+  config.max_reroute_attempts = 1;
+  NetworkController controller(topo_, config);
+
+  install(controller, flow(1, /*job=*/9, /*workflow=*/5, 9.0), 0, 1);
+  install(controller, flow(2, /*job=*/5, /*workflow=*/0, 9.0), 0, 2);
+  install(controller, flow(3, /*job=*/4, /*workflow=*/0, 14.0, 2), 0, 2);
+  // 32/32 hot: flows 1 and 2 park — as two separate one-flow units.
+  ASSERT_EQ(controller.shed_pressure(), 2u);
+  ASSERT_EQ(controller.parked(),
+            (std::vector<FlowId>{FlowId(1), FlowId(2)}));
+  // Headroom 9 readmits exactly the first-ranked unit (flow 1); were the
+  // units merged, readmit would be all-or-nothing over both flows.
+  install(controller, flow(4, /*job=*/6, /*workflow=*/0, 9.0, 2), 0, 3);
+  EXPECT_EQ(controller.readmit_parked(), 1u);
+  EXPECT_EQ(controller.parked(), std::vector<FlowId>{FlowId(2)});
+  EXPECT_NO_THROW(controller.audit());
+}
+
+}  // namespace
+}  // namespace hit::core

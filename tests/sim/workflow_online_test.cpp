@@ -1,0 +1,287 @@
+// Online DAG-workflow mode: dependency unlocks, hedged attempts, cascade
+// shedding, and determinism under the full fault regime (crash faults, gray
+// degradations, controller blackout).
+#include <gtest/gtest.h>
+
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/hit_scheduler.h"
+#include "sim/online.h"
+#include "test_helpers.h"
+#include "workflow/runner.h"
+
+namespace hit::sim {
+namespace {
+
+// Small stages (2 GB terasort) so every attempt fits the 16-slot world.
+workflow::GenConfig small_stages() {
+  workflow::GenConfig cfg;
+  cfg.input_gb = 2.0;
+  return cfg;
+}
+
+struct PlanRun {
+  std::vector<workflow::Workflow> wfs;
+  OnlineResult result;
+};
+
+PlanRun run_plan(const test::World& world, std::vector<workflow::Workflow> wfs,
+                 const workflow::SchedConfig& sched_cfg,
+                 const OnlineConfig& base, std::uint64_t seed) {
+  PlanRun out;
+  out.wfs = std::move(wfs);
+  const mr::WorkloadGenerator gen{mr::WorkloadConfig{}};
+  mr::IdAllocator ids;
+  workflow::OnlinePlanBuild pb =
+      workflow::build_online_plan(out.wfs, sched_cfg, gen, ids);
+  OnlineConfig config = base;
+  config.workflow = std::move(pb.plan);
+  core::HitScheduler scheduler;
+  Rng rng(seed);
+  out.result = OnlineSimulator(world.cluster, config)
+                   .run(scheduler, pb.jobs, ids, rng);
+  return out;
+}
+
+/// (workflow, stage) -> winning attempt's finish time.
+std::unordered_map<std::uint64_t, double> winner_finishes(
+    const OnlineResult& result) {
+  std::unordered_map<std::uint64_t, double> out;
+  for (const WorkflowJobRecord& r : result.workflow_jobs) {
+    if (r.stage_winner) {
+      out[(static_cast<std::uint64_t>(r.workflow) << 32) | r.stage] = r.finish;
+    }
+  }
+  return out;
+}
+
+/// The dependency property: no attempt of a stage may become ready (and so
+/// launch) before every parent stage has a completed winner, and its ready
+/// time must be at or after the last parent's finish.
+void expect_parents_complete_first(const PlanRun& run) {
+  const auto winners = winner_finishes(run.result);
+  std::unordered_map<std::uint64_t, double> arrivals;
+  for (const OnlineJobRecord& j : run.result.jobs) {
+    arrivals[j.id.value()] = j.arrival;
+  }
+  for (const WorkflowJobRecord& r : run.result.workflow_jobs) {
+    const workflow::Workflow& wf = run.wfs.at(r.workflow - 1);
+    for (std::uint32_t p : wf.stages.at(r.stage).parents) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(r.workflow) << 32) | p;
+      if (r.shed) continue;  // cascade-shed stages never ran
+      const auto it = winners.find(key);
+      ASSERT_NE(it, winners.end())
+          << "workflow " << r.workflow << " stage " << r.stage
+          << " ran before parent " << p << " completed";
+      EXPECT_GE(r.unlocked, it->second - 1e-9);
+    }
+    // A completed attempt's simulator arrival is its unlock instant.
+    const auto arr = arrivals.find(r.id.value());
+    if (arr != arrivals.end()) {
+      EXPECT_NEAR(arr->second, r.unlocked, 1e-9);
+    }
+  }
+}
+
+std::string fingerprint(const OnlineResult& r) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << r.makespan << '|' << r.total_shuffle_cost << '|'
+      << r.overload.jobs_shed << '|' << r.overload.shed_parent << '|'
+      << r.control.crashes << '|' << r.control.blackout_seconds << '|'
+      << r.gray.degradations << '\n';
+  for (const WorkflowJobRecord& w : r.workflow_jobs) {
+    out << w.id.value() << ',' << w.workflow << ',' << w.stage << ','
+        << w.attempt << ',' << w.cp << ',' << w.unlocked << ',' << w.finish
+        << ',' << w.restarts << ',' << w.shed << ',' << w.stage_winner << '\n';
+  }
+  for (const FlowTiming& f : r.flows) {
+    out << f.id.value() << ',' << f.job.value() << ',' << f.wave << ','
+        << f.release << ',' << f.finish << '\n';
+  }
+  for (const ShedJobRecord& s : r.shed) {
+    out << s.id.value() << ',' << shed_reason_name(s.reason) << ','
+        << s.shed_at << '\n';
+  }
+  return out.str();
+}
+
+class WorkflowOnlineTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();  // 16 slots
+};
+
+TEST_F(WorkflowOnlineTest, StageCompletionUnlocksSuccessors) {
+  OnlineConfig base;
+  base.arrival_rate = 0.05;
+  const PlanRun run = run_plan(
+      *world_, {workflow::make_chain(3, small_stages())}, {}, base, 21);
+  ASSERT_EQ(run.result.workflow_jobs.size(), 3u);
+  for (const WorkflowJobRecord& r : run.result.workflow_jobs) {
+    EXPECT_TRUE(r.stage_winner);
+    EXPECT_FALSE(r.shed);
+  }
+  expect_parents_complete_first(run);
+  // The chain is strictly ordered: each stage unlocks exactly when its
+  // parent finishes, never at the group arrival.
+  const auto& recs = run.result.workflow_jobs;
+  EXPECT_NEAR(recs[1].unlocked, recs[0].finish, 1e-9);
+  EXPECT_NEAR(recs[2].unlocked, recs[1].finish, 1e-9);
+}
+
+TEST_F(WorkflowOnlineTest, DiamondJoinWaitsForSlowestBranch) {
+  OnlineConfig base;
+  base.arrival_rate = 0.05;
+  const PlanRun run = run_plan(
+      *world_, {workflow::make_diamond(2, small_stages())}, {}, base, 22);
+  expect_parents_complete_first(run);
+  const auto& recs = run.result.workflow_jobs;
+  ASSERT_EQ(recs.size(), 4u);  // source, 2 branches, sink
+  const double last_branch = std::max(recs[1].finish, recs[2].finish);
+  EXPECT_NEAR(recs[3].unlocked, last_branch, 1e-9);
+}
+
+TEST_F(WorkflowOnlineTest, ParentsCompleteFirstUnderFaultsAndCrash) {
+  OnlineConfig base;
+  base.arrival_rate = 0.05;
+  MtbfConfig mconfig;
+  mconfig.horizon = 2000.0;
+  mconfig.server_mtbf = 400.0;
+  mconfig.server_mttr = 60.0;
+  mconfig.gray_switch_mtbf = 500.0;
+  mconfig.gray_switch_mttr = 90.0;
+  mconfig.gray_link_mtbf = 500.0;
+  mconfig.gray_link_mttr = 90.0;
+  base.sim.faults = FaultPlan::generate(world_->topology, mconfig, 77);
+  base.sim.faults.crash_controller(40.0, 80.0);
+  workflow::SchedConfig sched_cfg;
+  sched_cfg.hedge_budget = 1;
+  const PlanRun run =
+      run_plan(*world_,
+               {workflow::make_chain(4, small_stages()),
+                workflow::make_diamond(2, small_stages())},
+               sched_cfg, base, 23);
+  // Everything still finishes (faults restart, never abandon), and the
+  // dependency order survives every re-execution.
+  for (const WorkflowJobRecord& r : run.result.workflow_jobs) {
+    EXPECT_FALSE(r.shed);
+  }
+  expect_parents_complete_first(run);
+}
+
+TEST_F(WorkflowOnlineTest, DoubleRunIsByteIdenticalUnderFullFaultRegime) {
+  const auto make_base = [&] {
+    OnlineConfig base;
+    base.arrival_rate = 0.05;
+    base.sim.coflow.enabled = true;
+    base.sim.coflow.order = coflow::OrderPolicy::CriticalPath;
+    MtbfConfig mconfig;
+    mconfig.horizon = 2000.0;
+    mconfig.server_mtbf = 400.0;
+    mconfig.server_mttr = 60.0;
+    mconfig.gray_switch_mtbf = 500.0;
+    mconfig.gray_switch_mttr = 90.0;
+    base.sim.faults = FaultPlan::generate(world_->topology, mconfig, 99);
+    base.sim.faults.crash_controller(30.0, 60.0);
+    return base;
+  };
+  workflow::SchedConfig sched_cfg;
+  sched_cfg.hedge_budget = 1;
+  const std::vector<workflow::Workflow> wfs = {
+      workflow::make_tree(1, 2, small_stages()),
+      workflow::make_chain(3, small_stages())};
+  const PlanRun a = run_plan(*world_, wfs, sched_cfg, make_base(), 31);
+  const PlanRun b = run_plan(*world_, wfs, sched_cfg, make_base(), 31);
+  EXPECT_EQ(fingerprint(a.result), fingerprint(b.result));
+  EXPECT_GE(a.result.control.crashes, 1u);
+}
+
+TEST_F(WorkflowOnlineTest, LostParentCascadeShedsDescendants) {
+  OnlineConfig base;
+  base.arrival_rate = 100.0;  // burst: every group lands at once
+  base.admission.policy = AdmissionPolicy::RejectNew;
+  base.admission.max_queue = 1;
+  std::vector<workflow::Workflow> wfs;
+  for (int i = 0; i < 6; ++i) wfs.push_back(workflow::make_chain(3, small_stages()));
+  const PlanRun run = run_plan(*world_, std::move(wfs), {}, base, 41);
+
+  EXPECT_GT(run.result.overload.shed_parent, 0u);
+  bool saw_parent_reason = false;
+  for (const ShedJobRecord& s : run.result.shed) {
+    if (s.reason == ShedReason::Parent) saw_parent_reason = true;
+  }
+  EXPECT_TRUE(saw_parent_reason);
+
+  // Per workflow: once a stage is lost, every descendant is shed too, and
+  // no attempt of a descendant ever wins.
+  std::unordered_map<std::uint32_t, std::uint32_t> first_lost;
+  for (const WorkflowJobRecord& r : run.result.workflow_jobs) {
+    if (r.shed && !first_lost.count(r.workflow)) {
+      first_lost[r.workflow] = r.stage;
+    }
+  }
+  ASSERT_FALSE(first_lost.empty());
+  for (const WorkflowJobRecord& r : run.result.workflow_jobs) {
+    const auto it = first_lost.find(r.workflow);
+    if (it == first_lost.end()) continue;
+    if (r.stage > it->second) {  // chain: later stage == descendant
+      EXPECT_TRUE(r.shed);
+      EXPECT_FALSE(r.stage_winner);
+    }
+  }
+  expect_parents_complete_first(run);
+}
+
+TEST_F(WorkflowOnlineTest, HedgedStageHasExactlyOneWinner) {
+  OnlineConfig base;
+  base.arrival_rate = 0.05;
+  workflow::SchedConfig sched_cfg;
+  sched_cfg.hedge_budget = 2;
+  const PlanRun run = run_plan(
+      *world_, {workflow::make_chain(3, small_stages())}, sched_cfg, base, 51);
+  std::unordered_map<std::uint64_t, int> winners, attempts;
+  for (const WorkflowJobRecord& r : run.result.workflow_jobs) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(r.workflow) << 32) | r.stage;
+    ++attempts[key];
+    if (r.stage_winner) ++winners[key];
+  }
+  for (const auto& [key, n] : winners) EXPECT_EQ(n, 1);
+  // The budget materialized duplicate attempts for the two spine stages.
+  std::size_t hedged = 0;
+  for (const auto& [key, n] : attempts) {
+    if (n > 1) ++hedged;
+  }
+  EXPECT_EQ(hedged, 2u);
+  const workflow::WorkflowStats st =
+      workflow::compute_online_stats(run.result, run.wfs);
+  EXPECT_EQ(st.hedges_launched, 2u);
+  EXPECT_EQ(st.hedges_won + st.hedges_lost, st.hedges_launched);
+  EXPECT_EQ(st.stages_completed, 3u);
+}
+
+TEST_F(WorkflowOnlineTest, LegacyPathIgnoresWorkflowMachinery) {
+  // Without a plan the workflow accounting stays empty — the legacy arrival
+  // path is the bit-identical default.
+  mr::WorkloadConfig wconfig;
+  wconfig.num_jobs = 4;
+  wconfig.max_maps_per_job = 4;
+  wconfig.max_reduces_per_job = 2;
+  const mr::WorkloadGenerator gen(wconfig);
+  mr::IdAllocator ids;
+  Rng grng(61);
+  const std::vector<mr::Job> jobs = gen.generate(ids, grng);
+  core::HitScheduler scheduler;
+  Rng rng(61);
+  const OnlineResult result =
+      OnlineSimulator(world_->cluster, OnlineConfig{0.05, {}, 0.0})
+          .run(scheduler, jobs, ids, rng);
+  EXPECT_TRUE(result.workflow_jobs.empty());
+  EXPECT_EQ(result.overload.shed_parent, 0u);
+}
+
+}  // namespace
+}  // namespace hit::sim

@@ -1,0 +1,159 @@
+#include "workflow/dag.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mapreduce/profiles.h"
+
+namespace hit::workflow {
+namespace {
+
+TEST(WorkflowValidate, AcceptsGeneratedShapes) {
+  EXPECT_NO_THROW(make_chain(4).validate());
+  EXPECT_NO_THROW(make_tree(2, 3).validate());
+  EXPECT_NO_THROW(make_diamond(4).validate());
+}
+
+TEST(WorkflowValidate, RejectsForwardParent) {
+  Workflow wf;
+  wf.name = "bad";
+  wf.stages.push_back({"a", "terasort", 4.0, {1}});  // parent not yet defined
+  wf.stages.push_back({"b", "terasort", 4.0, {}});
+  EXPECT_THROW(wf.validate(), std::invalid_argument);
+}
+
+TEST(WorkflowValidate, RejectsDuplicateNamesAndParents) {
+  Workflow dup_name;
+  dup_name.name = "dup";
+  dup_name.stages.push_back({"a", "terasort", 4.0, {}});
+  dup_name.stages.push_back({"a", "terasort", 4.0, {0}});
+  EXPECT_THROW(dup_name.validate(), std::invalid_argument);
+
+  Workflow dup_parent;
+  dup_parent.name = "dup2";
+  dup_parent.stages.push_back({"a", "terasort", 4.0, {}});
+  dup_parent.stages.push_back({"b", "terasort", 4.0, {0, 0}});
+  EXPECT_THROW(dup_parent.validate(), std::invalid_argument);
+}
+
+TEST(WorkflowValidate, RejectsEmptyAndUnknownProfile) {
+  EXPECT_THROW(Workflow{}.validate(), std::invalid_argument);
+  Workflow wf;
+  wf.name = "bad-profile";
+  wf.stages.push_back({"a", "no-such-benchmark", 4.0, {}});
+  EXPECT_THROW(wf.validate(), std::invalid_argument);
+}
+
+TEST(WorkflowShape, ChainTopology) {
+  const Workflow wf = make_chain(4);
+  ASSERT_EQ(wf.stages.size(), 4u);
+  EXPECT_EQ(wf.roots(), (std::vector<std::uint32_t>{0}));
+  const auto kids = wf.children();
+  for (std::size_t s = 0; s + 1 < wf.stages.size(); ++s) {
+    EXPECT_EQ(kids[s], (std::vector<std::uint32_t>{
+                           static_cast<std::uint32_t>(s) + 1}));
+  }
+  EXPECT_TRUE(kids.back().empty());
+}
+
+TEST(WorkflowShape, DiamondJoinsEveryBranch) {
+  const Workflow wf = make_diamond(3);
+  ASSERT_EQ(wf.stages.size(), 5u);  // source + 3 branches + sink
+  EXPECT_EQ(wf.roots().size(), 1u);
+  const Stage& sink = wf.stages.back();
+  EXPECT_EQ(sink.parents.size(), 3u);
+}
+
+TEST(WorkflowShape, TreeAggregatesToSingleSink) {
+  const Workflow wf = make_tree(2, 3);
+  ASSERT_EQ(wf.stages.size(), 13u);  // 9 leaves + 3 mid + 1 sink
+  EXPECT_EQ(wf.roots().size(), 9u);
+  std::size_t sinks = 0;
+  const auto kids = wf.children();
+  for (std::size_t s = 0; s < wf.stages.size(); ++s) {
+    if (kids[s].empty()) ++sinks;
+  }
+  EXPECT_EQ(sinks, 1u);
+}
+
+TEST(WorkflowCriticalPath, ChainSumsStageCosts) {
+  const Workflow wf = make_chain(3);
+  const std::vector<double> cp = remaining_critical_path(wf);
+  ASSERT_EQ(cp.size(), 3u);
+  // rem_cp decreases along the chain and the head carries the full length.
+  EXPECT_GT(cp[0], cp[1]);
+  EXPECT_GT(cp[1], cp[2]);
+  EXPECT_DOUBLE_EQ(cp[0], critical_path_length(wf));
+  double serial = 0.0;
+  for (const Stage& s : wf.stages) serial += stage_cost(s);
+  EXPECT_DOUBLE_EQ(cp[0], serial);
+}
+
+TEST(WorkflowCriticalPath, DiamondTakesHeaviestBranch) {
+  Workflow wf;
+  wf.name = "skew";
+  wf.stages.push_back({"src", "terasort", 2.0, {}});
+  wf.stages.push_back({"light", "terasort", 1.0, {0}});
+  wf.stages.push_back({"heavy", "terasort", 16.0, {0}});
+  wf.stages.push_back({"sink", "terasort", 2.0, {1, 2}});
+  wf.validate();
+  const std::vector<double> cp = remaining_critical_path(wf);
+  EXPECT_GT(cp[2], cp[1]);  // heavy branch is the spine
+  EXPECT_DOUBLE_EQ(
+      critical_path_length(wf),
+      stage_cost(wf.stages[0]) + stage_cost(wf.stages[2]) +
+          stage_cost(wf.stages[3]));
+}
+
+TEST(WorkflowEdges, EdgeCarriesShuffleSelectivity) {
+  const Workflow wf = make_chain(2);
+  const mr::BenchmarkProfile& prof = mr::profile(wf.stages[0].benchmark);
+  EXPECT_DOUBLE_EQ(wf.edge_gb(0),
+                   wf.stages[0].input_gb * prof.shuffle_selectivity);
+}
+
+TEST(WorkflowSpec, ParsesNamedDag) {
+  const Workflow wf = parse_spec(
+      "# comment\n"
+      "workflow etl\n"
+      "stage extract terasort 8\n"
+      "stage clean grep 4 extract\n"
+      "stage join join 6 extract,clean\n");
+  EXPECT_EQ(wf.name, "etl");
+  ASSERT_EQ(wf.stages.size(), 3u);
+  EXPECT_EQ(wf.stages[2].parents, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_NO_THROW(wf.validate());
+}
+
+TEST(WorkflowSpec, RejectsUnknownParentWithLineNumber) {
+  try {
+    (void)parse_spec("workflow x\nstage a terasort 8 ghost\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(WorkflowMaterialize, TagsJobsWithInstanceStageAndCp) {
+  const Workflow wf = make_chain(3);
+  mr::WorkloadConfig wconfig;
+  const mr::WorkloadGenerator gen(wconfig);
+  mr::IdAllocator ids;
+  const std::vector<mr::Job> jobs = materialize(wf, 7, gen, ids);
+  const std::vector<double> cp = remaining_critical_path(wf);
+  ASSERT_EQ(jobs.size(), wf.stages.size());
+  for (std::size_t s = 0; s < jobs.size(); ++s) {
+    EXPECT_EQ(jobs[s].workflow, 7u);
+    EXPECT_EQ(jobs[s].stage, static_cast<std::uint32_t>(s));
+    EXPECT_DOUBLE_EQ(jobs[s].critical_path, cp[s]);
+  }
+}
+
+TEST(WorkflowShape, UnknownShapeThrows) {
+  EXPECT_THROW((void)make_shape("moebius"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hit::workflow

@@ -1,0 +1,189 @@
+#include "workflow/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/hit_scheduler.h"
+#include "sim/faults.h"
+#include "test_helpers.h"
+
+namespace hit::workflow {
+namespace {
+
+class WorkflowRunnerTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();
+  mr::WorkloadGenerator gen_{mr::WorkloadConfig{}};
+};
+
+// Small stages (2 GB) so concurrently-ready stage jobs (and their hedged
+// duplicates) fit the 16-slot world together.
+GenConfig small_stages() {
+  GenConfig cfg;
+  cfg.input_gb = 2.0;
+  return cfg;
+}
+
+BatchWorkflowResult run_batch(const test::World& world,
+                              const mr::WorkloadGenerator& gen,
+                              const std::vector<Workflow>& wfs,
+                              const SchedConfig& cfg, std::uint64_t seed,
+                              const sim::SimConfig& sconfig = {}) {
+  core::HitScheduler scheduler;
+  mr::IdAllocator ids;
+  Rng rng(seed);
+  return run_workflows_batch(world.cluster, sconfig, cfg, wfs, gen, ids,
+                             scheduler, rng);
+}
+
+// Satellite regression: a 3-stage chain must produce one coflow per stage
+// shuffle — (job, wave)-keyed grouping keeps successive stages' flows from
+// collapsing into a single coflow record.
+TEST_F(WorkflowRunnerTest, ThreeStageChainYieldsPerStageCoflows) {
+  const BatchWorkflowResult r =
+      run_batch(*world_, gen_, {make_chain(3)}, SchedConfig{}, 11);
+  EXPECT_EQ(r.stats.stages_completed, 3u);
+  ASSERT_FALSE(r.sim.coflows.empty());
+  std::set<std::pair<std::uint64_t, std::uint32_t>> keys;
+  for (const sim::CoflowTiming& c : r.sim.coflows) {
+    EXPECT_TRUE(keys.emplace(c.job.value(), c.wave).second)
+        << "duplicate coflow for job " << c.job.value() << " wave " << c.wave;
+  }
+  // Each stage job shuffles once, so the coflow count matches the stage
+  // count and every stage job id appears exactly once.
+  EXPECT_EQ(r.sim.coflows.size(), 3u);
+  std::size_t grouped = 0;
+  for (const sim::CoflowTiming& c : r.sim.coflows) grouped += c.width;
+  EXPECT_EQ(grouped, r.sim.flows.size());
+}
+
+TEST_F(WorkflowRunnerTest, BatchRunsAreDeterministic) {
+  const std::vector<Workflow> wfs = {make_tree(2, 2, small_stages()),
+                                     make_chain(3, small_stages())};
+  SchedConfig cfg;
+  cfg.hedge_budget = 1;
+  cfg.escalation_budget = 1;
+  const BatchWorkflowResult a = run_batch(*world_, gen_, wfs, cfg, 5);
+  const BatchWorkflowResult b = run_batch(*world_, gen_, wfs, cfg, 5);
+  EXPECT_DOUBLE_EQ(a.sim.makespan, b.sim.makespan);
+  EXPECT_DOUBLE_EQ(a.stats.makespan, b.stats.makespan);
+  EXPECT_EQ(a.stats.hedges_won, b.stats.hedges_won);
+  EXPECT_EQ(a.stats.hedges_lost, b.stats.hedges_lost);
+  ASSERT_EQ(a.sim.flows.size(), b.sim.flows.size());
+  for (std::size_t i = 0; i < a.sim.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.sim.flows[i].finish, b.sim.flows[i].finish);
+  }
+}
+
+TEST_F(WorkflowRunnerTest, HedgeBudgetBoundsDuplicates) {
+  SchedConfig cfg;
+  cfg.hedge_budget = 1;
+  const BatchWorkflowResult r = run_batch(
+      *world_, gen_, {make_chain(4, small_stages()), make_chain(4, small_stages())},
+      cfg, 3);
+  EXPECT_EQ(r.stats.hedges_launched, 2u);  // one per workflow
+  EXPECT_EQ(r.stats.hedges_won + r.stats.hedges_lost,
+            r.stats.hedges_launched);
+  EXPECT_EQ(r.stats.stages_completed, 8u);  // duplicates don't double-count
+}
+
+TEST_F(WorkflowRunnerTest, EscalationBudgetBumpsSpineStages) {
+  SchedConfig cfg;
+  cfg.escalation_budget = 2;
+  const BatchWorkflowResult r =
+      run_batch(*world_, gen_, {make_chain(4)}, cfg, 3);
+  // chain stages all sit on the spine, but only two may clear the 0.5
+  // threshold; the budget is the binding constraint for the first ones.
+  EXPECT_GE(r.stats.escalations, 1u);
+  EXPECT_LE(r.stats.escalations, 2u);
+}
+
+TEST(SlicePlan, FoldsActiveOutagesToTimeZero) {
+  std::vector<sim::FaultEvent> events;
+  sim::FaultEvent fail{};
+  fail.kind = sim::FaultKind::Fail;
+  fail.target = sim::FaultTarget::Server;
+  fail.node = NodeId(3);
+  fail.time = 10.0;
+  events.push_back(fail);
+  sim::FaultEvent recover = fail;
+  recover.kind = sim::FaultKind::Recover;
+  recover.time = 200.0;
+  events.push_back(recover);
+  sim::FaultEvent later{};
+  later.kind = sim::FaultKind::Fail;
+  later.target = sim::FaultTarget::Server;
+  later.node = NodeId(4);
+  later.time = 150.0;
+  events.push_back(later);
+  const sim::FaultPlan plan = sim::FaultPlan::scripted(std::move(events));
+
+  const sim::FaultPlan sliced = slice_plan(plan, 100.0);
+  // Node 3 is mid-outage at t0=100: folded to a time-0 Fail, recovery at 100.
+  bool folded_fail = false;
+  for (const sim::FaultEvent& e : sliced.events()) {
+    if (e.kind == sim::FaultKind::Fail && e.node == NodeId(3)) {
+      folded_fail = true;
+      EXPECT_DOUBLE_EQ(e.time, 0.0);
+    }
+    if (e.kind == sim::FaultKind::Recover && e.node == NodeId(3)) {
+      EXPECT_DOUBLE_EQ(e.time, 100.0);
+    }
+    if (e.node == NodeId(4)) EXPECT_DOUBLE_EQ(e.time, 50.0);
+  }
+  EXPECT_TRUE(folded_fail);
+  // t0 <= 0 returns the plan untouched.
+  EXPECT_EQ(slice_plan(plan, 0.0).events().size(), plan.events().size());
+}
+
+TEST_F(WorkflowRunnerTest, OnlinePlanEncodesDagAndBudgets) {
+  const std::vector<Workflow> wfs = {make_diamond(3), make_chain(3)};
+  SchedConfig cfg;
+  cfg.hedge_budget = 1;
+  cfg.escalation_budget = 1;
+  mr::IdAllocator ids;
+  const OnlinePlanBuild pb = build_online_plan(wfs, cfg, gen_, ids);
+  ASSERT_EQ(pb.plan.groups, 2u);
+  ASSERT_EQ(pb.plan.stages.size(), 8u);  // 5 diamond + 3 chain
+  ASSERT_EQ(pb.plan.job_tags.size(), pb.jobs.size());
+  EXPECT_EQ(pb.hedges, 2u);       // one per workflow
+  EXPECT_EQ(pb.escalations, 2u);  // one per workflow
+  EXPECT_EQ(pb.jobs.size(), 8u + pb.hedges);
+
+  // Stage attempt lists point back at correctly tagged jobs, and parent /
+  // child indices are mutually consistent.
+  for (std::size_t s = 0; s < pb.plan.stages.size(); ++s) {
+    const sim::WorkflowPlan::StageInfo& info = pb.plan.stages[s];
+    ASSERT_FALSE(info.attempts.empty());
+    for (std::size_t a = 0; a < info.attempts.size(); ++a) {
+      const sim::WorkflowPlan::JobTag& tag = pb.plan.job_tags[info.attempts[a]];
+      EXPECT_EQ(tag.stage, s);
+      EXPECT_EQ(tag.attempt, a);
+      EXPECT_EQ(tag.group, info.group);
+      EXPECT_EQ(pb.jobs[info.attempts[a]].stage, info.index);
+    }
+    for (std::size_t p : info.parents) {
+      const auto& kids = pb.plan.stages[p].children;
+      EXPECT_NE(std::find(kids.begin(), kids.end(), s), kids.end());
+    }
+  }
+  // Escalated attempts carry Priority::High and sit on the spine.
+  std::size_t high = 0;
+  for (const mr::Job& j : pb.jobs) {
+    if (j.priority == mr::Priority::High) ++high;
+  }
+  EXPECT_GE(high, pb.escalations);
+}
+
+TEST_F(WorkflowRunnerTest, StretchNormalizesMakespanByCriticalPath) {
+  const BatchWorkflowResult r =
+      run_batch(*world_, gen_, {make_chain(3)}, SchedConfig{}, 2);
+  EXPECT_GT(r.stats.cp_lower_bound, 0.0);
+  EXPECT_DOUBLE_EQ(r.stats.stretch,
+                   r.stats.makespan / r.stats.cp_lower_bound);
+}
+
+}  // namespace
+}  // namespace hit::workflow

@@ -1,0 +1,76 @@
+#include "workflow/sched.h"
+
+#include <gtest/gtest.h>
+
+namespace hit::workflow {
+namespace {
+
+ReadyStage stage(std::size_t wf, std::uint32_t s, double rem_cp,
+                 double cp_total, double elapsed = 0.0,
+                 double ready_since = 0.0) {
+  ReadyStage rs;
+  rs.workflow = wf;
+  rs.stage = s;
+  rs.rem_cp = rem_cp;
+  rs.cp_total = cp_total;
+  rs.elapsed = elapsed;
+  rs.ready_since = ready_since;
+  return rs;
+}
+
+TEST(StageScore, AlphaRewardsCriticality) {
+  const CpWeights w{1.0, 0.0, 0.0};
+  EXPECT_GT(stage_score(stage(0, 0, 100.0, 100.0), w, 0.0),
+            stage_score(stage(0, 1, 10.0, 100.0), w, 0.0));
+}
+
+TEST(StageScore, BetaOnlyKicksInPastTheIdealPath) {
+  const CpWeights w{0.0, 1.0, 0.0};
+  // On schedule: elapsed + rem_cp == cp_total -> zero slack.
+  EXPECT_DOUBLE_EQ(stage_score(stage(0, 0, 60.0, 100.0, 40.0), w, 0.0), 0.0);
+  // 25s behind the ideal critical path -> slack 25.
+  EXPECT_DOUBLE_EQ(stage_score(stage(0, 0, 60.0, 100.0, 65.0), w, 0.0), 25.0);
+}
+
+TEST(StageScore, GammaAgesWaitingStages) {
+  const CpWeights w{0.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(
+      stage_score(stage(0, 0, 1.0, 1.0, 0.0, /*ready_since=*/10.0), w, 30.0),
+      20.0);
+}
+
+TEST(RankStages, OrdersByScoreThenIndices) {
+  const std::vector<ReadyStage> ready = {
+      stage(1, 0, 10.0, 100.0),  // low criticality
+      stage(0, 2, 90.0, 100.0),  // spine
+      stage(0, 1, 90.0, 100.0),  // same score, earlier stage index
+  };
+  const std::vector<std::size_t> order =
+      rank_stages(ready, CpWeights{1.0, 0.0, 0.0}, 0.0);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2u);  // (wf 0, stage 1) before (wf 0, stage 2)
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(RankStages, DeterministicAcrossCalls) {
+  std::vector<ReadyStage> ready;
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    ready.push_back(stage(s % 3, s, 10.0 * (s % 4), 40.0, 5.0, 1.0 * s));
+  }
+  const SchedConfig cfg;
+  const auto a = rank_stages(ready, cfg.weights, 12.0);
+  const auto b = rank_stages(ready, cfg.weights, 12.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(IsCritical, ThresholdOnRemainingFraction) {
+  SchedConfig cfg;
+  cfg.critical_threshold = 0.5;
+  EXPECT_TRUE(is_critical(stage(0, 0, 60.0, 100.0), cfg));
+  EXPECT_FALSE(is_critical(stage(0, 0, 40.0, 100.0), cfg));
+  EXPECT_FALSE(is_critical(stage(0, 0, 0.0, 0.0), cfg));  // degenerate DAG
+}
+
+}  // namespace
+}  // namespace hit::workflow

@@ -28,6 +28,7 @@
 #include "campaign/json.h"
 #include "campaign/ledger.h"
 #include "campaign/record.h"
+#include "campaign/report.h"
 #include "campaign/runner.h"
 #include "campaign/spec.h"
 #include "campaign/whatif.h"
@@ -52,6 +53,8 @@ void print_usage() {
       "    --verbose         print every comparison row, not just failures\n"
       "  hitcamp whatif RECORD --set key=value [--set ...]   counterfactual\n"
       "    --verbose         include obs.* metrics in the diff\n"
+      "  hitcamp report RESULT.json [--metrics a,b,c]   metric table\n"
+      "    --metrics LIST    comma-separated columns (default: all non-obs)\n"
       "  hitcamp expand SPEC              list the cells a spec expands to\n"
       "  hitcamp --help\n";
 }
@@ -191,6 +194,32 @@ int cmd_whatif(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_report(const std::vector<std::string>& args) {
+  std::string result_path;
+  std::vector<std::string> metrics;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--metrics" && i + 1 < args.size()) {
+      std::stringstream ss(args[++i]);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (!item.empty()) metrics.push_back(item);
+      }
+    } else if (result_path.empty()) {
+      result_path = arg;
+    } else {
+      throw std::runtime_error("report: unexpected argument '" + arg + "'");
+    }
+  }
+  if (result_path.empty()) {
+    throw std::runtime_error("report wants a campaign RESULT.json");
+  }
+  const campaign::CampaignResult result =
+      campaign::load_campaign_json(result_path);
+  std::cout << campaign::render_report(result, metrics);
+  return 0;
+}
+
 int cmd_expand(const std::vector<std::string>& args) {
   if (args.size() != 1) throw std::runtime_error("expand wants a SPEC file");
   const campaign::CampaignSpec spec = load_spec(args[0]);
@@ -214,6 +243,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args);
     if (command == "compare") return cmd_compare(args);
     if (command == "whatif") return cmd_whatif(args);
+    if (command == "report") return cmd_report(args);
     if (command == "expand") return cmd_expand(args);
     std::cerr << "hitcamp: unknown command '" << command << "' (see --help)\n";
     return 2;

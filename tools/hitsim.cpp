@@ -39,6 +39,7 @@
 #include "stats/table.h"
 #include "topology/builders.h"
 #include "topology/dot.h"
+#include "workflow/runner.h"
 
 namespace {
 
@@ -96,6 +97,12 @@ struct Options {
   double snapshot_every = 0.0;    ///< journal snapshot cadence, sim seconds
   bool standby = false;           ///< warm standby clamps every blackout
   double standby_takeover = 30.0; ///< standby journal-replay takeover seconds
+  // DAG workflows (default-off: --workflow replaces the independent-job
+  // workload with multi-stage DAGs, see DESIGN.md §16).
+  std::string workflow;       ///< chain | tree | diamond | spec:FILE
+  std::size_t workflows = 1;  ///< workflow instances to run
+  std::size_t hedge = 0;      ///< hedge + escalation budget per workflow
+  std::string cp_weights;     ///< stage-score weights "alpha:beta:gamma"
 };
 
 void print_usage() {
@@ -134,7 +141,7 @@ void print_usage() {
       "  --proposal-budget N ladder: Algorithm 2 proposals per wave (0 = off)\n"
       "  --breaker           circuit-break the Full tier after repeated blowouts\n"
       "coflow scheduling:\n"
-      "  --coflow POLICY     fifo | sebf | priority — schedule whole shuffles\n"
+      "  --coflow POLICY     fifo | sebf | priority | cp — schedule whole shuffles\n"
       "                      (MADD rates per coflow; default off = per-flow fair)\n"
       "faults and gray failures:\n"
       "  --faults MTBF       seeded crash faults: per-element MTBF seconds\n"
@@ -153,6 +160,13 @@ void print_usage() {
       "  --snapshot-every S  journal snapshot cadence in simulated seconds\n"
       "  --standby           warm standby: journal replay bounds every blackout\n"
       "  --standby-takeover S  standby takeover latency         (default 30)\n"
+      "DAG workflows:\n"
+      "  --workflow SHAPE    chain | tree | diamond | spec:FILE — run multi-stage\n"
+      "                      DAG workflows instead of independent jobs\n"
+      "  --workflows N       workflow instances to run               (default 1)\n"
+      "  --hedge N           hedge + escalation budget per workflow  (default 0)\n"
+      "  --cp-weights A:B:G  stage-score weights alpha:beta:gamma (criticality,\n"
+      "                      lateness, aging; default 1:0.5:0.1)\n"
       "  --help              this message\n";
 }
 
@@ -315,6 +329,18 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (arg == "--standby-takeover") {
       if (!(value = need_value(i))) return std::nullopt;
       opt.standby_takeover = std::stod(value);
+    } else if (arg == "--workflow") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.workflow = value;
+    } else if (arg == "--workflows") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.workflows = std::stoul(value);
+    } else if (arg == "--hedge") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.hedge = std::stoul(value);
+    } else if (arg == "--cp-weights") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.cp_weights = value;
     } else {
       std::cerr << "hitsim: unknown option '" << arg << "' (see --help)\n";
       return std::nullopt;
@@ -370,6 +396,43 @@ void add_recovery_rows(stats::Table& table, const sim::ControlPlaneStats& c) {
   table.add_row({"snapshots", count(c.snapshots)});
 }
 
+// --cp-weights "alpha:beta:gamma" -> stage-score weights.
+workflow::CpWeights parse_cp_weights(const std::string& text) {
+  workflow::CpWeights w;
+  if (text.empty()) return w;
+  std::stringstream ss(text);
+  std::string item;
+  std::vector<double> vals;
+  while (std::getline(ss, item, ':')) vals.push_back(std::stod(item));
+  if (vals.size() != 3) {
+    throw std::invalid_argument("--cp-weights wants ALPHA:BETA:GAMMA");
+  }
+  w.alpha = vals[0];
+  w.beta = vals[1];
+  w.gamma = vals[2];
+  return w;
+}
+
+// Workflow accounting rows shared by the batch and online summaries.
+void add_workflow_rows(stats::Table& table, const workflow::WorkflowStats& w) {
+  const auto count = [](std::size_t n) {
+    return stats::Table::num(static_cast<double>(n), 0);
+  };
+  table.add_row({"workflows", count(w.workflows)});
+  table.add_row({"stages done/total",
+                 count(w.stages_completed) + "/" + count(w.stages_total)});
+  if (w.stages_shed > 0) table.add_row({"stages shed", count(w.stages_shed)});
+  table.add_row({"cp lower bound (s)", stats::Table::num(w.cp_lower_bound, 1)});
+  table.add_row({"cp stretch", stats::Table::num(w.stretch, 3)});
+  if (w.escalations > 0) table.add_row({"escalations", count(w.escalations)});
+  if (w.hedges_launched > 0) {
+    table.add_row({"hedges won/lost",
+                   count(w.hedges_won) + "/" + count(w.hedges_lost)});
+  }
+  if (w.restarts > 0) table.add_row({"stage restarts", count(w.restarts)});
+  table.add_row({"mean stage wait (s)", stats::Table::num(w.mean_stage_wait)});
+}
+
 std::optional<sim::AdmissionPolicy> parse_admission(const std::string& name) {
   if (name == "unbounded") return sim::AdmissionPolicy::Unbounded;
   if (name == "reject-new") return sim::AdmissionPolicy::RejectNew;
@@ -399,6 +462,38 @@ int run(const Options& opt) {
   wconfig.tenant_weights = opt.tenant_mix;
   const mr::WorkloadGenerator generator(wconfig);
 
+  // DAG workflow mode: build the shapes up front; stage jobs are materialized
+  // by the workflow runner (batch) or the online plan builder, never drawn
+  // from the workload generator's RNG stream.
+  const bool wf_mode = !opt.workflow.empty();
+  std::vector<workflow::Workflow> wfs;
+  workflow::SchedConfig wf_sched;
+  if (wf_mode) {
+    if (!opt.workload_file.empty()) {
+      std::cerr << "hitsim: --workflow and --workload are exclusive\n";
+      return 1;
+    }
+    workflow::Workflow shape;
+    if (opt.workflow.rfind("spec:", 0) == 0) {
+      const std::string path = opt.workflow.substr(5);
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "hitsim: cannot open workflow spec '" << path << "'\n";
+        return 1;
+      }
+      std::stringstream buf;
+      buf << in.rdbuf();
+      shape = workflow::parse_spec(buf.str());
+    } else {
+      shape = workflow::make_shape(opt.workflow);
+    }
+    shape.validate();
+    wfs.assign(std::max<std::size_t>(opt.workflows, 1), shape);
+    wf_sched.weights = parse_cp_weights(opt.cp_weights);
+    wf_sched.hedge_budget = opt.hedge;
+    wf_sched.escalation_budget = opt.hedge;
+  }
+
   Rng rng(opt.seed);
   mr::IdAllocator ids;
   std::vector<mr::Job> jobs;
@@ -409,7 +504,7 @@ int run(const Options& opt) {
       return 1;
     }
     jobs = mr::jobs_from_trace(mr::load_trace(in), generator, ids);
-  } else {
+  } else if (!wf_mode) {
     jobs = generator.generate(ids, rng);
   }
   if (!opt.save_workload_file.empty()) {
@@ -470,6 +565,7 @@ int run(const Options& opt) {
     trace->name_thread(obs::TraceWriter::kSimPid, 4, "coflows");
     trace->name_thread(obs::TraceWriter::kSimPid, 5, "admission");
     trace->name_thread(obs::TraceWriter::kSimPid, 6, "recovery");
+    trace->name_thread(obs::TraceWriter::kSimPid, 7, "workflow");
     trace->name_process(obs::TraceWriter::kHostPid, "host wall clock");
     trace->name_thread(obs::TraceWriter::kHostPid, 0, "phases");
   }
@@ -491,7 +587,7 @@ int run(const Options& opt) {
     const auto order = coflow::parse_order_policy(opt.coflow);
     if (!order) {
       std::cerr << "hitsim: unknown coflow policy '" << opt.coflow
-                << "' (fifo | sebf | priority)\n";
+                << "' (fifo | sebf | priority | cp)\n";
       return 1;
     }
     cf_config.enabled = true;
@@ -555,15 +651,35 @@ int run(const Options& opt) {
   if (obs_ctx.enabled()) sconfig.observer = &obs_ctx;
 
   if (!opt.csv) {
-    std::cout << "hitsim: " << jobs.size() << " jobs on " << cluster.size()
-              << " servers (" << topo::family_name(topology.family()) << "), "
-              << scheduler->name() << " scheduler, " << opt.mode << " mode, seed "
-              << opt.seed << "\n\n";
+    if (wf_mode) {
+      std::size_t total_stages = 0;
+      for (const workflow::Workflow& wf : wfs) total_stages += wf.stages.size();
+      std::cout << "hitsim: " << wfs.size() << " x " << wfs.front().name
+                << " workflow (" << total_stages << " stages) on "
+                << cluster.size() << " servers ("
+                << topo::family_name(topology.family()) << "), "
+                << scheduler->name() << " scheduler, " << opt.mode
+                << " mode, seed " << opt.seed << "\n\n";
+    } else {
+      std::cout << "hitsim: " << jobs.size() << " jobs on " << cluster.size()
+                << " servers (" << topo::family_name(topology.family()) << "), "
+                << scheduler->name() << " scheduler, " << opt.mode
+                << " mode, seed " << opt.seed << "\n\n";
+    }
   }
 
   if (opt.mode == "batch") {
-    const sim::ClusterSimulator sim(cluster, sconfig);
-    const sim::SimResult result = sim.run(*scheduler, jobs, ids, rng);
+    sim::SimResult result;
+    workflow::WorkflowStats wf_stats;
+    if (wf_mode) {
+      workflow::BatchWorkflowResult bw = workflow::run_workflows_batch(
+          cluster, sconfig, wf_sched, wfs, generator, ids, *scheduler, rng);
+      result = std::move(bw.sim);
+      wf_stats = bw.stats;
+    } else {
+      const sim::ClusterSimulator sim(cluster, sconfig);
+      result = sim.run(*scheduler, jobs, ids, rng);
+    }
     if (opt.csv) {
       stats::CsvWriter csv(std::cout, {"job", "benchmark", "class",
                                        "completion_s", "shuffle_gb",
@@ -572,6 +688,14 @@ int run(const Options& opt) {
         csv.row({std::int64_t{j.id.value()}, j.benchmark,
                  std::string(mr::job_class_name(j.cls)), j.completion_time,
                  j.shuffle_gb, j.shuffle_cost, j.remote_map_gb});
+      }
+      // Workflow accounting goes to stderr so the per-job CSV stays parseable.
+      if (wf_mode) {
+        std::cerr << "hitsim: workflow stages " << wf_stats.stages_completed
+                  << "/" << wf_stats.stages_total << ", makespan "
+                  << wf_stats.makespan << " s, stretch " << wf_stats.stretch
+                  << " (hedges " << wf_stats.hedges_won << " won, "
+                  << wf_stats.hedges_lost << " lost)\n";
       }
     } else {
       stats::RunningSummary jct;
@@ -597,6 +721,7 @@ int run(const Options& opt) {
         table.add_row({"  lost",
                        stats::Table::num(static_cast<double>(result.speculative_lost), 0)});
       }
+      if (wf_mode) add_workflow_rows(table, wf_stats);
       if (result.gray.any()) add_gray_rows(table, result.gray);
       if (result.control.any()) add_recovery_rows(table, result.control);
       std::cout << table.render();
@@ -623,8 +748,21 @@ int run(const Options& opt) {
         oconfig.admission.tenants.push_back(std::move(spec));
       }
     }
+    std::size_t wf_escalations = 0;
+    if (wf_mode) {
+      workflow::OnlinePlanBuild pb =
+          workflow::build_online_plan(wfs, wf_sched, generator, ids);
+      jobs = std::move(pb.jobs);
+      oconfig.workflow = std::move(pb.plan);
+      wf_escalations = pb.escalations;
+    }
     const sim::OnlineSimulator sim(cluster, oconfig);
     const sim::OnlineResult result = sim.run(*scheduler, jobs, ids, rng);
+    workflow::WorkflowStats wf_stats;
+    if (wf_mode) {
+      wf_stats = workflow::compute_online_stats(result, wfs);
+      wf_stats.escalations = wf_escalations;
+    }
     if (opt.csv) {
       stats::CsvWriter csv(std::cout, {"job", "benchmark", "arrival_s",
                                        "queueing_s", "completion_s",
@@ -649,6 +787,13 @@ int run(const Options& opt) {
       }
       if (!result.tenants.empty()) {
         std::cerr << "hitsim: tenant Jain index " << result.tenant_jain << "\n";
+      }
+      if (wf_mode) {
+        std::cerr << "hitsim: workflow stages " << wf_stats.stages_completed
+                  << "/" << wf_stats.stages_total << ", makespan "
+                  << wf_stats.makespan << " s, stretch " << wf_stats.stretch
+                  << " (hedges " << wf_stats.hedges_won << " won, "
+                  << wf_stats.hedges_lost << " lost)\n";
       }
     } else {
       stats::RunningSummary jct, wait;
@@ -703,6 +848,7 @@ int run(const Options& opt) {
         table.add_row({"tenant Jain index",
                        stats::Table::num(result.tenant_jain, 3)});
       }
+      if (wf_mode) add_workflow_rows(table, wf_stats);
       if (result.gray.any()) add_gray_rows(table, result.gray);
       if (result.control.any()) add_recovery_rows(table, result.control);
       std::cout << table.render();
