@@ -1,0 +1,309 @@
+// Extension experiment (not a paper figure): failure-domain blast radius.
+//
+// A rack fault under the lost-output model (DESIGN.md §17) destroys every
+// completed map output its servers held, and lineage recovery re-executes
+// exactly the upstream maps whose outputs still feed pending shuffles.  This
+// bench measures two promises of the subsystem:
+//
+//   (a) Blast-radius containment — the domain-spread soft constraint
+//       (HitConfig::spread_weight) trades shuffle locality for fewer
+//       same-rack map pairs per job, so a rack fault destroys fewer of any
+//       one job's outputs.  Batch arms run the hit scheduler locality-only
+//       (weight 0) and spread-aware over the same scripted rack faults;
+//       mean post-fault makespan degradation (faulted minus clean makespan,
+//       averaged over a sweep of victim racks) must not be worse with
+//       spread, and the faults must actually destroy outputs.
+//
+//   (b) Lineage recovery completeness — in online mode, with a mid-run rack
+//       crash, certain output loss, and (in the second arm) a controller
+//       crash bridged by a warm standby, every admitted job must still
+//       complete: nothing shed, no unreconciled divergence at restart, and
+//       the whole run bit-deterministic (each arm executes twice and every
+//       counter must agree).
+//
+// Violations print VERDICT FAIL to stderr and exit nonzero.  Writes
+// BENCH_blast.json (manifest-stamped; see harness.h) for the committed
+// snapshot in bench/results/.
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "sim/domains.h"
+#include "sim/online.h"
+
+namespace {
+
+using namespace hit;
+
+constexpr std::uint64_t kSeed = 9300;
+constexpr double kEps = 1e-9;
+
+// Batch arm (a): one scripted rack fault per victim, mid-map wave.
+constexpr double kFaultAt = 30.0;
+constexpr double kRepairAfter = 60.0;
+constexpr double kSpreadWeight = 4.0;
+constexpr std::size_t kVictimRacks = 8;
+
+// Online arm (b): two staggered rack crashes + certain output loss,
+// optionally a controller blackout bridged by the warm standby.
+constexpr std::size_t kOnlineRackA = 6;
+constexpr double kOnlineFaultAtA = 50.0;
+constexpr std::size_t kOnlineRackB = 2;
+constexpr double kOnlineFaultAtB = 70.0;
+constexpr double kOnlineRepair = 100.0;
+constexpr double kCrashAt = 60.0;
+constexpr double kBlackout = 80.0;
+constexpr double kSnapshotEvery = 50.0;
+constexpr double kTakeover = 15.0;
+
+struct OnlineOutcome {
+  double makespan = 0.0;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  sim::FaultDomainStats domains;
+  sim::ControlPlaneStats control;
+
+  [[nodiscard]] bool operator==(const OnlineOutcome& o) const {
+    return makespan == o.makespan && completed == o.completed &&
+           shed == o.shed && domains.domain_faults == o.domains.domain_faults &&
+           domains.outputs_lost == o.domains.outputs_lost &&
+           domains.maps_reexecuted_lineage == o.domains.maps_reexecuted_lineage &&
+           domains.stage_reopens == o.domains.stage_reopens &&
+           domains.partition_parks == o.domains.partition_parks &&
+           control.reconcile_violations == o.control.reconcile_violations &&
+           control.reconcile_repairs == o.control.reconcile_repairs;
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace hit::bench;
+
+  print_header("Failure-domain blast radius: spread placement and lineage recovery");
+
+  const auto testbed = make_testbed_tree();
+  const sim::DomainSet domains = sim::DomainSet::derive(testbed->topology);
+
+  mr::WorkloadConfig wconfig;
+  wconfig.num_jobs = 12;
+  wconfig.max_maps_per_job = 10;
+  wconfig.max_reduces_per_job = 4;
+  wconfig.block_size_gb = 2.0;
+
+  JsonResults json("blast");
+  obs::Registry& reg = BenchObserver::instance().registry();
+  bool ok = true;
+
+  // ---- (a) batch: spread-aware vs locality-only placement under rack faults
+  const auto run_batch = [&](double spread_weight,
+                             const sim::FailureDomain* victim) {
+    core::HitConfig hconfig;
+    hconfig.spread_weight = spread_weight;
+    core::HitScheduler hit(hconfig);
+    sim::SimConfig sconfig;
+    sconfig.bandwidth_scale = 0.05;
+    if (victim != nullptr) {
+      sconfig.faults.fail_domain(*victim, kFaultAt, kRepairAfter);
+      sconfig.domains.enabled = true;
+      sconfig.domains.output_loss_prob = 1.0;
+    }
+    return run_replica(*testbed, hit, wconfig, sconfig, kSeed);
+  };
+
+  stats::Table batch_table({"arm", "clean makespan (s)", "mean faulted (s)",
+                            "mean degradation (s)", "outputs lost",
+                            "lineage re-executions"});
+  double degradation_by_arm[2] = {0.0, 0.0};
+  const double weights[2] = {0.0, kSpreadWeight};
+  const char* arm_names[2] = {"locality-only", "spread"};
+  for (int arm = 0; arm < 2; ++arm) {
+    const double clean = run_batch(weights[arm], nullptr).makespan;
+    double faulted_sum = 0.0;
+    std::size_t outputs_lost = 0, reexecuted = 0;
+    std::size_t victims = 0;
+    for (std::size_t r = 0; r < kVictimRacks; ++r) {
+      const sim::FailureDomain* victim = domains.find(sim::DomainKind::Rack, r);
+      if (victim == nullptr) break;
+      ++victims;
+      const sim::SimResult result = run_batch(weights[arm], victim);
+      faulted_sum += result.makespan;
+      outputs_lost += result.fault_domains.outputs_lost;
+      reexecuted += result.fault_domains.maps_reexecuted_lineage;
+    }
+    if (victims == 0) {
+      std::cerr << "VERDICT FAIL batch: topology has no rack domains\n";
+      ok = false;
+      break;
+    }
+    const double mean_faulted = faulted_sum / static_cast<double>(victims);
+    const double degradation = mean_faulted - clean;
+    degradation_by_arm[arm] = degradation;
+    batch_table.add_row({arm_names[arm], stats::Table::num(clean),
+                         stats::Table::num(mean_faulted),
+                         stats::Table::num(degradation),
+                         std::to_string(outputs_lost),
+                         std::to_string(reexecuted)});
+    json.add({{"mode", std::string("batch")},
+              {"arm", std::string(arm_names[arm])},
+              {"spread_weight", weights[arm]},
+              {"clean_makespan_s", clean},
+              {"mean_faulted_makespan_s", mean_faulted},
+              {"mean_degradation_s", degradation},
+              {"outputs_lost", static_cast<std::int64_t>(outputs_lost)},
+              {"lineage_reexecutions", static_cast<std::int64_t>(reexecuted)}});
+    const std::string g = std::string("bench.blast.batch.") + arm_names[arm];
+    reg.gauge(g + ".degradation_s").set(degradation);
+    reg.gauge(g + ".outputs_lost").set(static_cast<double>(outputs_lost));
+
+    // The fault sweep must actually exercise the lost-output path, or the
+    // comparison is vacuous.
+    if (outputs_lost == 0) {
+      std::cerr << "VERDICT FAIL batch/" << arm_names[arm]
+                << ": rack faults destroyed no map outputs\n";
+      ok = false;
+    }
+    if (reexecuted == 0) {
+      std::cerr << "VERDICT FAIL batch/" << arm_names[arm]
+                << ": no lineage re-executions across the rack sweep\n";
+      ok = false;
+    }
+  }
+  // Gate (a): spread-aware placement bounds the post-rack-fault makespan
+  // degradation at or below the locality-only scheduler's.
+  if (degradation_by_arm[1] > degradation_by_arm[0] + kEps) {
+    std::cerr << "VERDICT FAIL batch: spread degradation "
+              << degradation_by_arm[1] << "s exceeds locality-only "
+              << degradation_by_arm[0] << "s\n";
+    ok = false;
+  }
+  std::cout << batch_table.render() << "\n";
+
+  // ---- (b) online: lineage recovery completes every job, deterministically
+  struct Arm {
+    std::string name;
+    bool crash = false;
+  };
+  const std::vector<Arm> arms = {{"lineage", false},
+                                 {"lineage-standby-crash", true}};
+
+  const auto run_online = [&](const Arm& arm) {
+    core::HitScheduler hit;
+    BenchObserver& obs = BenchObserver::instance();
+    obs.manifest().scheduler = std::string(hit.name());
+    obs.manifest().seed = kSeed;
+
+    Rng rng(kSeed);
+    mr::IdAllocator ids;
+    const mr::WorkloadGenerator generator(wconfig);
+    const auto jobs = generator.generate(ids, rng);
+
+    sim::SimConfig sconfig;
+    sconfig.bandwidth_scale = 0.05;
+    sconfig.observer = &obs.context();
+    if (const sim::FailureDomain* victim =
+            domains.find(sim::DomainKind::Rack, kOnlineRackA)) {
+      sconfig.faults.fail_domain(*victim, kOnlineFaultAtA, kOnlineRepair);
+    }
+    if (const sim::FailureDomain* victim =
+            domains.find(sim::DomainKind::Rack, kOnlineRackB)) {
+      sconfig.faults.fail_domain(*victim, kOnlineFaultAtB, kOnlineRepair);
+    }
+    sconfig.domains.enabled = true;
+    sconfig.domains.output_loss_prob = 1.0;
+    if (arm.crash) {
+      sconfig.faults.crash_controller(kCrashAt, kBlackout);
+      sconfig.recovery.snapshot_every = kSnapshotEvery;
+      sconfig.recovery.standby = true;
+      sconfig.recovery.standby_takeover_s = kTakeover;
+    }
+    obs.manifest().config = describe_config(wconfig, sconfig) +
+                            " mode=online arm=" + arm.name;
+
+    sim::OnlineConfig oconfig;
+    oconfig.arrival_rate = 0.2;
+    oconfig.sim = sconfig;
+    const sim::OnlineSimulator sim(testbed->cluster, oconfig);
+    const sim::OnlineResult result = sim.run(hit, jobs, ids, rng);
+
+    OnlineOutcome out;
+    out.makespan = result.makespan;
+    out.completed = result.jobs.size();
+    out.shed = result.overload.jobs_shed;
+    out.domains = result.fault_domains;
+    out.control = result.control;
+    return out;
+  };
+
+  stats::Table online_table({"arm", "makespan (s)", "completed", "shed",
+                             "outputs lost", "lineage re-executions",
+                             "partition parks", "unreconciled"});
+  for (const Arm& arm : arms) {
+    const OnlineOutcome first = run_online(arm);
+    const OnlineOutcome second = run_online(arm);
+    if (!(first == second)) {
+      std::cerr << "VERDICT FAIL online/" << arm.name
+                << ": two identical runs disagree (makespan " << first.makespan
+                << " vs " << second.makespan << ")\n";
+      ok = false;
+    }
+    const std::size_t unreconciled =
+        first.control.reconcile_violations - first.control.reconcile_repairs;
+    online_table.add_row(
+        {arm.name, stats::Table::num(first.makespan),
+         std::to_string(first.completed), std::to_string(first.shed),
+         std::to_string(first.domains.outputs_lost),
+         std::to_string(first.domains.maps_reexecuted_lineage),
+         std::to_string(first.domains.partition_parks),
+         std::to_string(unreconciled)});
+    json.add({{"mode", std::string("online")},
+              {"arm", arm.name},
+              {"makespan_s", first.makespan},
+              {"completed", static_cast<std::int64_t>(first.completed)},
+              {"shed", static_cast<std::int64_t>(first.shed)},
+              {"outputs_lost",
+               static_cast<std::int64_t>(first.domains.outputs_lost)},
+              {"lineage_reexecutions",
+               static_cast<std::int64_t>(first.domains.maps_reexecuted_lineage)},
+              {"partition_parks",
+               static_cast<std::int64_t>(first.domains.partition_parks)},
+              {"unreconciled", static_cast<std::int64_t>(unreconciled)}});
+    const std::string g = "bench.blast.online." + arm.name;
+    reg.gauge(g + ".makespan_s").set(first.makespan);
+    reg.gauge(g + ".outputs_lost")
+        .set(static_cast<double>(first.domains.outputs_lost));
+    reg.gauge(g + ".lineage_reexecutions")
+        .set(static_cast<double>(first.domains.maps_reexecuted_lineage));
+
+    // Gate (b): every admitted job completes despite the lost outputs, and
+    // a crash restart leaves nothing unreconciled.
+    if (first.shed != 0 || first.completed != wconfig.num_jobs) {
+      std::cerr << "VERDICT FAIL online/" << arm.name << ": "
+                << first.completed << "/" << wconfig.num_jobs
+                << " jobs completed, " << first.shed << " shed\n";
+      ok = false;
+    }
+    if (first.domains.outputs_lost == 0) {
+      std::cerr << "VERDICT FAIL online/" << arm.name
+                << ": the rack fault destroyed no map outputs\n";
+      ok = false;
+    }
+    if (unreconciled != 0) {
+      std::cerr << "VERDICT FAIL online/" << arm.name << ": " << unreconciled
+                << " unreconciled divergences after restart\n";
+      ok = false;
+    }
+  }
+  std::cout << online_table.render();
+
+  if (!json.write()) ok = false;
+  std::cout << "\nSpread-aware placement pays a little shuffle locality to "
+               "cap how many of one job's map outputs a single rack fault "
+               "can destroy; lineage recovery then re-executes exactly the "
+               "lost producers, so every admitted job still finishes — even "
+               "through a controller blackout bridged by the warm standby.\n";
+  std::cout << (ok ? "VERDICT PASS\n" : "VERDICT FAIL\n");
+  return ok ? 0 : 1;
+}

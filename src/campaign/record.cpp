@@ -84,11 +84,24 @@ void save_record(std::ostream& out, const CellRecord& record) {
   out << "[workload]\n";
   mr::save_trace(out, record.workload);
   out << "[faults]\n";
-  out << "time,kind,target,node,peer,factor\n";
+  // The `domain` column (correlated-fault ordinal) is written only when some
+  // event carries one, so records from domain-free campaigns stay
+  // byte-identical to the v1 six-field format.
+  bool tagged = false;
+  for (const sim::FaultEvent& e : record.faults) {
+    if (e.domain != 0) {
+      tagged = true;
+      break;
+    }
+  }
+  out << (tagged ? "time,kind,target,node,peer,factor,domain\n"
+                 : "time,kind,target,node,peer,factor\n");
   for (const sim::FaultEvent& e : record.faults) {
     out << format_exact(e.time) << ',' << sim::fault_kind_name(e.kind) << ','
         << sim::fault_target_name(e.target) << ',' << node_str(e.node) << ','
-        << node_str(e.peer) << ',' << format_exact(e.factor) << '\n';
+        << node_str(e.peer) << ',' << format_exact(e.factor);
+    if (tagged) out << ',' << e.domain;
+    out << '\n';
   }
 }
 
@@ -139,13 +152,18 @@ CellRecord load_record(std::istream& in) {
         continue;
       }
       const auto fields = split_commas(line);
-      if (fields.size() != 6) fail(line_no, "expected 6 fault fields");
+      if (fields.size() != 6 && fields.size() != 7) {
+        fail(line_no, "expected 6 or 7 fault fields");
+      }
       sim::FaultEvent e;
       try {
         e.time = std::stod(fields[0]);
         e.factor = std::stod(fields[5]);
+        if (fields.size() == 7) {
+          e.domain = static_cast<std::uint32_t>(std::stoul(fields[6]));
+        }
       } catch (const std::exception&) {
-        fail(line_no, "bad fault time/factor");
+        fail(line_no, "bad fault time/factor/domain");
       }
       e.kind = parse_kind(fields[1], line_no);
       e.target = parse_target(fields[2], line_no);

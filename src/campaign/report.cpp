@@ -100,4 +100,106 @@ std::string render_report(const CampaignResult& result,
   return out.str();
 }
 
+namespace {
+
+// Linear-interpolated quantile of a sorted sample (matches stats::percentile
+// semantics: q in [0, 100]).
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::string render_cdf(const CampaignResult& result,
+                       const std::vector<std::string>& metrics) {
+  std::vector<std::string> rows_wanted = metrics;
+  if (rows_wanted.empty()) {
+    for (const CellResult& cell : result.cells) {
+      if (!cell.ok) continue;
+      for (const auto& [name, value] : cell.metrics) {
+        (void)value;
+        if (name.rfind("obs.", 0) == 0) continue;
+        if (std::find(rows_wanted.begin(), rows_wanted.end(), name) ==
+            rows_wanted.end()) {
+          rows_wanted.push_back(name);
+        }
+      }
+    }
+  }
+
+  const std::vector<std::pair<const char*, double>> quantiles = {
+      {"min", 0.0},  {"p25", 25.0}, {"p50", 50.0}, {"p75", 75.0},
+      {"p90", 90.0}, {"p95", 95.0}, {"max", 100.0}};
+
+  std::size_t ok = 0;
+  for (const CellResult& cell : result.cells) {
+    if (cell.ok) ++ok;
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const std::string& name : rows_wanted) {
+    std::vector<double> sample;
+    for (const CellResult& cell : result.cells) {
+      if (!cell.ok) continue;
+      if (const double* v = cell.metric(name)) sample.push_back(*v);
+    }
+    std::sort(sample.begin(), sample.end());
+    std::vector<std::string> row;
+    row.push_back(name);
+    row.push_back(std::to_string(sample.size()));
+    for (const auto& [label, q] : quantiles) {
+      (void)label;
+      row.push_back(sample.empty() ? "-" : format_value(quantile_sorted(sample, q)));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<std::string> header = {"metric", "n"};
+  for (const auto& [label, q] : quantiles) {
+    (void)q;
+    header.emplace_back(label);
+  }
+  std::vector<std::size_t> width(header.size(), 0);
+  for (std::size_t c = 0; c < header.size(); ++c) width[c] = header[c].size();
+  for (const std::vector<std::string>& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  out << "campaign " << result.name;
+  if (!result.git_sha.empty()) out << " @ " << result.git_sha;
+  out << " — metric CDF over " << ok << " ok cell" << (ok == 1 ? "" : "s")
+      << "\n";
+  const auto pad = [&](const std::string& text, std::size_t w) {
+    out << text;
+    for (std::size_t i = text.size(); i < w; ++i) out << ' ';
+  };
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (c > 0) out << "  ";
+    pad(header[c], width[c]);
+  }
+  out << "\n";
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    if (c > 0) out << "  ";
+    out << std::string(width[c], '-');
+  }
+  out << "\n";
+  for (const std::vector<std::string>& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      pad(row[c], width[c]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
 }  // namespace hit::campaign

@@ -19,4 +19,13 @@ namespace hit::campaign {
 [[nodiscard]] std::string render_report(const CampaignResult& result,
                                         const std::vector<std::string>& metrics = {});
 
+/// Render the cross-cell distribution of each metric instead of per-cell
+/// rows: one row per metric with n / min / p25 / p50 / p75 / p90 / p95 / max
+/// over the ok cells that report it (linear-interpolated quantiles).  The
+/// campaign grid is the sample — `hitcamp report --cdf` answers "how does
+/// this metric spread across the matrix" without a spreadsheet.  `metrics`
+/// selects and orders the rows; empty selects every non-obs.* metric.
+[[nodiscard]] std::string render_cdf(const CampaignResult& result,
+                                     const std::vector<std::string>& metrics = {});
+
 }  // namespace hit::campaign

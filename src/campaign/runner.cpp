@@ -127,11 +127,13 @@ coflow::CoflowConfig coflow_config(const CellConfig& c) {
 
 std::unique_ptr<sched::Scheduler> build_scheduler(
     const CellConfig& c, const coflow::CoflowConfig& cf) {
-  // Mirror hitsim: coflow-ordered policy optimization needs a directly
-  // constructed HitScheduler (the registry hands out default configs).
-  if (cf.enabled && c.scheduler == "hit") {
+  // Mirror hitsim: coflow-ordered policy optimization and the domain-spread
+  // pass need a directly constructed HitScheduler (the registry hands out
+  // default configs).
+  if ((cf.enabled || c.spread_weight > 0.0) && c.scheduler == "hit") {
     core::HitConfig hconfig;
     hconfig.coflow = cf;
+    hconfig.spread_weight = c.spread_weight;
     return std::make_unique<core::HitScheduler>(hconfig);
   }
   return core::SchedulerRegistry::instance().create(c.scheduler);
@@ -149,6 +151,8 @@ sim::SimConfig sim_config(const CellConfig& c, const coflow::CoflowConfig& cf,
   sconfig.gray.quarantine = c.quarantine != 0;
   sconfig.recovery.snapshot_every = c.snapshot_every;
   sconfig.recovery.standby = c.standby != 0;
+  sconfig.domains.enabled = c.output_loss > 0.0 || c.domain_mtbf > 0.0;
+  sconfig.domains.output_loss_prob = c.output_loss;
   return sconfig;
 }
 
@@ -196,6 +200,17 @@ void put_control_plane(Metrics& m, const sim::ControlPlaneStats& c) {
   put_count(m, "ctrl_snapshots", c.snapshots);
 }
 
+// Emitted only when domain faults / output loss saw action, mirroring
+// put_control_plane: domain-free cells keep their metric set unchanged.
+void put_domains(Metrics& m, const sim::FaultDomainStats& fd) {
+  if (!fd.any()) return;
+  put_count(m, "domain_faults", fd.domain_faults);
+  put_count(m, "outputs_lost", fd.outputs_lost);
+  put_count(m, "lineage_reexecutions", fd.maps_reexecuted_lineage);
+  put_count(m, "stage_reopens", fd.stage_reopens);
+  put_count(m, "partition_parks", fd.partition_parks);
+}
+
 // Registry snapshot -> `obs.`-prefixed metrics (histograms expand to
 // .mean/.p95).  snapshot() is name-sorted, so the order is deterministic.
 void put_registry(Metrics& m, const obs::Registry& registry) {
@@ -229,6 +244,7 @@ Metrics batch_metrics(const sim::SimResult& result, const obs::Registry& reg) {
   put_recovery(m, result.recovery);
   put_gray(m, result.gray);
   put_control_plane(m, result.control);
+  put_domains(m, result.fault_domains);
   put_registry(m, reg);
   return m;
 }
@@ -261,6 +277,7 @@ Metrics online_metrics(const sim::OnlineResult& result,
   put_recovery(m, result.recovery);
   put_gray(m, result.gray);
   put_control_plane(m, result.control);
+  put_domains(m, result.fault_domains);
   put_registry(m, reg);
   return m;
 }
@@ -306,11 +323,12 @@ topo::Topology build_topology(const std::string& name) {
 std::vector<sim::FaultEvent> generate_fault_events(
     const CellConfig& config, const topo::Topology& topology) {
   if (config.faults <= 0.0 && config.gray_mtbf <= 0.0 &&
-      config.controller_crash <= 0.0) {
+      config.controller_crash <= 0.0 && config.domain_mtbf <= 0.0) {
     return {};
   }
   sim::FaultPlan plan;
-  if (config.faults > 0.0 || config.gray_mtbf > 0.0) {
+  if (config.faults > 0.0 || config.gray_mtbf > 0.0 ||
+      config.domain_mtbf > 0.0) {
     sim::MtbfConfig mconfig;
     mconfig.horizon = config.fault_horizon;
     mconfig.switch_mtbf = config.faults;
@@ -326,6 +344,8 @@ std::vector<sim::FaultEvent> generate_fault_events(
     const auto [gmin, gmax] = parse_pair(config.gray_factor, "gray_factor");
     mconfig.gray_factor_min = gmin;
     mconfig.gray_factor_max = gmax;
+    mconfig.rack_mtbf = config.domain_mtbf;
+    mconfig.rack_mttr = config.domain_mttr;
     plan = sim::FaultPlan::generate(topology, mconfig, config.seed);
   }
   if (config.controller_crash > 0.0) {

@@ -122,6 +122,10 @@ void CellConfig::set(const std::string& key, const std::string& value) {
   else if (key == "workflows") workflows = parse_u64(value, "workflows");
   else if (key == "hedge") hedge = parse_u64(value, "hedge");
   else if (key == "cp_weights") cp_weights = value;
+  else if (key == "domain_mtbf") domain_mtbf = parse_d(value, key.c_str());
+  else if (key == "domain_mttr") domain_mttr = parse_d(value, key.c_str());
+  else if (key == "output_loss") output_loss = parse_d(value, key.c_str());
+  else if (key == "spread_weight") spread_weight = parse_d(value, key.c_str());
   else {
     throw std::invalid_argument("CellConfig: unknown key '" + key + "'");
   }
@@ -163,6 +167,11 @@ std::vector<std::pair<std::string, std::string>> CellConfig::items() const {
       {"workflows", std::to_string(workflows)},
       {"hedge", std::to_string(hedge)},
       {"cp_weights", cp_weights},
+      // Appended in PR 10 — new keys go at the end so older records parse.
+      {"domain_mtbf", format_d(domain_mtbf)},
+      {"domain_mttr", format_d(domain_mttr)},
+      {"output_loss", format_d(output_loss)},
+      {"spread_weight", format_d(spread_weight)},
   };
 }
 

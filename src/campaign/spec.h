@@ -73,6 +73,10 @@ struct CellConfig {
   std::uint64_t workflows = 1;     ///< workflow instances when workflow != ""
   std::uint64_t hedge = 0;         ///< hedged duplicate budget per workflow
   std::string cp_weights;          ///< "alpha:beta:gamma" ("" = defaults)
+  double domain_mtbf = 0.0;        ///< correlated rack-crash MTBF (0 = off)
+  double domain_mttr = 120.0;      ///< correlated-crash repair mean
+  double output_loss = 0.0;        ///< map-output loss probability on crash
+  double spread_weight = 0.0;      ///< domain-spread utility weight (hit)
 
   /// Assign by key name (the spec / record / what-if override path).
   /// Throws std::invalid_argument on an unknown key or unparsable value.

@@ -44,6 +44,7 @@ const char* audit_violation_kind_name(AuditViolationKind kind) {
     case AuditViolationKind::DeadPolicy: return "dead-policy";
     case AuditViolationKind::ParkedCharged: return "parked-charged";
     case AuditViolationKind::LoadMismatch: return "load-mismatch";
+    case AuditViolationKind::DeadDomain: return "dead-domain";
   }
   return "unknown";
 }
@@ -192,6 +193,13 @@ void NetworkController::install(const net::Flow& flow, net::Policy policy,
   }
   for (NodeId sw : policy.list) {
     if (failed_.count(sw) > 0) {
+      // Saturation and partition demand different caller reactions (retry
+      // cheaper vs park until repair), so diagnose which one this is.
+      if (!optimizer_.reachable(src, dst, banned_switches())) {
+        throw EndpointsPartitioned(
+            "NetworkController: endpoints partitioned by failed switch " +
+            topology_->info(sw).name);
+      }
       throw PathUnavailable("NetworkController: policy crosses failed switch " +
                             topology_->info(sw).name);
     }
@@ -290,6 +298,14 @@ NetworkController::reroute_with_backoff(const Entry& entry) const {
   const std::vector<NodeId> banned = banned_switches();
   const NodeId srcs[] = {entry.src};
   const NodeId dsts[] = {entry.dst};
+  if (!optimizer_.reachable(entry.src, entry.dst, banned)) {
+    // Partitioned: no amount of rate backoff can find a route, so don't burn
+    // the retry budget — park immediately and count the true cause.
+    ++partition_parks_;
+    const obs::Bind bind(observer_);
+    obs::count("controller.partition_parks");
+    return std::nullopt;
+  }
   double rate = entry.flow.rate;
   for (std::size_t attempt = 0; attempt < config_.max_reroute_attempts;
        ++attempt) {
@@ -395,8 +411,13 @@ std::size_t NetworkController::recover(NodeId sw) {
     return a->flow.id < b->flow.id;
   });
 
+  const std::unordered_set<std::uint64_t> stranded = stranded_servers();
   std::size_t restored = 0;
   for (Entry* entry : waiting) {
+    if (stranded.count(entry->src.value()) > 0 ||
+        stranded.count(entry->dst.value()) > 0) {
+      continue;  // endpoint's domain is still dark: the flow stays parked
+    }
     if (auto result = reroute_with_backoff(*entry)) {
       entry->policy = std::move(result->route.policy);
       entry->parked = false;
@@ -696,8 +717,13 @@ std::size_t NetworkController::readmit_parked() {
     return a->flow.id < b->flow.id;
   });
 
+  const std::unordered_set<std::uint64_t> stranded = stranded_servers();
   std::size_t restored = 0;
   for (Entry* entry : waiting) {
+    if (stranded.count(entry->src.value()) > 0 ||
+        stranded.count(entry->dst.value()) > 0) {
+      continue;  // endpoint's domain is still dark: the flow stays parked
+    }
     if (auto result = reroute_with_backoff(*entry)) {
       entry->policy = std::move(result->route.policy);
       entry->parked = false;
@@ -733,9 +759,27 @@ double NetworkController::total_cost() const {
   return total;
 }
 
+std::unordered_set<std::uint64_t> NetworkController::stranded_servers() const {
+  // Servers stranded inside a fully-failed domain: every switch of the
+  // domain is down, so the server has no alive uplink even when an
+  // installed path itself avoids the failed switches.  Domains with no
+  // switches never strand anything.
+  std::unordered_set<std::uint64_t> stranded;
+  for (const DomainMembers& d : domains_) {
+    if (d.switches.empty()) continue;
+    const bool all_down =
+        std::all_of(d.switches.begin(), d.switches.end(),
+                    [&](NodeId sw) { return failed_.count(sw) > 0; });
+    if (!all_down) continue;
+    for (NodeId s : d.servers) stranded.insert(s.value());
+  }
+  return stranded;
+}
+
 std::vector<AuditViolation> NetworkController::audit_violations() const {
   std::vector<AuditViolation> violations;
   net::LoadTracker expected(*topology_);
+  const std::unordered_set<std::uint64_t> stranded = stranded_servers();
   // Deterministic violation order: flows by id, then switches by id.
   std::vector<const Entry*> entries;
   entries.reserve(flows_.size());
@@ -762,6 +806,17 @@ std::vector<AuditViolation> NetworkController::audit_violations() const {
         violations.push_back(
             {AuditViolationKind::DeadPolicy, entry->flow.id, sw, 0.0});
         break;
+      }
+    }
+    if (!stranded.empty()) {
+      const NodeId endpoint = stranded.count(entry->src.value()) > 0
+                                  ? entry->src
+                                  : stranded.count(entry->dst.value()) > 0
+                                        ? entry->dst
+                                        : NodeId{};
+      if (endpoint.valid()) {
+        violations.push_back(
+            {AuditViolationKind::DeadDomain, entry->flow.id, endpoint, 0.0});
       }
     }
     expected.assign(entry->policy, entry->charged_rate);
@@ -803,6 +858,33 @@ std::vector<NodeId> NetworkController::failed_switches() const {
   std::vector<NodeId> out(failed_.begin(), failed_.end());
   std::sort(out.begin(), out.end());
   return out;
+}
+
+bool NetworkController::park(FlowId flow) {
+  const auto it = flows_.find(flow);
+  if (it == flows_.end()) {
+    throw UnknownFlow("NetworkController::park: unknown flow");
+  }
+  Entry& entry = it->second;
+  if (entry.parked) return false;  // idempotent
+  load_.remove(entry.policy, entry.charged_rate);
+  entry.parked = true;
+  entry.charged_rate = 0.0;
+  journal_record(flow_record(recovery::RecordKind::Park, flow));
+  const obs::Bind bind(observer_);
+  obs::count("controller.parked");
+  obs::host_instant("flow.park", "controller",
+                    {{"flow", static_cast<std::int64_t>(flow.value())}});
+  HIT_LOG_WARN(kTag) << "flow " << flow << " parked explicitly";
+  return true;
+}
+
+void NetworkController::set_domains(std::vector<DomainMembers> domains) {
+  for (DomainMembers& d : domains) {
+    std::sort(d.switches.begin(), d.switches.end());
+    std::sort(d.servers.begin(), d.servers.end());
+  }
+  domains_ = std::move(domains);
 }
 
 recovery::ControllerState NetworkController::export_state() const {

@@ -45,6 +45,10 @@ enum class AuditViolationKind : std::uint8_t {
   DeadPolicy,         ///< active policy crosses a failed switch
   ParkedCharged,      ///< parked flow still carries load in the ledger
   LoadMismatch,       ///< per-switch ledger != sum of active charged rates
+  DeadDomain,         ///< active flow endpoint stranded in a fully-failed
+                      ///< failure domain (every switch of the domain is down,
+                      ///< so the endpoint server is unreachable even though no
+                      ///< switch on the installed path failed directly)
 };
 
 [[nodiscard]] const char* audit_violation_kind_name(AuditViolationKind kind);
@@ -54,6 +58,15 @@ struct AuditViolation {
   FlowId flow;         ///< flow-scoped kinds; invalid for LoadMismatch
   NodeId node;         ///< DeadPolicy / LoadMismatch switch; invalid otherwise
   double delta = 0.0;  ///< LoadMismatch: ledger - expected; ParkedCharged: charge
+};
+
+/// Plain membership view of one failure domain (rack, pod, ...) for the
+/// controller's blast-radius audit.  Kept deliberately free of the sim-layer
+/// DomainSet type: core must not depend on sim, so callers (the simulators,
+/// tests) flatten whatever domain model they use into switch/server id lists.
+struct DomainMembers {
+  std::vector<NodeId> switches;
+  std::vector<NodeId> servers;
 };
 
 struct ControllerConfig {
@@ -168,6 +181,24 @@ class NetworkController {
   /// Parked flow ids in increasing order.
   [[nodiscard]] std::vector<FlowId> parked() const;
 
+  /// Teach the controller the failure-domain memberships of the topology
+  /// (typically every rack and pod).  audit_violations() then flags active
+  /// flows whose src or dst endpoint sits inside a domain with every switch
+  /// failed — a DeadDomain divergence: the installed path looks alive, but
+  /// the endpoint is stranded behind a fully-dead rack.  Empty (default)
+  /// disables the check.  Replaces any previous list.
+  void set_domains(std::vector<DomainMembers> domains);
+  [[nodiscard]] const std::vector<DomainMembers>& domains() const noexcept {
+    return domains_;
+  }
+
+  /// Parks whose root cause was a partition (endpoints disconnected from each
+  /// other through alive switches) rather than saturation — counted whenever
+  /// reroute_with_backoff short-circuits on an unreachable endpoint pair.
+  [[nodiscard]] std::size_t partition_parks() const noexcept {
+    return partition_parks_;
+  }
+
   /// Re-optimize policies crossing hot switches: per hot switch, take its
   /// flows in decreasing rate order, uncharge each, search the optimal
   /// residual-capacity route for its (fixed) endpoints and re-install on
@@ -191,6 +222,14 @@ class NetworkController {
   /// onto their optimal current route with the usual bounded backoff.
   /// Returns the number restored.
   std::size_t readmit_parked();
+
+  /// Park one flow explicitly: uncharge its load and leave it installed but
+  /// routeless until recover()/readmit_parked() restores it.  Journaled, so a
+  /// crash-restart replays the park.  The reconciliation path uses this to
+  /// repair DeadDomain divergences (an endpoint stranded behind a fully-dead
+  /// domain cannot carry traffic no matter what the path says).  Returns
+  /// false (no-op) when already parked.  Throws UnknownFlow on unknown ids.
+  bool park(FlowId flow);
 
   /// Rebalance breaker introspection (Closed and all-zero stats unless
   /// `config.breaker.enabled`).
@@ -255,6 +294,11 @@ class NetworkController {
       const Entry& entry) const;
   [[nodiscard]] std::vector<NodeId> banned_switches() const;
 
+  /// Servers inside domains whose every switch is failed.  Flows touching
+  /// one stay parked across readmission: the path the optimizer finds is
+  /// formally alive but the endpoint has no working uplink.
+  [[nodiscard]] std::unordered_set<std::uint64_t> stranded_servers() const;
+
   /// Tenant whose installed rate most exceeds its entitlement among tenants
   /// with an active flow crossing `hottest`, skipping tenants at/below the
   /// protected floor; ~0u when none qualifies (fall back to legacy order).
@@ -279,6 +323,12 @@ class NetworkController {
   std::unordered_set<NodeId> failed_;
   /// Quarantined switches -> consecutive healthy probe results so far.
   std::map<NodeId, std::size_t> quarantined_;
+  /// Failure-domain memberships for the DeadDomain audit (empty = disabled).
+  std::vector<DomainMembers> domains_;
+  /// Reroute attempts abandoned because the endpoints were partitioned.
+  /// Mutable: reroute_with_backoff is const (a pure planning helper) but the
+  /// partition diagnosis it makes is worth keeping.
+  mutable std::size_t partition_parks_ = 0;
 };
 
 }  // namespace hit::core

@@ -17,6 +17,16 @@ struct PathUnavailable : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// The strongest form of PathUnavailable: the fault set *disconnected* the
+/// endpoints, so no amount of rerouting, rate backoff, or waiting on
+/// capacity can carry the flow — only a repair can.  Controllers catch this
+/// to park the flow immediately (and count the park as a partition) instead
+/// of burning reroute attempts; placement catches it to re-place onto
+/// reachable servers.
+struct EndpointsPartitioned : PathUnavailable {
+  using PathUnavailable::PathUnavailable;
+};
+
 /// The operation referenced a flow id the controller never installed (or
 /// already removed).
 struct UnknownFlow : std::out_of_range {

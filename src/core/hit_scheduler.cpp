@@ -388,10 +388,131 @@ sched::Assignment HitScheduler::subsequent_wave(const sched::Problem& problem) c
   return assignment;
 }
 
+void HitScheduler::apply_spread(const sched::Problem& problem,
+                                sched::Assignment& assignment) const {
+  if (config_.spread_weight <= 0.0) return;
+  HIT_PROF_SCOPE("core.hit_scheduler.apply_spread");
+  const topo::Topology& topo = *problem.topology;
+
+  // Rack of a server: its access-tier uplink switch (lowest neighbor id
+  // when multi-homed).  A server with no access uplink is its own singleton
+  // rack — keyed in a disjoint id space so it never aliases a switch.
+  auto rack_of = [&](ServerId s) -> std::uint64_t {
+    const NodeId node = problem.cluster->node_of(s);
+    for (const topo::Edge& e : topo.graph().neighbors(node)) {
+      if (topo.tier(e.to) == topo::Tier::Access) return e.to.value();
+    }
+    return node.value() | (std::uint64_t{1} << 40);
+  };
+
+  // Open map tasks, their demands, and their shuffle adjacency.
+  std::unordered_map<TaskId, const sched::TaskRef*> ref_of;
+  for (const sched::TaskRef& t : problem.tasks) ref_of.emplace(t.id, &t);
+  std::unordered_map<TaskId, std::vector<std::pair<TaskId, double>>> peers;
+  std::unordered_map<TaskId, double> traffic;
+  for (const net::Flow& f : problem.flows) {
+    peers[f.src_task].push_back({f.dst_task, f.size_gb});
+    peers[f.dst_task].push_back({f.src_task, f.size_gb});
+    traffic[f.src_task] += f.size_gb;
+    traffic[f.dst_task] += f.size_gb;
+  }
+
+  std::vector<const sched::TaskRef*> movable;
+  for (const sched::TaskRef& t : problem.tasks) {
+    if (t.kind != cluster::TaskKind::Map) continue;
+    if (assignment.placement.count(t.id) == 0) continue;
+    movable.push_back(&t);
+  }
+  if (movable.empty()) return;
+  std::stable_sort(movable.begin(), movable.end(),
+                   [&](const sched::TaskRef* a, const sched::TaskRef* b) {
+                     return traffic[a->id] > traffic[b->id];
+                   });
+
+  // Per-job per-rack map concentration — the spread "energy" is the number
+  // of same-rack pairs Σ_jd C(n_jd, 2); moving one map from a rack with n
+  // co-resident maps to one with m removes (n-1) - m pairs.
+  std::unordered_map<std::uint64_t, std::size_t> count;
+  auto jd_key = [](JobId job, std::uint64_t rack) {
+    return (static_cast<std::uint64_t>(job.value()) << 41) ^ rack;
+  };
+  for (const sched::TaskRef* t : movable) {
+    count[jd_key(t->job, rack_of(assignment.placement.at(t->id)))] += 1;
+  }
+
+  // Rebuild current usage so moves stay capacity-feasible.
+  sched::UsageLedger ledger(problem);
+  for (const auto& [task, server] : assignment.placement) {
+    const auto it = ref_of.find(task);
+    if (it != ref_of.end()) ledger.place(server, it->second->demand);
+  }
+
+  sched::HopMatrix hops(problem);
+  auto locality_cost = [&](const sched::TaskRef* t, ServerId host) {
+    double c = 0.0;
+    const auto it = peers.find(t->id);
+    if (it == peers.end()) return c;
+    for (const auto& [peer, gb] : it->second) {
+      const ServerId other = assignment.host(problem, peer);
+      if (!other.valid()) continue;
+      c += gb * static_cast<double>(hops.hops(host, other));
+    }
+    return c;
+  };
+
+  constexpr std::size_t kMaxPasses = 4;
+  std::size_t moves = 0;
+  for (std::size_t pass = 0; pass < kMaxPasses; ++pass) {
+    bool moved = false;
+    for (const sched::TaskRef* t : movable) {
+      const ServerId cur = assignment.placement.at(t->id);
+      const std::uint64_t cur_rack = rack_of(cur);
+      const std::size_t n_cur = count.at(jd_key(t->job, cur_rack));
+      const double cur_cost = locality_cost(t, cur);
+      ledger.remove(cur, t->demand);
+
+      ServerId best;
+      double best_gain = 0.0;
+      std::uint64_t best_rack = 0;
+      for (const cluster::Server& s : problem.cluster->servers()) {
+        if (s.id == cur || !ledger.can_host(s.id, t->demand)) continue;
+        const std::uint64_t rack = rack_of(s.id);
+        if (rack == cur_rack) continue;  // no spread change, locality can
+                                         // only stay equal or worsen
+        const auto cit = count.find(jd_key(t->job, rack));
+        const std::size_t n_tgt = cit == count.end() ? 0 : cit->second;
+        const double pairs_removed =
+            static_cast<double>(n_cur - 1) - static_cast<double>(n_tgt);
+        const double gain = config_.spread_weight * pairs_removed -
+                            (locality_cost(t, s.id) - cur_cost);
+        if (gain > best_gain + 1e-9) {  // strict: first (lowest id) wins ties
+          best_gain = gain;
+          best = s.id;
+          best_rack = rack;
+        }
+      }
+
+      if (best.valid()) {
+        ledger.place(best, t->demand);
+        assignment.placement[t->id] = best;
+        count[jd_key(t->job, cur_rack)] -= 1;
+        count[jd_key(t->job, best_rack)] += 1;
+        moved = true;
+        ++moves;
+      } else {
+        ledger.place(cur, t->demand);
+      }
+    }
+    if (!moved) break;
+  }
+  if (moves > 0) obs::count("core.hit_scheduler.spread_moves", moves);
+}
+
 void HitScheduler::route_flows(const sched::Problem& problem,
                                sched::Assignment& assignment,
                                WorkBudget* budget) const {
   HIT_PROF_SCOPE("core.hit_scheduler.route_flows");
+  apply_spread(problem, assignment);
   if (!config_.optimize_policies) {
     sched::attach_shortest_policies(problem, assignment);
     return;

@@ -88,6 +88,15 @@ struct HitConfig {
   /// left behind.  SEBF uses a schedule-time proxy for Γ: the most loaded
   /// placed endpoint server (max over servers of shuffle bytes in + out).
   coflow::CoflowConfig coflow;
+  /// Failure-domain spread soft constraint (0 = off, bit-identical output).
+  /// After placement and before routing, a deterministic local-search pass
+  /// moves map tasks between racks when the Eq. (10)-style utility gain
+  /// `spread_weight x (reduction in same-rack map pairs of the job)` exceeds
+  /// the shuffle-locality cost increase (flow size x switch-hop distance to
+  /// the task's placed peers).  Larger weights cap the blast radius of a
+  /// rack fault — fewer of a job's map outputs die together — at the price
+  /// of longer shuffle paths.
+  double spread_weight = 0.0;
 };
 
 class HitScheduler final : public sched::Scheduler {
@@ -154,6 +163,14 @@ class HitScheduler final : public sched::Scheduler {
   /// way.
   void route_flows(const sched::Problem& problem, sched::Assignment& assignment,
                    WorkBudget* budget = nullptr) const;
+
+  /// Domain-spread pass (no-op unless config_.spread_weight > 0): greedy
+  /// capacity-checked single-task moves, heaviest shuffle producers first,
+  /// accepted when the spread utility beats the locality penalty.  Runs on
+  /// the placement before routing, so every wave type (initial, subsequent,
+  /// every ladder tier) gets the same treatment.
+  void apply_spread(const sched::Problem& problem,
+                    sched::Assignment& assignment) const;
 
   /// True when §5.3.2 applies: every open task is a map and every flow's
   /// destination is already fixed.

@@ -34,6 +34,31 @@ bool PolicyOptimizer::is_penalized(NodeId n) const {
          std::binary_search(penalized_.begin(), penalized_.end(), n);
 }
 
+bool PolicyOptimizer::reachable(NodeId src, NodeId dst,
+                                std::span<const NodeId> banned) const {
+  if (src == dst) return true;
+  const topo::Graph& graph = topology_->graph();
+  if (src.index() >= graph.node_count() || dst.index() >= graph.node_count()) {
+    return false;
+  }
+  const auto is_banned = [&](NodeId n) {
+    return std::find(banned.begin(), banned.end(), n) != banned.end();
+  };
+  if (is_banned(src) || is_banned(dst)) return false;
+  std::vector<char> seen(graph.node_count(), 0);
+  std::vector<NodeId> frontier{src};
+  seen[src.index()] = 1;
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    for (const topo::Edge& e : graph.neighbors(frontier[i])) {
+      if (seen[e.to.index()] || is_banned(e.to)) continue;
+      if (e.to == dst) return true;
+      seen[e.to.index()] = 1;
+      frontier.push_back(e.to);
+    }
+  }
+  return false;
+}
+
 std::optional<PolicyOptimizer::Route> PolicyOptimizer::optimal_route(
     std::span<const NodeId> src_candidates, std::span<const NodeId> dst_candidates,
     FlowId flow, double rate, double metric, const net::LoadTracker& load,

@@ -60,6 +60,15 @@ class PolicyOptimizer {
       bool allow_local = true, std::span<const NodeId> banned = {},
       WorkBudget* budget = nullptr) const;
 
+  /// Pure-connectivity probe: true when some path joins `src` and `dst`
+  /// through alive (non-banned) elements, ignoring capacity entirely.  This
+  /// is how callers split optimal_route's nullopt into its two very
+  /// different causes — "saturated, retry with a lower rate" (reachable)
+  /// versus "partitioned, park until repair" (not reachable, typed as
+  /// EndpointsPartitioned by the controller).  Deterministic BFS.
+  [[nodiscard]] bool reachable(NodeId src, NodeId dst,
+                               std::span<const NodeId> banned = {}) const;
+
   /// Algorithm 1: route every flow of the problem (largest traffic first,
   /// charging chosen routes to a local load ledger so later flows see the
   /// congestion) and accumulate endpoint grades into the preference matrix.

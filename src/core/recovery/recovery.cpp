@@ -228,6 +228,7 @@ const char* divergence_kind_name(DivergenceKind kind) {
     case DivergenceKind::MissedRepair: return "missed-repair";
     case DivergenceKind::StaleQuarantine: return "stale-quarantine";
     case DivergenceKind::OrphanedParked: return "orphaned-parked";
+    case DivergenceKind::DeadDomain: return "dead-domain";
     case DivergenceKind::Unreconciled: return "unreconciled";
   }
   return "unknown";
@@ -298,7 +299,20 @@ ReconcileReport reconcile(NetworkController& controller, const LiveView& live) {
     }
   }
 
-  // 5. Whatever inconsistency survived the repairs is unreconciled — a clean
+  // 5. Flows stranded behind a fully-failed domain: the installed path is
+  //    formally alive (no listed switch failed) but the endpoint's entire
+  //    rack/pod is dark, so the flow cannot carry traffic.  Park it — the
+  //    park is journaled, so a second crash replays the repair instead of
+  //    rediscovering it.
+  for (const AuditViolation& v : controller.audit_violations()) {
+    if (v.kind != AuditViolationKind::DeadDomain) continue;
+    if (!controller.park(v.flow)) continue;
+    report.repairs += 1;
+    report.divergences.push_back(
+        {DivergenceKind::DeadDomain, v.node, v.flow, true});
+  }
+
+  // 6. Whatever inconsistency survived the repairs is unreconciled — a clean
   //    recovery ends with zero.
   for (const AuditViolation& v : controller.audit_violations()) {
     report.divergences.push_back(

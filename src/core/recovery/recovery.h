@@ -110,6 +110,8 @@ enum class DivergenceKind : std::uint8_t {
   MissedRepair,     ///< switch repaired while the controller was down
   StaleQuarantine,  ///< quarantined switch that is live-healthy
   OrphanedParked,   ///< parked flow whose blocking condition is gone
+  DeadDomain,       ///< active flow with an endpoint stranded in a
+                    ///< fully-failed domain; repaired by a journaled park
   Unreconciled,     ///< audit violation that survived every repair
 };
 

@@ -1,0 +1,131 @@
+#include "sim/domains.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace hit::sim {
+
+const char* domain_kind_name(DomainKind kind) noexcept {
+  switch (kind) {
+    case DomainKind::Server: return "server";
+    case DomainKind::Rack: return "rack";
+    case DomainKind::Pod: return "pod";
+    case DomainKind::Tier: return "tier";
+  }
+  return "?";
+}
+
+DomainKind parse_domain_kind(const std::string& name) {
+  if (name == "server") return DomainKind::Server;
+  if (name == "rack" || name == "tor") return DomainKind::Rack;
+  if (name == "pod") return DomainKind::Pod;
+  if (name == "tier") return DomainKind::Tier;
+  throw std::invalid_argument("unknown domain kind: " + name);
+}
+
+DomainSet DomainSet::derive(const topo::Topology& topology) {
+  DomainSet set;
+  const auto& graph = topology.graph();
+  auto push = [&set](FailureDomain d) {
+    std::sort(d.switches.begin(), d.switches.end());
+    std::sort(d.servers.begin(), d.servers.end());
+    d.ordinal = static_cast<std::uint32_t>(set.domains_.size() + 1);
+    set.domains_.push_back(std::move(d));
+  };
+
+  std::size_t idx = 0;
+  for (NodeId s : topology.servers()) {
+    FailureDomain d;
+    d.kind = DomainKind::Server;
+    d.root = s;
+    d.servers.push_back(s);
+    d.name = "server-" + std::to_string(idx++);
+    push(std::move(d));
+  }
+
+  idx = 0;
+  for (NodeId sw : topology.switches()) {
+    if (topology.tier(sw) != topo::Tier::Access) continue;
+    FailureDomain d;
+    d.kind = DomainKind::Rack;
+    d.root = sw;
+    d.switches.push_back(sw);
+    for (const auto& e : graph.neighbors(sw)) {
+      if (topology.is_server(e.to)) d.servers.push_back(e.to);
+    }
+    d.name = "rack-" + std::to_string(idx++);
+    push(std::move(d));
+  }
+
+  idx = 0;
+  for (NodeId sw : topology.switches()) {
+    if (topology.tier(sw) != topo::Tier::Aggregation) continue;
+    FailureDomain d;
+    d.kind = DomainKind::Pod;
+    d.root = sw;
+    d.switches.push_back(sw);
+    for (const auto& e : graph.neighbors(sw)) {
+      if (!topology.is_switch(e.to)) continue;
+      if (topology.tier(e.to) != topo::Tier::Access) continue;
+      d.switches.push_back(e.to);
+      for (const auto& f : graph.neighbors(e.to)) {
+        if (topology.is_server(f.to)) d.servers.push_back(f.to);
+      }
+    }
+    // An access switch reachable through two aggregation uplinks contributes
+    // its servers once per pod, but only once within this pod.
+    std::sort(d.servers.begin(), d.servers.end());
+    d.servers.erase(std::unique(d.servers.begin(), d.servers.end()),
+                    d.servers.end());
+    d.name = "pod-" + std::to_string(idx++);
+    push(std::move(d));
+  }
+
+  for (topo::Tier tier : {topo::Tier::Access, topo::Tier::Aggregation,
+                          topo::Tier::Core}) {
+    FailureDomain d;
+    d.kind = DomainKind::Tier;
+    for (NodeId sw : topology.switches()) {
+      if (topology.tier(sw) == tier) d.switches.push_back(sw);
+    }
+    if (d.switches.empty()) continue;
+    d.root = d.switches.front();
+    d.name = "tier-" + std::string(topo::tier_name(tier));
+    push(std::move(d));
+  }
+
+  set.rack_of_.assign(graph.node_count(), 0);
+  for (const FailureDomain& d : set.domains_) {
+    if (d.kind != DomainKind::Rack) continue;
+    for (NodeId s : d.servers) {
+      if (set.rack_of_[s.value()] == 0) set.rack_of_[s.value()] = d.ordinal;
+    }
+  }
+  return set;
+}
+
+const FailureDomain& DomainSet::at(std::uint32_t ordinal) const {
+  if (ordinal == 0 || ordinal > domains_.size()) {
+    throw std::out_of_range("no failure domain with ordinal " +
+                            std::to_string(ordinal));
+  }
+  return domains_[ordinal - 1];
+}
+
+const FailureDomain* DomainSet::find(DomainKind kind,
+                                     std::size_t index) const noexcept {
+  std::size_t seen = 0;
+  for (const FailureDomain& d : domains_) {
+    if (d.kind != kind) continue;
+    if (seen++ == index) return &d;
+  }
+  return nullptr;
+}
+
+std::uint32_t DomainSet::rack_of(NodeId n) const noexcept {
+  if (n.value() >= rack_of_.size()) return 0;
+  return rack_of_[n.value()];
+}
+
+}  // namespace hit::sim

@@ -1,0 +1,73 @@
+// Failure domains derived from the typed topology (DESIGN.md §17).
+//
+// A failure domain is a set of elements that share fate: the server itself,
+// the rack behind a ToR (access) switch, the pod under an aggregation
+// switch, or every switch of one tier.  Domains are derived purely from the
+// Topology — deterministic, id-ordered — and addressed by a 1-based ordinal
+// so fault events can tag which correlated crash produced them.  Domains may
+// overlap (a fat-tree access switch sits under several aggregation
+// switches); FaultState application is idempotent so overlapping crashes
+// compose.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace hit::sim {
+
+enum class DomainKind : std::uint8_t { Server, Rack, Pod, Tier };
+
+[[nodiscard]] const char* domain_kind_name(DomainKind kind) noexcept;
+
+/// Parse "server"/"rack"/"pod"/"tier"; throws std::invalid_argument.
+[[nodiscard]] DomainKind parse_domain_kind(const std::string& name);
+
+struct FailureDomain {
+  DomainKind kind = DomainKind::Server;
+  std::uint32_t ordinal = 0;         ///< 1-based id, used on FaultEvent::domain
+  NodeId root;                       ///< defining element (switch, or the server)
+  std::vector<NodeId> switches;      ///< member switches, ascending id
+  std::vector<NodeId> servers;       ///< member server nodes, ascending id
+  std::string name;                  ///< e.g. "rack-2", "pod-0", "tier-core"
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return switches.size() + servers.size();
+  }
+};
+
+/// All failure domains of a topology: one Server domain per server, one Rack
+/// per access switch (switch + adjacent servers), one Pod per aggregation
+/// switch (switch + adjacent access subtree + its servers), one Tier per
+/// switch tier present.  Ordinals are assigned in that order.
+class DomainSet {
+ public:
+  DomainSet() = default;
+
+  [[nodiscard]] static DomainSet derive(const topo::Topology& topology);
+
+  [[nodiscard]] const std::vector<FailureDomain>& domains() const noexcept {
+    return domains_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return domains_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return domains_.empty(); }
+
+  /// Domain by 1-based ordinal; throws std::out_of_range.
+  [[nodiscard]] const FailureDomain& at(std::uint32_t ordinal) const;
+
+  /// The `index`-th domain of `kind` (0-based within the kind); nullptr when
+  /// out of range.
+  [[nodiscard]] const FailureDomain* find(DomainKind kind,
+                                          std::size_t index) const noexcept;
+
+  /// Rack ordinal containing server node `n` (0 when none / not a server).
+  [[nodiscard]] std::uint32_t rack_of(NodeId n) const noexcept;
+
+ private:
+  std::vector<FailureDomain> domains_;
+  std::vector<std::uint32_t> rack_of_;  // node id -> rack ordinal (0 = none)
+};
+
+}  // namespace hit::sim

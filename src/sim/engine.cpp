@@ -19,6 +19,11 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
+/// Output-loss Bernoulli draws fork the run rng under a salt disjoint from
+/// every scheduling stream (wave, jitter, HDFS), so enabling the
+/// failure-domain model leaves all placements byte-identical.
+constexpr std::uint64_t kLossSalt = 0x4C4F535300000000ull;  // "LOSS"
+
 /// How many containers of `demand` fit into `capacity`.
 std::size_t slot_count(cluster::Resource capacity, cluster::Resource demand) {
   double slots = std::numeric_limits<double>::infinity();
@@ -173,12 +178,23 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
                      "sim.fault", ev.time,
                      {{"server", static_cast<std::int64_t>(s.value())}},
                      /*tid=*/3);
+    if (ev.domain != 0) {
+      obs::count(ev.kind == FaultKind::Fail ? "sim.domains.member_fail"
+                                            : "sim.domains.member_recover");
+      obs::sim_instant(ev.kind == FaultKind::Fail ? "domain.fail"
+                                                  : "domain.recover",
+                       "sim.domain", ev.time,
+                       {{"domain", static_cast<std::int64_t>(ev.domain)},
+                        {"server", static_cast<std::int64_t>(s.value())}},
+                       /*tid=*/8);
+    }
   };
 
   std::vector<cluster::Resource> reduce_usage(cluster_->size());
   std::deque<const mr::Task*> todo(all_maps.begin(), all_maps.end());
   std::vector<const mr::Task*> displaced;   // reduces whose host died
   std::unordered_set<TaskId> killed;        // maps awaiting a recovery copy
+  std::unordered_set<TaskId> lost_outputs;  // killed because their output died
   double wave_start = 0.0;
   std::size_t wave_index = 0;
   bool first = true;
@@ -361,7 +377,12 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
       std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
                        sorted.end());
       const double median = sorted[sorted.size() / 2];
-      for (double& d : durations) {
+      for (std::size_t i = 0; i < durations.size(); ++i) {
+        // A recovery copy of a killed or lost-output map is lineage work,
+        // not a straggler: it never draws a LATE backup (or the recovery of
+        // one fault would inflate the speculation counters of another).
+        if (killed.count(wave_maps[i]->id) > 0) continue;
+        double& d = durations[i];
         if (d > config_.speculation_threshold * median) {
           const double backup_finish = median /*detect*/ + median /*re-run*/;
           ++result.speculative_copies;
@@ -412,6 +433,67 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
           requeued.push_back(at.task);
         }
       }
+      // Durable-output drop (DESIGN.md §17): the dead server's completed map
+      // outputs are destroyed with probability output_loss_prob — always,
+      // when the crash took its whole failure domain.  Every shuffle is
+      // still pending during the map phase, so each lost map is exactly a
+      // lineage re-execution: it re-queues through the same subsequent-wave
+      // path as a killed in-flight map.
+      if (config_.domains.enabled) {
+        const double p =
+            ev.domain != 0 ? 1.0 : config_.domains.output_loss_prob;
+        const auto output_lost = [&](TaskId id) {
+          if (p >= 1.0) return true;
+          if (p <= 0.0) return false;
+          const std::uint64_t salt =
+              kLossSalt ^ (static_cast<std::uint64_t>(id.value()) << 16) ^
+              static_cast<std::uint64_t>(next_sev);
+          return rng.fork(salt).uniform(0.0, 1.0) < p;
+        };
+        const auto record_loss = [&](TaskId id) {
+          killed.insert(id);
+          lost_outputs.insert(id);
+          ++result.fault_domains.outputs_lost;
+          obs::count("sim.domains.outputs_lost");
+          obs::sim_instant(
+              "output.lost", "sim.domain", ev.time,
+              {{"task", static_cast<std::int64_t>(id.value())},
+               {"server", static_cast<std::int64_t>(s.value())}},
+              /*tid=*/8);
+        };
+        // Maps that finished earlier in this wave (not yet in map_finish).
+        for (Attempt& at : attempts) {
+          if (!at.alive || at.host != s || at.finish > ev.time + kEps) continue;
+          if (!output_lost(at.task->id)) continue;
+          at.alive = false;
+          any_killed = true;
+          placement.erase(at.task->id);
+          requeued.push_back(at.task);
+          record_loss(at.task->id);
+        }
+        // Maps completed in earlier waves (all_maps order keeps the scan
+        // deterministic; placement filters to outputs hosted on s).
+        for (const mr::Task* t : all_maps) {
+          const auto pit = placement.find(t->id);
+          if (pit == placement.end() || pit->second != s) continue;
+          const auto fit = map_finish.find(t->id);
+          if (fit == map_finish.end()) continue;
+          if (!output_lost(t->id)) continue;
+          map_finish.erase(fit);
+          placement.erase(pit);
+          requeued.push_back(t);
+          record_loss(t->id);
+          // Only the final successful attempt stays recorded, mirroring the
+          // killed-in-flight path.
+          for (auto rit = result.tasks.begin(); rit != result.tasks.end();
+               ++rit) {
+            if (rit->id == t->id && rit->kind == cluster::TaskKind::Map) {
+              result.tasks.erase(rit);
+              break;
+            }
+          }
+        }
+      }
       for (const mr::Task* r : all_reduces) {
         const auto it = placement.find(r->id);
         if (it != placement.end() && it->second == s) {
@@ -445,6 +527,10 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
                                         cluster::TaskKind::Map, wave_start,
                                         at.finish});
       if (killed.erase(at.task->id) > 0) ++rec.maps_reexecuted;
+      if (lost_outputs.erase(at.task->id) > 0) {
+        ++result.fault_domains.maps_reexecuted_lineage;
+        obs::count("sim.domains.maps_reexecuted");
+      }
     }
     obs::sim_span("wave", "sim.wave", wave_start, wave_end,
                   {{"index", static_cast<std::int64_t>(wave_index - 1)},
@@ -555,6 +641,19 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     if (ctrl_rt) ctrl_rt->note_record();
     return true;
   };
+  const auto note_partition = [&](const SimFlow& sf, double at) {
+    // A stall with both endpoints alive, the controller up, and still no
+    // route means the fault partitioned the pair: only repair can reconnect
+    // them.  Typed accounting so harnesses can tell partitions from parks.
+    if (!config_.domains.enabled || ctrl_down()) return;
+    if (!fstate.node_up(sf.src) || !fstate.node_up(sf.dst)) return;
+    ++result.fault_domains.partition_parks;
+    obs::count("sim.domains.partition_parks");
+    obs::sim_instant(
+        "flow.partition", "sim.domain", at,
+        {{"flow", static_cast<std::int64_t>(sf.flow->id.value())}},
+        /*tid=*/8);
+  };
   const auto stall = [&](std::size_t i, double at) {
     sim_flows[i].stall_since = at;
     stalled.push_back(i);
@@ -593,6 +692,14 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
     obs::sim_instant(ev.kind == FaultKind::Fail ? "fault.net.fail"
                                                 : "fault.net.recover",
                      "sim.fault", ev.time, {}, /*tid=*/3);
+    if (ev.domain != 0) {
+      obs::sim_instant(ev.kind == FaultKind::Fail ? "domain.fail"
+                                                  : "domain.recover",
+                       "sim.domain", ev.time,
+                       {{"domain", static_cast<std::int64_t>(ev.domain)},
+                        {"node", static_cast<std::int64_t>(ev.node.value())}},
+                       /*tid=*/8);
+    }
     if (ev.kind == FaultKind::Fail) {
       // Crossing transfers detour onto an alive route or stall until repair.
       std::vector<std::size_t> keep;
@@ -602,6 +709,7 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
         if (fstate.path_up(sf.path) || try_reroute(sf)) {
           keep.push_back(i);
         } else {
+          note_partition(sf, ev.time);
           stall(i, ev.time);
         }
       }
@@ -711,6 +819,7 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
       if (!fstate.any_down() || fstate.path_up(sf.path) || try_reroute(sf)) {
         active.push_back(i);
       } else {
+        note_partition(sf, now);
         stall(i, now);
       }
     }
@@ -962,9 +1071,13 @@ SimResult ClusterSimulator::run(sched::Scheduler& scheduler,
   if (faulty) {
     account_plan(config_.faults, result.makespan, rec);
     account_gray_plan(config_.faults, result.makespan, result.gray);
+    account_domain_plan(config_.faults, result.makespan, result.fault_domains);
   }
   if (gray_rt) gray_rt->finish(result.makespan, result.gray);
   if (ctrl_rt) ctrl_rt->finish(result.makespan, result.control);
+  if (config_.domains.enabled) {
+    result.fault_domains.domains = DomainSet::derive(topology).size();
+  }
   return result;
 }
 

@@ -77,10 +77,19 @@ struct SimConfig {
   /// way); switch/link failures detour or stall the shuffle flows crossing
   /// them until repair.  Map-phase simplifications: map-input fetch prefers
   /// alive replicas (falls back to the nearest replica when all are down,
-  /// modeling HDFS re-replication), completed map output is durable, and
-  /// server faults after the map phase are counted but do not interrupt
-  /// transfers (the online simulator models full job restart).
+  /// modeling HDFS re-replication), completed map output is durable unless
+  /// `domains` drops that assumption, and server faults after the map phase
+  /// are counted but do not interrupt transfers (the online simulator models
+  /// full job restart and mid-shuffle lineage re-execution).
   FaultPlan faults;
+  /// Failure-domain model (off by default — bit-identical to the durable
+  /// output simulator).  When enabled, a server crash during the map phase
+  /// destroys the completed map outputs it hosts with probability
+  /// `output_loss_prob` (probability 1 when the crash is a domain-tagged
+  /// correlated fault), and lineage re-executes exactly the maps whose
+  /// outputs still feed pending shuffles.  Disconnected shuffle endpoints
+  /// are counted in FaultDomainStats::partition_parks.
+  FaultDomainConfig domains;
   /// Gray-failure handling (all off by default): health-monitor sampling of
   /// shuffle progress, detection stats against the plan's Degrade events,
   /// and optionally quarantine (suspect elements are soft-avoided by

@@ -27,6 +27,16 @@ std::uint64_t gray_salt(FaultTarget target, NodeId a, NodeId b = NodeId{}) {
   return salt(target, a, b) ^ kGraySalt;
 }
 
+/// Correlated-domain streams are keyed by (kind, ordinal) under their own
+/// salt, disjoint from both the per-element and the gray streams, so turning
+/// the domain knobs on leaves every previously generated event
+/// byte-identical.
+constexpr std::uint64_t kDomainSalt = 0x444F4D4E00000000ull;  // "DOMN"
+
+std::uint64_t domain_salt(const FailureDomain& d) {
+  return kDomainSalt ^ (static_cast<std::uint64_t>(d.kind) << 48) ^ d.ordinal;
+}
+
 std::pair<std::uint32_t, std::uint32_t> link_key(NodeId a, NodeId b) {
   return std::minmax(a.value(), b.value());
 }
@@ -125,6 +135,22 @@ void FaultPlan::crash_controller(double at, double restart_after) {
     insert(FaultEvent{at + restart_after, FaultKind::ControllerRestart,
                       FaultTarget::Controller, NodeId{}, NodeId{}});
   }
+}
+
+void FaultPlan::fail_domain(const FailureDomain& domain, double at,
+                            double repair_after) {
+  auto emit = [&](FaultKind kind, double t) {
+    for (NodeId sw : domain.switches) {
+      insert(FaultEvent{t, kind, FaultTarget::Switch, sw, NodeId{}, 1.0,
+                        domain.ordinal});
+    }
+    for (NodeId server : domain.servers) {
+      insert(FaultEvent{t, kind, FaultTarget::Server, server, NodeId{}, 1.0,
+                        domain.ordinal});
+    }
+  };
+  emit(FaultKind::Fail, at);
+  if (repair_after > 0.0) emit(FaultKind::Recover, at + repair_after);
 }
 
 FaultPlan FaultPlan::scripted(std::vector<FaultEvent> events) {
@@ -241,6 +267,34 @@ FaultPlan FaultPlan::generate(const topo::Topology& topology,
         if (e.to < a) continue;
         renew_gray(FaultTarget::Link, a, e.to, config.gray_link_mtbf,
                    config.gray_link_mttr);
+      }
+    }
+  }
+
+  // Correlated domain crashes: one renewal process per rack / pod, each on
+  // its own (kind, ordinal) salt.  A crash fails every member atomically;
+  // the repair brings all of them back at once.
+  if (config.rack_mtbf > 0.0 || config.pod_mtbf > 0.0) {
+    const DomainSet domains = DomainSet::derive(topology);
+    auto renew_domain = [&](const FailureDomain& d, double mtbf, double mttr) {
+      if (mtbf <= 0.0) return;
+      Rng rng = base.fork(domain_salt(d));
+      double t = 0.0;
+      while (true) {
+        t += rng.exponential(1.0 / mtbf);
+        if (t >= config.horizon) break;
+        const double repair = mttr > 0.0 ? rng.exponential(1.0 / mttr) : 0.0;
+        plan.fail_domain(d, t, repair);
+        if (mttr <= 0.0) break;  // permanent
+        t += repair;
+        if (t >= config.horizon) break;
+      }
+    };
+    for (const FailureDomain& d : domains.domains()) {
+      if (d.kind == DomainKind::Rack) {
+        renew_domain(d, config.rack_mtbf, config.rack_mttr);
+      } else if (d.kind == DomainKind::Pod) {
+        renew_domain(d, config.pod_mtbf, config.pod_mttr);
       }
     }
   }
@@ -415,6 +469,49 @@ void account_gray_plan(const FaultPlan& plan, double end, GrayStats& gray) {
   for (const auto& [key, since] : degraded_since) {
     if (end > since) gray.degraded_seconds += end - since;
   }
+}
+
+void account_domain_plan(const FaultPlan& plan, double end,
+                         FaultDomainStats& fd) {
+  std::set<std::pair<std::uint32_t, double>> crashes;
+  for (const FaultEvent& ev : plan.events()) {
+    if (ev.time > end) break;
+    if (ev.kind != FaultKind::Fail || ev.domain == 0) continue;
+    if (crashes.emplace(ev.domain, ev.time).second) ++fd.domain_faults;
+  }
+}
+
+std::vector<char> reachable_component(const topo::Topology& topology,
+                                      const FaultState& state) {
+  const topo::Graph& graph = topology.graph();
+  const std::size_t n = graph.node_count();
+  std::vector<char> visited(n, 0);
+  std::vector<char> best(n, 0);
+  std::size_t best_size = 0;
+  std::vector<NodeId> component;
+  for (std::uint32_t start = 0; start < n; ++start) {
+    const NodeId root{start};
+    if (visited[start] || !state.node_up(root)) continue;
+    component.clear();
+    component.push_back(root);
+    visited[start] = 1;
+    for (std::size_t i = 0; i < component.size(); ++i) {
+      const NodeId u = component[i];
+      for (const topo::Edge& e : graph.neighbors(u)) {
+        if (visited[e.to.index()]) continue;
+        if (!state.node_up(e.to) || !state.link_up(u, e.to)) continue;
+        visited[e.to.index()] = 1;
+        component.push_back(e.to);
+      }
+    }
+    // Strictly-greater keeps the earliest (lowest root id) component on ties.
+    if (component.size() > best_size) {
+      best_size = component.size();
+      std::fill(best.begin(), best.end(), 0);
+      for (NodeId u : component) best[u.index()] = 1;
+    }
+  }
+  return best;
 }
 
 }  // namespace hit::sim

@@ -25,6 +25,7 @@
 
 #include "network/bandwidth.h"
 #include "network/policy.h"
+#include "sim/domains.h"
 #include "sim/metrics.h"
 #include "topology/topology.h"
 #include "util/ids.h"
@@ -60,6 +61,11 @@ struct FaultEvent {
   NodeId node;  ///< the failed switch / server node; link endpoint a
   NodeId peer;  ///< link endpoint b; invalid for switch/server events
   double factor = 1.0;  ///< Degrade only: effective-capacity multiplier (0, 1)
+  /// Correlated-fault tag: the 1-based DomainSet ordinal whose crash emitted
+  /// this event, or 0 for an independent single-element fault.  A server
+  /// Fail with domain != 0 loses its completed map outputs with probability
+  /// 1 when output loss is enabled (DESIGN.md §17).
+  std::uint32_t domain = 0;
 };
 
 /// MTBF/MTTR generator knobs.  A class with mtbf == 0 never fails; mttr == 0
@@ -87,6 +93,27 @@ struct MtbfConfig {
   /// makes the crash permanent (fail-static to the end of the run).
   double controller_mtbf = 0.0;
   double controller_mttr = 0.0;
+  /// Correlated-domain renewal processes: one per rack (ToR + its servers)
+  /// and one per pod (aggregation subtree).  Each crash atomically fails
+  /// every member element; all member events carry the domain's ordinal.
+  /// Forked under a disjoint salt, so enabling these leaves every other
+  /// generated stream byte-identical.
+  double rack_mtbf = 0.0;
+  double rack_mttr = 0.0;
+  double pod_mtbf = 0.0;
+  double pod_mttr = 0.0;
+};
+
+/// Failure-domain simulator knobs (DESIGN.md §17).  Everything off by
+/// default: the simulators keep the durable-output assumption and stay
+/// bit-identical.  `enabled` derives the topology's DomainSet, drops the
+/// durable-output assumption, and turns on partition-aware placement;
+/// `output_loss_prob` is the probability an *independent* server crash
+/// destroys the completed map outputs it hosts (a domain-tagged correlated
+/// crash always destroys them).
+struct FaultDomainConfig {
+  bool enabled = false;
+  double output_loss_prob = 0.0;
 };
 
 /// An ordered script of fault events.  Events are kept sorted by time;
@@ -116,6 +143,13 @@ class FaultPlan {
   /// restarts `restart_after` later (<= 0 means it never comes back — the
   /// data plane fails static to the end of the run).
   void crash_controller(double at, double restart_after = 0.0);
+
+  /// Scripted correlated fault: atomically fail every member element of
+  /// `domain` at `at` (switches first, then servers, each in id order, all
+  /// at the same timestamp) and recover them `repair_after` later (<= 0
+  /// means permanent).  Every emitted event carries the domain's ordinal.
+  void fail_domain(const FailureDomain& domain, double at,
+                   double repair_after = 0.0);
 
   /// Stochastic plan: alternate Exp(1/mtbf) up-times and Exp(1/mttr)
   /// down-times per element.  Failures are generated inside (0, horizon);
@@ -212,5 +246,18 @@ void account_plan(const FaultPlan& plan, double end, RecoveryStats& rec);
 /// events replayed, distinct degradation episodes, and total degraded time
 /// clipped to the run (`degraded_seconds`).
 void account_gray_plan(const FaultPlan& plan, double end, GrayStats& gray);
+
+/// Fold the plan's correlated-fault prefix inside [0, end] into `fd`:
+/// distinct (domain, instant) crash events become `domain_faults`.
+void account_domain_plan(const FaultPlan& plan, double end,
+                         FaultDomainStats& fd);
+
+/// Mask of nodes that are alive *and* belong to the largest connected
+/// component of the alive subgraph (ties broken toward the component holding
+/// the lowest node id).  Indexed by NodeId; placement uses it to avoid
+/// scheduling reduces onto servers a partition cut off from the majority of
+/// the cluster.
+[[nodiscard]] std::vector<char> reachable_component(
+    const topo::Topology& topology, const FaultState& state);
 
 }  // namespace hit::sim

@@ -124,6 +124,30 @@ struct ControlPlaneStats {
   }
 };
 
+/// Failure-domain accounting (DESIGN.md §17; all zero when the fault plan
+/// carries no domain-tagged events and output loss is off).  `outputs_lost`
+/// counts completed map outputs destroyed by server crashes once the
+/// durable-output assumption is dropped; `maps_reexecuted_lineage` counts the
+/// lineage re-executions that replaced them (only maps whose outputs still
+/// feed pending shuffles/stages re-run); `stage_reopens` counts finished
+/// workflow stages re-opened because a child still needed the lost output;
+/// `partition_parks` counts flows parked because a fault partitioned their
+/// endpoints (no alive route existed, as opposed to a repairable detour).
+struct FaultDomainStats {
+  std::size_t domains = 0;            ///< failure domains derived (when enabled)
+  std::size_t domain_faults = 0;      ///< correlated domain-crash instants
+  std::size_t outputs_lost = 0;       ///< completed map outputs destroyed
+  std::size_t maps_reexecuted_lineage = 0;  ///< lineage-driven map re-executions
+  std::size_t stage_reopens = 0;      ///< finished stages re-opened for lineage
+  std::size_t partition_parks = 0;    ///< flows parked with endpoints partitioned
+
+  [[nodiscard]] bool any() const noexcept {
+    return domain_faults > 0 || outputs_lost > 0 ||
+           maps_reexecuted_lineage > 0 || stage_reopens > 0 ||
+           partition_parks > 0;
+  }
+};
+
 /// Overload accounting for an online run (all zero when admission control is
 /// off or the offered load fits).  A run that sheds work completes with
 /// partial results instead of throwing; this block says what was given up.
@@ -164,6 +188,7 @@ struct SimResult {
   RecoveryStats recovery;              ///< fault/recovery accounting
   GrayStats gray;                      ///< gray-failure / quarantine accounting
   ControlPlaneStats control;           ///< controller crash/blackout accounting
+  FaultDomainStats fault_domains;      ///< correlated-fault / lineage accounting
   std::vector<CoflowTiming> coflows;   ///< per-job-wave shuffle groups
 
   [[nodiscard]] std::vector<double> job_completion_times() const;

@@ -27,6 +27,10 @@ namespace hit::sim {
 namespace {
 
 constexpr double kEps = 1e-9;
+// Disjoint RNG salt for map-output loss draws ("LOSS"); forked per draw from
+// the run's base stream, keyed by (task id, fault-event ordinal) so the same
+// seed always loses the same outputs regardless of unordered-map iteration.
+constexpr std::uint64_t kLossSalt = 0x4C4F535300000000ull;
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 struct JobFlow {
@@ -559,6 +563,14 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     for (const cluster::Server& s : cluster_->servers()) {
       if (server_dead[s.id.index()]) problem.base_usage[s.id.index()] = s.capacity;
     }
+    if (config_.sim.domains.enabled && fstate.any_down()) {
+      // Partition-aware placement: servers cut off from the largest alive
+      // component would stall every shuffle they touch — mask them out.
+      const std::vector<char> mask = reachable_component(topology, fstate);
+      for (const cluster::Server& s : cluster_->servers()) {
+        if (!mask[s.node.index()]) problem.base_usage[s.id.index()] = s.capacity;
+      }
+    }
     for (const mr::Task& t : job.maps) {
       problem.tasks.push_back(sched::TaskRef{t.id, job.id, t.kind,
                                              config_.sim.container_demand, t.input_gb});
@@ -757,6 +769,16 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     stalled_flows.push_back(idx);
     ++rec.flows_stalled;
     obs::count("online.flow_stalls");
+    if (config_.sim.domains.enabled && !ctrl_down() &&
+        fstate.node_up(jf.src_node) && fstate.node_up(jf.dst_node)) {
+      // Both endpoints alive, controller up, still no route: the fault set
+      // partitioned the endpoints — only a repair reconnects them.
+      ++result.fault_domains.partition_parks;
+      obs::count("sim.domains.partition_parks");
+      obs::sim_instant("flow.partition", "sim.domain", now,
+                       {{"flow", static_cast<std::int64_t>(jf.flow->id.value())}},
+                       /*tid=*/8);
+    }
     if (ctrl_rt) {
       // A live controller journals the park; a down one cannot — that gap
       // is what the restart's reconcile has to repair.
@@ -825,7 +847,8 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
   // scheduler's subsequent-wave path (the rest of the job stays fixed).
   // Returns false when no capacity exists right now.
   const auto reschedule_maps =
-      [&](std::size_t j, const std::vector<const mr::Task*>& dead_maps) -> bool {
+      [&](std::size_t j, const std::vector<const mr::Task*>& dead_maps,
+          const std::unordered_set<TaskId>* lineage = nullptr) -> bool {
     RunningJob& run = state[j];
     std::unordered_set<TaskId> killed_srcs;
     for (const mr::Task* t : dead_maps) {
@@ -833,17 +856,30 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       run.placement.erase(t->id);
       run.map_finish.erase(t->id);
       killed_srcs.insert(t->id);
-      ++rec.maps_killed;
+      // Lineage maps were not killed in flight — their loss is accounted by
+      // the fault-domain counters, not the straggler-recovery ones.
+      if (lineage == nullptr || lineage->count(t->id) == 0) ++rec.maps_killed;
     }
     const std::size_t begin = flow_base[j];
     const std::size_t end = begin + job_flow_sets[j].size();
     for (std::size_t k = begin; k < end; ++k) {
       JobFlow& jf = flows[k];
       if (killed_srcs.count(jf.flow->src_task) == 0) continue;
-      // Not yet released (its map was in flight); pull the stale route.
+      // Delivered bytes never re-transfer: a finished shuffle consumed the
+      // output before it was lost, so its flow stands as recorded.
+      if (jf.done) continue;
+      // In-flight maps leave an unreleased flow; a lost *completed* output
+      // can also pull back a released, stalled, or local-pending transfer —
+      // it restarts from zero once the map re-executes.
       if (jf.charged) {
         load.remove(jf.policy, jf.flow->rate);
         jf.charged = false;
+      }
+      if (jf.stalled) {
+        jf.stall_seconds += now - jf.stall_since;
+        rec.stall_seconds += now - jf.stall_since;
+        jf.stalled = false;
+        jf.stall_since = 0.0;
       }
       if (!jf.local) {
         run.shuffle_cost -= jf.flow->size_gb * static_cast<double>(jf.hops);
@@ -851,7 +887,24 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       jf.local = false;
       jf.local_done_at = kInf;
       jf.release = kInf;
+      jf.released = false;
+      jf.remaining = jf.flow->size_gb;
+      jf.finish = -1.0;
       jf.hops = 0;
+    }
+    if (lineage != nullptr) {
+      // Released flows of lost outputs may sit in the fluid pool or the
+      // parked list; their reset above makes those entries stale.
+      const auto is_killed = [&](std::size_t idx) {
+        return flows[idx].job == j &&
+               killed_srcs.count(flows[idx].flow->src_task) > 0 &&
+               !flows[idx].done;
+      };
+      active.erase(std::remove_if(active.begin(), active.end(), is_killed),
+                   active.end());
+      stalled_flows.erase(
+          std::remove_if(stalled_flows.begin(), stalled_flows.end(), is_killed),
+          stalled_flows.end());
     }
 
     sched::Problem problem;
@@ -863,6 +916,12 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     problem.fixed = run.placement;
     for (const cluster::Server& s : cluster_->servers()) {
       if (server_dead[s.id.index()]) problem.base_usage[s.id.index()] = s.capacity;
+    }
+    if (config_.sim.domains.enabled && fstate.any_down()) {
+      const std::vector<char> mask = reachable_component(topology, fstate);
+      for (const cluster::Server& s : cluster_->servers()) {
+        if (!mask[s.node.index()]) problem.base_usage[s.id.index()] = s.capacity;
+      }
     }
     for (const mr::Task* t : dead_maps) {
       problem.tasks.push_back(sched::TaskRef{t->id, jobs[j].id, t->kind,
@@ -891,11 +950,17 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
       const double finish = now + map_duration(*t, host);
       run.map_finish[t->id] = finish;
       run.map_finish_max = std::max(run.map_finish_max, finish);
-      ++rec.maps_reexecuted;
+      if (lineage != nullptr && lineage->count(t->id) > 0) {
+        ++result.fault_domains.maps_reexecuted_lineage;
+        obs::count("sim.domains.maps_reexecuted");
+      } else {
+        ++rec.maps_reexecuted;
+      }
     }
     for (std::size_t k = begin; k < end; ++k) {
       JobFlow& jf = flows[k];
       if (killed_srcs.count(jf.flow->src_task) == 0) continue;
+      if (jf.done) continue;  // delivered before the loss; not re-sent
       jf.release = run.map_finish.at(jf.flow->src_task);
       jf.remaining = jf.flow->size_gb;
       const ServerId src = run.placement.at(jf.flow->src_task);
@@ -938,13 +1003,136 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
     return true;
   };
 
-  const auto handle_server_fail = [&](NodeId node) {
+  // Re-open a finished workflow stage whose output was lost: the winner
+  // attempt re-queues (its record un-happens), the stage reverts to pending,
+  // and child attempts that arrived but never launched fall back to locked —
+  // they re-arrive when the stage re-completes.  Lineage re-execution through
+  // the DAG instead of cascade-shedding the descendants.
+  const auto reopen_stage = [&](std::size_t j) {
+    const std::size_t st = plan.job_tags[j].stage;
+    StageState& ss = stage_state[st];
+    ss.done = false;
+    ss.finish = 0.0;
+    ss.winner = 0;
+    jobs_finished -= 1;
+    for (auto it = result.jobs.end(); it != result.jobs.begin();) {
+      --it;
+      if (it->id == jobs[j].id) {
+        result.jobs.erase(it);
+        break;
+      }
+    }
+    result.total_shuffle_cost -= state[j].shuffle_cost;
+    result.total_shuffle_gb -= jobs[j].shuffle_gb;
+    if (tenancy) {
+      adm::TenantStats& ts = tstats[jobs[j].tenant];
+      if (ts.completed > 0) --ts.completed;
+      ts.completed_gb -= jobs[j].shuffle_gb;
+    }
+    // Containers were freed at finish and every flow is done, so the reset
+    // is restart_job minus the usage release and pool scrubbing.
+    const std::size_t begin = flow_base[j];
+    const std::size_t end = begin + job_flow_sets[j].size();
+    for (std::size_t k = begin; k < end; ++k) {
+      JobFlow& jf = flows[k];
+      jf.release = kInf;
+      jf.remaining = jf.flow->size_gb;
+      jf.path.clear();
+      jf.policy = net::Policy{};
+      jf.hops = 0;
+      jf.local = false;
+      jf.finish = -1.0;
+      jf.local_done_at = kInf;
+      jf.released = false;
+      jf.done = false;
+      jf.stalled = false;
+      jf.stall_since = 0.0;
+    }
+    state[j] = RunningJob{};
+    if (config_.sim.coflow.enabled) registry.reset(job_coflow[j]);
+    queued_since[j] = now;
+    waiting.push_front(j);
+    ++wf_restarts[j];
+    ++result.fault_domains.stage_reopens;
+    obs::count("sim.domains.stage_reopens");
+    obs::sim_instant("workflow.stage_reopen", "sim.domain", now,
+                     {{"workflow", static_cast<std::int64_t>(jobs[j].workflow)},
+                      {"stage", static_cast<std::int64_t>(jobs[j].stage)}},
+                     /*tid=*/8);
+    for (std::size_t c : plan.stages[st].children) {
+      for (std::size_t job_idx : plan.stages[c].attempts) {
+        if (job_shed[job_idx] || state[job_idx].scheduled) continue;
+        if (!std::isfinite(arrivals[job_idx])) continue;  // still locked
+        arrivals[job_idx] = kInf;
+        unlocked_at[job_idx] = kInf;
+        for (auto it = waiting.begin(); it != waiting.end(); ++it) {
+          if (*it == job_idx) {
+            waiting.erase(it);
+            break;
+          }
+        }
+      }
+    }
+  };
+
+  const auto handle_server_fail = [&](const FaultEvent& ev) {
+    const NodeId node = ev.node;
     const ServerId s = cluster_->server_at(node);
     if (server_dead[s.index()]) return;  // duplicate fail
     server_dead[s.index()] = 1;
+    // Domain members die with certainty; independent crashes lose each
+    // completed output with the configured probability.  One fork per
+    // (task, event ordinal) keeps the draws order-independent.
+    const double loss_p =
+        !config_.sim.domains.enabled
+            ? 0.0
+            : (ev.domain != 0 ? 1.0 : config_.sim.domains.output_loss_prob);
+    const auto output_lost = [&](std::uint64_t key) {
+      if (loss_p >= 1.0) return true;
+      if (loss_p <= 0.0) return false;
+      const std::uint64_t salt =
+          kLossSalt ^ (key << 16) ^ static_cast<std::uint64_t>(next_fev);
+      return rng.fork(salt).uniform(0.0, 1.0) < loss_p;
+    };
     for (std::size_t j = 0; j < jobs.size(); ++j) {
       RunningJob& run = state[j];
-      if (!run.scheduled || run.finished) continue;
+      if (!run.scheduled) continue;
+      if (run.finished) {
+        // A finished stage's output lives on its reduce hosts; losing it
+        // re-opens the stage while any child attempt still needs the data.
+        if (loss_p <= 0.0 || !wf_on) continue;
+        const WorkflowPlan::JobTag& tag = plan.job_tags[j];
+        const StageState& ss = stage_state[tag.stage];
+        if (!ss.done || ss.winner != tag.attempt) continue;
+        std::size_t reduces_here = 0;
+        for (const mr::Task& t : jobs[j].reduces) {
+          const auto it = run.placement.find(t.id);
+          if (it != run.placement.end() && it->second == s) ++reduces_here;
+        }
+        if (reduces_here == 0) continue;
+        bool needed = false;
+        for (std::size_t c : plan.stages[tag.stage].children) {
+          if (stage_state[c].failed) continue;
+          for (std::size_t job_idx : plan.stages[c].attempts) {
+            if (!job_shed[job_idx] && !state[job_idx].finished) {
+              needed = true;
+              break;
+            }
+          }
+          if (needed) break;
+        }
+        // Every consumer finished or shed: the lost output re-executes
+        // nothing (the lineage property the tests pin down).
+        if (!needed || !output_lost(jobs[j].id.value())) continue;
+        result.fault_domains.outputs_lost += reduces_here;
+        obs::count("sim.domains.outputs_lost", reduces_here);
+        obs::sim_instant("output.lost", "sim.domain", now,
+                         {{"job", static_cast<std::int64_t>(jobs[j].id.value())},
+                          {"outputs", static_cast<std::int64_t>(reduces_here)}},
+                         /*tid=*/8);
+        reopen_stage(j);
+        continue;
+      }
       bool reduce_dead = false;
       for (const mr::Task& t : jobs[j].reduces) {
         const auto it = run.placement.find(t.id);
@@ -958,18 +1146,45 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
         continue;
       }
       std::vector<const mr::Task*> dead_maps;
+      std::unordered_set<TaskId> lineage;
       for (const mr::Task& t : jobs[j].maps) {
         const auto it = run.placement.find(t.id);
         if (it == run.placement.end() || it->second != s) continue;
         const auto fit = run.map_finish.find(t.id);
         if (fit != run.map_finish.end() && fit->second > now + kEps) {
           dead_maps.push_back(&t);
+        } else if (loss_p > 0.0 && fit != run.map_finish.end()) {
+          // Completed output on the crashed server: durable by default, lost
+          // with probability loss_p under the domains model — and worth
+          // re-executing only while some consumer shuffle still needs it.
+          bool needed = false;
+          const std::size_t begin = flow_base[j];
+          const std::size_t end = begin + job_flow_sets[j].size();
+          for (std::size_t k = begin; k < end; ++k) {
+            const JobFlow& jf = flows[k];
+            if (jf.flow->src_task == t.id && !jf.done) {
+              needed = true;
+              break;
+            }
+          }
+          if (!needed || !output_lost(t.id.value())) continue;
+          dead_maps.push_back(&t);
+          lineage.insert(t.id);
+          ++result.fault_domains.outputs_lost;
+          obs::count("sim.domains.outputs_lost");
+          obs::sim_instant("output.lost", "sim.domain", now,
+                           {{"task", static_cast<std::int64_t>(t.id.value())},
+                            {"job", static_cast<std::int64_t>(jobs[j].id.value())}},
+                           /*tid=*/8);
         }
       }
       if (dead_maps.empty()) continue;  // completed output is durable
       // Re-placing maps is a scheduling action: with the controller down
       // the job re-queues and waits for the restart like any other launch.
-      if (ctrl_down() || !reschedule_maps(j, dead_maps)) restart_job(j);
+      if (ctrl_down() ||
+          !reschedule_maps(j, dead_maps, lineage.empty() ? nullptr : &lineage)) {
+        restart_job(j);
+      }
     }
   };
 
@@ -1249,12 +1464,21 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
                            /*tid=*/3);
           break;
       }
+      if (ev.domain != 0 &&
+          (ev.kind == FaultKind::Fail || ev.kind == FaultKind::Recover)) {
+        const bool down = ev.kind == FaultKind::Fail;
+        obs::count(down ? "sim.domains.member_fail" : "sim.domains.member_recover");
+        obs::sim_instant(down ? "domain.fail" : "domain.recover", "sim.domain",
+                         ev.time,
+                         {{"domain", static_cast<std::int64_t>(ev.domain)}},
+                         /*tid=*/8);
+      }
       if (ev.target == FaultTarget::Controller) {
         // Control-plane events never reach FaultState (it rejects them).
         handle_ctrl_event(ev);
       } else if (ev.target == FaultTarget::Server) {
         if (ev.kind == FaultKind::Fail) {
-          handle_server_fail(ev.node);
+          handle_server_fail(ev);
         } else {
           server_dead[cluster_->server_at(ev.node).index()] = 0;
         }
@@ -1370,6 +1594,12 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
             if (!ready) continue;
             for (std::size_t job_idx : plan.stages[c].attempts) {
               if (job_shed[job_idx]) continue;
+              // A lineage re-opened stage unlocks its children again on
+              // re-completion; attempts that already arrived (queued or
+              // launched the first time around) must not arrive twice.
+              if (state[job_idx].scheduled || std::isfinite(arrivals[job_idx])) {
+                continue;
+              }
               arrivals[job_idx] = now;
               queued_since[job_idx] = now;
               unlocked_at[job_idx] = now;
@@ -1434,6 +1664,9 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
         j = pending_arrivals.top().second;
         pending_arrivals.pop();
         if (job_shed[j]) continue;  // cascade-shed before it could arrive
+        if (config_.sim.domains.enabled && !std::isfinite(arrivals[j])) {
+          continue;  // stale: pulled back to locked by a stage re-open
+        }
       } else {
         j = next_arrival++;
       }
@@ -1570,6 +1803,10 @@ OnlineResult OnlineSimulator::run(sched::Scheduler& scheduler,
   if (faulty) {
     account_plan(config_.sim.faults, result.makespan, rec);
     account_gray_plan(config_.sim.faults, result.makespan, result.gray);
+    account_domain_plan(config_.sim.faults, result.makespan, result.fault_domains);
+  }
+  if (config_.sim.domains.enabled) {
+    result.fault_domains.domains = DomainSet::derive(topology).size();
   }
   if (gray_rt) gray_rt->finish(result.makespan, result.gray);
   if (ctrl_rt) ctrl_rt->finish(result.makespan, result.control);

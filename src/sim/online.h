@@ -174,6 +174,7 @@ struct OnlineResult {
   RecoveryStats recovery;  ///< fault/recovery accounting (zero when fault-free)
   GrayStats gray;          ///< gray-failure / quarantine accounting
   ControlPlaneStats control;  ///< controller crash/blackout accounting
+  FaultDomainStats fault_domains;  ///< correlated-fault / lineage accounting
   OverloadStats overload;  ///< admission-control accounting (zero when off)
   std::vector<ShedJobRecord> shed;  ///< jobs abandoned under overload
   /// Per-job shuffle groups of the completed jobs, recorded whether or not

@@ -1,0 +1,152 @@
+// Failure-domain awareness in the control plane (DESIGN.md §17): a flow
+// whose endpoint is stranded behind a fully-failed domain is a DeadDomain
+// audit violation, reconcile parks it as a journaled repair, and install
+// reports unreachable endpoints as the typed EndpointsPartitioned error
+// instead of a silent park.
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "core/errors.h"
+#include "core/recovery/recovery.h"
+#include "network/routing.h"
+#include "topology/builders.h"
+
+namespace hit::core {
+namespace {
+
+class ControllerDomainTest : public ::testing::Test {
+ protected:
+  // Depth-2 tree, 4 racks x 1 host, 2 core replicas: every cross-rack pair
+  // has a two-core choice, so one core failure always leaves a detour.
+  topo::TreeConfig tree_{2, 4, 2, 1, 16.0, 32.0};
+  topo::Topology topo_ = topo::make_tree(tree_);
+  NetworkController controller_{topo_};
+
+  net::Flow flow(unsigned id, double rate) {
+    net::Flow f;
+    f.id = FlowId(id);
+    f.size_gb = rate;
+    f.rate = rate;
+    return f;
+  }
+
+  NodeId server(std::size_t i) { return topo_.servers()[i]; }
+
+  std::vector<NodeId> cores() {
+    std::vector<NodeId> out;
+    for (NodeId sw : topo_.switches()) {
+      if (topo_.tier(sw) != topo::Tier::Access) out.push_back(sw);
+    }
+    return out;
+  }
+};
+
+TEST_F(ControllerDomainTest, StrandedEndpointIsADeadDomainViolation) {
+  // Declare a synthetic domain binding server 0's fate to core 0 alone.
+  // Failing that core strands the server even though the flow's rerouted
+  // path (via core 1) looks perfectly alive — exactly the divergence the
+  // plain DeadPolicy scan cannot see.
+  const std::vector<NodeId> core = cores();
+  ASSERT_GE(core.size(), 2u);
+  controller_.set_domains(
+      {DomainMembers{{core[0]}, {server(0)}}});
+
+  const net::Policy p =
+      net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  controller_.install(flow(1, 2.0), p, server(0), server(2));
+  EXPECT_TRUE(controller_.audit_violations().empty());
+
+  controller_.fail(core[0]);  // evacuates the flow onto the other core
+  const auto violations = controller_.audit_violations();
+  bool saw_dead_domain = false;
+  for (const AuditViolation& v : violations) {
+    EXPECT_NE(v.kind, AuditViolationKind::DeadPolicy)
+        << "the rerouted policy must not cross the failed core";
+    if (v.kind == AuditViolationKind::DeadDomain) {
+      saw_dead_domain = true;
+      EXPECT_EQ(v.flow, FlowId(1));
+      EXPECT_EQ(v.node, server(0));
+    }
+  }
+  EXPECT_TRUE(saw_dead_domain);
+  EXPECT_STREQ(audit_violation_kind_name(AuditViolationKind::DeadDomain),
+               "dead-domain");
+}
+
+TEST_F(ControllerDomainTest, ReconcileParksDeadDomainFlowsAsARepair) {
+  const std::vector<NodeId> core = cores();
+  ASSERT_GE(core.size(), 2u);
+  controller_.set_domains({DomainMembers{{core[0]}, {server(0)}}});
+  const net::Policy p =
+      net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  controller_.install(flow(1, 2.0), p, server(0), server(2));
+  controller_.fail(core[0]);
+
+  recovery::LiveView live;
+  live.failed_switches = {core[0]};
+  const recovery::ReconcileReport report =
+      recovery::reconcile(controller_, live);
+
+  bool saw_dead_domain = false;
+  for (const recovery::Divergence& d : report.divergences) {
+    if (d.kind == recovery::DivergenceKind::DeadDomain) {
+      saw_dead_domain = true;
+      EXPECT_EQ(d.flow, FlowId(1));
+      EXPECT_TRUE(d.repaired);
+    }
+  }
+  EXPECT_TRUE(saw_dead_domain);
+  EXPECT_GE(report.repairs, 1u);
+  EXPECT_EQ(report.unreconciled, 0u);
+  // The park drained the ledger: a second audit is clean, and a second
+  // reconcile finds nothing left to repair (the park is idempotent).
+  EXPECT_TRUE(controller_.audit_violations().empty());
+  const recovery::ReconcileReport again =
+      recovery::reconcile(controller_, live);
+  for (const recovery::Divergence& d : again.divergences) {
+    EXPECT_NE(d.kind, recovery::DivergenceKind::DeadDomain);
+  }
+}
+
+TEST_F(ControllerDomainTest, ParkSurvivesExportRestore) {
+  const std::vector<NodeId> core = cores();
+  controller_.set_domains({DomainMembers{{core[0]}, {server(0)}}});
+  const net::Policy p =
+      net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  controller_.install(flow(1, 2.0), p, server(0), server(2));
+  controller_.fail(core[0]);
+  ASSERT_TRUE(controller_.park(FlowId(1)));
+  EXPECT_FALSE(controller_.park(FlowId(1)));  // idempotent
+  EXPECT_THROW(controller_.park(FlowId(99)), UnknownFlow);
+
+  // A restarted controller restored from the snapshot still knows the flow
+  // is parked and uncharged — the journaled park is a durable repair.
+  NetworkController restarted(topo_);
+  restarted.restore_state(controller_.export_state());
+  EXPECT_TRUE(restarted.audit_violations().empty());
+  EXPECT_EQ(restarted.parked_count(), 1u);
+  ASSERT_EQ(restarted.parked().size(), 1u);
+  EXPECT_EQ(restarted.parked()[0], FlowId(1));
+}
+
+TEST_F(ControllerDomainTest, InstallReportsPartitionAsTypedError) {
+  // Kill every non-access switch: cross-rack pairs are unreachable and the
+  // controller must say so with the typed subclass (callers park and
+  // re-place instead of retrying the route).
+  for (NodeId sw : cores()) controller_.fail(sw);
+  const net::Policy p =
+      net::shortest_policy(topo_, server(0), server(2), FlowId(1));
+  EXPECT_THROW(controller_.install(flow(1, 2.0), p, server(0), server(2)),
+               EndpointsPartitioned);
+  try {
+    controller_.install(flow(2, 2.0), p, server(0), server(2));
+  } catch (const PathUnavailable& e) {
+    // EndpointsPartitioned derives from PathUnavailable: existing catch
+    // sites keep working, new ones can distinguish the partition cause.
+    EXPECT_NE(std::string(e.what()).find("partition"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hit::core

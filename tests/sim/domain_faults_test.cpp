@@ -1,0 +1,313 @@
+// Failure-domain fault injection end to end (DESIGN.md §17): the
+// bit-identical-when-enabled-but-idle guarantee, lost-output lineage
+// re-execution in both simulators, the lineage property (a lost output whose
+// consumers all completed or shed re-executes nothing), finished-stage
+// re-opening through the workflow runner, and double-run determinism under
+// the full domain x loss x gray x controller-crash regime.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "mapreduce/workload.h"
+#include "sched/capacity_scheduler.h"
+#include "sim/domains.h"
+#include "sim/engine.h"
+#include "sim/online.h"
+#include "test_helpers.h"
+#include "workflow/runner.h"
+
+namespace hit::sim {
+namespace {
+
+std::vector<mr::Job> sample_jobs(mr::IdAllocator& ids, std::size_t n,
+                                 std::uint64_t seed) {
+  mr::WorkloadConfig config;
+  config.num_jobs = n;
+  config.max_maps_per_job = 6;
+  config.max_reduces_per_job = 2;
+  config.block_size_gb = 3.0;
+  const mr::WorkloadGenerator gen(config);
+  Rng rng(seed);
+  return gen.generate(ids, rng);
+}
+
+void expect_domain_equal(const FaultDomainStats& a, const FaultDomainStats& b) {
+  EXPECT_EQ(a.domains, b.domains);
+  EXPECT_EQ(a.domain_faults, b.domain_faults);
+  EXPECT_EQ(a.outputs_lost, b.outputs_lost);
+  EXPECT_EQ(a.maps_reexecuted_lineage, b.maps_reexecuted_lineage);
+  EXPECT_EQ(a.stage_reopens, b.stage_reopens);
+  EXPECT_EQ(a.partition_parks, b.partition_parks);
+}
+
+class DomainFaultsBatchTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();
+  DomainSet domains_ = DomainSet::derive(world_->topology);
+
+  SimResult run_batch(const SimConfig& config, std::uint64_t seed,
+                      std::size_t n = 4) {
+    sched::CapacityScheduler scheduler;
+    mr::IdAllocator ids;
+    const auto jobs = sample_jobs(ids, n, seed);
+    Rng rng(seed);
+    return ClusterSimulator(world_->cluster, config).run(scheduler, jobs, ids,
+                                                         rng);
+  }
+};
+
+TEST_F(DomainFaultsBatchTest, EnabledButIdleIsBitIdentical) {
+  // Turning the domains model on without any fault or loss probability must
+  // not move a single number (the OFF-by-default contract extends to
+  // enabled-but-idle).
+  SimConfig off;
+  SimConfig on;
+  on.domains.enabled = true;
+  const SimResult a = run_batch(off, 51);
+  const SimResult b = run_batch(on, 51);
+
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_shuffle_cost, b.total_shuffle_cost);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].completion_time, b.jobs[i].completion_time);
+  }
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].finish, b.flows[i].finish);
+  }
+  EXPECT_FALSE(b.fault_domains.any());
+}
+
+TEST_F(DomainFaultsBatchTest, RackCrashLosesOutputsAndLineageRecovers) {
+  const SimResult clean = run_batch(SimConfig{}, 52, 6);
+
+  // Outputs are only at risk while map waves still run (the shuffle phase
+  // reads them immediately), so sweep the crash instant across the map
+  // phase, not the whole makespan.
+  double map_end = 0.0;
+  for (const TaskTiming& t : clean.tasks) {
+    if (t.kind == cluster::TaskKind::Map) map_end = std::max(map_end, t.finish);
+  }
+  ASSERT_GT(map_end, 0.0);
+
+  // Wherever the crash lands on a rack hosting completed outputs, those
+  // outputs are destroyed (loss probability 1 for a correlated crash) and
+  // re-executed through the subsequent-wave path — every shuffle is still
+  // pending, so each loss is exactly one lineage re-execution.  Rack 2 is
+  // one of the map-hosting racks for this workload (the reduce containers
+  // pin the lower racks' slots).
+  const FailureDomain* rack = domains_.find(DomainKind::Rack, 2);
+  ASSERT_NE(rack, nullptr);
+  bool saw_loss = false;
+  for (double frac : {0.3, 0.5, 0.8}) {
+    SimConfig config;
+    config.domains.enabled = true;
+    config.domains.output_loss_prob = 1.0;
+    config.faults.fail_domain(*rack, frac * map_end, 0.3 * map_end);
+    const SimResult result = run_batch(config, 52, 6);
+
+    EXPECT_EQ(result.jobs.size(), 6u) << "lineage recovery lost a job";
+    EXPECT_EQ(result.fault_domains.domains, domains_.size());
+    EXPECT_EQ(result.fault_domains.domain_faults, 1u);
+    EXPECT_LE(result.fault_domains.maps_reexecuted_lineage,
+              result.fault_domains.outputs_lost);
+    if (result.fault_domains.outputs_lost == 0) {
+      EXPECT_EQ(result.fault_domains.maps_reexecuted_lineage, 0u);
+      continue;
+    }
+    saw_loss = true;
+    EXPECT_EQ(result.fault_domains.maps_reexecuted_lineage,
+              result.fault_domains.outputs_lost);
+    EXPECT_GE(result.makespan, clean.makespan - 1e-9);
+  }
+  EXPECT_TRUE(saw_loss) << "no sweep point destroyed a completed output";
+}
+
+TEST_F(DomainFaultsBatchTest, FullRegimeDoubleRunIsDeterministic) {
+  const FailureDomain* rack = domains_.find(DomainKind::Rack, 0);
+  ASSERT_NE(rack, nullptr);
+  MtbfConfig mconfig;
+  mconfig.horizon = 400.0;
+  mconfig.rack_mtbf = 150.0;
+  mconfig.rack_mttr = 30.0;
+  mconfig.gray_switch_mtbf = 200.0;
+  mconfig.gray_switch_mttr = 50.0;
+  SimConfig config;
+  config.domains.enabled = true;
+  config.domains.output_loss_prob = 0.7;
+  config.faults = FaultPlan::generate(world_->topology, mconfig, 53);
+  config.faults.fail_domain(*rack, 5.0, 20.0);
+  config.faults.crash_controller(10.0, 25.0);
+  config.recovery.snapshot_every = 15.0;
+
+  const SimResult a = run_batch(config, 53, 6);
+  const SimResult b = run_batch(config, 53, 6);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_shuffle_cost, b.total_shuffle_cost);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].release, b.flows[i].release);
+    EXPECT_DOUBLE_EQ(a.flows[i].finish, b.flows[i].finish);
+  }
+  expect_domain_equal(a.fault_domains, b.fault_domains);
+  EXPECT_EQ(a.control.crashes, b.control.crashes);
+  EXPECT_EQ(a.gray.degradations, b.gray.degradations);
+  EXPECT_GE(a.fault_domains.domain_faults, 1u);
+}
+
+class DomainFaultsOnlineTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<test::World> world_ = test::small_tree_world();
+  DomainSet domains_ = DomainSet::derive(world_->topology);
+
+  OnlineResult run_online(const OnlineConfig& config, std::uint64_t seed,
+                          std::size_t n = 6) {
+    sched::CapacityScheduler scheduler;
+    mr::IdAllocator ids;
+    const auto jobs = sample_jobs(ids, n, seed);
+    Rng rng(seed);
+    return OnlineSimulator(world_->cluster, config).run(scheduler, jobs, ids,
+                                                        rng);
+  }
+};
+
+TEST_F(DomainFaultsOnlineTest, EnabledButIdleIsBitIdentical) {
+  OnlineConfig off;
+  off.arrival_rate = 0.5;
+  OnlineConfig on = off;
+  on.sim.domains.enabled = true;
+  const OnlineResult a = run_online(off, 61);
+  const OnlineResult b = run_online(on, 61);
+
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish, b.jobs[i].finish);
+    EXPECT_DOUBLE_EQ(a.jobs[i].scheduled, b.jobs[i].scheduled);
+  }
+  EXPECT_FALSE(b.fault_domains.any());
+}
+
+TEST_F(DomainFaultsOnlineTest, LineagePropertyHoldsAcrossSeedsAndFaultTimes) {
+  // The lineage property, swept: re-execution happens only for outputs that
+  // were actually destroyed while a consumer shuffle was still undelivered.
+  // A run that lost nothing re-executes nothing; no run loses a completed
+  // job (every admitted job finishes exactly once, unbounded admission never
+  // sheds); and lineage re-executions never exceed the losses that caused
+  // them.
+  for (std::uint64_t seed : {71u, 72u, 73u}) {
+    for (double at : {20.0, 60.0, 120.0}) {
+      const FailureDomain* rack =
+          domains_.find(DomainKind::Rack, seed % 4);
+      ASSERT_NE(rack, nullptr);
+      OnlineConfig config;
+      config.arrival_rate = 0.3;
+      config.sim.domains.enabled = true;
+      config.sim.domains.output_loss_prob = 1.0;
+      config.sim.faults.fail_domain(*rack, at, 60.0);
+      const OnlineResult result = run_online(config, seed, 8);
+
+      const FaultDomainStats& fd = result.fault_domains;
+      EXPECT_LE(fd.maps_reexecuted_lineage, fd.outputs_lost);
+      if (fd.outputs_lost == 0) {
+        EXPECT_EQ(fd.maps_reexecuted_lineage, 0u);
+        EXPECT_EQ(fd.stage_reopens, 0u);
+      }
+      EXPECT_EQ(result.jobs.size() + result.shed.size(), 8u);
+      EXPECT_TRUE(result.shed.empty());
+      std::set<std::uint64_t> ids;
+      for (const OnlineJobRecord& j : result.jobs) {
+        EXPECT_TRUE(ids.insert(j.id.value()).second)
+            << "job " << j.id.value() << " completed twice";
+      }
+    }
+  }
+}
+
+TEST_F(DomainFaultsOnlineTest, ChainWorkflowReopensFinishedStageForLineage) {
+  // A rack crash that destroys a *finished* stage's reduce outputs while a
+  // child stage still needs them must re-open the parent stage — lineage
+  // re-execution through the DAG instead of cascade-shedding — and the
+  // workflow still completes every attempt.
+  workflow::GenConfig stages;
+  stages.input_gb = 2.0;
+  workflow::SchedConfig sched_cfg;
+  const mr::WorkloadGenerator gen{mr::WorkloadConfig{}};
+
+  const FailureDomain* rack = domains_.find(DomainKind::Rack, 2);
+  ASSERT_NE(rack, nullptr);
+  bool saw_reopen = false;
+  for (double at : {30.0, 60.0, 90.0, 120.0, 150.0}) {
+    std::vector<workflow::Workflow> wfs;
+    for (int i = 0; i < 3; ++i) {
+      wfs.push_back(workflow::make_chain(3, stages));
+    }
+    mr::IdAllocator ids;
+    workflow::OnlinePlanBuild pb =
+        workflow::build_online_plan(wfs, sched_cfg, gen, ids);
+    OnlineConfig config;
+    config.arrival_rate = 0.1;
+    config.workflow = std::move(pb.plan);
+    config.sim.domains.enabled = true;
+    config.sim.domains.output_loss_prob = 1.0;
+    config.sim.faults.fail_domain(*rack, at, 80.0);
+    sched::CapacityScheduler scheduler;
+    Rng rng(7);
+    const OnlineResult result =
+        OnlineSimulator(world_->cluster, config).run(scheduler, pb.jobs, ids,
+                                                     rng);
+    EXPECT_TRUE(result.shed.empty());
+    EXPECT_EQ(result.jobs.size(), pb.jobs.size());
+    if (result.fault_domains.stage_reopens > 0) {
+      saw_reopen = true;
+      EXPECT_GT(result.fault_domains.outputs_lost, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_reopen) << "no sweep point re-opened a finished stage";
+}
+
+TEST_F(DomainFaultsOnlineTest, FullRegimeDoubleRunIsDeterministic) {
+  const FailureDomain* rack = domains_.find(DomainKind::Rack, 3);
+  ASSERT_NE(rack, nullptr);
+  OnlineConfig config;
+  config.arrival_rate = 0.3;
+  config.sim.domains.enabled = true;
+  config.sim.domains.output_loss_prob = 0.6;
+  MtbfConfig mconfig;
+  mconfig.horizon = 600.0;
+  mconfig.rack_mtbf = 200.0;
+  mconfig.rack_mttr = 40.0;
+  mconfig.gray_switch_mtbf = 300.0;
+  mconfig.gray_switch_mttr = 60.0;
+  config.sim.faults = FaultPlan::generate(world_->topology, mconfig, 62);
+  config.sim.faults.fail_domain(*rack, 25.0, 50.0);
+  config.sim.faults.crash_controller(40.0, 30.0);
+  config.sim.recovery.snapshot_every = 20.0;
+  config.sim.recovery.standby = true;
+  config.sim.recovery.standby_takeover_s = 10.0;
+
+  const OnlineResult a = run_online(config, 62, 8);
+  const OnlineResult b = run_online(config, 62, 8);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].id.value(), b.jobs[i].id.value());
+    EXPECT_DOUBLE_EQ(a.jobs[i].scheduled, b.jobs[i].scheduled);
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish, b.jobs[i].finish);
+  }
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].finish, b.flows[i].finish);
+  }
+  expect_domain_equal(a.fault_domains, b.fault_domains);
+  EXPECT_EQ(a.control.crashes, b.control.crashes);
+  EXPECT_EQ(a.control.reconcile_repairs, b.control.reconcile_repairs);
+  EXPECT_EQ(a.gray.degradations, b.gray.degradations);
+  EXPECT_GE(a.fault_domains.domain_faults, 1u);
+}
+
+}  // namespace
+}  // namespace hit::sim

@@ -1,0 +1,208 @@
+// Failure domains (DESIGN.md §17): derivation from the typed topology,
+// correlated fail_domain scripting, the salt-fork independence guarantee of
+// the domain-MTBF generator, and partition reachability.
+#include "sim/domains.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/faults.h"
+#include "topology/builders.h"
+
+namespace hit::sim {
+namespace {
+
+class DomainsTest : public ::testing::Test {
+ protected:
+  // Depth-3 tree, fanout 2, redundancy 2, 2 hosts per access switch:
+  // 8 servers behind 4 racks, aggregation and core tiers above them.
+  topo::TreeConfig tree_{3, 2, 2, 2};
+  topo::Topology topo_ = topo::make_tree(tree_);
+  DomainSet set_ = DomainSet::derive(topo_);
+};
+
+TEST_F(DomainsTest, DeriveCoversEveryKindInOrder) {
+  std::size_t access = 0;
+  std::size_t aggregation = 0;
+  for (NodeId sw : topo_.switches()) {
+    if (topo_.tier(sw) == topo::Tier::Access) ++access;
+    if (topo_.tier(sw) == topo::Tier::Aggregation) ++aggregation;
+  }
+  ASSERT_GT(access, 0u);
+  ASSERT_GT(aggregation, 0u);
+
+  std::size_t servers = 0, racks = 0, pods = 0, tiers = 0;
+  std::uint32_t expect_ordinal = 1;
+  for (const FailureDomain& d : set_.domains()) {
+    // Ordinals are 1-based, contiguous, in server/rack/pod/tier order.
+    EXPECT_EQ(d.ordinal, expect_ordinal++);
+    EXPECT_EQ(&set_.at(d.ordinal), &d);
+    EXPECT_GT(d.size(), 0u);
+    EXPECT_TRUE(std::is_sorted(d.switches.begin(), d.switches.end()));
+    EXPECT_TRUE(std::is_sorted(d.servers.begin(), d.servers.end()));
+    switch (d.kind) {
+      case DomainKind::Server:
+        ++servers;
+        EXPECT_EQ(d.servers.size(), 1u);
+        EXPECT_TRUE(d.switches.empty());
+        break;
+      case DomainKind::Rack:
+        ++racks;
+        EXPECT_EQ(d.switches.size(), 1u);
+        EXPECT_EQ(d.servers.size(), tree_.hosts_per_access);
+        EXPECT_EQ(topo_.tier(d.root), topo::Tier::Access);
+        break;
+      case DomainKind::Pod:
+        ++pods;
+        EXPECT_GT(d.switches.size(), 1u);  // the agg switch + its subtree
+        EXPECT_EQ(topo_.tier(d.root), topo::Tier::Aggregation);
+        break;
+      case DomainKind::Tier:
+        ++tiers;
+        EXPECT_TRUE(d.servers.empty());
+        break;
+    }
+  }
+  EXPECT_EQ(servers, topo_.servers().size());
+  EXPECT_EQ(racks, access);
+  EXPECT_EQ(pods, aggregation);
+  EXPECT_EQ(tiers, 3u);  // access, aggregation, core all present in the tree
+  EXPECT_EQ(set_.size(), servers + racks + pods + tiers);
+}
+
+TEST_F(DomainsTest, FindAddressesWithinKindAndRackOfMapsServers) {
+  ASSERT_NE(set_.find(DomainKind::Rack, 0), nullptr);
+  EXPECT_EQ(set_.find(DomainKind::Rack, 0)->name, "rack-0");
+  EXPECT_EQ(set_.find(DomainKind::Pod, 1)->name, "pod-1");
+  EXPECT_EQ(set_.find(DomainKind::Rack, 1000), nullptr);
+  EXPECT_THROW(set_.at(0), std::out_of_range);
+  EXPECT_THROW(set_.at(static_cast<std::uint32_t>(set_.size() + 1)),
+               std::out_of_range);
+
+  // Every server maps to exactly the rack that lists it as a member.
+  for (NodeId server : topo_.servers()) {
+    const std::uint32_t ord = set_.rack_of(server);
+    ASSERT_NE(ord, 0u);
+    const FailureDomain& rack = set_.at(ord);
+    EXPECT_EQ(rack.kind, DomainKind::Rack);
+    EXPECT_TRUE(std::binary_search(rack.servers.begin(), rack.servers.end(),
+                                   server));
+  }
+  // Switches belong to no rack.
+  EXPECT_EQ(set_.rack_of(topo_.switches()[0]), 0u);
+}
+
+TEST_F(DomainsTest, ParseDomainKindRoundTrips) {
+  for (DomainKind kind : {DomainKind::Server, DomainKind::Rack,
+                          DomainKind::Pod, DomainKind::Tier}) {
+    EXPECT_EQ(parse_domain_kind(domain_kind_name(kind)), kind);
+  }
+  // "tor" is a documented CLI alias for the rack kind.
+  EXPECT_EQ(parse_domain_kind("tor"), DomainKind::Rack);
+  EXPECT_THROW(parse_domain_kind("datacenter"), std::invalid_argument);
+}
+
+TEST_F(DomainsTest, FailDomainCrashesEveryMemberAtomically) {
+  const FailureDomain* rack = set_.find(DomainKind::Rack, 1);
+  ASSERT_NE(rack, nullptr);
+  FaultPlan plan;
+  plan.fail_domain(*rack, 10.0, 5.0);
+  ASSERT_EQ(plan.size(), 2 * rack->size());
+
+  FaultState state(topo_);
+  std::size_t fails = 0;
+  for (const FaultEvent& ev : plan.events()) {
+    // Every member event carries the domain's ordinal and a shared instant.
+    EXPECT_EQ(ev.domain, rack->ordinal);
+    EXPECT_DOUBLE_EQ(ev.time, ev.kind == FaultKind::Fail ? 10.0 : 15.0);
+    if (ev.kind != FaultKind::Fail) continue;
+    state.apply(ev);
+    ++fails;
+  }
+  EXPECT_EQ(fails, rack->size());
+  for (NodeId sw : rack->switches) EXPECT_FALSE(state.node_up(sw));
+  for (NodeId s : rack->servers) EXPECT_FALSE(state.node_up(s));
+  EXPECT_EQ(state.down_nodes().size(), rack->size());
+
+  for (const FaultEvent& ev : plan.events()) {
+    if (ev.kind == FaultKind::Recover) state.apply(ev);
+  }
+  EXPECT_FALSE(state.any_down());
+
+  FaultDomainStats fd;
+  account_domain_plan(plan, /*end=*/100.0, fd);
+  EXPECT_EQ(fd.domain_faults, 1u);  // one crash instant, not size() faults
+}
+
+TEST_F(DomainsTest, DomainMtbfForksUnderADisjointSalt) {
+  // The correlated-rack renewal process must not perturb any other
+  // generated stream: with rack_mtbf added, the subsequence of non-domain
+  // events is exactly the plan generated without it.
+  MtbfConfig base;
+  base.horizon = 2000.0;
+  base.switch_mtbf = 300.0;
+  base.switch_mttr = 40.0;
+  base.server_mtbf = 400.0;
+  base.server_mttr = 30.0;
+  base.gray_link_mtbf = 800.0;
+  base.gray_link_mttr = 100.0;
+
+  MtbfConfig with_domains = base;
+  with_domains.rack_mtbf = 500.0;
+  with_domains.rack_mttr = 60.0;
+  with_domains.pod_mtbf = 1500.0;
+  with_domains.pod_mttr = 120.0;
+
+  const FaultPlan plain = FaultPlan::generate(topo_, base, 42);
+  const FaultPlan forked = FaultPlan::generate(topo_, with_domains, 42);
+  ASSERT_GT(plain.size(), 0u);
+  ASSERT_GT(forked.size(), plain.size());
+
+  std::vector<FaultEvent> independent;
+  std::size_t domain_events = 0;
+  for (const FaultEvent& ev : forked.events()) {
+    (ev.domain == 0 ? void(independent.push_back(ev))
+                    : void(++domain_events));
+  }
+  EXPECT_GT(domain_events, 0u);
+  ASSERT_EQ(independent.size(), plain.size());
+  for (std::size_t i = 0; i < independent.size(); ++i) {
+    const FaultEvent& a = plain.events()[i];
+    const FaultEvent& b = independent[i];
+    EXPECT_DOUBLE_EQ(a.time, b.time);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.target, b.target);
+    EXPECT_EQ(a.node, b.node);
+    EXPECT_EQ(a.peer, b.peer);
+    EXPECT_DOUBLE_EQ(a.factor, b.factor);
+  }
+
+  // And the generator stays a pure function of (topology, config, seed).
+  const FaultPlan again = FaultPlan::generate(topo_, with_domains, 42);
+  ASSERT_EQ(again.size(), forked.size());
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again.events()[i].time, forked.events()[i].time);
+    EXPECT_EQ(again.events()[i].domain, forked.events()[i].domain);
+  }
+}
+
+TEST_F(DomainsTest, ReachableComponentExcludesPartitionedRack) {
+  const FailureDomain* rack = set_.find(DomainKind::Rack, 0);
+  ASSERT_NE(rack, nullptr);
+  FaultState state(topo_);
+  // Crash only the ToR: its servers are alive yet cut off from the rest.
+  state.apply(FaultEvent{1.0, FaultKind::Fail, FaultTarget::Switch,
+                         rack->switches[0], NodeId{}});
+
+  const std::vector<char> mask = reachable_component(topo_, state);
+  for (NodeId s : rack->servers) EXPECT_FALSE(mask[s.index()]);
+  std::size_t reachable = 0;
+  for (NodeId s : topo_.servers()) {
+    if (mask[s.index()]) ++reachable;
+  }
+  EXPECT_EQ(reachable, topo_.servers().size() - rack->servers.size());
+}
+
+}  // namespace
+}  // namespace hit::sim

@@ -55,6 +55,8 @@ void print_usage() {
       "    --verbose         include obs.* metrics in the diff\n"
       "  hitcamp report RESULT.json [--metrics a,b,c]   metric table\n"
       "    --metrics LIST    comma-separated columns (default: all non-obs)\n"
+      "    --cdf             per-metric distribution rows (min/p25/p50/p75/\n"
+      "                      p90/p95/max across the campaign's ok cells)\n"
       "  hitcamp expand SPEC              list the cells a spec expands to\n"
       "  hitcamp --help\n";
 }
@@ -197,6 +199,7 @@ int cmd_whatif(const std::vector<std::string>& args) {
 int cmd_report(const std::vector<std::string>& args) {
   std::string result_path;
   std::vector<std::string> metrics;
+  bool cdf = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--metrics" && i + 1 < args.size()) {
@@ -205,6 +208,8 @@ int cmd_report(const std::vector<std::string>& args) {
       while (std::getline(ss, item, ',')) {
         if (!item.empty()) metrics.push_back(item);
       }
+    } else if (arg == "--cdf") {
+      cdf = true;
     } else if (result_path.empty()) {
       result_path = arg;
     } else {
@@ -216,7 +221,8 @@ int cmd_report(const std::vector<std::string>& args) {
   }
   const campaign::CampaignResult result =
       campaign::load_campaign_json(result_path);
-  std::cout << campaign::render_report(result, metrics);
+  std::cout << (cdf ? campaign::render_cdf(result, metrics)
+                    : campaign::render_report(result, metrics));
   return 0;
 }
 

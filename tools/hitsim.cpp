@@ -91,6 +91,12 @@ struct Options {
   bool monitor = false;           ///< health-monitor sampling + detection stats
   bool quarantine = false;        ///< quarantine/probe loop (implies --monitor)
   double speculation = 0.0;       ///< speculative-map threshold (batch mode)
+  // Failure domains & lineage recovery (all default-off, DESIGN.md §17).
+  std::string fail_domain;     ///< scripted correlated fault KIND:INDEX:AT[:MTTR]
+  double domain_mtbf = 0.0;    ///< seeded rack-level correlated MTBF seconds
+  double domain_mttr = 120.0;  ///< domain repair mean seconds
+  double output_loss = 0.0;    ///< map-output loss probability on server crash
+  double spread_weight = 0.0;  ///< domain-spread placement weight (hit scheduler)
   // Control-plane crash recovery (all default-off).
   double controller_crash = 0.0;  ///< scripted controller crash time (0 = off)
   double blackout = 0.0;          ///< crash-to-restart window (0 = permanent)
@@ -153,6 +159,18 @@ void print_usage() {
       "  --monitor           health-monitor sampling + detection stats\n"
       "  --quarantine        quarantine + probe/reinstate loop (implies --monitor)\n"
       "  --speculation X     speculative map copies past X x wave median (batch)\n"
+      "failure domains and lineage recovery:\n"
+      "  --fail-domain K:I:AT[:MTTR]  crash every element of the I-th domain of\n"
+      "                      kind K (server | rack | pod | tier) at second AT,\n"
+      "                      repairing MTTR seconds later (omitted = permanent)\n"
+      "  --domain-mtbf MTBF  seeded correlated rack crashes: per-rack MTBF seconds\n"
+      "  --domain-mttr S     correlated-crash repair mean                (default 120)\n"
+      "  --output-loss P     a crashed server loses its completed map outputs with\n"
+      "                      probability P (1 when its whole domain died); lineage\n"
+      "                      re-executes exactly the maps still-pending shuffles need\n"
+      "  --spread-weight W   domain-spread soft constraint in the Eq. 10 utility\n"
+      "                      (hit scheduler): trade shuffle locality for fewer\n"
+      "                      same-rack map pairs per job\n"
       "control-plane crash recovery:\n"
       "  --controller-crash T  crash the controller at simulated second T\n"
       "  --blackout S        restart the controller S seconds after the crash\n"
@@ -315,6 +333,21 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (arg == "--speculation") {
       if (!(value = need_value(i))) return std::nullopt;
       opt.speculation = std::stod(value);
+    } else if (arg == "--fail-domain") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.fail_domain = value;
+    } else if (arg == "--domain-mtbf") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.domain_mtbf = std::stod(value);
+    } else if (arg == "--domain-mttr") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.domain_mttr = std::stod(value);
+    } else if (arg == "--output-loss") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.output_loss = std::stod(value);
+    } else if (arg == "--spread-weight") {
+      if (!(value = need_value(i))) return std::nullopt;
+      opt.spread_weight = std::stod(value);
     } else if (arg == "--controller-crash") {
       if (!(value = need_value(i))) return std::nullopt;
       opt.controller_crash = std::stod(value);
@@ -394,6 +427,19 @@ void add_recovery_rows(stats::Table& table, const sim::ControlPlaneStats& c) {
   table.add_row({"journal records", count(c.journal_records)});
   table.add_row({"journal replayed", count(c.replayed_records)});
   table.add_row({"snapshots", count(c.snapshots)});
+}
+
+// Failure-domain accounting rows shared by the batch and online summaries.
+void add_domain_rows(stats::Table& table, const sim::FaultDomainStats& fd) {
+  const auto count = [](std::size_t n) {
+    return stats::Table::num(static_cast<double>(n), 0);
+  };
+  table.add_row({"failure domains", count(fd.domains)});
+  table.add_row({"domain faults", count(fd.domain_faults)});
+  table.add_row({"map outputs lost", count(fd.outputs_lost)});
+  table.add_row({"lineage re-executions", count(fd.maps_reexecuted_lineage)});
+  table.add_row({"stage re-opens", count(fd.stage_reopens)});
+  table.add_row({"partition parks", count(fd.partition_parks)});
 }
 
 // --cp-weights "alpha:beta:gamma" -> stage-score weights.
@@ -566,6 +612,7 @@ int run(const Options& opt) {
     trace->name_thread(obs::TraceWriter::kSimPid, 5, "admission");
     trace->name_thread(obs::TraceWriter::kSimPid, 6, "recovery");
     trace->name_thread(obs::TraceWriter::kSimPid, 7, "workflow");
+    trace->name_thread(obs::TraceWriter::kSimPid, 8, "domains");
     trace->name_process(obs::TraceWriter::kHostPid, "host wall clock");
     trace->name_thread(obs::TraceWriter::kHostPid, 0, "phases");
   }
@@ -604,7 +651,12 @@ int run(const Options& opt) {
     std::cerr << "hitsim: --ladder/--breaker/--*-budget need --scheduler hit\n";
     return 1;
   }
-  if ((want_ladder || cf_config.enabled) && opt.scheduler == "hit") {
+  if (opt.spread_weight > 0.0 && opt.scheduler != "hit") {
+    std::cerr << "hitsim: --spread-weight needs --scheduler hit\n";
+    return 1;
+  }
+  if ((want_ladder || cf_config.enabled || opt.spread_weight > 0.0) &&
+      opt.scheduler == "hit") {
     core::HitConfig hconfig;
     hconfig.ladder.enabled = want_ladder;
     hconfig.ladder.route_budget = opt.route_budget;
@@ -612,6 +664,7 @@ int run(const Options& opt) {
     hconfig.ladder.breaker.enabled = opt.breaker;
     hconfig.ladder.breaker.seed = opt.breaker ? opt.seed : 0;
     hconfig.coflow = cf_config;
+    hconfig.spread_weight = opt.spread_weight;
     auto owned = std::make_unique<core::HitScheduler>(hconfig);
     hit = owned.get();
     scheduler = std::move(owned);
@@ -623,7 +676,7 @@ int run(const Options& opt) {
   sconfig.map_time_jitter_sigma = opt.jitter;
   sconfig.coflow = cf_config;
   sconfig.speculation_threshold = opt.speculation;
-  if (opt.fault_mtbf > 0.0 || opt.gray_mtbf > 0.0) {
+  if (opt.fault_mtbf > 0.0 || opt.gray_mtbf > 0.0 || opt.domain_mtbf > 0.0) {
     sim::MtbfConfig mconfig;
     mconfig.horizon = opt.fault_horizon;
     mconfig.switch_mtbf = opt.fault_mtbf;
@@ -638,7 +691,43 @@ int run(const Options& opt) {
     mconfig.gray_link_mttr = opt.gray_mttr;
     mconfig.gray_factor_min = opt.gray_factor_min;
     mconfig.gray_factor_max = opt.gray_factor_max;
+    mconfig.rack_mtbf = opt.domain_mtbf;
+    mconfig.rack_mttr = opt.domain_mttr;
     sconfig.faults = sim::FaultPlan::generate(topology, mconfig, opt.seed);
+  }
+  if (!opt.fail_domain.empty()) {
+    // KIND:INDEX:AT[:MTTR] — resolved against the derived DomainSet.
+    std::stringstream spec(opt.fail_domain);
+    std::string kind_s, index_s, at_s, mttr_s;
+    const bool ok = static_cast<bool>(std::getline(spec, kind_s, ':')) &&
+                    static_cast<bool>(std::getline(spec, index_s, ':')) &&
+                    static_cast<bool>(std::getline(spec, at_s, ':'));
+    std::getline(spec, mttr_s, ':');
+    if (!ok) {
+      std::cerr << "hitsim: --fail-domain wants KIND:INDEX:AT[:MTTR]\n";
+      return 1;
+    }
+    try {
+      const sim::DomainKind kind = sim::parse_domain_kind(kind_s);
+      const sim::DomainSet domains = sim::DomainSet::derive(topology);
+      const sim::FailureDomain* d = domains.find(kind, std::stoul(index_s));
+      if (d == nullptr) {
+        std::cerr << "hitsim: topology has no " << kind_s << " domain #"
+                  << index_s << "\n";
+        return 1;
+      }
+      sconfig.faults.fail_domain(*d, std::stod(at_s),
+                                 mttr_s.empty() ? 0.0 : std::stod(mttr_s));
+    } catch (const std::exception& e) {
+      std::cerr << "hitsim: bad --fail-domain '" << opt.fail_domain << "': "
+                << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (opt.output_loss > 0.0 || opt.domain_mtbf > 0.0 ||
+      !opt.fail_domain.empty()) {
+    sconfig.domains.enabled = true;
+    sconfig.domains.output_loss_prob = opt.output_loss;
   }
   if (opt.controller_crash > 0.0) {
     sconfig.faults.crash_controller(opt.controller_crash, opt.blackout);
@@ -724,6 +813,9 @@ int run(const Options& opt) {
       if (wf_mode) add_workflow_rows(table, wf_stats);
       if (result.gray.any()) add_gray_rows(table, result.gray);
       if (result.control.any()) add_recovery_rows(table, result.control);
+      if (result.fault_domains.any()) {
+        add_domain_rows(table, result.fault_domains);
+      }
       std::cout << table.render();
     }
   } else if (opt.mode == "online") {
@@ -851,6 +943,9 @@ int run(const Options& opt) {
       if (wf_mode) add_workflow_rows(table, wf_stats);
       if (result.gray.any()) add_gray_rows(table, result.gray);
       if (result.control.any()) add_recovery_rows(table, result.control);
+      if (result.fault_domains.any()) {
+        add_domain_rows(table, result.fault_domains);
+      }
       std::cout << table.render();
     }
   } else {
